@@ -1,0 +1,69 @@
+//! E6: selection-policy decision overhead (pure policy cost, no network).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfserv_community::{
+    ExecutionHistory, HistoryAware, LeastLoaded, Member, MemberId, Outcome, QosProfile,
+    RandomChoice, RoundRobin, SelectionContext, SelectionPolicy, WeightedScoring,
+};
+use selfserv_net::NodeId;
+use selfserv_wsdl::MessageDoc;
+use std::time::Duration;
+
+fn members(n: usize) -> Vec<Member> {
+    (0..n)
+        .map(|i| Member {
+            id: MemberId(format!("m{i:03}")),
+            provider: format!("P{i}"),
+            endpoint: NodeId::new(format!("svc.m{i}")),
+            qos: QosProfile::default()
+                .with_cost(1.0 + i as f64)
+                .with_duration_ms(10.0 + (i * 7 % 90) as f64)
+                .with_reliability(0.8 + (i % 5) as f64 * 0.04)
+                .with_reputation((i % 10) as f64 / 10.0),
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection_policy");
+    for n in [4usize, 16, 64] {
+        let ms = members(n);
+        let refs: Vec<&Member> = ms.iter().collect();
+        let history = ExecutionHistory::new();
+        for m in &ms {
+            history.start(&m.id);
+            history.complete(&m.id, Duration::from_millis(20), Outcome::Success);
+        }
+        let req = MessageDoc::request("op");
+        let policies: Vec<(&str, Box<dyn SelectionPolicy>)> = vec![
+            ("round_robin", Box::new(RoundRobin::new())),
+            ("random", Box::new(RandomChoice::new(5))),
+            ("least_loaded", Box::new(LeastLoaded)),
+            ("saw", Box::new(WeightedScoring::default())),
+            ("history_aware", Box::new(HistoryAware::default())),
+        ];
+        for (name, policy) in policies {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    let ctx = SelectionContext {
+                        operation: "op",
+                        request: &req,
+                        history: &history,
+                    };
+                    policy.select(&refs, &ctx).unwrap().id.clone()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(20);
+    targets = bench_policies
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E2 (Figure 2): editor/deployer pipeline — XML codec, validation, and
+//! routing-table generation versus statechart size and topology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfserv_statechart::{synth, Statechart};
+
+fn bench_deployment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deployer");
+    for n in [5usize, 20, 80, 160] {
+        let sc = synth::sequence(n);
+        let xml = sc.to_xml().to_pretty_xml();
+        group.bench_with_input(BenchmarkId::new("parse_validate_seq", n), &n, |b, _| {
+            b.iter(|| {
+                let parsed = Statechart::from_xml_str(&xml).unwrap();
+                assert!(parsed.validate().is_ok());
+                parsed
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("generate_tables_seq", n), &n, |b, _| {
+            b.iter(|| selfserv_routing::generate(&sc).unwrap());
+        });
+    }
+    for n in [4usize, 8, 16] {
+        let par = synth::parallel(n);
+        group.bench_with_input(BenchmarkId::new("generate_tables_parallel", n), &n, |b, _| {
+            b.iter(|| selfserv_routing::generate(&par).unwrap());
+        });
+        let ladder = synth::ladder(4, n / 2);
+        group.bench_with_input(BenchmarkId::new("generate_tables_ladder4", n), &n, |b, _| {
+            b.iter(|| selfserv_routing::generate(&ladder).unwrap());
+        });
+    }
+    group.finish();
+
+    c.bench_function("travel_full_pipeline", |b| {
+        let sc = selfserv_statechart::travel::travel_statechart();
+        let xml = sc.to_xml().to_pretty_xml();
+        b.iter(|| {
+            let parsed = Statechart::from_xml_str(&xml).unwrap();
+            assert!(parsed.validate().is_ok());
+            selfserv_routing::generate(&parsed).unwrap()
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(20);
+    targets = bench_deployment
+}
+criterion_main!(benches);

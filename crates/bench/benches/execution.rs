@@ -1,0 +1,72 @@
+//! E3 (Figure 3): end-to-end composite execution through the P2P fabric
+//! (software overhead: instant network, zero-latency services).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selfserv_bench::{deploy_p2p, instant_net, synth_input};
+use selfserv_core::{AccommodationChoice, TravelDemo, TravelDemoConfig};
+use selfserv_net::Network;
+use selfserv_statechart::synth;
+use std::time::Duration;
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execution");
+
+    {
+        let net = instant_net();
+        let dep = deploy_p2p(&net, &synth::sequence(8), Duration::ZERO);
+        group.bench_function("sequence8_p2p", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                dep.execute(synth_input(i), Duration::from_secs(30)).unwrap()
+            });
+        });
+    }
+    {
+        let net = instant_net();
+        let dep = deploy_p2p(&net, &synth::parallel(8), Duration::ZERO);
+        group.bench_function("parallel8_p2p", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                dep.execute(synth_input(i), Duration::from_secs(30)).unwrap()
+            });
+        });
+    }
+    {
+        let net = Network::new(selfserv_net::NetworkConfig::instant());
+        let demo = TravelDemo::launch(
+            &net,
+            TravelDemoConfig {
+                accommodation: AccommodationChoice::NearAttraction,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        group.bench_function("travel_domestic", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                demo.book_trip(&format!("C{i}"), "Sydney", "2002-08-20", "2002-08-27").unwrap()
+            });
+        });
+        group.bench_function("travel_international", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i += 1;
+                demo.book_trip(&format!("C{i}"), "Hong Kong", "2002-08-20", "2002-08-27").unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(20);
+    targets = bench_execution
+}
+criterion_main!(benches);

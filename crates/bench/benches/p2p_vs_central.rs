@@ -1,0 +1,47 @@
+//! E4: peer-to-peer coordination vs the centralized engine, per-instance
+//! latency as composition width grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfserv_bench::{deploy_central, deploy_p2p, instant_net, synth_input};
+use selfserv_statechart::synth;
+use std::time::Duration;
+
+fn bench_p2p_vs_central(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2p_vs_central");
+    for n in [2usize, 8, 32] {
+        let sc = synth::sequence(n);
+        {
+            let net = instant_net();
+            let dep = deploy_p2p(&net, &sc, Duration::ZERO);
+            group.bench_with_input(BenchmarkId::new("p2p_sequence", n), &n, |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i += 1;
+                    dep.execute(synth_input(i), Duration::from_secs(30)).unwrap()
+                });
+            });
+        }
+        {
+            let net = instant_net();
+            let (_hosts, central) = deploy_central(&net, &sc, Duration::ZERO);
+            group.bench_with_input(BenchmarkId::new("central_sequence", n), &n, |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i += 1;
+                    central.execute(synth_input(i), Duration::from_secs(30)).unwrap()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(20);
+    targets = bench_p2p_vs_central
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E7: per-notification routing-table decision cost — the "no complex
+//! scheduling algorithm" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfserv_routing::NotificationLabel;
+use selfserv_statechart::synth;
+
+fn bench_routing_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_lookup");
+    for n in [5usize, 40, 160] {
+        let sc = synth::sequence(n);
+        let plan = selfserv_routing::generate(&sc).unwrap();
+        let mid = format!("s{}", n / 2);
+        let table = plan.table(&mid.as_str().into()).unwrap().clone();
+        let seen = vec![NotificationLabel::Completed(
+            format!("s{}", n / 2 - 1).as_str().into(),
+        )];
+        group.bench_with_input(BenchmarkId::new("linear_precondition", n), &n, |b, _| {
+            b.iter(|| table.preconditions.iter().position(|p| p.satisfied_by(&seen)))
+        });
+    }
+    for w in [2usize, 8, 16] {
+        let sc = synth::ladder(w, 1);
+        let plan = selfserv_routing::generate(&sc).unwrap();
+        let fin = plan.wrapper.finish_alternatives[0].clone();
+        let all = fin.labels.clone();
+        group.bench_with_input(BenchmarkId::new("and_join", w), &w, |b, _| {
+            b.iter(|| fin.satisfied_by(&all))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .sample_size(20);
+    targets = bench_routing_lookup
+}
+criterion_main!(benches);

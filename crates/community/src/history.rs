@@ -1,0 +1,231 @@
+//! Execution history: the "history of past executions" and "status of
+//! ongoing executions" inputs to delegatee selection.
+
+use crate::membership::MemberId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Outcome of one delegated execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The member returned a successful response.
+    Success,
+    /// The member faulted or timed out.
+    Failure,
+}
+
+/// Per-member rolling statistics. Latency and success rate are exponential
+/// weighted moving averages so recent behaviour dominates, matching the
+/// "current conditions" flavour of the paper's selection inputs.
+#[derive(Debug, Clone)]
+pub struct MemberStats {
+    /// EWMA of observed latency (ms). `None` until the first completion.
+    pub latency_ewma_ms: Option<f64>,
+    /// EWMA of success (1.0) / failure (0.0). Starts optimistic at 1.0.
+    pub success_ewma: f64,
+    /// Completed executions recorded.
+    pub completed: u64,
+    /// Failures recorded.
+    pub failures: u64,
+    /// Executions currently in flight (the ongoing-execution gauge).
+    pub in_flight: u32,
+}
+
+impl Default for MemberStats {
+    fn default() -> Self {
+        MemberStats {
+            latency_ewma_ms: None,
+            success_ewma: 1.0,
+            completed: 0,
+            failures: 0,
+            in_flight: 0,
+        }
+    }
+}
+
+impl MemberStats {
+    /// Observed failure fraction over all completions (not EWMA).
+    pub fn failure_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.completed as f64
+        }
+    }
+}
+
+/// Thread-safe execution history for one community.
+#[derive(Debug, Default)]
+pub struct ExecutionHistory {
+    /// EWMA smoothing factor in (0, 1]; weight of the newest sample.
+    alpha: f64,
+    stats: RwLock<HashMap<MemberId, MemberStats>>,
+}
+
+impl ExecutionHistory {
+    /// History with the default smoothing factor (0.3).
+    pub fn new() -> Self {
+        Self::with_alpha(0.3)
+    }
+
+    /// History with an explicit EWMA smoothing factor.
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        ExecutionHistory { alpha, stats: RwLock::new(HashMap::new()) }
+    }
+
+    /// Marks an execution as started (increments the in-flight gauge).
+    pub fn start(&self, member: &MemberId) {
+        let mut stats = self.stats.write();
+        stats.entry(member.clone()).or_default().in_flight += 1;
+    }
+
+    /// Records a completion: decrements in-flight, folds the latency and
+    /// outcome into the EWMAs.
+    pub fn complete(&self, member: &MemberId, latency: Duration, outcome: Outcome) {
+        let mut stats = self.stats.write();
+        let s = stats.entry(member.clone()).or_default();
+        s.in_flight = s.in_flight.saturating_sub(1);
+        s.completed += 1;
+        let sample_ms = latency.as_secs_f64() * 1e3;
+        s.latency_ewma_ms = Some(match s.latency_ewma_ms {
+            None => sample_ms,
+            Some(prev) => self.alpha * sample_ms + (1.0 - self.alpha) * prev,
+        });
+        let outcome_val = match outcome {
+            Outcome::Success => 1.0,
+            Outcome::Failure => {
+                s.failures += 1;
+                0.0
+            }
+        };
+        s.success_ewma = self.alpha * outcome_val + (1.0 - self.alpha) * s.success_ewma;
+    }
+
+    /// Snapshot of one member's stats (default stats if never seen).
+    pub fn stats(&self, member: &MemberId) -> MemberStats {
+        self.stats.read().get(member).cloned().unwrap_or_default()
+    }
+
+    /// Current in-flight count for a member.
+    pub fn in_flight(&self, member: &MemberId) -> u32 {
+        self.stats.read().get(member).map_or(0, |s| s.in_flight)
+    }
+
+    /// Snapshot of all members' stats.
+    pub fn all(&self) -> HashMap<MemberId, MemberStats> {
+        self.stats.read().clone()
+    }
+
+    /// Forgets a member (e.g. after it leaves the community).
+    pub fn forget(&self, member: &MemberId) {
+        self.stats.write().remove(member);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(id: &str) -> MemberId {
+        MemberId(id.to_string())
+    }
+
+    #[test]
+    fn in_flight_gauge() {
+        let h = ExecutionHistory::new();
+        h.start(&m("a"));
+        h.start(&m("a"));
+        assert_eq!(h.in_flight(&m("a")), 2);
+        h.complete(&m("a"), Duration::from_millis(10), Outcome::Success);
+        assert_eq!(h.in_flight(&m("a")), 1);
+        assert_eq!(h.in_flight(&m("never-seen")), 0);
+    }
+
+    #[test]
+    fn ewma_latency_converges_toward_recent_samples() {
+        let h = ExecutionHistory::with_alpha(0.5);
+        for _ in 0..20 {
+            h.start(&m("a"));
+            h.complete(&m("a"), Duration::from_millis(100), Outcome::Success);
+        }
+        let slow = h.stats(&m("a")).latency_ewma_ms.unwrap();
+        assert!((slow - 100.0).abs() < 1.0, "{slow}");
+        for _ in 0..20 {
+            h.start(&m("a"));
+            h.complete(&m("a"), Duration::from_millis(10), Outcome::Success);
+        }
+        let fast = h.stats(&m("a")).latency_ewma_ms.unwrap();
+        assert!(fast < 11.0, "recent fast samples dominate: {fast}");
+    }
+
+    #[test]
+    fn success_ewma_decays_on_failures() {
+        let h = ExecutionHistory::with_alpha(0.5);
+        assert_eq!(h.stats(&m("a")).success_ewma, 1.0, "optimistic prior");
+        h.start(&m("a"));
+        h.complete(&m("a"), Duration::from_millis(5), Outcome::Failure);
+        let after_one = h.stats(&m("a")).success_ewma;
+        assert!(after_one < 1.0);
+        h.start(&m("a"));
+        h.complete(&m("a"), Duration::from_millis(5), Outcome::Failure);
+        assert!(h.stats(&m("a")).success_ewma < after_one);
+        h.start(&m("a"));
+        h.complete(&m("a"), Duration::from_millis(5), Outcome::Success);
+        assert!(h.stats(&m("a")).success_ewma > h.stats(&m("b")).success_ewma * 0.0);
+    }
+
+    #[test]
+    fn failure_rate_counts() {
+        let h = ExecutionHistory::new();
+        for i in 0..10 {
+            h.start(&m("a"));
+            let outcome = if i % 2 == 0 { Outcome::Success } else { Outcome::Failure };
+            h.complete(&m("a"), Duration::from_millis(1), outcome);
+        }
+        let s = h.stats(&m("a"));
+        assert_eq!(s.completed, 10);
+        assert_eq!(s.failures, 5);
+        assert!((s.failure_rate() - 0.5).abs() < f64::EPSILON);
+        assert_eq!(MemberStats::default().failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn forget_removes_member() {
+        let h = ExecutionHistory::new();
+        h.start(&m("a"));
+        h.complete(&m("a"), Duration::from_millis(1), Outcome::Success);
+        assert_eq!(h.stats(&m("a")).completed, 1);
+        h.forget(&m("a"));
+        assert_eq!(h.stats(&m("a")).completed, 0);
+        assert_eq!(h.all().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn invalid_alpha_panics() {
+        let _ = ExecutionHistory::with_alpha(0.0);
+    }
+
+    #[test]
+    fn concurrent_updates() {
+        let h = std::sync::Arc::new(ExecutionHistory::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let h = std::sync::Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    h.start(&m("shared"));
+                    h.complete(&m("shared"), Duration::from_millis(1), Outcome::Success);
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        let s = h.stats(&m("shared"));
+        assert_eq!(s.completed, 800);
+        assert_eq!(s.in_flight, 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Community membership: members, QoS profiles, join/leave.
+
+use selfserv_net::NodeId;
+use selfserv_wsdl::OperationDef;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a member within one community.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemberId(pub String);
+
+impl fmt::Display for MemberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Static member characteristics — the "characteristics of the members"
+/// input to delegatee selection. Values are advertised by providers when
+/// they join (as in the original's membership documents).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosProfile {
+    /// Monetary cost per invocation (arbitrary currency units).
+    pub cost: f64,
+    /// Advertised mean execution duration, in milliseconds.
+    pub duration_ms: f64,
+    /// Advertised probability of success (0–1).
+    pub reliability: f64,
+    /// Reputation score (0–1), e.g. from user ratings.
+    pub reputation: f64,
+}
+
+impl Default for QosProfile {
+    fn default() -> Self {
+        QosProfile { cost: 1.0, duration_ms: 100.0, reliability: 0.99, reputation: 0.5 }
+    }
+}
+
+impl QosProfile {
+    /// Builder: sets the cost.
+    pub fn with_cost(mut self, cost: f64) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Builder: sets the advertised duration.
+    pub fn with_duration_ms(mut self, d: f64) -> Self {
+        self.duration_ms = d;
+        self
+    }
+
+    /// Builder: sets the advertised reliability.
+    pub fn with_reliability(mut self, r: f64) -> Self {
+        self.reliability = r;
+        self
+    }
+
+    /// Builder: sets the reputation.
+    pub fn with_reputation(mut self, r: f64) -> Self {
+        self.reputation = r;
+        self
+    }
+}
+
+/// A community member: a concrete service that can stand in for the
+/// community's generic operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Member {
+    /// Member id (unique within the community).
+    pub id: MemberId,
+    /// Display/provider name.
+    pub provider: String,
+    /// Fabric node where the member's wrapper listens.
+    pub endpoint: NodeId,
+    /// Static QoS characteristics.
+    pub qos: QosProfile,
+}
+
+/// Errors from community operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommunityError {
+    /// A member with this id is already registered.
+    DuplicateMember(MemberId),
+    /// No such member.
+    UnknownMember(MemberId),
+    /// The community currently has no members able to serve a request.
+    NoMembersAvailable {
+        /// The community name.
+        community: String
+    },
+    /// The requested operation is not one of the community's generic
+    /// operations.
+    UnknownOperation(String),
+    /// Wire-protocol problem.
+    Protocol(String),
+    /// Delegation failed (member unreachable / faulted).
+    DelegationFailed(String),
+}
+
+impl fmt::Display for CommunityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommunityError::DuplicateMember(m) => write!(f, "member '{m}' already registered"),
+            CommunityError::UnknownMember(m) => write!(f, "unknown member '{m}'"),
+            CommunityError::NoMembersAvailable { community } => {
+                write!(f, "community '{community}' has no members available")
+            }
+            CommunityError::UnknownOperation(op) => {
+                write!(f, "operation '{op}' is not offered by this community")
+            }
+            CommunityError::Protocol(m) => write!(f, "community protocol error: {m}"),
+            CommunityError::DelegationFailed(m) => write!(f, "delegation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CommunityError {}
+
+/// A service community: a named capability with generic operations and a
+/// mutable member set.
+#[derive(Debug, Clone, Default)]
+pub struct Community {
+    /// Community name (e.g. `AccommodationBooking`).
+    pub name: String,
+    /// Human-readable purpose.
+    pub description: String,
+    /// Generic operations, described "without referring to any actual
+    /// provider".
+    pub operations: Vec<OperationDef>,
+    /// Current members, keyed by id (sorted for deterministic iteration).
+    members: BTreeMap<MemberId, Member>,
+}
+
+impl Community {
+    /// Creates an empty community.
+    pub fn new(name: impl Into<String>, description: impl Into<String>) -> Self {
+        Community {
+            name: name.into(),
+            description: description.into(),
+            operations: Vec::new(),
+            members: BTreeMap::new(),
+        }
+    }
+
+    /// Builder: adds a generic operation.
+    pub fn with_operation(mut self, op: OperationDef) -> Self {
+        self.operations.push(op);
+        self
+    }
+
+    /// Looks up a generic operation.
+    pub fn operation(&self, name: &str) -> Option<&OperationDef> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+
+    /// Registers a member.
+    pub fn join(&mut self, member: Member) -> Result<(), CommunityError> {
+        if self.members.contains_key(&member.id) {
+            return Err(CommunityError::DuplicateMember(member.id));
+        }
+        self.members.insert(member.id.clone(), member);
+        Ok(())
+    }
+
+    /// Removes a member.
+    pub fn leave(&mut self, id: &MemberId) -> Result<Member, CommunityError> {
+        self.members.remove(id).ok_or_else(|| CommunityError::UnknownMember(id.clone()))
+    }
+
+    /// Looks up a member.
+    pub fn member(&self, id: &MemberId) -> Option<&Member> {
+        self.members.get(id)
+    }
+
+    /// Iterates over members in id order.
+    pub fn members(&self) -> impl Iterator<Item = &Member> {
+        self.members.values()
+    }
+
+    /// Number of members.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the community has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfserv_wsdl::{OperationDef, Param, ParamType};
+
+    fn member(id: &str) -> Member {
+        Member {
+            id: MemberId(id.to_string()),
+            provider: format!("Provider {id}"),
+            endpoint: NodeId::new(format!("svc.{id}")),
+            qos: QosProfile::default(),
+        }
+    }
+
+    #[test]
+    fn join_leave_lookup() {
+        let mut c = Community::new("AccommodationBooking", "Hotels and hostels");
+        assert!(c.is_empty());
+        c.join(member("ritz")).unwrap();
+        c.join(member("hilton")).unwrap();
+        assert_eq!(c.member_count(), 2);
+        assert!(c.member(&MemberId("ritz".into())).is_some());
+        let gone = c.leave(&MemberId("ritz".into())).unwrap();
+        assert_eq!(gone.provider, "Provider ritz");
+        assert!(c.member(&MemberId("ritz".into())).is_none());
+        assert!(c.leave(&MemberId("ritz".into())).is_err());
+    }
+
+    #[test]
+    fn duplicate_join_rejected() {
+        let mut c = Community::new("X", "");
+        c.join(member("a")).unwrap();
+        assert!(matches!(
+            c.join(member("a")),
+            Err(CommunityError::DuplicateMember(_))
+        ));
+    }
+
+    #[test]
+    fn members_iterate_in_id_order() {
+        let mut c = Community::new("X", "");
+        c.join(member("zeta")).unwrap();
+        c.join(member("alpha")).unwrap();
+        let ids: Vec<&str> = c.members().map(|m| m.id.0.as_str()).collect();
+        assert_eq!(ids, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn operations_lookup() {
+        let c = Community::new("AccommodationBooking", "").with_operation(
+            OperationDef::new("bookAccommodation")
+                .with_input(Param::required("city", ParamType::Str)),
+        );
+        assert!(c.operation("bookAccommodation").is_some());
+        assert!(c.operation("teleport").is_none());
+    }
+
+    #[test]
+    fn qos_builders() {
+        let q = QosProfile::default()
+            .with_cost(2.0)
+            .with_duration_ms(50.0)
+            .with_reliability(0.9)
+            .with_reputation(0.8);
+        assert_eq!(q.cost, 2.0);
+        assert_eq!(q.duration_ms, 50.0);
+        assert_eq!(q.reliability, 0.9);
+        assert_eq!(q.reputation, 0.8);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CommunityError::NoMembersAvailable { community: "AB".into() };
+        assert!(e.to_string().contains("AB"));
+    }
+}

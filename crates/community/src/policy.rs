@@ -1,0 +1,506 @@
+//! Delegatee selection policies.
+//!
+//! Selection sees all four inputs the paper names: the request parameters
+//! (via [`SelectionContext::request`]), the member characteristics
+//! ([`crate::QosProfile`]), the execution history, and the ongoing-execution
+//! gauge — and returns the member the community delegates to.
+
+use crate::history::ExecutionHistory;
+use crate::membership::Member;
+#[cfg(test)]
+use crate::membership::MemberId;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selfserv_wsdl::MessageDoc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Everything a policy may consult when choosing a delegatee.
+pub struct SelectionContext<'a> {
+    /// The operation being requested.
+    pub operation: &'a str,
+    /// The request message ("the parameters of the request").
+    pub request: &'a MessageDoc,
+    /// Execution history + in-flight gauges.
+    pub history: &'a ExecutionHistory,
+}
+
+/// A delegatee-selection strategy. Implementations must be deterministic
+/// given their own internal state (randomised policies own a seeded RNG).
+pub trait SelectionPolicy: Send + Sync {
+    /// Chooses one of `candidates` (non-empty, sorted by member id).
+    /// Returning `None` makes the community report
+    /// [`crate::CommunityError::NoMembersAvailable`].
+    fn select<'m>(&self, candidates: &[&'m Member], ctx: &SelectionContext<'_>)
+        -> Option<&'m Member>;
+
+    /// Short policy name for diagnostics and experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Cycles through members in id order. Best load *spread*, blind to member
+/// quality.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: AtomicUsize,
+}
+
+impl RoundRobin {
+    /// A fresh round-robin counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SelectionPolicy for RoundRobin {
+    fn select<'m>(
+        &self,
+        candidates: &[&'m Member],
+        _ctx: &SelectionContext<'_>,
+    ) -> Option<&'m Member> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % candidates.len();
+        Some(candidates[idx])
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Uniform random choice with a seeded RNG.
+pub struct RandomChoice {
+    rng: Mutex<StdRng>,
+}
+
+impl RandomChoice {
+    /// Seeded random policy.
+    pub fn new(seed: u64) -> Self {
+        RandomChoice { rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+    }
+}
+
+impl SelectionPolicy for RandomChoice {
+    fn select<'m>(
+        &self,
+        candidates: &[&'m Member],
+        _ctx: &SelectionContext<'_>,
+    ) -> Option<&'m Member> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let idx = self.rng.lock().gen_range(0..candidates.len());
+        Some(candidates[idx])
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Picks the member with the fewest ongoing executions ("status of ongoing
+/// executions"), breaking ties by member id.
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+impl SelectionPolicy for LeastLoaded {
+    fn select<'m>(
+        &self,
+        candidates: &[&'m Member],
+        ctx: &SelectionContext<'_>,
+    ) -> Option<&'m Member> {
+        candidates.iter().min_by_key(|m| (ctx.history.in_flight(&m.id), &m.id)).copied()
+    }
+
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+}
+
+/// Attribute weights for [`WeightedScoring`] / [`HistoryAware`]. Each weight
+/// expresses how much the (normalised) attribute matters; weights need not
+/// sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weights {
+    /// Weight of (low) cost.
+    pub cost: f64,
+    /// Weight of (low) duration.
+    pub duration: f64,
+    /// Weight of (high) reliability.
+    pub reliability: f64,
+    /// Weight of (high) reputation.
+    pub reputation: f64,
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Weights { cost: 1.0, duration: 1.0, reliability: 1.0, reputation: 1.0 }
+    }
+}
+
+/// Simple Additive Weighting (SAW) over the advertised QoS profile —
+/// normalises each attribute across the candidate set and picks the highest
+/// weighted sum. Request messages may override the weights per call by
+/// carrying numeric `weight_cost` / `weight_duration` / `weight_reliability`
+/// / `weight_reputation` parameters, which is how "the parameters of the
+/// request" steer selection.
+#[derive(Debug, Default)]
+pub struct WeightedScoring {
+    /// Default weights when the request does not override them.
+    pub weights: Weights,
+}
+
+impl WeightedScoring {
+    /// SAW with explicit weights.
+    pub fn new(weights: Weights) -> Self {
+        WeightedScoring { weights }
+    }
+
+    fn effective_weights(&self, request: &MessageDoc) -> Weights {
+        let get = |name: &str, default: f64| {
+            request.get(name).and_then(|v| v.as_f64()).unwrap_or(default)
+        };
+        Weights {
+            cost: get("weight_cost", self.weights.cost),
+            duration: get("weight_duration", self.weights.duration),
+            reliability: get("weight_reliability", self.weights.reliability),
+            reputation: get("weight_reputation", self.weights.reputation),
+        }
+    }
+}
+
+/// Normalises `value` into [0, 1] across `[min, max]`; `higher_better`
+/// flips the scale for cost-like attributes.
+fn normalise(value: f64, min: f64, max: f64, higher_better: bool) -> f64 {
+    if (max - min).abs() < f64::EPSILON {
+        return 1.0;
+    }
+    let scaled = (value - min) / (max - min);
+    if higher_better {
+        scaled
+    } else {
+        1.0 - scaled
+    }
+}
+
+fn saw_score(members: &[&Member], weights: Weights, observed: impl Fn(&Member) -> (f64, f64)) -> Vec<f64> {
+    // observed() returns (duration_ms, reliability) — either advertised or
+    // history-adjusted. Cost and duration are unbounded, so they are
+    // min-max normalised across the candidate set; reliability and
+    // reputation already live on [0, 1] and are used raw — min-max
+    // normalising them would blow up hair-thin differences (0.99 vs 1.0)
+    // to full scale and let them dominate the score.
+    let costs: Vec<f64> = members.iter().map(|m| m.qos.cost).collect();
+    let durations: Vec<f64> = members.iter().map(|m| observed(m).0).collect();
+    let bounds = |xs: &[f64]| {
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        (min, max)
+    };
+    let (cmin, cmax) = bounds(&costs);
+    let (dmin, dmax) = bounds(&durations);
+    (0..members.len())
+        .map(|i| {
+            weights.cost * normalise(costs[i], cmin, cmax, false)
+                + weights.duration * normalise(durations[i], dmin, dmax, false)
+                + weights.reliability * observed(members[i]).1.clamp(0.0, 1.0)
+                + weights.reputation * members[i].qos.reputation.clamp(0.0, 1.0)
+        })
+        .collect()
+}
+
+impl SelectionPolicy for WeightedScoring {
+    fn select<'m>(
+        &self,
+        candidates: &[&'m Member],
+        ctx: &SelectionContext<'_>,
+    ) -> Option<&'m Member> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let weights = self.effective_weights(ctx.request);
+        let scores = saw_score(candidates, weights, |m| (m.qos.duration_ms, m.qos.reliability));
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                a.partial_cmp(b)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    // Tie-break toward the smaller member id for determinism.
+                    .then_with(|| candidates[*ib].id.cmp(&candidates[*ia].id))
+            })
+            .map(|(i, _)| i)?;
+        Some(candidates[best])
+    }
+
+    fn name(&self) -> &'static str {
+        "saw"
+    }
+}
+
+/// SAW where advertised duration/reliability are replaced by *observed*
+/// EWMA values once history exists — "the history of past executions". A
+/// member with no history competes on its advertised numbers.
+#[derive(Debug, Default)]
+pub struct HistoryAware {
+    /// Attribute weights.
+    pub weights: Weights,
+}
+
+impl HistoryAware {
+    /// History-aware SAW with explicit weights.
+    pub fn new(weights: Weights) -> Self {
+        HistoryAware { weights }
+    }
+}
+
+impl SelectionPolicy for HistoryAware {
+    fn select<'m>(
+        &self,
+        candidates: &[&'m Member],
+        ctx: &SelectionContext<'_>,
+    ) -> Option<&'m Member> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let scores = saw_score(candidates, self.weights, |m| {
+            let stats = ctx.history.stats(&m.id);
+            let duration = stats.latency_ewma_ms.unwrap_or(m.qos.duration_ms);
+            let reliability = if stats.completed == 0 {
+                m.qos.reliability
+            } else {
+                stats.success_ewma
+            };
+            (duration, reliability)
+        });
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                a.partial_cmp(b)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| candidates[*ib].id.cmp(&candidates[*ia].id))
+            })
+            .map(|(i, _)| i)?;
+        Some(candidates[best])
+    }
+
+    fn name(&self) -> &'static str {
+        "history-aware"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::Outcome;
+    use crate::membership::QosProfile;
+    use selfserv_net::NodeId;
+    use std::time::Duration;
+
+    fn member(id: &str, qos: QosProfile) -> Member {
+        Member {
+            id: MemberId(id.to_string()),
+            provider: id.to_string(),
+            endpoint: NodeId::new(format!("svc.{id}")),
+            qos,
+        }
+    }
+
+    fn ctx<'a>(request: &'a MessageDoc, history: &'a ExecutionHistory) -> SelectionContext<'a> {
+        SelectionContext { operation: "op", request, history }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let a = member("a", QosProfile::default());
+        let b = member("b", QosProfile::default());
+        let c = member("c", QosProfile::default());
+        let candidates = vec![&a, &b, &c];
+        let policy = RoundRobin::new();
+        let req = MessageDoc::request("op");
+        let hist = ExecutionHistory::new();
+        let picks: Vec<&str> = (0..6)
+            .map(|_| policy.select(&candidates, &ctx(&req, &hist)).unwrap().id.0.as_str())
+            .collect();
+        assert_eq!(picks, vec!["a", "b", "c", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn random_is_seeded_and_in_range() {
+        let a = member("a", QosProfile::default());
+        let b = member("b", QosProfile::default());
+        let candidates = vec![&a, &b];
+        let req = MessageDoc::request("op");
+        let hist = ExecutionHistory::new();
+        let run = |seed| {
+            let p = RandomChoice::new(seed);
+            (0..20)
+                .map(|_| p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same sequence");
+        assert!(run(7).iter().any(|x| x == "a") && run(7).iter().any(|x| x == "b"));
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle_members() {
+        let a = member("a", QosProfile::default());
+        let b = member("b", QosProfile::default());
+        let candidates = vec![&a, &b];
+        let hist = ExecutionHistory::new();
+        hist.start(&a.id);
+        hist.start(&a.id);
+        hist.start(&b.id);
+        let req = MessageDoc::request("op");
+        let p = LeastLoaded;
+        assert_eq!(p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0, "b");
+        // Tie breaks to the smaller id.
+        hist.start(&b.id);
+        assert_eq!(p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0, "a");
+    }
+
+    #[test]
+    fn saw_prefers_dominating_member() {
+        let good = member(
+            "good",
+            QosProfile { cost: 1.0, duration_ms: 50.0, reliability: 0.99, reputation: 0.9 },
+        );
+        let bad = member(
+            "bad",
+            QosProfile { cost: 5.0, duration_ms: 500.0, reliability: 0.8, reputation: 0.2 },
+        );
+        let candidates = vec![&bad, &good];
+        let req = MessageDoc::request("op");
+        let hist = ExecutionHistory::new();
+        let p = WeightedScoring::default();
+        assert_eq!(p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0, "good");
+    }
+
+    #[test]
+    fn saw_request_weights_override() {
+        // cheap-but-slow vs expensive-but-fast: the request decides.
+        let cheap = member(
+            "cheap",
+            QosProfile { cost: 1.0, duration_ms: 500.0, reliability: 0.9, reputation: 0.5 },
+        );
+        let fast = member(
+            "fast",
+            QosProfile { cost: 10.0, duration_ms: 20.0, reliability: 0.9, reputation: 0.5 },
+        );
+        let candidates = vec![&cheap, &fast];
+        let hist = ExecutionHistory::new();
+        let p = WeightedScoring::default();
+        let cost_sensitive = MessageDoc::request("op")
+            .with("weight_cost", selfserv_expr::Value::Float(10.0))
+            .with("weight_duration", selfserv_expr::Value::Float(0.1));
+        assert_eq!(
+            p.select(&candidates, &ctx(&cost_sensitive, &hist)).unwrap().id.0,
+            "cheap"
+        );
+        let latency_sensitive = MessageDoc::request("op")
+            .with("weight_cost", selfserv_expr::Value::Float(0.1))
+            .with("weight_duration", selfserv_expr::Value::Float(10.0));
+        assert_eq!(
+            p.select(&candidates, &ctx(&latency_sensitive, &hist)).unwrap().id.0,
+            "fast"
+        );
+    }
+
+    #[test]
+    fn history_aware_dethrones_lying_member() {
+        // "liar" advertises 10 ms but actually takes 800 ms; "honest"
+        // advertises 100 ms and delivers it. With no history the liar wins;
+        // with history the honest member does.
+        let liar = member(
+            "liar",
+            QosProfile { cost: 1.0, duration_ms: 10.0, reliability: 0.99, reputation: 0.5 },
+        );
+        let honest = member(
+            "honest",
+            QosProfile { cost: 1.0, duration_ms: 100.0, reliability: 0.99, reputation: 0.5 },
+        );
+        let candidates = vec![&honest, &liar];
+        let req = MessageDoc::request("op");
+        let hist = ExecutionHistory::new();
+        let p = HistoryAware::default();
+        assert_eq!(p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0, "liar");
+        for _ in 0..10 {
+            hist.start(&liar.id);
+            hist.complete(&liar.id, Duration::from_millis(800), Outcome::Success);
+            hist.start(&honest.id);
+            hist.complete(&honest.id, Duration::from_millis(100), Outcome::Success);
+        }
+        assert_eq!(p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0, "honest");
+    }
+
+    #[test]
+    fn history_aware_penalises_failures() {
+        let flaky = member(
+            "flaky",
+            QosProfile { cost: 1.0, duration_ms: 50.0, reliability: 0.99, reputation: 0.5 },
+        );
+        let solid = member(
+            "solid",
+            QosProfile { cost: 1.0, duration_ms: 50.0, reliability: 0.9, reputation: 0.5 },
+        );
+        let candidates = vec![&flaky, &solid];
+        let req = MessageDoc::request("op");
+        let hist = ExecutionHistory::new();
+        for _ in 0..10 {
+            hist.start(&flaky.id);
+            hist.complete(&flaky.id, Duration::from_millis(50), Outcome::Failure);
+            hist.start(&solid.id);
+            hist.complete(&solid.id, Duration::from_millis(50), Outcome::Success);
+        }
+        let p = HistoryAware::default();
+        assert_eq!(p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0, "solid");
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let req = MessageDoc::request("op");
+        let hist = ExecutionHistory::new();
+        let c = ctx(&req, &hist);
+        assert!(RoundRobin::new().select(&[], &c).is_none());
+        assert!(RandomChoice::new(1).select(&[], &c).is_none());
+        assert!(LeastLoaded.select(&[], &c).is_none());
+        assert!(WeightedScoring::default().select(&[], &c).is_none());
+        assert!(HistoryAware::default().select(&[], &c).is_none());
+    }
+
+    #[test]
+    fn single_candidate_always_selected() {
+        let only = member("only", QosProfile::default());
+        let candidates = vec![&only];
+        let req = MessageDoc::request("op");
+        let hist = ExecutionHistory::new();
+        let c = ctx(&req, &hist);
+        for policy in [
+            &RoundRobin::new() as &dyn SelectionPolicy,
+            &RandomChoice::new(3),
+            &LeastLoaded,
+            &WeightedScoring::default(),
+            &HistoryAware::default(),
+        ] {
+            assert_eq!(policy.select(&candidates, &c).unwrap().id.0, "only", "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn identical_members_tie_break_deterministically() {
+        let a = member("a", QosProfile::default());
+        let b = member("b", QosProfile::default());
+        let candidates = vec![&a, &b];
+        let req = MessageDoc::request("op");
+        let hist = ExecutionHistory::new();
+        let p = WeightedScoring::default();
+        let first = p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0.clone();
+        for _ in 0..5 {
+            assert_eq!(p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0, first);
+        }
+        assert_eq!(first, "a", "ties break toward the smaller id");
+    }
+}

@@ -1,0 +1,673 @@
+//! The community as a network service: membership and delegation over the
+//! fabric.
+//!
+//! A community node accepts `community.invoke` requests, chooses a member
+//! via its [`SelectionPolicy`], and delegates. Two delegation modes are
+//! provided (experiment E6 compares their hop counts):
+//!
+//! * [`DelegationMode::Proxy`] — the community forwards the request to the
+//!   member and relays the reply (caller sees one hop; community carries
+//!   the payload twice);
+//! * [`DelegationMode::Redirect`] — the community returns the chosen
+//!   member's endpoint and the caller invokes it directly (community stays
+//!   off the data path, as a pure broker).
+//!
+//! On member failure (fault or timeout) the community retries the remaining
+//! members — the failover behaviour that keeps composite services running
+//! when a provider disappears (experiment E5).
+
+use crate::history::{ExecutionHistory, Outcome};
+use crate::membership::{Community, CommunityError, Member, MemberId, QosProfile};
+use crate::policy::{SelectionContext, SelectionPolicy};
+use parking_lot::RwLock;
+use selfserv_net::{Endpoint, Envelope, Network, NodeId, RpcError};
+use selfserv_wsdl::MessageDoc;
+use selfserv_xml::Element;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Message kinds of the community protocol.
+pub mod kinds {
+    /// Invoke a generic operation through the community.
+    pub const INVOKE: &str = "community.invoke";
+    /// Join as a member.
+    pub const JOIN: &str = "community.join";
+    /// Leave the community.
+    pub const LEAVE: &str = "community.leave";
+    /// Successful reply (body: response message or redirect).
+    pub const RESULT: &str = "community.result";
+    /// Failure reply.
+    pub const FAULT: &str = "community.fault";
+    /// Stop the server.
+    pub const STOP: &str = "community.stop";
+    /// The invocation kind member wrappers must answer.
+    pub const MEMBER_INVOKE: &str = "invoke";
+    /// The member wrapper's reply kind.
+    pub const MEMBER_RESULT: &str = "invoke.result";
+}
+
+/// How the community hands a request to the chosen member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelegationMode {
+    /// Forward the request and relay the reply.
+    Proxy,
+    /// Tell the caller which member to contact.
+    Redirect,
+}
+
+/// Configuration of a [`CommunityServer`].
+pub struct CommunityServerConfig {
+    /// Delegation mode.
+    pub mode: DelegationMode,
+    /// Per-member invocation deadline in proxy mode.
+    pub member_timeout: Duration,
+    /// Maximum number of *different* members tried before faulting.
+    pub max_attempts: usize,
+}
+
+impl Default for CommunityServerConfig {
+    fn default() -> Self {
+        CommunityServerConfig {
+            mode: DelegationMode::Proxy,
+            member_timeout: Duration::from_secs(5),
+            max_attempts: 3,
+        }
+    }
+}
+
+/// Selection directives (`weight_*` parameters) are consumed by the
+/// community, not forwarded to members.
+fn strip_directives(msg: &MessageDoc) -> MessageDoc {
+    let mut out = MessageDoc::request(msg.operation.clone());
+    for (k, v) in msg.iter() {
+        if !k.starts_with("weight_") {
+            out.set(k, v.clone());
+        }
+    }
+    out
+}
+
+/// A running community node.
+pub struct CommunityServer {
+    community: Arc<RwLock<Community>>,
+    history: Arc<ExecutionHistory>,
+    policy: Arc<dyn SelectionPolicy>,
+    config: CommunityServerConfig,
+    endpoint: Endpoint,
+    net: Network,
+}
+
+/// Handle to a spawned [`CommunityServer`].
+pub struct CommunityServerHandle {
+    node: NodeId,
+    net: Network,
+    community: Arc<RwLock<Community>>,
+    history: Arc<ExecutionHistory>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl CommunityServerHandle {
+    /// The community's node name.
+    pub fn node(&self) -> &NodeId {
+        &self.node
+    }
+
+    /// Shared view of the membership (for assertions and direct joins).
+    pub fn community(&self) -> &Arc<RwLock<Community>> {
+        &self.community
+    }
+
+    /// Shared view of the execution history.
+    pub fn history(&self) -> &Arc<ExecutionHistory> {
+        &self.history
+    }
+
+    /// Stops the server and joins its thread.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            // A killed node would never see the stop message; revive it so
+            // shutdown cannot deadlock on join().
+            self.net.revive(&self.node);
+            let ctl = self.net.connect_anonymous("community-ctl");
+            let _ = ctl.send(self.node.clone(), kinds::STOP, Element::new("stop"));
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for CommunityServerHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+impl CommunityServer {
+    /// Spawns a community server on `node_name`.
+    pub fn spawn(
+        net: &Network,
+        node_name: &str,
+        community: Community,
+        policy: Arc<dyn SelectionPolicy>,
+        config: CommunityServerConfig,
+    ) -> Result<CommunityServerHandle, NodeId> {
+        let endpoint = net.connect(node_name)?;
+        let node = endpoint.node().clone();
+        let community = Arc::new(RwLock::new(community));
+        let history = Arc::new(ExecutionHistory::new());
+        let server = CommunityServer {
+            community: Arc::clone(&community),
+            history: Arc::clone(&history),
+            policy,
+            config,
+            endpoint,
+            net: net.clone(),
+        };
+        let thread = std::thread::Builder::new()
+            .name(format!("community-{node_name}"))
+            .spawn(move || server.run())
+            .expect("spawn community server");
+        Ok(CommunityServerHandle { node, net: net.clone(), community, history, thread: Some(thread) })
+    }
+
+    fn run(self) {
+        loop {
+            let Ok(request) = self.endpoint.recv() else { return };
+            match request.kind.as_str() {
+                kinds::STOP => return,
+                kinds::JOIN => {
+                    let reply = self.handle_join(&request.body);
+                    self.send_reply(&request, reply);
+                }
+                kinds::LEAVE => {
+                    let reply = self.handle_leave(&request.body);
+                    self.send_reply(&request, reply);
+                }
+                kinds::INVOKE => self.handle_invoke(request),
+                other => {
+                    let err = CommunityError::Protocol(format!("unknown kind {other:?}"));
+                    self.send_reply(&request, Err(err));
+                }
+            }
+        }
+    }
+
+    fn send_reply(&self, request: &Envelope, reply: Result<Element, CommunityError>) {
+        let (kind, body) = match reply {
+            Ok(body) => (kinds::RESULT, body),
+            Err(e) => (kinds::FAULT, Element::new("fault").with_attr("reason", e.to_string())),
+        };
+        let _ = self.endpoint.reply(request, kind, body);
+    }
+
+    fn handle_join(&self, body: &Element) -> Result<Element, CommunityError> {
+        let member = decode_member(body)?;
+        self.community.write().join(member)?;
+        Ok(Element::new("ok"))
+    }
+
+    fn handle_leave(&self, body: &Element) -> Result<Element, CommunityError> {
+        let id = MemberId(
+            body.require_attr("id").map_err(CommunityError::Protocol)?.to_string(),
+        );
+        self.community.write().leave(&id)?;
+        self.history.forget(&id);
+        Ok(Element::new("ok"))
+    }
+
+    /// Invocations are handled on worker threads so a slow member cannot
+    /// stall membership changes or other requests.
+    fn handle_invoke(&self, request: Envelope) {
+        let community = Arc::clone(&self.community);
+        let history = Arc::clone(&self.history);
+        let policy = Arc::clone(&self.policy);
+        let net = self.net.clone();
+        let node = self.endpoint.node().clone();
+        let mode = self.config.mode;
+        let member_timeout = self.config.member_timeout;
+        let max_attempts = self.config.max_attempts;
+        std::thread::spawn(move || {
+            let worker = net.connect_anonymous(&format!("{node}.work"));
+            let outcome = delegate(
+                &community,
+                &history,
+                policy.as_ref(),
+                &worker,
+                &request,
+                mode,
+                member_timeout,
+                max_attempts,
+            );
+            let (kind, body) = match outcome {
+                Ok(body) => (kinds::RESULT, body),
+                Err(e) => {
+                    (kinds::FAULT, Element::new("fault").with_attr("reason", e.to_string()))
+                }
+            };
+            // Reply as the community node would: correlate to the request.
+            let _ = worker.send_correlated(request.from.clone(), kind, body, Some(request.id));
+        });
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn delegate(
+    community: &RwLock<Community>,
+    history: &ExecutionHistory,
+    policy: &dyn SelectionPolicy,
+    worker: &Endpoint,
+    request: &Envelope,
+    mode: DelegationMode,
+    member_timeout: Duration,
+    max_attempts: usize,
+) -> Result<Element, CommunityError> {
+    let msg = MessageDoc::from_xml(&request.body)
+        .map_err(|e| CommunityError::Protocol(e.to_string()))?;
+    let (community_name, operation_known) = {
+        let c = community.read();
+        (c.name.clone(), c.operation(&msg.operation).is_some() || c.operations.is_empty())
+    };
+    if !operation_known {
+        return Err(CommunityError::UnknownOperation(msg.operation.clone()));
+    }
+    let forwarded = strip_directives(&msg);
+    let mut excluded: Vec<MemberId> = Vec::new();
+    for _attempt in 0..max_attempts {
+        let chosen: Option<Member> = {
+            let c = community.read();
+            let candidates: Vec<&Member> =
+                c.members().filter(|m| !excluded.contains(&m.id)).collect();
+            let ctx = SelectionContext { operation: &msg.operation, request: &msg, history };
+            policy.select(&candidates, &ctx).cloned()
+        };
+        let Some(member) = chosen else {
+            return Err(CommunityError::NoMembersAvailable { community: community_name });
+        };
+        match mode {
+            DelegationMode::Redirect => {
+                // The caller invokes the member itself; history gets no
+                // latency sample (the community never observes it).
+                return Ok(Element::new("redirect")
+                    .with_attr("member", &member.id.0)
+                    .with_attr("provider", &member.provider)
+                    .with_attr("endpoint", member.endpoint.as_str()));
+            }
+            DelegationMode::Proxy => {
+                history.start(&member.id);
+                let started = Instant::now();
+                let result = worker.rpc(
+                    member.endpoint.clone(),
+                    kinds::MEMBER_INVOKE,
+                    forwarded.to_xml(),
+                    member_timeout,
+                );
+                let elapsed = started.elapsed();
+                match result {
+                    Ok(reply) if reply.kind == kinds::MEMBER_RESULT => {
+                        let response = MessageDoc::from_xml(&reply.body)
+                            .map_err(|e| CommunityError::Protocol(e.to_string()))?;
+                        if response.is_fault() {
+                            history.complete(&member.id, elapsed, Outcome::Failure);
+                            excluded.push(member.id.clone());
+                            continue;
+                        }
+                        history.complete(&member.id, elapsed, Outcome::Success);
+                        let mut body = response.to_xml();
+                        body.set_attr("delegatee", &member.id.0);
+                        return Ok(body);
+                    }
+                    Ok(_) | Err(RpcError::Timeout) => {
+                        history.complete(&member.id, elapsed, Outcome::Failure);
+                        excluded.push(member.id.clone());
+                        continue;
+                    }
+                    Err(RpcError::Send(e)) => {
+                        history.complete(&member.id, elapsed, Outcome::Failure);
+                        excluded.push(member.id.clone());
+                        let _ = e;
+                        continue;
+                    }
+                }
+            }
+        }
+    }
+    Err(CommunityError::DelegationFailed(format!(
+        "all {} attempted member(s) failed",
+        excluded.len()
+    )))
+}
+
+fn decode_member(e: &Element) -> Result<Member, CommunityError> {
+    let num = |name: &str, default: f64| -> f64 {
+        e.attr(name).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    Ok(Member {
+        id: MemberId(e.require_attr("id").map_err(CommunityError::Protocol)?.to_string()),
+        provider: e.attr("provider").unwrap_or("").to_string(),
+        endpoint: NodeId::new(e.require_attr("endpoint").map_err(CommunityError::Protocol)?),
+        qos: QosProfile {
+            cost: num("cost", 1.0),
+            duration_ms: num("duration_ms", 100.0),
+            reliability: num("reliability", 0.99),
+            reputation: num("reputation", 0.5),
+        },
+    })
+}
+
+fn encode_member(m: &Member) -> Element {
+    Element::new("member")
+        .with_attr("id", &m.id.0)
+        .with_attr("provider", &m.provider)
+        .with_attr("endpoint", m.endpoint.as_str())
+        .with_attr("cost", m.qos.cost.to_string())
+        .with_attr("duration_ms", m.qos.duration_ms.to_string())
+        .with_attr("reliability", m.qos.reliability.to_string())
+        .with_attr("reputation", m.qos.reputation.to_string())
+}
+
+/// Typed client for a community node: join/leave/invoke.
+pub struct CommunityClient {
+    endpoint: Endpoint,
+    community_node: NodeId,
+    /// RPC deadline (applies to the whole delegation in proxy mode).
+    pub timeout: Duration,
+}
+
+impl CommunityClient {
+    /// Connects a client node.
+    pub fn connect(
+        net: &Network,
+        client_name: &str,
+        community_node: impl Into<NodeId>,
+    ) -> Result<Self, NodeId> {
+        Ok(CommunityClient {
+            endpoint: net.connect(client_name)?,
+            community_node: community_node.into(),
+            timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// Registers a member with the community.
+    pub fn join(&self, member: &Member) -> Result<(), CommunityError> {
+        let reply = self.call(kinds::JOIN, encode_member(member))?;
+        let _ = reply;
+        Ok(())
+    }
+
+    /// Removes a member from the community.
+    pub fn leave(&self, id: &MemberId) -> Result<(), CommunityError> {
+        self.call(kinds::LEAVE, Element::new("member").with_attr("id", &id.0))?;
+        Ok(())
+    }
+
+    /// Invokes a generic operation through the community. In redirect mode
+    /// the returned redirect is followed automatically, so callers always
+    /// get the final response message.
+    pub fn invoke(&self, msg: &MessageDoc) -> Result<MessageDoc, CommunityError> {
+        let body = self.call(kinds::INVOKE, msg.to_xml())?;
+        if body.name == "redirect" {
+            let endpoint =
+                body.require_attr("endpoint").map_err(CommunityError::Protocol)?.to_string();
+            let forwarded = strip_directives(msg);
+            let reply = self
+                .endpoint
+                .rpc(endpoint.as_str(), kinds::MEMBER_INVOKE, forwarded.to_xml(), self.timeout)
+                .map_err(|e| CommunityError::DelegationFailed(e.to_string()))?;
+            let response = MessageDoc::from_xml(&reply.body)
+                .map_err(|e| CommunityError::Protocol(e.to_string()))?;
+            if response.is_fault() {
+                return Err(CommunityError::DelegationFailed(
+                    response.fault_reason().unwrap_or("member fault").to_string(),
+                ));
+            }
+            return Ok(response);
+        }
+        let response =
+            MessageDoc::from_xml(&body).map_err(|e| CommunityError::Protocol(e.to_string()))?;
+        if response.is_fault() {
+            return Err(CommunityError::DelegationFailed(
+                response.fault_reason().unwrap_or("member fault").to_string(),
+            ));
+        }
+        Ok(response)
+    }
+
+    fn call(&self, kind: &str, body: Element) -> Result<Element, CommunityError> {
+        let reply = self
+            .endpoint
+            .rpc(self.community_node.clone(), kind, body, self.timeout)
+            .map_err(|e| CommunityError::DelegationFailed(e.to_string()))?;
+        if reply.kind == kinds::FAULT {
+            Err(CommunityError::DelegationFailed(
+                reply.body.attr("reason").unwrap_or("unspecified").to_string(),
+            ))
+        } else {
+            Ok(reply.body)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RoundRobin;
+    use selfserv_expr::Value;
+    use selfserv_net::NetworkConfig;
+    use selfserv_wsdl::OperationDef;
+
+    /// A minimal member wrapper: answers `invoke` with a response that
+    /// names itself, optionally failing or delaying.
+    fn spawn_member(
+        net: &Network,
+        node: &str,
+        fail: bool,
+        delay: Duration,
+    ) -> std::thread::JoinHandle<()> {
+        let ep = net.connect(node).unwrap();
+        let name = node.to_string();
+        std::thread::spawn(move || {
+            while let Ok(req) = ep.recv() {
+                if req.kind != kinds::MEMBER_INVOKE {
+                    continue;
+                }
+                std::thread::sleep(delay);
+                let msg = MessageDoc::from_xml(&req.body).unwrap();
+                let reply = if fail {
+                    MessageDoc::fault(msg.operation.clone(), "member exploded")
+                } else {
+                    MessageDoc::response(msg.operation.clone())
+                        .with("served_by", Value::str(name.clone()))
+                };
+                let _ = ep.reply(&req, kinds::MEMBER_RESULT, reply.to_xml());
+            }
+        })
+    }
+
+    fn member(id: &str, endpoint: &str) -> Member {
+        Member {
+            id: MemberId(id.into()),
+            provider: format!("P-{id}"),
+            endpoint: NodeId::new(endpoint),
+            qos: QosProfile::default(),
+        }
+    }
+
+    fn community() -> Community {
+        Community::new("AccommodationBooking", "test")
+            .with_operation(OperationDef::new("bookAccommodation"))
+    }
+
+    fn setup(mode: DelegationMode) -> (Network, CommunityServerHandle, CommunityClient) {
+        let net = Network::new(NetworkConfig::instant());
+        let handle = CommunityServer::spawn(
+            &net,
+            "community.ab",
+            community(),
+            Arc::new(RoundRobin::new()),
+            CommunityServerConfig { mode, ..Default::default() },
+        )
+        .unwrap();
+        let client = CommunityClient::connect(&net, "client", "community.ab").unwrap();
+        (net, handle, client)
+    }
+
+    #[test]
+    fn proxy_delegation_round_robin() {
+        let (net, _handle, client) = setup(DelegationMode::Proxy);
+        let _m1 = spawn_member(&net, "svc.h1", false, Duration::ZERO);
+        let _m2 = spawn_member(&net, "svc.h2", false, Duration::ZERO);
+        client.join(&member("h1", "svc.h1")).unwrap();
+        client.join(&member("h2", "svc.h2")).unwrap();
+        let req = MessageDoc::request("bookAccommodation");
+        let r1 = client.invoke(&req).unwrap();
+        let r2 = client.invoke(&req).unwrap();
+        let servers: Vec<&str> =
+            vec![r1.get_str("served_by").unwrap(), r2.get_str("served_by").unwrap()];
+        assert!(servers.contains(&"svc.h1") && servers.contains(&"svc.h2"), "{servers:?}");
+    }
+
+    #[test]
+    fn redirect_delegation_reaches_member() {
+        let (net, _handle, client) = setup(DelegationMode::Redirect);
+        let _m1 = spawn_member(&net, "svc.h1", false, Duration::ZERO);
+        client.join(&member("h1", "svc.h1")).unwrap();
+        let resp = client.invoke(&MessageDoc::request("bookAccommodation")).unwrap();
+        assert_eq!(resp.get_str("served_by"), Some("svc.h1"));
+    }
+
+    #[test]
+    fn empty_community_faults() {
+        let (_net, _handle, client) = setup(DelegationMode::Proxy);
+        let err = client.invoke(&MessageDoc::request("bookAccommodation")).unwrap_err();
+        assert!(err.to_string().contains("no members"), "{err}");
+    }
+
+    #[test]
+    fn unknown_operation_faults() {
+        let (net, _handle, client) = setup(DelegationMode::Proxy);
+        let _m1 = spawn_member(&net, "svc.h1", false, Duration::ZERO);
+        client.join(&member("h1", "svc.h1")).unwrap();
+        let err = client.invoke(&MessageDoc::request("teleport")).unwrap_err();
+        assert!(err.to_string().contains("teleport"), "{err}");
+    }
+
+    #[test]
+    fn failover_masks_failing_member() {
+        let (net, handle, client) = setup(DelegationMode::Proxy);
+        let _bad = spawn_member(&net, "svc.bad", true, Duration::ZERO);
+        let _good = spawn_member(&net, "svc.good", false, Duration::ZERO);
+        client.join(&member("a-bad", "svc.bad")).unwrap();
+        client.join(&member("b-good", "svc.good")).unwrap();
+        // Round-robin starts at the failing member; failover must reach the
+        // good one every time.
+        for _ in 0..4 {
+            let resp = client.invoke(&MessageDoc::request("bookAccommodation")).unwrap();
+            assert_eq!(resp.get_str("served_by"), Some("svc.good"));
+        }
+        let stats = handle.history().stats(&MemberId("a-bad".into()));
+        assert!(stats.failures > 0, "failures recorded against the bad member");
+    }
+
+    #[test]
+    fn dead_member_times_out_and_fails_over() {
+        let (net, _handle, mut client) = setup(DelegationMode::Proxy);
+        // "svc.dead" is registered on the fabric but its node is killed.
+        let _dead = spawn_member(&net, "svc.dead", false, Duration::ZERO);
+        let _live = spawn_member(&net, "svc.live", false, Duration::ZERO);
+        net.kill(&NodeId::new("svc.dead"));
+        client.join(&member("a-dead", "svc.dead")).unwrap();
+        client.join(&member("b-live", "svc.live")).unwrap();
+        client.timeout = Duration::from_secs(10);
+        // Shrink the member timeout by respawning? Instead rely on default
+        // 5 s — too slow for tests. Use a dedicated server with short
+        // timeout below.
+        let handle2 = CommunityServer::spawn(
+            &net,
+            "community.fast",
+            community(),
+            Arc::new(RoundRobin::new()),
+            CommunityServerConfig {
+                mode: DelegationMode::Proxy,
+                member_timeout: Duration::from_millis(100),
+                max_attempts: 3,
+            },
+        )
+        .unwrap();
+        let fast = CommunityClient::connect(&net, "client2", "community.fast").unwrap();
+        fast.join(&member("a-dead", "svc.dead")).unwrap();
+        fast.join(&member("b-live", "svc.live")).unwrap();
+        let resp = fast.invoke(&MessageDoc::request("bookAccommodation")).unwrap();
+        assert_eq!(resp.get_str("served_by"), Some("svc.live"));
+        drop(handle2);
+    }
+
+    #[test]
+    fn all_members_failing_reports_delegation_failure() {
+        let (net, _handle, client) = setup(DelegationMode::Proxy);
+        let _b1 = spawn_member(&net, "svc.b1", true, Duration::ZERO);
+        let _b2 = spawn_member(&net, "svc.b2", true, Duration::ZERO);
+        client.join(&member("b1", "svc.b1")).unwrap();
+        client.join(&member("b2", "svc.b2")).unwrap();
+        let err = client.invoke(&MessageDoc::request("bookAccommodation")).unwrap_err();
+        assert!(matches!(err, CommunityError::DelegationFailed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn leave_removes_member_from_rotation() {
+        let (net, handle, client) = setup(DelegationMode::Proxy);
+        let _m1 = spawn_member(&net, "svc.h1", false, Duration::ZERO);
+        let _m2 = spawn_member(&net, "svc.h2", false, Duration::ZERO);
+        client.join(&member("h1", "svc.h1")).unwrap();
+        client.join(&member("h2", "svc.h2")).unwrap();
+        client.leave(&MemberId("h1".into())).unwrap();
+        assert_eq!(handle.community().read().member_count(), 1);
+        for _ in 0..3 {
+            let resp = client.invoke(&MessageDoc::request("bookAccommodation")).unwrap();
+            assert_eq!(resp.get_str("served_by"), Some("svc.h2"));
+        }
+        assert!(client.leave(&MemberId("h1".into())).is_err());
+    }
+
+    #[test]
+    fn duplicate_join_faults() {
+        let (net, _handle, client) = setup(DelegationMode::Proxy);
+        let _m1 = spawn_member(&net, "svc.h1", false, Duration::ZERO);
+        client.join(&member("h1", "svc.h1")).unwrap();
+        assert!(client.join(&member("h1", "svc.h1")).is_err());
+    }
+
+    #[test]
+    fn weight_directives_are_stripped_from_member_requests() {
+        let (net, _handle, client) = setup(DelegationMode::Proxy);
+        let ep = net.connect("svc.echo").unwrap();
+        std::thread::spawn(move || {
+            while let Ok(req) = ep.recv() {
+                let msg = MessageDoc::from_xml(&req.body).unwrap();
+                let mut resp = MessageDoc::response(msg.operation.clone());
+                resp.set("param_count", Value::Int(msg.len() as i64));
+                let _ = ep.reply(&req, kinds::MEMBER_RESULT, resp.to_xml());
+            }
+        });
+        client.join(&member("echo", "svc.echo")).unwrap();
+        let req = MessageDoc::request("bookAccommodation")
+            .with("city", Value::str("Sydney"))
+            .with("weight_cost", Value::Float(3.0));
+        let resp = client.invoke(&req).unwrap();
+        assert_eq!(resp.get(&"param_count".to_string()[..]), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn history_records_latency() {
+        let (net, handle, client) = setup(DelegationMode::Proxy);
+        let _m = spawn_member(&net, "svc.slow", false, Duration::from_millis(30));
+        client.join(&member("slow", "svc.slow")).unwrap();
+        client.invoke(&MessageDoc::request("bookAccommodation")).unwrap();
+        let stats = handle.history().stats(&MemberId("slow".into()));
+        assert_eq!(stats.completed, 1);
+        assert!(stats.latency_ewma_ms.unwrap() >= 25.0);
+    }
+}

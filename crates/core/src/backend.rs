@@ -1,0 +1,408 @@
+//! Service backends and hosts: the "pool of services".
+//!
+//! A [`ServiceBackend`] is the application logic behind an elementary
+//! service (the paper's "workflow, database application, or web-accessible
+//! program"); a [`ServiceHost`] wraps one behind a fabric node answering
+//! the `invoke` protocol (the platform's `Wrapper` class).
+
+use crate::protocol::kinds;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selfserv_expr::Value;
+use selfserv_net::{Endpoint, Network, NodeId};
+use selfserv_wsdl::MessageDoc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Application logic behind an elementary service. Implementations must be
+/// thread-safe: one backend may serve many coordinators or hosts.
+pub trait ServiceBackend: Send + Sync {
+    /// Handles one operation invocation. Returning a fault message (or an
+    /// `Err`) faults the calling composite instance.
+    fn invoke(&self, operation: &str, input: &MessageDoc) -> Result<MessageDoc, String>;
+
+    /// Short name for diagnostics.
+    fn name(&self) -> &str;
+}
+
+/// A backend that echoes its inputs back as outputs (plus a marker), with
+/// zero latency. Useful for plumbing tests.
+#[derive(Debug, Default)]
+pub struct EchoService {
+    name: String,
+}
+
+impl EchoService {
+    /// An echo backend with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        EchoService { name: name.into() }
+    }
+}
+
+impl ServiceBackend for EchoService {
+    fn invoke(&self, operation: &str, input: &MessageDoc) -> Result<MessageDoc, String> {
+        let mut out = MessageDoc::response(operation);
+        for (k, v) in input.iter() {
+            out.set(k, v.clone());
+        }
+        out.set("echoed_by", Value::str(self.name.clone()));
+        Ok(out)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A backend that always faults. For failure-path tests.
+#[derive(Debug)]
+pub struct FailingService {
+    name: String,
+    reason: String,
+}
+
+impl FailingService {
+    /// A failing backend.
+    pub fn new(name: impl Into<String>, reason: impl Into<String>) -> Self {
+        FailingService { name: name.into(), reason: reason.into() }
+    }
+}
+
+impl ServiceBackend for FailingService {
+    fn invoke(&self, _operation: &str, _input: &MessageDoc) -> Result<MessageDoc, String> {
+        Err(self.reason.clone())
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A configurable synthetic service: fixed-plus-jitter service time, a
+/// failure probability, and an invocation counter. This is the stand-in
+/// for the demo's provider stubs, with controllable QoS so communities
+/// have something to discriminate.
+pub struct SyntheticService {
+    name: String,
+    base_latency: Duration,
+    jitter: Duration,
+    failure_probability: f64,
+    rng: Mutex<StdRng>,
+    invocations: AtomicU64,
+    /// Outputs added to every successful response.
+    outputs: Vec<(String, Value)>,
+}
+
+impl SyntheticService {
+    /// A zero-latency, never-failing synthetic service.
+    pub fn new(name: impl Into<String>) -> Self {
+        SyntheticService {
+            name: name.into(),
+            base_latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            failure_probability: 0.0,
+            rng: Mutex::new(StdRng::seed_from_u64(7)),
+            invocations: AtomicU64::new(0),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Builder: sets base service time.
+    pub fn with_latency(mut self, d: Duration) -> Self {
+        self.base_latency = d;
+        self
+    }
+
+    /// Builder: sets uniform jitter added to the base service time.
+    pub fn with_jitter(mut self, d: Duration) -> Self {
+        self.jitter = d;
+        self
+    }
+
+    /// Builder: sets failure probability (0–1).
+    pub fn with_failure_probability(mut self, p: f64) -> Self {
+        self.failure_probability = p;
+        self
+    }
+
+    /// Builder: sets the RNG seed (jitter + failures).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = Mutex::new(StdRng::seed_from_u64(seed));
+        self
+    }
+
+    /// Builder: adds a fixed output parameter to every response.
+    pub fn with_output(mut self, name: impl Into<String>, value: Value) -> Self {
+        self.outputs.push((name.into(), value));
+        self
+    }
+
+    /// How many times the backend has been invoked.
+    pub fn invocation_count(&self) -> u64 {
+        self.invocations.load(Ordering::Relaxed)
+    }
+}
+
+impl ServiceBackend for SyntheticService {
+    fn invoke(&self, operation: &str, input: &MessageDoc) -> Result<MessageDoc, String> {
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        let (sleep_for, fails) = {
+            let mut rng = self.rng.lock();
+            let jitter = if self.jitter.is_zero() {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos(rng.gen_range(0..=self.jitter.as_nanos()) as u64)
+            };
+            let fails = self.failure_probability > 0.0
+                && rng.gen::<f64>() < self.failure_probability;
+            (self.base_latency + jitter, fails)
+        };
+        if !sleep_for.is_zero() {
+            std::thread::sleep(sleep_for);
+        }
+        if fails {
+            return Err(format!("{} failed (synthetic fault)", self.name));
+        }
+        let mut out = MessageDoc::response(operation);
+        // Thread the payload through so data flow is observable.
+        for (k, v) in input.iter() {
+            out.set(k, v.clone());
+        }
+        for (k, v) in &self.outputs {
+            out.set(k.clone(), v.clone());
+        }
+        out.set("served_by", Value::str(self.name.clone()));
+        Ok(out)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A fabric node hosting one backend: answers [`kinds::INVOKE`] envelopes
+/// with [`kinds::INVOKE_RESULT`]. This is how community members and the
+/// centralized baseline's services are reached remotely.
+pub struct ServiceHost;
+
+/// Handle to a spawned [`ServiceHost`].
+pub struct ServiceHostHandle {
+    node: NodeId,
+    net: Network,
+    backend: Arc<dyn ServiceBackend>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServiceHostHandle {
+    /// The host's node.
+    pub fn node(&self) -> &NodeId {
+        &self.node
+    }
+
+    /// The backend being served.
+    pub fn backend(&self) -> &Arc<dyn ServiceBackend> {
+        &self.backend
+    }
+
+    /// Stops the host.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            // A killed node would never see the stop message; revive it so
+            // shutdown cannot deadlock on join().
+            self.net.revive(&self.node);
+            let ctl = self.net.connect_anonymous("host-ctl");
+            let _ = ctl.send(self.node.clone(), kinds::STOP, selfserv_xml::Element::new("stop"));
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServiceHostHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+impl ServiceHost {
+    /// Spawns a host serving `backend` on `node_name`. Each invocation is
+    /// handled on a worker thread so a slow backend doesn't serialize
+    /// unrelated callers (hosts model multi-threaded provider servers; the
+    /// *coordinator* is the capacity-1 component).
+    pub fn spawn(
+        net: &Network,
+        node_name: impl Into<NodeId>,
+        backend: Arc<dyn ServiceBackend>,
+    ) -> Result<ServiceHostHandle, NodeId> {
+        let endpoint = net.connect(node_name.into())?;
+        let node = endpoint.node().clone();
+        let backend_for_thread = Arc::clone(&backend);
+        let thread = std::thread::Builder::new()
+            .name(format!("host-{node}"))
+            .spawn(move || host_loop(endpoint, backend_for_thread))
+            .expect("spawn service host");
+        Ok(ServiceHostHandle { node, net: net.clone(), backend, thread: Some(thread) })
+    }
+}
+
+fn host_loop(endpoint: Endpoint, backend: Arc<dyn ServiceBackend>) {
+    loop {
+        let Ok(request) = endpoint.recv() else { return };
+        match request.kind.as_str() {
+            kinds::STOP => return,
+            kinds::INVOKE => {
+                let backend = Arc::clone(&backend);
+                let sender = endpoint.sender();
+                std::thread::spawn(move || {
+                    let reply = match MessageDoc::from_xml(&request.body) {
+                        Ok(input) => match backend.invoke(&input.operation, &input) {
+                            Ok(output) => output,
+                            Err(reason) => MessageDoc::fault(input.operation, reason),
+                        },
+                        Err(e) => MessageDoc::fault("unknown", e.to_string()),
+                    };
+                    let _ = sender.send_correlated(
+                        request.from.clone(),
+                        kinds::INVOKE_RESULT,
+                        reply.to_xml(),
+                        Some(request.id),
+                    );
+                });
+            }
+            _ => { /* ignore unrelated traffic */ }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfserv_net::NetworkConfig;
+
+    #[test]
+    fn echo_backend() {
+        let b = EchoService::new("E");
+        let input = MessageDoc::request("op").with("x", Value::Int(1));
+        let out = b.invoke("op", &input).unwrap();
+        assert_eq!(out.get("x"), Some(&Value::Int(1)));
+        assert_eq!(out.get_str("echoed_by"), Some("E"));
+        assert_eq!(b.name(), "E");
+    }
+
+    #[test]
+    fn failing_backend() {
+        let b = FailingService::new("F", "kaput");
+        assert_eq!(b.invoke("op", &MessageDoc::request("op")).unwrap_err(), "kaput");
+    }
+
+    #[test]
+    fn synthetic_latency_and_outputs() {
+        let b = SyntheticService::new("S")
+            .with_latency(Duration::from_millis(20))
+            .with_output("price", Value::Float(99.0));
+        let t0 = std::time::Instant::now();
+        let out = b.invoke("op", &MessageDoc::request("op")).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(18));
+        assert_eq!(out.get("price"), Some(&Value::Float(99.0)));
+        assert_eq!(out.get_str("served_by"), Some("S"));
+        assert_eq!(b.invocation_count(), 1);
+    }
+
+    #[test]
+    fn synthetic_failures_are_seeded() {
+        let run = |seed| {
+            let b = SyntheticService::new("S").with_failure_probability(0.5).with_seed(seed);
+            (0..50)
+                .map(|_| b.invoke("op", &MessageDoc::request("op")).is_ok())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        let outcomes = run(3);
+        assert!(outcomes.iter().any(|x| *x) && outcomes.iter().any(|x| !*x));
+    }
+
+    #[test]
+    fn host_serves_invocations() {
+        let net = Network::new(NetworkConfig::instant());
+        let _host = ServiceHost::spawn(
+            &net,
+            "svc.echo",
+            Arc::new(EchoService::new("Echo")),
+        )
+        .unwrap();
+        let client = net.connect("client").unwrap();
+        let req = MessageDoc::request("ping").with("n", Value::Int(5));
+        let reply = client
+            .rpc("svc.echo", kinds::INVOKE, req.to_xml(), Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(reply.kind, kinds::INVOKE_RESULT);
+        let msg = MessageDoc::from_xml(&reply.body).unwrap();
+        assert_eq!(msg.get("n"), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn host_faults_travel_back() {
+        let net = Network::new(NetworkConfig::instant());
+        let _host =
+            ServiceHost::spawn(&net, "svc.bad", Arc::new(FailingService::new("B", "boom")))
+                .unwrap();
+        let client = net.connect("client").unwrap();
+        let reply = client
+            .rpc(
+                "svc.bad",
+                kinds::INVOKE,
+                MessageDoc::request("op").to_xml(),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        let msg = MessageDoc::from_xml(&reply.body).unwrap();
+        assert!(msg.is_fault());
+        assert_eq!(msg.fault_reason(), Some("boom"));
+    }
+
+    #[test]
+    fn host_handles_concurrent_invocations() {
+        let net = Network::new(NetworkConfig::instant());
+        let backend = Arc::new(SyntheticService::new("Slow").with_latency(Duration::from_millis(50)));
+        let _host = ServiceHost::spawn(&net, "svc.slow", Arc::clone(&backend) as Arc<dyn ServiceBackend>)
+            .unwrap();
+        let t0 = std::time::Instant::now();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let net = net.clone();
+            handles.push(std::thread::spawn(move || {
+                let client = net.connect(format!("client{i}")).unwrap();
+                client
+                    .rpc(
+                        "svc.slow",
+                        kinds::INVOKE,
+                        MessageDoc::request("op").to_xml(),
+                        Duration::from_secs(5),
+                    )
+                    .unwrap()
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 4 × 50 ms in parallel must finish well under 200 ms.
+        assert!(t0.elapsed() < Duration::from_millis(180), "{:?}", t0.elapsed());
+        assert_eq!(backend.invocation_count(), 4);
+    }
+
+    #[test]
+    fn host_stop_disconnects() {
+        let net = Network::new(NetworkConfig::instant());
+        let host =
+            ServiceHost::spawn(&net, "svc.x", Arc::new(EchoService::new("X"))).unwrap();
+        assert!(net.is_connected("svc.x"));
+        host.stop();
+        assert!(!net.is_connected("svc.x"));
+    }
+}

@@ -1,0 +1,551 @@
+//! The coordinator: one peer per state of a composite service.
+//!
+//! "Coordinators are attached to each state of a composite service. They
+//! are in charge of initiating, controlling, monitoring the associated
+//! state, and collaborating with their peers to manage the service
+//! execution." All behaviour below is driven by the routing table; there is
+//! no scheduler.
+
+use crate::backend::ServiceBackend;
+use crate::functions::FunctionLibrary;
+use crate::protocol::{fault_body, kinds, naming, InstanceId, NotifyPayload};
+use selfserv_expr::Value;
+use selfserv_net::{Endpoint, Network, NodeId, RpcError};
+use selfserv_routing::{NotificationLabel, Participant, RoutingTable};
+use selfserv_statechart::{Assignment, InputMapping, OutputMapping, StateId};
+use selfserv_wsdl::MessageDoc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a coordinator invokes its state's work when activated.
+pub enum TaskRuntime {
+    /// Co-located elementary (or nested composite) service: a direct call
+    /// into the backend, as in the original where the coordinator is
+    /// installed on the provider's host.
+    Local {
+        /// The application logic.
+        backend: Arc<dyn ServiceBackend>,
+        /// Operation to invoke.
+        operation: String,
+        /// Input parameter mappings (expressions over instance variables).
+        inputs: Vec<InputMapping>,
+        /// Output captures (response parameter → instance variable).
+        outputs: Vec<OutputMapping>,
+    },
+    /// A community-delegated operation: a remote call to the community
+    /// node, which picks the concrete provider.
+    Community {
+        /// The community's fabric node.
+        node: NodeId,
+        /// Generic operation to request.
+        operation: String,
+        /// Input parameter mappings.
+        inputs: Vec<InputMapping>,
+        /// Output captures.
+        outputs: Vec<OutputMapping>,
+    },
+    /// No work (choice pseudo-states): activation completes immediately.
+    None,
+}
+
+/// Configuration for spawning one coordinator.
+pub struct CoordinatorConfig {
+    /// The composite service's name (for node naming).
+    pub composite: String,
+    /// The state this coordinator drives.
+    pub state: StateId,
+    /// The statically generated routing table.
+    pub table: RoutingTable,
+    /// The work to perform on activation.
+    pub task: TaskRuntime,
+    /// Guard predicates.
+    pub functions: FunctionLibrary,
+    /// Deadline for community invocations.
+    pub invoke_timeout: Duration,
+    /// Idle instances are dropped after this long without traffic
+    /// (failed/abandoned executions).
+    pub instance_ttl: Duration,
+    /// Optional monitor node receiving trace events (fire-and-forget).
+    pub monitor: Option<NodeId>,
+}
+
+/// Spawner for coordinators.
+pub struct Coordinator;
+
+/// Handle to a spawned coordinator.
+pub struct CoordinatorHandle {
+    node: NodeId,
+    net: Network,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl CoordinatorHandle {
+    /// The coordinator's node.
+    pub fn node(&self) -> &NodeId {
+        &self.node
+    }
+
+    /// Stops the coordinator.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            // A killed node would never see the stop message; revive it so
+            // shutdown cannot deadlock on join().
+            self.net.revive(&self.node);
+            let ctl = self.net.connect_anonymous("coord-ctl");
+            let _ = ctl.send(self.node.clone(), kinds::STOP, selfserv_xml::Element::new("stop"));
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for CoordinatorHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+struct InstanceSlot {
+    seen: Vec<NotificationLabel>,
+    vars: BTreeMap<String, Value>,
+    last_touched: Instant,
+}
+
+struct Runtime {
+    cfg: CoordinatorConfig,
+    endpoint: Endpoint,
+    wrapper_node: NodeId,
+    instances: HashMap<InstanceId, InstanceSlot>,
+}
+
+impl Coordinator {
+    /// Spawns a coordinator on its conventional node
+    /// (`<composite>.coord.<state>`).
+    pub fn spawn(net: &Network, cfg: CoordinatorConfig) -> Result<CoordinatorHandle, NodeId> {
+        let node_name = naming::coordinator(&cfg.composite, &cfg.state);
+        let endpoint = net.connect(node_name)?;
+        let node = endpoint.node().clone();
+        let wrapper_node = naming::wrapper(&cfg.composite);
+        let mut runtime = Runtime { cfg, endpoint, wrapper_node, instances: HashMap::new() };
+        let thread = std::thread::Builder::new()
+            .name(format!("coord-{node}"))
+            .spawn(move || runtime.run())
+            .expect("spawn coordinator");
+        Ok(CoordinatorHandle { node, net: net.clone(), thread: Some(thread) })
+    }
+}
+
+/// Evaluates an optional guard; `None` means true. Errors become `Err` so
+/// callers can fault the instance rather than silently skipping.
+pub(crate) fn eval_guard(
+    guard: &Option<selfserv_expr::Expr>,
+    functions: &FunctionLibrary,
+    vars: &BTreeMap<String, Value>,
+) -> Result<bool, String> {
+    match guard {
+        None => Ok(true),
+        Some(g) => {
+            let env = functions.env_with(vars);
+            g.eval_bool(&env).map_err(|e| format!("guard '{g}': {e}"))
+        }
+    }
+}
+
+/// Applies assignment actions to the variable set.
+pub(crate) fn apply_actions(
+    actions: &[Assignment],
+    functions: &FunctionLibrary,
+    vars: &mut BTreeMap<String, Value>,
+) -> Result<(), String> {
+    for a in actions {
+        let env = functions.env_with(vars);
+        let value = a
+            .expr
+            .eval(&env)
+            .map_err(|e| format!("action '{} := {}': {e}", a.var, a.expr))?;
+        vars.insert(a.var.clone(), value);
+    }
+    Ok(())
+}
+
+/// Builds a service request from input mappings over instance variables.
+pub(crate) fn build_input(
+    operation: &str,
+    inputs: &[InputMapping],
+    functions: &FunctionLibrary,
+    vars: &BTreeMap<String, Value>,
+) -> Result<MessageDoc, String> {
+    let env = functions.env_with(vars);
+    let mut msg = MessageDoc::request(operation);
+    for m in inputs {
+        let value = m
+            .expr
+            .eval(&env)
+            .map_err(|e| format!("input '{}' = {}: {e}", m.param, m.expr))?;
+        msg.set(m.param.clone(), value);
+    }
+    Ok(msg)
+}
+
+/// Copies captured outputs of a response into instance variables.
+pub(crate) fn apply_outputs(
+    outputs: &[OutputMapping],
+    response: &MessageDoc,
+    vars: &mut BTreeMap<String, Value>,
+) {
+    for m in outputs {
+        if let Some(v) = response.get(&m.param) {
+            vars.insert(m.var.clone(), v.clone());
+        }
+    }
+}
+
+impl Runtime {
+    fn trace(&self, instance: InstanceId, kind: crate::monitor::TraceKind, detail: &str) {
+        if let Some(monitor) = &self.cfg.monitor {
+            let body = crate::monitor::trace_body(
+                instance,
+                self.cfg.state.as_str(),
+                kind,
+                detail,
+            );
+            let _ = self.endpoint.send(monitor.clone(), crate::monitor::TRACE_KIND, body);
+        }
+    }
+
+    fn run(&mut self) {
+        loop {
+            match self.endpoint.recv_timeout(Duration::from_millis(200)) {
+                Ok(env) => match env.kind.as_str() {
+                    kinds::STOP => return,
+                    kinds::NOTIFY => self.on_notify(&env.body),
+                    kinds::CLEANUP => self.on_cleanup(&env.body),
+                    _ => { /* ignore unrelated traffic */ }
+                },
+                Err(selfserv_net::RecvError::Timeout) => {}
+                Err(selfserv_net::RecvError::Disconnected) => return,
+            }
+            self.sweep_stale();
+        }
+    }
+
+    fn sweep_stale(&mut self) {
+        let ttl = self.cfg.instance_ttl;
+        if ttl.is_zero() {
+            return;
+        }
+        let now = Instant::now();
+        self.instances.retain(|_, slot| now.duration_since(slot.last_touched) < ttl);
+    }
+
+    fn on_cleanup(&mut self, body: &selfserv_xml::Element) {
+        if let Some(id) = body.attr("instance").and_then(|s| InstanceId::decode(s).ok()) {
+            self.instances.remove(&id);
+        }
+    }
+
+    fn on_notify(&mut self, body: &selfserv_xml::Element) {
+        let payload = match NotifyPayload::from_xml(body) {
+            Ok(p) => p,
+            Err(_) => return, // malformed traffic is dropped, like bad XML over sockets
+        };
+        let Ok(label) = NotificationLabel::decode(&payload.label) else { return };
+        let slot = self.instances.entry(payload.instance).or_insert_with(|| InstanceSlot {
+            seen: Vec::new(),
+            vars: BTreeMap::new(),
+            last_touched: Instant::now(),
+        });
+        slot.last_touched = Instant::now();
+        slot.seen.push(label);
+        for (k, v) in payload.vars {
+            slot.vars.insert(k, v);
+        }
+        self.try_fire(payload.instance);
+    }
+
+    /// Checks precondition alternatives in order; fires the first satisfied
+    /// one (consuming its labels so loops can re-arm).
+    fn try_fire(&mut self, instance: InstanceId) {
+        let fired = {
+            let Some(slot) = self.instances.get_mut(&instance) else { return };
+            let mut fired: Option<usize> = None;
+            for (idx, pre) in self.cfg.table.preconditions.iter().enumerate() {
+                if !pre.satisfied_by(&slot.seen) {
+                    continue;
+                }
+                match eval_guard(&pre.condition, &self.cfg.functions, &slot.vars) {
+                    Ok(true) => {
+                        fired = Some(idx);
+                        break;
+                    }
+                    Ok(false) => continue,
+                    Err(reason) => {
+                        let body = fault_body(instance, self.cfg.state.as_str(), &reason);
+                        let _ = self.endpoint.send(self.wrapper_node.clone(), kinds::FAULT, body);
+                        return;
+                    }
+                }
+            }
+            let Some(idx) = fired else { return };
+            // Consume the alternative's labels.
+            let pre = &self.cfg.table.preconditions[idx];
+            for l in &pre.labels {
+                if let Some(pos) = slot.seen.iter().position(|s| s == l) {
+                    slot.seen.remove(pos);
+                }
+            }
+            idx
+        };
+        self.trace(instance, crate::monitor::TraceKind::Activated, &self.cfg.table.preconditions[fired].id.clone());
+        let pre_actions = self.cfg.table.preconditions[fired].actions.clone();
+        let mut vars = self
+            .instances
+            .get(&instance)
+            .map(|s| s.vars.clone())
+            .unwrap_or_default();
+        if let Err(reason) = apply_actions(&pre_actions, &self.cfg.functions, &mut vars) {
+            self.fault(instance, &reason);
+            return;
+        }
+        // Perform the state's work. The coordinator blocks here: it models
+        // a capacity-1 host, so concurrent instances queue at busy
+        // services (and the AND-regions of one instance still run in
+        // parallel because they live on different coordinators).
+        match self.invoke(instance, &mut vars) {
+            Ok(()) => {
+                self.trace(instance, crate::monitor::TraceKind::Completed, "");
+            }
+            Err(reason) => {
+                self.fault(instance, &reason);
+                return;
+            }
+        }
+        // Write updated vars back so later activations of this instance
+        // (loops) observe them.
+        if let Some(slot) = self.instances.get_mut(&instance) {
+            slot.vars = vars.clone();
+            slot.last_touched = Instant::now();
+        }
+        self.postprocess(instance, &mut vars);
+    }
+
+    fn invoke(
+        &self,
+        _instance: InstanceId,
+        vars: &mut BTreeMap<String, Value>,
+    ) -> Result<(), String> {
+        match &self.cfg.task {
+            TaskRuntime::None => Ok(()),
+            TaskRuntime::Local { backend, operation, inputs, outputs } => {
+                let input = build_input(operation, inputs, &self.cfg.functions, vars)?;
+                let response = backend.invoke(operation, &input)?;
+                if response.is_fault() {
+                    return Err(response
+                        .fault_reason()
+                        .unwrap_or("backend fault")
+                        .to_string());
+                }
+                apply_outputs(outputs, &response, vars);
+                Ok(())
+            }
+            TaskRuntime::Community { node, operation, inputs, outputs } => {
+                let input = build_input(operation, inputs, &self.cfg.functions, vars)?;
+                let reply = self
+                    .endpoint
+                    .rpc(node.clone(), "community.invoke", input.to_xml(), self.cfg.invoke_timeout)
+                    .map_err(|e| match e {
+                        RpcError::Timeout => format!("community '{node}' timed out"),
+                        RpcError::Send(s) => format!("community '{node}' unreachable: {s}"),
+                    })?;
+                if reply.kind == "community.fault" {
+                    return Err(reply
+                        .body
+                        .attr("reason")
+                        .unwrap_or("community fault")
+                        .to_string());
+                }
+                // Redirect-mode communities return the chosen member's
+                // binding; the coordinator then invokes it directly.
+                if reply.body.name == "redirect" {
+                    let member = reply
+                        .body
+                        .require_attr("endpoint")
+                        .map_err(|e| format!("bad redirect: {e}"))?
+                        .to_string();
+                    let direct = self
+                        .endpoint
+                        .rpc(
+                            member.as_str(),
+                            "invoke",
+                            input.to_xml(),
+                            self.cfg.invoke_timeout,
+                        )
+                        .map_err(|e| format!("redirected member '{member}' failed: {e}"))?;
+                    let response =
+                        MessageDoc::from_xml(&direct.body).map_err(|e| e.to_string())?;
+                    if response.is_fault() {
+                        return Err(response
+                            .fault_reason()
+                            .unwrap_or("member fault")
+                            .to_string());
+                    }
+                    apply_outputs(outputs, &response, vars);
+                    return Ok(());
+                }
+                let response =
+                    MessageDoc::from_xml(&reply.body).map_err(|e| e.to_string())?;
+                if response.is_fault() {
+                    return Err(response
+                        .fault_reason()
+                        .unwrap_or("member fault")
+                        .to_string());
+                }
+                apply_outputs(outputs, &response, vars);
+                Ok(())
+            }
+        }
+    }
+
+    /// Evaluates postprocessing rows in order; the first row whose guard
+    /// holds fires, emitting all its notifications with the current
+    /// variable snapshot.
+    fn postprocess(&mut self, instance: InstanceId, vars: &mut BTreeMap<String, Value>) {
+        let table = &self.cfg.table;
+        let mut fired = false;
+        for post in &table.postprocessings {
+            match eval_guard(&post.guard, &self.cfg.functions, vars) {
+                Ok(false) => continue,
+                Err(reason) => {
+                    let body = fault_body(instance, self.cfg.state.as_str(), &reason);
+                    let _ = self.endpoint.send(self.wrapper_node.clone(), kinds::FAULT, body);
+                    return;
+                }
+                Ok(true) => {
+                    let mut local_vars = vars.clone();
+                    if let Err(reason) =
+                        apply_actions(&post.actions, &self.cfg.functions, &mut local_vars)
+                    {
+                        let body = fault_body(instance, self.cfg.state.as_str(), &reason);
+                        let _ = self.endpoint.send(self.wrapper_node.clone(), kinds::FAULT, body);
+                        return;
+                    }
+                    for notification in post.notifications() {
+                        let target_node = match &notification.target {
+                            Participant::State(s) => {
+                                naming::coordinator(&self.cfg.composite, s)
+                            }
+                            Participant::Wrapper => self.wrapper_node.clone(),
+                        };
+                        let payload = NotifyPayload {
+                            label: notification.label.encode(),
+                            instance,
+                            vars: local_vars.clone(),
+                        };
+                        let _ = self.endpoint.send(target_node, kinds::NOTIFY, payload.to_xml());
+                    }
+                    fired = true;
+                    break;
+                }
+            }
+        }
+        if !fired {
+            self.fault(
+                instance,
+                &format!("no outgoing transition enabled after state '{}'", self.cfg.state),
+            );
+        }
+    }
+
+    fn fault(&mut self, instance: InstanceId, reason: &str) {
+        self.trace(instance, crate::monitor::TraceKind::Faulted, reason);
+        let body = fault_body(instance, self.cfg.state.as_str(), reason);
+        let _ = self.endpoint.send(self.wrapper_node.clone(), kinds::FAULT, body);
+        self.instances.remove(&instance);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfserv_expr::parse;
+
+    #[test]
+    fn eval_guard_none_is_true() {
+        let lib = FunctionLibrary::new();
+        assert!(eval_guard(&None, &lib, &BTreeMap::new()).unwrap());
+    }
+
+    #[test]
+    fn eval_guard_uses_vars_and_functions() {
+        let lib = FunctionLibrary::travel();
+        let mut vars = BTreeMap::new();
+        vars.insert("destination".to_string(), Value::str("Cairns"));
+        let g = Some(parse("domestic(destination)").unwrap());
+        assert!(eval_guard(&g, &lib, &vars).unwrap());
+        vars.insert("destination".to_string(), Value::str("Osaka"));
+        assert!(!eval_guard(&g, &lib, &vars).unwrap());
+    }
+
+    #[test]
+    fn eval_guard_error_on_missing_var() {
+        let lib = FunctionLibrary::new();
+        let g = Some(parse("missing > 3").unwrap());
+        assert!(eval_guard(&g, &lib, &BTreeMap::new()).is_err());
+    }
+
+    #[test]
+    fn apply_actions_updates_vars() {
+        let lib = FunctionLibrary::new();
+        let mut vars = BTreeMap::new();
+        vars.insert("n".to_string(), Value::Int(2));
+        let actions = vec![
+            Assignment { var: "n".into(), expr: parse("n * 10").unwrap() },
+            Assignment { var: "label".into(), expr: parse("\"x\"").unwrap() },
+        ];
+        apply_actions(&actions, &lib, &mut vars).unwrap();
+        assert_eq!(vars.get("n"), Some(&Value::Int(20)));
+        assert_eq!(vars.get("label"), Some(&Value::str("x")));
+    }
+
+    #[test]
+    fn build_input_maps_expressions() {
+        let lib = FunctionLibrary::new();
+        let mut vars = BTreeMap::new();
+        vars.insert("destination".to_string(), Value::str("Sydney"));
+        vars.insert("base".to_string(), Value::Int(100));
+        let inputs = vec![
+            InputMapping { param: "city".into(), expr: parse("destination").unwrap() },
+            InputMapping { param: "budget".into(), expr: parse("base * 2").unwrap() },
+        ];
+        let msg = build_input("book", &inputs, &lib, &vars).unwrap();
+        assert_eq!(msg.get_str("city"), Some("Sydney"));
+        assert_eq!(msg.get("budget"), Some(&Value::Int(200)));
+        assert_eq!(msg.operation, "book");
+    }
+
+    #[test]
+    fn build_input_error_on_missing_var() {
+        let lib = FunctionLibrary::new();
+        let inputs =
+            vec![InputMapping { param: "x".into(), expr: parse("ghost").unwrap() }];
+        assert!(build_input("op", &inputs, &lib, &BTreeMap::new()).is_err());
+    }
+
+    #[test]
+    fn apply_outputs_copies_present_params() {
+        let mut vars = BTreeMap::new();
+        let outputs = vec![
+            OutputMapping { param: "price".into(), var: "flight_price".into() },
+            OutputMapping { param: "absent".into(), var: "nope".into() },
+        ];
+        let response = MessageDoc::response("book").with("price", Value::Float(320.0));
+        apply_outputs(&outputs, &response, &mut vars);
+        assert_eq!(vars.get("flight_price"), Some(&Value::Float(320.0)));
+        assert!(!vars.contains_key("nope"));
+    }
+}

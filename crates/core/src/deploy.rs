@@ -1,0 +1,577 @@
+//! The service deployer: from a statechart to a running peer-to-peer
+//! deployment.
+//!
+//! "This process takes as input the XML description of the composite
+//! service and involves two steps: (i) generating the control-flow routing
+//! tables of each state of the composite service statechart, and (ii)
+//! uploading these tables into the hosts of the component services."
+//! Here "uploading" spawns a coordinator actor per basic state, co-located
+//! with its service backend, plus the composite wrapper.
+
+use crate::backend::ServiceBackend;
+use crate::coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle, TaskRuntime};
+use crate::functions::FunctionLibrary;
+use crate::protocol::{kinds, naming, ExecError, InstanceId};
+use crate::wrapper::{CompositeWrapper, WrapperConfig, WrapperHandle};
+use selfserv_net::{Endpoint, Network, NodeId, RpcError};
+use selfserv_routing::{NotificationLabel, RoutingError, RoutingPlan};
+use selfserv_statechart::{ServiceBinding, StateId, Statechart, StateKind};
+use selfserv_wsdl::MessageDoc;
+use selfserv_xml::Element;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors raised while deploying a composite service.
+#[derive(Debug)]
+pub enum DeploymentError {
+    /// Routing-table generation failed (includes validation failures).
+    Routing(RoutingError),
+    /// A task state references a service with no registered backend.
+    MissingBackend {
+        /// The state.
+        state: StateId,
+        /// The unresolved service name.
+        service: String,
+    },
+    /// A task state references a community whose node is not on the fabric.
+    MissingCommunity {
+        /// The state.
+        state: StateId,
+        /// The unresolved community name.
+        community: String,
+    },
+    /// An actor's node name is already taken (composite already deployed?).
+    NodeCollision(NodeId),
+}
+
+impl fmt::Display for DeploymentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeploymentError::Routing(e) => write!(f, "routing generation failed: {e}"),
+            DeploymentError::MissingBackend { state, service } => {
+                write!(f, "state '{state}': no backend registered for service '{service}'")
+            }
+            DeploymentError::MissingCommunity { state, community } => {
+                write!(f, "state '{state}': community '{community}' is not on the fabric")
+            }
+            DeploymentError::NodeCollision(n) => {
+                write!(f, "node '{n}' already connected — composite already deployed?")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeploymentError {}
+
+impl From<RoutingError> for DeploymentError {
+    fn from(e: RoutingError) -> Self {
+        DeploymentError::Routing(e)
+    }
+}
+
+/// The service deployer.
+pub struct Deployer {
+    net: Network,
+    functions: FunctionLibrary,
+    /// Deadline for community invocations made by coordinators.
+    pub invoke_timeout: Duration,
+    /// Idle-instance TTL for coordinators and wrappers.
+    pub instance_ttl: Duration,
+    /// When set, community bindings may point at nodes that are not yet
+    /// connected (they must come up before execution).
+    pub allow_missing_communities: bool,
+    monitor: Option<NodeId>,
+}
+
+impl Deployer {
+    /// A deployer over `net` with no guard functions.
+    pub fn new(net: &Network) -> Self {
+        Deployer {
+            net: net.clone(),
+            functions: FunctionLibrary::new(),
+            invoke_timeout: Duration::from_secs(10),
+            instance_ttl: Duration::from_secs(120),
+            allow_missing_communities: false,
+            monitor: None,
+        }
+    }
+
+    /// Builder: every coordinator and the wrapper report trace events to
+    /// this [`crate::ExecutionMonitor`] node.
+    pub fn with_monitor(mut self, monitor: NodeId) -> Self {
+        self.monitor = Some(monitor);
+        self
+    }
+
+    /// Builder: supplies the guard-function library distributed to all
+    /// actors.
+    pub fn with_functions(mut self, functions: FunctionLibrary) -> Self {
+        self.functions = functions;
+        self
+    }
+
+    /// Deploys a composite service: validates, generates routing tables,
+    /// spawns one coordinator per basic state (each holding its co-located
+    /// backend) and the composite wrapper.
+    ///
+    /// `backends` maps *service names* (as referenced by task bindings) to
+    /// their application logic.
+    pub fn deploy(
+        &self,
+        statechart: &Statechart,
+        backends: &HashMap<String, Arc<dyn ServiceBackend>>,
+    ) -> Result<Deployment, DeploymentError> {
+        let plan = selfserv_routing::generate(statechart)?;
+
+        // Resolve every task binding before spawning anything.
+        let mut runtimes: HashMap<StateId, TaskRuntime> = HashMap::new();
+        for state in statechart.states() {
+            match &state.kind {
+                StateKind::Choice => {
+                    runtimes.insert(state.id.clone(), TaskRuntime::None);
+                }
+                StateKind::Task(spec) => {
+                    let runtime = match &spec.binding {
+                        ServiceBinding::Service { service, operation } => {
+                            let backend = backends.get(service).cloned().ok_or_else(|| {
+                                DeploymentError::MissingBackend {
+                                    state: state.id.clone(),
+                                    service: service.clone(),
+                                }
+                            })?;
+                            TaskRuntime::Local {
+                                backend,
+                                operation: operation.clone(),
+                                inputs: spec.inputs.clone(),
+                                outputs: spec.outputs.clone(),
+                            }
+                        }
+                        ServiceBinding::Community { community, operation } => {
+                            let node = naming::community(community);
+                            if !self.allow_missing_communities
+                                && !self.net.is_connected(node.as_str())
+                            {
+                                return Err(DeploymentError::MissingCommunity {
+                                    state: state.id.clone(),
+                                    community: community.clone(),
+                                });
+                            }
+                            TaskRuntime::Community {
+                                node,
+                                operation: operation.clone(),
+                                inputs: spec.inputs.clone(),
+                                outputs: spec.outputs.clone(),
+                            }
+                        }
+                    };
+                    runtimes.insert(state.id.clone(), runtime);
+                }
+                _ => {}
+            }
+        }
+
+        // Event subscriptions: states whose preconditions await an Event
+        // label get event notifications from the wrapper.
+        let mut event_subscribers: Vec<(String, StateId)> = Vec::new();
+        for table in plan.tables.values() {
+            for pre in &table.preconditions {
+                for label in &pre.labels {
+                    if let NotificationLabel::Event(name) = label {
+                        let pair = (name.clone(), table.state.clone());
+                        if !event_subscribers.contains(&pair) {
+                            event_subscribers.push(pair);
+                        }
+                    }
+                }
+            }
+        }
+
+        // "Upload" the tables: spawn coordinators.
+        let mut coordinators = Vec::with_capacity(plan.tables.len());
+        for (state_id, table) in &plan.tables {
+            let task = runtimes.remove(state_id).unwrap_or(TaskRuntime::None);
+            let cfg = CoordinatorConfig {
+                composite: statechart.name.clone(),
+                state: state_id.clone(),
+                table: table.clone(),
+                task,
+                functions: self.functions.clone(),
+                invoke_timeout: self.invoke_timeout,
+                instance_ttl: self.instance_ttl,
+                monitor: self.monitor.clone(),
+            };
+            let handle =
+                Coordinator::spawn(&self.net, cfg).map_err(DeploymentError::NodeCollision)?;
+            coordinators.push(handle);
+        }
+
+        // Spawn the wrapper last so coordinators are ready for Start
+        // notifications.
+        let wrapper = CompositeWrapper::spawn(
+            &self.net,
+            WrapperConfig {
+                composite: statechart.name.clone(),
+                table: plan.wrapper.clone(),
+                functions: self.functions.clone(),
+                variables: statechart.variables.clone(),
+                event_subscribers,
+                instance_ttl: self.instance_ttl,
+                monitor: self.monitor.clone(),
+            },
+        )
+        .map_err(DeploymentError::NodeCollision)?;
+
+        Ok(Deployment {
+            composite: statechart.name.clone(),
+            net: self.net.clone(),
+            wrapper_node: wrapper.node().clone(),
+            plan,
+            coordinators,
+            wrapper: Some(wrapper),
+        })
+    }
+}
+
+/// A running composite service: the handle end users execute operations
+/// through (Figure 3's Execute button).
+pub struct Deployment {
+    composite: String,
+    net: Network,
+    wrapper_node: NodeId,
+    plan: RoutingPlan,
+    coordinators: Vec<CoordinatorHandle>,
+    wrapper: Option<WrapperHandle>,
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("composite", &self.composite)
+            .field("coordinators", &self.coordinators.len())
+            .finish()
+    }
+}
+
+impl Deployment {
+    /// The composite service's name.
+    pub fn composite(&self) -> &str {
+        &self.composite
+    }
+
+    /// The wrapper's fabric node (the published binding endpoint).
+    pub fn wrapper_node(&self) -> &NodeId {
+        &self.wrapper_node
+    }
+
+    /// The generated routing plan (for inspection and experiment metrics).
+    pub fn plan(&self) -> &RoutingPlan {
+        &self.plan
+    }
+
+    /// Number of coordinators deployed.
+    pub fn coordinator_count(&self) -> usize {
+        self.coordinators.len()
+    }
+
+    /// Executes the composite operation from an ephemeral client endpoint.
+    pub fn execute(&self, input: MessageDoc, timeout: Duration) -> Result<MessageDoc, ExecError> {
+        let client = self.net.connect_anonymous("client");
+        self.execute_from(&client, input, timeout)
+    }
+
+    /// Executes the composite operation from a specific endpoint (so fabric
+    /// metrics attribute the call to the caller).
+    pub fn execute_from(
+        &self,
+        client: &Endpoint,
+        input: MessageDoc,
+        timeout: Duration,
+    ) -> Result<MessageDoc, ExecError> {
+        let reply = client
+            .rpc(self.wrapper_node.clone(), kinds::EXECUTE, input.to_xml(), timeout)
+            .map_err(|e| match e {
+                RpcError::Timeout => ExecError::Timeout,
+                RpcError::Send(s) => ExecError::Unreachable(s.to_string()),
+            })?;
+        let msg = MessageDoc::from_xml(&reply.body)
+            .map_err(|e| ExecError::Unreachable(format!("malformed reply: {e}")))?;
+        if msg.is_fault() {
+            return Err(ExecError::Fault(
+                msg.fault_reason().unwrap_or("unspecified").to_string(),
+            ));
+        }
+        Ok(msg)
+    }
+
+    /// Raises an external ECA event: `instance = None` broadcasts to every
+    /// live instance.
+    pub fn raise_event(&self, name: &str, instance: Option<InstanceId>) {
+        let client = self.net.connect_anonymous("event");
+        let body = Element::new("event")
+            .with_attr("name", name)
+            .with_attr("instance", instance.map_or("all".to_string(), |i| i.to_string()));
+        let _ = client.send(self.wrapper_node.clone(), kinds::RAISE_EVENT, body);
+    }
+
+    /// Tears the deployment down (stops wrapper and coordinators).
+    pub fn undeploy(mut self) {
+        self.stop_all();
+    }
+
+    fn stop_all(&mut self) {
+        if let Some(w) = self.wrapper.take() {
+            w.stop();
+        }
+        for c in self.coordinators.drain(..) {
+            c.stop();
+        }
+    }
+}
+
+impl Drop for Deployment {
+    fn drop(&mut self) {
+        self.stop_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{EchoService, FailingService, SyntheticService};
+    use selfserv_expr::Value;
+    use selfserv_net::NetworkConfig;
+    use selfserv_statechart::synth;
+    use selfserv_statechart::{StatechartBuilder, TaskDef, TransitionDef};
+    use selfserv_wsdl::ParamType;
+
+    fn synth_backends(n: usize) -> HashMap<String, Arc<dyn ServiceBackend>> {
+        let mut map: HashMap<String, Arc<dyn ServiceBackend>> = HashMap::new();
+        for i in 0..n {
+            let name = synth::synth_service_name(i);
+            map.insert(name.clone(), Arc::new(EchoService::new(name)));
+        }
+        map
+    }
+
+    #[test]
+    fn deploy_and_execute_sequence() {
+        let net = Network::new(NetworkConfig::instant());
+        let dep = Deployer::new(&net)
+            .deploy(&synth::sequence(4), &synth_backends(4))
+            .unwrap();
+        assert_eq!(dep.coordinator_count(), 4);
+        let input = MessageDoc::request("execute").with("payload", Value::str("hello"));
+        let out = dep.execute(input, Duration::from_secs(5)).unwrap();
+        assert_eq!(out.get_str("payload"), Some("hello"));
+        assert!(out.get("_elapsed_ms").is_some());
+    }
+
+    #[test]
+    fn sequence_messages_flow_peer_to_peer() {
+        let net = Network::new(NetworkConfig::instant());
+        let dep = Deployer::new(&net)
+            .deploy(&synth::sequence(5), &synth_backends(5))
+            .unwrap();
+        net.reset_metrics();
+        dep.execute(
+            MessageDoc::request("execute").with("payload", Value::str("x")),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        let m = net.metrics();
+        // The wrapper sends Start + 5 cleanups and receives 1 completion;
+        // each intermediate coordinator handles ~1 in + 1 out. No node is a
+        // hotspot proportional to chart size.
+        let wrapper = m.node("synthseq5.wrapper").unwrap();
+        // The wrapper receives the execute request plus the single final
+        // notification; intermediate control flow never touches it.
+        assert_eq!(wrapper.received, 2);
+        let c0 = m.node("synthseq5.coord.s0").unwrap();
+        assert_eq!(c0.sent, 1, "s0 notifies s1 only");
+    }
+
+    #[test]
+    fn xor_takes_exactly_one_branch() {
+        let net = Network::new(NetworkConfig::instant());
+        let mut backends = synth_backends(3);
+        let counters: Vec<Arc<SyntheticService>> = (0..3)
+            .map(|i| Arc::new(SyntheticService::new(format!("S{i}"))))
+            .collect();
+        for (i, c) in counters.iter().enumerate() {
+            backends.insert(
+                synth::synth_service_name(i),
+                Arc::clone(c) as Arc<dyn ServiceBackend>,
+            );
+        }
+        let dep = Deployer::new(&net).deploy(&synth::xor_choice(3), &backends).unwrap();
+        let input = MessageDoc::request("execute")
+            .with("payload", Value::str("p"))
+            .with("branch", Value::Int(1));
+        dep.execute(input, Duration::from_secs(5)).unwrap();
+        assert_eq!(counters[0].invocation_count(), 0);
+        assert_eq!(counters[1].invocation_count(), 1);
+        assert_eq!(counters[2].invocation_count(), 0);
+    }
+
+    #[test]
+    fn parallel_joins_all_regions() {
+        let net = Network::new(NetworkConfig::instant());
+        let mut backends = HashMap::new();
+        let counters: Vec<Arc<SyntheticService>> = (0..3)
+            .map(|i| Arc::new(SyntheticService::new(format!("S{i}"))))
+            .collect();
+        for (i, c) in counters.iter().enumerate() {
+            backends.insert(
+                synth::synth_service_name(i),
+                Arc::clone(c) as Arc<dyn ServiceBackend>,
+            );
+        }
+        let dep = Deployer::new(&net).deploy(&synth::parallel(3), &backends).unwrap();
+        let out = dep
+            .execute(
+                MessageDoc::request("execute").with("payload", Value::str("p")),
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        assert_eq!(out.get_str("payload"), Some("p"));
+        // Every region ran exactly once before the AND-join released.
+        for c in &counters {
+            assert_eq!(c.invocation_count(), 1);
+        }
+    }
+
+    #[test]
+    fn nested_compound_executes() {
+        let net = Network::new(NetworkConfig::instant());
+        let dep = Deployer::new(&net)
+            .deploy(&synth::nested(3), &synth_backends(1))
+            .unwrap();
+        dep.execute(
+            MessageDoc::request("execute").with("payload", Value::str("p")),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn ladder_executes() {
+        let net = Network::new(NetworkConfig::instant());
+        let dep = Deployer::new(&net)
+            .deploy(&synth::ladder(3, 2), &synth_backends(6))
+            .unwrap();
+        dep.execute(
+            MessageDoc::request("execute").with("payload", Value::str("p")),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn missing_backend_rejected() {
+        let net = Network::new(NetworkConfig::instant());
+        let err = Deployer::new(&net)
+            .deploy(&synth::sequence(2), &synth_backends(1))
+            .unwrap_err();
+        assert!(matches!(err, DeploymentError::MissingBackend { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_community_rejected() {
+        let net = Network::new(NetworkConfig::instant());
+        let sc = StatechartBuilder::new("NeedsCommunity")
+            .variable("x", ParamType::Str)
+            .initial("a")
+            .task(TaskDef::new("a", "A").community("GhostCommunity", "op"))
+            .final_state("f")
+            .transition(TransitionDef::new("t", "a", "f"))
+            .build()
+            .unwrap();
+        let err = Deployer::new(&net).deploy(&sc, &HashMap::new()).unwrap_err();
+        assert!(matches!(err, DeploymentError::MissingCommunity { .. }), "{err}");
+    }
+
+    #[test]
+    fn double_deploy_collides() {
+        let net = Network::new(NetworkConfig::instant());
+        let _dep =
+            Deployer::new(&net).deploy(&synth::sequence(1), &synth_backends(1)).unwrap();
+        let err = Deployer::new(&net)
+            .deploy(&synth::sequence(1), &synth_backends(1))
+            .unwrap_err();
+        assert!(matches!(err, DeploymentError::NodeCollision(_)), "{err}");
+    }
+
+    #[test]
+    fn undeploy_frees_nodes() {
+        let net = Network::new(NetworkConfig::instant());
+        let dep =
+            Deployer::new(&net).deploy(&synth::sequence(1), &synth_backends(1)).unwrap();
+        assert!(net.is_connected("synthseq1.wrapper"));
+        dep.undeploy();
+        assert!(!net.is_connected("synthseq1.wrapper"));
+        assert!(!net.is_connected("synthseq1.coord.s0"));
+        // Redeploy works after teardown.
+        let _dep2 =
+            Deployer::new(&net).deploy(&synth::sequence(1), &synth_backends(1)).unwrap();
+    }
+
+    #[test]
+    fn failing_backend_faults_execution() {
+        let net = Network::new(NetworkConfig::instant());
+        let mut backends = synth_backends(2);
+        backends.insert(
+            synth::synth_service_name(1),
+            Arc::new(FailingService::new("S1", "no inventory")),
+        );
+        let dep = Deployer::new(&net).deploy(&synth::sequence(2), &backends).unwrap();
+        let err = dep
+            .execute(
+                MessageDoc::request("execute").with("payload", Value::str("p")),
+                Duration::from_secs(5),
+            )
+            .unwrap_err();
+        match err {
+            ExecError::Fault(reason) => assert!(reason.contains("no inventory"), "{reason}"),
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_instances_are_isolated() {
+        let net = Network::new(NetworkConfig::instant());
+        let dep = Deployer::new(&net)
+            .deploy(&synth::sequence(3), &synth_backends(3))
+            .unwrap();
+        let dep = Arc::new(dep);
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let dep = Arc::clone(&dep);
+            handles.push(std::thread::spawn(move || {
+                let input = MessageDoc::request("execute")
+                    .with("payload", Value::str(format!("p{i}")));
+                let out = dep.execute(input, Duration::from_secs(10)).unwrap();
+                assert_eq!(out.get_str("payload"), Some(format!("p{i}").as_str()));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn executions_work_under_network_latency() {
+        let net = Network::new(NetworkConfig::lan());
+        let dep = Deployer::new(&net)
+            .deploy(&synth::parallel(2), &synth_backends(2))
+            .unwrap();
+        let out = dep
+            .execute(
+                MessageDoc::request("execute").with("payload", Value::str("p")),
+                Duration::from_secs(10),
+            )
+            .unwrap();
+        assert!(out.get("_elapsed_ms").is_some());
+    }
+}

@@ -1,0 +1,137 @@
+//! The shared guard-function library distributed with a deployment.
+//!
+//! Guards like `domestic(destination)` reference predicates the composer
+//! supplies. In the original platform this code shipped inside the
+//! downloaded `Coordinator` class; here a [`FunctionLibrary`] is cloned
+//! into every coordinator and wrapper at deployment time.
+
+use selfserv_expr::{EvalError, MapEnv, NativeFn, Value};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A named collection of native guard functions. Cheap to clone.
+#[derive(Clone, Default)]
+pub struct FunctionLibrary {
+    fns: HashMap<String, NativeFn>,
+}
+
+impl FunctionLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a function.
+    pub fn register<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&[Value]) -> Result<Value, EvalError> + Send + Sync + 'static,
+    {
+        self.fns.insert(name.into(), Arc::new(f));
+    }
+
+    /// Registered function names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.fns.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// True when `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fns.contains_key(name)
+    }
+
+    /// Builds an evaluation environment over `vars` with the builtin
+    /// function set plus this library.
+    pub fn env_with(&self, vars: &BTreeMap<String, Value>) -> MapEnv {
+        let mut env = MapEnv::with_builtins();
+        for (k, v) in vars {
+            env.set(k.clone(), v.clone());
+        }
+        for (name, f) in &self.fns {
+            env.register_shared(name.clone(), Arc::clone(f));
+        }
+        env
+    }
+
+    /// The travel scenario's predicate library (`domestic`, `near`).
+    pub fn travel() -> Self {
+        let mut lib = Self::new();
+        let mut env = MapEnv::new();
+        selfserv_statechart::travel::register_predicates(&mut env);
+        // Re-wrap through a MapEnv is awkward; register directly instead.
+        let _ = env;
+        lib.register("domestic", |args: &[Value]| {
+            let city = args.first().and_then(Value::as_str).ok_or_else(|| {
+                EvalError::FunctionError {
+                    function: "domestic".into(),
+                    message: "expects one string argument".into(),
+                }
+            })?;
+            Ok(Value::Bool(selfserv_statechart::travel::DOMESTIC_CITIES.contains(&city)))
+        });
+        lib.register("near", |args: &[Value]| {
+            if args.len() != 2 {
+                return Err(EvalError::ArityMismatch {
+                    function: "near".into(),
+                    expected: 2,
+                    found: args.len(),
+                });
+            }
+            let attraction = args[0].as_str().unwrap_or("");
+            let place = args[1].as_str().unwrap_or("");
+            Ok(Value::Bool(
+                selfserv_statechart::travel::NEAR_PAIRS
+                    .iter()
+                    .any(|(a, p)| *a == attraction && *p == place),
+            ))
+        });
+        lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfserv_expr::parse;
+
+    #[test]
+    fn env_includes_vars_builtins_and_library() {
+        let mut lib = FunctionLibrary::new();
+        lib.register("double", |args| {
+            Ok(Value::Int(args[0].as_f64().unwrap_or(0.0) as i64 * 2))
+        });
+        let mut vars = BTreeMap::new();
+        vars.insert("x".to_string(), Value::Int(21));
+        let env = lib.env_with(&vars);
+        assert_eq!(parse("double(x)").unwrap().eval(&env).unwrap(), Value::Int(42));
+        assert_eq!(parse("len(\"ab\")").unwrap().eval(&env).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn names_and_contains() {
+        let lib = FunctionLibrary::travel();
+        assert!(lib.contains("domestic"));
+        assert!(lib.contains("near"));
+        assert_eq!(lib.names(), vec!["domestic".to_string(), "near".to_string()]);
+    }
+
+    #[test]
+    fn travel_predicates_work() {
+        let lib = FunctionLibrary::travel();
+        let mut vars = BTreeMap::new();
+        vars.insert("destination".to_string(), Value::str("Perth"));
+        let env = lib.env_with(&vars);
+        assert_eq!(
+            parse("domestic(destination)").unwrap().eval(&env).unwrap(),
+            Value::Bool(true)
+        );
+        vars.insert("destination".to_string(), Value::str("Tokyo"));
+        let env = lib.env_with(&vars);
+        assert_eq!(
+            parse("domestic(destination)").unwrap().eval(&env).unwrap(),
+            Value::Bool(false)
+        );
+    }
+}

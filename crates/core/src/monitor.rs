@@ -1,0 +1,282 @@
+//! Execution monitoring: per-instance traces of the distributed run.
+//!
+//! The paper's coordinators are "in charge of initiating, controlling,
+//! *monitoring* the associated state". This module gives that monitoring a
+//! destination: an [`ExecutionMonitor`] node collects trace events emitted
+//! by coordinators and wrappers (when a deployment opts in via
+//! [`crate::Deployer::with_monitor`]) and reconstructs a timeline per
+//! instance — the platform's answer to Figure 3's "Execution Result"
+//! panel.
+//!
+//! Tracing is fire-and-forget: a dead or slow monitor never blocks an
+//! execution.
+
+use crate::protocol::InstanceId;
+use parking_lot::RwLock;
+use selfserv_net::{Endpoint, Network, NodeId};
+use selfserv_xml::Element;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// The wrapper started an instance.
+    InstanceStarted,
+    /// A coordinator's precondition fired and the state was entered.
+    Activated,
+    /// The state's work finished (service returned).
+    Completed,
+    /// The instance finished and the caller was answered.
+    InstanceFinished,
+    /// A fault was reported.
+    Faulted,
+}
+
+impl TraceKind {
+    fn name(self) -> &'static str {
+        match self {
+            TraceKind::InstanceStarted => "instance-started",
+            TraceKind::Activated => "activated",
+            TraceKind::Completed => "completed",
+            TraceKind::InstanceFinished => "instance-finished",
+            TraceKind::Faulted => "faulted",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "instance-started" => TraceKind::InstanceStarted,
+            "activated" => TraceKind::Activated,
+            "completed" => TraceKind::Completed,
+            "instance-finished" => TraceKind::InstanceFinished,
+            "faulted" => TraceKind::Faulted,
+            _ => return None,
+        })
+    }
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The instance.
+    pub instance: InstanceId,
+    /// The reporting participant (state id, or `wrapper`).
+    pub participant: String,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Free-form detail (fault reason, chosen transition, …).
+    pub detail: String,
+    /// Wall-clock milliseconds since the Unix epoch at the reporter.
+    pub at_ms: u64,
+}
+
+/// The message kind trace events travel under.
+pub const TRACE_KIND: &str = "monitor.trace";
+
+/// Builds the wire form of a trace event.
+pub fn trace_body(
+    instance: InstanceId,
+    participant: &str,
+    kind: TraceKind,
+    detail: &str,
+) -> Element {
+    let at_ms =
+        SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or(Duration::ZERO).as_millis() as u64;
+    Element::new("trace")
+        .with_attr("instance", instance.to_string())
+        .with_attr("participant", participant)
+        .with_attr("kind", kind.name())
+        .with_attr("detail", detail)
+        .with_attr("at_ms", at_ms.to_string())
+}
+
+fn decode_trace(e: &Element) -> Option<TraceEvent> {
+    Some(TraceEvent {
+        instance: InstanceId::decode(e.attr("instance")?).ok()?,
+        participant: e.attr("participant")?.to_string(),
+        kind: TraceKind::from_name(e.attr("kind")?)?,
+        detail: e.attr("detail").unwrap_or("").to_string(),
+        at_ms: e.attr("at_ms")?.parse().ok()?,
+    })
+}
+
+#[derive(Default)]
+struct TraceStore {
+    by_instance: HashMap<InstanceId, Vec<TraceEvent>>,
+}
+
+/// Spawner for the monitor node.
+pub struct ExecutionMonitor;
+
+/// Handle to a running monitor: query collected traces.
+pub struct MonitorHandle {
+    node: NodeId,
+    net: Network,
+    store: Arc<RwLock<TraceStore>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ExecutionMonitor {
+    /// Spawns a monitor on `node_name`.
+    pub fn spawn(net: &Network, node_name: &str) -> Result<MonitorHandle, NodeId> {
+        let endpoint = net.connect(node_name)?;
+        let node = endpoint.node().clone();
+        let store = Arc::new(RwLock::new(TraceStore::default()));
+        let sink = Arc::clone(&store);
+        let thread = std::thread::Builder::new()
+            .name(format!("monitor-{node}"))
+            .spawn(move || monitor_loop(endpoint, sink))
+            .expect("spawn monitor");
+        Ok(MonitorHandle { node, net: net.clone(), store, thread: Some(thread) })
+    }
+}
+
+fn monitor_loop(endpoint: Endpoint, store: Arc<RwLock<TraceStore>>) {
+    loop {
+        let Ok(env) = endpoint.recv() else { return };
+        match env.kind.as_str() {
+            crate::protocol::kinds::STOP => return,
+            TRACE_KIND => {
+                if let Some(event) = decode_trace(&env.body) {
+                    store.write().by_instance.entry(event.instance).or_default().push(event);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl MonitorHandle {
+    /// The monitor's node (pass to [`crate::Deployer::with_monitor`]).
+    pub fn node(&self) -> &NodeId {
+        &self.node
+    }
+
+    /// The trace of one instance, in arrival order.
+    pub fn trace(&self, instance: InstanceId) -> Vec<TraceEvent> {
+        self.store.read().by_instance.get(&instance).cloned().unwrap_or_default()
+    }
+
+    /// All instances with at least one event, sorted.
+    pub fn instances(&self) -> Vec<InstanceId> {
+        let mut ids: Vec<InstanceId> = self.store.read().by_instance.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Total events collected.
+    pub fn event_count(&self) -> usize {
+        self.store.read().by_instance.values().map(Vec::len).sum()
+    }
+
+    /// Renders one instance's trace as an aligned text timeline (relative
+    /// milliseconds), for demos and debugging.
+    pub fn render_timeline(&self, instance: InstanceId) -> String {
+        let events = self.trace(instance);
+        let Some(t0) = events.iter().map(|e| e.at_ms).min() else {
+            return format!("instance {instance}: no events\n");
+        };
+        let mut out = format!("instance {instance}:\n");
+        for e in &events {
+            out.push_str(&format!(
+                "  +{:>5} ms  {:20} {:18} {}\n",
+                e.at_ms - t0,
+                e.participant,
+                e.kind.name(),
+                e.detail
+            ));
+        }
+        out
+    }
+
+    /// Stops the monitor.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.net.revive(&self.node);
+            let ctl = self.net.connect_anonymous("monitor-ctl");
+            let _ = ctl.send(
+                self.node.clone(),
+                crate::protocol::kinds::STOP,
+                Element::new("stop"),
+            );
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MonitorHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfserv_net::NetworkConfig;
+
+    #[test]
+    fn trace_codec_round_trip() {
+        let body = trace_body(InstanceId(7), "AB", TraceKind::Completed, "ok");
+        let event = decode_trace(&body).unwrap();
+        assert_eq!(event.instance, InstanceId(7));
+        assert_eq!(event.participant, "AB");
+        assert_eq!(event.kind, TraceKind::Completed);
+        assert!(event.at_ms > 0);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in [
+            TraceKind::InstanceStarted,
+            TraceKind::Activated,
+            TraceKind::Completed,
+            TraceKind::InstanceFinished,
+            TraceKind::Faulted,
+        ] {
+            assert_eq!(TraceKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(TraceKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn monitor_collects_and_renders() {
+        let net = Network::new(NetworkConfig::instant());
+        let monitor = ExecutionMonitor::spawn(&net, "monitor").unwrap();
+        let reporter = net.connect("reporter").unwrap();
+        reporter
+            .send("monitor", TRACE_KIND, trace_body(InstanceId(1), "wrapper", TraceKind::InstanceStarted, ""))
+            .unwrap();
+        reporter
+            .send("monitor", TRACE_KIND, trace_body(InstanceId(1), "AB", TraceKind::Activated, ""))
+            .unwrap();
+        reporter
+            .send("monitor", TRACE_KIND, trace_body(InstanceId(2), "AB", TraceKind::Activated, ""))
+            .unwrap();
+        // Give the monitor a beat to drain.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(monitor.event_count(), 3);
+        assert_eq!(monitor.instances(), vec![InstanceId(1), InstanceId(2)]);
+        assert_eq!(monitor.trace(InstanceId(1)).len(), 2);
+        let text = monitor.render_timeline(InstanceId(1));
+        assert!(text.contains("instance-started"), "{text}");
+        assert!(monitor.render_timeline(InstanceId(99)).contains("no events"));
+    }
+
+    #[test]
+    fn malformed_traces_are_ignored() {
+        let net = Network::new(NetworkConfig::instant());
+        let monitor = ExecutionMonitor::spawn(&net, "monitor").unwrap();
+        let reporter = net.connect("reporter").unwrap();
+        reporter.send("monitor", TRACE_KIND, Element::new("garbage")).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(monitor.event_count(), 0);
+    }
+}

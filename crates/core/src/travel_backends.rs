@@ -1,0 +1,291 @@
+//! Domain backends for the paper's travel scenario: flight booking,
+//! insurance, attraction search, accommodation, car rental.
+//!
+//! The original demo's providers were stubs behind SOAP endpoints; these
+//! backends reproduce their observable behaviour with deterministic domain
+//! logic (so tests can assert on both guard branches) plus configurable
+//! latency.
+
+use crate::backend::ServiceBackend;
+use selfserv_expr::Value;
+use selfserv_wsdl::MessageDoc;
+use std::time::Duration;
+
+fn sleep_latency(latency: Duration) {
+    if !latency.is_zero() {
+        std::thread::sleep(latency);
+    }
+}
+
+/// Deterministic pseudo-price derived from a string, so bookings are
+/// repeatable without an RNG.
+fn price_for(s: &str, base: f64, spread: f64) -> f64 {
+    let h = s.bytes().fold(7u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+    base + (h % 1000) as f64 / 1000.0 * spread
+}
+
+/// Flight booking (domestic or international flavour).
+pub struct FlightBookingService {
+    name: String,
+    prefix: &'static str,
+    base_price: f64,
+    latency: Duration,
+}
+
+impl FlightBookingService {
+    /// The domestic-flight provider.
+    pub fn domestic(latency: Duration) -> Self {
+        FlightBookingService {
+            name: "Domestic Flight Booking".into(),
+            prefix: "QF",
+            base_price: 180.0,
+            latency,
+        }
+    }
+
+    /// The international-flight provider.
+    pub fn international(latency: Duration) -> Self {
+        FlightBookingService {
+            name: "International Flight Booking".into(),
+            prefix: "GW",
+            base_price: 950.0,
+            latency,
+        }
+    }
+}
+
+impl ServiceBackend for FlightBookingService {
+    fn invoke(&self, operation: &str, input: &MessageDoc) -> Result<MessageDoc, String> {
+        sleep_latency(self.latency);
+        let customer = input.get_str("customer").ok_or("missing customer")?;
+        let destination = input.get_str("destination").ok_or("missing destination")?;
+        let mut out = MessageDoc::response(operation);
+        out.set(
+            "confirmation",
+            Value::str(format!("{}-{:04}", self.prefix, destination.len() * 97 + customer.len())),
+        );
+        out.set("price", Value::Float(price_for(destination, self.base_price, 400.0)));
+        Ok(out)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Travel insurance.
+pub struct InsuranceService {
+    latency: Duration,
+}
+
+impl InsuranceService {
+    /// An insurance provider with the given service time.
+    pub fn new(latency: Duration) -> Self {
+        InsuranceService { latency }
+    }
+}
+
+impl ServiceBackend for InsuranceService {
+    fn invoke(&self, operation: &str, input: &MessageDoc) -> Result<MessageDoc, String> {
+        sleep_latency(self.latency);
+        let customer = input.get_str("customer").ok_or("missing customer")?;
+        let mut out = MessageDoc::response(operation);
+        out.set("policy", Value::str(format!("POL-{}", customer.len() * 131)));
+        Ok(out)
+    }
+
+    fn name(&self) -> &str {
+        "Travel Insurance"
+    }
+}
+
+/// Attraction search: maps a city to its major attraction (driving the
+/// `near(major_attraction, accommodation)` guard).
+pub struct AttractionSearchService {
+    latency: Duration,
+}
+
+impl AttractionSearchService {
+    /// An attraction-search provider with the given service time.
+    pub fn new(latency: Duration) -> Self {
+        AttractionSearchService { latency }
+    }
+
+    /// The static city → attractions table.
+    pub fn attractions_for(city: &str) -> (&'static str, Vec<&'static str>) {
+        match city {
+            "Sydney" => ("Opera House", vec!["Opera House", "Harbour Bridge", "Bondi Beach"]),
+            "Melbourne" => (
+                "Queen Victoria Market",
+                vec!["Queen Victoria Market", "Federation Square"],
+            ),
+            "Hong Kong" => ("Peak Tram", vec!["Peak Tram", "Star Ferry", "Big Buddha"]),
+            _ => ("Old Town Walk", vec!["Old Town Walk", "City Museum"]),
+        }
+    }
+}
+
+impl ServiceBackend for AttractionSearchService {
+    fn invoke(&self, operation: &str, input: &MessageDoc) -> Result<MessageDoc, String> {
+        sleep_latency(self.latency);
+        let city = input.get_str("city").ok_or("missing city")?;
+        let (major, all) = Self::attractions_for(city);
+        let mut out = MessageDoc::response(operation);
+        out.set("major", Value::str(major));
+        out.set("all", Value::List(all.into_iter().map(Value::str).collect()));
+        Ok(out)
+    }
+
+    fn name(&self) -> &str {
+        "Attraction Search"
+    }
+}
+
+/// An accommodation provider (a community member). Its configured
+/// `location` is what the `near` predicate compares against.
+pub struct AccommodationService {
+    provider: String,
+    location: String,
+    nightly_rate: f64,
+    latency: Duration,
+}
+
+impl AccommodationService {
+    /// A provider returning bookings at `location`.
+    pub fn new(
+        provider: impl Into<String>,
+        location: impl Into<String>,
+        nightly_rate: f64,
+        latency: Duration,
+    ) -> Self {
+        AccommodationService {
+            provider: provider.into(),
+            location: location.into(),
+            nightly_rate,
+            latency,
+        }
+    }
+}
+
+impl ServiceBackend for AccommodationService {
+    fn invoke(&self, operation: &str, input: &MessageDoc) -> Result<MessageDoc, String> {
+        sleep_latency(self.latency);
+        let customer = input.get_str("customer").ok_or("missing customer")?;
+        let mut out = MessageDoc::response(operation);
+        out.set("location", Value::str(self.location.clone()));
+        out.set("price", Value::Float(self.nightly_rate));
+        out.set(
+            "booking_ref",
+            Value::str(format!("{}-{}", self.provider, customer.len() * 53)),
+        );
+        Ok(out)
+    }
+
+    fn name(&self) -> &str {
+        &self.provider
+    }
+}
+
+/// Car rental.
+pub struct CarRentalService {
+    latency: Duration,
+}
+
+impl CarRentalService {
+    /// A car-rental provider with the given service time.
+    pub fn new(latency: Duration) -> Self {
+        CarRentalService { latency }
+    }
+}
+
+impl ServiceBackend for CarRentalService {
+    fn invoke(&self, operation: &str, input: &MessageDoc) -> Result<MessageDoc, String> {
+        sleep_latency(self.latency);
+        let pickup = input.get_str("pickup").ok_or("missing pickup location")?;
+        let mut out = MessageDoc::response(operation);
+        out.set("confirmation", Value::str(format!("CAR-{}", pickup.len() * 211)));
+        Ok(out)
+    }
+
+    fn name(&self) -> &str {
+        "Car Rental"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(pairs: &[(&str, &str)]) -> MessageDoc {
+        let mut m = MessageDoc::request("op");
+        for (k, v) in pairs {
+            m.set(*k, Value::str(*v));
+        }
+        m
+    }
+
+    #[test]
+    fn flight_booking_is_deterministic() {
+        let b = FlightBookingService::domestic(Duration::ZERO);
+        let r1 = b
+            .invoke("bookFlight", &req(&[("customer", "Eileen"), ("destination", "Sydney")]))
+            .unwrap();
+        let r2 = b
+            .invoke("bookFlight", &req(&[("customer", "Eileen"), ("destination", "Sydney")]))
+            .unwrap();
+        assert_eq!(r1, r2);
+        assert!(r1.get_str("confirmation").unwrap().starts_with("QF-"));
+        assert!(r1.get("price").unwrap().as_f64().unwrap() >= 180.0);
+    }
+
+    #[test]
+    fn international_costs_more_than_domestic() {
+        let d = FlightBookingService::domestic(Duration::ZERO);
+        let i = FlightBookingService::international(Duration::ZERO);
+        let msg = req(&[("customer", "Q"), ("destination", "Hong Kong")]);
+        let dp = d.invoke("bookFlight", &msg).unwrap().get("price").unwrap().as_f64().unwrap();
+        let ip = i.invoke("bookFlight", &msg).unwrap().get("price").unwrap().as_f64().unwrap();
+        assert!(ip > dp);
+    }
+
+    #[test]
+    fn missing_inputs_fault() {
+        let b = FlightBookingService::domestic(Duration::ZERO);
+        assert!(b.invoke("bookFlight", &req(&[("customer", "X")])).is_err());
+        let cr = CarRentalService::new(Duration::ZERO);
+        assert!(cr.invoke("rentCar", &req(&[])).is_err());
+    }
+
+    #[test]
+    fn attraction_search_maps_cities() {
+        let b = AttractionSearchService::new(Duration::ZERO);
+        let syd = b.invoke("searchAttractions", &req(&[("city", "Sydney")])).unwrap();
+        assert_eq!(syd.get_str("major"), Some("Opera House"));
+        match syd.get("all") {
+            Some(Value::List(items)) => assert!(items.len() >= 2),
+            other => panic!("expected list, got {other:?}"),
+        }
+        let unknown = b.invoke("searchAttractions", &req(&[("city", "Nowhere")])).unwrap();
+        assert_eq!(unknown.get_str("major"), Some("Old Town Walk"));
+    }
+
+    #[test]
+    fn accommodation_reports_its_location() {
+        let b = AccommodationService::new("CBD Hotel", "Sydney CBD Hotel", 210.0, Duration::ZERO);
+        let out = b
+            .invoke("bookAccommodation", &req(&[("customer", "Eileen"), ("city", "Sydney")]))
+            .unwrap();
+        assert_eq!(out.get_str("location"), Some("Sydney CBD Hotel"));
+        assert_eq!(out.get("price"), Some(&Value::Float(210.0)));
+    }
+
+    #[test]
+    fn insurance_and_car_rental() {
+        let i = InsuranceService::new(Duration::ZERO);
+        let pol = i.invoke("insure", &req(&[("customer", "Q"), ("destination", "HK")])).unwrap();
+        assert!(pol.get_str("policy").unwrap().starts_with("POL-"));
+        let c = CarRentalService::new(Duration::ZERO);
+        let conf = c.invoke("rentCar", &req(&[("pickup", "Bondi Hostel")])).unwrap();
+        assert!(conf.get_str("confirmation").unwrap().starts_with("CAR-"));
+    }
+}

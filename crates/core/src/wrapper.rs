@@ -1,0 +1,329 @@
+//! The composite wrapper: entry and exit point of a composite service.
+//!
+//! "When the wrapper of the composite service receives the document, it
+//! sends a message to the coordinator of the state(s) in the statechart
+//! which need(s) to be entered in the first place. … Eventually, the
+//! coordinators of the states which are exited in the last place send
+//! their notification of termination back to the composite service
+//! wrapper."
+
+use crate::coordinator::{apply_actions, eval_guard};
+use crate::functions::FunctionLibrary;
+use crate::protocol::{cleanup_body, kinds, naming, InstanceId, NotifyPayload};
+use selfserv_expr::Value;
+use selfserv_net::{Endpoint, Envelope, MessageId, Network, NodeId};
+use selfserv_routing::{NotificationLabel, WrapperTable};
+use selfserv_statechart::{StateId, VarDecl};
+use selfserv_wsdl::MessageDoc;
+use selfserv_xml::Element;
+use std::collections::{BTreeMap, HashMap};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration for spawning a composite wrapper.
+pub struct WrapperConfig {
+    /// Composite service name.
+    pub composite: String,
+    /// The wrapper's routing knowledge.
+    pub table: WrapperTable,
+    /// Guard predicates.
+    pub functions: FunctionLibrary,
+    /// Declared statechart variables (initial values seed each instance).
+    pub variables: Vec<VarDecl>,
+    /// Event name → subscribed states (computed by the deployer from the
+    /// routing plan).
+    pub event_subscribers: Vec<(String, StateId)>,
+    /// Instances idle longer than this are abandoned.
+    pub instance_ttl: Duration,
+    /// Optional monitor node receiving trace events.
+    pub monitor: Option<NodeId>,
+}
+
+/// Spawner for composite wrappers.
+pub struct CompositeWrapper;
+
+/// Handle to a spawned wrapper.
+pub struct WrapperHandle {
+    node: NodeId,
+    net: Network,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WrapperHandle {
+    /// The wrapper's node.
+    pub fn node(&self) -> &NodeId {
+        &self.node
+    }
+
+    /// Stops the wrapper.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            // A killed node would never see the stop message; revive it so
+            // shutdown cannot deadlock on join().
+            self.net.revive(&self.node);
+            let ctl = self.net.connect_anonymous("wrapper-ctl");
+            let _ = ctl.send(self.node.clone(), kinds::STOP, Element::new("stop"));
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for WrapperHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+struct WrapperSlot {
+    seen: Vec<NotificationLabel>,
+    vars: BTreeMap<String, Value>,
+    reply_to: (NodeId, MessageId),
+    started_at: Instant,
+    last_touched: Instant,
+}
+
+struct Runtime {
+    cfg: WrapperConfig,
+    endpoint: Endpoint,
+    next_instance: u64,
+    instances: HashMap<InstanceId, WrapperSlot>,
+}
+
+impl CompositeWrapper {
+    /// Spawns the wrapper on its conventional node (`<composite>.wrapper`).
+    pub fn spawn(net: &Network, cfg: WrapperConfig) -> Result<WrapperHandle, NodeId> {
+        let endpoint = net.connect(naming::wrapper(&cfg.composite))?;
+        let node = endpoint.node().clone();
+        let mut runtime = Runtime { cfg, endpoint, next_instance: 0, instances: HashMap::new() };
+        let thread = std::thread::Builder::new()
+            .name(format!("wrapper-{node}"))
+            .spawn(move || runtime.run())
+            .expect("spawn wrapper");
+        Ok(WrapperHandle { node, net: net.clone(), thread: Some(thread) })
+    }
+}
+
+impl Runtime {
+    fn trace(&self, instance: InstanceId, kind: crate::monitor::TraceKind, detail: &str) {
+        if let Some(monitor) = &self.cfg.monitor {
+            let body = crate::monitor::trace_body(instance, "wrapper", kind, detail);
+            let _ = self.endpoint.send(monitor.clone(), crate::monitor::TRACE_KIND, body);
+        }
+    }
+
+    fn run(&mut self) {
+        loop {
+            match self.endpoint.recv_timeout(Duration::from_millis(200)) {
+                Ok(env) => match env.kind.as_str() {
+                    kinds::STOP => return,
+                    kinds::EXECUTE => self.on_execute(&env),
+                    kinds::NOTIFY => self.on_notify(&env.body),
+                    kinds::FAULT => self.on_fault(&env.body),
+                    kinds::RAISE_EVENT => self.on_event(&env),
+                    _ => {}
+                },
+                Err(selfserv_net::RecvError::Timeout) => {}
+                Err(selfserv_net::RecvError::Disconnected) => return,
+            }
+            self.sweep_stale();
+        }
+    }
+
+    fn sweep_stale(&mut self) {
+        let ttl = self.cfg.instance_ttl;
+        if ttl.is_zero() {
+            return;
+        }
+        let now = Instant::now();
+        self.instances.retain(|_, s| now.duration_since(s.last_touched) < ttl);
+    }
+
+    fn on_execute(&mut self, env: &Envelope) {
+        let input = match MessageDoc::from_xml(&env.body) {
+            Ok(m) => m,
+            Err(e) => {
+                let fault = MessageDoc::fault("execute", format!("malformed request: {e}"));
+                let _ = self.endpoint.send_correlated(
+                    env.from.clone(),
+                    kinds::EXECUTE_RESULT,
+                    fault.to_xml(),
+                    Some(env.id),
+                );
+                return;
+            }
+        };
+        self.next_instance += 1;
+        let instance = InstanceId(self.next_instance);
+        // Seed variables: declared initials, then caller parameters.
+        let mut vars = BTreeMap::new();
+        for decl in &self.cfg.variables {
+            if let Some(init) = &decl.initial {
+                vars.insert(decl.name.clone(), init.clone());
+            }
+        }
+        for (k, v) in input.iter() {
+            vars.insert(k.to_string(), v.clone());
+        }
+        self.instances.insert(
+            instance,
+            WrapperSlot {
+                seen: Vec::new(),
+                vars: vars.clone(),
+                reply_to: (env.from.clone(), env.id),
+                started_at: Instant::now(),
+                last_touched: Instant::now(),
+            },
+        );
+        self.trace(instance, crate::monitor::TraceKind::InstanceStarted, "");
+        // Kick off the initial state(s).
+        for target in &self.cfg.table.start_targets {
+            let payload = NotifyPayload {
+                label: NotificationLabel::Start.encode(),
+                instance,
+                vars: vars.clone(),
+            };
+            let node = naming::coordinator(&self.cfg.composite, target);
+            let _ = self.endpoint.send(node, kinds::NOTIFY, payload.to_xml());
+        }
+    }
+
+    fn on_notify(&mut self, body: &Element) {
+        let Ok(payload) = NotifyPayload::from_xml(body) else { return };
+        let Ok(label) = NotificationLabel::decode(&payload.label) else { return };
+        let Some(slot) = self.instances.get_mut(&payload.instance) else { return };
+        slot.last_touched = Instant::now();
+        slot.seen.push(label);
+        for (k, v) in payload.vars {
+            slot.vars.insert(k, v);
+        }
+        self.try_finish(payload.instance);
+    }
+
+    fn try_finish(&mut self, instance: InstanceId) {
+        let outcome = {
+            let Some(slot) = self.instances.get(&instance) else { return };
+            let mut chosen: Option<usize> = None;
+            let mut error: Option<String> = None;
+            for (idx, alt) in self.cfg.table.finish_alternatives.iter().enumerate() {
+                if !alt.satisfied_by(&slot.seen) {
+                    continue;
+                }
+                match eval_guard(&alt.condition, &self.cfg.functions, &slot.vars) {
+                    Ok(true) => {
+                        chosen = Some(idx);
+                        break;
+                    }
+                    Ok(false) => continue,
+                    Err(reason) => {
+                        error = Some(reason);
+                        break;
+                    }
+                }
+            }
+            (chosen, error)
+        };
+        match outcome {
+            (_, Some(reason)) => self.finish_fault(instance, &reason),
+            (Some(idx), None) => {
+                let actions = self.cfg.table.finish_alternatives[idx].actions.clone();
+                let Some(slot) = self.instances.get_mut(&instance) else { return };
+                let mut vars = slot.vars.clone();
+                if let Err(reason) = apply_actions(&actions, &self.cfg.functions, &mut vars) {
+                    self.finish_fault(instance, &reason);
+                    return;
+                }
+                let elapsed = slot.started_at.elapsed();
+                let reply_to = slot.reply_to.clone();
+                let mut response = MessageDoc::response("execute");
+                for (k, v) in &vars {
+                    response.set(k.clone(), v.clone());
+                }
+                response.set("_elapsed_ms", Value::Int(elapsed.as_millis() as i64));
+                response.set("_instance", Value::str(instance.to_string()));
+                let _ = self.endpoint.send_correlated(
+                    reply_to.0,
+                    kinds::EXECUTE_RESULT,
+                    response.to_xml(),
+                    Some(reply_to.1),
+                );
+                self.trace(instance, crate::monitor::TraceKind::InstanceFinished, "");
+                self.cleanup(instance);
+            }
+            (None, None) => {}
+        }
+    }
+
+    fn on_fault(&mut self, body: &Element) {
+        let Some(instance) =
+            body.attr("instance").and_then(|s| InstanceId::decode(s).ok())
+        else {
+            return;
+        };
+        let state = body.attr("state").unwrap_or("?");
+        let reason = body.attr("reason").unwrap_or("unspecified");
+        self.finish_fault(instance, &format!("state '{state}': {reason}"));
+    }
+
+    fn finish_fault(&mut self, instance: InstanceId, reason: &str) {
+        self.trace(instance, crate::monitor::TraceKind::Faulted, reason);
+        if let Some(slot) = self.instances.get(&instance) {
+            let reply_to = slot.reply_to.clone();
+            let fault = MessageDoc::fault("execute", reason);
+            let _ = self.endpoint.send_correlated(
+                reply_to.0,
+                kinds::EXECUTE_RESULT,
+                fault.to_xml(),
+                Some(reply_to.1),
+            );
+        }
+        self.cleanup(instance);
+    }
+
+    /// Broadcasts per-instance cleanup to every coordinator and forgets the
+    /// local slot.
+    fn cleanup(&mut self, instance: InstanceId) {
+        for state in &self.cfg.table.all_states {
+            let node = naming::coordinator(&self.cfg.composite, state);
+            let _ = self.endpoint.send(node, kinds::CLEANUP, cleanup_body(instance));
+        }
+        self.instances.remove(&instance);
+    }
+
+    fn on_event(&mut self, env: &Envelope) {
+        let name = env.body.attr("name").unwrap_or("").to_string();
+        let instance_attr = env.body.attr("instance").unwrap_or("all");
+        let targets: Vec<InstanceId> = if instance_attr == "all" {
+            self.instances.keys().copied().collect()
+        } else {
+            match InstanceId::decode(instance_attr) {
+                Ok(id) => vec![id],
+                Err(_) => Vec::new(),
+            }
+        };
+        for instance in targets {
+            for (event, state) in &self.cfg.event_subscribers {
+                if *event != name {
+                    continue;
+                }
+                let payload = NotifyPayload {
+                    label: NotificationLabel::Event(name.clone()).encode(),
+                    instance,
+                    vars: BTreeMap::new(),
+                };
+                let node = naming::coordinator(&self.cfg.composite, state);
+                let _ = self.endpoint.send(node, kinds::NOTIFY, payload.to_xml());
+            }
+        }
+        // Ack so rpc-style raisers don't block.
+        let _ = self.endpoint.send_correlated(
+            env.from.clone(),
+            kinds::EXECUTE_RESULT,
+            Element::new("ok"),
+            Some(env.id),
+        );
+    }
+}

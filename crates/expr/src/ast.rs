@@ -1,0 +1,351 @@
+//! Expression AST and its round-trippable textual form.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Binary operators, in the surface syntax of the guard language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `or`
+    Or,
+    /// `and`
+    And,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+}
+
+impl BinOp {
+    /// Binding power; higher binds tighter. Comparison operators are
+    /// non-associative (enforced by the parser).
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 3,
+            BinOp::Add | BinOp::Sub => 4,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 5,
+        }
+    }
+
+    /// The operator's surface spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => "or",
+            BinOp::And => "and",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+        }
+    }
+
+    /// True for operators whose chains associate left (everything except
+    /// comparisons, which do not chain at all).
+    pub fn is_comparison(self) -> bool {
+        self.precedence() == 3
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical negation, spelled `not`.
+    Not,
+    /// Arithmetic negation, spelled `-`.
+    Neg,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant.
+    Lit(Value),
+    /// A variable reference: one or more dot-separated segments
+    /// (`destination`, `booking.price`).
+    Var(Vec<String>),
+    /// A function/predicate call (`domestic(destination)`).
+    Call {
+        /// Function name as registered in the environment.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Unary application.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// Binary application.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Shorthand for a single-segment variable.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(vec![name.into()])
+    }
+
+    /// Shorthand for a call.
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call { name: name.into(), args }
+    }
+
+    /// Shorthand for `not e`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: Expr) -> Expr {
+        Expr::Unary { op: UnOp::Not, expr: Box::new(e) }
+    }
+
+    /// Shorthand for a binary node.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+    }
+
+    /// Conjoins two optional guards: the result is satisfied only when both
+    /// are. Used by the routing-table generator when a notification path
+    /// crosses several guarded transitions.
+    pub fn and_opt(a: Option<Expr>, b: Option<Expr>) -> Option<Expr> {
+        match (a, b) {
+            (None, b) => b,
+            (a, None) => a,
+            (Some(a), Some(b)) => Some(Expr::bin(BinOp::And, a, b)),
+        }
+    }
+
+    /// All variable paths referenced by the expression, in first-occurrence
+    /// order. The deployer uses this to check that guards only reference
+    /// declared statechart variables.
+    pub fn referenced_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Var(path) => {
+                let joined = path.join(".");
+                if !out.contains(&joined) {
+                    out.push(joined);
+                }
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+            Expr::Unary { expr, .. } => expr.collect_vars(out),
+            Expr::Binary { left, right, .. } => {
+                left.collect_vars(out);
+                right.collect_vars(out);
+            }
+        }
+    }
+
+    /// All function names referenced by the expression, in first-occurrence
+    /// order. The deployer uses this to check the predicates are registered
+    /// before a composite service is activated.
+    pub fn referenced_fns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_fns(&mut out);
+        out
+    }
+
+    fn collect_fns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Lit(_) | Expr::Var(_) => {}
+            Expr::Call { name, args } => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+                for a in args {
+                    a.collect_fns(out);
+                }
+            }
+            Expr::Unary { expr, .. } => expr.collect_fns(out),
+            Expr::Binary { left, right, .. } => {
+                left.collect_fns(out);
+                right.collect_fns(out);
+            }
+        }
+    }
+
+    /// Number of AST nodes; used by benches to size generated guards.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Lit(_) | Expr::Var(_) => 1,
+            Expr::Call { args, .. } => 1 + args.iter().map(Expr::size).sum::<usize>(),
+            Expr::Unary { expr, .. } => 1 + expr.size(),
+            Expr::Binary { left, right, .. } => 1 + left.size() + right.size(),
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
+        match self {
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Var(path) => write!(f, "{}", path.join(".")),
+            Expr::Call { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    a.fmt_prec(f, 0)?;
+                }
+                write!(f, ")")
+            }
+            Expr::Unary { op, expr } => {
+                // Unary binds tighter than every binary operator.
+                const UNARY_PREC: u8 = 6;
+                let needs_parens = parent_prec > UNARY_PREC;
+                if needs_parens {
+                    write!(f, "(")?;
+                }
+                match op {
+                    UnOp::Not => write!(f, "not ")?,
+                    UnOp::Neg => write!(f, "-")?,
+                }
+                expr.fmt_prec(f, UNARY_PREC)?;
+                if needs_parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Expr::Binary { op, left, right } => {
+                let prec = op.precedence();
+                let needs_parens = prec < parent_prec
+                    || (prec == parent_prec && op.is_comparison());
+                if needs_parens {
+                    write!(f, "(")?;
+                }
+                left.fmt_prec(f, prec)?;
+                write!(f, " {} ", op.symbol())?;
+                // Left-associative: the right child needs parens at equal
+                // precedence. Comparisons never chain so equal precedence on
+                // the right also takes parens.
+                right.fmt_prec(f, prec + 1)?;
+                if needs_parens {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Prints the expression in a form that [`crate::parse`] reads back to
+    /// an identical AST (verified by property tests).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_flat_call() {
+        let e = Expr::call("domestic", vec![Expr::var("destination")]);
+        assert_eq!(e.to_string(), "domestic(destination)");
+    }
+
+    #[test]
+    fn display_respects_precedence() {
+        // (a or b) and c needs parens; a or (b and c) does not.
+        let a = Expr::var("a");
+        let b = Expr::var("b");
+        let c = Expr::var("c");
+        let left = Expr::bin(BinOp::And, Expr::bin(BinOp::Or, a.clone(), b.clone()), c.clone());
+        assert_eq!(left.to_string(), "(a or b) and c");
+        let right = Expr::bin(BinOp::Or, a, Expr::bin(BinOp::And, b, c));
+        assert_eq!(right.to_string(), "a or b and c");
+    }
+
+    #[test]
+    fn display_right_assoc_parens() {
+        // a - (b - c) needs parens on the right.
+        let e = Expr::bin(
+            BinOp::Sub,
+            Expr::var("a"),
+            Expr::bin(BinOp::Sub, Expr::var("b"), Expr::var("c")),
+        );
+        assert_eq!(e.to_string(), "a - (b - c)");
+        // (a - b) - c prints without parens (left-assoc default).
+        let e2 = Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Sub, Expr::var("a"), Expr::var("b")),
+            Expr::var("c"),
+        );
+        assert_eq!(e2.to_string(), "a - b - c");
+    }
+
+    #[test]
+    fn display_not() {
+        let e = Expr::not(Expr::call("near", vec![Expr::var("x"), Expr::var("y")]));
+        assert_eq!(e.to_string(), "not near(x, y)");
+    }
+
+    #[test]
+    fn and_opt_combines() {
+        let a = Expr::var("a");
+        let b = Expr::var("b");
+        assert_eq!(Expr::and_opt(None, None), None);
+        assert_eq!(Expr::and_opt(Some(a.clone()), None), Some(a.clone()));
+        assert_eq!(
+            Expr::and_opt(Some(a.clone()), Some(b.clone())).unwrap().to_string(),
+            "a and b"
+        );
+    }
+
+    #[test]
+    fn referenced_vars_and_fns() {
+        let e = crate::parse("domestic(destination) and price < budget.max").unwrap();
+        assert_eq!(e.referenced_vars(), vec!["destination", "price", "budget.max"]);
+        assert_eq!(e.referenced_fns(), vec!["domestic"]);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = crate::parse("a and not b").unwrap();
+        assert_eq!(e.size(), 4);
+    }
+}

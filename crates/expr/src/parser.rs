@@ -1,0 +1,578 @@
+//! Lexer and Pratt parser for the guard language.
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::value::Value;
+use std::fmt;
+
+/// A parse error with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the source string.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    True,
+    False,
+    Null,
+    Not,
+    And,
+    Or,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Op(BinOp),
+    Bang,
+    Minus,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), offset: self.pos }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Token, usize)>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+                self.bump();
+            }
+            let start = self.pos;
+            let Some(c) = self.peek() else { break };
+            let token = match c {
+                '(' => {
+                    self.bump();
+                    Token::LParen
+                }
+                ')' => {
+                    self.bump();
+                    Token::RParen
+                }
+                '[' => {
+                    self.bump();
+                    Token::LBracket
+                }
+                ']' => {
+                    self.bump();
+                    Token::RBracket
+                }
+                ',' => {
+                    self.bump();
+                    Token::Comma
+                }
+                '.' => {
+                    self.bump();
+                    Token::Dot
+                }
+                '+' => {
+                    self.bump();
+                    Token::Op(BinOp::Add)
+                }
+                '-' => {
+                    self.bump();
+                    Token::Minus
+                }
+                '*' => {
+                    self.bump();
+                    Token::Op(BinOp::Mul)
+                }
+                '/' => {
+                    self.bump();
+                    Token::Op(BinOp::Div)
+                }
+                '%' => {
+                    self.bump();
+                    Token::Op(BinOp::Rem)
+                }
+                '=' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Token::Op(BinOp::Eq)
+                    } else {
+                        return Err(self.err("single '=' is not an operator; use '=='"));
+                    }
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Token::Op(BinOp::Ne)
+                    } else {
+                        Token::Bang
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Token::Op(BinOp::Le)
+                    } else {
+                        Token::Op(BinOp::Lt)
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Token::Op(BinOp::Ge)
+                    } else {
+                        Token::Op(BinOp::Gt)
+                    }
+                }
+                '&' => {
+                    self.bump();
+                    if self.peek() == Some('&') {
+                        self.bump();
+                        Token::And
+                    } else {
+                        return Err(self.err("single '&' is not an operator; use 'and' or '&&'"));
+                    }
+                }
+                '|' => {
+                    self.bump();
+                    if self.peek() == Some('|') {
+                        self.bump();
+                        Token::Or
+                    } else {
+                        return Err(self.err("single '|' is not an operator; use 'or' or '||'"));
+                    }
+                }
+                '"' | '\'' => {
+                    let quote = c;
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            None => return Err(self.err("unterminated string literal")),
+                            Some(c) if c == quote => break,
+                            Some('\\') => match self.bump() {
+                                Some('n') => s.push('\n'),
+                                Some('t') => s.push('\t'),
+                                Some('\\') => s.push('\\'),
+                                Some(c) if c == quote => s.push(quote),
+                                Some('"') => s.push('"'),
+                                Some('\'') => s.push('\''),
+                                Some(other) => {
+                                    return Err(
+                                        self.err(format!("unknown escape '\\{other}' in string"))
+                                    )
+                                }
+                                None => return Err(self.err("unterminated string literal")),
+                            },
+                            Some(c) => s.push(c),
+                        }
+                    }
+                    Token::Str(s)
+                }
+                c if c.is_ascii_digit() => {
+                    let num_start = self.pos;
+                    while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                        self.bump();
+                    }
+                    let mut is_float = false;
+                    // A '.' is part of the number only if followed by a digit;
+                    // this keeps `1.max` (not valid anyway) from mislexing.
+                    if self.peek() == Some('.')
+                        && self.src[self.pos + 1..].chars().next().is_some_and(|c| c.is_ascii_digit())
+                    {
+                        is_float = true;
+                        self.bump();
+                        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                            self.bump();
+                        }
+                    }
+                    if matches!(self.peek(), Some('e' | 'E')) {
+                        let save = self.pos;
+                        self.bump();
+                        if matches!(self.peek(), Some('+' | '-')) {
+                            self.bump();
+                        }
+                        if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                            is_float = true;
+                            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                                self.bump();
+                            }
+                        } else {
+                            self.pos = save;
+                        }
+                    }
+                    let text = &self.src[num_start..self.pos];
+                    if is_float {
+                        Token::Float(text.parse().map_err(|e| self.err(format!("bad float: {e}")))?)
+                    } else {
+                        Token::Int(text.parse().map_err(|e| self.err(format!("bad integer: {e}")))?)
+                    }
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let id_start = self.pos;
+                    while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+                        self.bump();
+                    }
+                    match &self.src[id_start..self.pos] {
+                        "and" => Token::And,
+                        "or" => Token::Or,
+                        "not" => Token::Not,
+                        "true" => Token::True,
+                        "false" => Token::False,
+                        "null" => Token::Null,
+                        id => Token::Ident(id.to_string()),
+                    }
+                }
+                other => return Err(self.err(format!("unexpected character {other:?}"))),
+            };
+            out.push((token, start));
+        }
+        Ok(out)
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map(|(_, o)| *o).unwrap_or(self.src_len)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), offset: self.offset() }
+    }
+
+    fn expect(&mut self, t: Token, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(&t) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn parse_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Or) => BinOp::Or,
+                Some(Token::And) => BinOp::And,
+                Some(Token::Op(op)) => *op,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            // Left-associative: parse the right side at prec+1. Comparisons
+            // are non-associative: also prec+1, and a second comparison at
+            // the same level will fail the `prec < min_prec` check above and
+            // then hit the explicit chain check below.
+            let right = self.parse_expr(prec + 1)?;
+            if op.is_comparison() {
+                if let Some(Token::Op(next)) = self.peek() {
+                    if next.is_comparison() {
+                        return Err(self.err(
+                            "comparison operators do not chain; parenthesize the comparison",
+                        ));
+                    }
+                }
+            }
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Token::Not) | Some(Token::Bang) => {
+                self.bump();
+                let inner = self.parse_unary()?;
+                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(inner) })
+            }
+            Some(Token::Minus) => {
+                self.bump();
+                let inner = self.parse_unary()?;
+                // Fold negation of literals so `-3` is a constant, keeping
+                // printed forms stable.
+                match inner {
+                    Expr::Lit(Value::Int(i)) => Ok(Expr::Lit(Value::Int(-i))),
+                    Expr::Lit(Value::Float(f)) => Ok(Expr::Lit(Value::Float(-f))),
+                    other => Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(other) }),
+                }
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Token::Int(i)) => Ok(Expr::Lit(Value::Int(i))),
+            Some(Token::Float(f)) => Ok(Expr::Lit(Value::Float(f))),
+            Some(Token::Str(s)) => Ok(Expr::Lit(Value::Str(s))),
+            Some(Token::True) => Ok(Expr::Lit(Value::Bool(true))),
+            Some(Token::False) => Ok(Expr::Lit(Value::Bool(false))),
+            Some(Token::Null) => Ok(Expr::Lit(Value::Null)),
+            Some(Token::LParen) => {
+                let e = self.parse_expr(0)?;
+                self.expect(Token::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Token::LBracket) => {
+                let mut items = Vec::new();
+                if self.peek() != Some(&Token::RBracket) {
+                    loop {
+                        let item = self.parse_expr(0)?;
+                        match item {
+                            Expr::Lit(v) => items.push(v),
+                            _ => {
+                                return Err(self
+                                    .err("list literals may only contain constant values"))
+                            }
+                        }
+                        if self.peek() == Some(&Token::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Token::RBracket, "']'")?;
+                Ok(Expr::Lit(Value::List(items)))
+            }
+            Some(Token::Ident(name)) => {
+                if self.peek() == Some(&Token::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.parse_expr(0)?);
+                            if self.peek() == Some(&Token::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Token::RParen, "')' to close argument list")?;
+                    Ok(Expr::Call { name, args })
+                } else {
+                    let mut path = vec![name];
+                    while self.peek() == Some(&Token::Dot) {
+                        self.bump();
+                        match self.bump() {
+                            Some(Token::Ident(seg)) => path.push(seg),
+                            _ => return Err(self.err("expected identifier after '.'")),
+                        }
+                    }
+                    Ok(Expr::Var(path))
+                }
+            }
+            Some(other) => Err(self.err(format!("unexpected token {other:?}"))),
+            None => Err(self.err("unexpected end of expression")),
+        }
+    }
+}
+
+/// Parses a guard expression.
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let tokens = Lexer::new(src).tokens()?;
+    let mut p = Parser { tokens, pos: 0, src_len: src.len() };
+    let e = p.parse_expr(0)?;
+    if p.peek().is_some() {
+        return Err(p.err("unexpected trailing tokens"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> String {
+        parse(src).unwrap().to_string()
+    }
+
+    #[test]
+    fn parses_paper_guards() {
+        assert_eq!(roundtrip("domestic(destination)"), "domestic(destination)");
+        assert_eq!(
+            roundtrip("not domestic(destination)"),
+            "not domestic(destination)"
+        );
+        assert_eq!(
+            roundtrip("near(major_attraction, accommodation)"),
+            "near(major_attraction, accommodation)"
+        );
+        assert_eq!(
+            roundtrip("not near(major_attraction,accommodation)"),
+            "not near(major_attraction, accommodation)"
+        );
+    }
+
+    #[test]
+    fn precedence_and_before_or() {
+        let e = parse("a or b and c").unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(
+                BinOp::Or,
+                Expr::var("a"),
+                Expr::bin(BinOp::And, Expr::var("b"), Expr::var("c"))
+            )
+        );
+    }
+
+    #[test]
+    fn symbols_and_words_are_synonyms() {
+        assert_eq!(parse("a && b || !c").unwrap(), parse("a and b or not c").unwrap());
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        assert_eq!(roundtrip("1+2*3"), "1 + 2 * 3");
+        assert_eq!(roundtrip("(1+2)*3"), "(1 + 2) * 3");
+        assert_eq!(roundtrip("price * 1.1 <= budget"), "price * 1.1 <= budget");
+    }
+
+    #[test]
+    fn unary_minus_folds_into_literals() {
+        assert_eq!(parse("-3").unwrap(), Expr::Lit(Value::Int(-3)));
+        assert_eq!(parse("-3.5").unwrap(), Expr::Lit(Value::Float(-3.5)));
+        // but stays an operator on variables
+        assert_eq!(roundtrip("-x"), "-x");
+    }
+
+    #[test]
+    fn dotted_variables() {
+        assert_eq!(
+            parse("booking.price").unwrap(),
+            Expr::Var(vec!["booking".into(), "price".into()])
+        );
+        assert_eq!(roundtrip("a.b.c == 1"), "a.b.c == 1");
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let e = parse(r#"city == "He said \"hi\"\n""#).unwrap();
+        match e {
+            Expr::Binary { right, .. } => {
+                assert_eq!(*right, Expr::Lit(Value::str("He said \"hi\"\n")));
+            }
+            _ => panic!(),
+        }
+        // single quotes too
+        assert_eq!(parse("x == 'ok'").unwrap(), parse("x == \"ok\"").unwrap());
+    }
+
+    #[test]
+    fn list_literals() {
+        let e = parse("contains([1, 2, 3], x)").unwrap();
+        match &e {
+            Expr::Call { name, args } => {
+                assert_eq!(name, "contains");
+                assert_eq!(
+                    args[0],
+                    Expr::Lit(Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)]))
+                );
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn nested_calls() {
+        assert_eq!(roundtrip("f(g(x), h(y, 1))"), "f(g(x), h(y, 1))");
+        assert_eq!(roundtrip("f()"), "f()");
+    }
+
+    #[test]
+    fn comparison_does_not_chain() {
+        let err = parse("a < b < c").unwrap_err();
+        assert!(err.message.contains("parenthesize") || err.message.contains("expected"), "{err}");
+        // Parenthesized comparison chains are fine.
+        parse("(a < b) == (b < c)").unwrap();
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(parse("1e3").unwrap(), Expr::Lit(Value::Float(1000.0)));
+        assert_eq!(parse("2.5e-2").unwrap(), Expr::Lit(Value::Float(0.025)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("a +").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("a = b").is_err());
+        assert!(parse("a | b").is_err());
+        assert!(parse("f(a,").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("a b").is_err());
+        assert!(parse("x.").is_err());
+        assert!(parse("@").is_err());
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        let err = parse("abc @").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn bang_equals_not() {
+        assert_eq!(parse("!f(x)").unwrap(), parse("not f(x)").unwrap());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the guard language: the printer and parser are exact
+//! inverses, and evaluation is total (never panics) over typed environments.
+
+use crate::{parse, BinOp, Expr, MapEnv, UnOp, Value};
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Avoid the reserved words.
+    "[a-z_][a-z0-9_]{0,7}".prop_filter("reserved", |s| {
+        !matches!(s.as_str(), "and" | "or" | "not" | "true" | "false" | "null")
+    })
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        // Finite floats with short decimal forms to keep Display↔parse exact.
+        (-1_000i32..1_000).prop_map(|i| Value::Float(i as f64 / 4.0)),
+        "[ -~]{0,10}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Or),
+        Just(BinOp::And),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+    ]
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        arb_value().prop_map(Expr::Lit),
+        proptest::collection::vec(arb_ident(), 1..3).prop_map(Expr::Var),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = arb_expr(depth - 1);
+    let inner2 = arb_expr(depth - 1);
+    let inner3 = arb_expr(depth - 1);
+    prop_oneof![
+        leaf,
+        (arb_ident(), proptest::collection::vec(inner3, 0..3))
+            .prop_map(|(name, args)| Expr::Call { name, args }),
+        inner.clone().prop_map(|e| Expr::Unary { op: UnOp::Not, expr: Box::new(e) }),
+        // Neg of a literal folds in the parser, so only generate Neg on
+        // non-literal operands to keep round-trips exact.
+        arb_expr(depth - 1)
+            .prop_filter("no literal under Neg", |e| !matches!(e, Expr::Lit(_)))
+            .prop_map(|e| Expr::Unary { op: UnOp::Neg, expr: Box::new(e) }),
+        (arb_binop(), inner, inner2).prop_map(|(op, l, r)| Expr::bin(op, l, r)),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_round_trip(e in arb_expr(3)) {
+        let printed = e.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|err| panic!("failed to reparse {printed:?}: {err}"));
+        prop_assert_eq!(reparsed, e);
+    }
+
+    #[test]
+    fn eval_never_panics(e in arb_expr(3)) {
+        let mut env = MapEnv::with_builtins();
+        env.set("x", Value::Int(1));
+        // Errors are fine (unknown vars/functions abound); panics are not.
+        let _ = e.eval(&env);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "[ -~]{0,48}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn eval_is_deterministic(e in arb_expr(3)) {
+        let mut env = MapEnv::with_builtins();
+        env.set("a", Value::Int(7));
+        env.set("b", Value::str("s"));
+        let r1 = e.eval(&env);
+        let r2 = e.eval(&env);
+        prop_assert_eq!(r1, r2);
+    }
+}

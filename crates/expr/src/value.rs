@@ -1,0 +1,244 @@
+//! The dynamic [`Value`] type carried through composite-service executions.
+
+use std::fmt;
+
+/// A runtime value: the type of statechart variables, operation parameters,
+/// and expression results.
+///
+/// In the original platform these values travelled as XML text; here they
+/// are typed, and the XML codecs in `selfserv-wsdl` convert to/from the
+/// lexical forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value (an unset output parameter).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered list of values (e.g. the attraction list returned by the
+    /// Attraction Search service).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// A short, stable name for the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// Returns the boolean inside, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a float if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the string inside, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the value is numeric (int or float).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+
+    /// Numeric equality with int/float promotion; other types use structural
+    /// equality. `Null == Null` is true (useful for "output not produced"
+    /// checks in guards).
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Float(b)) => (*a as f64) == *b,
+            (Value::Float(a), Value::Int(b)) => *a == (*b as f64),
+            (a, b) => a == b,
+        }
+    }
+
+    /// The lexical form used when embedding the value in XML documents.
+    /// Round-trips through [`Value::from_lexical`] given the matching type.
+    pub fn to_lexical(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                // Ensure floats keep a decimal point so the typed decoder can
+                // distinguish them from ints.
+                let s = f.to_string();
+                if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
+            }
+            Value::Str(s) => s.clone(),
+            Value::List(items) => {
+                // Lists embed as `|`-separated lexicals; nested lists are not
+                // produced by the platform's operations.
+                items.iter().map(Value::to_lexical).collect::<Vec<_>>().join("|")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Displays the value as an expression-language literal (strings quoted,
+    /// lists bracketed). Used when printing ASTs that contain constants.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        '\t' => write!(f, "\\t")?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::Bool(true).type_name(), "bool");
+        assert_eq!(Value::Int(1).type_name(), "int");
+        assert_eq!(Value::Float(1.0).type_name(), "float");
+        assert_eq!(Value::str("x").type_name(), "string");
+        assert_eq!(Value::List(vec![]).type_name(), "list");
+    }
+
+    #[test]
+    fn loose_eq_promotes_numerics() {
+        assert!(Value::Int(3).loose_eq(&Value::Float(3.0)));
+        assert!(Value::Float(3.0).loose_eq(&Value::Int(3)));
+        assert!(!Value::Int(3).loose_eq(&Value::Float(3.5)));
+        assert!(Value::Null.loose_eq(&Value::Null));
+        assert!(!Value::str("3").loose_eq(&Value::Int(3)));
+    }
+
+    #[test]
+    fn display_quotes_and_escapes_strings() {
+        assert_eq!(Value::str("a\"b\\c\nd").to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn display_floats_keep_decimal_point() {
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn display_lists() {
+        let v = Value::List(vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(v.to_string(), "[1, \"x\"]");
+    }
+
+    #[test]
+    fn lexical_forms() {
+        assert_eq!(Value::Int(42).to_lexical(), "42");
+        assert_eq!(Value::Float(2.0).to_lexical(), "2.0");
+        assert_eq!(Value::Bool(false).to_lexical(), "false");
+        assert_eq!(Value::str("plain").to_lexical(), "plain");
+        assert_eq!(Value::Null.to_lexical(), "");
+        assert_eq!(
+            Value::List(vec![Value::str("a"), Value::str("b")]).to_lexical(),
+            "a|b"
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::as_f64(&Value::Int(2)), Some(2.0));
+        assert_eq!(Value::as_f64(&Value::str("2")), None);
+    }
+}

@@ -1,0 +1,194 @@
+//! Message envelopes: addressed XML documents.
+
+use selfserv_xml::Element;
+use std::fmt;
+use std::sync::Arc;
+
+/// Name of a node on the fabric (a coordinator, wrapper, community,
+/// registry, or client). Cheap to clone.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(Arc<str>);
+
+impl NodeId {
+    /// Wraps a name.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        NodeId(Arc::from(s.as_ref()))
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for NodeId {
+    fn from(s: &str) -> Self {
+        NodeId::new(s)
+    }
+}
+
+impl From<String> for NodeId {
+    fn from(s: String) -> Self {
+        NodeId::new(s)
+    }
+}
+
+/// Fabric-unique message identifier (used for reply correlation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageId(pub u64);
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// An addressed XML message: the only thing that travels between SELF-SERV
+/// components.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Fabric-assigned id.
+    pub id: MessageId,
+    /// Sender node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Message kind tag (e.g. `notify`, `invoke`, `reply`, `uddi.find`).
+    /// Receivers dispatch on this.
+    pub kind: String,
+    /// For replies: the id of the request being answered.
+    pub correlation: Option<MessageId>,
+    /// XML payload.
+    pub body: Element,
+}
+
+impl Envelope {
+    /// Encodes the whole envelope as one XML element (the on-wire form of
+    /// the TCP transport, and the basis of byte accounting).
+    pub fn to_xml(&self) -> Element {
+        let mut e = Element::new("envelope")
+            .with_attr("id", self.id.0.to_string())
+            .with_attr("from", self.from.as_str())
+            .with_attr("to", self.to.as_str())
+            .with_attr("kind", &self.kind);
+        if let Some(c) = self.correlation {
+            e.set_attr("correlation", c.0.to_string());
+        }
+        e.push_child(self.body.clone());
+        e
+    }
+
+    /// Decodes the on-wire form.
+    pub fn from_xml(e: &Element) -> Result<Self, String> {
+        if e.name != "envelope" {
+            return Err(format!("expected <envelope>, got <{}>", e.name));
+        }
+        let id = e
+            .require_attr("id")?
+            .parse::<u64>()
+            .map_err(|err| format!("bad envelope id: {err}"))?;
+        let correlation = match e.attr("correlation") {
+            Some(c) => {
+                Some(MessageId(c.parse::<u64>().map_err(|err| format!("bad correlation: {err}"))?))
+            }
+            None => None,
+        };
+        let body = e
+            .child_elements()
+            .next()
+            .cloned()
+            .ok_or_else(|| "envelope has no body element".to_string())?;
+        Ok(Envelope {
+            id: MessageId(id),
+            from: NodeId::new(e.require_attr("from")?),
+            to: NodeId::new(e.require_attr("to")?),
+            kind: e.require_attr("kind")?.to_string(),
+            correlation,
+            body,
+        })
+    }
+
+    /// Size in bytes of the serialized envelope — what the metrics layer
+    /// charges to each link.
+    pub fn wire_size(&self) -> usize {
+        self.to_xml().to_xml().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Envelope {
+        Envelope {
+            id: MessageId(7),
+            from: "coordinator.AB".into(),
+            to: "coordinator.CR".into(),
+            kind: "notify".into(),
+            correlation: Some(MessageId(3)),
+            body: Element::new("completed").with_attr("state", "AB"),
+        }
+    }
+
+    #[test]
+    fn node_id_basics() {
+        let n = NodeId::new("svc.dfb");
+        assert_eq!(n.as_str(), "svc.dfb");
+        assert_eq!(n.to_string(), "svc.dfb");
+        assert_eq!(n.clone(), n);
+        assert_eq!(NodeId::from("x".to_string()), NodeId::from("x"));
+    }
+
+    #[test]
+    fn envelope_round_trip() {
+        let env = sample();
+        let back = Envelope::from_xml(&env.to_xml()).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn envelope_without_correlation_round_trips() {
+        let mut env = sample();
+        env.correlation = None;
+        let back = Envelope::from_xml(&env.to_xml()).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(Envelope::from_xml(&Element::new("notenvelope")).is_err());
+        let no_body = Element::new("envelope")
+            .with_attr("id", "1")
+            .with_attr("from", "a")
+            .with_attr("to", "b")
+            .with_attr("kind", "k");
+        assert!(Envelope::from_xml(&no_body).is_err());
+        let bad_id = Element::new("envelope")
+            .with_attr("id", "xyz")
+            .with_attr("from", "a")
+            .with_attr("to", "b")
+            .with_attr("kind", "k")
+            .with_child(Element::new("x"));
+        assert!(Envelope::from_xml(&bad_id).is_err());
+    }
+
+    #[test]
+    fn wire_size_is_positive_and_monotone() {
+        let small = sample();
+        let mut big = sample();
+        big.body = Element::new("completed").with_text("x".repeat(512));
+        assert!(small.wire_size() > 0);
+        assert!(big.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn message_id_display() {
+        assert_eq!(MessageId(42).to_string(), "m42");
+    }
+}

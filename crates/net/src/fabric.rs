@@ -1,0 +1,909 @@
+//! The in-process message fabric: named nodes, seeded fault injection,
+//! optional wire latency, per-node metrics.
+
+use crate::envelope::{Envelope, MessageId, NodeId};
+use crate::fault::{FaultPolicy, LatencyModel, LinkOverride};
+use crate::metrics::{MetricsSnapshot, NodeCounters};
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selfserv_xml::Element;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// Static configuration of a [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Default link latency.
+    pub latency: LatencyModel,
+    /// Default message-loss probability (0.0 – 1.0).
+    pub drop_probability: f64,
+    /// RNG seed driving jitter and loss, for reproducible experiments.
+    pub seed: u64,
+}
+
+impl NetworkConfig {
+    /// Zero-latency, lossless fabric: measures pure software overhead.
+    pub fn instant() -> Self {
+        NetworkConfig { latency: LatencyModel::Instant, drop_probability: 0.0, seed: 42 }
+    }
+
+    /// LAN-like: 0.2–1 ms latency, lossless.
+    pub fn lan() -> Self {
+        NetworkConfig {
+            latency: LatencyModel::Uniform(
+                Duration::from_micros(200),
+                Duration::from_millis(1),
+            ),
+            drop_probability: 0.0,
+            seed: 42,
+        }
+    }
+
+    /// WAN-like: 5–25 ms latency, lossless. The original demo ran service
+    /// providers across the Internet; this is the shape the travel-scenario
+    /// walkthrough uses.
+    pub fn wan() -> Self {
+        NetworkConfig {
+            latency: LatencyModel::Uniform(Duration::from_millis(5), Duration::from_millis(25)),
+            drop_probability: 0.0,
+            seed: 42,
+        }
+    }
+
+    /// Builder: replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: replaces the loss probability.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        self.drop_probability = p;
+        self
+    }
+}
+
+/// Errors returned by [`Endpoint::send`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// The destination has never connected to this fabric.
+    UnknownNode(NodeId),
+    /// The *sender* has been killed by failure injection.
+    SenderDead(NodeId),
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::UnknownNode(n) => write!(f, "unknown node '{n}'"),
+            SendError::SenderDead(n) => write!(f, "sender '{n}' has been killed"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Errors returned by the receive family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The fabric was shut down.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "receive timed out"),
+            RecvError::Disconnected => write!(f, "endpoint disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Errors returned by [`Endpoint::rpc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The request could not be sent.
+    Send(SendError),
+    /// No correlated reply arrived in time (request or reply may have been
+    /// lost, the responder may be dead).
+    Timeout,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Send(e) => write!(f, "rpc send failed: {e}"),
+            RpcError::Timeout => write!(f, "rpc timed out waiting for reply"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+struct Scheduled {
+    deliver_at: Instant,
+    envelope: Envelope,
+    size: usize,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on delivery time.
+        other.deliver_at.cmp(&self.deliver_at)
+    }
+}
+
+#[derive(Default)]
+struct DeliveryQueue {
+    heap: Mutex<BinaryHeap<Scheduled>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+struct Inner {
+    cfg: NetworkConfig,
+    /// Live mailboxes.
+    nodes: RwLock<HashMap<NodeId, Sender<Envelope>>>,
+    /// Counters persist even after a node disconnects so post-run snapshots
+    /// see the whole experiment.
+    counters: RwLock<HashMap<NodeId, Arc<NodeCounters>>>,
+    fault: RwLock<FaultPolicy>,
+    rng: Mutex<StdRng>,
+    next_msg: AtomicU64,
+    next_anon: AtomicU64,
+    delivery: Arc<DeliveryQueue>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.delivery.shutdown.store(true, Ordering::SeqCst);
+        self.delivery.cv.notify_all();
+    }
+}
+
+/// An in-process message fabric. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<Inner>,
+}
+
+impl Network {
+    /// Creates a fabric with the given configuration. If the latency model
+    /// is not instant, a delivery thread is spawned; it exits automatically
+    /// when the last [`Network`] handle is dropped.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        let mut fault = FaultPolicy::default();
+        fault.drop_probability = cfg.drop_probability;
+        let inner = Arc::new(Inner {
+            rng: Mutex::new(StdRng::seed_from_u64(cfg.seed)),
+            cfg,
+            nodes: RwLock::new(HashMap::new()),
+            counters: RwLock::new(HashMap::new()),
+            fault: RwLock::new(fault),
+            next_msg: AtomicU64::new(1),
+            next_anon: AtomicU64::new(1),
+            delivery: Arc::new(DeliveryQueue::default()),
+        });
+        if !inner.cfg.latency.is_instant() {
+            spawn_delivery_thread(Arc::downgrade(&inner), Arc::clone(&inner.delivery));
+        }
+        Network { inner }
+    }
+
+    /// Connects a named node, returning its endpoint. Fails if the name is
+    /// already connected.
+    pub fn connect(&self, name: impl Into<NodeId>) -> Result<Endpoint, NodeId> {
+        let node = name.into();
+        let (tx, rx) = channel::unbounded();
+        {
+            let mut nodes = self.inner.nodes.write();
+            if nodes.contains_key(&node) {
+                return Err(node);
+            }
+            nodes.insert(node.clone(), tx);
+        }
+        self.inner
+            .counters
+            .write()
+            .entry(node.clone())
+            .or_insert_with(|| Arc::new(NodeCounters::default()));
+        Ok(Endpoint { node, net: self.clone(), rx })
+    }
+
+    /// Connects a node with a generated unique name beginning with `prefix`
+    /// (used for ephemeral RPC reply endpoints).
+    pub fn connect_anonymous(&self, prefix: &str) -> Endpoint {
+        loop {
+            let n = self.inner.next_anon.fetch_add(1, Ordering::Relaxed);
+            if let Ok(ep) = self.connect(format!("{prefix}~{n}")) {
+                return ep;
+            }
+        }
+    }
+
+    /// True when a node of this name is currently connected.
+    pub fn is_connected(&self, name: &str) -> bool {
+        self.inner.nodes.read().contains_key(&NodeId::new(name))
+    }
+
+    /// Names of all currently connected nodes, sorted.
+    pub fn node_names(&self) -> Vec<NodeId> {
+        let mut names: Vec<NodeId> = self.inner.nodes.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Snapshot of all per-node counters (including disconnected nodes).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let counters = self.inner.counters.read();
+        MetricsSnapshot::collect(counters.iter().map(|(k, v)| (k, v.as_ref())))
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset_metrics(&self) {
+        let mut counters = self.inner.counters.write();
+        for c in counters.values_mut() {
+            *c = Arc::new(NodeCounters::default());
+        }
+    }
+
+    /// Kills a node: all traffic to and from it is dropped until
+    /// [`Network::revive`].
+    pub fn kill(&self, node: &NodeId) {
+        self.inner.fault.write().kill(node);
+    }
+
+    /// Revives a killed node.
+    pub fn revive(&self, node: &NodeId) {
+        self.inner.fault.write().revive(node);
+    }
+
+    /// True when the node is currently killed.
+    pub fn is_dead(&self, node: &NodeId) -> bool {
+        self.inner.fault.read().is_dead(node)
+    }
+
+    /// Partitions two nodes (both directions).
+    pub fn partition(&self, a: &NodeId, b: &NodeId) {
+        self.inner.fault.write().partition(a, b);
+    }
+
+    /// Heals a partition.
+    pub fn heal(&self, a: &NodeId, b: &NodeId) {
+        self.inner.fault.write().heal(a, b);
+    }
+
+    /// Heals all partitions.
+    pub fn heal_all(&self) {
+        self.inner.fault.write().heal_all();
+    }
+
+    /// Sets the fabric-wide drop probability.
+    pub fn set_drop_probability(&self, p: f64) {
+        self.inner.fault.write().drop_probability = p;
+    }
+
+    /// Overrides latency/loss on one directed link.
+    pub fn set_link(&self, from: &NodeId, to: &NodeId, link: LinkOverride) {
+        self.inner.fault.write().set_link(from, to, link);
+    }
+
+    fn next_message_id(&self) -> MessageId {
+        MessageId(self.inner.next_msg.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn counters_for(&self, node: &NodeId) -> Arc<NodeCounters> {
+        let counters = self.inner.counters.read();
+        if let Some(c) = counters.get(node) {
+            return Arc::clone(c);
+        }
+        drop(counters);
+        Arc::clone(
+            self.inner
+                .counters
+                .write()
+                .entry(node.clone())
+                .or_insert_with(|| Arc::new(NodeCounters::default())),
+        )
+    }
+
+    fn dispatch(&self, envelope: Envelope) -> Result<MessageId, SendError> {
+        let id = envelope.id;
+        let from = envelope.from.clone();
+        let to = envelope.to.clone();
+        let size = envelope.wire_size();
+
+        if !self.inner.nodes.read().contains_key(&to) {
+            return Err(SendError::UnknownNode(to));
+        }
+        {
+            let fault = self.inner.fault.read();
+            if fault.is_dead(&from) {
+                return Err(SendError::SenderDead(from));
+            }
+            self.counters_for(&from).record_send(size);
+            if fault.is_blocked(&from, &to) {
+                self.counters_for(&to).record_drop();
+                return Ok(id);
+            }
+            let p = fault.effective_drop(&from, &to);
+            if p > 0.0 && self.inner.rng.lock().gen::<f64>() < p {
+                self.counters_for(&to).record_drop();
+                return Ok(id);
+            }
+        }
+        let latency = {
+            let fault = self.inner.fault.read();
+            fault
+                .link(&from, &to)
+                .and_then(|l| l.latency)
+                .unwrap_or(self.inner.cfg.latency)
+        };
+        let delay = latency.sample(&mut *self.inner.rng.lock());
+        if delay.is_zero() {
+            self.deliver_now(envelope, size);
+        } else {
+            let mut heap = self.inner.delivery.heap.lock();
+            heap.push(Scheduled { deliver_at: Instant::now() + delay, envelope, size });
+            self.inner.delivery.cv.notify_one();
+        }
+        Ok(id)
+    }
+
+    fn deliver_now(&self, envelope: Envelope, size: usize) {
+        let to = envelope.to.clone();
+        // Re-check death at delivery time: a node killed while the message
+        // was in flight never sees it.
+        if self.inner.fault.read().is_dead(&to) {
+            self.counters_for(&to).record_drop();
+            return;
+        }
+        let sender = self.inner.nodes.read().get(&to).cloned();
+        match sender {
+            Some(tx) if tx.send(envelope).is_ok() => {
+                self.counters_for(&to).record_receive(size);
+            }
+            _ => {
+                self.counters_for(&to).record_drop();
+            }
+        }
+    }
+}
+
+fn spawn_delivery_thread(inner: Weak<Inner>, queue: Arc<DeliveryQueue>) {
+    std::thread::Builder::new()
+        .name("selfserv-net-delivery".to_string())
+        .spawn(move || loop {
+            if queue.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let due: Option<(Envelope, usize)> = {
+                let mut heap = queue.heap.lock();
+                loop {
+                    if queue.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match heap.peek() {
+                        None => {
+                            // Periodic wake so the thread notices a fully
+                            // dropped Network even without traffic.
+                            queue.cv.wait_for(&mut heap, Duration::from_millis(200));
+                            if inner.upgrade().is_none() {
+                                return;
+                            }
+                        }
+                        Some(top) => {
+                            let now = Instant::now();
+                            if top.deliver_at <= now {
+                                let s = heap.pop().expect("peeked");
+                                break Some((s.envelope, s.size));
+                            }
+                            let wait = top.deliver_at - now;
+                            queue.cv.wait_for(&mut heap, wait);
+                        }
+                    }
+                }
+            };
+            if let Some((envelope, size)) = due {
+                match inner.upgrade() {
+                    Some(strong) => Network { inner: strong }.deliver_now(envelope, size),
+                    None => return,
+                }
+            }
+        })
+        .expect("spawn delivery thread");
+}
+
+/// A cloneable sending-only handle that emits messages *as* a node.
+/// Obtained from [`Endpoint::sender`]; lets worker threads send under the
+/// owning component's name so per-node metrics stay attributable.
+#[derive(Clone)]
+pub struct NodeSender {
+    node: NodeId,
+    net: Network,
+}
+
+impl NodeSender {
+    /// The node this handle sends as.
+    pub fn node(&self) -> &NodeId {
+        &self.node
+    }
+
+    /// The fabric.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Sends a message as the owning node.
+    pub fn send(
+        &self,
+        to: impl Into<NodeId>,
+        kind: impl Into<String>,
+        body: Element,
+    ) -> Result<MessageId, SendError> {
+        self.send_correlated(to, kind, body, None)
+    }
+
+    /// Sends a correlated message as the owning node.
+    pub fn send_correlated(
+        &self,
+        to: impl Into<NodeId>,
+        kind: impl Into<String>,
+        body: Element,
+        correlation: Option<MessageId>,
+    ) -> Result<MessageId, SendError> {
+        let envelope = Envelope {
+            id: self.net.next_message_id(),
+            from: self.node.clone(),
+            to: to.into(),
+            kind: kind.into(),
+            correlation,
+            body,
+        };
+        self.net.dispatch(envelope)
+    }
+
+    /// Request/response as the owning node (uses an ephemeral reply
+    /// endpoint, like [`Endpoint::rpc`]).
+    pub fn rpc(
+        &self,
+        to: impl Into<NodeId>,
+        kind: impl Into<String>,
+        body: Element,
+        timeout: Duration,
+    ) -> Result<Envelope, RpcError> {
+        let tmp = self.net.connect_anonymous(self.node.as_str());
+        let request_id = tmp.send(to, kind, body).map_err(RpcError::Send)?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RpcError::Timeout);
+            }
+            match tmp.recv_timeout(remaining) {
+                Ok(env) if env.correlation == Some(request_id) => return Ok(env),
+                Ok(_) => continue,
+                Err(_) => return Err(RpcError::Timeout),
+            }
+        }
+    }
+}
+
+/// A connected node: the handle through which a SELF-SERV component sends
+/// and receives envelopes.
+pub struct Endpoint {
+    node: NodeId,
+    net: Network,
+    rx: Receiver<Envelope>,
+}
+
+impl Endpoint {
+    /// This endpoint's node id.
+    pub fn node(&self) -> &NodeId {
+        &self.node
+    }
+
+    /// A cloneable handle that sends as this endpoint's node (for worker
+    /// threads).
+    pub fn sender(&self) -> NodeSender {
+        NodeSender { node: self.node.clone(), net: self.net.clone() }
+    }
+
+    /// The fabric this endpoint is attached to.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Sends a message; returns its fabric id. A returned `Ok` means the
+    /// message was accepted by the fabric, not that it will be delivered
+    /// (loss, partitions, and kills are silent, as on a real network).
+    pub fn send(
+        &self,
+        to: impl Into<NodeId>,
+        kind: impl Into<String>,
+        body: Element,
+    ) -> Result<MessageId, SendError> {
+        self.send_correlated(to, kind, body, None)
+    }
+
+    /// Sends a message carrying a reply correlation.
+    pub fn send_correlated(
+        &self,
+        to: impl Into<NodeId>,
+        kind: impl Into<String>,
+        body: Element,
+        correlation: Option<MessageId>,
+    ) -> Result<MessageId, SendError> {
+        let envelope = Envelope {
+            id: self.net.next_message_id(),
+            from: self.node.clone(),
+            to: to.into(),
+            kind: kind.into(),
+            correlation,
+            body,
+        };
+        self.net.dispatch(envelope)
+    }
+
+    /// Sends a reply to a received request, correlated to its id.
+    pub fn reply(
+        &self,
+        request: &Envelope,
+        kind: impl Into<String>,
+        body: Element,
+    ) -> Result<MessageId, SendError> {
+        self.send_correlated(request.from.clone(), kind, body, Some(request.id))
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<Envelope, RecvError> {
+        self.rx.recv().map_err(|_| RecvError::Disconnected)
+    }
+
+    /// Receive with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            channel::RecvTimeoutError::Timeout => RecvError::Timeout,
+            channel::RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Number of messages waiting in the mailbox.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Request/response over the fabric: sends `kind` to `to` from an
+    /// ephemeral reply endpoint and waits for a correlated reply.
+    ///
+    /// This is the shape of the original platform's SOAP calls (service
+    /// registration, discovery, invocation). Uncorrelated messages arriving
+    /// at the ephemeral endpoint are discarded.
+    pub fn rpc(
+        &self,
+        to: impl Into<NodeId>,
+        kind: impl Into<String>,
+        body: Element,
+        timeout: Duration,
+    ) -> Result<Envelope, RpcError> {
+        let tmp = self.net.connect_anonymous(self.node.as_str());
+        let request_id = tmp.send(to, kind, body).map_err(RpcError::Send)?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RpcError::Timeout);
+            }
+            match tmp.recv_timeout(remaining) {
+                Ok(env) if env.correlation == Some(request_id) => return Ok(env),
+                Ok(_) => continue,
+                Err(_) => return Err(RpcError::Timeout),
+            }
+        }
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.net.inner.nodes.write().remove(&self.node);
+    }
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint").field("node", &self.node).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body() -> Element {
+        Element::new("ping")
+    }
+
+    #[test]
+    fn basic_send_receive() {
+        let net = Network::new(NetworkConfig::instant());
+        let a = net.connect("a").unwrap();
+        let b = net.connect("b").unwrap();
+        a.send("b", "hello", body().with_attr("n", "1")).unwrap();
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.kind, "hello");
+        assert_eq!(env.from.as_str(), "a");
+        assert_eq!(env.body.attr("n"), Some("1"));
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let net = Network::new(NetworkConfig::instant());
+        let a = net.connect("a").unwrap();
+        assert!(matches!(a.send("ghost", "x", body()), Err(SendError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let net = Network::new(NetworkConfig::instant());
+        let _a = net.connect("a").unwrap();
+        assert!(net.connect("a").is_err());
+    }
+
+    #[test]
+    fn disconnect_frees_name() {
+        let net = Network::new(NetworkConfig::instant());
+        {
+            let _a = net.connect("a").unwrap();
+            assert!(net.is_connected("a"));
+        }
+        assert!(!net.is_connected("a"));
+        net.connect("a").unwrap();
+    }
+
+    #[test]
+    fn fifo_per_link_in_instant_mode() {
+        let net = Network::new(NetworkConfig::instant());
+        let a = net.connect("a").unwrap();
+        let b = net.connect("b").unwrap();
+        for i in 0..100 {
+            a.send("b", "seq", Element::new("n").with_attr("i", i.to_string())).unwrap();
+        }
+        for i in 0..100 {
+            let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(env.body.attr("i"), Some(i.to_string().as_str()));
+        }
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let cfg = NetworkConfig {
+            latency: LatencyModel::Fixed(Duration::from_millis(30)),
+            drop_probability: 0.0,
+            seed: 1,
+        };
+        let net = Network::new(cfg);
+        let a = net.connect("a").unwrap();
+        let b = net.connect("b").unwrap();
+        let t0 = Instant::now();
+        a.send("b", "x", body()).unwrap();
+        let env = b.recv_timeout(Duration::from_secs(2)).unwrap();
+        let elapsed = t0.elapsed();
+        assert_eq!(env.kind, "x");
+        assert!(elapsed >= Duration::from_millis(25), "delivered too early: {elapsed:?}");
+    }
+
+    #[test]
+    fn messages_ordered_by_deadline_not_send_order() {
+        let net = Network::new(NetworkConfig {
+            latency: LatencyModel::Fixed(Duration::from_millis(40)),
+            drop_probability: 0.0,
+            seed: 1,
+        });
+        let a = net.connect("a").unwrap();
+        let b = net.connect("b").unwrap();
+        // Slow message first, then a fast override link message.
+        net.set_link(
+            a.node(),
+            b.node(),
+            LinkOverride { latency: Some(LatencyModel::Instant), drop_probability: None },
+        );
+        a.send("b", "fast", body()).unwrap();
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.kind, "fast");
+    }
+
+    #[test]
+    fn drop_probability_loses_messages_deterministically() {
+        let net = Network::new(NetworkConfig::instant().with_drop_probability(0.5).with_seed(7));
+        let a = net.connect("a").unwrap();
+        let b = net.connect("b").unwrap();
+        for _ in 0..200 {
+            a.send("b", "x", body()).unwrap();
+        }
+        let mut delivered = 0;
+        while b.try_recv().is_some() {
+            delivered += 1;
+        }
+        assert!(delivered > 50 && delivered < 150, "delivered {delivered}/200");
+        let m = net.metrics();
+        assert_eq!(m.node("b").unwrap().received, delivered as u64);
+        assert_eq!(m.node("b").unwrap().dropped_inbound, 200 - delivered as u64);
+        // Same seed → same outcome.
+        let net2 = Network::new(NetworkConfig::instant().with_drop_probability(0.5).with_seed(7));
+        let a2 = net2.connect("a").unwrap();
+        let b2 = net2.connect("b").unwrap();
+        for _ in 0..200 {
+            a2.send("b", "x", body()).unwrap();
+        }
+        let mut delivered2 = 0;
+        while b2.try_recv().is_some() {
+            delivered2 += 1;
+        }
+        assert_eq!(delivered, delivered2);
+    }
+
+    #[test]
+    fn partition_blocks_then_heals() {
+        let net = Network::new(NetworkConfig::instant());
+        let a = net.connect("a").unwrap();
+        let b = net.connect("b").unwrap();
+        net.partition(a.node(), b.node());
+        a.send("b", "lost", body()).unwrap();
+        assert!(b.try_recv().is_none());
+        net.heal(a.node(), b.node());
+        a.send("b", "found", body()).unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().kind, "found");
+    }
+
+    #[test]
+    fn killed_node_receives_nothing_and_cannot_send() {
+        let net = Network::new(NetworkConfig::instant());
+        let a = net.connect("a").unwrap();
+        let b = net.connect("b").unwrap();
+        let _ = &b;
+        net.kill(b.node());
+        a.send("b", "x", body()).unwrap();
+        assert!(b.try_recv().is_none());
+        assert!(matches!(b.send("a", "y", body()), Err(SendError::SenderDead(_))));
+        net.revive(b.node());
+        a.send("b", "x2", body()).unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().kind, "x2");
+    }
+
+    #[test]
+    fn metrics_track_messages_and_bytes() {
+        let net = Network::new(NetworkConfig::instant());
+        let a = net.connect("a").unwrap();
+        let b = net.connect("b").unwrap();
+        let c = net.connect("c").unwrap();
+        a.send("b", "x", Element::new("payload").with_text("hello world")).unwrap();
+        a.send("b", "x", body()).unwrap();
+        a.send("c", "x", body()).unwrap();
+        let _ = (&b, &c);
+        let m = net.metrics();
+        let ma = m.node("a").unwrap();
+        let mb = m.node("b").unwrap();
+        assert_eq!(ma.sent, 3);
+        assert_eq!(mb.received, 2);
+        assert!(ma.bytes_sent > 0);
+        assert!(ma.bytes_sent > mb.bytes_received);
+        assert_eq!(m.busiest().unwrap().node.as_str(), "a");
+        net.reset_metrics();
+        assert_eq!(net.metrics().total_sent(), 0);
+    }
+
+    #[test]
+    fn reply_correlates() {
+        let net = Network::new(NetworkConfig::instant());
+        let a = net.connect("a").unwrap();
+        let b = net.connect("b").unwrap();
+        let req_id = a.send("b", "req", body()).unwrap();
+        let req = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        b.reply(&req, "resp", Element::new("ok")).unwrap();
+        let resp = a.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(resp.correlation, Some(req_id));
+        assert_eq!(resp.kind, "resp");
+    }
+
+    #[test]
+    fn rpc_round_trip() {
+        let net = Network::new(NetworkConfig::instant());
+        let client = net.connect("client").unwrap();
+        let server = net.connect("server").unwrap();
+        let handle = std::thread::spawn(move || {
+            let req = server.recv().unwrap();
+            server.reply(&req, "pong", Element::new("pong")).unwrap();
+        });
+        let resp = client
+            .rpc("server", "ping", Element::new("ping"), Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(resp.kind, "pong");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn rpc_times_out_when_server_silent() {
+        let net = Network::new(NetworkConfig::instant());
+        let client = net.connect("client").unwrap();
+        let _server = net.connect("server").unwrap();
+        let err = client
+            .rpc("server", "ping", Element::new("ping"), Duration::from_millis(50))
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+    }
+
+    #[test]
+    fn rpc_to_unknown_node_fails_fast() {
+        let net = Network::new(NetworkConfig::instant());
+        let client = net.connect("client").unwrap();
+        let err = client
+            .rpc("ghost", "ping", Element::new("ping"), Duration::from_secs(1))
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Send(SendError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn anonymous_names_are_unique() {
+        let net = Network::new(NetworkConfig::instant());
+        let e1 = net.connect_anonymous("tmp");
+        let e2 = net.connect_anonymous("tmp");
+        assert_ne!(e1.node(), e2.node());
+    }
+
+    #[test]
+    fn node_names_sorted() {
+        let net = Network::new(NetworkConfig::instant());
+        let _c = net.connect("c").unwrap();
+        let _a = net.connect("a").unwrap();
+        let names: Vec<String> =
+            net.node_names().iter().map(|n| n.as_str().to_string()).collect();
+        assert_eq!(names, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn many_nodes_cross_traffic() {
+        let net = Network::new(NetworkConfig::instant());
+        let nodes: Vec<Endpoint> =
+            (0..16).map(|i| net.connect(format!("n{i}")).unwrap()).collect();
+        for (i, ep) in nodes.iter().enumerate() {
+            for j in 0..16 {
+                if i != j {
+                    ep.send(format!("n{j}"), "x", body()).unwrap();
+                }
+            }
+        }
+        for ep in &nodes {
+            let mut got = 0;
+            while ep.try_recv().is_some() {
+                got += 1;
+            }
+            assert_eq!(got, 15);
+        }
+        assert_eq!(net.metrics().total_sent(), 16 * 15);
+    }
+}

@@ -1,0 +1,200 @@
+//! Fault and latency models for the in-process fabric.
+
+use crate::envelope::NodeId;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+/// How long a message spends "on the wire".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Immediate in-thread delivery: measures pure software overhead.
+    Instant,
+    /// Constant delay.
+    Fixed(Duration),
+    /// Uniformly distributed delay in `[min, max]`.
+    Uniform(Duration, Duration),
+}
+
+impl LatencyModel {
+    /// Samples a delay. `Instant` returns zero.
+    pub fn sample(&self, rng: &mut impl Rng) -> Duration {
+        match self {
+            LatencyModel::Instant => Duration::ZERO,
+            LatencyModel::Fixed(d) => *d,
+            LatencyModel::Uniform(min, max) => {
+                if max <= min {
+                    return *min;
+                }
+                let span = max.as_nanos() - min.as_nanos();
+                let extra = rng.gen_range(0..=span) as u64;
+                *min + Duration::from_nanos(extra)
+            }
+        }
+    }
+
+    /// True when no delivery thread is needed.
+    pub fn is_instant(&self) -> bool {
+        matches!(self, LatencyModel::Instant)
+    }
+}
+
+/// Per-link override of the network-wide defaults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkOverride {
+    /// Latency on this link (directed).
+    pub latency: Option<LatencyModel>,
+    /// Loss probability on this link (directed).
+    pub drop_probability: Option<f64>,
+}
+
+/// Mutable fault state of the fabric: loss, partitions, dead nodes,
+/// per-link overrides.
+#[derive(Debug, Default)]
+pub struct FaultPolicy {
+    /// Network-wide probability that any message is silently dropped.
+    pub drop_probability: f64,
+    /// Directed blocked pairs `(from, to)`.
+    partitions: HashSet<(NodeId, NodeId)>,
+    /// Nodes that have been killed.
+    dead: HashSet<NodeId>,
+    /// Per-link overrides.
+    links: HashMap<(NodeId, NodeId), LinkOverride>,
+}
+
+impl FaultPolicy {
+    /// Blocks traffic from `a` to `b` AND from `b` to `a`.
+    pub fn partition(&mut self, a: &NodeId, b: &NodeId) {
+        self.partitions.insert((a.clone(), b.clone()));
+        self.partitions.insert((b.clone(), a.clone()));
+    }
+
+    /// Blocks traffic from `from` to `to` only.
+    pub fn partition_directed(&mut self, from: &NodeId, to: &NodeId) {
+        self.partitions.insert((from.clone(), to.clone()));
+    }
+
+    /// Removes a (bidirectional) partition.
+    pub fn heal(&mut self, a: &NodeId, b: &NodeId) {
+        self.partitions.remove(&(a.clone(), b.clone()));
+        self.partitions.remove(&(b.clone(), a.clone()));
+    }
+
+    /// Removes every partition.
+    pub fn heal_all(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// Marks a node dead: all traffic to it is dropped.
+    pub fn kill(&mut self, node: &NodeId) {
+        self.dead.insert(node.clone());
+    }
+
+    /// Brings a node back.
+    pub fn revive(&mut self, node: &NodeId) {
+        self.dead.remove(node);
+    }
+
+    /// True when the node has been killed.
+    pub fn is_dead(&self, node: &NodeId) -> bool {
+        self.dead.contains(node)
+    }
+
+    /// True when traffic from `from` to `to` is currently blocked by a
+    /// partition or a dead endpoint.
+    pub fn is_blocked(&self, from: &NodeId, to: &NodeId) -> bool {
+        self.dead.contains(from)
+            || self.dead.contains(to)
+            || self.partitions.contains(&(from.clone(), to.clone()))
+    }
+
+    /// Sets a per-link override.
+    pub fn set_link(&mut self, from: &NodeId, to: &NodeId, link: LinkOverride) {
+        self.links.insert((from.clone(), to.clone()), link);
+    }
+
+    /// The per-link override for a directed pair, if any.
+    pub fn link(&self, from: &NodeId, to: &NodeId) -> Option<&LinkOverride> {
+        self.links.get(&(from.clone(), to.clone()))
+    }
+
+    /// The effective drop probability for a directed pair.
+    pub fn effective_drop(&self, from: &NodeId, to: &NodeId) -> f64 {
+        self.link(from, to)
+            .and_then(|l| l.drop_probability)
+            .unwrap_or(self.drop_probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn latency_sampling() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(LatencyModel::Instant.sample(&mut rng), Duration::ZERO);
+        assert!(LatencyModel::Instant.is_instant());
+        let d = Duration::from_millis(5);
+        assert_eq!(LatencyModel::Fixed(d).sample(&mut rng), d);
+        let lo = Duration::from_millis(2);
+        let hi = Duration::from_millis(9);
+        for _ in 0..100 {
+            let s = LatencyModel::Uniform(lo, hi).sample(&mut rng);
+            assert!(s >= lo && s <= hi, "{s:?}");
+        }
+        // Degenerate range behaves like Fixed.
+        assert_eq!(LatencyModel::Uniform(hi, lo).sample(&mut rng), hi);
+    }
+
+    #[test]
+    fn partitions_block_both_directions() {
+        let mut p = FaultPolicy::default();
+        let a = NodeId::new("a");
+        let b = NodeId::new("b");
+        assert!(!p.is_blocked(&a, &b));
+        p.partition(&a, &b);
+        assert!(p.is_blocked(&a, &b));
+        assert!(p.is_blocked(&b, &a));
+        p.heal(&a, &b);
+        assert!(!p.is_blocked(&a, &b));
+    }
+
+    #[test]
+    fn directed_partition_blocks_one_direction() {
+        let mut p = FaultPolicy::default();
+        let a = NodeId::new("a");
+        let b = NodeId::new("b");
+        p.partition_directed(&a, &b);
+        assert!(p.is_blocked(&a, &b));
+        assert!(!p.is_blocked(&b, &a));
+        p.heal_all();
+        assert!(!p.is_blocked(&a, &b));
+    }
+
+    #[test]
+    fn dead_nodes_block_traffic() {
+        let mut p = FaultPolicy::default();
+        let a = NodeId::new("a");
+        let b = NodeId::new("b");
+        p.kill(&b);
+        assert!(p.is_dead(&b));
+        assert!(p.is_blocked(&a, &b));
+        assert!(p.is_blocked(&b, &a), "dead nodes cannot send either");
+        p.revive(&b);
+        assert!(!p.is_blocked(&a, &b));
+    }
+
+    #[test]
+    fn link_overrides_take_precedence() {
+        let mut p = FaultPolicy { drop_probability: 0.5, ..Default::default() };
+        let a = NodeId::new("a");
+        let b = NodeId::new("b");
+        assert_eq!(p.effective_drop(&a, &b), 0.5);
+        p.set_link(&a, &b, LinkOverride { latency: None, drop_probability: Some(0.0) });
+        assert_eq!(p.effective_drop(&a, &b), 0.0);
+        assert_eq!(p.effective_drop(&b, &a), 0.5, "override is directed");
+    }
+}

@@ -1,0 +1,47 @@
+//! # selfserv-net
+//!
+//! The peer-to-peer message fabric of the SELF-SERV reproduction.
+//!
+//! In the original platform, "services communicate through XML documents …
+//! exchanged through Java sockets". Coordinators, wrappers, communities and
+//! the discovery engine are all just nodes exchanging XML envelopes. This
+//! crate supplies that substrate twice over:
+//!
+//! * [`Network`] — an **in-process fabric** with named nodes, per-link
+//!   latency/jitter, probabilistic loss, partitions, and node-kill failure
+//!   injection. All delivery decisions are driven by a seeded RNG so
+//!   experiments are reproducible. Per-node message/byte counters feed the
+//!   paper's scalability claims (experiment E4: load on the hottest node
+//!   under P2P vs. centralised orchestration).
+//! * [`tcp`] — a real **TCP transport** carrying the same length-prefixed
+//!   XML envelopes over `std::net` sockets, demonstrating that nothing in
+//!   the platform depends on the simulation.
+//!
+//! ## Example
+//!
+//! ```
+//! use selfserv_net::{Network, NetworkConfig};
+//! use selfserv_xml::Element;
+//!
+//! let net = Network::new(NetworkConfig::instant());
+//! let a = net.connect("coordinator.a").unwrap();
+//! let b = net.connect("coordinator.b").unwrap();
+//! a.send("coordinator.b", "notify", Element::new("completed")).unwrap();
+//! let env = b.recv_timeout(std::time::Duration::from_secs(1)).unwrap();
+//! assert_eq!(env.kind, "notify");
+//! assert_eq!(env.from.as_str(), "coordinator.a");
+//! ```
+
+mod envelope;
+mod fabric;
+mod fault;
+mod metrics;
+pub mod tcp;
+
+pub use envelope::{Envelope, MessageId, NodeId};
+pub use fabric::{Endpoint, Network, NetworkConfig, NodeSender, RecvError, RpcError, SendError};
+pub use fault::{FaultPolicy, LatencyModel};
+pub use metrics::{MetricsSnapshot, NodeMetrics};
+
+#[cfg(test)]
+mod proptests;

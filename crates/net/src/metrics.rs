@@ -1,0 +1,216 @@
+//! Per-node traffic accounting.
+//!
+//! The paper's central architectural claim — peer-to-peer orchestration
+//! avoids the "scalability and availability problems of centralised
+//! coordination" — is quantified by watching *which node carries how much
+//! traffic*. Every send/receive on the fabric increments these counters.
+
+use crate::envelope::NodeId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters attached to a node slot. Updated lock-free.
+#[derive(Debug, Default)]
+pub struct NodeCounters {
+    /// Messages sent by this node.
+    pub sent: AtomicU64,
+    /// Messages delivered to this node.
+    pub received: AtomicU64,
+    /// Bytes sent (serialized envelope size).
+    pub bytes_sent: AtomicU64,
+    /// Bytes received.
+    pub bytes_received: AtomicU64,
+    /// Messages addressed to this node that were dropped (loss, partition,
+    /// dead node).
+    pub dropped_inbound: AtomicU64,
+}
+
+impl NodeCounters {
+    pub(crate) fn record_send(&self, bytes: usize) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_receive(&self, bytes: usize) {
+        self.received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_drop(&self) {
+        self.dropped_inbound.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, node: NodeId) -> NodeMetrics {
+        NodeMetrics {
+            node,
+            sent: self.sent.load(Ordering::Relaxed),
+            received: self.received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            dropped_inbound: self.dropped_inbound.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one node's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// The node.
+    pub node: NodeId,
+    /// Messages sent.
+    pub sent: u64,
+    /// Messages received.
+    pub received: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+    /// Inbound messages lost before delivery.
+    pub dropped_inbound: u64,
+}
+
+impl NodeMetrics {
+    /// Messages handled (sent + received): the "load" measure used by the
+    /// E4 experiment.
+    pub fn handled(&self) -> u64 {
+        self.sent + self.received
+    }
+
+    /// Bytes handled.
+    pub fn bytes_handled(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+/// A point-in-time copy of the whole fabric's counters.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Per-node metrics, sorted by node name.
+    pub nodes: Vec<NodeMetrics>,
+}
+
+impl MetricsSnapshot {
+    pub(crate) fn collect<'a>(
+        counters: impl Iterator<Item = (&'a NodeId, &'a NodeCounters)>,
+    ) -> Self {
+        let mut nodes: Vec<NodeMetrics> =
+            counters.map(|(id, c)| c.snapshot(id.clone())).collect();
+        nodes.sort_by(|a, b| a.node.cmp(&b.node));
+        MetricsSnapshot { nodes }
+    }
+
+    /// Metrics for one node.
+    pub fn node(&self, name: &str) -> Option<&NodeMetrics> {
+        self.nodes.iter().find(|n| n.node.as_str() == name)
+    }
+
+    /// Total messages sent across the fabric.
+    pub fn total_sent(&self) -> u64 {
+        self.nodes.iter().map(|n| n.sent).sum()
+    }
+
+    /// Total messages delivered across the fabric.
+    pub fn total_received(&self) -> u64 {
+        self.nodes.iter().map(|n| n.received).sum()
+    }
+
+    /// Total messages lost.
+    pub fn total_dropped(&self) -> u64 {
+        self.nodes.iter().map(|n| n.dropped_inbound).sum()
+    }
+
+    /// The node that handled the most messages — the hotspot the paper's
+    /// scalability argument is about.
+    pub fn busiest(&self) -> Option<&NodeMetrics> {
+        self.nodes.iter().max_by_key(|n| n.handled())
+    }
+
+    /// The busiest node restricted to nodes whose name matches a predicate
+    /// (e.g. only coordinators, excluding client nodes).
+    pub fn busiest_matching(&self, pred: impl Fn(&str) -> bool) -> Option<&NodeMetrics> {
+        self.nodes.iter().filter(|n| pred(n.node.as_str())).max_by_key(|n| n.handled())
+    }
+
+    /// Difference against an earlier snapshot (per node, saturating), for
+    /// scoping metrics to one experiment phase.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let before: HashMap<&NodeId, &NodeMetrics> =
+            earlier.nodes.iter().map(|n| (&n.node, n)).collect();
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let b = before.get(&n.node);
+                NodeMetrics {
+                    node: n.node.clone(),
+                    sent: n.sent - b.map_or(0, |b| b.sent),
+                    received: n.received - b.map_or(0, |b| b.received),
+                    bytes_sent: n.bytes_sent - b.map_or(0, |b| b.bytes_sent),
+                    bytes_received: n.bytes_received - b.map_or(0, |b| b.bytes_received),
+                    dropped_inbound: n.dropped_inbound - b.map_or(0, |b| b.dropped_inbound),
+                }
+            })
+            .collect();
+        MetricsSnapshot { nodes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nm(name: &str, sent: u64, received: u64) -> NodeMetrics {
+        NodeMetrics {
+            node: NodeId::new(name),
+            sent,
+            received,
+            bytes_sent: sent * 100,
+            bytes_received: received * 100,
+            dropped_inbound: 0,
+        }
+    }
+
+    #[test]
+    fn totals_and_busiest() {
+        let snap = MetricsSnapshot { nodes: vec![nm("a", 5, 2), nm("b", 1, 9), nm("c", 0, 0)] };
+        assert_eq!(snap.total_sent(), 6);
+        assert_eq!(snap.total_received(), 11);
+        assert_eq!(snap.busiest().unwrap().node.as_str(), "b");
+        assert_eq!(snap.node("a").unwrap().handled(), 7);
+        assert_eq!(snap.node("a").unwrap().bytes_handled(), 700);
+        assert!(snap.node("zzz").is_none());
+    }
+
+    #[test]
+    fn busiest_matching_filters() {
+        let snap =
+            MetricsSnapshot { nodes: vec![nm("client", 100, 100), nm("coord.a", 3, 4)] };
+        let b = snap.busiest_matching(|n| n.starts_with("coord.")).unwrap();
+        assert_eq!(b.node.as_str(), "coord.a");
+    }
+
+    #[test]
+    fn delta_since() {
+        let before = MetricsSnapshot { nodes: vec![nm("a", 5, 2)] };
+        let after = MetricsSnapshot { nodes: vec![nm("a", 8, 3), nm("b", 1, 1)] };
+        let d = after.delta_since(&before);
+        assert_eq!(d.node("a").unwrap().sent, 3);
+        assert_eq!(d.node("a").unwrap().received, 1);
+        assert_eq!(d.node("b").unwrap().sent, 1, "new nodes count from zero");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let c = NodeCounters::default();
+        c.record_send(10);
+        c.record_send(20);
+        c.record_receive(5);
+        c.record_drop();
+        let m = c.snapshot(NodeId::new("n"));
+        assert_eq!(m.sent, 2);
+        assert_eq!(m.bytes_sent, 30);
+        assert_eq!(m.received, 1);
+        assert_eq!(m.bytes_received, 5);
+        assert_eq!(m.dropped_inbound, 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! TCP transport: the same envelopes over real sockets.
+//!
+//! The original platform exchanged its XML documents "through Java
+//! sockets". This module carries [`Envelope`]s as length-prefixed XML over
+//! `std::net` TCP, proving the coordination protocol is transport-agnostic.
+//! One connection is opened per message (like the original's short-lived
+//! socket exchanges); a listener thread accepts connections and queues the
+//! decoded envelopes.
+
+use crate::envelope::Envelope;
+use crossbeam::channel::{self, Receiver, Sender};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Maximum accepted frame size (16 MiB) — guards against corrupt length
+/// prefixes.
+const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Writes one length-prefixed XML frame.
+pub fn write_frame(stream: &mut impl Write, envelope: &Envelope) -> std::io::Result<()> {
+    let xml = envelope.to_xml().to_xml();
+    let bytes = xml.as_bytes();
+    let len = bytes.len() as u32;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(bytes)?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed XML frame.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Envelope> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    stream.read_exact(&mut buf)?;
+    let text = String::from_utf8(buf)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let xml = selfserv_xml::parse(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    Envelope::from_xml(&xml).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// A TCP endpoint: listens on a local address and queues inbound envelopes.
+pub struct TcpEndpoint {
+    addr: SocketAddr,
+    rx: Receiver<Envelope>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl TcpEndpoint {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept thread.
+    pub fn bind(addr: &str) -> std::io::Result<TcpEndpoint> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let (tx, rx) = channel::unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name(format!("selfserv-tcp-{local}"))
+            .spawn(move || accept_loop(listener, tx, flag))?;
+        Ok(TcpEndpoint { addr: local, rx, shutdown })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends an envelope to a remote TCP endpoint.
+    pub fn send_to(addr: &str, envelope: &Envelope) -> std::io::Result<()> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        write_frame(&mut stream, envelope)
+    }
+
+    /// Receives the next envelope, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the listener so the accept loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<Envelope>, shutdown: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let tx = tx.clone();
+        // One short-lived connection per message; decode on a worker thread
+        // so a slow peer cannot stall accepts.
+        std::thread::spawn(move || {
+            stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+            if let Ok(env) = read_frame(&mut stream) {
+                let _ = tx.send(env);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{MessageId, NodeId};
+    use selfserv_xml::Element;
+
+    fn env(kind: &str) -> Envelope {
+        Envelope {
+            id: MessageId(1),
+            from: NodeId::new("tcp.a"),
+            to: NodeId::new("tcp.b"),
+            kind: kind.to_string(),
+            correlation: None,
+            body: Element::new("payload").with_attr("x", "1"),
+        }
+    }
+
+    #[test]
+    fn frame_round_trip_in_memory() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &env("test")).unwrap();
+        let decoded = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(decoded, env("test"));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&5u32.to_be_bytes());
+        buf.extend_from_slice(b"not x");
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn tcp_send_receive() {
+        let server = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+        TcpEndpoint::send_to(&addr, &env("over-tcp")).unwrap();
+        let got = server.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.kind, "over-tcp");
+        assert_eq!(got.body.attr("x"), Some("1"));
+    }
+
+    #[test]
+    fn tcp_multiple_messages() {
+        let server = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+        for i in 0..10 {
+            let mut e = env("seq");
+            e.id = MessageId(i);
+            TcpEndpoint::send_to(&addr, &e).unwrap();
+        }
+        let mut ids = Vec::new();
+        for _ in 0..10 {
+            ids.push(server.recv_timeout(Duration::from_secs(5)).unwrap().id.0);
+        }
+        ids.sort();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_to_unreachable_address_errors() {
+        // Port 1 is almost certainly closed.
+        assert!(TcpEndpoint::send_to("127.0.0.1:1", &env("x")).is_err());
+    }
+}

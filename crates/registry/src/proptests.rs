@@ -1,0 +1,103 @@
+//! Property tests: index consistency under arbitrary publish/delete
+//! interleavings, and query/scan agreement.
+
+use crate::{FindQuery, UddiRegistry};
+use proptest::prelude::*;
+use selfserv_wsdl::{Binding, OperationDef, ServiceDescription};
+
+#[derive(Debug, Clone)]
+#[allow(clippy::enum_variant_names)]
+enum Op {
+    Publish { name_seed: u8, op_seed: u8 },
+    Delete { idx_seed: u8 },
+    FindByOp { op_seed: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(name_seed, op_seed)| Op::Publish { name_seed, op_seed }),
+        any::<u8>().prop_map(|idx_seed| Op::Delete { idx_seed }),
+        any::<u8>().prop_map(|op_seed| Op::FindByOp { op_seed }),
+    ]
+}
+
+fn service_name(seed: u8) -> String {
+    format!("Service-{seed}")
+}
+
+fn operation_name(seed: u8) -> String {
+    format!("op{}", seed % 8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any interleaving of publishes and deletes, the indexed `find`
+    /// answers agree with a naive full scan.
+    #[test]
+    fn find_agrees_with_full_scan(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let reg = UddiRegistry::new();
+        let biz = reg.save_business("PropCo", "p@p").key;
+        let mut published: Vec<crate::ServiceKey> = Vec::new();
+        let mut counter = 0u32;
+        for op in ops {
+            match op {
+                Op::Publish { name_seed, op_seed } => {
+                    counter += 1;
+                    // Unique names to avoid duplicate-service rejections.
+                    let name = format!("{}-{counter}", service_name(name_seed));
+                    let desc = ServiceDescription::new(name, "PropCo")
+                        .with_operation(OperationDef::new(operation_name(op_seed)))
+                        .with_binding(Binding::fabric("n"));
+                    let key = reg.save_service(&biz, "cat", desc, None).unwrap();
+                    published.push(key);
+                }
+                Op::Delete { idx_seed } => {
+                    if !published.is_empty() {
+                        let idx = idx_seed as usize % published.len();
+                        let key = published.swap_remove(idx);
+                        reg.delete_service(&key).unwrap();
+                    }
+                }
+                Op::FindByOp { op_seed } => {
+                    let op_name = operation_name(op_seed);
+                    let indexed = reg.find(&FindQuery::any().operation(&op_name));
+                    let scan: Vec<_> = reg
+                        .find(&FindQuery::any())
+                        .into_iter()
+                        .filter(|r| {
+                            r.description
+                                .operations
+                                .iter()
+                                .any(|o| o.name.to_lowercase().starts_with(&op_name))
+                        })
+                        .collect();
+                    prop_assert_eq!(
+                        indexed.iter().map(|r| &r.key).collect::<Vec<_>>(),
+                        scan.iter().map(|r| &r.key).collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(reg.service_count(), published.len());
+    }
+
+    /// Prefix queries are consistent with their definition.
+    #[test]
+    fn prefix_query_semantics(names in proptest::collection::hash_set("[a-z]{1,8}", 1..20), prefix in "[a-z]{0,3}") {
+        let reg = UddiRegistry::new();
+        let biz = reg.save_business("P", "x").key;
+        for n in &names {
+            let desc = ServiceDescription::new(n.clone(), "P")
+                .with_operation(OperationDef::new("op"))
+                .with_binding(Binding::fabric("n"));
+            reg.save_service(&biz, "c", desc, None).unwrap();
+        }
+        let hits = reg.find(&FindQuery::any().service_name(&prefix));
+        let expected = names.iter().filter(|n| n.starts_with(&prefix)).count();
+        prop_assert_eq!(hits.len(), expected);
+        for h in hits {
+            prop_assert!(h.description.name.starts_with(&prefix));
+        }
+    }
+}

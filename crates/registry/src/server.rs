@@ -1,0 +1,434 @@
+//! The registry as a network service: XML request/response envelopes over
+//! the fabric — the analogue of the original's UDDI/SOAP calls.
+
+use crate::model::{
+    BusinessEntity, BusinessKey, FindQuery, RegistryError, ServiceKey, ServiceRecord,
+};
+use crate::store::UddiRegistry;
+use selfserv_net::{Endpoint, Envelope, Network, NodeId, RpcError};
+use selfserv_wsdl::ServiceDescription;
+use selfserv_xml::Element;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Message kinds of the registry protocol.
+mod kinds {
+    pub const SAVE_BUSINESS: &str = "uddi.save_business";
+    pub const SAVE_SERVICE: &str = "uddi.save_service";
+    pub const FIND_SERVICE: &str = "uddi.find_service";
+    pub const FIND_BUSINESS: &str = "uddi.find_business";
+    pub const GET_SERVICE: &str = "uddi.get_service";
+    pub const DELETE_SERVICE: &str = "uddi.delete_service";
+    pub const RESULT: &str = "uddi.result";
+    pub const FAULT: &str = "uddi.fault";
+    pub const STOP: &str = "registry.stop";
+}
+
+fn fault_body(err: &RegistryError) -> Element {
+    let code = match err {
+        RegistryError::UnknownBusiness(_) => "unknown-business",
+        RegistryError::UnknownService(_) => "unknown-service",
+        RegistryError::DuplicateService { .. } => "duplicate-service",
+        RegistryError::Protocol(_) => "protocol",
+        RegistryError::Unreachable(_) => "unreachable",
+    };
+    Element::new("fault").with_attr("code", code).with_attr("reason", err.to_string())
+}
+
+fn decode_fault(body: &Element) -> RegistryError {
+    let reason = body.attr("reason").unwrap_or("unspecified").to_string();
+    match body.attr("code") {
+        Some("unknown-business") => RegistryError::UnknownBusiness(BusinessKey(reason)),
+        Some("unknown-service") => RegistryError::UnknownService(ServiceKey(reason)),
+        Some("duplicate-service") => RegistryError::DuplicateService {
+            business: BusinessKey(String::new()),
+            name: reason,
+        },
+        _ => RegistryError::Protocol(reason),
+    }
+}
+
+/// A running registry server: owns a fabric endpoint and serves the UDDI
+/// protocol until stopped.
+pub struct RegistryServer {
+    registry: Arc<UddiRegistry>,
+    endpoint: Endpoint,
+}
+
+/// Handle to a spawned [`RegistryServer`] thread.
+pub struct RegistryServerHandle {
+    node: NodeId,
+    net: Network,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl RegistryServerHandle {
+    /// The node name the server listens on.
+    pub fn node(&self) -> &NodeId {
+        &self.node
+    }
+
+    /// Stops the server and joins its thread.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            // A killed node would never see the stop message; revive it so
+            // shutdown cannot deadlock on join().
+            self.net.revive(&self.node);
+            let ctl = self.net.connect_anonymous("registry-ctl");
+            let _ = ctl.send(self.node.clone(), kinds::STOP, Element::new("stop"));
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for RegistryServerHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+impl RegistryServer {
+    /// Spawns a registry server on `node_name`, serving `registry`.
+    pub fn spawn(
+        net: &Network,
+        node_name: &str,
+        registry: Arc<UddiRegistry>,
+    ) -> Result<RegistryServerHandle, NodeId> {
+        let endpoint = net.connect(node_name)?;
+        let node = endpoint.node().clone();
+        let server = RegistryServer { registry, endpoint };
+        let thread = std::thread::Builder::new()
+            .name(format!("registry-{node_name}"))
+            .spawn(move || server.run())
+            .expect("spawn registry server");
+        Ok(RegistryServerHandle { node, net: net.clone(), thread: Some(thread) })
+    }
+
+    fn run(self) {
+        loop {
+            let Ok(request) = self.endpoint.recv() else { return };
+            if request.kind == kinds::STOP {
+                return;
+            }
+            let reply = self.handle(&request);
+            let (kind, body) = match reply {
+                Ok(body) => (kinds::RESULT, body),
+                Err(err) => (kinds::FAULT, fault_body(&err)),
+            };
+            let _ = self.endpoint.reply(&request, kind, body);
+        }
+    }
+
+    fn handle(&self, request: &Envelope) -> Result<Element, RegistryError> {
+        let body = &request.body;
+        match request.kind.as_str() {
+            kinds::SAVE_BUSINESS => {
+                let name = body.require_attr("name").map_err(RegistryError::Protocol)?;
+                let contact = body.attr("contact").unwrap_or("");
+                let entity = self.registry.save_business(name, contact);
+                Ok(Element::new("businessKey")
+                    .with_attr("key", &entity.key.0)
+                    .with_attr("name", &entity.name))
+            }
+            kinds::SAVE_SERVICE => {
+                let business =
+                    BusinessKey(body.require_attr("business").map_err(RegistryError::Protocol)?.to_string());
+                let category = body.attr("category").unwrap_or("").to_string();
+                let lease = body
+                    .attr("lease_ms")
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .map(Duration::from_millis);
+                let def = body
+                    .find("definitions")
+                    .ok_or_else(|| RegistryError::Protocol("save_service missing definitions".into()))?;
+                let description = ServiceDescription::from_xml(def)
+                    .map_err(|e| RegistryError::Protocol(e.to_string()))?;
+                let key = self.registry.save_service(&business, category, description, lease)?;
+                Ok(Element::new("serviceKey").with_attr("key", &key.0))
+            }
+            kinds::FIND_SERVICE => {
+                let query = FindQuery::from_xml(body)?;
+                let mut list = Element::new("serviceList");
+                for rec in self.registry.find(&query) {
+                    list.push_child(rec.to_xml());
+                }
+                Ok(list)
+            }
+            kinds::FIND_BUSINESS => {
+                let prefix = body.attr("prefix").unwrap_or("");
+                let mut list = Element::new("businessList");
+                for b in self.registry.find_businesses(prefix) {
+                    list.push_child(
+                        Element::new("business")
+                            .with_attr("key", &b.key.0)
+                            .with_attr("name", &b.name)
+                            .with_attr("contact", &b.contact),
+                    );
+                }
+                Ok(list)
+            }
+            kinds::GET_SERVICE => {
+                let key =
+                    ServiceKey(body.require_attr("key").map_err(RegistryError::Protocol)?.to_string());
+                Ok(self.registry.get_service(&key)?.to_xml())
+            }
+            kinds::DELETE_SERVICE => {
+                let key =
+                    ServiceKey(body.require_attr("key").map_err(RegistryError::Protocol)?.to_string());
+                self.registry.delete_service(&key)?;
+                Ok(Element::new("ok"))
+            }
+            other => Err(RegistryError::Protocol(format!("unknown request kind {other:?}"))),
+        }
+    }
+}
+
+/// Typed client for a remote registry node.
+pub struct RegistryClient {
+    endpoint: Endpoint,
+    registry_node: NodeId,
+    /// RPC deadline; defaults to 5 s.
+    pub timeout: Duration,
+}
+
+impl RegistryClient {
+    /// Connects a client node and points it at `registry_node`.
+    pub fn connect(
+        net: &Network,
+        client_name: &str,
+        registry_node: impl Into<NodeId>,
+    ) -> Result<Self, NodeId> {
+        Ok(RegistryClient {
+            endpoint: net.connect(client_name)?,
+            registry_node: registry_node.into(),
+            timeout: Duration::from_secs(5),
+        })
+    }
+
+    /// Builds a client on an existing endpoint (sharing a component's node).
+    pub fn on_endpoint(endpoint: Endpoint, registry_node: impl Into<NodeId>) -> Self {
+        RegistryClient {
+            endpoint,
+            registry_node: registry_node.into(),
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    fn call(&self, kind: &str, body: Element) -> Result<Element, RegistryError> {
+        let reply = self
+            .endpoint
+            .rpc(self.registry_node.clone(), kind, body, self.timeout)
+            .map_err(|e| match e {
+                RpcError::Timeout => RegistryError::Unreachable("rpc timeout".into()),
+                RpcError::Send(s) => RegistryError::Unreachable(s.to_string()),
+            })?;
+        if reply.kind == kinds::FAULT {
+            Err(decode_fault(&reply.body))
+        } else {
+            Ok(reply.body)
+        }
+    }
+
+    /// Registers a provider.
+    pub fn save_business(
+        &self,
+        name: &str,
+        contact: &str,
+    ) -> Result<BusinessKey, RegistryError> {
+        let body =
+            Element::new("save_business").with_attr("name", name).with_attr("contact", contact);
+        let reply = self.call(kinds::SAVE_BUSINESS, body)?;
+        Ok(BusinessKey(reply.require_attr("key").map_err(RegistryError::Protocol)?.to_string()))
+    }
+
+    /// Publishes a service description.
+    pub fn save_service(
+        &self,
+        business: &BusinessKey,
+        category: &str,
+        description: &ServiceDescription,
+        lease: Option<Duration>,
+    ) -> Result<ServiceKey, RegistryError> {
+        let mut body = Element::new("save_service")
+            .with_attr("business", &business.0)
+            .with_attr("category", category);
+        if let Some(l) = lease {
+            body.set_attr("lease_ms", l.as_millis().to_string());
+        }
+        body.push_child(description.to_xml());
+        let reply = self.call(kinds::SAVE_SERVICE, body)?;
+        Ok(ServiceKey(reply.require_attr("key").map_err(RegistryError::Protocol)?.to_string()))
+    }
+
+    /// Finds services matching a query.
+    pub fn find(&self, query: &FindQuery) -> Result<Vec<ServiceRecord>, RegistryError> {
+        let reply = self.call(kinds::FIND_SERVICE, query.to_xml())?;
+        reply.find_all("serviceInfo").map(ServiceRecord::from_xml).collect()
+    }
+
+    /// Finds businesses by name prefix.
+    pub fn find_businesses(&self, prefix: &str) -> Result<Vec<BusinessEntity>, RegistryError> {
+        let reply =
+            self.call(kinds::FIND_BUSINESS, Element::new("find_business").with_attr("prefix", prefix))?;
+        reply
+            .find_all("business")
+            .map(|b| {
+                Ok(BusinessEntity {
+                    key: BusinessKey(b.require_attr("key").map_err(RegistryError::Protocol)?.to_string()),
+                    name: b.require_attr("name").map_err(RegistryError::Protocol)?.to_string(),
+                    contact: b.attr("contact").unwrap_or("").to_string(),
+                })
+            })
+            .collect()
+    }
+
+    /// Retrieves a service by key.
+    pub fn get_service(&self, key: &ServiceKey) -> Result<ServiceRecord, RegistryError> {
+        let reply =
+            self.call(kinds::GET_SERVICE, Element::new("get_service").with_attr("key", &key.0))?;
+        ServiceRecord::from_xml(&reply)
+    }
+
+    /// Deletes a service by key.
+    pub fn delete_service(&self, key: &ServiceKey) -> Result<(), RegistryError> {
+        self.call(kinds::DELETE_SERVICE, Element::new("delete_service").with_attr("key", &key.0))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfserv_net::NetworkConfig;
+    use selfserv_wsdl::{Binding, OperationDef};
+
+    fn setup() -> (Network, RegistryServerHandle, RegistryClient) {
+        let net = Network::new(NetworkConfig::instant());
+        let handle =
+            RegistryServer::spawn(&net, "uddi", Arc::new(UddiRegistry::new())).unwrap();
+        let client = RegistryClient::connect(&net, "client", "uddi").unwrap();
+        (net, handle, client)
+    }
+
+    fn desc(name: &str, op: &str) -> ServiceDescription {
+        ServiceDescription::new(name, "TestCo")
+            .with_operation(OperationDef::new(op))
+            .with_binding(Binding::fabric("svc.x"))
+    }
+
+    #[test]
+    fn remote_publish_and_find() {
+        let (_net, _handle, client) = setup();
+        let biz = client.save_business("TestCo", "t@test").unwrap();
+        let key = client
+            .save_service(&biz, "travel", &desc("Attraction Search", "searchAttractions"), None)
+            .unwrap();
+        let hits = client.find(&FindQuery::any().operation("search")).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].key, key);
+        assert_eq!(hits[0].description.name, "Attraction Search");
+        assert_eq!(hits[0].provider_name, "TestCo");
+    }
+
+    #[test]
+    fn remote_get_and_delete() {
+        let (_net, _handle, client) = setup();
+        let biz = client.save_business("TestCo", "t@test").unwrap();
+        let key = client.save_service(&biz, "c", &desc("S", "op"), None).unwrap();
+        let rec = client.get_service(&key).unwrap();
+        assert_eq!(rec.description.name, "S");
+        client.delete_service(&key).unwrap();
+        assert!(matches!(
+            client.get_service(&key),
+            Err(RegistryError::UnknownService(_))
+        ));
+    }
+
+    #[test]
+    fn remote_find_businesses() {
+        let (_net, _handle, client) = setup();
+        client.save_business("AusAir", "a@a").unwrap();
+        client.save_business("AusRail", "r@r").unwrap();
+        client.save_business("WheelsNow", "w@w").unwrap();
+        let hits = client.find_businesses("aus").unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn faults_travel_back() {
+        let (_net, _handle, client) = setup();
+        let err = client
+            .save_service(&BusinessKey("ghost".into()), "c", &desc("S", "op"), None)
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::UnknownBusiness(_)), "{err:?}");
+        let biz = client.save_business("B", "x").unwrap();
+        client.save_service(&biz, "c", &desc("S", "op"), None).unwrap();
+        let dup = client.save_service(&biz, "c", &desc("S", "op"), None).unwrap_err();
+        assert!(matches!(dup, RegistryError::DuplicateService { .. }), "{dup:?}");
+    }
+
+    #[test]
+    fn unknown_request_kind_faults() {
+        let (net, handle, _client) = setup();
+        let probe = net.connect("probe").unwrap();
+        let reply = probe
+            .rpc(handle.node().clone(), "uddi.reboot", Element::new("x"), Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(reply.kind, "uddi.fault");
+    }
+
+    #[test]
+    fn client_times_out_when_registry_dead() {
+        let (net, handle, client) = setup();
+        net.kill(handle.node());
+        let mut client = client;
+        client.timeout = Duration::from_millis(80);
+        let err = client.find(&FindQuery::any()).unwrap_err();
+        assert!(matches!(err, RegistryError::Unreachable(_)), "{err:?}");
+    }
+
+    #[test]
+    fn server_stop_disconnects_node() {
+        let (net, handle, _client) = setup();
+        assert!(net.is_connected("uddi"));
+        handle.stop();
+        assert!(!net.is_connected("uddi"));
+    }
+
+    #[test]
+    fn leases_respected_remotely() {
+        let (_net, _handle, client) = setup();
+        let biz = client.save_business("B", "x").unwrap();
+        client
+            .save_service(&biz, "c", &desc("Flaky", "op"), Some(Duration::from_millis(1)))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(client.find(&FindQuery::any()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let (net, _handle, client) = setup();
+        let biz = client.save_business("B", "x").unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let net = net.clone();
+            let biz = biz.clone();
+            handles.push(std::thread::spawn(move || {
+                let c = RegistryClient::connect(&net, &format!("client{t}"), "uddi").unwrap();
+                for i in 0..10 {
+                    c.save_service(&biz, "bulk", &desc(&format!("S{t}-{i}"), "op"), None).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(client.find(&FindQuery::any().operation("op")).unwrap().len(), 40);
+    }
+}

@@ -1,0 +1,486 @@
+//! The in-memory UDDI registry store with prefix and operation indexes.
+
+use crate::model::{
+    BusinessEntity, BusinessKey, FindQuery, RegistryError, ServiceKey, ServiceRecord,
+};
+use parking_lot::RwLock;
+use selfserv_wsdl::ServiceDescription;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct Indexes {
+    /// lowercase service name → keys (BTreeMap for prefix range scans).
+    by_name: BTreeMap<String, HashSet<ServiceKey>>,
+    /// lowercase provider name → keys.
+    by_provider: BTreeMap<String, HashSet<ServiceKey>>,
+    /// lowercase operation name → keys.
+    by_operation: BTreeMap<String, HashSet<ServiceKey>>,
+    /// exact category → keys.
+    by_category: HashMap<String, HashSet<ServiceKey>>,
+}
+
+impl Indexes {
+    fn insert(&mut self, rec: &ServiceRecord) {
+        self.by_name
+            .entry(rec.description.name.to_lowercase())
+            .or_default()
+            .insert(rec.key.clone());
+        self.by_provider
+            .entry(rec.provider_name.to_lowercase())
+            .or_default()
+            .insert(rec.key.clone());
+        for op in &rec.description.operations {
+            self.by_operation
+                .entry(op.name.to_lowercase())
+                .or_default()
+                .insert(rec.key.clone());
+        }
+        self.by_category.entry(rec.category.clone()).or_default().insert(rec.key.clone());
+    }
+
+    fn remove(&mut self, rec: &ServiceRecord) {
+        fn drop_key<K: Ord>(map: &mut BTreeMap<K, HashSet<ServiceKey>>, k: K, key: &ServiceKey) {
+            if let Some(set) = map.get_mut(&k) {
+                set.remove(key);
+                if set.is_empty() {
+                    map.remove(&k);
+                }
+            }
+        }
+        drop_key(&mut self.by_name, rec.description.name.to_lowercase(), &rec.key);
+        drop_key(&mut self.by_provider, rec.provider_name.to_lowercase(), &rec.key);
+        for op in &rec.description.operations {
+            drop_key(&mut self.by_operation, op.name.to_lowercase(), &rec.key);
+        }
+        if let Some(set) = self.by_category.get_mut(&rec.category) {
+            set.remove(&rec.key);
+            if set.is_empty() {
+                self.by_category.remove(&rec.category);
+            }
+        }
+    }
+
+    /// Keys whose indexed string starts with `prefix` (already lowercased).
+    fn prefix_scan(
+        map: &BTreeMap<String, HashSet<ServiceKey>>,
+        prefix: &str,
+    ) -> HashSet<ServiceKey> {
+        let mut out = HashSet::new();
+        for (name, keys) in map.range(prefix.to_string()..) {
+            if !name.starts_with(prefix) {
+                break;
+            }
+            out.extend(keys.iter().cloned());
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct Store {
+    businesses: HashMap<BusinessKey, BusinessEntity>,
+    services: HashMap<ServiceKey, ServiceRecord>,
+    indexes: Indexes,
+}
+
+/// The thread-safe UDDI registry. Cheap handle semantics are obtained by
+/// wrapping it in `Arc` where shared.
+#[derive(Default)]
+pub struct UddiRegistry {
+    store: RwLock<Store>,
+    next_business: AtomicU64,
+    next_service: AtomicU64,
+}
+
+impl UddiRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a provider; returns its key.
+    pub fn save_business(
+        &self,
+        name: impl Into<String>,
+        contact: impl Into<String>,
+    ) -> BusinessEntity {
+        let key = BusinessKey(format!("biz-{}", self.next_business.fetch_add(1, Ordering::Relaxed) + 1));
+        let entity = BusinessEntity { key: key.clone(), name: name.into(), contact: contact.into() };
+        self.store.write().businesses.insert(key, entity.clone());
+        entity
+    }
+
+    /// Looks up a business.
+    pub fn business(&self, key: &BusinessKey) -> Option<BusinessEntity> {
+        self.store.read().businesses.get(key).cloned()
+    }
+
+    /// All businesses whose name starts with `prefix` (case-insensitive).
+    pub fn find_businesses(&self, prefix: &str) -> Vec<BusinessEntity> {
+        let prefix = prefix.to_lowercase();
+        let store = self.store.read();
+        let mut out: Vec<BusinessEntity> = store
+            .businesses
+            .values()
+            .filter(|b| b.name.to_lowercase().starts_with(&prefix))
+            .cloned()
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Publishes a service description under a business, with an optional
+    /// lease. Publishing a new description for a name the business already
+    /// publishes is an error (use [`UddiRegistry::renew`] or delete first).
+    pub fn save_service(
+        &self,
+        business: &BusinessKey,
+        category: impl Into<String>,
+        description: ServiceDescription,
+        lease: Option<Duration>,
+    ) -> Result<ServiceKey, RegistryError> {
+        let mut store = self.store.write();
+        let provider_name = store
+            .businesses
+            .get(business)
+            .ok_or_else(|| RegistryError::UnknownBusiness(business.clone()))?
+            .name
+            .clone();
+        if store
+            .services
+            .values()
+            .any(|r| r.business == *business && r.description.name == description.name)
+        {
+            return Err(RegistryError::DuplicateService {
+                business: business.clone(),
+                name: description.name,
+            });
+        }
+        let key = ServiceKey(format!("svc-{}", self.next_service.fetch_add(1, Ordering::Relaxed) + 1));
+        let record = ServiceRecord {
+            key: key.clone(),
+            business: business.clone(),
+            provider_name,
+            category: category.into(),
+            description,
+            published_at: Instant::now(),
+            lease,
+        };
+        store.indexes.insert(&record);
+        store.services.insert(key.clone(), record);
+        Ok(key)
+    }
+
+    /// Retrieves a service record (expired leases behave as absent).
+    pub fn get_service(&self, key: &ServiceKey) -> Result<ServiceRecord, RegistryError> {
+        let store = self.store.read();
+        match store.services.get(key) {
+            Some(r) if !r.is_expired(Instant::now()) => Ok(r.clone()),
+            _ => Err(RegistryError::UnknownService(key.clone())),
+        }
+    }
+
+    /// Deletes a service.
+    pub fn delete_service(&self, key: &ServiceKey) -> Result<(), RegistryError> {
+        let mut store = self.store.write();
+        let rec = store
+            .services
+            .remove(key)
+            .ok_or_else(|| RegistryError::UnknownService(key.clone()))?;
+        store.indexes.remove(&rec);
+        Ok(())
+    }
+
+    /// Renews a leased service's publication instant.
+    pub fn renew(&self, key: &ServiceKey) -> Result<(), RegistryError> {
+        let mut store = self.store.write();
+        match store.services.get_mut(key) {
+            Some(r) => {
+                r.published_at = Instant::now();
+                Ok(())
+            }
+            None => Err(RegistryError::UnknownService(key.clone())),
+        }
+    }
+
+    /// Removes expired records; returns how many were swept.
+    pub fn sweep_expired(&self) -> usize {
+        let now = Instant::now();
+        let mut store = self.store.write();
+        let expired: Vec<ServiceKey> = store
+            .services
+            .values()
+            .filter(|r| r.is_expired(now))
+            .map(|r| r.key.clone())
+            .collect();
+        for key in &expired {
+            if let Some(rec) = store.services.remove(key) {
+                store.indexes.remove(&rec);
+            }
+        }
+        expired.len()
+    }
+
+    /// Finds services matching a query, sorted by key for determinism.
+    /// Expired records never match.
+    pub fn find(&self, query: &FindQuery) -> Vec<ServiceRecord> {
+        let store = self.store.read();
+        let now = Instant::now();
+        // Start from the most selective available index.
+        let mut candidates: Option<HashSet<ServiceKey>> = None;
+        let intersect = |set: HashSet<ServiceKey>, candidates: &mut Option<HashSet<ServiceKey>>| {
+            *candidates = Some(match candidates.take() {
+                None => set,
+                Some(prev) => prev.intersection(&set).cloned().collect(),
+            });
+        };
+        if let Some(p) = &query.provider {
+            intersect(
+                Indexes::prefix_scan(&store.indexes.by_provider, &p.to_lowercase()),
+                &mut candidates,
+            );
+        }
+        if let Some(n) = &query.service_name {
+            intersect(
+                Indexes::prefix_scan(&store.indexes.by_name, &n.to_lowercase()),
+                &mut candidates,
+            );
+        }
+        if let Some(o) = &query.operation {
+            intersect(
+                Indexes::prefix_scan(&store.indexes.by_operation, &o.to_lowercase()),
+                &mut candidates,
+            );
+        }
+        if let Some(c) = &query.category {
+            intersect(
+                store.indexes.by_category.get(c).cloned().unwrap_or_default(),
+                &mut candidates,
+            );
+        }
+        let mut records: Vec<ServiceRecord> = match candidates {
+            Some(keys) => keys
+                .into_iter()
+                .filter_map(|k| store.services.get(&k))
+                .filter(|r| !r.is_expired(now))
+                .cloned()
+                .collect(),
+            // Empty query: everything (unexpired).
+            None => store.services.values().filter(|r| !r.is_expired(now)).cloned().collect(),
+        };
+        records.sort_by(|a, b| a.key.cmp(&b.key));
+        records
+    }
+
+    /// Number of live (unexpired) services.
+    pub fn service_count(&self) -> usize {
+        let now = Instant::now();
+        self.store.read().services.values().filter(|r| !r.is_expired(now)).count()
+    }
+
+    /// Number of registered businesses.
+    pub fn business_count(&self) -> usize {
+        self.store.read().businesses.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfserv_wsdl::{Binding, OperationDef, ServiceDescription};
+
+    fn desc(name: &str, provider: &str, ops: &[&str]) -> ServiceDescription {
+        let mut d = ServiceDescription::new(name, provider).with_binding(Binding::fabric("n"));
+        for op in ops {
+            d.operations.push(OperationDef::new(*op));
+        }
+        d
+    }
+
+    fn seeded() -> (UddiRegistry, BusinessKey, BusinessKey) {
+        let reg = UddiRegistry::new();
+        let ausair = reg.save_business("AusAir", "ops@ausair.example").key;
+        let wheels = reg.save_business("WheelsNow", "cars@wheels.example").key;
+        reg.save_service(
+            &ausair,
+            "flight-booking",
+            desc("Domestic Flight Booking", "AusAir", &["bookFlight", "cancelFlight"]),
+            None,
+        )
+        .unwrap();
+        reg.save_service(
+            &ausair,
+            "flight-booking",
+            desc("International Flight Booking", "AusAir", &["bookFlight"]),
+            None,
+        )
+        .unwrap();
+        reg.save_service(&wheels, "car-rental", desc("Car Rental", "WheelsNow", &["rentCar"]), None)
+            .unwrap();
+        (reg, ausair, wheels)
+    }
+
+    #[test]
+    fn publish_and_count() {
+        let (reg, _, _) = seeded();
+        assert_eq!(reg.service_count(), 3);
+        assert_eq!(reg.business_count(), 2);
+    }
+
+    #[test]
+    fn find_by_provider_prefix_case_insensitive() {
+        let (reg, _, _) = seeded();
+        let hits = reg.find(&FindQuery::any().provider("ausa"));
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|r| r.provider_name == "AusAir"));
+    }
+
+    #[test]
+    fn find_by_service_name_prefix() {
+        let (reg, _, _) = seeded();
+        let hits = reg.find(&FindQuery::any().service_name("domestic"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].description.name, "Domestic Flight Booking");
+    }
+
+    #[test]
+    fn find_by_operation() {
+        let (reg, _, _) = seeded();
+        assert_eq!(reg.find(&FindQuery::any().operation("bookFlight")).len(), 2);
+        assert_eq!(reg.find(&FindQuery::any().operation("rent")).len(), 1);
+        assert_eq!(reg.find(&FindQuery::any().operation("teleport")).len(), 0);
+    }
+
+    #[test]
+    fn find_by_category_exact() {
+        let (reg, _, _) = seeded();
+        assert_eq!(reg.find(&FindQuery::any().category("flight-booking")).len(), 2);
+        assert_eq!(reg.find(&FindQuery::any().category("flight")).len(), 0, "category is exact");
+    }
+
+    #[test]
+    fn criteria_are_anded() {
+        let (reg, _, _) = seeded();
+        let hits =
+            reg.find(&FindQuery::any().provider("AusAir").operation("cancel"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].description.name, "Domestic Flight Booking");
+        let none = reg.find(&FindQuery::any().provider("WheelsNow").operation("bookFlight"));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn empty_query_returns_all_sorted() {
+        let (reg, _, _) = seeded();
+        let all = reg.find(&FindQuery::any());
+        assert_eq!(all.len(), 3);
+        let keys: Vec<&str> = all.iter().map(|r| r.key.0.as_str()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn duplicate_service_rejected() {
+        let (reg, ausair, _) = seeded();
+        let err = reg
+            .save_service(
+                &ausair,
+                "flight-booking",
+                desc("Domestic Flight Booking", "AusAir", &["bookFlight"]),
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::DuplicateService { .. }));
+    }
+
+    #[test]
+    fn unknown_business_rejected() {
+        let reg = UddiRegistry::new();
+        let err = reg
+            .save_service(&BusinessKey("nope".into()), "c", desc("S", "P", &[]), None)
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::UnknownBusiness(_)));
+    }
+
+    #[test]
+    fn delete_removes_from_indexes() {
+        let (reg, _, _) = seeded();
+        let key = reg.find(&FindQuery::any().service_name("Car Rental"))[0].key.clone();
+        reg.delete_service(&key).unwrap();
+        assert!(reg.find(&FindQuery::any().operation("rentCar")).is_empty());
+        assert!(reg.get_service(&key).is_err());
+        assert!(reg.delete_service(&key).is_err());
+    }
+
+    #[test]
+    fn leases_expire_and_sweep() {
+        let reg = UddiRegistry::new();
+        let biz = reg.save_business("Ephemeral", "x").key;
+        let key = reg
+            .save_service(&biz, "c", desc("Flaky", "Ephemeral", &["op"]), Some(Duration::ZERO))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(reg.get_service(&key).is_err(), "expired record behaves as absent");
+        assert!(reg.find(&FindQuery::any()).is_empty());
+        assert_eq!(reg.service_count(), 0);
+        assert_eq!(reg.sweep_expired(), 1);
+    }
+
+    #[test]
+    fn renew_extends_lease() {
+        let reg = UddiRegistry::new();
+        let biz = reg.save_business("B", "x").key;
+        let key = reg
+            .save_service(&biz, "c", desc("S", "B", &["op"]), Some(Duration::from_millis(40)))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+        reg.renew(&key).unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(reg.get_service(&key).is_ok(), "renewed lease is still live");
+    }
+
+    #[test]
+    fn find_businesses_prefix() {
+        let (reg, _, _) = seeded();
+        assert_eq!(reg.find_businesses("aus").len(), 1);
+        assert_eq!(reg.find_businesses("").len(), 2);
+    }
+
+    #[test]
+    fn business_lookup() {
+        let (reg, ausair, _) = seeded();
+        assert_eq!(reg.business(&ausair).unwrap().name, "AusAir");
+        assert!(reg.business(&BusinessKey("nope".into())).is_none());
+    }
+
+    #[test]
+    fn concurrent_publish_and_find() {
+        let reg = std::sync::Arc::new(UddiRegistry::new());
+        let biz = reg.save_business("Conc", "x").key;
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let reg = std::sync::Arc::clone(&reg);
+            let biz = biz.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    reg.save_service(
+                        &biz,
+                        "bulk",
+                        desc(&format!("Svc-{t}-{i}"), "Conc", &["op"]),
+                        None,
+                    )
+                    .unwrap();
+                    let _ = reg.find(&FindQuery::any().operation("op"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.service_count(), 200);
+        assert_eq!(reg.find(&FindQuery::any().operation("op")).len(), 200);
+    }
+}

@@ -1,0 +1,991 @@
+//! Static generation of routing tables from a statechart — the service
+//! deployer's algorithm ("generating the control-flow routing tables of
+//! each state of the composite service statechart").
+
+use crate::table::{
+    Notification, NotificationLabel, Participant, Postprocessing, Precondition, RouteBranch,
+    RoutingTable, WrapperTable,
+};
+use selfserv_expr::Expr;
+use selfserv_statechart::{Assignment, StateId, StateKind, Statechart, Transition};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Safety bound on cascade depth; exceeded only by pathological charts
+/// where regions complete instantaneously in a cycle.
+const MAX_CASCADE_DEPTH: usize = 64;
+
+/// Bound on the cartesian expansion of AND-join label alternatives.
+const MAX_JOIN_COMBOS: usize = 64;
+
+/// Cartesian product of per-region label alternatives, each combination
+/// flattened into one label set.
+fn cartesian(per_region: &[Vec<Vec<NotificationLabel>>]) -> Vec<Vec<NotificationLabel>> {
+    let mut combos: Vec<Vec<NotificationLabel>> = vec![Vec::new()];
+    for region_alts in per_region {
+        let mut next = Vec::with_capacity(combos.len() * region_alts.len().max(1));
+        for combo in &combos {
+            for alt in region_alts {
+                let mut merged = combo.clone();
+                merged.extend(alt.iter().cloned());
+                next.push(merged);
+            }
+        }
+        combos = next;
+        if combos.len() > MAX_JOIN_COMBOS * 4 {
+            break; // callers enforce the hard limit with a clear error
+        }
+    }
+    combos
+}
+
+/// Errors from routing-table generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutingError {
+    /// The statechart failed validation; tables cannot be generated.
+    InvalidStatechart(Vec<String>),
+    /// The chart uses a shape the cascade expansion cannot compile.
+    Unsupported(String),
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::InvalidStatechart(errors) => {
+                write!(f, "statechart is invalid: {}", errors.join("; "))
+            }
+            RoutingError::Unsupported(m) => write!(f, "unsupported statechart shape: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+/// The full routing knowledge for one composite service: one table per
+/// basic state plus the wrapper's table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingPlan {
+    /// The composite service name.
+    pub composite: String,
+    /// Per-state tables (basic states only: tasks and choices).
+    pub tables: BTreeMap<StateId, RoutingTable>,
+    /// The wrapper's start/finish knowledge.
+    pub wrapper: WrapperTable,
+}
+
+impl RoutingPlan {
+    /// Table for one state.
+    pub fn table(&self, state: &StateId) -> Option<&RoutingTable> {
+        self.tables.get(state)
+    }
+
+    /// Total number of precondition alternatives across all tables —
+    /// a size measure for experiment E2.
+    pub fn total_preconditions(&self) -> usize {
+        self.tables.values().map(|t| t.preconditions.len()).sum::<usize>()
+            + self.wrapper.finish_alternatives.len()
+    }
+
+    /// Total number of notifications that would be emitted if every branch
+    /// fired once.
+    pub fn total_notifications(&self) -> usize {
+        self.tables
+            .values()
+            .flat_map(|t| t.postprocessings.iter())
+            .map(|p| p.notifications().count())
+            .sum()
+    }
+
+    /// Encodes the whole plan as one XML document (what the deployer
+    /// uploads, per host, in the original).
+    pub fn to_xml(&self) -> selfserv_xml::Element {
+        let mut e = selfserv_xml::Element::new("routingPlan")
+            .with_attr("composite", &self.composite);
+        e.push_child(self.wrapper.to_xml());
+        for t in self.tables.values() {
+            e.push_child(t.to_xml());
+        }
+        e
+    }
+
+    /// Decodes a plan from XML.
+    pub fn from_xml(e: &selfserv_xml::Element) -> Result<Self, String> {
+        if e.name != "routingPlan" {
+            return Err(format!("expected <routingPlan>, got <{}>", e.name));
+        }
+        let wrapper = WrapperTable::from_xml(
+            e.find("wrapperTable").ok_or_else(|| "missing <wrapperTable>".to_string())?,
+        )?;
+        let mut tables = BTreeMap::new();
+        for te in e.find_all("routingTable") {
+            let t = RoutingTable::from_xml(te)?;
+            tables.insert(t.state.clone(), t);
+        }
+        Ok(RoutingPlan {
+            composite: e.require_attr("composite")?.to_string(),
+            tables,
+            wrapper,
+        })
+    }
+}
+
+/// One terminal of the cascade expansion: who must be notified, what they
+/// await, and what they check/apply on activation.
+#[derive(Debug, Clone)]
+struct RouteEnd {
+    receiver: Participant,
+    await_labels: Vec<NotificationLabel>,
+    condition: Option<Expr>,
+    actions: Vec<Assignment>,
+    id_path: String,
+}
+
+struct Generator<'a> {
+    sc: &'a Statechart,
+}
+
+impl<'a> Generator<'a> {
+    /// Expands a transition target into its route ends.
+    ///
+    /// `base` is the emission label once fixed (set at the first final
+    /// crossing, or by the caller for direct targets); `extras` carries
+    /// AND-join labels accumulated from concurrent parents; `condition`
+    /// and `actions` accumulate receiver-side guard/action chains from
+    /// transitions out of compound/concurrent parents folded into this
+    /// route.
+    #[allow(clippy::too_many_arguments)]
+    fn route_ends(
+        &self,
+        target: &StateId,
+        base: NotificationLabel,
+        base_fixed: bool,
+        extras: &[NotificationLabel],
+        condition: Option<Expr>,
+        actions: &[Assignment],
+        id_path: String,
+        depth: usize,
+        out: &mut Vec<RouteEnd>,
+    ) -> Result<(), RoutingError> {
+        if depth > MAX_CASCADE_DEPTH {
+            return Err(RoutingError::Unsupported(format!(
+                "cascade deeper than {MAX_CASCADE_DEPTH} while expanding '{id_path}' — \
+                 instantaneous completion cycle?"
+            )));
+        }
+        let state = self.sc.state(target).ok_or_else(|| {
+            RoutingError::Unsupported(format!("transition references missing state '{target}'"))
+        })?;
+        match &state.kind {
+            StateKind::Task(_) | StateKind::Choice => {
+                let mut await_labels = vec![base];
+                await_labels.extend(extras.iter().cloned());
+                out.push(RouteEnd {
+                    receiver: Participant::State(target.clone()),
+                    await_labels,
+                    condition,
+                    actions: actions.to_vec(),
+                    id_path,
+                });
+                Ok(())
+            }
+            StateKind::Compound { initial } => self.route_ends(
+                initial,
+                base,
+                base_fixed,
+                extras,
+                condition,
+                actions,
+                id_path,
+                depth + 1,
+                out,
+            ),
+            StateKind::Concurrent { regions } => {
+                for region in regions {
+                    self.route_ends(
+                        &region.initial,
+                        base.clone(),
+                        base_fixed,
+                        extras,
+                        condition.clone(),
+                        actions,
+                        id_path.clone(),
+                        depth + 1,
+                        out,
+                    )?;
+                }
+                Ok(())
+            }
+            StateKind::Final => {
+                match &state.parent {
+                    None => {
+                        // Root final: the wrapper is the receiver.
+                        let mut await_labels = vec![base];
+                        await_labels.extend(extras.iter().cloned());
+                        out.push(RouteEnd {
+                            receiver: Participant::Wrapper,
+                            await_labels,
+                            condition,
+                            actions: actions.to_vec(),
+                            id_path,
+                        });
+                        Ok(())
+                    }
+                    Some(parent_id) => {
+                        let parent = self.sc.state(parent_id).ok_or_else(|| {
+                            RoutingError::Unsupported(format!(
+                                "final '{target}' has missing parent '{parent_id}'"
+                            ))
+                        })?;
+                        // Fix the emission label at the first final
+                        // crossing; deeper crossings only add conditions
+                        // and AND-join extras.
+                        let (label, mut new_extras) = match &parent.kind {
+                            StateKind::Compound { .. } => {
+                                let label = if base_fixed {
+                                    base
+                                } else {
+                                    NotificationLabel::Completed(parent_id.clone())
+                                };
+                                (label, extras.to_vec())
+                            }
+                            StateKind::Concurrent { regions } => {
+                                let label = if base_fixed {
+                                    base
+                                } else {
+                                    NotificationLabel::RegionCompleted(
+                                        parent_id.clone(),
+                                        state.region,
+                                    )
+                                };
+                                // AND-join: the receivers must also await
+                                // the labels that actually signal the
+                                // sibling regions' completion. Those
+                                // depend on the sibling regions' internal
+                                // paths (a region ending in a nested
+                                // compound emits that compound's label,
+                                // not the canonical region label), and a
+                                // region with alternative shapes yields
+                                // alternative label sets — expanded as a
+                                // cartesian product below.
+                                let mut sibling_alts: Vec<Vec<Vec<NotificationLabel>>> =
+                                    Vec::new();
+                                for idx in 0..regions.len() {
+                                    if idx != state.region {
+                                        sibling_alts.push(self.region_dnf(
+                                            parent_id,
+                                            idx,
+                                            &mut std::collections::HashSet::new(),
+                                            depth + 1,
+                                        )?);
+                                    }
+                                }
+                                let combos = cartesian(&sibling_alts);
+                                if combos.len() > MAX_JOIN_COMBOS {
+                                    return Err(RoutingError::Unsupported(format!(
+                                        "AND-join of '{parent_id}' expands to {} label                                          combinations (max {MAX_JOIN_COMBOS})",
+                                        combos.len()
+                                    )));
+                                }
+                                if combos.len() > 1 {
+                                    // Expand each combination as its own
+                                    // route; the single-combo fast path
+                                    // falls through below.
+                                    for combo in combos {
+                                        let mut ex = extras.to_vec();
+                                        ex.extend(combo);
+                                        ex.sort();
+                                        ex.dedup();
+                                        self.cascade_outgoing(
+                                            parent_id,
+                                            label.clone(),
+                                            &ex,
+                                            &condition,
+                                            actions,
+                                            &id_path,
+                                            depth,
+                                            out,
+                                        )?;
+                                    }
+                                    return Ok(());
+                                }
+                                let mut ex = extras.to_vec();
+                                if let Some(combo) = combos.into_iter().next() {
+                                    ex.extend(combo);
+                                }
+                                (label, ex)
+                            }
+                            other => {
+                                return Err(RoutingError::Unsupported(format!(
+                                    "final '{target}' nested under {} state '{parent_id}'",
+                                    other.kind_name()
+                                )))
+                            }
+                        };
+                        new_extras.sort();
+                        new_extras.dedup();
+                        self.cascade_outgoing(
+                            parent_id,
+                            label,
+                            &new_extras,
+                            &condition,
+                            actions,
+                            &id_path,
+                            depth,
+                            out,
+                        )
+                    }
+                }
+            }
+        }
+    }
+
+    /// Folds every outgoing transition of a completed container state into
+    /// the route (the parent has completed; its successors take over).
+    #[allow(clippy::too_many_arguments)]
+    fn cascade_outgoing(
+        &self,
+        parent_id: &StateId,
+        label: NotificationLabel,
+        extras: &[NotificationLabel],
+        condition: &Option<Expr>,
+        actions: &[Assignment],
+        id_path: &str,
+        depth: usize,
+        out: &mut Vec<RouteEnd>,
+    ) -> Result<(), RoutingError> {
+        let outgoing = self.sc.outgoing(parent_id);
+        if outgoing.is_empty() {
+            return Err(RoutingError::Unsupported(format!(
+                "state '{parent_id}' completes but has no outgoing transitions"
+            )));
+        }
+        for t2 in outgoing {
+            let cond = Expr::and_opt(condition.clone(), t2.guard.clone());
+            let mut acts = actions.to_vec();
+            acts.extend(t2.actions.iter().cloned());
+            let mut labels_for_event = extras.to_vec();
+            if let Some(ev) = &t2.event {
+                labels_for_event.push(NotificationLabel::Event(ev.clone()));
+            }
+            self.route_ends(
+                &t2.target,
+                label.clone(),
+                true,
+                &labels_for_event,
+                cond,
+                &acts,
+                format!("{id_path}/{}", t2.id),
+                depth + 1,
+                out,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// The label sets (DNF alternatives) that signal completion of one
+    /// region: which labels an AND-join receiver must await for that
+    /// region. A region whose last state is basic emits the canonical
+    /// region label; a region ending in a nested compound/concurrent emits
+    /// that container's completion labels instead (the emission label is
+    /// fixed at the *first* final crossing).
+    fn region_dnf(
+        &self,
+        parent_id: &StateId,
+        region: usize,
+        visited: &mut std::collections::HashSet<StateId>,
+        depth: usize,
+    ) -> Result<Vec<Vec<NotificationLabel>>, RoutingError> {
+        if depth > MAX_CASCADE_DEPTH {
+            return Err(RoutingError::Unsupported(
+                "completion-label analysis exceeded the cascade depth bound".to_string(),
+            ));
+        }
+        let parent = self.sc.state(parent_id).ok_or_else(|| {
+            RoutingError::Unsupported(format!("missing state '{parent_id}'"))
+        })?;
+        let region_label = match &parent.kind {
+            StateKind::Compound { .. } => NotificationLabel::Completed(parent_id.clone()),
+            StateKind::Concurrent { .. } => {
+                NotificationLabel::RegionCompleted(parent_id.clone(), region)
+            }
+            other => {
+                return Err(RoutingError::Unsupported(format!(
+                    "'{parent_id}' is a {} state, not a container",
+                    other.kind_name()
+                )))
+            }
+        };
+        let mut alternatives: Vec<Vec<NotificationLabel>> = Vec::new();
+        let mut has_basic_path = false;
+        for final_state in self.sc.final_states_of(Some(parent_id), region) {
+            for t in self.sc.incoming(&final_state.id) {
+                let Some(source) = self.sc.state(&t.source) else { continue };
+                match &source.kind {
+                    StateKind::Task(_) | StateKind::Choice => has_basic_path = true,
+                    StateKind::Compound { .. } | StateKind::Concurrent { .. } => {
+                        if visited.insert(source.id.clone()) {
+                            alternatives.extend(self.completion_dnf(
+                                &source.id,
+                                visited,
+                                depth + 1,
+                            )?);
+                        }
+                    }
+                    StateKind::Final => {}
+                }
+            }
+        }
+        if has_basic_path {
+            alternatives.push(vec![region_label]);
+        }
+        alternatives.sort();
+        alternatives.dedup();
+        if alternatives.is_empty() {
+            // No path reaches a final: validation reports this; keep the
+            // canonical label so generation can continue.
+            alternatives.push(vec![match &parent.kind {
+                StateKind::Concurrent { .. } => {
+                    NotificationLabel::RegionCompleted(parent_id.clone(), region)
+                }
+                _ => NotificationLabel::Completed(parent_id.clone()),
+            }]);
+        }
+        Ok(alternatives)
+    }
+
+    /// DNF of labels signalling a container state's completion.
+    fn completion_dnf(
+        &self,
+        state_id: &StateId,
+        visited: &mut std::collections::HashSet<StateId>,
+        depth: usize,
+    ) -> Result<Vec<Vec<NotificationLabel>>, RoutingError> {
+        let state = self.sc.state(state_id).ok_or_else(|| {
+            RoutingError::Unsupported(format!("missing state '{state_id}'"))
+        })?;
+        match &state.kind {
+            StateKind::Task(_) | StateKind::Choice => {
+                Ok(vec![vec![NotificationLabel::Completed(state_id.clone())]])
+            }
+            StateKind::Compound { .. } => self.region_dnf(state_id, 0, visited, depth + 1),
+            StateKind::Concurrent { regions } => {
+                // Every region must complete: cartesian product.
+                let mut per_region = Vec::with_capacity(regions.len());
+                for idx in 0..regions.len() {
+                    per_region.push(self.region_dnf(state_id, idx, visited, depth + 1)?);
+                }
+                let combos = cartesian(&per_region);
+                if combos.len() > MAX_JOIN_COMBOS {
+                    return Err(RoutingError::Unsupported(format!(
+                        "completion of '{state_id}' expands to {} label combinations",
+                        combos.len()
+                    )));
+                }
+                Ok(combos)
+            }
+            StateKind::Final => Err(RoutingError::Unsupported(format!(
+                "completion labels requested for final state '{state_id}'"
+            ))),
+        }
+    }
+
+    /// Expands one outgoing transition of basic state `source` into a
+    /// postprocessing row plus the receivers' precondition alternatives.
+    fn compile_transition(
+        &self,
+        source: &StateId,
+        t: &Transition,
+    ) -> Result<(Postprocessing, Vec<RouteEnd>), RoutingError> {
+        let mut ends = Vec::new();
+        let base = NotificationLabel::Completed(source.clone());
+        let extras: Vec<NotificationLabel> = match &t.event {
+            Some(ev) => vec![NotificationLabel::Event(ev.clone())],
+            None => Vec::new(),
+        };
+        self.route_ends(
+            &t.target,
+            base,
+            false,
+            &extras,
+            None,
+            &[],
+            format!("via:{}", t.id),
+            0,
+            &mut ends,
+        )?;
+        let notifications: Vec<Notification> = ends
+            .iter()
+            .map(|e| Notification {
+                target: e.receiver.clone(),
+                label: e.await_labels[0].clone(),
+            })
+            .collect();
+        let post = Postprocessing {
+            transition_id: t.id.clone(),
+            guard: t.guard.clone(),
+            event: t.event.clone(),
+            actions: t.actions.clone(),
+            branches: vec![RouteBranch { notifications }],
+        };
+        Ok((post, ends))
+    }
+}
+
+/// Generates the routing plan for a statechart. The chart must pass
+/// [`Statechart::validate`] without errors.
+pub fn generate(sc: &Statechart) -> Result<RoutingPlan, RoutingError> {
+    let report = sc.validate();
+    if !report.is_ok() {
+        return Err(RoutingError::InvalidStatechart(
+            report.errors().map(|i| i.to_string()).collect(),
+        ));
+    }
+    let gen = Generator { sc };
+    let mut tables: BTreeMap<StateId, RoutingTable> = BTreeMap::new();
+    let mut wrapper = WrapperTable::default();
+
+    // One (initially empty) table per basic state.
+    for state in sc.states() {
+        if matches!(state.kind, StateKind::Task(_) | StateKind::Choice) {
+            tables.insert(
+                state.id.clone(),
+                RoutingTable { state: state.id.clone(), ..Default::default() },
+            );
+            wrapper.all_states.push(state.id.clone());
+        }
+    }
+
+    // Start routes: the wrapper notifies the entry states of the root
+    // initial with `Start`.
+    {
+        let mut ends = Vec::new();
+        gen.route_ends(
+            &sc.initial,
+            NotificationLabel::Start,
+            true,
+            &[],
+            None,
+            &[],
+            "start".to_string(),
+            0,
+            &mut ends,
+        )?;
+        for end in ends {
+            match &end.receiver {
+                Participant::State(s) => {
+                    wrapper.start_targets.push(s.clone());
+                    add_alternative(tables.get_mut(s).expect("basic state has table"), &end);
+                }
+                Participant::Wrapper => {
+                    return Err(RoutingError::Unsupported(
+                        "the root initial completes the composite immediately".to_string(),
+                    ))
+                }
+            }
+        }
+    }
+
+    // Compile every outgoing transition of every basic state.
+    for state in sc.states() {
+        if !matches!(state.kind, StateKind::Task(_) | StateKind::Choice) {
+            continue;
+        }
+        for t in sc.outgoing(&state.id) {
+            let (post, ends) = gen.compile_transition(&state.id, t)?;
+            for end in &ends {
+                match &end.receiver {
+                    Participant::State(s) => {
+                        let table = tables.get_mut(s).ok_or_else(|| {
+                            RoutingError::Unsupported(format!(
+                                "route targets '{s}', which has no coordinator"
+                            ))
+                        })?;
+                        add_alternative(table, end);
+                    }
+                    Participant::Wrapper => {
+                        add_wrapper_alternative(&mut wrapper, end);
+                    }
+                }
+            }
+            tables
+                .get_mut(&state.id)
+                .expect("basic state has table")
+                .postprocessings
+                .push(post);
+        }
+    }
+
+    Ok(RoutingPlan { composite: sc.name.clone(), tables, wrapper })
+}
+
+fn normalised_labels(mut labels: Vec<NotificationLabel>) -> Vec<NotificationLabel> {
+    labels.sort();
+    labels.dedup();
+    labels
+}
+
+fn same_alternative(a: &Precondition, labels: &[NotificationLabel], cond: &Option<Expr>) -> bool {
+    let mut a_labels = a.labels.clone();
+    a_labels.sort();
+    a_labels == labels
+        && a.condition.as_ref().map(|c| c.to_string()) == cond.as_ref().map(|c| c.to_string())
+}
+
+fn add_alternative(table: &mut RoutingTable, end: &RouteEnd) {
+    let labels = normalised_labels(end.await_labels.clone());
+    if table.preconditions.iter().any(|p| same_alternative(p, &labels, &end.condition)) {
+        return;
+    }
+    table.preconditions.push(Precondition {
+        id: end.id_path.clone(),
+        labels,
+        condition: end.condition.clone(),
+        actions: end.actions.clone(),
+    });
+}
+
+fn add_wrapper_alternative(wrapper: &mut WrapperTable, end: &RouteEnd) {
+    let labels = normalised_labels(end.await_labels.clone());
+    if wrapper
+        .finish_alternatives
+        .iter()
+        .any(|p| same_alternative(p, &labels, &end.condition))
+    {
+        return;
+    }
+    wrapper.finish_alternatives.push(Precondition {
+        id: end.id_path.clone(),
+        labels,
+        condition: end.condition.clone(),
+        actions: end.actions.clone(),
+    });
+}
+
+/// Checks plan consistency: every emitted notification is awaited by some
+/// alternative at its receiver, and every non-start alternative has at
+/// least one potential emitter. Returns human-readable violations (empty =
+/// consistent). Used by tests and the deployer's sanity pass.
+pub fn verify_plan(plan: &RoutingPlan) -> Vec<String> {
+    let mut problems = Vec::new();
+    // Emission → awaited.
+    for table in plan.tables.values() {
+        for post in &table.postprocessings {
+            for n in post.notifications() {
+                let awaited = match &n.target {
+                    Participant::State(s) => match plan.tables.get(s) {
+                        Some(t) => t.preconditions.iter().any(|p| p.labels.contains(&n.label)),
+                        None => false,
+                    },
+                    Participant::Wrapper => plan
+                        .wrapper
+                        .finish_alternatives
+                        .iter()
+                        .any(|p| p.labels.contains(&n.label)),
+                };
+                if !awaited {
+                    problems.push(format!(
+                        "state '{}' transition '{}' notifies {} with label {} but no \
+                         alternative there awaits it",
+                        table.state, post.transition_id, n.target, n.label
+                    ));
+                }
+            }
+        }
+    }
+    // Awaited → emitted (Start labels come from the wrapper).
+    let mut emitted: Vec<(Participant, NotificationLabel)> = Vec::new();
+    for table in plan.tables.values() {
+        for post in &table.postprocessings {
+            for n in post.notifications() {
+                emitted.push((n.target.clone(), n.label.clone()));
+            }
+        }
+    }
+    for s in &plan.wrapper.start_targets {
+        emitted.push((Participant::State(s.clone()), NotificationLabel::Start));
+    }
+    for table in plan.tables.values() {
+        for pre in &table.preconditions {
+            for label in &pre.labels {
+                if matches!(label, NotificationLabel::Event(_)) {
+                    continue; // events are raised externally
+                }
+                let me = Participant::State(table.state.clone());
+                if !emitted.iter().any(|(t, l)| *t == me && l == label) {
+                    problems.push(format!(
+                        "state '{}' awaits {} but nothing emits it",
+                        table.state, label
+                    ));
+                }
+            }
+        }
+    }
+    for pre in &plan.wrapper.finish_alternatives {
+        for label in &pre.labels {
+            if matches!(label, NotificationLabel::Event(_)) {
+                continue;
+            }
+            if !emitted
+                .iter()
+                .any(|(t, l)| *t == Participant::Wrapper && l == label)
+            {
+                problems.push(format!("wrapper awaits {label} but nothing emits it"));
+            }
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfserv_statechart::synth;
+    use selfserv_statechart::travel::travel_statechart;
+
+    fn label_done(s: &str) -> NotificationLabel {
+        NotificationLabel::Completed(StateId::new(s))
+    }
+
+    fn label_region(s: &str, r: usize) -> NotificationLabel {
+        NotificationLabel::RegionCompleted(StateId::new(s), r)
+    }
+
+    #[test]
+    fn sequence_plan_shape() {
+        let sc = synth::sequence(3);
+        let plan = generate(&sc).unwrap();
+        assert_eq!(plan.tables.len(), 3);
+        assert_eq!(plan.wrapper.start_targets, vec![StateId::new("s0")]);
+        // s1 awaits completion of s0.
+        let t1 = plan.table(&StateId::new("s1")).unwrap();
+        assert_eq!(t1.preconditions.len(), 1);
+        assert_eq!(t1.preconditions[0].labels, vec![label_done("s0")]);
+        // s2 notifies the wrapper.
+        let t2 = plan.table(&StateId::new("s2")).unwrap();
+        let targets: Vec<_> = t2.postprocessings[0].notifications().collect();
+        assert_eq!(targets.len(), 1);
+        assert_eq!(targets[0].target, Participant::Wrapper);
+        assert_eq!(targets[0].label, label_done("s2"));
+        assert!(verify_plan(&plan).is_empty(), "{:?}", verify_plan(&plan));
+    }
+
+    #[test]
+    fn xor_plan_guards_stay_at_sender() {
+        let sc = synth::xor_choice(3);
+        let plan = generate(&sc).unwrap();
+        let choice = plan.table(&StateId::new("C")).unwrap();
+        assert_eq!(choice.postprocessings.len(), 3);
+        for (i, post) in choice.postprocessings.iter().enumerate() {
+            assert_eq!(post.guard.as_ref().unwrap().to_string(), format!("branch == {i}"));
+            assert_eq!(post.notifications().count(), 1);
+        }
+        // Branch tasks await the choice without receiver-side conditions.
+        let s0 = plan.table(&StateId::new("s0")).unwrap();
+        assert_eq!(s0.preconditions.len(), 1);
+        assert!(s0.preconditions[0].condition.is_none());
+        assert!(verify_plan(&plan).is_empty());
+    }
+
+    #[test]
+    fn parallel_plan_has_and_join() {
+        let sc = synth::parallel(3);
+        let plan = generate(&sc).unwrap();
+        // Start fans out to all three region tasks.
+        assert_eq!(plan.wrapper.start_targets.len(), 3);
+        // Each task's completion routes to the wrapper awaiting all three
+        // region labels.
+        assert_eq!(plan.wrapper.finish_alternatives.len(), 1);
+        let fin = &plan.wrapper.finish_alternatives[0];
+        let mut expected: Vec<NotificationLabel> =
+            (0..3).map(|i| label_region("P", i)).collect();
+        expected.sort();
+        assert_eq!(fin.labels, expected);
+        assert!(verify_plan(&plan).is_empty());
+    }
+
+    #[test]
+    fn travel_plan_matches_paper_structure() {
+        let sc = travel_statechart();
+        let plan = generate(&sc).unwrap();
+        assert!(verify_plan(&plan).is_empty(), "{:?}", verify_plan(&plan));
+
+        // Wrapper kicks off both regions of ARR: flight choice + search.
+        let mut starts = plan.wrapper.start_targets.clone();
+        starts.sort();
+        assert_eq!(starts, vec![StateId::new("AS"), StateId::new("FC")]);
+
+        // FC's two guarded branches go to DFB and (entry of ITA =) IFB.
+        let fc = plan.table(&StateId::new("FC")).unwrap();
+        assert_eq!(fc.postprocessings.len(), 2);
+        let dom = &fc.postprocessings[0];
+        assert_eq!(dom.guard.as_ref().unwrap().to_string(), "domestic(destination)");
+        assert_eq!(
+            dom.notifications().next().unwrap().target,
+            Participant::State(StateId::new("DFB"))
+        );
+        let intl = &fc.postprocessings[1];
+        assert_eq!(
+            intl.notifications().next().unwrap().target,
+            Participant::State(StateId::new("IFB")),
+            "entry into compound ITA resolves to its initial state IFB"
+        );
+
+        // AB is activated either by DFB or by ITA's (cascaded) completion.
+        let ab = plan.table(&StateId::new("AB")).unwrap();
+        let mut ab_label_sets: Vec<Vec<String>> = ab
+            .preconditions
+            .iter()
+            .map(|p| p.labels.iter().map(|l| l.encode()).collect())
+            .collect();
+        ab_label_sets.sort();
+        assert_eq!(ab_label_sets, vec![vec!["done:DFB".to_string()], vec!["done:ITA".to_string()]]);
+
+        // TI (last inside ITA) emits Completed(ITA) on behalf of the
+        // compound.
+        let ti = plan.table(&StateId::new("TI")).unwrap();
+        let n: Vec<_> = ti.postprocessings[0].notifications().collect();
+        assert_eq!(n[0].label, label_done("ITA"));
+        assert_eq!(n[0].target, Participant::State(StateId::new("AB")));
+
+        // AB and AS notify both CR and the wrapper with their region
+        // labels; CR awaits the AND-join with the receiver-side near()
+        // guard.
+        let cr = plan.table(&StateId::new("CR")).unwrap();
+        assert_eq!(cr.preconditions.len(), 1);
+        let pre = &cr.preconditions[0];
+        let mut expected = vec![label_region("ARR", 0), label_region("ARR", 1)];
+        expected.sort();
+        assert_eq!(pre.labels, expected);
+        assert_eq!(
+            pre.condition.as_ref().unwrap().to_string(),
+            "not near(major_attraction, accommodation)"
+        );
+
+        // Wrapper finish alternatives: skip-CR path (near == true, joined)
+        // and CR completion.
+        assert_eq!(plan.wrapper.finish_alternatives.len(), 2);
+        let near_alt = plan
+            .wrapper
+            .finish_alternatives
+            .iter()
+            .find(|p| p.labels.len() == 2)
+            .expect("AND-join finish alternative");
+        assert_eq!(
+            near_alt.condition.as_ref().unwrap().to_string(),
+            "near(major_attraction, accommodation)"
+        );
+        let cr_alt = plan
+            .wrapper
+            .finish_alternatives
+            .iter()
+            .find(|p| p.labels == vec![label_done("CR")])
+            .expect("CR completion finish alternative");
+        assert!(cr_alt.condition.is_none());
+
+        // The AB sender notifies both potential receivers (CR + wrapper).
+        let ab_targets: Vec<String> = ab
+            .postprocessings[0]
+            .notifications()
+            .map(|n| n.target.to_string())
+            .collect();
+        assert!(ab_targets.contains(&"state:CR".to_string()), "{ab_targets:?}");
+        assert!(ab_targets.contains(&"wrapper".to_string()), "{ab_targets:?}");
+    }
+
+    #[test]
+    fn nested_plan_cascades_completion() {
+        let sc = synth::nested(3);
+        let plan = generate(&sc).unwrap();
+        // The single inner task's completion cascades through all three
+        // compound levels straight to the wrapper.
+        let s0 = plan.table(&StateId::new("s0")).unwrap();
+        let notes: Vec<_> = s0
+            .postprocessings
+            .iter()
+            .flat_map(|p| p.notifications())
+            .collect();
+        assert!(notes.iter().any(|n| n.target == Participant::Wrapper));
+        assert!(verify_plan(&plan).is_empty(), "{:?}", verify_plan(&plan));
+    }
+
+    #[test]
+    fn ladder_plan_verifies() {
+        let sc = synth::ladder(3, 2);
+        let plan = generate(&sc).unwrap();
+        assert!(verify_plan(&plan).is_empty(), "{:?}", verify_plan(&plan));
+        // Stage-1 tasks await the AND-join of stage 0.
+        let s_next = plan.table(&StateId::new("P1s0")).unwrap();
+        assert_eq!(s_next.preconditions.len(), 1);
+        assert_eq!(s_next.preconditions[0].labels.len(), 3);
+    }
+
+    #[test]
+    fn invalid_chart_rejected() {
+        let sc = selfserv_statechart::StatechartBuilder::new("bad")
+            .initial("ghost")
+            .choice("a", "A")
+            .final_state("f")
+            .transition(selfserv_statechart::TransitionDef::new("t", "a", "f"))
+            .build()
+            .unwrap();
+        assert!(matches!(generate(&sc), Err(RoutingError::InvalidStatechart(_))));
+    }
+
+    #[test]
+    fn plan_xml_round_trip() {
+        let plan = generate(&travel_statechart()).unwrap();
+        let xml = plan.to_xml().to_pretty_xml();
+        let back = RoutingPlan::from_xml(&selfserv_xml::parse(&xml).unwrap()).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn plan_size_metrics() {
+        let plan = generate(&synth::sequence(5)).unwrap();
+        assert_eq!(plan.total_preconditions(), 5 + 1); // 5 tasks + wrapper finish
+        assert_eq!(plan.total_notifications(), 5); // 4 internal + 1 to wrapper
+    }
+
+    #[test]
+    fn event_transitions_add_event_labels() {
+        use selfserv_statechart::{StatechartBuilder, TaskDef, TransitionDef};
+        let sc = StatechartBuilder::new("Evt")
+            .initial("a")
+            .task(TaskDef::new("a", "A").service("S", "op"))
+            .task(TaskDef::new("b", "B").service("S2", "op"))
+            .final_state("f")
+            .transition(TransitionDef::new("t1", "a", "b").event("paymentReceived"))
+            .transition(TransitionDef::new("t2", "b", "f"))
+            .build()
+            .unwrap();
+        let plan = generate(&sc).unwrap();
+        let b = plan.table(&StateId::new("b")).unwrap();
+        assert!(b.preconditions[0]
+            .labels
+            .contains(&NotificationLabel::Event("paymentReceived".into())));
+    }
+
+    #[test]
+    fn instant_completion_cycle_is_unsupported() {
+        use selfserv_statechart::{StatechartBuilder, TransitionDef};
+        // Two sibling compounds whose initials are finals, looping: the
+        // cascade never terminates and must be rejected, not loop forever.
+        let sc = StatechartBuilder::new("loop")
+            .initial("start")
+            .choice("start", "start")
+            .compound("P", "P", "pf")
+            .final_in("P", 0, "pf")
+            .compound("Q", "Q", "qf")
+            .final_in("Q", 0, "qf")
+            .final_state("f")
+            .transition(TransitionDef::new("ts", "start", "P"))
+            .transition(TransitionDef::new("t1", "P", "Q"))
+            .transition(TransitionDef::new("t2", "Q", "P"))
+            .transition(TransitionDef::new("t3", "Q", "f").guard("false"))
+            .build()
+            .unwrap();
+        // Depending on validation outcomes this either fails validation or
+        // hits the cascade depth guard; both are acceptable rejections.
+        assert!(generate(&sc).is_err());
+    }
+}

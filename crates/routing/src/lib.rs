@@ -1,0 +1,60 @@
+//! # selfserv-routing
+//!
+//! Routing tables and their static generation from statecharts — the
+//! algorithmic core of SELF-SERV's peer-to-peer orchestration.
+//!
+//! Per the paper (Section 2): "The knowledge required at runtime by each of
+//! the coordinators involved in a composite service (e.g., location, peers,
+//! and control flow routing policies) is statically extracted from the
+//! service's statechart and represented in a simple tabular form called
+//! routing tables. Routing tables contain preconditions and
+//! postprocessings. Preconditions are used to determine when a service
+//! should be executed. Postprocessings are used to determine what should be
+//! done after service execution. In this way, the coordinators do not need
+//! to implement any complex scheduling algorithm."
+//!
+//! ## The model implemented here
+//!
+//! Coordinators exchange **notifications** carrying a
+//! [`NotificationLabel`] plus the instance's current variables:
+//!
+//! * `Completed(S)` — state `S` finished (also emitted *on behalf of* a
+//!   compound state when a nested state routes into its final state);
+//! * `RegionCompleted(P, r)` — region `r` of concurrent state `P` finished;
+//! * `Start` — the composite wrapper started an instance;
+//! * `Event(name)` — a statechart-level event was produced.
+//!
+//! A [`Precondition`] alternative is an AND-set of labels (this is how
+//! AND-joins need no central scheduler: each successor of a concurrent
+//! state independently collects all `RegionCompleted` labels) plus an
+//! optional receiver-side condition.
+//!
+//! A [`Postprocessing`] corresponds to one outgoing transition of the
+//! state: a sender-side guard choosing the transition (exclusive choice is
+//! decided at the sender, so untaken branches cost no messages), the
+//! transition's variable-assignment actions, and cascade-expanded
+//! [`RouteBranch`]es listing exactly which peers to notify with which
+//! label.
+//!
+//! ## Guard placement
+//!
+//! A transition leaving a *basic* state is guarded at the sender (it has
+//! the variables). A transition leaving a *compound or concurrent* state is
+//! folded into the tables of the states that route into its final states,
+//! and its guard moves to the **receiver's precondition** — necessarily so
+//! for AND-joins, where the guard may reference variables produced in a
+//! different region that only exist after the join merges them (e.g. the
+//! travel scenario's `near(major_attraction, accommodation)` combines
+//! outputs of both regions).
+
+mod generate;
+mod table;
+
+pub use generate::{generate, verify_plan, RoutingError, RoutingPlan};
+pub use table::{
+    Notification, NotificationLabel, Participant, Postprocessing, Precondition, RouteBranch,
+    RoutingTable, WrapperTable,
+};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,76 @@
+//! Property tests: generated plans are internally consistent across the
+//! synthetic chart families.
+
+use crate::generate::{generate, verify_plan};
+use proptest::prelude::*;
+use selfserv_statechart::synth;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn sequence_plans_verify(n in 1usize..24) {
+        let plan = generate(&synth::sequence(n)).unwrap();
+        prop_assert!(verify_plan(&plan).is_empty());
+        prop_assert_eq!(plan.tables.len(), n);
+    }
+
+    #[test]
+    fn xor_plans_verify(n in 1usize..16) {
+        let plan = generate(&synth::xor_choice(n)).unwrap();
+        prop_assert!(verify_plan(&plan).is_empty());
+        // One postprocessing per branch on the choice state.
+        let choice = plan.table(&"C".into()).unwrap();
+        prop_assert_eq!(choice.postprocessings.len(), n);
+    }
+
+    #[test]
+    fn parallel_plans_verify(n in 2usize..12) {
+        let plan = generate(&synth::parallel(n)).unwrap();
+        prop_assert!(verify_plan(&plan).is_empty());
+        prop_assert_eq!(plan.wrapper.start_targets.len(), n);
+        prop_assert_eq!(plan.wrapper.finish_alternatives[0].labels.len(), n);
+    }
+
+    #[test]
+    fn nested_plans_verify(depth in 1usize..8) {
+        let plan = generate(&synth::nested(depth)).unwrap();
+        prop_assert!(verify_plan(&plan).is_empty());
+    }
+
+    #[test]
+    fn ladder_plans_verify(width in 2usize..5, depth in 1usize..4) {
+        let plan = generate(&synth::ladder(width, depth)).unwrap();
+        prop_assert!(verify_plan(&plan).is_empty());
+    }
+
+    #[test]
+    fn plan_xml_round_trips(n in 1usize..10) {
+        for sc in [synth::sequence(n.max(1)), synth::xor_choice(n.max(1)), synth::parallel(n.max(2))] {
+            let plan = generate(&sc).unwrap();
+            let back = crate::RoutingPlan::from_xml(&plan.to_xml()).unwrap();
+            prop_assert_eq!(back, plan);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomly nested charts (compounds/concurrents up to depth 3) always
+    /// yield internally consistent plans.
+    #[test]
+    fn recursive_random_plans_verify(seed in 0u64..5000, budget in 1usize..16) {
+        let sc = synth::recursive(seed, budget, 3);
+        let plan = generate(&sc).unwrap();
+        let problems = verify_plan(&plan);
+        prop_assert!(problems.is_empty(), "seed {seed}: {problems:?}");
+    }
+
+    /// Generation is deterministic: same chart, same plan.
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..500) {
+        let sc = synth::recursive(seed, 8, 3);
+        prop_assert_eq!(generate(&sc).unwrap(), generate(&sc).unwrap());
+    }
+}

@@ -1,0 +1,582 @@
+//! Fluent construction of statecharts — the programmatic equivalent of the
+//! original service editor GUI.
+
+use crate::model::{
+    Assignment, InputMapping, OutputMapping, RegionSpec, ServiceBinding, State, StateId,
+    StateKind, Statechart, TaskSpec, Transition, VarDecl,
+};
+use selfserv_expr::Value;
+use selfserv_wsdl::ParamType;
+
+/// Definition of a task state under construction.
+#[derive(Debug, Clone)]
+pub struct TaskDef {
+    id: String,
+    name: String,
+    binding: Option<ServiceBinding>,
+    inputs: Vec<(String, String)>,
+    outputs: Vec<(String, String)>,
+}
+
+impl TaskDef {
+    /// Starts a task definition with the given id and display name.
+    pub fn new(id: impl Into<String>, name: impl Into<String>) -> Self {
+        TaskDef {
+            id: id.into(),
+            name: name.into(),
+            binding: None,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Binds the task to a direct service operation.
+    pub fn service(mut self, service: impl Into<String>, operation: impl Into<String>) -> Self {
+        self.binding =
+            Some(ServiceBinding::Service { service: service.into(), operation: operation.into() });
+        self
+    }
+
+    /// Binds the task to a community operation.
+    pub fn community(mut self, community: impl Into<String>, operation: impl Into<String>) -> Self {
+        self.binding = Some(ServiceBinding::Community {
+            community: community.into(),
+            operation: operation.into(),
+        });
+        self
+    }
+
+    /// Maps a service input parameter from a guard-language expression over
+    /// statechart variables (parsed at [`StatechartBuilder::build`] time).
+    pub fn input(mut self, param: impl Into<String>, expr_src: impl Into<String>) -> Self {
+        self.inputs.push((param.into(), expr_src.into()));
+        self
+    }
+
+    /// Captures a service output parameter into a statechart variable.
+    pub fn output(mut self, param: impl Into<String>, var: impl Into<String>) -> Self {
+        self.outputs.push((param.into(), var.into()));
+        self
+    }
+}
+
+/// Definition of a transition under construction.
+#[derive(Debug, Clone)]
+pub struct TransitionDef {
+    id: String,
+    source: String,
+    target: String,
+    event: Option<String>,
+    guard: Option<String>,
+    actions: Vec<(String, String)>,
+}
+
+impl TransitionDef {
+    /// Starts a transition from `source` to `target`.
+    pub fn new(
+        id: impl Into<String>,
+        source: impl Into<String>,
+        target: impl Into<String>,
+    ) -> Self {
+        TransitionDef {
+            id: id.into(),
+            source: source.into(),
+            target: target.into(),
+            event: None,
+            guard: None,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Sets the guard condition (guard-language source text).
+    pub fn guard(mut self, src: impl Into<String>) -> Self {
+        self.guard = Some(src.into());
+        self
+    }
+
+    /// Sets the triggering event.
+    pub fn event(mut self, name: impl Into<String>) -> Self {
+        self.event = Some(name.into());
+        self
+    }
+
+    /// Adds a variable-assignment action.
+    pub fn action(mut self, var: impl Into<String>, expr_src: impl Into<String>) -> Self {
+        self.actions.push((var.into(), expr_src.into()));
+        self
+    }
+}
+
+/// Builder for [`Statechart`]s.
+///
+/// `*_in` variants place the state inside a parent state's region;
+/// the plain variants place it in the root region.
+///
+/// ```
+/// use selfserv_statechart::{StatechartBuilder, TaskDef, TransitionDef};
+/// use selfserv_wsdl::ParamType;
+///
+/// let sc = StatechartBuilder::new("Ping")
+///     .variable("target", ParamType::Str)
+///     .initial("P")
+///     .task(TaskDef::new("P", "Ping").service("Pinger", "ping").input("host", "target"))
+///     .final_state("F")
+///     .transition(TransitionDef::new("t1", "P", "F"))
+///     .build()
+///     .unwrap();
+/// assert_eq!(sc.state_count(), 2);
+/// ```
+/// Raw (param, expression-source) pairs collected for one task before
+/// parsing.
+type RawMappings = Vec<(String, String)>;
+
+#[derive(Debug, Default)]
+pub struct StatechartBuilder {
+    name: String,
+    variables: Vec<VarDecl>,
+    states: Vec<State>,
+    task_raw: Vec<(StateId, RawMappings, RawMappings)>,
+    transitions_raw: Vec<TransitionDef>,
+    initial: Option<StateId>,
+    errors: Vec<String>,
+}
+
+impl StatechartBuilder {
+    /// Starts building a statechart for the named composite service.
+    pub fn new(name: impl Into<String>) -> Self {
+        StatechartBuilder { name: name.into(), ..Default::default() }
+    }
+
+    /// Declares a variable.
+    pub fn variable(mut self, name: impl Into<String>, ty: ParamType) -> Self {
+        self.variables.push(VarDecl { name: name.into(), ty, initial: None });
+        self
+    }
+
+    /// Declares a variable with an initial value.
+    pub fn variable_init(mut self, name: impl Into<String>, ty: ParamType, value: Value) -> Self {
+        self.variables.push(VarDecl { name: name.into(), ty, initial: Some(value) });
+        self
+    }
+
+    /// Sets the root region's initial state.
+    pub fn initial(mut self, id: impl Into<StateId>) -> Self {
+        self.initial = Some(id.into());
+        self
+    }
+
+    fn push_state(
+        &mut self,
+        id: StateId,
+        name: String,
+        parent: Option<StateId>,
+        region: usize,
+        kind: StateKind,
+    ) {
+        if self.states.iter().any(|s| s.id == id) {
+            self.errors.push(format!("duplicate state id '{id}'"));
+            return;
+        }
+        self.states.push(State { id, name, parent, region, kind });
+    }
+
+    /// Adds a task state to the root region.
+    pub fn task(self, def: TaskDef) -> Self {
+        self.task_at(None, 0, def)
+    }
+
+    /// Adds a task state inside `parent` (region 0 — use
+    /// [`Self::task_in_region`] for concurrent parents).
+    pub fn task_in(self, parent: impl Into<StateId>, def: TaskDef) -> Self {
+        self.task_at(Some(parent.into()), 0, def)
+    }
+
+    /// Adds a task state inside a specific region of `parent`.
+    pub fn task_in_region(
+        self,
+        parent: impl Into<StateId>,
+        region: usize,
+        def: TaskDef,
+    ) -> Self {
+        self.task_at(Some(parent.into()), region, def)
+    }
+
+    fn task_at(mut self, parent: Option<StateId>, region: usize, def: TaskDef) -> Self {
+        let id = StateId::new(def.id.clone());
+        let Some(binding) = def.binding else {
+            self.errors.push(format!("task '{}' has no service/community binding", def.id));
+            return self;
+        };
+        self.task_raw.push((id.clone(), def.inputs, def.outputs));
+        self.push_state(
+            id,
+            def.name,
+            parent,
+            region,
+            StateKind::Task(TaskSpec { binding, inputs: Vec::new(), outputs: Vec::new() }),
+        );
+        self
+    }
+
+    /// Adds a choice pseudo-state to the root region.
+    pub fn choice(mut self, id: impl Into<StateId>, name: impl Into<String>) -> Self {
+        self.push_state(id.into(), name.into(), None, 0, StateKind::Choice);
+        self
+    }
+
+    /// Adds a choice pseudo-state inside a parent region.
+    pub fn choice_in(
+        mut self,
+        parent: impl Into<StateId>,
+        region: usize,
+        id: impl Into<StateId>,
+        name: impl Into<String>,
+    ) -> Self {
+        self.push_state(id.into(), name.into(), Some(parent.into()), region, StateKind::Choice);
+        self
+    }
+
+    /// Adds a final state to the root region.
+    pub fn final_state(mut self, id: impl Into<StateId>) -> Self {
+        let id = id.into();
+        let name = format!("final:{id}");
+        self.push_state(id, name, None, 0, StateKind::Final);
+        self
+    }
+
+    /// Adds a final state inside a parent region.
+    pub fn final_in(
+        mut self,
+        parent: impl Into<StateId>,
+        region: usize,
+        id: impl Into<StateId>,
+    ) -> Self {
+        let id = id.into();
+        let name = format!("final:{id}");
+        self.push_state(id, name, Some(parent.into()), region, StateKind::Final);
+        self
+    }
+
+    /// Adds a compound (OR) state to the root region.
+    pub fn compound(
+        mut self,
+        id: impl Into<StateId>,
+        name: impl Into<String>,
+        initial: impl Into<StateId>,
+    ) -> Self {
+        self.push_state(
+            id.into(),
+            name.into(),
+            None,
+            0,
+            StateKind::Compound { initial: initial.into() },
+        );
+        self
+    }
+
+    /// Adds a compound (OR) state inside a parent region.
+    pub fn compound_in(
+        mut self,
+        parent: impl Into<StateId>,
+        region: usize,
+        id: impl Into<StateId>,
+        name: impl Into<String>,
+        initial: impl Into<StateId>,
+    ) -> Self {
+        self.push_state(
+            id.into(),
+            name.into(),
+            Some(parent.into()),
+            region,
+            StateKind::Compound { initial: initial.into() },
+        );
+        self
+    }
+
+    /// Adds a concurrent (AND) state to the root region. `regions` pairs
+    /// region names with their initial child states.
+    pub fn concurrent(
+        mut self,
+        id: impl Into<StateId>,
+        name: impl Into<String>,
+        regions: Vec<(&str, &str)>,
+    ) -> Self {
+        let regions = regions
+            .into_iter()
+            .map(|(name, initial)| RegionSpec {
+                name: name.to_string(),
+                initial: StateId::new(initial),
+            })
+            .collect();
+        self.push_state(id.into(), name.into(), None, 0, StateKind::Concurrent { regions });
+        self
+    }
+
+    /// Adds a concurrent (AND) state inside a parent region.
+    pub fn concurrent_in(
+        mut self,
+        parent: impl Into<StateId>,
+        region: usize,
+        id: impl Into<StateId>,
+        name: impl Into<String>,
+        regions: Vec<(&str, &str)>,
+    ) -> Self {
+        let regions = regions
+            .into_iter()
+            .map(|(name, initial)| RegionSpec {
+                name: name.to_string(),
+                initial: StateId::new(initial),
+            })
+            .collect();
+        self.push_state(
+            id.into(),
+            name.into(),
+            Some(parent.into()),
+            region,
+            StateKind::Concurrent { regions },
+        );
+        self
+    }
+
+    /// Adds a transition.
+    pub fn transition(mut self, def: TransitionDef) -> Self {
+        self.transitions_raw.push(def);
+        self
+    }
+
+    /// Assembles the statechart. Returns every accumulated error (duplicate
+    /// ids, unparseable guards/expressions, missing initial state) rather
+    /// than failing fast, mirroring how the editor reported all problems at
+    /// once.
+    ///
+    /// Structural validation (dangling references, reachability, …) is a
+    /// separate step: [`Statechart::validate`].
+    pub fn build(mut self) -> Result<Statechart, Vec<String>> {
+        let Some(initial) = self.initial.clone() else {
+            self.errors.push("no initial state set".to_string());
+            return Err(self.errors);
+        };
+        let mut sc = Statechart::empty(self.name.clone(), initial);
+        sc.variables = self.variables.clone();
+        // Parse task input/output expressions.
+        for (id, inputs, outputs) in &self.task_raw {
+            let mut parsed_inputs = Vec::with_capacity(inputs.len());
+            for (param, src) in inputs {
+                match selfserv_expr::parse(src) {
+                    Ok(expr) => parsed_inputs.push(InputMapping { param: param.clone(), expr }),
+                    Err(e) => self
+                        .errors
+                        .push(format!("task '{id}', input '{param}': {e}")),
+                }
+            }
+            let parsed_outputs = outputs
+                .iter()
+                .map(|(param, var)| OutputMapping { param: param.clone(), var: var.clone() })
+                .collect();
+            if let Some(state) = self.states.iter_mut().find(|s| &s.id == id) {
+                if let StateKind::Task(spec) = &mut state.kind {
+                    spec.inputs = parsed_inputs;
+                    spec.outputs = parsed_outputs;
+                }
+            }
+        }
+        for s in self.states {
+            sc.insert_state(s);
+        }
+        // Parse transitions.
+        let mut seen_tids = std::collections::HashSet::new();
+        for def in &self.transitions_raw {
+            if !seen_tids.insert(def.id.clone()) {
+                self.errors.push(format!("duplicate transition id '{}'", def.id));
+                continue;
+            }
+            let guard = match &def.guard {
+                None => None,
+                Some(src) => match selfserv_expr::parse(src) {
+                    Ok(e) => Some(e),
+                    Err(e) => {
+                        self.errors.push(format!("transition '{}', guard: {e}", def.id));
+                        continue;
+                    }
+                },
+            };
+            let mut actions = Vec::with_capacity(def.actions.len());
+            let mut ok = true;
+            for (var, src) in &def.actions {
+                match selfserv_expr::parse(src) {
+                    Ok(expr) => actions.push(Assignment { var: var.clone(), expr }),
+                    Err(e) => {
+                        self.errors
+                            .push(format!("transition '{}', action on '{var}': {e}", def.id));
+                        ok = false;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            sc.transitions.push(Transition {
+                id: def.id.clone(),
+                source: StateId::new(def.source.clone()),
+                target: StateId::new(def.target.clone()),
+                event: def.event.clone(),
+                guard,
+                actions,
+            });
+        }
+        if self.errors.is_empty() {
+            Ok(sc)
+        } else {
+            Err(self.errors)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::StateKind;
+
+    #[test]
+    fn builds_simple_sequence() {
+        let sc = StatechartBuilder::new("Seq")
+            .initial("a")
+            .task(TaskDef::new("a", "A").service("SvcA", "run"))
+            .task(TaskDef::new("b", "B").service("SvcB", "run"))
+            .final_state("f")
+            .transition(TransitionDef::new("t1", "a", "b"))
+            .transition(TransitionDef::new("t2", "b", "f"))
+            .build()
+            .unwrap();
+        assert_eq!(sc.state_count(), 3);
+        assert_eq!(sc.transitions.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_state_id_is_an_error() {
+        let err = StatechartBuilder::new("X")
+            .initial("a")
+            .choice("a", "A")
+            .choice("a", "A again")
+            .final_state("f")
+            .build()
+            .unwrap_err();
+        assert!(err.iter().any(|e| e.contains("duplicate state id")), "{err:?}");
+    }
+
+    #[test]
+    fn duplicate_transition_id_is_an_error() {
+        let err = StatechartBuilder::new("X")
+            .initial("a")
+            .choice("a", "A")
+            .final_state("f")
+            .transition(TransitionDef::new("t", "a", "f"))
+            .transition(TransitionDef::new("t", "a", "f"))
+            .build()
+            .unwrap_err();
+        assert!(err.iter().any(|e| e.contains("duplicate transition id")), "{err:?}");
+    }
+
+    #[test]
+    fn missing_initial_is_an_error() {
+        let err = StatechartBuilder::new("X").choice("a", "A").build().unwrap_err();
+        assert!(err.iter().any(|e| e.contains("initial")), "{err:?}");
+    }
+
+    #[test]
+    fn unbound_task_is_an_error() {
+        let err = StatechartBuilder::new("X")
+            .initial("a")
+            .task(TaskDef::new("a", "A"))
+            .build()
+            .unwrap_err();
+        assert!(err.iter().any(|e| e.contains("binding")), "{err:?}");
+    }
+
+    #[test]
+    fn bad_guard_reports_transition_id() {
+        let err = StatechartBuilder::new("X")
+            .initial("a")
+            .choice("a", "A")
+            .final_state("f")
+            .transition(TransitionDef::new("t9", "a", "f").guard("((("))
+            .build()
+            .unwrap_err();
+        assert!(err.iter().any(|e| e.contains("t9")), "{err:?}");
+    }
+
+    #[test]
+    fn bad_input_expr_reports_task_and_param() {
+        let err = StatechartBuilder::new("X")
+            .initial("a")
+            .task(TaskDef::new("a", "A").service("S", "op").input("p", "1 +"))
+            .final_state("f")
+            .build()
+            .unwrap_err();
+        assert!(err.iter().any(|e| e.contains("'a'") && e.contains("'p'")), "{err:?}");
+    }
+
+    #[test]
+    fn multiple_errors_all_reported() {
+        let err = StatechartBuilder::new("X")
+            .initial("a")
+            .task(TaskDef::new("a", "A")) // no binding
+            .transition(TransitionDef::new("t", "a", "f").guard("(")) // bad guard
+            .build()
+            .unwrap_err();
+        assert!(err.len() >= 2, "{err:?}");
+    }
+
+    #[test]
+    fn task_mappings_are_parsed() {
+        let sc = StatechartBuilder::new("X")
+            .initial("a")
+            .task(
+                TaskDef::new("a", "A")
+                    .service("S", "op")
+                    .input("city", "destination")
+                    .input("markup", "price * 1.1")
+                    .output("conf", "confirmation"),
+            )
+            .final_state("f")
+            .transition(TransitionDef::new("t", "a", "f"))
+            .build()
+            .unwrap();
+        let spec = sc.state_str("a").unwrap().task().unwrap();
+        assert_eq!(spec.inputs.len(), 2);
+        assert_eq!(spec.inputs[1].expr.to_string(), "price * 1.1");
+        assert_eq!(spec.outputs[0].var, "confirmation");
+    }
+
+    #[test]
+    fn transition_actions_are_parsed() {
+        let sc = StatechartBuilder::new("X")
+            .initial("a")
+            .choice("a", "A")
+            .final_state("f")
+            .transition(TransitionDef::new("t", "a", "f").action("count", "count + 1"))
+            .build()
+            .unwrap();
+        assert_eq!(sc.transitions[0].actions[0].var, "count");
+    }
+
+    #[test]
+    fn nested_construction() {
+        let sc = StatechartBuilder::new("Nest")
+            .initial("outer")
+            .compound("outer", "Outer", "inner_a")
+            .choice_in("outer", 0, "inner_a", "Inner A")
+            .final_in("outer", 0, "inner_f")
+            .final_state("f")
+            .transition(TransitionDef::new("ti", "inner_a", "inner_f"))
+            .transition(TransitionDef::new("to", "outer", "f"))
+            .build()
+            .unwrap();
+        let inner = sc.state_str("inner_a").unwrap();
+        assert_eq!(inner.parent, Some(StateId::new("outer")));
+        match &sc.state_str("outer").unwrap().kind {
+            StateKind::Compound { initial } => assert_eq!(initial.as_str(), "inner_a"),
+            _ => panic!(),
+        }
+    }
+}

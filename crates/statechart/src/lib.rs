@@ -1,0 +1,52 @@
+//! # selfserv-statechart
+//!
+//! The declarative composition model of SELF-SERV: **statecharts**.
+//!
+//! The paper composes web services with "a declarative language for
+//! composing services based on statecharts", where "an operation of a
+//! composite service can be seen as having input parameters, output
+//! parameters, consumed and produced events, and a statechart glueing these
+//! elements together" (Section 2). This crate provides:
+//!
+//! * the statechart model ([`Statechart`], [`State`], [`StateKind`],
+//!   [`Transition`]) supporting task states bound to service or community
+//!   operations, choice pseudo-states, nested compound (OR) states,
+//!   concurrent (AND) states with multiple regions, and final states;
+//! * ECA-rule transitions: an optional triggering event, a guard condition
+//!   in the `selfserv-expr` language, and variable-assignment actions;
+//! * a [`builder`](StatechartBuilder) mirroring what the original service
+//!   editor GUI produced;
+//! * [`validation`](Statechart::validate) with errors and warnings
+//!   (the analysis the service deployer runs before generating routing
+//!   tables);
+//! * an XML round-trip (the "translated into an XML document" panel of
+//!   Figure 2);
+//! * the paper's travel scenario ([`travel::travel_statechart`]) and
+//!   synthetic statechart families ([`synth`]) used by tests and benches.
+//!
+//! ## Structural conventions
+//!
+//! Transitions connect *sibling* states (same parent, same region). A
+//! compound state completes when its region reaches a final state; a
+//! concurrent state completes when **all** its regions do (AND-join). These
+//! restrictions are exactly what makes the peer-to-peer routing tables of
+//! `selfserv-routing` statically computable, which is the paper's central
+//! trick.
+
+mod builder;
+mod model;
+pub mod synth;
+pub mod travel;
+mod validate;
+mod xml_codec;
+
+pub use builder::{StatechartBuilder, TaskDef, TransitionDef};
+pub use model::{
+    Assignment, InputMapping, OutputMapping, RegionSpec, ServiceBinding, State, StateId,
+    StateKind, Statechart, TaskSpec, Transition, VarDecl,
+};
+pub use validate::{ValidationIssue, ValidationReport};
+pub use xml_codec::StatechartCodecError;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,517 @@
+//! Core statechart data model.
+
+use selfserv_expr::{Expr, Value};
+use selfserv_wsdl::ParamType;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a state within one statechart (e.g. `"CR"` for the travel
+/// scenario's Car Rental state).
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub String);
+
+impl StateId {
+    /// Wraps a string as a state id.
+    pub fn new(s: impl Into<String>) -> Self {
+        StateId(s.into())
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for StateId {
+    fn from(s: &str) -> Self {
+        StateId(s.to_string())
+    }
+}
+
+impl From<String> for StateId {
+    fn from(s: String) -> Self {
+        StateId(s)
+    }
+}
+
+/// A declared statechart variable. Variables carry case data between
+/// component services (the "input/output parameters" of Figure 2's bottom
+/// panel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: ParamType,
+    /// Initial value bound when an instance starts (inputs of the composite
+    /// operation override this).
+    pub initial: Option<Value>,
+}
+
+/// What a task state invokes when entered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceBinding {
+    /// A direct (elementary or composite) service operation.
+    Service {
+        /// Registered service name.
+        service: String,
+        /// Operation name.
+        operation: String,
+    },
+    /// An operation delegated through a service community, which picks the
+    /// concrete provider at run time.
+    Community {
+        /// Community name.
+        community: String,
+        /// Generic operation name.
+        operation: String,
+    },
+}
+
+impl ServiceBinding {
+    /// The operation name, whichever the binding kind.
+    pub fn operation(&self) -> &str {
+        match self {
+            ServiceBinding::Service { operation, .. }
+            | ServiceBinding::Community { operation, .. } => operation,
+        }
+    }
+
+    /// The target name (service or community).
+    pub fn target(&self) -> &str {
+        match self {
+            ServiceBinding::Service { service, .. } => service,
+            ServiceBinding::Community { community, .. } => community,
+        }
+    }
+
+    /// True for community bindings.
+    pub fn is_community(&self) -> bool {
+        matches!(self, ServiceBinding::Community { .. })
+    }
+}
+
+/// Maps a service input parameter to an expression over statechart
+/// variables, evaluated when the task state is entered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputMapping {
+    /// The operation's input parameter.
+    pub param: String,
+    /// Expression producing its value.
+    pub expr: Expr,
+}
+
+/// Maps a service output parameter back into a statechart variable when the
+/// task completes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputMapping {
+    /// The operation's output parameter.
+    pub param: String,
+    /// Statechart variable receiving the value.
+    pub var: String,
+}
+
+/// The payload of a task state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSpec {
+    /// What to invoke.
+    pub binding: ServiceBinding,
+    /// Input parameter bindings.
+    pub inputs: Vec<InputMapping>,
+    /// Output captures.
+    pub outputs: Vec<OutputMapping>,
+}
+
+/// One region of a concurrent (AND) state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionSpec {
+    /// Region name, unique within the concurrent state.
+    pub name: String,
+    /// The region's initial state (must be a child of the concurrent state
+    /// assigned to this region).
+    pub initial: StateId,
+}
+
+/// The kind-specific part of a state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateKind {
+    /// A basic state bound to a service/community operation; completes when
+    /// the invocation returns.
+    Task(TaskSpec),
+    /// A pseudo-state with no work: completes immediately, used to fan out
+    /// guarded alternatives (e.g. domestic vs. international flight).
+    Choice,
+    /// An OR-state containing a nested region; completes when the region
+    /// reaches a final state.
+    Compound {
+        /// Initial child state.
+        initial: StateId,
+    },
+    /// An AND-state with parallel regions; completes when all regions reach
+    /// their final states.
+    Concurrent {
+        /// The regions (two or more).
+        regions: Vec<RegionSpec>,
+    },
+    /// A final state; reaching it completes the enclosing region.
+    Final,
+}
+
+impl StateKind {
+    /// Short tag used in XML and diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            StateKind::Task(_) => "task",
+            StateKind::Choice => "choice",
+            StateKind::Compound { .. } => "compound",
+            StateKind::Concurrent { .. } => "concurrent",
+            StateKind::Final => "final",
+        }
+    }
+}
+
+/// A state of the composite service's statechart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    /// Unique id.
+    pub id: StateId,
+    /// Display name (the editor's "state name" field).
+    pub name: String,
+    /// Enclosing state; `None` for children of the root region.
+    pub parent: Option<StateId>,
+    /// Region index within a concurrent parent (always 0 under compound
+    /// parents and at root).
+    pub region: usize,
+    /// Kind-specific payload.
+    pub kind: StateKind,
+}
+
+impl State {
+    /// True for task states.
+    pub fn is_task(&self) -> bool {
+        matches!(self.kind, StateKind::Task(_))
+    }
+
+    /// True for final states.
+    pub fn is_final(&self) -> bool {
+        matches!(self.kind, StateKind::Final)
+    }
+
+    /// The task payload, for task states.
+    pub fn task(&self) -> Option<&TaskSpec> {
+        match &self.kind {
+            StateKind::Task(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A variable assignment performed when a transition fires (the "A" of the
+/// editor's ECA rules).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Target statechart variable.
+    pub var: String,
+    /// Expression over statechart variables.
+    pub expr: Expr,
+}
+
+/// A transition between sibling states, carrying an ECA rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Unique id.
+    pub id: String,
+    /// Source state.
+    pub source: StateId,
+    /// Target state.
+    pub target: StateId,
+    /// Optional triggering event name; `None` means the transition is
+    /// evaluated on source completion.
+    pub event: Option<String>,
+    /// Optional guard; `None` means always enabled.
+    pub guard: Option<Expr>,
+    /// Assignments executed when the transition fires.
+    pub actions: Vec<Assignment>,
+}
+
+/// A complete composite-service statechart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statechart {
+    /// The composite service's name.
+    pub name: String,
+    /// Declared variables.
+    pub variables: Vec<VarDecl>,
+    /// Initial state of the root region.
+    pub initial: StateId,
+    /// All states, keyed by id (sorted for deterministic iteration).
+    pub(crate) states: BTreeMap<StateId, State>,
+    /// All transitions.
+    pub transitions: Vec<Transition>,
+}
+
+impl Statechart {
+    /// Creates an empty statechart; use [`crate::StatechartBuilder`] for
+    /// ergonomic construction.
+    pub fn empty(name: impl Into<String>, initial: impl Into<StateId>) -> Self {
+        Statechart {
+            name: name.into(),
+            variables: Vec::new(),
+            initial: initial.into(),
+            states: BTreeMap::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Inserts a state, replacing any previous state with the same id.
+    pub fn insert_state(&mut self, state: State) {
+        self.states.insert(state.id.clone(), state);
+    }
+
+    /// Looks up a state.
+    pub fn state(&self, id: &StateId) -> Option<&State> {
+        self.states.get(id)
+    }
+
+    /// Looks up a state by string id.
+    pub fn state_str(&self, id: &str) -> Option<&State> {
+        self.states.get(&StateId::new(id))
+    }
+
+    /// Iterates over all states in id order.
+    pub fn states(&self) -> impl Iterator<Item = &State> {
+        self.states.values()
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Declared variable by name.
+    pub fn variable(&self, name: &str) -> Option<&VarDecl> {
+        self.variables.iter().find(|v| v.name == name)
+    }
+
+    /// Children of `parent` in `region`, in id order. `parent = None` walks
+    /// the root region (where `region` must be 0).
+    pub fn children_of(&self, parent: Option<&StateId>, region: usize) -> Vec<&State> {
+        self.states
+            .values()
+            .filter(|s| s.parent.as_ref() == parent && s.region == region)
+            .collect()
+    }
+
+    /// All direct children of `parent` regardless of region.
+    pub fn all_children_of(&self, parent: &StateId) -> Vec<&State> {
+        self.states
+            .values()
+            .filter(|s| s.parent.as_ref() == Some(parent))
+            .collect()
+    }
+
+    /// Outgoing transitions of a state, in declaration order.
+    pub fn outgoing(&self, id: &StateId) -> Vec<&Transition> {
+        self.transitions.iter().filter(|t| &t.source == id).collect()
+    }
+
+    /// Incoming transitions of a state, in declaration order.
+    pub fn incoming(&self, id: &StateId) -> Vec<&Transition> {
+        self.transitions.iter().filter(|t| &t.target == id).collect()
+    }
+
+    /// Final states of `parent`'s region `region` (root region when
+    /// `parent` is `None`).
+    pub fn final_states_of(&self, parent: Option<&StateId>, region: usize) -> Vec<&State> {
+        self.children_of(parent, region)
+            .into_iter()
+            .filter(|s| s.is_final())
+            .collect()
+    }
+
+    /// True when `ancestor` encloses `id` (strictly).
+    pub fn is_ancestor(&self, ancestor: &StateId, id: &StateId) -> bool {
+        let mut cur = self.states.get(id).and_then(|s| s.parent.as_ref());
+        while let Some(p) = cur {
+            if p == ancestor {
+                return true;
+            }
+            cur = self.states.get(p).and_then(|s| s.parent.as_ref());
+        }
+        false
+    }
+
+    /// Nesting depth of a state (root children have depth 0).
+    pub fn depth_of(&self, id: &StateId) -> usize {
+        let mut depth = 0;
+        let mut cur = self.states.get(id).and_then(|s| s.parent.as_ref());
+        while let Some(p) = cur {
+            depth += 1;
+            cur = self.states.get(p).and_then(|s| s.parent.as_ref());
+        }
+        depth
+    }
+
+    /// All task states (the ones that invoke component services).
+    pub fn task_states(&self) -> impl Iterator<Item = &State> {
+        self.states.values().filter(|s| s.is_task())
+    }
+
+    /// Names of all communities referenced by task bindings.
+    pub fn referenced_communities(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in self.task_states() {
+            if let Some(TaskSpec { binding: ServiceBinding::Community { community, .. }, .. }) =
+                s.task().cloned().as_ref()
+            {
+                if !out.contains(community) {
+                    out.push(community.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Names of all directly-referenced services.
+    pub fn referenced_services(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in self.task_states() {
+            if let Some(t) = s.task() {
+                if let ServiceBinding::Service { service, .. } = &t.binding {
+                    if !out.contains(service) {
+                        out.push(service.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::travel::travel_statechart;
+
+    #[test]
+    fn state_id_display_and_conversions() {
+        let id: StateId = "CR".into();
+        assert_eq!(id.to_string(), "CR");
+        assert_eq!(id.as_str(), "CR");
+        assert_eq!(StateId::from("CR".to_string()), id);
+    }
+
+    #[test]
+    fn travel_chart_structure() {
+        let sc = travel_statechart();
+        assert_eq!(sc.name, "Travel Planning");
+        assert_eq!(sc.initial, StateId::new("ARR"));
+        // Root region: ARR (concurrent), CR, post-choice, final.
+        let root = sc.children_of(None, 0);
+        assert!(root.iter().any(|s| s.id.as_str() == "ARR"));
+        assert!(root.iter().any(|s| s.id.as_str() == "CR"));
+        // Two regions under ARR.
+        let arr = sc.state_str("ARR").unwrap();
+        match &arr.kind {
+            StateKind::Concurrent { regions } => assert_eq!(regions.len(), 2),
+            other => panic!("ARR should be concurrent, got {}", other.kind_name()),
+        }
+        // ITA is compound with nested children.
+        let ita = sc.state_str("ITA").unwrap();
+        assert!(matches!(ita.kind, StateKind::Compound { .. }));
+        assert!(sc.is_ancestor(&StateId::new("ITA"), &StateId::new("IFB")));
+        assert!(!sc.is_ancestor(&StateId::new("ITA"), &StateId::new("CR")));
+    }
+
+    #[test]
+    fn children_and_regions() {
+        let sc = travel_statechart();
+        let arr_id = StateId::new("ARR");
+        let region0 = sc.children_of(Some(&arr_id), 0);
+        let region1 = sc.children_of(Some(&arr_id), 1);
+        assert!(!region0.is_empty());
+        assert!(!region1.is_empty());
+        // Regions are disjoint.
+        for s in &region0 {
+            assert!(!region1.iter().any(|t| t.id == s.id));
+        }
+        let all = sc.all_children_of(&arr_id);
+        assert_eq!(all.len(), region0.len() + region1.len());
+    }
+
+    #[test]
+    fn outgoing_incoming() {
+        let sc = travel_statechart();
+        let fc = StateId::new("FC");
+        let out = sc.outgoing(&fc);
+        assert_eq!(out.len(), 2, "flight choice has two guarded branches");
+        assert!(out.iter().all(|t| t.guard.is_some()));
+        let ab_in = sc.incoming(&StateId::new("AB"));
+        assert_eq!(ab_in.len(), 2, "both flight branches lead to accommodation booking");
+    }
+
+    #[test]
+    fn final_states_lookup() {
+        let sc = travel_statechart();
+        let root_finals = sc.final_states_of(None, 0);
+        assert_eq!(root_finals.len(), 1);
+        let arr_id = StateId::new("ARR");
+        assert_eq!(sc.final_states_of(Some(&arr_id), 0).len(), 1);
+        assert_eq!(sc.final_states_of(Some(&arr_id), 1).len(), 1);
+    }
+
+    #[test]
+    fn depth_of() {
+        let sc = travel_statechart();
+        assert_eq!(sc.depth_of(&StateId::new("ARR")), 0);
+        assert_eq!(sc.depth_of(&StateId::new("AB")), 1);
+        assert_eq!(sc.depth_of(&StateId::new("IFB")), 2);
+    }
+
+    #[test]
+    fn referenced_services_and_communities() {
+        let sc = travel_statechart();
+        let communities = sc.referenced_communities();
+        assert_eq!(communities, vec!["AccommodationBooking".to_string()]);
+        let services = sc.referenced_services();
+        assert!(services.iter().any(|s| s == "Domestic Flight Booking"));
+        assert!(services.iter().any(|s| s == "Attraction Search"));
+    }
+
+    #[test]
+    fn binding_accessors() {
+        let b = ServiceBinding::Community { community: "AB".into(), operation: "book".into() };
+        assert!(b.is_community());
+        assert_eq!(b.operation(), "book");
+        assert_eq!(b.target(), "AB");
+        let s = ServiceBinding::Service { service: "CR".into(), operation: "rent".into() };
+        assert!(!s.is_community());
+        assert_eq!(s.target(), "CR");
+    }
+
+    #[test]
+    fn insert_state_replaces() {
+        let mut sc = Statechart::empty("X", "a");
+        sc.insert_state(State {
+            id: "a".into(),
+            name: "first".into(),
+            parent: None,
+            region: 0,
+            kind: StateKind::Choice,
+        });
+        sc.insert_state(State {
+            id: "a".into(),
+            name: "second".into(),
+            parent: None,
+            region: 0,
+            kind: StateKind::Final,
+        });
+        assert_eq!(sc.state_count(), 1);
+        assert_eq!(sc.state_str("a").unwrap().name, "second");
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests: XML round-trips over the synthetic chart families and
+//! validation totality.
+
+use crate::synth;
+use crate::Statechart;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sequence_round_trip(n in 1usize..24) {
+        let sc = synth::sequence(n);
+        let back = Statechart::from_xml_str(&sc.to_xml().to_pretty_xml()).unwrap();
+        prop_assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn xor_round_trip(n in 1usize..16) {
+        let sc = synth::xor_choice(n);
+        let back = Statechart::from_xml_str(&sc.to_xml().to_pretty_xml()).unwrap();
+        prop_assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn parallel_round_trip(n in 2usize..12) {
+        let sc = synth::parallel(n);
+        let back = Statechart::from_xml_str(&sc.to_xml().to_pretty_xml()).unwrap();
+        prop_assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn nested_round_trip(depth in 1usize..8) {
+        let sc = synth::nested(depth);
+        let back = Statechart::from_xml_str(&sc.to_xml().to_pretty_xml()).unwrap();
+        prop_assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn ladder_round_trip(width in 2usize..5, depth in 1usize..4) {
+        let sc = synth::ladder(width, depth);
+        let back = Statechart::from_xml_str(&sc.to_xml().to_pretty_xml()).unwrap();
+        prop_assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn all_synthetic_charts_validate_clean(
+        n in 1usize..16,
+        width in 2usize..5,
+        depth in 1usize..4,
+    ) {
+        for sc in [
+            synth::sequence(n),
+            synth::xor_choice(n),
+            synth::parallel(width),
+            synth::nested(depth),
+            synth::ladder(width, depth),
+        ] {
+            let report = sc.validate();
+            prop_assert!(report.issues.is_empty(), "{}: {:?}", sc.name, report.issues);
+        }
+    }
+
+    #[test]
+    fn validation_never_panics_on_mutated_charts(
+        n in 1usize..8,
+        drop_idx in 0usize..16,
+    ) {
+        // Remove a random transition: validation must report problems, not
+        // panic.
+        let mut sc = synth::sequence(n);
+        if !sc.transitions.is_empty() {
+            let idx = drop_idx % sc.transitions.len();
+            sc.transitions.remove(idx);
+        }
+        let _ = sc.validate();
+    }
+
+    #[test]
+    fn codec_rejects_or_accepts_without_panic(s in "[ -~]{0,128}") {
+        let _ = Statechart::from_xml_str(&s);
+    }
+}

@@ -1,0 +1,452 @@
+//! Synthetic statechart families used by tests and by the benchmark
+//! harness (experiment E2/E4 parameter sweeps).
+//!
+//! Every generator produces a chart that passes [`Statechart::validate`]
+//! with zero issues, references services named `SynthService<i>` with a
+//! single operation `run`, and threads a single `payload` variable through
+//! the tasks so executions have observable data flow.
+
+use crate::builder::{StatechartBuilder, TaskDef, TransitionDef};
+use crate::model::Statechart;
+use selfserv_wsdl::ParamType;
+
+/// Name of the synthetic service bound to task `i`.
+pub fn synth_service_name(i: usize) -> String {
+    format!("SynthService{i}")
+}
+
+/// The operation every synthetic service offers.
+pub const SYNTH_OPERATION: &str = "run";
+
+fn base(name: impl Into<String>) -> StatechartBuilder {
+    StatechartBuilder::new(name)
+        .variable("payload", ParamType::Str)
+        .variable("branch", ParamType::Int)
+}
+
+fn synth_task(i: usize) -> TaskDef {
+    TaskDef::new(format!("s{i}"), format!("Step {i}"))
+        .service(synth_service_name(i), SYNTH_OPERATION)
+        .input("payload", "payload")
+        .output("payload", "payload")
+}
+
+/// A linear pipeline: `s0 → s1 → … → s(n-1) → F`. Requires `n ≥ 1`.
+pub fn sequence(n: usize) -> Statechart {
+    assert!(n >= 1, "sequence needs at least one task");
+    let mut b = base(format!("SynthSeq{n}")).initial("s0");
+    for i in 0..n {
+        b = b.task(synth_task(i));
+    }
+    b = b.final_state("F");
+    for i in 0..n - 1 {
+        b = b.transition(TransitionDef::new(format!("t{i}"), format!("s{i}"), format!("s{}", i + 1)));
+    }
+    b = b.transition(TransitionDef::new(format!("t{}", n - 1), format!("s{}", n - 1), "F"));
+    b.build().expect("synthetic sequence is well-formed")
+}
+
+/// An exclusive choice: a choice state fans out to `n` guarded task
+/// branches (`branch == i`), all converging on a final state. Requires
+/// `n ≥ 1`.
+pub fn xor_choice(n: usize) -> Statechart {
+    assert!(n >= 1, "xor_choice needs at least one branch");
+    let mut b = base(format!("SynthXor{n}")).initial("C").choice("C", "Branch Choice");
+    for i in 0..n {
+        b = b.task(synth_task(i));
+    }
+    b = b.final_state("F");
+    for i in 0..n {
+        b = b
+            .transition(
+                TransitionDef::new(format!("tc{i}"), "C", format!("s{i}"))
+                    .guard(format!("branch == {i}")),
+            )
+            .transition(TransitionDef::new(format!("tf{i}"), format!("s{i}"), "F"));
+    }
+    b.build().expect("synthetic xor choice is well-formed")
+}
+
+/// A parallel block: one concurrent state with `n` regions, each containing
+/// a single task, followed by a final state. Requires `n ≥ 2`.
+pub fn parallel(n: usize) -> Statechart {
+    assert!(n >= 2, "parallel needs at least two regions");
+    let region_names: Vec<String> = (0..n).map(|i| format!("r{i}")).collect();
+    let initials: Vec<String> = (0..n).map(|i| format!("s{i}")).collect();
+    let regions: Vec<(&str, &str)> = region_names
+        .iter()
+        .zip(initials.iter())
+        .map(|(r, s)| (r.as_str(), s.as_str()))
+        .collect();
+    let mut b = base(format!("SynthPar{n}")).initial("P").concurrent("P", "Parallel Block", regions);
+    for i in 0..n {
+        b = b
+            .task_in_region("P", i, synth_task(i))
+            .final_in("P", i, format!("rf{i}"))
+            .transition(TransitionDef::new(format!("t{i}"), format!("s{i}"), format!("rf{i}")));
+    }
+    b = b
+        .final_state("F")
+        .transition(TransitionDef::new("tp", "P", "F"));
+    b.build().expect("synthetic parallel block is well-formed")
+}
+
+/// A nesting chain: `depth` compound states each wrapping the next, with a
+/// single task at the innermost level. Requires `depth ≥ 1`.
+pub fn nested(depth: usize) -> Statechart {
+    assert!(depth >= 1, "nested needs depth >= 1");
+    let mut b = base(format!("SynthNest{depth}")).initial("c0");
+    // c0 wraps c1 wraps ... wraps c(depth-1) which wraps the task.
+    for lvl in 0..depth {
+        let id = format!("c{lvl}");
+        let inner = if lvl + 1 < depth { format!("c{}", lvl + 1) } else { "inner".to_string() };
+        if lvl == 0 {
+            b = b.compound(id, format!("Level {lvl}"), inner);
+        } else {
+            b = b.compound_in(format!("c{}", lvl - 1), 0, id, format!("Level {lvl}"), inner);
+        }
+    }
+    let last = format!("c{}", depth - 1);
+    b = b
+        .task_in(last.clone(), synth_task(0))
+        .final_in(last.clone(), 0, "inner_f".to_string())
+        .transition(TransitionDef::new("ti", "s0", "inner_f"));
+    // Rename: the innermost task id is `s0`, its compound's initial must be
+    // "inner" — fix by pointing initial at s0 instead.
+    // (Handled below by rebuilding with correct initial name.)
+    b = b.final_state("F").transition(TransitionDef::new("to", "c0", "F"));
+    // Each compound level except the innermost completes when its child
+    // compound completes; add the chain of finals.
+    for lvl in 0..depth.saturating_sub(1) {
+        let parent = format!("c{lvl}");
+        let child = format!("c{}", lvl + 1);
+        b = b
+            .final_in(parent.clone(), 0, format!("f{lvl}"))
+            .transition(TransitionDef::new(format!("tf{lvl}"), child, format!("f{lvl}")));
+    }
+    let sc = b.build().expect("synthetic nested chart is well-formed");
+    // Fix the innermost compound's initial: it was declared as "inner" but
+    // the task is "s0".
+    let mut sc = sc;
+    let last_id = crate::model::StateId::new(last);
+    if let Some(state) = sc.state(&last_id).cloned() {
+        if let crate::model::StateKind::Compound { .. } = state.kind {
+            let mut fixed = state;
+            fixed.kind = crate::model::StateKind::Compound { initial: "s0".into() };
+            sc.insert_state(fixed);
+        }
+    }
+    sc
+}
+
+/// A fork-join ladder: `depth` concurrent blocks of `width` regions run in
+/// sequence — the stress shape for AND-join routing tables. Requires
+/// `width ≥ 2`, `depth ≥ 1`.
+pub fn ladder(width: usize, depth: usize) -> Statechart {
+    assert!(width >= 2 && depth >= 1);
+    let mut b = base(format!("SynthLadder{width}x{depth}")).initial("P0");
+    let mut task_idx = 0;
+    for d in 0..depth {
+        let pid = format!("P{d}");
+        let region_names: Vec<String> = (0..width).map(|r| format!("{pid}r{r}")).collect();
+        let initials: Vec<String> = (0..width).map(|r| format!("{pid}s{r}")).collect();
+        let regions: Vec<(&str, &str)> = region_names
+            .iter()
+            .zip(initials.iter())
+            .map(|(r, s)| (r.as_str(), s.as_str()))
+            .collect();
+        b = b.concurrent(pid.clone(), format!("Stage {d}"), regions);
+        for r in 0..width {
+            let sid = format!("{pid}s{r}");
+            let fid = format!("{pid}f{r}");
+            b = b
+                .task_in_region(
+                    pid.clone(),
+                    r,
+                    TaskDef::new(sid.clone(), format!("Stage {d} lane {r}"))
+                        .service(synth_service_name(task_idx), SYNTH_OPERATION)
+                        .input("payload", "payload")
+                        .output("payload", "payload"),
+                )
+                .final_in(pid.clone(), r, fid.clone())
+                .transition(TransitionDef::new(format!("t_{sid}"), sid, fid));
+            task_idx += 1;
+        }
+    }
+    b = b.final_state("F");
+    for d in 0..depth {
+        let target = if d + 1 < depth { format!("P{}", d + 1) } else { "F".to_string() };
+        b = b.transition(TransitionDef::new(format!("tp{d}"), format!("P{d}"), target));
+    }
+    b.build().expect("synthetic ladder is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_is_clean_and_sized() {
+        for n in [1, 2, 5, 20] {
+            let sc = sequence(n);
+            let r = sc.validate();
+            assert!(r.is_ok(), "sequence({n}): {:?}", r.issues);
+            assert!(r.issues.is_empty(), "sequence({n}): {:?}", r.issues);
+            assert_eq!(sc.state_count(), n + 1); // tasks + final
+            assert_eq!(sc.transitions.len(), n);
+        }
+    }
+
+    #[test]
+    fn xor_choice_is_clean() {
+        for n in [1, 2, 8] {
+            let sc = xor_choice(n);
+            let r = sc.validate();
+            assert!(r.is_ok(), "xor({n}): {:?}", r.issues);
+            assert_eq!(sc.state_count(), n + 2); // choice + tasks + final
+            assert_eq!(sc.outgoing(&"C".into()).len(), n);
+        }
+    }
+
+    #[test]
+    fn parallel_is_clean() {
+        for n in [2, 3, 8] {
+            let sc = parallel(n);
+            let r = sc.validate();
+            assert!(r.is_ok(), "parallel({n}): {:?}", r.issues);
+            // concurrent + n tasks + n finals + root final
+            assert_eq!(sc.state_count(), 2 * n + 2);
+        }
+    }
+
+    #[test]
+    fn nested_is_clean() {
+        for depth in [1, 2, 5] {
+            let sc = nested(depth);
+            let r = sc.validate();
+            assert!(r.is_ok(), "nested({depth}): {:?}", r.issues);
+            assert_eq!(sc.depth_of(&"s0".into()), depth);
+        }
+    }
+
+    #[test]
+    fn ladder_is_clean() {
+        let sc = ladder(3, 2);
+        let r = sc.validate();
+        assert!(r.is_ok(), "{:?}", r.issues);
+        assert_eq!(sc.task_states().count(), 6);
+    }
+
+    #[test]
+    fn synth_charts_round_trip_xml() {
+        for sc in [sequence(4), xor_choice(3), parallel(3), nested(3), ladder(2, 2)] {
+            let back = Statechart::from_xml(&sc.to_xml()).unwrap();
+            assert_eq!(back, sc, "{} failed xml round-trip", sc.name);
+        }
+    }
+
+    #[test]
+    fn service_names_are_deterministic() {
+        assert_eq!(synth_service_name(3), "SynthService3");
+        let sc = sequence(3);
+        let services = sc.referenced_services();
+        assert_eq!(services, vec!["SynthService0", "SynthService1", "SynthService2"]);
+    }
+}
+
+/// A tiny deterministic linear-congruential generator so random charts
+/// are reproducible without external dependencies.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Recursively generated pseudo-random statechart: a root-region pipeline
+/// whose segments are randomly basic tasks, compound wrappers, or
+/// concurrent blocks, nested up to `max_depth`. Deterministic in `seed`;
+/// always validates cleanly. `budget` loosely bounds the number of task
+/// states (at least one is always produced).
+pub fn recursive(seed: u64, budget: usize, max_depth: usize) -> Statechart {
+    let mut rng = Lcg(seed.wrapping_add(0x9E3779B97F4A7C15));
+    let mut b = base(format!("SynthRand{seed}"));
+    let mut next_id = 0usize;
+    let mut remaining = budget.max(1);
+    let segments = 1 + rng.below(3);
+    let mut prev: Option<String> = None;
+    let mut initial = None;
+    for seg in 0..segments {
+        let id =
+            build_segment(&mut b, &mut rng, &mut next_id, &mut remaining, max_depth, None, 0);
+        if seg == 0 {
+            initial = Some(id.clone());
+        }
+        if let Some(p) = prev {
+            b = b.transition(TransitionDef::new(format!("root_t{seg}"), p, id.clone()));
+        }
+        prev = Some(id);
+    }
+    b = b.final_state("ROOT_F").transition(TransitionDef::new(
+        "root_done",
+        prev.expect("at least one segment"),
+        "ROOT_F",
+    ));
+    b = b.initial(initial.expect("initial set"));
+    b.build().expect("random chart is well-formed")
+}
+
+/// Builds one segment (a task, or a nested compound/concurrent structure
+/// with a single entry == exit id) inside the given parent/region and
+/// returns its id.
+fn build_segment(
+    b: &mut StatechartBuilder,
+    rng: &mut Lcg,
+    next_id: &mut usize,
+    remaining: &mut usize,
+    max_depth: usize,
+    parent: Option<(String, usize)>,
+    depth: usize,
+) -> String {
+    fn fresh(next_id: &mut usize, tag: &str) -> String {
+        let id = format!("{tag}{next_id}");
+        *next_id += 1;
+        id
+    }
+    fn add_task(
+        b: &mut StatechartBuilder,
+        next_id: &mut usize,
+        remaining: &mut usize,
+        parent: &Option<(String, usize)>,
+    ) -> String {
+        let id = fresh(next_id, "rt");
+        *remaining = remaining.saturating_sub(1);
+        let def = TaskDef::new(id.clone(), format!("Task {id}"))
+            .service(synth_service_name(*next_id % 8), SYNTH_OPERATION)
+            .input("payload", "payload")
+            .output("payload", "payload");
+        let taken = std::mem::take(b);
+        *b = match parent {
+            None => taken.task(def),
+            Some((p, r)) => taken.task_in_region(p.clone(), *r, def),
+        };
+        id
+    }
+    let choice = if depth >= max_depth || *remaining <= 1 { 0 } else { rng.below(3) };
+    match choice {
+        // Compound wrapping a nested segment.
+        1 => {
+            let id = fresh(next_id, "rc");
+            let child = build_segment(
+                b,
+                rng,
+                next_id,
+                remaining,
+                max_depth,
+                Some((id.clone(), 0)),
+                depth + 1,
+            );
+            let fin = fresh(next_id, "rf");
+            let taken = std::mem::take(b);
+            *b = match &parent {
+                None => taken.compound(id.clone(), format!("Compound {id}"), child.clone()),
+                Some((p, r)) => taken.compound_in(
+                    p.clone(),
+                    *r,
+                    id.clone(),
+                    format!("Compound {id}"),
+                    child.clone(),
+                ),
+            };
+            let taken = std::mem::take(b);
+            *b = taken
+                .final_in(id.clone(), 0, fin.clone())
+                .transition(TransitionDef::new(format!("t_{child}_{fin}"), child, fin));
+            id
+        }
+        // Concurrent block with 2..=3 regions.
+        2 => {
+            let id = fresh(next_id, "rp");
+            let n_regions = 2 + rng.below(2);
+            let mut initials = Vec::new();
+            for r in 0..n_regions {
+                let child = build_segment(
+                    b,
+                    rng,
+                    next_id,
+                    remaining,
+                    max_depth,
+                    Some((id.clone(), r)),
+                    depth + 1,
+                );
+                let fin = fresh(next_id, "rf");
+                let taken = std::mem::take(b);
+                *b = taken
+                    .final_in(id.clone(), r, fin.clone())
+                    .transition(TransitionDef::new(
+                        format!("t_{child}_{fin}"),
+                        child.clone(),
+                        fin,
+                    ));
+                initials.push(child);
+            }
+            let regions: Vec<(String, String)> = initials
+                .iter()
+                .enumerate()
+                .map(|(r, init)| (format!("r{r}"), init.clone()))
+                .collect();
+            let region_refs: Vec<(&str, &str)> =
+                regions.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+            let taken = std::mem::take(b);
+            *b = match &parent {
+                None => taken.concurrent(id.clone(), format!("Parallel {id}"), region_refs),
+                Some((p, r)) => taken.concurrent_in(
+                    p.clone(),
+                    *r,
+                    id.clone(),
+                    format!("Parallel {id}"),
+                    region_refs,
+                ),
+            };
+            id
+        }
+        // Plain task.
+        _ => add_task(b, next_id, remaining, &parent),
+    }
+}
+
+#[cfg(test)]
+mod recursive_tests {
+    use super::*;
+
+    #[test]
+    fn random_charts_validate_cleanly() {
+        for seed in 0..40 {
+            let sc = recursive(seed, 12, 3);
+            let r = sc.validate();
+            assert!(r.issues.is_empty(), "seed {seed}: {:?}", r.issues);
+            assert!(sc.task_states().count() >= 1);
+        }
+    }
+
+    #[test]
+    fn random_charts_are_deterministic_in_seed() {
+        assert_eq!(recursive(7, 10, 3), recursive(7, 10, 3));
+        assert_ne!(recursive(7, 10, 3), recursive(8, 10, 3));
+    }
+
+    #[test]
+    fn random_charts_round_trip_xml() {
+        for seed in [1u64, 5, 23] {
+            let sc = recursive(seed, 10, 3);
+            let back = Statechart::from_xml(&sc.to_xml()).unwrap();
+            assert_eq!(back, sc);
+        }
+    }
+}

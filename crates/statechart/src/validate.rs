@@ -1,0 +1,632 @@
+//! Structural validation of statecharts — the analysis the service deployer
+//! runs before routing tables can be generated.
+
+use crate::model::{State, StateId, StateKind, Statechart};
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+/// Severity of a validation finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The statechart cannot be deployed.
+    Error,
+    /// Deployable, but suspicious (e.g. unreachable states).
+    Warning,
+}
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationIssue {
+    /// Severity.
+    pub severity: Severity,
+    /// Stable machine-readable code (e.g. `dangling-transition`).
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev}[{}]: {}", self.code, self.message)
+    }
+}
+
+/// The outcome of validating a statechart.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// All findings, in discovery order.
+    pub issues: Vec<ValidationIssue>,
+}
+
+impl ValidationReport {
+    /// True when no *errors* were found (warnings allowed).
+    pub fn is_ok(&self) -> bool {
+        !self.issues.iter().any(|i| i.severity == Severity::Error)
+    }
+
+    /// The error findings.
+    pub fn errors(&self) -> impl Iterator<Item = &ValidationIssue> {
+        self.issues.iter().filter(|i| i.severity == Severity::Error)
+    }
+
+    /// The warning findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &ValidationIssue> {
+        self.issues.iter().filter(|i| i.severity == Severity::Warning)
+    }
+
+    fn error(&mut self, code: &'static str, message: String) {
+        self.issues.push(ValidationIssue { severity: Severity::Error, code, message });
+    }
+
+    fn warn(&mut self, code: &'static str, message: String) {
+        self.issues.push(ValidationIssue { severity: Severity::Warning, code, message });
+    }
+}
+
+impl Statechart {
+    /// Validates the statechart structure. See the crate docs for the
+    /// structural conventions enforced here.
+    pub fn validate(&self) -> ValidationReport {
+        let mut r = ValidationReport::default();
+        self.check_parents(&mut r);
+        self.check_initials(&mut r);
+        self.check_transitions(&mut r);
+        self.check_state_shapes(&mut r);
+        self.check_regions(&mut r);
+        self.check_guards(&mut r);
+        r
+    }
+
+    fn check_parents(&self, r: &mut ValidationReport) {
+        for s in self.states() {
+            if let Some(p) = &s.parent {
+                match self.state(p) {
+                    None => r.error(
+                        "missing-parent",
+                        format!("state '{}' references missing parent '{p}'", s.id),
+                    ),
+                    Some(parent) => match &parent.kind {
+                        StateKind::Compound { .. } => {
+                            if s.region != 0 {
+                                r.error(
+                                    "bad-region-index",
+                                    format!(
+                                        "state '{}' uses region {} of compound '{p}' (must be 0)",
+                                        s.id, s.region
+                                    ),
+                                );
+                            }
+                        }
+                        StateKind::Concurrent { regions } => {
+                            if s.region >= regions.len() {
+                                r.error(
+                                    "bad-region-index",
+                                    format!(
+                                        "state '{}' uses region {} of concurrent '{p}' (only {} regions)",
+                                        s.id, s.region, regions.len()
+                                    ),
+                                );
+                            }
+                        }
+                        _ => r.error(
+                            "leaf-parent",
+                            format!(
+                                "state '{}' is nested inside '{p}', which is a {} state",
+                                s.id,
+                                parent.kind.kind_name()
+                            ),
+                        ),
+                    },
+                }
+            }
+        }
+    }
+
+    fn check_initials(&self, r: &mut ValidationReport) {
+        // Root initial.
+        match self.state(&self.initial) {
+            None => r.error(
+                "missing-initial",
+                format!("initial state '{}' does not exist", self.initial),
+            ),
+            Some(s) if s.parent.is_some() => r.error(
+                "initial-not-root",
+                format!("initial state '{}' is not a child of the root region", self.initial),
+            ),
+            Some(s) if s.is_final() => r.warn(
+                "initial-is-final",
+                format!("initial state '{}' is final: the composite does nothing", self.initial),
+            ),
+            _ => {}
+        }
+        // Compound and concurrent initials.
+        for s in self.states() {
+            match &s.kind {
+                StateKind::Compound { initial } => {
+                    self.check_region_initial(r, &s.id, 0, initial);
+                }
+                StateKind::Concurrent { regions } => {
+                    let mut seen = HashSet::new();
+                    for (idx, region) in regions.iter().enumerate() {
+                        if !seen.insert(region.name.clone()) {
+                            r.error(
+                                "duplicate-region",
+                                format!(
+                                    "concurrent '{}' declares region '{}' twice",
+                                    s.id, region.name
+                                ),
+                            );
+                        }
+                        self.check_region_initial(r, &s.id, idx, &region.initial);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn check_region_initial(
+        &self,
+        r: &mut ValidationReport,
+        parent: &StateId,
+        region: usize,
+        initial: &StateId,
+    ) {
+        match self.state(initial) {
+            None => r.error(
+                "missing-initial",
+                format!("initial state '{initial}' of '{parent}' region {region} does not exist"),
+            ),
+            Some(init) => {
+                if init.parent.as_ref() != Some(parent) || init.region != region {
+                    r.error(
+                        "initial-not-child",
+                        format!(
+                            "initial state '{initial}' is not a child of '{parent}' region {region}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_transitions(&self, r: &mut ValidationReport) {
+        for t in &self.transitions {
+            let src = self.state(&t.source);
+            let dst = self.state(&t.target);
+            if src.is_none() {
+                r.error(
+                    "dangling-transition",
+                    format!("transition '{}' has unknown source '{}'", t.id, t.source),
+                );
+            }
+            if dst.is_none() {
+                r.error(
+                    "dangling-transition",
+                    format!("transition '{}' has unknown target '{}'", t.id, t.target),
+                );
+            }
+            if let (Some(src), Some(dst)) = (src, dst) {
+                if src.parent != dst.parent || src.region != dst.region {
+                    r.error(
+                        "cross-boundary-transition",
+                        format!(
+                            "transition '{}' connects '{}' and '{}', which are not siblings \
+                             in the same region",
+                            t.id, t.source, t.target
+                        ),
+                    );
+                }
+                if src.is_final() {
+                    r.error(
+                        "final-with-outgoing",
+                        format!("final state '{}' has outgoing transition '{}'", t.source, t.id),
+                    );
+                }
+            }
+        }
+        // Non-determinism: more than one unguarded, event-less transition
+        // from the same source.
+        for s in self.states() {
+            let unguarded = self
+                .outgoing(&s.id)
+                .into_iter()
+                .filter(|t| t.guard.is_none() && t.event.is_none())
+                .count();
+            if unguarded > 1 {
+                r.warn(
+                    "nondeterministic-completion",
+                    format!(
+                        "state '{}' has {unguarded} unguarded completion transitions; \
+                         the first one declared will win",
+                        s.id
+                    ),
+                );
+            }
+        }
+    }
+
+    fn check_state_shapes(&self, r: &mut ValidationReport) {
+        for s in self.states() {
+            let children = self.all_children_of(&s.id);
+            match &s.kind {
+                StateKind::Task(_) | StateKind::Choice | StateKind::Final => {
+                    if !children.is_empty() {
+                        r.error(
+                            "leaf-with-children",
+                            format!(
+                                "{} state '{}' has {} nested state(s)",
+                                s.kind.kind_name(),
+                                s.id,
+                                children.len()
+                            ),
+                        );
+                    }
+                }
+                StateKind::Compound { .. } => {
+                    if children.is_empty() {
+                        r.error(
+                            "empty-compound",
+                            format!("compound state '{}' has no children", s.id),
+                        );
+                    }
+                }
+                StateKind::Concurrent { regions } => {
+                    if regions.len() < 2 {
+                        r.warn(
+                            "single-region-concurrent",
+                            format!(
+                                "concurrent state '{}' has {} region(s); use a compound state",
+                                s.id,
+                                regions.len()
+                            ),
+                        );
+                    }
+                }
+            }
+            if matches!(s.kind, StateKind::Choice) && self.outgoing(&s.id).is_empty() {
+                r.error(
+                    "choice-dead-end",
+                    format!("choice state '{}' has no outgoing transitions", s.id),
+                );
+            }
+        }
+    }
+
+    /// Per-region graph checks: a final state must be reachable from the
+    /// region initial; every region member should be reachable (warning).
+    /// A non-final member without outgoing transitions stalls the instance
+    /// (error).
+    fn check_regions(&self, r: &mut ValidationReport) {
+        let mut regions: Vec<(Option<StateId>, usize, StateId)> = Vec::new();
+        regions.push((None, 0, self.initial.clone()));
+        for s in self.states() {
+            match &s.kind {
+                StateKind::Compound { initial } => {
+                    regions.push((Some(s.id.clone()), 0, initial.clone()));
+                }
+                StateKind::Concurrent { regions: rs } => {
+                    for (idx, region) in rs.iter().enumerate() {
+                        regions.push((Some(s.id.clone()), idx, region.initial.clone()));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (parent, region, initial) in regions {
+            let members: Vec<&State> = self.children_of(parent.as_ref(), region);
+            if members.is_empty() {
+                // Reported elsewhere (empty-compound / missing-initial).
+                continue;
+            }
+            let ids: HashSet<&StateId> = members.iter().map(|s| &s.id).collect();
+            if !ids.contains(&initial) {
+                continue; // missing-initial already reported
+            }
+            let mut reached: HashSet<&StateId> = HashSet::new();
+            let mut queue = VecDeque::new();
+            if let Some((id, _)) = ids.get(&initial).map(|i| (*i, ())) {
+                reached.insert(id);
+                queue.push_back(id);
+            }
+            while let Some(cur) = queue.pop_front() {
+                for t in self.outgoing(cur) {
+                    if let Some(next) = ids.get(&t.target) {
+                        if reached.insert(next) {
+                            queue.push_back(next);
+                        }
+                    }
+                }
+            }
+            let region_desc = match &parent {
+                None => "root region".to_string(),
+                Some(p) => format!("'{p}' region {region}"),
+            };
+            if !members.iter().any(|s| s.is_final() && reached.contains(&s.id)) {
+                r.error(
+                    "no-final-reachable",
+                    format!("no final state is reachable from '{initial}' in {region_desc}"),
+                );
+            }
+            for m in &members {
+                if !reached.contains(&m.id) {
+                    r.warn(
+                        "unreachable-state",
+                        format!("state '{}' is unreachable in {region_desc}", m.id),
+                    );
+                }
+                if !m.is_final() && self.outgoing(&m.id).is_empty() {
+                    r.error(
+                        "dead-end-state",
+                        format!(
+                            "non-final state '{}' has no outgoing transitions; \
+                             instances entering it can never finish",
+                            m.id
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_guards(&self, r: &mut ValidationReport) {
+        for t in &self.transitions {
+            if let Some(g) = &t.guard {
+                for var in g.referenced_vars() {
+                    // Dotted paths resolve their head segment.
+                    let head = var.split('.').next().unwrap_or(&var);
+                    if self.variable(&var).is_none() && self.variable(head).is_none() {
+                        r.warn(
+                            "undeclared-guard-variable",
+                            format!(
+                                "transition '{}' guard references undeclared variable '{var}'",
+                                t.id
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        for s in self.task_states() {
+            if let Some(spec) = s.task() {
+                for m in &spec.inputs {
+                    for var in m.expr.referenced_vars() {
+                        let head = var.split('.').next().unwrap_or(&var);
+                        if self.variable(&var).is_none() && self.variable(head).is_none() {
+                            r.warn(
+                                "undeclared-input-variable",
+                                format!(
+                                    "state '{}' input '{}' references undeclared variable '{var}'",
+                                    s.id, m.param
+                                ),
+                            );
+                        }
+                    }
+                }
+                for m in &spec.outputs {
+                    if self.variable(&m.var).is_none() {
+                        r.warn(
+                            "undeclared-output-variable",
+                            format!(
+                                "state '{}' captures output '{}' into undeclared variable '{}'",
+                                s.id, m.param, m.var
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{StatechartBuilder, TaskDef, TransitionDef};
+
+    fn codes(r: &ValidationReport) -> Vec<&'static str> {
+        r.issues.iter().map(|i| i.code).collect()
+    }
+
+    #[test]
+    fn travel_chart_is_clean() {
+        let r = crate::travel::travel_statechart().validate();
+        assert!(r.is_ok(), "{:?}", r.issues);
+        assert_eq!(r.issues.len(), 0, "{:?}", r.issues);
+    }
+
+    #[test]
+    fn missing_initial_state() {
+        let sc = StatechartBuilder::new("X")
+            .initial("ghost")
+            .choice("a", "A")
+            .final_state("f")
+            .transition(TransitionDef::new("t", "a", "f"))
+            .build()
+            .unwrap();
+        let r = sc.validate();
+        assert!(!r.is_ok());
+        assert!(codes(&r).contains(&"missing-initial"));
+    }
+
+    #[test]
+    fn dangling_transition() {
+        let sc = StatechartBuilder::new("X")
+            .initial("a")
+            .choice("a", "A")
+            .final_state("f")
+            .transition(TransitionDef::new("t", "a", "nowhere"))
+            .transition(TransitionDef::new("t2", "a", "f"))
+            .build()
+            .unwrap();
+        let r = sc.validate();
+        assert!(codes(&r).contains(&"dangling-transition"));
+    }
+
+    #[test]
+    fn cross_boundary_transition_rejected() {
+        let sc = StatechartBuilder::new("X")
+            .initial("outer")
+            .compound("outer", "Outer", "in_a")
+            .choice_in("outer", 0, "in_a", "In A")
+            .final_in("outer", 0, "in_f")
+            .final_state("f")
+            .transition(TransitionDef::new("ti", "in_a", "in_f"))
+            .transition(TransitionDef::new("bad", "in_a", "f")) // crosses boundary
+            .transition(TransitionDef::new("to", "outer", "f"))
+            .build()
+            .unwrap();
+        let r = sc.validate();
+        assert!(codes(&r).contains(&"cross-boundary-transition"), "{:?}", r.issues);
+    }
+
+    #[test]
+    fn final_with_outgoing_rejected() {
+        let sc = StatechartBuilder::new("X")
+            .initial("a")
+            .choice("a", "A")
+            .final_state("f")
+            .transition(TransitionDef::new("t", "a", "f"))
+            .transition(TransitionDef::new("bad", "f", "a"))
+            .build()
+            .unwrap();
+        let r = sc.validate();
+        assert!(codes(&r).contains(&"final-with-outgoing"));
+    }
+
+    #[test]
+    fn no_final_reachable_is_error() {
+        let sc = StatechartBuilder::new("X")
+            .initial("a")
+            .choice("a", "A")
+            .choice("b", "B")
+            .final_state("f") // unreachable final
+            .transition(TransitionDef::new("t1", "a", "b"))
+            .transition(TransitionDef::new("t2", "b", "a"))
+            .build()
+            .unwrap();
+        let r = sc.validate();
+        assert!(codes(&r).contains(&"no-final-reachable"), "{:?}", r.issues);
+        assert!(codes(&r).contains(&"unreachable-state"));
+    }
+
+    #[test]
+    fn dead_end_state_is_error() {
+        let sc = StatechartBuilder::new("X")
+            .initial("a")
+            .choice("a", "A")
+            .task(TaskDef::new("b", "B").service("S", "op"))
+            .final_state("f")
+            .transition(TransitionDef::new("t1", "a", "b"))
+            .transition(TransitionDef::new("t2", "a", "f"))
+            .build()
+            .unwrap();
+        let r = sc.validate();
+        assert!(codes(&r).contains(&"dead-end-state"), "{:?}", r.issues);
+    }
+
+    #[test]
+    fn nondeterminism_warning() {
+        let sc = StatechartBuilder::new("X")
+            .initial("a")
+            .choice("a", "A")
+            .final_state("f")
+            .final_state("g")
+            .transition(TransitionDef::new("t1", "a", "f"))
+            .transition(TransitionDef::new("t2", "a", "g"))
+            .build()
+            .unwrap();
+        let r = sc.validate();
+        assert!(r.is_ok(), "warnings only: {:?}", r.issues);
+        assert!(codes(&r).contains(&"nondeterministic-completion"));
+    }
+
+    #[test]
+    fn undeclared_guard_variable_warning() {
+        let sc = StatechartBuilder::new("X")
+            .initial("a")
+            .choice("a", "A")
+            .final_state("f")
+            .final_state("g")
+            .transition(TransitionDef::new("t1", "a", "f").guard("mystery == 1"))
+            .transition(TransitionDef::new("t2", "a", "g"))
+            .build()
+            .unwrap();
+        let r = sc.validate();
+        assert!(codes(&r).contains(&"undeclared-guard-variable"));
+    }
+
+    #[test]
+    fn leaf_with_children_rejected() {
+        let mut sc = StatechartBuilder::new("X")
+            .initial("a")
+            .task(TaskDef::new("a", "A").service("S", "op"))
+            .final_state("f")
+            .transition(TransitionDef::new("t", "a", "f"))
+            .build()
+            .unwrap();
+        // Manually sneak a child under the task.
+        sc.insert_state(crate::model::State {
+            id: "child".into(),
+            name: "child".into(),
+            parent: Some("a".into()),
+            region: 0,
+            kind: crate::model::StateKind::Final,
+        });
+        let r = sc.validate();
+        assert!(codes(&r).contains(&"leaf-with-children"), "{:?}", r.issues);
+    }
+
+    #[test]
+    fn bad_region_index_rejected() {
+        let mut sc = StatechartBuilder::new("X")
+            .initial("c")
+            .concurrent("c", "C", vec![("r0", "a0"), ("r1", "a1")])
+            .choice_in("c", 0, "a0", "A0")
+            .final_in("c", 0, "f0")
+            .choice_in("c", 1, "a1", "A1")
+            .final_in("c", 1, "f1")
+            .final_state("f")
+            .transition(TransitionDef::new("t0", "a0", "f0"))
+            .transition(TransitionDef::new("t1", "a1", "f1"))
+            .transition(TransitionDef::new("tc", "c", "f"))
+            .build()
+            .unwrap();
+        sc.insert_state(crate::model::State {
+            id: "oob".into(),
+            name: "oob".into(),
+            parent: Some("c".into()),
+            region: 5,
+            kind: crate::model::StateKind::Final,
+        });
+        let r = sc.validate();
+        assert!(codes(&r).contains(&"bad-region-index"), "{:?}", r.issues);
+    }
+
+    #[test]
+    fn choice_dead_end_rejected() {
+        let sc = StatechartBuilder::new("X")
+            .initial("a")
+            .choice("a", "A")
+            .final_state("f")
+            .build()
+            .unwrap();
+        let r = sc.validate();
+        assert!(codes(&r).contains(&"choice-dead-end"), "{:?}", r.issues);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let mut r = ValidationReport::default();
+        r.error("x", "boom".into());
+        r.warn("y", "meh".into());
+        assert!(!r.is_ok());
+        assert_eq!(r.errors().count(), 1);
+        assert_eq!(r.warnings().count(), 1);
+        assert!(r.issues[0].to_string().contains("error[x]"));
+    }
+}

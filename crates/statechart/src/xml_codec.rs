@@ -1,0 +1,405 @@
+//! XML round-trip for statecharts — the document shown in the bottom-right
+//! panel of Figure 2 ("the service is translated into an XML document for
+//! subsequent analysis and processing by the service deployer").
+
+use crate::model::{
+    Assignment, InputMapping, OutputMapping, RegionSpec, ServiceBinding, State, StateId,
+    StateKind, Statechart, TaskSpec, Transition, VarDecl,
+};
+use selfserv_expr::Value;
+use selfserv_wsdl::ParamType;
+use selfserv_xml::{Element, XmlError};
+use std::fmt;
+
+/// Errors produced while encoding/decoding statechart XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatechartCodecError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for StatechartCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "statechart codec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for StatechartCodecError {}
+
+impl From<String> for StatechartCodecError {
+    fn from(message: String) -> Self {
+        StatechartCodecError { message }
+    }
+}
+
+impl From<XmlError> for StatechartCodecError {
+    fn from(e: XmlError) -> Self {
+        StatechartCodecError { message: e.to_string() }
+    }
+}
+
+impl From<selfserv_expr::ParseError> for StatechartCodecError {
+    fn from(e: selfserv_expr::ParseError) -> Self {
+        StatechartCodecError { message: e.to_string() }
+    }
+}
+
+fn decode_initial_value(ty: ParamType, s: &str) -> Result<Value, StatechartCodecError> {
+    Ok(match ty {
+        ParamType::Str | ParamType::Date => Value::Str(s.to_string()),
+        ParamType::Int => Value::Int(
+            s.parse().map_err(|_| StatechartCodecError::from(format!("bad int {s:?}")))?,
+        ),
+        ParamType::Float => Value::Float(
+            s.parse().map_err(|_| StatechartCodecError::from(format!("bad float {s:?}")))?,
+        ),
+        ParamType::Bool => match s {
+            "true" => Value::Bool(true),
+            "false" => Value::Bool(false),
+            _ => return Err(format!("bad boolean {s:?}").into()),
+        },
+        ParamType::List => {
+            if s.is_empty() {
+                Value::List(Vec::new())
+            } else {
+                Value::List(s.split('|').map(Value::str).collect())
+            }
+        }
+    })
+}
+
+impl Statechart {
+    /// Encodes the statechart to its XML document form. States nest inside
+    /// their parents (concurrent children grouped under `<region>`);
+    /// transitions are listed flat at the end.
+    pub fn to_xml(&self) -> Element {
+        let mut root = Element::new("statechart")
+            .with_attr("name", &self.name)
+            .with_attr("initial", self.initial.as_str());
+        for v in &self.variables {
+            let mut ve = Element::new("variable")
+                .with_attr("name", &v.name)
+                .with_attr("type", v.ty.name());
+            if let Some(init) = &v.initial {
+                ve.set_attr("initial", init.to_lexical());
+            }
+            root.push_child(ve);
+        }
+        for s in self.children_of(None, 0) {
+            root.push_child(self.encode_state(s));
+        }
+        for t in &self.transitions {
+            root.push_child(encode_transition(t));
+        }
+        root
+    }
+
+    fn encode_state(&self, s: &State) -> Element {
+        let mut e = Element::new("state")
+            .with_attr("id", s.id.as_str())
+            .with_attr("name", &s.name)
+            .with_attr("kind", s.kind.kind_name());
+        match &s.kind {
+            StateKind::Task(spec) => {
+                match &spec.binding {
+                    ServiceBinding::Service { service, operation } => {
+                        e.set_attr("service", service);
+                        e.set_attr("operation", operation);
+                    }
+                    ServiceBinding::Community { community, operation } => {
+                        e.set_attr("community", community);
+                        e.set_attr("operation", operation);
+                    }
+                }
+                for m in &spec.inputs {
+                    e.push_child(
+                        Element::new("inputMapping")
+                            .with_attr("param", &m.param)
+                            .with_attr("expr", m.expr.to_string()),
+                    );
+                }
+                for m in &spec.outputs {
+                    e.push_child(
+                        Element::new("outputMapping")
+                            .with_attr("param", &m.param)
+                            .with_attr("var", &m.var),
+                    );
+                }
+            }
+            StateKind::Choice | StateKind::Final => {}
+            StateKind::Compound { initial } => {
+                e.set_attr("initial", initial.as_str());
+                for child in self.children_of(Some(&s.id), 0) {
+                    e.push_child(self.encode_state(child));
+                }
+            }
+            StateKind::Concurrent { regions } => {
+                for (idx, region) in regions.iter().enumerate() {
+                    let mut re = Element::new("region")
+                        .with_attr("name", &region.name)
+                        .with_attr("initial", region.initial.as_str());
+                    for child in self.children_of(Some(&s.id), idx) {
+                        re.push_child(self.encode_state(child));
+                    }
+                    e.push_child(re);
+                }
+            }
+        }
+        e
+    }
+
+    /// Decodes a statechart from its XML document form.
+    pub fn from_xml(root: &Element) -> Result<Self, StatechartCodecError> {
+        if root.name != "statechart" {
+            return Err(format!("expected <statechart>, got <{}>", root.name).into());
+        }
+        let mut sc = Statechart::empty(root.require_attr("name")?, root.require_attr("initial")?);
+        for ve in root.find_all("variable") {
+            let ty = ParamType::from_name(ve.require_attr("type")?)
+                .map_err(|e| StatechartCodecError::from(e.to_string()))?;
+            let initial = match ve.attr("initial") {
+                Some(s) => Some(decode_initial_value(ty, s)?),
+                None => None,
+            };
+            sc.variables.push(VarDecl { name: ve.require_attr("name")?.to_string(), ty, initial });
+        }
+        for se in root.find_all("state") {
+            decode_state(&mut sc, se, None, 0)?;
+        }
+        for te in root.find_all("transition") {
+            sc.transitions.push(decode_transition(te)?);
+        }
+        Ok(sc)
+    }
+
+    /// Parses a statechart from XML text.
+    pub fn from_xml_str(s: &str) -> Result<Self, StatechartCodecError> {
+        Self::from_xml(&selfserv_xml::parse(s)?)
+    }
+}
+
+fn encode_transition(t: &Transition) -> Element {
+    let mut e = Element::new("transition")
+        .with_attr("id", &t.id)
+        .with_attr("source", t.source.as_str())
+        .with_attr("target", t.target.as_str());
+    if let Some(ev) = &t.event {
+        e.set_attr("event", ev);
+    }
+    if let Some(g) = &t.guard {
+        e.set_attr("guard", g.to_string());
+    }
+    for a in &t.actions {
+        e.push_child(
+            Element::new("action").with_attr("var", &a.var).with_attr("expr", a.expr.to_string()),
+        );
+    }
+    e
+}
+
+fn decode_transition(e: &Element) -> Result<Transition, StatechartCodecError> {
+    let guard = match e.attr("guard") {
+        Some(src) => Some(selfserv_expr::parse(src)?),
+        None => None,
+    };
+    let mut actions = Vec::new();
+    for ae in e.find_all("action") {
+        actions.push(Assignment {
+            var: ae.require_attr("var")?.to_string(),
+            expr: selfserv_expr::parse(ae.require_attr("expr")?)?,
+        });
+    }
+    Ok(Transition {
+        id: e.require_attr("id")?.to_string(),
+        source: StateId::new(e.require_attr("source")?),
+        target: StateId::new(e.require_attr("target")?),
+        event: e.attr("event").map(str::to_string),
+        guard,
+        actions,
+    })
+}
+
+fn decode_state(
+    sc: &mut Statechart,
+    e: &Element,
+    parent: Option<&StateId>,
+    region: usize,
+) -> Result<(), StatechartCodecError> {
+    let id = StateId::new(e.require_attr("id")?);
+    let name = e.attr("name").unwrap_or(id.as_str()).to_string();
+    let kind_name = e.require_attr("kind")?;
+    let kind = match kind_name {
+        "task" => {
+            let operation = e.require_attr("operation")?.to_string();
+            let binding = if let Some(svc) = e.attr("service") {
+                ServiceBinding::Service { service: svc.to_string(), operation }
+            } else if let Some(comm) = e.attr("community") {
+                ServiceBinding::Community { community: comm.to_string(), operation }
+            } else {
+                return Err(format!(
+                    "task state '{id}' has neither service nor community attribute"
+                )
+                .into());
+            };
+            let mut inputs = Vec::new();
+            for m in e.find_all("inputMapping") {
+                inputs.push(InputMapping {
+                    param: m.require_attr("param")?.to_string(),
+                    expr: selfserv_expr::parse(m.require_attr("expr")?)?,
+                });
+            }
+            let mut outputs = Vec::new();
+            for m in e.find_all("outputMapping") {
+                outputs.push(OutputMapping {
+                    param: m.require_attr("param")?.to_string(),
+                    var: m.require_attr("var")?.to_string(),
+                });
+            }
+            StateKind::Task(TaskSpec { binding, inputs, outputs })
+        }
+        "choice" => StateKind::Choice,
+        "final" => StateKind::Final,
+        "compound" => {
+            let initial = StateId::new(e.require_attr("initial")?);
+            for child in e.find_all("state") {
+                decode_state(sc, child, Some(&id), 0)?;
+            }
+            StateKind::Compound { initial }
+        }
+        "concurrent" => {
+            let mut regions = Vec::new();
+            for (idx, re) in e.find_all("region").enumerate() {
+                regions.push(RegionSpec {
+                    name: re.require_attr("name")?.to_string(),
+                    initial: StateId::new(re.require_attr("initial")?),
+                });
+                for child in re.find_all("state") {
+                    decode_state(sc, child, Some(&id), idx)?;
+                }
+            }
+            StateKind::Concurrent { regions }
+        }
+        other => return Err(format!("state '{id}' has unknown kind {other:?}").into()),
+    };
+    sc.insert_state(State { id, name, parent: parent.cloned(), region, kind });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::travel::travel_statechart;
+
+    #[test]
+    fn travel_chart_round_trips() {
+        let sc = travel_statechart();
+        let xml = sc.to_xml().to_pretty_xml();
+        let back = Statechart::from_xml_str(&xml).unwrap();
+        assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn xml_contains_paper_guards() {
+        let xml = travel_statechart().to_xml().to_pretty_xml();
+        assert!(xml.contains("domestic(destination)"), "{xml}");
+        assert!(xml.contains("not near(major_attraction, accommodation)"), "{xml}");
+    }
+
+    #[test]
+    fn nested_states_encode_inside_parents() {
+        let sc = travel_statechart();
+        let xml = sc.to_xml();
+        let arr = xml
+            .find_all("state")
+            .find(|s| s.attr("id") == Some("ARR"))
+            .expect("ARR at root");
+        let regions: Vec<_> = arr.find_all("region").collect();
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].attr("initial"), Some("FC"));
+        // ITA nests inside region 0 and carries its own children.
+        let ita = regions[0]
+            .find_all("state")
+            .find(|s| s.attr("id") == Some("ITA"))
+            .expect("ITA inside bookings region");
+        assert!(ita.find_all("state").any(|s| s.attr("id") == Some("IFB")));
+    }
+
+    #[test]
+    fn variables_with_initials_round_trip() {
+        let mut sc = travel_statechart();
+        sc.variables[0].initial = Some(Value::str("Jane"));
+        sc.variables.push(VarDecl {
+            name: "budget".into(),
+            ty: ParamType::Float,
+            initial: Some(Value::Float(99.5)),
+        });
+        sc.variables.push(VarDecl {
+            name: "retries".into(),
+            ty: ParamType::Int,
+            initial: Some(Value::Int(3)),
+        });
+        sc.variables.push(VarDecl {
+            name: "insured".into(),
+            ty: ParamType::Bool,
+            initial: Some(Value::Bool(true)),
+        });
+        sc.variables.push(VarDecl {
+            name: "tags".into(),
+            ty: ParamType::List,
+            initial: Some(Value::List(vec![Value::str("a"), Value::str("b")])),
+        });
+        let back = Statechart::from_xml(&sc.to_xml()).unwrap();
+        assert_eq!(back.variables, sc.variables);
+    }
+
+    #[test]
+    fn rejects_wrong_root_element() {
+        assert!(Statechart::from_xml_str("<chart name=\"x\" initial=\"a\"/>").is_err());
+    }
+
+    #[test]
+    fn rejects_task_without_binding() {
+        let xml = r#"<statechart name="x" initial="a">
+            <state id="a" kind="task" operation="op"/>
+        </statechart>"#;
+        let err = Statechart::from_xml_str(xml).unwrap_err();
+        assert!(err.message.contains("neither service nor community"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let xml = r#"<statechart name="x" initial="a">
+            <state id="a" kind="quantum"/>
+        </statechart>"#;
+        assert!(Statechart::from_xml_str(xml).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_guard_expression() {
+        let xml = r#"<statechart name="x" initial="a">
+            <state id="a" kind="choice"/>
+            <transition id="t" source="a" target="a" guard="((("/>
+        </statechart>"#;
+        assert!(Statechart::from_xml_str(xml).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_variable_initial() {
+        let xml = r#"<statechart name="x" initial="a">
+            <variable name="n" type="int" initial="NaN-ish"/>
+            <state id="a" kind="final"/>
+        </statechart>"#;
+        assert!(Statechart::from_xml_str(xml).is_err());
+    }
+
+    #[test]
+    fn minimal_chart_round_trips() {
+        let xml = r#"<statechart name="tiny" initial="f">
+            <state id="f" kind="final"/>
+        </statechart>"#;
+        let sc = Statechart::from_xml_str(xml).unwrap();
+        assert_eq!(sc.state_count(), 1);
+        let back = Statechart::from_xml(&sc.to_xml()).unwrap();
+        assert_eq!(back, sc);
+    }
+}

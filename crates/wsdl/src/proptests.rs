@@ -1,0 +1,86 @@
+//! Property tests: message and description XML round-trips.
+
+use crate::{Binding, MessageDoc, OperationDef, Param, ParamType, ServiceDescription};
+use proptest::prelude::*;
+use selfserv_expr::Value;
+
+fn arb_param_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,9}"
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Floats that round-trip through decimal text exactly.
+        (-100_000i64..100_000).prop_map(|i| Value::Float(i as f64 / 8.0)),
+        "[ -~]{0,16}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(2, 8, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(Value::List)
+    })
+}
+
+fn arb_param_type() -> impl Strategy<Value = ParamType> {
+    prop_oneof![
+        Just(ParamType::Str),
+        Just(ParamType::Int),
+        Just(ParamType::Float),
+        Just(ParamType::Bool),
+        Just(ParamType::Date),
+        Just(ParamType::List),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn message_round_trip(
+        op in "[a-zA-Z][a-zA-Z0-9_]{0,11}",
+        params in proptest::collection::btree_map(arb_param_name(), arb_value(), 0..6),
+    ) {
+        let mut m = MessageDoc::request(op);
+        for (k, v) in params {
+            m.set(k, v);
+        }
+        let xml = m.to_xml().to_pretty_xml();
+        let back = MessageDoc::from_xml_str(&xml).unwrap();
+        prop_assert_eq!(back, m);
+    }
+
+    #[test]
+    fn description_round_trip(
+        svc in "[A-Za-z][A-Za-z0-9 ]{0,14}",
+        provider in "[A-Za-z][A-Za-z0-9 ]{0,14}",
+        ops in proptest::collection::vec(
+            ("[a-z][a-zA-Z0-9]{0,9}",
+             proptest::collection::vec((arb_param_name(), arb_param_type(), any::<bool>()), 0..4)),
+            0..4,
+        ),
+    ) {
+        let mut d = ServiceDescription::new(svc, provider).with_binding(Binding::fabric("node.x"));
+        for (name, params) in ops {
+            let mut op = OperationDef::new(name);
+            for (pname, ty, required) in params {
+                op.inputs.push(Param { name: pname, ty, required });
+            }
+            d.operations.push(op);
+        }
+        let xml = d.to_xml().to_pretty_xml();
+        let back = ServiceDescription::from_xml_str(&xml).unwrap();
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn validation_never_panics(
+        v in arb_value(),
+        required in any::<bool>(),
+        ty in arb_param_type(),
+    ) {
+        let op = OperationDef::new("op").with_input(Param { name: "p".into(), ty, required });
+        let msg = MessageDoc::request("op").with("p", v);
+        let _ = op.validate_inputs(&msg);
+    }
+}

@@ -1,0 +1,154 @@
+//! Error and source-position types for the XML parser.
+
+use std::fmt;
+
+/// A 1-based line/column position inside an XML source string.
+///
+/// Positions are tracked by the parser so that a malformed statechart or
+/// routing-table document can be reported precisely to the service composer
+/// (the original platform surfaced such errors in the service editor GUI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes within the line; the platform's
+    /// documents are ASCII apart from text content).
+    pub column: u32,
+}
+
+impl Position {
+    /// The start of a document.
+    pub const START: Position = Position { line: 1, column: 1 };
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Errors produced while parsing an XML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof {
+        /// What the parser was in the middle of reading.
+        expected: &'static str,
+        /// Where the input ended.
+        position: Position,
+    },
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar {
+        /// What the parser expected instead.
+        expected: &'static str,
+        /// The offending character.
+        found: char,
+        /// Where it was found.
+        position: Position,
+    },
+    /// `</close>` did not match the innermost open element.
+    MismatchedTag {
+        /// Name of the element that is open.
+        open: String,
+        /// Name found in the closing tag.
+        close: String,
+        /// Where the closing tag starts.
+        position: Position,
+    },
+    /// An attribute appeared twice on the same element.
+    DuplicateAttribute {
+        /// The repeated attribute name.
+        name: String,
+        /// Where the repeated attribute starts.
+        position: Position,
+    },
+    /// An entity reference (`&...;`) that is not one of the five predefined
+    /// entities or a well-formed numeric character reference.
+    InvalidEntity {
+        /// The raw entity text between `&` and `;` (possibly truncated).
+        entity: String,
+        /// Where the entity starts.
+        position: Position,
+    },
+    /// Content found after the document element closed.
+    TrailingContent {
+        /// Where the extra content starts.
+        position: Position,
+    },
+    /// The document contained no root element.
+    NoRootElement,
+}
+
+impl XmlError {
+    /// The position the error was detected at, if the error carries one.
+    pub fn position(&self) -> Option<Position> {
+        match self {
+            XmlError::UnexpectedEof { position, .. }
+            | XmlError::UnexpectedChar { position, .. }
+            | XmlError::MismatchedTag { position, .. }
+            | XmlError::DuplicateAttribute { position, .. }
+            | XmlError::InvalidEntity { position, .. }
+            | XmlError::TrailingContent { position } => Some(*position),
+            XmlError::NoRootElement => None,
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { expected, position } => {
+                write!(f, "{position}: unexpected end of input while reading {expected}")
+            }
+            XmlError::UnexpectedChar { expected, found, position } => {
+                write!(f, "{position}: expected {expected}, found {found:?}")
+            }
+            XmlError::MismatchedTag { open, close, position } => {
+                write!(f, "{position}: closing tag </{close}> does not match open element <{open}>")
+            }
+            XmlError::DuplicateAttribute { name, position } => {
+                write!(f, "{position}: duplicate attribute {name:?}")
+            }
+            XmlError::InvalidEntity { entity, position } => {
+                write!(f, "{position}: invalid entity reference &{entity};")
+            }
+            XmlError::TrailingContent { position } => {
+                write!(f, "{position}: content after document element")
+            }
+            XmlError::NoRootElement => write!(f, "document contains no root element"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_displays_line_and_column() {
+        let p = Position { line: 3, column: 17 };
+        assert_eq!(p.to_string(), "3:17");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = XmlError::MismatchedTag {
+            open: "state".into(),
+            close: "transition".into(),
+            position: Position { line: 2, column: 5 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("state"));
+        assert!(s.contains("transition"));
+        assert!(s.contains("2:5"));
+    }
+
+    #[test]
+    fn error_position_accessor() {
+        assert_eq!(XmlError::NoRootElement.position(), None);
+        let e = XmlError::TrailingContent { position: Position::START };
+        assert_eq!(e.position(), Some(Position::START));
+    }
+}

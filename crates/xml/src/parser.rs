@@ -1,0 +1,665 @@
+//! A strict recursive-descent parser for the XML subset used by the
+//! SELF-SERV platform.
+//!
+//! Supported constructs: the XML declaration, processing instructions
+//! (skipped), `DOCTYPE` declarations (skipped), comments (preserved), CDATA
+//! sections, elements, attributes quoted with `"` or `'`, character data,
+//! the five predefined entities and decimal/hex character references.
+//!
+//! ## Whitespace policy
+//!
+//! Text nodes consisting entirely of whitespace that appear *next to element
+//! children* are treated as indentation and dropped; in mixed content the
+//! remaining text nodes are trimmed. Elements whose children are text-only
+//! keep their text verbatim. This makes `parse(e.to_pretty_xml()) == parse(e.to_xml())`
+//! for every tree the platform produces.
+
+use crate::doc::{Element, Node};
+use crate::error::{Position, XmlError};
+
+/// A parsed document: the root element plus any comments that appeared
+/// before or after it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Comments preceding the root element.
+    pub leading_comments: Vec<String>,
+    /// The document element.
+    pub root: Element,
+    /// Comments following the root element.
+    pub trailing_comments: Vec<String>,
+}
+
+/// Parses a complete XML document and returns its root element.
+///
+/// This is the entry point used throughout the platform; use
+/// [`parse_document`] if top-level comments matter.
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    parse_document(input).map(|d| d.root)
+}
+
+/// Parses a complete XML document, retaining top-level comments.
+pub fn parse_document(input: &str) -> Result<Document, XmlError> {
+    let mut p = Parser::new(input);
+    p.skip_prolog()?;
+    let mut leading_comments = Vec::new();
+    loop {
+        p.skip_whitespace();
+        if p.starts_with("<!--") {
+            leading_comments.push(p.read_comment()?);
+        } else if p.starts_with("<?") {
+            p.skip_pi()?;
+        } else if p.starts_with("<!DOCTYPE") {
+            p.skip_doctype()?;
+        } else {
+            break;
+        }
+    }
+    p.skip_whitespace();
+    if p.eof() {
+        return Err(XmlError::NoRootElement);
+    }
+    if !p.starts_with("<") {
+        return Err(XmlError::UnexpectedChar {
+            expected: "document element",
+            found: p.peek_char().unwrap(),
+            position: p.position(),
+        });
+    }
+    let root = p.read_element()?;
+    let mut trailing_comments = Vec::new();
+    loop {
+        p.skip_whitespace();
+        if p.eof() {
+            break;
+        }
+        if p.starts_with("<!--") {
+            trailing_comments.push(p.read_comment()?);
+        } else if p.starts_with("<?") {
+            p.skip_pi()?;
+        } else {
+            return Err(XmlError::TrailingContent { position: p.position() });
+        }
+    }
+    Ok(Document { leading_comments, root, trailing_comments })
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    /// Byte offset into `src`.
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0, line: 1, col: 1 }
+    }
+
+    fn position(&self) -> Position {
+        Position { line: self.line, column: self.col }
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn advance_char(&mut self) -> Option<char> {
+        let c = self.peek_char()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Advances past `s`, which the caller has verified is next.
+    fn consume(&mut self, s: &str) {
+        debug_assert!(self.starts_with(s));
+        for _ in s.chars() {
+            self.advance_char();
+        }
+    }
+
+    fn expect(&mut self, s: &'static str) -> Result<(), XmlError> {
+        if self.starts_with(s) {
+            self.consume(s);
+            Ok(())
+        } else if self.eof() {
+            Err(XmlError::UnexpectedEof { expected: s, position: self.position() })
+        } else {
+            Err(XmlError::UnexpectedChar {
+                expected: s,
+                found: self.peek_char().unwrap(),
+                position: self.position(),
+            })
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek_char(), Some(c) if c.is_whitespace()) {
+            self.advance_char();
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        self.skip_whitespace();
+        if self.starts_with("<?xml") {
+            self.skip_pi()?;
+        }
+        Ok(())
+    }
+
+    fn skip_pi(&mut self) -> Result<(), XmlError> {
+        self.consume("<?");
+        loop {
+            if self.eof() {
+                return Err(XmlError::UnexpectedEof {
+                    expected: "?> to close processing instruction",
+                    position: self.position(),
+                });
+            }
+            if self.starts_with("?>") {
+                self.consume("?>");
+                return Ok(());
+            }
+            self.advance_char();
+        }
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        self.consume("<!DOCTYPE");
+        let mut bracket_depth = 0usize;
+        loop {
+            match self.peek_char() {
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        expected: "> to close DOCTYPE",
+                        position: self.position(),
+                    })
+                }
+                Some('[') => {
+                    bracket_depth += 1;
+                    self.advance_char();
+                }
+                Some(']') => {
+                    bracket_depth = bracket_depth.saturating_sub(1);
+                    self.advance_char();
+                }
+                Some('>') if bracket_depth == 0 => {
+                    self.advance_char();
+                    return Ok(());
+                }
+                Some(_) => {
+                    self.advance_char();
+                }
+            }
+        }
+    }
+
+    fn read_comment(&mut self) -> Result<String, XmlError> {
+        self.consume("<!--");
+        let start = self.pos;
+        loop {
+            if self.eof() {
+                return Err(XmlError::UnexpectedEof {
+                    expected: "--> to close comment",
+                    position: self.position(),
+                });
+            }
+            if self.starts_with("-->") {
+                let text = self.src[start..self.pos].to_string();
+                self.consume("-->");
+                return Ok(text);
+            }
+            self.advance_char();
+        }
+    }
+
+    fn is_name_start(c: char) -> bool {
+        c.is_alphabetic() || c == '_' || c == ':'
+    }
+
+    fn is_name_char(c: char) -> bool {
+        c.is_alphanumeric() || matches!(c, '_' | ':' | '-' | '.')
+    }
+
+    fn read_name(&mut self, what: &'static str) -> Result<String, XmlError> {
+        match self.peek_char() {
+            None => Err(XmlError::UnexpectedEof { expected: what, position: self.position() }),
+            Some(c) if !Self::is_name_start(c) => Err(XmlError::UnexpectedChar {
+                expected: what,
+                found: c,
+                position: self.position(),
+            }),
+            Some(_) => {
+                let start = self.pos;
+                while matches!(self.peek_char(), Some(c) if Self::is_name_char(c)) {
+                    self.advance_char();
+                }
+                Ok(self.src[start..self.pos].to_string())
+            }
+        }
+    }
+
+    /// Reads an entity reference; the cursor is on `&`.
+    fn read_entity(&mut self, out: &mut String) -> Result<(), XmlError> {
+        let ent_pos = self.position();
+        self.consume("&");
+        let start = self.pos;
+        // Entities are short; cap the scan so an unterminated `&` gives a
+        // focused error instead of consuming the document.
+        for _ in 0..12 {
+            match self.peek_char() {
+                Some(';') => {
+                    let entity = &self.src[start..self.pos];
+                    self.advance_char();
+                    let decoded = match entity {
+                        "amp" => '&',
+                        "lt" => '<',
+                        "gt" => '>',
+                        "apos" => '\'',
+                        "quot" => '"',
+                        _ => {
+                            let code = if let Some(hex) = entity
+                                .strip_prefix("#x")
+                                .or_else(|| entity.strip_prefix("#X"))
+                            {
+                                u32::from_str_radix(hex, 16).ok()
+                            } else if let Some(dec) = entity.strip_prefix('#') {
+                                dec.parse::<u32>().ok()
+                            } else {
+                                None
+                            };
+                            match code.and_then(char::from_u32) {
+                                Some(c) => c,
+                                None => {
+                                    return Err(XmlError::InvalidEntity {
+                                        entity: entity.to_string(),
+                                        position: ent_pos,
+                                    })
+                                }
+                            }
+                        }
+                    };
+                    out.push(decoded);
+                    return Ok(());
+                }
+                Some(_) => {
+                    self.advance_char();
+                }
+                None => break,
+            }
+        }
+        Err(XmlError::InvalidEntity {
+            entity: self.src[start..self.pos].to_string(),
+            position: ent_pos,
+        })
+    }
+
+    fn read_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek_char() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(c) => {
+                return Err(XmlError::UnexpectedChar {
+                    expected: "quoted attribute value",
+                    found: c,
+                    position: self.position(),
+                })
+            }
+            None => {
+                return Err(XmlError::UnexpectedEof {
+                    expected: "quoted attribute value",
+                    position: self.position(),
+                })
+            }
+        };
+        self.advance_char();
+        let mut value = String::new();
+        loop {
+            match self.peek_char() {
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        expected: "closing attribute quote",
+                        position: self.position(),
+                    })
+                }
+                Some(c) if c == quote => {
+                    self.advance_char();
+                    return Ok(value);
+                }
+                Some('&') => self.read_entity(&mut value)?,
+                Some('<') => {
+                    return Err(XmlError::UnexpectedChar {
+                        expected: "attribute value character",
+                        found: '<',
+                        position: self.position(),
+                    })
+                }
+                Some(c) => {
+                    value.push(c);
+                    self.advance_char();
+                }
+            }
+        }
+    }
+
+    /// Reads one element; the cursor is on `<`.
+    fn read_element(&mut self) -> Result<Element, XmlError> {
+        self.expect("<")?;
+        let name = self.read_name("element name")?;
+        let mut element = Element::new(name);
+        // Attributes.
+        loop {
+            self.skip_whitespace();
+            match self.peek_char() {
+                Some('>') => {
+                    self.advance_char();
+                    break;
+                }
+                Some('/') => {
+                    self.advance_char();
+                    self.expect(">")?;
+                    return Ok(element);
+                }
+                Some(c) if Self::is_name_start(c) => {
+                    let attr_pos = self.position();
+                    let attr_name = self.read_name("attribute name")?;
+                    if element.attr(&attr_name).is_some() {
+                        return Err(XmlError::DuplicateAttribute {
+                            name: attr_name,
+                            position: attr_pos,
+                        });
+                    }
+                    self.skip_whitespace();
+                    self.expect("=")?;
+                    self.skip_whitespace();
+                    let value = self.read_attr_value()?;
+                    element.attrs.push((attr_name, value));
+                }
+                Some(c) => {
+                    return Err(XmlError::UnexpectedChar {
+                        expected: "attribute, '>', or '/>'",
+                        found: c,
+                        position: self.position(),
+                    })
+                }
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        expected: "end of start tag",
+                        position: self.position(),
+                    })
+                }
+            }
+        }
+        // Children until matching close tag.
+        let mut raw_children: Vec<Node> = Vec::new();
+        loop {
+            if self.eof() {
+                return Err(XmlError::UnexpectedEof {
+                    expected: "closing tag",
+                    position: self.position(),
+                });
+            }
+            if self.starts_with("</") {
+                let close_pos = self.position();
+                self.consume("</");
+                let close_name = self.read_name("closing tag name")?;
+                self.skip_whitespace();
+                self.expect(">")?;
+                if close_name != element.name {
+                    return Err(XmlError::MismatchedTag {
+                        open: element.name.clone(),
+                        close: close_name,
+                        position: close_pos,
+                    });
+                }
+                element.children = normalize_children(raw_children);
+                return Ok(element);
+            } else if self.starts_with("<!--") {
+                let c = self.read_comment()?;
+                raw_children.push(Node::Comment(c));
+            } else if self.starts_with("<![CDATA[") {
+                self.consume("<![CDATA[");
+                let start = self.pos;
+                loop {
+                    if self.eof() {
+                        return Err(XmlError::UnexpectedEof {
+                            expected: "]]> to close CDATA",
+                            position: self.position(),
+                        });
+                    }
+                    if self.starts_with("]]>") {
+                        raw_children.push(Node::Text(self.src[start..self.pos].to_string()));
+                        self.consume("]]>");
+                        break;
+                    }
+                    self.advance_char();
+                }
+            } else if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.starts_with("<") {
+                raw_children.push(Node::Element(self.read_element()?));
+            } else {
+                // Character data run.
+                let mut text = String::new();
+                loop {
+                    match self.peek_char() {
+                        None | Some('<') => break,
+                        Some('&') => self.read_entity(&mut text)?,
+                        Some(c) => {
+                            text.push(c);
+                            self.advance_char();
+                        }
+                    }
+                }
+                raw_children.push(Node::Text(text));
+            }
+        }
+    }
+}
+
+/// Applies the whitespace policy described in the module docs and merges
+/// adjacent text runs (which arise from entity boundaries).
+fn normalize_children(raw: Vec<Node>) -> Vec<Node> {
+    // Merge adjacent text nodes first.
+    let mut merged: Vec<Node> = Vec::with_capacity(raw.len());
+    for node in raw {
+        if let (Some(Node::Text(prev)), Node::Text(t)) = (merged.last_mut(), &node) {
+            prev.push_str(t);
+            continue;
+        }
+        merged.push(node);
+    }
+    let has_element = merged.iter().any(|n| matches!(n, Node::Element(_)));
+    if !has_element {
+        return merged;
+    }
+    merged
+        .into_iter()
+        .filter_map(|n| match n {
+            Node::Text(t) => {
+                let trimmed = t.trim();
+                if trimmed.is_empty() {
+                    None
+                } else {
+                    Some(Node::Text(trimmed.to_string()))
+                }
+            }
+            other => Some(other),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_document() {
+        let e = parse("<a/>").unwrap();
+        assert_eq!(e.name, "a");
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn parses_prolog_doctype_and_pi() {
+        let e = parse(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE statechart [ <!ELEMENT x (y)> ]>\n<?pi data?>\n<a/>",
+        )
+        .unwrap();
+        assert_eq!(e.name, "a");
+    }
+
+    #[test]
+    fn parses_attributes_with_both_quote_styles() {
+        let e = parse("<t a=\"1\" b='two'/>").unwrap();
+        assert_eq!(e.attr("a"), Some("1"));
+        assert_eq!(e.attr("b"), Some("two"));
+    }
+
+    #[test]
+    fn decodes_entities_in_text_and_attributes() {
+        let e = parse("<t g=\"a &lt; b &amp;&amp; c &#62; d\">&quot;x&apos; &#x41;</t>").unwrap();
+        assert_eq!(e.attr("g"), Some("a < b && c > d"));
+        assert_eq!(e.text(), "\"x' A");
+    }
+
+    #[test]
+    fn rejects_invalid_entity() {
+        let err = parse("<t>&bogus;</t>").unwrap_err();
+        assert!(matches!(err, XmlError::InvalidEntity { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_mismatched_tags_with_position() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        match err {
+            XmlError::MismatchedTag { open, close, position } => {
+                assert_eq!(open, "b");
+                assert_eq!(close, "a");
+                assert_eq!(position.line, 1);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_attributes() {
+        let err = parse("<t a=\"1\" a=\"2\"/>").unwrap_err();
+        assert!(matches!(err, XmlError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(matches!(err, XmlError::TrailingContent { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert_eq!(parse("   \n ").unwrap_err(), XmlError::NoRootElement);
+    }
+
+    #[test]
+    fn rejects_unclosed_element_at_eof() {
+        let err = parse("<a><b>").unwrap_err();
+        assert!(matches!(err, XmlError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn cdata_is_read_verbatim() {
+        let e = parse("<t><![CDATA[a < b && <tag>]]></t>").unwrap();
+        assert_eq!(e.text(), "a < b && <tag>");
+    }
+
+    #[test]
+    fn whitespace_between_elements_is_dropped() {
+        let e = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(e.children.len(), 2);
+    }
+
+    #[test]
+    fn text_only_elements_keep_whitespace() {
+        let e = parse("<a>  padded  </a>").unwrap();
+        assert_eq!(e.text(), "  padded  ");
+    }
+
+    #[test]
+    fn mixed_content_text_is_trimmed() {
+        let e = parse("<a>\n  hello\n  <b/>\n</a>").unwrap();
+        assert_eq!(e.text(), "hello");
+        assert_eq!(e.child_element_count(), 1);
+    }
+
+    #[test]
+    fn comments_inside_elements_are_preserved() {
+        let e = parse("<a><!-- note --><b/></a>").unwrap();
+        assert!(e.children.iter().any(|n| matches!(n, Node::Comment(c) if c.contains("note"))));
+    }
+
+    #[test]
+    fn document_level_comments_are_collected() {
+        let d = parse_document("<!-- head --><a/><!-- tail -->").unwrap();
+        assert_eq!(d.leading_comments, vec![" head ".to_string()]);
+        assert_eq!(d.trailing_comments, vec![" tail ".to_string()]);
+    }
+
+    #[test]
+    fn error_positions_track_lines() {
+        let err = parse("<a>\n<b x=1/>\n</a>").unwrap_err();
+        let pos = err.position().unwrap();
+        assert_eq!(pos.line, 2);
+    }
+
+    #[test]
+    fn non_ascii_text_round_trips() {
+        let e = parse("<t>naïve — ✓</t>").unwrap();
+        assert_eq!(e.text(), "naïve — ✓");
+    }
+
+    #[test]
+    fn deeply_nested_elements_parse() {
+        let mut xml = String::new();
+        for i in 0..200 {
+            xml.push_str(&format!("<n{i}>"));
+        }
+        for i in (0..200).rev() {
+            xml.push_str(&format!("</n{i}>"));
+        }
+        let e = parse(&xml).unwrap();
+        assert_eq!(e.name, "n0");
+        assert_eq!(e.subtree_size(), 200);
+    }
+
+    #[test]
+    fn pretty_and_compact_forms_parse_identically() {
+        let e = Element::new("statechart")
+            .with_attr("name", "Travel")
+            .with_child(
+                Element::new("state")
+                    .with_attr("id", "AB")
+                    .with_child(Element::new("doc").with_text("Accommodation Booking")),
+            )
+            .with_child(Element::new("transition").with_attr("guard", "near(a, b) == false"));
+        let from_pretty = parse(&e.to_pretty_xml()).unwrap();
+        let from_compact = parse(&e.to_xml()).unwrap();
+        assert_eq!(from_pretty, from_compact);
+        assert_eq!(from_pretty, e);
+    }
+}

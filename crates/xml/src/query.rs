@@ -1,0 +1,32 @@
+//! Small query helpers shared by the document decoders in the higher-level
+//! crates.
+
+/// Escapes a string for embedding in a `/`-separated path (used by
+/// deployment descriptors that reference states by path). `/` and `%` are
+/// percent-encoded; everything else passes through.
+pub fn path_escape(segment: &str) -> String {
+    let mut out = String::with_capacity(segment.len());
+    for c in segment.chars() {
+        match c {
+            '/' => out.push_str("%2F"),
+            '%' => out.push_str("%25"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_slash_and_percent() {
+        assert_eq!(path_escape("a/b%c"), "a%2Fb%25c");
+    }
+
+    #[test]
+    fn plain_strings_pass_through() {
+        assert_eq!(path_escape("CarRental-1.2"), "CarRental-1.2");
+    }
+}

@@ -1,0 +1,217 @@
+//! Serialization of [`Element`] trees back to XML text.
+
+use crate::doc::{Element, Node};
+
+/// Escapes character data for use between tags.
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escapes an attribute value (always double-quoted on output).
+fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            '\r' => out.push_str("&#13;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Comments may not contain `--`; we substitute a visually similar sequence
+/// rather than erroring, because comments are advisory provenance only.
+fn sanitize_comment(s: &str) -> String {
+    s.replace("--", "- -")
+}
+
+impl Element {
+    /// Serializes the subtree to compact (single-line) XML.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::with_capacity(self.subtree_size() * 32);
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Serializes the subtree to indented XML with a standard document
+    /// prolog, matching the "XML document" panels of the original service
+    /// editor.
+    pub fn to_pretty_xml(&self) -> String {
+        let mut out = String::with_capacity(self.subtree_size() * 48);
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_open_tag(&self, out: &mut String, self_close: bool) {
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_attr(v, out);
+            out.push('"');
+        }
+        if self_close {
+            out.push_str("/>");
+        } else {
+            out.push('>');
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        if self.children.is_empty() {
+            self.write_open_tag(out, true);
+            return;
+        }
+        self.write_open_tag(out, false);
+        for child in &self.children {
+            match child {
+                Node::Element(e) => e.write_compact(out),
+                Node::Text(t) => escape_text(t, out),
+                Node::Comment(c) => {
+                    out.push_str("<!--");
+                    out.push_str(&sanitize_comment(c));
+                    out.push_str("-->");
+                }
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+
+    /// True when the element's children are text-only, in which case the
+    /// pretty printer keeps the element on one line so that values like
+    /// `<name>Car Rental</name>` stay readable (and text round-trips without
+    /// gaining indentation whitespace).
+    fn is_text_only(&self) -> bool {
+        self.children.iter().all(|c| matches!(c, Node::Text(_)))
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        if self.children.is_empty() {
+            self.write_open_tag(out, true);
+            return;
+        }
+        if self.is_text_only() {
+            self.write_open_tag(out, false);
+            for child in &self.children {
+                if let Node::Text(t) = child {
+                    escape_text(t, out);
+                }
+            }
+            out.push_str("</");
+            out.push_str(&self.name);
+            out.push('>');
+            return;
+        }
+        self.write_open_tag(out, false);
+        for child in &self.children {
+            out.push('\n');
+            match child {
+                Node::Element(e) => e.write_pretty(out, depth + 1),
+                Node::Text(t) => {
+                    // Mixed content: indent the text on its own line. The
+                    // parser, when later reading this pretty output, trims
+                    // pure-whitespace runs between elements but keeps the
+                    // text itself.
+                    out.push_str(&"  ".repeat(depth + 1));
+                    escape_text(t.trim(), out);
+                }
+                Node::Comment(c) => {
+                    out.push_str(&"  ".repeat(depth + 1));
+                    out.push_str("<!--");
+                    out.push_str(&sanitize_comment(c));
+                    out.push_str("-->");
+                }
+            }
+        }
+        out.push('\n');
+        out.push_str(&pad);
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse, Element};
+
+    #[test]
+    fn empty_element_self_closes() {
+        assert_eq!(Element::new("final").to_xml(), "<final/>");
+    }
+
+    #[test]
+    fn attributes_are_escaped() {
+        let e = Element::new("t").with_attr("guard", "a < b & \"q\"");
+        assert_eq!(e.to_xml(), "<t guard=\"a &lt; b &amp; &quot;q&quot;\"/>");
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let e = Element::new("cond").with_text("x<y && z>0");
+        assert_eq!(e.to_xml(), "<cond>x&lt;y &amp;&amp; z&gt;0</cond>");
+    }
+
+    #[test]
+    fn newlines_in_attributes_survive_round_trip() {
+        let e = Element::new("t").with_attr("doc", "line1\nline2\ttabbed");
+        let back = parse(&e.to_xml()).unwrap();
+        assert_eq!(back.attr("doc"), Some("line1\nline2\ttabbed"));
+    }
+
+    #[test]
+    fn pretty_output_has_prolog_and_indentation() {
+        let e = Element::new("statechart")
+            .with_child(Element::new("state").with_attr("id", "a"))
+            .with_child(Element::new("state").with_attr("id", "b"));
+        let xml = e.to_pretty_xml();
+        assert!(xml.starts_with("<?xml version=\"1.0\""));
+        assert!(xml.contains("\n  <state id=\"a\"/>"));
+    }
+
+    #[test]
+    fn pretty_keeps_text_only_elements_inline() {
+        let e = Element::new("svc").with_child(Element::new("name").with_text("Car Rental"));
+        let xml = e.to_pretty_xml();
+        assert!(xml.contains("<name>Car Rental</name>"), "{xml}");
+    }
+
+    #[test]
+    fn comments_are_emitted_and_double_dash_sanitized() {
+        let mut e = Element::new("root");
+        e.push_comment("generated -- by deployer");
+        let xml = e.to_xml();
+        assert!(xml.contains("<!--generated - - by deployer-->"), "{xml}");
+        // must still be parseable
+        parse(&xml).unwrap();
+    }
+
+    #[test]
+    fn compact_round_trip_preserves_structure() {
+        let e = Element::new("a")
+            .with_attr("k", "v")
+            .with_child(Element::new("b").with_text("hello & goodbye"))
+            .with_child(Element::new("c"));
+        let back = parse(&e.to_xml()).unwrap();
+        assert_eq!(back, e);
+    }
+}

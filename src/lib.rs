@@ -1,0 +1,31 @@
+//! # SELF-SERV (Rust reproduction)
+//!
+//! Facade crate re-exporting the full SELF-SERV platform: declarative
+//! composition of web services with statecharts, UDDI-style discovery,
+//! service communities, and peer-to-peer orchestration through coordinators
+//! driven by statically generated routing tables.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory. The
+//! runnable entry points live in `examples/` (start with
+//! `cargo run --example quickstart`).
+
+pub use selfserv_community as community;
+pub use selfserv_core as core;
+pub use selfserv_expr as expr;
+pub use selfserv_net as net;
+pub use selfserv_registry as registry;
+pub use selfserv_routing as routing;
+pub use selfserv_statechart as statechart;
+pub use selfserv_wsdl as wsdl;
+pub use selfserv_xml as xml;
+
+/// The platform version advertised by service managers.
+pub const PLATFORM_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::PLATFORM_VERSION.is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Failure injection across the stack: dead coordinators, dead central
+//! engines, community member failures, partitions.
+
+use selfserv::community::{
+    Community, CommunityClient, CommunityServer, CommunityServerConfig, Member, MemberId,
+    QosProfile, RoundRobin,
+};
+use selfserv::core::{
+    naming, CentralConfig, CentralizedOrchestrator, Deployer, EchoService, FailingService,
+    FunctionLibrary, ServiceBackend, ServiceHost,
+};
+use selfserv::net::{Network, NetworkConfig, NodeId};
+use selfserv::statechart::synth;
+use selfserv::wsdl::{MessageDoc, OperationDef};
+use selfserv_expr::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn backends(n: usize) -> HashMap<String, Arc<dyn ServiceBackend>> {
+    let mut map: HashMap<String, Arc<dyn ServiceBackend>> = HashMap::new();
+    for i in 0..n {
+        let name = synth::synth_service_name(i);
+        map.insert(name.clone(), Arc::new(EchoService::new(name)));
+    }
+    map
+}
+
+fn input(i: usize) -> MessageDoc {
+    MessageDoc::request("execute")
+        .with("payload", Value::str(format!("p{i}")))
+        .with("branch", Value::Int((i % 3) as i64))
+}
+
+#[test]
+fn dead_coordinator_stalls_only_instances_that_need_it() {
+    let net = Network::new(NetworkConfig::instant());
+    let sc = synth::xor_choice(3);
+    let dep = Deployer::new(&net).deploy(&sc, &backends(3)).unwrap();
+    // Kill the branch-2 coordinator.
+    net.kill(&naming::coordinator(&sc.name, &"s2".into()));
+    let mut ok = 0;
+    let mut timed_out = 0;
+    for i in 0..9 {
+        match dep.execute(input(i), Duration::from_millis(600)) {
+            Ok(_) => ok += 1,
+            Err(selfserv::core::ExecError::Timeout) => timed_out += 1,
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+    // branch = i % 3; branch 2 (i = 2, 5, 8) needs the dead coordinator.
+    assert_eq!(ok, 6);
+    assert_eq!(timed_out, 3);
+}
+
+#[test]
+fn dead_central_engine_kills_everything() {
+    let net = Network::new(NetworkConfig::instant());
+    let sc = synth::sequence(3);
+    let mut hosts = Vec::new();
+    let mut service_nodes = HashMap::new();
+    for i in 0..3 {
+        let name = synth::synth_service_name(i);
+        let node = naming::service_host(&name);
+        hosts.push(
+            ServiceHost::spawn(&net, node.clone(), Arc::new(EchoService::new(name.clone())))
+                .unwrap(),
+        );
+        service_nodes.insert(name, node);
+    }
+    let central = CentralizedOrchestrator::spawn(
+        &net,
+        CentralConfig {
+            statechart: sc,
+            functions: FunctionLibrary::new(),
+            service_nodes,
+            community_nodes: HashMap::new(),
+        },
+    )
+    .unwrap();
+    central.execute(input(0), Duration::from_secs(5)).unwrap();
+    net.kill(central.node());
+    for i in 0..4 {
+        let err = central.execute(input(i), Duration::from_millis(300)).unwrap_err();
+        assert!(
+            matches!(err, selfserv::core::ExecError::Timeout),
+            "central dead → everything times out, got {err}"
+        );
+    }
+}
+
+#[test]
+fn revived_coordinator_serves_new_instances() {
+    let net = Network::new(NetworkConfig::instant());
+    let sc = synth::sequence(2);
+    let dep = Deployer::new(&net).deploy(&sc, &backends(2)).unwrap();
+    let victim = naming::coordinator(&sc.name, &"s1".into());
+    net.kill(&victim);
+    assert!(dep.execute(input(0), Duration::from_millis(300)).is_err());
+    net.revive(&victim);
+    dep.execute(input(1), Duration::from_secs(5)).unwrap();
+}
+
+#[test]
+fn partition_between_coordinators_stalls_downstream() {
+    let net = Network::new(NetworkConfig::instant());
+    let sc = synth::sequence(3);
+    let dep = Deployer::new(&net).deploy(&sc, &backends(3)).unwrap();
+    let a = naming::coordinator(&sc.name, &"s0".into());
+    let b = naming::coordinator(&sc.name, &"s1".into());
+    net.partition(&a, &b);
+    assert!(dep.execute(input(0), Duration::from_millis(400)).is_err());
+    net.heal(&a, &b);
+    dep.execute(input(1), Duration::from_secs(5)).unwrap();
+}
+
+#[test]
+fn community_failover_inside_composite_execution() {
+    let net = Network::new(NetworkConfig::instant());
+    // Community with one failing and one healthy member.
+    let community = CommunityServer::spawn(
+        &net,
+        naming::community("Workers").as_str(),
+        Community::new("Workers", "").with_operation(OperationDef::new("run")),
+        Arc::new(RoundRobin::new()),
+        CommunityServerConfig {
+            member_timeout: Duration::from_millis(300),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let _bad = ServiceHost::spawn(
+        &net,
+        "svc.bad-member",
+        Arc::new(FailingService::new("bad", "always fails")),
+    )
+    .unwrap();
+    let _good =
+        ServiceHost::spawn(&net, "svc.good-member", Arc::new(EchoService::new("good"))).unwrap();
+    let admin = CommunityClient::connect(&net, "admin", community.node().clone()).unwrap();
+    for (id, ep) in [("a-bad", "svc.bad-member"), ("b-good", "svc.good-member")] {
+        admin
+            .join(&Member {
+                id: MemberId(id.into()),
+                provider: id.into(),
+                endpoint: NodeId::new(ep),
+                qos: QosProfile::default(),
+            })
+            .unwrap();
+    }
+
+    // A composite whose single task goes through the community.
+    use selfserv::statechart::{StatechartBuilder, TaskDef, TransitionDef};
+    use selfserv::wsdl::ParamType;
+    let sc = StatechartBuilder::new("CommunityComposite")
+        .variable("payload", ParamType::Str)
+        .initial("w")
+        .task(
+            TaskDef::new("w", "Work")
+                .community("Workers", "run")
+                .input("payload", "payload")
+                .output("echoed_by", "worker"),
+        )
+        .final_state("f")
+        .transition(TransitionDef::new("t", "w", "f"))
+        .build()
+        .unwrap();
+    let dep = Deployer::new(&net).deploy(&sc, &HashMap::new()).unwrap();
+    // Round-robin hits the failing member on alternating calls; failover
+    // must mask every one of them.
+    for i in 0..6 {
+        let out = dep
+            .execute(
+                MessageDoc::request("execute").with("payload", Value::str(format!("p{i}"))),
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        assert_eq!(out.get_str("worker"), Some("good"));
+    }
+}
+
+#[test]
+fn lossy_network_degrades_but_does_not_wedge_the_platform() {
+    // With 30% loss and no retransmission some instances stall (and time
+    // out), but completed ones are correct and the actors survive to serve
+    // a lossless epoch afterwards.
+    let net = Network::new(NetworkConfig::instant().with_drop_probability(0.3).with_seed(13));
+    let sc = synth::sequence(3);
+    let dep = Deployer::new(&net).deploy(&sc, &backends(3)).unwrap();
+    let mut completed = 0;
+    for i in 0..10 {
+        if let Ok(out) = dep.execute(input(i), Duration::from_millis(300)) {
+            assert_eq!(out.get_str("payload"), Some(format!("p{i}").as_str()));
+            completed += 1;
+        }
+    }
+    net.set_drop_probability(0.0);
+    dep.execute(input(99), Duration::from_secs(5)).unwrap();
+    // With seed 13, at least one must have made it through; mostly this
+    // documents that loss yields timeouts, not corruption.
+    assert!(completed <= 10);
+}
