@@ -22,13 +22,21 @@ fn bench_deployment(c: &mut Criterion) {
     }
     for n in [4usize, 8, 16] {
         let par = synth::parallel(n);
-        group.bench_with_input(BenchmarkId::new("generate_tables_parallel", n), &n, |b, _| {
-            b.iter(|| selfserv_routing::generate(&par).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("generate_tables_parallel", n),
+            &n,
+            |b, _| {
+                b.iter(|| selfserv_routing::generate(&par).unwrap());
+            },
+        );
         let ladder = synth::ladder(4, n / 2);
-        group.bench_with_input(BenchmarkId::new("generate_tables_ladder4", n), &n, |b, _| {
-            b.iter(|| selfserv_routing::generate(&ladder).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("generate_tables_ladder4", n),
+            &n,
+            |b, _| {
+                b.iter(|| selfserv_routing::generate(&ladder).unwrap());
+            },
+        );
     }
     group.finish();
 
@@ -43,7 +51,7 @@ fn bench_deployment(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))

@@ -18,7 +18,8 @@ fn bench_execution(c: &mut Criterion) {
             let mut i = 0usize;
             b.iter(|| {
                 i += 1;
-                dep.execute(synth_input(i), Duration::from_secs(30)).unwrap()
+                dep.execute(synth_input(i), Duration::from_secs(30))
+                    .unwrap()
             });
         });
     }
@@ -29,7 +30,8 @@ fn bench_execution(c: &mut Criterion) {
             let mut i = 0usize;
             b.iter(|| {
                 i += 1;
-                dep.execute(synth_input(i), Duration::from_secs(30)).unwrap()
+                dep.execute(synth_input(i), Duration::from_secs(30))
+                    .unwrap()
             });
         });
     }
@@ -47,21 +49,23 @@ fn bench_execution(c: &mut Criterion) {
             let mut i = 0usize;
             b.iter(|| {
                 i += 1;
-                demo.book_trip(&format!("C{i}"), "Sydney", "2002-08-20", "2002-08-27").unwrap()
+                demo.book_trip(&format!("C{i}"), "Sydney", "2002-08-20", "2002-08-27")
+                    .unwrap()
             });
         });
         group.bench_function("travel_international", |b| {
             let mut i = 0usize;
             b.iter(|| {
                 i += 1;
-                demo.book_trip(&format!("C{i}"), "Hong Kong", "2002-08-20", "2002-08-27").unwrap()
+                demo.book_trip(&format!("C{i}"), "Hong Kong", "2002-08-20", "2002-08-27")
+                    .unwrap()
             });
         });
     }
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))

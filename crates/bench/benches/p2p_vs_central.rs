@@ -17,7 +17,8 @@ fn bench_p2p_vs_central(c: &mut Criterion) {
                 let mut i = 0usize;
                 b.iter(|| {
                     i += 1;
-                    dep.execute(synth_input(i), Duration::from_secs(30)).unwrap()
+                    dep.execute(synth_input(i), Duration::from_secs(30))
+                        .unwrap()
                 });
             });
         }
@@ -28,7 +29,9 @@ fn bench_p2p_vs_central(c: &mut Criterion) {
                 let mut i = 0usize;
                 b.iter(|| {
                     i += 1;
-                    central.execute(synth_input(i), Duration::from_secs(30)).unwrap()
+                    central
+                        .execute(synth_input(i), Duration::from_secs(30))
+                        .unwrap()
                 });
             });
         }
@@ -36,7 +39,7 @@ fn bench_p2p_vs_central(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))

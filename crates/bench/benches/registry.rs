@@ -22,9 +22,13 @@ fn bench_registry(c: &mut Criterion) {
                 reg.find(&FindQuery::any().service_name(format!("Service{q:05}")))
             });
         });
-        group.bench_with_input(BenchmarkId::new("by_provider_prefix", size), &size, |b, _| {
-            b.iter(|| reg.find(&FindQuery::any().provider("Provider000")));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("by_provider_prefix", size),
+            &size,
+            |b, _| {
+                b.iter(|| reg.find(&FindQuery::any().provider("Provider000")));
+            },
+        );
     }
     group.finish();
 
@@ -42,7 +46,7 @@ fn bench_registry(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))

@@ -16,7 +16,12 @@ fn bench_routing_lookup(c: &mut Criterion) {
             format!("s{}", n / 2 - 1).as_str().into(),
         )];
         group.bench_with_input(BenchmarkId::new("linear_precondition", n), &n, |b, _| {
-            b.iter(|| table.preconditions.iter().position(|p| p.satisfied_by(&seen)))
+            b.iter(|| {
+                table
+                    .preconditions
+                    .iter()
+                    .position(|p| p.satisfied_by(&seen))
+            })
         });
     }
     for w in [2usize, 8, 16] {
@@ -31,7 +36,7 @@ fn bench_routing_lookup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))

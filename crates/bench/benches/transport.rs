@@ -1,0 +1,89 @@
+//! Transport seam microbenchmarks: the in-process fabric vs. real TCP
+//! sockets, carrying identical envelopes.
+//!
+//! Two shapes, each over both transports:
+//! * round-trip latency — `Endpoint::rpc` ping/pong against an echo node
+//!   (each rpc also pays the ephemeral reply-endpoint setup, which on TCP
+//!   includes binding a listener: the honest cost of the current rpc
+//!   scheme, and the first target for future optimization);
+//! * one-way throughput — a burst of notifications drained by the
+//!   receiver, the shape of coordinator completion traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfserv_net::{Endpoint, Network, NetworkConfig, NodeId, TcpTransport, Transport};
+use selfserv_xml::Element;
+use std::time::Duration;
+
+const BURST: usize = 64;
+
+/// Spawns an echo node answering `ping` with `pong` until `stop`.
+fn spawn_echo(server: Endpoint) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        match server.recv() {
+            Ok(req) if req.kind == "ping" => {
+                let _ = server.reply(&req, "pong", Element::new("pong"));
+            }
+            Ok(req) if req.kind == "stop" => return,
+            Ok(_) => {}
+            Err(_) => return,
+        }
+    })
+}
+
+fn bench_transport(c: &mut Criterion, label: &str, net: &dyn Transport) {
+    let echo = spawn_echo(net.connect(NodeId::new("echo")).expect("connect echo"));
+    let client = net.connect(NodeId::new("client")).expect("connect client");
+    let sink = net.connect(NodeId::new("sink")).expect("connect sink");
+
+    let mut group = c.benchmark_group("transport");
+    group.bench_with_input(BenchmarkId::new("round_trip", label), &(), |b, _| {
+        b.iter(|| {
+            client
+                .rpc(
+                    "echo",
+                    "ping",
+                    Element::new("ping"),
+                    Duration::from_secs(10),
+                )
+                .expect("rpc completes")
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("burst_one_way", label), &(), |b, _| {
+        b.iter(|| {
+            for i in 0..BURST {
+                client
+                    .send(
+                        "sink",
+                        "notify",
+                        Element::new("n").with_attr("i", i.to_string()),
+                    )
+                    .expect("send accepted");
+            }
+            for _ in 0..BURST {
+                sink.recv_timeout(Duration::from_secs(10))
+                    .expect("delivered");
+            }
+        });
+    });
+    group.finish();
+
+    let _ = client.send("echo", "stop", Element::new("stop"));
+    let _ = echo.join();
+}
+
+fn bench_fabric_vs_tcp(c: &mut Criterion) {
+    let fabric = Network::new(NetworkConfig::instant());
+    bench_transport(c, "fabric", &fabric);
+    let tcp = TcpTransport::new();
+    bench_transport(c, "tcp", &tcp);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(30);
+    targets = bench_fabric_vs_tcp
+}
+criterion_main!(benches);

@@ -91,7 +91,13 @@ fn e1_discovery() {
     }
     print_table(
         "E1 (Figure 1) — discovery engine: publish throughput and find latency (local API)",
-        &["services", "publish/s", "find-by-provider us", "find-by-name us", "find-by-op us"],
+        &[
+            "services",
+            "publish/s",
+            "find-by-provider us",
+            "find-by-name us",
+            "find-by-op us",
+        ],
         &rows,
     );
 
@@ -103,7 +109,9 @@ fn e1_discovery() {
     let t0 = Instant::now();
     let calls = 500;
     for q in 0..calls {
-        client.find(&FindQuery::any().operation(format!("op{}", q % 50))).unwrap();
+        client
+            .find(&FindQuery::any().operation(format!("op{}", q % 50)))
+            .unwrap();
     }
     let per_call = t0.elapsed() / calls as u32;
     println!(
@@ -126,7 +134,10 @@ fn e2_deployment() {
         ("sequence", Box::new(synth::sequence)),
         ("xor-choice", Box::new(synth::xor_choice)),
         ("parallel", Box::new(|n| synth::parallel(n.max(2)))),
-        ("ladder(4 wide)", Box::new(|n| synth::ladder(4, (n / 4).max(1)))),
+        (
+            "ladder(4 wide)",
+            Box::new(|n| synth::ladder(4, (n / 4).max(1))),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, make) in &shapes {
@@ -197,16 +208,27 @@ fn e3_travel() {
     // Locate (Search panel): find by operation through the discovery
     // engine.
     let t0 = Instant::now();
-    let hits = demo.manager.registry().find(&FindQuery::any().service_name("Travel Planning"));
+    let hits = demo
+        .manager
+        .registry()
+        .find(&FindQuery::any().service_name("Travel Planning"));
     let locate = t0.elapsed();
     assert_eq!(hits.len(), 1);
 
     // Execute both branches repeatedly.
     let mut rows = Vec::new();
-    for (label, destination) in [("domestic (Sydney)", "Sydney"), ("international (Hong Kong)", "Hong Kong")] {
+    for (label, destination) in [
+        ("domestic (Sydney)", "Sydney"),
+        ("international (Hong Kong)", "Hong Kong"),
+    ] {
         net.reset_metrics();
         let stats = run_batch(40, 4, |i| {
-            demo.book_trip(&format!("Customer{i}"), destination, "2002-08-20", "2002-08-27")
+            demo.book_trip(
+                &format!("Customer{i}"),
+                destination,
+                "2002-08-20",
+                "2002-08-27",
+            )
         });
         let metrics = net.metrics();
         let notify_messages: u64 = metrics
@@ -220,12 +242,21 @@ fn e3_travel() {
             stats.completed.to_string(),
             ms(stats.mean()),
             ms(stats.percentile(0.95)),
-            format!("{:.1}", notify_messages as f64 / stats.completed.max(1) as f64),
+            format!(
+                "{:.1}",
+                notify_messages as f64 / stats.completed.max(1) as f64
+            ),
         ]);
     }
     print_table(
         "E3 (Figure 3) — locating and executing the travel composite (5 ms/service)",
-        &["branch", "completed", "mean ms", "p95 ms", "coord msgs/instance"],
+        &[
+            "branch",
+            "completed",
+            "mean ms",
+            "p95 ms",
+            "coord msgs/instance",
+        ],
         &rows,
     );
     println!("locate via discovery engine: {} us", us(locate));
@@ -434,8 +465,8 @@ fn e6_selection_policies() {
         (10, 10.0, false),
         (20, 20.0, false),
         (40, 40.0, false),
-        (80, 5.0, false),  // the liar
-        (15, 15.0, true),  // flaky: 30% failures
+        (80, 5.0, false), // the liar
+        (15, 15.0, true), // flaky: 30% failures
         (25, 25.0, false),
         (60, 60.0, false),
         (30, 30.0, false),
@@ -467,8 +498,12 @@ fn e6_selection_policies() {
                 backend = backend.with_failure_probability(0.3).with_seed(5);
             }
             hosts.push(
-                ServiceHost::spawn(&net, ep.as_str(), Arc::new(backend) as Arc<dyn ServiceBackend>)
-                    .unwrap(),
+                ServiceHost::spawn(
+                    &net,
+                    ep.as_str(),
+                    Arc::new(backend) as Arc<dyn ServiceBackend>,
+                )
+                .unwrap(),
             );
             client
                 .join(&Member {
@@ -487,9 +522,8 @@ fn e6_selection_policies() {
         let mut latencies = Vec::with_capacity(requests);
         for i in 0..requests {
             let q0 = Instant::now();
-            let result = client.invoke(
-                &MessageDoc::request("work").with("case", Value::Int(i as i64)),
-            );
+            let result =
+                client.invoke(&MessageDoc::request("work").with("case", Value::Int(i as i64)));
             if result.is_ok() {
                 ok += 1;
                 latencies.push(q0.elapsed());
@@ -538,7 +572,10 @@ fn e6_delegation_modes() {
     use selfserv_community::DelegationMode;
     let requests = 300;
     let mut rows = Vec::new();
-    for (label, mode) in [("proxy", DelegationMode::Proxy), ("redirect", DelegationMode::Redirect)] {
+    for (label, mode) in [
+        ("proxy", DelegationMode::Proxy),
+        ("redirect", DelegationMode::Redirect),
+    ] {
         let net = instant_net();
         let node = format!("community.mode-{label}");
         let community = CommunityServer::spawn(
@@ -546,7 +583,10 @@ fn e6_delegation_modes() {
             &node,
             Community::new("mode-bench", "").with_operation(OperationDef::new("work")),
             Arc::new(RoundRobin::new()),
-            selfserv_community::CommunityServerConfig { mode, ..Default::default() },
+            selfserv_community::CommunityServerConfig {
+                mode,
+                ..Default::default()
+            },
         )
         .unwrap();
         let client = CommunityClient::connect(&net, "mode-client", node.as_str()).unwrap();
@@ -572,8 +612,7 @@ fn e6_delegation_modes() {
         }
         net.reset_metrics();
         // A ~1 KiB payload so the broker's data-path cost is visible.
-        let request = MessageDoc::request("work")
-            .with("blob", Value::str("x".repeat(1024)));
+        let request = MessageDoc::request("work").with("blob", Value::str("x".repeat(1024)));
         let t0 = Instant::now();
         for _ in 0..requests {
             client.invoke(&request).unwrap();
@@ -599,7 +638,12 @@ fn e6_delegation_modes() {
     }
     print_table(
         "E6b (ablation) — delegation mode: load on the community node per request",
-        &["mode", "community msgs/req", "community bytes/req", "mean us/req"],
+        &[
+            "mode",
+            "community msgs/req",
+            "community bytes/req",
+            "mean us/req",
+        ],
         &rows,
     );
     println!(
@@ -619,8 +663,9 @@ fn e7_routing_lookup() {
         let sc = synth::sequence(n);
         let plan = selfserv_routing::generate(&sc).unwrap();
         let table = plan.table(&format!("s{}", n / 2).as_str().into()).unwrap();
-        let seen =
-            vec![NotificationLabel::Completed(format!("s{}", n / 2 - 1).as_str().into())];
+        let seen = vec![NotificationLabel::Completed(
+            format!("s{}", n / 2 - 1).as_str().into(),
+        )];
         let reps = 200_000u32;
         let t0 = Instant::now();
         let mut hits = 0usize;
@@ -645,7 +690,11 @@ fn e7_routing_lookup() {
             std::hint::black_box(fin.satisfied_by(&all));
         }
         let join_per = t0.elapsed() / reps;
-        rows.push(vec![n.to_string(), format!("{:.0}", per.as_nanos()), format!("{:.0}", join_per.as_nanos())]);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.0}", per.as_nanos()),
+            format!("{:.0}", join_per.as_nanos()),
+        ]);
     }
     print_table(
         "E7 — routing-table decision cost per notification",

@@ -17,10 +17,7 @@ use std::time::{Duration, Instant};
 
 /// Builds backends for every `SynthService<i>` referenced by a synthetic
 /// chart, echoing inputs with the given simulated service time.
-pub fn synth_backends(
-    n: usize,
-    latency: Duration,
-) -> HashMap<String, Arc<dyn ServiceBackend>> {
+pub fn synth_backends(n: usize, latency: Duration) -> HashMap<String, Arc<dyn ServiceBackend>> {
     let mut map: HashMap<String, Arc<dyn ServiceBackend>> = HashMap::new();
     for i in 0..n {
         let name = synth::synth_service_name(i);
@@ -160,24 +157,44 @@ where
                 local
             }));
         }
-        handles.into_iter().flat_map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker"))
+            .collect()
     });
     let wall = started.elapsed();
-    let mut latencies: Vec<Duration> =
-        results.iter().filter(|(ok, _)| *ok).map(|(_, d)| *d).collect();
+    let mut latencies: Vec<Duration> = results
+        .iter()
+        .filter(|(ok, _)| *ok)
+        .map(|(_, d)| *d)
+        .collect();
     latencies.sort();
     let completed = latencies.len();
-    RunStats { completed, failed: results.len() - completed, wall, latencies }
+    RunStats {
+        completed,
+        failed: results.len() - completed,
+        wall,
+        latencies,
+    }
 }
 
 /// Seeds a registry with `n` synthetic services across `n / 10 + 1`
 /// providers, with realistic name/operation variety.
 pub fn seed_registry(n: usize) -> UddiRegistry {
     let reg = UddiRegistry::new();
-    let categories = ["flight-booking", "accommodation", "car-rental", "insurance", "search"];
+    let categories = [
+        "flight-booking",
+        "accommodation",
+        "car-rental",
+        "insurance",
+        "search",
+    ];
     let mut businesses = Vec::new();
     for b in 0..(n / 10 + 1) {
-        businesses.push(reg.save_business(format!("Provider{b:04}"), "ops@example").key);
+        businesses.push(
+            reg.save_business(format!("Provider{b:04}"), "ops@example")
+                .key,
+        );
     }
     for i in 0..n {
         let business = &businesses[i % businesses.len()];
@@ -286,7 +303,9 @@ mod tests {
 
         let net2 = instant_net();
         let (_hosts, central) = deploy_central(&net2, &sc, Duration::ZERO);
-        let out2 = central.execute(synth_input(1), Duration::from_secs(5)).unwrap();
+        let out2 = central
+            .execute(synth_input(1), Duration::from_secs(5))
+            .unwrap();
         assert_eq!(out1.get_str("payload"), out2.get_str("payload"));
     }
 

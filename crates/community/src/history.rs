@@ -72,7 +72,10 @@ impl ExecutionHistory {
     /// History with an explicit EWMA smoothing factor.
     pub fn with_alpha(alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        ExecutionHistory { alpha, stats: RwLock::new(HashMap::new()) }
+        ExecutionHistory {
+            alpha,
+            stats: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Marks an execution as started (increments the in-flight gauge).
@@ -181,7 +184,11 @@ mod tests {
         let h = ExecutionHistory::new();
         for i in 0..10 {
             h.start(&m("a"));
-            let outcome = if i % 2 == 0 { Outcome::Success } else { Outcome::Failure };
+            let outcome = if i % 2 == 0 {
+                Outcome::Success
+            } else {
+                Outcome::Failure
+            };
             h.complete(&m("a"), Duration::from_millis(1), outcome);
         }
         let s = h.stats(&m("a"));

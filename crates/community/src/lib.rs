@@ -36,8 +36,7 @@ pub use policy::{
     WeightedScoring, Weights,
 };
 pub use server::{
-    CommunityClient, CommunityServer, CommunityServerConfig, CommunityServerHandle,
-    DelegationMode,
+    CommunityClient, CommunityServer, CommunityServerConfig, CommunityServerHandle, DelegationMode,
 };
 
 #[cfg(test)]

@@ -32,7 +32,12 @@ pub struct QosProfile {
 
 impl Default for QosProfile {
     fn default() -> Self {
-        QosProfile { cost: 1.0, duration_ms: 100.0, reliability: 0.99, reputation: 0.5 }
+        QosProfile {
+            cost: 1.0,
+            duration_ms: 100.0,
+            reliability: 0.99,
+            reputation: 0.5,
+        }
     }
 }
 
@@ -86,7 +91,7 @@ pub enum CommunityError {
     /// The community currently has no members able to serve a request.
     NoMembersAvailable {
         /// The community name.
-        community: String
+        community: String,
     },
     /// The requested operation is not one of the community's generic
     /// operations.
@@ -164,7 +169,9 @@ impl Community {
 
     /// Removes a member.
     pub fn leave(&mut self, id: &MemberId) -> Result<Member, CommunityError> {
-        self.members.remove(id).ok_or_else(|| CommunityError::UnknownMember(id.clone()))
+        self.members
+            .remove(id)
+            .ok_or_else(|| CommunityError::UnknownMember(id.clone()))
     }
 
     /// Looks up a member.
@@ -260,7 +267,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = CommunityError::NoMembersAvailable { community: "AB".into() };
+        let e = CommunityError::NoMembersAvailable {
+            community: "AB".into(),
+        };
         assert!(e.to_string().contains("AB"));
     }
 }

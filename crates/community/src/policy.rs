@@ -31,8 +31,11 @@ pub trait SelectionPolicy: Send + Sync {
     /// Chooses one of `candidates` (non-empty, sorted by member id).
     /// Returning `None` makes the community report
     /// [`crate::CommunityError::NoMembersAvailable`].
-    fn select<'m>(&self, candidates: &[&'m Member], ctx: &SelectionContext<'_>)
-        -> Option<&'m Member>;
+    fn select<'m>(
+        &self,
+        candidates: &[&'m Member],
+        ctx: &SelectionContext<'_>,
+    ) -> Option<&'m Member>;
 
     /// Short policy name for diagnostics and experiment tables.
     fn name(&self) -> &'static str;
@@ -78,7 +81,9 @@ pub struct RandomChoice {
 impl RandomChoice {
     /// Seeded random policy.
     pub fn new(seed: u64) -> Self {
-        RandomChoice { rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+        RandomChoice {
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
     }
 }
 
@@ -111,7 +116,10 @@ impl SelectionPolicy for LeastLoaded {
         candidates: &[&'m Member],
         ctx: &SelectionContext<'_>,
     ) -> Option<&'m Member> {
-        candidates.iter().min_by_key(|m| (ctx.history.in_flight(&m.id), &m.id)).copied()
+        candidates
+            .iter()
+            .min_by_key(|m| (ctx.history.in_flight(&m.id), &m.id))
+            .copied()
     }
 
     fn name(&self) -> &'static str {
@@ -136,7 +144,12 @@ pub struct Weights {
 
 impl Default for Weights {
     fn default() -> Self {
-        Weights { cost: 1.0, duration: 1.0, reliability: 1.0, reputation: 1.0 }
+        Weights {
+            cost: 1.0,
+            duration: 1.0,
+            reliability: 1.0,
+            reputation: 1.0,
+        }
     }
 }
 
@@ -160,7 +173,10 @@ impl WeightedScoring {
 
     fn effective_weights(&self, request: &MessageDoc) -> Weights {
         let get = |name: &str, default: f64| {
-            request.get(name).and_then(|v| v.as_f64()).unwrap_or(default)
+            request
+                .get(name)
+                .and_then(|v| v.as_f64())
+                .unwrap_or(default)
         };
         Weights {
             cost: get("weight_cost", self.weights.cost),
@@ -185,7 +201,11 @@ fn normalise(value: f64, min: f64, max: f64, higher_better: bool) -> f64 {
     }
 }
 
-fn saw_score(members: &[&Member], weights: Weights, observed: impl Fn(&Member) -> (f64, f64)) -> Vec<f64> {
+fn saw_score(
+    members: &[&Member],
+    weights: Weights,
+    observed: impl Fn(&Member) -> (f64, f64),
+) -> Vec<f64> {
     // observed() returns (duration_ms, reliability) — either advertised or
     // history-adjusted. Cost and duration are unbounded, so they are
     // min-max normalised across the candidate set; reliability and
@@ -221,7 +241,9 @@ impl SelectionPolicy for WeightedScoring {
             return None;
         }
         let weights = self.effective_weights(ctx.request);
-        let scores = saw_score(candidates, weights, |m| (m.qos.duration_ms, m.qos.reliability));
+        let scores = saw_score(candidates, weights, |m| {
+            (m.qos.duration_ms, m.qos.reliability)
+        });
         let best = scores
             .iter()
             .enumerate()
@@ -310,7 +332,11 @@ mod tests {
     }
 
     fn ctx<'a>(request: &'a MessageDoc, history: &'a ExecutionHistory) -> SelectionContext<'a> {
-        SelectionContext { operation: "op", request, history }
+        SelectionContext {
+            operation: "op",
+            request,
+            history,
+        }
     }
 
     #[test]
@@ -323,7 +349,14 @@ mod tests {
         let req = MessageDoc::request("op");
         let hist = ExecutionHistory::new();
         let picks: Vec<&str> = (0..6)
-            .map(|_| policy.select(&candidates, &ctx(&req, &hist)).unwrap().id.0.as_str())
+            .map(|_| {
+                policy
+                    .select(&candidates, &ctx(&req, &hist))
+                    .unwrap()
+                    .id
+                    .0
+                    .as_str()
+            })
             .collect();
         assert_eq!(picks, vec!["a", "b", "c", "a", "b", "c"]);
     }
@@ -338,7 +371,13 @@ mod tests {
         let run = |seed| {
             let p = RandomChoice::new(seed);
             (0..20)
-                .map(|_| p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0.clone())
+                .map(|_| {
+                    p.select(&candidates, &ctx(&req, &hist))
+                        .unwrap()
+                        .id
+                        .0
+                        .clone()
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7), "same seed, same sequence");
@@ -366,17 +405,30 @@ mod tests {
     fn saw_prefers_dominating_member() {
         let good = member(
             "good",
-            QosProfile { cost: 1.0, duration_ms: 50.0, reliability: 0.99, reputation: 0.9 },
+            QosProfile {
+                cost: 1.0,
+                duration_ms: 50.0,
+                reliability: 0.99,
+                reputation: 0.9,
+            },
         );
         let bad = member(
             "bad",
-            QosProfile { cost: 5.0, duration_ms: 500.0, reliability: 0.8, reputation: 0.2 },
+            QosProfile {
+                cost: 5.0,
+                duration_ms: 500.0,
+                reliability: 0.8,
+                reputation: 0.2,
+            },
         );
         let candidates = vec![&bad, &good];
         let req = MessageDoc::request("op");
         let hist = ExecutionHistory::new();
         let p = WeightedScoring::default();
-        assert_eq!(p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0, "good");
+        assert_eq!(
+            p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0,
+            "good"
+        );
     }
 
     #[test]
@@ -384,11 +436,21 @@ mod tests {
         // cheap-but-slow vs expensive-but-fast: the request decides.
         let cheap = member(
             "cheap",
-            QosProfile { cost: 1.0, duration_ms: 500.0, reliability: 0.9, reputation: 0.5 },
+            QosProfile {
+                cost: 1.0,
+                duration_ms: 500.0,
+                reliability: 0.9,
+                reputation: 0.5,
+            },
         );
         let fast = member(
             "fast",
-            QosProfile { cost: 10.0, duration_ms: 20.0, reliability: 0.9, reputation: 0.5 },
+            QosProfile {
+                cost: 10.0,
+                duration_ms: 20.0,
+                reliability: 0.9,
+                reputation: 0.5,
+            },
         );
         let candidates = vec![&cheap, &fast];
         let hist = ExecutionHistory::new();
@@ -397,14 +459,20 @@ mod tests {
             .with("weight_cost", selfserv_expr::Value::Float(10.0))
             .with("weight_duration", selfserv_expr::Value::Float(0.1));
         assert_eq!(
-            p.select(&candidates, &ctx(&cost_sensitive, &hist)).unwrap().id.0,
+            p.select(&candidates, &ctx(&cost_sensitive, &hist))
+                .unwrap()
+                .id
+                .0,
             "cheap"
         );
         let latency_sensitive = MessageDoc::request("op")
             .with("weight_cost", selfserv_expr::Value::Float(0.1))
             .with("weight_duration", selfserv_expr::Value::Float(10.0));
         assert_eq!(
-            p.select(&candidates, &ctx(&latency_sensitive, &hist)).unwrap().id.0,
+            p.select(&candidates, &ctx(&latency_sensitive, &hist))
+                .unwrap()
+                .id
+                .0,
             "fast"
         );
     }
@@ -416,35 +484,61 @@ mod tests {
         // with history the honest member does.
         let liar = member(
             "liar",
-            QosProfile { cost: 1.0, duration_ms: 10.0, reliability: 0.99, reputation: 0.5 },
+            QosProfile {
+                cost: 1.0,
+                duration_ms: 10.0,
+                reliability: 0.99,
+                reputation: 0.5,
+            },
         );
         let honest = member(
             "honest",
-            QosProfile { cost: 1.0, duration_ms: 100.0, reliability: 0.99, reputation: 0.5 },
+            QosProfile {
+                cost: 1.0,
+                duration_ms: 100.0,
+                reliability: 0.99,
+                reputation: 0.5,
+            },
         );
         let candidates = vec![&honest, &liar];
         let req = MessageDoc::request("op");
         let hist = ExecutionHistory::new();
         let p = HistoryAware::default();
-        assert_eq!(p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0, "liar");
+        assert_eq!(
+            p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0,
+            "liar"
+        );
         for _ in 0..10 {
             hist.start(&liar.id);
             hist.complete(&liar.id, Duration::from_millis(800), Outcome::Success);
             hist.start(&honest.id);
             hist.complete(&honest.id, Duration::from_millis(100), Outcome::Success);
         }
-        assert_eq!(p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0, "honest");
+        assert_eq!(
+            p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0,
+            "honest"
+        );
     }
 
     #[test]
     fn history_aware_penalises_failures() {
         let flaky = member(
             "flaky",
-            QosProfile { cost: 1.0, duration_ms: 50.0, reliability: 0.99, reputation: 0.5 },
+            QosProfile {
+                cost: 1.0,
+                duration_ms: 50.0,
+                reliability: 0.99,
+                reputation: 0.5,
+            },
         );
         let solid = member(
             "solid",
-            QosProfile { cost: 1.0, duration_ms: 50.0, reliability: 0.9, reputation: 0.5 },
+            QosProfile {
+                cost: 1.0,
+                duration_ms: 50.0,
+                reliability: 0.9,
+                reputation: 0.5,
+            },
         );
         let candidates = vec![&flaky, &solid];
         let req = MessageDoc::request("op");
@@ -456,7 +550,10 @@ mod tests {
             hist.complete(&solid.id, Duration::from_millis(50), Outcome::Success);
         }
         let p = HistoryAware::default();
-        assert_eq!(p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0, "solid");
+        assert_eq!(
+            p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0,
+            "solid"
+        );
     }
 
     #[test]
@@ -485,7 +582,12 @@ mod tests {
             &WeightedScoring::default(),
             &HistoryAware::default(),
         ] {
-            assert_eq!(policy.select(&candidates, &c).unwrap().id.0, "only", "{}", policy.name());
+            assert_eq!(
+                policy.select(&candidates, &c).unwrap().id.0,
+                "only",
+                "{}",
+                policy.name()
+            );
         }
     }
 
@@ -497,9 +599,17 @@ mod tests {
         let req = MessageDoc::request("op");
         let hist = ExecutionHistory::new();
         let p = WeightedScoring::default();
-        let first = p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0.clone();
+        let first = p
+            .select(&candidates, &ctx(&req, &hist))
+            .unwrap()
+            .id
+            .0
+            .clone();
         for _ in 0..5 {
-            assert_eq!(p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0, first);
+            assert_eq!(
+                p.select(&candidates, &ctx(&req, &hist)).unwrap().id.0,
+                first
+            );
         }
         assert_eq!(first, "a", "ties break toward the smaller id");
     }

@@ -16,18 +16,18 @@ fn make_members(qos: Vec<(f64, f64, f64, f64)>) -> Vec<Member> {
             id: MemberId(format!("m{i:02}")),
             provider: format!("P{i}"),
             endpoint: NodeId::new(format!("svc.m{i}")),
-            qos: QosProfile { cost, duration_ms, reliability, reputation },
+            qos: QosProfile {
+                cost,
+                duration_ms,
+                reliability,
+                reputation,
+            },
         })
         .collect()
 }
 
 fn arb_qos() -> impl Strategy<Value = (f64, f64, f64, f64)> {
-    (
-        0.1f64..100.0,
-        1.0f64..2000.0,
-        0.0f64..1.0,
-        0.0f64..1.0,
-    )
+    (0.1f64..100.0, 1.0f64..2000.0, 0.0f64..1.0, 0.0f64..1.0)
 }
 
 proptest! {

@@ -20,7 +20,7 @@ use crate::history::{ExecutionHistory, Outcome};
 use crate::membership::{Community, CommunityError, Member, MemberId, QosProfile};
 use crate::policy::{SelectionContext, SelectionPolicy};
 use parking_lot::RwLock;
-use selfserv_net::{Endpoint, Envelope, Network, NodeId, RpcError};
+use selfserv_net::{Endpoint, Envelope, NodeId, RpcError, Transport, TransportHandle};
 use selfserv_wsdl::MessageDoc;
 use selfserv_xml::Element;
 use std::sync::Arc;
@@ -95,13 +95,13 @@ pub struct CommunityServer {
     policy: Arc<dyn SelectionPolicy>,
     config: CommunityServerConfig,
     endpoint: Endpoint,
-    net: Network,
+    net: TransportHandle,
 }
 
 /// Handle to a spawned [`CommunityServer`].
 pub struct CommunityServerHandle {
     node: NodeId,
-    net: Network,
+    net: TransportHandle,
     community: Arc<RwLock<Community>>,
     history: Arc<ExecutionHistory>,
     thread: Option<JoinHandle<()>>,
@@ -147,15 +147,15 @@ impl Drop for CommunityServerHandle {
 }
 
 impl CommunityServer {
-    /// Spawns a community server on `node_name`.
+    /// Spawns a community server on `node_name`, over any [`Transport`].
     pub fn spawn(
-        net: &Network,
+        net: &dyn Transport,
         node_name: &str,
         community: Community,
         policy: Arc<dyn SelectionPolicy>,
         config: CommunityServerConfig,
     ) -> Result<CommunityServerHandle, NodeId> {
-        let endpoint = net.connect(node_name)?;
+        let endpoint = net.connect(NodeId::new(node_name))?;
         let node = endpoint.node().clone();
         let community = Arc::new(RwLock::new(community));
         let history = Arc::new(ExecutionHistory::new());
@@ -165,18 +165,26 @@ impl CommunityServer {
             policy,
             config,
             endpoint,
-            net: net.clone(),
+            net: net.handle(),
         };
         let thread = std::thread::Builder::new()
             .name(format!("community-{node_name}"))
             .spawn(move || server.run())
             .expect("spawn community server");
-        Ok(CommunityServerHandle { node, net: net.clone(), community, history, thread: Some(thread) })
+        Ok(CommunityServerHandle {
+            node,
+            net: net.handle(),
+            community,
+            history,
+            thread: Some(thread),
+        })
     }
 
     fn run(self) {
         loop {
-            let Ok(request) = self.endpoint.recv() else { return };
+            let Ok(request) = self.endpoint.recv() else {
+                return;
+            };
             match request.kind.as_str() {
                 kinds::STOP => return,
                 kinds::JOIN => {
@@ -199,7 +207,10 @@ impl CommunityServer {
     fn send_reply(&self, request: &Envelope, reply: Result<Element, CommunityError>) {
         let (kind, body) = match reply {
             Ok(body) => (kinds::RESULT, body),
-            Err(e) => (kinds::FAULT, Element::new("fault").with_attr("reason", e.to_string())),
+            Err(e) => (
+                kinds::FAULT,
+                Element::new("fault").with_attr("reason", e.to_string()),
+            ),
         };
         let _ = self.endpoint.reply(request, kind, body);
     }
@@ -212,7 +223,9 @@ impl CommunityServer {
 
     fn handle_leave(&self, body: &Element) -> Result<Element, CommunityError> {
         let id = MemberId(
-            body.require_attr("id").map_err(CommunityError::Protocol)?.to_string(),
+            body.require_attr("id")
+                .map_err(CommunityError::Protocol)?
+                .to_string(),
         );
         self.community.write().leave(&id)?;
         self.history.forget(&id);
@@ -244,9 +257,10 @@ impl CommunityServer {
             );
             let (kind, body) = match outcome {
                 Ok(body) => (kinds::RESULT, body),
-                Err(e) => {
-                    (kinds::FAULT, Element::new("fault").with_attr("reason", e.to_string()))
-                }
+                Err(e) => (
+                    kinds::FAULT,
+                    Element::new("fault").with_attr("reason", e.to_string()),
+                ),
             };
             // Reply as the community node would: correlate to the request.
             let _ = worker.send_correlated(request.from.clone(), kind, body, Some(request.id));
@@ -265,11 +279,14 @@ fn delegate(
     member_timeout: Duration,
     max_attempts: usize,
 ) -> Result<Element, CommunityError> {
-    let msg = MessageDoc::from_xml(&request.body)
-        .map_err(|e| CommunityError::Protocol(e.to_string()))?;
+    let msg =
+        MessageDoc::from_xml(&request.body).map_err(|e| CommunityError::Protocol(e.to_string()))?;
     let (community_name, operation_known) = {
         let c = community.read();
-        (c.name.clone(), c.operation(&msg.operation).is_some() || c.operations.is_empty())
+        (
+            c.name.clone(),
+            c.operation(&msg.operation).is_some() || c.operations.is_empty(),
+        )
     };
     if !operation_known {
         return Err(CommunityError::UnknownOperation(msg.operation.clone()));
@@ -281,11 +298,17 @@ fn delegate(
             let c = community.read();
             let candidates: Vec<&Member> =
                 c.members().filter(|m| !excluded.contains(&m.id)).collect();
-            let ctx = SelectionContext { operation: &msg.operation, request: &msg, history };
+            let ctx = SelectionContext {
+                operation: &msg.operation,
+                request: &msg,
+                history,
+            };
             policy.select(&candidates, &ctx).cloned()
         };
         let Some(member) = chosen else {
-            return Err(CommunityError::NoMembersAvailable { community: community_name });
+            return Err(CommunityError::NoMembersAvailable {
+                community: community_name,
+            });
         };
         match mode {
             DelegationMode::Redirect => {
@@ -346,9 +369,16 @@ fn decode_member(e: &Element) -> Result<Member, CommunityError> {
         e.attr(name).and_then(|s| s.parse().ok()).unwrap_or(default)
     };
     Ok(Member {
-        id: MemberId(e.require_attr("id").map_err(CommunityError::Protocol)?.to_string()),
+        id: MemberId(
+            e.require_attr("id")
+                .map_err(CommunityError::Protocol)?
+                .to_string(),
+        ),
         provider: e.attr("provider").unwrap_or("").to_string(),
-        endpoint: NodeId::new(e.require_attr("endpoint").map_err(CommunityError::Protocol)?),
+        endpoint: NodeId::new(
+            e.require_attr("endpoint")
+                .map_err(CommunityError::Protocol)?,
+        ),
         qos: QosProfile {
             cost: num("cost", 1.0),
             duration_ms: num("duration_ms", 100.0),
@@ -380,12 +410,12 @@ pub struct CommunityClient {
 impl CommunityClient {
     /// Connects a client node.
     pub fn connect(
-        net: &Network,
+        net: &dyn Transport,
         client_name: &str,
         community_node: impl Into<NodeId>,
     ) -> Result<Self, NodeId> {
         Ok(CommunityClient {
-            endpoint: net.connect(client_name)?,
+            endpoint: net.connect(NodeId::new(client_name))?,
             community_node: community_node.into(),
             timeout: Duration::from_secs(10),
         })
@@ -410,18 +440,28 @@ impl CommunityClient {
     pub fn invoke(&self, msg: &MessageDoc) -> Result<MessageDoc, CommunityError> {
         let body = self.call(kinds::INVOKE, msg.to_xml())?;
         if body.name == "redirect" {
-            let endpoint =
-                body.require_attr("endpoint").map_err(CommunityError::Protocol)?.to_string();
+            let endpoint = body
+                .require_attr("endpoint")
+                .map_err(CommunityError::Protocol)?
+                .to_string();
             let forwarded = strip_directives(msg);
             let reply = self
                 .endpoint
-                .rpc(endpoint.as_str(), kinds::MEMBER_INVOKE, forwarded.to_xml(), self.timeout)
+                .rpc(
+                    endpoint.as_str(),
+                    kinds::MEMBER_INVOKE,
+                    forwarded.to_xml(),
+                    self.timeout,
+                )
                 .map_err(|e| CommunityError::DelegationFailed(e.to_string()))?;
             let response = MessageDoc::from_xml(&reply.body)
                 .map_err(|e| CommunityError::Protocol(e.to_string()))?;
             if response.is_fault() {
                 return Err(CommunityError::DelegationFailed(
-                    response.fault_reason().unwrap_or("member fault").to_string(),
+                    response
+                        .fault_reason()
+                        .unwrap_or("member fault")
+                        .to_string(),
                 ));
             }
             return Ok(response);
@@ -430,7 +470,10 @@ impl CommunityClient {
             MessageDoc::from_xml(&body).map_err(|e| CommunityError::Protocol(e.to_string()))?;
         if response.is_fault() {
             return Err(CommunityError::DelegationFailed(
-                response.fault_reason().unwrap_or("member fault").to_string(),
+                response
+                    .fault_reason()
+                    .unwrap_or("member fault")
+                    .to_string(),
             ));
         }
         Ok(response)
@@ -443,7 +486,11 @@ impl CommunityClient {
             .map_err(|e| CommunityError::DelegationFailed(e.to_string()))?;
         if reply.kind == kinds::FAULT {
             Err(CommunityError::DelegationFailed(
-                reply.body.attr("reason").unwrap_or("unspecified").to_string(),
+                reply
+                    .body
+                    .attr("reason")
+                    .unwrap_or("unspecified")
+                    .to_string(),
             ))
         } else {
             Ok(reply.body)
@@ -456,7 +503,7 @@ mod tests {
     use super::*;
     use crate::policy::RoundRobin;
     use selfserv_expr::Value;
-    use selfserv_net::NetworkConfig;
+    use selfserv_net::{Network, NetworkConfig};
     use selfserv_wsdl::OperationDef;
 
     /// A minimal member wrapper: answers `invoke` with a response that
@@ -508,7 +555,10 @@ mod tests {
             "community.ab",
             community(),
             Arc::new(RoundRobin::new()),
-            CommunityServerConfig { mode, ..Default::default() },
+            CommunityServerConfig {
+                mode,
+                ..Default::default()
+            },
         )
         .unwrap();
         let client = CommunityClient::connect(&net, "client", "community.ab").unwrap();
@@ -525,9 +575,14 @@ mod tests {
         let req = MessageDoc::request("bookAccommodation");
         let r1 = client.invoke(&req).unwrap();
         let r2 = client.invoke(&req).unwrap();
-        let servers: Vec<&str> =
-            vec![r1.get_str("served_by").unwrap(), r2.get_str("served_by").unwrap()];
-        assert!(servers.contains(&"svc.h1") && servers.contains(&"svc.h2"), "{servers:?}");
+        let servers: Vec<&str> = vec![
+            r1.get_str("served_by").unwrap(),
+            r2.get_str("served_by").unwrap(),
+        ];
+        assert!(
+            servers.contains(&"svc.h1") && servers.contains(&"svc.h2"),
+            "{servers:?}"
+        );
     }
 
     #[test]
@@ -535,14 +590,18 @@ mod tests {
         let (net, _handle, client) = setup(DelegationMode::Redirect);
         let _m1 = spawn_member(&net, "svc.h1", false, Duration::ZERO);
         client.join(&member("h1", "svc.h1")).unwrap();
-        let resp = client.invoke(&MessageDoc::request("bookAccommodation")).unwrap();
+        let resp = client
+            .invoke(&MessageDoc::request("bookAccommodation"))
+            .unwrap();
         assert_eq!(resp.get_str("served_by"), Some("svc.h1"));
     }
 
     #[test]
     fn empty_community_faults() {
         let (_net, _handle, client) = setup(DelegationMode::Proxy);
-        let err = client.invoke(&MessageDoc::request("bookAccommodation")).unwrap_err();
+        let err = client
+            .invoke(&MessageDoc::request("bookAccommodation"))
+            .unwrap_err();
         assert!(err.to_string().contains("no members"), "{err}");
     }
 
@@ -565,11 +624,16 @@ mod tests {
         // Round-robin starts at the failing member; failover must reach the
         // good one every time.
         for _ in 0..4 {
-            let resp = client.invoke(&MessageDoc::request("bookAccommodation")).unwrap();
+            let resp = client
+                .invoke(&MessageDoc::request("bookAccommodation"))
+                .unwrap();
             assert_eq!(resp.get_str("served_by"), Some("svc.good"));
         }
         let stats = handle.history().stats(&MemberId("a-bad".into()));
-        assert!(stats.failures > 0, "failures recorded against the bad member");
+        assert!(
+            stats.failures > 0,
+            "failures recorded against the bad member"
+        );
     }
 
     #[test]
@@ -600,7 +664,9 @@ mod tests {
         let fast = CommunityClient::connect(&net, "client2", "community.fast").unwrap();
         fast.join(&member("a-dead", "svc.dead")).unwrap();
         fast.join(&member("b-live", "svc.live")).unwrap();
-        let resp = fast.invoke(&MessageDoc::request("bookAccommodation")).unwrap();
+        let resp = fast
+            .invoke(&MessageDoc::request("bookAccommodation"))
+            .unwrap();
         assert_eq!(resp.get_str("served_by"), Some("svc.live"));
         drop(handle2);
     }
@@ -612,8 +678,13 @@ mod tests {
         let _b2 = spawn_member(&net, "svc.b2", true, Duration::ZERO);
         client.join(&member("b1", "svc.b1")).unwrap();
         client.join(&member("b2", "svc.b2")).unwrap();
-        let err = client.invoke(&MessageDoc::request("bookAccommodation")).unwrap_err();
-        assert!(matches!(err, CommunityError::DelegationFailed(_)), "{err:?}");
+        let err = client
+            .invoke(&MessageDoc::request("bookAccommodation"))
+            .unwrap_err();
+        assert!(
+            matches!(err, CommunityError::DelegationFailed(_)),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -626,7 +697,9 @@ mod tests {
         client.leave(&MemberId("h1".into())).unwrap();
         assert_eq!(handle.community().read().member_count(), 1);
         for _ in 0..3 {
-            let resp = client.invoke(&MessageDoc::request("bookAccommodation")).unwrap();
+            let resp = client
+                .invoke(&MessageDoc::request("bookAccommodation"))
+                .unwrap();
             assert_eq!(resp.get_str("served_by"), Some("svc.h2"));
         }
         assert!(client.leave(&MemberId("h1".into())).is_err());
@@ -657,7 +730,10 @@ mod tests {
             .with("city", Value::str("Sydney"))
             .with("weight_cost", Value::Float(3.0));
         let resp = client.invoke(&req).unwrap();
-        assert_eq!(resp.get(&"param_count".to_string()[..]), Some(&Value::Int(1)));
+        assert_eq!(
+            resp.get(&"param_count".to_string()[..]),
+            Some(&Value::Int(1))
+        );
     }
 
     #[test]
@@ -665,7 +741,9 @@ mod tests {
         let (net, handle, client) = setup(DelegationMode::Proxy);
         let _m = spawn_member(&net, "svc.slow", false, Duration::from_millis(30));
         client.join(&member("slow", "svc.slow")).unwrap();
-        client.invoke(&MessageDoc::request("bookAccommodation")).unwrap();
+        client
+            .invoke(&MessageDoc::request("bookAccommodation"))
+            .unwrap();
         let stats = handle.history().stats(&MemberId("slow".into()));
         assert_eq!(stats.completed, 1);
         assert!(stats.latency_ewma_ms.unwrap() >= 25.0);

@@ -10,7 +10,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use selfserv_expr::Value;
-use selfserv_net::{Endpoint, Network, NodeId};
+use selfserv_net::{Endpoint, NodeId, Transport, TransportHandle};
 use selfserv_wsdl::MessageDoc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -67,7 +67,10 @@ pub struct FailingService {
 impl FailingService {
     /// A failing backend.
     pub fn new(name: impl Into<String>, reason: impl Into<String>) -> Self {
-        FailingService { name: name.into(), reason: reason.into() }
+        FailingService {
+            name: name.into(),
+            reason: reason.into(),
+        }
     }
 }
 
@@ -156,8 +159,8 @@ impl ServiceBackend for SyntheticService {
             } else {
                 Duration::from_nanos(rng.gen_range(0..=self.jitter.as_nanos()) as u64)
             };
-            let fails = self.failure_probability > 0.0
-                && rng.gen::<f64>() < self.failure_probability;
+            let fails =
+                self.failure_probability > 0.0 && rng.gen::<f64>() < self.failure_probability;
             (self.base_latency + jitter, fails)
         };
         if !sleep_for.is_zero() {
@@ -191,7 +194,7 @@ pub struct ServiceHost;
 /// Handle to a spawned [`ServiceHost`].
 pub struct ServiceHostHandle {
     node: NodeId,
-    net: Network,
+    net: TransportHandle,
     backend: Arc<dyn ServiceBackend>,
     thread: Option<JoinHandle<()>>,
 }
@@ -218,7 +221,11 @@ impl ServiceHostHandle {
             // shutdown cannot deadlock on join().
             self.net.revive(&self.node);
             let ctl = self.net.connect_anonymous("host-ctl");
-            let _ = ctl.send(self.node.clone(), kinds::STOP, selfserv_xml::Element::new("stop"));
+            let _ = ctl.send(
+                self.node.clone(),
+                kinds::STOP,
+                selfserv_xml::Element::new("stop"),
+            );
             let _ = thread.join();
         }
     }
@@ -236,7 +243,7 @@ impl ServiceHost {
     /// unrelated callers (hosts model multi-threaded provider servers; the
     /// *coordinator* is the capacity-1 component).
     pub fn spawn(
-        net: &Network,
+        net: &dyn Transport,
         node_name: impl Into<NodeId>,
         backend: Arc<dyn ServiceBackend>,
     ) -> Result<ServiceHostHandle, NodeId> {
@@ -247,7 +254,12 @@ impl ServiceHost {
             .name(format!("host-{node}"))
             .spawn(move || host_loop(endpoint, backend_for_thread))
             .expect("spawn service host");
-        Ok(ServiceHostHandle { node, net: net.clone(), backend, thread: Some(thread) })
+        Ok(ServiceHostHandle {
+            node,
+            net: net.handle(),
+            backend,
+            thread: Some(thread),
+        })
     }
 }
 
@@ -283,7 +295,7 @@ fn host_loop(endpoint: Endpoint, backend: Arc<dyn ServiceBackend>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use selfserv_net::NetworkConfig;
+    use selfserv_net::{Network, NetworkConfig};
 
     #[test]
     fn echo_backend() {
@@ -298,7 +310,10 @@ mod tests {
     #[test]
     fn failing_backend() {
         let b = FailingService::new("F", "kaput");
-        assert_eq!(b.invoke("op", &MessageDoc::request("op")).unwrap_err(), "kaput");
+        assert_eq!(
+            b.invoke("op", &MessageDoc::request("op")).unwrap_err(),
+            "kaput"
+        );
     }
 
     #[test]
@@ -317,7 +332,9 @@ mod tests {
     #[test]
     fn synthetic_failures_are_seeded() {
         let run = |seed| {
-            let b = SyntheticService::new("S").with_failure_probability(0.5).with_seed(seed);
+            let b = SyntheticService::new("S")
+                .with_failure_probability(0.5)
+                .with_seed(seed);
             (0..50)
                 .map(|_| b.invoke("op", &MessageDoc::request("op")).is_ok())
                 .collect::<Vec<_>>()
@@ -330,16 +347,17 @@ mod tests {
     #[test]
     fn host_serves_invocations() {
         let net = Network::new(NetworkConfig::instant());
-        let _host = ServiceHost::spawn(
-            &net,
-            "svc.echo",
-            Arc::new(EchoService::new("Echo")),
-        )
-        .unwrap();
+        let _host =
+            ServiceHost::spawn(&net, "svc.echo", Arc::new(EchoService::new("Echo"))).unwrap();
         let client = net.connect("client").unwrap();
         let req = MessageDoc::request("ping").with("n", Value::Int(5));
         let reply = client
-            .rpc("svc.echo", kinds::INVOKE, req.to_xml(), Duration::from_secs(2))
+            .rpc(
+                "svc.echo",
+                kinds::INVOKE,
+                req.to_xml(),
+                Duration::from_secs(2),
+            )
             .unwrap();
         assert_eq!(reply.kind, kinds::INVOKE_RESULT);
         let msg = MessageDoc::from_xml(&reply.body).unwrap();
@@ -349,9 +367,8 @@ mod tests {
     #[test]
     fn host_faults_travel_back() {
         let net = Network::new(NetworkConfig::instant());
-        let _host =
-            ServiceHost::spawn(&net, "svc.bad", Arc::new(FailingService::new("B", "boom")))
-                .unwrap();
+        let _host = ServiceHost::spawn(&net, "svc.bad", Arc::new(FailingService::new("B", "boom")))
+            .unwrap();
         let client = net.connect("client").unwrap();
         let reply = client
             .rpc(
@@ -369,9 +386,14 @@ mod tests {
     #[test]
     fn host_handles_concurrent_invocations() {
         let net = Network::new(NetworkConfig::instant());
-        let backend = Arc::new(SyntheticService::new("Slow").with_latency(Duration::from_millis(50)));
-        let _host = ServiceHost::spawn(&net, "svc.slow", Arc::clone(&backend) as Arc<dyn ServiceBackend>)
-            .unwrap();
+        let backend =
+            Arc::new(SyntheticService::new("Slow").with_latency(Duration::from_millis(50)));
+        let _host = ServiceHost::spawn(
+            &net,
+            "svc.slow",
+            Arc::clone(&backend) as Arc<dyn ServiceBackend>,
+        )
+        .unwrap();
         let t0 = std::time::Instant::now();
         let mut handles = Vec::new();
         for i in 0..4 {
@@ -392,15 +414,18 @@ mod tests {
             h.join().unwrap();
         }
         // 4 × 50 ms in parallel must finish well under 200 ms.
-        assert!(t0.elapsed() < Duration::from_millis(180), "{:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() < Duration::from_millis(180),
+            "{:?}",
+            t0.elapsed()
+        );
         assert_eq!(backend.invocation_count(), 4);
     }
 
     #[test]
     fn host_stop_disconnects() {
         let net = Network::new(NetworkConfig::instant());
-        let host =
-            ServiceHost::spawn(&net, "svc.x", Arc::new(EchoService::new("X"))).unwrap();
+        let host = ServiceHost::spawn(&net, "svc.x", Arc::new(EchoService::new("X"))).unwrap();
         assert!(net.is_connected("svc.x"));
         host.stop();
         assert!(!net.is_connected("svc.x"));

@@ -17,8 +17,8 @@ use crate::coordinator::{apply_actions, build_input, eval_guard};
 use crate::functions::FunctionLibrary;
 use crate::protocol::{kinds, naming, ExecError, InstanceId};
 use selfserv_expr::Value;
-use selfserv_net::{Endpoint, Envelope, MessageId, Network, NodeId, RpcError};
-use selfserv_statechart::{ServiceBinding, StateId, Statechart, StateKind};
+use selfserv_net::{Endpoint, Envelope, MessageId, NodeId, RpcError, Transport, TransportHandle};
+use selfserv_statechart::{ServiceBinding, StateId, StateKind, Statechart};
 use selfserv_wsdl::MessageDoc;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::thread::JoinHandle;
@@ -43,7 +43,7 @@ pub struct CentralizedOrchestrator;
 /// Handle to a spawned central engine.
 pub struct CentralHandle {
     node: NodeId,
-    net: Network,
+    net: TransportHandle,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -94,7 +94,11 @@ impl CentralHandle {
             // shutdown cannot deadlock on join().
             self.net.revive(&self.node);
             let ctl = self.net.connect_anonymous("central-ctl");
-            let _ = ctl.send(self.node.clone(), kinds::STOP, selfserv_xml::Element::new("stop"));
+            let _ = ctl.send(
+                self.node.clone(),
+                kinds::STOP,
+                selfserv_xml::Element::new("stop"),
+            );
             let _ = thread.join();
         }
     }
@@ -124,8 +128,8 @@ struct Engine {
 }
 
 impl CentralizedOrchestrator {
-    /// Spawns the engine on `<composite>.central`.
-    pub fn spawn(net: &Network, cfg: CentralConfig) -> Result<CentralHandle, NodeId> {
+    /// Spawns the engine on `<composite>.central`, over any [`Transport`].
+    pub fn spawn(net: &dyn Transport, cfg: CentralConfig) -> Result<CentralHandle, NodeId> {
         let endpoint = net.connect(naming::central(&cfg.statechart.name))?;
         let node = endpoint.node().clone();
         let mut engine = Engine {
@@ -139,14 +143,20 @@ impl CentralizedOrchestrator {
             .name(format!("central-{node}"))
             .spawn(move || engine.run())
             .expect("spawn central engine");
-        Ok(CentralHandle { node, net: net.clone(), thread: Some(thread) })
+        Ok(CentralHandle {
+            node,
+            net: net.handle(),
+            thread: Some(thread),
+        })
     }
 }
 
 impl Engine {
     fn run(&mut self) {
         loop {
-            let Ok(env) = self.endpoint.recv() else { return };
+            let Ok(env) = self.endpoint.recv() else {
+                return;
+            };
             match env.kind.as_str() {
                 kinds::STOP => return,
                 kinds::EXECUTE => self.on_execute(&env),
@@ -197,20 +207,31 @@ impl Engine {
     }
 
     fn on_reply(&mut self, env: &Envelope) {
-        let Some(correlation) = env.correlation else { return };
-        let Some((instance, state_id)) = self.pending.remove(&correlation) else { return };
+        let Some(correlation) = env.correlation else {
+            return;
+        };
+        let Some((instance, state_id)) = self.pending.remove(&correlation) else {
+            return;
+        };
         if self.instances.get(&instance).is_none_or(|i| i.finished) {
             return;
         }
         if env.kind == "community.fault" {
-            let reason = env.body.attr("reason").unwrap_or("community fault").to_string();
+            let reason = env
+                .body
+                .attr("reason")
+                .unwrap_or("community fault")
+                .to_string();
             self.fault(instance, &format!("state '{state_id}': {reason}"));
             return;
         }
         let response = match MessageDoc::from_xml(&env.body) {
             Ok(m) => m,
             Err(e) => {
-                self.fault(instance, &format!("state '{state_id}': malformed reply: {e}"));
+                self.fault(
+                    instance,
+                    &format!("state '{state_id}': malformed reply: {e}"),
+                );
                 return;
             }
         };
@@ -244,15 +265,16 @@ impl Engine {
                 self.enter(instance, &initial);
             }
             StateKind::Concurrent { regions } => {
-                let initials: Vec<StateId> =
-                    regions.iter().map(|r| r.initial.clone()).collect();
+                let initials: Vec<StateId> = regions.iter().map(|r| r.initial.clone()).collect();
                 for initial in initials {
                     self.enter(instance, &initial);
                 }
             }
             StateKind::Final => self.region_complete(instance, &state),
             StateKind::Task(spec) => {
-                let Some(inst) = self.instances.get(&instance) else { return };
+                let Some(inst) = self.instances.get(&instance) else {
+                    return;
+                };
                 let input = match build_input(
                     spec.binding.operation(),
                     &spec.inputs,
@@ -270,10 +292,7 @@ impl Engine {
                         match self.cfg.service_nodes.get(service) {
                             Some(node) => (node.clone(), kinds::INVOKE),
                             None => {
-                                self.fault(
-                                    instance,
-                                    &format!("no host for service '{service}'"),
-                                );
+                                self.fault(instance, &format!("no host for service '{service}'"));
                                 return;
                             }
                         }
@@ -305,9 +324,16 @@ impl Engine {
 
     /// A state completed: fire its first enabled outgoing transition.
     fn complete(&mut self, instance: InstanceId, state_id: &StateId) {
-        let transitions: Vec<_> =
-            self.cfg.statechart.outgoing(state_id).into_iter().cloned().collect();
-        let Some(inst) = self.instances.get_mut(&instance) else { return };
+        let transitions: Vec<_> = self
+            .cfg
+            .statechart
+            .outgoing(state_id)
+            .into_iter()
+            .cloned()
+            .collect();
+        let Some(inst) = self.instances.get_mut(&instance) else {
+            return;
+        };
         let mut chosen = None;
         for t in &transitions {
             match eval_guard(&t.guard, &self.cfg.functions, &inst.vars) {
@@ -354,10 +380,11 @@ impl Engine {
                         let n_regions = regions.len();
                         let pid = parent_id.clone();
                         let all_done = {
-                            let Some(inst) = self.instances.get_mut(&instance) else { return };
+                            let Some(inst) = self.instances.get_mut(&instance) else {
+                                return;
+                            };
                             inst.regions_done.insert((pid.clone(), final_state.region));
-                            (0..n_regions)
-                                .all(|r| inst.regions_done.contains(&(pid.clone(), r)))
+                            (0..n_regions).all(|r| inst.regions_done.contains(&(pid.clone(), r)))
                         };
                         if all_done {
                             // Allow re-entry in loops.
@@ -379,7 +406,9 @@ impl Engine {
     }
 
     fn finish(&mut self, instance: InstanceId) {
-        let Some(inst) = self.instances.get_mut(&instance) else { return };
+        let Some(inst) = self.instances.get_mut(&instance) else {
+            return;
+        };
         if inst.finished {
             return;
         }
@@ -420,14 +449,18 @@ impl Engine {
 mod tests {
     use super::*;
     use crate::backend::{EchoService, ServiceHost};
-    use selfserv_net::NetworkConfig;
+    use selfserv_net::{Network, NetworkConfig};
     use selfserv_statechart::synth;
     use std::sync::Arc;
 
     fn central_setup(
         sc: &Statechart,
         n_services: usize,
-    ) -> (Network, Vec<crate::backend::ServiceHostHandle>, CentralHandle) {
+    ) -> (
+        Network,
+        Vec<crate::backend::ServiceHostHandle>,
+        CentralHandle,
+    ) {
         let net = Network::new(NetworkConfig::instant());
         let mut hosts = Vec::new();
         let mut service_nodes = HashMap::new();
@@ -492,7 +525,11 @@ mod tests {
         let engine = m.node(central.node().as_str()).unwrap();
         // The engine sends one invoke per task and receives one reply per
         // task (plus execute/reply): ~2N messages through one node.
-        assert!(engine.handled() >= 12, "engine handled {}", engine.handled());
+        assert!(
+            engine.handled() >= 12,
+            "engine handled {}",
+            engine.handled()
+        );
         // Hosts each carry only their own pair.
         let host = m.node("svc.synthservice0").unwrap();
         assert_eq!(host.received, 1);
@@ -524,8 +561,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let out = central
                     .execute(
-                        MessageDoc::request("execute")
-                            .with("payload", Value::str(format!("p{i}"))),
+                        MessageDoc::request("execute").with("payload", Value::str(format!("p{i}"))),
                         Duration::from_secs(10),
                     )
                     .unwrap();

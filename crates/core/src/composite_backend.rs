@@ -12,7 +12,7 @@
 
 use crate::backend::ServiceBackend;
 use crate::protocol::kinds;
-use selfserv_net::{Network, NodeId, RpcError};
+use selfserv_net::{NodeId, RpcError, Transport, TransportHandle};
 use selfserv_wsdl::MessageDoc;
 use std::time::Duration;
 
@@ -20,7 +20,7 @@ use std::time::Duration;
 /// wrapper node over the fabric.
 pub struct CompositeBackend {
     name: String,
-    net: Network,
+    net: TransportHandle,
     wrapper_node: NodeId,
     /// Deadline for the nested execution (nested composites can be slow —
     /// they run a whole orchestration).
@@ -29,11 +29,12 @@ pub struct CompositeBackend {
 
 impl CompositeBackend {
     /// Adapts the composite behind `wrapper_node` (e.g.
-    /// [`crate::Deployment::wrapper_node`]) as a backend named `name`.
-    pub fn new(name: impl Into<String>, net: &Network, wrapper_node: NodeId) -> Self {
+    /// [`crate::Deployment::wrapper_node`]) as a backend named `name`,
+    /// over any [`Transport`].
+    pub fn new(name: impl Into<String>, net: &dyn Transport, wrapper_node: NodeId) -> Self {
         CompositeBackend {
             name: name.into(),
-            net: net.clone(),
+            net: net.handle(),
             wrapper_node,
             timeout: Duration::from_secs(60),
         }
@@ -49,7 +50,12 @@ impl ServiceBackend for CompositeBackend {
         }
         let client = self.net.connect_anonymous(&format!("nested.{}", self.name));
         let reply = client
-            .rpc(self.wrapper_node.clone(), kinds::EXECUTE, request.to_xml(), self.timeout)
+            .rpc(
+                self.wrapper_node.clone(),
+                kinds::EXECUTE,
+                request.to_xml(),
+                self.timeout,
+            )
             .map_err(|e| match e {
                 RpcError::Timeout => format!("nested composite '{}' timed out", self.name),
                 RpcError::Send(s) => format!("nested composite '{}' unreachable: {s}", self.name),
@@ -76,7 +82,7 @@ mod tests {
     use crate::backend::EchoService;
     use crate::deploy::Deployer;
     use selfserv_expr::Value;
-    use selfserv_net::NetworkConfig;
+    use selfserv_net::{Network, NetworkConfig};
     use selfserv_statechart::{StatechartBuilder, TaskDef, TransitionDef};
     use selfserv_wsdl::ParamType;
     use std::collections::HashMap;
@@ -130,16 +136,24 @@ mod tests {
         // Deploy the inner composite.
         let mut inner_backends: HashMap<String, Arc<dyn ServiceBackend>> = HashMap::new();
         inner_backends.insert("PriceDb".into(), Arc::new(EchoService::new("PriceDb")));
-        let inner = Deployer::new(&net).deploy(&inner_chart(), &inner_backends).unwrap();
+        let inner = Deployer::new(&net)
+            .deploy(&inner_chart(), &inner_backends)
+            .unwrap();
 
         // Wire the inner composite in as a backend of the outer one.
         let mut outer_backends: HashMap<String, Arc<dyn ServiceBackend>> = HashMap::new();
         outer_backends.insert(
             "Inner Pricing".into(),
-            Arc::new(CompositeBackend::new("Inner Pricing", &net, inner.wrapper_node().clone())),
+            Arc::new(CompositeBackend::new(
+                "Inner Pricing",
+                &net,
+                inner.wrapper_node().clone(),
+            )),
         );
         outer_backends.insert("OrderDesk".into(), Arc::new(EchoService::new("OrderDesk")));
-        let outer = Deployer::new(&net).deploy(&outer_chart(), &outer_backends).unwrap();
+        let outer = Deployer::new(&net)
+            .deploy(&outer_chart(), &outer_backends)
+            .unwrap();
 
         let out = outer
             .execute(
@@ -159,15 +173,23 @@ mod tests {
             "PriceDb".into(),
             Arc::new(crate::backend::FailingService::new("PriceDb", "db down")),
         );
-        let inner = Deployer::new(&net).deploy(&inner_chart(), &inner_backends).unwrap();
+        let inner = Deployer::new(&net)
+            .deploy(&inner_chart(), &inner_backends)
+            .unwrap();
 
         let mut outer_backends: HashMap<String, Arc<dyn ServiceBackend>> = HashMap::new();
         outer_backends.insert(
             "Inner Pricing".into(),
-            Arc::new(CompositeBackend::new("Inner Pricing", &net, inner.wrapper_node().clone())),
+            Arc::new(CompositeBackend::new(
+                "Inner Pricing",
+                &net,
+                inner.wrapper_node().clone(),
+            )),
         );
         outer_backends.insert("OrderDesk".into(), Arc::new(EchoService::new("OrderDesk")));
-        let outer = Deployer::new(&net).deploy(&outer_chart(), &outer_backends).unwrap();
+        let outer = Deployer::new(&net)
+            .deploy(&outer_chart(), &outer_backends)
+            .unwrap();
 
         let err = outer
             .execute(
@@ -192,7 +214,9 @@ mod tests {
         backend.timeout = Duration::from_millis(100);
         outer_backends.insert("Inner Pricing".into(), Arc::new(backend));
         outer_backends.insert("OrderDesk".into(), Arc::new(EchoService::new("OrderDesk")));
-        let outer = Deployer::new(&net).deploy(&outer_chart(), &outer_backends).unwrap();
+        let outer = Deployer::new(&net)
+            .deploy(&outer_chart(), &outer_backends)
+            .unwrap();
         let err = outer
             .execute(
                 MessageDoc::request("execute").with("item", Value::str("x")),

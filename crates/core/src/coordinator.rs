@@ -10,7 +10,7 @@ use crate::backend::ServiceBackend;
 use crate::functions::FunctionLibrary;
 use crate::protocol::{fault_body, kinds, naming, InstanceId, NotifyPayload};
 use selfserv_expr::Value;
-use selfserv_net::{Endpoint, Network, NodeId, RpcError};
+use selfserv_net::{Endpoint, NodeId, RpcError, Transport, TransportHandle};
 use selfserv_routing::{NotificationLabel, Participant, RoutingTable};
 use selfserv_statechart::{Assignment, InputMapping, OutputMapping, StateId};
 use selfserv_wsdl::MessageDoc;
@@ -77,7 +77,7 @@ pub struct Coordinator;
 /// Handle to a spawned coordinator.
 pub struct CoordinatorHandle {
     node: NodeId,
-    net: Network,
+    net: TransportHandle,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -98,7 +98,11 @@ impl CoordinatorHandle {
             // shutdown cannot deadlock on join().
             self.net.revive(&self.node);
             let ctl = self.net.connect_anonymous("coord-ctl");
-            let _ = ctl.send(self.node.clone(), kinds::STOP, selfserv_xml::Element::new("stop"));
+            let _ = ctl.send(
+                self.node.clone(),
+                kinds::STOP,
+                selfserv_xml::Element::new("stop"),
+            );
             let _ = thread.join();
         }
     }
@@ -125,18 +129,27 @@ struct Runtime {
 
 impl Coordinator {
     /// Spawns a coordinator on its conventional node
-    /// (`<composite>.coord.<state>`).
-    pub fn spawn(net: &Network, cfg: CoordinatorConfig) -> Result<CoordinatorHandle, NodeId> {
+    /// (`<composite>.coord.<state>`), over any [`Transport`].
+    pub fn spawn(net: &dyn Transport, cfg: CoordinatorConfig) -> Result<CoordinatorHandle, NodeId> {
         let node_name = naming::coordinator(&cfg.composite, &cfg.state);
         let endpoint = net.connect(node_name)?;
         let node = endpoint.node().clone();
         let wrapper_node = naming::wrapper(&cfg.composite);
-        let mut runtime = Runtime { cfg, endpoint, wrapper_node, instances: HashMap::new() };
+        let mut runtime = Runtime {
+            cfg,
+            endpoint,
+            wrapper_node,
+            instances: HashMap::new(),
+        };
         let thread = std::thread::Builder::new()
             .name(format!("coord-{node}"))
             .spawn(move || runtime.run())
             .expect("spawn coordinator");
-        Ok(CoordinatorHandle { node, net: net.clone(), thread: Some(thread) })
+        Ok(CoordinatorHandle {
+            node,
+            net: net.handle(),
+            thread: Some(thread),
+        })
     }
 }
 
@@ -208,13 +221,10 @@ pub(crate) fn apply_outputs(
 impl Runtime {
     fn trace(&self, instance: InstanceId, kind: crate::monitor::TraceKind, detail: &str) {
         if let Some(monitor) = &self.cfg.monitor {
-            let body = crate::monitor::trace_body(
-                instance,
-                self.cfg.state.as_str(),
-                kind,
-                detail,
-            );
-            let _ = self.endpoint.send(monitor.clone(), crate::monitor::TRACE_KIND, body);
+            let body = crate::monitor::trace_body(instance, self.cfg.state.as_str(), kind, detail);
+            let _ = self
+                .endpoint
+                .send(monitor.clone(), crate::monitor::TRACE_KIND, body);
         }
     }
 
@@ -240,11 +250,15 @@ impl Runtime {
             return;
         }
         let now = Instant::now();
-        self.instances.retain(|_, slot| now.duration_since(slot.last_touched) < ttl);
+        self.instances
+            .retain(|_, slot| now.duration_since(slot.last_touched) < ttl);
     }
 
     fn on_cleanup(&mut self, body: &selfserv_xml::Element) {
-        if let Some(id) = body.attr("instance").and_then(|s| InstanceId::decode(s).ok()) {
+        if let Some(id) = body
+            .attr("instance")
+            .and_then(|s| InstanceId::decode(s).ok())
+        {
             self.instances.remove(&id);
         }
     }
@@ -254,12 +268,17 @@ impl Runtime {
             Ok(p) => p,
             Err(_) => return, // malformed traffic is dropped, like bad XML over sockets
         };
-        let Ok(label) = NotificationLabel::decode(&payload.label) else { return };
-        let slot = self.instances.entry(payload.instance).or_insert_with(|| InstanceSlot {
-            seen: Vec::new(),
-            vars: BTreeMap::new(),
-            last_touched: Instant::now(),
-        });
+        let Ok(label) = NotificationLabel::decode(&payload.label) else {
+            return;
+        };
+        let slot = self
+            .instances
+            .entry(payload.instance)
+            .or_insert_with(|| InstanceSlot {
+                seen: Vec::new(),
+                vars: BTreeMap::new(),
+                last_touched: Instant::now(),
+            });
         slot.last_touched = Instant::now();
         slot.seen.push(label);
         for (k, v) in payload.vars {
@@ -272,7 +291,9 @@ impl Runtime {
     /// one (consuming its labels so loops can re-arm).
     fn try_fire(&mut self, instance: InstanceId) {
         let fired = {
-            let Some(slot) = self.instances.get_mut(&instance) else { return };
+            let Some(slot) = self.instances.get_mut(&instance) else {
+                return;
+            };
             let mut fired: Option<usize> = None;
             for (idx, pre) in self.cfg.table.preconditions.iter().enumerate() {
                 if !pre.satisfied_by(&slot.seen) {
@@ -286,7 +307,9 @@ impl Runtime {
                     Ok(false) => continue,
                     Err(reason) => {
                         let body = fault_body(instance, self.cfg.state.as_str(), &reason);
-                        let _ = self.endpoint.send(self.wrapper_node.clone(), kinds::FAULT, body);
+                        let _ = self
+                            .endpoint
+                            .send(self.wrapper_node.clone(), kinds::FAULT, body);
                         return;
                     }
                 }
@@ -301,7 +324,11 @@ impl Runtime {
             }
             idx
         };
-        self.trace(instance, crate::monitor::TraceKind::Activated, &self.cfg.table.preconditions[fired].id.clone());
+        self.trace(
+            instance,
+            crate::monitor::TraceKind::Activated,
+            &self.cfg.table.preconditions[fired].id.clone(),
+        );
         let pre_actions = self.cfg.table.preconditions[fired].actions.clone();
         let mut vars = self
             .instances
@@ -341,7 +368,12 @@ impl Runtime {
     ) -> Result<(), String> {
         match &self.cfg.task {
             TaskRuntime::None => Ok(()),
-            TaskRuntime::Local { backend, operation, inputs, outputs } => {
+            TaskRuntime::Local {
+                backend,
+                operation,
+                inputs,
+                outputs,
+            } => {
                 let input = build_input(operation, inputs, &self.cfg.functions, vars)?;
                 let response = backend.invoke(operation, &input)?;
                 if response.is_fault() {
@@ -353,11 +385,21 @@ impl Runtime {
                 apply_outputs(outputs, &response, vars);
                 Ok(())
             }
-            TaskRuntime::Community { node, operation, inputs, outputs } => {
+            TaskRuntime::Community {
+                node,
+                operation,
+                inputs,
+                outputs,
+            } => {
                 let input = build_input(operation, inputs, &self.cfg.functions, vars)?;
                 let reply = self
                     .endpoint
-                    .rpc(node.clone(), "community.invoke", input.to_xml(), self.cfg.invoke_timeout)
+                    .rpc(
+                        node.clone(),
+                        "community.invoke",
+                        input.to_xml(),
+                        self.cfg.invoke_timeout,
+                    )
                     .map_err(|e| match e {
                         RpcError::Timeout => format!("community '{node}' timed out"),
                         RpcError::Send(s) => format!("community '{node}' unreachable: {s}"),
@@ -386,8 +428,7 @@ impl Runtime {
                             self.cfg.invoke_timeout,
                         )
                         .map_err(|e| format!("redirected member '{member}' failed: {e}"))?;
-                    let response =
-                        MessageDoc::from_xml(&direct.body).map_err(|e| e.to_string())?;
+                    let response = MessageDoc::from_xml(&direct.body).map_err(|e| e.to_string())?;
                     if response.is_fault() {
                         return Err(response
                             .fault_reason()
@@ -397,8 +438,7 @@ impl Runtime {
                     apply_outputs(outputs, &response, vars);
                     return Ok(());
                 }
-                let response =
-                    MessageDoc::from_xml(&reply.body).map_err(|e| e.to_string())?;
+                let response = MessageDoc::from_xml(&reply.body).map_err(|e| e.to_string())?;
                 if response.is_fault() {
                     return Err(response
                         .fault_reason()
@@ -422,7 +462,9 @@ impl Runtime {
                 Ok(false) => continue,
                 Err(reason) => {
                     let body = fault_body(instance, self.cfg.state.as_str(), &reason);
-                    let _ = self.endpoint.send(self.wrapper_node.clone(), kinds::FAULT, body);
+                    let _ = self
+                        .endpoint
+                        .send(self.wrapper_node.clone(), kinds::FAULT, body);
                     return;
                 }
                 Ok(true) => {
@@ -431,14 +473,14 @@ impl Runtime {
                         apply_actions(&post.actions, &self.cfg.functions, &mut local_vars)
                     {
                         let body = fault_body(instance, self.cfg.state.as_str(), &reason);
-                        let _ = self.endpoint.send(self.wrapper_node.clone(), kinds::FAULT, body);
+                        let _ = self
+                            .endpoint
+                            .send(self.wrapper_node.clone(), kinds::FAULT, body);
                         return;
                     }
                     for notification in post.notifications() {
                         let target_node = match &notification.target {
-                            Participant::State(s) => {
-                                naming::coordinator(&self.cfg.composite, s)
-                            }
+                            Participant::State(s) => naming::coordinator(&self.cfg.composite, s),
                             Participant::Wrapper => self.wrapper_node.clone(),
                         };
                         let payload = NotifyPayload {
@@ -446,7 +488,9 @@ impl Runtime {
                             instance,
                             vars: local_vars.clone(),
                         };
-                        let _ = self.endpoint.send(target_node, kinds::NOTIFY, payload.to_xml());
+                        let _ = self
+                            .endpoint
+                            .send(target_node, kinds::NOTIFY, payload.to_xml());
                     }
                     fired = true;
                     break;
@@ -456,7 +500,10 @@ impl Runtime {
         if !fired {
             self.fault(
                 instance,
-                &format!("no outgoing transition enabled after state '{}'", self.cfg.state),
+                &format!(
+                    "no outgoing transition enabled after state '{}'",
+                    self.cfg.state
+                ),
             );
         }
     }
@@ -464,7 +511,9 @@ impl Runtime {
     fn fault(&mut self, instance: InstanceId, reason: &str) {
         self.trace(instance, crate::monitor::TraceKind::Faulted, reason);
         let body = fault_body(instance, self.cfg.state.as_str(), reason);
-        let _ = self.endpoint.send(self.wrapper_node.clone(), kinds::FAULT, body);
+        let _ = self
+            .endpoint
+            .send(self.wrapper_node.clone(), kinds::FAULT, body);
         self.instances.remove(&instance);
     }
 }
@@ -504,8 +553,14 @@ mod tests {
         let mut vars = BTreeMap::new();
         vars.insert("n".to_string(), Value::Int(2));
         let actions = vec![
-            Assignment { var: "n".into(), expr: parse("n * 10").unwrap() },
-            Assignment { var: "label".into(), expr: parse("\"x\"").unwrap() },
+            Assignment {
+                var: "n".into(),
+                expr: parse("n * 10").unwrap(),
+            },
+            Assignment {
+                var: "label".into(),
+                expr: parse("\"x\"").unwrap(),
+            },
         ];
         apply_actions(&actions, &lib, &mut vars).unwrap();
         assert_eq!(vars.get("n"), Some(&Value::Int(20)));
@@ -519,8 +574,14 @@ mod tests {
         vars.insert("destination".to_string(), Value::str("Sydney"));
         vars.insert("base".to_string(), Value::Int(100));
         let inputs = vec![
-            InputMapping { param: "city".into(), expr: parse("destination").unwrap() },
-            InputMapping { param: "budget".into(), expr: parse("base * 2").unwrap() },
+            InputMapping {
+                param: "city".into(),
+                expr: parse("destination").unwrap(),
+            },
+            InputMapping {
+                param: "budget".into(),
+                expr: parse("base * 2").unwrap(),
+            },
         ];
         let msg = build_input("book", &inputs, &lib, &vars).unwrap();
         assert_eq!(msg.get_str("city"), Some("Sydney"));
@@ -531,8 +592,10 @@ mod tests {
     #[test]
     fn build_input_error_on_missing_var() {
         let lib = FunctionLibrary::new();
-        let inputs =
-            vec![InputMapping { param: "x".into(), expr: parse("ghost").unwrap() }];
+        let inputs = vec![InputMapping {
+            param: "x".into(),
+            expr: parse("ghost").unwrap(),
+        }];
         assert!(build_input("op", &inputs, &lib, &BTreeMap::new()).is_err());
     }
 
@@ -540,8 +603,14 @@ mod tests {
     fn apply_outputs_copies_present_params() {
         let mut vars = BTreeMap::new();
         let outputs = vec![
-            OutputMapping { param: "price".into(), var: "flight_price".into() },
-            OutputMapping { param: "absent".into(), var: "nope".into() },
+            OutputMapping {
+                param: "price".into(),
+                var: "flight_price".into(),
+            },
+            OutputMapping {
+                param: "absent".into(),
+                var: "nope".into(),
+            },
         ];
         let response = MessageDoc::response("book").with("price", Value::Float(320.0));
         apply_outputs(&outputs, &response, &mut vars);

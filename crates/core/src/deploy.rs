@@ -13,9 +13,9 @@ use crate::coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle, Task
 use crate::functions::FunctionLibrary;
 use crate::protocol::{kinds, naming, ExecError, InstanceId};
 use crate::wrapper::{CompositeWrapper, WrapperConfig, WrapperHandle};
-use selfserv_net::{Endpoint, Network, NodeId, RpcError};
+use selfserv_net::{Endpoint, NodeId, RpcError, Transport, TransportHandle};
 use selfserv_routing::{NotificationLabel, RoutingError, RoutingPlan};
-use selfserv_statechart::{ServiceBinding, StateId, Statechart, StateKind};
+use selfserv_statechart::{ServiceBinding, StateId, StateKind, Statechart};
 use selfserv_wsdl::MessageDoc;
 use selfserv_xml::Element;
 use std::collections::HashMap;
@@ -51,13 +51,22 @@ impl fmt::Display for DeploymentError {
         match self {
             DeploymentError::Routing(e) => write!(f, "routing generation failed: {e}"),
             DeploymentError::MissingBackend { state, service } => {
-                write!(f, "state '{state}': no backend registered for service '{service}'")
+                write!(
+                    f,
+                    "state '{state}': no backend registered for service '{service}'"
+                )
             }
             DeploymentError::MissingCommunity { state, community } => {
-                write!(f, "state '{state}': community '{community}' is not on the fabric")
+                write!(
+                    f,
+                    "state '{state}': community '{community}' is not on the fabric"
+                )
             }
             DeploymentError::NodeCollision(n) => {
-                write!(f, "node '{n}' already connected — composite already deployed?")
+                write!(
+                    f,
+                    "node '{n}' already connected — composite already deployed?"
+                )
             }
         }
     }
@@ -73,7 +82,7 @@ impl From<RoutingError> for DeploymentError {
 
 /// The service deployer.
 pub struct Deployer {
-    net: Network,
+    net: TransportHandle,
     functions: FunctionLibrary,
     /// Deadline for community invocations made by coordinators.
     pub invoke_timeout: Duration,
@@ -86,10 +95,10 @@ pub struct Deployer {
 }
 
 impl Deployer {
-    /// A deployer over `net` with no guard functions.
-    pub fn new(net: &Network) -> Self {
+    /// A deployer over `net` (any [`Transport`]) with no guard functions.
+    pub fn new(net: &dyn Transport) -> Self {
         Deployer {
-            net: net.clone(),
+            net: net.handle(),
             functions: FunctionLibrary::new(),
             invoke_timeout: Duration::from_secs(10),
             instance_ttl: Duration::from_secs(120),
@@ -148,7 +157,10 @@ impl Deployer {
                                 outputs: spec.outputs.clone(),
                             }
                         }
-                        ServiceBinding::Community { community, operation } => {
+                        ServiceBinding::Community {
+                            community,
+                            operation,
+                        } => {
                             let node = naming::community(community);
                             if !self.allow_missing_communities
                                 && !self.net.is_connected(node.as_str())
@@ -203,14 +215,14 @@ impl Deployer {
                 monitor: self.monitor.clone(),
             };
             let handle =
-                Coordinator::spawn(&self.net, cfg).map_err(DeploymentError::NodeCollision)?;
+                Coordinator::spawn(&*self.net, cfg).map_err(DeploymentError::NodeCollision)?;
             coordinators.push(handle);
         }
 
         // Spawn the wrapper last so coordinators are ready for Start
         // notifications.
         let wrapper = CompositeWrapper::spawn(
-            &self.net,
+            &*self.net,
             WrapperConfig {
                 composite: statechart.name.clone(),
                 table: plan.wrapper.clone(),
@@ -238,7 +250,7 @@ impl Deployer {
 /// through (Figure 3's Execute button).
 pub struct Deployment {
     composite: String,
-    net: Network,
+    net: TransportHandle,
     wrapper_node: NodeId,
     plan: RoutingPlan,
     coordinators: Vec<CoordinatorHandle>,
@@ -290,7 +302,12 @@ impl Deployment {
         timeout: Duration,
     ) -> Result<MessageDoc, ExecError> {
         let reply = client
-            .rpc(self.wrapper_node.clone(), kinds::EXECUTE, input.to_xml(), timeout)
+            .rpc(
+                self.wrapper_node.clone(),
+                kinds::EXECUTE,
+                input.to_xml(),
+                timeout,
+            )
             .map_err(|e| match e {
                 RpcError::Timeout => ExecError::Timeout,
                 RpcError::Send(s) => ExecError::Unreachable(s.to_string()),
@@ -309,9 +326,10 @@ impl Deployment {
     /// live instance.
     pub fn raise_event(&self, name: &str, instance: Option<InstanceId>) {
         let client = self.net.connect_anonymous("event");
-        let body = Element::new("event")
-            .with_attr("name", name)
-            .with_attr("instance", instance.map_or("all".to_string(), |i| i.to_string()));
+        let body = Element::new("event").with_attr("name", name).with_attr(
+            "instance",
+            instance.map_or("all".to_string(), |i| i.to_string()),
+        );
         let _ = client.send(self.wrapper_node.clone(), kinds::RAISE_EVENT, body);
     }
 
@@ -341,7 +359,7 @@ mod tests {
     use super::*;
     use crate::backend::{EchoService, FailingService, SyntheticService};
     use selfserv_expr::Value;
-    use selfserv_net::NetworkConfig;
+    use selfserv_net::{Network, NetworkConfig};
     use selfserv_statechart::synth;
     use selfserv_statechart::{StatechartBuilder, TaskDef, TransitionDef};
     use selfserv_wsdl::ParamType;
@@ -405,7 +423,9 @@ mod tests {
                 Arc::clone(c) as Arc<dyn ServiceBackend>,
             );
         }
-        let dep = Deployer::new(&net).deploy(&synth::xor_choice(3), &backends).unwrap();
+        let dep = Deployer::new(&net)
+            .deploy(&synth::xor_choice(3), &backends)
+            .unwrap();
         let input = MessageDoc::request("execute")
             .with("payload", Value::str("p"))
             .with("branch", Value::Int(1));
@@ -428,7 +448,9 @@ mod tests {
                 Arc::clone(c) as Arc<dyn ServiceBackend>,
             );
         }
-        let dep = Deployer::new(&net).deploy(&synth::parallel(3), &backends).unwrap();
+        let dep = Deployer::new(&net)
+            .deploy(&synth::parallel(3), &backends)
+            .unwrap();
         let out = dep
             .execute(
                 MessageDoc::request("execute").with("payload", Value::str("p")),
@@ -474,7 +496,10 @@ mod tests {
         let err = Deployer::new(&net)
             .deploy(&synth::sequence(2), &synth_backends(1))
             .unwrap_err();
-        assert!(matches!(err, DeploymentError::MissingBackend { .. }), "{err}");
+        assert!(
+            matches!(err, DeploymentError::MissingBackend { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -488,15 +513,21 @@ mod tests {
             .transition(TransitionDef::new("t", "a", "f"))
             .build()
             .unwrap();
-        let err = Deployer::new(&net).deploy(&sc, &HashMap::new()).unwrap_err();
-        assert!(matches!(err, DeploymentError::MissingCommunity { .. }), "{err}");
+        let err = Deployer::new(&net)
+            .deploy(&sc, &HashMap::new())
+            .unwrap_err();
+        assert!(
+            matches!(err, DeploymentError::MissingCommunity { .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn double_deploy_collides() {
         let net = Network::new(NetworkConfig::instant());
-        let _dep =
-            Deployer::new(&net).deploy(&synth::sequence(1), &synth_backends(1)).unwrap();
+        let _dep = Deployer::new(&net)
+            .deploy(&synth::sequence(1), &synth_backends(1))
+            .unwrap();
         let err = Deployer::new(&net)
             .deploy(&synth::sequence(1), &synth_backends(1))
             .unwrap_err();
@@ -506,15 +537,17 @@ mod tests {
     #[test]
     fn undeploy_frees_nodes() {
         let net = Network::new(NetworkConfig::instant());
-        let dep =
-            Deployer::new(&net).deploy(&synth::sequence(1), &synth_backends(1)).unwrap();
+        let dep = Deployer::new(&net)
+            .deploy(&synth::sequence(1), &synth_backends(1))
+            .unwrap();
         assert!(net.is_connected("synthseq1.wrapper"));
         dep.undeploy();
         assert!(!net.is_connected("synthseq1.wrapper"));
         assert!(!net.is_connected("synthseq1.coord.s0"));
         // Redeploy works after teardown.
-        let _dep2 =
-            Deployer::new(&net).deploy(&synth::sequence(1), &synth_backends(1)).unwrap();
+        let _dep2 = Deployer::new(&net)
+            .deploy(&synth::sequence(1), &synth_backends(1))
+            .unwrap();
     }
 
     #[test]
@@ -525,7 +558,9 @@ mod tests {
             synth::synth_service_name(1),
             Arc::new(FailingService::new("S1", "no inventory")),
         );
-        let dep = Deployer::new(&net).deploy(&synth::sequence(2), &backends).unwrap();
+        let dep = Deployer::new(&net)
+            .deploy(&synth::sequence(2), &backends)
+            .unwrap();
         let err = dep
             .execute(
                 MessageDoc::request("execute").with("payload", Value::str("p")),
@@ -549,8 +584,8 @@ mod tests {
         for i in 0..8 {
             let dep = Arc::clone(&dep);
             handles.push(std::thread::spawn(move || {
-                let input = MessageDoc::request("execute")
-                    .with("payload", Value::str(format!("p{i}")));
+                let input =
+                    MessageDoc::request("execute").with("payload", Value::str(format!("p{i}")));
                 let out = dep.execute(input, Duration::from_secs(10)).unwrap();
                 assert_eq!(out.get_str("payload"), Some(format!("p{i}").as_str()));
             }));

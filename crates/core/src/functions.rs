@@ -63,13 +63,16 @@ impl FunctionLibrary {
         // Re-wrap through a MapEnv is awkward; register directly instead.
         let _ = env;
         lib.register("domestic", |args: &[Value]| {
-            let city = args.first().and_then(Value::as_str).ok_or_else(|| {
-                EvalError::FunctionError {
-                    function: "domestic".into(),
-                    message: "expects one string argument".into(),
-                }
-            })?;
-            Ok(Value::Bool(selfserv_statechart::travel::DOMESTIC_CITIES.contains(&city)))
+            let city =
+                args.first()
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| EvalError::FunctionError {
+                        function: "domestic".into(),
+                        message: "expects one string argument".into(),
+                    })?;
+            Ok(Value::Bool(
+                selfserv_statechart::travel::DOMESTIC_CITIES.contains(&city),
+            ))
         });
         lib.register("near", |args: &[Value]| {
             if args.len() != 2 {
@@ -105,8 +108,14 @@ mod tests {
         let mut vars = BTreeMap::new();
         vars.insert("x".to_string(), Value::Int(21));
         let env = lib.env_with(&vars);
-        assert_eq!(parse("double(x)").unwrap().eval(&env).unwrap(), Value::Int(42));
-        assert_eq!(parse("len(\"ab\")").unwrap().eval(&env).unwrap(), Value::Int(2));
+        assert_eq!(
+            parse("double(x)").unwrap().eval(&env).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            parse("len(\"ab\")").unwrap().eval(&env).unwrap(),
+            Value::Int(2)
+        );
     }
 
     #[test]
@@ -114,7 +123,10 @@ mod tests {
         let lib = FunctionLibrary::travel();
         assert!(lib.contains("domestic"));
         assert!(lib.contains("near"));
-        assert_eq!(lib.names(), vec!["domestic".to_string(), "near".to_string()]);
+        assert_eq!(
+            lib.names(),
+            vec!["domestic".to_string(), "near".to_string()]
+        );
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub use composite_backend::CompositeBackend;
 pub use coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle, TaskRuntime};
 pub use deploy::{Deployer, Deployment, DeploymentError};
 pub use functions::FunctionLibrary;
-pub use monitor::{ExecutionMonitor, MonitorHandle, TraceEvent, TraceKind};
 pub use manager::{AccommodationChoice, ServiceManager, TravelDemo, TravelDemoConfig};
+pub use monitor::{ExecutionMonitor, MonitorHandle, TraceEvent, TraceKind};
 pub use protocol::{kinds, naming, ExecError, InstanceId};
 pub use wrapper::{CompositeWrapper, WrapperConfig, WrapperHandle};
 

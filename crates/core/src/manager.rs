@@ -10,7 +10,7 @@ use selfserv_community::{
     QosProfile, RoundRobin, SelectionPolicy,
 };
 use selfserv_expr::Value;
-use selfserv_net::{Network, NodeId};
+use selfserv_net::{NodeId, Transport, TransportHandle};
 use selfserv_registry::{
     BusinessKey, FindQuery, RegistryError, RegistryServer, RegistryServerHandle, ServiceKey,
     UddiRegistry,
@@ -25,7 +25,7 @@ use std::time::Duration;
 /// The SELF-SERV service manager: discovery engine + editor checks +
 /// deployer, as one component.
 pub struct ServiceManager {
-    net: Network,
+    net: TransportHandle,
     registry: Arc<UddiRegistry>,
     registry_node: NodeId,
     _registry_server: RegistryServerHandle,
@@ -33,16 +33,16 @@ pub struct ServiceManager {
 
 impl ServiceManager {
     /// Starts a manager whose discovery engine listens on `uddi`.
-    pub fn start(net: &Network) -> Result<Self, NodeId> {
+    pub fn start(net: &dyn Transport) -> Result<Self, NodeId> {
         Self::start_on(net, "uddi")
     }
 
     /// Starts a manager with an explicit discovery-engine node name.
-    pub fn start_on(net: &Network, node_name: &str) -> Result<Self, NodeId> {
+    pub fn start_on(net: &dyn Transport, node_name: &str) -> Result<Self, NodeId> {
         let registry = Arc::new(UddiRegistry::new());
         let server = RegistryServer::spawn(net, node_name, Arc::clone(&registry))?;
         Ok(ServiceManager {
-            net: net.clone(),
+            net: net.handle(),
             registry,
             registry_node: server.node().clone(),
             _registry_server: server,
@@ -61,8 +61,8 @@ impl ServiceManager {
         &self.registry_node
     }
 
-    /// The fabric this manager lives on.
-    pub fn network(&self) -> &Network {
+    /// The transport this manager lives on.
+    pub fn network(&self) -> &TransportHandle {
         &self.net
     }
 
@@ -74,7 +74,11 @@ impl ServiceManager {
         let mut findings: Vec<String> =
             sc.validate().issues.iter().map(|i| i.to_string()).collect();
         for service in sc.referenced_services() {
-            if self.registry.find(&FindQuery::any().service_name(&service)).is_empty() {
+            if self
+                .registry
+                .find(&FindQuery::any().service_name(&service))
+                .is_empty()
+            {
                 findings.push(format!(
                     "warning[unregistered-service]: '{service}' is not registered with the \
                      discovery engine"
@@ -109,7 +113,9 @@ impl ServiceManager {
             Some(b) => b.key,
             None => self.registry.save_business(provider, contact).key,
         };
-        let key = self.registry.save_service(&business, category, description, None)?;
+        let key = self
+            .registry
+            .save_service(&business, category, description, None)?;
         Ok((business, key))
     }
 
@@ -124,8 +130,10 @@ impl ServiceManager {
         provider: &str,
         contact: &str,
     ) -> Result<(BusinessKey, ServiceKey), RegistryError> {
-        let mut op = OperationDef::new("execute")
-            .with_doc(format!("Executes the composite service '{}'", statechart.name));
+        let mut op = OperationDef::new("execute").with_doc(format!(
+            "Executes the composite service '{}'",
+            statechart.name
+        ));
         for v in &statechart.variables {
             op.inputs.push(Param::optional(v.name.clone(), v.ty));
         }
@@ -174,8 +182,8 @@ impl Default for TravelDemoConfig {
 /// accommodation members, elementary services, and the deployed travel
 /// composite.
 pub struct TravelDemo {
-    /// The fabric.
-    pub net: Network,
+    /// The transport everything runs on.
+    pub net: TransportHandle,
     /// The service manager (registry).
     pub manager: ServiceManager,
     /// The deployed composite.
@@ -187,8 +195,9 @@ pub struct TravelDemo {
 }
 
 impl TravelDemo {
-    /// Spins up the whole scenario on `net`.
-    pub fn launch(net: &Network, config: TravelDemoConfig) -> Result<TravelDemo, String> {
+    /// Spins up the whole scenario on `net` (any [`Transport`] — the demo
+    /// runs identically over the simulated fabric and real TCP sockets).
+    pub fn launch(net: &dyn Transport, config: TravelDemoConfig) -> Result<TravelDemo, String> {
         let manager = ServiceManager::start(net).map_err(|n| format!("node taken: {n}"))?;
 
         // (i) providers register their services with the discovery engine.
@@ -202,29 +211,33 @@ impl TravelDemo {
         let community = CommunityServer::spawn(
             net,
             naming::community(services::ACCOMMODATION_COMMUNITY).as_str(),
-            Community::new(services::ACCOMMODATION_COMMUNITY, "Alternative accommodation providers")
-                .with_operation(
-                    OperationDef::new("bookAccommodation")
-                        .with_input(Param::required("customer", ParamType::Str))
-                        .with_input(Param::required("city", ParamType::Str))
-                        .with_input(Param::optional("check_in", ParamType::Date))
-                        .with_input(Param::optional("check_out", ParamType::Date))
-                        .with_output(Param::required("location", ParamType::Str))
-                        .with_output(Param::required("price", ParamType::Float)),
-                ),
+            Community::new(
+                services::ACCOMMODATION_COMMUNITY,
+                "Alternative accommodation providers",
+            )
+            .with_operation(
+                OperationDef::new("bookAccommodation")
+                    .with_input(Param::required("customer", ParamType::Str))
+                    .with_input(Param::required("city", ParamType::Str))
+                    .with_input(Param::optional("check_in", ParamType::Date))
+                    .with_input(Param::optional("check_out", ParamType::Date))
+                    .with_output(Param::required("location", ParamType::Str))
+                    .with_output(Param::required("price", ParamType::Float)),
+            ),
             config.policy.clone(),
             Default::default(),
         )
         .map_err(|n| format!("node taken: {n}"))?;
 
         let mut member_hosts = Vec::new();
-        let join_client = CommunityClient::connect(
-            net,
-            "travel-demo-admin",
-            community.node().clone(),
-        )
-        .map_err(|n| format!("node taken: {n}"))?;
-        let mut join = |id: &str, provider: &str, location: &str, rate: f64, qos: QosProfile|
+        let join_client =
+            CommunityClient::connect(net, "travel-demo-admin", community.node().clone())
+                .map_err(|n| format!("node taken: {n}"))?;
+        let mut join = |id: &str,
+                        provider: &str,
+                        location: &str,
+                        rate: f64,
+                        qos: QosProfile|
          -> Result<(), String> {
             let node = NodeId::new(format!("svc.accommodation.{id}"));
             let host = ServiceHost::spawn(
@@ -252,14 +265,38 @@ impl TravelDemo {
         let far_qos = QosProfile::default().with_cost(85.0).with_reputation(0.6);
         match config.accommodation {
             AccommodationChoice::NearAttraction => {
-                join("cbd-hotel", "CBD Hotel Group", "Sydney CBD Hotel", 210.0, near_qos)?;
+                join(
+                    "cbd-hotel",
+                    "CBD Hotel Group",
+                    "Sydney CBD Hotel",
+                    210.0,
+                    near_qos,
+                )?;
             }
             AccommodationChoice::FarFromAttraction => {
-                join("bondi-hostel", "Bondi Backpackers", "Bondi Hostel", 85.0, far_qos)?;
+                join(
+                    "bondi-hostel",
+                    "Bondi Backpackers",
+                    "Bondi Hostel",
+                    85.0,
+                    far_qos,
+                )?;
             }
             AccommodationChoice::Mixed => {
-                join("bondi-hostel", "Bondi Backpackers", "Bondi Hostel", 85.0, far_qos)?;
-                join("cbd-hotel", "CBD Hotel Group", "Sydney CBD Hotel", 210.0, near_qos)?;
+                join(
+                    "bondi-hostel",
+                    "Bondi Backpackers",
+                    "Bondi Hostel",
+                    85.0,
+                    far_qos,
+                )?;
+                join(
+                    "cbd-hotel",
+                    "CBD Hotel Group",
+                    "Sydney CBD Hotel",
+                    210.0,
+                    near_qos,
+                )?;
             }
         }
 
@@ -275,13 +312,18 @@ impl TravelDemo {
             services::INTERNATIONAL_FLIGHT.to_string(),
             Arc::new(FlightBookingService::international(lat)),
         );
-        backends
-            .insert(services::TRAVEL_INSURANCE.to_string(), Arc::new(InsuranceService::new(lat)));
+        backends.insert(
+            services::TRAVEL_INSURANCE.to_string(),
+            Arc::new(InsuranceService::new(lat)),
+        );
         backends.insert(
             services::ATTRACTION_SEARCH.to_string(),
             Arc::new(AttractionSearchService::new(lat)),
         );
-        backends.insert(services::CAR_RENTAL.to_string(), Arc::new(CarRentalService::new(lat)));
+        backends.insert(
+            services::CAR_RENTAL.to_string(),
+            Arc::new(CarRentalService::new(lat)),
+        );
 
         // (iv) deploy and publish the composite.
         let statechart = travel::travel_statechart();
@@ -294,7 +336,7 @@ impl TravelDemo {
             .map_err(|e| e.to_string())?;
 
         Ok(TravelDemo {
-            net: net.clone(),
+            net: net.handle(),
             manager,
             deployment,
             community,
@@ -322,7 +364,7 @@ impl TravelDemo {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use selfserv_net::NetworkConfig;
+    use selfserv_net::{Network, NetworkConfig};
 
     #[test]
     fn manager_edit_check_flags_unregistered_services() {
@@ -334,7 +376,10 @@ mod tests {
             findings.iter().any(|f| f.contains("unregistered-service")),
             "{findings:?}"
         );
-        assert!(findings.iter().any(|f| f.contains("community-offline")), "{findings:?}");
+        assert!(
+            findings.iter().any(|f| f.contains("community-offline")),
+            "{findings:?}"
+        );
         // Register everything → service warnings disappear.
         for desc in travel::travel_service_descriptions() {
             manager
@@ -352,9 +397,14 @@ mod tests {
     fn demo_books_domestic_trip_near_attraction_skips_car() {
         let net = Network::new(NetworkConfig::instant());
         let demo = TravelDemo::launch(&net, TravelDemoConfig::default()).unwrap();
-        let out = demo.book_trip("Eileen", "Sydney", "2002-08-20", "2002-08-27").unwrap();
+        let out = demo
+            .book_trip("Eileen", "Sydney", "2002-08-20", "2002-08-27")
+            .unwrap();
         // Domestic branch ran.
-        assert!(out.get_str("flight_confirmation").unwrap().starts_with("QF-"));
+        assert!(out
+            .get_str("flight_confirmation")
+            .unwrap()
+            .starts_with("QF-"));
         // Accommodation near the Opera House → no car rental.
         assert_eq!(out.get_str("accommodation"), Some("Sydney CBD Hotel"));
         assert_eq!(out.get_str("major_attraction"), Some("Opera House"));
@@ -374,7 +424,9 @@ mod tests {
             },
         )
         .unwrap();
-        let out = demo.book_trip("Eileen", "Sydney", "2002-08-20", "2002-08-27").unwrap();
+        let out = demo
+            .book_trip("Eileen", "Sydney", "2002-08-20", "2002-08-27")
+            .unwrap();
         assert_eq!(out.get_str("accommodation"), Some("Bondi Hostel"));
         assert!(out.get_str("car_confirmation").unwrap().starts_with("CAR-"));
     }
@@ -390,9 +442,14 @@ mod tests {
             },
         )
         .unwrap();
-        let out = demo.book_trip("Quan", "Hong Kong", "2002-08-20", "2002-09-01").unwrap();
+        let out = demo
+            .book_trip("Quan", "Hong Kong", "2002-08-20", "2002-09-01")
+            .unwrap();
         // International branch: GW flight + insurance policy.
-        assert!(out.get_str("flight_confirmation").unwrap().starts_with("GW-"));
+        assert!(out
+            .get_str("flight_confirmation")
+            .unwrap()
+            .starts_with("GW-"));
         assert!(out.get_str("insurance_policy").unwrap().starts_with("POL-"));
         // Bondi Hostel is far from the Peak Tram → car rented.
         assert!(out.get("car_confirmation").is_some());

@@ -13,7 +13,7 @@
 
 use crate::protocol::InstanceId;
 use parking_lot::RwLock;
-use selfserv_net::{Endpoint, Network, NodeId};
+use selfserv_net::{Endpoint, NodeId, Transport, TransportHandle};
 use selfserv_xml::Element;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -83,8 +83,10 @@ pub fn trace_body(
     kind: TraceKind,
     detail: &str,
 ) -> Element {
-    let at_ms =
-        SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or(Duration::ZERO).as_millis() as u64;
+    let at_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+        .as_millis() as u64;
     Element::new("trace")
         .with_attr("instance", instance.to_string())
         .with_attr("participant", participant)
@@ -114,15 +116,15 @@ pub struct ExecutionMonitor;
 /// Handle to a running monitor: query collected traces.
 pub struct MonitorHandle {
     node: NodeId,
-    net: Network,
+    net: TransportHandle,
     store: Arc<RwLock<TraceStore>>,
     thread: Option<JoinHandle<()>>,
 }
 
 impl ExecutionMonitor {
-    /// Spawns a monitor on `node_name`.
-    pub fn spawn(net: &Network, node_name: &str) -> Result<MonitorHandle, NodeId> {
-        let endpoint = net.connect(node_name)?;
+    /// Spawns a monitor on `node_name`, over any [`Transport`].
+    pub fn spawn(net: &dyn Transport, node_name: &str) -> Result<MonitorHandle, NodeId> {
+        let endpoint = net.connect(NodeId::new(node_name))?;
         let node = endpoint.node().clone();
         let store = Arc::new(RwLock::new(TraceStore::default()));
         let sink = Arc::clone(&store);
@@ -130,7 +132,12 @@ impl ExecutionMonitor {
             .name(format!("monitor-{node}"))
             .spawn(move || monitor_loop(endpoint, sink))
             .expect("spawn monitor");
-        Ok(MonitorHandle { node, net: net.clone(), store, thread: Some(thread) })
+        Ok(MonitorHandle {
+            node,
+            net: net.handle(),
+            store,
+            thread: Some(thread),
+        })
     }
 }
 
@@ -141,7 +148,12 @@ fn monitor_loop(endpoint: Endpoint, store: Arc<RwLock<TraceStore>>) {
             crate::protocol::kinds::STOP => return,
             TRACE_KIND => {
                 if let Some(event) = decode_trace(&env.body) {
-                    store.write().by_instance.entry(event.instance).or_default().push(event);
+                    store
+                        .write()
+                        .by_instance
+                        .entry(event.instance)
+                        .or_default()
+                        .push(event);
                 }
             }
             _ => {}
@@ -157,7 +169,12 @@ impl MonitorHandle {
 
     /// The trace of one instance, in arrival order.
     pub fn trace(&self, instance: InstanceId) -> Vec<TraceEvent> {
-        self.store.read().by_instance.get(&instance).cloned().unwrap_or_default()
+        self.store
+            .read()
+            .by_instance
+            .get(&instance)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// All instances with at least one event, sorted.
@@ -220,7 +237,7 @@ impl Drop for MonitorHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use selfserv_net::NetworkConfig;
+    use selfserv_net::{Network, NetworkConfig};
 
     #[test]
     fn trace_codec_round_trip() {
@@ -252,13 +269,25 @@ mod tests {
         let monitor = ExecutionMonitor::spawn(&net, "monitor").unwrap();
         let reporter = net.connect("reporter").unwrap();
         reporter
-            .send("monitor", TRACE_KIND, trace_body(InstanceId(1), "wrapper", TraceKind::InstanceStarted, ""))
+            .send(
+                "monitor",
+                TRACE_KIND,
+                trace_body(InstanceId(1), "wrapper", TraceKind::InstanceStarted, ""),
+            )
             .unwrap();
         reporter
-            .send("monitor", TRACE_KIND, trace_body(InstanceId(1), "AB", TraceKind::Activated, ""))
+            .send(
+                "monitor",
+                TRACE_KIND,
+                trace_body(InstanceId(1), "AB", TraceKind::Activated, ""),
+            )
             .unwrap();
         reporter
-            .send("monitor", TRACE_KIND, trace_body(InstanceId(2), "AB", TraceKind::Activated, ""))
+            .send(
+                "monitor",
+                TRACE_KIND,
+                trace_body(InstanceId(2), "AB", TraceKind::Activated, ""),
+            )
             .unwrap();
         // Give the monitor a beat to drain.
         std::thread::sleep(Duration::from_millis(50));
@@ -267,7 +296,9 @@ mod tests {
         assert_eq!(monitor.trace(InstanceId(1)).len(), 2);
         let text = monitor.render_timeline(InstanceId(1));
         assert!(text.contains("instance-started"), "{text}");
-        assert!(monitor.render_timeline(InstanceId(99)).contains("no events"));
+        assert!(monitor
+            .render_timeline(InstanceId(99))
+            .contains("no events"));
     }
 
     #[test]
@@ -275,7 +306,9 @@ mod tests {
         let net = Network::new(NetworkConfig::instant());
         let monitor = ExecutionMonitor::spawn(&net, "monitor").unwrap();
         let reporter = net.connect("reporter").unwrap();
-        reporter.send("monitor", TRACE_KIND, Element::new("garbage")).unwrap();
+        reporter
+            .send("monitor", TRACE_KIND, Element::new("garbage"))
+            .unwrap();
         std::thread::sleep(Duration::from_millis(30));
         assert_eq!(monitor.event_count(), 0);
     }

@@ -65,7 +65,13 @@ pub mod naming {
     /// Lowercase, space-free identifier for node names.
     pub fn slug(s: &str) -> String {
         s.chars()
-            .map(|c| if c.is_alphanumeric() || c == '.' || c == '-' { c.to_ascii_lowercase() } else { '-' })
+            .map(|c| {
+                if c.is_alphanumeric() || c == '.' || c == '-' {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
             .collect()
     }
 }
@@ -83,8 +89,14 @@ impl fmt::Display for InstanceId {
 impl InstanceId {
     /// Parses the `i<N>` form.
     pub fn decode(s: &str) -> Result<Self, String> {
-        let digits = s.strip_prefix('i').ok_or_else(|| format!("bad instance id {s:?}"))?;
-        Ok(InstanceId(digits.parse().map_err(|e| format!("bad instance id {s:?}: {e}"))?))
+        let digits = s
+            .strip_prefix('i')
+            .ok_or_else(|| format!("bad instance id {s:?}"))?;
+        Ok(InstanceId(
+            digits
+                .parse()
+                .map_err(|e| format!("bad instance id {s:?}: {e}"))?,
+        ))
     }
 }
 
@@ -142,7 +154,9 @@ impl NotifyPayload {
             return Err(format!("expected <notification>, got <{}>", e.name));
         }
         let vars = match e.find("message") {
-            Some(m) => MessageDoc::from_xml(m).map_err(|e| e.to_string())?.into_params(),
+            Some(m) => MessageDoc::from_xml(m)
+                .map_err(|e| e.to_string())?
+                .into_params(),
             None => BTreeMap::new(),
         };
         Ok(NotifyPayload {
@@ -182,13 +196,22 @@ mod tests {
     #[test]
     fn naming_conventions() {
         use selfserv_statechart::StateId;
-        assert_eq!(naming::wrapper("Travel Planning").as_str(), "travel-planning.wrapper");
+        assert_eq!(
+            naming::wrapper("Travel Planning").as_str(),
+            "travel-planning.wrapper"
+        );
         assert_eq!(
             naming::coordinator("Travel Planning", &StateId::new("AB")).as_str(),
             "travel-planning.coord.AB"
         );
-        assert_eq!(naming::service_host("Car Rental").as_str(), "svc.car-rental");
-        assert_eq!(naming::community("AccommodationBooking").as_str(), "community.accommodationbooking");
+        assert_eq!(
+            naming::service_host("Car Rental").as_str(),
+            "svc.car-rental"
+        );
+        assert_eq!(
+            naming::community("AccommodationBooking").as_str(),
+            "community.accommodationbooking"
+        );
         assert_eq!(naming::central("X").as_str(), "x.central");
     }
 
@@ -197,7 +220,11 @@ mod tests {
         let mut vars = BTreeMap::new();
         vars.insert("destination".to_string(), Value::str("Sydney"));
         vars.insert("price".to_string(), Value::Float(120.5));
-        let p = NotifyPayload { label: "done:AB".into(), instance: InstanceId(7), vars };
+        let p = NotifyPayload {
+            label: "done:AB".into(),
+            instance: InstanceId(7),
+            vars,
+        };
         let back = NotifyPayload::from_xml(&p.to_xml()).unwrap();
         assert_eq!(back, p);
     }

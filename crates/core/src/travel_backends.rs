@@ -20,7 +20,9 @@ fn sleep_latency(latency: Duration) {
 /// Deterministic pseudo-price derived from a string, so bookings are
 /// repeatable without an RNG.
 fn price_for(s: &str, base: f64, spread: f64) -> f64 {
-    let h = s.bytes().fold(7u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+    let h = s
+        .bytes()
+        .fold(7u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
     base + (h % 1000) as f64 / 1000.0 * spread
 }
 
@@ -62,9 +64,16 @@ impl ServiceBackend for FlightBookingService {
         let mut out = MessageDoc::response(operation);
         out.set(
             "confirmation",
-            Value::str(format!("{}-{:04}", self.prefix, destination.len() * 97 + customer.len())),
+            Value::str(format!(
+                "{}-{:04}",
+                self.prefix,
+                destination.len() * 97 + customer.len()
+            )),
         );
-        out.set("price", Value::Float(price_for(destination, self.base_price, 400.0)));
+        out.set(
+            "price",
+            Value::Float(price_for(destination, self.base_price, 400.0)),
+        );
         Ok(out)
     }
 
@@ -90,7 +99,10 @@ impl ServiceBackend for InsuranceService {
         sleep_latency(self.latency);
         let customer = input.get_str("customer").ok_or("missing customer")?;
         let mut out = MessageDoc::response(operation);
-        out.set("policy", Value::str(format!("POL-{}", customer.len() * 131)));
+        out.set(
+            "policy",
+            Value::str(format!("POL-{}", customer.len() * 131)),
+        );
         Ok(out)
     }
 
@@ -114,7 +126,10 @@ impl AttractionSearchService {
     /// The static city → attractions table.
     pub fn attractions_for(city: &str) -> (&'static str, Vec<&'static str>) {
         match city {
-            "Sydney" => ("Opera House", vec!["Opera House", "Harbour Bridge", "Bondi Beach"]),
+            "Sydney" => (
+                "Opera House",
+                vec!["Opera House", "Harbour Bridge", "Bondi Beach"],
+            ),
             "Melbourne" => (
                 "Queen Victoria Market",
                 vec!["Queen Victoria Market", "Federation Square"],
@@ -132,7 +147,10 @@ impl ServiceBackend for AttractionSearchService {
         let (major, all) = Self::attractions_for(city);
         let mut out = MessageDoc::response(operation);
         out.set("major", Value::str(major));
-        out.set("all", Value::List(all.into_iter().map(Value::str).collect()));
+        out.set(
+            "all",
+            Value::List(all.into_iter().map(Value::str).collect()),
+        );
         Ok(out)
     }
 
@@ -203,7 +221,10 @@ impl ServiceBackend for CarRentalService {
         sleep_latency(self.latency);
         let pickup = input.get_str("pickup").ok_or("missing pickup location")?;
         let mut out = MessageDoc::response(operation);
-        out.set("confirmation", Value::str(format!("CAR-{}", pickup.len() * 211)));
+        out.set(
+            "confirmation",
+            Value::str(format!("CAR-{}", pickup.len() * 211)),
+        );
         Ok(out)
     }
 
@@ -228,10 +249,16 @@ mod tests {
     fn flight_booking_is_deterministic() {
         let b = FlightBookingService::domestic(Duration::ZERO);
         let r1 = b
-            .invoke("bookFlight", &req(&[("customer", "Eileen"), ("destination", "Sydney")]))
+            .invoke(
+                "bookFlight",
+                &req(&[("customer", "Eileen"), ("destination", "Sydney")]),
+            )
             .unwrap();
         let r2 = b
-            .invoke("bookFlight", &req(&[("customer", "Eileen"), ("destination", "Sydney")]))
+            .invoke(
+                "bookFlight",
+                &req(&[("customer", "Eileen"), ("destination", "Sydney")]),
+            )
             .unwrap();
         assert_eq!(r1, r2);
         assert!(r1.get_str("confirmation").unwrap().starts_with("QF-"));
@@ -243,8 +270,20 @@ mod tests {
         let d = FlightBookingService::domestic(Duration::ZERO);
         let i = FlightBookingService::international(Duration::ZERO);
         let msg = req(&[("customer", "Q"), ("destination", "Hong Kong")]);
-        let dp = d.invoke("bookFlight", &msg).unwrap().get("price").unwrap().as_f64().unwrap();
-        let ip = i.invoke("bookFlight", &msg).unwrap().get("price").unwrap().as_f64().unwrap();
+        let dp = d
+            .invoke("bookFlight", &msg)
+            .unwrap()
+            .get("price")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        let ip = i
+            .invoke("bookFlight", &msg)
+            .unwrap()
+            .get("price")
+            .unwrap()
+            .as_f64()
+            .unwrap();
         assert!(ip > dp);
     }
 
@@ -259,13 +298,17 @@ mod tests {
     #[test]
     fn attraction_search_maps_cities() {
         let b = AttractionSearchService::new(Duration::ZERO);
-        let syd = b.invoke("searchAttractions", &req(&[("city", "Sydney")])).unwrap();
+        let syd = b
+            .invoke("searchAttractions", &req(&[("city", "Sydney")]))
+            .unwrap();
         assert_eq!(syd.get_str("major"), Some("Opera House"));
         match syd.get("all") {
             Some(Value::List(items)) => assert!(items.len() >= 2),
             other => panic!("expected list, got {other:?}"),
         }
-        let unknown = b.invoke("searchAttractions", &req(&[("city", "Nowhere")])).unwrap();
+        let unknown = b
+            .invoke("searchAttractions", &req(&[("city", "Nowhere")]))
+            .unwrap();
         assert_eq!(unknown.get_str("major"), Some("Old Town Walk"));
     }
 
@@ -273,7 +316,10 @@ mod tests {
     fn accommodation_reports_its_location() {
         let b = AccommodationService::new("CBD Hotel", "Sydney CBD Hotel", 210.0, Duration::ZERO);
         let out = b
-            .invoke("bookAccommodation", &req(&[("customer", "Eileen"), ("city", "Sydney")]))
+            .invoke(
+                "bookAccommodation",
+                &req(&[("customer", "Eileen"), ("city", "Sydney")]),
+            )
             .unwrap();
         assert_eq!(out.get_str("location"), Some("Sydney CBD Hotel"));
         assert_eq!(out.get("price"), Some(&Value::Float(210.0)));
@@ -282,10 +328,14 @@ mod tests {
     #[test]
     fn insurance_and_car_rental() {
         let i = InsuranceService::new(Duration::ZERO);
-        let pol = i.invoke("insure", &req(&[("customer", "Q"), ("destination", "HK")])).unwrap();
+        let pol = i
+            .invoke("insure", &req(&[("customer", "Q"), ("destination", "HK")]))
+            .unwrap();
         assert!(pol.get_str("policy").unwrap().starts_with("POL-"));
         let c = CarRentalService::new(Duration::ZERO);
-        let conf = c.invoke("rentCar", &req(&[("pickup", "Bondi Hostel")])).unwrap();
+        let conf = c
+            .invoke("rentCar", &req(&[("pickup", "Bondi Hostel")]))
+            .unwrap();
         assert!(conf.get_str("confirmation").unwrap().starts_with("CAR-"));
     }
 }

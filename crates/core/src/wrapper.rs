@@ -11,7 +11,7 @@ use crate::coordinator::{apply_actions, eval_guard};
 use crate::functions::FunctionLibrary;
 use crate::protocol::{cleanup_body, kinds, naming, InstanceId, NotifyPayload};
 use selfserv_expr::Value;
-use selfserv_net::{Endpoint, Envelope, MessageId, Network, NodeId};
+use selfserv_net::{Endpoint, Envelope, MessageId, NodeId, Transport, TransportHandle};
 use selfserv_routing::{NotificationLabel, WrapperTable};
 use selfserv_statechart::{StateId, VarDecl};
 use selfserv_wsdl::MessageDoc;
@@ -45,7 +45,7 @@ pub struct CompositeWrapper;
 /// Handle to a spawned wrapper.
 pub struct WrapperHandle {
     node: NodeId,
-    net: Network,
+    net: TransportHandle,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -94,16 +94,26 @@ struct Runtime {
 }
 
 impl CompositeWrapper {
-    /// Spawns the wrapper on its conventional node (`<composite>.wrapper`).
-    pub fn spawn(net: &Network, cfg: WrapperConfig) -> Result<WrapperHandle, NodeId> {
+    /// Spawns the wrapper on its conventional node (`<composite>.wrapper`),
+    /// over any [`Transport`].
+    pub fn spawn(net: &dyn Transport, cfg: WrapperConfig) -> Result<WrapperHandle, NodeId> {
         let endpoint = net.connect(naming::wrapper(&cfg.composite))?;
         let node = endpoint.node().clone();
-        let mut runtime = Runtime { cfg, endpoint, next_instance: 0, instances: HashMap::new() };
+        let mut runtime = Runtime {
+            cfg,
+            endpoint,
+            next_instance: 0,
+            instances: HashMap::new(),
+        };
         let thread = std::thread::Builder::new()
             .name(format!("wrapper-{node}"))
             .spawn(move || runtime.run())
             .expect("spawn wrapper");
-        Ok(WrapperHandle { node, net: net.clone(), thread: Some(thread) })
+        Ok(WrapperHandle {
+            node,
+            net: net.handle(),
+            thread: Some(thread),
+        })
     }
 }
 
@@ -111,7 +121,9 @@ impl Runtime {
     fn trace(&self, instance: InstanceId, kind: crate::monitor::TraceKind, detail: &str) {
         if let Some(monitor) = &self.cfg.monitor {
             let body = crate::monitor::trace_body(instance, "wrapper", kind, detail);
-            let _ = self.endpoint.send(monitor.clone(), crate::monitor::TRACE_KIND, body);
+            let _ = self
+                .endpoint
+                .send(monitor.clone(), crate::monitor::TRACE_KIND, body);
         }
     }
 
@@ -139,7 +151,8 @@ impl Runtime {
             return;
         }
         let now = Instant::now();
-        self.instances.retain(|_, s| now.duration_since(s.last_touched) < ttl);
+        self.instances
+            .retain(|_, s| now.duration_since(s.last_touched) < ttl);
     }
 
     fn on_execute(&mut self, env: &Envelope) {
@@ -192,9 +205,15 @@ impl Runtime {
     }
 
     fn on_notify(&mut self, body: &Element) {
-        let Ok(payload) = NotifyPayload::from_xml(body) else { return };
-        let Ok(label) = NotificationLabel::decode(&payload.label) else { return };
-        let Some(slot) = self.instances.get_mut(&payload.instance) else { return };
+        let Ok(payload) = NotifyPayload::from_xml(body) else {
+            return;
+        };
+        let Ok(label) = NotificationLabel::decode(&payload.label) else {
+            return;
+        };
+        let Some(slot) = self.instances.get_mut(&payload.instance) else {
+            return;
+        };
         slot.last_touched = Instant::now();
         slot.seen.push(label);
         for (k, v) in payload.vars {
@@ -205,7 +224,9 @@ impl Runtime {
 
     fn try_finish(&mut self, instance: InstanceId) {
         let outcome = {
-            let Some(slot) = self.instances.get(&instance) else { return };
+            let Some(slot) = self.instances.get(&instance) else {
+                return;
+            };
             let mut chosen: Option<usize> = None;
             let mut error: Option<String> = None;
             for (idx, alt) in self.cfg.table.finish_alternatives.iter().enumerate() {
@@ -230,7 +251,9 @@ impl Runtime {
             (_, Some(reason)) => self.finish_fault(instance, &reason),
             (Some(idx), None) => {
                 let actions = self.cfg.table.finish_alternatives[idx].actions.clone();
-                let Some(slot) = self.instances.get_mut(&instance) else { return };
+                let Some(slot) = self.instances.get_mut(&instance) else {
+                    return;
+                };
                 let mut vars = slot.vars.clone();
                 if let Err(reason) = apply_actions(&actions, &self.cfg.functions, &mut vars) {
                     self.finish_fault(instance, &reason);
@@ -258,8 +281,9 @@ impl Runtime {
     }
 
     fn on_fault(&mut self, body: &Element) {
-        let Some(instance) =
-            body.attr("instance").and_then(|s| InstanceId::decode(s).ok())
+        let Some(instance) = body
+            .attr("instance")
+            .and_then(|s| InstanceId::decode(s).ok())
         else {
             return;
         };
@@ -288,7 +312,9 @@ impl Runtime {
     fn cleanup(&mut self, instance: InstanceId) {
         for state in &self.cfg.table.all_states {
             let node = naming::coordinator(&self.cfg.composite, state);
-            let _ = self.endpoint.send(node, kinds::CLEANUP, cleanup_body(instance));
+            let _ = self
+                .endpoint
+                .send(node, kinds::CLEANUP, cleanup_body(instance));
         }
         self.instances.remove(&instance);
     }

@@ -123,18 +123,28 @@ impl Expr {
 
     /// Shorthand for a call.
     pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
-        Expr::Call { name: name.into(), args }
+        Expr::Call {
+            name: name.into(),
+            args,
+        }
     }
 
     /// Shorthand for `not e`.
     #[allow(clippy::should_implement_trait)]
     pub fn not(e: Expr) -> Expr {
-        Expr::Unary { op: UnOp::Not, expr: Box::new(e) }
+        Expr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(e),
+        }
     }
 
     /// Shorthand for a binary node.
     pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+        Expr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     /// Conjoins two optional guards: the result is satisfied only when both
@@ -250,8 +260,8 @@ impl Expr {
             }
             Expr::Binary { op, left, right } => {
                 let prec = op.precedence();
-                let needs_parens = prec < parent_prec
-                    || (prec == parent_prec && op.is_comparison());
+                let needs_parens =
+                    prec < parent_prec || (prec == parent_prec && op.is_comparison());
                 if needs_parens {
                     write!(f, "(")?;
                 }
@@ -294,7 +304,11 @@ mod tests {
         let a = Expr::var("a");
         let b = Expr::var("b");
         let c = Expr::var("c");
-        let left = Expr::bin(BinOp::And, Expr::bin(BinOp::Or, a.clone(), b.clone()), c.clone());
+        let left = Expr::bin(
+            BinOp::And,
+            Expr::bin(BinOp::Or, a.clone(), b.clone()),
+            c.clone(),
+        );
         assert_eq!(left.to_string(), "(a or b) and c");
         let right = Expr::bin(BinOp::Or, a, Expr::bin(BinOp::And, b, c));
         assert_eq!(right.to_string(), "a or b and c");
@@ -331,7 +345,9 @@ mod tests {
         assert_eq!(Expr::and_opt(None, None), None);
         assert_eq!(Expr::and_opt(Some(a.clone()), None), Some(a.clone()));
         assert_eq!(
-            Expr::and_opt(Some(a.clone()), Some(b.clone())).unwrap().to_string(),
+            Expr::and_opt(Some(a.clone()), Some(b.clone()))
+                .unwrap()
+                .to_string(),
             "a and b"
         );
     }
@@ -339,7 +355,10 @@ mod tests {
     #[test]
     fn referenced_vars_and_fns() {
         let e = crate::parse("domestic(destination) and price < budget.max").unwrap();
-        assert_eq!(e.referenced_vars(), vec!["destination", "price", "budget.max"]);
+        assert_eq!(
+            e.referenced_vars(),
+            vec!["destination", "price", "budget.max"]
+        );
         assert_eq!(e.referenced_fns(), vec!["domestic"]);
     }
 

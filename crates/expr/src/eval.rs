@@ -48,7 +48,11 @@ impl fmt::Display for EvalError {
             EvalError::TypeMismatch { op, found } => {
                 write!(f, "type mismatch: cannot apply {op} to {found}")
             }
-            EvalError::ArityMismatch { function, expected, found } => write!(
+            EvalError::ArityMismatch {
+                function,
+                expected,
+                found,
+            } => write!(
                 f,
                 "function '{function}' expects {expected} argument(s), got {found}"
             ),
@@ -345,12 +349,8 @@ impl Expr {
                         found: other.type_name().into(),
                     }),
                 },
-                BinOp::Eq => {
-                    Ok(Value::Bool(left.eval(env)?.loose_eq(&right.eval(env)?)))
-                }
-                BinOp::Ne => {
-                    Ok(Value::Bool(!left.eval(env)?.loose_eq(&right.eval(env)?)))
-                }
+                BinOp::Eq => Ok(Value::Bool(left.eval(env)?.loose_eq(&right.eval(env)?))),
+                BinOp::Ne => Ok(Value::Bool(!left.eval(env)?.loose_eq(&right.eval(env)?))),
                 BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
                     let l = left.eval(env)?;
                     let r = right.eval(env)?;
@@ -429,7 +429,10 @@ impl Expr {
 fn expect_bool(op: &str, v: Value) -> Result<Value, EvalError> {
     match v {
         Value::Bool(_) => Ok(v),
-        other => Err(EvalError::TypeMismatch { op: op.into(), found: other.type_name().into() }),
+        other => Err(EvalError::TypeMismatch {
+            op: op.into(),
+            found: other.type_name().into(),
+        }),
     }
 }
 
@@ -447,9 +450,10 @@ fn compare(op: BinOp, l: &Value, r: &Value) -> Result<bool, EvalError> {
     let ord = match (l, r) {
         (Value::Str(a), Value::Str(b)) => a.cmp(b),
         _ => match (l.as_f64(), r.as_f64()) {
-            (Some(a), Some(b)) => a
-                .partial_cmp(&b)
-                .ok_or(EvalError::TypeMismatch { op: op.symbol().into(), found: "NaN".into() })?,
+            (Some(a), Some(b)) => a.partial_cmp(&b).ok_or(EvalError::TypeMismatch {
+                op: op.symbol().into(),
+                found: "NaN".into(),
+            })?,
             _ => {
                 return Err(EvalError::TypeMismatch {
                     op: op.symbol().into(),
@@ -481,7 +485,10 @@ mod tests {
         e.set("booking.price", Value::Int(99));
         e.register_fn("domestic", |args| {
             let city = args[0].as_str().unwrap_or("");
-            Ok(Value::Bool(matches!(city, "Sydney" | "Melbourne" | "Brisbane" | "Perth")))
+            Ok(Value::Bool(matches!(
+                city,
+                "Sydney" | "Melbourne" | "Brisbane" | "Perth"
+            )))
         });
         e
     }
@@ -492,8 +499,14 @@ mod tests {
 
     #[test]
     fn evaluates_paper_guard() {
-        assert_eq!(eval_str("domestic(destination)").unwrap(), Value::Bool(true));
-        assert_eq!(eval_str("not domestic(destination)").unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval_str("domestic(destination)").unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_str("not domestic(destination)").unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]
@@ -508,10 +521,19 @@ mod tests {
     #[test]
     fn string_operations() {
         assert_eq!(eval_str("\"syd\" + \"ney\"").unwrap(), Value::str("sydney"));
-        assert_eq!(eval_str("lower(destination) == \"sydney\"").unwrap(), Value::Bool(true));
-        assert_eq!(eval_str("starts_with(destination, \"Syd\")").unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_str("lower(destination) == \"sydney\"").unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_str("starts_with(destination, \"Syd\")").unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(eval_str("len(destination)").unwrap(), Value::Int(6));
-        assert_eq!(eval_str("destination < \"Tokyo\"").unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_str("destination < \"Tokyo\"").unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -547,10 +569,22 @@ mod tests {
 
     #[test]
     fn type_errors_are_reported() {
-        assert!(matches!(eval_str("1 and true"), Err(EvalError::TypeMismatch { .. })));
-        assert!(matches!(eval_str("not 3"), Err(EvalError::TypeMismatch { .. })));
-        assert!(matches!(eval_str("\"a\" - 1"), Err(EvalError::TypeMismatch { .. })));
-        assert!(matches!(eval_str("true < false"), Err(EvalError::TypeMismatch { .. })));
+        assert!(matches!(
+            eval_str("1 and true"),
+            Err(EvalError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            eval_str("not 3"),
+            Err(EvalError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            eval_str("\"a\" - 1"),
+            Err(EvalError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            eval_str("true < false"),
+            Err(EvalError::TypeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -563,8 +597,14 @@ mod tests {
 
     #[test]
     fn builtin_arity_checked() {
-        assert!(matches!(eval_str("len()"), Err(EvalError::ArityMismatch { .. })));
-        assert!(matches!(eval_str("min(1)"), Err(EvalError::ArityMismatch { .. })));
+        assert!(matches!(
+            eval_str("len()"),
+            Err(EvalError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            eval_str("min(1)"),
+            Err(EvalError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -577,8 +617,14 @@ mod tests {
     #[test]
     fn builtin_contains_on_lists_and_strings() {
         assert_eq!(eval_str("contains([1,2,3], 2)").unwrap(), Value::Bool(true));
-        assert_eq!(eval_str("contains([1,2,3], 2.0)").unwrap(), Value::Bool(true));
-        assert_eq!(eval_str("contains(\"Sydney\", \"dn\")").unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_str("contains([1,2,3], 2.0)").unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_str("contains(\"Sydney\", \"dn\")").unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -586,20 +632,30 @@ mod tests {
         assert_eq!(eval_str("defined(destination)").unwrap(), Value::Bool(true));
         let mut e = env();
         e.set("maybe", Value::Null);
-        assert_eq!(parse("defined(maybe)").unwrap().eval(&e).unwrap(), Value::Bool(false));
+        assert_eq!(
+            parse("defined(maybe)").unwrap().eval(&e).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]
     fn eval_bool_rejects_non_boolean_guards() {
         let g = parse("price + 1").unwrap();
-        assert!(matches!(g.eval_bool(&env()), Err(EvalError::TypeMismatch { .. })));
+        assert!(matches!(
+            g.eval_bool(&env()),
+            Err(EvalError::TypeMismatch { .. })
+        ));
         let g2 = parse("confirmed").unwrap();
         assert!(g2.eval_bool(&env()).unwrap());
     }
 
     #[test]
     fn eval_error_display() {
-        let e = EvalError::ArityMismatch { function: "f".into(), expected: 2, found: 1 };
+        let e = EvalError::ArityMismatch {
+            function: "f".into(),
+            expected: 2,
+            found: 1,
+        };
         assert!(e.to_string().contains("expects 2"));
     }
 }

@@ -65,7 +65,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.pos }
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn tokens(mut self) -> Result<Vec<(Token, usize)>, ParseError> {
@@ -211,7 +214,10 @@ impl<'a> Lexer<'a> {
                     // A '.' is part of the number only if followed by a digit;
                     // this keeps `1.max` (not valid anyway) from mislexing.
                     if self.peek() == Some('.')
-                        && self.src[self.pos + 1..].chars().next().is_some_and(|c| c.is_ascii_digit())
+                        && self.src[self.pos + 1..]
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_ascii_digit())
                     {
                         is_float = true;
                         self.bump();
@@ -236,9 +242,15 @@ impl<'a> Lexer<'a> {
                     }
                     let text = &self.src[num_start..self.pos];
                     if is_float {
-                        Token::Float(text.parse().map_err(|e| self.err(format!("bad float: {e}")))?)
+                        Token::Float(
+                            text.parse()
+                                .map_err(|e| self.err(format!("bad float: {e}")))?,
+                        )
                     } else {
-                        Token::Int(text.parse().map_err(|e| self.err(format!("bad integer: {e}")))?)
+                        Token::Int(
+                            text.parse()
+                                .map_err(|e| self.err(format!("bad integer: {e}")))?,
+                        )
                     }
                 }
                 c if c.is_alphabetic() || c == '_' => {
@@ -276,7 +288,10 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.tokens.get(self.pos).map(|(_, o)| *o).unwrap_or(self.src_len)
+        self.tokens
+            .get(self.pos)
+            .map(|(_, o)| *o)
+            .unwrap_or(self.src_len)
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -288,7 +303,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.offset() }
+        ParseError {
+            message: message.into(),
+            offset: self.offset(),
+        }
     }
 
     fn expect(&mut self, t: Token, what: &str) -> Result<(), ParseError> {
@@ -339,7 +357,10 @@ impl Parser {
             Some(Token::Not) | Some(Token::Bang) => {
                 self.bump();
                 let inner = self.parse_unary()?;
-                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(inner) })
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(inner),
+                })
             }
             Some(Token::Minus) => {
                 self.bump();
@@ -349,7 +370,10 @@ impl Parser {
                 match inner {
                     Expr::Lit(Value::Int(i)) => Ok(Expr::Lit(Value::Int(-i))),
                     Expr::Lit(Value::Float(f)) => Ok(Expr::Lit(Value::Float(-f))),
-                    other => Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(other) }),
+                    other => Ok(Expr::Unary {
+                        op: UnOp::Neg,
+                        expr: Box::new(other),
+                    }),
                 }
             }
             _ => self.parse_primary(),
@@ -377,8 +401,9 @@ impl Parser {
                         match item {
                             Expr::Lit(v) => items.push(v),
                             _ => {
-                                return Err(self
-                                    .err("list literals may only contain constant values"))
+                                return Err(
+                                    self.err("list literals may only contain constant values")
+                                )
                             }
                         }
                         if self.peek() == Some(&Token::Comma) {
@@ -428,7 +453,11 @@ impl Parser {
 /// Parses a guard expression.
 pub fn parse(src: &str) -> Result<Expr, ParseError> {
     let tokens = Lexer::new(src).tokens()?;
-    let mut p = Parser { tokens, pos: 0, src_len: src.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
     let e = p.parse_expr(0)?;
     if p.peek().is_some() {
         return Err(p.err("unexpected trailing tokens"));
@@ -476,7 +505,10 @@ mod tests {
 
     #[test]
     fn symbols_and_words_are_synonyms() {
-        assert_eq!(parse("a && b || !c").unwrap(), parse("a and b or not c").unwrap());
+        assert_eq!(
+            parse("a && b || !c").unwrap(),
+            parse("a and b or not c").unwrap()
+        );
     }
 
     #[test]
@@ -524,7 +556,11 @@ mod tests {
                 assert_eq!(name, "contains");
                 assert_eq!(
                     args[0],
-                    Expr::Lit(Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)]))
+                    Expr::Lit(Value::List(vec![
+                        Value::Int(1),
+                        Value::Int(2),
+                        Value::Int(3)
+                    ]))
                 );
             }
             _ => panic!(),
@@ -540,7 +576,10 @@ mod tests {
     #[test]
     fn comparison_does_not_chain() {
         let err = parse("a < b < c").unwrap_err();
-        assert!(err.message.contains("parenthesize") || err.message.contains("expected"), "{err}");
+        assert!(
+            err.message.contains("parenthesize") || err.message.contains("expected"),
+            "{err}"
+        );
         // Parenthesized comparison chains are fine.
         parse("(a < b) == (b < c)").unwrap();
     }

@@ -55,12 +55,18 @@ fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
         leaf,
         (arb_ident(), proptest::collection::vec(inner3, 0..3))
             .prop_map(|(name, args)| Expr::Call { name, args }),
-        inner.clone().prop_map(|e| Expr::Unary { op: UnOp::Not, expr: Box::new(e) }),
+        inner.clone().prop_map(|e| Expr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(e)
+        }),
         // Neg of a literal folds in the parser, so only generate Neg on
         // non-literal operands to keep round-trips exact.
         arb_expr(depth - 1)
             .prop_filter("no literal under Neg", |e| !matches!(e, Expr::Lit(_)))
-            .prop_map(|e| Expr::Unary { op: UnOp::Neg, expr: Box::new(e) }),
+            .prop_map(|e| Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e)
+            }),
         (arb_binop(), inner, inner2).prop_map(|(op, l, r)| Expr::bin(op, l, r)),
     ]
     .boxed()

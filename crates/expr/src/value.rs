@@ -105,7 +105,11 @@ impl Value {
             Value::List(items) => {
                 // Lists embed as `|`-separated lexicals; nested lists are not
                 // produced by the platform's operations.
-                items.iter().map(Value::to_lexical).collect::<Vec<_>>().join("|")
+                items
+                    .iter()
+                    .map(Value::to_lexical)
+                    .collect::<Vec<_>>()
+                    .join("|")
             }
         }
     }

@@ -94,9 +94,10 @@ impl Envelope {
             .parse::<u64>()
             .map_err(|err| format!("bad envelope id: {err}"))?;
         let correlation = match e.attr("correlation") {
-            Some(c) => {
-                Some(MessageId(c.parse::<u64>().map_err(|err| format!("bad correlation: {err}"))?))
-            }
+            Some(c) => Some(MessageId(
+                c.parse::<u64>()
+                    .map_err(|err| format!("bad correlation: {err}"))?,
+            )),
             None => None,
         };
         let body = e

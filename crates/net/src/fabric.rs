@@ -3,14 +3,16 @@
 
 use crate::envelope::{Envelope, MessageId, NodeId};
 use crate::fault::{FaultPolicy, LatencyModel, LinkOverride};
-use crate::metrics::{MetricsSnapshot, NodeCounters};
-use crossbeam::channel::{self, Receiver, Sender};
+use crate::metrics::{MetricsSnapshot, NodeCounters, EPHEMERAL_AGGREGATE};
+use crate::transport::{
+    Endpoint, Mailbox, RawEndpoint, RecvError, SendError, Transport, TransportHandle,
+};
+use crossbeam::channel::{self, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use selfserv_xml::Element;
 use std::collections::{BinaryHeap, HashMap};
-use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
@@ -29,16 +31,17 @@ pub struct NetworkConfig {
 impl NetworkConfig {
     /// Zero-latency, lossless fabric: measures pure software overhead.
     pub fn instant() -> Self {
-        NetworkConfig { latency: LatencyModel::Instant, drop_probability: 0.0, seed: 42 }
+        NetworkConfig {
+            latency: LatencyModel::Instant,
+            drop_probability: 0.0,
+            seed: 42,
+        }
     }
 
     /// LAN-like: 0.2–1 ms latency, lossless.
     pub fn lan() -> Self {
         NetworkConfig {
-            latency: LatencyModel::Uniform(
-                Duration::from_micros(200),
-                Duration::from_millis(1),
-            ),
+            latency: LatencyModel::Uniform(Duration::from_micros(200), Duration::from_millis(1)),
             drop_probability: 0.0,
             seed: 42,
         }
@@ -67,67 +70,6 @@ impl NetworkConfig {
         self
     }
 }
-
-/// Errors returned by [`Endpoint::send`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SendError {
-    /// The destination has never connected to this fabric.
-    UnknownNode(NodeId),
-    /// The *sender* has been killed by failure injection.
-    SenderDead(NodeId),
-}
-
-impl fmt::Display for SendError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SendError::UnknownNode(n) => write!(f, "unknown node '{n}'"),
-            SendError::SenderDead(n) => write!(f, "sender '{n}' has been killed"),
-        }
-    }
-}
-
-impl std::error::Error for SendError {}
-
-/// Errors returned by the receive family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RecvError {
-    /// No message arrived within the timeout.
-    Timeout,
-    /// The fabric was shut down.
-    Disconnected,
-}
-
-impl fmt::Display for RecvError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RecvError::Timeout => write!(f, "receive timed out"),
-            RecvError::Disconnected => write!(f, "endpoint disconnected"),
-        }
-    }
-}
-
-impl std::error::Error for RecvError {}
-
-/// Errors returned by [`Endpoint::rpc`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RpcError {
-    /// The request could not be sent.
-    Send(SendError),
-    /// No correlated reply arrived in time (request or reply may have been
-    /// lost, the responder may be dead).
-    Timeout,
-}
-
-impl fmt::Display for RpcError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RpcError::Send(e) => write!(f, "rpc send failed: {e}"),
-            RpcError::Timeout => write!(f, "rpc timed out waiting for reply"),
-        }
-    }
-}
-
-impl std::error::Error for RpcError {}
 
 struct Scheduled {
     deliver_at: Instant,
@@ -211,9 +153,19 @@ impl Network {
     }
 
     /// Connects a named node, returning its endpoint. Fails if the name is
-    /// already connected.
+    /// already connected. Names containing `~` are reserved for
+    /// transport-generated ephemeral endpoints and are rejected (their
+    /// counters are pruned on drop, which would silently lose a real
+    /// node's metrics).
     pub fn connect(&self, name: impl Into<NodeId>) -> Result<Endpoint, NodeId> {
         let node = name.into();
+        if node.as_str().contains('~') {
+            return Err(node);
+        }
+        self.connect_node(node)
+    }
+
+    fn connect_node(&self, node: NodeId) -> Result<Endpoint, NodeId> {
         let (tx, rx) = channel::unbounded();
         {
             let mut nodes = self.inner.nodes.write();
@@ -227,7 +179,15 @@ impl Network {
             .write()
             .entry(node.clone())
             .or_insert_with(|| Arc::new(NodeCounters::default()));
-        Ok(Endpoint { node, net: self.clone(), rx })
+        let raw = FabricEndpoint {
+            node,
+            net: self.clone(),
+            mailbox: Mailbox::new(rx),
+        };
+        Ok(Endpoint::from_raw(
+            Box::new(raw),
+            TransportHandle::new(self.clone()),
+        ))
     }
 
     /// Connects a node with a generated unique name beginning with `prefix`
@@ -235,7 +195,7 @@ impl Network {
     pub fn connect_anonymous(&self, prefix: &str) -> Endpoint {
         loop {
             let n = self.inner.next_anon.fetch_add(1, Ordering::Relaxed);
-            if let Ok(ep) = self.connect(format!("{prefix}~{n}")) {
+            if let Ok(ep) = self.connect_node(NodeId::new(format!("{prefix}~{n}"))) {
                 return ep;
             }
         }
@@ -261,9 +221,8 @@ impl Network {
 
     /// Resets all counters to zero.
     pub fn reset_metrics(&self) {
-        let mut counters = self.inner.counters.write();
-        for c in counters.values_mut() {
-            *c = Arc::new(NodeCounters::default());
+        for c in self.inner.counters.read().values() {
+            c.reset();
         }
     }
 
@@ -364,7 +323,11 @@ impl Network {
             self.deliver_now(envelope, size);
         } else {
             let mut heap = self.inner.delivery.heap.lock();
-            heap.push(Scheduled { deliver_at: Instant::now() + delay, envelope, size });
+            heap.push(Scheduled {
+                deliver_at: Instant::now() + delay,
+                envelope,
+                size,
+            });
             self.inner.delivery.cv.notify_one();
         }
         Ok(id)
@@ -375,18 +338,37 @@ impl Network {
         // Re-check death at delivery time: a node killed while the message
         // was in flight never sees it.
         if self.inner.fault.read().is_dead(&to) {
-            self.counters_for(&to).record_drop();
+            self.delivery_counters_for(&to).record_drop();
             return;
         }
-        let sender = self.inner.nodes.read().get(&to).cloned();
-        match sender {
-            Some(tx) if tx.send(envelope).is_ok() => {
+        // Hold the nodes lock across record + send: endpoint Drop needs
+        // the write lock to deregister, so while we hold the read lock the
+        // mailbox cannot disappear (the send is infallible) and the
+        // receiver cannot consume the message, finish its rpc, and fold
+        // its ephemeral counters before the receive is recorded.
+        let nodes = self.inner.nodes.read();
+        match nodes.get(&to) {
+            Some(tx) => {
                 self.counters_for(&to).record_receive(size);
+                let _ = tx.send(envelope);
             }
-            _ => {
-                self.counters_for(&to).record_drop();
+            None => {
+                drop(nodes);
+                self.delivery_counters_for(&to).record_drop();
             }
         }
+    }
+
+    /// Counters slot to charge a delivery-time drop to. Ephemeral (`~`)
+    /// nodes whose entry was already folded away must not be resurrected
+    /// (a late reply to a timed-out rpc endpoint would otherwise leak a
+    /// permanent counters entry per occurrence); their drops go to the
+    /// aggregate slot instead.
+    fn delivery_counters_for(&self, node: &NodeId) -> Arc<NodeCounters> {
+        if node.as_str().contains('~') && !self.inner.counters.read().contains_key(node) {
+            return self.counters_for(&NodeId::new(EPHEMERAL_AGGREGATE));
+        }
+        self.counters_for(node)
     }
 }
 
@@ -434,215 +416,119 @@ fn spawn_delivery_thread(inner: Weak<Inner>, queue: Arc<DeliveryQueue>) {
         .expect("spawn delivery thread");
 }
 
-/// A cloneable sending-only handle that emits messages *as* a node.
-/// Obtained from [`Endpoint::sender`]; lets worker threads send under the
-/// owning component's name so per-node metrics stay attributable.
-#[derive(Clone)]
-pub struct NodeSender {
+/// The fabric's raw endpoint: a registered mailbox plus a handle back to
+/// the [`Network`] for dispatch. Wrapped by the transport-agnostic
+/// [`Endpoint`].
+struct FabricEndpoint {
     node: NodeId,
     net: Network,
+    mailbox: Mailbox,
 }
 
-impl NodeSender {
-    /// The node this handle sends as.
-    pub fn node(&self) -> &NodeId {
+impl RawEndpoint for FabricEndpoint {
+    fn node(&self) -> &NodeId {
         &self.node
     }
 
-    /// The fabric.
-    pub fn network(&self) -> &Network {
-        &self.net
-    }
-
-    /// Sends a message as the owning node.
-    pub fn send(
+    fn send(
         &self,
-        to: impl Into<NodeId>,
-        kind: impl Into<String>,
-        body: Element,
-    ) -> Result<MessageId, SendError> {
-        self.send_correlated(to, kind, body, None)
-    }
-
-    /// Sends a correlated message as the owning node.
-    pub fn send_correlated(
-        &self,
-        to: impl Into<NodeId>,
-        kind: impl Into<String>,
+        to: NodeId,
+        kind: String,
         body: Element,
         correlation: Option<MessageId>,
     ) -> Result<MessageId, SendError> {
         let envelope = Envelope {
             id: self.net.next_message_id(),
             from: self.node.clone(),
-            to: to.into(),
-            kind: kind.into(),
+            to,
+            kind,
             correlation,
             body,
         };
         self.net.dispatch(envelope)
     }
 
-    /// Request/response as the owning node (uses an ephemeral reply
-    /// endpoint, like [`Endpoint::rpc`]).
-    pub fn rpc(
-        &self,
-        to: impl Into<NodeId>,
-        kind: impl Into<String>,
-        body: Element,
-        timeout: Duration,
-    ) -> Result<Envelope, RpcError> {
-        let tmp = self.net.connect_anonymous(self.node.as_str());
-        let request_id = tmp.send(to, kind, body).map_err(RpcError::Send)?;
-        let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return Err(RpcError::Timeout);
-            }
-            match tmp.recv_timeout(remaining) {
-                Ok(env) if env.correlation == Some(request_id) => return Ok(env),
-                Ok(_) => continue,
-                Err(_) => return Err(RpcError::Timeout),
-            }
-        }
+    fn recv(&self) -> Result<Envelope, RecvError> {
+        self.mailbox.recv()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
+        self.mailbox.recv_timeout(timeout)
+    }
+
+    fn try_recv(&self) -> Option<Envelope> {
+        self.mailbox.try_recv()
+    }
+
+    fn pending(&self) -> usize {
+        self.mailbox.pending()
     }
 }
 
-/// A connected node: the handle through which a SELF-SERV component sends
-/// and receives envelopes.
-pub struct Endpoint {
-    node: NodeId,
-    net: Network,
-    rx: Receiver<Envelope>,
-}
-
-impl Endpoint {
-    /// This endpoint's node id.
-    pub fn node(&self) -> &NodeId {
-        &self.node
-    }
-
-    /// A cloneable handle that sends as this endpoint's node (for worker
-    /// threads).
-    pub fn sender(&self) -> NodeSender {
-        NodeSender { node: self.node.clone(), net: self.net.clone() }
-    }
-
-    /// The fabric this endpoint is attached to.
-    pub fn network(&self) -> &Network {
-        &self.net
-    }
-
-    /// Sends a message; returns its fabric id. A returned `Ok` means the
-    /// message was accepted by the fabric, not that it will be delivered
-    /// (loss, partitions, and kills are silent, as on a real network).
-    pub fn send(
-        &self,
-        to: impl Into<NodeId>,
-        kind: impl Into<String>,
-        body: Element,
-    ) -> Result<MessageId, SendError> {
-        self.send_correlated(to, kind, body, None)
-    }
-
-    /// Sends a message carrying a reply correlation.
-    pub fn send_correlated(
-        &self,
-        to: impl Into<NodeId>,
-        kind: impl Into<String>,
-        body: Element,
-        correlation: Option<MessageId>,
-    ) -> Result<MessageId, SendError> {
-        let envelope = Envelope {
-            id: self.net.next_message_id(),
-            from: self.node.clone(),
-            to: to.into(),
-            kind: kind.into(),
-            correlation,
-            body,
-        };
-        self.net.dispatch(envelope)
-    }
-
-    /// Sends a reply to a received request, correlated to its id.
-    pub fn reply(
-        &self,
-        request: &Envelope,
-        kind: impl Into<String>,
-        body: Element,
-    ) -> Result<MessageId, SendError> {
-        self.send_correlated(request.from.clone(), kind, body, Some(request.id))
-    }
-
-    /// Blocking receive.
-    pub fn recv(&self) -> Result<Envelope, RecvError> {
-        self.rx.recv().map_err(|_| RecvError::Disconnected)
-    }
-
-    /// Receive with a deadline.
-    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
-        self.rx.recv_timeout(timeout).map_err(|e| match e {
-            channel::RecvTimeoutError::Timeout => RecvError::Timeout,
-            channel::RecvTimeoutError::Disconnected => RecvError::Disconnected,
-        })
-    }
-
-    /// Non-blocking receive.
-    pub fn try_recv(&self) -> Option<Envelope> {
-        self.rx.try_recv().ok()
-    }
-
-    /// Number of messages waiting in the mailbox.
-    pub fn pending(&self) -> usize {
-        self.rx.len()
-    }
-
-    /// Request/response over the fabric: sends `kind` to `to` from an
-    /// ephemeral reply endpoint and waits for a correlated reply.
-    ///
-    /// This is the shape of the original platform's SOAP calls (service
-    /// registration, discovery, invocation). Uncorrelated messages arriving
-    /// at the ephemeral endpoint are discarded.
-    pub fn rpc(
-        &self,
-        to: impl Into<NodeId>,
-        kind: impl Into<String>,
-        body: Element,
-        timeout: Duration,
-    ) -> Result<Envelope, RpcError> {
-        let tmp = self.net.connect_anonymous(self.node.as_str());
-        let request_id = tmp.send(to, kind, body).map_err(RpcError::Send)?;
-        let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return Err(RpcError::Timeout);
-            }
-            match tmp.recv_timeout(remaining) {
-                Ok(env) if env.correlation == Some(request_id) => return Ok(env),
-                Ok(_) => continue,
-                Err(_) => return Err(RpcError::Timeout),
-            }
-        }
-    }
-}
-
-impl Drop for Endpoint {
+impl Drop for FabricEndpoint {
     fn drop(&mut self) {
         self.net.inner.nodes.write().remove(&self.node);
+        crate::metrics::fold_ephemeral(&mut self.net.inner.counters.write(), &self.node);
     }
 }
 
-impl fmt::Debug for Endpoint {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Endpoint").field("node", &self.node).finish()
+impl Transport for Network {
+    fn connect(&self, name: NodeId) -> Result<Endpoint, NodeId> {
+        Network::connect(self, name)
+    }
+
+    fn connect_anonymous(&self, prefix: &str) -> Endpoint {
+        Network::connect_anonymous(self, prefix)
+    }
+
+    fn is_connected(&self, name: &str) -> bool {
+        Network::is_connected(self, name)
+    }
+
+    fn node_names(&self) -> Vec<NodeId> {
+        Network::node_names(self)
+    }
+
+    fn send_as(
+        &self,
+        from: &NodeId,
+        to: NodeId,
+        kind: String,
+        body: Element,
+        correlation: Option<MessageId>,
+    ) -> Result<MessageId, SendError> {
+        let envelope = Envelope {
+            id: self.next_message_id(),
+            from: from.clone(),
+            to,
+            kind,
+            correlation,
+            body,
+        };
+        self.dispatch(envelope)
+    }
+
+    fn revive(&self, node: &NodeId) {
+        Network::revive(self, node);
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        Network::metrics(self)
+    }
+
+    fn reset_metrics(&self) {
+        Network::reset_metrics(self)
+    }
+
+    fn handle(&self) -> TransportHandle {
+        TransportHandle::new(self.clone())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::RpcError;
 
     fn body() -> Element {
         Element::new("ping")
@@ -664,7 +550,10 @@ mod tests {
     fn unknown_destination_errors() {
         let net = Network::new(NetworkConfig::instant());
         let a = net.connect("a").unwrap();
-        assert!(matches!(a.send("ghost", "x", body()), Err(SendError::UnknownNode(_))));
+        assert!(matches!(
+            a.send("ghost", "x", body()),
+            Err(SendError::UnknownNode(_))
+        ));
     }
 
     #[test]
@@ -691,7 +580,8 @@ mod tests {
         let a = net.connect("a").unwrap();
         let b = net.connect("b").unwrap();
         for i in 0..100 {
-            a.send("b", "seq", Element::new("n").with_attr("i", i.to_string())).unwrap();
+            a.send("b", "seq", Element::new("n").with_attr("i", i.to_string()))
+                .unwrap();
         }
         for i in 0..100 {
             let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
@@ -714,7 +604,10 @@ mod tests {
         let env = b.recv_timeout(Duration::from_secs(2)).unwrap();
         let elapsed = t0.elapsed();
         assert_eq!(env.kind, "x");
-        assert!(elapsed >= Duration::from_millis(25), "delivered too early: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(25),
+            "delivered too early: {elapsed:?}"
+        );
     }
 
     #[test]
@@ -730,7 +623,10 @@ mod tests {
         net.set_link(
             a.node(),
             b.node(),
-            LinkOverride { latency: Some(LatencyModel::Instant), drop_probability: None },
+            LinkOverride {
+                latency: Some(LatencyModel::Instant),
+                drop_probability: None,
+            },
         );
         a.send("b", "fast", body()).unwrap();
         let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
@@ -739,7 +635,11 @@ mod tests {
 
     #[test]
     fn drop_probability_loses_messages_deterministically() {
-        let net = Network::new(NetworkConfig::instant().with_drop_probability(0.5).with_seed(7));
+        let net = Network::new(
+            NetworkConfig::instant()
+                .with_drop_probability(0.5)
+                .with_seed(7),
+        );
         let a = net.connect("a").unwrap();
         let b = net.connect("b").unwrap();
         for _ in 0..200 {
@@ -749,12 +649,19 @@ mod tests {
         while b.try_recv().is_some() {
             delivered += 1;
         }
-        assert!(delivered > 50 && delivered < 150, "delivered {delivered}/200");
+        assert!(
+            delivered > 50 && delivered < 150,
+            "delivered {delivered}/200"
+        );
         let m = net.metrics();
         assert_eq!(m.node("b").unwrap().received, delivered as u64);
         assert_eq!(m.node("b").unwrap().dropped_inbound, 200 - delivered as u64);
         // Same seed → same outcome.
-        let net2 = Network::new(NetworkConfig::instant().with_drop_probability(0.5).with_seed(7));
+        let net2 = Network::new(
+            NetworkConfig::instant()
+                .with_drop_probability(0.5)
+                .with_seed(7),
+        );
         let a2 = net2.connect("a").unwrap();
         let b2 = net2.connect("b").unwrap();
         for _ in 0..200 {
@@ -777,7 +684,10 @@ mod tests {
         assert!(b.try_recv().is_none());
         net.heal(a.node(), b.node());
         a.send("b", "found", body()).unwrap();
-        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().kind, "found");
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap().kind,
+            "found"
+        );
     }
 
     #[test]
@@ -789,7 +699,10 @@ mod tests {
         net.kill(b.node());
         a.send("b", "x", body()).unwrap();
         assert!(b.try_recv().is_none());
-        assert!(matches!(b.send("a", "y", body()), Err(SendError::SenderDead(_))));
+        assert!(matches!(
+            b.send("a", "y", body()),
+            Err(SendError::SenderDead(_))
+        ));
         net.revive(b.node());
         a.send("b", "x2", body()).unwrap();
         assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().kind, "x2");
@@ -801,7 +714,8 @@ mod tests {
         let a = net.connect("a").unwrap();
         let b = net.connect("b").unwrap();
         let c = net.connect("c").unwrap();
-        a.send("b", "x", Element::new("payload").with_text("hello world")).unwrap();
+        a.send("b", "x", Element::new("payload").with_text("hello world"))
+            .unwrap();
         a.send("b", "x", body()).unwrap();
         a.send("c", "x", body()).unwrap();
         let _ = (&b, &c);
@@ -840,7 +754,12 @@ mod tests {
             server.reply(&req, "pong", Element::new("pong")).unwrap();
         });
         let resp = client
-            .rpc("server", "ping", Element::new("ping"), Duration::from_secs(2))
+            .rpc(
+                "server",
+                "ping",
+                Element::new("ping"),
+                Duration::from_secs(2),
+            )
             .unwrap();
         assert_eq!(resp.kind, "pong");
         handle.join().unwrap();
@@ -852,7 +771,12 @@ mod tests {
         let client = net.connect("client").unwrap();
         let _server = net.connect("server").unwrap();
         let err = client
-            .rpc("server", "ping", Element::new("ping"), Duration::from_millis(50))
+            .rpc(
+                "server",
+                "ping",
+                Element::new("ping"),
+                Duration::from_millis(50),
+            )
             .unwrap_err();
         assert_eq!(err, RpcError::Timeout);
     }
@@ -862,9 +786,45 @@ mod tests {
         let net = Network::new(NetworkConfig::instant());
         let client = net.connect("client").unwrap();
         let err = client
-            .rpc("ghost", "ping", Element::new("ping"), Duration::from_secs(1))
+            .rpc(
+                "ghost",
+                "ping",
+                Element::new("ping"),
+                Duration::from_secs(1),
+            )
             .unwrap_err();
         assert!(matches!(err, RpcError::Send(SendError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn ephemeral_counters_fold_into_aggregate() {
+        let net = Network::new(NetworkConfig::instant());
+        let client = net.connect("client").unwrap();
+        let server = net.connect("server").unwrap();
+        let handle = std::thread::spawn(move || {
+            let req = server.recv().unwrap();
+            server.reply(&req, "pong", Element::new("pong")).unwrap();
+        });
+        client
+            .rpc(
+                "server",
+                "ping",
+                Element::new("ping"),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        handle.join().unwrap();
+        let m = net.metrics();
+        // The tmp reply endpoint is gone, but its traffic was folded into
+        // the aggregate slot: fabric totals stay conserved.
+        assert_eq!(m.total_sent(), m.total_received());
+        let agg = m.node(EPHEMERAL_AGGREGATE).unwrap();
+        assert_eq!(agg.sent, 1, "rpc request was sent by the tmp endpoint");
+        assert_eq!(
+            agg.received, 1,
+            "rpc reply was received by the tmp endpoint"
+        );
+        assert!(!net.is_connected("client~1"), "tmp endpoint pruned");
     }
 
     #[test]
@@ -880,16 +840,20 @@ mod tests {
         let net = Network::new(NetworkConfig::instant());
         let _c = net.connect("c").unwrap();
         let _a = net.connect("a").unwrap();
-        let names: Vec<String> =
-            net.node_names().iter().map(|n| n.as_str().to_string()).collect();
+        let names: Vec<String> = net
+            .node_names()
+            .iter()
+            .map(|n| n.as_str().to_string())
+            .collect();
         assert_eq!(names, vec!["a", "c"]);
     }
 
     #[test]
     fn many_nodes_cross_traffic() {
         let net = Network::new(NetworkConfig::instant());
-        let nodes: Vec<Endpoint> =
-            (0..16).map(|i| net.connect(format!("n{i}")).unwrap()).collect();
+        let nodes: Vec<Endpoint> = (0..16)
+            .map(|i| net.connect(format!("n{i}")).unwrap())
+            .collect();
         for (i, ep) in nodes.iter().enumerate() {
             for j in 0..16 {
                 if i != j {

@@ -189,11 +189,21 @@ mod tests {
 
     #[test]
     fn link_overrides_take_precedence() {
-        let mut p = FaultPolicy { drop_probability: 0.5, ..Default::default() };
+        let mut p = FaultPolicy {
+            drop_probability: 0.5,
+            ..Default::default()
+        };
         let a = NodeId::new("a");
         let b = NodeId::new("b");
         assert_eq!(p.effective_drop(&a, &b), 0.5);
-        p.set_link(&a, &b, LinkOverride { latency: None, drop_probability: Some(0.0) });
+        p.set_link(
+            &a,
+            &b,
+            LinkOverride {
+                latency: None,
+                drop_probability: Some(0.0),
+            },
+        );
         assert_eq!(p.effective_drop(&a, &b), 0.0);
         assert_eq!(p.effective_drop(&b, &a), 0.5, "override is directed");
     }

@@ -5,7 +5,8 @@
 //! In the original platform, "services communicate through XML documents …
 //! exchanged through Java sockets". Coordinators, wrappers, communities and
 //! the discovery engine are all just nodes exchanging XML envelopes. This
-//! crate supplies that substrate twice over:
+//! crate supplies that substrate behind one seam — the object-safe
+//! [`Transport`] trait — with two first-class implementations:
 //!
 //! * [`Network`] — an **in-process fabric** with named nodes, per-link
 //!   latency/jitter, probabilistic loss, partitions, and node-kill failure
@@ -13,9 +14,14 @@
 //!   experiments are reproducible. Per-node message/byte counters feed the
 //!   paper's scalability claims (experiment E4: load on the hottest node
 //!   under P2P vs. centralised orchestration).
-//! * [`tcp`] — a real **TCP transport** carrying the same length-prefixed
-//!   XML envelopes over `std::net` sockets, demonstrating that nothing in
-//!   the platform depends on the simulation.
+//! * [`TcpTransport`] — a real **TCP transport** carrying the same
+//!   length-prefixed XML envelopes over `std::net` sockets with
+//!   persistent per-peer connections, demonstrating that nothing in the
+//!   platform depends on the simulation.
+//!
+//! Platform components hold `&dyn Transport` / [`TransportHandle`] and an
+//! [`Endpoint`], never a concrete network type, so the same composite
+//! service executes unchanged over either substrate.
 //!
 //! ## Example
 //!
@@ -37,11 +43,16 @@ mod fabric;
 mod fault;
 mod metrics;
 pub mod tcp;
+mod transport;
 
 pub use envelope::{Envelope, MessageId, NodeId};
-pub use fabric::{Endpoint, Network, NetworkConfig, NodeSender, RecvError, RpcError, SendError};
+pub use fabric::{Network, NetworkConfig};
 pub use fault::{FaultPolicy, LatencyModel};
-pub use metrics::{MetricsSnapshot, NodeMetrics};
+pub use metrics::{MetricsSnapshot, NodeMetrics, EPHEMERAL_AGGREGATE};
+pub use tcp::TcpTransport;
+pub use transport::{
+    Endpoint, NodeSender, RawEndpoint, RecvError, RpcError, SendError, Transport, TransportHandle,
+};
 
 #[cfg(test)]
 mod proptests;

@@ -9,6 +9,32 @@ use crate::envelope::NodeId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Synthetic node name that accumulates the traffic of dropped ephemeral
+/// (`~`-suffixed rpc reply) endpoints, so pruning their per-node entries
+/// keeps fabric-wide totals conserved. Contains `~` itself, so filters
+/// that exclude ephemeral nodes exclude the aggregate too.
+pub const EPHEMERAL_AGGREGATE: &str = "~ephemeral";
+
+/// Folds a dropped ephemeral (`~`) node's counters into the
+/// [`EPHEMERAL_AGGREGATE`] slot and removes its entry; no-op for named
+/// nodes (their counters persist for post-run snapshots). Shared by every
+/// transport's endpoint-drop path so the totals-conservation invariant
+/// lives in one place.
+pub(crate) fn fold_ephemeral(
+    counters: &mut HashMap<NodeId, std::sync::Arc<NodeCounters>>,
+    node: &NodeId,
+) {
+    if !node.as_str().contains('~') {
+        return;
+    }
+    if let Some(c) = counters.remove(node) {
+        counters
+            .entry(NodeId::new(EPHEMERAL_AGGREGATE))
+            .or_insert_with(|| std::sync::Arc::new(NodeCounters::default()))
+            .absorb(&c);
+    }
+}
+
 /// Live counters attached to a node slot. Updated lock-free.
 #[derive(Debug, Default)]
 pub struct NodeCounters {
@@ -33,11 +59,43 @@ impl NodeCounters {
 
     pub(crate) fn record_receive(&self, bytes: usize) {
         self.received.fetch_add(1, Ordering::Relaxed);
-        self.bytes_received.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn record_drop(&self) {
         self.dropped_inbound.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds another counter set into this one (used to fold a pruned
+    /// ephemeral endpoint's traffic into a persistent aggregate slot so
+    /// fabric-wide totals stay conserved).
+    pub(crate) fn absorb(&self, other: &NodeCounters) {
+        self.sent
+            .fetch_add(other.sent.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.received
+            .fetch_add(other.received.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.bytes_sent
+            .fetch_add(other.bytes_sent.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.bytes_received.fetch_add(
+            other.bytes_received.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.dropped_inbound.fetch_add(
+            other.dropped_inbound.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Zeroes all counters in place. Resetting must not swap the `Arc`
+    /// holding the counters: receive paths (e.g. TCP reader threads)
+    /// capture it once at connect time.
+    pub(crate) fn reset(&self) {
+        self.sent.store(0, Ordering::Relaxed);
+        self.received.store(0, Ordering::Relaxed);
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.bytes_received.store(0, Ordering::Relaxed);
+        self.dropped_inbound.store(0, Ordering::Relaxed);
     }
 
     fn snapshot(&self, node: NodeId) -> NodeMetrics {
@@ -93,8 +151,7 @@ impl MetricsSnapshot {
     pub(crate) fn collect<'a>(
         counters: impl Iterator<Item = (&'a NodeId, &'a NodeCounters)>,
     ) -> Self {
-        let mut nodes: Vec<NodeMetrics> =
-            counters.map(|(id, c)| c.snapshot(id.clone())).collect();
+        let mut nodes: Vec<NodeMetrics> = counters.map(|(id, c)| c.snapshot(id.clone())).collect();
         nodes.sort_by(|a, b| a.node.cmp(&b.node));
         MetricsSnapshot { nodes }
     }
@@ -128,7 +185,10 @@ impl MetricsSnapshot {
     /// The busiest node restricted to nodes whose name matches a predicate
     /// (e.g. only coordinators, excluding client nodes).
     pub fn busiest_matching(&self, pred: impl Fn(&str) -> bool) -> Option<&NodeMetrics> {
-        self.nodes.iter().filter(|n| pred(n.node.as_str())).max_by_key(|n| n.handled())
+        self.nodes
+            .iter()
+            .filter(|n| pred(n.node.as_str()))
+            .max_by_key(|n| n.handled())
     }
 
     /// Difference against an earlier snapshot (per node, saturating), for
@@ -172,7 +232,9 @@ mod tests {
 
     #[test]
     fn totals_and_busiest() {
-        let snap = MetricsSnapshot { nodes: vec![nm("a", 5, 2), nm("b", 1, 9), nm("c", 0, 0)] };
+        let snap = MetricsSnapshot {
+            nodes: vec![nm("a", 5, 2), nm("b", 1, 9), nm("c", 0, 0)],
+        };
         assert_eq!(snap.total_sent(), 6);
         assert_eq!(snap.total_received(), 11);
         assert_eq!(snap.busiest().unwrap().node.as_str(), "b");
@@ -183,16 +245,21 @@ mod tests {
 
     #[test]
     fn busiest_matching_filters() {
-        let snap =
-            MetricsSnapshot { nodes: vec![nm("client", 100, 100), nm("coord.a", 3, 4)] };
+        let snap = MetricsSnapshot {
+            nodes: vec![nm("client", 100, 100), nm("coord.a", 3, 4)],
+        };
         let b = snap.busiest_matching(|n| n.starts_with("coord.")).unwrap();
         assert_eq!(b.node.as_str(), "coord.a");
     }
 
     #[test]
     fn delta_since() {
-        let before = MetricsSnapshot { nodes: vec![nm("a", 5, 2)] };
-        let after = MetricsSnapshot { nodes: vec![nm("a", 8, 3), nm("b", 1, 1)] };
+        let before = MetricsSnapshot {
+            nodes: vec![nm("a", 5, 2)],
+        };
+        let after = MetricsSnapshot {
+            nodes: vec![nm("a", 8, 3), nm("b", 1, 1)],
+        };
         let d = after.delta_since(&before);
         assert_eq!(d.node("a").unwrap().sent, 3);
         assert_eq!(d.node("a").unwrap().received, 1);

@@ -2,17 +2,40 @@
 //!
 //! The original platform exchanged its XML documents "through Java
 //! sockets". This module carries [`Envelope`]s as length-prefixed XML over
-//! `std::net` TCP, proving the coordination protocol is transport-agnostic.
-//! One connection is opened per message (like the original's short-lived
-//! socket exchanges); a listener thread accepts connections and queues the
-//! decoded envelopes.
+//! `std::net` TCP and implements the full [`Transport`] seam, so every
+//! SELF-SERV component — coordinators, wrappers, communities, registries,
+//! the centralized baseline — runs over real sockets exactly as it runs
+//! over the in-process fabric.
+//!
+//! * [`TcpTransport`] — one listener per connected node (loopback,
+//!   ephemeral ports by default), a shared name → address registry, and a
+//!   pool of persistent per-peer connections carrying many frames each.
+//!   [`TcpTransport::register_peer`] points names at other processes for
+//!   one-way named sends; see its docs for the current cross-process
+//!   limits (rpc reply routing needs the *caller's* nodes registered on
+//!   the remote side too).
+//! * [`TcpEndpoint`] — the original minimal one-connection-per-message
+//!   endpoint, kept for the low-level `tcp_demo` example and wire tests.
+//!
+//! Framing is `u32` big-endian length + UTF-8 XML. A frame longer than
+//! [`MAX_FRAME`] poisons the stream position, so readers **close the
+//! connection** on any malformed frame instead of trying to resynchronize
+//! mid-stream.
 
-use crate::envelope::Envelope;
+use crate::envelope::{Envelope, MessageId, NodeId};
+use crate::metrics::{MetricsSnapshot, NodeCounters};
+use crate::transport::{
+    Endpoint, Mailbox, RawEndpoint, RecvError, SendError, Transport, TransportHandle,
+};
 use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use selfserv_xml::Element;
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Maximum accepted frame size (16 MiB) — guards against corrupt length
@@ -21,23 +44,37 @@ const MAX_FRAME: u32 = 16 * 1024 * 1024;
 
 /// Writes one length-prefixed XML frame.
 pub fn write_frame(stream: &mut impl Write, envelope: &Envelope) -> std::io::Result<()> {
-    let xml = envelope.to_xml().to_xml();
-    let bytes = xml.as_bytes();
-    let len = bytes.len() as u32;
+    write_raw_frame(stream, envelope.to_xml().to_xml().as_bytes())
+}
+
+/// Writes an already-serialized payload as one length-prefixed frame.
+fn write_raw_frame(stream: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = payload.len() as u32;
     stream.write_all(&len.to_be_bytes())?;
-    stream.write_all(bytes)?;
+    stream.write_all(payload)?;
     stream.flush()
 }
 
 /// Reads one length-prefixed XML frame.
+///
+/// Any error leaves the stream position undefined (an oversized length
+/// prefix is rejected *without* consuming the body), so callers must treat
+/// every error as fatal for the connection and close it — never continue
+/// reading frames from the same stream.
 pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Envelope> {
+    read_frame_sized(stream).map(|(env, _)| env)
+}
+
+/// [`read_frame`] variant also returning the payload size in bytes (what
+/// the metrics layer charges to the link).
+fn read_frame_sized(stream: &mut impl Read) -> std::io::Result<(Envelope, usize)> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf)?;
     let len = u32::from_be_bytes(len_buf);
     if len > MAX_FRAME {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds limit"),
+            format!("frame of {len} bytes exceeds limit; closing connection"),
         ));
     }
     let mut buf = vec![0u8; len as usize];
@@ -46,14 +83,443 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Envelope> {
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     let xml = selfserv_xml::parse(&text)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-    Envelope::from_xml(&xml).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    let env = Envelope::from_xml(&xml)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    Ok((env, len as usize))
 }
 
-/// A TCP endpoint: listens on a local address and queues inbound envelopes.
+// ---------------------------------------------------------------------------
+// TcpTransport: the full Transport seam over real sockets
+// ---------------------------------------------------------------------------
+
+/// One destination's outbound connection; `None` until the first send (or
+/// after a broken pipe).
+type ConnectionSlot = Arc<Mutex<Option<TcpStream>>>;
+
+struct Hub {
+    /// Node name → listener address. Local connects insert here;
+    /// [`TcpTransport::register_peer`] points names at remote processes.
+    registry: RwLock<HashMap<NodeId, SocketAddr>>,
+    /// Per-node traffic counters; persist after disconnect, like the
+    /// fabric's.
+    counters: RwLock<HashMap<NodeId, Arc<NodeCounters>>>,
+    /// Persistent outbound connections, one slot per destination address,
+    /// shared by every local sender (frames carry their own `from`). The
+    /// connection lives *inside* the slot mutex so exactly one connection
+    /// per destination ever carries frames — per-sender in-order delivery
+    /// depends on all writers serializing through it.
+    pool: Mutex<HashMap<SocketAddr, ConnectionSlot>>,
+    next_msg: AtomicU64,
+    next_anon: AtomicU64,
+}
+
+impl Hub {
+    fn counters_for(&self, node: &NodeId) -> Arc<NodeCounters> {
+        if let Some(c) = self.counters.read().get(node) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .entry(node.clone())
+                .or_insert_with(|| Arc::new(NodeCounters::default())),
+        )
+    }
+
+    /// Writes one already-serialized frame to `addr` over the pooled
+    /// connection, opening (or reopening, once) the connection as needed.
+    /// Connecting happens while holding the destination's slot lock, so
+    /// two concurrent first-senders cannot open two connections and race
+    /// their frames through different reader threads out of order.
+    fn send_frame(&self, addr: SocketAddr, payload: &[u8]) -> std::io::Result<()> {
+        let slot: ConnectionSlot = {
+            let mut pool = self.pool.lock();
+            Arc::clone(pool.entry(addr).or_default())
+        };
+        let mut conn = slot.lock();
+        if let Some(stream) = conn.as_mut() {
+            if write_raw_frame(stream, payload).is_ok() {
+                return Ok(());
+            }
+            // Broken pipe (peer restarted or dropped): reconnect below.
+            *conn = None;
+        }
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        write_raw_frame(&mut stream, payload)?;
+        *conn = Some(stream);
+        Ok(())
+    }
+
+    fn dispatch(
+        &self,
+        from: &NodeId,
+        to: NodeId,
+        kind: String,
+        body: Element,
+        correlation: Option<MessageId>,
+    ) -> Result<MessageId, SendError> {
+        let addr = match self.registry.read().get(&to) {
+            Some(a) => *a,
+            None => return Err(SendError::UnknownNode(to)),
+        };
+        let envelope = Envelope {
+            id: MessageId(self.next_msg.fetch_add(1, Ordering::Relaxed)),
+            from: from.clone(),
+            to,
+            kind,
+            correlation,
+            body,
+        };
+        // Serialize exactly once: the frame bytes are also the byte count
+        // the metrics layer charges, so sender and receiver sizes match by
+        // construction.
+        let xml = envelope.to_xml().to_xml();
+        let payload = xml.as_bytes();
+        // Enforce the frame limit on the *send* side: the receiver would
+        // reject the length prefix and close the shared pooled connection,
+        // losing this and possibly in-flight messages with no diagnostic.
+        if payload.len() > MAX_FRAME as usize {
+            return Err(SendError::Transport(format!(
+                "envelope of {} bytes exceeds the {MAX_FRAME}-byte frame limit",
+                payload.len()
+            )));
+        }
+        self.send_frame(addr, payload)
+            .map_err(|e| SendError::Transport(format!("send to {addr} failed: {e}")))?;
+        self.counters_for(from).record_send(payload.len());
+        Ok(envelope.id)
+    }
+}
+
+/// A [`Transport`] over real TCP sockets. Cheap to clone (shared handle).
+///
+/// Every [`Transport::connect`] binds a loopback listener on an ephemeral
+/// port and registers the node's address in the shared registry, so all
+/// nodes of one `TcpTransport` can reach each other by name. For
+/// multi-process deployments, exchange [`TcpTransport::addr_of`] results
+/// out of band and register them with [`TcpTransport::register_peer`].
+#[derive(Clone)]
+pub struct TcpTransport {
+    hub: Arc<Hub>,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TcpTransport {
+    /// Creates an empty TCP transport.
+    pub fn new() -> Self {
+        TcpTransport {
+            hub: Arc::new(Hub {
+                registry: RwLock::new(HashMap::new()),
+                counters: RwLock::new(HashMap::new()),
+                pool: Mutex::new(HashMap::new()),
+                next_msg: AtomicU64::new(1),
+                next_anon: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The listener address of a locally connected (or registered) node.
+    pub fn addr_of(&self, name: &str) -> Option<SocketAddr> {
+        self.hub.registry.read().get(&NodeId::new(name)).copied()
+    }
+
+    /// Registers a remote node's address so local nodes can send to it by
+    /// name (the cross-process analogue of the peer connecting locally).
+    ///
+    /// Current limits: this routes *named sends* to the remote process.
+    /// Request/response ([`Endpoint::rpc`]) creates an ephemeral reply
+    /// node registered only in the local hub, so a remote peer can answer
+    /// an rpc only if the caller's ephemeral names are also registered on
+    /// its side — which nothing automates yet. Within one process (one
+    /// hub), the full platform protocol runs over TCP; true multi-process
+    /// deployment needs reply-address exchange in the frames and is
+    /// tracked as future work (ROADMAP: multi-backend / scaling).
+    pub fn register_peer(&self, name: impl Into<NodeId>, addr: SocketAddr) {
+        self.hub.registry.write().insert(name.into(), addr);
+    }
+
+    fn connect_node(&self, name: NodeId) -> Result<Endpoint, ConnectFailure> {
+        // Bind outside the registry lock: connect_node runs on the rpc hot
+        // path, and syscalls under the write lock would stall every
+        // concurrent send's registry read. A collision after binding just
+        // drops the fresh listener.
+        let listener = match TcpListener::bind(("127.0.0.1", 0)) {
+            Ok(l) => l,
+            Err(e) => return Err(ConnectFailure::Bind(name, e)),
+        };
+        let addr = match listener.local_addr() {
+            Ok(a) => a,
+            Err(e) => return Err(ConnectFailure::Bind(name, e)),
+        };
+        {
+            let mut registry = self.hub.registry.write();
+            if registry.contains_key(&name) {
+                return Err(ConnectFailure::NameTaken(name));
+            }
+            registry.insert(name.clone(), addr);
+        }
+        let counters = self.hub.counters_for(&name);
+        let (tx, rx) = channel::unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("selfserv-tcp-{name}"))
+            .spawn(move || accept_loop(listener, tx, counters, flag))
+            .expect("spawn tcp accept thread");
+        let raw = TcpRawEndpoint {
+            node: name,
+            hub: Arc::clone(&self.hub),
+            addr,
+            mailbox: Mailbox::new(rx),
+            shutdown,
+            accept_thread: Some(accept_thread),
+        };
+        Ok(Endpoint::from_raw(
+            Box::new(raw),
+            TransportHandle::new(self.clone()),
+        ))
+    }
+}
+
+/// Why a TCP node could not connect (internal: the `Transport` trait's
+/// error type carries only the rejected name).
+enum ConnectFailure {
+    NameTaken(NodeId),
+    Bind(NodeId, std::io::Error),
+}
+
+impl Transport for TcpTransport {
+    fn connect(&self, name: NodeId) -> Result<Endpoint, NodeId> {
+        // `~` is reserved for transport-generated ephemeral endpoints
+        // (their counters are pruned on drop, which would silently lose a
+        // real node's metrics).
+        if name.as_str().contains('~') {
+            return Err(name);
+        }
+        self.connect_node(name).map_err(|e| match e {
+            ConnectFailure::NameTaken(n) => n,
+            ConnectFailure::Bind(n, err) => {
+                // The trait's error type only carries the name, and callers
+                // (e.g. the deployer) read that as a collision; surface the
+                // real cause so operators don't chase a phantom duplicate
+                // deployment. Widening the error type is a ROADMAP item.
+                eprintln!("selfserv-net: TCP listener bind failed for node '{n}': {err}");
+                n
+            }
+        })
+    }
+
+    fn connect_anonymous(&self, prefix: &str) -> Endpoint {
+        // Ephemeral endpoints are created on the rpc hot path, so transient
+        // fd/ephemeral-port exhaustion gets bounded retries with backoff
+        // (concurrent rpcs finishing release their listeners) before the
+        // failure is treated as fatal.
+        let mut bind_failures = 0u32;
+        loop {
+            let n = self.hub.next_anon.fetch_add(1, Ordering::Relaxed);
+            match self.connect_node(NodeId::new(format!("{prefix}~{n}"))) {
+                Ok(ep) => return ep,
+                Err(ConnectFailure::NameTaken(_)) => {
+                    // Collision (e.g. a peer registration): next counter.
+                }
+                Err(ConnectFailure::Bind(name, e)) => {
+                    bind_failures += 1;
+                    if bind_failures >= 100 {
+                        panic!(
+                            "failed to bind a TCP listener for ephemeral node '{name}' \
+                             after {bind_failures} attempts: {e}"
+                        );
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    fn is_connected(&self, name: &str) -> bool {
+        self.hub.registry.read().contains_key(&NodeId::new(name))
+    }
+
+    fn node_names(&self) -> Vec<NodeId> {
+        let mut names: Vec<NodeId> = self.hub.registry.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn send_as(
+        &self,
+        from: &NodeId,
+        to: NodeId,
+        kind: String,
+        body: Element,
+        correlation: Option<MessageId>,
+    ) -> Result<MessageId, SendError> {
+        self.hub.dispatch(from, to, kind, body, correlation)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        let counters = self.hub.counters.read();
+        MetricsSnapshot::collect(counters.iter().map(|(k, v)| (k, v.as_ref())))
+    }
+
+    fn reset_metrics(&self) {
+        for c in self.hub.counters.read().values() {
+            c.reset();
+        }
+    }
+
+    fn handle(&self) -> TransportHandle {
+        TransportHandle::new(self.clone())
+    }
+}
+
+struct TcpRawEndpoint {
+    node: NodeId,
+    hub: Arc<Hub>,
+    addr: SocketAddr,
+    mailbox: Mailbox,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl RawEndpoint for TcpRawEndpoint {
+    fn node(&self) -> &NodeId {
+        &self.node
+    }
+
+    fn send(
+        &self,
+        to: NodeId,
+        kind: String,
+        body: Element,
+        correlation: Option<MessageId>,
+    ) -> Result<MessageId, SendError> {
+        self.hub.dispatch(&self.node, to, kind, body, correlation)
+    }
+
+    fn recv(&self) -> Result<Envelope, RecvError> {
+        self.mailbox.recv()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
+        self.mailbox.recv_timeout(timeout)
+    }
+
+    fn try_recv(&self) -> Option<Envelope> {
+        self.mailbox.try_recv()
+    }
+
+    fn pending(&self) -> usize {
+        self.mailbox.pending()
+    }
+}
+
+impl Drop for TcpRawEndpoint {
+    fn drop(&mut self) {
+        // Free the name (only if it still points at this listener — a
+        // peer registration may have replaced it).
+        {
+            let mut registry = self.hub.registry.write();
+            if registry.get(&self.node) == Some(&self.addr) {
+                registry.remove(&self.node);
+            }
+        }
+        stop_accept_thread(self.addr, &self.shutdown, &mut self.accept_thread);
+        // Close pooled connections to this node so peer reader threads see
+        // EOF promptly instead of lingering on a dead stream.
+        self.hub.pool.lock().remove(&self.addr);
+        crate::metrics::fold_ephemeral(&mut self.hub.counters.write(), &self.node);
+    }
+}
+
+/// Shared listener teardown: raise the shutdown flag, poke the listener so
+/// the accept loop observes it, then *join* the thread (leaked accept
+/// threads used to accumulate across test runs). If the poke cannot
+/// connect (fd/port exhaustion), detach instead — the loop would never
+/// observe the flag and the join would deadlock teardown.
+fn stop_accept_thread(
+    addr: SocketAddr,
+    shutdown: &AtomicBool,
+    accept_thread: &mut Option<JoinHandle<()>>,
+) {
+    shutdown.store(true, Ordering::SeqCst);
+    let poked = TcpStream::connect(addr).is_ok();
+    if let Some(thread) = accept_thread.take() {
+        if poked {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Shared accept skeleton: hand each accepted connection to `handle`,
+/// exit when the shutdown flag is raised, back off briefly on persistent
+/// accept errors (e.g. fd exhaustion) instead of spinning hot.
+fn accept_connections(
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    mut handle: impl FnMut(TcpStream),
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        handle(stream);
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<Envelope>,
+    counters: Arc<NodeCounters>,
+    shutdown: Arc<AtomicBool>,
+) {
+    accept_connections(listener, shutdown, move |mut stream| {
+        stream.set_nodelay(true).ok();
+        let tx = tx.clone();
+        let counters = Arc::clone(&counters);
+        // Persistent per-peer framing: one reader per inbound connection
+        // decodes frames until the peer closes or a frame is malformed.
+        std::thread::spawn(move || loop {
+            match read_frame_sized(&mut stream) {
+                Ok((envelope, size)) => {
+                    counters.record_receive(size);
+                    if tx.send(envelope).is_err() {
+                        return; // endpoint dropped
+                    }
+                }
+                // EOF, oversized, or corrupt frame: the stream position is
+                // unreliable from here on — close the connection rather
+                // than desynchronize mid-frame. The sender's pool will
+                // reconnect on its next send.
+                Err(_) => return,
+            }
+        });
+    });
+}
+
+// ---------------------------------------------------------------------------
+// TcpEndpoint: minimal one-connection-per-message endpoint
+// ---------------------------------------------------------------------------
+
+/// A minimal TCP endpoint: listens on a local address and queues inbound
+/// envelopes, one short-lived connection per message (like the original's
+/// short-lived socket exchanges). For the full platform-over-TCP seam use
+/// [`TcpTransport`] instead.
 pub struct TcpEndpoint {
     addr: SocketAddr,
     rx: Receiver<Envelope>,
     shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
 }
 
 impl TcpEndpoint {
@@ -65,10 +531,15 @@ impl TcpEndpoint {
         let (tx, rx) = channel::unbounded();
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
-        std::thread::Builder::new()
+        let accept_thread = std::thread::Builder::new()
             .name(format!("selfserv-tcp-{local}"))
-            .spawn(move || accept_loop(listener, tx, flag))?;
-        Ok(TcpEndpoint { addr: local, rx, shutdown })
+            .spawn(move || one_shot_accept_loop(listener, tx, flag))?;
+        Ok(TcpEndpoint {
+            addr: local,
+            rx,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound address (with the resolved port).
@@ -96,28 +567,23 @@ impl TcpEndpoint {
 
 impl Drop for TcpEndpoint {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Poke the listener so the accept loop observes the flag.
-        let _ = TcpStream::connect(self.addr);
+        stop_accept_thread(self.addr, &self.shutdown, &mut self.accept_thread);
     }
 }
 
-fn accept_loop(listener: TcpListener, tx: Sender<Envelope>, shutdown: Arc<AtomicBool>) {
-    for stream in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let Ok(mut stream) = stream else { continue };
+fn one_shot_accept_loop(listener: TcpListener, tx: Sender<Envelope>, shutdown: Arc<AtomicBool>) {
+    accept_connections(listener, shutdown, move |mut stream| {
         let tx = tx.clone();
         // One short-lived connection per message; decode on a worker thread
-        // so a slow peer cannot stall accepts.
+        // so a slow peer cannot stall accepts. Any frame error (including
+        // oversized frames) closes the connection.
         std::thread::spawn(move || {
             stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
             if let Ok(env) = read_frame(&mut stream) {
                 let _ = tx.send(env);
             }
         });
-    }
+    });
 }
 
 #[cfg(test)]
@@ -191,5 +657,177 @@ mod tests {
     fn send_to_unreachable_address_errors() {
         // Port 1 is almost certainly closed.
         assert!(TcpEndpoint::send_to("127.0.0.1:1", &env("x")).is_err());
+    }
+
+    #[test]
+    fn transport_send_receive_by_name() {
+        let t = TcpTransport::new();
+        let a = Transport::connect(&t, NodeId::new("a")).unwrap();
+        let b = Transport::connect(&t, NodeId::new("b")).unwrap();
+        a.send("b", "hello", Element::new("ping").with_attr("n", "1"))
+            .unwrap();
+        let got = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.kind, "hello");
+        assert_eq!(got.from.as_str(), "a");
+        assert_eq!(got.body.attr("n"), Some("1"));
+    }
+
+    #[test]
+    fn transport_unknown_destination_errors() {
+        let t = TcpTransport::new();
+        let a = Transport::connect(&t, NodeId::new("a")).unwrap();
+        assert!(matches!(
+            a.send("ghost", "x", Element::new("b")),
+            Err(SendError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn transport_duplicate_name_rejected_and_freed_on_drop() {
+        let t = TcpTransport::new();
+        {
+            let _a = Transport::connect(&t, NodeId::new("a")).unwrap();
+            assert!(Transport::connect(&t, NodeId::new("a")).is_err());
+            assert!(t.is_connected("a"));
+        }
+        assert!(!t.is_connected("a"));
+        Transport::connect(&t, NodeId::new("a")).unwrap();
+    }
+
+    #[test]
+    fn transport_many_frames_one_connection() {
+        let t = TcpTransport::new();
+        let a = Transport::connect(&t, NodeId::new("a")).unwrap();
+        let b = Transport::connect(&t, NodeId::new("b")).unwrap();
+        for i in 0..100 {
+            a.send("b", "seq", Element::new("n").with_attr("i", i.to_string()))
+                .unwrap();
+        }
+        for i in 0..100 {
+            let got = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(
+                got.body.attr("i"),
+                Some(i.to_string().as_str()),
+                "in-order framing"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_envelope_rejected_on_send() {
+        let t = TcpTransport::new();
+        let a = Transport::connect(&t, NodeId::new("a")).unwrap();
+        let b = Transport::connect(&t, NodeId::new("b")).unwrap();
+        let huge = Element::new("blob").with_text("x".repeat(MAX_FRAME as usize + 1));
+        assert!(matches!(
+            a.send("b", "big", huge),
+            Err(SendError::Transport(_))
+        ));
+        // The pooled connection was never poisoned: normal traffic flows.
+        a.send("b", "ok", Element::new("small")).unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(5)).unwrap().kind, "ok");
+    }
+
+    #[test]
+    fn tilde_names_reserved_for_ephemeral_endpoints() {
+        let t = TcpTransport::new();
+        assert!(Transport::connect(&t, NodeId::new("user~x")).is_err());
+        let fabric = crate::Network::new(crate::NetworkConfig::instant());
+        assert!(fabric.connect("user~x").is_err());
+    }
+
+    #[test]
+    fn transport_rpc_round_trip() {
+        let t = TcpTransport::new();
+        let client = Transport::connect(&t, NodeId::new("client")).unwrap();
+        let server = Transport::connect(&t, NodeId::new("server")).unwrap();
+        let handle = std::thread::spawn(move || {
+            let req = server.recv().unwrap();
+            server.reply(&req, "pong", Element::new("pong")).unwrap();
+        });
+        let resp = client
+            .rpc(
+                "server",
+                "ping",
+                Element::new("ping"),
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        assert_eq!(resp.kind, "pong");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn transport_metrics_count_messages_and_bytes() {
+        let t = TcpTransport::new();
+        let a = Transport::connect(&t, NodeId::new("a")).unwrap();
+        let b = Transport::connect(&t, NodeId::new("b")).unwrap();
+        a.send("b", "x", Element::new("payload").with_text("hello world"))
+            .unwrap();
+        a.send("b", "x", Element::new("p")).unwrap();
+        // Wait until both frames are delivered.
+        for _ in 0..2 {
+            b.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        let m = t.metrics();
+        assert_eq!(m.node("a").unwrap().sent, 2);
+        assert_eq!(m.node("b").unwrap().received, 2);
+        assert!(m.node("a").unwrap().bytes_sent > 0);
+        assert_eq!(
+            m.node("a").unwrap().bytes_sent,
+            m.node("b").unwrap().bytes_received
+        );
+        t.reset_metrics();
+        assert_eq!(t.metrics().total_sent(), 0);
+    }
+
+    #[test]
+    fn oversized_frame_closes_connection() {
+        let t = TcpTransport::new();
+        let victim = Transport::connect(&t, NodeId::new("victim")).unwrap();
+        let addr = t.addr_of("victim").unwrap();
+        let mut rogue = TcpStream::connect(addr).unwrap();
+        // Oversized length prefix, then what would be a valid frame on the
+        // same stream: the reader must close instead of resynchronizing.
+        rogue.write_all(&(MAX_FRAME + 1).to_be_bytes()).unwrap();
+        let mut valid = Vec::new();
+        write_frame(&mut valid, &env("late")).unwrap();
+        let _ = rogue.write_all(&valid); // may already be closed; both fine
+        assert!(
+            victim.recv_timeout(Duration::from_millis(300)).is_err(),
+            "no envelope may be decoded after an oversized frame"
+        );
+        // The server closed its side: reads on the rogue stream hit EOF
+        // (or a reset error) instead of blocking forever.
+        rogue
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 8];
+        match rogue.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("unexpected {n} bytes from a closed connection"),
+        }
+        // A fresh connection still works.
+        let sender = Transport::connect(&t, NodeId::new("sender")).unwrap();
+        sender.send("victim", "ok", Element::new("b")).unwrap();
+        assert_eq!(
+            victim.recv_timeout(Duration::from_secs(5)).unwrap().kind,
+            "ok"
+        );
+    }
+
+    #[test]
+    fn register_peer_reaches_foreign_transport() {
+        // Two separate TcpTransport instances model two processes; names
+        // are exchanged via register_peer.
+        let t1 = TcpTransport::new();
+        let t2 = TcpTransport::new();
+        let receiver = Transport::connect(&t2, NodeId::new("remote")).unwrap();
+        t1.register_peer("remote", t2.addr_of("remote").unwrap());
+        let local = Transport::connect(&t1, NodeId::new("local")).unwrap();
+        local.send("remote", "cross", Element::new("b")).unwrap();
+        let got = receiver.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.kind, "cross");
+        assert_eq!(got.from.as_str(), "local");
     }
 }

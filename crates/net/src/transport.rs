@@ -1,0 +1,438 @@
+//! The transport seam: every SELF-SERV component talks to its peers
+//! through the object-safe [`Transport`] trait, never through a concrete
+//! network implementation.
+//!
+//! The original platform's components exchanged XML documents "through
+//! Java sockets" — nothing in the coordination protocol depends on *which*
+//! wire carries the envelopes. This module makes that explicit:
+//!
+//! * [`Transport`] — connect named nodes, send as a node, inspect metrics;
+//! * [`Endpoint`] — a connected node: send/receive/reply/rpc, identical
+//!   API over every transport;
+//! * [`NodeSender`] — a cloneable send-only handle for worker threads;
+//! * [`TransportHandle`] — a cheap owned `Arc<dyn Transport>`.
+//!
+//! Two first-class implementations ship with this crate: the in-process
+//! simulation fabric ([`crate::Network`]) and real TCP sockets
+//! ([`crate::tcp::TcpTransport`]). Coordinators, wrappers, communities,
+//! registries, and the centralized baseline are all written against this
+//! seam, so the same composite service executes unchanged over either.
+
+use crate::envelope::{Envelope, MessageId, NodeId};
+use crate::metrics::MetricsSnapshot;
+use selfserv_xml::Element;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors returned when handing a message to a transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendError {
+    /// The destination is not connected to this transport.
+    UnknownNode(NodeId),
+    /// The *sender* has been killed by failure injection (fabric only).
+    SenderDead(NodeId),
+    /// The transport failed to carry the message (e.g. a TCP connection
+    /// could not be established or broke mid-frame).
+    Transport(String),
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::UnknownNode(n) => write!(f, "unknown node '{n}'"),
+            SendError::SenderDead(n) => write!(f, "sender '{n}' has been killed"),
+            SendError::Transport(reason) => write!(f, "transport error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Errors returned by the receive family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The transport was shut down.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "receive timed out"),
+            RecvError::Disconnected => write!(f, "endpoint disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Errors returned by [`Endpoint::rpc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The request could not be sent.
+    Send(SendError),
+    /// No correlated reply arrived in time (request or reply may have been
+    /// lost, the responder may be dead).
+    Timeout,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Send(e) => write!(f, "rpc send failed: {e}"),
+            RpcError::Timeout => write!(f, "rpc timed out waiting for reply"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// A message substrate carrying [`Envelope`]s between named nodes.
+///
+/// Object-safe by design: platform components hold `&dyn Transport` or a
+/// [`TransportHandle`] and never name a concrete implementation.
+pub trait Transport: Send + Sync {
+    /// Connects a named node, returning its endpoint. Fails with the name
+    /// if it is unavailable on this transport — already taken, reserved
+    /// (names containing `~` belong to transport-generated ephemeral
+    /// endpoints), or unprovisionable (e.g. a TCP listener could not
+    /// bind).
+    fn connect(&self, name: NodeId) -> Result<Endpoint, NodeId>;
+
+    /// Connects a node under a generated unique name starting with
+    /// `prefix` (used for ephemeral RPC reply endpoints).
+    fn connect_anonymous(&self, prefix: &str) -> Endpoint;
+
+    /// True when a node of this name is currently connected.
+    fn is_connected(&self, name: &str) -> bool;
+
+    /// Names of all currently connected nodes, sorted.
+    fn node_names(&self) -> Vec<NodeId>;
+
+    /// Sends a message *as* `from` without holding `from`'s endpoint
+    /// (backs [`NodeSender`]; per-node metrics stay attributable).
+    fn send_as(
+        &self,
+        from: &NodeId,
+        to: NodeId,
+        kind: String,
+        body: Element,
+        correlation: Option<MessageId>,
+    ) -> Result<MessageId, SendError>;
+
+    /// Failure-injection hook: brings a killed node back. Transports
+    /// without failure injection (e.g. TCP) treat this as a no-op; handles
+    /// call it before delivering their stop message so shutdown can never
+    /// deadlock on a killed node.
+    fn revive(&self, _node: &NodeId) {}
+
+    /// Snapshot of per-node traffic counters.
+    fn metrics(&self) -> MetricsSnapshot;
+
+    /// Resets all traffic counters to zero.
+    fn reset_metrics(&self);
+
+    /// An owned, cheaply clonable handle to this transport.
+    fn handle(&self) -> TransportHandle;
+}
+
+/// An owned, clonable `Arc<dyn Transport>`. Components store this in their
+/// spawn handles; `Deref` exposes the full [`Transport`] API.
+#[derive(Clone)]
+pub struct TransportHandle(Arc<dyn Transport>);
+
+impl TransportHandle {
+    /// Wraps a transport implementation.
+    pub fn new(transport: impl Transport + 'static) -> Self {
+        TransportHandle(Arc::new(transport))
+    }
+
+    /// Wraps an already-shared transport.
+    pub fn from_arc(transport: Arc<dyn Transport>) -> Self {
+        TransportHandle(transport)
+    }
+}
+
+impl Deref for TransportHandle {
+    type Target = dyn Transport;
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl fmt::Debug for TransportHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TransportHandle(..)")
+    }
+}
+
+/// Crate-internal mailbox shared by the transport implementations: wraps
+/// a node's delivery channel and maps its errors onto [`RecvError`], so
+/// the mapping lives in one place.
+pub(crate) struct Mailbox(crossbeam::channel::Receiver<Envelope>);
+
+impl Mailbox {
+    pub(crate) fn new(rx: crossbeam::channel::Receiver<Envelope>) -> Self {
+        Mailbox(rx)
+    }
+
+    pub(crate) fn recv(&self) -> Result<Envelope, RecvError> {
+        self.0.recv().map_err(|_| RecvError::Disconnected)
+    }
+
+    pub(crate) fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
+        self.0.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => RecvError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
+    }
+
+    pub(crate) fn try_recv(&self) -> Option<Envelope> {
+        self.0.try_recv().ok()
+    }
+
+    pub(crate) fn pending(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// The transport-specific half of a connected node. Implementations supply
+/// addressing and queueing; all protocol ergonomics live on [`Endpoint`].
+pub trait RawEndpoint: Send {
+    /// This endpoint's node id.
+    fn node(&self) -> &NodeId;
+
+    /// Sends a message, optionally correlated to a request.
+    fn send(
+        &self,
+        to: NodeId,
+        kind: String,
+        body: Element,
+        correlation: Option<MessageId>,
+    ) -> Result<MessageId, SendError>;
+
+    /// Blocking receive.
+    fn recv(&self) -> Result<Envelope, RecvError>;
+
+    /// Receive with a deadline.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError>;
+
+    /// Non-blocking receive.
+    fn try_recv(&self) -> Option<Envelope>;
+
+    /// Number of messages waiting in the mailbox.
+    fn pending(&self) -> usize;
+}
+
+/// A connected node: the handle through which a SELF-SERV component sends
+/// and receives envelopes. Transport-agnostic — obtained from
+/// [`Transport::connect`] on any implementation.
+pub struct Endpoint {
+    raw: Box<dyn RawEndpoint>,
+    transport: TransportHandle,
+}
+
+impl Endpoint {
+    /// Assembles an endpoint from a transport's raw half. Implementations
+    /// of [`Transport::connect`] call this; platform code never needs to.
+    pub fn from_raw(raw: Box<dyn RawEndpoint>, transport: TransportHandle) -> Self {
+        Endpoint { raw, transport }
+    }
+
+    /// This endpoint's node id.
+    pub fn node(&self) -> &NodeId {
+        self.raw.node()
+    }
+
+    /// The transport this endpoint is attached to.
+    pub fn transport(&self) -> &TransportHandle {
+        &self.transport
+    }
+
+    /// A cloneable handle that sends as this endpoint's node (for worker
+    /// threads).
+    pub fn sender(&self) -> NodeSender {
+        NodeSender {
+            node: self.node().clone(),
+            transport: self.transport.clone(),
+        }
+    }
+
+    /// Sends a message; returns its transport id. A returned `Ok` means
+    /// the message was accepted by the transport, not that it will be
+    /// delivered (loss, partitions, kills, and peer crashes are silent, as
+    /// on a real network).
+    pub fn send(
+        &self,
+        to: impl Into<NodeId>,
+        kind: impl Into<String>,
+        body: Element,
+    ) -> Result<MessageId, SendError> {
+        self.raw.send(to.into(), kind.into(), body, None)
+    }
+
+    /// Sends a message carrying a reply correlation.
+    pub fn send_correlated(
+        &self,
+        to: impl Into<NodeId>,
+        kind: impl Into<String>,
+        body: Element,
+        correlation: Option<MessageId>,
+    ) -> Result<MessageId, SendError> {
+        self.raw.send(to.into(), kind.into(), body, correlation)
+    }
+
+    /// Sends a reply to a received request, correlated to its id.
+    pub fn reply(
+        &self,
+        request: &Envelope,
+        kind: impl Into<String>,
+        body: Element,
+    ) -> Result<MessageId, SendError> {
+        self.send_correlated(request.from.clone(), kind, body, Some(request.id))
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<Envelope, RecvError> {
+        self.raw.recv()
+    }
+
+    /// Receive with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
+        self.raw.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.raw.try_recv()
+    }
+
+    /// Number of messages waiting in the mailbox.
+    pub fn pending(&self) -> usize {
+        self.raw.pending()
+    }
+
+    /// Request/response: sends `kind` to `to` from an ephemeral reply
+    /// endpoint and waits for a correlated reply.
+    ///
+    /// This is the shape of the original platform's SOAP calls (service
+    /// registration, discovery, invocation). Uncorrelated messages
+    /// arriving at the ephemeral endpoint are discarded.
+    pub fn rpc(
+        &self,
+        to: impl Into<NodeId>,
+        kind: impl Into<String>,
+        body: Element,
+        timeout: Duration,
+    ) -> Result<Envelope, RpcError> {
+        rpc_via(
+            &self.transport,
+            self.node(),
+            to.into(),
+            kind.into(),
+            body,
+            timeout,
+        )
+    }
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("node", self.node())
+            .finish()
+    }
+}
+
+/// A cloneable sending-only handle that emits messages *as* a node.
+/// Obtained from [`Endpoint::sender`]; lets worker threads send under the
+/// owning component's name so per-node metrics stay attributable.
+#[derive(Clone)]
+pub struct NodeSender {
+    node: NodeId,
+    transport: TransportHandle,
+}
+
+impl NodeSender {
+    /// The node this handle sends as.
+    pub fn node(&self) -> &NodeId {
+        &self.node
+    }
+
+    /// The transport.
+    pub fn transport(&self) -> &TransportHandle {
+        &self.transport
+    }
+
+    /// Sends a message as the owning node.
+    pub fn send(
+        &self,
+        to: impl Into<NodeId>,
+        kind: impl Into<String>,
+        body: Element,
+    ) -> Result<MessageId, SendError> {
+        self.transport
+            .send_as(&self.node, to.into(), kind.into(), body, None)
+    }
+
+    /// Sends a correlated message as the owning node.
+    pub fn send_correlated(
+        &self,
+        to: impl Into<NodeId>,
+        kind: impl Into<String>,
+        body: Element,
+        correlation: Option<MessageId>,
+    ) -> Result<MessageId, SendError> {
+        self.transport
+            .send_as(&self.node, to.into(), kind.into(), body, correlation)
+    }
+
+    /// Request/response as the owning node (uses an ephemeral reply
+    /// endpoint, like [`Endpoint::rpc`]).
+    pub fn rpc(
+        &self,
+        to: impl Into<NodeId>,
+        kind: impl Into<String>,
+        body: Element,
+        timeout: Duration,
+    ) -> Result<Envelope, RpcError> {
+        rpc_via(
+            &self.transport,
+            &self.node,
+            to.into(),
+            kind.into(),
+            body,
+            timeout,
+        )
+    }
+}
+
+/// Shared request/response implementation: ephemeral reply endpoint named
+/// after the caller, correlation filtering, deadline bookkeeping.
+fn rpc_via(
+    transport: &TransportHandle,
+    as_node: &NodeId,
+    to: NodeId,
+    kind: String,
+    body: Element,
+    timeout: Duration,
+) -> Result<Envelope, RpcError> {
+    let tmp = transport.connect_anonymous(as_node.as_str());
+    let request_id = tmp.send(to, kind, body).map_err(RpcError::Send)?;
+    let deadline = Instant::now() + timeout;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(RpcError::Timeout);
+        }
+        match tmp.recv_timeout(remaining) {
+            Ok(env) if env.correlation == Some(request_id) => return Ok(env),
+            Ok(_) => continue,
+            Err(_) => return Err(RpcError::Timeout),
+        }
+    }
+}

@@ -90,9 +90,15 @@ impl ServiceRecord {
             .find("definitions")
             .ok_or_else(|| RegistryError::Protocol("serviceInfo missing definitions".into()))?;
         Ok(ServiceRecord {
-            key: ServiceKey(e.require_attr("key").map_err(RegistryError::Protocol)?.to_string()),
+            key: ServiceKey(
+                e.require_attr("key")
+                    .map_err(RegistryError::Protocol)?
+                    .to_string(),
+            ),
             business: BusinessKey(
-                e.require_attr("business").map_err(RegistryError::Protocol)?.to_string(),
+                e.require_attr("business")
+                    .map_err(RegistryError::Protocol)?
+                    .to_string(),
             ),
             provider_name: e
                 .require_attr("provider")
@@ -190,7 +196,7 @@ pub enum RegistryError {
         /// The conflicting business.
         business: BusinessKey,
         /// The conflicting service name.
-        name: String
+        name: String,
     },
     /// Wire-protocol problem (malformed request/response).
     Protocol(String),
@@ -204,7 +210,10 @@ impl fmt::Display for RegistryError {
             RegistryError::UnknownBusiness(k) => write!(f, "unknown business '{k}'"),
             RegistryError::UnknownService(k) => write!(f, "unknown service '{k}'"),
             RegistryError::DuplicateService { business, name } => {
-                write!(f, "business '{business}' already publishes a service named {name:?}")
+                write!(
+                    f,
+                    "business '{business}' already publishes a service named {name:?}"
+                )
             }
             RegistryError::Protocol(m) => write!(f, "registry protocol error: {m}"),
             RegistryError::Unreachable(m) => write!(f, "registry unreachable: {m}"),

@@ -15,7 +15,8 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u8>(), any::<u8>()).prop_map(|(name_seed, op_seed)| Op::Publish { name_seed, op_seed }),
+        (any::<u8>(), any::<u8>())
+            .prop_map(|(name_seed, op_seed)| Op::Publish { name_seed, op_seed }),
         any::<u8>().prop_map(|idx_seed| Op::Delete { idx_seed }),
         any::<u8>().prop_map(|op_seed| Op::FindByOp { op_seed }),
     ]

@@ -5,7 +5,7 @@ use crate::model::{
     BusinessEntity, BusinessKey, FindQuery, RegistryError, ServiceKey, ServiceRecord,
 };
 use crate::store::UddiRegistry;
-use selfserv_net::{Endpoint, Envelope, Network, NodeId, RpcError};
+use selfserv_net::{Endpoint, Envelope, NodeId, RpcError, Transport, TransportHandle};
 use selfserv_wsdl::ServiceDescription;
 use selfserv_xml::Element;
 use std::sync::Arc;
@@ -33,7 +33,9 @@ fn fault_body(err: &RegistryError) -> Element {
         RegistryError::Protocol(_) => "protocol",
         RegistryError::Unreachable(_) => "unreachable",
     };
-    Element::new("fault").with_attr("code", code).with_attr("reason", err.to_string())
+    Element::new("fault")
+        .with_attr("code", code)
+        .with_attr("reason", err.to_string())
 }
 
 fn decode_fault(body: &Element) -> RegistryError {
@@ -59,7 +61,7 @@ pub struct RegistryServer {
 /// Handle to a spawned [`RegistryServer`] thread.
 pub struct RegistryServerHandle {
     node: NodeId,
-    net: Network,
+    net: TransportHandle,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -93,25 +95,32 @@ impl Drop for RegistryServerHandle {
 }
 
 impl RegistryServer {
-    /// Spawns a registry server on `node_name`, serving `registry`.
+    /// Spawns a registry server on `node_name`, serving `registry`, over
+    /// any [`Transport`].
     pub fn spawn(
-        net: &Network,
+        net: &dyn Transport,
         node_name: &str,
         registry: Arc<UddiRegistry>,
     ) -> Result<RegistryServerHandle, NodeId> {
-        let endpoint = net.connect(node_name)?;
+        let endpoint = net.connect(NodeId::new(node_name))?;
         let node = endpoint.node().clone();
         let server = RegistryServer { registry, endpoint };
         let thread = std::thread::Builder::new()
             .name(format!("registry-{node_name}"))
             .spawn(move || server.run())
             .expect("spawn registry server");
-        Ok(RegistryServerHandle { node, net: net.clone(), thread: Some(thread) })
+        Ok(RegistryServerHandle {
+            node,
+            net: net.handle(),
+            thread: Some(thread),
+        })
     }
 
     fn run(self) {
         loop {
-            let Ok(request) = self.endpoint.recv() else { return };
+            let Ok(request) = self.endpoint.recv() else {
+                return;
+            };
             if request.kind == kinds::STOP {
                 return;
             }
@@ -136,19 +145,24 @@ impl RegistryServer {
                     .with_attr("name", &entity.name))
             }
             kinds::SAVE_SERVICE => {
-                let business =
-                    BusinessKey(body.require_attr("business").map_err(RegistryError::Protocol)?.to_string());
+                let business = BusinessKey(
+                    body.require_attr("business")
+                        .map_err(RegistryError::Protocol)?
+                        .to_string(),
+                );
                 let category = body.attr("category").unwrap_or("").to_string();
                 let lease = body
                     .attr("lease_ms")
                     .and_then(|s| s.parse::<u64>().ok())
                     .map(Duration::from_millis);
-                let def = body
-                    .find("definitions")
-                    .ok_or_else(|| RegistryError::Protocol("save_service missing definitions".into()))?;
+                let def = body.find("definitions").ok_or_else(|| {
+                    RegistryError::Protocol("save_service missing definitions".into())
+                })?;
                 let description = ServiceDescription::from_xml(def)
                     .map_err(|e| RegistryError::Protocol(e.to_string()))?;
-                let key = self.registry.save_service(&business, category, description, lease)?;
+                let key = self
+                    .registry
+                    .save_service(&business, category, description, lease)?;
                 Ok(Element::new("serviceKey").with_attr("key", &key.0))
             }
             kinds::FIND_SERVICE => {
@@ -173,17 +187,25 @@ impl RegistryServer {
                 Ok(list)
             }
             kinds::GET_SERVICE => {
-                let key =
-                    ServiceKey(body.require_attr("key").map_err(RegistryError::Protocol)?.to_string());
+                let key = ServiceKey(
+                    body.require_attr("key")
+                        .map_err(RegistryError::Protocol)?
+                        .to_string(),
+                );
                 Ok(self.registry.get_service(&key)?.to_xml())
             }
             kinds::DELETE_SERVICE => {
-                let key =
-                    ServiceKey(body.require_attr("key").map_err(RegistryError::Protocol)?.to_string());
+                let key = ServiceKey(
+                    body.require_attr("key")
+                        .map_err(RegistryError::Protocol)?
+                        .to_string(),
+                );
                 self.registry.delete_service(&key)?;
                 Ok(Element::new("ok"))
             }
-            other => Err(RegistryError::Protocol(format!("unknown request kind {other:?}"))),
+            other => Err(RegistryError::Protocol(format!(
+                "unknown request kind {other:?}"
+            ))),
         }
     }
 }
@@ -199,12 +221,12 @@ pub struct RegistryClient {
 impl RegistryClient {
     /// Connects a client node and points it at `registry_node`.
     pub fn connect(
-        net: &Network,
+        net: &dyn Transport,
         client_name: &str,
         registry_node: impl Into<NodeId>,
     ) -> Result<Self, NodeId> {
         Ok(RegistryClient {
-            endpoint: net.connect(client_name)?,
+            endpoint: net.connect(NodeId::new(client_name))?,
             registry_node: registry_node.into(),
             timeout: Duration::from_secs(5),
         })
@@ -235,15 +257,17 @@ impl RegistryClient {
     }
 
     /// Registers a provider.
-    pub fn save_business(
-        &self,
-        name: &str,
-        contact: &str,
-    ) -> Result<BusinessKey, RegistryError> {
-        let body =
-            Element::new("save_business").with_attr("name", name).with_attr("contact", contact);
+    pub fn save_business(&self, name: &str, contact: &str) -> Result<BusinessKey, RegistryError> {
+        let body = Element::new("save_business")
+            .with_attr("name", name)
+            .with_attr("contact", contact);
         let reply = self.call(kinds::SAVE_BUSINESS, body)?;
-        Ok(BusinessKey(reply.require_attr("key").map_err(RegistryError::Protocol)?.to_string()))
+        Ok(BusinessKey(
+            reply
+                .require_attr("key")
+                .map_err(RegistryError::Protocol)?
+                .to_string(),
+        ))
     }
 
     /// Publishes a service description.
@@ -262,25 +286,42 @@ impl RegistryClient {
         }
         body.push_child(description.to_xml());
         let reply = self.call(kinds::SAVE_SERVICE, body)?;
-        Ok(ServiceKey(reply.require_attr("key").map_err(RegistryError::Protocol)?.to_string()))
+        Ok(ServiceKey(
+            reply
+                .require_attr("key")
+                .map_err(RegistryError::Protocol)?
+                .to_string(),
+        ))
     }
 
     /// Finds services matching a query.
     pub fn find(&self, query: &FindQuery) -> Result<Vec<ServiceRecord>, RegistryError> {
         let reply = self.call(kinds::FIND_SERVICE, query.to_xml())?;
-        reply.find_all("serviceInfo").map(ServiceRecord::from_xml).collect()
+        reply
+            .find_all("serviceInfo")
+            .map(ServiceRecord::from_xml)
+            .collect()
     }
 
     /// Finds businesses by name prefix.
     pub fn find_businesses(&self, prefix: &str) -> Result<Vec<BusinessEntity>, RegistryError> {
-        let reply =
-            self.call(kinds::FIND_BUSINESS, Element::new("find_business").with_attr("prefix", prefix))?;
+        let reply = self.call(
+            kinds::FIND_BUSINESS,
+            Element::new("find_business").with_attr("prefix", prefix),
+        )?;
         reply
             .find_all("business")
             .map(|b| {
                 Ok(BusinessEntity {
-                    key: BusinessKey(b.require_attr("key").map_err(RegistryError::Protocol)?.to_string()),
-                    name: b.require_attr("name").map_err(RegistryError::Protocol)?.to_string(),
+                    key: BusinessKey(
+                        b.require_attr("key")
+                            .map_err(RegistryError::Protocol)?
+                            .to_string(),
+                    ),
+                    name: b
+                        .require_attr("name")
+                        .map_err(RegistryError::Protocol)?
+                        .to_string(),
                     contact: b.attr("contact").unwrap_or("").to_string(),
                 })
             })
@@ -289,14 +330,19 @@ impl RegistryClient {
 
     /// Retrieves a service by key.
     pub fn get_service(&self, key: &ServiceKey) -> Result<ServiceRecord, RegistryError> {
-        let reply =
-            self.call(kinds::GET_SERVICE, Element::new("get_service").with_attr("key", &key.0))?;
+        let reply = self.call(
+            kinds::GET_SERVICE,
+            Element::new("get_service").with_attr("key", &key.0),
+        )?;
         ServiceRecord::from_xml(&reply)
     }
 
     /// Deletes a service by key.
     pub fn delete_service(&self, key: &ServiceKey) -> Result<(), RegistryError> {
-        self.call(kinds::DELETE_SERVICE, Element::new("delete_service").with_attr("key", &key.0))?;
+        self.call(
+            kinds::DELETE_SERVICE,
+            Element::new("delete_service").with_attr("key", &key.0),
+        )?;
         Ok(())
     }
 }
@@ -304,13 +350,12 @@ impl RegistryClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use selfserv_net::NetworkConfig;
+    use selfserv_net::{Network, NetworkConfig};
     use selfserv_wsdl::{Binding, OperationDef};
 
     fn setup() -> (Network, RegistryServerHandle, RegistryClient) {
         let net = Network::new(NetworkConfig::instant());
-        let handle =
-            RegistryServer::spawn(&net, "uddi", Arc::new(UddiRegistry::new())).unwrap();
+        let handle = RegistryServer::spawn(&net, "uddi", Arc::new(UddiRegistry::new())).unwrap();
         let client = RegistryClient::connect(&net, "client", "uddi").unwrap();
         (net, handle, client)
     }
@@ -326,7 +371,12 @@ mod tests {
         let (_net, _handle, client) = setup();
         let biz = client.save_business("TestCo", "t@test").unwrap();
         let key = client
-            .save_service(&biz, "travel", &desc("Attraction Search", "searchAttractions"), None)
+            .save_service(
+                &biz,
+                "travel",
+                &desc("Attraction Search", "searchAttractions"),
+                None,
+            )
             .unwrap();
         let hits = client.find(&FindQuery::any().operation("search")).unwrap();
         assert_eq!(hits.len(), 1);
@@ -339,7 +389,9 @@ mod tests {
     fn remote_get_and_delete() {
         let (_net, _handle, client) = setup();
         let biz = client.save_business("TestCo", "t@test").unwrap();
-        let key = client.save_service(&biz, "c", &desc("S", "op"), None).unwrap();
+        let key = client
+            .save_service(&biz, "c", &desc("S", "op"), None)
+            .unwrap();
         let rec = client.get_service(&key).unwrap();
         assert_eq!(rec.description.name, "S");
         client.delete_service(&key).unwrap();
@@ -367,9 +419,16 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, RegistryError::UnknownBusiness(_)), "{err:?}");
         let biz = client.save_business("B", "x").unwrap();
-        client.save_service(&biz, "c", &desc("S", "op"), None).unwrap();
-        let dup = client.save_service(&biz, "c", &desc("S", "op"), None).unwrap_err();
-        assert!(matches!(dup, RegistryError::DuplicateService { .. }), "{dup:?}");
+        client
+            .save_service(&biz, "c", &desc("S", "op"), None)
+            .unwrap();
+        let dup = client
+            .save_service(&biz, "c", &desc("S", "op"), None)
+            .unwrap_err();
+        assert!(
+            matches!(dup, RegistryError::DuplicateService { .. }),
+            "{dup:?}"
+        );
     }
 
     #[test]
@@ -377,7 +436,12 @@ mod tests {
         let (net, handle, _client) = setup();
         let probe = net.connect("probe").unwrap();
         let reply = probe
-            .rpc(handle.node().clone(), "uddi.reboot", Element::new("x"), Duration::from_secs(2))
+            .rpc(
+                handle.node().clone(),
+                "uddi.reboot",
+                Element::new("x"),
+                Duration::from_secs(2),
+            )
             .unwrap();
         assert_eq!(reply.kind, "uddi.fault");
     }
@@ -405,7 +469,12 @@ mod tests {
         let (_net, _handle, client) = setup();
         let biz = client.save_business("B", "x").unwrap();
         client
-            .save_service(&biz, "c", &desc("Flaky", "op"), Some(Duration::from_millis(1)))
+            .save_service(
+                &biz,
+                "c",
+                &desc("Flaky", "op"),
+                Some(Duration::from_millis(1)),
+            )
             .unwrap();
         std::thread::sleep(Duration::from_millis(10));
         assert!(client.find(&FindQuery::any()).unwrap().is_empty());
@@ -422,13 +491,20 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let c = RegistryClient::connect(&net, &format!("client{t}"), "uddi").unwrap();
                 for i in 0..10 {
-                    c.save_service(&biz, "bulk", &desc(&format!("S{t}-{i}"), "op"), None).unwrap();
+                    c.save_service(&biz, "bulk", &desc(&format!("S{t}-{i}"), "op"), None)
+                        .unwrap();
                 }
             }));
         }
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(client.find(&FindQuery::any().operation("op")).unwrap().len(), 40);
+        assert_eq!(
+            client
+                .find(&FindQuery::any().operation("op"))
+                .unwrap()
+                .len(),
+            40
+        );
     }
 }

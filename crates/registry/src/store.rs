@@ -37,7 +37,10 @@ impl Indexes {
                 .or_default()
                 .insert(rec.key.clone());
         }
-        self.by_category.entry(rec.category.clone()).or_default().insert(rec.key.clone());
+        self.by_category
+            .entry(rec.category.clone())
+            .or_default()
+            .insert(rec.key.clone());
     }
 
     fn remove(&mut self, rec: &ServiceRecord) {
@@ -49,8 +52,16 @@ impl Indexes {
                 }
             }
         }
-        drop_key(&mut self.by_name, rec.description.name.to_lowercase(), &rec.key);
-        drop_key(&mut self.by_provider, rec.provider_name.to_lowercase(), &rec.key);
+        drop_key(
+            &mut self.by_name,
+            rec.description.name.to_lowercase(),
+            &rec.key,
+        );
+        drop_key(
+            &mut self.by_provider,
+            rec.provider_name.to_lowercase(),
+            &rec.key,
+        );
         for op in &rec.description.operations {
             drop_key(&mut self.by_operation, op.name.to_lowercase(), &rec.key);
         }
@@ -106,8 +117,15 @@ impl UddiRegistry {
         name: impl Into<String>,
         contact: impl Into<String>,
     ) -> BusinessEntity {
-        let key = BusinessKey(format!("biz-{}", self.next_business.fetch_add(1, Ordering::Relaxed) + 1));
-        let entity = BusinessEntity { key: key.clone(), name: name.into(), contact: contact.into() };
+        let key = BusinessKey(format!(
+            "biz-{}",
+            self.next_business.fetch_add(1, Ordering::Relaxed) + 1
+        ));
+        let entity = BusinessEntity {
+            key: key.clone(),
+            name: name.into(),
+            contact: contact.into(),
+        };
         self.store.write().businesses.insert(key, entity.clone());
         entity
     }
@@ -158,7 +176,10 @@ impl UddiRegistry {
                 name: description.name,
             });
         }
-        let key = ServiceKey(format!("svc-{}", self.next_service.fetch_add(1, Ordering::Relaxed) + 1));
+        let key = ServiceKey(format!(
+            "svc-{}",
+            self.next_service.fetch_add(1, Ordering::Relaxed) + 1
+        ));
         let record = ServiceRecord {
             key: key.clone(),
             business: business.clone(),
@@ -256,7 +277,12 @@ impl UddiRegistry {
         }
         if let Some(c) = &query.category {
             intersect(
-                store.indexes.by_category.get(c).cloned().unwrap_or_default(),
+                store
+                    .indexes
+                    .by_category
+                    .get(c)
+                    .cloned()
+                    .unwrap_or_default(),
                 &mut candidates,
             );
         }
@@ -268,7 +294,12 @@ impl UddiRegistry {
                 .cloned()
                 .collect(),
             // Empty query: everything (unexpired).
-            None => store.services.values().filter(|r| !r.is_expired(now)).cloned().collect(),
+            None => store
+                .services
+                .values()
+                .filter(|r| !r.is_expired(now))
+                .cloned()
+                .collect(),
         };
         records.sort_by(|a, b| a.key.cmp(&b.key));
         records
@@ -277,7 +308,12 @@ impl UddiRegistry {
     /// Number of live (unexpired) services.
     pub fn service_count(&self) -> usize {
         let now = Instant::now();
-        self.store.read().services.values().filter(|r| !r.is_expired(now)).count()
+        self.store
+            .read()
+            .services
+            .values()
+            .filter(|r| !r.is_expired(now))
+            .count()
     }
 
     /// Number of registered businesses.
@@ -306,7 +342,11 @@ mod tests {
         reg.save_service(
             &ausair,
             "flight-booking",
-            desc("Domestic Flight Booking", "AusAir", &["bookFlight", "cancelFlight"]),
+            desc(
+                "Domestic Flight Booking",
+                "AusAir",
+                &["bookFlight", "cancelFlight"],
+            ),
             None,
         )
         .unwrap();
@@ -317,8 +357,13 @@ mod tests {
             None,
         )
         .unwrap();
-        reg.save_service(&wheels, "car-rental", desc("Car Rental", "WheelsNow", &["rentCar"]), None)
-            .unwrap();
+        reg.save_service(
+            &wheels,
+            "car-rental",
+            desc("Car Rental", "WheelsNow", &["rentCar"]),
+            None,
+        )
+        .unwrap();
         (reg, ausair, wheels)
     }
 
@@ -356,18 +401,28 @@ mod tests {
     #[test]
     fn find_by_category_exact() {
         let (reg, _, _) = seeded();
-        assert_eq!(reg.find(&FindQuery::any().category("flight-booking")).len(), 2);
-        assert_eq!(reg.find(&FindQuery::any().category("flight")).len(), 0, "category is exact");
+        assert_eq!(
+            reg.find(&FindQuery::any().category("flight-booking")).len(),
+            2
+        );
+        assert_eq!(
+            reg.find(&FindQuery::any().category("flight")).len(),
+            0,
+            "category is exact"
+        );
     }
 
     #[test]
     fn criteria_are_anded() {
         let (reg, _, _) = seeded();
-        let hits =
-            reg.find(&FindQuery::any().provider("AusAir").operation("cancel"));
+        let hits = reg.find(&FindQuery::any().provider("AusAir").operation("cancel"));
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].description.name, "Domestic Flight Booking");
-        let none = reg.find(&FindQuery::any().provider("WheelsNow").operation("bookFlight"));
+        let none = reg.find(
+            &FindQuery::any()
+                .provider("WheelsNow")
+                .operation("bookFlight"),
+        );
         assert!(none.is_empty());
     }
 
@@ -408,7 +463,9 @@ mod tests {
     #[test]
     fn delete_removes_from_indexes() {
         let (reg, _, _) = seeded();
-        let key = reg.find(&FindQuery::any().service_name("Car Rental"))[0].key.clone();
+        let key = reg.find(&FindQuery::any().service_name("Car Rental"))[0]
+            .key
+            .clone();
         reg.delete_service(&key).unwrap();
         assert!(reg.find(&FindQuery::any().operation("rentCar")).is_empty());
         assert!(reg.get_service(&key).is_err());
@@ -420,10 +477,18 @@ mod tests {
         let reg = UddiRegistry::new();
         let biz = reg.save_business("Ephemeral", "x").key;
         let key = reg
-            .save_service(&biz, "c", desc("Flaky", "Ephemeral", &["op"]), Some(Duration::ZERO))
+            .save_service(
+                &biz,
+                "c",
+                desc("Flaky", "Ephemeral", &["op"]),
+                Some(Duration::ZERO),
+            )
             .unwrap();
         std::thread::sleep(Duration::from_millis(2));
-        assert!(reg.get_service(&key).is_err(), "expired record behaves as absent");
+        assert!(
+            reg.get_service(&key).is_err(),
+            "expired record behaves as absent"
+        );
         assert!(reg.find(&FindQuery::any()).is_empty());
         assert_eq!(reg.service_count(), 0);
         assert_eq!(reg.sweep_expired(), 1);
@@ -434,7 +499,12 @@ mod tests {
         let reg = UddiRegistry::new();
         let biz = reg.save_business("B", "x").key;
         let key = reg
-            .save_service(&biz, "c", desc("S", "B", &["op"]), Some(Duration::from_millis(40)))
+            .save_service(
+                &biz,
+                "c",
+                desc("S", "B", &["op"]),
+                Some(Duration::from_millis(40)),
+            )
             .unwrap();
         std::thread::sleep(Duration::from_millis(25));
         reg.renew(&key).unwrap();

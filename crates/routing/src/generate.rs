@@ -82,7 +82,10 @@ impl RoutingPlan {
     /// Total number of precondition alternatives across all tables —
     /// a size measure for experiment E2.
     pub fn total_preconditions(&self) -> usize {
-        self.tables.values().map(|t| t.preconditions.len()).sum::<usize>()
+        self.tables
+            .values()
+            .map(|t| t.preconditions.len())
+            .sum::<usize>()
             + self.wrapper.finish_alternatives.len()
     }
 
@@ -99,8 +102,8 @@ impl RoutingPlan {
     /// Encodes the whole plan as one XML document (what the deployer
     /// uploads, per host, in the original).
     pub fn to_xml(&self) -> selfserv_xml::Element {
-        let mut e = selfserv_xml::Element::new("routingPlan")
-            .with_attr("composite", &self.composite);
+        let mut e =
+            selfserv_xml::Element::new("routingPlan").with_attr("composite", &self.composite);
         e.push_child(self.wrapper.to_xml());
         for t in self.tables.values() {
             e.push_child(t.to_xml());
@@ -114,7 +117,8 @@ impl RoutingPlan {
             return Err(format!("expected <routingPlan>, got <{}>", e.name));
         }
         let wrapper = WrapperTable::from_xml(
-            e.find("wrapperTable").ok_or_else(|| "missing <wrapperTable>".to_string())?,
+            e.find("wrapperTable")
+                .ok_or_else(|| "missing <wrapperTable>".to_string())?,
         )?;
         let mut tables = BTreeMap::new();
         for te in e.find_all("routingTable") {
@@ -267,8 +271,7 @@ impl<'a> Generator<'a> {
                                 // region with alternative shapes yields
                                 // alternative label sets — expanded as a
                                 // cartesian product below.
-                                let mut sibling_alts: Vec<Vec<Vec<NotificationLabel>>> =
-                                    Vec::new();
+                                let mut sibling_alts: Vec<Vec<Vec<NotificationLabel>>> = Vec::new();
                                 for idx in 0..regions.len() {
                                     if idx != state.region {
                                         sibling_alts.push(self.region_dnf(
@@ -400,9 +403,10 @@ impl<'a> Generator<'a> {
                 "completion-label analysis exceeded the cascade depth bound".to_string(),
             ));
         }
-        let parent = self.sc.state(parent_id).ok_or_else(|| {
-            RoutingError::Unsupported(format!("missing state '{parent_id}'"))
-        })?;
+        let parent = self
+            .sc
+            .state(parent_id)
+            .ok_or_else(|| RoutingError::Unsupported(format!("missing state '{parent_id}'")))?;
         let region_label = match &parent.kind {
             StateKind::Compound { .. } => NotificationLabel::Completed(parent_id.clone()),
             StateKind::Concurrent { .. } => {
@@ -419,7 +423,9 @@ impl<'a> Generator<'a> {
         let mut has_basic_path = false;
         for final_state in self.sc.final_states_of(Some(parent_id), region) {
             for t in self.sc.incoming(&final_state.id) {
-                let Some(source) = self.sc.state(&t.source) else { continue };
+                let Some(source) = self.sc.state(&t.source) else {
+                    continue;
+                };
                 match &source.kind {
                     StateKind::Task(_) | StateKind::Choice => has_basic_path = true,
                     StateKind::Compound { .. } | StateKind::Concurrent { .. } => {
@@ -460,9 +466,10 @@ impl<'a> Generator<'a> {
         visited: &mut std::collections::HashSet<StateId>,
         depth: usize,
     ) -> Result<Vec<Vec<NotificationLabel>>, RoutingError> {
-        let state = self.sc.state(state_id).ok_or_else(|| {
-            RoutingError::Unsupported(format!("missing state '{state_id}'"))
-        })?;
+        let state = self
+            .sc
+            .state(state_id)
+            .ok_or_else(|| RoutingError::Unsupported(format!("missing state '{state_id}'")))?;
         match &state.kind {
             StateKind::Task(_) | StateKind::Choice => {
                 Ok(vec![vec![NotificationLabel::Completed(state_id.clone())]])
@@ -549,7 +556,10 @@ pub fn generate(sc: &Statechart) -> Result<RoutingPlan, RoutingError> {
         if matches!(state.kind, StateKind::Task(_) | StateKind::Choice) {
             tables.insert(
                 state.id.clone(),
-                RoutingTable { state: state.id.clone(), ..Default::default() },
+                RoutingTable {
+                    state: state.id.clone(),
+                    ..Default::default()
+                },
             );
             wrapper.all_states.push(state.id.clone());
         }
@@ -615,7 +625,11 @@ pub fn generate(sc: &Statechart) -> Result<RoutingPlan, RoutingError> {
         }
     }
 
-    Ok(RoutingPlan { composite: sc.name.clone(), tables, wrapper })
+    Ok(RoutingPlan {
+        composite: sc.name.clone(),
+        tables,
+        wrapper,
+    })
 }
 
 fn normalised_labels(mut labels: Vec<NotificationLabel>) -> Vec<NotificationLabel> {
@@ -633,7 +647,11 @@ fn same_alternative(a: &Precondition, labels: &[NotificationLabel], cond: &Optio
 
 fn add_alternative(table: &mut RoutingTable, end: &RouteEnd) {
     let labels = normalised_labels(end.await_labels.clone());
-    if table.preconditions.iter().any(|p| same_alternative(p, &labels, &end.condition)) {
+    if table
+        .preconditions
+        .iter()
+        .any(|p| same_alternative(p, &labels, &end.condition))
+    {
         return;
     }
     table.preconditions.push(Precondition {
@@ -776,7 +794,10 @@ mod tests {
         let choice = plan.table(&StateId::new("C")).unwrap();
         assert_eq!(choice.postprocessings.len(), 3);
         for (i, post) in choice.postprocessings.iter().enumerate() {
-            assert_eq!(post.guard.as_ref().unwrap().to_string(), format!("branch == {i}"));
+            assert_eq!(
+                post.guard.as_ref().unwrap().to_string(),
+                format!("branch == {i}")
+            );
             assert_eq!(post.notifications().count(), 1);
         }
         // Branch tasks await the choice without receiver-side conditions.
@@ -796,8 +817,7 @@ mod tests {
         // region labels.
         assert_eq!(plan.wrapper.finish_alternatives.len(), 1);
         let fin = &plan.wrapper.finish_alternatives[0];
-        let mut expected: Vec<NotificationLabel> =
-            (0..3).map(|i| label_region("P", i)).collect();
+        let mut expected: Vec<NotificationLabel> = (0..3).map(|i| label_region("P", i)).collect();
         expected.sort();
         assert_eq!(fin.labels, expected);
         assert!(verify_plan(&plan).is_empty());
@@ -818,7 +838,10 @@ mod tests {
         let fc = plan.table(&StateId::new("FC")).unwrap();
         assert_eq!(fc.postprocessings.len(), 2);
         let dom = &fc.postprocessings[0];
-        assert_eq!(dom.guard.as_ref().unwrap().to_string(), "domestic(destination)");
+        assert_eq!(
+            dom.guard.as_ref().unwrap().to_string(),
+            "domestic(destination)"
+        );
         assert_eq!(
             dom.notifications().next().unwrap().target,
             Participant::State(StateId::new("DFB"))
@@ -838,7 +861,10 @@ mod tests {
             .map(|p| p.labels.iter().map(|l| l.encode()).collect())
             .collect();
         ab_label_sets.sort();
-        assert_eq!(ab_label_sets, vec![vec!["done:DFB".to_string()], vec!["done:ITA".to_string()]]);
+        assert_eq!(
+            ab_label_sets,
+            vec![vec!["done:DFB".to_string()], vec!["done:ITA".to_string()]]
+        );
 
         // TI (last inside ITA) emits Completed(ITA) on behalf of the
         // compound.
@@ -883,13 +909,18 @@ mod tests {
         assert!(cr_alt.condition.is_none());
 
         // The AB sender notifies both potential receivers (CR + wrapper).
-        let ab_targets: Vec<String> = ab
-            .postprocessings[0]
+        let ab_targets: Vec<String> = ab.postprocessings[0]
             .notifications()
             .map(|n| n.target.to_string())
             .collect();
-        assert!(ab_targets.contains(&"state:CR".to_string()), "{ab_targets:?}");
-        assert!(ab_targets.contains(&"wrapper".to_string()), "{ab_targets:?}");
+        assert!(
+            ab_targets.contains(&"state:CR".to_string()),
+            "{ab_targets:?}"
+        );
+        assert!(
+            ab_targets.contains(&"wrapper".to_string()),
+            "{ab_targets:?}"
+        );
     }
 
     #[test]
@@ -928,7 +959,10 @@ mod tests {
             .transition(selfserv_statechart::TransitionDef::new("t", "a", "f"))
             .build()
             .unwrap();
-        assert!(matches!(generate(&sc), Err(RoutingError::InvalidStatechart(_))));
+        assert!(matches!(
+            generate(&sc),
+            Err(RoutingError::InvalidStatechart(_))
+        ));
     }
 
     #[test]

@@ -63,9 +63,13 @@ impl NotificationLabel {
             let (state, region) = rest
                 .rsplit_once(':')
                 .ok_or_else(|| format!("bad region label {s:?}"))?;
-            let region =
-                region.parse::<usize>().map_err(|e| format!("bad region index in {s:?}: {e}"))?;
-            return Ok(NotificationLabel::RegionCompleted(StateId::new(state), region));
+            let region = region
+                .parse::<usize>()
+                .map_err(|e| format!("bad region index in {s:?}: {e}"))?;
+            return Ok(NotificationLabel::RegionCompleted(
+                StateId::new(state),
+                region,
+            ));
         }
         Err(format!("unknown notification label {s:?}"))
     }
@@ -194,7 +198,9 @@ fn participant_from_attr(s: &str) -> Result<Participant, String> {
 fn encode_actions(parent: &mut Element, actions: &[Assignment]) {
     for a in actions {
         parent.push_child(
-            Element::new("action").with_attr("var", &a.var).with_attr("expr", a.expr.to_string()),
+            Element::new("action")
+                .with_attr("var", &a.var)
+                .with_attr("expr", a.expr.to_string()),
         );
     }
 }

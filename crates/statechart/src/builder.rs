@@ -2,8 +2,8 @@
 //! original service editor GUI.
 
 use crate::model::{
-    Assignment, InputMapping, OutputMapping, RegionSpec, ServiceBinding, State, StateId,
-    StateKind, Statechart, TaskSpec, Transition, VarDecl,
+    Assignment, InputMapping, OutputMapping, RegionSpec, ServiceBinding, State, StateId, StateKind,
+    Statechart, TaskSpec, Transition, VarDecl,
 };
 use selfserv_expr::Value;
 use selfserv_wsdl::ParamType;
@@ -32,8 +32,10 @@ impl TaskDef {
 
     /// Binds the task to a direct service operation.
     pub fn service(mut self, service: impl Into<String>, operation: impl Into<String>) -> Self {
-        self.binding =
-            Some(ServiceBinding::Service { service: service.into(), operation: operation.into() });
+        self.binding = Some(ServiceBinding::Service {
+            service: service.into(),
+            operation: operation.into(),
+        });
         self
     }
 
@@ -144,18 +146,29 @@ pub struct StatechartBuilder {
 impl StatechartBuilder {
     /// Starts building a statechart for the named composite service.
     pub fn new(name: impl Into<String>) -> Self {
-        StatechartBuilder { name: name.into(), ..Default::default() }
+        StatechartBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Declares a variable.
     pub fn variable(mut self, name: impl Into<String>, ty: ParamType) -> Self {
-        self.variables.push(VarDecl { name: name.into(), ty, initial: None });
+        self.variables.push(VarDecl {
+            name: name.into(),
+            ty,
+            initial: None,
+        });
         self
     }
 
     /// Declares a variable with an initial value.
     pub fn variable_init(mut self, name: impl Into<String>, ty: ParamType, value: Value) -> Self {
-        self.variables.push(VarDecl { name: name.into(), ty, initial: Some(value) });
+        self.variables.push(VarDecl {
+            name: name.into(),
+            ty,
+            initial: Some(value),
+        });
         self
     }
 
@@ -177,7 +190,13 @@ impl StatechartBuilder {
             self.errors.push(format!("duplicate state id '{id}'"));
             return;
         }
-        self.states.push(State { id, name, parent, region, kind });
+        self.states.push(State {
+            id,
+            name,
+            parent,
+            region,
+            kind,
+        });
     }
 
     /// Adds a task state to the root region.
@@ -192,19 +211,17 @@ impl StatechartBuilder {
     }
 
     /// Adds a task state inside a specific region of `parent`.
-    pub fn task_in_region(
-        self,
-        parent: impl Into<StateId>,
-        region: usize,
-        def: TaskDef,
-    ) -> Self {
+    pub fn task_in_region(self, parent: impl Into<StateId>, region: usize, def: TaskDef) -> Self {
         self.task_at(Some(parent.into()), region, def)
     }
 
     fn task_at(mut self, parent: Option<StateId>, region: usize, def: TaskDef) -> Self {
         let id = StateId::new(def.id.clone());
         let Some(binding) = def.binding else {
-            self.errors.push(format!("task '{}' has no service/community binding", def.id));
+            self.errors.push(format!(
+                "task '{}' has no service/community binding",
+                def.id
+            ));
             return self;
         };
         self.task_raw.push((id.clone(), def.inputs, def.outputs));
@@ -213,7 +230,11 @@ impl StatechartBuilder {
             def.name,
             parent,
             region,
-            StateKind::Task(TaskSpec { binding, inputs: Vec::new(), outputs: Vec::new() }),
+            StateKind::Task(TaskSpec {
+                binding,
+                inputs: Vec::new(),
+                outputs: Vec::new(),
+            }),
         );
         self
     }
@@ -232,7 +253,13 @@ impl StatechartBuilder {
         id: impl Into<StateId>,
         name: impl Into<String>,
     ) -> Self {
-        self.push_state(id.into(), name.into(), Some(parent.into()), region, StateKind::Choice);
+        self.push_state(
+            id.into(),
+            name.into(),
+            Some(parent.into()),
+            region,
+            StateKind::Choice,
+        );
         self
     }
 
@@ -269,7 +296,9 @@ impl StatechartBuilder {
             name.into(),
             None,
             0,
-            StateKind::Compound { initial: initial.into() },
+            StateKind::Compound {
+                initial: initial.into(),
+            },
         );
         self
     }
@@ -288,7 +317,9 @@ impl StatechartBuilder {
             name.into(),
             Some(parent.into()),
             region,
-            StateKind::Compound { initial: initial.into() },
+            StateKind::Compound {
+                initial: initial.into(),
+            },
         );
         self
     }
@@ -308,7 +339,13 @@ impl StatechartBuilder {
                 initial: StateId::new(initial),
             })
             .collect();
-        self.push_state(id.into(), name.into(), None, 0, StateKind::Concurrent { regions });
+        self.push_state(
+            id.into(),
+            name.into(),
+            None,
+            0,
+            StateKind::Concurrent { regions },
+        );
         self
     }
 
@@ -363,7 +400,10 @@ impl StatechartBuilder {
             let mut parsed_inputs = Vec::with_capacity(inputs.len());
             for (param, src) in inputs {
                 match selfserv_expr::parse(src) {
-                    Ok(expr) => parsed_inputs.push(InputMapping { param: param.clone(), expr }),
+                    Ok(expr) => parsed_inputs.push(InputMapping {
+                        param: param.clone(),
+                        expr,
+                    }),
                     Err(e) => self
                         .errors
                         .push(format!("task '{id}', input '{param}': {e}")),
@@ -371,7 +411,10 @@ impl StatechartBuilder {
             }
             let parsed_outputs = outputs
                 .iter()
-                .map(|(param, var)| OutputMapping { param: param.clone(), var: var.clone() })
+                .map(|(param, var)| OutputMapping {
+                    param: param.clone(),
+                    var: var.clone(),
+                })
                 .collect();
             if let Some(state) = self.states.iter_mut().find(|s| &s.id == id) {
                 if let StateKind::Task(spec) = &mut state.kind {
@@ -387,7 +430,8 @@ impl StatechartBuilder {
         let mut seen_tids = std::collections::HashSet::new();
         for def in &self.transitions_raw {
             if !seen_tids.insert(def.id.clone()) {
-                self.errors.push(format!("duplicate transition id '{}'", def.id));
+                self.errors
+                    .push(format!("duplicate transition id '{}'", def.id));
                 continue;
             }
             let guard = match &def.guard {
@@ -395,7 +439,8 @@ impl StatechartBuilder {
                 Some(src) => match selfserv_expr::parse(src) {
                     Ok(e) => Some(e),
                     Err(e) => {
-                        self.errors.push(format!("transition '{}', guard: {e}", def.id));
+                        self.errors
+                            .push(format!("transition '{}', guard: {e}", def.id));
                         continue;
                     }
                 },
@@ -404,7 +449,10 @@ impl StatechartBuilder {
             let mut ok = true;
             for (var, src) in &def.actions {
                 match selfserv_expr::parse(src) {
-                    Ok(expr) => actions.push(Assignment { var: var.clone(), expr }),
+                    Ok(expr) => actions.push(Assignment {
+                        var: var.clone(),
+                        expr,
+                    }),
                     Err(e) => {
                         self.errors
                             .push(format!("transition '{}', action on '{var}': {e}", def.id));
@@ -461,7 +509,10 @@ mod tests {
             .final_state("f")
             .build()
             .unwrap_err();
-        assert!(err.iter().any(|e| e.contains("duplicate state id")), "{err:?}");
+        assert!(
+            err.iter().any(|e| e.contains("duplicate state id")),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -474,12 +525,18 @@ mod tests {
             .transition(TransitionDef::new("t", "a", "f"))
             .build()
             .unwrap_err();
-        assert!(err.iter().any(|e| e.contains("duplicate transition id")), "{err:?}");
+        assert!(
+            err.iter().any(|e| e.contains("duplicate transition id")),
+            "{err:?}"
+        );
     }
 
     #[test]
     fn missing_initial_is_an_error() {
-        let err = StatechartBuilder::new("X").choice("a", "A").build().unwrap_err();
+        let err = StatechartBuilder::new("X")
+            .choice("a", "A")
+            .build()
+            .unwrap_err();
         assert!(err.iter().any(|e| e.contains("initial")), "{err:?}");
     }
 
@@ -513,7 +570,10 @@ mod tests {
             .final_state("f")
             .build()
             .unwrap_err();
-        assert!(err.iter().any(|e| e.contains("'a'") && e.contains("'p'")), "{err:?}");
+        assert!(
+            err.iter().any(|e| e.contains("'a'") && e.contains("'p'")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -42,8 +42,8 @@ mod xml_codec;
 
 pub use builder::{StatechartBuilder, TaskDef, TransitionDef};
 pub use model::{
-    Assignment, InputMapping, OutputMapping, RegionSpec, ServiceBinding, State, StateId,
-    StateKind, Statechart, TaskSpec, Transition, VarDecl,
+    Assignment, InputMapping, OutputMapping, RegionSpec, ServiceBinding, State, StateId, StateKind,
+    Statechart, TaskSpec, Transition, VarDecl,
 };
 pub use validate::{ValidationIssue, ValidationReport};
 pub use xml_codec::StatechartCodecError;

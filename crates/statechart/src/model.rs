@@ -317,12 +317,18 @@ impl Statechart {
 
     /// Outgoing transitions of a state, in declaration order.
     pub fn outgoing(&self, id: &StateId) -> Vec<&Transition> {
-        self.transitions.iter().filter(|t| &t.source == id).collect()
+        self.transitions
+            .iter()
+            .filter(|t| &t.source == id)
+            .collect()
     }
 
     /// Incoming transitions of a state, in declaration order.
     pub fn incoming(&self, id: &StateId) -> Vec<&Transition> {
-        self.transitions.iter().filter(|t| &t.target == id).collect()
+        self.transitions
+            .iter()
+            .filter(|t| &t.target == id)
+            .collect()
     }
 
     /// Final states of `parent`'s region `region` (root region when
@@ -366,8 +372,10 @@ impl Statechart {
     pub fn referenced_communities(&self) -> Vec<String> {
         let mut out = Vec::new();
         for s in self.task_states() {
-            if let Some(TaskSpec { binding: ServiceBinding::Community { community, .. }, .. }) =
-                s.task().cloned().as_ref()
+            if let Some(TaskSpec {
+                binding: ServiceBinding::Community { community, .. },
+                ..
+            }) = s.task().cloned().as_ref()
             {
                 if !out.contains(community) {
                     out.push(community.clone());
@@ -452,7 +460,11 @@ mod tests {
         assert_eq!(out.len(), 2, "flight choice has two guarded branches");
         assert!(out.iter().all(|t| t.guard.is_some()));
         let ab_in = sc.incoming(&StateId::new("AB"));
-        assert_eq!(ab_in.len(), 2, "both flight branches lead to accommodation booking");
+        assert_eq!(
+            ab_in.len(),
+            2,
+            "both flight branches lead to accommodation booking"
+        );
     }
 
     #[test]
@@ -485,11 +497,17 @@ mod tests {
 
     #[test]
     fn binding_accessors() {
-        let b = ServiceBinding::Community { community: "AB".into(), operation: "book".into() };
+        let b = ServiceBinding::Community {
+            community: "AB".into(),
+            operation: "book".into(),
+        };
         assert!(b.is_community());
         assert_eq!(b.operation(), "book");
         assert_eq!(b.target(), "AB");
-        let s = ServiceBinding::Service { service: "CR".into(), operation: "rent".into() };
+        let s = ServiceBinding::Service {
+            service: "CR".into(),
+            operation: "rent".into(),
+        };
         assert!(!s.is_community());
         assert_eq!(s.target(), "CR");
     }

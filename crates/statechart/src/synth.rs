@@ -40,9 +40,17 @@ pub fn sequence(n: usize) -> Statechart {
     }
     b = b.final_state("F");
     for i in 0..n - 1 {
-        b = b.transition(TransitionDef::new(format!("t{i}"), format!("s{i}"), format!("s{}", i + 1)));
+        b = b.transition(TransitionDef::new(
+            format!("t{i}"),
+            format!("s{i}"),
+            format!("s{}", i + 1),
+        ));
     }
-    b = b.transition(TransitionDef::new(format!("t{}", n - 1), format!("s{}", n - 1), "F"));
+    b = b.transition(TransitionDef::new(
+        format!("t{}", n - 1),
+        format!("s{}", n - 1),
+        "F",
+    ));
     b.build().expect("synthetic sequence is well-formed")
 }
 
@@ -51,7 +59,9 @@ pub fn sequence(n: usize) -> Statechart {
 /// `n ≥ 1`.
 pub fn xor_choice(n: usize) -> Statechart {
     assert!(n >= 1, "xor_choice needs at least one branch");
-    let mut b = base(format!("SynthXor{n}")).initial("C").choice("C", "Branch Choice");
+    let mut b = base(format!("SynthXor{n}"))
+        .initial("C")
+        .choice("C", "Branch Choice");
     for i in 0..n {
         b = b.task(synth_task(i));
     }
@@ -78,12 +88,19 @@ pub fn parallel(n: usize) -> Statechart {
         .zip(initials.iter())
         .map(|(r, s)| (r.as_str(), s.as_str()))
         .collect();
-    let mut b = base(format!("SynthPar{n}")).initial("P").concurrent("P", "Parallel Block", regions);
+    let mut b =
+        base(format!("SynthPar{n}"))
+            .initial("P")
+            .concurrent("P", "Parallel Block", regions);
     for i in 0..n {
         b = b
             .task_in_region("P", i, synth_task(i))
             .final_in("P", i, format!("rf{i}"))
-            .transition(TransitionDef::new(format!("t{i}"), format!("s{i}"), format!("rf{i}")));
+            .transition(TransitionDef::new(
+                format!("t{i}"),
+                format!("s{i}"),
+                format!("rf{i}"),
+            ));
     }
     b = b
         .final_state("F")
@@ -99,11 +116,21 @@ pub fn nested(depth: usize) -> Statechart {
     // c0 wraps c1 wraps ... wraps c(depth-1) which wraps the task.
     for lvl in 0..depth {
         let id = format!("c{lvl}");
-        let inner = if lvl + 1 < depth { format!("c{}", lvl + 1) } else { "inner".to_string() };
+        let inner = if lvl + 1 < depth {
+            format!("c{}", lvl + 1)
+        } else {
+            "inner".to_string()
+        };
         if lvl == 0 {
             b = b.compound(id, format!("Level {lvl}"), inner);
         } else {
-            b = b.compound_in(format!("c{}", lvl - 1), 0, id, format!("Level {lvl}"), inner);
+            b = b.compound_in(
+                format!("c{}", lvl - 1),
+                0,
+                id,
+                format!("Level {lvl}"),
+                inner,
+            );
         }
     }
     let last = format!("c{}", depth - 1);
@@ -114,7 +141,9 @@ pub fn nested(depth: usize) -> Statechart {
     // Rename: the innermost task id is `s0`, its compound's initial must be
     // "inner" — fix by pointing initial at s0 instead.
     // (Handled below by rebuilding with correct initial name.)
-    b = b.final_state("F").transition(TransitionDef::new("to", "c0", "F"));
+    b = b
+        .final_state("F")
+        .transition(TransitionDef::new("to", "c0", "F"));
     // Each compound level except the innermost completes when its child
     // compound completes; add the chain of finals.
     for lvl in 0..depth.saturating_sub(1) {
@@ -122,7 +151,11 @@ pub fn nested(depth: usize) -> Statechart {
         let child = format!("c{}", lvl + 1);
         b = b
             .final_in(parent.clone(), 0, format!("f{lvl}"))
-            .transition(TransitionDef::new(format!("tf{lvl}"), child, format!("f{lvl}")));
+            .transition(TransitionDef::new(
+                format!("tf{lvl}"),
+                child,
+                format!("f{lvl}"),
+            ));
     }
     let sc = b.build().expect("synthetic nested chart is well-formed");
     // Fix the innermost compound's initial: it was declared as "inner" but
@@ -132,7 +165,9 @@ pub fn nested(depth: usize) -> Statechart {
     if let Some(state) = sc.state(&last_id).cloned() {
         if let crate::model::StateKind::Compound { .. } = state.kind {
             let mut fixed = state;
-            fixed.kind = crate::model::StateKind::Compound { initial: "s0".into() };
+            fixed.kind = crate::model::StateKind::Compound {
+                initial: "s0".into(),
+            };
             sc.insert_state(fixed);
         }
     }
@@ -175,8 +210,16 @@ pub fn ladder(width: usize, depth: usize) -> Statechart {
     }
     b = b.final_state("F");
     for d in 0..depth {
-        let target = if d + 1 < depth { format!("P{}", d + 1) } else { "F".to_string() };
-        b = b.transition(TransitionDef::new(format!("tp{d}"), format!("P{d}"), target));
+        let target = if d + 1 < depth {
+            format!("P{}", d + 1)
+        } else {
+            "F".to_string()
+        };
+        b = b.transition(TransitionDef::new(
+            format!("tp{d}"),
+            format!("P{d}"),
+            target,
+        ));
     }
     b.build().expect("synthetic ladder is well-formed")
 }
@@ -239,7 +282,13 @@ mod tests {
 
     #[test]
     fn synth_charts_round_trip_xml() {
-        for sc in [sequence(4), xor_choice(3), parallel(3), nested(3), ladder(2, 2)] {
+        for sc in [
+            sequence(4),
+            xor_choice(3),
+            parallel(3),
+            nested(3),
+            ladder(2, 2),
+        ] {
             let back = Statechart::from_xml(&sc.to_xml()).unwrap();
             assert_eq!(back, sc, "{} failed xml round-trip", sc.name);
         }
@@ -250,7 +299,10 @@ mod tests {
         assert_eq!(synth_service_name(3), "SynthService3");
         let sc = sequence(3);
         let services = sc.referenced_services();
-        assert_eq!(services, vec!["SynthService0", "SynthService1", "SynthService2"]);
+        assert_eq!(
+            services,
+            vec!["SynthService0", "SynthService1", "SynthService2"]
+        );
     }
 }
 
@@ -260,7 +312,10 @@ struct Lcg(u64);
 
 impl Lcg {
     fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 33
     }
 
@@ -283,8 +338,15 @@ pub fn recursive(seed: u64, budget: usize, max_depth: usize) -> Statechart {
     let mut prev: Option<String> = None;
     let mut initial = None;
     for seg in 0..segments {
-        let id =
-            build_segment(&mut b, &mut rng, &mut next_id, &mut remaining, max_depth, None, 0);
+        let id = build_segment(
+            &mut b,
+            &mut rng,
+            &mut next_id,
+            &mut remaining,
+            max_depth,
+            None,
+            0,
+        );
         if seg == 0 {
             initial = Some(id.clone());
         }
@@ -338,7 +400,11 @@ fn build_segment(
         };
         id
     }
-    let choice = if depth >= max_depth || *remaining <= 1 { 0 } else { rng.below(3) };
+    let choice = if depth >= max_depth || *remaining <= 1 {
+        0
+    } else {
+        rng.below(3)
+    };
     match choice {
         // Compound wrapping a nested segment.
         1 => {
@@ -401,8 +467,10 @@ fn build_segment(
                 .enumerate()
                 .map(|(r, init)| (format!("r{r}"), init.clone()))
                 .collect();
-            let region_refs: Vec<(&str, &str)> =
-                regions.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+            let region_refs: Vec<(&str, &str)> = regions
+                .iter()
+                .map(|(a, b)| (a.as_str(), b.as_str()))
+                .collect();
             let taken = std::mem::take(b);
             *b = match &parent {
                 None => taken.concurrent(id.clone(), format!("Parallel {id}"), region_refs),

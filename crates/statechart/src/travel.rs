@@ -168,8 +168,16 @@ pub fn travel_statechart() -> Statechart {
 }
 
 /// Cities the `domestic` predicate recognises as Australian.
-pub const DOMESTIC_CITIES: &[&str] =
-    &["Sydney", "Melbourne", "Brisbane", "Perth", "Adelaide", "Cairns", "Darwin", "Hobart"];
+pub const DOMESTIC_CITIES: &[&str] = &[
+    "Sydney",
+    "Melbourne",
+    "Brisbane",
+    "Perth",
+    "Adelaide",
+    "Cairns",
+    "Darwin",
+    "Hobart",
+];
 
 /// Attraction → "home" city pairs the `near` predicate treats as close.
 /// Everything else counts as far, triggering the car rental.
@@ -185,13 +193,13 @@ pub const NEAR_PAIRS: &[(&str, &str)] = &[
 /// alongside the statechart.
 pub fn register_predicates(env: &mut MapEnv) {
     env.register_fn("domestic", |args| {
-        let city = args
-            .first()
-            .and_then(Value::as_str)
-            .ok_or_else(|| EvalError::FunctionError {
-                function: "domestic".into(),
-                message: "expects one string argument".into(),
-            })?;
+        let city =
+            args.first()
+                .and_then(Value::as_str)
+                .ok_or_else(|| EvalError::FunctionError {
+                    function: "domestic".into(),
+                    message: "expects one string argument".into(),
+                })?;
         Ok(Value::Bool(DOMESTIC_CITIES.contains(&city)))
     });
     env.register_fn("near", |args| {
@@ -205,7 +213,9 @@ pub fn register_predicates(env: &mut MapEnv) {
         let attraction = args[0].as_str().unwrap_or("");
         let place = args[1].as_str().unwrap_or("");
         Ok(Value::Bool(
-            NEAR_PAIRS.iter().any(|(a, p)| *a == attraction && *p == place),
+            NEAR_PAIRS
+                .iter()
+                .any(|(a, p)| *a == attraction && *p == place),
         ))
     });
 }
@@ -282,14 +292,26 @@ mod tests {
         let mut env = MapEnv::with_builtins();
         register_predicates(&mut env);
         env.set("destination", Value::str("Sydney"));
-        assert!(parse("domestic(destination)").unwrap().eval_bool(&env).unwrap());
+        assert!(parse("domestic(destination)")
+            .unwrap()
+            .eval_bool(&env)
+            .unwrap());
         env.set("destination", Value::str("Hong Kong"));
-        assert!(!parse("domestic(destination)").unwrap().eval_bool(&env).unwrap());
+        assert!(!parse("domestic(destination)")
+            .unwrap()
+            .eval_bool(&env)
+            .unwrap());
         env.set("major_attraction", Value::str("Opera House"));
         env.set("accommodation", Value::str("Sydney CBD Hotel"));
-        assert!(parse("near(major_attraction, accommodation)").unwrap().eval_bool(&env).unwrap());
+        assert!(parse("near(major_attraction, accommodation)")
+            .unwrap()
+            .eval_bool(&env)
+            .unwrap());
         env.set("accommodation", Value::str("Bondi Hostel"));
-        assert!(!parse("near(major_attraction, accommodation)").unwrap().eval_bool(&env).unwrap());
+        assert!(!parse("near(major_attraction, accommodation)")
+            .unwrap()
+            .eval_bool(&env)
+            .unwrap());
     }
 
     #[test]

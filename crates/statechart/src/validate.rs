@@ -55,15 +55,25 @@ impl ValidationReport {
 
     /// The warning findings.
     pub fn warnings(&self) -> impl Iterator<Item = &ValidationIssue> {
-        self.issues.iter().filter(|i| i.severity == Severity::Warning)
+        self.issues
+            .iter()
+            .filter(|i| i.severity == Severity::Warning)
     }
 
     fn error(&mut self, code: &'static str, message: String) {
-        self.issues.push(ValidationIssue { severity: Severity::Error, code, message });
+        self.issues.push(ValidationIssue {
+            severity: Severity::Error,
+            code,
+            message,
+        });
     }
 
     fn warn(&mut self, code: &'static str, message: String) {
-        self.issues.push(ValidationIssue { severity: Severity::Warning, code, message });
+        self.issues.push(ValidationIssue {
+            severity: Severity::Warning,
+            code,
+            message,
+        });
     }
 }
 
@@ -135,11 +145,17 @@ impl Statechart {
             ),
             Some(s) if s.parent.is_some() => r.error(
                 "initial-not-root",
-                format!("initial state '{}' is not a child of the root region", self.initial),
+                format!(
+                    "initial state '{}' is not a child of the root region",
+                    self.initial
+                ),
             ),
             Some(s) if s.is_final() => r.warn(
                 "initial-is-final",
-                format!("initial state '{}' is final: the composite does nothing", self.initial),
+                format!(
+                    "initial state '{}' is final: the composite does nothing",
+                    self.initial
+                ),
             ),
             _ => {}
         }
@@ -224,7 +240,10 @@ impl Statechart {
                 if src.is_final() {
                     r.error(
                         "final-with-outgoing",
-                        format!("final state '{}' has outgoing transition '{}'", t.source, t.id),
+                        format!(
+                            "final state '{}' has outgoing transition '{}'",
+                            t.source, t.id
+                        ),
                     );
                 }
             }
@@ -346,7 +365,10 @@ impl Statechart {
                 None => "root region".to_string(),
                 Some(p) => format!("'{p}' region {region}"),
             };
-            if !members.iter().any(|s| s.is_final() && reached.contains(&s.id)) {
+            if !members
+                .iter()
+                .any(|s| s.is_final() && reached.contains(&s.id))
+            {
                 r.error(
                     "no-final-reachable",
                     format!("no final state is reachable from '{initial}' in {region_desc}"),
@@ -481,7 +503,11 @@ mod tests {
             .build()
             .unwrap();
         let r = sc.validate();
-        assert!(codes(&r).contains(&"cross-boundary-transition"), "{:?}", r.issues);
+        assert!(
+            codes(&r).contains(&"cross-boundary-transition"),
+            "{:?}",
+            r.issues
+        );
     }
 
     #[test]

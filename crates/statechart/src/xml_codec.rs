@@ -3,8 +3,8 @@
 //! subsequent analysis and processing by the service deployer").
 
 use crate::model::{
-    Assignment, InputMapping, OutputMapping, RegionSpec, ServiceBinding, State, StateId,
-    StateKind, Statechart, TaskSpec, Transition, VarDecl,
+    Assignment, InputMapping, OutputMapping, RegionSpec, ServiceBinding, State, StateId, StateKind,
+    Statechart, TaskSpec, Transition, VarDecl,
 };
 use selfserv_expr::Value;
 use selfserv_wsdl::ParamType;
@@ -34,13 +34,17 @@ impl From<String> for StatechartCodecError {
 
 impl From<XmlError> for StatechartCodecError {
     fn from(e: XmlError) -> Self {
-        StatechartCodecError { message: e.to_string() }
+        StatechartCodecError {
+            message: e.to_string(),
+        }
     }
 }
 
 impl From<selfserv_expr::ParseError> for StatechartCodecError {
     fn from(e: selfserv_expr::ParseError) -> Self {
-        StatechartCodecError { message: e.to_string() }
+        StatechartCodecError {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -48,10 +52,12 @@ fn decode_initial_value(ty: ParamType, s: &str) -> Result<Value, StatechartCodec
     Ok(match ty {
         ParamType::Str | ParamType::Date => Value::Str(s.to_string()),
         ParamType::Int => Value::Int(
-            s.parse().map_err(|_| StatechartCodecError::from(format!("bad int {s:?}")))?,
+            s.parse()
+                .map_err(|_| StatechartCodecError::from(format!("bad int {s:?}")))?,
         ),
         ParamType::Float => Value::Float(
-            s.parse().map_err(|_| StatechartCodecError::from(format!("bad float {s:?}")))?,
+            s.parse()
+                .map_err(|_| StatechartCodecError::from(format!("bad float {s:?}")))?,
         ),
         ParamType::Bool => match s {
             "true" => Value::Bool(true),
@@ -106,7 +112,10 @@ impl Statechart {
                         e.set_attr("service", service);
                         e.set_attr("operation", operation);
                     }
-                    ServiceBinding::Community { community, operation } => {
+                    ServiceBinding::Community {
+                        community,
+                        operation,
+                    } => {
                         e.set_attr("community", community);
                         e.set_attr("operation", operation);
                     }
@@ -161,7 +170,11 @@ impl Statechart {
                 Some(s) => Some(decode_initial_value(ty, s)?),
                 None => None,
             };
-            sc.variables.push(VarDecl { name: ve.require_attr("name")?.to_string(), ty, initial });
+            sc.variables.push(VarDecl {
+                name: ve.require_attr("name")?.to_string(),
+                ty,
+                initial,
+            });
         }
         for se in root.find_all("state") {
             decode_state(&mut sc, se, None, 0)?;
@@ -191,7 +204,9 @@ fn encode_transition(t: &Transition) -> Element {
     }
     for a in &t.actions {
         e.push_child(
-            Element::new("action").with_attr("var", &a.var).with_attr("expr", a.expr.to_string()),
+            Element::new("action")
+                .with_attr("var", &a.var)
+                .with_attr("expr", a.expr.to_string()),
         );
     }
     e
@@ -232,9 +247,15 @@ fn decode_state(
         "task" => {
             let operation = e.require_attr("operation")?.to_string();
             let binding = if let Some(svc) = e.attr("service") {
-                ServiceBinding::Service { service: svc.to_string(), operation }
+                ServiceBinding::Service {
+                    service: svc.to_string(),
+                    operation,
+                }
             } else if let Some(comm) = e.attr("community") {
-                ServiceBinding::Community { community: comm.to_string(), operation }
+                ServiceBinding::Community {
+                    community: comm.to_string(),
+                    operation,
+                }
             } else {
                 return Err(format!(
                     "task state '{id}' has neither service nor community attribute"
@@ -255,7 +276,11 @@ fn decode_state(
                     var: m.require_attr("var")?.to_string(),
                 });
             }
-            StateKind::Task(TaskSpec { binding, inputs, outputs })
+            StateKind::Task(TaskSpec {
+                binding,
+                inputs,
+                outputs,
+            })
         }
         "choice" => StateKind::Choice,
         "final" => StateKind::Final,
@@ -281,7 +306,13 @@ fn decode_state(
         }
         other => return Err(format!("state '{id}' has unknown kind {other:?}").into()),
     };
-    sc.insert_state(State { id, name, parent: parent.cloned(), region, kind });
+    sc.insert_state(State {
+        id,
+        name,
+        parent: parent.cloned(),
+        region,
+        kind,
+    });
     Ok(())
 }
 
@@ -302,7 +333,10 @@ mod tests {
     fn xml_contains_paper_guards() {
         let xml = travel_statechart().to_xml().to_pretty_xml();
         assert!(xml.contains("domestic(destination)"), "{xml}");
-        assert!(xml.contains("not near(major_attraction, accommodation)"), "{xml}");
+        assert!(
+            xml.contains("not near(major_attraction, accommodation)"),
+            "{xml}"
+        );
     }
 
     #[test]
@@ -363,7 +397,10 @@ mod tests {
             <state id="a" kind="task" operation="op"/>
         </statechart>"#;
         let err = Statechart::from_xml_str(xml).unwrap_err();
-        assert!(err.message.contains("neither service nor community"), "{err}");
+        assert!(
+            err.message.contains("neither service nor community"),
+            "{err}"
+        );
     }
 
     #[test]

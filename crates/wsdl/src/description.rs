@@ -77,7 +77,11 @@ impl ParamType {
             "boolean" => ParamType::Bool,
             "date" => ParamType::Date,
             "list" => ParamType::List,
-            other => return Err(WsdlError::Malformed(format!("unknown parameter type {other:?}"))),
+            other => {
+                return Err(WsdlError::Malformed(format!(
+                    "unknown parameter type {other:?}"
+                )))
+            }
         })
     }
 
@@ -112,12 +116,20 @@ pub struct Param {
 impl Param {
     /// A required parameter.
     pub fn required(name: impl Into<String>, ty: ParamType) -> Self {
-        Param { name: name.into(), ty, required: true }
+        Param {
+            name: name.into(),
+            ty,
+            required: true,
+        }
     }
 
     /// An optional parameter.
     pub fn optional(name: impl Into<String>, ty: ParamType) -> Self {
-        Param { name: name.into(), ty, required: false }
+        Param {
+            name: name.into(),
+            ty,
+            required: false,
+        }
     }
 
     fn to_xml(&self, tag: &str) -> Element {
@@ -268,7 +280,10 @@ impl OperationDef {
     /// Decodes the XML form.
     pub fn from_xml(e: &Element) -> Result<Self, WsdlError> {
         if e.name != "operation" {
-            return Err(WsdlError::Malformed(format!("expected <operation>, got <{}>", e.name)));
+            return Err(WsdlError::Malformed(format!(
+                "expected <operation>, got <{}>",
+                e.name
+            )));
         }
         let mut op = OperationDef::new(e.require_attr("name")?);
         if let Some(doc) = e.child_text("documentation") {
@@ -281,10 +296,12 @@ impl OperationDef {
             op.outputs.push(Param::from_xml(o)?);
         }
         for c in e.find_all("consumes") {
-            op.consumed_events.push(c.require_attr("event")?.to_string());
+            op.consumed_events
+                .push(c.require_attr("event")?.to_string());
         }
         for p in e.find_all("produces") {
-            op.produced_events.push(p.require_attr("event")?.to_string());
+            op.produced_events
+                .push(p.require_attr("event")?.to_string());
         }
         Ok(op)
     }
@@ -334,12 +351,18 @@ pub struct Binding {
 impl Binding {
     /// A native-fabric binding.
     pub fn fabric(endpoint: impl Into<String>) -> Self {
-        Binding { protocol: Protocol::SelfServ, endpoint: endpoint.into() }
+        Binding {
+            protocol: Protocol::SelfServ,
+            endpoint: endpoint.into(),
+        }
     }
 
     /// A TCP binding.
     pub fn tcp(endpoint: impl Into<String>) -> Self {
-        Binding { protocol: Protocol::Tcp, endpoint: endpoint.into() }
+        Binding {
+            protocol: Protocol::Tcp,
+            endpoint: endpoint.into(),
+        }
     }
 
     fn to_xml(&self) -> Element {
@@ -431,7 +454,10 @@ impl ServiceDescription {
     /// Decodes the XML form.
     pub fn from_xml(e: &Element) -> Result<Self, WsdlError> {
         if e.name != "definitions" {
-            return Err(WsdlError::Malformed(format!("expected <definitions>, got <{}>", e.name)));
+            return Err(WsdlError::Malformed(format!(
+                "expected <definitions>, got <{}>",
+                e.name
+            )));
         }
         let mut d = ServiceDescription::new(e.require_attr("name")?, e.require_attr("provider")?);
         if let Some(doc) = e.child_text("documentation") {

@@ -48,7 +48,11 @@ impl MessageKind {
             "request" => MessageKind::Request,
             "response" => MessageKind::Response,
             "fault" => MessageKind::Fault,
-            other => return Err(WsdlError::Malformed(format!("unknown message kind {other:?}"))),
+            other => {
+                return Err(WsdlError::Malformed(format!(
+                    "unknown message kind {other:?}"
+                )))
+            }
         })
     }
 }
@@ -69,7 +73,11 @@ pub(crate) fn value_param_type(v: &Value) -> Option<ParamType> {
 impl MessageDoc {
     /// An empty request for `operation`.
     pub fn request(operation: impl Into<String>) -> Self {
-        MessageDoc { operation: operation.into(), kind: MessageKind::Request, params: BTreeMap::new() }
+        MessageDoc {
+            operation: operation.into(),
+            kind: MessageKind::Request,
+            params: BTreeMap::new(),
+        }
     }
 
     /// An empty response for `operation`.
@@ -180,7 +188,10 @@ impl MessageDoc {
     /// Decodes the XML message form.
     pub fn from_xml(e: &Element) -> Result<Self, WsdlError> {
         if e.name != "message" {
-            return Err(WsdlError::Malformed(format!("expected <message>, got <{}>", e.name)));
+            return Err(WsdlError::Malformed(format!(
+                "expected <message>, got <{}>",
+                e.name
+            )));
         }
         let mut m = MessageDoc {
             operation: e.require_attr("operation")?.to_string(),
@@ -209,7 +220,9 @@ fn encode_param(name: &str, value: &Value) -> Element {
         Value::Str(_) => "string",
         Value::List(_) => "list",
     };
-    let mut e = Element::new("param").with_attr("name", name).with_attr("type", ty);
+    let mut e = Element::new("param")
+        .with_attr("name", name)
+        .with_attr("type", ty);
     match value {
         Value::Null => {}
         Value::List(items) => {
@@ -226,38 +239,41 @@ fn decode_param(e: &Element) -> Result<(String, Value), WsdlError> {
     let name = e.require_attr("name")?.to_string();
     let ty = e.attr("type").unwrap_or("string");
     let text = e.text();
-    let value = match ty {
-        "null" => Value::Null,
-        "boolean" => match text.as_str() {
-            "true" => Value::Bool(true),
-            "false" => Value::Bool(false),
+    let value =
+        match ty {
+            "null" => Value::Null,
+            "boolean" => match text.as_str() {
+                "true" => Value::Bool(true),
+                "false" => Value::Bool(false),
+                other => {
+                    return Err(WsdlError::Malformed(format!(
+                        "param '{name}': bad boolean {other:?}"
+                    )))
+                }
+            },
+            "int" => {
+                Value::Int(text.trim().parse().map_err(|_| {
+                    WsdlError::Malformed(format!("param '{name}': bad int {text:?}"))
+                })?)
+            }
+            "float" => Value::Float(text.trim().parse().map_err(|_| {
+                WsdlError::Malformed(format!("param '{name}': bad float {text:?}"))
+            })?),
+            "string" | "date" => Value::Str(text),
+            "list" => {
+                let mut items = Vec::new();
+                for item in e.find_all("param") {
+                    let (_, v) = decode_param(item)?;
+                    items.push(v);
+                }
+                Value::List(items)
+            }
             other => {
                 return Err(WsdlError::Malformed(format!(
-                    "param '{name}': bad boolean {other:?}"
+                    "param '{name}': unknown type {other:?}"
                 )))
             }
-        },
-        "int" => Value::Int(
-            text.trim()
-                .parse()
-                .map_err(|_| WsdlError::Malformed(format!("param '{name}': bad int {text:?}")))?,
-        ),
-        "float" => Value::Float(
-            text.trim()
-                .parse()
-                .map_err(|_| WsdlError::Malformed(format!("param '{name}': bad float {text:?}")))?,
-        ),
-        "string" | "date" => Value::Str(text),
-        "list" => {
-            let mut items = Vec::new();
-            for item in e.find_all("param") {
-                let (_, v) = decode_param(item)?;
-                items.push(v);
-            }
-            Value::List(items)
-        }
-        other => return Err(WsdlError::Malformed(format!("param '{name}': unknown type {other:?}"))),
-    };
+        };
     Ok((name, value))
 }
 
@@ -289,8 +305,11 @@ mod tests {
 
     #[test]
     fn kind_round_trip() {
-        for make in [MessageDoc::request("x"), MessageDoc::response("x"), MessageDoc::fault("x", "boom")]
-        {
+        for make in [
+            MessageDoc::request("x"),
+            MessageDoc::response("x"),
+            MessageDoc::fault("x", "boom"),
+        ] {
             let back = MessageDoc::from_xml(&make.to_xml()).unwrap();
             assert_eq!(back.kind, make.kind);
         }
@@ -306,8 +325,12 @@ mod tests {
 
     #[test]
     fn merge_from_overwrites() {
-        let mut a = MessageDoc::request("op").with("x", Value::Int(1)).with("y", Value::Int(2));
-        let b = MessageDoc::response("op").with("y", Value::Int(20)).with("z", Value::Int(30));
+        let mut a = MessageDoc::request("op")
+            .with("x", Value::Int(1))
+            .with("y", Value::Int(2));
+        let b = MessageDoc::response("op")
+            .with("y", Value::Int(20))
+            .with("z", Value::Int(30));
         a.merge_from(&b);
         assert_eq!(a.get("x"), Some(&Value::Int(1)));
         assert_eq!(a.get("y"), Some(&Value::Int(20)));
@@ -316,14 +339,19 @@ mod tests {
 
     #[test]
     fn deterministic_encoding_order() {
-        let m1 = MessageDoc::request("op").with("b", Value::Int(2)).with("a", Value::Int(1));
-        let m2 = MessageDoc::request("op").with("a", Value::Int(1)).with("b", Value::Int(2));
+        let m1 = MessageDoc::request("op")
+            .with("b", Value::Int(2))
+            .with("a", Value::Int(1));
+        let m2 = MessageDoc::request("op")
+            .with("a", Value::Int(1))
+            .with("b", Value::Int(2));
         assert_eq!(m1.to_xml().to_xml(), m2.to_xml().to_xml());
     }
 
     #[test]
     fn decode_rejects_bad_lexicals() {
-        let bad_int = "<message operation=\"o\"><param name=\"n\" type=\"int\">xyz</param></message>";
+        let bad_int =
+            "<message operation=\"o\"><param name=\"n\" type=\"int\">xyz</param></message>";
         assert!(MessageDoc::from_xml_str(bad_int).is_err());
         let bad_bool =
             "<message operation=\"o\"><param name=\"b\" type=\"boolean\">maybe</param></message>";

@@ -53,7 +53,11 @@ pub struct Element {
 impl Element {
     /// Creates an empty element with the given tag name.
     pub fn new(name: impl Into<String>) -> Self {
-        Element { name: name.into(), attrs: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Builder: adds an attribute and returns `self`.
@@ -73,7 +77,8 @@ impl Element {
 
     /// Builder: appends every element of an iterator as a child.
     pub fn with_children(mut self, children: impl IntoIterator<Item = Element>) -> Self {
-        self.children.extend(children.into_iter().map(Node::Element));
+        self.children
+            .extend(children.into_iter().map(Node::Element));
         self
     }
 
@@ -123,7 +128,10 @@ impl Element {
 
     /// Returns the value of an attribute, if present.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Returns an attribute value or a positioned error message suitable for
@@ -184,7 +192,10 @@ impl Element {
     /// Total number of elements in this subtree, including `self`.
     /// Used by benches to size generated documents.
     pub fn subtree_size(&self) -> usize {
-        1 + self.child_elements().map(Element::subtree_size).sum::<usize>()
+        1 + self
+            .child_elements()
+            .map(Element::subtree_size)
+            .sum::<usize>()
     }
 
     /// Descends through the tree following `/`-separated child element names
@@ -259,15 +270,17 @@ mod tests {
     fn child_text_reads_wrapped_value() {
         let e = Element::new("service")
             .with_child(Element::new("name").with_text("Accommodation Booking"));
-        assert_eq!(e.child_text("name").as_deref(), Some("Accommodation Booking"));
+        assert_eq!(
+            e.child_text("name").as_deref(),
+            Some("Accommodation Booking")
+        );
         assert_eq!(e.child_text("absent"), None);
     }
 
     #[test]
     fn get_path_descends() {
         let doc = Element::new("definitions").with_child(
-            Element::new("service")
-                .with_child(Element::new("operation").with_attr("name", "book")),
+            Element::new("service").with_child(Element::new("operation").with_attr("name", "book")),
         );
         let op = doc.get_path("service/operation").unwrap();
         assert_eq!(op.attr("name"), Some("book"));

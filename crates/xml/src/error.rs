@@ -98,13 +98,27 @@ impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             XmlError::UnexpectedEof { expected, position } => {
-                write!(f, "{position}: unexpected end of input while reading {expected}")
+                write!(
+                    f,
+                    "{position}: unexpected end of input while reading {expected}"
+                )
             }
-            XmlError::UnexpectedChar { expected, found, position } => {
+            XmlError::UnexpectedChar {
+                expected,
+                found,
+                position,
+            } => {
                 write!(f, "{position}: expected {expected}, found {found:?}")
             }
-            XmlError::MismatchedTag { open, close, position } => {
-                write!(f, "{position}: closing tag </{close}> does not match open element <{open}>")
+            XmlError::MismatchedTag {
+                open,
+                close,
+                position,
+            } => {
+                write!(
+                    f,
+                    "{position}: closing tag </{close}> does not match open element <{open}>"
+                )
             }
             XmlError::DuplicateAttribute { name, position } => {
                 write!(f, "{position}: duplicate attribute {name:?}")
@@ -128,7 +142,10 @@ mod tests {
 
     #[test]
     fn position_displays_line_and_column() {
-        let p = Position { line: 3, column: 17 };
+        let p = Position {
+            line: 3,
+            column: 17,
+        };
         assert_eq!(p.to_string(), "3:17");
     }
 
@@ -148,7 +165,9 @@ mod tests {
     #[test]
     fn error_position_accessor() {
         assert_eq!(XmlError::NoRootElement.position(), None);
-        let e = XmlError::TrailingContent { position: Position::START };
+        let e = XmlError::TrailingContent {
+            position: Position::START,
+        };
         assert_eq!(e.position(), Some(Position::START));
     }
 }

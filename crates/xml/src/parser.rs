@@ -77,10 +77,16 @@ pub fn parse_document(input: &str) -> Result<Document, XmlError> {
         } else if p.starts_with("<?") {
             p.skip_pi()?;
         } else {
-            return Err(XmlError::TrailingContent { position: p.position() });
+            return Err(XmlError::TrailingContent {
+                position: p.position(),
+            });
         }
     }
-    Ok(Document { leading_comments, root, trailing_comments })
+    Ok(Document {
+        leading_comments,
+        root,
+        trailing_comments,
+    })
 }
 
 struct Parser<'a> {
@@ -93,11 +99,19 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str) -> Self {
-        Parser { src, pos: 0, line: 1, col: 1 }
+        Parser {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn position(&self) -> Position {
-        Position { line: self.line, column: self.col }
+        Position {
+            line: self.line,
+            column: self.col,
+        }
     }
 
     fn eof(&self) -> bool {
@@ -141,7 +155,10 @@ impl<'a> Parser<'a> {
             self.consume(s);
             Ok(())
         } else if self.eof() {
-            Err(XmlError::UnexpectedEof { expected: s, position: self.position() })
+            Err(XmlError::UnexpectedEof {
+                expected: s,
+                position: self.position(),
+            })
         } else {
             Err(XmlError::UnexpectedChar {
                 expected: s,
@@ -241,7 +258,10 @@ impl<'a> Parser<'a> {
 
     fn read_name(&mut self, what: &'static str) -> Result<String, XmlError> {
         match self.peek_char() {
-            None => Err(XmlError::UnexpectedEof { expected: what, position: self.position() }),
+            None => Err(XmlError::UnexpectedEof {
+                expected: what,
+                position: self.position(),
+            }),
             Some(c) if !Self::is_name_start(c) => Err(XmlError::UnexpectedChar {
                 expected: what,
                 found: c,
@@ -550,7 +570,11 @@ mod tests {
     fn rejects_mismatched_tags_with_position() {
         let err = parse("<a><b></a></b>").unwrap_err();
         match err {
-            XmlError::MismatchedTag { open, close, position } => {
+            XmlError::MismatchedTag {
+                open,
+                close,
+                position,
+            } => {
                 assert_eq!(open, "b");
                 assert_eq!(close, "a");
                 assert_eq!(position.line, 1);
@@ -610,7 +634,10 @@ mod tests {
     #[test]
     fn comments_inside_elements_are_preserved() {
         let e = parse("<a><!-- note --><b/></a>").unwrap();
-        assert!(e.children.iter().any(|n| matches!(n, Node::Comment(c) if c.contains("note"))));
+        assert!(e
+            .children
+            .iter()
+            .any(|n| matches!(n, Node::Comment(c) if c.contains("note"))));
     }
 
     #[test]

@@ -12,7 +12,9 @@ fn arb_name() -> impl Strategy<Value = String> {
 /// Text content without leading/trailing whitespace (the parser trims text
 /// in mixed content, see the whitespace policy) and without control chars.
 fn arb_text() -> impl Strategy<Value = String> {
-    "[ -~]{0,24}".prop_map(|s| s.trim().to_string()).prop_filter("non-empty", |s| !s.is_empty())
+    "[ -~]{0,24}"
+        .prop_map(|s| s.trim().to_string())
+        .prop_filter("non-empty", |s| !s.is_empty())
 }
 
 fn arb_attr_value() -> impl Strategy<Value = String> {
@@ -48,7 +50,11 @@ fn arb_element(depth: u32) -> impl Strategy<Value = Element> {
         return leaf.boxed();
     }
     let inner = arb_element(depth - 1);
-    (arb_name(), arb_attrs(), proptest::collection::vec(inner, 0..4))
+    (
+        arb_name(),
+        arb_attrs(),
+        proptest::collection::vec(inner, 0..4),
+    )
         .prop_map(|(name, attrs, children)| {
             let mut e = Element::new(name);
             e.attrs = attrs;

@@ -29,11 +29,13 @@ fn main() {
                 .with_input(Param::required("city", ParamType::Str)),
         ),
         Arc::new(HistoryAware::default()),
-        CommunityServerConfig { member_timeout: Duration::from_millis(300), ..Default::default() },
+        CommunityServerConfig {
+            member_timeout: Duration::from_millis(300),
+            ..Default::default()
+        },
     )
     .expect("community spawns");
-    let client =
-        CommunityClient::connect(&net, "travel-agent", "community.accommodation").unwrap();
+    let client = CommunityClient::connect(&net, "travel-agent", "community.accommodation").unwrap();
 
     // Three members: a fast hotel, a slow hostel, and a "liar" that
     // advertises 5 ms but actually takes 80 ms.
@@ -55,7 +57,9 @@ fn main() {
                 id: MemberId(id.to_string()),
                 provider: id.to_string(),
                 endpoint: NodeId::new(node),
-                qos: QosProfile::default().with_duration_ms(advertised_ms).with_cost(rate),
+                qos: QosProfile::default()
+                    .with_duration_ms(advertised_ms)
+                    .with_cost(rate),
             })
             .unwrap();
     }
@@ -67,7 +71,11 @@ fn main() {
     println!("=== first 10 bookings (history builds up, the liar gets demoted) ===");
     for i in 0..10 {
         let out = client.invoke(&request).expect("booking succeeds");
-        println!("  booking {:2} served by {}", i + 1, out.get_str("served_by").unwrap());
+        println!(
+            "  booking {:2} served by {}",
+            i + 1,
+            out.get_str("served_by").unwrap()
+        );
     }
     println!("\n=== member statistics observed by the community ===");
     for (id, stats) in community.history().all() {
@@ -85,7 +93,9 @@ fn main() {
     net.kill(&NodeId::new("svc.bondi-hostel"));
     let mut served = Vec::new();
     for _ in 0..5 {
-        let out = client.invoke(&request).expect("failover keeps bookings working");
+        let out = client
+            .invoke(&request)
+            .expect("failover keeps bookings working");
         served.push(out.get_str("served_by").unwrap().to_string());
     }
     println!("  5 more bookings served by: {}", served.join(", "));

@@ -43,7 +43,10 @@ fn main() {
         .deploy(&sc, &backends)
         .expect("deploys");
 
-    println!("executing two instances of '{}' with tracing on…\n", deployment.composite());
+    println!(
+        "executing two instances of '{}' with tracing on…\n",
+        deployment.composite()
+    );
     for i in 0..2 {
         deployment
             .execute(
@@ -63,7 +66,9 @@ fn main() {
     // The trace shows the AND-regions of each stage activating together
     // and the stage-1 lanes waiting for the full stage-0 join.
     let first = monitor.trace(InstanceId(1));
-    let activations =
-        first.iter().filter(|e| e.kind == selfserv::core::TraceKind::Activated).count();
+    let activations = first
+        .iter()
+        .filter(|e| e.kind == selfserv::core::TraceKind::Activated)
+        .count();
     println!("instance i1 activated {activations} states (3 lanes × 2 stages = 6)");
 }

@@ -22,14 +22,18 @@ const INSTANCES: usize = 100;
 
 fn main() {
     println!("sequence(N), {INSTANCES} instances — messages through the hottest node\n");
-    println!("{:>4} | {:>18} | {:>18} | ratio", "N", "p2p hottest coord", "central engine");
+    println!(
+        "{:>4} | {:>18} | {:>18} | ratio",
+        "N", "p2p hottest coord", "central engine"
+    );
     println!("{}", "-".repeat(60));
     for n in [2usize, 4, 8, 16, 32] {
         let p2p = run_p2p(n);
         let central = run_central(n);
         println!(
             "{n:>4} | {:>18} | {:>18} | {:.1}x",
-            p2p, central,
+            p2p,
+            central,
             central as f64 / p2p.max(1) as f64
         );
     }

@@ -64,11 +64,19 @@ fn main() {
 
     // 3. Deploy: routing tables are generated from the statechart and one
     //    coordinator is spawned per state, plus the composite wrapper.
-    let deployment = Deployer::new(&net).deploy(&statechart, &backends).expect("deploys");
-    println!("deployed '{}' with {} coordinators", deployment.composite(), deployment.coordinator_count());
-    println!("routing plan: {} precondition alternatives, {} notification routes\n",
+    let deployment = Deployer::new(&net)
+        .deploy(&statechart, &backends)
+        .expect("deploys");
+    println!(
+        "deployed '{}' with {} coordinators",
+        deployment.composite(),
+        deployment.coordinator_count()
+    );
+    println!(
+        "routing plan: {} precondition alternatives, {} notification routes\n",
         deployment.plan().total_preconditions(),
-        deployment.plan().total_notifications());
+        deployment.plan().total_notifications()
+    );
 
     // 4. Execute — the small order takes the Confirm branch…
     let out = deployment
@@ -79,7 +87,10 @@ fn main() {
             Duration::from_secs(5),
         )
         .expect("small order succeeds");
-    println!("small order  → confirmed_by = {:?}", out.get_str("confirmed_by"));
+    println!(
+        "small order  → confirmed_by = {:?}",
+        out.get_str("confirmed_by")
+    );
     assert!(out.get_str("confirmed_by").is_some());
 
     // …and the big one escalates.
@@ -91,7 +102,10 @@ fn main() {
             Duration::from_secs(5),
         )
         .expect("big order succeeds");
-    println!("large order → confirmed_by = {:?} (escalated instead)", out.get_str("confirmed_by"));
+    println!(
+        "large order → confirmed_by = {:?} (escalated instead)",
+        out.get_str("confirmed_by")
+    );
     assert!(out.get_str("confirmed_by").is_none());
 
     // 5. The fabric counted every message each peer handled.
@@ -99,7 +113,12 @@ fn main() {
     println!("\n--- per-node message counts ---");
     for node in &metrics.nodes {
         if node.handled() > 0 && !node.node.as_str().contains('~') {
-            println!("{:40} sent {:3}  received {:3}", node.node.as_str(), node.sent, node.received);
+            println!(
+                "{:40} sent {:3}  received {:3}",
+                node.node.as_str(),
+                node.sent,
+                node.received
+            );
         }
     }
 }

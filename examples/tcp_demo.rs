@@ -2,17 +2,84 @@
 //! is transport-agnostic ("exchanged through Java sockets" in the
 //! original).
 //!
+//! Part 1 drives the raw wire format by hand (length-prefixed XML frames
+//! between two listeners). Part 2 runs an *entire composite deployment* —
+//! coordinators, wrapper, service hosts — over [`TcpTransport`], the
+//! socket implementation of the platform's `Transport` seam.
+//!
 //! ```text
 //! cargo run --example tcp_demo
 //! ```
 
+use selfserv::core::{Deployer, EchoService, ServiceBackend};
 use selfserv::net::tcp::TcpEndpoint;
-use selfserv::net::{Envelope, MessageId, NodeId};
-use selfserv::wsdl::MessageDoc;
+use selfserv::net::{Envelope, MessageId, NodeId, TcpTransport, Transport};
+use selfserv::statechart::{StatechartBuilder, TaskDef, TransitionDef};
+use selfserv::wsdl::{MessageDoc, ParamType};
 use selfserv_expr::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
+    raw_frames_demo();
+    platform_over_tcp_demo();
+}
+
+/// A two-state composite deployed and executed entirely over TCP sockets.
+fn platform_over_tcp_demo() {
+    println!("\n--- part 2: a composite service over TcpTransport ---");
+    let tcp = TcpTransport::new();
+    let statechart = StatechartBuilder::new("Socket Pipeline")
+        .variable("item", ParamType::Str)
+        .initial("Quote")
+        .task(
+            TaskDef::new("Quote", "Quote")
+                .service("Pricing", "quote")
+                .input("item", "item")
+                .output("echoed_by", "quoted_by"),
+        )
+        .task(
+            TaskDef::new("Confirm", "Confirm")
+                .service("Orders", "confirm")
+                .input("item", "item")
+                .output("echoed_by", "confirmed_by"),
+        )
+        .final_state("Done")
+        .transition(TransitionDef::new("t1", "Quote", "Confirm"))
+        .transition(TransitionDef::new("t2", "Confirm", "Done"))
+        .build()
+        .expect("well-formed statechart");
+    let mut backends: HashMap<String, Arc<dyn ServiceBackend>> = HashMap::new();
+    for name in ["Pricing", "Orders"] {
+        backends.insert(name.to_string(), Arc::new(EchoService::new(name)));
+    }
+    let deployment = Deployer::new(&tcp)
+        .deploy(&statechart, &backends)
+        .expect("deploys");
+    for node in tcp.node_names() {
+        if let Some(addr) = tcp.addr_of(node.as_str()) {
+            println!("  {node:32} listening on {addr}");
+        }
+    }
+    let out = deployment
+        .execute(
+            MessageDoc::request("execute").with("item", Value::str("coffee beans")),
+            Duration::from_secs(10),
+        )
+        .expect("executes over sockets");
+    println!(
+        "  executed over sockets → quoted_by={:?} confirmed_by={:?}",
+        out.get_str("quoted_by"),
+        out.get_str("confirmed_by"),
+    );
+    assert_eq!(out.get_str("confirmed_by"), Some("Orders"));
+    println!("the full coordinator protocol ran over real TCP listeners.");
+}
+
+/// The original low-level demo: hand-rolled envelopes over raw frames.
+fn raw_frames_demo() {
+    println!("--- part 1: raw length-prefixed frames ---");
     // A "provider" listening on a real socket.
     let provider = TcpEndpoint::bind("127.0.0.1:0").expect("bind provider");
     let provider_addr = provider.addr().to_string();
@@ -26,7 +93,10 @@ fn main() {
         let input = MessageDoc::from_xml(&request.body).unwrap();
         let reply = MessageDoc::response(input.operation.clone())
             .with("confirmation", Value::str("TCP-0042"))
-            .with("echo_city", input.get("city").cloned().unwrap_or(Value::Null));
+            .with(
+                "echo_city",
+                input.get("city").cloned().unwrap_or(Value::Null),
+            );
         // Reply over a fresh connection to the caller's listener.
         let reply_env = Envelope {
             id: MessageId(2),
@@ -58,7 +128,9 @@ fn main() {
     };
     TcpEndpoint::send_to(&provider_addr, &request).expect("send invocation");
 
-    let reply = client.recv_timeout(Duration::from_secs(5)).expect("receive reply");
+    let reply = client
+        .recv_timeout(Duration::from_secs(5))
+        .expect("receive reply");
     let msg = MessageDoc::from_xml(&reply.body).unwrap();
     println!(
         "client got {} → confirmation={} echo_city={}",

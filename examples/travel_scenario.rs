@@ -42,7 +42,10 @@ fn main() {
                 .join(", "),
         );
     }
-    let travel = &demo.manager.registry().find(&FindQuery::any().operation("execute"))[0];
+    let travel = &demo
+        .manager
+        .registry()
+        .find(&FindQuery::any().operation("execute"))[0];
     println!(
         "\ncomposite '{}' is bound to fabric endpoint '{}'",
         travel.description.name,
@@ -90,10 +93,20 @@ fn main() {
 fn print_booking(out: &selfserv::wsdl::MessageDoc) {
     let field = |k: &str| out.get_str(k).unwrap_or("—").to_string();
     println!("  flight        : {}", field("flight_confirmation"));
-    println!("  flight price  : {}", out.get("flight_price").map(|v| v.to_string()).unwrap_or_default());
+    println!(
+        "  flight price  : {}",
+        out.get("flight_price")
+            .map(|v| v.to_string())
+            .unwrap_or_default()
+    );
     println!("  insurance     : {}", field("insurance_policy"));
     println!("  accommodation : {}", field("accommodation"));
     println!("  attraction    : {}", field("major_attraction"));
     println!("  car rental    : {}", field("car_confirmation"));
-    println!("  elapsed       : {} ms", out.get("_elapsed_ms").map(|v| v.to_string()).unwrap_or_default());
+    println!(
+        "  elapsed       : {} ms",
+        out.get("_elapsed_ms")
+            .map(|v| v.to_string())
+            .unwrap_or_default()
+    );
 }

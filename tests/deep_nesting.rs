@@ -14,7 +14,12 @@ use std::time::Duration;
 fn echo_backends(names: &[&str]) -> HashMap<String, Arc<dyn ServiceBackend>> {
     names
         .iter()
-        .map(|n| (n.to_string(), Arc::new(EchoService::new(*n)) as Arc<dyn ServiceBackend>))
+        .map(|n| {
+            (
+                n.to_string(),
+                Arc::new(EchoService::new(*n)) as Arc<dyn ServiceBackend>,
+            )
+        })
         .collect()
 }
 
@@ -26,12 +31,28 @@ fn compound_inside_concurrent_executes() {
         .initial("P")
         .concurrent("P", "Parallel", vec![("left", "C"), ("right", "t2")])
         .compound_in("P", 0, "C", "Left Compound", "t1")
-        .task_in("C", TaskDef::new("t1", "Inner").service("S1", "run").input("p", "payload"))
+        .task_in(
+            "C",
+            TaskDef::new("t1", "Inner")
+                .service("S1", "run")
+                .input("p", "payload"),
+        )
         .final_in("C", 0, "cf")
         .final_in("P", 0, "lf")
-        .task_in_region("P", 1, TaskDef::new("t2", "Right").service("S2", "run").input("p", "payload"))
+        .task_in_region(
+            "P",
+            1,
+            TaskDef::new("t2", "Right")
+                .service("S2", "run")
+                .input("p", "payload"),
+        )
         .final_in("P", 1, "rf")
-        .task(TaskDef::new("t3", "After").service("S3", "run").input("p", "payload").output("echoed_by", "last"))
+        .task(
+            TaskDef::new("t3", "After")
+                .service("S3", "run")
+                .input("p", "payload")
+                .output("echoed_by", "last"),
+        )
         .final_state("F")
         .transition(TransitionDef::new("a", "t1", "cf"))
         .transition(TransitionDef::new("b", "C", "lf"))
@@ -68,14 +89,25 @@ fn double_final_cascade_with_guard_chain() {
             .initial("Outer")
             .compound("Outer", "Outer", "Inner")
             .compound_in("Outer", 0, "Inner", "Inner", "w")
-            .task_in("Inner", TaskDef::new("w", "Work").service("W", "run").input("m", "mode"))
+            .task_in(
+                "Inner",
+                TaskDef::new("w", "Work")
+                    .service("W", "run")
+                    .input("m", "mode"),
+            )
             .final_in("Inner", 0, "inf")
             .task_in(
                 "Outer",
-                TaskDef::new("extra", "Extra").service("X", "run").output("echoed_by", "extra_by"),
+                TaskDef::new("extra", "Extra")
+                    .service("X", "run")
+                    .output("echoed_by", "extra_by"),
             )
             .final_in("Outer", 0, "outf")
-            .task(TaskDef::new("tail", "Tail").service("T", "run").output("echoed_by", "tail_by"))
+            .task(
+                TaskDef::new("tail", "Tail")
+                    .service("T", "run")
+                    .output("echoed_by", "tail_by"),
+            )
             .final_state("F")
             .transition(TransitionDef::new("t1", "w", "inf"))
             // Inner completed: either jump straight to Outer's final
@@ -92,8 +124,11 @@ fn double_final_cascade_with_guard_chain() {
     };
     let sc = build("A");
     let plan = selfserv::routing::generate(&sc).unwrap();
-    assert!(selfserv::routing::verify_plan(&plan).is_empty(), "{:?}",
-        selfserv::routing::verify_plan(&plan));
+    assert!(
+        selfserv::routing::verify_plan(&plan).is_empty(),
+        "{:?}",
+        selfserv::routing::verify_plan(&plan)
+    );
     // The tail's precondition via the fast path must carry the conjoined
     // guard chain (Inner-done fast AND Outer-exit non-skip).
     let tail_table = plan.table(&"tail".into()).unwrap();
@@ -109,7 +144,9 @@ fn double_final_cascade_with_guard_chain() {
     );
 
     let net = Network::new(NetworkConfig::instant());
-    let dep = Deployer::new(&net).deploy(&sc, &echo_backends(&["W", "X", "T"])).unwrap();
+    let dep = Deployer::new(&net)
+        .deploy(&sc, &echo_backends(&["W", "X", "T"]))
+        .unwrap();
     // fast: w → (cascade) → tail, no extra.
     let out = dep
         .execute(
@@ -171,11 +208,15 @@ fn concurrent_inside_concurrent() {
     assert!(fin.iter().any(|p| p.labels.len() == 3), "{fin:?}");
 
     let net = Network::new(NetworkConfig::instant());
-    let counters: Vec<Arc<SyntheticService>> =
-        (1..=3).map(|i| Arc::new(SyntheticService::new(format!("S{i}")))).collect();
+    let counters: Vec<Arc<SyntheticService>> = (1..=3)
+        .map(|i| Arc::new(SyntheticService::new(format!("S{i}"))))
+        .collect();
     let mut backends: HashMap<String, Arc<dyn ServiceBackend>> = HashMap::new();
     for (i, c) in counters.iter().enumerate() {
-        backends.insert(format!("S{}", i + 1), Arc::clone(c) as Arc<dyn ServiceBackend>);
+        backends.insert(
+            format!("S{}", i + 1),
+            Arc::clone(c) as Arc<dyn ServiceBackend>,
+        );
     }
     let dep = Deployer::new(&net).deploy(&sc, &backends).unwrap();
     dep.execute(

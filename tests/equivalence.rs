@@ -102,8 +102,16 @@ fn guarded_arithmetic_chart_agrees() {
         .variable("total", ParamType::Int)
         .initial("start")
         .choice("start", "Start")
-        .task(TaskDef::new("small", "Small").service("SvcA", "run").input("x", "n"))
-        .task(TaskDef::new("big", "Big").service("SvcB", "run").input("x", "n"))
+        .task(
+            TaskDef::new("small", "Small")
+                .service("SvcA", "run")
+                .input("x", "n"),
+        )
+        .task(
+            TaskDef::new("big", "Big")
+                .service("SvcB", "run")
+                .input("x", "n"),
+        )
         .final_state("f")
         .transition(
             TransitionDef::new("t1", "start", "small")

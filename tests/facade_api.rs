@@ -21,7 +21,11 @@ fn readme_quickstart_compiles_and_runs() {
     let statechart = StatechartBuilder::new("Hello")
         .variable("name", ParamType::Str)
         .initial("greet")
-        .task(TaskDef::new("greet", "Greet").service("Greeter", "greet").input("who", "name"))
+        .task(
+            TaskDef::new("greet", "Greet")
+                .service("Greeter", "greet")
+                .input("who", "name"),
+        )
         .final_state("done")
         .transition(TransitionDef::new("t", "greet", "done"))
         .build()

@@ -81,7 +81,9 @@ fn dead_central_engine_kills_everything() {
     central.execute(input(0), Duration::from_secs(5)).unwrap();
     net.kill(central.node());
     for i in 0..4 {
-        let err = central.execute(input(i), Duration::from_millis(300)).unwrap_err();
+        let err = central
+            .execute(input(i), Duration::from_millis(300))
+            .unwrap_err();
         assert!(
             matches!(err, selfserv::core::ExecError::Timeout),
             "central dead → everything times out, got {err}"
@@ -184,7 +186,11 @@ fn lossy_network_degrades_but_does_not_wedge_the_platform() {
     // With 30% loss and no retransmission some instances stall (and time
     // out), but completed ones are correct and the actors survive to serve
     // a lossless epoch afterwards.
-    let net = Network::new(NetworkConfig::instant().with_drop_probability(0.3).with_seed(13));
+    let net = Network::new(
+        NetworkConfig::instant()
+            .with_drop_probability(0.3)
+            .with_seed(13),
+    );
     let sc = synth::sequence(3);
     let dep = Deployer::new(&net).deploy(&sc, &backends(3)).unwrap();
     let mut completed = 0;

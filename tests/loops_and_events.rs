@@ -16,7 +16,11 @@ fn retry_chart(limit: i64) -> selfserv::statechart::Statechart {
         .variable("attempts", ParamType::Int)
         .variable_init("attempts", ParamType::Int, Value::Int(0))
         .initial("work")
-        .task(TaskDef::new("work", "Work").service("Worker", "run").input("n", "attempts"))
+        .task(
+            TaskDef::new("work", "Work")
+                .service("Worker", "run")
+                .input("n", "attempts"),
+        )
         .choice("check", "Check")
         .final_state("done")
         .transition(TransitionDef::new("t1", "work", "check").action("attempts", "attempts + 1"))
@@ -35,8 +39,13 @@ fn retry_loop_runs_the_task_repeatedly() {
     let net = Network::new(NetworkConfig::instant());
     let worker = Arc::new(SyntheticService::new("Worker"));
     let mut backends: HashMap<String, Arc<dyn ServiceBackend>> = HashMap::new();
-    backends.insert("Worker".into(), Arc::clone(&worker) as Arc<dyn ServiceBackend>);
-    let dep = Deployer::new(&net).deploy(&retry_chart(4), &backends).unwrap();
+    backends.insert(
+        "Worker".into(),
+        Arc::clone(&worker) as Arc<dyn ServiceBackend>,
+    );
+    let dep = Deployer::new(&net)
+        .deploy(&retry_chart(4), &backends)
+        .unwrap();
     let out = dep
         .execute(MessageDoc::request("execute"), Duration::from_secs(10))
         .unwrap();
@@ -51,7 +60,11 @@ fn loop_labels_are_consumed_so_reentry_is_clean() {
     let net = Network::new(NetworkConfig::instant());
     let mut backends: HashMap<String, Arc<dyn ServiceBackend>> = HashMap::new();
     backends.insert("Worker".into(), Arc::new(EchoService::new("Worker")));
-    let dep = Arc::new(Deployer::new(&net).deploy(&retry_chart(3), &backends).unwrap());
+    let dep = Arc::new(
+        Deployer::new(&net)
+            .deploy(&retry_chart(3), &backends)
+            .unwrap(),
+    );
     let mut handles = Vec::new();
     for _ in 0..4 {
         let dep = Arc::clone(&dep);
@@ -69,18 +82,23 @@ fn loop_labels_are_consumed_so_reentry_is_clean() {
 
 #[test]
 fn loops_agree_between_p2p_and_central() {
-    use selfserv::core::{naming, CentralConfig, CentralizedOrchestrator, FunctionLibrary, ServiceHost};
+    use selfserv::core::{
+        naming, CentralConfig, CentralizedOrchestrator, FunctionLibrary, ServiceHost,
+    };
     let sc = retry_chart(5);
     // P2P.
     let net = Network::new(NetworkConfig::instant());
     let mut backends: HashMap<String, Arc<dyn ServiceBackend>> = HashMap::new();
     backends.insert("Worker".into(), Arc::new(EchoService::new("Worker")));
     let dep = Deployer::new(&net).deploy(&sc, &backends).unwrap();
-    let p2p = dep.execute(MessageDoc::request("execute"), Duration::from_secs(10)).unwrap();
+    let p2p = dep
+        .execute(MessageDoc::request("execute"), Duration::from_secs(10))
+        .unwrap();
     // Central.
     let net = Network::new(NetworkConfig::instant());
     let node = naming::service_host("Worker");
-    let _host = ServiceHost::spawn(&net, node.clone(), Arc::new(EchoService::new("Worker"))).unwrap();
+    let _host =
+        ServiceHost::spawn(&net, node.clone(), Arc::new(EchoService::new("Worker"))).unwrap();
     let central = CentralizedOrchestrator::spawn(
         &net,
         CentralConfig {
@@ -91,7 +109,9 @@ fn loops_agree_between_p2p_and_central() {
         },
     )
     .unwrap();
-    let cen = central.execute(MessageDoc::request("execute"), Duration::from_secs(10)).unwrap();
+    let cen = central
+        .execute(MessageDoc::request("execute"), Duration::from_secs(10))
+        .unwrap();
     assert_eq!(p2p.get("attempts"), cen.get("attempts"));
 }
 
@@ -103,8 +123,16 @@ fn event_gated_transition_waits_for_external_event() {
     let sc = StatechartBuilder::new("Approval")
         .variable("order", ParamType::Str)
         .initial("prepare")
-        .task(TaskDef::new("prepare", "Prepare").service("Prep", "run").input("o", "order"))
-        .task(TaskDef::new("ship", "Ship").service("Ship", "run").input("o", "order"))
+        .task(
+            TaskDef::new("prepare", "Prepare")
+                .service("Prep", "run")
+                .input("o", "order"),
+        )
+        .task(
+            TaskDef::new("ship", "Ship")
+                .service("Ship", "run")
+                .input("o", "order"),
+        )
         .final_state("done")
         .transition(TransitionDef::new("t1", "prepare", "ship").event("approved"))
         .transition(TransitionDef::new("t2", "ship", "done"))
@@ -113,7 +141,10 @@ fn event_gated_transition_waits_for_external_event() {
     let ship_counter = Arc::new(SyntheticService::new("Ship"));
     let mut backends: HashMap<String, Arc<dyn ServiceBackend>> = HashMap::new();
     backends.insert("Prep".into(), Arc::new(EchoService::new("Prep")));
-    backends.insert("Ship".into(), Arc::clone(&ship_counter) as Arc<dyn ServiceBackend>);
+    backends.insert(
+        "Ship".into(),
+        Arc::clone(&ship_counter) as Arc<dyn ServiceBackend>,
+    );
     let dep = Arc::new(Deployer::new(&net).deploy(&sc, &backends).unwrap());
 
     let dep2 = Arc::clone(&dep);
@@ -125,7 +156,11 @@ fn event_gated_transition_waits_for_external_event() {
     });
     // Give prepare time to complete; ship must still be waiting.
     std::thread::sleep(Duration::from_millis(300));
-    assert_eq!(ship_counter.invocation_count(), 0, "ship ran before approval");
+    assert_eq!(
+        ship_counter.invocation_count(),
+        0,
+        "ship ran before approval"
+    );
     // Raise the event: the instance completes.
     dep.raise_event("approved", None);
     let out = exec.join().unwrap().unwrap();

@@ -1,0 +1,191 @@
+//! Transport equivalence: the same composite services execute
+//! byte-identically over the in-process simulation fabric and over real
+//! TCP sockets.
+//!
+//! This is the acceptance test for the transport seam: every platform
+//! component (coordinators, wrapper, community, registry, service hosts)
+//! is spawned against `&dyn Transport`, so swapping [`Network`] for
+//! [`TcpTransport`] must change *nothing* about the computation — only the
+//! wire. Output documents are compared after stripping `_elapsed_ms`, the
+//! single wall-clock-dependent field.
+
+use selfserv::core::{
+    AccommodationChoice, Deployer, EchoService, ServiceBackend, TravelDemo, TravelDemoConfig,
+};
+use selfserv::net::{Network, NetworkConfig, TcpTransport, Transport};
+use selfserv::statechart::{Statechart, StatechartBuilder, TaskDef, TransitionDef};
+use selfserv::wsdl::{MessageDoc, ParamType};
+use selfserv_expr::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The quickstart composite: quote a price, then confirm or escalate.
+fn quickstart_chart() -> Statechart {
+    StatechartBuilder::new("Quote And Confirm")
+        .variable("item", ParamType::Str)
+        .variable("amount", ParamType::Int)
+        .initial("Quote")
+        .task(
+            TaskDef::new("Quote", "Quote Price")
+                .service("Pricing", "quote")
+                .input("item", "item")
+                .input("amount", "amount")
+                .output("echoed_by", "quoted_by"),
+        )
+        .task(
+            TaskDef::new("Confirm", "Confirm Order")
+                .service("Orders", "confirm")
+                .input("item", "item")
+                .output("echoed_by", "confirmed_by"),
+        )
+        .task(
+            TaskDef::new("Escalate", "Escalate To Human")
+                .service("Helpdesk", "escalate")
+                .input("item", "item"),
+        )
+        .final_state("Done")
+        .transition(TransitionDef::new("t1", "Quote", "Confirm").guard("amount <= 100"))
+        .transition(TransitionDef::new("t2", "Quote", "Escalate").guard("amount > 100"))
+        .transition(TransitionDef::new("t3", "Confirm", "Done"))
+        .transition(TransitionDef::new("t4", "Escalate", "Done"))
+        .build()
+        .expect("well-formed statechart")
+}
+
+/// Serializes a response with the wall-clock field removed; everything
+/// else must be byte-identical across transports.
+fn normalized(doc: &MessageDoc) -> String {
+    let mut clean = MessageDoc::response(doc.operation.clone());
+    for (k, v) in doc.iter() {
+        if k != "_elapsed_ms" {
+            clean.set(k, v.clone());
+        }
+    }
+    clean.to_xml().to_xml()
+}
+
+/// Runs the quickstart composite (both guard branches) over `net` and
+/// returns the normalized outputs plus a per-named-node traffic census.
+fn run_quickstart(net: &dyn Transport) -> (Vec<String>, Vec<(String, u64, u64)>) {
+    let mut backends: HashMap<String, Arc<dyn ServiceBackend>> = HashMap::new();
+    for name in ["Pricing", "Orders", "Helpdesk"] {
+        backends.insert(name.to_string(), Arc::new(EchoService::new(name)));
+    }
+    let deployment = Deployer::new(net)
+        .deploy(&quickstart_chart(), &backends)
+        .expect("deploys");
+    net.reset_metrics();
+    let mut outputs = Vec::new();
+    for (item, amount) in [("coffee beans", 12), ("espresso machines", 5000)] {
+        let out = deployment
+            .execute(
+                MessageDoc::request("execute")
+                    .with("item", Value::str(item))
+                    .with("amount", Value::Int(amount)),
+                Duration::from_secs(10),
+            )
+            .expect("executes");
+        outputs.push(normalized(&out));
+    }
+    // Census before undeploy so stop messages don't show up. Anonymous
+    // (`~`) client/reply nodes are transport bookkeeping, not protocol.
+    // TCP delivery counters are updated by reader threads after the reply
+    // reaches the caller, so poll until the census stops moving.
+    let census = settled_census(net);
+    deployment.undeploy();
+    (outputs, census)
+}
+
+fn census(net: &dyn Transport) -> Vec<(String, u64, u64)> {
+    net.metrics()
+        .nodes
+        .iter()
+        .filter(|n| !n.node.as_str().contains('~'))
+        .map(|n| (n.node.as_str().to_string(), n.sent, n.received))
+        .collect()
+}
+
+fn settled_census(net: &dyn Transport) -> Vec<(String, u64, u64)> {
+    let mut last = census(net);
+    for _ in 0..40 {
+        std::thread::sleep(Duration::from_millis(25));
+        let next = census(net);
+        if next == last {
+            return next;
+        }
+        last = next;
+    }
+    last
+}
+
+/// Runs the travel scenario (domestic and international bookings, far
+/// accommodation so car rental and the community both engage) over `net`.
+fn run_travel(net: &dyn Transport) -> Vec<String> {
+    let demo = TravelDemo::launch(
+        net,
+        TravelDemoConfig {
+            accommodation: AccommodationChoice::FarFromAttraction,
+            ..Default::default()
+        },
+    )
+    .expect("demo launches");
+    let mut outputs = Vec::new();
+    for (customer, destination) in [("Eileen", "Sydney"), ("Quan", "Hong Kong")] {
+        let out = demo
+            .book_trip(customer, destination, "2002-08-20", "2002-08-27")
+            .expect("booking succeeds");
+        outputs.push(normalized(&out));
+    }
+    outputs
+}
+
+#[test]
+fn quickstart_outputs_identical_over_fabric_and_tcp() {
+    let fabric = Network::new(NetworkConfig::instant());
+    let tcp = TcpTransport::new();
+    let (fabric_out, fabric_census) = run_quickstart(&fabric);
+    let (tcp_out, tcp_census) = run_quickstart(&tcp);
+    assert_eq!(
+        fabric_out, tcp_out,
+        "output documents must be byte-identical"
+    );
+    // The small order confirmed, the large one escalated — on both wires.
+    assert!(fabric_out[0].contains("confirmed_by"));
+    assert!(!fabric_out[1].contains("confirmed_by"));
+    // The coordination protocol itself is also identical: every named node
+    // sent and received exactly the same number of messages.
+    assert_eq!(
+        fabric_census, tcp_census,
+        "per-node traffic must match across transports"
+    );
+}
+
+#[test]
+fn travel_scenario_outputs_identical_over_fabric_and_tcp() {
+    let fabric = Network::new(NetworkConfig::instant());
+    let tcp = TcpTransport::new();
+    let fabric_out = run_travel(&fabric);
+    let tcp_out = run_travel(&tcp);
+    assert_eq!(fabric_out, tcp_out, "travel outputs must be byte-identical");
+    // Sanity: the runs actually exercised the interesting paths.
+    assert!(fabric_out[0].contains("QF-"), "domestic flight booked");
+    assert!(
+        fabric_out[0].contains("CAR-"),
+        "far accommodation rents a car"
+    );
+    assert!(fabric_out[1].contains("GW-"), "international flight booked");
+    assert!(fabric_out[1].contains("POL-"), "international trip insured");
+}
+
+#[test]
+fn tcp_deployment_survives_repeated_cycles() {
+    // Deploy/undeploy repeatedly on one TcpTransport: names must free up
+    // and accept threads must be joined (no listener leaks blocking
+    // rebinds, no stale connections delivering to dead nodes).
+    let tcp = TcpTransport::new();
+    for round in 0..3 {
+        let (outputs, _) = run_quickstart(&tcp);
+        assert_eq!(outputs.len(), 2, "round {round} produced both outputs");
+    }
+}

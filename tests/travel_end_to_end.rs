@@ -12,8 +12,13 @@ use std::time::Duration;
 fn domestic_near_accommodation_skips_car_rental() {
     let net = Network::new(NetworkConfig::instant());
     let demo = TravelDemo::launch(&net, TravelDemoConfig::default()).unwrap();
-    let out = demo.book_trip("Eileen", "Sydney", "2002-08-20", "2002-08-27").unwrap();
-    assert!(out.get_str("flight_confirmation").unwrap().starts_with("QF-"));
+    let out = demo
+        .book_trip("Eileen", "Sydney", "2002-08-20", "2002-08-27")
+        .unwrap();
+    assert!(out
+        .get_str("flight_confirmation")
+        .unwrap()
+        .starts_with("QF-"));
     assert_eq!(out.get_str("accommodation"), Some("Sydney CBD Hotel"));
     assert!(out.get("car_confirmation").is_none());
     assert!(out.get("insurance_policy").is_none());
@@ -30,8 +35,13 @@ fn international_far_accommodation_rents_car_and_insures() {
         },
     )
     .unwrap();
-    let out = demo.book_trip("Quan", "Hong Kong", "2002-08-20", "2002-09-01").unwrap();
-    assert!(out.get_str("flight_confirmation").unwrap().starts_with("GW-"));
+    let out = demo
+        .book_trip("Quan", "Hong Kong", "2002-08-20", "2002-09-01")
+        .unwrap();
+    assert!(out
+        .get_str("flight_confirmation")
+        .unwrap()
+        .starts_with("GW-"));
     assert!(out.get_str("insurance_policy").unwrap().starts_with("POL-"));
     assert!(out.get_str("car_confirmation").unwrap().starts_with("CAR-"));
     assert_eq!(out.get_str("accommodation"), Some("Bondi Hostel"));
@@ -44,9 +54,16 @@ fn composite_discoverable_and_executable_via_remote_registry_lookup() {
     // A remote end user searches the registry over the fabric (Figure 3's
     // Search panel), then executes via the discovered binding.
     let client = RegistryClient::connect(&net, "end-user", "uddi").unwrap();
-    let hits = client.find(&FindQuery::any().service_name("Travel Planning")).unwrap();
+    let hits = client
+        .find(&FindQuery::any().service_name("Travel Planning"))
+        .unwrap();
     assert_eq!(hits.len(), 1);
-    let endpoint = hits[0].description.primary_binding().unwrap().endpoint.clone();
+    let endpoint = hits[0]
+        .description
+        .primary_binding()
+        .unwrap()
+        .endpoint
+        .clone();
     assert_eq!(endpoint, demo.deployment.wrapper_node().as_str());
 
     let user = net.connect("end-user-exec").unwrap();
@@ -56,11 +73,19 @@ fn composite_discoverable_and_executable_via_remote_registry_lookup() {
         .with("departure_date", Value::str("2002-09-01"))
         .with("return_date", Value::str("2002-09-08"));
     let reply = user
-        .rpc(endpoint.as_str(), "wrapper.execute", input.to_xml(), Duration::from_secs(10))
+        .rpc(
+            endpoint.as_str(),
+            "wrapper.execute",
+            input.to_xml(),
+            Duration::from_secs(10),
+        )
         .unwrap();
     let out = MessageDoc::from_xml(&reply.body).unwrap();
     assert!(!out.is_fault(), "{:?}", out.fault_reason());
-    assert_eq!(out.get_str("major_attraction"), Some("Queen Victoria Market"));
+    assert_eq!(
+        out.get_str("major_attraction"),
+        Some("Queen Victoria Market")
+    );
 }
 
 #[test]
@@ -87,7 +112,10 @@ fn concurrent_bookings_do_not_interfere() {
             // Data flow isolation: each instance's inputs survive intact.
             assert_eq!(out.get_str("customer"), Some(customer.as_str()));
             let expect_prefix = if i % 2 == 0 { "QF-" } else { "GW-" };
-            assert!(out.get_str("flight_confirmation").unwrap().starts_with(expect_prefix));
+            assert!(out
+                .get_str("flight_confirmation")
+                .unwrap()
+                .starts_with(expect_prefix));
         }));
     }
     for h in handles {
@@ -100,7 +128,8 @@ fn coordination_is_peer_to_peer_not_through_wrapper() {
     let net = Network::new(NetworkConfig::instant());
     let demo = TravelDemo::launch(&net, TravelDemoConfig::default()).unwrap();
     net.reset_metrics();
-    demo.book_trip("Eileen", "Sydney", "2002-08-20", "2002-08-27").unwrap();
+    demo.book_trip("Eileen", "Sydney", "2002-08-20", "2002-08-27")
+        .unwrap();
     let m = net.metrics();
     // The wrapper receives exactly: the execute request + the two region
     // completion notifications that feed its AND-join finish alternative
@@ -114,7 +143,10 @@ fn coordination_is_peer_to_peer_not_through_wrapper() {
         .filter(|n| n.node.as_str().contains(".coord."))
         .map(|n| n.sent)
         .sum();
-    assert!(coord_traffic >= 5, "expected P2P notifications, got {coord_traffic}");
+    assert!(
+        coord_traffic >= 5,
+        "expected P2P notifications, got {coord_traffic}"
+    );
 }
 
 #[test]
@@ -130,15 +162,15 @@ fn travel_works_over_lossy_lan_with_latency() {
         },
     )
     .unwrap();
-    let out = demo.book_trip("Eileen", "Sydney", "2002-08-20", "2002-08-27").unwrap();
+    let out = demo
+        .book_trip("Eileen", "Sydney", "2002-08-20", "2002-08-27")
+        .unwrap();
     assert!(out.get("_elapsed_ms").is_some());
 }
 
 #[test]
 fn monitored_travel_run_produces_a_complete_trace() {
-    use selfserv::core::{
-        Deployer, ExecutionMonitor, FunctionLibrary, ServiceBackend, TraceKind,
-    };
+    use selfserv::core::{Deployer, ExecutionMonitor, FunctionLibrary, ServiceBackend, TraceKind};
     use selfserv::statechart::travel;
     use std::collections::HashMap;
     use std::sync::Arc;
@@ -186,7 +218,12 @@ fn monitored_travel_run_produces_a_complete_trace() {
     );
     backends.insert(
         "DirectAccommodation".into(),
-        Arc::new(AccommodationService::new("Direct", "Bondi Hostel", 85.0, Duration::ZERO)),
+        Arc::new(AccommodationService::new(
+            "Direct",
+            "Bondi Hostel",
+            85.0,
+            Duration::ZERO,
+        )),
     );
     let dep = Deployer::new(&net)
         .with_functions(FunctionLibrary::travel())
@@ -203,7 +240,10 @@ fn monitored_travel_run_produces_a_complete_trace() {
             Duration::from_secs(10),
         )
         .unwrap();
-    assert!(out.get_str("car_confirmation").is_some(), "Bondi is far → CR runs");
+    assert!(
+        out.get_str("car_confirmation").is_some(),
+        "Bondi is far → CR runs"
+    );
     std::thread::sleep(Duration::from_millis(100));
 
     let instance = monitor.instances()[0];
@@ -216,7 +256,10 @@ fn monitored_travel_run_produces_a_complete_trace() {
     // Domestic branch via Bondi: FC, DFB, AB, AS, CR all activate; the
     // international states never do.
     for expected in ["FC", "DFB", "AB", "AS", "CR"] {
-        assert!(activated.contains(&expected), "{expected} missing from {activated:?}");
+        assert!(
+            activated.contains(&expected),
+            "{expected} missing from {activated:?}"
+        );
     }
     assert!(!activated.contains(&"IFB"));
     assert!(!activated.contains(&"TI"));
@@ -224,6 +267,9 @@ fn monitored_travel_run_produces_a_complete_trace() {
     assert!(trace.iter().any(|e| e.kind == TraceKind::InstanceStarted));
     assert!(trace.iter().any(|e| e.kind == TraceKind::InstanceFinished));
     // Every activation has a matching completion.
-    let completed = trace.iter().filter(|e| e.kind == TraceKind::Completed).count();
+    let completed = trace
+        .iter()
+        .filter(|e| e.kind == TraceKind::Completed)
+        .count();
     assert_eq!(completed, activated.len());
 }

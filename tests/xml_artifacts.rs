@@ -65,7 +65,10 @@ fn travel_statechart_xml_matches_paper_vocabulary() {
         "kind=\"concurrent\"",
         "community=\"AccommodationBooking\"",
     ] {
-        assert!(xml.contains(needle), "statechart XML lacks {needle:?}:\n{xml}");
+        assert!(
+            xml.contains(needle),
+            "statechart XML lacks {needle:?}:\n{xml}"
+        );
     }
 }
 
@@ -87,7 +90,10 @@ fn message_documents_survive_fabric_transport() {
     let msg = MessageDoc::request("bookFlight")
         .with("customer", Value::str("Eileen & co <travel>"))
         .with("budget", Value::Float(1500.25))
-        .with("legs", Value::List(vec![Value::str("SYD"), Value::str("HKG")]));
+        .with(
+            "legs",
+            Value::List(vec![Value::str("SYD"), Value::str("HKG")]),
+        );
     let env = Envelope {
         id: MessageId(9),
         from: NodeId::new("a"),

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the harness surface this workspace's benches use. Under
+//! `cargo bench` (cargo passes `--bench` to harness-less bench targets)
+//! each benchmark warms up and measures for the configured durations and
+//! prints mean ns/iter with min/max. Under `cargo test` (no `--bench`
+//! flag) each benchmark runs a single iteration as a smoke test, so bench
+//! code stays compile- and run-checked by the test suite without costing
+//! bench-scale time.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// True when invoked by `cargo bench` (full measurement mode).
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Optional substring filter: `cargo bench -- <filter>`.
+fn filter() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.into_iter().find(|a| !a.starts_with('-'))
+}
+
+/// Identifies one benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered as `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    full: bool,
+    measurement: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records per-iteration timing.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if !self.full {
+            // Test mode: one smoke iteration.
+            black_box(f());
+            return;
+        }
+        let started = Instant::now();
+        while started.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    measurement: Duration,
+    warm_up: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_secs(3),
+            warm_up: Duration::from_millis(500),
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builder: measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Builder: warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Builder: target sample count (accepted for API compatibility; the
+    /// shim measures for `measurement_time` and reports whatever samples
+    /// fit).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(None, id.into(), f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+
+    fn run(&mut self, group: Option<&str>, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let full_id = match group {
+            Some(g) => format!("{g}/{}", id.0),
+            None => id.0,
+        };
+        if let Some(pat) = filter() {
+            if !full_id.contains(&pat) {
+                return;
+            }
+        }
+        let full = bench_mode();
+        if full {
+            // Warm-up pass: iterate without recording.
+            let mut warm = Bencher {
+                full: true,
+                measurement: self.warm_up,
+                samples: Vec::new(),
+            };
+            f(&mut warm);
+        }
+        let mut b = Bencher {
+            full,
+            measurement: self.measurement,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if !full {
+            println!("bench {full_id}: ok (test mode, 1 iteration)");
+            return;
+        }
+        if b.samples.is_empty() {
+            println!("bench {full_id}: no samples (closure never called iter?)");
+            return;
+        }
+        b.samples.sort();
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / b.samples.len() as u32;
+        let p50 = b.samples[b.samples.len() / 2];
+        let min = b.samples[0];
+        let max = b.samples[b.samples.len() - 1];
+        println!(
+            "bench {full_id}: {} iters  mean {:?}  p50 {:?}  min {:?}  max {:?}",
+            b.samples.len(),
+            mean,
+            p50,
+            min,
+            max
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = self.name.clone();
+        self.c.run(Some(&name), id.into(), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = self.name.clone();
+        self.c.run(Some(&name), id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_closure_in_test_mode() {
+        let mut c = Criterion::default();
+        let mut calls = 0;
+        c.bench_function("smoke", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+    }
+}

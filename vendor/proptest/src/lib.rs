@@ -1,0 +1,761 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses: composable
+//! generation strategies (`prop_map`, `prop_filter`, `prop_recursive`,
+//! `prop_oneof!`, tuples, ranges, regex-subset string patterns,
+//! collections) and the `proptest!` test macro running a configurable
+//! number of deterministic cases. Unlike real proptest there is **no
+//! shrinking**: a failing case reports its assertion directly, and cases
+//! are reproducible because each (test, case-index) pair derives a fixed
+//! RNG seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashSet};
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// Test-case RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic RNG for one test case.
+    pub fn for_case(case: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(
+            0x5e1f_5e12 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.0.gen_range(0..n)
+    }
+}
+
+/// Run configuration for [`proptest!`] blocks.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A value-generation strategy.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred` (regenerating, bounded retries).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives the strategy for the
+    /// next-smaller depth and wraps it one level. `_desired_size` and
+    /// `_expected_branch` are accepted for API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            // At each level, generation picks the leaf half the time so
+            // depth stays bounded and small values stay common.
+            strat = Union {
+                arms: vec![leaf.clone(), recurse(strat).boxed()],
+            }
+            .boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S> DynStrategy<S::Value> for S
+where
+    S: Strategy,
+{
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 1000 consecutive values",
+            self.reason
+        );
+    }
+}
+
+/// Uniform choice between boxed arms — the engine behind [`prop_oneof!`].
+pub struct Union<V> {
+    /// The candidate strategies.
+    pub arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = rng.index(self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical full-range strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------------
+
+/// `&str` patterns act as string strategies over a regex subset: sequences
+/// of literal characters and character classes (`[a-z0-9_.-]`, ranges and
+/// literals) with optional `{m,n}` / `{n}` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.index(atom.max - atom.min + 1) + atom.min
+            };
+            for _ in 0..n {
+                out.push(atom.chars[rng.index(atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut items: Vec<char> = Vec::new();
+                for d in chars.by_ref() {
+                    if d == ']' {
+                        break;
+                    }
+                    items.push(d);
+                }
+                let mut i = 0;
+                while i < items.len() {
+                    // `a-z` is a range unless the `-` is first or last.
+                    if i + 2 < items.len() && items[i + 1] == '-' {
+                        let (lo, hi) = (items[i], items[i + 2]);
+                        assert!(lo <= hi, "bad class range {lo}-{hi} in {pattern:?}");
+                        for ch in lo..=hi {
+                            set.push(ch);
+                        }
+                        i += 3;
+                    } else {
+                        let ch = if items[i] == '\\' && i + 1 < items.len() {
+                            i += 1;
+                            match items[i] {
+                                't' => '\t',
+                                'n' => '\n',
+                                other => other,
+                            }
+                        } else {
+                            items[i]
+                        };
+                        set.push(ch);
+                        i += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                set
+            }
+            '\\' => {
+                let d = chars.next().expect("dangling escape in pattern");
+                vec![match d {
+                    't' => '\t',
+                    'n' => '\n',
+                    other => other,
+                }]
+            }
+            other => vec![other],
+        };
+        // Optional {n} / {m,n} quantifier.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ---------------------------------------------------------------------------
+// Collections and Option
+// ---------------------------------------------------------------------------
+
+/// Collection size specifications accepted by [`collection`] strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.index(self.max_exclusive - self.min)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec`s with element strategy `element` and a size drawn
+    /// from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of values from `element`, sized by `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet`s.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `HashSet` of values from `element`; duplicates are retried a bounded
+    /// number of times, so tight domains may produce smaller sets.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let n = self.size.sample(rng);
+            let mut set = HashSet::new();
+            let mut attempts = 0;
+            while set.len() < n && attempts < n * 20 + 100 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// Strategy for `BTreeMap`s.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `BTreeMap` with keys/values from the given strategies; duplicate
+    /// keys collapse, so tight key domains may produce smaller maps.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.sample(rng);
+            let mut map = BTreeMap::new();
+            let mut attempts = 0;
+            while map.len() < n && attempts < n * 20 + 100 {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::*;
+
+    /// Strategy yielding `None` a quarter of the time.
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` of `inner` three quarters of the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.index(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union { arms: vec![$($crate::Strategy::boxed($arm)),+] }
+    };
+}
+
+/// Assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+); };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+); };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...) { .. }`
+/// becomes a `#[test]` running `config.cases` generated cases with
+/// deterministic per-case seeds.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::TestRng::for_case(case as u64);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg); $($rest)* }
+    };
+}
+
+/// The common imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_generation_respects_classes() {
+        let mut rng = crate::TestRng::for_case(1);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-z][a-z0-9.]{0,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 13);
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.'));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = crate::TestRng::for_case(2);
+        let mut saw_dash = false;
+        for _ in 0..500 {
+            let s = crate::Strategy::generate(&"[a.-]{4}", &mut rng);
+            assert!(s.chars().all(|c| c == 'a' || c == '.' || c == '-'), "{s:?}");
+            saw_dash |= s.contains('-');
+        }
+        assert!(saw_dash);
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let strat = prop_oneof![Just(1u32), (10u32..20).prop_map(|x| x * 2)];
+        let mut rng = crate::TestRng::for_case(3);
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&strat, &mut rng);
+            assert!(v == 1 || (20..40).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn filter_retries() {
+        let strat = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        let mut rng = crate::TestRng::for_case(4);
+        for _ in 0..100 {
+            assert_eq!(crate::Strategy::generate(&strat, &mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_bounds_depth() {
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = any::<u8>()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 4, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut rng = crate::TestRng::for_case(5);
+        for _ in 0..100 {
+            let t = crate::Strategy::generate(&strat, &mut rng);
+            assert!(depth(&t) <= 4, "{t:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_arguments(n in 1usize..10, s in "[a-z]{1,4}", flag in any::<bool>()) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            let _ = flag;
+        }
+
+        #[test]
+        fn tuples_and_collections(v in crate::collection::vec((0u64..5, any::<bool>()), 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for (n, _) in v {
+                prop_assert!(n < 5);
+            }
+        }
+    }
+}
