@@ -1,11 +1,14 @@
 //! Transport seam microbenchmarks: the in-process fabric vs. real TCP
 //! sockets, carrying identical envelopes.
 //!
-//! Two shapes, each over both transports:
-//! * round-trip latency — `Endpoint::rpc` ping/pong against an echo node
-//!   (each rpc also pays the ephemeral reply-endpoint setup, which on TCP
-//!   includes binding a listener: the honest cost of the current rpc
-//!   scheme, and the first target for future optimization);
+//! Three shapes, each over both transports:
+//! * round-trip latency — `Endpoint::rpc` ping/pong against an echo node.
+//!   Replies demultiplex on the caller's persistent endpoint, so an rpc is
+//!   two frames on pooled connections — no per-call endpoint, listener, or
+//!   thread on any transport (on TCP this replaced a fresh listener +
+//!   accept thread + reply connection per call, ~110µs and 3 fds);
+//! * concurrent round trips — 64 rpcs in flight from one endpoint at
+//!   once, exercising the correlation table under contention;
 //! * one-way throughput — a burst of notifications drained by the
 //!   receiver, the shape of coordinator completion traffic.
 
@@ -46,6 +49,25 @@ fn bench_transport(c: &mut Criterion, label: &str, net: &dyn Transport) {
                     Duration::from_secs(10),
                 )
                 .expect("rpc completes")
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("rpc_64_concurrent", label), &(), |b, _| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for _ in 0..BURST {
+                    let sender = client.sender();
+                    s.spawn(move || {
+                        sender
+                            .rpc(
+                                "echo",
+                                "ping",
+                                Element::new("ping"),
+                                Duration::from_secs(10),
+                            )
+                            .expect("concurrent rpc completes")
+                    });
+                }
+            });
         });
     });
     group.bench_with_input(BenchmarkId::new("burst_one_way", label), &(), |b, _| {

@@ -20,7 +20,9 @@ use crate::history::{ExecutionHistory, Outcome};
 use crate::membership::{Community, CommunityError, Member, MemberId, QosProfile};
 use crate::policy::{SelectionContext, SelectionPolicy};
 use parking_lot::RwLock;
-use selfserv_net::{Endpoint, Envelope, NodeId, RpcError, Transport, TransportHandle};
+use selfserv_net::{
+    ConnectError, Endpoint, Envelope, NodeId, NodeSender, RpcError, Transport, TransportHandle,
+};
 use selfserv_wsdl::MessageDoc;
 use selfserv_xml::Element;
 use std::sync::Arc;
@@ -95,7 +97,6 @@ pub struct CommunityServer {
     policy: Arc<dyn SelectionPolicy>,
     config: CommunityServerConfig,
     endpoint: Endpoint,
-    net: TransportHandle,
 }
 
 /// Handle to a spawned [`CommunityServer`].
@@ -154,7 +155,7 @@ impl CommunityServer {
         community: Community,
         policy: Arc<dyn SelectionPolicy>,
         config: CommunityServerConfig,
-    ) -> Result<CommunityServerHandle, NodeId> {
+    ) -> Result<CommunityServerHandle, ConnectError> {
         let endpoint = net.connect(NodeId::new(node_name))?;
         let node = endpoint.node().clone();
         let community = Arc::new(RwLock::new(community));
@@ -165,7 +166,6 @@ impl CommunityServer {
             policy,
             config,
             endpoint,
-            net: net.handle(),
         };
         let thread = std::thread::Builder::new()
             .name(format!("community-{node_name}"))
@@ -181,12 +181,15 @@ impl CommunityServer {
     }
 
     fn run(self) {
-        loop {
-            let Ok(request) = self.endpoint.recv() else {
-                return;
-            };
+        // In-flight invocation workers rpc through this endpoint's reply
+        // demultiplexer, so the endpoint must outlive them: drain (join)
+        // the workers on shutdown instead of dropping the node name out
+        // from under their pending member replies.
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        while let Ok(request) = self.endpoint.recv() {
+            workers.retain(|w| !w.is_finished());
             match request.kind.as_str() {
-                kinds::STOP => return,
+                kinds::STOP => break,
                 kinds::JOIN => {
                     let reply = self.handle_join(&request.body);
                     self.send_reply(&request, reply);
@@ -195,12 +198,15 @@ impl CommunityServer {
                     let reply = self.handle_leave(&request.body);
                     self.send_reply(&request, reply);
                 }
-                kinds::INVOKE => self.handle_invoke(request),
+                kinds::INVOKE => workers.push(self.handle_invoke(request)),
                 other => {
                     let err = CommunityError::Protocol(format!("unknown kind {other:?}"));
                     self.send_reply(&request, Err(err));
                 }
             }
+        }
+        for w in workers {
+            let _ = w.join();
         }
     }
 
@@ -233,18 +239,20 @@ impl CommunityServer {
     }
 
     /// Invocations are handled on worker threads so a slow member cannot
-    /// stall membership changes or other requests.
-    fn handle_invoke(&self, request: Envelope) {
+    /// stall membership changes or other requests. Workers rpc *as the
+    /// community node* through a [`NodeSender`]: member replies come back
+    /// to the community endpoint and are demultiplexed to the right
+    /// worker, so no per-invocation endpoint is created. The returned
+    /// handle lets `run` drain in-flight invocations before shutdown.
+    fn handle_invoke(&self, request: Envelope) -> JoinHandle<()> {
         let community = Arc::clone(&self.community);
         let history = Arc::clone(&self.history);
         let policy = Arc::clone(&self.policy);
-        let net = self.net.clone();
-        let node = self.endpoint.node().clone();
+        let worker = self.endpoint.sender();
         let mode = self.config.mode;
         let member_timeout = self.config.member_timeout;
         let max_attempts = self.config.max_attempts;
         std::thread::spawn(move || {
-            let worker = net.connect_anonymous(&format!("{node}.work"));
             let outcome = delegate(
                 &community,
                 &history,
@@ -262,9 +270,9 @@ impl CommunityServer {
                     Element::new("fault").with_attr("reason", e.to_string()),
                 ),
             };
-            // Reply as the community node would: correlate to the request.
+            // Reply as the community node: correlate to the request.
             let _ = worker.send_correlated(request.from.clone(), kind, body, Some(request.id));
-        });
+        })
     }
 }
 
@@ -273,7 +281,7 @@ fn delegate(
     community: &RwLock<Community>,
     history: &ExecutionHistory,
     policy: &dyn SelectionPolicy,
-    worker: &Endpoint,
+    worker: &NodeSender,
     request: &Envelope,
     mode: DelegationMode,
     member_timeout: Duration,
@@ -413,7 +421,7 @@ impl CommunityClient {
         net: &dyn Transport,
         client_name: &str,
         community_node: impl Into<NodeId>,
-    ) -> Result<Self, NodeId> {
+    ) -> Result<Self, ConnectError> {
         Ok(CommunityClient {
             endpoint: net.connect(NodeId::new(client_name))?,
             community_node: community_node.into(),

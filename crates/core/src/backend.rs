@@ -10,7 +10,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use selfserv_expr::Value;
-use selfserv_net::{Endpoint, NodeId, Transport, TransportHandle};
+use selfserv_net::{ConnectError, Endpoint, NodeId, Transport, TransportHandle};
 use selfserv_wsdl::MessageDoc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -246,7 +246,7 @@ impl ServiceHost {
         net: &dyn Transport,
         node_name: impl Into<NodeId>,
         backend: Arc<dyn ServiceBackend>,
-    ) -> Result<ServiceHostHandle, NodeId> {
+    ) -> Result<ServiceHostHandle, ConnectError> {
         let endpoint = net.connect(node_name.into())?;
         let node = endpoint.node().clone();
         let backend_for_thread = Arc::clone(&backend);

@@ -15,9 +15,11 @@
 
 use crate::coordinator::{apply_actions, build_input, eval_guard};
 use crate::functions::FunctionLibrary;
-use crate::protocol::{kinds, naming, ExecError, InstanceId};
+use crate::protocol::{kinds, naming, ExecError, InstanceId, PersistentClient};
 use selfserv_expr::Value;
-use selfserv_net::{Endpoint, Envelope, MessageId, NodeId, RpcError, Transport, TransportHandle};
+use selfserv_net::{
+    ConnectError, Endpoint, Envelope, MessageId, NodeId, Transport, TransportHandle,
+};
 use selfserv_statechart::{ServiceBinding, StateId, StateKind, Statechart};
 use selfserv_wsdl::MessageDoc;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -45,6 +47,7 @@ pub struct CentralHandle {
     node: NodeId,
     net: TransportHandle,
     thread: Option<JoinHandle<()>>,
+    client: PersistentClient,
 }
 
 impl CentralHandle {
@@ -54,10 +57,15 @@ impl CentralHandle {
     }
 
     /// Executes the composite operation through the central engine (same
-    /// client protocol as [`crate::Deployment::execute`]).
+    /// client protocol as [`crate::Deployment::execute`]; the handle's
+    /// persistent client node carries every call).
     pub fn execute(&self, input: MessageDoc, timeout: Duration) -> Result<MessageDoc, ExecError> {
-        let client = self.net.connect_anonymous("client");
-        self.execute_from(&client, input, timeout)
+        crate::deploy::decode_execute_reply(self.client.sender().rpc(
+            self.node.clone(),
+            kinds::EXECUTE,
+            input.to_xml(),
+            timeout,
+        ))
     }
 
     /// Executes from a specific endpoint.
@@ -67,20 +75,12 @@ impl CentralHandle {
         input: MessageDoc,
         timeout: Duration,
     ) -> Result<MessageDoc, ExecError> {
-        let reply = client
-            .rpc(self.node.clone(), kinds::EXECUTE, input.to_xml(), timeout)
-            .map_err(|e| match e {
-                RpcError::Timeout => ExecError::Timeout,
-                RpcError::Send(s) => ExecError::Unreachable(s.to_string()),
-            })?;
-        let msg = MessageDoc::from_xml(&reply.body)
-            .map_err(|e| ExecError::Unreachable(format!("malformed reply: {e}")))?;
-        if msg.is_fault() {
-            return Err(ExecError::Fault(
-                msg.fault_reason().unwrap_or("unspecified").to_string(),
-            ));
-        }
-        Ok(msg)
+        crate::deploy::decode_execute_reply(client.rpc(
+            self.node.clone(),
+            kinds::EXECUTE,
+            input.to_xml(),
+            timeout,
+        ))
     }
 
     /// Stops the engine.
@@ -129,7 +129,7 @@ struct Engine {
 
 impl CentralizedOrchestrator {
     /// Spawns the engine on `<composite>.central`, over any [`Transport`].
-    pub fn spawn(net: &dyn Transport, cfg: CentralConfig) -> Result<CentralHandle, NodeId> {
+    pub fn spawn(net: &dyn Transport, cfg: CentralConfig) -> Result<CentralHandle, ConnectError> {
         let endpoint = net.connect(naming::central(&cfg.statechart.name))?;
         let node = endpoint.node().clone();
         let mut engine = Engine {
@@ -147,6 +147,7 @@ impl CentralizedOrchestrator {
             node,
             net: net.handle(),
             thread: Some(thread),
+            client: PersistentClient::new(net, "client"),
         })
     }
 }

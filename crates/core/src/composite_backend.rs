@@ -11,8 +11,8 @@
 //! provider.
 
 use crate::backend::ServiceBackend;
-use crate::protocol::kinds;
-use selfserv_net::{NodeId, RpcError, Transport, TransportHandle};
+use crate::protocol::{kinds, PersistentClient};
+use selfserv_net::{NodeId, RpcError, Transport};
 use selfserv_wsdl::MessageDoc;
 use std::time::Duration;
 
@@ -20,21 +20,25 @@ use std::time::Duration;
 /// wrapper node over the fabric.
 pub struct CompositeBackend {
     name: String,
-    net: TransportHandle,
     wrapper_node: NodeId,
     /// Deadline for the nested execution (nested composites can be slow —
     /// they run a whole orchestration).
     pub timeout: Duration,
+    /// Carries every invocation; concurrent calls demultiplex on its
+    /// endpoint, so nothing is allocated per call.
+    client: PersistentClient,
 }
 
 impl CompositeBackend {
     /// Adapts the composite behind `wrapper_node` (e.g.
     /// [`crate::Deployment::wrapper_node`]) as a backend named `name`,
-    /// over any [`Transport`].
+    /// over any [`Transport`]. Connects one client node (`nested.<name>~n`)
+    /// that carries every invocation.
     pub fn new(name: impl Into<String>, net: &dyn Transport, wrapper_node: NodeId) -> Self {
+        let name = name.into();
         CompositeBackend {
-            name: name.into(),
-            net: net.handle(),
+            client: PersistentClient::new(net, format!("nested.{name}")),
+            name,
             wrapper_node,
             timeout: Duration::from_secs(60),
         }
@@ -48,8 +52,9 @@ impl ServiceBackend for CompositeBackend {
         for (k, v) in input.iter() {
             request.set(k, v.clone());
         }
-        let client = self.net.connect_anonymous(&format!("nested.{}", self.name));
-        let reply = client
+        let reply = self
+            .client
+            .sender()
             .rpc(
                 self.wrapper_node.clone(),
                 kinds::EXECUTE,

@@ -10,7 +10,7 @@ use crate::backend::ServiceBackend;
 use crate::functions::FunctionLibrary;
 use crate::protocol::{fault_body, kinds, naming, InstanceId, NotifyPayload};
 use selfserv_expr::Value;
-use selfserv_net::{Endpoint, NodeId, RpcError, Transport, TransportHandle};
+use selfserv_net::{ConnectError, Endpoint, NodeId, RpcError, Transport, TransportHandle};
 use selfserv_routing::{NotificationLabel, Participant, RoutingTable};
 use selfserv_statechart::{Assignment, InputMapping, OutputMapping, StateId};
 use selfserv_wsdl::MessageDoc;
@@ -130,7 +130,10 @@ struct Runtime {
 impl Coordinator {
     /// Spawns a coordinator on its conventional node
     /// (`<composite>.coord.<state>`), over any [`Transport`].
-    pub fn spawn(net: &dyn Transport, cfg: CoordinatorConfig) -> Result<CoordinatorHandle, NodeId> {
+    pub fn spawn(
+        net: &dyn Transport,
+        cfg: CoordinatorConfig,
+    ) -> Result<CoordinatorHandle, ConnectError> {
         let node_name = naming::coordinator(&cfg.composite, &cfg.state);
         let endpoint = net.connect(node_name)?;
         let node = endpoint.node().clone();

@@ -11,9 +11,11 @@
 use crate::backend::ServiceBackend;
 use crate::coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle, TaskRuntime};
 use crate::functions::FunctionLibrary;
-use crate::protocol::{kinds, naming, ExecError, InstanceId};
+use crate::protocol::{kinds, naming, ExecError, InstanceId, PersistentClient};
 use crate::wrapper::{CompositeWrapper, WrapperConfig, WrapperHandle};
-use selfserv_net::{Endpoint, NodeId, RpcError, Transport, TransportHandle};
+use selfserv_net::{
+    ConnectError, Endpoint, Envelope, NodeId, RpcError, Transport, TransportHandle,
+};
 use selfserv_routing::{NotificationLabel, RoutingError, RoutingPlan};
 use selfserv_statechart::{ServiceBinding, StateId, StateKind, Statechart};
 use selfserv_wsdl::MessageDoc;
@@ -42,8 +44,10 @@ pub enum DeploymentError {
         /// The unresolved community name.
         community: String,
     },
-    /// An actor's node name is already taken (composite already deployed?).
-    NodeCollision(NodeId),
+    /// An actor could not connect its node: a name collision (composite
+    /// already deployed?) or a transport provisioning failure (e.g. a TCP
+    /// listener bind error) — see [`ConnectError`] for which.
+    Connect(ConnectError),
 }
 
 impl fmt::Display for DeploymentError {
@@ -62,21 +66,37 @@ impl fmt::Display for DeploymentError {
                     "state '{state}': community '{community}' is not on the fabric"
                 )
             }
-            DeploymentError::NodeCollision(n) => {
+            DeploymentError::Connect(ConnectError::NameTaken(n)) => {
                 write!(
                     f,
                     "node '{n}' already connected — composite already deployed?"
                 )
             }
+            DeploymentError::Connect(e) => {
+                write!(f, "could not connect an actor's node: {e}")
+            }
         }
     }
 }
 
-impl std::error::Error for DeploymentError {}
+impl std::error::Error for DeploymentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeploymentError::Connect(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<RoutingError> for DeploymentError {
     fn from(e: RoutingError) -> Self {
         DeploymentError::Routing(e)
+    }
+}
+
+impl From<ConnectError> for DeploymentError {
+    fn from(e: ConnectError) -> Self {
+        DeploymentError::Connect(e)
     }
 }
 
@@ -214,8 +234,7 @@ impl Deployer {
                 instance_ttl: self.instance_ttl,
                 monitor: self.monitor.clone(),
             };
-            let handle =
-                Coordinator::spawn(&*self.net, cfg).map_err(DeploymentError::NodeCollision)?;
+            let handle = Coordinator::spawn(&*self.net, cfg)?;
             coordinators.push(handle);
         }
 
@@ -232,16 +251,17 @@ impl Deployer {
                 instance_ttl: self.instance_ttl,
                 monitor: self.monitor.clone(),
             },
-        )
-        .map_err(DeploymentError::NodeCollision)?;
+        )?;
 
         Ok(Deployment {
             composite: statechart.name.clone(),
-            net: self.net.clone(),
             wrapper_node: wrapper.node().clone(),
             plan,
             coordinators,
             wrapper: Some(wrapper),
+            // One persistent client node carries every execute/raise_event
+            // of this deployment (connected lazily on first use).
+            client: PersistentClient::new(&*self.net, "client"),
         })
     }
 }
@@ -250,11 +270,11 @@ impl Deployer {
 /// through (Figure 3's Execute button).
 pub struct Deployment {
     composite: String,
-    net: TransportHandle,
     wrapper_node: NodeId,
     plan: RoutingPlan,
     coordinators: Vec<CoordinatorHandle>,
     wrapper: Option<WrapperHandle>,
+    client: PersistentClient,
 }
 
 impl std::fmt::Debug for Deployment {
@@ -287,10 +307,16 @@ impl Deployment {
         self.coordinators.len()
     }
 
-    /// Executes the composite operation from an ephemeral client endpoint.
+    /// Executes the composite operation from the deployment's persistent
+    /// client node (concurrent executes demultiplex on its endpoint; no
+    /// per-call endpoint is created).
     pub fn execute(&self, input: MessageDoc, timeout: Duration) -> Result<MessageDoc, ExecError> {
-        let client = self.net.connect_anonymous("client");
-        self.execute_from(&client, input, timeout)
+        decode_execute_reply(self.client.sender().rpc(
+            self.wrapper_node.clone(),
+            kinds::EXECUTE,
+            input.to_xml(),
+            timeout,
+        ))
     }
 
     /// Executes the composite operation from a specific endpoint (so fabric
@@ -301,36 +327,29 @@ impl Deployment {
         input: MessageDoc,
         timeout: Duration,
     ) -> Result<MessageDoc, ExecError> {
-        let reply = client
-            .rpc(
-                self.wrapper_node.clone(),
-                kinds::EXECUTE,
-                input.to_xml(),
-                timeout,
-            )
-            .map_err(|e| match e {
-                RpcError::Timeout => ExecError::Timeout,
-                RpcError::Send(s) => ExecError::Unreachable(s.to_string()),
-            })?;
-        let msg = MessageDoc::from_xml(&reply.body)
-            .map_err(|e| ExecError::Unreachable(format!("malformed reply: {e}")))?;
-        if msg.is_fault() {
-            return Err(ExecError::Fault(
-                msg.fault_reason().unwrap_or("unspecified").to_string(),
-            ));
-        }
-        Ok(msg)
+        decode_execute_reply(client.rpc(
+            self.wrapper_node.clone(),
+            kinds::EXECUTE,
+            input.to_xml(),
+            timeout,
+        ))
     }
 
     /// Raises an external ECA event: `instance = None` broadcasts to every
     /// live instance.
     pub fn raise_event(&self, name: &str, instance: Option<InstanceId>) {
-        let client = self.net.connect_anonymous("event");
         let body = Element::new("event").with_attr("name", name).with_attr(
             "instance",
             instance.map_or("all".to_string(), |i| i.to_string()),
         );
-        let _ = client.send(self.wrapper_node.clone(), kinds::RAISE_EVENT, body);
+        // The wrapper acks events (so rpc-style raisers don't block);
+        // discard the ack instead of letting it queue in the client's
+        // never-drained mailbox.
+        let _ = self.client.sender().send_discard_reply(
+            self.wrapper_node.clone(),
+            kinds::RAISE_EVENT,
+            body,
+        );
     }
 
     /// Tears the deployment down (stops wrapper and coordinators).
@@ -352,6 +371,24 @@ impl Drop for Deployment {
     fn drop(&mut self) {
         self.stop_all();
     }
+}
+
+/// Decodes an execute rpc outcome into the operation's response document.
+pub(crate) fn decode_execute_reply(
+    reply: Result<Envelope, RpcError>,
+) -> Result<MessageDoc, ExecError> {
+    let reply = reply.map_err(|e| match e {
+        RpcError::Timeout => ExecError::Timeout,
+        RpcError::Send(s) => ExecError::Unreachable(s.to_string()),
+    })?;
+    let msg = MessageDoc::from_xml(&reply.body)
+        .map_err(|e| ExecError::Unreachable(format!("malformed reply: {e}")))?;
+    if msg.is_fault() {
+        return Err(ExecError::Fault(
+            msg.fault_reason().unwrap_or("unspecified").to_string(),
+        ));
+    }
+    Ok(msg)
 }
 
 #[cfg(test)]
@@ -531,7 +568,11 @@ mod tests {
         let err = Deployer::new(&net)
             .deploy(&synth::sequence(1), &synth_backends(1))
             .unwrap_err();
-        assert!(matches!(err, DeploymentError::NodeCollision(_)), "{err}");
+        match &err {
+            DeploymentError::Connect(e) => assert!(e.is_name_taken(), "{err}"),
+            other => panic!("expected connect error, got {other}"),
+        }
+        assert!(err.to_string().contains("already deployed"), "{err}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use selfserv_community::{
     QosProfile, RoundRobin, SelectionPolicy,
 };
 use selfserv_expr::Value;
-use selfserv_net::{NodeId, Transport, TransportHandle};
+use selfserv_net::{ConnectError, NodeId, Transport, TransportHandle};
 use selfserv_registry::{
     BusinessKey, FindQuery, RegistryError, RegistryServer, RegistryServerHandle, ServiceKey,
     UddiRegistry,
@@ -33,12 +33,12 @@ pub struct ServiceManager {
 
 impl ServiceManager {
     /// Starts a manager whose discovery engine listens on `uddi`.
-    pub fn start(net: &dyn Transport) -> Result<Self, NodeId> {
+    pub fn start(net: &dyn Transport) -> Result<Self, ConnectError> {
         Self::start_on(net, "uddi")
     }
 
     /// Starts a manager with an explicit discovery-engine node name.
-    pub fn start_on(net: &dyn Transport, node_name: &str) -> Result<Self, NodeId> {
+    pub fn start_on(net: &dyn Transport, node_name: &str) -> Result<Self, ConnectError> {
         let registry = Arc::new(UddiRegistry::new());
         let server = RegistryServer::spawn(net, node_name, Arc::clone(&registry))?;
         Ok(ServiceManager {
@@ -198,7 +198,7 @@ impl TravelDemo {
     /// Spins up the whole scenario on `net` (any [`Transport`] — the demo
     /// runs identically over the simulated fabric and real TCP sockets).
     pub fn launch(net: &dyn Transport, config: TravelDemoConfig) -> Result<TravelDemo, String> {
-        let manager = ServiceManager::start(net).map_err(|n| format!("node taken: {n}"))?;
+        let manager = ServiceManager::start(net).map_err(|e| e.to_string())?;
 
         // (i) providers register their services with the discovery engine.
         for desc in travel::travel_service_descriptions() {
@@ -227,12 +227,12 @@ impl TravelDemo {
             config.policy.clone(),
             Default::default(),
         )
-        .map_err(|n| format!("node taken: {n}"))?;
+        .map_err(|e| e.to_string())?;
 
         let mut member_hosts = Vec::new();
         let join_client =
             CommunityClient::connect(net, "travel-demo-admin", community.node().clone())
-                .map_err(|n| format!("node taken: {n}"))?;
+                .map_err(|e| e.to_string())?;
         let mut join = |id: &str,
                         provider: &str,
                         location: &str,
@@ -250,7 +250,7 @@ impl TravelDemo {
                     config.service_latency,
                 )),
             )
-            .map_err(|n| format!("node taken: {n}"))?;
+            .map_err(|e| e.to_string())?;
             member_hosts.push(host);
             join_client
                 .join(&Member {

@@ -13,7 +13,7 @@
 
 use crate::protocol::InstanceId;
 use parking_lot::RwLock;
-use selfserv_net::{Endpoint, NodeId, Transport, TransportHandle};
+use selfserv_net::{ConnectError, Endpoint, NodeId, Transport, TransportHandle};
 use selfserv_xml::Element;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -123,7 +123,7 @@ pub struct MonitorHandle {
 
 impl ExecutionMonitor {
     /// Spawns a monitor on `node_name`, over any [`Transport`].
-    pub fn spawn(net: &dyn Transport, node_name: &str) -> Result<MonitorHandle, NodeId> {
+    pub fn spawn(net: &dyn Transport, node_name: &str) -> Result<MonitorHandle, ConnectError> {
         let endpoint = net.connect(NodeId::new(node_name))?;
         let node = endpoint.node().clone();
         let store = Arc::new(RwLock::new(TraceStore::default()));

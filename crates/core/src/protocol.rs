@@ -2,10 +2,53 @@
 //! message kinds, node naming, instance ids, and notification payloads.
 
 use selfserv_expr::Value;
+use selfserv_net::{Endpoint, NodeSender, Transport, TransportHandle};
 use selfserv_wsdl::MessageDoc;
 use selfserv_xml::Element;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// A long-lived anonymous client identity: one connected endpoint kept
+/// alive for its owner's lifetime, used through [`NodeSender`] clones.
+/// Rpc replies demultiplex at the held endpoint, so any number of
+/// concurrent calls share it with no per-call endpoint, listener, or
+/// thread.
+///
+/// The endpoint is connected lazily on first use, so owners whose callers
+/// only ever supply their own endpoints (e.g. `execute_from`) never pay
+/// for it — on TCP an anonymous connect costs a listener and an accept
+/// thread, and it adds a `~` node to metrics. (The `Mutex` only exists to
+/// make the held [`Endpoint`] `Sync`; nothing ever locks it.)
+pub(crate) struct PersistentClient {
+    net: TransportHandle,
+    prefix: String,
+    slot: OnceLock<(NodeSender, Mutex<Endpoint>)>,
+}
+
+impl PersistentClient {
+    /// A client that will connect as `prefix~<n>` on `net` when first
+    /// used.
+    pub(crate) fn new(net: &dyn Transport, prefix: impl Into<String>) -> Self {
+        PersistentClient {
+            net: net.handle(),
+            prefix: prefix.into(),
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// The handle that sends and rpcs as this client (connecting the
+    /// underlying endpoint on first call).
+    pub(crate) fn sender(&self) -> &NodeSender {
+        &self
+            .slot
+            .get_or_init(|| {
+                let endpoint = self.net.connect_anonymous(&self.prefix);
+                (endpoint.sender(), Mutex::new(endpoint))
+            })
+            .0
+    }
+}
 
 /// Message kinds of the execution protocol.
 pub mod kinds {

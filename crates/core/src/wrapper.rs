@@ -11,7 +11,9 @@ use crate::coordinator::{apply_actions, eval_guard};
 use crate::functions::FunctionLibrary;
 use crate::protocol::{cleanup_body, kinds, naming, InstanceId, NotifyPayload};
 use selfserv_expr::Value;
-use selfserv_net::{Endpoint, Envelope, MessageId, NodeId, Transport, TransportHandle};
+use selfserv_net::{
+    ConnectError, Endpoint, Envelope, MessageId, NodeId, Transport, TransportHandle,
+};
 use selfserv_routing::{NotificationLabel, WrapperTable};
 use selfserv_statechart::{StateId, VarDecl};
 use selfserv_wsdl::MessageDoc;
@@ -96,7 +98,7 @@ struct Runtime {
 impl CompositeWrapper {
     /// Spawns the wrapper on its conventional node (`<composite>.wrapper`),
     /// over any [`Transport`].
-    pub fn spawn(net: &dyn Transport, cfg: WrapperConfig) -> Result<WrapperHandle, NodeId> {
+    pub fn spawn(net: &dyn Transport, cfg: WrapperConfig) -> Result<WrapperHandle, ConnectError> {
         let endpoint = net.connect(naming::wrapper(&cfg.composite))?;
         let node = endpoint.node().clone();
         let mut runtime = Runtime {

@@ -55,7 +55,10 @@ impl fmt::Display for MessageId {
 pub struct Envelope {
     /// Fabric-assigned id.
     pub id: MessageId,
-    /// Sender node.
+    /// Sender node. This doubles as the **reply address**: `reply` and the
+    /// rpc machinery send correlated responses back to `from` by name, so
+    /// on transports that carry frames between processes the field is what
+    /// makes a cross-process round trip routable.
     pub from: NodeId,
     /// Destination node.
     pub to: NodeId,

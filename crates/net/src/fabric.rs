@@ -5,9 +5,10 @@ use crate::envelope::{Envelope, MessageId, NodeId};
 use crate::fault::{FaultPolicy, LatencyModel, LinkOverride};
 use crate::metrics::{MetricsSnapshot, NodeCounters, EPHEMERAL_AGGREGATE};
 use crate::transport::{
-    Endpoint, Mailbox, RawEndpoint, RecvError, SendError, Transport, TransportHandle,
+    ConnectError, Endpoint, Inbox, Mailbox, RawEndpoint, RecvError, ReplyDemux, SendError,
+    Transport, TransportHandle,
 };
-use crossbeam::channel::{self, Sender};
+use crossbeam::channel;
 use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -104,8 +105,8 @@ struct DeliveryQueue {
 
 struct Inner {
     cfg: NetworkConfig,
-    /// Live mailboxes.
-    nodes: RwLock<HashMap<NodeId, Sender<Envelope>>>,
+    /// Live delivery targets (mailbox + rpc reply demultiplexer per node).
+    nodes: RwLock<HashMap<NodeId, Inbox>>,
     /// Counters persist even after a node disconnects so post-run snapshots
     /// see the whole experiment.
     counters: RwLock<HashMap<NodeId, Arc<NodeCounters>>>,
@@ -157,22 +158,23 @@ impl Network {
     /// transport-generated ephemeral endpoints and are rejected (their
     /// counters are pruned on drop, which would silently lose a real
     /// node's metrics).
-    pub fn connect(&self, name: impl Into<NodeId>) -> Result<Endpoint, NodeId> {
+    pub fn connect(&self, name: impl Into<NodeId>) -> Result<Endpoint, ConnectError> {
         let node = name.into();
         if node.as_str().contains('~') {
-            return Err(node);
+            return Err(ConnectError::ReservedName(node));
         }
         self.connect_node(node)
     }
 
-    fn connect_node(&self, node: NodeId) -> Result<Endpoint, NodeId> {
+    fn connect_node(&self, node: NodeId) -> Result<Endpoint, ConnectError> {
         let (tx, rx) = channel::unbounded();
+        let demux = ReplyDemux::new();
         {
             let mut nodes = self.inner.nodes.write();
             if nodes.contains_key(&node) {
-                return Err(node);
+                return Err(ConnectError::NameTaken(node));
             }
-            nodes.insert(node.clone(), tx);
+            nodes.insert(node.clone(), Inbox::new(tx, Arc::clone(&demux)));
         }
         self.inner
             .counters
@@ -187,11 +189,13 @@ impl Network {
         Ok(Endpoint::from_raw(
             Box::new(raw),
             TransportHandle::new(self.clone()),
+            demux,
         ))
     }
 
     /// Connects a node with a generated unique name beginning with `prefix`
-    /// (used for ephemeral RPC reply endpoints).
+    /// (auxiliary identities: demo clients, control senders — the rpc path
+    /// no longer creates ephemeral endpoints).
     pub fn connect_anonymous(&self, prefix: &str) -> Endpoint {
         loop {
             let n = self.inner.next_anon.fetch_add(1, Ordering::Relaxed);
@@ -341,16 +345,16 @@ impl Network {
             self.delivery_counters_for(&to).record_drop();
             return;
         }
-        // Hold the nodes lock across record + send: endpoint Drop needs
+        // Hold the nodes lock across record + deliver: endpoint Drop needs
         // the write lock to deregister, so while we hold the read lock the
-        // mailbox cannot disappear (the send is infallible) and the
-        // receiver cannot consume the message, finish its rpc, and fold
-        // its ephemeral counters before the receive is recorded.
+        // inbox cannot disappear (the delivery is infallible) and the
+        // receiver cannot consume the message, disconnect, and fold its
+        // ephemeral counters before the receive is recorded.
         let nodes = self.inner.nodes.read();
         match nodes.get(&to) {
-            Some(tx) => {
+            Some(inbox) => {
                 self.counters_for(&to).record_receive(size);
-                let _ = tx.send(envelope);
+                let _ = inbox.deliver(envelope);
             }
             None => {
                 drop(nodes);
@@ -361,9 +365,9 @@ impl Network {
 
     /// Counters slot to charge a delivery-time drop to. Ephemeral (`~`)
     /// nodes whose entry was already folded away must not be resurrected
-    /// (a late reply to a timed-out rpc endpoint would otherwise leak a
-    /// permanent counters entry per occurrence); their drops go to the
-    /// aggregate slot instead.
+    /// (a late message to a dropped `~` client endpoint would otherwise
+    /// leak a permanent counters entry per occurrence); their drops go to
+    /// the aggregate slot instead.
     fn delivery_counters_for(&self, node: &NodeId) -> Arc<NodeCounters> {
         if node.as_str().contains('~') && !self.inner.counters.read().contains_key(node) {
             return self.counters_for(&NodeId::new(EPHEMERAL_AGGREGATE));
@@ -473,7 +477,7 @@ impl Drop for FabricEndpoint {
 }
 
 impl Transport for Network {
-    fn connect(&self, name: NodeId) -> Result<Endpoint, NodeId> {
+    fn connect(&self, name: NodeId) -> Result<Endpoint, ConnectError> {
         Network::connect(self, name)
     }
 
@@ -489,23 +493,28 @@ impl Transport for Network {
         Network::node_names(self)
     }
 
-    fn send_as(
+    fn next_message_id(&self) -> MessageId {
+        Network::next_message_id(self)
+    }
+
+    fn send_prepared(
         &self,
+        id: MessageId,
         from: &NodeId,
         to: NodeId,
         kind: String,
         body: Element,
         correlation: Option<MessageId>,
-    ) -> Result<MessageId, SendError> {
+    ) -> Result<(), SendError> {
         let envelope = Envelope {
-            id: self.next_message_id(),
+            id,
             from: from.clone(),
             to,
             kind,
             correlation,
             body,
         };
-        self.dispatch(envelope)
+        self.dispatch(envelope).map(|_| ())
     }
 
     fn revive(&self, node: &NodeId) {
@@ -797,7 +806,7 @@ mod tests {
     }
 
     #[test]
-    fn ephemeral_counters_fold_into_aggregate() {
+    fn rpc_traffic_attributed_to_caller_node() {
         let net = Network::new(NetworkConfig::instant());
         let client = net.connect("client").unwrap();
         let server = net.connect("server").unwrap();
@@ -815,16 +824,176 @@ mod tests {
             .unwrap();
         handle.join().unwrap();
         let m = net.metrics();
-        // The tmp reply endpoint is gone, but its traffic was folded into
+        assert_eq!(m.total_sent(), m.total_received());
+        // The request was sent — and the reply received — by the caller's
+        // own persistent node; no ephemeral endpoint ever existed.
+        let c = m.node("client").unwrap();
+        assert_eq!(c.sent, 1);
+        assert_eq!(c.received, 1);
+        assert!(
+            !m.nodes.iter().any(|n| n.node.as_str().contains('~')),
+            "rpc must not create ephemeral nodes: {:?}",
+            m.nodes
+        );
+        assert_eq!(client.demux().pending_rpcs(), 0, "slot retired");
+    }
+
+    #[test]
+    fn ephemeral_counters_fold_into_aggregate() {
+        let net = Network::new(NetworkConfig::instant());
+        let sink = net.connect("sink").unwrap();
+        {
+            let tmp = net.connect_anonymous("client");
+            tmp.send("sink", "x", body()).unwrap();
+            sink.recv_timeout(Duration::from_secs(1)).unwrap();
+        }
+        let m = net.metrics();
+        // The anonymous endpoint is gone, but its traffic was folded into
         // the aggregate slot: fabric totals stay conserved.
         assert_eq!(m.total_sent(), m.total_received());
         let agg = m.node(EPHEMERAL_AGGREGATE).unwrap();
-        assert_eq!(agg.sent, 1, "rpc request was sent by the tmp endpoint");
-        assert_eq!(
-            agg.received, 1,
-            "rpc reply was received by the tmp endpoint"
+        assert_eq!(agg.sent, 1, "anonymous sender's traffic folded");
+        assert!(!net.is_connected("client~1"), "anonymous endpoint pruned");
+    }
+
+    #[test]
+    fn concurrent_rpcs_from_one_endpoint_do_not_cross() {
+        let net = Network::new(NetworkConfig::instant());
+        let client = net.connect("client").unwrap();
+        let server = net.connect("server").unwrap();
+        const N: usize = 16;
+        // The server collects all requests first, then answers them in
+        // reverse arrival order — every reply would hit the wrong caller
+        // if correlation ids could cross.
+        let server_thread = std::thread::spawn(move || {
+            let mut reqs = Vec::new();
+            for _ in 0..N {
+                reqs.push(server.recv().unwrap());
+            }
+            for req in reqs.iter().rev() {
+                let tag = req.body.attr("tag").unwrap().to_string();
+                server
+                    .reply(req, "pong", Element::new("pong").with_attr("tag", tag))
+                    .unwrap();
+            }
+        });
+        std::thread::scope(|s| {
+            for i in 0..N {
+                let sender = client.sender();
+                s.spawn(move || {
+                    let reply = sender
+                        .rpc(
+                            "server",
+                            "ping",
+                            Element::new("ping").with_attr("tag", i.to_string()),
+                            Duration::from_secs(5),
+                        )
+                        .unwrap();
+                    assert_eq!(reply.body.attr("tag"), Some(i.to_string().as_str()));
+                });
+            }
+        });
+        server_thread.join().unwrap();
+        assert_eq!(client.demux().pending_rpcs(), 0);
+    }
+
+    #[test]
+    fn late_reply_is_discarded_and_does_not_poison_next_rpc() {
+        let net = Network::new(NetworkConfig::instant());
+        let client = net.connect("client").unwrap();
+        let server = net.connect("server").unwrap();
+        // First rpc times out; the server answers *afterwards* (stale).
+        let server_thread = std::thread::spawn(move || {
+            let slow = server.recv().unwrap();
+            std::thread::sleep(Duration::from_millis(80));
+            server.reply(&slow, "pong", Element::new("late")).unwrap();
+            // Second rpc answered promptly.
+            let fast = server.recv().unwrap();
+            server.reply(&fast, "pong", Element::new("fresh")).unwrap();
+        });
+        let err = client
+            .rpc(
+                "server",
+                "ping",
+                Element::new("ping"),
+                Duration::from_millis(20),
+            )
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        std::thread::sleep(Duration::from_millis(100));
+        let reply = client
+            .rpc(
+                "server",
+                "ping",
+                Element::new("ping"),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.body.name, "fresh", "stale reply must not surface");
+        assert!(
+            client.try_recv().is_none(),
+            "stale reply must not leak into recv"
         );
-        assert!(!net.is_connected("client~1"), "tmp endpoint pruned");
+        server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn send_discard_reply_drops_the_ack() {
+        let net = Network::new(NetworkConfig::instant());
+        let client = net.connect("client").unwrap();
+        let server = net.connect("server").unwrap();
+        let id = client
+            .sender()
+            .send_discard_reply("server", "event", body())
+            .unwrap();
+        let req = server.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(req.id, id);
+        // The server acks; the pre-tombstoned id swallows it.
+        server.reply(&req, "ack", Element::new("ok")).unwrap();
+        assert!(
+            client.try_recv().is_none(),
+            "ack must not queue in the sender's mailbox"
+        );
+        // An ordinary correlated exchange on the same endpoint still works.
+        server
+            .send_correlated(
+                "client",
+                "other",
+                Element::new("x"),
+                Some(MessageId(999_999)),
+            )
+            .unwrap();
+        assert_eq!(
+            client.recv_timeout(Duration::from_secs(1)).unwrap().kind,
+            "other"
+        );
+    }
+
+    #[test]
+    fn uncorrelated_traffic_flows_to_recv_during_rpc() {
+        let net = Network::new(NetworkConfig::instant());
+        let client = net.connect("client").unwrap();
+        let server = net.connect("server").unwrap();
+        let server_thread = std::thread::spawn(move || {
+            let req = server.recv().unwrap();
+            // Unrelated notification first, then the correlated reply.
+            server
+                .send("client", "notify", Element::new("aside"))
+                .unwrap();
+            server.reply(&req, "pong", Element::new("pong")).unwrap();
+        });
+        let reply = client
+            .rpc(
+                "server",
+                "ping",
+                Element::new("ping"),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.kind, "pong");
+        let aside = client.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(aside.kind, "notify", "uncorrelated message kept for recv");
+        server_thread.join().unwrap();
     }
 
     #[test]

@@ -51,7 +51,8 @@ pub use fault::{FaultPolicy, LatencyModel};
 pub use metrics::{MetricsSnapshot, NodeMetrics, EPHEMERAL_AGGREGATE};
 pub use tcp::TcpTransport;
 pub use transport::{
-    Endpoint, NodeSender, RawEndpoint, RecvError, RpcError, SendError, Transport, TransportHandle,
+    ConnectError, Endpoint, NodeSender, RawEndpoint, RecvError, ReplyDemux, RpcError, SendError,
+    Transport, TransportHandle,
 };
 
 #[cfg(test)]

@@ -10,9 +10,14 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Synthetic node name that accumulates the traffic of dropped ephemeral
-/// (`~`-suffixed rpc reply) endpoints, so pruning their per-node entries
-/// keeps fabric-wide totals conserved. Contains `~` itself, so filters
-/// that exclude ephemeral nodes exclude the aggregate too.
+/// (`~`-suffixed [`connect_anonymous`]) endpoints, so pruning their
+/// per-node entries keeps fabric-wide totals conserved. Since the rpc path
+/// stopped creating ephemeral endpoints, the only `~` nodes left are
+/// auxiliary identities — demo clients, stop-control senders, nested
+/// composite callers. Contains `~` itself, so filters that exclude
+/// ephemeral nodes exclude the aggregate too.
+///
+/// [`connect_anonymous`]: crate::Transport::connect_anonymous
 pub const EPHEMERAL_AGGREGATE: &str = "~ephemeral";
 
 /// Folds a dropped ephemeral (`~`) node's counters into the
@@ -68,7 +73,7 @@ impl NodeCounters {
     }
 
     /// Adds another counter set into this one (used to fold a pruned
-    /// ephemeral endpoint's traffic into a persistent aggregate slot so
+    /// anonymous endpoint's traffic into a persistent aggregate slot so
     /// fabric-wide totals stay conserved).
     pub(crate) fn absorb(&self, other: &NodeCounters) {
         self.sent

@@ -10,10 +10,13 @@
 //! * [`TcpTransport`] — one listener per connected node (loopback,
 //!   ephemeral ports by default), a shared name → address registry, and a
 //!   pool of persistent per-peer connections carrying many frames each.
-//!   [`TcpTransport::register_peer`] points names at other processes for
-//!   one-way named sends; see its docs for the current cross-process
-//!   limits (rpc reply routing needs the *caller's* nodes registered on
-//!   the remote side too).
+//!   Request/response rides the caller's own listener: the request frame
+//!   carries the caller's node name as the reply address and the reader
+//!   thread demultiplexes the correlated reply to the blocked rpc, so an
+//!   rpc costs two frames on pooled connections — no per-call listener,
+//!   socket, or thread. [`TcpTransport::register_peer`] points names at
+//!   other processes; registering names in both directions gives full rpc
+//!   round trips across process boundaries.
 //! * [`TcpEndpoint`] — the original minimal one-connection-per-message
 //!   endpoint, kept for the low-level `tcp_demo` example and wire tests.
 //!
@@ -25,7 +28,8 @@
 use crate::envelope::{Envelope, MessageId, NodeId};
 use crate::metrics::{MetricsSnapshot, NodeCounters};
 use crate::transport::{
-    Endpoint, Mailbox, RawEndpoint, RecvError, SendError, Transport, TransportHandle,
+    ConnectError, Endpoint, Inbox, Mailbox, RawEndpoint, RecvError, ReplyDemux, SendError,
+    Transport, TransportHandle,
 };
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -114,6 +118,10 @@ struct Hub {
 }
 
 impl Hub {
+    fn next_id(&self) -> MessageId {
+        MessageId(self.next_msg.fetch_add(1, Ordering::Relaxed))
+    }
+
     fn counters_for(&self, node: &NodeId) -> Arc<NodeCounters> {
         if let Some(c) = self.counters.read().get(node) {
             return Arc::clone(c);
@@ -153,6 +161,7 @@ impl Hub {
 
     fn dispatch(
         &self,
+        id: MessageId,
         from: &NodeId,
         to: NodeId,
         kind: String,
@@ -164,7 +173,7 @@ impl Hub {
             None => return Err(SendError::UnknownNode(to)),
         };
         let envelope = Envelope {
-            id: MessageId(self.next_msg.fetch_add(1, Ordering::Relaxed)),
+            id,
             from: from.clone(),
             to,
             kind,
@@ -232,45 +241,45 @@ impl TcpTransport {
     /// Registers a remote node's address so local nodes can send to it by
     /// name (the cross-process analogue of the peer connecting locally).
     ///
-    /// Current limits: this routes *named sends* to the remote process.
-    /// Request/response ([`Endpoint::rpc`]) creates an ephemeral reply
-    /// node registered only in the local hub, so a remote peer can answer
-    /// an rpc only if the caller's ephemeral names are also registered on
-    /// its side — which nothing automates yet. Within one process (one
-    /// hub), the full platform protocol runs over TCP; true multi-process
-    /// deployment needs reply-address exchange in the frames and is
-    /// tracked as future work (ROADMAP: multi-backend / scaling).
+    /// Request frames carry the caller's node name as the reply address,
+    /// so once two hubs register each other's names (exchange
+    /// [`TcpTransport::addr_of`] results out of band, both directions), an
+    /// rpc from a node in one process to a node in the other completes a
+    /// full round trip: the responder's `reply` is a named send back to
+    /// the caller, whose reader thread demultiplexes it to the waiting
+    /// rpc. One-way named sends need only the destination registered.
     pub fn register_peer(&self, name: impl Into<NodeId>, addr: SocketAddr) {
         self.hub.registry.write().insert(name.into(), addr);
     }
 
-    fn connect_node(&self, name: NodeId) -> Result<Endpoint, ConnectFailure> {
-        // Bind outside the registry lock: connect_node runs on the rpc hot
-        // path, and syscalls under the write lock would stall every
-        // concurrent send's registry read. A collision after binding just
-        // drops the fresh listener.
+    fn connect_node(&self, name: NodeId) -> Result<Endpoint, ConnectError> {
+        // Bind outside the registry lock: syscalls under the write lock
+        // would stall every concurrent send's registry read. A collision
+        // after binding just drops the fresh listener.
         let listener = match TcpListener::bind(("127.0.0.1", 0)) {
             Ok(l) => l,
-            Err(e) => return Err(ConnectFailure::Bind(name, e)),
+            Err(e) => return Err(ConnectError::Bind(name, e)),
         };
         let addr = match listener.local_addr() {
             Ok(a) => a,
-            Err(e) => return Err(ConnectFailure::Bind(name, e)),
+            Err(e) => return Err(ConnectError::Bind(name, e)),
         };
         {
             let mut registry = self.hub.registry.write();
             if registry.contains_key(&name) {
-                return Err(ConnectFailure::NameTaken(name));
+                return Err(ConnectError::NameTaken(name));
             }
             registry.insert(name.clone(), addr);
         }
         let counters = self.hub.counters_for(&name);
         let (tx, rx) = channel::unbounded();
+        let demux = ReplyDemux::new();
+        let inbox = Inbox::new(tx, Arc::clone(&demux));
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
         let accept_thread = std::thread::Builder::new()
             .name(format!("selfserv-tcp-{name}"))
-            .spawn(move || accept_loop(listener, tx, counters, flag))
+            .spawn(move || accept_loop(listener, inbox, counters, flag))
             .expect("spawn tcp accept thread");
         let raw = TcpRawEndpoint {
             node: name,
@@ -283,52 +292,36 @@ impl TcpTransport {
         Ok(Endpoint::from_raw(
             Box::new(raw),
             TransportHandle::new(self.clone()),
+            demux,
         ))
     }
 }
 
-/// Why a TCP node could not connect (internal: the `Transport` trait's
-/// error type carries only the rejected name).
-enum ConnectFailure {
-    NameTaken(NodeId),
-    Bind(NodeId, std::io::Error),
-}
-
 impl Transport for TcpTransport {
-    fn connect(&self, name: NodeId) -> Result<Endpoint, NodeId> {
+    fn connect(&self, name: NodeId) -> Result<Endpoint, ConnectError> {
         // `~` is reserved for transport-generated ephemeral endpoints
         // (their counters are pruned on drop, which would silently lose a
         // real node's metrics).
         if name.as_str().contains('~') {
-            return Err(name);
+            return Err(ConnectError::ReservedName(name));
         }
-        self.connect_node(name).map_err(|e| match e {
-            ConnectFailure::NameTaken(n) => n,
-            ConnectFailure::Bind(n, err) => {
-                // The trait's error type only carries the name, and callers
-                // (e.g. the deployer) read that as a collision; surface the
-                // real cause so operators don't chase a phantom duplicate
-                // deployment. Widening the error type is a ROADMAP item.
-                eprintln!("selfserv-net: TCP listener bind failed for node '{n}': {err}");
-                n
-            }
-        })
+        self.connect_node(name)
     }
 
     fn connect_anonymous(&self, prefix: &str) -> Endpoint {
-        // Ephemeral endpoints are created on the rpc hot path, so transient
-        // fd/ephemeral-port exhaustion gets bounded retries with backoff
-        // (concurrent rpcs finishing release their listeners) before the
-        // failure is treated as fatal.
+        // Anonymous endpoints back auxiliary identities (clients, control
+        // senders), not rpcs, so contention is low — but transient
+        // fd/ephemeral-port exhaustion still gets bounded retries with
+        // backoff before the failure is treated as fatal.
         let mut bind_failures = 0u32;
         loop {
             let n = self.hub.next_anon.fetch_add(1, Ordering::Relaxed);
             match self.connect_node(NodeId::new(format!("{prefix}~{n}"))) {
                 Ok(ep) => return ep,
-                Err(ConnectFailure::NameTaken(_)) => {
+                Err(ConnectError::NameTaken(_) | ConnectError::ReservedName(_)) => {
                     // Collision (e.g. a peer registration): next counter.
                 }
-                Err(ConnectFailure::Bind(name, e)) => {
+                Err(ConnectError::Bind(name, e)) => {
                     bind_failures += 1;
                     if bind_failures >= 100 {
                         panic!(
@@ -352,15 +345,22 @@ impl Transport for TcpTransport {
         names
     }
 
-    fn send_as(
+    fn next_message_id(&self) -> MessageId {
+        self.hub.next_id()
+    }
+
+    fn send_prepared(
         &self,
+        id: MessageId,
         from: &NodeId,
         to: NodeId,
         kind: String,
         body: Element,
         correlation: Option<MessageId>,
-    ) -> Result<MessageId, SendError> {
-        self.hub.dispatch(from, to, kind, body, correlation)
+    ) -> Result<(), SendError> {
+        self.hub
+            .dispatch(id, from, to, kind, body, correlation)
+            .map(|_| ())
     }
 
     fn metrics(&self) -> MetricsSnapshot {
@@ -400,7 +400,9 @@ impl RawEndpoint for TcpRawEndpoint {
         body: Element,
         correlation: Option<MessageId>,
     ) -> Result<MessageId, SendError> {
-        self.hub.dispatch(&self.node, to, kind, body, correlation)
+        let id = self.hub.next_id();
+        self.hub
+            .dispatch(id, &self.node, to, kind, body, correlation)
     }
 
     fn recv(&self) -> Result<Envelope, RecvError> {
@@ -479,21 +481,22 @@ fn accept_connections(
 
 fn accept_loop(
     listener: TcpListener,
-    tx: Sender<Envelope>,
+    inbox: Inbox,
     counters: Arc<NodeCounters>,
     shutdown: Arc<AtomicBool>,
 ) {
     accept_connections(listener, shutdown, move |mut stream| {
         stream.set_nodelay(true).ok();
-        let tx = tx.clone();
+        let inbox = inbox.clone();
         let counters = Arc::clone(&counters);
         // Persistent per-peer framing: one reader per inbound connection
         // decodes frames until the peer closes or a frame is malformed.
+        // Delivery demultiplexes rpc replies to their waiting callers.
         std::thread::spawn(move || loop {
             match read_frame_sized(&mut stream) {
                 Ok((envelope, size)) => {
                     counters.record_receive(size);
-                    if tx.send(envelope).is_err() {
+                    if inbox.deliver(envelope).is_err() {
                         return; // endpoint dropped
                     }
                 }
@@ -829,5 +832,147 @@ mod tests {
         let got = receiver.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(got.kind, "cross");
         assert_eq!(got.from.as_str(), "local");
+    }
+
+    #[test]
+    fn rpc_round_trips_across_hubs_linked_by_register_peer() {
+        // Two hubs model two processes, linked ONLY by register_peer in
+        // both directions. The request frame carries the caller's name as
+        // the reply address, so the responder's reply is an ordinary named
+        // send routed back across the process boundary — previously
+        // impossible (replies targeted caller-local ephemeral names).
+        let t1 = TcpTransport::new();
+        let t2 = TcpTransport::new();
+        let client = Transport::connect(&t1, NodeId::new("client")).unwrap();
+        let server = Transport::connect(&t2, NodeId::new("server")).unwrap();
+        t1.register_peer("server", t2.addr_of("server").unwrap());
+        t2.register_peer("client", t1.addr_of("client").unwrap());
+        let server_thread = std::thread::spawn(move || {
+            let req = server.recv().unwrap();
+            assert_eq!(req.from.as_str(), "client");
+            server
+                .reply(&req, "pong", Element::new("pong").with_attr("hub", "2"))
+                .unwrap();
+        });
+        let reply = client
+            .rpc(
+                "server",
+                "ping",
+                Element::new("ping"),
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        assert_eq!(reply.kind, "pong");
+        assert_eq!(reply.body.attr("hub"), Some("2"));
+        server_thread.join().unwrap();
+    }
+
+    /// Number of open file descriptors for this process (Linux).
+    #[cfg(target_os = "linux")]
+    fn open_fds() -> usize {
+        std::fs::read_dir("/proc/self/fd").map_or(0, |d| d.count())
+    }
+
+    #[test]
+    fn concurrent_rpc_burst_binds_no_listeners() {
+        let t = TcpTransport::new();
+        let echo = Transport::connect(&t, NodeId::new("echo")).unwrap();
+        let client = Transport::connect(&t, NodeId::new("client")).unwrap();
+        let echo_thread = std::thread::spawn(move || {
+            while let Ok(req) = echo.recv() {
+                if req.kind == "stop" {
+                    return;
+                }
+                let _ = echo.reply(&req, "pong", req.body.clone());
+            }
+        });
+        // Warm the connection pool (client→echo and echo→client) so the
+        // burst below runs entirely on existing sockets.
+        client
+            .rpc("echo", "ping", Element::new("warm"), Duration::from_secs(5))
+            .unwrap();
+        let names_before = t.node_names();
+        #[cfg(target_os = "linux")]
+        let fds_before = open_fds();
+        let sampling = Arc::new(AtomicBool::new(true));
+        // Sample *while* the burst is in flight: the old per-call scheme
+        // registered an ephemeral `client~n` node and held a listener +
+        // reply connection (≥3 fds) per concurrent rpc at this point. The
+        // node-set probe is deterministic (only this transport's state);
+        // the fd probe is process-wide, so it gets slack for sockets that
+        // unrelated parallel tests may open.
+        let sampler = {
+            let sampling = Arc::clone(&sampling);
+            let t = t.clone();
+            let names_before = names_before.clone();
+            std::thread::spawn(move || {
+                let mut max_fds = 0;
+                let mut transient_names = false;
+                while sampling.load(Ordering::SeqCst) {
+                    #[cfg(target_os = "linux")]
+                    {
+                        max_fds = max_fds.max(open_fds());
+                    }
+                    transient_names |= t.node_names() != names_before;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                (max_fds, transient_names)
+            })
+        };
+        std::thread::scope(|s| {
+            for i in 0..64 {
+                let sender = client.sender();
+                s.spawn(move || {
+                    let reply = sender
+                        .rpc(
+                            "echo",
+                            "ping",
+                            Element::new("ping").with_attr("i", i.to_string()),
+                            Duration::from_secs(10),
+                        )
+                        .expect("burst rpc completes");
+                    assert_eq!(reply.body.attr("i"), Some(i.to_string().as_str()));
+                });
+            }
+        });
+        sampling.store(false, Ordering::SeqCst);
+        #[allow(unused_variables)]
+        let (max_fds, transient_names) = sampler.join().unwrap();
+        // No ephemeral reply endpoints: this transport's node set never
+        // changed, even mid-burst (the old scheme registered `client~n`
+        // names per rpc), and the fd count stayed flat (per-call listeners
+        // would have cost ≥3 fds × 64 concurrent calls ≥ 192; the slack
+        // absorbs unrelated parallel tests' sockets).
+        assert_eq!(t.node_names(), names_before);
+        assert!(!transient_names, "rpc burst must not register nodes");
+        #[cfg(target_os = "linux")]
+        assert!(
+            max_fds <= fds_before + 100,
+            "rpc burst must not create sockets: {fds_before} fds before, \
+             {max_fds} at peak"
+        );
+        assert_eq!(client.demux().pending_rpcs(), 0);
+        let _ = client.send("echo", "stop", Element::new("stop"));
+        echo_thread.join().unwrap();
+    }
+
+    // (`ConnectError::Bind` itself is not exercised here: a loopback
+    // ephemeral-port bind only fails under fd/port exhaustion, which a
+    // unit test cannot trigger reliably.)
+    #[test]
+    fn name_collisions_reported_as_structured_connect_errors() {
+        let t = TcpTransport::new();
+        assert!(matches!(
+            Transport::connect(&t, NodeId::new("user~x")),
+            Err(ConnectError::ReservedName(_))
+        ));
+        let _a = Transport::connect(&t, NodeId::new("a")).unwrap();
+        match Transport::connect(&t, NodeId::new("a")) {
+            Err(e) => {
+                assert!(e.is_name_taken());
+                assert_eq!(e.node().as_str(), "a");
+            }
+            Ok(_) => panic!("duplicate name must be rejected"),
+        }
     }
 }

@@ -12,6 +12,18 @@
 //! * [`NodeSender`] — a cloneable send-only handle for worker threads;
 //! * [`TransportHandle`] — a cheap owned `Arc<dyn Transport>`.
 //!
+//! Request/response ([`Endpoint::rpc`] / [`NodeSender::rpc`]) rides the
+//! caller's *persistent* endpoint: each rpc registers its request id in
+//! the endpoint's [`ReplyDemux`] before the request leaves, the request
+//! carries the caller's own node name as the reply address, and the
+//! transport's delivery path routes the correlated reply straight into the
+//! waiting rpc's slot. Concurrent rpcs from one node never cross (each id
+//! has its own slot), late replies to finished rpcs are discarded, and
+//! uncorrelated traffic — plus correlated traffic nobody rpc'd for, e.g. a
+//! component's hand-rolled request/reply bookkeeping — still flows to
+//! [`Endpoint::recv`]. No per-call endpoints, listeners, or threads are
+//! created on this path on any transport.
+//!
 //! Two first-class implementations ship with this crate: the in-process
 //! simulation fabric ([`crate::Network`]) and real TCP sockets
 //! ([`crate::tcp::TcpTransport`]). Coordinators, wrappers, communities,
@@ -20,11 +32,13 @@
 
 use crate::envelope::{Envelope, MessageId, NodeId};
 use crate::metrics::MetricsSnapshot;
+use parking_lot::Mutex;
 use selfserv_xml::Element;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Errors returned when handing a message to a transport.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +63,64 @@ impl fmt::Display for SendError {
 }
 
 impl std::error::Error for SendError {}
+
+/// Errors returned by [`Transport::connect`]: why a node could not come up
+/// under the requested name. Distinguishes "the name is in use" (retry
+/// under another name, or a duplicate deployment) from "the transport
+/// could not provision the endpoint" (an operational failure carrying the
+/// underlying [`std::io::Error`]).
+#[derive(Debug)]
+pub enum ConnectError {
+    /// The name is already connected on this transport (or registered to a
+    /// remote peer).
+    NameTaken(NodeId),
+    /// Names containing `~` are reserved for transport-generated
+    /// ephemeral endpoints and cannot be claimed by components.
+    ReservedName(NodeId),
+    /// The transport failed to provision the endpoint — e.g. a TCP
+    /// listener could not bind. The name was *not* claimed.
+    Bind(NodeId, std::io::Error),
+}
+
+impl ConnectError {
+    /// The node name the connect attempt was for.
+    pub fn node(&self) -> &NodeId {
+        match self {
+            ConnectError::NameTaken(n)
+            | ConnectError::ReservedName(n)
+            | ConnectError::Bind(n, _) => n,
+        }
+    }
+
+    /// True when the failure is a name collision (as opposed to an
+    /// operational transport failure).
+    pub fn is_name_taken(&self) -> bool {
+        matches!(self, ConnectError::NameTaken(_))
+    }
+}
+
+impl fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectError::NameTaken(n) => write!(f, "node name '{n}' is already connected"),
+            ConnectError::ReservedName(n) => {
+                write!(f, "node name '{n}' is reserved ('~' names are ephemeral)")
+            }
+            ConnectError::Bind(n, e) => {
+                write!(f, "could not provision an endpoint for node '{n}': {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConnectError::Bind(_, e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Errors returned by the receive family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,15 +168,17 @@ impl std::error::Error for RpcError {}
 /// Object-safe by design: platform components hold `&dyn Transport` or a
 /// [`TransportHandle`] and never name a concrete implementation.
 pub trait Transport: Send + Sync {
-    /// Connects a named node, returning its endpoint. Fails with the name
-    /// if it is unavailable on this transport — already taken, reserved
-    /// (names containing `~` belong to transport-generated ephemeral
-    /// endpoints), or unprovisionable (e.g. a TCP listener could not
-    /// bind).
-    fn connect(&self, name: NodeId) -> Result<Endpoint, NodeId>;
+    /// Connects a named node, returning its endpoint. See [`ConnectError`]
+    /// for the failure modes (name collision vs. provisioning failure).
+    fn connect(&self, name: NodeId) -> Result<Endpoint, ConnectError>;
 
-    /// Connects a node under a generated unique name starting with
-    /// `prefix` (used for ephemeral RPC reply endpoints).
+    /// Connects a node under a generated unique name `prefix~<n>`.
+    ///
+    /// This provisions a full endpoint (on TCP: a listener and accept
+    /// thread), so it belongs on setup and control paths only — auxiliary
+    /// identities such as demo clients, stop-control senders, or nested
+    /// composite callers. The rpc hot path does **not** use it: replies
+    /// demultiplex on the caller's persistent endpoint.
     fn connect_anonymous(&self, prefix: &str) -> Endpoint;
 
     /// True when a node of this name is currently connected.
@@ -112,6 +186,27 @@ pub trait Transport: Send + Sync {
 
     /// Names of all currently connected nodes, sorted.
     fn node_names(&self) -> Vec<NodeId>;
+
+    /// Reserves a transport-unique message id without sending anything.
+    ///
+    /// The rpc path pairs this with [`Transport::send_prepared`]: the
+    /// reply slot must be registered under the request id *before* the
+    /// request reaches the wire, or a fast responder's reply could race
+    /// past the registration and be misrouted.
+    fn next_message_id(&self) -> MessageId;
+
+    /// Sends a message under a pre-reserved id (see
+    /// [`Transport::next_message_id`]) *as* `from`, without holding
+    /// `from`'s endpoint. Per-node metrics stay attributable to `from`.
+    fn send_prepared(
+        &self,
+        id: MessageId,
+        from: &NodeId,
+        to: NodeId,
+        kind: String,
+        body: Element,
+        correlation: Option<MessageId>,
+    ) -> Result<(), SendError>;
 
     /// Sends a message *as* `from` without holding `from`'s endpoint
     /// (backs [`NodeSender`]; per-node metrics stay attributable).
@@ -122,7 +217,11 @@ pub trait Transport: Send + Sync {
         kind: String,
         body: Element,
         correlation: Option<MessageId>,
-    ) -> Result<MessageId, SendError>;
+    ) -> Result<MessageId, SendError> {
+        let id = self.next_message_id();
+        self.send_prepared(id, from, to, kind, body, correlation)?;
+        Ok(id)
+    }
 
     /// Failure-injection hook: brings a killed node back. Transports
     /// without failure injection (e.g. TCP) treat this as a no-op; handles
@@ -167,6 +266,164 @@ impl Deref for TransportHandle {
 impl fmt::Debug for TransportHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("TransportHandle(..)")
+    }
+}
+
+/// How many retired rpc ids each endpoint remembers. A late or duplicate
+/// reply to any of the most recent `STALE_CAPACITY` finished rpcs is
+/// recognized and discarded instead of leaking into [`Endpoint::recv`].
+const STALE_CAPACITY: usize = 1024;
+
+/// Per-endpoint rpc reply demultiplexer.
+///
+/// Each in-flight [`Endpoint::rpc`] registers its request id here before
+/// the request is handed to the transport. The transport's delivery path
+/// calls [`ReplyDemux::route`] (via [`Inbox::deliver`]) on every inbound
+/// envelope for the node:
+///
+/// * a reply correlated to a **pending** rpc goes to that rpc's slot —
+///   concurrent rpcs from one node can never receive each other's reply;
+/// * a reply correlated to a **retired** rpc (completed or timed out) is
+///   discarded — a stale reply cannot poison the next rpc or surface as
+///   phantom traffic in `recv`;
+/// * everything else — uncorrelated messages, and correlated messages
+///   whose id was never registered (components doing their own
+///   request/reply bookkeeping over `send`/`recv`) — flows to the mailbox.
+///
+/// The table is shared between the endpoint and its [`NodeSender`] clones,
+/// so worker threads rpc as the owning node with no per-call setup.
+pub struct ReplyDemux {
+    /// In-flight rpc request ids → reply slots.
+    pending: Mutex<HashMap<MessageId, crossbeam::channel::Sender<Envelope>>>,
+    /// Recently retired rpc ids, bounded by [`STALE_CAPACITY`].
+    stale: Mutex<StaleRing>,
+}
+
+#[derive(Default)]
+struct StaleRing {
+    order: VecDeque<MessageId>,
+    set: HashSet<MessageId>,
+}
+
+impl ReplyDemux {
+    pub(crate) fn new() -> Arc<ReplyDemux> {
+        Arc::new(ReplyDemux {
+            pending: Mutex::new(HashMap::new()),
+            stale: Mutex::new(StaleRing::default()),
+        })
+    }
+
+    /// Registers a reply slot for `id`. Must happen before the request is
+    /// handed to the transport, so the reply cannot race past it. The
+    /// returned guard deregisters (and tombstones) the id on drop.
+    fn register(&self, id: MessageId) -> ReplySlot<'_> {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        self.pending.lock().insert(id, tx);
+        ReplySlot {
+            demux: self,
+            id,
+            rx,
+        }
+    }
+
+    /// Moves `id` from pending to the stale ring: later replies carrying
+    /// it are discarded rather than delivered anywhere.
+    ///
+    /// Tombstones *before* deregistering. `route` checks pending first,
+    /// then stale, so a reply delivered concurrently with retirement
+    /// either still finds the dying slot (harmless — the queued value is
+    /// freed with the slot) or finds the tombstone; deregistering first
+    /// would open a window where it found neither and leaked into the
+    /// mailbox.
+    fn retire(&self, id: MessageId) {
+        {
+            let mut stale = self.stale.lock();
+            if stale.set.insert(id) {
+                stale.order.push_back(id);
+                if stale.order.len() > STALE_CAPACITY {
+                    if let Some(oldest) = stale.order.pop_front() {
+                        stale.set.remove(&oldest);
+                    }
+                }
+            }
+        }
+        self.pending.lock().remove(&id);
+    }
+
+    /// Routes one inbound envelope. Returns the envelope when it should be
+    /// queued on the main mailbox; `None` when it was consumed by a
+    /// pending rpc slot or discarded as stale.
+    pub(crate) fn route(&self, env: Envelope) -> Option<Envelope> {
+        let Some(corr) = env.correlation else {
+            return Some(env);
+        };
+        {
+            let pending = self.pending.lock();
+            if let Some(slot) = pending.get(&corr) {
+                // The slot's channel is never contended and never blocks
+                // delivery; a duplicate reply queues behind the first and
+                // is freed when the slot is retired.
+                let _ = slot.send(env);
+                return None;
+            }
+        }
+        if self.stale.lock().set.contains(&corr) {
+            return None;
+        }
+        Some(env)
+    }
+
+    /// Number of in-flight rpcs (for tests and debugging).
+    pub fn pending_rpcs(&self) -> usize {
+        self.pending.lock().len()
+    }
+}
+
+/// A registered reply slot: receives the correlated reply for one rpc.
+/// Dropping it deregisters the id and tombstones it as stale.
+struct ReplySlot<'a> {
+    demux: &'a ReplyDemux,
+    id: MessageId,
+    rx: crossbeam::channel::Receiver<Envelope>,
+}
+
+impl ReplySlot<'_> {
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => RecvError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
+    }
+}
+
+impl Drop for ReplySlot<'_> {
+    fn drop(&mut self) {
+        self.demux.retire(self.id);
+    }
+}
+
+/// Crate-internal delivery target shared by the transport implementations:
+/// a node's mailbox sender plus its reply demultiplexer. Every envelope
+/// delivered to a node goes through [`Inbox::deliver`], which is what
+/// makes rpc replies arrive at the blocked rpc instead of the mailbox.
+#[derive(Clone)]
+pub(crate) struct Inbox {
+    tx: crossbeam::channel::Sender<Envelope>,
+    demux: Arc<ReplyDemux>,
+}
+
+impl Inbox {
+    pub(crate) fn new(tx: crossbeam::channel::Sender<Envelope>, demux: Arc<ReplyDemux>) -> Self {
+        Inbox { tx, demux }
+    }
+
+    /// Delivers one envelope, demultiplexing rpc replies. `Err(())` when
+    /// the endpoint's mailbox is gone (receiver dropped).
+    pub(crate) fn deliver(&self, env: Envelope) -> Result<(), ()> {
+        match self.demux.route(env) {
+            None => Ok(()),
+            Some(env) => self.tx.send(env).map_err(|_| ()),
+        }
     }
 }
 
@@ -234,13 +491,23 @@ pub trait RawEndpoint: Send {
 pub struct Endpoint {
     raw: Box<dyn RawEndpoint>,
     transport: TransportHandle,
+    demux: Arc<ReplyDemux>,
 }
 
 impl Endpoint {
-    /// Assembles an endpoint from a transport's raw half. Implementations
-    /// of [`Transport::connect`] call this; platform code never needs to.
-    pub fn from_raw(raw: Box<dyn RawEndpoint>, transport: TransportHandle) -> Self {
-        Endpoint { raw, transport }
+    /// Assembles an endpoint from a transport's raw half and the reply
+    /// demultiplexer its delivery path routes through. Implementations of
+    /// [`Transport::connect`] call this; platform code never needs to.
+    pub fn from_raw(
+        raw: Box<dyn RawEndpoint>,
+        transport: TransportHandle,
+        demux: Arc<ReplyDemux>,
+    ) -> Self {
+        Endpoint {
+            raw,
+            transport,
+            demux,
+        }
     }
 
     /// This endpoint's node id.
@@ -253,12 +520,19 @@ impl Endpoint {
         &self.transport
     }
 
-    /// A cloneable handle that sends as this endpoint's node (for worker
-    /// threads).
+    /// This endpoint's reply demultiplexer (for tests and diagnostics).
+    pub fn demux(&self) -> &Arc<ReplyDemux> {
+        &self.demux
+    }
+
+    /// A cloneable handle that sends — and rpcs — as this endpoint's node
+    /// (for worker threads). Replies to the handle's rpcs arrive at this
+    /// endpoint and are demultiplexed to the calling worker.
     pub fn sender(&self) -> NodeSender {
         NodeSender {
             node: self.node().clone(),
             transport: self.transport.clone(),
+            demux: Arc::clone(&self.demux),
         }
     }
 
@@ -316,12 +590,17 @@ impl Endpoint {
         self.raw.pending()
     }
 
-    /// Request/response: sends `kind` to `to` from an ephemeral reply
-    /// endpoint and waits for a correlated reply.
+    /// Request/response: sends `kind` to `to` and waits for the correlated
+    /// reply on this endpoint's own reply demultiplexer.
     ///
     /// This is the shape of the original platform's SOAP calls (service
-    /// registration, discovery, invocation). Uncorrelated messages
-    /// arriving at the ephemeral endpoint are discarded.
+    /// registration, discovery, invocation). The request carries this
+    /// node's name as the reply address, so it works across process
+    /// boundaries wherever named sends do (see
+    /// [`crate::TcpTransport::register_peer`]). No per-call endpoint,
+    /// listener, or thread is created. A reply arriving after the rpc
+    /// finished (success or timeout) is discarded; unrelated traffic
+    /// received during the rpc stays queued for [`Endpoint::recv`].
     pub fn rpc(
         &self,
         to: impl Into<NodeId>,
@@ -331,6 +610,7 @@ impl Endpoint {
     ) -> Result<Envelope, RpcError> {
         rpc_via(
             &self.transport,
+            &self.demux,
             self.node(),
             to.into(),
             kind.into(),
@@ -349,12 +629,14 @@ impl fmt::Debug for Endpoint {
 }
 
 /// A cloneable sending-only handle that emits messages *as* a node.
-/// Obtained from [`Endpoint::sender`]; lets worker threads send under the
-/// owning component's name so per-node metrics stay attributable.
+/// Obtained from [`Endpoint::sender`]; lets worker threads send — and rpc —
+/// under the owning component's name so per-node metrics stay attributable
+/// and rpc replies route back through the owning endpoint's demultiplexer.
 #[derive(Clone)]
 pub struct NodeSender {
     node: NodeId,
     transport: TransportHandle,
+    demux: Arc<ReplyDemux>,
 }
 
 impl NodeSender {
@@ -391,8 +673,29 @@ impl NodeSender {
             .send_as(&self.node, to.into(), kind.into(), body, correlation)
     }
 
-    /// Request/response as the owning node (uses an ephemeral reply
-    /// endpoint, like [`Endpoint::rpc`]).
+    /// Sends a request whose correlated reply — if the receiver emits one
+    /// — should be thrown away: the request id is tombstoned in the reply
+    /// demultiplexer *before* the send, so an acknowledgement is discarded
+    /// at delivery instead of queueing forever in the mailbox of an
+    /// endpoint nobody drains. Fire-and-forget against ack-happy
+    /// receivers.
+    pub fn send_discard_reply(
+        &self,
+        to: impl Into<NodeId>,
+        kind: impl Into<String>,
+        body: Element,
+    ) -> Result<MessageId, SendError> {
+        let id = self.transport.next_message_id();
+        self.demux.retire(id);
+        self.transport
+            .send_prepared(id, &self.node, to.into(), kind.into(), body, None)?;
+        Ok(id)
+    }
+
+    /// Request/response as the owning node. The reply is demultiplexed at
+    /// the owning endpoint and handed to this caller; any number of
+    /// [`NodeSender`] clones can rpc concurrently without crossing
+    /// replies.
     pub fn rpc(
         &self,
         to: impl Into<NodeId>,
@@ -402,6 +705,7 @@ impl NodeSender {
     ) -> Result<Envelope, RpcError> {
         rpc_via(
             &self.transport,
+            &self.demux,
             &self.node,
             to.into(),
             kind.into(),
@@ -411,28 +715,23 @@ impl NodeSender {
     }
 }
 
-/// Shared request/response implementation: ephemeral reply endpoint named
-/// after the caller, correlation filtering, deadline bookkeeping.
+/// Shared request/response implementation: reserve the request id,
+/// register the reply slot, send, block on the slot. The registration
+/// precedes the send so even an instantly-delivered reply finds its slot;
+/// the guard's drop retires the id so late replies are discarded.
 fn rpc_via(
     transport: &TransportHandle,
+    demux: &ReplyDemux,
     as_node: &NodeId,
     to: NodeId,
     kind: String,
     body: Element,
     timeout: Duration,
 ) -> Result<Envelope, RpcError> {
-    let tmp = transport.connect_anonymous(as_node.as_str());
-    let request_id = tmp.send(to, kind, body).map_err(RpcError::Send)?;
-    let deadline = Instant::now() + timeout;
-    loop {
-        let remaining = deadline.saturating_duration_since(Instant::now());
-        if remaining.is_zero() {
-            return Err(RpcError::Timeout);
-        }
-        match tmp.recv_timeout(remaining) {
-            Ok(env) if env.correlation == Some(request_id) => return Ok(env),
-            Ok(_) => continue,
-            Err(_) => return Err(RpcError::Timeout),
-        }
-    }
+    let request_id = transport.next_message_id();
+    let slot = demux.register(request_id);
+    transport
+        .send_prepared(request_id, as_node, to, kind, body, None)
+        .map_err(RpcError::Send)?;
+    slot.recv_timeout(timeout).map_err(|_| RpcError::Timeout)
 }

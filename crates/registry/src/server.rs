@@ -5,7 +5,9 @@ use crate::model::{
     BusinessEntity, BusinessKey, FindQuery, RegistryError, ServiceKey, ServiceRecord,
 };
 use crate::store::UddiRegistry;
-use selfserv_net::{Endpoint, Envelope, NodeId, RpcError, Transport, TransportHandle};
+use selfserv_net::{
+    ConnectError, Endpoint, Envelope, NodeId, RpcError, Transport, TransportHandle,
+};
 use selfserv_wsdl::ServiceDescription;
 use selfserv_xml::Element;
 use std::sync::Arc;
@@ -101,7 +103,7 @@ impl RegistryServer {
         net: &dyn Transport,
         node_name: &str,
         registry: Arc<UddiRegistry>,
-    ) -> Result<RegistryServerHandle, NodeId> {
+    ) -> Result<RegistryServerHandle, ConnectError> {
         let endpoint = net.connect(NodeId::new(node_name))?;
         let node = endpoint.node().clone();
         let server = RegistryServer { registry, endpoint };
@@ -224,7 +226,7 @@ impl RegistryClient {
         net: &dyn Transport,
         client_name: &str,
         registry_node: impl Into<NodeId>,
-    ) -> Result<Self, NodeId> {
+    ) -> Result<Self, ConnectError> {
         Ok(RegistryClient {
             endpoint: net.connect(NodeId::new(client_name))?,
             registry_node: registry_node.into(),

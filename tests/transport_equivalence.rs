@@ -179,6 +179,46 @@ fn travel_scenario_outputs_identical_over_fabric_and_tcp() {
 }
 
 #[test]
+fn rpc_round_trips_between_hubs_linked_only_by_register_peer() {
+    // Two TcpTransport hubs model two OS processes. They share nothing but
+    // name → address registrations exchanged "out of band" in both
+    // directions. A full request/response must round-trip by name: the
+    // request frame carries the caller's node name as the reply address,
+    // and the responder's reply is an ordinary named send routed back
+    // across the hub boundary. (Before the persistent reply demultiplexer
+    // this was impossible: replies targeted caller-local ephemeral names
+    // that the remote hub had never heard of.)
+    use selfserv::net::TcpTransport as Hub;
+    use selfserv::registry::{FindQuery, RegistryClient, RegistryServer, UddiRegistry};
+    use selfserv::wsdl::ServiceDescription;
+
+    let hub_a = Hub::new();
+    let hub_b = Hub::new();
+    let store = Arc::new(UddiRegistry::new());
+    let server = RegistryServer::spawn(&hub_b, "uddi", Arc::clone(&store)).unwrap();
+    let client = RegistryClient::connect(&hub_a, "manager", "uddi").unwrap();
+    // Exchange addresses both ways: requests flow a→b, replies b→a.
+    hub_a.register_peer("uddi", hub_b.addr_of("uddi").unwrap());
+    hub_b.register_peer("manager", hub_a.addr_of("manager").unwrap());
+
+    // The full registry protocol — four rpc round trips — runs across the
+    // process-shaped boundary.
+    let business = client.save_business("Acme Travel", "ops@acme").unwrap();
+    let desc = ServiceDescription::new("Flight Booking", "Acme Travel");
+    let key = client
+        .save_service(&business, "travel", &desc, None)
+        .unwrap();
+    let hits = client
+        .find(&FindQuery::any().service_name("Flight Booking"))
+        .unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].key, key);
+    let fetched = client.get_service(&key).unwrap();
+    assert_eq!(fetched.description.name, "Flight Booking");
+    server.stop();
+}
+
+#[test]
 fn tcp_deployment_survives_repeated_cycles() {
     // Deploy/undeploy repeatedly on one TcpTransport: names must free up
     // and accept threads must be joined (no listener leaks blocking
