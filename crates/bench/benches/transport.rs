@@ -1,19 +1,25 @@
 //! Transport seam microbenchmarks: the in-process fabric vs. real TCP
 //! sockets, carrying identical envelopes.
 //!
-//! Three shapes, each over both transports:
+//! Four shapes, each over both transports:
 //! * round-trip latency — `Endpoint::rpc` ping/pong against an echo node.
 //!   Replies demultiplex on the caller's persistent endpoint, so an rpc is
 //!   two frames on pooled connections — no per-call endpoint, listener, or
 //!   thread on any transport (on TCP this replaced a fresh listener +
 //!   accept thread + reply connection per call, ~110µs and 3 fds);
 //! * concurrent round trips — 64 rpcs in flight from one endpoint at
-//!   once, exercising the correlation table under contention;
+//!   once on scoped threads, exercising the correlation table under
+//!   contention *plus* 64 thread spawn/joins per iteration;
+//! * pooled concurrent round trips — the same 64-rpc burst issued as
+//!   executor tasks on a pre-warmed worker pool, so no thread is spawned
+//!   or joined inside the measurement and the correlation-table cost is
+//!   isolated from harness thread churn;
 //! * one-way throughput — a burst of notifications drained by the
 //!   receiver, the shape of coordinator completion traffic.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use selfserv_net::{Endpoint, Network, NetworkConfig, NodeId, TcpTransport, Transport};
+use selfserv_runtime::Executor;
 use selfserv_xml::Element;
 use std::time::Duration;
 
@@ -70,6 +76,39 @@ fn bench_transport(c: &mut Criterion, label: &str, net: &dyn Transport) {
             });
         });
     });
+    // Pre-warmed pool sized to the burst: every rpc parks a worker for
+    // its round trip, none spawns a thread inside the measurement.
+    let exec = Executor::new(BURST);
+    let pool = exec.handle();
+    group.bench_with_input(
+        BenchmarkId::new("rpc_64_concurrent_pooled", label),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                let (done_tx, done_rx) = crossbeam::channel::unbounded();
+                for _ in 0..BURST {
+                    let sender = client.sender();
+                    let done = done_tx.clone();
+                    pool.spawn_task(move || {
+                        sender
+                            .rpc(
+                                "echo",
+                                "ping",
+                                Element::new("ping"),
+                                Duration::from_secs(10),
+                            )
+                            .expect("pooled rpc completes");
+                        let _ = done.send(());
+                    });
+                }
+                for _ in 0..BURST {
+                    done_rx
+                        .recv_timeout(Duration::from_secs(10))
+                        .expect("pooled burst completes");
+                }
+            });
+        },
+    );
     group.bench_with_input(BenchmarkId::new("burst_one_way", label), &(), |b, _| {
         b.iter(|| {
             for i in 0..BURST {
@@ -88,6 +127,7 @@ fn bench_transport(c: &mut Criterion, label: &str, net: &dyn Transport) {
         });
     });
     group.finish();
+    exec.shutdown();
 
     let _ = client.send("echo", "stop", Element::new("stop"));
     let _ = echo.join();

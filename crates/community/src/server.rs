@@ -20,13 +20,14 @@ use crate::history::{ExecutionHistory, Outcome};
 use crate::membership::{Community, CommunityError, Member, MemberId, QosProfile};
 use crate::policy::{SelectionContext, SelectionPolicy};
 use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex};
 use selfserv_net::{
     ConnectError, Endpoint, Envelope, NodeId, NodeSender, RpcError, Transport, TransportHandle,
 };
+use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic};
 use selfserv_wsdl::MessageDoc;
 use selfserv_xml::Element;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Message kinds of the community protocol.
@@ -90,14 +91,52 @@ fn strip_directives(msg: &MessageDoc) -> MessageDoc {
     out
 }
 
+/// Counts in-flight delegation tasks so shutdown can drain them: the
+/// community's endpoint (and its reply demultiplexer) must outlive every
+/// worker still waiting on a member reply.
+#[derive(Default)]
+struct InFlight {
+    count: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl InFlight {
+    /// Registers one delegation; the returned guard deregisters on drop —
+    /// including a panicking delegation unwinding — so `wait_drained` can
+    /// never block on a task that will not finish.
+    fn begin(self: &Arc<Self>) -> InFlightGuard {
+        *self.count.lock() += 1;
+        InFlightGuard(Arc::clone(self))
+    }
+
+    fn wait_drained(&self) {
+        let mut count = self.count.lock();
+        while *count > 0 {
+            self.drained.wait(&mut count);
+        }
+    }
+}
+
+struct InFlightGuard(Arc<InFlight>);
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        *self.0.count.lock() -= 1;
+        self.0.drained.notify_all();
+    }
+}
+
 /// A running community node.
-pub struct CommunityServer {
+struct CommunityLogic {
     community: Arc<RwLock<Community>>,
     history: Arc<ExecutionHistory>,
     policy: Arc<dyn SelectionPolicy>,
     config: CommunityServerConfig,
-    endpoint: Endpoint,
+    in_flight: Arc<InFlight>,
 }
+
+/// Spawner for community servers.
+pub struct CommunityServer;
 
 /// Handle to a spawned [`CommunityServer`].
 pub struct CommunityServerHandle {
@@ -105,7 +144,7 @@ pub struct CommunityServerHandle {
     net: TransportHandle,
     community: Arc<RwLock<Community>>,
     history: Arc<ExecutionHistory>,
-    thread: Option<JoinHandle<()>>,
+    handle: Option<NodeHandle>,
 }
 
 impl CommunityServerHandle {
@@ -130,13 +169,11 @@ impl CommunityServerHandle {
     }
 
     fn stop_inner(&mut self) {
-        if let Some(thread) = self.thread.take() {
-            // A killed node would never see the stop message; revive it so
-            // shutdown cannot deadlock on join().
+        if let Some(handle) = self.handle.take() {
+            // Clear any kill left by failure injection so the name isn't
+            // poisoned for a redeploy.
             self.net.revive(&self.node);
-            let ctl = self.net.connect_anonymous("community-ctl");
-            let _ = ctl.send(self.node.clone(), kinds::STOP, Element::new("stop"));
-            let _ = thread.join();
+            handle.stop();
         }
     }
 }
@@ -148,9 +185,29 @@ impl Drop for CommunityServerHandle {
 }
 
 impl CommunityServer {
-    /// Spawns a community server on `node_name`, over any [`Transport`].
+    /// Spawns a community server on `node_name`, over any [`Transport`],
+    /// scheduled on the process-wide shared executor.
     pub fn spawn(
         net: &dyn Transport,
+        node_name: &str,
+        community: Community,
+        policy: Arc<dyn SelectionPolicy>,
+        config: CommunityServerConfig,
+    ) -> Result<CommunityServerHandle, ConnectError> {
+        Self::spawn_on(
+            net,
+            selfserv_runtime::shared(),
+            node_name,
+            community,
+            policy,
+            config,
+        )
+    }
+
+    /// Spawns a community server scheduled on an explicit executor.
+    pub fn spawn_on(
+        net: &dyn Transport,
+        exec: &ExecutorHandle,
         node_name: &str,
         community: Community,
         policy: Arc<dyn SelectionPolicy>,
@@ -160,57 +217,63 @@ impl CommunityServer {
         let node = endpoint.node().clone();
         let community = Arc::new(RwLock::new(community));
         let history = Arc::new(ExecutionHistory::new());
-        let server = CommunityServer {
+        let logic = CommunityLogic {
             community: Arc::clone(&community),
             history: Arc::clone(&history),
             policy,
             config,
-            endpoint,
+            in_flight: Arc::new(InFlight::default()),
         };
-        let thread = std::thread::Builder::new()
-            .name(format!("community-{node_name}"))
-            .spawn(move || server.run())
-            .expect("spawn community server");
         Ok(CommunityServerHandle {
             node,
             net: net.handle(),
             community,
             history,
-            thread: Some(thread),
+            handle: Some(exec.spawn_node(endpoint, logic)),
         })
     }
+}
 
-    fn run(self) {
-        // In-flight invocation workers rpc through this endpoint's reply
-        // demultiplexer, so the endpoint must outlive them: drain (join)
-        // the workers on shutdown instead of dropping the node name out
-        // from under their pending member replies.
-        let mut workers: Vec<JoinHandle<()>> = Vec::new();
-        while let Ok(request) = self.endpoint.recv() {
-            workers.retain(|w| !w.is_finished());
-            match request.kind.as_str() {
-                kinds::STOP => break,
-                kinds::JOIN => {
-                    let reply = self.handle_join(&request.body);
-                    self.send_reply(&request, reply);
-                }
-                kinds::LEAVE => {
-                    let reply = self.handle_leave(&request.body);
-                    self.send_reply(&request, reply);
-                }
-                kinds::INVOKE => workers.push(self.handle_invoke(request)),
-                other => {
-                    let err = CommunityError::Protocol(format!("unknown kind {other:?}"));
-                    self.send_reply(&request, Err(err));
-                }
+impl NodeLogic for CommunityLogic {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, request: Envelope) -> Flow {
+        match request.kind.as_str() {
+            kinds::STOP => return Flow::Stop,
+            kinds::JOIN => {
+                let reply = self.handle_join(&request.body);
+                self.send_reply(ctx, &request, reply);
+            }
+            kinds::LEAVE => {
+                let reply = self.handle_leave(&request.body);
+                self.send_reply(ctx, &request, reply);
+            }
+            kinds::INVOKE => self.handle_invoke(ctx, request),
+            other => {
+                let err = CommunityError::Protocol(format!("unknown kind {other:?}"));
+                self.send_reply(ctx, &request, Err(err));
             }
         }
-        for w in workers {
-            let _ = w.join();
-        }
+        Flow::Continue
     }
 
-    fn send_reply(&self, request: &Envelope, reply: Result<Element, CommunityError>) {
+    fn on_stop(&mut self, ctx: &mut NodeCtx<'_>) {
+        // In-flight delegation tasks rpc through this endpoint's reply
+        // demultiplexer, so the endpoint must outlive them: drain on
+        // shutdown instead of dropping the node name out from under their
+        // pending member replies. The wait is bounded by the per-task
+        // delegation deadline (max_attempts × member_timeout) and is
+        // declared blocking so the pool compensates.
+        let in_flight = Arc::clone(&self.in_flight);
+        ctx.block_on(|| in_flight.wait_drained());
+    }
+}
+
+impl CommunityLogic {
+    fn send_reply(
+        &self,
+        ctx: &NodeCtx<'_>,
+        request: &Envelope,
+        reply: Result<Element, CommunityError>,
+    ) {
         let (kind, body) = match reply {
             Ok(body) => (kinds::RESULT, body),
             Err(e) => (
@@ -218,7 +281,7 @@ impl CommunityServer {
                 Element::new("fault").with_attr("reason", e.to_string()),
             ),
         };
-        let _ = self.endpoint.reply(request, kind, body);
+        let _ = ctx.endpoint().reply(request, kind, body);
     }
 
     fn handle_join(&self, body: &Element) -> Result<Element, CommunityError> {
@@ -238,31 +301,39 @@ impl CommunityServer {
         Ok(Element::new("ok"))
     }
 
-    /// Invocations are handled on worker threads so a slow member cannot
-    /// stall membership changes or other requests. Workers rpc *as the
-    /// community node* through a [`NodeSender`]: member replies come back
-    /// to the community endpoint and are demultiplexed to the right
-    /// worker, so no per-invocation endpoint is created. The returned
-    /// handle lets `run` drain in-flight invocations before shutdown.
-    fn handle_invoke(&self, request: Envelope) -> JoinHandle<()> {
+    /// Invocations run as pool tasks so a slow member cannot stall
+    /// membership changes or other requests. Tasks rpc *as the community
+    /// node* through a [`NodeSender`]: member replies come back to the
+    /// community endpoint and are demultiplexed to the right task, so no
+    /// per-invocation endpoint is created. The in-flight counter lets
+    /// `on_stop` drain delegations before the endpoint drops.
+    fn handle_invoke(&self, ctx: &NodeCtx<'_>, request: Envelope) {
         let community = Arc::clone(&self.community);
         let history = Arc::clone(&self.history);
         let policy = Arc::clone(&self.policy);
-        let worker = self.endpoint.sender();
+        let worker = ctx.endpoint().sender();
         let mode = self.config.mode;
         let member_timeout = self.config.member_timeout;
         let max_attempts = self.config.max_attempts;
-        std::thread::spawn(move || {
-            let outcome = delegate(
-                &community,
-                &history,
-                policy.as_ref(),
-                &worker,
-                &request,
-                mode,
-                member_timeout,
-                max_attempts,
-            );
+        let in_flight = self.in_flight.begin();
+        let exec = ctx.executor();
+        let pool = exec.clone();
+        exec.spawn_task(move || {
+            let _in_flight = in_flight;
+            // The whole delegation (member rpcs, retries) waits on remote
+            // replies: declare it blocking so the pool compensates.
+            let outcome = pool.block_on(|| {
+                delegate(
+                    &community,
+                    &history,
+                    policy.as_ref(),
+                    &worker,
+                    &request,
+                    mode,
+                    member_timeout,
+                    max_attempts,
+                )
+            });
             let (kind, body) = match outcome {
                 Ok(body) => (kinds::RESULT, body),
                 Err(e) => (
@@ -272,7 +343,7 @@ impl CommunityServer {
             };
             // Reply as the community node: correlate to the request.
             let _ = worker.send_correlated(request.from.clone(), kind, body, Some(request.id));
-        })
+        });
     }
 }
 

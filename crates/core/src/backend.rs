@@ -10,11 +10,11 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use selfserv_expr::Value;
-use selfserv_net::{ConnectError, Endpoint, NodeId, Transport, TransportHandle};
+use selfserv_net::{ConnectError, Envelope, NodeId, Transport, TransportHandle};
+use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic};
 use selfserv_wsdl::MessageDoc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Application logic behind an elementary service. Implementations must be
@@ -196,7 +196,7 @@ pub struct ServiceHostHandle {
     node: NodeId,
     net: TransportHandle,
     backend: Arc<dyn ServiceBackend>,
-    thread: Option<JoinHandle<()>>,
+    handle: Option<NodeHandle>,
 }
 
 impl ServiceHostHandle {
@@ -216,17 +216,11 @@ impl ServiceHostHandle {
     }
 
     fn stop_inner(&mut self) {
-        if let Some(thread) = self.thread.take() {
-            // A killed node would never see the stop message; revive it so
-            // shutdown cannot deadlock on join().
+        if let Some(handle) = self.handle.take() {
+            // Clear any kill left by failure injection so the name isn't
+            // poisoned for a redeploy.
             self.net.revive(&self.node);
-            let ctl = self.net.connect_anonymous("host-ctl");
-            let _ = ctl.send(
-                self.node.clone(),
-                kinds::STOP,
-                selfserv_xml::Element::new("stop"),
-            );
-            let _ = thread.join();
+            handle.stop();
         }
     }
 }
@@ -238,45 +232,66 @@ impl Drop for ServiceHostHandle {
 }
 
 impl ServiceHost {
-    /// Spawns a host serving `backend` on `node_name`. Each invocation is
-    /// handled on a worker thread so a slow backend doesn't serialize
-    /// unrelated callers (hosts model multi-threaded provider servers; the
-    /// *coordinator* is the capacity-1 component).
+    /// Spawns a host serving `backend` on `node_name`, scheduled on the
+    /// process-wide shared executor. Each invocation runs as its own pool
+    /// task so a slow backend doesn't serialize unrelated callers (hosts
+    /// model multi-threaded provider servers; the *coordinator* is the
+    /// capacity-1 component).
     pub fn spawn(
         net: &dyn Transport,
         node_name: impl Into<NodeId>,
         backend: Arc<dyn ServiceBackend>,
     ) -> Result<ServiceHostHandle, ConnectError> {
+        Self::spawn_on(net, selfserv_runtime::shared(), node_name, backend)
+    }
+
+    /// Spawns a host scheduled on an explicit executor.
+    pub fn spawn_on(
+        net: &dyn Transport,
+        exec: &ExecutorHandle,
+        node_name: impl Into<NodeId>,
+        backend: Arc<dyn ServiceBackend>,
+    ) -> Result<ServiceHostHandle, ConnectError> {
         let endpoint = net.connect(node_name.into())?;
         let node = endpoint.node().clone();
-        let backend_for_thread = Arc::clone(&backend);
-        let thread = std::thread::Builder::new()
-            .name(format!("host-{node}"))
-            .spawn(move || host_loop(endpoint, backend_for_thread))
-            .expect("spawn service host");
+        let logic = HostLogic {
+            backend: Arc::clone(&backend),
+        };
         Ok(ServiceHostHandle {
             node,
             net: net.handle(),
             backend,
-            thread: Some(thread),
+            handle: Some(exec.spawn_node(endpoint, logic)),
         })
     }
 }
 
-fn host_loop(endpoint: Endpoint, backend: Arc<dyn ServiceBackend>) {
-    loop {
-        let Ok(request) = endpoint.recv() else { return };
+struct HostLogic {
+    backend: Arc<dyn ServiceBackend>,
+}
+
+impl NodeLogic for HostLogic {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, request: Envelope) -> Flow {
         match request.kind.as_str() {
-            kinds::STOP => return,
+            kinds::STOP => Flow::Stop,
             kinds::INVOKE => {
-                let backend = Arc::clone(&backend);
-                let sender = endpoint.sender();
-                std::thread::spawn(move || {
+                // Each invocation is a pool task replying through a
+                // NodeSender, so concurrent callers overlap and a slow
+                // backend never occupies the host node itself. The backend
+                // call is declared blocking (synthetic services sleep to
+                // simulate service time) so the pool compensates.
+                let backend = Arc::clone(&self.backend);
+                let sender = ctx.endpoint().sender();
+                let exec = ctx.executor();
+                let pool = exec.clone();
+                exec.spawn_task(move || {
                     let reply = match MessageDoc::from_xml(&request.body) {
-                        Ok(input) => match backend.invoke(&input.operation, &input) {
-                            Ok(output) => output,
-                            Err(reason) => MessageDoc::fault(input.operation, reason),
-                        },
+                        Ok(input) => {
+                            match pool.block_on(|| backend.invoke(&input.operation, &input)) {
+                                Ok(output) => output,
+                                Err(reason) => MessageDoc::fault(input.operation, reason),
+                            }
+                        }
                         Err(e) => MessageDoc::fault("unknown", e.to_string()),
                     };
                     let _ = sender.send_correlated(
@@ -286,8 +301,9 @@ fn host_loop(endpoint: Endpoint, backend: Arc<dyn ServiceBackend>) {
                         Some(request.id),
                     );
                 });
+                Flow::Continue
             }
-            _ => { /* ignore unrelated traffic */ }
+            _ => Flow::Continue, // ignore unrelated traffic
         }
     }
 }

@@ -20,10 +20,10 @@ use selfserv_expr::Value;
 use selfserv_net::{
     ConnectError, Endpoint, Envelope, MessageId, NodeId, Transport, TransportHandle,
 };
+use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic};
 use selfserv_statechart::{ServiceBinding, StateId, StateKind, Statechart};
 use selfserv_wsdl::MessageDoc;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Configuration of the central engine.
@@ -46,7 +46,7 @@ pub struct CentralizedOrchestrator;
 pub struct CentralHandle {
     node: NodeId,
     net: TransportHandle,
-    thread: Option<JoinHandle<()>>,
+    handle: Option<NodeHandle>,
     client: PersistentClient,
 }
 
@@ -89,17 +89,11 @@ impl CentralHandle {
     }
 
     fn stop_inner(&mut self) {
-        if let Some(thread) = self.thread.take() {
-            // A killed node would never see the stop message; revive it so
-            // shutdown cannot deadlock on join().
+        if let Some(handle) = self.handle.take() {
+            // Clear any kill left by failure injection so the name isn't
+            // poisoned for a redeploy.
             self.net.revive(&self.node);
-            let ctl = self.net.connect_anonymous("central-ctl");
-            let _ = ctl.send(
-                self.node.clone(),
-                kinds::STOP,
-                selfserv_xml::Element::new("stop"),
-            );
-            let _ = thread.join();
+            handle.stop();
         }
     }
 }
@@ -119,7 +113,6 @@ struct CInstance {
 
 struct Engine {
     cfg: CentralConfig,
-    endpoint: Endpoint,
     instances: HashMap<InstanceId, CInstance>,
     /// Outstanding remote invocations: request message id → (instance,
     /// invoking state).
@@ -128,53 +121,56 @@ struct Engine {
 }
 
 impl CentralizedOrchestrator {
-    /// Spawns the engine on `<composite>.central`, over any [`Transport`].
+    /// Spawns the engine on `<composite>.central`, over any [`Transport`],
+    /// scheduled on the process-wide shared executor.
     pub fn spawn(net: &dyn Transport, cfg: CentralConfig) -> Result<CentralHandle, ConnectError> {
+        Self::spawn_on(net, selfserv_runtime::shared(), cfg)
+    }
+
+    /// Spawns the engine scheduled on an explicit executor.
+    pub fn spawn_on(
+        net: &dyn Transport,
+        exec: &ExecutorHandle,
+        cfg: CentralConfig,
+    ) -> Result<CentralHandle, ConnectError> {
         let endpoint = net.connect(naming::central(&cfg.statechart.name))?;
         let node = endpoint.node().clone();
-        let mut engine = Engine {
+        let engine = Engine {
             cfg,
-            endpoint,
             instances: HashMap::new(),
             pending: HashMap::new(),
             next_instance: 0,
         };
-        let thread = std::thread::Builder::new()
-            .name(format!("central-{node}"))
-            .spawn(move || engine.run())
-            .expect("spawn central engine");
         Ok(CentralHandle {
             node,
             net: net.handle(),
-            thread: Some(thread),
+            handle: Some(exec.spawn_node(endpoint, engine)),
             client: PersistentClient::new(net, "client"),
         })
     }
 }
 
-impl Engine {
-    fn run(&mut self) {
-        loop {
-            let Ok(env) = self.endpoint.recv() else {
-                return;
-            };
-            match env.kind.as_str() {
-                kinds::STOP => return,
-                kinds::EXECUTE => self.on_execute(&env),
-                kinds::INVOKE_RESULT | "community.result" | "community.fault" => {
-                    self.on_reply(&env)
-                }
-                _ => {}
+impl NodeLogic for Engine {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+        match env.kind.as_str() {
+            kinds::STOP => return Flow::Stop,
+            kinds::EXECUTE => self.on_execute(ctx.endpoint(), &env),
+            kinds::INVOKE_RESULT | "community.result" | "community.fault" => {
+                self.on_reply(ctx.endpoint(), &env)
             }
+            _ => {}
         }
+        Flow::Continue
     }
+}
 
-    fn on_execute(&mut self, env: &Envelope) {
+impl Engine {
+    fn on_execute(&mut self, endpoint: &Endpoint, env: &Envelope) {
         let input = match MessageDoc::from_xml(&env.body) {
             Ok(m) => m,
             Err(e) => {
                 let fault = MessageDoc::fault("execute", format!("malformed request: {e}"));
-                let _ = self.endpoint.send_correlated(
+                let _ = endpoint.send_correlated(
                     env.from.clone(),
                     kinds::EXECUTE_RESULT,
                     fault.to_xml(),
@@ -204,10 +200,10 @@ impl Engine {
             },
         );
         let initial = self.cfg.statechart.initial.clone();
-        self.enter(id, &initial);
+        self.enter(endpoint, id, &initial);
     }
 
-    fn on_reply(&mut self, env: &Envelope) {
+    fn on_reply(&mut self, endpoint: &Endpoint, env: &Envelope) {
         let Some(correlation) = env.correlation else {
             return;
         };
@@ -223,13 +219,14 @@ impl Engine {
                 .attr("reason")
                 .unwrap_or("community fault")
                 .to_string();
-            self.fault(instance, &format!("state '{state_id}': {reason}"));
+            self.fault(endpoint, instance, &format!("state '{state_id}': {reason}"));
             return;
         }
         let response = match MessageDoc::from_xml(&env.body) {
             Ok(m) => m,
             Err(e) => {
                 self.fault(
+                    endpoint,
                     instance,
                     &format!("state '{state_id}': malformed reply: {e}"),
                 );
@@ -238,7 +235,7 @@ impl Engine {
         };
         if response.is_fault() {
             let reason = response.fault_reason().unwrap_or("fault").to_string();
-            self.fault(instance, &format!("state '{state_id}': {reason}"));
+            self.fault(endpoint, instance, &format!("state '{state_id}': {reason}"));
             return;
         }
         // Capture outputs.
@@ -249,29 +246,29 @@ impl Engine {
                 crate::coordinator::apply_outputs(&outputs, &response, &mut inst.vars);
             }
         }
-        self.complete(instance, &state_id);
+        self.complete(endpoint, instance, &state_id);
     }
 
     /// Enters a state, resolving compound/concurrent entry like the routing
     /// generator does — but dynamically, at the engine.
-    fn enter(&mut self, instance: InstanceId, state_id: &StateId) {
+    fn enter(&mut self, endpoint: &Endpoint, instance: InstanceId, state_id: &StateId) {
         let Some(state) = self.cfg.statechart.state(state_id).cloned() else {
-            self.fault(instance, &format!("missing state '{state_id}'"));
+            self.fault(endpoint, instance, &format!("missing state '{state_id}'"));
             return;
         };
         match &state.kind {
-            StateKind::Choice => self.complete(instance, state_id),
+            StateKind::Choice => self.complete(endpoint, instance, state_id),
             StateKind::Compound { initial } => {
                 let initial = initial.clone();
-                self.enter(instance, &initial);
+                self.enter(endpoint, instance, &initial);
             }
             StateKind::Concurrent { regions } => {
                 let initials: Vec<StateId> = regions.iter().map(|r| r.initial.clone()).collect();
                 for initial in initials {
-                    self.enter(instance, &initial);
+                    self.enter(endpoint, instance, &initial);
                 }
             }
-            StateKind::Final => self.region_complete(instance, &state),
+            StateKind::Final => self.region_complete(endpoint, instance, &state),
             StateKind::Task(spec) => {
                 let Some(inst) = self.instances.get(&instance) else {
                     return;
@@ -284,7 +281,7 @@ impl Engine {
                 ) {
                     Ok(m) => m,
                     Err(reason) => {
-                        self.fault(instance, &format!("state '{state_id}': {reason}"));
+                        self.fault(endpoint, instance, &format!("state '{state_id}': {reason}"));
                         return;
                     }
                 };
@@ -293,7 +290,11 @@ impl Engine {
                         match self.cfg.service_nodes.get(service) {
                             Some(node) => (node.clone(), kinds::INVOKE),
                             None => {
-                                self.fault(instance, &format!("no host for service '{service}'"));
+                                self.fault(
+                                    endpoint,
+                                    instance,
+                                    &format!("no host for service '{service}'"),
+                                );
                                 return;
                             }
                         }
@@ -303,6 +304,7 @@ impl Engine {
                             Some(node) => (node.clone(), "community.invoke"),
                             None => {
                                 self.fault(
+                                    endpoint,
                                     instance,
                                     &format!("no node for community '{community}'"),
                                 );
@@ -311,12 +313,12 @@ impl Engine {
                         }
                     }
                 };
-                match self.endpoint.send(target, kind, input.to_xml()) {
+                match endpoint.send(target, kind, input.to_xml()) {
                     Ok(mid) => {
                         self.pending.insert(mid, (instance, state_id.clone()));
                     }
                     Err(e) => {
-                        self.fault(instance, &format!("state '{state_id}': {e}"));
+                        self.fault(endpoint, instance, &format!("state '{state_id}': {e}"));
                     }
                 }
             }
@@ -324,7 +326,7 @@ impl Engine {
     }
 
     /// A state completed: fire its first enabled outgoing transition.
-    fn complete(&mut self, instance: InstanceId, state_id: &StateId) {
+    fn complete(&mut self, endpoint: &Endpoint, instance: InstanceId, state_id: &StateId) {
         let transitions: Vec<_> = self
             .cfg
             .statechart
@@ -344,13 +346,14 @@ impl Engine {
                 }
                 Ok(false) => continue,
                 Err(reason) => {
-                    self.fault(instance, &format!("state '{state_id}': {reason}"));
+                    self.fault(endpoint, instance, &format!("state '{state_id}': {reason}"));
                     return;
                 }
             }
         }
         let Some(t) = chosen else {
             self.fault(
+                endpoint,
                 instance,
                 &format!("no outgoing transition enabled after state '{state_id}'"),
             );
@@ -358,24 +361,33 @@ impl Engine {
         };
         if let Some(inst) = self.instances.get_mut(&instance) {
             if let Err(reason) = apply_actions(&t.actions, &self.cfg.functions, &mut inst.vars) {
-                self.fault(instance, &format!("transition '{}': {reason}", t.id));
+                self.fault(
+                    endpoint,
+                    instance,
+                    &format!("transition '{}': {reason}", t.id),
+                );
                 return;
             }
         }
-        self.enter(instance, &t.target);
+        self.enter(endpoint, instance, &t.target);
     }
 
     /// A final state was reached: completes the region, possibly the
     /// parent, possibly the instance.
-    fn region_complete(&mut self, instance: InstanceId, final_state: &selfserv_statechart::State) {
+    fn region_complete(
+        &mut self,
+        endpoint: &Endpoint,
+        instance: InstanceId,
+        final_state: &selfserv_statechart::State,
+    ) {
         match &final_state.parent {
-            None => self.finish(instance),
+            None => self.finish(endpoint, instance),
             Some(parent_id) => {
                 let parent = self.cfg.statechart.state(parent_id).cloned();
                 match parent.as_ref().map(|p| &p.kind) {
                     Some(StateKind::Compound { .. }) => {
                         let pid = parent_id.clone();
-                        self.complete(instance, &pid);
+                        self.complete(endpoint, instance, &pid);
                     }
                     Some(StateKind::Concurrent { regions }) => {
                         let n_regions = regions.len();
@@ -394,10 +406,11 @@ impl Engine {
                                     inst.regions_done.remove(&(pid.clone(), r));
                                 }
                             }
-                            self.complete(instance, &pid);
+                            self.complete(endpoint, instance, &pid);
                         }
                     }
                     _ => self.fault(
+                        endpoint,
                         instance,
                         &format!("final '{}' has invalid parent", final_state.id),
                     ),
@@ -406,7 +419,7 @@ impl Engine {
         }
     }
 
-    fn finish(&mut self, instance: InstanceId) {
+    fn finish(&mut self, endpoint: &Endpoint, instance: InstanceId) {
         let Some(inst) = self.instances.get_mut(&instance) else {
             return;
         };
@@ -419,7 +432,7 @@ impl Engine {
             response.set(k.clone(), v.clone());
         }
         response.set("_instance", Value::str(instance.to_string()));
-        let _ = self.endpoint.send_correlated(
+        let _ = endpoint.send_correlated(
             inst.reply_to.0.clone(),
             kinds::EXECUTE_RESULT,
             response.to_xml(),
@@ -428,14 +441,14 @@ impl Engine {
         self.instances.remove(&instance);
     }
 
-    fn fault(&mut self, instance: InstanceId, reason: &str) {
+    fn fault(&mut self, endpoint: &Endpoint, instance: InstanceId, reason: &str) {
         if let Some(inst) = self.instances.get_mut(&instance) {
             if inst.finished {
                 return;
             }
             inst.finished = true;
             let fault = MessageDoc::fault("execute", reason);
-            let _ = self.endpoint.send_correlated(
+            let _ = endpoint.send_correlated(
                 inst.reply_to.0.clone(),
                 kinds::EXECUTE_RESULT,
                 fault.to_xml(),

@@ -10,14 +10,49 @@ use crate::backend::ServiceBackend;
 use crate::functions::FunctionLibrary;
 use crate::protocol::{fault_body, kinds, naming, InstanceId, NotifyPayload};
 use selfserv_expr::Value;
-use selfserv_net::{ConnectError, Endpoint, NodeId, RpcError, Transport, TransportHandle};
+use selfserv_net::{ConnectError, Envelope, NodeId, RpcError, Transport, TransportHandle};
 use selfserv_routing::{NotificationLabel, Participant, RoutingTable};
+use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic, TimerToken};
 use selfserv_statechart::{Assignment, InputMapping, OutputMapping, StateId};
 use selfserv_wsdl::MessageDoc;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Cadence of the idle-instance TTL sweep, armed only while a coordinator
+/// or wrapper actually holds instances (an idle node costs no timer).
+pub(crate) const SWEEP_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Timer token used by coordinator/wrapper TTL sweeps.
+pub(crate) const SWEEP_TIMER: TimerToken = TimerToken(1);
+
+/// Re-arming TTL-sweep timer shared by coordinator and wrapper logic:
+/// armed exactly while instances exist (and a TTL is configured), so idle
+/// nodes schedule nothing at all.
+pub(crate) struct SweepTimer {
+    armed: bool,
+}
+
+impl SweepTimer {
+    pub(crate) fn new() -> SweepTimer {
+        SweepTimer { armed: false }
+    }
+
+    /// Arms the timer when needed. Call after every message and after
+    /// every firing (instances may have appeared either way).
+    pub(crate) fn arm(&mut self, ctx: &NodeCtx<'_>, has_instances: bool, ttl: Duration) {
+        if !self.armed && has_instances && !ttl.is_zero() {
+            self.armed = true;
+            ctx.set_timer(SWEEP_INTERVAL, SWEEP_TIMER);
+        }
+    }
+
+    /// Records that the armed timer fired — call at the top of `on_timer`,
+    /// before deciding whether to re-arm, so the flag can never stick.
+    pub(crate) fn fired(&mut self) {
+        self.armed = false;
+    }
+}
 
 /// How a coordinator invokes its state's work when activated.
 pub enum TaskRuntime {
@@ -78,7 +113,7 @@ pub struct Coordinator;
 pub struct CoordinatorHandle {
     node: NodeId,
     net: TransportHandle,
-    thread: Option<JoinHandle<()>>,
+    handle: Option<NodeHandle>,
 }
 
 impl CoordinatorHandle {
@@ -93,17 +128,12 @@ impl CoordinatorHandle {
     }
 
     fn stop_inner(&mut self) {
-        if let Some(thread) = self.thread.take() {
-            // A killed node would never see the stop message; revive it so
-            // shutdown cannot deadlock on join().
+        if let Some(handle) = self.handle.take() {
+            // A node killed by failure injection stays "dead" in the fault
+            // policy by name; revive it so the name isn't poisoned for a
+            // redeploy.
             self.net.revive(&self.node);
-            let ctl = self.net.connect_anonymous("coord-ctl");
-            let _ = ctl.send(
-                self.node.clone(),
-                kinds::STOP,
-                selfserv_xml::Element::new("stop"),
-            );
-            let _ = thread.join();
+            handle.stop();
         }
     }
 }
@@ -120,38 +150,44 @@ struct InstanceSlot {
     last_touched: Instant,
 }
 
-struct Runtime {
+struct CoordinatorLogic {
     cfg: CoordinatorConfig,
-    endpoint: Endpoint,
     wrapper_node: NodeId,
     instances: HashMap<InstanceId, InstanceSlot>,
+    sweep: SweepTimer,
 }
 
 impl Coordinator {
     /// Spawns a coordinator on its conventional node
-    /// (`<composite>.coord.<state>`), over any [`Transport`].
+    /// (`<composite>.coord.<state>`), over any [`Transport`], scheduled on
+    /// the process-wide shared executor.
     pub fn spawn(
         net: &dyn Transport,
+        cfg: CoordinatorConfig,
+    ) -> Result<CoordinatorHandle, ConnectError> {
+        Self::spawn_on(net, selfserv_runtime::shared(), cfg)
+    }
+
+    /// Spawns a coordinator scheduled on an explicit executor.
+    pub fn spawn_on(
+        net: &dyn Transport,
+        exec: &ExecutorHandle,
         cfg: CoordinatorConfig,
     ) -> Result<CoordinatorHandle, ConnectError> {
         let node_name = naming::coordinator(&cfg.composite, &cfg.state);
         let endpoint = net.connect(node_name)?;
         let node = endpoint.node().clone();
         let wrapper_node = naming::wrapper(&cfg.composite);
-        let mut runtime = Runtime {
+        let logic = CoordinatorLogic {
             cfg,
-            endpoint,
             wrapper_node,
             instances: HashMap::new(),
+            sweep: SweepTimer::new(),
         };
-        let thread = std::thread::Builder::new()
-            .name(format!("coord-{node}"))
-            .spawn(move || runtime.run())
-            .expect("spawn coordinator");
         Ok(CoordinatorHandle {
             node,
             net: net.handle(),
-            thread: Some(thread),
+            handle: Some(exec.spawn_node(endpoint, logic)),
         })
     }
 }
@@ -221,30 +257,46 @@ pub(crate) fn apply_outputs(
     }
 }
 
-impl Runtime {
-    fn trace(&self, instance: InstanceId, kind: crate::monitor::TraceKind, detail: &str) {
+impl NodeLogic for CoordinatorLogic {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+        match env.kind.as_str() {
+            kinds::STOP => return Flow::Stop,
+            kinds::NOTIFY => self.on_notify(ctx, &env.body),
+            kinds::CLEANUP => self.on_cleanup(&env.body),
+            _ => { /* ignore unrelated traffic */ }
+        }
+        self.sweep_stale();
+        self.arm_sweep(ctx);
+        Flow::Continue
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _timer: TimerToken) -> Flow {
+        self.sweep.fired();
+        self.sweep_stale();
+        self.arm_sweep(ctx);
+        Flow::Continue
+    }
+}
+
+impl CoordinatorLogic {
+    fn trace(
+        &self,
+        ctx: &NodeCtx<'_>,
+        instance: InstanceId,
+        kind: crate::monitor::TraceKind,
+        detail: &str,
+    ) {
         if let Some(monitor) = &self.cfg.monitor {
             let body = crate::monitor::trace_body(instance, self.cfg.state.as_str(), kind, detail);
-            let _ = self
-                .endpoint
+            let _ = ctx
+                .endpoint()
                 .send(monitor.clone(), crate::monitor::TRACE_KIND, body);
         }
     }
 
-    fn run(&mut self) {
-        loop {
-            match self.endpoint.recv_timeout(Duration::from_millis(200)) {
-                Ok(env) => match env.kind.as_str() {
-                    kinds::STOP => return,
-                    kinds::NOTIFY => self.on_notify(&env.body),
-                    kinds::CLEANUP => self.on_cleanup(&env.body),
-                    _ => { /* ignore unrelated traffic */ }
-                },
-                Err(selfserv_net::RecvError::Timeout) => {}
-                Err(selfserv_net::RecvError::Disconnected) => return,
-            }
-            self.sweep_stale();
-        }
+    fn arm_sweep(&mut self, ctx: &NodeCtx<'_>) {
+        self.sweep
+            .arm(ctx, !self.instances.is_empty(), self.cfg.instance_ttl);
     }
 
     fn sweep_stale(&mut self) {
@@ -266,7 +318,7 @@ impl Runtime {
         }
     }
 
-    fn on_notify(&mut self, body: &selfserv_xml::Element) {
+    fn on_notify(&mut self, ctx: &NodeCtx<'_>, body: &selfserv_xml::Element) {
         let payload = match NotifyPayload::from_xml(body) {
             Ok(p) => p,
             Err(_) => return, // malformed traffic is dropped, like bad XML over sockets
@@ -287,12 +339,12 @@ impl Runtime {
         for (k, v) in payload.vars {
             slot.vars.insert(k, v);
         }
-        self.try_fire(payload.instance);
+        self.try_fire(ctx, payload.instance);
     }
 
     /// Checks precondition alternatives in order; fires the first satisfied
     /// one (consuming its labels so loops can re-arm).
-    fn try_fire(&mut self, instance: InstanceId) {
+    fn try_fire(&mut self, ctx: &NodeCtx<'_>, instance: InstanceId) {
         let fired = {
             let Some(slot) = self.instances.get_mut(&instance) else {
                 return;
@@ -310,8 +362,8 @@ impl Runtime {
                     Ok(false) => continue,
                     Err(reason) => {
                         let body = fault_body(instance, self.cfg.state.as_str(), &reason);
-                        let _ = self
-                            .endpoint
+                        let _ = ctx
+                            .endpoint()
                             .send(self.wrapper_node.clone(), kinds::FAULT, body);
                         return;
                     }
@@ -328,6 +380,7 @@ impl Runtime {
             idx
         };
         self.trace(
+            ctx,
             instance,
             crate::monitor::TraceKind::Activated,
             &self.cfg.table.preconditions[fired].id.clone(),
@@ -339,19 +392,22 @@ impl Runtime {
             .map(|s| s.vars.clone())
             .unwrap_or_default();
         if let Err(reason) = apply_actions(&pre_actions, &self.cfg.functions, &mut vars) {
-            self.fault(instance, &reason);
+            self.fault(ctx, instance, &reason);
             return;
         }
         // Perform the state's work. The coordinator blocks here: it models
         // a capacity-1 host, so concurrent instances queue at busy
         // services (and the AND-regions of one instance still run in
-        // parallel because they live on different coordinators).
-        match self.invoke(instance, &mut vars) {
+        // parallel because they live on different coordinators). The wait
+        // goes through the executor's compensation (`NodeCtx::block_on` /
+        // `NodeCtx::rpc`), so a parked coordinator never starves its
+        // pool-mates.
+        match self.invoke(ctx, instance, &mut vars) {
             Ok(()) => {
-                self.trace(instance, crate::monitor::TraceKind::Completed, "");
+                self.trace(ctx, instance, crate::monitor::TraceKind::Completed, "");
             }
             Err(reason) => {
-                self.fault(instance, &reason);
+                self.fault(ctx, instance, &reason);
                 return;
             }
         }
@@ -361,11 +417,12 @@ impl Runtime {
             slot.vars = vars.clone();
             slot.last_touched = Instant::now();
         }
-        self.postprocess(instance, &mut vars);
+        self.postprocess(ctx, instance, &mut vars);
     }
 
     fn invoke(
         &self,
+        ctx: &NodeCtx<'_>,
         _instance: InstanceId,
         vars: &mut BTreeMap<String, Value>,
     ) -> Result<(), String> {
@@ -378,7 +435,9 @@ impl Runtime {
                 outputs,
             } => {
                 let input = build_input(operation, inputs, &self.cfg.functions, vars)?;
-                let response = backend.invoke(operation, &input)?;
+                // A co-located backend may simulate service latency
+                // (sleep); declare the wait so the pool compensates.
+                let response = ctx.block_on(|| backend.invoke(operation, &input))?;
                 if response.is_fault() {
                     return Err(response
                         .fault_reason()
@@ -395,8 +454,7 @@ impl Runtime {
                 outputs,
             } => {
                 let input = build_input(operation, inputs, &self.cfg.functions, vars)?;
-                let reply = self
-                    .endpoint
+                let reply = ctx
                     .rpc(
                         node.clone(),
                         "community.invoke",
@@ -422,8 +480,7 @@ impl Runtime {
                         .require_attr("endpoint")
                         .map_err(|e| format!("bad redirect: {e}"))?
                         .to_string();
-                    let direct = self
-                        .endpoint
+                    let direct = ctx
                         .rpc(
                             member.as_str(),
                             "invoke",
@@ -457,7 +514,12 @@ impl Runtime {
     /// Evaluates postprocessing rows in order; the first row whose guard
     /// holds fires, emitting all its notifications with the current
     /// variable snapshot.
-    fn postprocess(&mut self, instance: InstanceId, vars: &mut BTreeMap<String, Value>) {
+    fn postprocess(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        instance: InstanceId,
+        vars: &mut BTreeMap<String, Value>,
+    ) {
         let table = &self.cfg.table;
         let mut fired = false;
         for post in &table.postprocessings {
@@ -465,8 +527,8 @@ impl Runtime {
                 Ok(false) => continue,
                 Err(reason) => {
                     let body = fault_body(instance, self.cfg.state.as_str(), &reason);
-                    let _ = self
-                        .endpoint
+                    let _ = ctx
+                        .endpoint()
                         .send(self.wrapper_node.clone(), kinds::FAULT, body);
                     return;
                 }
@@ -476,8 +538,8 @@ impl Runtime {
                         apply_actions(&post.actions, &self.cfg.functions, &mut local_vars)
                     {
                         let body = fault_body(instance, self.cfg.state.as_str(), &reason);
-                        let _ = self
-                            .endpoint
+                        let _ = ctx
+                            .endpoint()
                             .send(self.wrapper_node.clone(), kinds::FAULT, body);
                         return;
                     }
@@ -491,8 +553,8 @@ impl Runtime {
                             instance,
                             vars: local_vars.clone(),
                         };
-                        let _ = self
-                            .endpoint
+                        let _ = ctx
+                            .endpoint()
                             .send(target_node, kinds::NOTIFY, payload.to_xml());
                     }
                     fired = true;
@@ -502,6 +564,7 @@ impl Runtime {
         }
         if !fired {
             self.fault(
+                ctx,
                 instance,
                 &format!(
                     "no outgoing transition enabled after state '{}'",
@@ -511,11 +574,11 @@ impl Runtime {
         }
     }
 
-    fn fault(&mut self, instance: InstanceId, reason: &str) {
-        self.trace(instance, crate::monitor::TraceKind::Faulted, reason);
+    fn fault(&mut self, ctx: &NodeCtx<'_>, instance: InstanceId, reason: &str) {
+        self.trace(ctx, instance, crate::monitor::TraceKind::Faulted, reason);
         let body = fault_body(instance, self.cfg.state.as_str(), reason);
-        let _ = self
-            .endpoint
+        let _ = ctx
+            .endpoint()
             .send(self.wrapper_node.clone(), kinds::FAULT, body);
         self.instances.remove(&instance);
     }

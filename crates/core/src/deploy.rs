@@ -17,6 +17,7 @@ use selfserv_net::{
     ConnectError, Endpoint, Envelope, NodeId, RpcError, Transport, TransportHandle,
 };
 use selfserv_routing::{NotificationLabel, RoutingError, RoutingPlan};
+use selfserv_runtime::ExecutorHandle;
 use selfserv_statechart::{ServiceBinding, StateId, StateKind, Statechart};
 use selfserv_wsdl::MessageDoc;
 use selfserv_xml::Element;
@@ -103,6 +104,11 @@ impl From<ConnectError> for DeploymentError {
 /// The service deployer.
 pub struct Deployer {
     net: TransportHandle,
+    /// `None` until [`Deployer::with_executor`]: the process-wide shared
+    /// executor is resolved lazily at deploy time, so a deployer pinned to
+    /// an explicit pool never instantiates the shared one as a side
+    /// effect.
+    exec: Option<ExecutorHandle>,
     functions: FunctionLibrary,
     /// Deadline for community invocations made by coordinators.
     pub invoke_timeout: Duration,
@@ -115,16 +121,27 @@ pub struct Deployer {
 }
 
 impl Deployer {
-    /// A deployer over `net` (any [`Transport`]) with no guard functions.
+    /// A deployer over `net` (any [`Transport`]) with no guard functions;
+    /// coordinators and the wrapper are scheduled on the process-wide
+    /// shared executor.
     pub fn new(net: &dyn Transport) -> Self {
         Deployer {
             net: net.handle(),
+            exec: None,
             functions: FunctionLibrary::new(),
             invoke_timeout: Duration::from_secs(10),
             instance_ttl: Duration::from_secs(120),
             allow_missing_communities: false,
             monitor: None,
         }
+    }
+
+    /// Builder: schedule every spawned coordinator and wrapper on an
+    /// explicit executor instead of the shared one — the knob scale tests
+    /// use to pin a whole deployment onto a fixed worker pool.
+    pub fn with_executor(mut self, exec: ExecutorHandle) -> Self {
+        self.exec = Some(exec);
+        self
     }
 
     /// Builder: every coordinator and the wrapper report trace events to
@@ -153,6 +170,10 @@ impl Deployer {
         backends: &HashMap<String, Arc<dyn ServiceBackend>>,
     ) -> Result<Deployment, DeploymentError> {
         let plan = selfserv_routing::generate(statechart)?;
+        let exec = self
+            .exec
+            .clone()
+            .unwrap_or_else(|| selfserv_runtime::shared().clone());
 
         // Resolve every task binding before spawning anything.
         let mut runtimes: HashMap<StateId, TaskRuntime> = HashMap::new();
@@ -234,14 +255,15 @@ impl Deployer {
                 instance_ttl: self.instance_ttl,
                 monitor: self.monitor.clone(),
             };
-            let handle = Coordinator::spawn(&*self.net, cfg)?;
+            let handle = Coordinator::spawn_on(&*self.net, &exec, cfg)?;
             coordinators.push(handle);
         }
 
         // Spawn the wrapper last so coordinators are ready for Start
         // notifications.
-        let wrapper = CompositeWrapper::spawn(
+        let wrapper = CompositeWrapper::spawn_on(
             &*self.net,
+            &exec,
             WrapperConfig {
                 composite: statechart.name.clone(),
                 table: plan.wrapper.clone(),

@@ -13,11 +13,11 @@
 
 use crate::protocol::InstanceId;
 use parking_lot::RwLock;
-use selfserv_net::{ConnectError, Endpoint, NodeId, Transport, TransportHandle};
+use selfserv_net::{ConnectError, Envelope, NodeId, Transport, TransportHandle};
+use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic};
 use selfserv_xml::Element;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// What happened.
@@ -118,37 +118,48 @@ pub struct MonitorHandle {
     node: NodeId,
     net: TransportHandle,
     store: Arc<RwLock<TraceStore>>,
-    thread: Option<JoinHandle<()>>,
+    handle: Option<NodeHandle>,
 }
 
 impl ExecutionMonitor {
-    /// Spawns a monitor on `node_name`, over any [`Transport`].
+    /// Spawns a monitor on `node_name`, over any [`Transport`], scheduled
+    /// on the process-wide shared executor.
     pub fn spawn(net: &dyn Transport, node_name: &str) -> Result<MonitorHandle, ConnectError> {
+        Self::spawn_on(net, selfserv_runtime::shared(), node_name)
+    }
+
+    /// Spawns a monitor scheduled on an explicit executor.
+    pub fn spawn_on(
+        net: &dyn Transport,
+        exec: &ExecutorHandle,
+        node_name: &str,
+    ) -> Result<MonitorHandle, ConnectError> {
         let endpoint = net.connect(NodeId::new(node_name))?;
         let node = endpoint.node().clone();
         let store = Arc::new(RwLock::new(TraceStore::default()));
-        let sink = Arc::clone(&store);
-        let thread = std::thread::Builder::new()
-            .name(format!("monitor-{node}"))
-            .spawn(move || monitor_loop(endpoint, sink))
-            .expect("spawn monitor");
+        let logic = MonitorLogic {
+            store: Arc::clone(&store),
+        };
         Ok(MonitorHandle {
             node,
             net: net.handle(),
             store,
-            thread: Some(thread),
+            handle: Some(exec.spawn_node(endpoint, logic)),
         })
     }
 }
 
-fn monitor_loop(endpoint: Endpoint, store: Arc<RwLock<TraceStore>>) {
-    loop {
-        let Ok(env) = endpoint.recv() else { return };
+struct MonitorLogic {
+    store: Arc<RwLock<TraceStore>>,
+}
+
+impl NodeLogic for MonitorLogic {
+    fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
         match env.kind.as_str() {
-            crate::protocol::kinds::STOP => return,
+            crate::protocol::kinds::STOP => return Flow::Stop,
             TRACE_KIND => {
                 if let Some(event) = decode_trace(&env.body) {
-                    store
+                    self.store
                         .write()
                         .by_instance
                         .entry(event.instance)
@@ -158,6 +169,7 @@ fn monitor_loop(endpoint: Endpoint, store: Arc<RwLock<TraceStore>>) {
             }
             _ => {}
         }
+        Flow::Continue
     }
 }
 
@@ -215,15 +227,9 @@ impl MonitorHandle {
     }
 
     fn stop_inner(&mut self) {
-        if let Some(thread) = self.thread.take() {
+        if let Some(handle) = self.handle.take() {
             self.net.revive(&self.node);
-            let ctl = self.net.connect_anonymous("monitor-ctl");
-            let _ = ctl.send(
-                self.node.clone(),
-                crate::protocol::kinds::STOP,
-                Element::new("stop"),
-            );
-            let _ = thread.join();
+            handle.stop();
         }
     }
 }

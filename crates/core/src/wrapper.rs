@@ -7,19 +7,17 @@
 //! their notification of termination back to the composite service
 //! wrapper."
 
-use crate::coordinator::{apply_actions, eval_guard};
+use crate::coordinator::{apply_actions, eval_guard, SweepTimer};
 use crate::functions::FunctionLibrary;
 use crate::protocol::{cleanup_body, kinds, naming, InstanceId, NotifyPayload};
 use selfserv_expr::Value;
-use selfserv_net::{
-    ConnectError, Endpoint, Envelope, MessageId, NodeId, Transport, TransportHandle,
-};
+use selfserv_net::{ConnectError, Envelope, MessageId, NodeId, Transport, TransportHandle};
 use selfserv_routing::{NotificationLabel, WrapperTable};
+use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic, TimerToken};
 use selfserv_statechart::{StateId, VarDecl};
 use selfserv_wsdl::MessageDoc;
 use selfserv_xml::Element;
 use std::collections::{BTreeMap, HashMap};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Configuration for spawning a composite wrapper.
@@ -48,7 +46,7 @@ pub struct CompositeWrapper;
 pub struct WrapperHandle {
     node: NodeId,
     net: TransportHandle,
-    thread: Option<JoinHandle<()>>,
+    handle: Option<NodeHandle>,
 }
 
 impl WrapperHandle {
@@ -63,13 +61,11 @@ impl WrapperHandle {
     }
 
     fn stop_inner(&mut self) {
-        if let Some(thread) = self.thread.take() {
-            // A killed node would never see the stop message; revive it so
-            // shutdown cannot deadlock on join().
+        if let Some(handle) = self.handle.take() {
+            // Clear any kill left by failure injection so the name isn't
+            // poisoned for a redeploy.
             self.net.revive(&self.node);
-            let ctl = self.net.connect_anonymous("wrapper-ctl");
-            let _ = ctl.send(self.node.clone(), kinds::STOP, Element::new("stop"));
-            let _ = thread.join();
+            handle.stop();
         }
     }
 }
@@ -88,63 +84,85 @@ struct WrapperSlot {
     last_touched: Instant,
 }
 
-struct Runtime {
+struct WrapperLogic {
     cfg: WrapperConfig,
-    endpoint: Endpoint,
     next_instance: u64,
     instances: HashMap<InstanceId, WrapperSlot>,
+    sweep: SweepTimer,
 }
 
 impl CompositeWrapper {
     /// Spawns the wrapper on its conventional node (`<composite>.wrapper`),
-    /// over any [`Transport`].
+    /// over any [`Transport`], scheduled on the process-wide shared
+    /// executor.
     pub fn spawn(net: &dyn Transport, cfg: WrapperConfig) -> Result<WrapperHandle, ConnectError> {
+        Self::spawn_on(net, selfserv_runtime::shared(), cfg)
+    }
+
+    /// Spawns the wrapper scheduled on an explicit executor.
+    pub fn spawn_on(
+        net: &dyn Transport,
+        exec: &ExecutorHandle,
+        cfg: WrapperConfig,
+    ) -> Result<WrapperHandle, ConnectError> {
         let endpoint = net.connect(naming::wrapper(&cfg.composite))?;
         let node = endpoint.node().clone();
-        let mut runtime = Runtime {
+        let logic = WrapperLogic {
             cfg,
-            endpoint,
             next_instance: 0,
             instances: HashMap::new(),
+            sweep: SweepTimer::new(),
         };
-        let thread = std::thread::Builder::new()
-            .name(format!("wrapper-{node}"))
-            .spawn(move || runtime.run())
-            .expect("spawn wrapper");
         Ok(WrapperHandle {
             node,
             net: net.handle(),
-            thread: Some(thread),
+            handle: Some(exec.spawn_node(endpoint, logic)),
         })
     }
 }
 
-impl Runtime {
-    fn trace(&self, instance: InstanceId, kind: crate::monitor::TraceKind, detail: &str) {
+impl NodeLogic for WrapperLogic {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+        match env.kind.as_str() {
+            kinds::STOP => return Flow::Stop,
+            kinds::EXECUTE => self.on_execute(ctx, &env),
+            kinds::NOTIFY => self.on_notify(ctx, &env.body),
+            kinds::FAULT => self.on_fault(ctx, &env.body),
+            kinds::RAISE_EVENT => self.on_event(ctx, &env),
+            _ => {}
+        }
+        self.sweep_stale();
+        self.arm_sweep(ctx);
+        Flow::Continue
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _timer: TimerToken) -> Flow {
+        self.sweep.fired();
+        self.sweep_stale();
+        self.arm_sweep(ctx);
+        Flow::Continue
+    }
+}
+
+impl WrapperLogic {
+    fn trace(
+        &self,
+        ctx: &NodeCtx<'_>,
+        instance: InstanceId,
+        kind: crate::monitor::TraceKind,
+        detail: &str,
+    ) {
         if let Some(monitor) = &self.cfg.monitor {
             let body = crate::monitor::trace_body(instance, "wrapper", kind, detail);
-            let _ = self
-                .endpoint
+            let _ = ctx
+                .endpoint()
                 .send(monitor.clone(), crate::monitor::TRACE_KIND, body);
         }
     }
 
-    fn run(&mut self) {
-        loop {
-            match self.endpoint.recv_timeout(Duration::from_millis(200)) {
-                Ok(env) => match env.kind.as_str() {
-                    kinds::STOP => return,
-                    kinds::EXECUTE => self.on_execute(&env),
-                    kinds::NOTIFY => self.on_notify(&env.body),
-                    kinds::FAULT => self.on_fault(&env.body),
-                    kinds::RAISE_EVENT => self.on_event(&env),
-                    _ => {}
-                },
-                Err(selfserv_net::RecvError::Timeout) => {}
-                Err(selfserv_net::RecvError::Disconnected) => return,
-            }
-            self.sweep_stale();
-        }
+    fn arm_sweep(&mut self, ctx: &NodeCtx<'_>) {
+        self.sweep
+            .arm(ctx, !self.instances.is_empty(), self.cfg.instance_ttl);
     }
 
     fn sweep_stale(&mut self) {
@@ -157,12 +175,12 @@ impl Runtime {
             .retain(|_, s| now.duration_since(s.last_touched) < ttl);
     }
 
-    fn on_execute(&mut self, env: &Envelope) {
+    fn on_execute(&mut self, ctx: &NodeCtx<'_>, env: &Envelope) {
         let input = match MessageDoc::from_xml(&env.body) {
             Ok(m) => m,
             Err(e) => {
                 let fault = MessageDoc::fault("execute", format!("malformed request: {e}"));
-                let _ = self.endpoint.send_correlated(
+                let _ = ctx.endpoint().send_correlated(
                     env.from.clone(),
                     kinds::EXECUTE_RESULT,
                     fault.to_xml(),
@@ -193,7 +211,12 @@ impl Runtime {
                 last_touched: Instant::now(),
             },
         );
-        self.trace(instance, crate::monitor::TraceKind::InstanceStarted, "");
+        self.trace(
+            ctx,
+            instance,
+            crate::monitor::TraceKind::InstanceStarted,
+            "",
+        );
         // Kick off the initial state(s).
         for target in &self.cfg.table.start_targets {
             let payload = NotifyPayload {
@@ -202,11 +225,11 @@ impl Runtime {
                 vars: vars.clone(),
             };
             let node = naming::coordinator(&self.cfg.composite, target);
-            let _ = self.endpoint.send(node, kinds::NOTIFY, payload.to_xml());
+            let _ = ctx.endpoint().send(node, kinds::NOTIFY, payload.to_xml());
         }
     }
 
-    fn on_notify(&mut self, body: &Element) {
+    fn on_notify(&mut self, ctx: &NodeCtx<'_>, body: &Element) {
         let Ok(payload) = NotifyPayload::from_xml(body) else {
             return;
         };
@@ -221,10 +244,10 @@ impl Runtime {
         for (k, v) in payload.vars {
             slot.vars.insert(k, v);
         }
-        self.try_finish(payload.instance);
+        self.try_finish(ctx, payload.instance);
     }
 
-    fn try_finish(&mut self, instance: InstanceId) {
+    fn try_finish(&mut self, ctx: &NodeCtx<'_>, instance: InstanceId) {
         let outcome = {
             let Some(slot) = self.instances.get(&instance) else {
                 return;
@@ -250,7 +273,7 @@ impl Runtime {
             (chosen, error)
         };
         match outcome {
-            (_, Some(reason)) => self.finish_fault(instance, &reason),
+            (_, Some(reason)) => self.finish_fault(ctx, instance, &reason),
             (Some(idx), None) => {
                 let actions = self.cfg.table.finish_alternatives[idx].actions.clone();
                 let Some(slot) = self.instances.get_mut(&instance) else {
@@ -258,7 +281,7 @@ impl Runtime {
                 };
                 let mut vars = slot.vars.clone();
                 if let Err(reason) = apply_actions(&actions, &self.cfg.functions, &mut vars) {
-                    self.finish_fault(instance, &reason);
+                    self.finish_fault(ctx, instance, &reason);
                     return;
                 }
                 let elapsed = slot.started_at.elapsed();
@@ -269,20 +292,25 @@ impl Runtime {
                 }
                 response.set("_elapsed_ms", Value::Int(elapsed.as_millis() as i64));
                 response.set("_instance", Value::str(instance.to_string()));
-                let _ = self.endpoint.send_correlated(
+                let _ = ctx.endpoint().send_correlated(
                     reply_to.0,
                     kinds::EXECUTE_RESULT,
                     response.to_xml(),
                     Some(reply_to.1),
                 );
-                self.trace(instance, crate::monitor::TraceKind::InstanceFinished, "");
-                self.cleanup(instance);
+                self.trace(
+                    ctx,
+                    instance,
+                    crate::monitor::TraceKind::InstanceFinished,
+                    "",
+                );
+                self.cleanup(ctx, instance);
             }
             (None, None) => {}
         }
     }
 
-    fn on_fault(&mut self, body: &Element) {
+    fn on_fault(&mut self, ctx: &NodeCtx<'_>, body: &Element) {
         let Some(instance) = body
             .attr("instance")
             .and_then(|s| InstanceId::decode(s).ok())
@@ -291,37 +319,37 @@ impl Runtime {
         };
         let state = body.attr("state").unwrap_or("?");
         let reason = body.attr("reason").unwrap_or("unspecified");
-        self.finish_fault(instance, &format!("state '{state}': {reason}"));
+        self.finish_fault(ctx, instance, &format!("state '{state}': {reason}"));
     }
 
-    fn finish_fault(&mut self, instance: InstanceId, reason: &str) {
-        self.trace(instance, crate::monitor::TraceKind::Faulted, reason);
+    fn finish_fault(&mut self, ctx: &NodeCtx<'_>, instance: InstanceId, reason: &str) {
+        self.trace(ctx, instance, crate::monitor::TraceKind::Faulted, reason);
         if let Some(slot) = self.instances.get(&instance) {
             let reply_to = slot.reply_to.clone();
             let fault = MessageDoc::fault("execute", reason);
-            let _ = self.endpoint.send_correlated(
+            let _ = ctx.endpoint().send_correlated(
                 reply_to.0,
                 kinds::EXECUTE_RESULT,
                 fault.to_xml(),
                 Some(reply_to.1),
             );
         }
-        self.cleanup(instance);
+        self.cleanup(ctx, instance);
     }
 
     /// Broadcasts per-instance cleanup to every coordinator and forgets the
     /// local slot.
-    fn cleanup(&mut self, instance: InstanceId) {
+    fn cleanup(&mut self, ctx: &NodeCtx<'_>, instance: InstanceId) {
         for state in &self.cfg.table.all_states {
             let node = naming::coordinator(&self.cfg.composite, state);
-            let _ = self
-                .endpoint
+            let _ = ctx
+                .endpoint()
                 .send(node, kinds::CLEANUP, cleanup_body(instance));
         }
         self.instances.remove(&instance);
     }
 
-    fn on_event(&mut self, env: &Envelope) {
+    fn on_event(&mut self, ctx: &NodeCtx<'_>, env: &Envelope) {
         let name = env.body.attr("name").unwrap_or("").to_string();
         let instance_attr = env.body.attr("instance").unwrap_or("all");
         let targets: Vec<InstanceId> = if instance_attr == "all" {
@@ -343,11 +371,11 @@ impl Runtime {
                     vars: BTreeMap::new(),
                 };
                 let node = naming::coordinator(&self.cfg.composite, state);
-                let _ = self.endpoint.send(node, kinds::NOTIFY, payload.to_xml());
+                let _ = ctx.endpoint().send(node, kinds::NOTIFY, payload.to_xml());
             }
         }
         // Ack so rpc-style raisers don't block.
-        let _ = self.endpoint.send_correlated(
+        let _ = ctx.endpoint().send_correlated(
             env.from.clone(),
             kinds::EXECUTE_RESULT,
             Element::new("ok"),

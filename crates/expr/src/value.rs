@@ -85,7 +85,8 @@ impl Value {
     }
 
     /// The lexical form used when embedding the value in XML documents.
-    /// Round-trips through [`Value::from_lexical`] given the matching type.
+    /// Round-trips through the wsdl layer's lexical decoding given the
+    /// matching type.
     pub fn to_lexical(&self) -> String {
         match self {
             Value::Null => String::new(),

@@ -21,7 +21,7 @@
 //!   endpoint, kept for the low-level `tcp_demo` example and wire tests.
 //!
 //! Framing is `u32` big-endian length + UTF-8 XML. A frame longer than
-//! [`MAX_FRAME`] poisons the stream position, so readers **close the
+//! `MAX_FRAME` poisons the stream position, so readers **close the
 //! connection** on any malformed frame instead of trying to resynchronize
 //! mid-stream.
 
@@ -312,7 +312,10 @@ impl Transport for TcpTransport {
         // Anonymous endpoints back auxiliary identities (clients, control
         // senders), not rpcs, so contention is low — but transient
         // fd/ephemeral-port exhaustion still gets bounded retries with
-        // backoff before the failure is treated as fatal.
+        // capped exponential backoff (fast first retries for blips, the
+        // old worst-case pause only once exhaustion persists) before the
+        // failure is treated as fatal.
+        let mut backoff = Backoff::new(Duration::from_micros(250), Duration::from_millis(10));
         let mut bind_failures = 0u32;
         loop {
             let n = self.hub.next_anon.fetch_add(1, Ordering::Relaxed);
@@ -329,7 +332,7 @@ impl Transport for TcpTransport {
                              after {bind_failures} attempts: {e}"
                         );
                     }
-                    std::thread::sleep(Duration::from_millis(10));
+                    backoff.sleep();
                 }
             }
         }
@@ -459,22 +462,54 @@ fn stop_accept_thread(
     }
 }
 
+/// Capped exponential backoff for transient-resource retry loops (fd and
+/// ephemeral-port exhaustion): starts near-instant so one-off blips cost
+/// microseconds, doubles toward `cap` so a persistently exhausted host
+/// isn't hammered. A success path calls [`Backoff::reset`].
+struct Backoff {
+    next: Duration,
+    initial: Duration,
+    cap: Duration,
+}
+
+impl Backoff {
+    fn new(initial: Duration, cap: Duration) -> Backoff {
+        Backoff {
+            next: initial,
+            initial,
+            cap,
+        }
+    }
+
+    fn sleep(&mut self) {
+        std::thread::sleep(self.next);
+        self.next = (self.next * 2).min(self.cap);
+    }
+
+    fn reset(&mut self) {
+        self.next = self.initial;
+    }
+}
+
 /// Shared accept skeleton: hand each accepted connection to `handle`,
-/// exit when the shutdown flag is raised, back off briefly on persistent
-/// accept errors (e.g. fd exhaustion) instead of spinning hot.
+/// exit when the shutdown flag is raised, back off (capped exponential)
+/// on persistent accept errors (e.g. fd exhaustion) instead of spinning
+/// hot or always paying the worst-case pause.
 fn accept_connections(
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
     mut handle: impl FnMut(TcpStream),
 ) {
+    let mut backoff = Backoff::new(Duration::from_micros(250), Duration::from_millis(10));
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
         let Ok(stream) = stream else {
-            std::thread::sleep(Duration::from_millis(10));
+            backoff.sleep();
             continue;
         };
+        backoff.reset();
         handle(stream);
     }
 }

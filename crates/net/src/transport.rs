@@ -278,7 +278,8 @@ const STALE_CAPACITY: usize = 1024;
 ///
 /// Each in-flight [`Endpoint::rpc`] registers its request id here before
 /// the request is handed to the transport. The transport's delivery path
-/// calls [`ReplyDemux::route`] (via [`Inbox::deliver`]) on every inbound
+/// calls `ReplyDemux::route` (via the crate-internal `Inbox::deliver`) on
+/// every inbound
 /// envelope for the node:
 ///
 /// * a reply correlated to a **pending** rpc goes to that rpc's slot —
@@ -297,6 +298,11 @@ pub struct ReplyDemux {
     pending: Mutex<HashMap<MessageId, crossbeam::channel::Sender<Envelope>>>,
     /// Recently retired rpc ids, bounded by [`STALE_CAPACITY`].
     stale: Mutex<StaleRing>,
+    /// Invoked after every envelope queued on the owning endpoint's mailbox
+    /// (never for rpc replies consumed by a pending slot). Installed via
+    /// [`Endpoint::set_mailbox_waker`] by node runtimes that schedule a
+    /// state machine instead of blocking a thread in `recv`.
+    waker: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
 }
 
 #[derive(Default)]
@@ -310,7 +316,18 @@ impl ReplyDemux {
         Arc::new(ReplyDemux {
             pending: Mutex::new(HashMap::new()),
             stale: Mutex::new(StaleRing::default()),
+            waker: Mutex::new(None),
         })
+    }
+
+    /// Runs the installed mailbox waker, if any. The waker is cloned out of
+    /// the lock before the call so a waker that re-enters the endpoint
+    /// (e.g. to query `pending`) cannot deadlock against an install.
+    fn wake_mailbox(&self) {
+        let waker = self.waker.lock().clone();
+        if let Some(waker) = waker {
+            waker();
+        }
     }
 
     /// Registers a reply slot for `id`. Must happen before the request is
@@ -418,11 +435,17 @@ impl Inbox {
     }
 
     /// Delivers one envelope, demultiplexing rpc replies. `Err(())` when
-    /// the endpoint's mailbox is gone (receiver dropped).
+    /// the endpoint's mailbox is gone (receiver dropped). A successful
+    /// mailbox enqueue runs the endpoint's mailbox waker (if installed) so
+    /// executor-scheduled nodes learn about the arrival without polling.
     pub(crate) fn deliver(&self, env: Envelope) -> Result<(), ()> {
         match self.demux.route(env) {
             None => Ok(()),
-            Some(env) => self.tx.send(env).map_err(|_| ()),
+            Some(env) => {
+                self.tx.send(env).map_err(|_| ())?;
+                self.demux.wake_mailbox();
+                Ok(())
+            }
         }
     }
 }
@@ -523,6 +546,19 @@ impl Endpoint {
     /// This endpoint's reply demultiplexer (for tests and diagnostics).
     pub fn demux(&self) -> &Arc<ReplyDemux> {
         &self.demux
+    }
+
+    /// Installs a callback invoked after every envelope queued on this
+    /// endpoint's mailbox (rpc replies consumed by a pending slot do not
+    /// trigger it). Replaces any previously installed waker.
+    ///
+    /// This is the hook node runtimes use to schedule an event-driven node
+    /// when traffic arrives instead of parking a thread in [`Endpoint::recv`]:
+    /// the waker runs on the transport's delivery path (fabric dispatch or a
+    /// TCP reader thread), so it must be cheap and must never block on work
+    /// done inside a node callback.
+    pub fn set_mailbox_waker(&self, waker: impl Fn() + Send + Sync + 'static) {
+        *self.demux.waker.lock() = Some(Arc::new(waker));
     }
 
     /// A cloneable handle that sends — and rpcs — as this endpoint's node

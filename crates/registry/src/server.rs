@@ -8,10 +8,10 @@ use crate::store::UddiRegistry;
 use selfserv_net::{
     ConnectError, Endpoint, Envelope, NodeId, RpcError, Transport, TransportHandle,
 };
+use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic};
 use selfserv_wsdl::ServiceDescription;
 use selfserv_xml::Element;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Message kinds of the registry protocol.
@@ -53,18 +53,19 @@ fn decode_fault(body: &Element) -> RegistryError {
     }
 }
 
-/// A running registry server: owns a fabric endpoint and serves the UDDI
-/// protocol until stopped.
-pub struct RegistryServer {
+/// Spawner for registry servers: serves the UDDI protocol on an executor
+/// node until stopped.
+pub struct RegistryServer;
+
+struct RegistryLogic {
     registry: Arc<UddiRegistry>,
-    endpoint: Endpoint,
 }
 
-/// Handle to a spawned [`RegistryServer`] thread.
+/// Handle to a spawned [`RegistryServer`] node.
 pub struct RegistryServerHandle {
     node: NodeId,
     net: TransportHandle,
-    thread: Option<JoinHandle<()>>,
+    handle: Option<NodeHandle>,
 }
 
 impl RegistryServerHandle {
@@ -79,13 +80,11 @@ impl RegistryServerHandle {
     }
 
     fn stop_inner(&mut self) {
-        if let Some(thread) = self.thread.take() {
-            // A killed node would never see the stop message; revive it so
-            // shutdown cannot deadlock on join().
+        if let Some(handle) = self.handle.take() {
+            // Clear any kill left by failure injection so the name isn't
+            // poisoned for a redeploy.
             self.net.revive(&self.node);
-            let ctl = self.net.connect_anonymous("registry-ctl");
-            let _ = ctl.send(self.node.clone(), kinds::STOP, Element::new("stop"));
-            let _ = thread.join();
+            handle.stop();
         }
     }
 }
@@ -98,43 +97,48 @@ impl Drop for RegistryServerHandle {
 
 impl RegistryServer {
     /// Spawns a registry server on `node_name`, serving `registry`, over
-    /// any [`Transport`].
+    /// any [`Transport`], scheduled on the process-wide shared executor.
     pub fn spawn(
         net: &dyn Transport,
         node_name: &str,
         registry: Arc<UddiRegistry>,
     ) -> Result<RegistryServerHandle, ConnectError> {
+        Self::spawn_on(net, selfserv_runtime::shared(), node_name, registry)
+    }
+
+    /// Spawns a registry server scheduled on an explicit executor.
+    pub fn spawn_on(
+        net: &dyn Transport,
+        exec: &ExecutorHandle,
+        node_name: &str,
+        registry: Arc<UddiRegistry>,
+    ) -> Result<RegistryServerHandle, ConnectError> {
         let endpoint = net.connect(NodeId::new(node_name))?;
         let node = endpoint.node().clone();
-        let server = RegistryServer { registry, endpoint };
-        let thread = std::thread::Builder::new()
-            .name(format!("registry-{node_name}"))
-            .spawn(move || server.run())
-            .expect("spawn registry server");
         Ok(RegistryServerHandle {
             node,
             net: net.handle(),
-            thread: Some(thread),
+            handle: Some(exec.spawn_node(endpoint, RegistryLogic { registry })),
         })
     }
+}
 
-    fn run(self) {
-        loop {
-            let Ok(request) = self.endpoint.recv() else {
-                return;
-            };
-            if request.kind == kinds::STOP {
-                return;
-            }
-            let reply = self.handle(&request);
-            let (kind, body) = match reply {
-                Ok(body) => (kinds::RESULT, body),
-                Err(err) => (kinds::FAULT, fault_body(&err)),
-            };
-            let _ = self.endpoint.reply(&request, kind, body);
+impl NodeLogic for RegistryLogic {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, request: Envelope) -> Flow {
+        if request.kind == kinds::STOP {
+            return Flow::Stop;
         }
+        let reply = self.handle(&request);
+        let (kind, body) = match reply {
+            Ok(body) => (kinds::RESULT, body),
+            Err(err) => (kinds::FAULT, fault_body(&err)),
+        };
+        let _ = ctx.endpoint().reply(&request, kind, body);
+        Flow::Continue
     }
+}
 
+impl RegistryLogic {
     fn handle(&self, request: &Envelope) -> Result<Element, RegistryError> {
         let body = &request.body;
         match request.kind.as_str() {

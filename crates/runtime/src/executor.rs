@@ -1,0 +1,307 @@
+//! The fixed-size worker pool: run queue, workers, blocking compensation,
+//! and graceful shutdown.
+
+use crate::node::{run_node, NodeCell, NodeHandle, NodeLogic};
+use crate::timer::TimerService;
+use crossbeam::channel;
+use parking_lot::{Condvar, Mutex};
+use selfserv_net::Endpoint;
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often an idle worker re-checks for shutdown and surplus.
+const IDLE_TICK: Duration = Duration::from_millis(50);
+
+thread_local! {
+    /// True on pool worker threads; [`Pool::block_on`] only compensates
+    /// when the caller actually occupies a worker.
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// One unit of work on the run queue.
+pub(crate) enum Runnable {
+    /// A node's scheduling turn (see [`run_node`]).
+    Node(Arc<NodeCell>),
+    /// A one-shot task (service invocations, community delegations —
+    /// work that is per-request, not per-node).
+    Task(Box<dyn FnOnce() + Send>),
+}
+
+struct Counts {
+    /// Workers currently alive (base + compensating).
+    live: usize,
+    /// Workers currently inside a [`Pool::block_on`] section.
+    blocked: usize,
+}
+
+/// Shared pool state. Everything public goes through [`Executor`] /
+/// [`ExecutorHandle`].
+pub(crate) struct Pool {
+    queue_tx: channel::Sender<Runnable>,
+    queue_rx: channel::Receiver<Runnable>,
+    counts: Mutex<Counts>,
+    counts_cv: Condvar,
+    /// The configured worker count: the pool keeps at least this many
+    /// *unblocked* workers alive.
+    base: usize,
+    shutdown: AtomicBool,
+    pub(crate) timers: TimerService,
+}
+
+impl Pool {
+    pub(crate) fn push(&self, runnable: Runnable) {
+        // The pool owns the receiver for its whole life, so this only
+        // fails after the `Pool` itself is gone — nothing left to run it.
+        let _ = self.queue_tx.send(runnable);
+    }
+
+    pub(crate) fn is_shut_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Workers currently alive (for the stop-path liveness check).
+    pub(crate) fn live_worker_count(&self) -> usize {
+        self.counts.lock().live
+    }
+
+    /// Runs `f`, compensating the pool while it blocks: if the count of
+    /// unblocked workers would drop below `base`, a transient worker is
+    /// spawned first (the Go-scheduler move around syscalls), so nodes
+    /// waiting for each other's replies on one executor can never deadlock
+    /// the pool. Called off-worker (a plain client thread), `f` just runs.
+    pub(crate) fn block_on<R>(self: &Arc<Self>, f: impl FnOnce() -> R) -> R {
+        if !IS_WORKER.with(|w| w.get()) {
+            return f();
+        }
+        // Reserve the compensation slot under the lock, but perform the
+        // thread-creation syscall after releasing it — a burst of
+        // simultaneous blockers must not serialize behind each other's
+        // spawns.
+        let compensate = {
+            let mut counts = self.counts.lock();
+            counts.blocked += 1;
+            if counts.live - counts.blocked < self.base && !self.is_shut_down() {
+                counts.live += 1;
+                true
+            } else {
+                false
+            }
+        };
+        if compensate {
+            spawn_worker(Arc::clone(self));
+        }
+        struct Unblock<'a>(&'a Pool);
+        impl Drop for Unblock<'_> {
+            fn drop(&mut self) {
+                self.0.counts.lock().blocked -= 1;
+            }
+        }
+        let _unblock = Unblock(self);
+        f()
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.timers.stop();
+    }
+
+    fn worker_exited(&self) {
+        self.counts.lock().live -= 1;
+        self.counts_cv.notify_all();
+    }
+}
+
+fn spawn_worker(pool: Arc<Pool>) {
+    std::thread::Builder::new()
+        .name("selfserv-exec-worker".to_string())
+        .spawn(move || {
+            IS_WORKER.with(|w| w.set(true));
+            if !worker_loop(&pool) {
+                pool.worker_exited();
+            }
+        })
+        .expect("spawn executor worker");
+}
+
+/// Runs until shutdown (returns `false`; exit not yet recorded) or
+/// retirement (returns `true`; exit recorded under the retirement lock).
+fn worker_loop(pool: &Arc<Pool>) -> bool {
+    loop {
+        match pool.queue_rx.recv_timeout(IDLE_TICK) {
+            // Panic fence: a panicking callback or task must not kill the
+            // worker — that would corrupt the live-worker accounting and
+            // hang shutdown. The panic is contained to the one runnable
+            // (run_node's own guard finalizes a node that dies mid-turn).
+            Ok(Runnable::Node(cell)) => {
+                let _ =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_node(pool, cell)));
+            }
+            Ok(Runnable::Task(task)) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+            }
+            Err(channel::RecvTimeoutError::Timeout) => {
+                // Drain-then-exit on shutdown: queued work always runs.
+                if pool.is_shut_down() && pool.queue_rx.is_empty() {
+                    return false;
+                }
+                // Lazy retirement of compensation surplus: decided and
+                // recorded under one lock so concurrent retirements can
+                // never undershoot `base`. The idle grace (one tick) keeps
+                // transient workers warm across bursts instead of
+                // thrashing spawn/join.
+                let mut counts = pool.counts.lock();
+                if counts.live - counts.blocked > pool.base {
+                    counts.live -= 1;
+                    drop(counts);
+                    pool.counts_cv.notify_all();
+                    return true;
+                }
+            }
+            Err(channel::RecvTimeoutError::Disconnected) => return false,
+        }
+    }
+}
+
+/// A fixed-size executor: `workers` threads multiplexing any number of
+/// [`NodeLogic`] nodes and one-shot tasks, plus one timer thread. See the
+/// crate docs for the scheduling model, blocking compensation, and the
+/// thread-budget formula.
+pub struct Executor {
+    pool: Arc<Pool>,
+}
+
+impl Executor {
+    /// Starts a pool of `workers` threads (at least 1) and its timer
+    /// thread.
+    pub fn new(workers: usize) -> Executor {
+        let workers = workers.max(1);
+        let (queue_tx, queue_rx) = channel::unbounded();
+        let pool = Arc::new(Pool {
+            queue_tx,
+            queue_rx,
+            counts: Mutex::new(Counts {
+                live: workers,
+                blocked: 0,
+            }),
+            counts_cv: Condvar::new(),
+            base: workers,
+            shutdown: AtomicBool::new(false),
+            timers: TimerService::new(),
+        });
+        pool.timers.start();
+        for _ in 0..workers {
+            spawn_worker(Arc::clone(&pool));
+        }
+        Executor { pool }
+    }
+
+    /// A cloneable handle for spawning.
+    pub fn handle(&self) -> ExecutorHandle {
+        ExecutorHandle {
+            pool: Arc::clone(&self.pool),
+        }
+    }
+
+    /// Converts into a handle, leaking the shutdown-on-drop obligation —
+    /// for process-lifetime executors like [`crate::shared`].
+    pub fn into_handle(self) -> ExecutorHandle {
+        let handle = self.handle();
+        std::mem::forget(self);
+        handle
+    }
+
+    /// Graceful shutdown: stop the timer thread, let workers drain the run
+    /// queue, then wait for every worker (including compensating ones) to
+    /// exit. Stop all spawned nodes *before* calling this — a stop
+    /// requested after shutdown is finalized inline without `on_stop`
+    /// (see [`NodeHandle::stop`]).
+    pub fn shutdown(self) {
+        self.pool.begin_shutdown();
+        let mut counts = self.pool.counts.lock();
+        while counts.live > 0 {
+            self.pool
+                .counts_cv
+                .wait_for(&mut counts, Duration::from_millis(200));
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        // Signal (don't wait): a dropped executor stops accepting work and
+        // its workers exit once the queue drains.
+        self.pool.begin_shutdown();
+    }
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("workers", &self.pool.base)
+            .finish()
+    }
+}
+
+/// Cloneable spawn handle to an [`Executor`]: what platform components
+/// take instead of `std::thread::Builder`.
+#[derive(Clone)]
+pub struct ExecutorHandle {
+    pool: Arc<Pool>,
+}
+
+impl ExecutorHandle {
+    pub(crate) fn from_pool(pool: Arc<Pool>) -> ExecutorHandle {
+        ExecutorHandle { pool }
+    }
+
+    /// Spawns a node: `logic` runs behind `endpoint`, scheduled by the
+    /// pool, with serialized callbacks (see [`NodeLogic`]). `on_start`
+    /// runs before any message; envelopes already queued on the endpoint
+    /// are delivered right after it.
+    pub fn spawn_node(&self, endpoint: Endpoint, logic: impl NodeLogic) -> NodeHandle {
+        NodeCell::spawn(&self.pool, endpoint, Box::new(logic))
+    }
+
+    /// Runs a one-shot closure on the pool — per-request work (a service
+    /// invocation, a community delegation) that would have been a spawned
+    /// thread in the old model. Tasks that wait (rpc, sleeping backends)
+    /// must wrap the waiting section in [`ExecutorHandle::block_on`].
+    pub fn spawn_task(&self, task: impl FnOnce() + Send + 'static) {
+        self.pool.push(Runnable::Task(Box::new(task)));
+    }
+
+    /// Runs a blocking section with pool compensation — the free-function
+    /// form of [`crate::NodeCtx::block_on`], for spawned tasks that hold a
+    /// handle instead of a ctx.
+    pub fn block_on<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.pool.block_on(f)
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.pool.base
+    }
+
+    /// Workers currently alive (base plus compensation, minus retired) —
+    /// for tests and diagnostics.
+    pub fn live_workers(&self) -> usize {
+        self.pool.counts.lock().live
+    }
+
+    /// Workers currently parked in a [`ExecutorHandle::block_on`] section —
+    /// for tests and diagnostics.
+    pub fn blocked_workers(&self) -> usize {
+        self.pool.counts.lock().blocked
+    }
+}
+
+impl fmt::Debug for ExecutorHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecutorHandle")
+            .field("workers", &self.pool.base)
+            .finish()
+    }
+}

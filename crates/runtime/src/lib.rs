@@ -1,0 +1,483 @@
+//! # selfserv-runtime
+//!
+//! The shared worker-pool node runtime of the SELF-SERV reproduction.
+//!
+//! The paper distributes the execution of a composite service across many
+//! lightweight peers ("the responsibility of executing a composite service
+//! is distributed across several peers"). A peer must therefore be cheap:
+//! a deployment of thousands of coordinators cannot afford one OS thread
+//! per peer parked in `recv`. This crate turns every platform component
+//! into an event-driven state machine:
+//!
+//! * [`NodeLogic`] — the component contract: `on_start` / `on_message` /
+//!   `on_timer` / `on_stop` callbacks over a transport
+//!   [`Endpoint`](selfserv_net::Endpoint);
+//! * [`Executor`] — a fixed-size worker pool multiplexing any number of
+//!   nodes onto `W` threads, with **per-node mailbox serialization** (one
+//!   node never runs on two workers at once), a timer service for the
+//!   runtime's `sleep`-shaped delays, and graceful drain on shutdown;
+//! * [`ExecutorHandle`] — the cloneable spawn handle components take
+//!   instead of `std::thread::Builder`.
+//!
+//! ## Scheduling model
+//!
+//! Each spawned node owns its transport endpoint. The runtime installs a
+//! *mailbox waker* on the endpoint
+//! ([`Endpoint::set_mailbox_waker`](selfserv_net::Endpoint::set_mailbox_waker)):
+//! when
+//! a transport delivers an envelope, the waker enqueues the node on the
+//! executor's run queue (if it is not already queued or running). A worker
+//! then drains the node's pending timers and mailbox in arrival order,
+//! invoking the callbacks with exclusive access to the logic — the
+//! serialization the old one-thread-per-node model provided implicitly.
+//! Nodes with empty mailboxes cost nothing: no thread, no poll.
+//!
+//! ## Blocking inside callbacks
+//!
+//! Callbacks sometimes must wait: a coordinator's community invocation is
+//! a blocking [`Endpoint::rpc`](selfserv_net::Endpoint::rpc), and a
+//! co-located backend may simulate
+//! service latency with `sleep`. Such sections go through
+//! [`NodeCtx::block_on`] (or [`NodeCtx::rpc`], which wraps it): the worker
+//! declares itself *blocked*, and the pool — like Go's scheduler around
+//! syscalls — spawns a compensating worker whenever the count of
+//! unblocked workers would fall below the configured pool size, so node
+//! progress can never deadlock on parked workers. Compensating workers
+//! retire lazily once the pool is idle and over target, so bursts reuse
+//! them instead of thrashing spawn/join.
+//!
+//! The **thread budget** of a process is therefore
+//! `W (workers) + 1 (timer) + B (concurrently blocked callbacks) +
+//! transport threads` — independent of how many nodes are deployed.
+//!
+//! ## Shutdown ordering
+//!
+//! Stop nodes first ([`NodeHandle::stop`] delivers a stop event, runs
+//! `on_stop` on a worker, and drops the endpoint so the node's name frees
+//! up), then [`Executor::shutdown`] — which lets workers drain the run
+//! queue before joining them. Components' public handles do this in the
+//! right order already; the process-wide [`shared`] executor is never shut
+//! down.
+
+mod executor;
+mod node;
+mod timer;
+
+pub use executor::{Executor, ExecutorHandle};
+pub use node::{Flow, NodeCtx, NodeHandle, NodeLogic, TimerToken};
+
+use std::sync::OnceLock;
+
+/// The process-wide shared executor: sized to the machine
+/// (`available_parallelism`, clamped to 2–8 workers), created on first
+/// use, never shut down. Components spawned without an explicit executor
+/// (e.g. [`Transport`]-only `spawn` signatures) land here, so an
+/// application that never names an executor still runs every node on one
+/// bounded pool.
+///
+/// [`Transport`]: selfserv_net::Transport
+pub fn shared() -> &'static ExecutorHandle {
+    static SHARED: OnceLock<ExecutorHandle> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().clamp(2, 8))
+            .unwrap_or(4);
+        Executor::new(workers).into_handle()
+    })
+}
+
+#[cfg(test)]
+mod proptests;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfserv_net::{Envelope, Network, NetworkConfig, RecvError};
+    use selfserv_xml::Element;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// Answers `ping` with `pong`; stops on `stop`.
+    struct EchoLogic;
+
+    impl NodeLogic for EchoLogic {
+        fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+            match env.kind.as_str() {
+                "ping" => {
+                    let _ = ctx.endpoint().reply(&env, "pong", Element::new("pong"));
+                    Flow::Continue
+                }
+                "stop" => Flow::Stop,
+                _ => Flow::Continue,
+            }
+        }
+    }
+
+    #[test]
+    fn node_answers_rpc_on_executor() {
+        let exec = Executor::new(2);
+        let net = Network::new(NetworkConfig::instant());
+        let _node = exec
+            .handle()
+            .spawn_node(net.connect("echo").unwrap(), EchoLogic);
+        let client = net.connect("client").unwrap();
+        let reply = client
+            .rpc("echo", "ping", Element::new("ping"), Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(reply.kind, "pong");
+        exec.shutdown();
+    }
+
+    #[test]
+    fn many_nodes_few_workers() {
+        let exec = Executor::new(2);
+        let net = Network::new(NetworkConfig::instant());
+        let nodes: Vec<NodeHandle> = (0..64)
+            .map(|i| {
+                exec.handle()
+                    .spawn_node(net.connect(format!("echo{i}")).unwrap(), EchoLogic)
+            })
+            .collect();
+        let client = net.connect("client").unwrap();
+        for i in 0..64 {
+            let reply = client
+                .rpc(
+                    format!("echo{i}"),
+                    "ping",
+                    Element::new("ping"),
+                    Duration::from_secs(5),
+                )
+                .unwrap();
+            assert_eq!(reply.kind, "pong");
+        }
+        for n in &nodes {
+            n.stop();
+        }
+        assert!(!net.is_connected("echo0"), "stop frees the name");
+        exec.shutdown();
+    }
+
+    #[test]
+    fn stop_runs_on_stop_and_frees_name() {
+        struct Stoppy(Arc<AtomicUsize>);
+        impl NodeLogic for Stoppy {
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _env: Envelope) -> Flow {
+                Flow::Continue
+            }
+            fn on_stop(&mut self, _ctx: &mut NodeCtx<'_>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let exec = Executor::new(1);
+        let net = Network::new(NetworkConfig::instant());
+        let stops = Arc::new(AtomicUsize::new(0));
+        let node = exec
+            .handle()
+            .spawn_node(net.connect("s").unwrap(), Stoppy(Arc::clone(&stops)));
+        assert!(net.is_connected("s"));
+        node.stop();
+        node.stop(); // idempotent
+        assert!(node.is_stopped());
+        assert!(!net.is_connected("s"));
+        assert_eq!(stops.load(Ordering::SeqCst), 1, "on_stop ran exactly once");
+        exec.shutdown();
+    }
+
+    #[test]
+    fn flow_stop_from_on_message_stops_the_node() {
+        let exec = Executor::new(1);
+        let net = Network::new(NetworkConfig::instant());
+        let node = exec
+            .handle()
+            .spawn_node(net.connect("echo").unwrap(), EchoLogic);
+        let client = net.connect("client").unwrap();
+        client.send("echo", "stop", Element::new("stop")).unwrap();
+        let t0 = Instant::now();
+        while !node.is_stopped() && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(node.is_stopped());
+        assert!(!net.is_connected("echo"));
+        exec.shutdown();
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_rearm() {
+        struct Ticker {
+            fired: Arc<AtomicUsize>,
+        }
+        impl NodeLogic for Ticker {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_timer(Duration::from_millis(10), TimerToken(1));
+            }
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _env: Envelope) -> Flow {
+                Flow::Continue
+            }
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: TimerToken) -> Flow {
+                assert_eq!(timer, TimerToken(1));
+                if self.fired.fetch_add(1, Ordering::SeqCst) + 1 < 3 {
+                    ctx.set_timer(Duration::from_millis(10), TimerToken(1));
+                }
+                Flow::Continue
+            }
+        }
+        let exec = Executor::new(1);
+        let net = Network::new(NetworkConfig::instant());
+        let fired = Arc::new(AtomicUsize::new(0));
+        let node = exec.handle().spawn_node(
+            net.connect("tick").unwrap(),
+            Ticker {
+                fired: Arc::clone(&fired),
+            },
+        );
+        let t0 = Instant::now();
+        while fired.load(Ordering::SeqCst) < 3 && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 3, "recurring timer fired");
+        node.stop();
+        exec.shutdown();
+    }
+
+    #[test]
+    fn tasks_run_in_parallel_across_workers() {
+        let exec = Executor::new(4);
+        let handle = exec.handle();
+        let done = Arc::new(AtomicUsize::new(0));
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            let done = Arc::clone(&done);
+            let h = handle.clone();
+            handle.spawn_task(move || {
+                h.block_on(|| std::thread::sleep(Duration::from_millis(50)));
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        while done.load(Ordering::SeqCst) < 4 && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+        assert!(
+            t0.elapsed() < Duration::from_millis(180),
+            "4 × 50 ms tasks must overlap: {:?}",
+            t0.elapsed()
+        );
+        exec.shutdown();
+    }
+
+    #[test]
+    fn blocking_rpc_between_nodes_on_a_one_worker_pool() {
+        // `front` rpcs `back` from inside on_message. On a 1-worker pool
+        // this deadlocks without compensation: the only worker parks in
+        // the rpc and `back` never gets scheduled.
+        struct Front;
+        impl NodeLogic for Front {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+                if env.kind == "go" {
+                    let reply = ctx
+                        .rpc("back", "ping", Element::new("ping"), Duration::from_secs(5))
+                        .expect("compensated rpc completes");
+                    let _ = ctx.endpoint().reply(&env, reply.kind, reply.body);
+                }
+                Flow::Continue
+            }
+        }
+        let exec = Executor::new(1);
+        let net = Network::new(NetworkConfig::instant());
+        let _front = exec
+            .handle()
+            .spawn_node(net.connect("front").unwrap(), Front);
+        let _back = exec
+            .handle()
+            .spawn_node(net.connect("back").unwrap(), EchoLogic);
+        let client = net.connect("client").unwrap();
+        let reply = client
+            .rpc("front", "go", Element::new("go"), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(reply.kind, "pong");
+        exec.shutdown();
+    }
+
+    #[test]
+    fn compensation_workers_retire_when_idle() {
+        let exec = Executor::new(2);
+        let handle = exec.handle();
+        let release = Arc::new(AtomicBool::new(false));
+        for _ in 0..6 {
+            let h = handle.clone();
+            let release = Arc::clone(&release);
+            handle.spawn_task(move || {
+                h.block_on(|| {
+                    while !release.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                });
+            });
+        }
+        // All six tasks block concurrently: compensation grew the pool.
+        let t0 = Instant::now();
+        while handle.blocked_workers() < 6 && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(handle.live_workers() >= 6, "pool compensated for blockers");
+        release.store(true, Ordering::SeqCst);
+        let t0 = Instant::now();
+        while handle.live_workers() > 2 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(handle.live_workers(), 2, "surplus retired back to base");
+        exec.shutdown();
+    }
+
+    #[test]
+    fn stopping_a_node_from_a_pool_task_on_a_one_worker_pool() {
+        // NodeHandle::stop called on a worker (a component handle dropped
+        // inside a task or another node's callback) parks that worker
+        // until the target's stop turn runs — which needs a worker. The
+        // wait is compensated, so even a 1-worker pool makes progress.
+        let exec = Executor::new(1);
+        let net = Network::new(NetworkConfig::instant());
+        let node = exec
+            .handle()
+            .spawn_node(net.connect("victim").unwrap(), EchoLogic);
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        exec.handle().spawn_task(move || {
+            node.stop();
+            assert!(node.is_stopped());
+            done2.store(true, Ordering::SeqCst);
+        });
+        let t0 = Instant::now();
+        while !done.load(Ordering::SeqCst) && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(done.load(Ordering::SeqCst), "stop-from-worker completed");
+        assert!(!net.is_connected("victim"));
+        exec.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_tasks() {
+        let exec = Executor::new(1);
+        let handle = exec.handle();
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let done = Arc::clone(&done);
+            handle.spawn_task(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        exec.shutdown();
+        assert_eq!(
+            done.load(Ordering::SeqCst),
+            32,
+            "shutdown ran every queued task"
+        );
+    }
+
+    #[test]
+    fn stop_after_shutdown_still_frees_the_name() {
+        let exec = Executor::new(1);
+        let net = Network::new(NetworkConfig::instant());
+        let node = exec
+            .handle()
+            .spawn_node(net.connect("late").unwrap(), EchoLogic);
+        // Let the start turn finish so no worker holds the node.
+        let t0 = Instant::now();
+        while net.metrics().node("late").is_none() && t0.elapsed() < Duration::from_millis(200) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        exec.shutdown();
+        node.stop(); // documented ordering violation: inline finalize
+        assert!(node.is_stopped());
+        assert!(!net.is_connected("late"));
+    }
+
+    #[test]
+    fn mailbox_order_is_preserved() {
+        struct Collect(Arc<parking_lot::Mutex<Vec<String>>>);
+        impl NodeLogic for Collect {
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+                self.0.lock().push(env.body.attr("i").unwrap().to_string());
+                Flow::Continue
+            }
+        }
+        let exec = Executor::new(4);
+        let net = Network::new(NetworkConfig::instant());
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let node = exec
+            .handle()
+            .spawn_node(net.connect("sink").unwrap(), Collect(Arc::clone(&seen)));
+        let client = net.connect("client").unwrap();
+        for i in 0..500 {
+            client
+                .send("sink", "n", Element::new("n").with_attr("i", i.to_string()))
+                .unwrap();
+        }
+        let t0 = Instant::now();
+        while seen.lock().len() < 500 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let seen = seen.lock().clone();
+        let expect: Vec<String> = (0..500).map(|i| i.to_string()).collect();
+        assert_eq!(seen, expect, "one sender's envelopes arrive in order");
+        node.stop();
+        exec.shutdown();
+    }
+
+    #[test]
+    fn panicking_callback_kills_the_node_not_the_pool() {
+        // A panic inside on_message must not corrupt worker accounting
+        // (shutdown would hang) and must finalize the node (stop would
+        // hang); healthy nodes keep running.
+        struct Bomb;
+        impl NodeLogic for Bomb {
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _env: Envelope) -> Flow {
+                panic!("backend bug");
+            }
+        }
+        let exec = Executor::new(2);
+        let net = Network::new(NetworkConfig::instant());
+        let bomb = exec.handle().spawn_node(net.connect("bomb").unwrap(), Bomb);
+        let _echo = exec
+            .handle()
+            .spawn_node(net.connect("echo").unwrap(), EchoLogic);
+        let client = net.connect("client").unwrap();
+        client.send("bomb", "boom", Element::new("x")).unwrap();
+        let t0 = Instant::now();
+        while !bomb.is_stopped() && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(bomb.is_stopped(), "panicked node finalized as dead");
+        bomb.stop(); // must not hang
+        assert!(!net.is_connected("bomb"), "dead node's name freed");
+        // The pool survived: other nodes still answer.
+        let reply = client
+            .rpc("echo", "ping", Element::new("ping"), Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(reply.kind, "pong");
+        assert_eq!(exec.handle().live_workers(), 2, "no worker died");
+        exec.shutdown(); // must not hang on corrupted counts
+    }
+
+    #[test]
+    fn shared_executor_is_a_singleton() {
+        let a = shared();
+        let b = shared();
+        assert_eq!(a.workers(), b.workers());
+        assert!(a.workers() >= 2);
+    }
+
+    #[test]
+    fn endpoint_recv_error_shapes_unchanged() {
+        // The runtime never changes Endpoint semantics for non-runtime
+        // users: a bare endpoint still times out normally.
+        let net = Network::new(NetworkConfig::instant());
+        let e = net.connect("bare").unwrap();
+        assert_eq!(
+            e.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvError::Timeout
+        );
+    }
+}

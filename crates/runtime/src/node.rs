@@ -1,0 +1,436 @@
+//! Node state machines: the [`NodeLogic`] contract, the per-node cell that
+//! guarantees serialized callback execution, and the public [`NodeHandle`].
+
+use crate::executor::{ExecutorHandle, Pool, Runnable};
+use parking_lot::{Condvar, Mutex};
+use selfserv_net::{Endpoint, Envelope, NodeId, RpcError};
+use selfserv_xml::Element;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// How many mailbox envelopes one scheduling turn may consume before the
+/// node yields its worker (the node re-queues itself if more are waiting),
+/// so one flooded node cannot starve its pool-mates.
+const BATCH: usize = 64;
+
+/// What a callback tells the runtime to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep the node running.
+    Continue,
+    /// Stop the node: `on_stop` runs, the endpoint is dropped (freeing the
+    /// node's name), and no further callbacks are delivered.
+    Stop,
+}
+
+/// Identifies a timer set via [`NodeCtx::set_timer`] when it fires in
+/// [`NodeLogic::on_timer`]. Tokens are chosen by the node's logic; the
+/// runtime never interprets them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(pub u64);
+
+/// An event-driven platform node: the state machine behind one transport
+/// endpoint, scheduled by an [`crate::Executor`].
+///
+/// The runtime guarantees **per-node serialization**: for one spawned
+/// node, callbacks never run concurrently and are totally ordered (the old
+/// one-thread-per-node model's implicit guarantee). Different nodes run in
+/// parallel across the pool's workers.
+///
+/// Callbacks should return promptly; anything that genuinely waits — a
+/// blocking rpc, a backend that simulates service latency — must go
+/// through [`NodeCtx::block_on`] / [`NodeCtx::rpc`] so the pool can
+/// compensate for the parked worker. Don't call [`Endpoint::recv`] inside
+/// a callback: the runtime drains the mailbox for you and hands every
+/// envelope to `on_message`.
+pub trait NodeLogic: Send + 'static {
+    /// Runs once, before any message is delivered.
+    fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
+
+    /// Handles one inbound envelope.
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow;
+
+    /// Handles a timer set via [`NodeCtx::set_timer`].
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _timer: TimerToken) -> Flow {
+        Flow::Continue
+    }
+
+    /// Runs exactly once when the node stops (requested via
+    /// [`NodeHandle::stop`] or a callback returning [`Flow::Stop`]), while
+    /// the endpoint is still connected.
+    fn on_stop(&mut self, _ctx: &mut NodeCtx<'_>) {}
+}
+
+/// The runtime services available to a callback: the node's endpoint,
+/// timers, blocking sections, and the executor itself.
+pub struct NodeCtx<'a> {
+    endpoint: &'a Endpoint,
+    pool: &'a Arc<Pool>,
+    cell: &'a Arc<NodeCell>,
+}
+
+impl NodeCtx<'_> {
+    /// The node's id.
+    pub fn node(&self) -> &NodeId {
+        self.endpoint.node()
+    }
+
+    /// The node's transport endpoint: send, reply, correlate, clone a
+    /// [`selfserv_net::NodeSender`] for spawned tasks. Receiving is the
+    /// runtime's job — see the [`NodeLogic`] contract.
+    pub fn endpoint(&self) -> &Endpoint {
+        self.endpoint
+    }
+
+    /// The executor this node runs on (to spawn tasks or further nodes).
+    pub fn executor(&self) -> ExecutorHandle {
+        ExecutorHandle::from_pool(Arc::clone(self.pool))
+    }
+
+    /// Runs a section that may block (sleep, wait on a condition, a
+    /// hand-rolled request/response), compensating the pool for the parked
+    /// worker so other nodes keep making progress. See the crate docs for
+    /// the thread-budget implications.
+    pub fn block_on<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.pool.block_on(f)
+    }
+
+    /// Request/response as this node — [`Endpoint::rpc`] wrapped in
+    /// [`NodeCtx::block_on`]. The calling worker parks on the reply slot
+    /// (the reply re-enters through the endpoint's `ReplyDemux`, exactly
+    /// as on a dedicated thread) while the pool compensates, so nodes
+    /// rpc-ing each other on one executor cannot deadlock the pool.
+    pub fn rpc(
+        &self,
+        to: impl Into<NodeId>,
+        kind: impl Into<String>,
+        body: Element,
+        timeout: Duration,
+    ) -> Result<Envelope, RpcError> {
+        let to = to.into();
+        let kind = kind.into();
+        self.block_on(|| self.endpoint.rpc(to, kind, body, timeout))
+    }
+
+    /// Arms a one-shot timer: `on_timer(token)` fires after `after`
+    /// (dropped silently if the node stops first). Re-arm from `on_timer`
+    /// for a recurring cadence.
+    pub fn set_timer(&self, after: Duration, token: TimerToken) {
+        self.pool
+            .timers
+            .schedule(after, Arc::downgrade(self.cell), token);
+    }
+}
+
+enum Event {
+    Start,
+    Timer(TimerToken),
+    StopRequested,
+}
+
+struct Body {
+    logic: Box<dyn NodeLogic>,
+    endpoint: Endpoint,
+}
+
+struct CellInner {
+    /// Runtime events (start, timers, stop requests); transport envelopes
+    /// stay queued in the endpoint's own mailbox.
+    events: VecDeque<Event>,
+    /// True from the moment the node is pushed on the run queue until its
+    /// scheduling turn ends — the bit that makes callbacks serialized: a
+    /// scheduled/running node is never pushed again.
+    scheduled: bool,
+    /// Terminal: `on_stop` ran (or the node was finalized inline) and the
+    /// endpoint was dropped.
+    stopped: bool,
+    /// The logic + endpoint, present unless a worker is running the node
+    /// (taken for the duration of a turn) or the node has stopped.
+    body: Option<Body>,
+}
+
+/// One spawned node: its event queue, scheduling state, and machine.
+pub(crate) struct NodeCell {
+    node: NodeId,
+    pool: Weak<Pool>,
+    inner: Mutex<CellInner>,
+    stopped_cv: Condvar,
+}
+
+impl NodeCell {
+    pub(crate) fn spawn(
+        pool: &Arc<Pool>,
+        endpoint: Endpoint,
+        logic: Box<dyn NodeLogic>,
+    ) -> NodeHandle {
+        let cell = Arc::new(NodeCell {
+            node: endpoint.node().clone(),
+            pool: Arc::downgrade(pool),
+            inner: Mutex::new(CellInner {
+                events: VecDeque::from([Event::Start]),
+                scheduled: false,
+                stopped: false,
+                body: Some(Body { logic, endpoint }),
+            }),
+            stopped_cv: Condvar::new(),
+        });
+        {
+            // Install the waker before the first wake: every envelope the
+            // transport queues from here on schedules the node. Anything
+            // delivered earlier is already in the mailbox and is drained
+            // by the initial turn below.
+            let inner = cell.inner.lock();
+            let weak_cell = Arc::downgrade(&cell);
+            inner
+                .body
+                .as_ref()
+                .expect("fresh cell has its body")
+                .endpoint
+                .set_mailbox_waker(move || {
+                    if let Some(cell) = weak_cell.upgrade() {
+                        cell.wake();
+                    }
+                });
+        }
+        cell.wake();
+        NodeHandle { cell }
+    }
+
+    /// Schedules the node if it is not already queued, running, or
+    /// stopped.
+    pub(crate) fn wake(self: &Arc<Self>) {
+        {
+            let mut inner = self.inner.lock();
+            if inner.stopped || inner.scheduled {
+                return;
+            }
+            inner.scheduled = true;
+        }
+        if let Some(pool) = self.pool.upgrade() {
+            pool.push(Runnable::Node(Arc::clone(self)));
+        }
+    }
+
+    /// Queues a fired timer as a runtime event and schedules the node.
+    pub(crate) fn deliver_timer(self: &Arc<Self>, token: TimerToken) {
+        {
+            let mut inner = self.inner.lock();
+            if inner.stopped {
+                return;
+            }
+            inner.events.push_back(Event::Timer(token));
+        }
+        self.wake();
+    }
+
+    fn finalize(&self, body: Option<Body>) {
+        // Drop the endpoint first: the name deregisters and the transport
+        // stops delivering before the stop becomes observable.
+        drop(body);
+        let mut inner = self.inner.lock();
+        inner.stopped = true;
+        inner.scheduled = false;
+        inner.events.clear();
+        inner.body = None;
+        drop(inner);
+        self.stopped_cv.notify_all();
+    }
+}
+
+/// One scheduling turn of a node, executed by a pool worker: drain runtime
+/// events, then up to [`BATCH`] mailbox envelopes, re-queueing the node if
+/// work remains. Exclusive access is guaranteed by the `scheduled` bit —
+/// the queue holds at most one entry per node.
+pub(crate) fn run_node(pool: &Arc<Pool>, cell: Arc<NodeCell>) {
+    let (mut body, mut events) = {
+        let mut inner = cell.inner.lock();
+        debug_assert!(inner.scheduled, "a queued node is always marked scheduled");
+        match inner.body.take() {
+            Some(body) => (body, std::mem::take(&mut inner.events)),
+            None => {
+                // Already stopped (e.g. finalized inline after an executor
+                // shutdown); nothing to run.
+                inner.scheduled = false;
+                return;
+            }
+        }
+    };
+    // Panic fence: if a callback unwinds, the body (and its endpoint) is
+    // dropped by the unwind with the turn still holding the node — treat
+    // that as node death. The guard finalizes the cell (stopped + name
+    // already freed + waiters notified) so `NodeHandle::stop` cannot hang
+    // on a wedged node; the worker itself survives via the pool's
+    // catch_unwind.
+    struct TurnGuard<'a> {
+        cell: &'a Arc<NodeCell>,
+        armed: bool,
+    }
+    impl Drop for TurnGuard<'_> {
+        fn drop(&mut self) {
+            if self.armed {
+                self.cell.finalize(None);
+            }
+        }
+    }
+    let mut guard = TurnGuard {
+        cell: &cell,
+        armed: true,
+    };
+    let mut stop = false;
+    {
+        let Body { logic, endpoint } = &mut body;
+        let endpoint: &Endpoint = endpoint;
+        let mut ctx = NodeCtx {
+            endpoint,
+            pool,
+            cell: &cell,
+        };
+        while let Some(event) = events.pop_front() {
+            match event {
+                Event::Start => logic.on_start(&mut ctx),
+                Event::Timer(token) => {
+                    if logic.on_timer(&mut ctx, token) == Flow::Stop {
+                        stop = true;
+                    }
+                }
+                Event::StopRequested => stop = true,
+            }
+            if stop {
+                break;
+            }
+        }
+        let mut handled = 0;
+        while !stop && handled < BATCH {
+            let Some(env) = endpoint.try_recv() else {
+                break;
+            };
+            handled += 1;
+            if logic.on_message(&mut ctx, env) == Flow::Stop {
+                stop = true;
+            }
+        }
+        if stop {
+            logic.on_stop(&mut ctx);
+        }
+    }
+    guard.armed = false;
+    if stop {
+        cell.finalize(Some(body));
+        return;
+    }
+    let mut inner = cell.inner.lock();
+    if inner.stopped {
+        // Stopped out from under us (inline finalization raced a late
+        // turn); discard the machine.
+        inner.scheduled = false;
+        drop(inner);
+        cell.finalize(Some(body));
+        return;
+    }
+    // Read the mailbox depth *under the cell lock*: a delivery landing
+    // after this read runs its waker after we release the lock, where it
+    // either observes `scheduled == true` (we re-queued below) or
+    // re-schedules the node itself — no lost wakeups either way.
+    let more = !inner.events.is_empty() || body.endpoint.pending() > 0;
+    inner.body = Some(body);
+    if more {
+        drop(inner);
+        pool.push(Runnable::Node(cell.clone()));
+    } else {
+        inner.scheduled = false;
+    }
+}
+
+/// Handle to a spawned node: observe it and stop it. Dropping the handle
+/// does **not** stop the node (component handles own that decision).
+pub struct NodeHandle {
+    cell: Arc<NodeCell>,
+}
+
+impl NodeHandle {
+    /// The node's id.
+    pub fn node(&self) -> &NodeId {
+        &self.cell.node
+    }
+
+    /// True once the node has fully stopped (endpoint dropped, name free).
+    pub fn is_stopped(&self) -> bool {
+        self.cell.inner.lock().stopped
+    }
+
+    /// Stops the node and waits until it has fully stopped: a stop event
+    /// is queued behind whatever the node is currently doing, `on_stop`
+    /// runs on a worker, and the endpoint drops (freeing the name).
+    /// Idempotent; safe to call from any thread.
+    ///
+    /// If the executor has already shut down (a documented
+    /// ordering violation — stop nodes first), the node is finalized
+    /// inline: the endpoint is dropped so the name frees, but `on_stop`
+    /// is skipped because no worker exists to run it.
+    pub fn stop(&self) {
+        {
+            let mut inner = self.cell.inner.lock();
+            if inner.stopped {
+                return;
+            }
+            inner.events.push_back(Event::StopRequested);
+        }
+        self.cell.wake();
+        let pool = self.cell.pool.upgrade();
+        // The wait is a blocking section: when stop() is called from a
+        // pool worker (a component handle dropped inside a task or
+        // another node's callback), the pool must compensate or the
+        // target's stop turn could starve on a saturated pool.
+        let wait = || {
+            let mut inner = self.cell.inner.lock();
+            while !inner.stopped {
+                let timed_out = self
+                    .cell
+                    .stopped_cv
+                    .wait_for(&mut inner, Duration::from_millis(100))
+                    .timed_out();
+                // Inline finalization only when no worker can ever run the
+                // stop turn: the pool is gone, or shut down with every
+                // worker already exited. During a shutdown *drain*
+                // (workers still alive), keep waiting — the queued stop
+                // turn runs normally, including `on_stop`.
+                let dead = pool
+                    .as_ref()
+                    .is_none_or(|p| p.is_shut_down() && p.live_worker_count() == 0);
+                if timed_out && dead {
+                    if let Some(body) = inner.body.take() {
+                        // Drop the endpoint before announcing the stop, as
+                        // `finalize` does: `is_stopped() == true` must
+                        // imply the name is free.
+                        inner.events.clear();
+                        drop(inner);
+                        drop(body);
+                        let mut inner = self.cell.inner.lock();
+                        inner.stopped = true;
+                        drop(inner);
+                        self.cell.stopped_cv.notify_all();
+                        return;
+                    }
+                    // A worker still holds the body (mid-turn); keep
+                    // waiting — its turn ends even under shutdown, and the
+                    // `stopped` check in `run_node` finalizes the node.
+                }
+            }
+        };
+        match &pool {
+            Some(pool) => pool.block_on(wait),
+            None => wait(),
+        }
+    }
+}
+
+impl fmt::Debug for NodeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeHandle")
+            .field("node", &self.cell.node)
+            .field("stopped", &self.is_stopped())
+            .finish()
+    }
+}

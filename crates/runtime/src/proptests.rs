@@ -1,0 +1,119 @@
+//! Property tests for the runtime's central guarantee: per-node mailbox
+//! serialization. However deliveries interleave — many concurrent senders,
+//! bursts, timers racing messages — callbacks of one node never run
+//! concurrently and never lose an envelope.
+
+use crate::{Executor, Flow, NodeCtx, NodeLogic, TimerToken};
+use proptest::prelude::*;
+use selfserv_net::{Envelope, Network, NetworkConfig};
+use selfserv_xml::Element;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Records every observed callback overlap: `entered` must never exceed 1
+/// for a single node if serialization holds.
+struct Probe {
+    entered: Arc<AtomicUsize>,
+    max_overlap: Arc<AtomicUsize>,
+    handled: Arc<AtomicUsize>,
+    timers: Arc<AtomicUsize>,
+}
+
+impl Probe {
+    fn enter(&self) {
+        let inside = self.entered.fetch_add(1, Ordering::SeqCst) + 1;
+        self.max_overlap.fetch_max(inside, Ordering::SeqCst);
+        // Dwell briefly so a second worker running the same node would be
+        // caught in the act.
+        std::thread::sleep(Duration::from_micros(100));
+    }
+
+    fn exit(&self) {
+        self.entered.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl NodeLogic for Probe {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, _env: Envelope) -> Flow {
+        self.enter();
+        // Occasionally arm a timer so timer events race message events.
+        if self.handled.fetch_add(1, Ordering::SeqCst) % 7 == 0 {
+            ctx.set_timer(Duration::from_micros(50), TimerToken(1));
+        }
+        self.exit();
+        Flow::Continue
+    }
+
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _timer: TimerToken) -> Flow {
+        self.enter();
+        self.timers.fetch_add(1, Ordering::SeqCst);
+        self.exit();
+        Flow::Continue
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Interleaved deliveries to one node are never concurrent: `senders`
+    /// threads blast `per_sender` messages each at a single node on a
+    /// multi-worker executor; the probe asserts callback overlap never
+    /// exceeded 1 and every envelope was handled.
+    #[test]
+    fn interleaved_deliveries_to_one_node_are_never_concurrent(
+        senders in 2usize..6,
+        per_sender in 1usize..40,
+        workers in 2usize..5,
+    ) {
+        let exec = Executor::new(workers);
+        let net = Network::new(NetworkConfig::instant());
+        let entered = Arc::new(AtomicUsize::new(0));
+        let max_overlap = Arc::new(AtomicUsize::new(0));
+        let handled = Arc::new(AtomicUsize::new(0));
+        let timers = Arc::new(AtomicUsize::new(0));
+        let node = exec.handle().spawn_node(
+            net.connect("probe").unwrap(),
+            Probe {
+                entered: Arc::clone(&entered),
+                max_overlap: Arc::clone(&max_overlap),
+                handled: Arc::clone(&handled),
+                timers: Arc::clone(&timers),
+            },
+        );
+
+        std::thread::scope(|s| {
+            for t in 0..senders {
+                let net = net.clone();
+                s.spawn(move || {
+                    let ep = net.connect(format!("sender{t}")).unwrap();
+                    for i in 0..per_sender {
+                        ep.send(
+                            "probe",
+                            "n",
+                            Element::new("n").with_attr("i", i.to_string()),
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+
+        let expected = senders * per_sender;
+        let t0 = Instant::now();
+        while handled.load(Ordering::SeqCst) < expected
+            && t0.elapsed() < Duration::from_secs(10)
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        prop_assert_eq!(handled.load(Ordering::SeqCst), expected, "no envelope lost");
+        prop_assert_eq!(
+            max_overlap.load(Ordering::SeqCst),
+            1,
+            "a node ran on two workers at once"
+        );
+        node.stop();
+        prop_assert_eq!(entered.load(Ordering::SeqCst), 0);
+        exec.shutdown();
+    }
+}

@@ -1,0 +1,144 @@
+//! The executor's timer service: the runtime's replacement for the
+//! `sleep`- and `recv_timeout`-shaped delays of the thread-per-node model.
+//!
+//! One dedicated thread per [`crate::Executor`] owns a monotonic min-heap
+//! of pending timers (the classic timer-wheel role; a heap keeps the
+//! vendored-dependency footprint at zero while the timer population stays
+//! small — one TTL sweep per *busy* node, not per node). When a timer
+//! fires, the service enqueues a timer event on the owning node and wakes
+//! it through the ordinary run queue, so `on_timer` gets the same
+//! exclusive, serialized access to the node as `on_message`.
+
+use crate::node::{NodeCell, TimerToken};
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+struct Entry {
+    at: Instant,
+    /// Tie-breaker preserving schedule order among equal deadlines.
+    seq: u64,
+    cell: Weak<NodeCell>,
+    token: TimerToken,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Min-heap on (deadline, sequence).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct TimerState {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+    stopped: bool,
+}
+
+struct TimerInner {
+    state: Mutex<TimerState>,
+    cv: Condvar,
+}
+
+/// Handle to the executor's timer thread. Owned by the pool; scheduling is
+/// reached through [`crate::NodeCtx::set_timer`].
+pub(crate) struct TimerService {
+    inner: Arc<TimerInner>,
+}
+
+impl TimerService {
+    pub(crate) fn new() -> Self {
+        TimerService {
+            inner: Arc::new(TimerInner {
+                state: Mutex::new(TimerState {
+                    heap: BinaryHeap::new(),
+                    seq: 0,
+                    stopped: false,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Spawns the timer thread (once per executor).
+    pub(crate) fn start(&self) {
+        let inner = Arc::clone(&self.inner);
+        std::thread::Builder::new()
+            .name("selfserv-exec-timer".to_string())
+            .spawn(move || timer_loop(&inner))
+            .expect("spawn executor timer thread");
+    }
+
+    /// Schedules a timer event for `cell` after `after`. Timers for nodes
+    /// that stop (or cells that are gone) before the deadline are dropped
+    /// silently at fire time.
+    pub(crate) fn schedule(&self, after: Duration, cell: Weak<NodeCell>, token: TimerToken) {
+        let mut state = self.inner.state.lock();
+        if state.stopped {
+            return;
+        }
+        state.seq += 1;
+        let seq = state.seq;
+        state.heap.push(Entry {
+            at: Instant::now() + after,
+            seq,
+            cell,
+            token,
+        });
+        self.inner.cv.notify_all();
+    }
+
+    /// Stops the timer thread; pending timers never fire.
+    pub(crate) fn stop(&self) {
+        self.inner.state.lock().stopped = true;
+        self.inner.cv.notify_all();
+    }
+}
+
+impl Drop for TimerService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn timer_loop(inner: &TimerInner) {
+    let mut state = inner.state.lock();
+    loop {
+        if state.stopped {
+            return;
+        }
+        let now = Instant::now();
+        match state.heap.peek() {
+            None => {
+                inner.cv.wait(&mut state);
+            }
+            Some(top) if top.at <= now => {
+                let entry = state.heap.pop().expect("peeked entry");
+                // Fire outside the lock: waking a node takes the cell and
+                // run-queue locks, and `schedule` must never wait on them.
+                drop(state);
+                if let Some(cell) = entry.cell.upgrade() {
+                    cell.deliver_timer(entry.token);
+                }
+                state = inner.state.lock();
+            }
+            Some(top) => {
+                let wait = top.at - now;
+                inner.cv.wait_for(&mut state, wait);
+            }
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! WSDL-like service descriptions and typed message documents.
 //!
 //! In the original SELF-SERV demo, a service's WSDL description had to be
-//! "created and deployed … so that [it] can be retrieved using public URLs"
+//! "created and deployed … so that \[it\] can be retrieved using public URLs"
 //! before publication to the UDDI registry, and invocations were XML
 //! documents "sent to the service using the binding details of the WSDL
 //! service descriptions". This crate reproduces that layer:

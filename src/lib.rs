@@ -15,6 +15,7 @@ pub use selfserv_expr as expr;
 pub use selfserv_net as net;
 pub use selfserv_registry as registry;
 pub use selfserv_routing as routing;
+pub use selfserv_runtime as runtime;
 pub use selfserv_statechart as statechart;
 pub use selfserv_wsdl as wsdl;
 pub use selfserv_xml as xml;

@@ -1,0 +1,16 @@
+//! Helpers shared by the integration suites.
+
+use selfserv::wsdl::MessageDoc;
+
+/// Serializes a response with the wall-clock `_elapsed_ms` field removed;
+/// everything else must be byte-identical across transports, schedulers,
+/// and PRs (the golden comparisons depend on this exact rule).
+pub fn normalized(doc: &MessageDoc) -> String {
+    let mut clean = MessageDoc::response(doc.operation.clone());
+    for (k, v) in doc.iter() {
+        if k != "_elapsed_ms" {
+            clean.set(k, v.clone());
+        }
+    }
+    clean.to_xml().to_xml()
+}

@@ -20,6 +20,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+mod common;
+use common::normalized;
+
 /// The quickstart composite: quote a price, then confirm or escalate.
 fn quickstart_chart() -> Statechart {
     StatechartBuilder::new("Quote And Confirm")
@@ -53,26 +56,43 @@ fn quickstart_chart() -> Statechart {
         .expect("well-formed statechart")
 }
 
-/// Serializes a response with the wall-clock field removed; everything
-/// else must be byte-identical across transports.
-fn normalized(doc: &MessageDoc) -> String {
-    let mut clean = MessageDoc::response(doc.operation.clone());
-    for (k, v) in doc.iter() {
-        if k != "_elapsed_ms" {
-            clean.set(k, v.clone());
-        }
-    }
-    clean.to_xml().to_xml()
-}
+/// The exact normalized outputs the thread-per-node seed path produced
+/// for the quickstart workload (captured before the worker-pool runtime
+/// replaced per-node threads). The runtime refactor must keep every
+/// transport byte-identical to these.
+const QUICKSTART_GOLDEN: [&str; 2] = [
+    "<message operation=\"execute\" kind=\"response\">\
+     <param name=\"_instance\" type=\"string\">i1</param>\
+     <param name=\"amount\" type=\"int\">12</param>\
+     <param name=\"confirmed_by\" type=\"string\">Orders</param>\
+     <param name=\"item\" type=\"string\">coffee beans</param>\
+     <param name=\"quoted_by\" type=\"string\">Pricing</param>\
+     </message>",
+    "<message operation=\"execute\" kind=\"response\">\
+     <param name=\"_instance\" type=\"string\">i2</param>\
+     <param name=\"amount\" type=\"int\">5000</param>\
+     <param name=\"item\" type=\"string\">espresso machines</param>\
+     <param name=\"quoted_by\" type=\"string\">Pricing</param>\
+     </message>",
+];
 
 /// Runs the quickstart composite (both guard branches) over `net` and
 /// returns the normalized outputs plus a per-named-node traffic census.
 fn run_quickstart(net: &dyn Transport) -> (Vec<String>, Vec<(String, u64, u64)>) {
+    run_quickstart_with(net, Deployer::new(net))
+}
+
+/// Same, with a caller-configured deployer (e.g. pinned to an explicit
+/// executor).
+fn run_quickstart_with(
+    net: &dyn Transport,
+    deployer: Deployer,
+) -> (Vec<String>, Vec<(String, u64, u64)>) {
     let mut backends: HashMap<String, Arc<dyn ServiceBackend>> = HashMap::new();
     for name in ["Pricing", "Orders", "Helpdesk"] {
         backends.insert(name.to_string(), Arc::new(EchoService::new(name)));
     }
-    let deployment = Deployer::new(net)
+    let deployment = deployer
         .deploy(&quickstart_chart(), &backends)
         .expect("deploys");
     net.reset_metrics();
@@ -159,6 +179,33 @@ fn quickstart_outputs_identical_over_fabric_and_tcp() {
         fabric_census, tcp_census,
         "per-node traffic must match across transports"
     );
+    // And both match the thread-per-node seed path, byte for byte.
+    assert_eq!(fabric_out, QUICKSTART_GOLDEN, "seed-path golden");
+}
+
+#[test]
+fn quickstart_on_a_pinned_4_worker_executor_matches_the_seed_golden() {
+    // Pinning the whole deployment onto an explicit fixed-size executor
+    // (instead of the process-wide shared one) changes scheduling only —
+    // outputs and per-node protocol traffic stay byte-identical to the
+    // thread-per-node seed path, on both transports.
+    use selfserv::runtime::Executor;
+    let exec = Executor::new(4);
+
+    let fabric = Network::new(NetworkConfig::instant());
+    let (fabric_out, fabric_census) =
+        run_quickstart_with(&fabric, Deployer::new(&fabric).with_executor(exec.handle()));
+    let tcp = TcpTransport::new();
+    let (tcp_out, tcp_census) =
+        run_quickstart_with(&tcp, Deployer::new(&tcp).with_executor(exec.handle()));
+
+    assert_eq!(fabric_out, QUICKSTART_GOLDEN, "fabric on pinned executor");
+    assert_eq!(tcp_out, QUICKSTART_GOLDEN, "tcp on pinned executor");
+    assert_eq!(
+        fabric_census, tcp_census,
+        "per-node traffic must match across transports on a pinned executor"
+    );
+    exec.shutdown();
 }
 
 #[test]
