@@ -49,6 +49,7 @@ fn bench_policies(c: &mut Criterion) {
                         operation: "op",
                         request: &req,
                         history: &history,
+                        liveness: None,
                     };
                     policy.select(&refs, &ctx).unwrap().id.clone()
                 });

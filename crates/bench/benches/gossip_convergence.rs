@@ -1,0 +1,82 @@
+//! Gossip convergence: how long N `TcpTransport` hubs seeded in a line —
+//! the worst-diameter connected seed graph — take to reach a complete,
+//! identical directory on every hub.
+//!
+//! Each hub runs one application node plus its discovery node, and knows
+//! only its predecessor's seed address. Convergence means every hub's
+//! directory holds all `2N` names with equal fingerprints — at which
+//! point any node can rpc any other by name across all N hubs. The
+//! measured time includes handshakes, transitive peer adoption, and the
+//! push-pull anti-entropy rounds that carry line-end entries across the
+//! full diameter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use selfserv_discovery::{DiscoveryConfig, DiscoveryHandle, PeerDiscovery};
+use selfserv_net::{NodeId, TcpTransport, Transport};
+use std::time::{Duration, Instant};
+
+/// Gossip cadence under measurement (the dominant term: convergence is
+/// roughly diameter × cadence for a line).
+const CADENCE: Duration = Duration::from_millis(25);
+
+fn converge_line(n: usize) -> Duration {
+    // Hubs and application nodes are plain setup; the clock starts before
+    // the first *discovery* spawn, because early segments of the line
+    // begin handshaking and gossiping while later hubs are still coming
+    // up — that work is part of convergence, not setup.
+    let mut hubs = Vec::with_capacity(n);
+    let mut endpoints = Vec::with_capacity(n);
+    for i in 0..n {
+        let hub = TcpTransport::new();
+        endpoints.push(Transport::connect(&hub, NodeId::new(format!("node.{i}"))).unwrap());
+        hubs.push(hub);
+    }
+    let started = Instant::now();
+    let mut discs: Vec<DiscoveryHandle> = Vec::with_capacity(n);
+    for hub in &hubs {
+        let mut config = DiscoveryConfig::default().with_cadence(CADENCE);
+        if let Some(prev) = discs.last() {
+            config = config.with_seed(prev.seed_addr());
+        }
+        discs.push(PeerDiscovery::spawn(hub, config).unwrap());
+    }
+    let deadline = started + Duration::from_secs(60);
+    loop {
+        let complete = discs.iter().all(|d| d.directory().names().len() == 2 * n)
+            && discs
+                .iter()
+                .all(|d| d.directory().fingerprint() == discs[0].directory().fingerprint());
+        if complete {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "line of {n} hubs never converged"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let elapsed = started.elapsed();
+    drop(discs);
+    drop(endpoints);
+    elapsed
+}
+
+fn bench_gossip_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip_convergence");
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("line", n), &n, |b, &n| {
+            b.iter(|| converge_line(n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(200))
+        .sample_size(10);
+    targets = bench_gossip_convergence
+}
+criterion_main!(benches);

@@ -12,6 +12,7 @@ use crate::membership::MemberId;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use selfserv_net::LivenessProbe;
 use selfserv_wsdl::MessageDoc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -23,6 +24,13 @@ pub struct SelectionContext<'a> {
     pub request: &'a MessageDoc,
     /// Execution history + in-flight gauges.
     pub history: &'a ExecutionHistory,
+    /// Peer liveness (a failure detector's view, e.g. a
+    /// `selfserv-discovery` directory). `None` when the community runs
+    /// without one. The server already removes evicted members and
+    /// deprioritizes suspected ones before `select` is called; policies
+    /// that want finer behaviour (e.g. scoring suspicion as a reliability
+    /// penalty) can probe member endpoints here.
+    pub liveness: Option<&'a dyn LivenessProbe>,
 }
 
 /// A delegatee-selection strategy. Implementations must be deterministic
@@ -336,6 +344,7 @@ mod tests {
             operation: "op",
             request,
             history,
+            liveness: None,
         }
     }
 

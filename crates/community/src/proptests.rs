@@ -55,7 +55,7 @@ proptest! {
             );
         }
         let req = MessageDoc::request("op");
-        let ctx = SelectionContext { operation: "op", request: &req, history: &history };
+        let ctx = SelectionContext { operation: "op", request: &req, history: &history, liveness: None };
         let policies: Vec<Box<dyn SelectionPolicy>> = vec![
             Box::new(RoundRobin::new()),
             Box::new(RandomChoice::new(seed)),
@@ -84,7 +84,7 @@ proptest! {
         let refs: Vec<&Member> = members.iter().collect();
         let history = ExecutionHistory::new();
         let req = MessageDoc::request("op");
-        let ctx = SelectionContext { operation: "op", request: &req, history: &history };
+        let ctx = SelectionContext { operation: "op", request: &req, history: &history, liveness: None };
         let policy = RoundRobin::new();
         let mut counts = std::collections::HashMap::new();
         for _ in 0..n * k {
@@ -104,7 +104,7 @@ proptest! {
         let refs: Vec<&Member> = members.iter().collect();
         let history = ExecutionHistory::new();
         let req = MessageDoc::request("op");
-        let ctx = SelectionContext { operation: "op", request: &req, history: &history };
+        let ctx = SelectionContext { operation: "op", request: &req, history: &history, liveness: None };
         let chosen = WeightedScoring::default().select(&refs, &ctx).unwrap();
         let dominated_by_someone = members.iter().any(|other| {
             other.id != chosen.id

@@ -22,7 +22,8 @@ use crate::policy::{SelectionContext, SelectionPolicy};
 use parking_lot::RwLock;
 use parking_lot::{Condvar, Mutex};
 use selfserv_net::{
-    ConnectError, Endpoint, Envelope, NodeId, NodeSender, RpcError, Transport, TransportHandle,
+    ConnectError, Endpoint, Envelope, LivenessProbe, NodeId, NodeSender, PeerStatus, RpcError,
+    Transport, TransportHandle,
 };
 use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic};
 use selfserv_wsdl::MessageDoc;
@@ -67,6 +68,14 @@ pub struct CommunityServerConfig {
     pub member_timeout: Duration,
     /// Maximum number of *different* members tried before faulting.
     pub max_attempts: usize,
+    /// A failure detector's view of peer liveness (e.g. the
+    /// `selfserv-discovery` directory of the community's hub). When set,
+    /// members whose endpoints are **evicted** are removed from candidacy
+    /// entirely, and **suspected** ones are deprioritized: the policy
+    /// selects among healthy members first and falls back to suspected
+    /// ones only when no healthy member exists. `None` keeps the old
+    /// behaviour (every registered member is a candidate).
+    pub liveness: Option<Arc<dyn LivenessProbe>>,
 }
 
 impl Default for CommunityServerConfig {
@@ -75,6 +84,7 @@ impl Default for CommunityServerConfig {
             mode: DelegationMode::Proxy,
             member_timeout: Duration::from_secs(5),
             max_attempts: 3,
+            liveness: None,
         }
     }
 }
@@ -315,6 +325,7 @@ impl CommunityLogic {
         let mode = self.config.mode;
         let member_timeout = self.config.member_timeout;
         let max_attempts = self.config.max_attempts;
+        let liveness = self.config.liveness.clone();
         let in_flight = self.in_flight.begin();
         let exec = ctx.executor();
         let pool = exec.clone();
@@ -332,6 +343,7 @@ impl CommunityLogic {
                     mode,
                     member_timeout,
                     max_attempts,
+                    liveness.as_deref(),
                 )
             });
             let (kind, body) = match outcome {
@@ -357,6 +369,7 @@ fn delegate(
     mode: DelegationMode,
     member_timeout: Duration,
     max_attempts: usize,
+    liveness: Option<&dyn LivenessProbe>,
 ) -> Result<Element, CommunityError> {
     let msg =
         MessageDoc::from_xml(&request.body).map_err(|e| CommunityError::Protocol(e.to_string()))?;
@@ -375,14 +388,29 @@ fn delegate(
     for _attempt in 0..max_attempts {
         let chosen: Option<Member> = {
             let c = community.read();
-            let candidates: Vec<&Member> =
-                c.members().filter(|m| !excluded.contains(&m.id)).collect();
+            // Liveness gate: evicted members are out of candidacy
+            // entirely; suspected ones are only offered to the policy when
+            // no healthy member remains (deprioritization, not exclusion —
+            // suspicion is one detector's unconfirmed observation).
+            let mut healthy: Vec<&Member> = Vec::new();
+            let mut suspected: Vec<&Member> = Vec::new();
+            for m in c.members().filter(|m| !excluded.contains(&m.id)) {
+                match liveness.map_or(PeerStatus::Alive, |l| l.status_of(m.endpoint.as_str())) {
+                    PeerStatus::Alive => healthy.push(m),
+                    PeerStatus::Suspected => suspected.push(m),
+                    PeerStatus::Evicted => {}
+                }
+            }
             let ctx = SelectionContext {
                 operation: &msg.operation,
                 request: &msg,
                 history,
+                liveness,
             };
-            policy.select(&candidates, &ctx).cloned()
+            policy
+                .select(&healthy, &ctx)
+                .or_else(|| policy.select(&suspected, &ctx))
+                .cloned()
         };
         let Some(member) = chosen else {
             return Err(CommunityError::NoMembersAvailable {
@@ -737,6 +765,7 @@ mod tests {
                 mode: DelegationMode::Proxy,
                 member_timeout: Duration::from_millis(100),
                 max_attempts: 3,
+                liveness: None,
             },
         )
         .unwrap();
@@ -813,6 +842,71 @@ mod tests {
             resp.get(&"param_count".to_string()[..]),
             Some(&Value::Int(1))
         );
+    }
+
+    /// A canned failure-detector view keyed by member endpoint name.
+    struct FixedLiveness(std::collections::HashMap<String, PeerStatus>);
+
+    impl LivenessProbe for FixedLiveness {
+        fn status_of(&self, name: &str) -> PeerStatus {
+            self.0.get(name).copied().unwrap_or(PeerStatus::Alive)
+        }
+    }
+
+    #[test]
+    fn liveness_gate_skips_evicted_and_deprioritizes_suspected() {
+        let net = Network::new(NetworkConfig::instant());
+        let liveness = Arc::new(FixedLiveness(
+            [
+                ("svc.gone".to_string(), PeerStatus::Evicted),
+                ("svc.shaky".to_string(), PeerStatus::Suspected),
+            ]
+            .into_iter()
+            .collect(),
+        ));
+        let handle = CommunityServer::spawn(
+            &net,
+            "community.live",
+            community(),
+            Arc::new(RoundRobin::new()),
+            CommunityServerConfig {
+                liveness: Some(liveness),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let client = CommunityClient::connect(&net, "client", "community.live").unwrap();
+        let _gone = spawn_member(&net, "svc.gone", false, Duration::ZERO);
+        let _shaky = spawn_member(&net, "svc.shaky", false, Duration::ZERO);
+        let _solid = spawn_member(&net, "svc.solid", false, Duration::ZERO);
+        client.join(&member("a-gone", "svc.gone")).unwrap();
+        client.join(&member("b-shaky", "svc.shaky")).unwrap();
+        client.join(&member("c-solid", "svc.solid")).unwrap();
+        // Round-robin would cycle all three; the gate pins every call to
+        // the only healthy member.
+        for _ in 0..6 {
+            let resp = client
+                .invoke(&MessageDoc::request("bookAccommodation"))
+                .unwrap();
+            assert_eq!(resp.get_str("served_by"), Some("svc.solid"));
+        }
+        // With the healthy member gone, the suspected one serves as the
+        // fallback — but the evicted one never does.
+        client.leave(&MemberId("c-solid".into())).unwrap();
+        for _ in 0..4 {
+            let resp = client
+                .invoke(&MessageDoc::request("bookAccommodation"))
+                .unwrap();
+            assert_eq!(resp.get_str("served_by"), Some("svc.shaky"));
+        }
+        // Only the suspected fallback remains once it also leaves: the
+        // evicted member alone means "no members available".
+        client.leave(&MemberId("b-shaky".into())).unwrap();
+        let err = client
+            .invoke(&MessageDoc::request("bookAccommodation"))
+            .unwrap_err();
+        assert!(err.to_string().contains("no members"), "{err}");
+        drop(handle);
     }
 
     #[test]

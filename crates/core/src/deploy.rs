@@ -7,6 +7,14 @@
 //! uploading these tables into the hosts of the component services."
 //! Here "uploading" spawns a coordinator actor per basic state, co-located
 //! with its service backend, plus the composite wrapper.
+//!
+//! Deployment is transport-wide, not process-wide: task bindings resolve
+//! against every name the transport can route to, so on a `TcpTransport`
+//! hub running `selfserv-discovery`, a composite deployed in one process
+//! binds to communities and services hosted in *other* processes given
+//! nothing but the seed address that joined the hub to the network (the
+//! coordinators' community rpcs then cross process boundaries like any
+//! named send). `tests/discovery.rs` deploys exactly that way.
 
 use crate::backend::ServiceBackend;
 use crate::coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle, TaskRuntime};
@@ -38,7 +46,13 @@ pub enum DeploymentError {
         /// The unresolved service name.
         service: String,
     },
-    /// A task state references a community whose node is not on the fabric.
+    /// A task state references a community whose node is not visible on
+    /// the transport — neither connected locally nor learned from a peer
+    /// process (via `register_peer` or a `selfserv-discovery`
+    /// handshake/gossip round). On a freshly seeded hub this can simply
+    /// mean gossip has not converged yet: wait for the community's name
+    /// (e.g. `DiscoveryHandle::wait_until_bound`) and retry, or set
+    /// [`Deployer::allow_missing_communities`].
     MissingCommunity {
         /// The state.
         state: StateId,

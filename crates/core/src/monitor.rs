@@ -1,4 +1,5 @@
-//! Execution monitoring: per-instance traces of the distributed run.
+//! Execution monitoring: per-instance traces of the distributed run, plus
+//! the membership view.
 //!
 //! The paper's coordinators are "in charge of initiating, controlling,
 //! *monitoring* the associated state". This module gives that monitoring a
@@ -8,15 +9,25 @@
 //! instance — the platform's answer to Figure 3's "Execution Result"
 //! panel.
 //!
+//! The monitor also ingests **liveness events** from `selfserv-discovery`
+//! failure detectors (point `DiscoveryConfig::monitor` at this node):
+//! every suspected / evicted / recovered peer hub lands in a queryable log
+//! ([`MonitorHandle::liveness_events`]) and a last-known-status table
+//! ([`MonitorHandle::peer_status`]), so an operator can answer "which
+//! providers were dead during this run?" next to "what did the run do?".
+//!
 //! Tracing is fire-and-forget: a dead or slow monitor never blocks an
 //! execution.
 
 use crate::protocol::InstanceId;
 use parking_lot::RwLock;
-use selfserv_net::{ConnectError, Envelope, NodeId, Transport, TransportHandle};
+use selfserv_net::{
+    ConnectError, Envelope, LivenessEvent, NodeId, PeerStatus, Transport, TransportHandle,
+    LIVENESS_KIND,
+};
 use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic};
 use selfserv_xml::Element;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
@@ -108,7 +119,18 @@ fn decode_trace(e: &Element) -> Option<TraceEvent> {
 #[derive(Default)]
 struct TraceStore {
     by_instance: HashMap<InstanceId, Vec<TraceEvent>>,
+    /// Liveness transitions in arrival order, bounded by
+    /// [`LIVENESS_LOG_CAPACITY`] — a flapping peer (suspected/alive
+    /// cycles) must not grow a long-running monitor without bound;
+    /// `peer_status` keeps the last-known answer regardless.
+    liveness: VecDeque<LivenessEvent>,
+    /// Last reported status per node name (from liveness events).
+    peer_status: HashMap<NodeId, PeerStatus>,
 }
+
+/// How many liveness transitions the monitor retains (oldest dropped
+/// first) — mirrors the discovery handle's own event-log bound.
+const LIVENESS_LOG_CAPACITY: usize = 1024;
 
 /// Spawner for the monitor node.
 pub struct ExecutionMonitor;
@@ -167,6 +189,18 @@ impl NodeLogic for MonitorLogic {
                         .push(event);
                 }
             }
+            LIVENESS_KIND => {
+                if let Some(event) = LivenessEvent::from_xml(&env.body) {
+                    let mut store = self.store.write();
+                    for name in &event.names {
+                        store.peer_status.insert(name.clone(), event.status);
+                    }
+                    if store.liveness.len() == LIVENESS_LOG_CAPACITY {
+                        store.liveness.pop_front();
+                    }
+                    store.liveness.push_back(event);
+                }
+            }
             _ => {}
         }
         Flow::Continue
@@ -199,6 +233,22 @@ impl MonitorHandle {
     /// Total events collected.
     pub fn event_count(&self) -> usize {
         self.store.read().by_instance.values().map(Vec::len).sum()
+    }
+
+    /// Every liveness transition reported by discovery failure detectors,
+    /// in arrival order.
+    pub fn liveness_events(&self) -> Vec<LivenessEvent> {
+        self.store.read().liveness.iter().cloned().collect()
+    }
+
+    /// The last reported liveness status of a node name (`None` when no
+    /// failure detector ever mentioned it).
+    pub fn peer_status(&self, name: &str) -> Option<PeerStatus> {
+        self.store
+            .read()
+            .peer_status
+            .get(&NodeId::new(name))
+            .copied()
     }
 
     /// Renders one instance's trace as an aligned text timeline (relative
@@ -305,6 +355,40 @@ mod tests {
         assert!(monitor
             .render_timeline(InstanceId(99))
             .contains("no events"));
+    }
+
+    #[test]
+    fn monitor_ingests_liveness_events() {
+        use selfserv_net::HubId;
+        let net = Network::new(NetworkConfig::instant());
+        let monitor = ExecutionMonitor::spawn(&net, "monitor").unwrap();
+        let detector = net.connect("disc.feed").unwrap();
+        let suspected = LivenessEvent {
+            hub: HubId(7),
+            status: PeerStatus::Suspected,
+            names: vec![NodeId::new("svc.a"), NodeId::new("svc.b")],
+        };
+        let evicted = LivenessEvent {
+            hub: HubId(7),
+            status: PeerStatus::Evicted,
+            names: vec![NodeId::new("svc.a")],
+        };
+        detector
+            .send("monitor", LIVENESS_KIND, suspected.to_xml())
+            .unwrap();
+        detector
+            .send("monitor", LIVENESS_KIND, evicted.to_xml())
+            .unwrap();
+        detector
+            .send("monitor", LIVENESS_KIND, Element::new("garbage"))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let events = monitor.liveness_events();
+        assert_eq!(events, vec![suspected, evicted]);
+        assert_eq!(monitor.peer_status("svc.a"), Some(PeerStatus::Evicted));
+        assert_eq!(monitor.peer_status("svc.b"), Some(PeerStatus::Suspected));
+        assert_eq!(monitor.peer_status("svc.unknown"), None);
+        assert_eq!(monitor.event_count(), 0, "liveness is not a trace");
     }
 
     #[test]

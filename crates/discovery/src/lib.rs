@@ -1,0 +1,293 @@
+//! # selfserv-discovery
+//!
+//! Peer discovery & membership for multi-process SELF-SERV deployments:
+//! the subsystem that turns a set of isolated [`TcpTransport`] hubs into a
+//! self-organizing peer-to-peer network. Before it existed, an operator
+//! had to call `register_peer` in both directions for every pair of
+//! processes; now **one seed address** bootstraps everything.
+//!
+//! Each hub runs one [`DiscoveryNode`] — an ordinary
+//! [`NodeLogic`](selfserv_runtime::NodeLogic) state machine on the shared
+//! executor, named `disc.<hub-id>`, driven by the runtime's timer service.
+//! Three mechanisms compose:
+//!
+//! 1. **Handshake** — on start (and retried each gossip tick until
+//!    answered), the node greets every configured seed address with a
+//!    `discovery.hello` carrying its full versioned directory snapshot,
+//!    sent straight to the address via
+//!    [`TcpTransport::send_to_addr`]. The seed merges the snapshot and
+//!    answers `discovery.welcome` with its own — after one exchange both
+//!    hubs can reach every name the other knows, in both directions.
+//! 2. **Gossip anti-entropy** — every `gossip_interval`, the node picks a
+//!    random known peer and sends `discovery.sync` with its snapshot; the
+//!    receiver merges it and answers `discovery.delta` with exactly the
+//!    rows the sender was missing (push-pull). Because the directory
+//!    merge is last-writer-wins on per-name version counters —
+//!    commutative, idempotent, and associative (see the property tests in
+//!    `proptests.rs`) — any exchange order converges every hub to the
+//!    same directory, without coordination.
+//! 3. **Failure detection** — peers that stay silent past
+//!    `heartbeat_interval` are probed with `discovery.ping`; silence past
+//!    `suspicion_timeout` marks the peer **suspected** (a local,
+//!    unversioned overlay — selection policies deprioritize its members
+//!    but traffic still routes); silence past `eviction_timeout`
+//!    **evicts** it: every name it owned is tombstoned with a bumped
+//!    version, so the eviction gossips to the whole network. Every
+//!    transition surfaces as a [`LivenessEvent`] — kept on the handle,
+//!    and mirrored to a monitor node when
+//!    [`DiscoveryConfig::monitor`] names one.
+//!
+//! A hub that was evicted by mistake (e.g. a long pause) recovers on its
+//! own: incoming tombstones for names whose endpoints are alive locally
+//! are refused and re-asserted with a higher version
+//! (`PeerDirectory::merge_entry`), and the corrected entries out-gossip
+//! the stale tombstones.
+//!
+//! ```no_run
+//! use selfserv_discovery::{DiscoveryConfig, PeerDiscovery};
+//! use selfserv_net::TcpTransport;
+//!
+//! // Process 1: nothing to seed — just run discovery and publish the addr.
+//! let hub_a = TcpTransport::new();
+//! let disc_a = PeerDiscovery::spawn(&hub_a, DiscoveryConfig::default()).unwrap();
+//! let seed = disc_a.seed_addr(); // hand this one address to process 2
+//!
+//! // Process 2: seed with that one address; directories converge.
+//! let hub_b = TcpTransport::new();
+//! let disc_b =
+//!     PeerDiscovery::spawn(&hub_b, DiscoveryConfig::default().with_seed(seed)).unwrap();
+//! ```
+
+mod node;
+
+pub use node::{disc_node_name, kinds, DiscoveryNode};
+
+use parking_lot::Mutex;
+use selfserv_net::{
+    ConnectError, LivenessEvent, LivenessProbe, NodeId, PeerDirectory, TcpTransport,
+};
+use selfserv_runtime::{ExecutorHandle, NodeHandle};
+use std::collections::VecDeque;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tunables of one hub's discovery node. The defaults suit human-scale
+/// deployments (sub-second convergence, seconds-scale failure detection);
+/// tests shrink everything.
+///
+/// The timeouts form a ladder: a peer silent past `heartbeat_interval` is
+/// probed, past `suspicion_timeout` it is suspected (deprioritized), past
+/// `eviction_timeout` it is evicted (tombstoned and gossiped). Configure
+/// them strictly increasing.
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// Listener addresses of hubs to greet at startup (each retried every
+    /// gossip tick until it answers). One reachable seed suffices to join
+    /// the network — everything else arrives by gossip.
+    pub seeds: Vec<SocketAddr>,
+    /// How often the node exchanges directories with one random peer.
+    pub gossip_interval: Duration,
+    /// Silence threshold after which a peer is probed with a ping.
+    pub heartbeat_interval: Duration,
+    /// Silence threshold after which a peer is suspected.
+    pub suspicion_timeout: Duration,
+    /// Silence threshold after which a peer is evicted.
+    pub eviction_timeout: Duration,
+    /// When set, every liveness transition is also sent to this node as a
+    /// fire-and-forget [`selfserv_net::LIVENESS_KIND`] envelope (the
+    /// execution monitor ingests these).
+    pub monitor: Option<NodeId>,
+    /// Seed for the gossip-partner RNG; defaults to the hub id, so runs
+    /// are deterministic per hub without being synchronized across hubs.
+    pub rng_seed: Option<u64>,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            seeds: Vec::new(),
+            gossip_interval: Duration::from_millis(250),
+            heartbeat_interval: Duration::from_millis(500),
+            suspicion_timeout: Duration::from_secs(2),
+            eviction_timeout: Duration::from_secs(6),
+            monitor: None,
+            rng_seed: None,
+        }
+    }
+}
+
+impl DiscoveryConfig {
+    /// Builder: adds one seed address.
+    pub fn with_seed(mut self, seed: SocketAddr) -> Self {
+        self.seeds.push(seed);
+        self
+    }
+
+    /// Builder: report liveness transitions to a monitor node.
+    pub fn with_monitor(mut self, monitor: impl Into<NodeId>) -> Self {
+        self.monitor = Some(monitor.into());
+        self
+    }
+
+    /// Builder: a uniformly scaled timeout ladder for tests — gossip every
+    /// `unit`, probe after 2×, suspect after 6×, evict after 12×.
+    pub fn with_cadence(mut self, unit: Duration) -> Self {
+        self.gossip_interval = unit;
+        self.heartbeat_interval = unit * 2;
+        self.suspicion_timeout = unit * 6;
+        self.eviction_timeout = unit * 12;
+        self
+    }
+}
+
+/// Bounded in-memory log of liveness transitions shared between the
+/// discovery node and its handle.
+pub(crate) struct EventLog {
+    events: Mutex<VecDeque<LivenessEvent>>,
+}
+
+const EVENT_LOG_CAPACITY: usize = 1024;
+
+impl EventLog {
+    fn new() -> Arc<EventLog> {
+        Arc::new(EventLog {
+            events: Mutex::new(VecDeque::new()),
+        })
+    }
+
+    pub(crate) fn push(&self, event: LivenessEvent) {
+        let mut events = self.events.lock();
+        if events.len() == EVENT_LOG_CAPACITY {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+
+    fn snapshot(&self) -> Vec<LivenessEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+}
+
+/// Spawner for a hub's discovery node.
+pub struct PeerDiscovery;
+
+impl PeerDiscovery {
+    /// Spawns the hub's discovery node on the process-wide shared
+    /// executor.
+    pub fn spawn(
+        hub: &TcpTransport,
+        config: DiscoveryConfig,
+    ) -> Result<DiscoveryHandle, ConnectError> {
+        Self::spawn_on(hub, selfserv_runtime::shared(), config)
+    }
+
+    /// Spawns the hub's discovery node on an explicit executor.
+    pub fn spawn_on(
+        hub: &TcpTransport,
+        exec: &ExecutorHandle,
+        config: DiscoveryConfig,
+    ) -> Result<DiscoveryHandle, ConnectError> {
+        let name = disc_node_name(hub.hub_id());
+        let endpoint = selfserv_net::Transport::connect(hub, name)?;
+        let node = endpoint.node().clone();
+        let addr = hub
+            .addr_of(node.as_str())
+            .expect("a freshly connected node has a listener address");
+        let events = EventLog::new();
+        let logic = DiscoveryNode::new(hub.clone(), config, Arc::clone(&events));
+        Ok(DiscoveryHandle {
+            node,
+            addr,
+            directory: hub.directory(),
+            events,
+            handle: Some(exec.spawn_node(endpoint, logic)),
+        })
+    }
+}
+
+/// Handle to a running discovery node: the hub's seed address, its
+/// directory, the liveness log, and shutdown.
+pub struct DiscoveryHandle {
+    node: NodeId,
+    addr: SocketAddr,
+    directory: PeerDirectory,
+    events: Arc<EventLog>,
+    handle: Option<NodeHandle>,
+}
+
+impl DiscoveryHandle {
+    /// The discovery node's name (`disc.<hub-id>`).
+    pub fn node(&self) -> &NodeId {
+        &self.node
+    }
+
+    /// The address other hubs seed with to join this one.
+    pub fn seed_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hub's shared directory (same object the transport routes by).
+    pub fn directory(&self) -> &PeerDirectory {
+        &self.directory
+    }
+
+    /// The directory as a liveness probe, ready to hand to
+    /// `CommunityServerConfig::liveness`.
+    pub fn liveness(&self) -> Arc<dyn LivenessProbe> {
+        Arc::new(self.directory.clone())
+    }
+
+    /// Every liveness transition observed so far (oldest first, bounded).
+    pub fn events(&self) -> Vec<LivenessEvent> {
+        self.events.snapshot()
+    }
+
+    /// Polls until `name` is routable in this hub's directory (gossip or
+    /// handshake has delivered it). True on success, false on timeout.
+    pub fn wait_until_bound(&self, name: &str, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.directory.is_bound(name) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Stops the discovery node (its name tombstones locally; peers will
+    /// detect the silence and evict this hub's names on their side).
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            handle.stop();
+        }
+    }
+}
+
+impl Drop for DiscoveryHandle {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+impl std::fmt::Debug for DiscoveryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiscoveryHandle")
+            .field("node", &self.node)
+            .field("seed_addr", &self.addr)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod proptests;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,348 @@
+//! The discovery node: one `NodeLogic` state machine per hub that
+//! handshakes seeds, gossips directory state, and detects dead peers.
+
+use crate::{DiscoveryConfig, EventLog};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selfserv_net::directory::{entry_from_xml, entry_to_xml};
+use selfserv_net::{
+    DirectoryEntry, Envelope, HubId, LivenessEvent, NodeId, PeerDirectory, PeerStatus,
+    TcpTransport, LIVENESS_KIND,
+};
+use selfserv_runtime::{Flow, NodeCtx, NodeLogic, TimerToken};
+use selfserv_xml::Element;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Message kinds of the discovery protocol. All bodies are `<directory>`
+/// elements (hub id + sender's disc node + zero or more `<entry>` rows)
+/// except ping/pong, which carry only the header.
+pub mod kinds {
+    /// First-contact greeting to a seed address: full snapshot, answered
+    /// by [`WELCOME`].
+    pub const HELLO: &str = "discovery.hello";
+    /// Handshake answer: the seed's full snapshot.
+    pub const WELCOME: &str = "discovery.welcome";
+    /// Periodic anti-entropy push: full snapshot, answered by [`DELTA`]
+    /// when the receiver holds fresher rows.
+    pub const SYNC: &str = "discovery.sync";
+    /// Anti-entropy pull half: exactly the rows the [`SYNC`] sender was
+    /// missing.
+    pub const DELTA: &str = "discovery.delta";
+    /// Heartbeat probe.
+    pub const PING: &str = "discovery.ping";
+    /// Heartbeat answer.
+    pub const PONG: &str = "discovery.pong";
+}
+
+/// The canonical name of a hub's discovery node. The prefix doubles as
+/// the peer-detection convention: a directory entry named
+/// `disc.<owner-id>` *is* that owner's discovery endpoint.
+pub fn disc_node_name(hub: HubId) -> NodeId {
+    NodeId::new(format!("disc.{hub}"))
+}
+
+const GOSSIP_TIMER: TimerToken = TimerToken(1);
+const SWEEP_TIMER: TimerToken = TimerToken(2);
+
+/// One exchange's worth of directory rows.
+type DirectoryRows = Vec<(NodeId, DirectoryEntry)>;
+
+/// What this hub knows about one peer hub's discovery endpoint.
+struct PeerState {
+    disc: NodeId,
+    last_heard: Instant,
+    suspected: bool,
+}
+
+/// The per-hub discovery state machine. Spawn through
+/// [`crate::PeerDiscovery`]; the type is public for documentation, not
+/// for direct construction.
+pub struct DiscoveryNode {
+    hub: TcpTransport,
+    directory: PeerDirectory,
+    config: DiscoveryConfig,
+    /// Seeds that have not answered yet; re-greeted every gossip tick
+    /// (covers seeds that start after us).
+    pending_seeds: Vec<SocketAddr>,
+    peers: HashMap<HubId, PeerState>,
+    events: Arc<EventLog>,
+    rng: StdRng,
+}
+
+impl DiscoveryNode {
+    pub(crate) fn new(
+        hub: TcpTransport,
+        config: DiscoveryConfig,
+        events: Arc<EventLog>,
+    ) -> DiscoveryNode {
+        let directory = hub.directory();
+        let rng_seed = config.rng_seed.unwrap_or(hub.hub_id().0);
+        let pending_seeds = config.seeds.clone();
+        DiscoveryNode {
+            hub,
+            directory,
+            config,
+            pending_seeds,
+            peers: HashMap::new(),
+            events,
+            rng: StdRng::seed_from_u64(rng_seed),
+        }
+    }
+
+    /// Encodes a set of directory rows under this node's header.
+    fn directory_body(&self, ctx: &NodeCtx<'_>, rows: &[(NodeId, DirectoryEntry)]) -> Element {
+        Element::new("directory")
+            .with_attr("hub", self.directory.hub().to_string())
+            .with_attr("disc", ctx.node().as_str())
+            .with_children(rows.iter().map(|(n, e)| entry_to_xml(n, e)))
+    }
+
+    /// Greets every unanswered seed with a full-snapshot hello. Send
+    /// failures are expected (the seed may not be up yet) and retried on
+    /// the next tick.
+    fn greet_pending_seeds(&mut self, ctx: &NodeCtx<'_>) {
+        if self.pending_seeds.is_empty() {
+            return;
+        }
+        // A seed is answered once some known disc entry resolves to it.
+        let answered: Vec<SocketAddr> = self
+            .peers
+            .values()
+            .filter_map(|p| self.directory.lookup(&p.disc))
+            .collect();
+        let own = self.directory.lookup(ctx.node());
+        self.pending_seeds
+            .retain(|s| !answered.contains(s) && Some(*s) != own);
+        let body = self.directory_body(ctx, &self.directory.snapshot());
+        // Greeting may open connections to hubs that are down (that is
+        // the point of retrying): declare the sends blocking so a seed
+        // that blackholes its SYNs parks a compensated worker, not the
+        // pool's capacity.
+        ctx.block_on(|| {
+            for seed in &self.pending_seeds {
+                let _ = self
+                    .hub
+                    .send_to_addr(*seed, ctx.node(), kinds::HELLO, body.clone());
+            }
+        });
+    }
+
+    /// Records life from a peer hub, creating its state on first contact
+    /// and clearing suspicion (with an `Alive` event) when it speaks
+    /// again.
+    fn note_heard(&mut self, ctx: &NodeCtx<'_>, hub: HubId, disc: NodeId) {
+        if hub == self.directory.hub() || hub == HubId::UNKNOWN {
+            return;
+        }
+        let peer = self.peers.entry(hub).or_insert_with(|| PeerState {
+            disc: disc.clone(),
+            last_heard: Instant::now(),
+            suspected: false,
+        });
+        peer.disc = disc;
+        peer.last_heard = Instant::now();
+        if peer.suspected {
+            peer.suspected = false;
+            let names = self.directory.set_suspected(hub, false);
+            self.emit(
+                Some(ctx),
+                LivenessEvent {
+                    hub,
+                    status: PeerStatus::Alive,
+                    names,
+                },
+            );
+        }
+    }
+
+    /// Merges a message's directory rows and adopts any newly learned
+    /// peer discovery endpoints (transitive membership: a gossip partner's
+    /// snapshot introduces hubs we have never talked to). Candidates come
+    /// from the incoming rows — O(message), not a full directory rescan —
+    /// and are adopted only if their entry survived the merge (our own
+    /// fresher tombstone may have out-versioned a stale claim).
+    fn merge_rows(&mut self, rows: DirectoryRows) {
+        let me = self.directory.hub();
+        let candidates: Vec<(HubId, NodeId)> = rows
+            .iter()
+            .filter(|(name, entry)| {
+                !entry.evicted
+                    && entry.owner != me
+                    && !self.peers.contains_key(&entry.owner)
+                    && *name == disc_node_name(entry.owner)
+            })
+            .map(|(name, entry)| (entry.owner, name.clone()))
+            .collect();
+        self.directory.merge_remote(rows);
+        for (hub, disc) in candidates {
+            if !self.directory.is_bound(disc.as_str()) {
+                continue; // the claim lost the merge (evicted here)
+            }
+            self.peers.insert(
+                hub,
+                PeerState {
+                    disc,
+                    // Grace: transitively learned peers start the clock at
+                    // adoption, not at zero — we have never probed them.
+                    last_heard: Instant::now(),
+                    suspected: false,
+                },
+            );
+        }
+    }
+
+    /// Decodes a protocol message: sender hub, sender disc node, rows.
+    fn decode(body: &Element) -> Option<(HubId, NodeId, DirectoryRows)> {
+        if body.name != "directory" {
+            return None;
+        }
+        let hub = HubId::parse(body.attr("hub")?)?;
+        let disc = NodeId::new(body.attr("disc")?);
+        let rows = body.child_elements().filter_map(entry_from_xml).collect();
+        Some((hub, disc, rows))
+    }
+
+    /// Publishes a liveness transition: the handle's log always gets it;
+    /// a configured monitor node gets a fire-and-forget envelope.
+    fn emit(&self, ctx: Option<&NodeCtx<'_>>, event: LivenessEvent) {
+        if let (Some(ctx), Some(monitor)) = (ctx, &self.config.monitor) {
+            let _ = ctx
+                .endpoint()
+                .send(monitor.clone(), LIVENESS_KIND, event.to_xml());
+        }
+        self.events.push(event);
+    }
+
+    /// One failure-detection sweep: probe the quiet, suspect the silent,
+    /// evict the dead.
+    fn sweep(&mut self, ctx: &NodeCtx<'_>) {
+        let now = Instant::now();
+        let mut to_ping: Vec<NodeId> = Vec::new();
+        let mut to_suspect: Vec<HubId> = Vec::new();
+        let mut to_evict: Vec<HubId> = Vec::new();
+        for (hub, peer) in &self.peers {
+            let silent = now.duration_since(peer.last_heard);
+            if silent >= self.config.eviction_timeout {
+                to_evict.push(*hub);
+            } else if silent >= self.config.suspicion_timeout && !peer.suspected {
+                to_suspect.push(*hub);
+            } else if silent >= self.config.heartbeat_interval {
+                to_ping.push(peer.disc.clone());
+            }
+        }
+        // Probes target hubs that may be dead — compensated blocking, so
+        // a blackholed peer's connect timeout never stalls the pool.
+        ctx.block_on(|| {
+            for disc in to_ping {
+                let _ = ctx.endpoint().send(
+                    disc,
+                    kinds::PING,
+                    Element::new("directory")
+                        .with_attr("hub", self.directory.hub().to_string())
+                        .with_attr("disc", ctx.node().as_str()),
+                );
+            }
+        });
+        for hub in to_suspect {
+            if let Some(peer) = self.peers.get_mut(&hub) {
+                peer.suspected = true;
+            }
+            let names = self.directory.set_suspected(hub, true);
+            self.emit(
+                Some(ctx),
+                LivenessEvent {
+                    hub,
+                    status: PeerStatus::Suspected,
+                    names,
+                },
+            );
+        }
+        for hub in to_evict {
+            self.peers.remove(&hub);
+            let names = self.directory.evict_owner(hub);
+            self.emit(
+                Some(ctx),
+                LivenessEvent {
+                    hub,
+                    status: PeerStatus::Evicted,
+                    names,
+                },
+            );
+        }
+    }
+}
+
+impl NodeLogic for DiscoveryNode {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.greet_pending_seeds(ctx);
+        ctx.set_timer(self.config.gossip_interval, GOSSIP_TIMER);
+        ctx.set_timer(self.config.heartbeat_interval, SWEEP_TIMER);
+    }
+
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+        let Some((hub, disc, rows)) = Self::decode(&env.body) else {
+            return Flow::Continue;
+        };
+        self.note_heard(ctx, hub, disc.clone());
+        match env.kind.as_str() {
+            kinds::HELLO => {
+                self.merge_rows(rows);
+                // First contact: answer with everything we know, by name —
+                // the hello's piggybacked claim made the greeter routable.
+                let body = self.directory_body(ctx, &self.directory.snapshot());
+                let _ = ctx.endpoint().send(disc, kinds::WELCOME, body);
+            }
+            kinds::SYNC => {
+                // Push-pull: merge theirs, answer with exactly the rows
+                // they were missing (computed against their pre-merge
+                // snapshot — anything they sent us older than ours).
+                let delta = self.directory.delta_against(&rows);
+                self.merge_rows(rows);
+                if !delta.is_empty() {
+                    let body = self.directory_body(ctx, &delta);
+                    let _ = ctx.endpoint().send(disc, kinds::DELTA, body);
+                }
+            }
+            kinds::WELCOME | kinds::DELTA => self.merge_rows(rows),
+            kinds::PING => {
+                let body = Element::new("directory")
+                    .with_attr("hub", self.directory.hub().to_string())
+                    .with_attr("disc", ctx.node().as_str());
+                let _ = ctx.endpoint().reply(&env, kinds::PONG, body);
+            }
+            kinds::PONG => {}
+            _ => {}
+        }
+        Flow::Continue
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: TimerToken) -> Flow {
+        match timer {
+            GOSSIP_TIMER => {
+                self.greet_pending_seeds(ctx);
+                let candidates: Vec<&PeerState> = self.peers.values().collect();
+                if !candidates.is_empty() {
+                    let partner = candidates[self.rng.gen_range(0..candidates.len())]
+                        .disc
+                        .clone();
+                    let body = self.directory_body(ctx, &self.directory.snapshot());
+                    // The partner may be silently dead: compensated, like
+                    // the probes in `sweep`.
+                    ctx.block_on(|| {
+                        let _ = ctx.endpoint().send(partner, kinds::SYNC, body);
+                    });
+                }
+                ctx.set_timer(self.config.gossip_interval, GOSSIP_TIMER);
+            }
+            SWEEP_TIMER => {
+                self.sweep(ctx);
+                ctx.set_timer(self.config.heartbeat_interval, SWEEP_TIMER);
+            }
+            _ => {}
+        }
+        Flow::Continue
+    }
+}

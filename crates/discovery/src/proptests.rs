@@ -1,0 +1,101 @@
+//! Property tests for the gossip algebra: the registry-delta merge must
+//! be commutative, idempotent, and associative, so that *any* exchange
+//! order — any gossip schedule, any message loss pattern, any replay —
+//! converges every hub to the same directory.
+//!
+//! The merge under test is [`PeerDirectory::merge_remote`]'s pure
+//! last-writer-wins core. The owner-side re-assertion rule (a hub
+//! defending its own live endpoints) is deliberately outside the algebra:
+//! it *generates new versions* rather than combining existing ones, so
+//! these tests merge into directories whose own hub id never appears in
+//! the generated entries.
+
+use proptest::prelude::*;
+use selfserv_net::{DirectoryEntry, HubId, NodeId, PeerDirectory};
+
+/// A hub id guaranteed never to collide with generated entry owners.
+const MERGING_HUB: HubId = HubId(u64::MAX);
+
+fn arb_entry() -> impl Strategy<Value = (NodeId, DirectoryEntry)> {
+    (
+        // A small name universe so generated sets collide on names often
+        // (collisions are where merge laws can break).
+        0u8..6,
+        1u16..2000,
+        1u64..6,
+        1u64..8,
+        any::<bool>(),
+    )
+        .prop_map(|(name, port, owner, version, evicted)| {
+            (
+                NodeId::new(format!("node{name}")),
+                DirectoryEntry {
+                    addr: format!("127.0.0.1:{}", 1000 + port).parse().unwrap(),
+                    owner: HubId(owner),
+                    version,
+                    evicted,
+                },
+            )
+        })
+}
+
+fn arb_delta() -> impl Strategy<Value = Vec<(NodeId, DirectoryEntry)>> {
+    proptest::collection::vec(arb_entry(), 0..12)
+}
+
+/// Applies deltas to a fresh directory and returns its canonical state.
+fn apply(deltas: &[&[(NodeId, DirectoryEntry)]]) -> Vec<(NodeId, DirectoryEntry)> {
+    let dir = PeerDirectory::new(MERGING_HUB);
+    for delta in deltas {
+        dir.merge_remote(delta.iter().cloned());
+    }
+    dir.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Commutativity: A then B converges to the same directory as B then
+    /// A.
+    #[test]
+    fn merge_is_commutative(a in arb_delta(), b in arb_delta()) {
+        prop_assert_eq!(apply(&[&a, &b]), apply(&[&b, &a]));
+    }
+
+    /// Idempotence: replaying a delta (gossip redelivery) changes
+    /// nothing.
+    #[test]
+    fn merge_is_idempotent(a in arb_delta(), b in arb_delta()) {
+        prop_assert_eq!(apply(&[&a, &b]), apply(&[&a, &b, &a, &b, &b]));
+    }
+
+    /// Associativity: pre-combining B and C on an intermediate hub and
+    /// forwarding the result is the same as receiving them directly.
+    #[test]
+    fn merge_is_associative(a in arb_delta(), b in arb_delta(), c in arb_delta()) {
+        let via_intermediate = {
+            let relay = PeerDirectory::new(HubId(u64::MAX - 1));
+            relay.merge_remote(b.iter().cloned());
+            relay.merge_remote(c.iter().cloned());
+            let combined = relay.snapshot();
+            apply(&[&a, &combined])
+        };
+        prop_assert_eq!(apply(&[&a, &b, &c]), via_intermediate);
+    }
+
+    /// Convergence: two hubs that exchange snapshots (in either order,
+    /// starting from different histories) end up with identical
+    /// fingerprints — the anti-entropy guarantee the line-topology test
+    /// relies on at network scale.
+    #[test]
+    fn snapshot_exchange_converges(a in arb_delta(), b in arb_delta()) {
+        let left = PeerDirectory::new(MERGING_HUB);
+        let right = PeerDirectory::new(HubId(u64::MAX - 2));
+        left.merge_remote(a.iter().cloned());
+        right.merge_remote(b.iter().cloned());
+        left.merge_remote(right.snapshot());
+        right.merge_remote(left.snapshot());
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+        prop_assert_eq!(left.fingerprint(), right.fingerprint());
+    }
+}

@@ -1,0 +1,147 @@
+//! In-crate integration tests: handshake, gossip, and failure detection
+//! between in-process `TcpTransport` hubs. (The workspace-level
+//! `tests/discovery.rs` drives full composite deployments and the 16-hub
+//! convergence scenario.)
+
+use crate::{disc_node_name, DiscoveryConfig, PeerDiscovery};
+use selfserv_net::{LivenessProbe, NodeId, PeerStatus, TcpTransport, Transport};
+use selfserv_xml::Element;
+use std::time::{Duration, Instant};
+
+fn fast() -> DiscoveryConfig {
+    DiscoveryConfig::default().with_cadence(Duration::from_millis(25))
+}
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+#[test]
+fn one_seed_address_bootstraps_bidirectional_rpc() {
+    let hub_a = TcpTransport::new();
+    let hub_b = TcpTransport::new();
+    let server = Transport::connect(&hub_a, NodeId::new("server")).unwrap();
+    let disc_a = PeerDiscovery::spawn(&hub_a, fast()).unwrap();
+    // B knows exactly one address: A's discovery listener. No
+    // register_peer anywhere.
+    let disc_b = PeerDiscovery::spawn(&hub_b, fast().with_seed(disc_a.seed_addr())).unwrap();
+    let client = Transport::connect(&hub_b, NodeId::new("client")).unwrap();
+    assert!(
+        disc_b.wait_until_bound("server", Duration::from_secs(5)),
+        "handshake delivered A's registry to B"
+    );
+    assert!(
+        disc_a.wait_until_bound("client", Duration::from_secs(5)),
+        "gossip delivered B's later-connected client back to A"
+    );
+    let server_thread = std::thread::spawn(move || {
+        let req = server.recv().unwrap();
+        server.reply(&req, "pong", Element::new("pong")).unwrap();
+    });
+    let reply = client
+        .rpc(
+            "server",
+            "ping",
+            Element::new("ping"),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+    assert_eq!(reply.kind, "pong");
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn seed_that_starts_late_is_greeted_until_it_answers() {
+    let hub_a = TcpTransport::new();
+    let hub_b = TcpTransport::new();
+    // Reserve B's future discovery address before B's node exists, by
+    // binding and dropping a probe listener — the hello to it fails until
+    // B comes up, exercising the retry path... a simpler equivalent: seed
+    // A with an address nothing listens on *yet*, then bring B up on a
+    // fresh address and hand it to A via a second discovery handle is not
+    // possible (one node per hub). Instead: B seeds A's address *before*
+    // A's listener exists? Also impossible — spawn creates the listener.
+    // So exercise the real retryable case: a seed that is reachable but
+    // whose process is slow — emulated by delaying B's spawn while A
+    // retries a dead port, then checking A still converges via B's hello.
+    let dead: std::net::SocketAddr = "127.0.0.1:9".parse().unwrap();
+    let disc_a = PeerDiscovery::spawn(&hub_a, fast().with_seed(dead)).unwrap();
+    let _svc = Transport::connect(&hub_a, NodeId::new("svc.alpha")).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let disc_b = PeerDiscovery::spawn(&hub_b, fast().with_seed(disc_a.seed_addr())).unwrap();
+    assert!(
+        disc_b.wait_until_bound("svc.alpha", Duration::from_secs(5)),
+        "B joined despite A's dead seed"
+    );
+    // A's dead seed never produced a peer, but B's handshake did.
+    assert!(disc_a.wait_until_bound(disc_b.node().as_str(), Duration::from_secs(5)));
+}
+
+#[test]
+fn silent_hub_is_suspected_then_evicted_and_recovery_reasserts() {
+    let hub_a = TcpTransport::new();
+    let hub_b = TcpTransport::new();
+    let disc_a = PeerDiscovery::spawn(&hub_a, fast()).unwrap();
+    let member = Transport::connect(&hub_b, NodeId::new("svc.member")).unwrap();
+    let disc_b = PeerDiscovery::spawn(&hub_b, fast().with_seed(disc_a.seed_addr())).unwrap();
+    let b_hub_id = hub_b.hub_id();
+    assert!(disc_a.wait_until_bound("svc.member", Duration::from_secs(5)));
+
+    // Kill hub B's discovery (its endpoints stay up, but nothing answers
+    // pings — the hub has gone silent as far as membership is concerned).
+    disc_b.stop();
+    let dir_a = disc_a.directory().clone();
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            dir_a.status_of("svc.member") == PeerStatus::Suspected
+        }),
+        "silence past the suspicion timeout suspects B's names"
+    );
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            dir_a.status_of("svc.member") == PeerStatus::Evicted
+        }),
+        "silence past the eviction timeout evicts B's names"
+    );
+    assert!(
+        !hub_a.is_connected("svc.member"),
+        "evicted names are no longer routable"
+    );
+    let events = disc_a.events();
+    assert!(events
+        .iter()
+        .any(|e| e.hub == b_hub_id && e.status == PeerStatus::Suspected));
+    assert!(events.iter().any(|e| e.hub == b_hub_id
+        && e.status == PeerStatus::Evicted
+        && e.names.contains(&NodeId::new("svc.member"))));
+
+    // B comes back (new discovery node, same hub, same member endpoint):
+    // its re-handshake must out-version A's tombstones.
+    let disc_b2 = PeerDiscovery::spawn(&hub_b, fast().with_seed(disc_a.seed_addr())).unwrap();
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            dir_a.status_of("svc.member") == PeerStatus::Alive && hub_a.is_connected("svc.member")
+        }),
+        "a revived hub re-asserts its names over the tombstones"
+    );
+    drop(member);
+    drop(disc_b2);
+}
+
+#[test]
+fn discovery_node_name_is_derived_from_hub_id() {
+    let hub = TcpTransport::new();
+    let disc = PeerDiscovery::spawn(&hub, fast()).unwrap();
+    let name = disc.node().clone();
+    assert_eq!(name, disc_node_name(hub.hub_id()));
+    assert_eq!(hub.addr_of(name.as_str()), Some(disc.seed_addr()));
+    disc.stop();
+    assert!(!hub.is_connected(name.as_str()));
+}

@@ -1,0 +1,920 @@
+//! The peer directory: a versioned, mergeable `name → address` map.
+//!
+//! [`crate::TcpTransport`] used to keep a raw `HashMap<NodeId, SocketAddr>`
+//! that an operator filled by hand (`register_peer`, both directions, for
+//! every pair of processes). The directory replaces that map with a state
+//! that *converges*: every entry carries a per-name **version counter**
+//! and the id of the **hub that owns it** (the process whose listener the
+//! address points at), and two directories combine with a deterministic
+//! last-writer-wins [`PeerDirectory::merge_remote`] that is commutative,
+//! idempotent, and associative — the algebra gossip anti-entropy needs so
+//! any exchange order reaches the same directory on every hub
+//! (property-tested in `selfserv-discovery`).
+//!
+//! Departures and failures are **tombstones**, not removals: dropping a
+//! local endpoint (or evicting a dead hub's names) bumps the entry's
+//! version and marks it evicted, so the fact that a name is gone
+//! propagates through the same merge as the fact that it exists. A local
+//! re-bind writes over its own tombstone with a higher version, so names
+//! stay reusable.
+//!
+//! Liveness is layered on top: eviction is durable and versioned (it
+//! gossips), while **suspicion** is a local, unversioned overlay — one
+//! hub's timeout observation must not masquerade as cluster-wide truth.
+//! Consumers that only need "should I still pick this peer?" take the
+//! directory through the [`LivenessProbe`] trait (e.g. community member
+//! selection).
+//!
+//! ## Known limitations
+//!
+//! Node names are one global namespace with no arbiter. **Binding the
+//! same name on two hubs is an operator error the system cannot
+//! resolve**: each hub's self-defense re-asserts its own live endpoint
+//! over the other's claims, so the two directories exchange one
+//! correcting delta per gossip round and never converge on that name
+//! (every other name still converges). Likewise, entries owned by hubs
+//! that run **no discovery node** — or registered by hand
+//! ([`crate::TcpTransport::register_peer`], owner
+//! [`HubId::UNKNOWN`]) — sit outside failure detection: nothing probes,
+//! suspects, or evicts them, so after their process dies they stay
+//! routable-looking until overwritten or manually re-registered.
+//! Conflict detection and address-level probing for detector-less owners
+//! are ROADMAP items.
+
+use crate::envelope::NodeId;
+use parking_lot::RwLock;
+use selfserv_xml::Element;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifies one transport hub (one process's [`crate::TcpTransport`]).
+/// Generated at hub creation from wall-clock entropy plus a process-local
+/// counter; `0` is reserved for entries registered by hand
+/// ([`crate::TcpTransport::register_peer`]) whose owning hub is unknown —
+/// the failure detector never suspects or evicts hub `0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HubId(pub u64);
+
+impl HubId {
+    /// The sentinel owner of manually registered entries.
+    pub const UNKNOWN: HubId = HubId(0);
+
+    /// Generates a hub id unlikely to collide across processes: wall-clock
+    /// nanoseconds mixed (splitmix64) with a process-local counter.
+    pub fn generate() -> HubId {
+        static COUNTER: AtomicU64 = AtomicU64::new(1);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+        let mut x = nanos
+            .wrapping_add(
+                COUNTER
+                    .fetch_add(1, Ordering::Relaxed)
+                    .wrapping_mul(0x9e37_79b9),
+            )
+            .wrapping_add(std::process::id() as u64);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        if x == 0 {
+            x = 1; // never collide with HubId::UNKNOWN
+        }
+        HubId(x)
+    }
+
+    /// Parses the hex form produced by `Display`.
+    pub fn parse(s: &str) -> Option<HubId> {
+        u64::from_str_radix(s, 16).ok().map(HubId)
+    }
+}
+
+impl fmt::Display for HubId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// A peer's liveness as this hub currently believes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerStatus {
+    /// Reachable (or never observed to be anything else).
+    Alive,
+    /// Missed heartbeats past the suspicion timeout — still routable, but
+    /// selection policies should prefer alternatives.
+    Suspected,
+    /// Declared dead: the entry is tombstoned, lookups fail, and the
+    /// eviction gossips to every hub.
+    Evicted,
+}
+
+impl PeerStatus {
+    /// Wire name (used by the directory codec and liveness events).
+    pub fn name(self) -> &'static str {
+        match self {
+            PeerStatus::Alive => "alive",
+            PeerStatus::Suspected => "suspected",
+            PeerStatus::Evicted => "evicted",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn from_name(s: &str) -> Option<PeerStatus> {
+        Some(match s {
+            "alive" => PeerStatus::Alive,
+            "suspected" => PeerStatus::Suspected,
+            "evicted" => PeerStatus::Evicted,
+            _ => return None,
+        })
+    }
+}
+
+/// Answers liveness queries by node name. Implemented by
+/// [`PeerDirectory`]; community servers take it as `Arc<dyn
+/// LivenessProbe>` so member selection can skip the dead without the
+/// community crate knowing anything about transports or gossip.
+pub trait LivenessProbe: Send + Sync {
+    /// The believed status of `name`. Unknown names are `Alive` (absence
+    /// of evidence is not evidence of death — a member may live on a
+    /// transport with no failure detection at all, e.g. the fabric).
+    fn status_of(&self, name: &str) -> PeerStatus;
+}
+
+/// One directory entry: where a name lives, who owns it, and how fresh
+/// the claim is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectoryEntry {
+    /// The listener address of the name's endpoint.
+    pub addr: SocketAddr,
+    /// The hub the name is (or was) connected on.
+    pub owner: HubId,
+    /// Per-name version counter: bumped by the owning hub on every
+    /// (re-)bind and drop, and by an evicting hub's tombstone.
+    pub version: u64,
+    /// Tombstone: the name is gone (endpoint dropped or owner evicted).
+    pub evicted: bool,
+}
+
+impl DirectoryEntry {
+    /// Total, deterministic dominance order for last-writer-wins merges:
+    /// higher version wins; ties break on (evicted, owner, addr) so that
+    /// any two replicas pick the same winner regardless of arrival order.
+    /// Allocation-free: this runs on the transport's per-frame receive
+    /// path.
+    fn merge_key(&self) -> (u64, bool, u64, SocketAddr) {
+        (self.version, self.evicted, self.owner.0, self.addr)
+    }
+
+    /// True when `other` should replace `self` in a merge.
+    pub fn loses_to(&self, other: &DirectoryEntry) -> bool {
+        self.merge_key() < other.merge_key()
+    }
+}
+
+/// What a merge changed (the material for liveness events and gossip
+/// effectiveness accounting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectoryChange {
+    /// A name this hub had never heard of (or held an older claim for)
+    /// is now bound.
+    Learned(NodeId),
+    /// A name was tombstoned by the merge.
+    Evicted(NodeId),
+    /// A remote claim tried to overwrite a name whose endpoint is alive
+    /// on this hub; the local entry was re-asserted with a higher version
+    /// (the next gossip round propagates the correction).
+    Reasserted(NodeId),
+}
+
+struct DirectoryInner {
+    hub: HubId,
+    entries: RwLock<HashMap<NodeId, DirectoryEntry>>,
+    /// Local suspicion overlay (never gossiped, never versioned).
+    suspected_owners: RwLock<HashSet<HubId>>,
+}
+
+/// The shared, versioned name → address directory of one hub. Cheap to
+/// clone (all clones view the same state).
+#[derive(Clone)]
+pub struct PeerDirectory {
+    inner: Arc<DirectoryInner>,
+}
+
+impl PeerDirectory {
+    /// An empty directory owned by `hub`.
+    pub fn new(hub: HubId) -> PeerDirectory {
+        PeerDirectory {
+            inner: Arc::new(DirectoryInner {
+                hub,
+                entries: RwLock::new(HashMap::new()),
+                suspected_owners: RwLock::new(HashSet::new()),
+            }),
+        }
+    }
+
+    /// The owning hub's id.
+    pub fn hub(&self) -> HubId {
+        self.inner.hub
+    }
+
+    /// Binds a locally connected name to its listener address, writing
+    /// over any tombstone with a higher version. Fails (returning the
+    /// standing entry) when a live entry already claims the name —
+    /// local or remote, exactly like the raw registry did.
+    pub fn bind_local(&self, name: NodeId, addr: SocketAddr) -> Result<(), DirectoryEntry> {
+        let mut entries = self.inner.entries.write();
+        let version = match entries.get(&name) {
+            Some(e) if !e.evicted => return Err(e.clone()),
+            Some(e) => e.version + 1,
+            None => 1,
+        };
+        entries.insert(
+            name,
+            DirectoryEntry {
+                addr,
+                owner: self.inner.hub,
+                version,
+                evicted: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Tombstones a locally owned name when its endpoint drops — but only
+    /// if the entry still points at `addr` (a remote claim may have
+    /// replaced it, and that claim is not ours to bury).
+    pub fn remove_local(&self, name: &NodeId, addr: SocketAddr) {
+        let mut entries = self.inner.entries.write();
+        let Some(e) = entries.get_mut(name) else {
+            return;
+        };
+        if e.evicted || e.addr != addr || e.owner != self.inner.hub {
+            return;
+        }
+        // Ephemeral `~` endpoints never gossip (see `snapshot`), so their
+        // tombstones would only accumulate — delete outright.
+        if name.as_str().contains('~') {
+            entries.remove(name);
+        } else {
+            e.version += 1;
+            e.evicted = true;
+        }
+    }
+
+    /// Merges one remote claim (a gossip entry, a handshake snapshot row,
+    /// or a piggybacked sender address) under last-writer-wins — with one
+    /// owner-side exception: a claim that would shadow or bury a name
+    /// whose endpoint is **alive on this hub** is refused, and the local
+    /// entry is re-asserted with a version above the intruder's so the
+    /// correction out-gossips the stale claim. This is also what makes
+    /// [`crate::TcpTransport::register_peer`] safe: a manual registration
+    /// can never silently shadow a locally connected name.
+    pub fn merge_entry(&self, name: NodeId, incoming: DirectoryEntry) -> Option<DirectoryChange> {
+        // Fast path under the read lock: in steady state (every TCP frame
+        // piggybacks its sender's claim, and the claim almost never
+        // changes) the incoming entry is already dominated, and reader
+        // threads must not serialize on the write lock per frame. The
+        // write path re-checks, so a race just retries the comparison.
+        {
+            let entries = self.inner.entries.read();
+            if let Some(current) = entries.get(&name) {
+                if !current.loses_to(&incoming) {
+                    return None;
+                }
+            }
+        }
+        let mut entries = self.inner.entries.write();
+        match entries.get_mut(&name) {
+            None => {
+                let change = if incoming.evicted {
+                    DirectoryChange::Evicted(name.clone())
+                } else {
+                    DirectoryChange::Learned(name.clone())
+                };
+                entries.insert(name, incoming);
+                Some(change)
+            }
+            Some(current) => {
+                if !current.loses_to(&incoming) {
+                    return None;
+                }
+                // A name whose endpoint is alive on this hub yields to no
+                // remote claim at all — not even a same-address one (it
+                // would swap the entry's owner and orphan the eventual
+                // tombstone when the endpoint drops).
+                let locally_alive = current.owner == self.inner.hub && !current.evicted;
+                if locally_alive {
+                    current.version = incoming.version + 1;
+                    return Some(DirectoryChange::Reasserted(name));
+                }
+                let change = if incoming.evicted {
+                    DirectoryChange::Evicted(name.clone())
+                } else {
+                    DirectoryChange::Learned(name.clone())
+                };
+                *current = incoming;
+                Some(change)
+            }
+        }
+    }
+
+    /// Merges a batch of remote claims, returning every change applied.
+    pub fn merge_remote(
+        &self,
+        incoming: impl IntoIterator<Item = (NodeId, DirectoryEntry)>,
+    ) -> Vec<DirectoryChange> {
+        incoming
+            .into_iter()
+            .filter_map(|(name, entry)| self.merge_entry(name, entry))
+            .collect()
+    }
+
+    /// An operator's by-hand registration
+    /// ([`crate::TcpTransport::register_peer`]): last-call-wins under one
+    /// lock — the entry is overwritten with a version above the standing
+    /// one, whatever its owner, so two racing registrations resolve to
+    /// whichever ran last (not to a merge tie-break). The one exception
+    /// is a name whose endpoint is alive on this hub: the registration is
+    /// refused (returns `false`) rather than hijacking local traffic.
+    pub fn register_manual(&self, name: NodeId, addr: SocketAddr) -> bool {
+        let mut entries = self.inner.entries.write();
+        match entries.get_mut(&name) {
+            Some(e) if e.owner == self.inner.hub && !e.evicted => false,
+            Some(e) => {
+                e.addr = addr;
+                e.owner = HubId::UNKNOWN;
+                e.version += 1;
+                e.evicted = false;
+                true
+            }
+            None => {
+                entries.insert(
+                    name,
+                    DirectoryEntry {
+                        addr,
+                        owner: HubId::UNKNOWN,
+                        version: 1,
+                        evicted: false,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Drops a remote **ephemeral** (`~`) entry that proved unreachable at
+    /// `addr`. Remote ephemeral entries are learned from piggybacked
+    /// frame claims and are invisible to gossip (no snapshot rows, so no
+    /// tombstones can ever retire them) — a failed send is their only
+    /// end-of-life signal. Named entries are left alone: one transient
+    /// send failure must not erase what gossip and eviction own.
+    pub fn prune_unreachable_ephemeral(&self, name: &NodeId, addr: SocketAddr) {
+        if !name.as_str().contains('~') {
+            return;
+        }
+        let mut entries = self.inner.entries.write();
+        if let Some(e) = entries.get(name) {
+            if e.owner != self.inner.hub && e.addr == addr {
+                entries.remove(name);
+            }
+        }
+    }
+
+    /// The routable address of `name` (none for unknown or evicted names).
+    pub fn lookup(&self, name: &NodeId) -> Option<SocketAddr> {
+        self.inner
+            .entries
+            .read()
+            .get(name)
+            .filter(|e| !e.evicted)
+            .map(|e| e.addr)
+    }
+
+    /// True when a live (non-tombstoned) entry binds `name`.
+    pub fn is_bound(&self, name: &str) -> bool {
+        self.inner
+            .entries
+            .read()
+            .get(&NodeId::new(name))
+            .is_some_and(|e| !e.evicted)
+    }
+
+    /// The full entry for `name`, tombstoned or not.
+    pub fn entry(&self, name: &str) -> Option<DirectoryEntry> {
+        self.inner.entries.read().get(&NodeId::new(name)).cloned()
+    }
+
+    /// All live names, sorted.
+    pub fn names(&self) -> Vec<NodeId> {
+        let mut names: Vec<NodeId> = self
+            .inner
+            .entries
+            .read()
+            .iter()
+            .filter(|(_, e)| !e.evicted)
+            .map(|(n, _)| n.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// The gossip-able view: every entry except ephemeral `~` names
+    /// (transport-local client identities; exporting them would gossip
+    /// short-lived endpoints forever). Includes tombstones — departures
+    /// must travel as far as arrivals.
+    pub fn snapshot(&self) -> Vec<(NodeId, DirectoryEntry)> {
+        let mut rows: Vec<(NodeId, DirectoryEntry)> = self
+            .inner
+            .entries
+            .read()
+            .iter()
+            .filter(|(n, _)| !n.as_str().contains('~'))
+            .map(|(n, e)| (n.clone(), e.clone()))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Entries of this directory that strictly dominate (or are absent
+    /// from) a peer's snapshot — the *delta* half of push-pull gossip: the
+    /// receiver of a full snapshot answers with exactly what the sender is
+    /// missing.
+    pub fn delta_against(
+        &self,
+        theirs: &[(NodeId, DirectoryEntry)],
+    ) -> Vec<(NodeId, DirectoryEntry)> {
+        let theirs: HashMap<&NodeId, &DirectoryEntry> =
+            theirs.iter().map(|(n, e)| (n, e)).collect();
+        self.snapshot()
+            .into_iter()
+            .filter(|(name, entry)| match theirs.get(name) {
+                None => true,
+                Some(remote) => remote.loses_to(entry),
+            })
+            .collect()
+    }
+
+    /// Marks (or clears) local suspicion of every name owned by `hub`.
+    /// Returns the affected live names. Suspicion is a local overlay — it
+    /// does not version, tombstone, or gossip anything.
+    pub fn set_suspected(&self, hub: HubId, suspected: bool) -> Vec<NodeId> {
+        if hub == self.inner.hub || hub == HubId::UNKNOWN {
+            return Vec::new();
+        }
+        {
+            let mut owners = self.inner.suspected_owners.write();
+            if suspected {
+                owners.insert(hub);
+            } else {
+                owners.remove(&hub);
+            }
+        }
+        self.names_owned_by(hub)
+    }
+
+    /// Evicts every name owned by `hub`: tombstones with bumped versions
+    /// (so the eviction gossips), suspicion cleared. Returns the evicted
+    /// names. The local hub and the manual-registration sentinel cannot
+    /// be evicted.
+    pub fn evict_owner(&self, hub: HubId) -> Vec<NodeId> {
+        if hub == self.inner.hub || hub == HubId::UNKNOWN {
+            return Vec::new();
+        }
+        self.inner.suspected_owners.write().remove(&hub);
+        let mut evicted = Vec::new();
+        let mut entries = self.inner.entries.write();
+        // The dead hub's ephemeral entries (learned from piggybacked
+        // claims) are deleted outright: they never gossip, so a tombstone
+        // would linger forever without ever propagating anything.
+        entries.retain(|name, e| !(e.owner == hub && name.as_str().contains('~')));
+        for (name, e) in entries.iter_mut() {
+            if e.owner == hub && !e.evicted {
+                e.version += 1;
+                e.evicted = true;
+                evicted.push(name.clone());
+            }
+        }
+        evicted.sort();
+        evicted
+    }
+
+    /// Live names owned by `hub`, sorted.
+    pub fn names_owned_by(&self, hub: HubId) -> Vec<NodeId> {
+        let mut names: Vec<NodeId> = self
+            .inner
+            .entries
+            .read()
+            .iter()
+            .filter(|(_, e)| e.owner == hub && !e.evicted)
+            .map(|(n, _)| n.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Order-independent fingerprint of the gossip-able state (the `~`-free
+    /// entry set, including tombstones). Two hubs whose directories have
+    /// converged report equal fingerprints; the convergence tests and the
+    /// gossip bench poll this.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc = 0u64;
+        for (name, e) in self.inner.entries.read().iter() {
+            if name.as_str().contains('~') {
+                continue;
+            }
+            let mut h = DefaultHasher::new();
+            name.as_str().hash(&mut h);
+            e.addr.to_string().hash(&mut h);
+            e.owner.0.hash(&mut h);
+            e.version.hash(&mut h);
+            e.evicted.hash(&mut h);
+            acc ^= h.finish();
+        }
+        acc
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner
+            .entries
+            .read()
+            .values()
+            .filter(|e| !e.evicted)
+            .count()
+    }
+
+    /// True when no live entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl LivenessProbe for PeerDirectory {
+    fn status_of(&self, name: &str) -> PeerStatus {
+        let owner = {
+            let entries = self.inner.entries.read();
+            match entries.get(&NodeId::new(name)) {
+                Some(e) if e.evicted => return PeerStatus::Evicted,
+                Some(e) => e.owner,
+                None => return PeerStatus::Alive,
+            }
+        };
+        if self.inner.suspected_owners.read().contains(&owner) {
+            PeerStatus::Suspected
+        } else {
+            PeerStatus::Alive
+        }
+    }
+}
+
+impl fmt::Debug for PeerDirectory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PeerDirectory")
+            .field("hub", &self.inner.hub)
+            .field("live_entries", &self.len())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec: directory rows and liveness events as XML elements
+// ---------------------------------------------------------------------------
+
+/// Encodes one directory row as an `<entry>` element (the gossip and
+/// handshake payload row format).
+pub fn entry_to_xml(name: &NodeId, e: &DirectoryEntry) -> Element {
+    let mut el = Element::new("entry")
+        .with_attr("name", name.as_str())
+        .with_attr("addr", e.addr.to_string())
+        .with_attr("owner", e.owner.to_string())
+        .with_attr("version", e.version.to_string());
+    if e.evicted {
+        el.set_attr("evicted", "1");
+    }
+    el
+}
+
+/// Decodes an `<entry>` element. Malformed rows decode to `None` and are
+/// skipped by receivers (one bad row must not poison a whole exchange).
+pub fn entry_from_xml(el: &Element) -> Option<(NodeId, DirectoryEntry)> {
+    if el.name != "entry" {
+        return None;
+    }
+    Some((
+        NodeId::new(el.attr("name")?),
+        DirectoryEntry {
+            addr: el.attr("addr")?.parse().ok()?,
+            owner: HubId::parse(el.attr("owner")?)?,
+            version: el.attr("version")?.parse().ok()?,
+            evicted: el.attr("evicted") == Some("1"),
+        },
+    ))
+}
+
+/// The message kind liveness events travel under (discovery → monitor).
+pub const LIVENESS_KIND: &str = "discovery.liveness";
+
+/// A liveness transition observed by a failure detector: one peer hub and
+/// the names it owned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivenessEvent {
+    /// The peer hub whose status changed.
+    pub hub: HubId,
+    /// Its new status.
+    pub status: PeerStatus,
+    /// The live names owned by that hub at transition time.
+    pub names: Vec<NodeId>,
+}
+
+impl LivenessEvent {
+    /// Wire form (body of a [`LIVENESS_KIND`] envelope).
+    pub fn to_xml(&self) -> Element {
+        Element::new("liveness")
+            .with_attr("hub", self.hub.to_string())
+            .with_attr("status", self.status.name())
+            .with_children(
+                self.names
+                    .iter()
+                    .map(|n| Element::new("node").with_attr("name", n.as_str())),
+            )
+    }
+
+    /// Decodes the wire form.
+    pub fn from_xml(el: &Element) -> Option<LivenessEvent> {
+        if el.name != "liveness" {
+            return None;
+        }
+        Some(LivenessEvent {
+            hub: HubId::parse(el.attr("hub")?)?,
+            status: PeerStatus::from_name(el.attr("status")?)?,
+            names: el
+                .child_elements()
+                .filter(|c| c.name == "node")
+                .filter_map(|c| c.attr("name").map(NodeId::new))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    fn dir() -> PeerDirectory {
+        PeerDirectory::new(HubId(0xA))
+    }
+
+    fn remote(port: u16, owner: u64, version: u64, evicted: bool) -> DirectoryEntry {
+        DirectoryEntry {
+            addr: addr(port),
+            owner: HubId(owner),
+            version,
+            evicted,
+        }
+    }
+
+    #[test]
+    fn bind_lookup_remove_rebind() {
+        let d = dir();
+        d.bind_local(NodeId::new("a"), addr(1000)).unwrap();
+        assert_eq!(d.lookup(&NodeId::new("a")), Some(addr(1000)));
+        assert!(d.is_bound("a"));
+        // A second live bind collides.
+        assert!(d.bind_local(NodeId::new("a"), addr(1001)).is_err());
+        // Drop tombstones; the name frees and version grows.
+        d.remove_local(&NodeId::new("a"), addr(1000));
+        assert!(!d.is_bound("a"));
+        assert!(d.entry("a").unwrap().evicted);
+        let v = d.entry("a").unwrap().version;
+        d.bind_local(NodeId::new("a"), addr(1002)).unwrap();
+        assert_eq!(d.lookup(&NodeId::new("a")), Some(addr(1002)));
+        assert!(d.entry("a").unwrap().version > v);
+    }
+
+    #[test]
+    fn remove_respects_address_and_owner() {
+        let d = dir();
+        d.bind_local(NodeId::new("a"), addr(1000)).unwrap();
+        // Wrong address: not ours to bury.
+        d.remove_local(&NodeId::new("a"), addr(9999));
+        assert!(d.is_bound("a"));
+        // Remote-owned entries are never tombstoned by local drops.
+        d.merge_entry(NodeId::new("r"), remote(2000, 0xB, 5, false));
+        d.remove_local(&NodeId::new("r"), addr(2000));
+        assert!(d.is_bound("r"));
+    }
+
+    #[test]
+    fn ephemeral_names_removed_without_tombstones() {
+        let d = dir();
+        d.bind_local(NodeId::new("client~1"), addr(1500)).unwrap();
+        d.remove_local(&NodeId::new("client~1"), addr(1500));
+        assert!(d.entry("client~1").is_none());
+        assert!(d.snapshot().iter().all(|(n, _)| !n.as_str().contains('~')));
+    }
+
+    #[test]
+    fn merge_is_last_writer_wins() {
+        let d = dir();
+        assert!(matches!(
+            d.merge_entry(NodeId::new("x"), remote(2000, 0xB, 3, false)),
+            Some(DirectoryChange::Learned(_))
+        ));
+        // Older claim loses.
+        assert!(d
+            .merge_entry(NodeId::new("x"), remote(2001, 0xC, 2, false))
+            .is_none());
+        assert_eq!(d.lookup(&NodeId::new("x")), Some(addr(2000)));
+        // Newer claim wins.
+        d.merge_entry(NodeId::new("x"), remote(2002, 0xC, 4, false));
+        assert_eq!(d.lookup(&NodeId::new("x")), Some(addr(2002)));
+        // Newer tombstone evicts.
+        assert!(matches!(
+            d.merge_entry(NodeId::new("x"), remote(2002, 0xC, 5, true)),
+            Some(DirectoryChange::Evicted(_))
+        ));
+        assert!(!d.is_bound("x"));
+        // Idempotent: replaying the same claim changes nothing.
+        assert!(d
+            .merge_entry(NodeId::new("x"), remote(2002, 0xC, 5, true))
+            .is_none());
+    }
+
+    #[test]
+    fn locally_alive_names_reassert_over_remote_claims() {
+        let d = dir();
+        d.bind_local(NodeId::new("mine"), addr(1000)).unwrap();
+        let before = d.entry("mine").unwrap();
+        // A remote claim with a dominating version tries to remap the name.
+        let change = d.merge_entry(NodeId::new("mine"), remote(6666, 0xB, 99, false));
+        assert!(matches!(change, Some(DirectoryChange::Reasserted(_))));
+        let after = d.entry("mine").unwrap();
+        assert_eq!(after.addr, before.addr, "local mapping survives");
+        assert_eq!(after.owner, d.hub());
+        assert!(after.version > 99, "re-assertion out-versions the intruder");
+        // Same for a remote tombstone: local liveness wins.
+        let change = d.merge_entry(NodeId::new("mine"), remote(1000, 0xB, 200, true));
+        assert!(matches!(change, Some(DirectoryChange::Reasserted(_))));
+        assert!(d.is_bound("mine"));
+        // And for a *same-address* claim under a foreign owner (e.g. a
+        // register_peer made elsewhere, gossiped back): adopting it would
+        // swap the owner and orphan the eventual drop-tombstone.
+        let v = d.entry("mine").unwrap().version;
+        let change = d.merge_entry(
+            NodeId::new("mine"),
+            DirectoryEntry {
+                addr: d.entry("mine").unwrap().addr,
+                owner: HubId::UNKNOWN,
+                version: v + 50,
+                evicted: false,
+            },
+        );
+        assert!(matches!(change, Some(DirectoryChange::Reasserted(_))));
+        assert_eq!(d.entry("mine").unwrap().owner, d.hub());
+        // The drop path still works: the entry is ours to tombstone.
+        let addr_mine = d.entry("mine").unwrap().addr;
+        d.remove_local(&NodeId::new("mine"), addr_mine);
+        assert!(!d.is_bound("mine"));
+    }
+
+    #[test]
+    fn suspicion_is_an_overlay_eviction_is_durable() {
+        let d = dir();
+        d.merge_entry(NodeId::new("svc.x"), remote(2000, 0xB, 1, false));
+        d.merge_entry(NodeId::new("svc.y"), remote(2001, 0xB, 1, false));
+        assert_eq!(d.status_of("svc.x"), PeerStatus::Alive);
+        let marked = d.set_suspected(HubId(0xB), true);
+        assert_eq!(marked.len(), 2);
+        assert_eq!(d.status_of("svc.x"), PeerStatus::Suspected);
+        // Suspicion never shows in the gossip snapshot.
+        assert!(d.snapshot().iter().all(|(_, e)| !e.evicted));
+        d.set_suspected(HubId(0xB), false);
+        assert_eq!(d.status_of("svc.y"), PeerStatus::Alive);
+        // Eviction tombstones with bumped versions.
+        let evicted = d.evict_owner(HubId(0xB));
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(d.status_of("svc.x"), PeerStatus::Evicted);
+        assert!(d.entry("svc.x").unwrap().version > 1);
+        assert!(d.lookup(&NodeId::new("svc.x")).is_none());
+        // Local hub and the manual sentinel are never evictable.
+        d.bind_local(NodeId::new("me"), addr(1)).unwrap();
+        assert!(d.evict_owner(d.hub()).is_empty());
+        assert!(d.evict_owner(HubId::UNKNOWN).is_empty());
+    }
+
+    #[test]
+    fn register_manual_is_last_call_wins_but_never_shadows_local() {
+        let d = dir();
+        assert!(d.register_manual(NodeId::new("x"), addr(1)));
+        assert!(d.register_manual(NodeId::new("x"), addr(2)));
+        assert_eq!(
+            d.lookup(&NodeId::new("x")),
+            Some(addr(2)),
+            "second registration wins regardless of merge tie-breaks"
+        );
+        // It also overrides a standing high-version gossip claim (the
+        // operator's correction must not lose an LWW comparison).
+        d.merge_entry(NodeId::new("g"), remote(3, 0xB, 50, false));
+        assert!(d.register_manual(NodeId::new("g"), addr(4)));
+        assert_eq!(d.lookup(&NodeId::new("g")), Some(addr(4)));
+        assert!(d.entry("g").unwrap().version > 50);
+        // But never a locally connected name.
+        d.bind_local(NodeId::new("mine"), addr(9)).unwrap();
+        assert!(!d.register_manual(NodeId::new("mine"), addr(10)));
+        assert_eq!(d.lookup(&NodeId::new("mine")), Some(addr(9)));
+    }
+
+    #[test]
+    fn ephemeral_remote_entries_prune_on_unreachability_and_eviction() {
+        let d = dir();
+        d.merge_entry(NodeId::new("cli~b-1"), remote(1, 0xB, 1, false));
+        d.merge_entry(NodeId::new("cli~b-2"), remote(2, 0xB, 1, false));
+        d.merge_entry(NodeId::new("svc.x"), remote(3, 0xB, 1, false));
+        d.bind_local(NodeId::new("own~a-1"), addr(4)).unwrap();
+        // Named entries and local/mismatched ephemerals are left alone.
+        d.prune_unreachable_ephemeral(&NodeId::new("svc.x"), addr(3));
+        d.prune_unreachable_ephemeral(&NodeId::new("own~a-1"), addr(4));
+        d.prune_unreachable_ephemeral(&NodeId::new("cli~b-1"), addr(999));
+        assert!(d.is_bound("svc.x"));
+        assert!(d.is_bound("own~a-1"));
+        assert!(d.is_bound("cli~b-1"));
+        // A remote ephemeral that failed at its recorded address goes.
+        d.prune_unreachable_ephemeral(&NodeId::new("cli~b-1"), addr(1));
+        assert!(d.entry("cli~b-1").is_none());
+        // Evicting the owner deletes its ephemerals outright (no
+        // tombstone — they never gossip) and tombstones its named entry.
+        let evicted = d.evict_owner(HubId(0xB));
+        assert_eq!(evicted, vec![NodeId::new("svc.x")]);
+        assert!(d.entry("cli~b-2").is_none());
+        assert!(d.entry("svc.x").unwrap().evicted);
+    }
+
+    #[test]
+    fn delta_against_returns_exactly_the_missing_rows() {
+        let a = dir();
+        let b = PeerDirectory::new(HubId(0xB));
+        a.merge_entry(NodeId::new("only-a"), remote(1, 0xC, 1, false));
+        a.merge_entry(NodeId::new("newer-on-a"), remote(2, 0xC, 5, false));
+        b.merge_entry(NodeId::new("newer-on-a"), remote(2, 0xC, 3, false));
+        b.merge_entry(NodeId::new("only-b"), remote(3, 0xD, 1, false));
+        let delta = a.delta_against(&b.snapshot());
+        let names: Vec<&str> = delta.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["newer-on-a", "only-a"]);
+        // Applying the delta converges b toward a for those rows.
+        b.merge_remote(delta);
+        assert_eq!(b.entry("newer-on-a").unwrap().version, 5);
+        assert!(b.is_bound("only-a"));
+    }
+
+    #[test]
+    fn fingerprints_agree_exactly_when_converged() {
+        let a = dir();
+        let b = PeerDirectory::new(HubId(0xB));
+        a.merge_entry(NodeId::new("x"), remote(1, 0xC, 1, false));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        b.merge_entry(NodeId::new("x"), remote(1, 0xC, 1, false));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Ephemeral names never affect the fingerprint.
+        a.bind_local(NodeId::new("cli~9"), addr(7)).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn entry_codec_round_trip() {
+        let name = NodeId::new("svc.alpha");
+        let e = remote(4242, 0xBEEF, 17, true);
+        let decoded = entry_from_xml(&entry_to_xml(&name, &e)).unwrap();
+        assert_eq!(decoded, (name, e));
+        assert!(entry_from_xml(&Element::new("not-entry")).is_none());
+        assert!(entry_from_xml(&Element::new("entry").with_attr("name", "x")).is_none());
+    }
+
+    #[test]
+    fn liveness_event_codec_round_trip() {
+        let ev = LivenessEvent {
+            hub: HubId(0xCAFE),
+            status: PeerStatus::Suspected,
+            names: vec![NodeId::new("svc.a"), NodeId::new("svc.b")],
+        };
+        assert_eq!(LivenessEvent::from_xml(&ev.to_xml()), Some(ev));
+        assert!(LivenessEvent::from_xml(&Element::new("other")).is_none());
+    }
+
+    #[test]
+    fn hub_ids_generate_unique_and_round_trip() {
+        let a = HubId::generate();
+        let b = HubId::generate();
+        assert_ne!(a, HubId::UNKNOWN);
+        assert_ne!(a, b);
+        assert_eq!(HubId::parse(&a.to_string()), Some(a));
+        assert_eq!(HubId::parse("zz"), None);
+    }
+}

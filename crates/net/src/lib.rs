@@ -38,6 +38,7 @@
 //! assert_eq!(env.from.as_str(), "coordinator.a");
 //! ```
 
+pub mod directory;
 mod envelope;
 mod fabric;
 mod fault;
@@ -45,6 +46,10 @@ mod metrics;
 pub mod tcp;
 mod transport;
 
+pub use directory::{
+    DirectoryChange, DirectoryEntry, HubId, LivenessEvent, LivenessProbe, PeerDirectory,
+    PeerStatus, LIVENESS_KIND,
+};
 pub use envelope::{Envelope, MessageId, NodeId};
 pub use fabric::{Network, NetworkConfig};
 pub use fault::{FaultPolicy, LatencyModel};

@@ -8,15 +8,21 @@
 //! over the in-process fabric.
 //!
 //! * [`TcpTransport`] — one listener per connected node (loopback,
-//!   ephemeral ports by default), a shared name → address registry, and a
-//!   pool of persistent per-peer connections carrying many frames each.
+//!   ephemeral ports by default), a shared versioned
+//!   [`PeerDirectory`] mapping names to addresses, and a pool of
+//!   persistent per-peer connections carrying many frames each.
 //!   Request/response rides the caller's own listener: the request frame
 //!   carries the caller's node name as the reply address and the reader
 //!   thread demultiplexes the correlated reply to the blocked rpc, so an
 //!   rpc costs two frames on pooled connections — no per-call listener,
-//!   socket, or thread. [`TcpTransport::register_peer`] points names at
-//!   other processes; registering names in both directions gives full rpc
-//!   round trips across process boundaries.
+//!   socket, or thread. Every outbound frame also piggybacks the sender's
+//!   own directory claim (`peer-*` attributes on the envelope), so the
+//!   receiving hub learns where to reach the sender the moment the first
+//!   frame arrives — cross-process rpc replies route immediately, before
+//!   any gossip round. [`TcpTransport::register_peer`] still points names
+//!   at other processes by hand, but automatic membership is the job of
+//!   `selfserv-discovery`: seed one address and the handshake + gossip
+//!   populate the directory in both directions.
 //! * [`TcpEndpoint`] — the original minimal one-connection-per-message
 //!   endpoint, kept for the low-level `tcp_demo` example and wire tests.
 //!
@@ -25,6 +31,7 @@
 //! connection** on any malformed frame instead of trying to resynchronize
 //! mid-stream.
 
+use crate::directory::{DirectoryEntry, HubId, PeerDirectory};
 use crate::envelope::{Envelope, MessageId, NodeId};
 use crate::metrics::{MetricsSnapshot, NodeCounters};
 use crate::transport::{
@@ -32,7 +39,8 @@ use crate::transport::{
     Transport, TransportHandle,
 };
 use crossbeam::channel::{self, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
+use parking_lot::RwLock;
 use selfserv_xml::Element;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -45,6 +53,13 @@ use std::time::Duration;
 /// Maximum accepted frame size (16 MiB) — guards against corrupt length
 /// prefixes.
 const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Deadline for establishing an outbound connection. Off loopback, a dead
+/// peer usually blackholes SYNs rather than refusing them, and the OS
+/// default connect timeout (~2 minutes on Linux) is far too long to hold
+/// a destination's pool slot — or the executor worker running the sender's
+/// callback — while discovery probes an unreachable hub.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Writes one length-prefixed XML frame.
 pub fn write_frame(stream: &mut impl Write, envelope: &Envelope) -> std::io::Result<()> {
@@ -72,6 +87,17 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Envelope> {
 /// [`read_frame`] variant also returning the payload size in bytes (what
 /// the metrics layer charges to the link).
 fn read_frame_sized(stream: &mut impl Read) -> std::io::Result<(Envelope, usize)> {
+    let (xml, len) = read_frame_element(stream)?;
+    let env = Envelope::from_xml(&xml)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    Ok((env, len))
+}
+
+/// Reads one frame as its raw XML element — the hub's reader path uses
+/// this so it can extract the piggybacked sender claim (`peer-*`
+/// attributes) before the envelope decode. (`Envelope::from_xml` ignores
+/// the extra attributes, so they never reach the delivered envelope.)
+fn read_frame_element(stream: &mut impl Read) -> std::io::Result<(Element, usize)> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf)?;
     let len = u32::from_be_bytes(len_buf);
@@ -87,9 +113,20 @@ fn read_frame_sized(stream: &mut impl Read) -> std::io::Result<(Envelope, usize)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
     let xml = selfserv_xml::parse(&text)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-    let env = Envelope::from_xml(&xml)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    Ok((env, len as usize))
+    Ok((xml, len as usize))
+}
+
+/// Extracts (without validating) the piggybacked sender claim from a
+/// decoded frame element: `(addr, owner, version)` from the `peer-*`
+/// attributes the sending hub stamps on every outbound envelope (see
+/// `Hub::stamp_sender_claim`).
+fn piggybacked_claim(xml: &Element) -> Option<DirectoryEntry> {
+    Some(DirectoryEntry {
+        addr: xml.attr("peer-addr")?.parse().ok()?,
+        owner: HubId::parse(xml.attr("peer-owner")?)?,
+        version: xml.attr("peer-version")?.parse().ok()?,
+        evicted: false,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -100,10 +137,20 @@ fn read_frame_sized(stream: &mut impl Read) -> std::io::Result<(Envelope, usize)
 /// after a broken pipe).
 type ConnectionSlot = Arc<Mutex<Option<TcpStream>>>;
 
+/// Why [`Hub::send_envelope`] could not put a frame on the wire.
+enum FrameSendError {
+    /// The serialized envelope exceeds [`MAX_FRAME`] (the size, in bytes).
+    Oversized(usize),
+    /// Connecting or writing failed.
+    Io(std::io::Error),
+}
+
 struct Hub {
-    /// Node name → listener address. Local connects insert here;
-    /// [`TcpTransport::register_peer`] points names at remote processes.
-    registry: RwLock<HashMap<NodeId, SocketAddr>>,
+    /// Node name → listener address, versioned and mergeable. Local
+    /// connects bind here; [`TcpTransport::register_peer`], piggybacked
+    /// sender claims, and `selfserv-discovery`'s handshake/gossip merge
+    /// remote claims in.
+    directory: PeerDirectory,
     /// Per-node traffic counters; persist after disconnect, like the
     /// fabric's.
     counters: RwLock<HashMap<NodeId, Arc<NodeCounters>>>,
@@ -152,7 +199,7 @@ impl Hub {
             // Broken pipe (peer restarted or dropped): reconnect below.
             *conn = None;
         }
-        let mut stream = TcpStream::connect(addr)?;
+        let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
         stream.set_nodelay(true).ok();
         write_raw_frame(&mut stream, payload)?;
         *conn = Some(stream);
@@ -168,8 +215,8 @@ impl Hub {
         body: Element,
         correlation: Option<MessageId>,
     ) -> Result<MessageId, SendError> {
-        let addr = match self.registry.read().get(&to) {
-            Some(a) => *a,
+        let addr = match self.directory.lookup(&to) {
+            Some(a) => a,
             None => return Err(SendError::UnknownNode(to)),
         };
         let envelope = Envelope {
@@ -180,24 +227,60 @@ impl Hub {
             correlation,
             body,
         };
-        // Serialize exactly once: the frame bytes are also the byte count
-        // the metrics layer charges, so sender and receiver sizes match by
-        // construction.
-        let xml = envelope.to_xml().to_xml();
-        let payload = xml.as_bytes();
-        // Enforce the frame limit on the *send* side: the receiver would
-        // reject the length prefix and close the shared pooled connection,
-        // losing this and possibly in-flight messages with no diagnostic.
-        if payload.len() > MAX_FRAME as usize {
-            return Err(SendError::Transport(format!(
-                "envelope of {} bytes exceeds the {MAX_FRAME}-byte frame limit",
-                payload.len()
-            )));
+        match self.send_envelope(addr, &envelope) {
+            Ok(()) => Ok(envelope.id),
+            Err(FrameSendError::Oversized(len)) => Err(SendError::Transport(format!(
+                "envelope of {len} bytes exceeds the {MAX_FRAME}-byte frame limit"
+            ))),
+            Err(FrameSendError::Io(e)) => {
+                // An unreachable *ephemeral* destination learned from a
+                // piggybacked claim has no other end-of-life signal (it
+                // never gossips): forget it so later sends report
+                // UnknownNode instead of retrying a dead address forever.
+                self.directory
+                    .prune_unreachable_ephemeral(&envelope.to, addr);
+                Err(SendError::Transport(format!("send to {addr} failed: {e}")))
+            }
         }
-        self.send_frame(addr, payload)
-            .map_err(|e| SendError::Transport(format!("send to {addr} failed: {e}")))?;
-        self.counters_for(from).record_send(payload.len());
-        Ok(envelope.id)
+    }
+
+    /// The shared back half of every send path: stamps the sender's
+    /// claim, serializes exactly once (the frame bytes are also the byte
+    /// count the metrics layer charges, so sender and receiver sizes
+    /// match by construction), enforces the frame limit on the *send*
+    /// side (the receiver would reject the length prefix and close the
+    /// shared pooled connection, losing in-flight messages with no
+    /// diagnostic), writes to `addr`, and records the sender's metrics.
+    fn send_envelope(&self, addr: SocketAddr, envelope: &Envelope) -> Result<(), FrameSendError> {
+        let mut frame_xml = envelope.to_xml();
+        self.stamp_sender_claim(&envelope.from, &mut frame_xml);
+        let xml = frame_xml.to_xml();
+        let payload = xml.as_bytes();
+        if payload.len() > MAX_FRAME as usize {
+            return Err(FrameSendError::Oversized(payload.len()));
+        }
+        self.send_frame(addr, payload).map_err(FrameSendError::Io)?;
+        self.counters_for(&envelope.from).record_send(payload.len());
+        Ok(())
+    }
+
+    /// Stamps the sender's own directory claim onto an outbound frame
+    /// (`peer-addr` / `peer-owner` / `peer-version` attributes on the
+    /// envelope element) when the sender is a live local name. The
+    /// receiving hub's reader merges the claim before delivery, so the
+    /// first frame a hub ever receives from a node already teaches it how
+    /// to send back — rpc replies across process boundaries need no prior
+    /// registration or gossip round.
+    fn stamp_sender_claim(&self, from: &NodeId, frame_xml: &mut Element) {
+        let Some(entry) = self.directory.entry(from.as_str()) else {
+            return;
+        };
+        if entry.evicted || entry.owner != self.directory.hub() {
+            return;
+        }
+        frame_xml.set_attr("peer-addr", entry.addr.to_string());
+        frame_xml.set_attr("peer-owner", entry.owner.to_string());
+        frame_xml.set_attr("peer-version", entry.version.to_string());
     }
 }
 
@@ -220,11 +303,11 @@ impl Default for TcpTransport {
 }
 
 impl TcpTransport {
-    /// Creates an empty TCP transport.
+    /// Creates an empty TCP transport with a freshly generated [`HubId`].
     pub fn new() -> Self {
         TcpTransport {
             hub: Arc::new(Hub {
-                registry: RwLock::new(HashMap::new()),
+                directory: PeerDirectory::new(HubId::generate()),
                 counters: RwLock::new(HashMap::new()),
                 pool: Mutex::new(HashMap::new()),
                 next_msg: AtomicU64::new(1),
@@ -233,23 +316,69 @@ impl TcpTransport {
         }
     }
 
-    /// The listener address of a locally connected (or registered) node.
-    pub fn addr_of(&self, name: &str) -> Option<SocketAddr> {
-        self.hub.registry.read().get(&NodeId::new(name)).copied()
+    /// This hub's identity (the `owner` stamped on every local binding).
+    pub fn hub_id(&self) -> HubId {
+        self.hub.directory.hub()
     }
 
-    /// Registers a remote node's address so local nodes can send to it by
-    /// name (the cross-process analogue of the peer connecting locally).
+    /// The hub's shared peer directory: the versioned name → address map
+    /// that `selfserv-discovery` handshakes, gossips, and evicts through,
+    /// and that community selection can consult as a
+    /// [`crate::LivenessProbe`].
+    pub fn directory(&self) -> PeerDirectory {
+        self.hub.directory.clone()
+    }
+
+    /// The listener address of a locally connected (or registered) node.
+    pub fn addr_of(&self, name: &str) -> Option<SocketAddr> {
+        self.hub.directory.lookup(&NodeId::new(name))
+    }
+
+    /// Registers a remote node's address by hand so local nodes can send
+    /// to it by name (the cross-process analogue of the peer connecting
+    /// locally). Prefer `selfserv-discovery`: one seed address replaces
+    /// every pairwise `register_peer` call.
     ///
     /// Request frames carry the caller's node name as the reply address,
-    /// so once two hubs register each other's names (exchange
-    /// [`TcpTransport::addr_of`] results out of band, both directions), an
-    /// rpc from a node in one process to a node in the other completes a
-    /// full round trip: the responder's `reply` is a named send back to
-    /// the caller, whose reader thread demultiplexes it to the waiting
-    /// rpc. One-way named sends need only the destination registered.
+    /// so once two hubs know each other's names, an rpc from a node in one
+    /// process to a node in the other completes a full round trip.
+    /// Registrations are last-call-wins (atomic, above any standing
+    /// version) — except that a name whose endpoint is **connected on
+    /// this hub** can never be shadowed; the attempt is ignored (it used
+    /// to silently hijack local traffic).
     pub fn register_peer(&self, name: impl Into<NodeId>, addr: SocketAddr) {
-        self.hub.registry.write().insert(name.into(), addr);
+        self.hub.directory.register_manual(name.into(), addr);
+    }
+
+    /// Sends one envelope straight to a listener **address**, bypassing
+    /// the name directory — the bootstrap primitive `selfserv-discovery`
+    /// uses to greet a seed hub it knows only by address. The frame is
+    /// delivered to whichever node owns the listener (its `to` field is a
+    /// placeholder), and it piggybacks the sender's claim like any other
+    /// frame, so the receiver can answer by name.
+    pub fn send_to_addr(
+        &self,
+        addr: SocketAddr,
+        from: &NodeId,
+        kind: impl Into<String>,
+        body: Element,
+    ) -> std::io::Result<MessageId> {
+        let envelope = Envelope {
+            id: self.hub.next_id(),
+            from: from.clone(),
+            to: NodeId::new("?"),
+            kind: kind.into(),
+            correlation: None,
+            body,
+        };
+        match self.hub.send_envelope(addr, &envelope) {
+            Ok(()) => Ok(envelope.id),
+            Err(FrameSendError::Oversized(len)) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("envelope of {len} bytes exceeds the {MAX_FRAME}-byte frame limit"),
+            )),
+            Err(FrameSendError::Io(e)) => Err(e),
+        }
     }
 
     fn connect_node(&self, name: NodeId) -> Result<Endpoint, ConnectError> {
@@ -264,12 +393,8 @@ impl TcpTransport {
             Ok(a) => a,
             Err(e) => return Err(ConnectError::Bind(name, e)),
         };
-        {
-            let mut registry = self.hub.registry.write();
-            if registry.contains_key(&name) {
-                return Err(ConnectError::NameTaken(name));
-            }
-            registry.insert(name.clone(), addr);
+        if self.hub.directory.bind_local(name.clone(), addr).is_err() {
+            return Err(ConnectError::NameTaken(name));
         }
         let counters = self.hub.counters_for(&name);
         let (tx, rx) = channel::unbounded();
@@ -277,9 +402,10 @@ impl TcpTransport {
         let inbox = Inbox::new(tx, Arc::clone(&demux));
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
+        let directory = self.hub.directory.clone();
         let accept_thread = std::thread::Builder::new()
             .name(format!("selfserv-tcp-{name}"))
-            .spawn(move || accept_loop(listener, inbox, counters, flag))
+            .spawn(move || accept_loop(listener, inbox, counters, directory, flag))
             .expect("spawn tcp accept thread");
         let raw = TcpRawEndpoint {
             node: name,
@@ -315,11 +441,18 @@ impl Transport for TcpTransport {
         // capped exponential backoff (fast first retries for blips, the
         // old worst-case pause only once exhaustion persists) before the
         // failure is treated as fatal.
+        //
+        // The name embeds the hub id: every frame piggybacks its sender's
+        // directory claim, so two hubs whose anonymous counters both
+        // minted `client~1` would collide in a *receiving* hub's
+        // directory and misroute one side's rpc replies. Per-hub counters
+        // are only unique per hub; the hub id makes them global.
+        let hub_id = self.hub.directory.hub();
         let mut backoff = Backoff::new(Duration::from_micros(250), Duration::from_millis(10));
         let mut bind_failures = 0u32;
         loop {
             let n = self.hub.next_anon.fetch_add(1, Ordering::Relaxed);
-            match self.connect_node(NodeId::new(format!("{prefix}~{n}"))) {
+            match self.connect_node(NodeId::new(format!("{prefix}~{hub_id}-{n}"))) {
                 Ok(ep) => return ep,
                 Err(ConnectError::NameTaken(_) | ConnectError::ReservedName(_)) => {
                     // Collision (e.g. a peer registration): next counter.
@@ -339,13 +472,11 @@ impl Transport for TcpTransport {
     }
 
     fn is_connected(&self, name: &str) -> bool {
-        self.hub.registry.read().contains_key(&NodeId::new(name))
+        self.hub.directory.is_bound(name)
     }
 
     fn node_names(&self) -> Vec<NodeId> {
-        let mut names: Vec<NodeId> = self.hub.registry.read().keys().cloned().collect();
-        names.sort();
-        names
+        self.hub.directory.names()
     }
 
     fn next_message_id(&self) -> MessageId {
@@ -427,14 +558,10 @@ impl RawEndpoint for TcpRawEndpoint {
 
 impl Drop for TcpRawEndpoint {
     fn drop(&mut self) {
-        // Free the name (only if it still points at this listener — a
-        // peer registration may have replaced it).
-        {
-            let mut registry = self.hub.registry.write();
-            if registry.get(&self.node) == Some(&self.addr) {
-                registry.remove(&self.node);
-            }
-        }
+        // Free the name: tombstone the directory entry (only if it still
+        // points at this listener — a remote claim may have replaced it),
+        // so the departure gossips like any other directory change.
+        self.hub.directory.remove_local(&self.node, self.addr);
         stop_accept_thread(self.addr, &self.shutdown, &mut self.accept_thread);
         // Close pooled connections to this node so peer reader threads see
         // EOF promptly instead of lingering on a dead stream.
@@ -518,18 +645,35 @@ fn accept_loop(
     listener: TcpListener,
     inbox: Inbox,
     counters: Arc<NodeCounters>,
+    directory: PeerDirectory,
     shutdown: Arc<AtomicBool>,
 ) {
     accept_connections(listener, shutdown, move |mut stream| {
         stream.set_nodelay(true).ok();
         let inbox = inbox.clone();
         let counters = Arc::clone(&counters);
+        let directory = directory.clone();
         // Persistent per-peer framing: one reader per inbound connection
         // decodes frames until the peer closes or a frame is malformed.
         // Delivery demultiplexes rpc replies to their waiting callers.
         std::thread::spawn(move || loop {
-            match read_frame_sized(&mut stream) {
-                Ok((envelope, size)) => {
+            match read_frame_element(&mut stream) {
+                Ok((xml, size)) => {
+                    let envelope = match Envelope::from_xml(&xml) {
+                        Ok(env) => env,
+                        // A well-framed but malformed envelope: the stream
+                        // position is intact, so skipping the frame (not
+                        // the connection) would be safe — but a sender
+                        // producing garbage envelopes is not worth keeping
+                        // a connection for.
+                        Err(_) => return,
+                    };
+                    // Merge the piggybacked sender claim first, so even a
+                    // frame from a never-before-seen process makes its
+                    // sender immediately routable (the rpc reply path).
+                    if let Some(claim) = piggybacked_claim(&xml) {
+                        directory.merge_entry(envelope.from.clone(), claim);
+                    }
                     counters.record_receive(size);
                     if inbox.deliver(envelope).is_err() {
                         return; // endpoint dropped
@@ -867,6 +1011,147 @@ mod tests {
         let got = receiver.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(got.kind, "cross");
         assert_eq!(got.from.as_str(), "local");
+    }
+
+    #[test]
+    fn register_peer_cannot_shadow_a_locally_connected_name() {
+        // Regression: a remote registration for a name whose endpoint is
+        // connected on this hub used to silently replace the local
+        // mapping, hijacking all local traffic to that name. It must be
+        // refused (the local entry is re-asserted) while the endpoint
+        // lives — and honored again once the endpoint drops.
+        let t = TcpTransport::new();
+        let victim = Transport::connect(&t, NodeId::new("victim")).unwrap();
+        let local_addr = t.addr_of("victim").unwrap();
+        let elsewhere: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        t.register_peer("victim", elsewhere);
+        assert_eq!(
+            t.addr_of("victim"),
+            Some(local_addr),
+            "local mapping survives a shadowing registration"
+        );
+        // Traffic still reaches the local endpoint.
+        let probe = Transport::connect(&t, NodeId::new("probe")).unwrap();
+        probe
+            .send("victim", "still-here", Element::new("b"))
+            .unwrap();
+        assert_eq!(
+            victim.recv_timeout(Duration::from_secs(5)).unwrap().kind,
+            "still-here"
+        );
+        // After the endpoint drops, the name is free to point elsewhere.
+        drop(victim);
+        t.register_peer("victim", elsewhere);
+        assert_eq!(t.addr_of("victim"), Some(elsewhere));
+    }
+
+    #[test]
+    fn frames_piggyback_sender_claims_for_reply_routing() {
+        // Hub 1 knows hub 2's "server" (one direction only). The request
+        // frame piggybacks the client's own address, so the reply routes
+        // back without any reverse registration or gossip.
+        let t1 = TcpTransport::new();
+        let t2 = TcpTransport::new();
+        let client = Transport::connect(&t1, NodeId::new("client")).unwrap();
+        let server = Transport::connect(&t2, NodeId::new("server")).unwrap();
+        t1.register_peer("server", t2.addr_of("server").unwrap());
+        assert!(t2.addr_of("client").is_none(), "no reverse registration");
+        let server_thread = std::thread::spawn(move || {
+            let req = server.recv().unwrap();
+            server.reply(&req, "pong", Element::new("pong")).unwrap();
+        });
+        let reply = client
+            .rpc(
+                "server",
+                "ping",
+                Element::new("ping"),
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        assert_eq!(reply.kind, "pong");
+        // The claim carried the owning hub's identity, not a guess.
+        assert_eq!(
+            t2.directory().entry("client").map(|e| e.owner),
+            Some(t1.hub_id())
+        );
+        server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn anonymous_endpoints_never_collide_across_hubs() {
+        // Two hubs whose anonymous counters both start at 1 each mint a
+        // `client~…` identity and rpc the same third-hub server. The
+        // names must be globally distinct — a collision would merge both
+        // piggybacked claims under one directory key on the server's hub
+        // and misroute one side's replies.
+        let t1 = TcpTransport::new();
+        let t2 = TcpTransport::new();
+        let t3 = TcpTransport::new();
+        let server = Transport::connect(&t3, NodeId::new("server")).unwrap();
+        let server_addr = t3.addr_of("server").unwrap();
+        t1.register_peer("server", server_addr);
+        t2.register_peer("server", server_addr);
+        let c1 = t1.connect_anonymous("client");
+        let c2 = t2.connect_anonymous("client");
+        assert_ne!(
+            c1.node(),
+            c2.node(),
+            "hub id keeps per-hub counters globally unique"
+        );
+        let server_thread = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let req = server.recv().unwrap();
+                // Echo the caller's name back so the reply is checkable.
+                server
+                    .reply(
+                        &req,
+                        "pong",
+                        Element::new("pong").with_attr("caller", req.from.as_str()),
+                    )
+                    .unwrap();
+            }
+        });
+        for client in [&c1, &c2] {
+            let reply = client
+                .rpc(
+                    "server",
+                    "ping",
+                    Element::new("ping"),
+                    Duration::from_secs(5),
+                )
+                .unwrap();
+            assert_eq!(
+                reply.body.attr("caller"),
+                Some(client.node().as_str()),
+                "each hub's anonymous client got its own reply"
+            );
+        }
+        server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn send_to_addr_reaches_a_listener_known_only_by_address() {
+        let t1 = TcpTransport::new();
+        let t2 = TcpTransport::new();
+        let greeter = Transport::connect(&t1, NodeId::new("greeter")).unwrap();
+        let seed = Transport::connect(&t2, NodeId::new("seed")).unwrap();
+        let seed_addr = t2.addr_of("seed").unwrap();
+        t1.send_to_addr(seed_addr, greeter.node(), "hello", Element::new("hi"))
+            .unwrap();
+        let got = seed.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.kind, "hello");
+        assert_eq!(got.from.as_str(), "greeter");
+        // The piggybacked claim makes the greeter addressable by name.
+        assert_eq!(
+            t2.addr_of("greeter"),
+            t1.addr_of("greeter"),
+            "receiver learned the sender's address from the frame"
+        );
+        seed.reply(&got, "welcome", Element::new("w")).unwrap();
+        assert_eq!(
+            greeter.recv_timeout(Duration::from_secs(5)).unwrap().kind,
+            "welcome"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 pub use selfserv_community as community;
 pub use selfserv_core as core;
+pub use selfserv_discovery as discovery;
 pub use selfserv_expr as expr;
 pub use selfserv_net as net;
 pub use selfserv_registry as registry;
