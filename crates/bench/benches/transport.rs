@@ -14,12 +14,17 @@
 //!   executor tasks on a pre-warmed worker pool, so no thread is spawned
 //!   or joined inside the measurement and the correlation-table cost is
 //!   isolated from harness thread churn;
+//! * asynchronous concurrent round trips — the same 64-rpc burst issued
+//!   continuation-passing (`NodeCtx::rpc_async`) from one node on a
+//!   4-worker executor: zero threads park for the round trips (the pooled
+//!   variant needs 64 workers because each rpc parks one), the shape of
+//!   the continuation-passing coordinator's invocation burst;
 //! * one-way throughput — a burst of notifications drained by the
 //!   receiver, the shape of coordinator completion traffic.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use selfserv_net::{Endpoint, Network, NetworkConfig, NodeId, TcpTransport, Transport};
-use selfserv_runtime::Executor;
+use selfserv_net::{Endpoint, Envelope, Network, NetworkConfig, NodeId, TcpTransport, Transport};
+use selfserv_runtime::{Executor, Flow, NodeCtx, NodeLogic, RpcDone, RpcToken};
 use selfserv_xml::Element;
 use std::time::Duration;
 
@@ -109,6 +114,30 @@ fn bench_transport(c: &mut Criterion, label: &str, net: &dyn Transport) {
             });
         },
     );
+    // The same burst continuation-passing: a single node issues all 64
+    // requests via rpc_async and replies "done" when the last completion
+    // arrives. Runs on a small 4-worker pool — nothing parks, so the
+    // burst doesn't need burst-many workers.
+    let async_exec = Executor::new(4);
+    let burster = async_exec.handle().spawn_node(
+        net.connect(NodeId::new("burster"))
+            .expect("connect burster"),
+        Burster {
+            awaiting: 0,
+            report_to: None,
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("rpc_64_concurrent_async", label),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                client
+                    .rpc("burster", "go", Element::new("go"), Duration::from_secs(10))
+                    .expect("async burst completes")
+            });
+        },
+    );
     group.bench_with_input(BenchmarkId::new("burst_one_way", label), &(), |b, _| {
         b.iter(|| {
             for i in 0..BURST {
@@ -128,9 +157,50 @@ fn bench_transport(c: &mut Criterion, label: &str, net: &dyn Transport) {
     });
     group.finish();
     exec.shutdown();
+    burster.stop();
+    async_exec.shutdown();
 
     let _ = client.send("echo", "stop", Element::new("stop"));
     let _ = echo.join();
+}
+
+/// On `go`, fires [`BURST`] concurrent `rpc_async` pings at the echo node
+/// and answers the requester once the last completion arrives.
+struct Burster {
+    awaiting: usize,
+    report_to: Option<Envelope>,
+}
+
+impl NodeLogic for Burster {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+        if env.kind == "go" {
+            self.awaiting = BURST;
+            self.report_to = Some(env);
+            for i in 0..BURST {
+                ctx.rpc_async(
+                    "echo",
+                    "ping",
+                    Element::new("ping"),
+                    Duration::from_secs(10),
+                    RpcToken(i as u64),
+                );
+            }
+        }
+        Flow::Continue
+    }
+
+    fn on_rpc_done(&mut self, ctx: &mut NodeCtx<'_>, done: RpcDone) -> Flow {
+        done.result.expect("echo answers");
+        self.awaiting -= 1;
+        if self.awaiting == 0 {
+            if let Some(report_to) = self.report_to.take() {
+                let _ = ctx
+                    .endpoint()
+                    .reply(&report_to, "done", Element::new("done"));
+            }
+        }
+        Flow::Continue
+    }
 }
 
 fn bench_fabric_vs_tcp(c: &mut Criterion) {

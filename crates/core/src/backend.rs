@@ -11,11 +11,29 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use selfserv_expr::Value;
 use selfserv_net::{ConnectError, Envelope, NodeId, Transport, TransportHandle};
-use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic};
+use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic, RpcDone, RpcToken};
 use selfserv_wsdl::MessageDoc;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// A backend's declaration that an invocation is really a request/response
+/// exchange with a remote node (see [`ServiceBackend::forward`]).
+pub struct ForwardCall {
+    /// The remote node answering the request.
+    pub to: NodeId,
+    /// Message kind of the request.
+    pub kind: String,
+    /// Request body (already encoded for the wire).
+    pub body: selfserv_xml::Element,
+    /// Deadline for the reply.
+    pub timeout: Duration,
+    /// How fault messages should name the remote (e.g.
+    /// `"nested composite 'Pricing'"`), so errors read the same whether
+    /// the call was forwarded or made through [`ServiceBackend::invoke`].
+    pub label: String,
+}
 
 /// Application logic behind an elementary service. Implementations must be
 /// thread-safe: one backend may serve many coordinators or hosts.
@@ -23,6 +41,23 @@ pub trait ServiceBackend: Send + Sync {
     /// Handles one operation invocation. Returning a fault message (or an
     /// `Err`) faults the calling composite instance.
     fn invoke(&self, operation: &str, input: &MessageDoc) -> Result<MessageDoc, String>;
+
+    /// Declares that this invocation merely relays a request to a remote
+    /// node and waits for its reply — no local computation.
+    ///
+    /// Backends that compute in-process return `None` (the default) and
+    /// run under blocking compensation wherever they may sleep. Backends
+    /// that only forward (e.g. [`crate::CompositeBackend`], whose "work"
+    /// is a whole nested orchestration) return the exchange instead, so a
+    /// coordinator can carry it **continuation-passing** via
+    /// `NodeCtx::rpc_async`: zero workers parked for however long the
+    /// remote takes, which is what lets thousands of invocations await
+    /// replies concurrently on a fixed pool. Callers that can't (or don't
+    /// want to) suspend — e.g. [`ServiceHost`] tasks — simply keep using
+    /// [`ServiceBackend::invoke`], which must remain equivalent.
+    fn forward(&self, _operation: &str, _input: &MessageDoc) -> Option<ForwardCall> {
+        None
+    }
 
     /// Short name for diagnostics.
     fn name(&self) -> &str;
@@ -256,6 +291,8 @@ impl ServiceHost {
         let node = endpoint.node().clone();
         let logic = HostLogic {
             backend: Arc::clone(&backend),
+            in_flight: HashMap::new(),
+            next_token: 0,
         };
         Ok(ServiceHostHandle {
             node,
@@ -268,6 +305,10 @@ impl ServiceHost {
 
 struct HostLogic {
     backend: Arc<dyn ServiceBackend>,
+    /// In-flight invocations awaiting their completion event: the token
+    /// issued at dispatch → the request to answer.
+    in_flight: HashMap<RpcToken, Envelope>,
+    next_token: u64,
 }
 
 impl NodeLogic for HostLogic {
@@ -275,17 +316,25 @@ impl NodeLogic for HostLogic {
         match request.kind.as_str() {
             kinds::STOP => Flow::Stop,
             kinds::INVOKE => {
-                // Each invocation is a pool task replying through a
-                // NodeSender, so concurrent callers overlap and a slow
-                // backend never occupies the host node itself. The backend
-                // call is declared blocking (synthetic services sleep to
-                // simulate service time) so the pool compensates.
+                // Each invocation runs as its own pool task, so concurrent
+                // callers overlap and a slow backend never occupies the
+                // host node itself. The backend call is declared blocking
+                // (synthetic services sleep to simulate service time) so
+                // the pool compensates; its result re-enters the host as
+                // an ordinary completion event, and the host — not the
+                // task — sends the reply, so a host that stops mid-flight
+                // simply never answers (as a crashed provider wouldn't).
+                self.next_token += 1;
+                let token = RpcToken(self.next_token);
                 let backend = Arc::clone(&self.backend);
-                let sender = ctx.endpoint().sender();
+                let completer = ctx.completer(token);
+                let node = ctx.node().clone();
+                let body = request.body.clone();
+                self.in_flight.insert(token, request);
                 let exec = ctx.executor();
                 let pool = exec.clone();
                 exec.spawn_task(move || {
-                    let reply = match MessageDoc::from_xml(&request.body) {
+                    let reply = match MessageDoc::from_xml(&body) {
                         Ok(input) => {
                             match pool.block_on(|| backend.invoke(&input.operation, &input)) {
                                 Ok(output) => output,
@@ -294,17 +343,32 @@ impl NodeLogic for HostLogic {
                         }
                         Err(e) => MessageDoc::fault("unknown", e.to_string()),
                     };
-                    let _ = sender.send_correlated(
-                        request.from.clone(),
-                        kinds::INVOKE_RESULT,
+                    completer.complete(Ok(Envelope::synthetic(
+                        node,
+                        "task.result",
                         reply.to_xml(),
-                        Some(request.id),
-                    );
+                    )));
                 });
                 Flow::Continue
             }
             _ => Flow::Continue, // ignore unrelated traffic
         }
+    }
+
+    fn on_rpc_done(&mut self, ctx: &mut NodeCtx<'_>, done: RpcDone) -> Flow {
+        let Some(request) = self.in_flight.remove(&done.token) else {
+            return Flow::Continue;
+        };
+        let Ok(result) = done.result else {
+            return Flow::Continue; // completer path always delivers Ok
+        };
+        let _ = ctx.endpoint().send_correlated(
+            request.from.clone(),
+            kinds::INVOKE_RESULT,
+            result.body,
+            Some(request.id),
+        );
+        Flow::Continue
     }
 }
 

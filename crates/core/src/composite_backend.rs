@@ -10,7 +10,7 @@
 //! an outer composite can invoke an inner composite exactly like any other
 //! provider.
 
-use crate::backend::ServiceBackend;
+use crate::backend::{ForwardCall, ServiceBackend};
 use crate::protocol::{kinds, PersistentClient};
 use selfserv_net::{NodeId, RpcError, Transport};
 use selfserv_wsdl::MessageDoc;
@@ -24,8 +24,11 @@ pub struct CompositeBackend {
     /// Deadline for the nested execution (nested composites can be slow —
     /// they run a whole orchestration).
     pub timeout: Duration,
-    /// Carries every invocation; concurrent calls demultiplex on its
-    /// endpoint, so nothing is allocated per call.
+    /// Carries blocking-path invocations ([`ServiceBackend::invoke`]);
+    /// concurrent calls demultiplex on its endpoint, so nothing is
+    /// allocated per call. Coordinators bypass it entirely — they forward
+    /// from their own node via `rpc_async` — so it connects lazily only if
+    /// a blocking caller ever shows up.
     client: PersistentClient,
 }
 
@@ -45,13 +48,24 @@ impl CompositeBackend {
     }
 }
 
-impl ServiceBackend for CompositeBackend {
-    fn invoke(&self, _operation: &str, input: &MessageDoc) -> Result<MessageDoc, String> {
-        // The nested composite takes its inputs as execute parameters.
+impl CompositeBackend {
+    /// The nested composite takes its inputs as execute parameters.
+    fn execute_request(&self, input: &MessageDoc) -> MessageDoc {
         let mut request = MessageDoc::request("execute");
         for (k, v) in input.iter() {
             request.set(k, v.clone());
         }
+        request
+    }
+}
+
+impl ServiceBackend for CompositeBackend {
+    /// Blocking form, for callers that can't suspend (e.g. a
+    /// [`crate::ServiceHost`] task). Coordinators never take this path:
+    /// they pick up [`ServiceBackend::forward`] below and await the nested
+    /// execution continuation-passing instead.
+    fn invoke(&self, _operation: &str, input: &MessageDoc) -> Result<MessageDoc, String> {
+        let request = self.execute_request(input);
         let reply = self
             .client
             .sender()
@@ -74,6 +88,19 @@ impl ServiceBackend for CompositeBackend {
             ));
         }
         Ok(response)
+    }
+
+    /// A nested invocation is pure forwarding — one request to the inner
+    /// wrapper, one reply — so a coordinator carries it with zero parked
+    /// workers for however long the whole nested orchestration takes.
+    fn forward(&self, _operation: &str, input: &MessageDoc) -> Option<ForwardCall> {
+        Some(ForwardCall {
+            to: self.wrapper_node.clone(),
+            kind: kinds::EXECUTE.to_string(),
+            body: self.execute_request(input).to_xml(),
+            timeout: self.timeout,
+            label: format!("nested composite '{}'", self.name),
+        })
     }
 
     fn name(&self) -> &str {

@@ -12,10 +12,12 @@ use crate::protocol::{fault_body, kinds, naming, InstanceId, NotifyPayload};
 use selfserv_expr::Value;
 use selfserv_net::{ConnectError, Envelope, NodeId, RpcError, Transport, TransportHandle};
 use selfserv_routing::{NotificationLabel, Participant, RoutingTable};
-use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic, TimerToken};
+use selfserv_runtime::{
+    ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic, RpcDone, RpcToken, TimerToken,
+};
 use selfserv_statechart::{Assignment, InputMapping, OutputMapping, StateId};
 use selfserv_wsdl::MessageDoc;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -148,12 +150,69 @@ struct InstanceSlot {
     seen: Vec<NotificationLabel>,
     vars: BTreeMap<String, Value>,
     last_touched: Instant,
+    /// `Some(token)` while this instance's state task is in flight (fired
+    /// but its completion not yet processed) — the per-instance successor
+    /// of the old parked-worker capacity-1 semantics. A busy instance
+    /// records incoming notifications in `deferred` instead of firing
+    /// again. Carrying the token (rather than a bare flag) makes the slot
+    /// generation-checked: a completion only resumes the instance if it is
+    /// the one the slot is actually awaiting, so a stale completion for a
+    /// cleaned-up-and-recreated instance is dropped instead of racing a
+    /// newer invocation.
+    in_flight: Option<RpcToken>,
+    /// Notifications received while busy, replayed in arrival order after
+    /// the completion — exactly the order the blocking path drained its
+    /// queued mailbox after the parked turn.
+    deferred: VecDeque<(NotificationLabel, BTreeMap<String, Value>)>,
+}
+
+impl InstanceSlot {
+    fn new() -> InstanceSlot {
+        InstanceSlot {
+            seen: Vec::new(),
+            vars: BTreeMap::new(),
+            last_touched: Instant::now(),
+            in_flight: None,
+            deferred: VecDeque::new(),
+        }
+    }
+}
+
+/// Which reply an in-flight invocation is awaiting — the explicit phases
+/// the blocking `invoke` used to pass through while parked on a worker.
+enum InvokePhase {
+    /// Awaiting the community's proxy-mode reply (or redirect decision).
+    /// `input` is kept so a redirect can re-issue the same request to the
+    /// chosen member.
+    Community { input: MessageDoc },
+    /// Awaiting a redirect-mode member's direct reply.
+    Redirect { member: String },
+    /// Awaiting a forwarding backend's remote reply
+    /// (see [`crate::ForwardCall`]). `label` names the remote in faults.
+    Forward { label: String },
+    /// Awaiting a co-located blocking backend running as a pool task
+    /// (resumed through a `TaskCompleter`).
+    Local,
+}
+
+/// Continuation state of one in-flight invocation, keyed by the
+/// [`RpcToken`] its completion event will carry.
+struct PendingInvoke {
+    instance: InstanceId,
+    /// Variable snapshot as of firing (pre-invoke actions applied);
+    /// written back to the instance on completion.
+    vars: BTreeMap<String, Value>,
+    phase: InvokePhase,
 }
 
 struct CoordinatorLogic {
     cfg: CoordinatorConfig,
     wrapper_node: NodeId,
     instances: HashMap<InstanceId, InstanceSlot>,
+    /// In-flight invocations across all instances: the coordinator can
+    /// have any number awaiting replies with zero parked workers.
+    pending: HashMap<RpcToken, PendingInvoke>,
+    next_token: u64,
     sweep: SweepTimer,
 }
 
@@ -182,6 +241,8 @@ impl Coordinator {
             cfg,
             wrapper_node,
             instances: HashMap::new(),
+            pending: HashMap::new(),
+            next_token: 0,
             sweep: SweepTimer::new(),
         };
         Ok(CoordinatorHandle {
@@ -270,6 +331,13 @@ impl NodeLogic for CoordinatorLogic {
         Flow::Continue
     }
 
+    fn on_rpc_done(&mut self, ctx: &mut NodeCtx<'_>, done: RpcDone) -> Flow {
+        self.on_completion(ctx, done);
+        self.sweep_stale();
+        self.arm_sweep(ctx);
+        Flow::Continue
+    }
+
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _timer: TimerToken) -> Flow {
         self.sweep.fired();
         self.sweep_stale();
@@ -305,8 +373,12 @@ impl CoordinatorLogic {
             return;
         }
         let now = Instant::now();
-        self.instances
-            .retain(|_, slot| now.duration_since(slot.last_touched) < ttl);
+        // Busy instances are exempt: an invocation awaiting a slow reply
+        // is live work, not abandonment (under the blocking model the
+        // parked coordinator couldn't sweep during an invoke either).
+        self.instances.retain(|_, slot| {
+            slot.in_flight.is_some() || now.duration_since(slot.last_touched) < ttl
+        });
     }
 
     fn on_cleanup(&mut self, body: &selfserv_xml::Element) {
@@ -314,11 +386,13 @@ impl CoordinatorLogic {
             .attr("instance")
             .and_then(|s| InstanceId::decode(s).ok())
         {
+            // A completion still in flight for this instance finds the
+            // slot gone and is dropped.
             self.instances.remove(&id);
         }
     }
 
-    fn on_notify(&mut self, ctx: &NodeCtx<'_>, body: &selfserv_xml::Element) {
+    fn on_notify(&mut self, ctx: &mut NodeCtx<'_>, body: &selfserv_xml::Element) {
         let payload = match NotifyPayload::from_xml(body) {
             Ok(p) => p,
             Err(_) => return, // malformed traffic is dropped, like bad XML over sockets
@@ -329,12 +403,14 @@ impl CoordinatorLogic {
         let slot = self
             .instances
             .entry(payload.instance)
-            .or_insert_with(|| InstanceSlot {
-                seen: Vec::new(),
-                vars: BTreeMap::new(),
-                last_touched: Instant::now(),
-            });
+            .or_insert_with(InstanceSlot::new);
         slot.last_touched = Instant::now();
+        if slot.in_flight.is_some() {
+            // The instance's task is in flight: defer, replay after the
+            // completion (preserving the blocking path's arrival order).
+            slot.deferred.push_back((label, payload.vars));
+            return;
+        }
         slot.seen.push(label);
         for (k, v) in payload.vars {
             slot.vars.insert(k, v);
@@ -343,12 +419,19 @@ impl CoordinatorLogic {
     }
 
     /// Checks precondition alternatives in order; fires the first satisfied
-    /// one (consuming its labels so loops can re-arm).
-    fn try_fire(&mut self, ctx: &NodeCtx<'_>, instance: InstanceId) {
+    /// one (consuming its labels so loops can re-arm). Firing runs the
+    /// pre-invoke phase inline, then *dispatches* the state's work and
+    /// returns — the coordinator resumes in [`CoordinatorLogic::on_completion`]
+    /// when the reply (or the task's completion event) arrives. No worker
+    /// is parked in between, so any number of instances can be in flight.
+    fn try_fire(&mut self, ctx: &mut NodeCtx<'_>, instance: InstanceId) {
         let fired = {
             let Some(slot) = self.instances.get_mut(&instance) else {
                 return;
             };
+            if slot.in_flight.is_some() {
+                return;
+            }
             let mut fired: Option<usize> = None;
             for (idx, pre) in self.cfg.table.preconditions.iter().enumerate() {
                 if !pre.satisfied_by(&slot.seen) {
@@ -395,119 +478,318 @@ impl CoordinatorLogic {
             self.fault(ctx, instance, &reason);
             return;
         }
-        // Perform the state's work. The coordinator blocks here: it models
-        // a capacity-1 host, so concurrent instances queue at busy
-        // services (and the AND-regions of one instance still run in
-        // parallel because they live on different coordinators). The wait
-        // goes through the executor's compensation (`NodeCtx::block_on` /
-        // `NodeCtx::rpc`), so a parked coordinator never starves its
-        // pool-mates.
-        match self.invoke(ctx, instance, &mut vars) {
-            Ok(()) => {
-                self.trace(ctx, instance, crate::monitor::TraceKind::Completed, "");
-            }
-            Err(reason) => {
-                self.fault(ctx, instance, &reason);
-                return;
-            }
-        }
-        // Write updated vars back so later activations of this instance
-        // (loops) observe them.
-        if let Some(slot) = self.instances.get_mut(&instance) {
-            slot.vars = vars.clone();
-            slot.last_touched = Instant::now();
-        }
-        self.postprocess(ctx, instance, &mut vars);
+        // Dispatch the state's work and return. Per instance the old
+        // capacity-1 semantics hold — the instance is marked busy and
+        // later notifications are deferred until the completion — but the
+        // coordinator itself never parks: the reply resumes it through
+        // `on_rpc_done` (and the AND-regions of one instance still run in
+        // parallel because they live on different coordinators).
+        self.begin_invoke(ctx, instance, vars);
     }
 
-    fn invoke(
-        &self,
-        ctx: &NodeCtx<'_>,
-        _instance: InstanceId,
-        vars: &mut BTreeMap<String, Value>,
-    ) -> Result<(), String> {
+    /// Pre-invoke → in-flight: builds the request for the state's task and
+    /// dispatches it, recording the continuation under a fresh token.
+    /// `TaskRuntime::None` completes inline.
+    fn begin_invoke(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        instance: InstanceId,
+        mut vars: BTreeMap<String, Value>,
+    ) {
         match &self.cfg.task {
-            TaskRuntime::None => Ok(()),
+            TaskRuntime::None => self.finish_invoke(ctx, instance, &mut vars),
             TaskRuntime::Local {
                 backend,
                 operation,
                 inputs,
-                outputs,
+                ..
             } => {
-                let input = build_input(operation, inputs, &self.cfg.functions, vars)?;
-                // A co-located backend may simulate service latency
-                // (sleep); declare the wait so the pool compensates.
-                let response = ctx.block_on(|| backend.invoke(operation, &input))?;
-                if response.is_fault() {
-                    return Err(response
-                        .fault_reason()
-                        .unwrap_or("backend fault")
-                        .to_string());
+                let input = match build_input(operation, inputs, &self.cfg.functions, &vars) {
+                    Ok(input) => input,
+                    Err(reason) => return self.fault(ctx, instance, &reason),
+                };
+                // Pure forwarders (e.g. nested composites) declare the
+                // remote exchange: carry it continuation-passing, with no
+                // task and no blocked worker at all.
+                if let Some(call) = backend.forward(operation, &input) {
+                    let token = self.issue_token(
+                        instance,
+                        vars,
+                        InvokePhase::Forward { label: call.label },
+                    );
+                    ctx.rpc_async(call.to, call.kind, call.body, call.timeout, token);
+                    return;
                 }
-                apply_outputs(outputs, &response, vars);
-                Ok(())
+                // A co-located backend may compute or simulate service
+                // latency (sleep): run it as a pool task under blocking
+                // compensation, and resume this coordinator through the
+                // task's completion event.
+                let backend = Arc::clone(backend);
+                let operation = operation.clone();
+                let token = self.issue_token(instance, vars, InvokePhase::Local);
+                let completer = ctx.completer(token);
+                let node = ctx.node().clone();
+                let exec = ctx.executor();
+                let pool = exec.clone();
+                exec.spawn_task(move || {
+                    let reply = match pool.block_on(|| backend.invoke(&operation, &input)) {
+                        Ok(doc) => doc,
+                        Err(reason) => MessageDoc::fault(&operation, reason),
+                    };
+                    completer.complete(Ok(Envelope::synthetic(
+                        node,
+                        "task.result",
+                        reply.to_xml(),
+                    )));
+                });
             }
             TaskRuntime::Community {
                 node,
                 operation,
                 inputs,
-                outputs,
+                ..
             } => {
-                let input = build_input(operation, inputs, &self.cfg.functions, vars)?;
-                let reply = ctx
-                    .rpc(
-                        node.clone(),
-                        "community.invoke",
-                        input.to_xml(),
-                        self.cfg.invoke_timeout,
-                    )
-                    .map_err(|e| match e {
-                        RpcError::Timeout => format!("community '{node}' timed out"),
-                        RpcError::Send(s) => format!("community '{node}' unreachable: {s}"),
-                    })?;
+                let input = match build_input(operation, inputs, &self.cfg.functions, &vars) {
+                    Ok(input) => input,
+                    Err(reason) => return self.fault(ctx, instance, &reason),
+                };
+                let node = node.clone();
+                let body = input.to_xml();
+                let token = self.issue_token(instance, vars, InvokePhase::Community { input });
+                ctx.rpc_async(
+                    node,
+                    "community.invoke",
+                    body,
+                    self.cfg.invoke_timeout,
+                    token,
+                );
+            }
+        }
+    }
+
+    /// Records the continuation of a dispatched invocation and marks its
+    /// instance busy.
+    fn issue_token(
+        &mut self,
+        instance: InstanceId,
+        vars: BTreeMap<String, Value>,
+        phase: InvokePhase,
+    ) -> RpcToken {
+        self.next_token += 1;
+        let token = RpcToken(self.next_token);
+        self.pending.insert(
+            token,
+            PendingInvoke {
+                instance,
+                vars,
+                phase,
+            },
+        );
+        if let Some(slot) = self.instances.get_mut(&instance) {
+            slot.in_flight = Some(token);
+        }
+        token
+    }
+
+    /// In-flight → post-invoke: resumes the invocation whose reply (or
+    /// task completion) arrived, by phase. The instance may have been
+    /// cleaned up mid-flight; the completion is then dropped.
+    fn on_completion(&mut self, ctx: &mut NodeCtx<'_>, done: RpcDone) {
+        let Some(p) = self.pending.remove(&done.token) else {
+            return;
+        };
+        let PendingInvoke {
+            instance,
+            mut vars,
+            phase,
+        } = p;
+        // Generation check: resume only if the slot is awaiting exactly
+        // this completion. A slot that was cleaned up mid-flight — even
+        // one recreated since by a late notification, possibly with a
+        // newer invocation of its own in flight — must not be touched by
+        // the stale completion.
+        let awaiting = self.instances.get(&instance).and_then(|s| s.in_flight);
+        if awaiting != Some(done.token) {
+            return;
+        }
+        match phase {
+            InvokePhase::Local => {
+                // The completer path always delivers Ok(synthetic env);
+                // fault defensively rather than leave the instance busy.
+                let env = match done.result {
+                    Ok(env) => env,
+                    Err(e) => return self.fault(ctx, instance, &format!("task failed: {e}")),
+                };
+                let response = match MessageDoc::from_xml(&env.body) {
+                    Ok(r) => r,
+                    Err(e) => return self.fault(ctx, instance, &e.to_string()),
+                };
+                if response.is_fault() {
+                    let reason = response
+                        .fault_reason()
+                        .unwrap_or("backend fault")
+                        .to_string();
+                    return self.fault(ctx, instance, &reason);
+                }
+                apply_outputs(self.task_outputs(), &response, &mut vars);
+                self.finish_invoke(ctx, instance, &mut vars);
+            }
+            InvokePhase::Forward { label } => {
+                let reply = match done.result {
+                    Ok(reply) => reply,
+                    Err(RpcError::Timeout) => {
+                        return self.fault(ctx, instance, &format!("{label} timed out"));
+                    }
+                    Err(RpcError::Send(s)) => {
+                        return self.fault(ctx, instance, &format!("{label} unreachable: {s}"));
+                    }
+                };
+                let response = match MessageDoc::from_xml(&reply.body) {
+                    Ok(r) => r,
+                    Err(e) => return self.fault(ctx, instance, &e.to_string()),
+                };
+                if response.is_fault() {
+                    let reason = format!(
+                        "{label} faulted: {}",
+                        response.fault_reason().unwrap_or("unspecified")
+                    );
+                    return self.fault(ctx, instance, &reason);
+                }
+                apply_outputs(self.task_outputs(), &response, &mut vars);
+                self.finish_invoke(ctx, instance, &mut vars);
+            }
+            InvokePhase::Community { input } => {
+                let node = match &self.cfg.task {
+                    TaskRuntime::Community { node, .. } => node.clone(),
+                    _ => self.wrapper_node.clone(), // unreachable by construction
+                };
+                let reply = match done.result {
+                    Ok(reply) => reply,
+                    Err(RpcError::Timeout) => {
+                        return self.fault(ctx, instance, &format!("community '{node}' timed out"));
+                    }
+                    Err(RpcError::Send(s)) => {
+                        return self.fault(
+                            ctx,
+                            instance,
+                            &format!("community '{node}' unreachable: {s}"),
+                        );
+                    }
+                };
                 if reply.kind == "community.fault" {
-                    return Err(reply
+                    let reason = reply
                         .body
                         .attr("reason")
                         .unwrap_or("community fault")
-                        .to_string());
+                        .to_string();
+                    return self.fault(ctx, instance, &reason);
                 }
                 // Redirect-mode communities return the chosen member's
-                // binding; the coordinator then invokes it directly.
+                // binding; the coordinator then invokes it directly —
+                // another await, same continuation machinery.
                 if reply.body.name == "redirect" {
-                    let member = reply
-                        .body
-                        .require_attr("endpoint")
-                        .map_err(|e| format!("bad redirect: {e}"))?
-                        .to_string();
-                    let direct = ctx
-                        .rpc(
-                            member.as_str(),
-                            "invoke",
-                            input.to_xml(),
-                            self.cfg.invoke_timeout,
-                        )
-                        .map_err(|e| format!("redirected member '{member}' failed: {e}"))?;
-                    let response = MessageDoc::from_xml(&direct.body).map_err(|e| e.to_string())?;
-                    if response.is_fault() {
-                        return Err(response
-                            .fault_reason()
-                            .unwrap_or("member fault")
-                            .to_string());
-                    }
-                    apply_outputs(outputs, &response, vars);
-                    return Ok(());
+                    let member = match reply.body.require_attr("endpoint") {
+                        Ok(m) => m.to_string(),
+                        Err(e) => {
+                            return self.fault(ctx, instance, &format!("bad redirect: {e}"));
+                        }
+                    };
+                    let body = input.to_xml();
+                    let to = NodeId::new(&member);
+                    let token = self.issue_token(instance, vars, InvokePhase::Redirect { member });
+                    ctx.rpc_async(to, "invoke", body, self.cfg.invoke_timeout, token);
+                    return;
                 }
-                let response = MessageDoc::from_xml(&reply.body).map_err(|e| e.to_string())?;
+                let response = match MessageDoc::from_xml(&reply.body) {
+                    Ok(r) => r,
+                    Err(e) => return self.fault(ctx, instance, &e.to_string()),
+                };
                 if response.is_fault() {
-                    return Err(response
+                    let reason = response
                         .fault_reason()
                         .unwrap_or("member fault")
-                        .to_string());
+                        .to_string();
+                    return self.fault(ctx, instance, &reason);
                 }
-                apply_outputs(outputs, &response, vars);
-                Ok(())
+                apply_outputs(self.task_outputs(), &response, &mut vars);
+                self.finish_invoke(ctx, instance, &mut vars);
             }
+            InvokePhase::Redirect { member } => {
+                let reply = match done.result {
+                    Ok(reply) => reply,
+                    Err(e) => {
+                        return self.fault(
+                            ctx,
+                            instance,
+                            &format!("redirected member '{member}' failed: {e}"),
+                        );
+                    }
+                };
+                let response = match MessageDoc::from_xml(&reply.body) {
+                    Ok(r) => r,
+                    Err(e) => return self.fault(ctx, instance, &e.to_string()),
+                };
+                if response.is_fault() {
+                    let reason = response
+                        .fault_reason()
+                        .unwrap_or("member fault")
+                        .to_string();
+                    return self.fault(ctx, instance, &reason);
+                }
+                apply_outputs(self.task_outputs(), &response, &mut vars);
+                self.finish_invoke(ctx, instance, &mut vars);
+            }
+        }
+    }
+
+    /// The task's output captures (empty for `TaskRuntime::None`).
+    fn task_outputs(&self) -> &[OutputMapping] {
+        match &self.cfg.task {
+            TaskRuntime::Local { outputs, .. } | TaskRuntime::Community { outputs, .. } => outputs,
+            TaskRuntime::None => &[],
+        }
+    }
+
+    /// Post-invoke: write updated vars back so later activations of this
+    /// instance (loops) observe them, route the outcome, then replay any
+    /// notifications that arrived while the invocation was in flight.
+    fn finish_invoke(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        instance: InstanceId,
+        vars: &mut BTreeMap<String, Value>,
+    ) {
+        self.trace(ctx, instance, crate::monitor::TraceKind::Completed, "");
+        if let Some(slot) = self.instances.get_mut(&instance) {
+            slot.vars = vars.clone();
+            slot.last_touched = Instant::now();
+            slot.in_flight = None;
+        }
+        self.postprocess(ctx, instance, vars);
+        self.replay_deferred(ctx, instance);
+    }
+
+    /// Replays notifications deferred while the instance was busy, in
+    /// arrival order, firing after each one exactly as the blocking path
+    /// did when it drained its mailbox — and stopping as soon as a firing
+    /// puts the instance back in flight (or removes it).
+    fn replay_deferred(&mut self, ctx: &mut NodeCtx<'_>, instance: InstanceId) {
+        loop {
+            let Some(slot) = self.instances.get_mut(&instance) else {
+                return;
+            };
+            if slot.in_flight.is_some() {
+                return;
+            }
+            let Some((label, vars)) = slot.deferred.pop_front() else {
+                return;
+            };
+            slot.last_touched = Instant::now();
+            slot.seen.push(label);
+            for (k, v) in vars {
+                slot.vars.insert(k, v);
+            }
+            self.try_fire(ctx, instance);
         }
     }
 

@@ -22,7 +22,8 @@ use crate::functions::FunctionLibrary;
 use crate::protocol::{kinds, naming, ExecError, InstanceId, PersistentClient};
 use crate::wrapper::{CompositeWrapper, WrapperConfig, WrapperHandle};
 use selfserv_net::{
-    ConnectError, Endpoint, Envelope, NodeId, RpcError, Transport, TransportHandle,
+    ConnectError, Endpoint, Envelope, MessageId, NodeId, RecvError, RpcError, SendError, Transport,
+    TransportHandle,
 };
 use selfserv_routing::{NotificationLabel, RoutingError, RoutingPlan};
 use selfserv_runtime::ExecutorHandle;
@@ -355,6 +356,54 @@ impl Deployment {
         ))
     }
 
+    /// Fires an execution without waiting for it: sends the request from
+    /// the deployment's persistent client and returns the request id
+    /// immediately — **no thread blocks** while the instance runs.
+    /// Collect completions with [`Deployment::collect_result`], matching
+    /// them to submissions by id.
+    ///
+    /// This is the client half of the platform's thread-free pipeline:
+    /// with coordinators carrying invocations continuation-passing, a
+    /// caller can keep thousands of instances in flight from one thread
+    /// (see the scaling walkthrough in the README and
+    /// `tests/runtime_scale.rs`).
+    ///
+    /// **Every submission must eventually be collected.** Results queue
+    /// in the deployment client's mailbox until
+    /// [`Deployment::collect_result`] drains them — an uncollected
+    /// completion (including the fault the wrapper's TTL sweep sends for
+    /// an abandoned instance) stays queued for the deployment's lifetime.
+    /// For genuine fire-and-forget, use [`Deployment::execute`] from a
+    /// throwaway thread, or collect-and-ignore.
+    pub fn submit(&self, input: MessageDoc) -> Result<MessageId, SendError> {
+        self.client
+            .sender()
+            .send(self.wrapper_node.clone(), kinds::EXECUTE, input.to_xml())
+    }
+
+    /// Receives the next completed submission: the request id it answers
+    /// and the decoded outcome. Completions arrive in finish order, not
+    /// submit order. Returns `Err(RecvError::Timeout)` when nothing
+    /// completes within `timeout`; unrelated traffic on the client mailbox
+    /// is skipped.
+    pub fn collect_result(
+        &self,
+        timeout: Duration,
+    ) -> Result<(MessageId, Result<MessageDoc, ExecError>), RecvError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            let env = self.client.recv_timeout(remaining)?;
+            if env.kind != kinds::EXECUTE_RESULT {
+                continue;
+            }
+            let Some(request) = env.correlation else {
+                continue;
+            };
+            return Ok((request, decode_execute_reply(Ok(env))));
+        }
+    }
+
     /// Executes the composite operation from a specific endpoint (so fabric
     /// metrics attribute the call to the caller).
     pub fn execute_from(
@@ -648,6 +697,137 @@ mod tests {
             ExecError::Fault(reason) => assert!(reason.contains("no inventory"), "{reason}"),
             other => panic!("expected fault, got {other:?}"),
         }
+    }
+
+    /// A task state bound to a community: `name` must match the chart's
+    /// community binding.
+    fn community_chart(name: &str) -> Statechart {
+        StatechartBuilder::new(format!("Via {name}"))
+            .variable("payload", ParamType::Str)
+            .variable("served_by", ParamType::Str)
+            .initial("a")
+            .task(
+                TaskDef::new("a", "A")
+                    .community(name, "op")
+                    .input("payload", "payload")
+                    .output("echoed_by", "served_by"),
+            )
+            .final_state("f")
+            .transition(TransitionDef::new("t", "a", "f"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn redirect_mode_community_is_invoked_through_the_member() {
+        use crate::backend::{EchoService, ServiceHost};
+        let net = Network::new(NetworkConfig::instant());
+        let _member =
+            ServiceHost::spawn(&net, "svc.member", Arc::new(EchoService::new("Member"))).unwrap();
+        // A redirect-mode community stand-in on a bare endpoint: answers
+        // every invoke with the member's binding, so the coordinator's
+        // second await (the redirected direct invocation) is exercised.
+        let comm = net.connect("community.redirecting").unwrap();
+        let comm_thread = std::thread::spawn(move || {
+            while let Ok(req) = comm.recv() {
+                match req.kind.as_str() {
+                    "community.invoke" => {
+                        let _ = comm.reply(
+                            &req,
+                            "community.redirect",
+                            Element::new("redirect").with_attr("endpoint", "svc.member"),
+                        );
+                    }
+                    "stop" => return,
+                    _ => {}
+                }
+            }
+        });
+        let dep = Deployer::new(&net)
+            .deploy(&community_chart("redirecting"), &HashMap::new())
+            .unwrap();
+        let out = dep
+            .execute(
+                MessageDoc::request("execute").with("payload", Value::str("x")),
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        assert_eq!(out.get_str("served_by"), Some("Member"));
+        assert_eq!(out.get_str("payload"), Some("x"));
+        dep.undeploy();
+        net.connect("stopper")
+            .unwrap()
+            .send("community.redirecting", "stop", Element::new("s"))
+            .unwrap();
+        comm_thread.join().unwrap();
+    }
+
+    #[test]
+    fn unreachable_and_silent_communities_fault_the_instance() {
+        // Unreachable: the community node never comes up.
+        let net = Network::new(NetworkConfig::instant());
+        let mut deployer = Deployer::new(&net);
+        deployer.allow_missing_communities = true;
+        let dep = deployer
+            .deploy(&community_chart("ghost"), &HashMap::new())
+            .unwrap();
+        let err = dep
+            .execute(
+                MessageDoc::request("execute").with("payload", Value::str("x")),
+                Duration::from_secs(5),
+            )
+            .unwrap_err();
+        match err {
+            ExecError::Fault(reason) => assert!(reason.contains("unreachable"), "{reason}"),
+            other => panic!("expected fault, got {other:?}"),
+        }
+        dep.undeploy();
+
+        // Silent: connected but never replies — the rpc deadline faults
+        // the instance instead of wedging it.
+        let _mute = net.connect("community.mute").unwrap();
+        let mut deployer = Deployer::new(&net);
+        deployer.invoke_timeout = Duration::from_millis(100);
+        let dep = deployer
+            .deploy(&community_chart("mute"), &HashMap::new())
+            .unwrap();
+        let err = dep
+            .execute(
+                MessageDoc::request("execute").with("payload", Value::str("x")),
+                Duration::from_secs(5),
+            )
+            .unwrap_err();
+        match err {
+            ExecError::Fault(reason) => assert!(reason.contains("timed out"), "{reason}"),
+            other => panic!("expected fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_and_collect_round_trip_without_blocking() {
+        let net = Network::new(NetworkConfig::instant());
+        let dep = Deployer::new(&net)
+            .deploy(&synth::sequence(2), &synth_backends(2))
+            .unwrap();
+        // Fire-and-collect: nothing blocks between the submits.
+        let mut expected = HashMap::new();
+        for i in 0..8 {
+            let id = dep
+                .submit(MessageDoc::request("execute").with("payload", Value::str(format!("p{i}"))))
+                .unwrap();
+            expected.insert(id, format!("p{i}"));
+        }
+        for _ in 0..8 {
+            let (id, outcome) = dep.collect_result(Duration::from_secs(5)).unwrap();
+            let out = outcome.unwrap();
+            let want = expected
+                .remove(&id)
+                .expect("completion matches a submission");
+            assert_eq!(out.get_str("payload"), Some(want.as_str()));
+        }
+        assert!(expected.is_empty(), "every submission completed");
+        // Nothing further arrives once the backlog is drained.
+        assert!(dep.collect_result(Duration::from_millis(50)).is_err());
     }
 
     #[test]

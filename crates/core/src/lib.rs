@@ -25,12 +25,17 @@
 //!
 //! ## Execution model
 //!
-//! Each coordinator is one fabric node (one mailbox, one thread) — a
-//! capacity-1 service host, like the demo's per-provider machines.
-//! Notifications carry the instance's variables; receivers merge variable
-//! sets, which is what makes AND-join guards over cross-region data (the
-//! travel scenario's `near(major_attraction, accommodation)`) evaluable
-//! without a central blackboard.
+//! Each coordinator is one fabric node (one mailbox, scheduled on a shared
+//! worker pool) running a continuation-passing state machine: firing a
+//! state dispatches its work asynchronously and the coordinator resumes
+//! when the completion event arrives, so any number of instances can be
+//! awaiting backends with zero parked threads. Per instance the old
+//! capacity-1 semantics hold — one task in flight at a time, later
+//! notifications deferred until the completion. Notifications carry the
+//! instance's variables; receivers merge variable sets, which is what
+//! makes AND-join guards over cross-region data (the travel scenario's
+//! `near(major_attraction, accommodation)`) evaluable without a central
+//! blackboard.
 
 mod backend;
 mod central;
@@ -44,7 +49,8 @@ mod protocol;
 mod wrapper;
 
 pub use backend::{
-    EchoService, FailingService, ServiceBackend, ServiceHost, ServiceHostHandle, SyntheticService,
+    EchoService, FailingService, ForwardCall, ServiceBackend, ServiceHost, ServiceHostHandle,
+    SyntheticService,
 };
 pub use central::{CentralConfig, CentralHandle, CentralizedOrchestrator};
 pub use composite_backend::CompositeBackend;

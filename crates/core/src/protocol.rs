@@ -18,8 +18,9 @@ use std::sync::{Mutex, OnceLock};
 /// The endpoint is connected lazily on first use, so owners whose callers
 /// only ever supply their own endpoints (e.g. `execute_from`) never pay
 /// for it — on TCP an anonymous connect costs a listener and an accept
-/// thread, and it adds a `~` node to metrics. (The `Mutex` only exists to
-/// make the held [`Endpoint`] `Sync`; nothing ever locks it.)
+/// thread, and it adds a `~` node to metrics. (The `Mutex` makes the held
+/// [`Endpoint`] `Sync`; only [`PersistentClient::recv_timeout`] — the
+/// submit-mode result collector — ever locks it.)
 pub(crate) struct PersistentClient {
     net: TransportHandle,
     prefix: String,
@@ -37,16 +38,30 @@ impl PersistentClient {
         }
     }
 
+    fn slot(&self) -> &(NodeSender, Mutex<Endpoint>) {
+        self.slot.get_or_init(|| {
+            let endpoint = self.net.connect_anonymous(&self.prefix);
+            (endpoint.sender(), Mutex::new(endpoint))
+        })
+    }
+
     /// The handle that sends and rpcs as this client (connecting the
     /// underlying endpoint on first call).
     pub(crate) fn sender(&self) -> &NodeSender {
-        &self
-            .slot
-            .get_or_init(|| {
-                let endpoint = self.net.connect_anonymous(&self.prefix);
-                (endpoint.sender(), Mutex::new(endpoint))
-            })
-            .0
+        &self.slot().0
+    }
+
+    /// Receives the next envelope queued on the client's mailbox — the
+    /// arrival path of fire-and-collect replies (correlated responses to
+    /// plain `send`s, which the reply demux passes through to the mailbox
+    /// because no rpc registered their ids). Concurrent collectors
+    /// serialize on the endpoint lock.
+    pub(crate) fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<selfserv_net::Envelope, selfserv_net::RecvError> {
+        let endpoint = self.slot().1.lock().expect("client endpoint lock");
+        endpoint.recv_timeout(timeout)
     }
 }
 

@@ -131,14 +131,14 @@ impl NodeLogic for WrapperLogic {
             kinds::RAISE_EVENT => self.on_event(ctx, &env),
             _ => {}
         }
-        self.sweep_stale();
+        self.sweep_stale(ctx);
         self.arm_sweep(ctx);
         Flow::Continue
     }
 
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _timer: TimerToken) -> Flow {
         self.sweep.fired();
-        self.sweep_stale();
+        self.sweep_stale(ctx);
         self.arm_sweep(ctx);
         Flow::Continue
     }
@@ -165,14 +165,26 @@ impl WrapperLogic {
             .arm(ctx, !self.instances.is_empty(), self.cfg.instance_ttl);
     }
 
-    fn sweep_stale(&mut self) {
+    /// Abandoned instances are *faulted*, not silently dropped: the caller
+    /// gets an execute fault (meaningful now that `Deployment::submit`
+    /// lets thousands of executions run without a blocked caller thread
+    /// each), and the cleanup broadcast clears the coordinators' slots —
+    /// including any invocation state still pending for the instance.
+    fn sweep_stale(&mut self, ctx: &NodeCtx<'_>) {
         let ttl = self.cfg.instance_ttl;
         if ttl.is_zero() {
             return;
         }
         let now = Instant::now();
-        self.instances
-            .retain(|_, s| now.duration_since(s.last_touched) < ttl);
+        let expired: Vec<InstanceId> = self
+            .instances
+            .iter()
+            .filter(|(_, s)| now.duration_since(s.last_touched) >= ttl)
+            .map(|(id, _)| *id)
+            .collect();
+        for instance in expired {
+            self.finish_fault(ctx, instance, "instance abandoned: idle past TTL");
+        }
     }
 
     fn on_execute(&mut self, ctx: &NodeCtx<'_>, env: &Envelope) {

@@ -72,6 +72,23 @@ pub struct Envelope {
 }
 
 impl Envelope {
+    /// A synthetic, transport-less envelope: carries `body` as if `node`
+    /// had sent it to itself. Never touches a transport (no metrics, no
+    /// delivery) — it exists so off-wire results (e.g. a pool task's
+    /// outcome delivered through a runtime completion event) travel in the
+    /// same shape as wire traffic. The id is `MessageId(0)` and there is
+    /// no correlation.
+    pub fn synthetic(node: NodeId, kind: impl Into<String>, body: Element) -> Envelope {
+        Envelope {
+            id: MessageId(0),
+            from: node.clone(),
+            to: node,
+            kind: kind.into(),
+            correlation: None,
+            body,
+        }
+    }
+
     /// Encodes the whole envelope as one XML element (the on-wire form of
     /// the TCP transport, and the basis of byte accounting).
     pub fn to_xml(&self) -> Element {

@@ -24,6 +24,12 @@
 //! [`Endpoint::recv`]. No per-call endpoints, listeners, or threads are
 //! created on this path on any transport.
 //!
+//! The demux also supports a **continuation-passing** rpc shape: instead
+//! of a slot somebody blocks on, [`ReplyDemux::register_handler`] installs
+//! a one-shot callback the delivery path runs with the correlated reply —
+//! the hook `selfserv-runtime`'s `rpc_async` uses to resume a node state
+//! machine without parking any thread for the round trip.
+//!
 //! Two first-class implementations ship with this crate: the in-process
 //! simulation fabric ([`crate::Network`]) and real TCP sockets
 //! ([`crate::tcp::TcpTransport`]). Coordinators, wrappers, communities,
@@ -274,6 +280,11 @@ impl fmt::Debug for TransportHandle {
 /// recognized and discarded instead of leaking into [`Endpoint::recv`].
 const STALE_CAPACITY: usize = 1024;
 
+/// A one-shot continuation invoked with the correlated reply of an
+/// asynchronous rpc (see [`ReplyDemux::register_handler`]). Runs on the
+/// transport's delivery path, so it must be cheap and must never block.
+type ReplyHandler = Box<dyn FnOnce(Envelope) + Send>;
+
 /// Per-endpoint rpc reply demultiplexer.
 ///
 /// Each in-flight [`Endpoint::rpc`] registers its request id here before
@@ -284,6 +295,9 @@ const STALE_CAPACITY: usize = 1024;
 ///
 /// * a reply correlated to a **pending** rpc goes to that rpc's slot —
 ///   concurrent rpcs from one node can never receive each other's reply;
+/// * a reply correlated to a registered **continuation handler** (the
+///   thread-free rpc shape node runtimes use — see
+///   [`ReplyDemux::register_handler`]) consumes the handler and runs it;
 /// * a reply correlated to a **retired** rpc (completed or timed out) is
 ///   discarded — a stale reply cannot poison the next rpc or surface as
 ///   phantom traffic in `recv`;
@@ -296,6 +310,10 @@ const STALE_CAPACITY: usize = 1024;
 pub struct ReplyDemux {
     /// In-flight rpc request ids → reply slots.
     pending: Mutex<HashMap<MessageId, crossbeam::channel::Sender<Envelope>>>,
+    /// In-flight *continuation-passing* rpc request ids → one-shot reply
+    /// handlers. Disjoint from `pending` by construction (transport
+    /// message ids are unique).
+    handlers: Mutex<HashMap<MessageId, ReplyHandler>>,
     /// Recently retired rpc ids, bounded by [`STALE_CAPACITY`].
     stale: Mutex<StaleRing>,
     /// Invoked after every envelope queued on the owning endpoint's mailbox
@@ -315,6 +333,7 @@ impl ReplyDemux {
     pub(crate) fn new() -> Arc<ReplyDemux> {
         Arc::new(ReplyDemux {
             pending: Mutex::new(HashMap::new()),
+            handlers: Mutex::new(HashMap::new()),
             stale: Mutex::new(StaleRing::default()),
             waker: Mutex::new(None),
         })
@@ -353,23 +372,58 @@ impl ReplyDemux {
     /// would open a window where it found neither and leaked into the
     /// mailbox.
     fn retire(&self, id: MessageId) {
-        {
-            let mut stale = self.stale.lock();
-            if stale.set.insert(id) {
-                stale.order.push_back(id);
-                if stale.order.len() > STALE_CAPACITY {
-                    if let Some(oldest) = stale.order.pop_front() {
-                        stale.set.remove(&oldest);
-                    }
+        self.tombstone(id);
+        self.pending.lock().remove(&id);
+    }
+
+    /// Registers a one-shot continuation for the reply correlated to `id`:
+    /// when it arrives, the delivery path retires the id and runs `handler`
+    /// with the reply instead of queueing anything or parking anyone.
+    ///
+    /// This is the thread-free half of the rpc machinery: where
+    /// [`Endpoint::rpc`] registers a slot and blocks on it, a node runtime
+    /// registers a handler that re-enters its scheduler (e.g. enqueue a
+    /// completion event and wake the node) and returns immediately. Like
+    /// the mailbox waker, the handler runs on the transport's delivery path
+    /// (fabric dispatch or a TCP reader thread): it must be cheap and must
+    /// never block. Register **before** the request is sent, so even an
+    /// instantly delivered reply finds it.
+    pub fn register_handler(&self, id: MessageId, handler: impl FnOnce(Envelope) + Send + 'static) {
+        self.handlers.lock().insert(id, Box::new(handler));
+    }
+
+    /// Cancels the continuation registered for `id` (timeout or owner
+    /// shutdown). Returns `true` when the handler was still pending — the
+    /// caller now owns the failure path (e.g. deliver a timeout
+    /// completion) — and `false` when the reply already won the race and
+    /// the handler ran (or was never registered).
+    ///
+    /// Tombstones the id *before* removing the handler, mirroring the
+    /// internal slot-retirement order: a reply delivered concurrently either still
+    /// finds the handler (and wins — this returns `false`) or finds the
+    /// tombstone; it can never leak into the mailbox.
+    pub fn cancel_handler(&self, id: MessageId) -> bool {
+        self.tombstone(id);
+        self.handlers.lock().remove(&id).is_some()
+    }
+
+    /// Adds `id` to the bounded stale ring (idempotent).
+    fn tombstone(&self, id: MessageId) {
+        let mut stale = self.stale.lock();
+        if stale.set.insert(id) {
+            stale.order.push_back(id);
+            if stale.order.len() > STALE_CAPACITY {
+                if let Some(oldest) = stale.order.pop_front() {
+                    stale.set.remove(&oldest);
                 }
             }
         }
-        self.pending.lock().remove(&id);
     }
 
     /// Routes one inbound envelope. Returns the envelope when it should be
     /// queued on the main mailbox; `None` when it was consumed by a
-    /// pending rpc slot or discarded as stale.
+    /// pending rpc slot, consumed by a registered continuation handler, or
+    /// discarded as stale.
     pub(crate) fn route(&self, env: Envelope) -> Option<Envelope> {
         let Some(corr) = env.correlation else {
             return Some(env);
@@ -384,6 +438,15 @@ impl ReplyDemux {
                 return None;
             }
         }
+        let handler = self.handlers.lock().remove(&corr);
+        if let Some(handler) = handler {
+            // Retire before running the continuation so a duplicate reply
+            // racing in behind this one is discarded as stale. The handler
+            // runs outside every demux lock: it may re-enter the endpoint.
+            self.retire(corr);
+            handler(env);
+            return None;
+        }
         if self.stale.lock().set.contains(&corr) {
             return None;
         }
@@ -393,6 +456,12 @@ impl ReplyDemux {
     /// Number of in-flight rpcs (for tests and debugging).
     pub fn pending_rpcs(&self) -> usize {
         self.pending.lock().len()
+    }
+
+    /// Number of registered continuation handlers (for tests and
+    /// debugging).
+    pub fn pending_handlers(&self) -> usize {
+        self.handlers.lock().len()
     }
 }
 
@@ -770,4 +839,82 @@ fn rpc_via(
         .send_prepared(request_id, as_node, to, kind, body, None)
         .map_err(RpcError::Send)?;
     slot.recv_timeout(timeout).map_err(|_| RpcError::Timeout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Network, NetworkConfig};
+    use selfserv_xml::Element;
+
+    /// A continuation handler consumes exactly the correlated reply, which
+    /// never reaches the mailbox; the id is retired afterwards so a
+    /// duplicate reply is discarded too.
+    #[test]
+    fn handler_consumes_correlated_reply_and_retires_id() {
+        let net = Network::new(NetworkConfig::instant());
+        let caller = net.connect("caller").unwrap();
+        let responder = net.connect("responder").unwrap();
+
+        let id = net.next_message_id();
+        let (tx, rx) = crossbeam::channel::unbounded();
+        caller.demux().register_handler(id, move |env: Envelope| {
+            let _ = tx.send(env);
+        });
+        net.send_prepared(
+            id,
+            caller.node(),
+            "responder".into(),
+            "ping".into(),
+            Element::new("ping"),
+            None,
+        )
+        .unwrap();
+        let req = responder.recv_timeout(Duration::from_secs(2)).unwrap();
+        responder.reply(&req, "pong", Element::new("pong")).unwrap();
+        responder.reply(&req, "pong", Element::new("dup")).unwrap();
+
+        let reply = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(reply.kind, "pong");
+        assert_eq!(reply.body.name, "pong");
+        // The duplicate was retired, not queued: nothing reaches the
+        // mailbox and the handler table is empty.
+        assert!(caller.recv_timeout(Duration::from_millis(50)).is_err());
+        assert_eq!(caller.demux().pending_handlers(), 0);
+        assert!(
+            rx.recv_timeout(Duration::from_millis(50)).is_err(),
+            "one-shot handler must not run twice"
+        );
+    }
+
+    /// Cancelling first wins the race: the handler never runs and the late
+    /// reply is discarded as stale instead of leaking into the mailbox.
+    #[test]
+    fn cancelled_handler_discards_late_reply() {
+        let net = Network::new(NetworkConfig::instant());
+        let caller = net.connect("caller").unwrap();
+        let responder = net.connect("responder").unwrap();
+
+        let id = net.next_message_id();
+        caller
+            .demux()
+            .register_handler(id, |_| panic!("cancelled handler must not run"));
+        net.send_prepared(
+            id,
+            caller.node(),
+            "responder".into(),
+            "ping".into(),
+            Element::new("ping"),
+            None,
+        )
+        .unwrap();
+        let req = responder.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(caller.demux().cancel_handler(id), "still pending");
+        assert!(!caller.demux().cancel_handler(id), "idempotent");
+        responder.reply(&req, "pong", Element::new("late")).unwrap();
+        assert!(
+            caller.recv_timeout(Duration::from_millis(50)).is_err(),
+            "late reply to a cancelled handler is stale"
+        );
+    }
 }

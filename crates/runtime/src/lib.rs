@@ -32,23 +32,42 @@
 //! serialization the old one-thread-per-node model provided implicitly.
 //! Nodes with empty mailboxes cost nothing: no thread, no poll.
 //!
+//! ## Waiting without parking: continuation-passing rpc
+//!
+//! Request/response that scales with load goes through
+//! [`NodeCtx::rpc_async`]: the call registers a continuation in the
+//! endpoint's reply demultiplexer and returns immediately; when the
+//! correlated reply arrives (or the timer-service-backed deadline fires
+//! first, or the request cannot be sent) the runtime queues an
+//! [`RpcDone`] completion event and the node resumes in
+//! [`NodeLogic::on_rpc_done`] — with the same exclusive serialization as
+//! `on_message`, and with **zero workers parked** while the request was
+//! in flight. A node that stops with requests outstanding cancels them:
+//! their ids are retired so late replies are discarded at delivery, and
+//! no completion is ever delivered. Off-node work (a spawned pool task)
+//! resumes its node the same way through a [`TaskCompleter`].
+//!
 //! ## Blocking inside callbacks
 //!
-//! Callbacks sometimes must wait: a coordinator's community invocation is
-//! a blocking [`Endpoint::rpc`](selfserv_net::Endpoint::rpc), and a
-//! co-located backend may simulate
-//! service latency with `sleep`. Such sections go through
-//! [`NodeCtx::block_on`] (or [`NodeCtx::rpc`], which wraps it): the worker
-//! declares itself *blocked*, and the pool — like Go's scheduler around
-//! syscalls — spawns a compensating worker whenever the count of
-//! unblocked workers would fall below the configured pool size, so node
-//! progress can never deadlock on parked workers. Compensating workers
-//! retire lazily once the pool is idle and over target, so bursts reuse
-//! them instead of thrashing spawn/join.
+//! Some waits genuinely park a thread: a backend that simulates service
+//! latency with `sleep`, or a deliberately synchronous
+//! [`Endpoint::rpc`](selfserv_net::Endpoint::rpc) on a low-concurrency
+//! control path. Such sections go through [`NodeCtx::block_on`] (or
+//! [`NodeCtx::rpc`], which wraps it): the worker declares itself
+//! *blocked*, and the pool — like Go's scheduler around syscalls — spawns
+//! a compensating worker whenever the count of unblocked workers would
+//! fall below the configured pool size, so node progress can never
+//! deadlock on parked workers. Compensating workers retire lazily once
+//! the pool is idle and over target, so bursts reuse them instead of
+//! thrashing spawn/join.
 //!
 //! The **thread budget** of a process is therefore
 //! `W (workers) + 1 (timer) + B (concurrently blocked callbacks) +
-//! transport threads` — independent of how many nodes are deployed.
+//! transport threads` — independent of how many nodes are deployed, and,
+//! since in-flight `rpc_async` invocations contribute nothing to `B`,
+//! independent of how many requests are awaiting replies: the blocked
+//! term counts only genuinely thread-blocking sections (sleeping
+//! backends, synchronous control rpcs).
 //!
 //! ## Shutdown ordering
 //!
@@ -64,7 +83,9 @@ mod node;
 mod timer;
 
 pub use executor::{Executor, ExecutorHandle};
-pub use node::{Flow, NodeCtx, NodeHandle, NodeLogic, TimerToken};
+pub use node::{
+    Flow, NodeCtx, NodeHandle, NodeLogic, RpcDone, RpcToken, TaskCompleter, TimerToken,
+};
 
 use std::sync::OnceLock;
 
@@ -459,6 +480,266 @@ mod tests {
         assert_eq!(reply.kind, "pong");
         assert_eq!(exec.handle().live_workers(), 2, "no worker died");
         exec.shutdown(); // must not hang on corrupted counts
+    }
+
+    /// A node relaying through rpc_async on a 1-worker pool: the reply
+    /// arrives as an on_rpc_done event and **no compensation worker is
+    /// ever spawned** — the in-flight request parks nothing.
+    #[test]
+    fn rpc_async_is_thread_free_on_a_one_worker_pool() {
+        struct Front;
+        impl NodeLogic for Front {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+                if env.kind == "go" {
+                    ctx.rpc_async(
+                        "back",
+                        "ping",
+                        Element::new("ping"),
+                        Duration::from_secs(5),
+                        RpcToken(7),
+                    );
+                }
+                Flow::Continue
+            }
+            fn on_rpc_done(&mut self, ctx: &mut NodeCtx<'_>, done: RpcDone) -> Flow {
+                assert_eq!(done.token, RpcToken(7));
+                let reply = done.result.expect("echo answers");
+                let _ = ctx.endpoint().send("client", reply.kind, reply.body);
+                Flow::Continue
+            }
+        }
+        let exec = Executor::new(1);
+        let net = Network::new(NetworkConfig::instant());
+        let _front = exec
+            .handle()
+            .spawn_node(net.connect("front").unwrap(), Front);
+        let _back = exec
+            .handle()
+            .spawn_node(net.connect("back").unwrap(), EchoLogic);
+        let client = net.connect("client").unwrap();
+        client.send("front", "go", Element::new("go")).unwrap();
+        let relayed = client.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(relayed.kind, "pong");
+        assert_eq!(
+            exec.handle().live_workers(),
+            1,
+            "no compensation was needed: nothing parked"
+        );
+        assert_eq!(exec.handle().blocked_workers(), 0);
+        exec.shutdown();
+    }
+
+    /// A request to a silent responder resolves to Err(Timeout) through
+    /// the timer service, and the continuation handler is cleaned up.
+    #[test]
+    fn rpc_async_times_out_via_the_timer_service() {
+        struct Caller(Arc<AtomicUsize>);
+        impl NodeLogic for Caller {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+                if env.kind == "go" {
+                    ctx.rpc_async(
+                        "mute",
+                        "ping",
+                        Element::new("ping"),
+                        Duration::from_millis(50),
+                        RpcToken(1),
+                    );
+                }
+                Flow::Continue
+            }
+            fn on_rpc_done(&mut self, _ctx: &mut NodeCtx<'_>, done: RpcDone) -> Flow {
+                assert_eq!(done.result, Err(selfserv_net::RpcError::Timeout));
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Flow::Continue
+            }
+        }
+        struct Mute;
+        impl NodeLogic for Mute {
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _env: Envelope) -> Flow {
+                Flow::Continue // never replies
+            }
+        }
+        let exec = Executor::new(2);
+        let net = Network::new(NetworkConfig::instant());
+        let timeouts = Arc::new(AtomicUsize::new(0));
+        let caller = exec.handle().spawn_node(
+            net.connect("caller").unwrap(),
+            Caller(Arc::clone(&timeouts)),
+        );
+        let _mute = exec.handle().spawn_node(net.connect("mute").unwrap(), Mute);
+        let client = net.connect("client").unwrap();
+        client.send("caller", "go", Element::new("go")).unwrap();
+        let t0 = Instant::now();
+        while timeouts.load(Ordering::SeqCst) == 0 && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(timeouts.load(Ordering::SeqCst), 1, "exactly one completion");
+        caller.stop();
+        exec.shutdown();
+    }
+
+    /// An unsendable request (unknown destination) resolves to
+    /// Err(Send(_)) in the same turn — all failures arrive as completions.
+    #[test]
+    fn rpc_async_send_failure_arrives_as_completion() {
+        struct Caller(Arc<AtomicBool>);
+        impl NodeLogic for Caller {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+                if env.kind == "go" {
+                    ctx.rpc_async(
+                        "nobody-home",
+                        "ping",
+                        Element::new("ping"),
+                        Duration::from_secs(5),
+                        RpcToken(3),
+                    );
+                }
+                Flow::Continue
+            }
+            fn on_rpc_done(&mut self, _ctx: &mut NodeCtx<'_>, done: RpcDone) -> Flow {
+                assert!(matches!(
+                    done.result,
+                    Err(selfserv_net::RpcError::Send(
+                        selfserv_net::SendError::UnknownNode(_)
+                    ))
+                ));
+                self.0.store(true, Ordering::SeqCst);
+                Flow::Continue
+            }
+        }
+        let exec = Executor::new(1);
+        let net = Network::new(NetworkConfig::instant());
+        let failed = Arc::new(AtomicBool::new(false));
+        let caller = exec
+            .handle()
+            .spawn_node(net.connect("caller").unwrap(), Caller(Arc::clone(&failed)));
+        let client = net.connect("client").unwrap();
+        client.send("caller", "go", Element::new("go")).unwrap();
+        let t0 = Instant::now();
+        while !failed.load(Ordering::SeqCst) && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(failed.load(Ordering::SeqCst));
+        caller.stop();
+        exec.shutdown();
+    }
+
+    /// Cancel-on-stop: a node stopped with a request in flight delivers no
+    /// completion, retires the continuation handler, and discards the late
+    /// reply instead of leaking it anywhere.
+    #[test]
+    fn rpc_async_cancelled_on_stop_discards_late_reply() {
+        struct Caller(Arc<AtomicUsize>);
+        impl NodeLogic for Caller {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+                if env.kind == "go" {
+                    ctx.rpc_async(
+                        "slow",
+                        "ping",
+                        Element::new("ping"),
+                        Duration::from_secs(5),
+                        RpcToken(9),
+                    );
+                }
+                Flow::Continue
+            }
+            fn on_rpc_done(&mut self, _ctx: &mut NodeCtx<'_>, _done: RpcDone) -> Flow {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Flow::Continue
+            }
+        }
+        // Replies only when released.
+        struct Slow {
+            parked: Arc<parking_lot::Mutex<Vec<Envelope>>>,
+        }
+        impl NodeLogic for Slow {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+                if env.kind == "release" {
+                    for req in self.parked.lock().drain(..) {
+                        let _ = ctx.endpoint().reply(&req, "pong", Element::new("late"));
+                    }
+                } else {
+                    self.parked.lock().push(env);
+                }
+                Flow::Continue
+            }
+        }
+        let exec = Executor::new(2);
+        let net = Network::new(NetworkConfig::instant());
+        let completions = Arc::new(AtomicUsize::new(0));
+        let caller = exec.handle().spawn_node(
+            net.connect("caller").unwrap(),
+            Caller(Arc::clone(&completions)),
+        );
+        let parked = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let slow = exec.handle().spawn_node(
+            net.connect("slow").unwrap(),
+            Slow {
+                parked: Arc::clone(&parked),
+            },
+        );
+        let client = net.connect("client").unwrap();
+        client.send("caller", "go", Element::new("go")).unwrap();
+        let t0 = Instant::now();
+        while parked.lock().is_empty() && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Stop the caller with the request still in flight, then release
+        // the reply into the void.
+        caller.stop();
+        client.send("slow", "release", Element::new("r")).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(
+            completions.load(Ordering::SeqCst),
+            0,
+            "no completion after stop"
+        );
+        slow.stop();
+        exec.shutdown();
+    }
+
+    /// A TaskCompleter resumes its node from a spawned task; one for a
+    /// stopped node is dropped silently.
+    #[test]
+    fn task_completer_resumes_the_node() {
+        struct Waiter(Arc<AtomicUsize>);
+        impl NodeLogic for Waiter {
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+                if env.kind == "go" {
+                    let completer = ctx.completer(RpcToken(5));
+                    let node = ctx.node().clone();
+                    ctx.executor().spawn_task(move || {
+                        completer.complete(Ok(Envelope::synthetic(
+                            node,
+                            "task.result",
+                            Element::new("done"),
+                        )));
+                    });
+                }
+                Flow::Continue
+            }
+            fn on_rpc_done(&mut self, _ctx: &mut NodeCtx<'_>, done: RpcDone) -> Flow {
+                assert_eq!(done.token, RpcToken(5));
+                assert_eq!(done.result.unwrap().kind, "task.result");
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Flow::Continue
+            }
+        }
+        let exec = Executor::new(2);
+        let net = Network::new(NetworkConfig::instant());
+        let resumed = Arc::new(AtomicUsize::new(0));
+        let node = exec
+            .handle()
+            .spawn_node(net.connect("waiter").unwrap(), Waiter(Arc::clone(&resumed)));
+        let client = net.connect("client").unwrap();
+        client.send("waiter", "go", Element::new("go")).unwrap();
+        let t0 = Instant::now();
+        while resumed.load(Ordering::SeqCst) == 0 && t0.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(resumed.load(Ordering::SeqCst), 1);
+        node.stop();
+        exec.shutdown();
     }
 
     #[test]

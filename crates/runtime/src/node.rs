@@ -3,9 +3,9 @@
 
 use crate::executor::{ExecutorHandle, Pool, Runnable};
 use parking_lot::{Condvar, Mutex};
-use selfserv_net::{Endpoint, Envelope, NodeId, RpcError};
+use selfserv_net::{Endpoint, Envelope, MessageId, NodeId, ReplyDemux, RpcError};
 use selfserv_xml::Element;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Weak};
 use std::time::Duration;
@@ -31,6 +31,34 @@ pub enum Flow {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerToken(pub u64);
 
+/// Correlates an asynchronous request started via [`NodeCtx::rpc_async`]
+/// (or a [`TaskCompleter`]) with the [`RpcDone`] completion later handed
+/// to [`NodeLogic::on_rpc_done`]. Like [`TimerToken`], tokens are chosen
+/// by the node's logic and never interpreted by the runtime — a node with
+/// many requests in flight keys its per-request continuation state on
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RpcToken(pub u64);
+
+/// The completion event of a continuation-passing request: delivered to
+/// [`NodeLogic::on_rpc_done`] when the reply of a [`NodeCtx::rpc_async`]
+/// arrives (or its deadline fires), or when a [`TaskCompleter`] is
+/// completed by an off-node task.
+///
+/// `result` is `Ok(reply)` with the correlated reply envelope,
+/// `Err(RpcError::Timeout)` when the deadline won the race, or
+/// `Err(RpcError::Send(_))` when the request never left the transport.
+/// Exactly one completion is delivered per request — unless the node
+/// stops first, in which case the request is cancelled and nothing is
+/// delivered (see the cancel-on-stop notes on [`NodeCtx::rpc_async`]).
+#[derive(Debug)]
+pub struct RpcDone {
+    /// The token the request was started with.
+    pub token: RpcToken,
+    /// The reply, or why there is none.
+    pub result: Result<Envelope, RpcError>,
+}
+
 /// An event-driven platform node: the state machine behind one transport
 /// endpoint, scheduled by an [`crate::Executor`].
 ///
@@ -39,12 +67,16 @@ pub struct TimerToken(pub u64);
 /// one-thread-per-node model's implicit guarantee). Different nodes run in
 /// parallel across the pool's workers.
 ///
-/// Callbacks should return promptly; anything that genuinely waits — a
-/// blocking rpc, a backend that simulates service latency — must go
-/// through [`NodeCtx::block_on`] / [`NodeCtx::rpc`] so the pool can
-/// compensate for the parked worker. Don't call [`Endpoint::recv`] inside
-/// a callback: the runtime drains the mailbox for you and hands every
-/// envelope to `on_message`.
+/// Callbacks should return promptly. For request/response, prefer
+/// [`NodeCtx::rpc_async`]: it returns immediately and delivers the reply
+/// as an [`RpcDone`] completion to [`NodeLogic::on_rpc_done`], so any
+/// number of requests can be in flight with zero parked workers. Anything
+/// that genuinely *blocks the calling thread* — a sleeping backend, a
+/// hand-rolled wait, or a deliberately synchronous [`NodeCtx::rpc`] —
+/// must go through [`NodeCtx::block_on`] so the pool can compensate for
+/// the parked worker. Don't call [`Endpoint::recv`] inside a callback:
+/// the runtime drains the mailbox for you and hands every envelope to
+/// `on_message`.
 pub trait NodeLogic: Send + 'static {
     /// Runs once, before any message is delivered.
     fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
@@ -54,6 +86,14 @@ pub trait NodeLogic: Send + 'static {
 
     /// Handles a timer set via [`NodeCtx::set_timer`].
     fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _timer: TimerToken) -> Flow {
+        Flow::Continue
+    }
+
+    /// Handles the completion of a request started with
+    /// [`NodeCtx::rpc_async`] or a [`TaskCompleter`] — the continuation of
+    /// a state task split across a reply. Runs with the same exclusive,
+    /// serialized access as `on_message`.
+    fn on_rpc_done(&mut self, _ctx: &mut NodeCtx<'_>, _done: RpcDone) -> Flow {
         Flow::Continue
     }
 
@@ -97,11 +137,19 @@ impl NodeCtx<'_> {
         self.pool.block_on(f)
     }
 
-    /// Request/response as this node — [`Endpoint::rpc`] wrapped in
-    /// [`NodeCtx::block_on`]. The calling worker parks on the reply slot
-    /// (the reply re-enters through the endpoint's `ReplyDemux`, exactly
-    /// as on a dedicated thread) while the pool compensates, so nodes
-    /// rpc-ing each other on one executor cannot deadlock the pool.
+    /// *Blocking* request/response as this node — [`Endpoint::rpc`]
+    /// wrapped in [`NodeCtx::block_on`]. The calling worker parks on the
+    /// reply slot (the reply re-enters through the endpoint's
+    /// `ReplyDemux`, exactly as on a dedicated thread) while the pool
+    /// compensates, so nodes rpc-ing each other on one executor cannot
+    /// deadlock the pool.
+    ///
+    /// **Decision rule:** each concurrent `rpc` costs one parked OS thread
+    /// for its whole round trip; [`NodeCtx::rpc_async`] costs none. Use
+    /// `rpc` only where straight-line code mid-callback is worth a thread
+    /// — setup/teardown paths, low-concurrency control traffic. Anything
+    /// that scales with load (per-instance, per-request invocations)
+    /// should use `rpc_async` and resume in [`NodeLogic::on_rpc_done`].
     pub fn rpc(
         &self,
         to: impl Into<NodeId>,
@@ -114,6 +162,142 @@ impl NodeCtx<'_> {
         self.block_on(|| self.endpoint.rpc(to, kind, body, timeout))
     }
 
+    /// Continuation-passing request/response: sends `kind` to `to` as this
+    /// node and returns immediately. The correlated reply — or
+    /// `Err(Timeout)` once `timeout` elapses first, or `Err(Send(_))` if
+    /// the request never left — is delivered back into this node's event
+    /// stream as an [`RpcDone`] carrying `token`, handed to
+    /// [`NodeLogic::on_rpc_done`] with the usual exclusive serialized
+    /// access. **No worker is parked** while the request is in flight, so
+    /// any number of requests (across any number of instances this node
+    /// manages) can be outstanding on a fixed-size pool.
+    ///
+    /// Exactly one completion is delivered per call, arbitrated between
+    /// the reply, the timer-service-backed deadline, and node stop:
+    /// if the node stops first, the request is cancelled — its id is
+    /// retired so a late reply is discarded at delivery, and no completion
+    /// is ever delivered.
+    ///
+    /// Returns the request's message id (for diagnostics; completions are
+    /// matched by `token`).
+    ///
+    /// ```
+    /// use selfserv_net::{Envelope, Network, NetworkConfig};
+    /// use selfserv_runtime::{Executor, Flow, NodeCtx, NodeLogic, RpcDone, RpcToken};
+    /// use selfserv_xml::Element;
+    /// use std::time::Duration;
+    ///
+    /// /// Forwards each `ask` to the oracle without parking a worker,
+    /// /// answering the original caller when the oracle's reply arrives.
+    /// struct Relay {
+    ///     next: u64,
+    ///     waiting: std::collections::HashMap<RpcToken, Envelope>,
+    /// }
+    ///
+    /// impl NodeLogic for Relay {
+    ///     fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+    ///         self.next += 1;
+    ///         let token = RpcToken(self.next);
+    ///         ctx.rpc_async(
+    ///             "oracle",
+    ///             "question",
+    ///             env.body.clone(),
+    ///             Duration::from_secs(5),
+    ///             token,
+    ///         );
+    ///         self.waiting.insert(token, env); // resume state, no parked thread
+    ///         Flow::Continue
+    ///     }
+    ///
+    ///     fn on_rpc_done(&mut self, ctx: &mut NodeCtx<'_>, done: RpcDone) -> Flow {
+    ///         let asker = self.waiting.remove(&done.token).expect("known token");
+    ///         let reply = done.result.expect("oracle answered");
+    ///         let _ = ctx.endpoint().reply(&asker, "answer", reply.body);
+    ///         Flow::Continue
+    ///     }
+    /// }
+    ///
+    /// /// Answers every question with `42`.
+    /// struct Oracle;
+    /// impl NodeLogic for Oracle {
+    ///     fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+    ///         let _ = ctx.endpoint().reply(&env, "wisdom", Element::new("n").with_attr("v", "42"));
+    ///         Flow::Continue
+    ///     }
+    /// }
+    ///
+    /// let exec = Executor::new(1); // one worker is enough: nobody parks
+    /// let net = Network::new(NetworkConfig::instant());
+    /// let relay = exec.handle().spawn_node(
+    ///     net.connect("relay").unwrap(),
+    ///     Relay { next: 0, waiting: Default::default() },
+    /// );
+    /// let oracle = exec.handle().spawn_node(net.connect("oracle").unwrap(), Oracle);
+    /// let client = net.connect("client").unwrap();
+    /// let answer = client
+    ///     .rpc("relay", "ask", Element::new("q"), Duration::from_secs(5))
+    ///     .unwrap();
+    /// assert_eq!(answer.body.attr("v"), Some("42"));
+    /// relay.stop();
+    /// oracle.stop();
+    /// exec.shutdown();
+    /// ```
+    pub fn rpc_async(
+        &self,
+        to: impl Into<NodeId>,
+        kind: impl Into<String>,
+        body: Element,
+        timeout: Duration,
+        token: RpcToken,
+    ) -> MessageId {
+        let transport = self.endpoint.transport();
+        let id = transport.next_message_id();
+        self.cell.inner.lock().pending_rpcs.insert(id, token);
+        // Register the continuation before the request leaves, so even an
+        // instantly delivered reply finds it. The handler only re-enters
+        // the node's scheduler — cheap enough for the delivery path.
+        let weak = Arc::downgrade(self.cell);
+        self.endpoint.demux().register_handler(id, move |env| {
+            if let Some(cell) = weak.upgrade() {
+                cell.deliver_rpc_reply(id, env);
+            }
+        });
+        match transport.send_prepared(id, self.node(), to.into(), kind.into(), body, None) {
+            Ok(()) => {
+                self.pool
+                    .timers
+                    .schedule_rpc_deadline(timeout, Arc::downgrade(self.cell), id);
+            }
+            Err(e) => {
+                // The request never left: resolve immediately. The event
+                // is picked up at the end of the current turn (a NodeCtx
+                // only exists inside one), so no wake is needed.
+                self.endpoint.demux().cancel_handler(id);
+                let mut inner = self.cell.inner.lock();
+                inner.pending_rpcs.remove(&id);
+                inner.events.push_back(Event::RpcDone(RpcDone {
+                    token,
+                    result: Err(RpcError::Send(e)),
+                }));
+            }
+        }
+        id
+    }
+
+    /// A one-shot handle that delivers an off-node task's outcome back
+    /// into this node's event stream as an [`RpcDone`] completion — the
+    /// continuation-passing analogue of returning from a blocking section.
+    /// Hand it to a task spawned via [`ExecutorHandle::spawn_task`]; when
+    /// the task calls [`TaskCompleter::complete`], the node resumes in
+    /// [`NodeLogic::on_rpc_done`] under its usual serialization. If the
+    /// node stopped in the meantime, the completion is dropped.
+    pub fn completer(&self, token: RpcToken) -> TaskCompleter {
+        TaskCompleter {
+            cell: Arc::downgrade(self.cell),
+            token,
+        }
+    }
+
     /// Arms a one-shot timer: `on_timer(token)` fires after `after`
     /// (dropped silently if the node stops first). Re-arm from `on_timer`
     /// for a recurring cadence.
@@ -124,9 +308,50 @@ impl NodeCtx<'_> {
     }
 }
 
+/// One-shot handle delivering the outcome of off-node work back into the
+/// owning node's event stream as an [`RpcDone`] completion. Obtained from
+/// [`NodeCtx::completer`]; moved into a spawned pool task (or any thread).
+///
+/// This is how a node delegates genuinely thread-blocking work (a backend
+/// call that sleeps, a file read) without occupying itself: the task runs
+/// under [`ExecutorHandle::block_on`] compensation, and its result
+/// re-enters the state machine through [`NodeLogic::on_rpc_done`] exactly
+/// like an [`NodeCtx::rpc_async`] reply. Completions for stopped nodes
+/// are dropped silently. Dropping the completer without calling
+/// [`TaskCompleter::complete`] delivers nothing — the owning logic should
+/// bound such requests itself if it needs a guarantee.
+pub struct TaskCompleter {
+    cell: Weak<NodeCell>,
+    token: RpcToken,
+}
+
+impl TaskCompleter {
+    /// The token the completion will carry.
+    pub fn token(&self) -> RpcToken {
+        self.token
+    }
+
+    /// Delivers `result` to the owning node as an [`RpcDone`] completion
+    /// (a no-op if the node has stopped).
+    pub fn complete(self, result: Result<Envelope, RpcError>) {
+        if let Some(cell) = self.cell.upgrade() {
+            cell.deliver_completion(self.token, result);
+        }
+    }
+}
+
+impl fmt::Debug for TaskCompleter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskCompleter")
+            .field("token", &self.token)
+            .finish()
+    }
+}
+
 enum Event {
     Start,
     Timer(TimerToken),
+    RpcDone(RpcDone),
     StopRequested,
 }
 
@@ -149,12 +374,21 @@ struct CellInner {
     /// The logic + endpoint, present unless a worker is running the node
     /// (taken for the duration of a turn) or the node has stopped.
     body: Option<Body>,
+    /// In-flight [`NodeCtx::rpc_async`] requests: request id → the token
+    /// the completion will carry. Whichever of reply / deadline / stop
+    /// removes an id first owns delivering (or suppressing) its
+    /// completion.
+    pending_rpcs: HashMap<MessageId, RpcToken>,
 }
 
 /// One spawned node: its event queue, scheduling state, and machine.
 pub(crate) struct NodeCell {
     node: NodeId,
     pool: Weak<Pool>,
+    /// The endpoint's reply demultiplexer, held directly so rpc deadlines
+    /// and stop-time cancellation can reach it even while a worker has the
+    /// body checked out mid-turn.
+    demux: Arc<ReplyDemux>,
     inner: Mutex<CellInner>,
     stopped_cv: Condvar,
 }
@@ -168,11 +402,13 @@ impl NodeCell {
         let cell = Arc::new(NodeCell {
             node: endpoint.node().clone(),
             pool: Arc::downgrade(pool),
+            demux: Arc::clone(endpoint.demux()),
             inner: Mutex::new(CellInner {
                 events: VecDeque::from([Event::Start]),
                 scheduled: false,
                 stopped: false,
                 body: Some(Body { logic, endpoint }),
+                pending_rpcs: HashMap::new(),
             }),
             stopped_cv: Condvar::new(),
         });
@@ -225,16 +461,90 @@ impl NodeCell {
         self.wake();
     }
 
+    /// Resolves an in-flight rpc with its reply: invoked by the demux
+    /// continuation handler on the transport's delivery path. Queues an
+    /// [`RpcDone`] completion and schedules the node; a no-op if the
+    /// request was already resolved (deadline won) or the node stopped.
+    pub(crate) fn deliver_rpc_reply(self: &Arc<Self>, id: MessageId, env: Envelope) {
+        {
+            let mut inner = self.inner.lock();
+            if inner.stopped {
+                return;
+            }
+            let Some(token) = inner.pending_rpcs.remove(&id) else {
+                return;
+            };
+            inner.events.push_back(Event::RpcDone(RpcDone {
+                token,
+                result: Ok(env),
+            }));
+        }
+        self.wake();
+    }
+
+    /// Resolves an in-flight rpc to a timeout: invoked by the timer
+    /// service when the request's deadline fires. The demux arbitrates the
+    /// race — if cancelling the continuation handler fails, the reply
+    /// already won (or the node stopped and cancelled everything) and the
+    /// deadline is a no-op.
+    pub(crate) fn deliver_rpc_timeout(self: &Arc<Self>, id: MessageId) {
+        if !self.demux.cancel_handler(id) {
+            return;
+        }
+        {
+            let mut inner = self.inner.lock();
+            if inner.stopped {
+                return;
+            }
+            let Some(token) = inner.pending_rpcs.remove(&id) else {
+                return;
+            };
+            inner.events.push_back(Event::RpcDone(RpcDone {
+                token,
+                result: Err(RpcError::Timeout),
+            }));
+        }
+        self.wake();
+    }
+
+    /// Queues a completion delivered by a [`TaskCompleter`] (work finished
+    /// off-node). Dropped silently when the node has stopped.
+    pub(crate) fn deliver_completion(
+        self: &Arc<Self>,
+        token: RpcToken,
+        result: Result<Envelope, RpcError>,
+    ) {
+        {
+            let mut inner = self.inner.lock();
+            if inner.stopped {
+                return;
+            }
+            inner
+                .events
+                .push_back(Event::RpcDone(RpcDone { token, result }));
+        }
+        self.wake();
+    }
+
     fn finalize(&self, body: Option<Body>) {
         // Drop the endpoint first: the name deregisters and the transport
         // stops delivering before the stop becomes observable.
         drop(body);
-        let mut inner = self.inner.lock();
-        inner.stopped = true;
-        inner.scheduled = false;
-        inner.events.clear();
-        inner.body = None;
-        drop(inner);
+        let cancelled: Vec<MessageId> = {
+            let mut inner = self.inner.lock();
+            inner.stopped = true;
+            inner.scheduled = false;
+            inner.events.clear();
+            inner.body = None;
+            inner.pending_rpcs.drain().map(|(id, _)| id).collect()
+        };
+        // Cancel-on-stop: retire every in-flight rpc_async id in the demux
+        // (outside the cell lock — cancel takes demux locks) so late
+        // replies are discarded at delivery instead of running
+        // continuations for a dead node.
+        for id in cancelled {
+            self.demux.cancel_handler(id);
+        }
         self.stopped_cv.notify_all();
     }
 }
@@ -292,6 +602,11 @@ pub(crate) fn run_node(pool: &Arc<Pool>, cell: Arc<NodeCell>) {
                 Event::Start => logic.on_start(&mut ctx),
                 Event::Timer(token) => {
                     if logic.on_timer(&mut ctx, token) == Flow::Stop {
+                        stop = true;
+                    }
+                }
+                Event::RpcDone(done) => {
+                    if logic.on_rpc_done(&mut ctx, done) == Flow::Stop {
                         stop = true;
                     }
                 }
@@ -401,16 +716,12 @@ impl NodeHandle {
                     .is_none_or(|p| p.is_shut_down() && p.live_worker_count() == 0);
                 if timed_out && dead {
                     if let Some(body) = inner.body.take() {
-                        // Drop the endpoint before announcing the stop, as
-                        // `finalize` does: `is_stopped() == true` must
-                        // imply the name is free.
-                        inner.events.clear();
+                        // Finalize inline: drops the endpoint before
+                        // announcing the stop (`is_stopped() == true` must
+                        // imply the name is free) and cancels in-flight
+                        // rpc_async requests.
                         drop(inner);
-                        drop(body);
-                        let mut inner = self.cell.inner.lock();
-                        inner.stopped = true;
-                        drop(inner);
-                        self.cell.stopped_cv.notify_all();
+                        self.cell.finalize(Some(body));
                         return;
                     }
                     // A worker still holds the body (mid-turn); keep

@@ -4,24 +4,37 @@
 //! One dedicated thread per [`crate::Executor`] owns a monotonic min-heap
 //! of pending timers (the classic timer-wheel role; a heap keeps the
 //! vendored-dependency footprint at zero while the timer population stays
-//! small — one TTL sweep per *busy* node, not per node). When a timer
-//! fires, the service enqueues a timer event on the owning node and wakes
-//! it through the ordinary run queue, so `on_timer` gets the same
-//! exclusive, serialized access to the node as `on_message`.
+//! modest — one TTL sweep per *busy* node plus one deadline per in-flight
+//! [`crate::NodeCtx::rpc_async`]). When a timer fires, the service
+//! enqueues a timer event on the owning node and wakes it through the
+//! ordinary run queue, so `on_timer` gets the same exclusive, serialized
+//! access to the node as `on_message`. Rpc deadlines ride the same heap:
+//! firing one resolves the request to a timeout completion unless its
+//! reply already won the race.
 
 use crate::node::{NodeCell, TimerToken};
 use parking_lot::{Condvar, Mutex};
+use selfserv_net::MessageId;
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
+
+/// What firing an entry delivers to its node: an ordinary `on_timer` token,
+/// or the timeout of a continuation-passing rpc (see
+/// [`crate::NodeCtx::rpc_async`]), which resolves the request to
+/// `Err(Timeout)` if its reply has not arrived by the deadline.
+enum Fire {
+    Timer(TimerToken),
+    RpcDeadline(MessageId),
+}
 
 struct Entry {
     at: Instant,
     /// Tie-breaker preserving schedule order among equal deadlines.
     seq: u64,
     cell: Weak<NodeCell>,
-    token: TimerToken,
+    fire: Fire,
 }
 
 impl PartialEq for Entry {
@@ -86,6 +99,22 @@ impl TimerService {
     /// that stop (or cells that are gone) before the deadline are dropped
     /// silently at fire time.
     pub(crate) fn schedule(&self, after: Duration, cell: Weak<NodeCell>, token: TimerToken) {
+        self.push(after, cell, Fire::Timer(token));
+    }
+
+    /// Schedules the timeout deadline of an asynchronous rpc: when it
+    /// fires, the node resolves request `id` to `Err(Timeout)` unless the
+    /// reply won the race (in which case the deadline is a no-op).
+    pub(crate) fn schedule_rpc_deadline(
+        &self,
+        after: Duration,
+        cell: Weak<NodeCell>,
+        id: MessageId,
+    ) {
+        self.push(after, cell, Fire::RpcDeadline(id));
+    }
+
+    fn push(&self, after: Duration, cell: Weak<NodeCell>, fire: Fire) {
         let mut state = self.inner.state.lock();
         if state.stopped {
             return;
@@ -96,7 +125,7 @@ impl TimerService {
             at: Instant::now() + after,
             seq,
             cell,
-            token,
+            fire,
         });
         self.inner.cv.notify_all();
     }
@@ -131,7 +160,10 @@ fn timer_loop(inner: &TimerInner) {
                 // run-queue locks, and `schedule` must never wait on them.
                 drop(state);
                 if let Some(cell) = entry.cell.upgrade() {
-                    cell.deliver_timer(entry.token);
+                    match entry.fire {
+                        Fire::Timer(token) => cell.deliver_timer(token),
+                        Fire::RpcDeadline(id) => cell.deliver_rpc_timeout(id),
+                    }
                 }
                 state = inner.state.lock();
             }

@@ -1,23 +1,33 @@
-//! Scale acceptance for the shared worker-pool node runtime: a
-//! 256-composite deployment (512 platform nodes) runs on a fixed-size
-//! 4-worker executor with an OS thread count independent of node count,
-//! and every invocation completes with byte-identical outputs to the
-//! thread-per-node seed path.
+//! Scale acceptance for the shared worker-pool node runtime:
 //!
-//! Under the old model this deployment alone would hold 512 parked
-//! threads; here the whole process stays within pool + timer + transient
-//! blocking compensation + harness threads.
+//! * `deploy_256_composites_on_4_workers_with_bounded_threads` — node
+//!   *count* is thread-independent: a 256-composite deployment (512
+//!   platform nodes) runs on a fixed-size 4-worker executor with an OS
+//!   thread count independent of node count, outputs byte-identical to
+//!   the thread-per-node seed path.
+//! * `thousands_of_inflight_invocations_block_zero_workers` — in-flight
+//!   invocation count is thread-independent too: 2048 instances all
+//!   simultaneously awaiting a slow backend reply on the same 4-worker
+//!   executor, with zero blocked workers and an OS thread count that does
+//!   not scale with the number of awaiting instances (the
+//!   continuation-passing coordinator; under the blocking model this
+//!   would park ~2048 compensation threads). Outputs stay byte-identical
+//!   to the blocking path's goldens.
 //!
-//! Kept as a single `#[test]` so the libtest harness doesn't run sibling
-//! tests on extra threads while we count `/proc/self/status`.
+//! Both tests count `/proc/self/status` threads, so they serialize on a
+//! shared lock (libtest would otherwise run them concurrently and each
+//! would see the other's pool) and re-read their baseline after acquiring
+//! it.
 
 use selfserv::core::{Deployer, Deployment, EchoService, ServiceBackend};
-use selfserv::net::{Network, NetworkConfig};
-use selfserv::runtime::Executor;
+use selfserv::net::{Envelope, MessageId, Network, NetworkConfig};
+use selfserv::runtime::{Executor, Flow, NodeCtx, NodeLogic};
 use selfserv::statechart::{Statechart, StatechartBuilder, TaskDef, TransitionDef};
 use selfserv::wsdl::{MessageDoc, ParamType};
+use selfserv::xml::Element;
 use selfserv_expr::Value;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,6 +36,9 @@ use common::normalized;
 
 const COMPOSITES: usize = 256;
 const WORKERS: usize = 4;
+
+/// Serializes the thread-counting tests (see module docs).
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// Current OS thread count of this process (0 when /proc is unavailable —
 /// the count assertions are then skipped, the functional ones are not).
@@ -76,6 +89,7 @@ fn expected_output(instance: u64, payload: &str) -> String {
 
 #[test]
 fn deploy_256_composites_on_4_workers_with_bounded_threads() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let baseline = thread_count();
 
     let exec = Executor::new(WORKERS);
@@ -175,5 +189,169 @@ fn deploy_256_composites_on_4_workers_with_bounded_threads() {
         dep.undeploy();
     }
     assert_eq!(net.node_names().len(), 0, "all nodes freed");
+    exec.shutdown();
+}
+
+/// How many instances the in-flight test holds blocked at once (the
+/// acceptance floor is 2048).
+const INFLIGHT: usize = 2048;
+
+/// A community node that gates its replies: invocations stash until the
+/// test sends `release`, so the test controls exactly when all awaiting
+/// instances are simultaneously blocked. Pure `NodeLogic` — the responder
+/// itself parks no thread either.
+struct GatedCommunity {
+    stashed: Vec<Envelope>,
+    stash_count: Arc<AtomicUsize>,
+    released: bool,
+}
+
+impl GatedCommunity {
+    fn reply(ctx: &NodeCtx<'_>, request: &Envelope) {
+        let op = MessageDoc::from_xml(&request.body)
+            .map(|m| m.operation)
+            .unwrap_or_else(|_| "op".to_string());
+        // Same response shape as the blocking-path EchoService workload:
+        // the coordinator captures `echoed_by` into `served_by`.
+        let response = MessageDoc::response(op).with("echoed_by", Value::str("Echo"));
+        let _ = ctx
+            .endpoint()
+            .reply(request, "community.result", response.to_xml());
+    }
+}
+
+impl NodeLogic for GatedCommunity {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+        match env.kind.as_str() {
+            "community.invoke" => {
+                if self.released {
+                    GatedCommunity::reply(ctx, &env);
+                } else {
+                    self.stashed.push(env);
+                    self.stash_count.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            "release" => {
+                self.released = true;
+                for request in self.stashed.drain(..) {
+                    GatedCommunity::reply(ctx, &request);
+                }
+            }
+            _ => {}
+        }
+        Flow::Continue
+    }
+}
+
+/// One community-task composite: `s0` delegates `op` to community `slow`.
+fn inflight_chart() -> Statechart {
+    StatechartBuilder::new("Inflight")
+        .variable("payload", ParamType::Str)
+        .variable("served_by", ParamType::Str)
+        .initial("s0")
+        .task(
+            TaskDef::new("s0", "Svc")
+                .community("slow", "op")
+                .input("payload", "payload")
+                .output("echoed_by", "served_by"),
+        )
+        .final_state("f")
+        .transition(TransitionDef::new("t", "s0", "f"))
+        .build()
+        .expect("well-formed chart")
+}
+
+#[test]
+fn thousands_of_inflight_invocations_block_zero_workers() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let baseline = thread_count();
+
+    let exec = Executor::new(WORKERS);
+    let net = Network::new(NetworkConfig::instant());
+
+    // The gated community must be connected before deploy-time binding
+    // resolution sees it.
+    let stash_count = Arc::new(AtomicUsize::new(0));
+    let community = exec.handle().spawn_node(
+        net.connect("community.slow").expect("community connects"),
+        GatedCommunity {
+            stashed: Vec::new(),
+            stash_count: Arc::clone(&stash_count),
+            released: false,
+        },
+    );
+
+    let mut deployer = Deployer::new(&net).with_executor(exec.handle());
+    deployer.invoke_timeout = Duration::from_secs(120); // nobody times out mid-test
+    let dep = deployer
+        .deploy(&inflight_chart(), &HashMap::new())
+        .expect("deploys");
+
+    // Fire every instance without blocking anything: one submitting
+    // thread, zero threads waiting on replies.
+    let mut expect: HashMap<MessageId, (u64, String)> = HashMap::new();
+    for i in 0..INFLIGHT {
+        let payload = format!("p{i}");
+        let id = dep
+            .submit(MessageDoc::request("execute").with("payload", Value::str(&payload)))
+            .expect("submit accepted");
+        // One client sender delivers FIFO, so the wrapper numbers
+        // instances in submit order — the same ids the blocking path
+        // produced for this workload.
+        expect.insert(id, (i as u64 + 1, payload));
+    }
+
+    // Wait until every single instance is simultaneously parked inside
+    // the community, i.e. 2048 invocations are in flight at once.
+    let t0 = Instant::now();
+    while stash_count.load(Ordering::SeqCst) < INFLIGHT && t0.elapsed() < Duration::from_secs(60) {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        stash_count.load(Ordering::SeqCst),
+        INFLIGHT,
+        "all instances reached the backend"
+    );
+
+    // The acceptance claim: N≫workers instances awaiting replies cost no
+    // threads. The pool is exactly its configured size, no worker is in a
+    // blocking section, and the process thread count is independent of
+    // INFLIGHT (under the blocking coordinator this point would hold
+    // ~2048 parked compensation threads).
+    assert_eq!(exec.handle().live_workers(), WORKERS, "no compensation");
+    assert_eq!(exec.handle().blocked_workers(), 0, "no blocked workers");
+    if baseline > 0 {
+        let awaiting = thread_count();
+        assert!(
+            awaiting <= baseline + WORKERS + 1 + 8,
+            "2048 in-flight invocations must not own threads: {baseline} -> {awaiting}"
+        );
+        assert!(
+            awaiting < INFLIGHT / 4,
+            "thread count must not scale with in-flight invocations"
+        );
+    }
+
+    // Release the backend and collect every completion, checking each
+    // output byte-identical to the blocking path's golden for this
+    // workload.
+    net.connect("release-client")
+        .expect("release client connects")
+        .send("community.slow", "release", Element::new("go"))
+        .expect("release accepted");
+    let mut collected = 0usize;
+    while collected < INFLIGHT {
+        let (id, outcome) = dep
+            .collect_result(Duration::from_secs(60))
+            .expect("completion arrives");
+        let out = outcome.expect("instance completes cleanly");
+        let (instance, payload) = expect.remove(&id).expect("known submission");
+        assert_eq!(normalized(&out), expected_output(instance, &payload));
+        collected += 1;
+    }
+    assert!(expect.is_empty(), "every submission completed exactly once");
+
+    dep.undeploy();
+    community.stop();
     exec.shutdown();
 }
