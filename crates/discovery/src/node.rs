@@ -117,17 +117,16 @@ impl DiscoveryNode {
         self.pending_seeds
             .retain(|s| !answered.contains(s) && Some(*s) != own);
         let body = self.directory_body(ctx, &self.directory.snapshot());
-        // Greeting may open connections to hubs that are down (that is
-        // the point of retrying): declare the sends blocking so a seed
-        // that blackholes its SYNs parks a compensated worker, not the
-        // pool's capacity.
-        ctx.block_on(|| {
-            for seed in &self.pending_seeds {
-                let _ = self
-                    .hub
-                    .send_to_addr(*seed, ctx.node(), kinds::HELLO, body.clone());
-            }
-        });
+        // Greeting may target hubs that are down (that is the point of
+        // retrying), but sends no longer block on the socket: they enqueue
+        // on the destination's connection writer and return, so even a
+        // seed that blackholes its SYNs costs this worker nothing — the
+        // connect timeout is the writer thread's problem.
+        for seed in &self.pending_seeds {
+            let _ = self
+                .hub
+                .send_to_addr(*seed, ctx.node(), kinds::HELLO, body.clone());
+        }
     }
 
     /// Records life from a peer hub, creating its state on first contact
@@ -233,19 +232,18 @@ impl DiscoveryNode {
                 to_ping.push(peer.disc.clone());
             }
         }
-        // Probes target hubs that may be dead — compensated blocking, so
-        // a blackholed peer's connect timeout never stalls the pool.
-        ctx.block_on(|| {
-            for disc in to_ping {
-                let _ = ctx.endpoint().send(
-                    disc,
-                    kinds::PING,
-                    Element::new("directory")
-                        .with_attr("hub", self.directory.hub().to_string())
-                        .with_attr("disc", ctx.node().as_str()),
-                );
-            }
-        });
+        // Probes target hubs that may be dead, but enqueue-and-return
+        // sends make that the connection writer's problem — a blackholed
+        // peer's connect timeout never touches this worker.
+        for disc in to_ping {
+            let _ = ctx.endpoint().send(
+                disc,
+                kinds::PING,
+                Element::new("directory")
+                    .with_attr("hub", self.directory.hub().to_string())
+                    .with_attr("disc", ctx.node().as_str()),
+            );
+        }
         for hub in to_suspect {
             if let Some(peer) = self.peers.get_mut(&hub) {
                 peer.suspected = true;
@@ -329,11 +327,9 @@ impl NodeLogic for DiscoveryNode {
                         .disc
                         .clone();
                     let body = self.directory_body(ctx, &self.directory.snapshot());
-                    // The partner may be silently dead: compensated, like
-                    // the probes in `sweep`.
-                    ctx.block_on(|| {
-                        let _ = ctx.endpoint().send(partner, kinds::SYNC, body);
-                    });
+                    // A silently dead partner costs nothing here: the send
+                    // enqueues on its connection writer and returns.
+                    let _ = ctx.endpoint().send(partner, kinds::SYNC, body);
                 }
                 ctx.set_timer(self.config.gossip_interval, GOSSIP_TIMER);
             }

@@ -45,6 +45,7 @@ mod fault;
 mod metrics;
 pub mod tcp;
 mod transport;
+mod writer;
 
 pub use directory::{
     DirectoryChange, DirectoryEntry, HubId, LivenessEvent, LivenessProbe, PeerDirectory,
@@ -53,7 +54,7 @@ pub use directory::{
 pub use envelope::{Envelope, MessageId, NodeId};
 pub use fabric::{Network, NetworkConfig};
 pub use fault::{FaultPolicy, LatencyModel};
-pub use metrics::{MetricsSnapshot, NodeMetrics, EPHEMERAL_AGGREGATE};
+pub use metrics::{MetricsSnapshot, NodeMetrics, TransportIoStats, EPHEMERAL_AGGREGATE};
 pub use tcp::TcpTransport;
 pub use transport::{
     ConnectError, Endpoint, NodeSender, RawEndpoint, RecvError, ReplyDemux, RpcError, SendError,

@@ -145,11 +145,54 @@ impl NodeMetrics {
     }
 }
 
+/// Transport-level data-plane I/O statistics: what the wire actually cost,
+/// as opposed to the per-node message accounting in [`NodeMetrics`]. The
+/// TCP transport's connection writers count their gather-writes here
+/// hub-wide; the in-process fabric reports zeros (it makes no syscalls).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransportIoStats {
+    /// Vectored write syscalls issued by connection writers. The
+    /// coalescing claim is `frames_sent / writev_calls`: a 64-frame burst
+    /// on the old write-per-frame path cost ~128 write syscalls.
+    pub writev_calls: u64,
+    /// Frames put on the wire (accepted sends that reached a socket).
+    pub frames_sent: u64,
+    /// Wire bytes written, length prefixes included.
+    pub bytes_sent: u64,
+    /// Stream flushes — one per queue-drain boundary, not per frame.
+    pub flushes: u64,
+    /// Frames accepted by `send` but dropped by a failing connection
+    /// writer before reaching the wire (deferred-error semantics: the
+    /// failure surfaces on the *next* send to that destination).
+    pub frames_dropped: u64,
+    /// Largest number of frames gathered into a single batch.
+    pub max_batch_frames: u64,
+}
+
+impl TransportIoStats {
+    /// Difference against an earlier snapshot (saturating), for scoping
+    /// the counters to one burst or experiment phase. `max_batch_frames`
+    /// is a high-water mark, not a counter: the later value carries over.
+    pub fn delta_since(&self, earlier: &TransportIoStats) -> TransportIoStats {
+        TransportIoStats {
+            writev_calls: self.writev_calls.saturating_sub(earlier.writev_calls),
+            frames_sent: self.frames_sent.saturating_sub(earlier.frames_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            frames_dropped: self.frames_dropped.saturating_sub(earlier.frames_dropped),
+            max_batch_frames: self.max_batch_frames,
+        }
+    }
+}
+
 /// A point-in-time copy of the whole fabric's counters.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
     /// Per-node metrics, sorted by node name.
     pub nodes: Vec<NodeMetrics>,
+    /// Transport-wide data-plane I/O counters (zeros on the in-process
+    /// fabric).
+    pub io: TransportIoStats,
 }
 
 impl MetricsSnapshot {
@@ -158,7 +201,10 @@ impl MetricsSnapshot {
     ) -> Self {
         let mut nodes: Vec<NodeMetrics> = counters.map(|(id, c)| c.snapshot(id.clone())).collect();
         nodes.sort_by(|a, b| a.node.cmp(&b.node));
-        MetricsSnapshot { nodes }
+        MetricsSnapshot {
+            nodes,
+            io: TransportIoStats::default(),
+        }
     }
 
     /// Metrics for one node.
@@ -216,7 +262,10 @@ impl MetricsSnapshot {
                 }
             })
             .collect();
-        MetricsSnapshot { nodes }
+        MetricsSnapshot {
+            nodes,
+            io: self.io.delta_since(&earlier.io),
+        }
     }
 }
 
@@ -239,6 +288,7 @@ mod tests {
     fn totals_and_busiest() {
         let snap = MetricsSnapshot {
             nodes: vec![nm("a", 5, 2), nm("b", 1, 9), nm("c", 0, 0)],
+            ..Default::default()
         };
         assert_eq!(snap.total_sent(), 6);
         assert_eq!(snap.total_received(), 11);
@@ -252,6 +302,7 @@ mod tests {
     fn busiest_matching_filters() {
         let snap = MetricsSnapshot {
             nodes: vec![nm("client", 100, 100), nm("coord.a", 3, 4)],
+            ..Default::default()
         };
         let b = snap.busiest_matching(|n| n.starts_with("coord.")).unwrap();
         assert_eq!(b.node.as_str(), "coord.a");
@@ -261,14 +312,36 @@ mod tests {
     fn delta_since() {
         let before = MetricsSnapshot {
             nodes: vec![nm("a", 5, 2)],
+            io: TransportIoStats {
+                writev_calls: 10,
+                frames_sent: 40,
+                bytes_sent: 4000,
+                flushes: 5,
+                frames_dropped: 1,
+                max_batch_frames: 16,
+            },
         };
         let after = MetricsSnapshot {
             nodes: vec![nm("a", 8, 3), nm("b", 1, 1)],
+            io: TransportIoStats {
+                writev_calls: 12,
+                frames_sent: 104,
+                bytes_sent: 10_000,
+                flushes: 6,
+                frames_dropped: 1,
+                max_batch_frames: 33,
+            },
         };
         let d = after.delta_since(&before);
         assert_eq!(d.node("a").unwrap().sent, 3);
         assert_eq!(d.node("a").unwrap().received, 1);
         assert_eq!(d.node("b").unwrap().sent, 1, "new nodes count from zero");
+        assert_eq!(d.io.writev_calls, 2);
+        assert_eq!(d.io.frames_sent, 64);
+        assert_eq!(d.io.bytes_sent, 6000);
+        assert_eq!(d.io.flushes, 1);
+        assert_eq!(d.io.frames_dropped, 0);
+        assert_eq!(d.io.max_batch_frames, 33, "high-water mark carries over");
     }
 
     #[test]

@@ -38,6 +38,7 @@ use crate::transport::{
     ConnectError, Endpoint, Inbox, Mailbox, RawEndpoint, RecvError, ReplyDemux, SendError,
     Transport, TransportHandle,
 };
+use crate::writer::{ConnQueue, IoCounters};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use parking_lot::RwLock;
@@ -53,13 +54,6 @@ use std::time::Duration;
 /// Maximum accepted frame size (16 MiB) — guards against corrupt length
 /// prefixes.
 const MAX_FRAME: u32 = 16 * 1024 * 1024;
-
-/// Deadline for establishing an outbound connection. Off loopback, a dead
-/// peer usually blackholes SYNs rather than refusing them, and the OS
-/// default connect timeout (~2 minutes on Linux) is far too long to hold
-/// a destination's pool slot — or the executor worker running the sender's
-/// callback — while discovery probes an unreachable hub.
-const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Writes one length-prefixed XML frame.
 pub fn write_frame(stream: &mut impl Write, envelope: &Envelope) -> std::io::Result<()> {
@@ -133,10 +127,6 @@ fn piggybacked_claim(xml: &Element) -> Option<DirectoryEntry> {
 // TcpTransport: the full Transport seam over real sockets
 // ---------------------------------------------------------------------------
 
-/// One destination's outbound connection; `None` until the first send (or
-/// after a broken pipe).
-type ConnectionSlot = Arc<Mutex<Option<TcpStream>>>;
-
 /// Why [`Hub::send_envelope`] could not put a frame on the wire.
 enum FrameSendError {
     /// The serialized envelope exceeds [`MAX_FRAME`] (the size, in bytes).
@@ -154,12 +144,17 @@ struct Hub {
     /// Per-node traffic counters; persist after disconnect, like the
     /// fabric's.
     counters: RwLock<HashMap<NodeId, Arc<NodeCounters>>>,
-    /// Persistent outbound connections, one slot per destination address,
-    /// shared by every local sender (frames carry their own `from`). The
-    /// connection lives *inside* the slot mutex so exactly one connection
-    /// per destination ever carries frames — per-sender in-order delivery
-    /// depends on all writers serializing through it.
-    pool: Mutex<HashMap<SocketAddr, ConnectionSlot>>,
+    /// Persistent outbound connections, one [`ConnQueue`] per destination
+    /// address, shared by every local sender (frames carry their own
+    /// `from`). Senders *enqueue* and return; each queue's writer thread
+    /// owns the one socket to its destination and drains frames in
+    /// enqueue order, so exactly one connection per destination ever
+    /// carries frames and per-sender in-order delivery holds by
+    /// construction. See [`crate::writer`] for the batching, backpressure
+    /// and deferred-error semantics.
+    pool: Mutex<HashMap<SocketAddr, Arc<ConnQueue>>>,
+    /// Hub-wide data-plane counters ([`MetricsSnapshot::io`]).
+    io: Arc<IoCounters>,
     next_msg: AtomicU64,
     next_anon: AtomicU64,
 }
@@ -181,29 +176,21 @@ impl Hub {
         )
     }
 
-    /// Writes one already-serialized frame to `addr` over the pooled
-    /// connection, opening (or reopening, once) the connection as needed.
-    /// Connecting happens while holding the destination's slot lock, so
-    /// two concurrent first-senders cannot open two connections and race
-    /// their frames through different reader threads out of order.
-    fn send_frame(&self, addr: SocketAddr, payload: &[u8]) -> std::io::Result<()> {
-        let slot: ConnectionSlot = {
+    /// Queues one already-serialized frame for `addr` on the pooled
+    /// connection's outbound queue, starting its writer thread as needed.
+    /// Returns once the frame is *accepted* (bounded queue — blocks
+    /// briefly under backpressure); the writer connects, batches and
+    /// writes asynchronously, and its failures surface on the next send
+    /// to the same destination.
+    fn send_frame(&self, addr: SocketAddr, payload: Vec<u8>) -> std::io::Result<()> {
+        let conn = {
             let mut pool = self.pool.lock();
-            Arc::clone(pool.entry(addr).or_default())
+            Arc::clone(
+                pool.entry(addr)
+                    .or_insert_with(|| Arc::new(ConnQueue::new())),
+            )
         };
-        let mut conn = slot.lock();
-        if let Some(stream) = conn.as_mut() {
-            if write_raw_frame(stream, payload).is_ok() {
-                return Ok(());
-            }
-            // Broken pipe (peer restarted or dropped): reconnect below.
-            *conn = None;
-        }
-        let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
-        stream.set_nodelay(true).ok();
-        write_raw_frame(&mut stream, payload)?;
-        *conn = Some(stream);
-        Ok(())
+        conn.enqueue(addr, payload, &self.io)
     }
 
     fn dispatch(
@@ -250,17 +237,18 @@ impl Hub {
     /// match by construction), enforces the frame limit on the *send*
     /// side (the receiver would reject the length prefix and close the
     /// shared pooled connection, losing in-flight messages with no
-    /// diagnostic), writes to `addr`, and records the sender's metrics.
+    /// diagnostic), queues the frame for `addr`'s connection writer, and
+    /// records the sender's metrics once the transport accepts the frame.
     fn send_envelope(&self, addr: SocketAddr, envelope: &Envelope) -> Result<(), FrameSendError> {
         let mut frame_xml = envelope.to_xml();
         self.stamp_sender_claim(&envelope.from, &mut frame_xml);
-        let xml = frame_xml.to_xml();
-        let payload = xml.as_bytes();
+        let payload = frame_xml.to_xml().into_bytes();
         if payload.len() > MAX_FRAME as usize {
             return Err(FrameSendError::Oversized(payload.len()));
         }
+        let len = payload.len();
         self.send_frame(addr, payload).map_err(FrameSendError::Io)?;
-        self.counters_for(&envelope.from).record_send(payload.len());
+        self.counters_for(&envelope.from).record_send(len);
         Ok(())
     }
 
@@ -281,6 +269,16 @@ impl Hub {
         frame_xml.set_attr("peer-addr", entry.addr.to_string());
         frame_xml.set_attr("peer-owner", entry.owner.to_string());
         frame_xml.set_attr("peer-version", entry.version.to_string());
+    }
+}
+
+impl Drop for Hub {
+    fn drop(&mut self) {
+        // Retire every connection writer (each drains its queue and
+        // exits): parked writer threads must not outlive the hub.
+        for conn in self.pool.get_mut().values() {
+            conn.shutdown();
+        }
     }
 }
 
@@ -310,6 +308,7 @@ impl TcpTransport {
                 directory: PeerDirectory::new(HubId::generate()),
                 counters: RwLock::new(HashMap::new()),
                 pool: Mutex::new(HashMap::new()),
+                io: Arc::new(IoCounters::default()),
                 next_msg: AtomicU64::new(1),
                 next_anon: AtomicU64::new(1),
             }),
@@ -332,6 +331,13 @@ impl TcpTransport {
     /// The listener address of a locally connected (or registered) node.
     pub fn addr_of(&self, name: &str) -> Option<SocketAddr> {
         self.hub.directory.lookup(&NodeId::new(name))
+    }
+
+    /// Hub-wide data-plane I/O counters (the `io` field of
+    /// [`Transport::metrics`], without the per-node snapshot cost) — what
+    /// the syscall-coalescing benchmarks sample around a burst.
+    pub fn io_stats(&self) -> crate::metrics::TransportIoStats {
+        self.hub.io.snapshot()
     }
 
     /// Registers a remote node's address by hand so local nodes can send
@@ -499,13 +505,16 @@ impl Transport for TcpTransport {
 
     fn metrics(&self) -> MetricsSnapshot {
         let counters = self.hub.counters.read();
-        MetricsSnapshot::collect(counters.iter().map(|(k, v)| (k, v.as_ref())))
+        let mut snap = MetricsSnapshot::collect(counters.iter().map(|(k, v)| (k, v.as_ref())));
+        snap.io = self.hub.io.snapshot();
+        snap
     }
 
     fn reset_metrics(&self) {
         for c in self.hub.counters.read().values() {
             c.reset();
         }
+        self.hub.io.reset();
     }
 
     fn handle(&self) -> TransportHandle {
@@ -563,9 +572,12 @@ impl Drop for TcpRawEndpoint {
         // so the departure gossips like any other directory change.
         self.hub.directory.remove_local(&self.node, self.addr);
         stop_accept_thread(self.addr, &self.shutdown, &mut self.accept_thread);
-        // Close pooled connections to this node so peer reader threads see
-        // EOF promptly instead of lingering on a dead stream.
-        self.hub.pool.lock().remove(&self.addr);
+        // Retire the pooled connection to this node: its writer drains
+        // whatever is already queued and closes the socket, so peer reader
+        // threads see EOF promptly instead of lingering on a dead stream.
+        if let Some(conn) = self.hub.pool.lock().remove(&self.addr) {
+            conn.shutdown();
+        }
         crate::metrics::fold_ephemeral(&mut self.hub.counters.write(), &self.node);
     }
 }

@@ -1,24 +1,65 @@
-//! The fixed-size worker pool: run queue, workers, blocking compensation,
-//! and graceful shutdown.
+//! The fixed-size worker pool: work-stealing run queues, workers, blocking
+//! compensation, and graceful shutdown.
+//!
+//! # Run-queue topology
+//!
+//! Work reaches the pool through two tiers. Each **base** worker owns a
+//! FIFO local deque; a runnable pushed from a worker thread (a node
+//! re-queueing itself mid-burst, a wake triggered by an in-turn send) goes
+//! straight to that worker's own deque — no shared-queue handoff on the
+//! hot path. Runnables pushed from outside the pool (transport readers,
+//! the timer thread, client threads) land in a global **injector**. An
+//! idle worker looks for work in order: own deque → injector (stealing a
+//! batch to amortize the shared-queue touch) → stealing from a sibling's
+//! deque, so queued work is never stranded — anything a busy or blocked
+//! worker left behind is stolen by whoever runs dry.
+//!
+//! Per-node callback serialization is *not* the queue's job: the
+//! `scheduled` bit on each [`NodeCell`] guarantees at most one queue entry
+//! per node exists anywhere (local, injector, or mid-steal), so stealing
+//! moves a node between workers but never duplicates it.
 
 use crate::node::{run_node, NodeCell, NodeHandle, NodeLogic};
 use crate::timer::TimerService;
-use crossbeam::channel;
+use crossbeam::deque;
 use parking_lot::{Condvar, Mutex};
 use selfserv_net::Endpoint;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// How often an idle worker re-checks for shutdown and surplus.
 const IDLE_TICK: Duration = Duration::from_millis(50);
 
+/// How many times an out-of-work worker yields and rescans before parking
+/// on the idle condvar — keeps hot request/reply handoffs off the
+/// futex-wait path.
+const SPIN_RESCANS: usize = 2;
+
+/// A base worker's own run queue, installed in thread-local storage so
+/// [`Pool::push`] can route work pushed *from* a worker back onto that
+/// worker's deque. Tagged with the owning pool's address: a worker of one
+/// executor may push to another executor's pool (cross-executor sends),
+/// which must go to that pool's injector, not this thread's deque. The
+/// worker holds its pool `Arc` for the thread's whole life, so the tag can
+/// never be reused while this entry is live.
+struct LocalQueue {
+    pool_id: usize,
+    worker: deque::Worker<Runnable>,
+}
+
 thread_local! {
     /// True on pool worker threads; [`Pool::block_on`] only compensates
     /// when the caller actually occupies a worker.
     static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// The local deque of a base worker (compensation workers run without
+    /// one and work injector-and-steal only).
+    static LOCAL: RefCell<Option<LocalQueue>> = const { RefCell::new(None) };
+    /// Per-thread rotation cursor so concurrent thieves start their victim
+    /// scans at different siblings.
+    static NEXT_VICTIM: Cell<usize> = const { Cell::new(0) };
 }
 
 /// One unit of work on the run queue.
@@ -40,8 +81,21 @@ struct Counts {
 /// Shared pool state. Everything public goes through [`Executor`] /
 /// [`ExecutorHandle`].
 pub(crate) struct Pool {
-    queue_tx: channel::Sender<Runnable>,
-    queue_rx: channel::Receiver<Runnable>,
+    /// Global FIFO for work pushed from outside the pool's worker threads.
+    injector: deque::Injector<Runnable>,
+    /// One stealer per base worker's local deque, fixed at construction
+    /// (a retired base worker leaves an empty deque behind — stealing from
+    /// it just reports `Empty`).
+    stealers: Vec<deque::Stealer<Runnable>>,
+    /// Runnables queued anywhere (injector + all local deques) and not yet
+    /// claimed by a worker. The only cross-queue signal: parking and
+    /// shutdown key off it instead of scanning every queue.
+    pending: AtomicUsize,
+    /// Workers currently parked (or about to park) on `sleep_cv`; lets
+    /// `push` skip the wake lock entirely when everyone is busy.
+    idle: AtomicUsize,
+    sleep: Mutex<()>,
+    sleep_cv: Condvar,
     counts: Mutex<Counts>,
     counts_cv: Condvar,
     /// The configured worker count: the pool keeps at least this many
@@ -53,9 +107,36 @@ pub(crate) struct Pool {
 
 impl Pool {
     pub(crate) fn push(&self, runnable: Runnable) {
-        // The pool owns the receiver for its whole life, so this only
-        // fails after the `Pool` itself is gone — nothing left to run it.
-        let _ = self.queue_tx.send(runnable);
+        // Count before publishing: `pending` must never dip below the true
+        // queue population, or a worker claiming a just-pushed runnable
+        // ahead of our increment would wrap the counter below zero. The
+        // over-count window (counted but not yet visible) only costs an
+        // unparked worker a wasted scan.
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let pool_id = self as *const Pool as usize;
+        let runnable = LOCAL.with(|slot| {
+            let slot = slot.borrow();
+            match slot.as_ref() {
+                // Pushed from one of our own base workers: keep it local.
+                Some(local) if local.pool_id == pool_id => {
+                    local.worker.push(runnable);
+                    None
+                }
+                _ => Some(runnable),
+            }
+        });
+        if let Some(runnable) = runnable {
+            self.injector.push(runnable);
+        }
+        // SeqCst pairs with the park path: a parking worker publishes
+        // `idle` *before* re-checking `pending`; we publish `pending`
+        // before checking `idle`. Whichever races ahead, either the worker
+        // sees the new runnable or we see the sleeper and wake it — a
+        // wakeup is never lost.
+        if self.idle.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep.lock();
+            self.sleep_cv.notify_one();
+        }
     }
 
     pub(crate) fn is_shut_down(&self) -> bool {
@@ -91,7 +172,10 @@ impl Pool {
             }
         };
         if compensate {
-            spawn_worker(Arc::clone(self));
+            // Compensation workers run injector-and-steal only: they are
+            // transient, so handing them a local deque (and a stealer slot)
+            // would grow the victim list without bound.
+            spawn_worker(Arc::clone(self), None);
         }
         struct Unblock<'a>(&'a Pool);
         impl Drop for Unblock<'_> {
@@ -106,20 +190,112 @@ impl Pool {
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.timers.stop();
+        // Parked workers re-check shutdown on wake; without this they
+        // would only notice at the next idle tick.
+        let _guard = self.sleep.lock();
+        self.sleep_cv.notify_all();
     }
 
     fn worker_exited(&self) {
         self.counts.lock().live -= 1;
         self.counts_cv.notify_all();
     }
+
+    /// One work-finding pass in steal order: own deque, then the injector
+    /// (batching into the local deque to amortize the shared touch), then
+    /// the siblings' deques starting at a rotating victim.
+    fn find_work(&self) -> Option<Runnable> {
+        let pool_id = self as *const Pool as usize;
+        if let Some(runnable) = LOCAL.with(|slot| {
+            let slot = slot.borrow();
+            match slot.as_ref() {
+                Some(local) if local.pool_id == pool_id => local.worker.pop(),
+                _ => None,
+            }
+        }) {
+            return Some(runnable);
+        }
+        loop {
+            let mut contended = false;
+            let stolen = LOCAL.with(|slot| {
+                let slot = slot.borrow();
+                match slot.as_ref() {
+                    Some(local) if local.pool_id == pool_id => {
+                        self.injector.steal_batch_and_pop(&local.worker)
+                    }
+                    _ => self.injector.steal(),
+                }
+            });
+            match stolen {
+                deque::Steal::Success(runnable) => return Some(runnable),
+                deque::Steal::Retry => contended = true,
+                deque::Steal::Empty => {}
+            }
+            let start = NEXT_VICTIM.with(|v| {
+                let cur = v.get();
+                v.set(cur.wrapping_add(1));
+                cur
+            });
+            for i in 0..self.stealers.len() {
+                let victim = &self.stealers[(start + i) % self.stealers.len()];
+                match victim.steal() {
+                    deque::Steal::Success(runnable) => return Some(runnable),
+                    deque::Steal::Retry => contended = true,
+                    deque::Steal::Empty => {}
+                }
+            }
+            if !contended {
+                return None;
+            }
+        }
+    }
+
+    /// Parks the calling worker until new work is signalled or the idle
+    /// tick elapses; returns whether the wait timed out (retirement only
+    /// triggers off a full idle tick, so a worker woken into a lost steal
+    /// race is not mistaken for surplus).
+    fn park(&self) -> bool {
+        let mut guard = self.sleep.lock();
+        // Publish idleness, then re-check for work (see `push` for the
+        // pairing); without the re-check a push landing between our last
+        // scan and the wait would strand its runnable for a full tick.
+        self.idle.fetch_add(1, Ordering::SeqCst);
+        let timed_out = if self.pending.load(Ordering::SeqCst) == 0 && !self.is_shut_down() {
+            self.sleep_cv.wait_for(&mut guard, IDLE_TICK).timed_out()
+        } else {
+            false
+        };
+        self.idle.fetch_sub(1, Ordering::SeqCst);
+        timed_out
+    }
 }
 
-fn spawn_worker(pool: Arc<Pool>) {
+fn spawn_worker(pool: Arc<Pool>, local: Option<deque::Worker<Runnable>>) {
     std::thread::Builder::new()
         .name("selfserv-exec-worker".to_string())
         .spawn(move || {
             IS_WORKER.with(|w| w.set(true));
-            if !worker_loop(&pool) {
+            if let Some(worker) = local {
+                LOCAL.with(|slot| {
+                    *slot.borrow_mut() = Some(LocalQueue {
+                        pool_id: Arc::as_ptr(&pool) as usize,
+                        worker,
+                    });
+                });
+            }
+            let retired = worker_loop(&pool);
+            // A dying worker must not strand queued runnables: anything
+            // left in its deque (normally nothing — shutdown waits for
+            // `pending == 0`, and a retiring worker just scanned dry) goes
+            // back to the injector where the survivors can see it.
+            LOCAL.with(|slot| {
+                if let Some(local) = slot.borrow_mut().take() {
+                    while let Some(runnable) = local.worker.pop() {
+                        pool.injector.push(runnable);
+                    }
+                }
+            });
+            if !retired {
                 pool.worker_exited();
             }
         })
@@ -129,38 +305,55 @@ fn spawn_worker(pool: Arc<Pool>) {
 /// Runs until shutdown (returns `false`; exit not yet recorded) or
 /// retirement (returns `true`; exit recorded under the retirement lock).
 fn worker_loop(pool: &Arc<Pool>) -> bool {
+    let mut rescans = 0;
     loop {
-        match pool.queue_rx.recv_timeout(IDLE_TICK) {
-            // Panic fence: a panicking callback or task must not kill the
-            // worker — that would corrupt the live-worker accounting and
-            // hang shutdown. The panic is contained to the one runnable
-            // (run_node's own guard finalizes a node that dies mid-turn).
-            Ok(Runnable::Node(cell)) => {
-                let _ =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_node(pool, cell)));
-            }
-            Ok(Runnable::Task(task)) => {
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
-            }
-            Err(channel::RecvTimeoutError::Timeout) => {
-                // Drain-then-exit on shutdown: queued work always runs.
-                if pool.is_shut_down() && pool.queue_rx.is_empty() {
-                    return false;
+        // Panic fence: a panicking callback or task must not kill the
+        // worker — that would corrupt the live-worker accounting and
+        // hang shutdown. The panic is contained to the one runnable
+        // (run_node's own guard finalizes a node that dies mid-turn).
+        match pool.find_work() {
+            Some(runnable) => {
+                pool.pending.fetch_sub(1, Ordering::SeqCst);
+                rescans = 0;
+                match runnable {
+                    Runnable::Node(cell) => {
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            run_node(pool, cell)
+                        }));
+                    }
+                    Runnable::Task(task) => {
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                    }
                 }
-                // Lazy retirement of compensation surplus: decided and
-                // recorded under one lock so concurrent retirements can
-                // never undershoot `base`. The idle grace (one tick) keeps
-                // transient workers warm across bursts instead of
-                // thrashing spawn/join.
-                let mut counts = pool.counts.lock();
-                if counts.live - counts.blocked > pool.base {
-                    counts.live -= 1;
-                    drop(counts);
-                    pool.counts_cv.notify_all();
-                    return true;
-                }
+                continue;
             }
-            Err(channel::RecvTimeoutError::Disconnected) => return false,
+            None => {
+                if rescans < SPIN_RESCANS {
+                    rescans += 1;
+                    std::thread::yield_now();
+                    continue;
+                }
+                rescans = 0;
+            }
+        }
+        let timed_out = pool.park();
+        // Drain-then-exit on shutdown: queued work always runs.
+        if pool.is_shut_down() && pool.pending.load(Ordering::SeqCst) == 0 {
+            return false;
+        }
+        if timed_out {
+            // Lazy retirement of compensation surplus: decided and
+            // recorded under one lock so concurrent retirements can
+            // never undershoot `base`. The idle grace (one tick) keeps
+            // transient workers warm across bursts instead of
+            // thrashing spawn/join.
+            let mut counts = pool.counts.lock();
+            if counts.live - counts.blocked > pool.base {
+                counts.live -= 1;
+                drop(counts);
+                pool.counts_cv.notify_all();
+                return true;
+            }
         }
     }
 }
@@ -178,10 +371,15 @@ impl Executor {
     /// thread.
     pub fn new(workers: usize) -> Executor {
         let workers = workers.max(1);
-        let (queue_tx, queue_rx) = channel::unbounded();
+        let locals: Vec<deque::Worker<Runnable>> =
+            (0..workers).map(|_| deque::Worker::new_fifo()).collect();
         let pool = Arc::new(Pool {
-            queue_tx,
-            queue_rx,
+            injector: deque::Injector::new(),
+            stealers: locals.iter().map(|w| w.stealer()).collect(),
+            pending: AtomicUsize::new(0),
+            idle: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            sleep_cv: Condvar::new(),
             counts: Mutex::new(Counts {
                 live: workers,
                 blocked: 0,
@@ -192,10 +390,17 @@ impl Executor {
             timers: TimerService::new(),
         });
         pool.timers.start();
-        for _ in 0..workers {
-            spawn_worker(Arc::clone(&pool));
+        for local in locals {
+            spawn_worker(Arc::clone(&pool), Some(local));
         }
         Executor { pool }
+    }
+
+    /// Entries (live + tombstoned) in the timer heap — for tests
+    /// asserting that resolved rpc deadlines are invalidated.
+    #[cfg(test)]
+    pub(crate) fn timer_heap_len(&self) -> usize {
+        self.pool.timers.heap_len()
     }
 
     /// A cloneable handle for spawning.

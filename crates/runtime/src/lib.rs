@@ -151,6 +151,66 @@ mod tests {
     }
 
     #[test]
+    fn resolved_rpc_deadlines_are_invalidated_in_timer_heap() {
+        /// Fires a burst of long-deadline requests; replies resolve them
+        /// all long before the deadlines, so without lazy invalidation
+        /// every deadline would squat in the timer heap for 100 s.
+        struct Burster {
+            total: usize,
+            done: Arc<AtomicUsize>,
+        }
+        impl NodeLogic for Burster {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                for i in 0..self.total {
+                    ctx.rpc_async(
+                        "echo",
+                        "ping",
+                        Element::new("ping"),
+                        Duration::from_secs(100),
+                        RpcToken(i as u64),
+                    );
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _env: Envelope) -> Flow {
+                Flow::Continue
+            }
+            fn on_rpc_done(&mut self, _ctx: &mut NodeCtx<'_>, done: RpcDone) -> Flow {
+                assert!(done.result.is_ok());
+                self.done.fetch_add(1, Ordering::SeqCst);
+                Flow::Continue
+            }
+        }
+        let exec = Executor::new(2);
+        let net = Network::new(NetworkConfig::instant());
+        let _echo = exec
+            .handle()
+            .spawn_node(net.connect("echo").unwrap(), EchoLogic);
+        let done = Arc::new(AtomicUsize::new(0));
+        let total = 200;
+        let _burster = exec.handle().spawn_node(
+            net.connect("burster").unwrap(),
+            Burster {
+                total,
+                done: Arc::clone(&done),
+            },
+        );
+        let t0 = Instant::now();
+        while done.load(Ordering::SeqCst) < total && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), total);
+        // Every request resolved; tombstone-triggered rebuilds must have
+        // swept the bulk of the 200 dead deadlines out of the heap (the
+        // rebuild floor is 64 — below it, tombstones just wait).
+        assert!(
+            exec.timer_heap_len() < 64,
+            "dead deadlines piled up: {} entries for 0 in-flight rpcs",
+            exec.timer_heap_len()
+        );
+        exec.shutdown();
+    }
+
+    #[test]
     fn many_nodes_few_workers() {
         let exec = Executor::new(2);
         let net = Network::new(NetworkConfig::instant());

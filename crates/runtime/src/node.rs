@@ -252,7 +252,13 @@ impl NodeCtx<'_> {
     ) -> MessageId {
         let transport = self.endpoint.transport();
         let id = transport.next_message_id();
-        self.cell.inner.lock().pending_rpcs.insert(id, token);
+        self.cell.inner.lock().pending_rpcs.insert(
+            id,
+            PendingRpc {
+                token,
+                deadline_seq: None,
+            },
+        );
         // Register the continuation before the request leaves, so even an
         // instantly delivered reply finds it. The handler only re-enters
         // the node's scheduler — cheap enough for the delivery path.
@@ -264,9 +270,23 @@ impl NodeCtx<'_> {
         });
         match transport.send_prepared(id, self.node(), to.into(), kind.into(), body, None) {
             Ok(()) => {
-                self.pool
-                    .timers
-                    .schedule_rpc_deadline(timeout, Arc::downgrade(self.cell), id);
+                let seq =
+                    self.pool
+                        .timers
+                        .schedule_rpc_deadline(timeout, Arc::downgrade(self.cell), id);
+                // Attach the deadline to the request so whoever resolves
+                // it (reply or stop) can invalidate the heap entry. If the
+                // request already resolved — a same-executor reply can win
+                // between send and here — the deadline is dead on arrival:
+                // cancel it ourselves.
+                let mut inner = self.cell.inner.lock();
+                match inner.pending_rpcs.get_mut(&id) {
+                    Some(pending) => pending.deadline_seq = Some(seq),
+                    None => {
+                        drop(inner);
+                        self.pool.timers.cancel_rpc_deadline(seq);
+                    }
+                }
             }
             Err(e) => {
                 // The request never left: resolve immediately. The event
@@ -375,10 +395,20 @@ struct CellInner {
     /// (taken for the duration of a turn) or the node has stopped.
     body: Option<Body>,
     /// In-flight [`NodeCtx::rpc_async`] requests: request id → the token
-    /// the completion will carry. Whichever of reply / deadline / stop
-    /// removes an id first owns delivering (or suppressing) its
-    /// completion.
-    pending_rpcs: HashMap<MessageId, RpcToken>,
+    /// the completion will carry plus its scheduled deadline. Whichever of
+    /// reply / deadline / stop removes an id first owns delivering (or
+    /// suppressing) its completion — and cancelling the deadline's timer
+    /// entry, so resolved requests don't pile dead entries in the heap.
+    pending_rpcs: HashMap<MessageId, PendingRpc>,
+}
+
+/// Book-keeping for one in-flight [`NodeCtx::rpc_async`] request.
+struct PendingRpc {
+    token: RpcToken,
+    /// The timer-heap sequence number of the request's deadline; `None`
+    /// until the deadline is scheduled (a send error resolves the request
+    /// before one exists).
+    deadline_seq: Option<u64>,
 }
 
 /// One spawned node: its event queue, scheduling state, and machine.
@@ -466,18 +496,24 @@ impl NodeCell {
     /// [`RpcDone`] completion and schedules the node; a no-op if the
     /// request was already resolved (deadline won) or the node stopped.
     pub(crate) fn deliver_rpc_reply(self: &Arc<Self>, id: MessageId, env: Envelope) {
-        {
+        let deadline_seq = {
             let mut inner = self.inner.lock();
             if inner.stopped {
                 return;
             }
-            let Some(token) = inner.pending_rpcs.remove(&id) else {
+            let Some(pending) = inner.pending_rpcs.remove(&id) else {
                 return;
             };
             inner.events.push_back(Event::RpcDone(RpcDone {
-                token,
+                token: pending.token,
                 result: Ok(env),
             }));
+            pending.deadline_seq
+        };
+        // The reply won: invalidate the now-dead deadline (outside the
+        // cell lock — cancellation takes the timer lock).
+        if let (Some(seq), Some(pool)) = (deadline_seq, self.pool.upgrade()) {
+            pool.timers.cancel_rpc_deadline(seq);
         }
         self.wake();
     }
@@ -496,11 +532,11 @@ impl NodeCell {
             if inner.stopped {
                 return;
             }
-            let Some(token) = inner.pending_rpcs.remove(&id) else {
+            let Some(pending) = inner.pending_rpcs.remove(&id) else {
                 return;
             };
             inner.events.push_back(Event::RpcDone(RpcDone {
-                token,
+                token: pending.token,
                 result: Err(RpcError::Timeout),
             }));
         }
@@ -530,20 +566,29 @@ impl NodeCell {
         // Drop the endpoint first: the name deregisters and the transport
         // stops delivering before the stop becomes observable.
         drop(body);
-        let cancelled: Vec<MessageId> = {
+        let cancelled: Vec<(MessageId, Option<u64>)> = {
             let mut inner = self.inner.lock();
             inner.stopped = true;
             inner.scheduled = false;
             inner.events.clear();
             inner.body = None;
-            inner.pending_rpcs.drain().map(|(id, _)| id).collect()
+            inner
+                .pending_rpcs
+                .drain()
+                .map(|(id, pending)| (id, pending.deadline_seq))
+                .collect()
         };
         // Cancel-on-stop: retire every in-flight rpc_async id in the demux
         // (outside the cell lock — cancel takes demux locks) so late
         // replies are discarded at delivery instead of running
-        // continuations for a dead node.
-        for id in cancelled {
+        // continuations for a dead node — and invalidate their deadlines
+        // so the timer heap doesn't carry entries for a stopped node.
+        let pool = self.pool.upgrade();
+        for (id, deadline_seq) in cancelled {
             self.demux.cancel_handler(id);
+            if let (Some(seq), Some(pool)) = (deadline_seq, pool.as_ref()) {
+                pool.timers.cancel_rpc_deadline(seq);
+            }
         }
         self.stopped_cv.notify_all();
     }

@@ -117,3 +117,95 @@ proptest! {
         exec.shutdown();
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Work stealing never violates per-node serialization: many nodes
+    /// share a multi-worker executor while several sender threads
+    /// round-robin messages across all of them, so runnables land in
+    /// worker-local deques *and* the global injector and get stolen
+    /// between workers mid-burst. However the deques shuffle, each node's
+    /// callback overlap must never exceed 1 and no envelope may be lost
+    /// or double-handled.
+    #[test]
+    fn work_stealing_never_violates_per_node_serialization(
+        n_nodes in 2usize..7,
+        senders in 2usize..5,
+        per_sender in 1usize..20,
+        workers in 2usize..6,
+    ) {
+        let exec = Executor::new(workers);
+        let net = Network::new(NetworkConfig::instant());
+        let mut probes = Vec::new();
+        let mut nodes = Vec::new();
+        for n in 0..n_nodes {
+            let entered = Arc::new(AtomicUsize::new(0));
+            let max_overlap = Arc::new(AtomicUsize::new(0));
+            let handled = Arc::new(AtomicUsize::new(0));
+            let timers = Arc::new(AtomicUsize::new(0));
+            nodes.push(exec.handle().spawn_node(
+                net.connect(format!("probe{n}")).unwrap(),
+                Probe {
+                    entered: Arc::clone(&entered),
+                    max_overlap: Arc::clone(&max_overlap),
+                    handled: Arc::clone(&handled),
+                    timers: Arc::clone(&timers),
+                },
+            ));
+            probes.push((entered, max_overlap, handled));
+        }
+
+        std::thread::scope(|s| {
+            for t in 0..senders {
+                let net = net.clone();
+                s.spawn(move || {
+                    let ep = net.connect(format!("sender{t}")).unwrap();
+                    for i in 0..per_sender {
+                        for n in 0..n_nodes {
+                            ep.send(
+                                format!("probe{n}"),
+                                "n",
+                                Element::new("n").with_attr("i", i.to_string()),
+                            )
+                            .unwrap();
+                        }
+                    }
+                });
+            }
+        });
+
+        let expected = senders * per_sender;
+        let t0 = Instant::now();
+        while probes
+            .iter()
+            .any(|(_, _, handled)| handled.load(Ordering::SeqCst) < expected)
+            && t0.elapsed() < Duration::from_secs(20)
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        for (n, (_entered, max_overlap, handled)) in probes.iter().enumerate() {
+            prop_assert_eq!(
+                handled.load(Ordering::SeqCst),
+                expected,
+                "node {} lost or double-handled envelopes",
+                n
+            );
+            prop_assert_eq!(
+                max_overlap.load(Ordering::SeqCst),
+                1,
+                "node {} ran on two workers at once",
+                n
+            );
+        }
+        for node in nodes {
+            node.stop();
+        }
+        // Only after stop: a timer callback armed by a late message may
+        // still be mid-flight while the counts above are read.
+        for (n, (entered, _, _)) in probes.iter().enumerate() {
+            prop_assert_eq!(entered.load(Ordering::SeqCst), 0, "node {} still running", n);
+        }
+        exec.shutdown();
+    }
+}

@@ -16,7 +16,7 @@ use crate::node::{NodeCell, TimerToken};
 use parking_lot::{Condvar, Mutex};
 use selfserv_net::MessageId;
 use std::cmp::Ordering as CmpOrdering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -59,7 +59,18 @@ struct TimerState {
     heap: BinaryHeap<Entry>,
     seq: u64,
     stopped: bool,
+    /// Lazily invalidated entries (resolved rpc deadlines), keyed by the
+    /// unique schedule sequence number — message ids are only unique per
+    /// transport, and one executor may serve several. A cancelled entry is
+    /// skipped at fire time; once the set grows past both a floor and half
+    /// the heap, the heap is rebuilt without the dead entries so
+    /// long-timeout/high-rate rpc workloads don't accumulate them.
+    cancelled: HashSet<u64>,
 }
+
+/// Tombstone count below which a rebuild never triggers: rebuilds are
+/// O(heap), so tiny cancel bursts just wait for fire-time skipping.
+const REBUILD_FLOOR: usize = 64;
 
 struct TimerInner {
     state: Mutex<TimerState>,
@@ -80,6 +91,7 @@ impl TimerService {
                     heap: BinaryHeap::new(),
                     seq: 0,
                     stopped: false,
+                    cancelled: HashSet::new(),
                 }),
                 cv: Condvar::new(),
             }),
@@ -104,20 +116,50 @@ impl TimerService {
 
     /// Schedules the timeout deadline of an asynchronous rpc: when it
     /// fires, the node resolves request `id` to `Err(Timeout)` unless the
-    /// reply won the race (in which case the deadline is a no-op).
+    /// reply won the race (in which case the deadline is a no-op). Returns
+    /// the entry's sequence number, the key for
+    /// [`TimerService::cancel_rpc_deadline`].
     pub(crate) fn schedule_rpc_deadline(
         &self,
         after: Duration,
         cell: Weak<NodeCell>,
         id: MessageId,
-    ) {
-        self.push(after, cell, Fire::RpcDeadline(id));
+    ) -> u64 {
+        self.push(after, cell, Fire::RpcDeadline(id))
     }
 
-    fn push(&self, after: Duration, cell: Weak<NodeCell>, fire: Fire) {
+    /// Lazily invalidates a scheduled rpc deadline whose request has
+    /// resolved (reply arrived, or the node stopped): the entry is
+    /// tombstoned and skipped at fire time instead of firing a dead
+    /// deadline through the demux, and a tombstone pile-up triggers a heap
+    /// rebuild. Safe to call with an already-fired sequence number — the
+    /// rebuild discards tombstones that match nothing.
+    pub(crate) fn cancel_rpc_deadline(&self, seq: u64) {
         let mut state = self.inner.state.lock();
         if state.stopped {
             return;
+        }
+        state.cancelled.insert(seq);
+        if state.cancelled.len() >= REBUILD_FLOOR && state.cancelled.len() * 2 >= state.heap.len() {
+            // Every live tombstone refers to an in-heap entry (cancel is
+            // only called after schedule returns), so the set empties into
+            // the rebuild; leftovers are fire-races, dead either way.
+            let cancelled = std::mem::take(&mut state.cancelled);
+            state.heap.retain(|entry| !cancelled.contains(&entry.seq));
+        }
+    }
+
+    /// Scheduled entries still in the heap, dead tombstones included —
+    /// for tests and diagnostics.
+    #[cfg(test)]
+    pub(crate) fn heap_len(&self) -> usize {
+        self.inner.state.lock().heap.len()
+    }
+
+    fn push(&self, after: Duration, cell: Weak<NodeCell>, fire: Fire) -> u64 {
+        let mut state = self.inner.state.lock();
+        if state.stopped {
+            return 0;
         }
         state.seq += 1;
         let seq = state.seq;
@@ -128,6 +170,7 @@ impl TimerService {
             fire,
         });
         self.inner.cv.notify_all();
+        seq
     }
 
     /// Stops the timer thread; pending timers never fire.
@@ -156,6 +199,11 @@ fn timer_loop(inner: &TimerInner) {
             }
             Some(top) if top.at <= now => {
                 let entry = state.heap.pop().expect("peeked entry");
+                if state.cancelled.remove(&entry.seq) {
+                    // Lazily invalidated (the rpc resolved first): discard
+                    // without firing.
+                    continue;
+                }
                 // Fire outside the lock: waking a node takes the cell and
                 // run-queue locks, and `schedule` must never wait on them.
                 drop(state);

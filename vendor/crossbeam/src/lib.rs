@@ -2,10 +2,14 @@
 //!
 //! The build environment has no registry access, so this workspace vendors
 //! the *subset* of crossbeam it actually uses: `channel::unbounded` MPMC
-//! channels with blocking, timed, and non-blocking receives. Semantics
-//! match crossbeam-channel for that subset: `send` fails once every
-//! receiver is gone, receives fail once every sender is gone and the queue
-//! has drained.
+//! channels with blocking, timed, and non-blocking receives, and the
+//! `deque` work-stealing primitives (`Injector` / `Worker` / `Stealer`)
+//! behind the executor's run queue. Semantics match the upstream crates
+//! for those subsets — channels: `send` fails once every receiver is gone,
+//! receives fail once every sender is gone and the queue has drained;
+//! deques: the API contract of `crossbeam-deque` (owner-only `push`/`pop`,
+//! `Stealer` usable from any thread, `Steal::Retry` possible on
+//! contention) so the real crate could be dropped in unchanged.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -272,6 +276,289 @@ pub mod channel {
             }
             assert_eq!(got, 100);
             handle.join().unwrap();
+        }
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques with the `crossbeam-deque` API surface the
+    //! executor uses: a global [`Injector`], per-worker [`Worker`] queues
+    //! (FIFO), and [`Stealer`] handles that move work between them. The
+    //! implementation is a mutexed `VecDeque` per queue — correct and
+    //! contention-adequate at this workspace's worker counts — while the
+    //! types keep upstream's ownership contract (`Worker` is `!Sync`:
+    //! only the owning thread pushes and pops) so the lock-free crate can
+    //! replace this shim without touching callers.
+
+    use std::collections::VecDeque;
+    use std::marker::PhantomData;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt, as in `crossbeam-deque`. The shim's
+    /// locking never loses a race mid-operation, so it only ever returns
+    /// `Empty` or `Success`, but callers must handle `Retry` — upstream
+    /// returns it under contention.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty at the time of the attempt.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// True when the attempt observed an empty queue.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                _ => None,
+            }
+        }
+    }
+
+    /// A global FIFO queue every thread may push to and steal from: the
+    /// entry point for work originating off the worker threads.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(task);
+        }
+
+        /// Steals one task from the front of the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+            {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks into `dest` (about half the queue, as
+        /// upstream does) and pops one of them for immediate execution.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let Some(first) = queue.pop_front() else {
+                return Steal::Empty;
+            };
+            let extra = queue.len().div_ceil(2);
+            if extra > 0 {
+                let mut dest_queue = dest.queue.lock().unwrap_or_else(|e| e.into_inner());
+                for _ in 0..extra {
+                    let Some(task) = queue.pop_front() else { break };
+                    dest_queue.push_back(task);
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// True when no task is queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+
+        /// Number of tasks currently queued.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+    }
+
+    /// A worker-owned queue. Only the owning thread pushes and pops (the
+    /// type is deliberately `!Sync`, matching upstream); other threads
+    /// reach it through its [`Stealer`].
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        /// Upstream's `Worker` is `Send + !Sync`; mirror that so code
+        /// written against this shim stays valid against the real crate.
+        _not_sync: PhantomData<std::cell::Cell<()>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO worker queue (`pop` takes the front — the order
+        /// the executor wants for fairness).
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                _not_sync: PhantomData,
+            }
+        }
+
+        /// A handle other threads use to steal from this queue.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// Pushes a task onto the back of the queue (owner only).
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(task);
+        }
+
+        /// Pops a task from the front of the queue (owner only).
+        pub fn pop(&self) -> Option<T> {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        /// True when no task is queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+
+        /// Number of tasks currently queued.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+    }
+
+    /// A handle for stealing tasks from one [`Worker`]'s queue. Cheap to
+    /// clone; usable from any thread.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the front of the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+            {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when no task is queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+
+        /// Number of tasks currently queued.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn worker_is_fifo() {
+            let w = Worker::new_fifo();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(w.pop(), None);
+        }
+
+        #[test]
+        fn stealer_takes_from_front() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            assert_eq!(s.steal(), Steal::Success(1));
+            assert_eq!(w.pop(), Some(2));
+            assert!(s.steal().is_empty());
+        }
+
+        #[test]
+        fn injector_batch_steal_moves_half() {
+            let inj = Injector::new();
+            for i in 0..9 {
+                inj.push(i);
+            }
+            let w = Worker::new_fifo();
+            // Pops the front task and moves about half the remainder.
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+            assert_eq!(w.len(), 4);
+            assert_eq!(inj.len(), 4);
+            assert_eq!(w.pop(), Some(1));
+            // Batch-stealing from an empty injector reports Empty.
+            let empty = Injector::<u32>::new();
+            assert!(empty.steal_batch_and_pop(&w).is_empty());
+        }
+
+        #[test]
+        fn cross_thread_stealing_delivers_everything() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            for i in 0..1000 {
+                w.push(i);
+            }
+            let thieves: Vec<_> = (0..4)
+                .map(|_| {
+                    let s = s.clone();
+                    std::thread::spawn(move || {
+                        let mut got = 0usize;
+                        while let Steal::Success(_) = s.steal() {
+                            got += 1;
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let total: usize = thieves.into_iter().map(|t| t.join().unwrap()).sum();
+            assert_eq!(total + w.len(), 1000);
         }
     }
 }
