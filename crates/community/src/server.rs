@@ -397,7 +397,10 @@ fn delegate(
             for m in c.members().filter(|m| !excluded.contains(&m.id)) {
                 match liveness.map_or(PeerStatus::Alive, |l| l.status_of(m.endpoint.as_str())) {
                     PeerStatus::Alive => healthy.push(m),
-                    PeerStatus::Suspected => suspected.push(m),
+                    // A contested name routes ambiguously — deprioritize
+                    // it like a suspected one (directories never return
+                    // NameConflict from status_of today; future probes may).
+                    PeerStatus::Suspected | PeerStatus::NameConflict => suspected.push(m),
                     PeerStatus::Evicted => {}
                 }
             }

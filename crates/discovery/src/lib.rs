@@ -199,6 +199,7 @@ impl PeerDiscovery {
         Ok(DiscoveryHandle {
             node,
             addr,
+            hub: hub.clone(),
             directory: hub.directory(),
             events,
             handle: Some(exec.spawn_node(endpoint, logic)),
@@ -211,6 +212,7 @@ impl PeerDiscovery {
 pub struct DiscoveryHandle {
     node: NodeId,
     addr: SocketAddr,
+    hub: TcpTransport,
     directory: PeerDirectory,
     events: Arc<EventLog>,
     handle: Option<NodeHandle>,
@@ -241,6 +243,24 @@ impl DiscoveryHandle {
     /// Every liveness transition observed so far (oldest first, bounded).
     pub fn events(&self) -> Vec<LivenessEvent> {
         self.events.snapshot()
+    }
+
+    /// Injects one deterministic discovery tick: the node runs one gossip
+    /// round and one failure-detection sweep as soon as it processes the
+    /// message, exactly as if both timers had fired — without touching
+    /// their arming. Chaos and convergence tests use this to *step* the
+    /// protocol at a controlled cadence instead of waiting out wall-clock
+    /// intervals. The tick travels through the hub's own listener like
+    /// any frame, so it also obeys installed fault schedules.
+    pub fn inject_tick(&self) -> std::io::Result<()> {
+        self.hub
+            .send_to_addr(
+                self.addr,
+                &self.node,
+                node::kinds::TICK,
+                selfserv_xml::Element::new("tick"),
+            )
+            .map(|_| ())
     }
 
     /// Polls until `name` is routable in this hub's directory (gossip or

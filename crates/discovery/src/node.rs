@@ -35,6 +35,12 @@ pub mod kinds {
     pub const PING: &str = "discovery.ping";
     /// Heartbeat answer.
     pub const PONG: &str = "discovery.pong";
+    /// Deterministic clock injection: runs one gossip round and one
+    /// failure-detection sweep immediately, exactly as if both timers had
+    /// fired (without re-arming them). Chaos and convergence tests use
+    /// this to step discovery at a controlled cadence instead of racing
+    /// wall-clock timers. Carries no body.
+    pub const TICK: &str = "discovery.tick";
 }
 
 /// The canonical name of a hub's discovery node. The prefix doubles as
@@ -46,6 +52,12 @@ pub fn disc_node_name(hub: HubId) -> NodeId {
 
 const GOSSIP_TIMER: TimerToken = TimerToken(1);
 const SWEEP_TIMER: TimerToken = TimerToken(2);
+
+/// Live reasserts of one name before the sweep reports a cross-hub
+/// conflict. One or two are normal during eviction recovery races; a
+/// count that reaches this within the conflict window means another hub
+/// keeps claiming a name that is alive here.
+const CONFLICT_THRESHOLD: u64 = 3;
 
 /// One exchange's worth of directory rows.
 type DirectoryRows = Vec<(NodeId, DirectoryEntry)>;
@@ -215,6 +227,22 @@ impl DiscoveryNode {
         self.events.push(event);
     }
 
+    /// One gossip round: re-greet unanswered seeds, then push-pull the
+    /// directory with one random known peer.
+    fn gossip(&mut self, ctx: &NodeCtx<'_>) {
+        self.greet_pending_seeds(ctx);
+        let candidates: Vec<&PeerState> = self.peers.values().collect();
+        if !candidates.is_empty() {
+            let partner = candidates[self.rng.gen_range(0..candidates.len())]
+                .disc
+                .clone();
+            let body = self.directory_body(ctx, &self.directory.snapshot());
+            // A silently dead partner costs nothing here: the send
+            // enqueues on its connection writer and returns.
+            let _ = ctx.endpoint().send(partner, kinds::SYNC, body);
+        }
+    }
+
     /// One failure-detection sweep: probe the quiet, suspect the silent,
     /// evict the dead.
     fn sweep(&mut self, ctx: &NodeCtx<'_>) {
@@ -270,6 +298,20 @@ impl DiscoveryNode {
                 },
             );
         }
+        // Cross-hub name conflicts the merge has been counting: once a
+        // name's live-reassert count persists past the threshold, surface
+        // it — the event's hub is the conflicting *claimant*, not a
+        // liveness transition of a peer.
+        for (name, claimant, _count) in self.directory.take_conflicts(CONFLICT_THRESHOLD) {
+            self.emit(
+                Some(ctx),
+                LivenessEvent {
+                    hub: claimant,
+                    status: PeerStatus::NameConflict,
+                    names: vec![name],
+                },
+            );
+        }
     }
 }
 
@@ -281,6 +323,11 @@ impl NodeLogic for DiscoveryNode {
     }
 
     fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+        if env.kind == kinds::TICK {
+            self.gossip(ctx);
+            self.sweep(ctx);
+            return Flow::Continue;
+        }
         let Some((hub, disc, rows)) = Self::decode(&env.body) else {
             return Flow::Continue;
         };
@@ -320,17 +367,7 @@ impl NodeLogic for DiscoveryNode {
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: TimerToken) -> Flow {
         match timer {
             GOSSIP_TIMER => {
-                self.greet_pending_seeds(ctx);
-                let candidates: Vec<&PeerState> = self.peers.values().collect();
-                if !candidates.is_empty() {
-                    let partner = candidates[self.rng.gen_range(0..candidates.len())]
-                        .disc
-                        .clone();
-                    let body = self.directory_body(ctx, &self.directory.snapshot());
-                    // A silently dead partner costs nothing here: the send
-                    // enqueues on its connection writer and returns.
-                    let _ = ctx.endpoint().send(partner, kinds::SYNC, body);
-                }
+                self.gossip(ctx);
                 ctx.set_timer(self.config.gossip_interval, GOSSIP_TIMER);
             }
             SWEEP_TIMER => {

@@ -136,6 +136,68 @@ fn silent_hub_is_suspected_then_evicted_and_recovery_reasserts() {
 }
 
 #[test]
+fn two_hubs_binding_one_name_surface_an_operator_conflict_event() {
+    let hub_a = TcpTransport::new();
+    let hub_b = TcpTransport::new();
+    // The operator error: both hubs bind `svc.shared` before discovery
+    // connects them. Gossip can never converge on that name — each hub
+    // re-asserts its own endpoint — and the sweep must say so.
+    let _mine = Transport::connect(&hub_a, NodeId::new("svc.shared")).unwrap();
+    let _theirs = Transport::connect(&hub_b, NodeId::new("svc.shared")).unwrap();
+    let disc_a = PeerDiscovery::spawn(&hub_a, fast()).unwrap();
+    let disc_b = PeerDiscovery::spawn(&hub_b, fast().with_seed(disc_a.seed_addr())).unwrap();
+    let b_hub_id = hub_b.hub_id();
+    assert!(disc_a.wait_until_bound(disc_b.node().as_str(), Duration::from_secs(5)));
+    // Step gossip deterministically from both sides until the repeated
+    // reasserts cross the conflict threshold and a sweep drains them.
+    let saw_conflict = wait_until(Duration::from_secs(10), || {
+        let _ = disc_a.inject_tick();
+        let _ = disc_b.inject_tick();
+        disc_a.events().iter().any(|e| {
+            e.status == PeerStatus::NameConflict
+                && e.hub == b_hub_id
+                && e.names.contains(&NodeId::new("svc.shared"))
+        })
+    });
+    assert!(
+        saw_conflict,
+        "persistent cross-hub claims on svc.shared never surfaced as a conflict event"
+    );
+    // The contested name stays bound locally — detection, not resolution.
+    assert!(disc_a.directory().is_bound("svc.shared"));
+}
+
+#[test]
+fn injected_ticks_step_failure_detection_without_waiting_for_timers() {
+    // Slow cadence: wall-clock timers alone could not evict inside this
+    // test's budget — only injected ticks can drive the sweep.
+    let slow = DiscoveryConfig::default().with_cadence(Duration::from_secs(60));
+    let mut config_a = slow.clone();
+    // Keep detection thresholds short so silence *ages* fast, while the
+    // timers that would notice it almost never fire on their own.
+    config_a.heartbeat_interval = Duration::from_millis(50);
+    config_a.suspicion_timeout = Duration::from_millis(150);
+    config_a.eviction_timeout = Duration::from_millis(400);
+    let hub_a = TcpTransport::new();
+    let hub_b = TcpTransport::new();
+    let disc_a = PeerDiscovery::spawn(&hub_a, config_a).unwrap();
+    let member = Transport::connect(&hub_b, NodeId::new("svc.stepped")).unwrap();
+    let disc_b = PeerDiscovery::spawn(&hub_b, slow.with_seed(disc_a.seed_addr())).unwrap();
+    assert!(disc_a.wait_until_bound("svc.stepped", Duration::from_secs(5)));
+    disc_b.stop();
+    let dir_a = disc_a.directory().clone();
+    let evicted = wait_until(Duration::from_secs(5), || {
+        let _ = disc_a.inject_tick();
+        dir_a.status_of("svc.stepped") == PeerStatus::Evicted
+    });
+    assert!(
+        evicted,
+        "injected ticks did not drive suspicion → eviction of the silent hub"
+    );
+    drop(member);
+}
+
+#[test]
 fn discovery_node_name_is_derived_from_hub_id() {
     let hub = TcpTransport::new();
     let disc = PeerDiscovery::spawn(&hub, fast()).unwrap();

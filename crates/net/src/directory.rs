@@ -32,14 +32,17 @@
 //! resolve**: each hub's self-defense re-asserts its own live endpoint
 //! over the other's claims, so the two directories exchange one
 //! correcting delta per gossip round and never converge on that name
-//! (every other name still converges). Likewise, entries owned by hubs
-//! that run **no discovery node** — or registered by hand
+//! (every other name still converges). The directory *detects* this:
+//! repeated live reasserts are counted per name and the discovery sweep
+//! drains them ([`PeerDirectory::take_conflicts`]) into operator-visible
+//! [`PeerStatus::NameConflict`] events — but resolution stays with the
+//! operator. Likewise, entries owned by hubs that run **no discovery
+//! node** — or registered by hand
 //! ([`crate::TcpTransport::register_peer`], owner
 //! [`HubId::UNKNOWN`]) — sit outside failure detection: nothing probes,
 //! suspects, or evicts them, so after their process dies they stay
 //! routable-looking until overwritten or manually re-registered.
-//! Conflict detection and address-level probing for detector-less owners
-//! are ROADMAP items.
+//! Address-level probing for detector-less owners is a ROADMAP item.
 
 use crate::envelope::NodeId;
 use parking_lot::RwLock;
@@ -110,6 +113,14 @@ pub enum PeerStatus {
     /// Declared dead: the entry is tombstoned, lookups fail, and the
     /// eviction gossips to every hub.
     Evicted,
+    /// Two hubs persistently claim the same name — an operator error the
+    /// merge cannot resolve (each hub re-asserts its own live endpoint, so
+    /// the directories trade correcting deltas forever). Never returned by
+    /// [`PeerDirectory`]'s `status_of`; carried only by
+    /// [`LivenessEvent`]s so operators see the misconfiguration instead of
+    /// silent gossip churn. The event's `hub` is the *conflicting
+    /// claimant*, its `names` the contested name.
+    NameConflict,
 }
 
 impl PeerStatus {
@@ -119,6 +130,7 @@ impl PeerStatus {
             PeerStatus::Alive => "alive",
             PeerStatus::Suspected => "suspected",
             PeerStatus::Evicted => "evicted",
+            PeerStatus::NameConflict => "conflict",
         }
     }
 
@@ -128,6 +140,7 @@ impl PeerStatus {
             "alive" => PeerStatus::Alive,
             "suspected" => PeerStatus::Suspected,
             "evicted" => PeerStatus::Evicted,
+            "conflict" => PeerStatus::NameConflict,
             _ => return None,
         })
     }
@@ -195,6 +208,14 @@ struct DirectoryInner {
     entries: RwLock<HashMap<NodeId, DirectoryEntry>>,
     /// Local suspicion overlay (never gossiped, never versioned).
     suspected_owners: RwLock<HashSet<HubId>>,
+    /// Per-name count of *live* remote claims re-asserted over a locally
+    /// alive endpoint — evidence of two hubs binding the same name. A
+    /// one-off reassert is normal (stale tombstones during eviction
+    /// recovery); a count that keeps climbing is a cross-hub conflict.
+    /// Keyed by name; the value is the latest conflicting claimant and
+    /// the running count. Leaf lock: never held while another directory
+    /// lock is taken.
+    conflicts: RwLock<HashMap<NodeId, (HubId, u64)>>,
 }
 
 /// The shared, versioned name → address directory of one hub. Cheap to
@@ -212,6 +233,7 @@ impl PeerDirectory {
                 hub,
                 entries: RwLock::new(HashMap::new()),
                 suspected_owners: RwLock::new(HashSet::new()),
+                conflicts: RwLock::new(HashMap::new()),
             }),
         }
     }
@@ -309,6 +331,19 @@ impl PeerDirectory {
                 let locally_alive = current.owner == self.inner.hub && !current.evicted;
                 if locally_alive {
                     current.version = incoming.version + 1;
+                    // A *live* claim from a real peer hub over our own live
+                    // endpoint is conflict evidence (a tombstone is just
+                    // eviction recovery); count it for the failure
+                    // detector's sweep to surface once it persists.
+                    if !incoming.evicted
+                        && incoming.owner != self.inner.hub
+                        && incoming.owner != HubId::UNKNOWN
+                    {
+                        drop(entries);
+                        let mut conflicts = self.inner.conflicts.write();
+                        let slot = conflicts.entry(name.clone()).or_insert((incoming.owner, 0));
+                        *slot = (incoming.owner, slot.1 + 1);
+                    }
                     return Some(DirectoryChange::Reasserted(name));
                 }
                 let change = if incoming.evicted {
@@ -500,6 +535,32 @@ impl PeerDirectory {
         }
         evicted.sort();
         evicted
+    }
+
+    /// Drains every name whose conflict count has reached `threshold`:
+    /// names where live claims from another hub keep being re-asserted
+    /// over an endpoint alive here — two hubs bound the same name.
+    /// Returns `(name, conflicting claimant, count)` sorted by name;
+    /// under-threshold counts keep accumulating for a later sweep. The
+    /// caller (the discovery sweep) turns each row into an operator-visible
+    /// [`PeerStatus::NameConflict`] event.
+    pub fn take_conflicts(&self, threshold: u64) -> Vec<(NodeId, HubId, u64)> {
+        let mut conflicts = self.inner.conflicts.write();
+        let ripe: Vec<NodeId> = conflicts
+            .iter()
+            .filter(|(_, (_, count))| *count >= threshold)
+            .map(|(name, _)| name.clone())
+            .collect();
+        let mut out: Vec<(NodeId, HubId, u64)> = ripe
+            .into_iter()
+            .filter_map(|name| {
+                conflicts
+                    .remove(&name)
+                    .map(|(claimant, count)| (name, claimant, count))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Live names owned by `hub`, sorted.
@@ -746,6 +807,43 @@ mod tests {
         assert!(d
             .merge_entry(NodeId::new("x"), remote(2002, 0xC, 5, true))
             .is_none());
+    }
+
+    #[test]
+    fn repeated_live_reasserts_accumulate_as_name_conflicts() {
+        let d = dir();
+        d.bind_local(NodeId::new("shared"), addr(1000)).unwrap();
+        // Tombstone reasserts (eviction recovery) are NOT conflict
+        // evidence, however many arrive.
+        for v in 10..20 {
+            d.merge_entry(NodeId::new("shared"), remote(1000, 0xB, v * 100, true));
+        }
+        assert!(d.take_conflicts(1).is_empty());
+        // Live claims from a real peer hub are. Each needs a dominating
+        // version (the previous reassert out-versioned it).
+        let mut version = d.entry("shared").unwrap().version;
+        for _ in 0..3 {
+            version += 1;
+            let change = d.merge_entry(NodeId::new("shared"), remote(7777, 0xB, version, false));
+            assert!(matches!(change, Some(DirectoryChange::Reasserted(_))));
+            version = d.entry("shared").unwrap().version;
+        }
+        // Under threshold: nothing drains, the count keeps building.
+        assert!(d.take_conflicts(4).is_empty());
+        version += 1;
+        d.merge_entry(NodeId::new("shared"), remote(7777, 0xB, version, false));
+        let ripe = d.take_conflicts(4);
+        assert_eq!(ripe.len(), 1);
+        let (name, claimant, count) = &ripe[0];
+        assert_eq!(name.as_str(), "shared");
+        assert_eq!(*claimant, HubId(0xB));
+        assert_eq!(*count, 4);
+        // Drained: the slate is clean until new claims arrive.
+        assert!(d.take_conflicts(1).is_empty());
+        // Claims from the manual-registration sentinel never count.
+        version = d.entry("shared").unwrap().version + 1;
+        d.merge_entry(NodeId::new("shared"), remote(8888, 0, version, false));
+        assert!(d.take_conflicts(1).is_empty());
     }
 
     #[test]

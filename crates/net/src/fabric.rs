@@ -2,7 +2,9 @@
 //! optional wire latency, per-node metrics.
 
 use crate::envelope::{Envelope, MessageId, NodeId};
-use crate::fault::{FaultPolicy, LatencyModel, LinkOverride};
+use crate::fault::{
+    ChaosTarget, FaultAction, FaultPolicy, FaultSchedule, LatencyModel, LinkOverride,
+};
 use crate::metrics::{MetricsSnapshot, NodeCounters, EPHEMERAL_AGGREGATE};
 use crate::transport::{
     ConnectError, Endpoint, Inbox, Mailbox, RawEndpoint, RecvError, ReplyDemux, SendError,
@@ -111,10 +113,17 @@ struct Inner {
     /// see the whole experiment.
     counters: RwLock<HashMap<NodeId, Arc<NodeCounters>>>,
     fault: RwLock<FaultPolicy>,
+    /// Installed chaos schedule, consulted on every dispatch after the
+    /// static fault policy.
+    chaos: RwLock<Option<Arc<FaultSchedule>>>,
     rng: Mutex<StdRng>,
     next_msg: AtomicU64,
     next_anon: AtomicU64,
     delivery: Arc<DeliveryQueue>,
+    /// Whether the delivery thread exists. Spawned eagerly for non-instant
+    /// latency models, lazily when a chaos schedule (whose delay/reorder/
+    /// duplicate actions need the heap) is installed on an instant fabric.
+    delivery_started: AtomicBool,
 }
 
 impl Drop for Inner {
@@ -143,14 +152,17 @@ impl Network {
             nodes: RwLock::new(HashMap::new()),
             counters: RwLock::new(HashMap::new()),
             fault: RwLock::new(fault),
+            chaos: RwLock::new(None),
             next_msg: AtomicU64::new(1),
             next_anon: AtomicU64::new(1),
             delivery: Arc::new(DeliveryQueue::default()),
+            delivery_started: AtomicBool::new(false),
         });
-        if !inner.cfg.latency.is_instant() {
-            spawn_delivery_thread(Arc::downgrade(&inner), Arc::clone(&inner.delivery));
+        let net = Network { inner };
+        if !net.inner.cfg.latency.is_instant() {
+            net.ensure_delivery_thread();
         }
-        Network { inner }
+        net
     }
 
     /// Connects a named node, returning its endpoint. Fails if the name is
@@ -271,6 +283,32 @@ impl Network {
         self.inner.fault.write().set_link(from, to, link);
     }
 
+    /// Installs a chaos schedule: every subsequent dispatch consults it
+    /// (after the static [`FaultPolicy`]) and applies the sampled action —
+    /// drop, delay, duplicate, or reorder. Timed node events on the
+    /// schedule are *not* applied here; drive them with a
+    /// [`crate::ChaosController`] targeting this network.
+    pub fn install_chaos(&self, schedule: Arc<FaultSchedule>) {
+        // Delay/reorder/duplicate actions ride the delivery heap, which an
+        // instant-latency fabric never started.
+        self.ensure_delivery_thread();
+        *self.inner.chaos.write() = Some(schedule);
+    }
+
+    /// Removes the installed chaos schedule; traffic flows normally again.
+    pub fn clear_chaos(&self) {
+        *self.inner.chaos.write() = None;
+    }
+
+    fn ensure_delivery_thread(&self) {
+        if !self.inner.delivery_started.swap(true, Ordering::SeqCst) {
+            spawn_delivery_thread(
+                Arc::downgrade(&self.inner),
+                Arc::clone(&self.inner.delivery),
+            );
+        }
+    }
+
     fn next_message_id(&self) -> MessageId {
         MessageId(self.inner.next_msg.fetch_add(1, Ordering::Relaxed))
     }
@@ -315,6 +353,30 @@ impl Network {
                 return Ok(id);
             }
         }
+        // The chaos schedule sees the message after the static policy let
+        // it through. Delay and reorder both become heap entries; a
+        // duplicate schedules its copy and falls through so the original
+        // takes the normal path.
+        let chaos_action = self
+            .inner
+            .chaos
+            .read()
+            .as_ref()
+            .map(|s| s.decide(&from, &to, &envelope.kind));
+        match chaos_action {
+            Some(FaultAction::Drop) => {
+                self.counters_for(&to).record_drop();
+                return Ok(id);
+            }
+            Some(FaultAction::Delay(d)) | Some(FaultAction::Reorder(d)) => {
+                self.schedule_delayed(envelope, size, d);
+                return Ok(id);
+            }
+            Some(FaultAction::Duplicate(d)) => {
+                self.schedule_delayed(envelope.clone(), size, d);
+            }
+            Some(FaultAction::Deliver) | None => {}
+        }
         let latency = {
             let fault = self.inner.fault.read();
             fault
@@ -326,15 +388,19 @@ impl Network {
         if delay.is_zero() {
             self.deliver_now(envelope, size);
         } else {
-            let mut heap = self.inner.delivery.heap.lock();
-            heap.push(Scheduled {
-                deliver_at: Instant::now() + delay,
-                envelope,
-                size,
-            });
-            self.inner.delivery.cv.notify_one();
+            self.schedule_delayed(envelope, size, delay);
         }
         Ok(id)
+    }
+
+    fn schedule_delayed(&self, envelope: Envelope, size: usize, delay: Duration) {
+        let mut heap = self.inner.delivery.heap.lock();
+        heap.push(Scheduled {
+            deliver_at: Instant::now() + delay,
+            envelope,
+            size,
+        });
+        self.inner.delivery.cv.notify_one();
     }
 
     fn deliver_now(&self, envelope: Envelope, size: usize) {
@@ -473,6 +539,16 @@ impl Drop for FabricEndpoint {
     fn drop(&mut self) {
         self.net.inner.nodes.write().remove(&self.node);
         crate::metrics::fold_ephemeral(&mut self.net.inner.counters.write(), &self.node);
+    }
+}
+
+impl ChaosTarget for Network {
+    fn crash(&self, node: &NodeId) {
+        Network::kill(self, node);
+    }
+
+    fn restart(&self, node: &NodeId) {
+        Network::revive(self, node);
     }
 }
 
@@ -994,6 +1070,52 @@ mod tests {
         let aside = client.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(aside.kind, "notify", "uncorrelated message kept for recv");
         server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn chaos_schedule_drops_delays_and_duplicates_on_instant_fabric() {
+        use crate::fault::{ChaosConfig, KindRule};
+        let net = Network::new(NetworkConfig::instant());
+        let a = net.connect("a").unwrap();
+        let b = net.connect("b").unwrap();
+        let cfg = ChaosConfig::default()
+            .rule(KindRule::for_kind("lost").drop(1.0))
+            .rule(KindRule::for_kind("twin").duplicate(1.0))
+            .rule(KindRule::for_kind("slow").delay(
+                1.0,
+                Duration::from_millis(20),
+                Duration::from_millis(30),
+            ));
+        let schedule = FaultSchedule::sample(5, cfg);
+        net.install_chaos(Arc::clone(&schedule));
+        a.send("b", "lost", body()).unwrap();
+        assert!(
+            b.recv_timeout(Duration::from_millis(100)).is_err(),
+            "dropped by chaos"
+        );
+        a.send("b", "twin", body()).unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().kind, "twin");
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap().kind,
+            "twin",
+            "duplicate copy arrives via the delivery heap"
+        );
+        let t0 = Instant::now();
+        a.send("b", "slow", body()).unwrap();
+        b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(15),
+            "delayed by chaos: {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(schedule.fault_count(), 3);
+        net.clear_chaos();
+        a.send("b", "lost", body()).unwrap();
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap().kind,
+            "lost",
+            "cleared schedule no longer faults"
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ pub use directory::{
 };
 pub use envelope::{Envelope, MessageId, NodeId};
 pub use fabric::{Network, NetworkConfig};
-pub use fault::{FaultPolicy, LatencyModel};
+pub use fault::{
+    minimize_schedule, ChaosConfig, ChaosController, ChaosTarget, FaultAction, FaultEvent,
+    FaultPolicy, FaultSchedule, KindRule, LatencyModel, NodeEvent, NodeFault,
+};
 pub use metrics::{MetricsSnapshot, NodeMetrics, TransportIoStats, EPHEMERAL_AGGREGATE};
 pub use tcp::TcpTransport;
 pub use transport::{

@@ -356,6 +356,50 @@ impl TcpTransport {
         self.hub.directory.register_manual(name.into(), addr);
     }
 
+    /// Chaos hook: abruptly severs the pooled outbound connection to
+    /// `node`'s address — queued frames drop, the connection writer is
+    /// orphaned (it exits and closes its socket, taking the peer's reader
+    /// thread with it), and the *next* send to that address reports
+    /// `BrokenPipe` (the deferred-error path, which prunes unreachable
+    /// ephemeral peers) while the one after respawns a fresh writer.
+    /// Returns false when the node has no known address or no pooled
+    /// connection exists yet.
+    pub fn kill_connection(&self, node: &str) -> bool {
+        let Some(addr) = self.addr_of(node) else {
+            return false;
+        };
+        let conn = self.hub.pool.lock().get(&addr).cloned();
+        match conn {
+            Some(conn) => {
+                conn.kill(
+                    &format!("connection to {addr} killed by chaos"),
+                    &self.hub.io,
+                );
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Chaos hook: retires the pooled connection to `node`'s address
+    /// entirely (discarding any parked deferred error), so the next send
+    /// dials a fresh connection immediately. Returns false when the node
+    /// has no known address or no pooled connection exists.
+    pub fn revive_connection(&self, node: &str) -> bool {
+        let Some(addr) = self.addr_of(node) else {
+            return false;
+        };
+        match self.hub.pool.lock().remove(&addr) {
+            Some(conn) => {
+                // Wake anything blocked on the dead queue; a live writer
+                // drains and exits.
+                conn.shutdown();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Sends one envelope straight to a listener **address**, bypassing
     /// the name directory — the bootstrap primitive `selfserv-discovery`
     /// uses to greet a seed hub it knows only by address. The frame is
@@ -426,6 +470,16 @@ impl TcpTransport {
             TransportHandle::new(self.clone()),
             demux,
         ))
+    }
+}
+
+impl crate::fault::ChaosTarget for TcpTransport {
+    fn crash(&self, node: &NodeId) {
+        self.kill_connection(node.as_str());
+    }
+
+    fn restart(&self, node: &NodeId) {
+        self.revive_connection(node.as_str());
     }
 }
 

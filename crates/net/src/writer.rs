@@ -149,6 +149,11 @@ struct QueueState {
     /// A writer failure not yet reported: taken by the next send, which
     /// fails with it (deferred-error semantics — see the module docs).
     error: Option<String>,
+    /// Writer generation. [`ConnQueue::kill`] bumps it to orphan the
+    /// running writer: a writer whose captured epoch no longer matches
+    /// exits at its next queue touch without mutating state, so the killed
+    /// generation can never race the fresh writer a later send spawns.
+    epoch: u64,
 }
 
 /// The outbound queue of one pooled connection (one destination address).
@@ -169,8 +174,9 @@ pub(crate) struct ConnQueue {
 enum Accepted {
     /// Frame queued; a writer is already running.
     Queued,
-    /// Frame queued and the caller must spawn the writer thread.
-    SpawnWriter,
+    /// Frame queued and the caller must spawn the writer thread, passing
+    /// it the epoch it belongs to.
+    SpawnWriter(u64),
 }
 
 impl ConnQueue {
@@ -183,6 +189,7 @@ impl ConnQueue {
                 writer_parked: false,
                 shutdown: false,
                 error: None,
+                epoch: 0,
             }),
             depth: AtomicUsize::new(0),
             space: Condvar::new(),
@@ -202,12 +209,12 @@ impl ConnQueue {
     ) -> std::io::Result<()> {
         match self.accept(payload, ENQUEUE_TIMEOUT)? {
             Accepted::Queued => {}
-            Accepted::SpawnWriter => {
+            Accepted::SpawnWriter(epoch) => {
                 let conn = Arc::clone(self);
                 let io = Arc::clone(io);
                 std::thread::Builder::new()
                     .name(format!("selfserv-tcp-writer-{addr}"))
-                    .spawn(move || writer_loop(&conn, addr, &io))
+                    .spawn(move || writer_loop(&conn, addr, &io, epoch))
                     .expect("spawn tcp connection writer");
             }
         }
@@ -261,7 +268,7 @@ impl ConnQueue {
             Ok(Accepted::Queued)
         } else {
             state.writer_alive = true;
-            Ok(Accepted::SpawnWriter)
+            Ok(Accepted::SpawnWriter(state.epoch))
         }
     }
 
@@ -275,6 +282,29 @@ impl ConnQueue {
         self.space.notify_all();
     }
 
+    /// Chaos hook: abruptly severs the connection. Unlike
+    /// [`ConnQueue::shutdown`], nothing drains — queued frames are dropped
+    /// (counted in `frames_dropped`), the running writer is orphaned by an
+    /// epoch bump (it exits at its next queue touch, closing its socket
+    /// and, with it, the peer's reader thread), and `reason` is parked as
+    /// the deferred error: the next send reports `BrokenPipe` (triggering
+    /// the caller's unreachable-peer pruning) and the one after that
+    /// spawns a fresh writer — the exact path a mid-burst peer death
+    /// exercises.
+    pub(crate) fn kill(&self, reason: &str, io: &IoCounters) {
+        let mut state = self.state.lock();
+        state.epoch += 1;
+        io.frames_dropped
+            .fetch_add(state.queue.len() as u64, Ordering::Relaxed);
+        state.queue.clear();
+        state.queued_bytes = 0;
+        self.depth.store(0, Ordering::Relaxed);
+        state.error = Some(reason.to_string());
+        state.writer_alive = false;
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+
     /// Queue length right now, read lock-free from the mirror (the gather
     /// heuristic's probe and the writer's drain-boundary check; updated
     /// under the state lock, so it never lags a settled queue).
@@ -283,10 +313,16 @@ impl ConnQueue {
     }
 
     /// Takes the next batch to write, parking until frames arrive. `None`
-    /// means shutdown with a drained queue: the writer exits.
-    fn next_batch(&self) -> Option<Vec<Frame>> {
+    /// means the writer exits: shutdown with a drained queue, or the
+    /// writer's epoch was retired by [`ConnQueue::kill`].
+    fn next_batch(&self, epoch: u64) -> Option<Vec<Frame>> {
         let mut state = self.state.lock();
         loop {
+            if state.epoch != epoch {
+                // Killed. A successor writer may already be running, so
+                // leave all state (including `writer_alive`) alone.
+                return None;
+            }
             if !state.queue.is_empty() {
                 let take = state.queue.len().min(MAX_BATCH_FRAMES);
                 let batch: Vec<Frame> = state.queue.drain(..take).collect();
@@ -308,9 +344,16 @@ impl ConnQueue {
     /// Records a fatal writer failure: the queued frames are dropped (the
     /// `unsent` count from the failed batch plus whatever is still
     /// queued), the error is parked for the next sender, and the writer
-    /// slot frees so that sender's successor can start a fresh one.
-    fn fail(&self, unsent: usize, err: &std::io::Error, io: &IoCounters) {
+    /// slot frees so that sender's successor can start a fresh one. A
+    /// writer whose epoch was retired only counts its in-hand frames — the
+    /// queue now belongs to its successor.
+    fn fail(&self, epoch: u64, unsent: usize, err: &std::io::Error, io: &IoCounters) {
         let mut state = self.state.lock();
+        if state.epoch != epoch {
+            io.frames_dropped
+                .fetch_add(unsent as u64, Ordering::Relaxed);
+            return;
+        }
         let dropped = unsent + state.queue.len();
         io.frames_dropped
             .fetch_add(dropped as u64, Ordering::Relaxed);
@@ -327,15 +370,15 @@ impl ConnQueue {
 /// batches, gathers mid-burst, writes each batch as one (or few, under
 /// short writes) `writev`, flushes on drain boundaries, reconnects once
 /// per established stream on write failure.
-fn writer_loop(conn: &Arc<ConnQueue>, addr: SocketAddr, io: &Arc<IoCounters>) {
+fn writer_loop(conn: &Arc<ConnQueue>, addr: SocketAddr, io: &Arc<IoCounters>, epoch: u64) {
     let mut stream: Option<TcpStream> = None;
     let mut just_wrote = false;
     loop {
         if just_wrote {
             gather(conn);
         }
-        let Some(batch) = conn.next_batch() else {
-            return; // shutdown, queue drained
+        let Some(batch) = conn.next_batch(epoch) else {
+            return; // shutdown with a drained queue, or killed (epoch retired)
         };
         // Connect outside the queue lock: senders keep enqueueing while we
         // dial (the whole point of the asynchronous write path).
@@ -347,7 +390,7 @@ fn writer_loop(conn: &Arc<ConnQueue>, addr: SocketAddr, io: &Arc<IoCounters>) {
                     stream = Some(s);
                 }
                 Err(e) => {
-                    conn.fail(batch.len(), &e, io);
+                    conn.fail(epoch, batch.len(), &e, io);
                     return;
                 }
             }
@@ -361,7 +404,7 @@ fn writer_loop(conn: &Arc<ConnQueue>, addr: SocketAddr, io: &Arc<IoCounters>) {
             // freshly connected stream failing gets no retry.
             let rest = &batch[completed_frames(&batch, pos)..];
             if !established {
-                conn.fail(rest.len(), &_first, io);
+                conn.fail(epoch, rest.len(), &_first, io);
                 return;
             }
             match TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT) {
@@ -371,13 +414,13 @@ fn writer_loop(conn: &Arc<ConnQueue>, addr: SocketAddr, io: &Arc<IoCounters>) {
                     match write_batch(&mut s, rest, &mut pos, io) {
                         Ok(()) => stream = Some(s),
                         Err(e) => {
-                            conn.fail(rest.len() - completed_frames(rest, pos), &e, io);
+                            conn.fail(epoch, rest.len() - completed_frames(rest, pos), &e, io);
                             return;
                         }
                     }
                 }
                 Err(e) => {
-                    conn.fail(rest.len(), &e, io);
+                    conn.fail(epoch, rest.len(), &e, io);
                     return;
                 }
             }
@@ -636,7 +679,7 @@ mod tests {
         // Give the sender time to block, then drain a batch like the
         // writer would.
         std::thread::sleep(Duration::from_millis(30));
-        let batch = conn.next_batch().expect("queue is non-empty");
+        let batch = conn.next_batch(0).expect("queue is non-empty");
         assert!(!batch.is_empty());
         let accepted = sender.join().unwrap();
         assert!(matches!(accepted, Ok(Accepted::Queued)));
@@ -734,5 +777,59 @@ mod tests {
         // Error consumed: the next send retries with a fresh writer.
         conn.enqueue(addr, b"retry".to_vec(), &io).unwrap();
         conn.shutdown();
+    }
+
+    #[test]
+    fn kill_drops_queue_defers_error_and_orphans_the_writer() {
+        // A listener that accepts but never reads: the writer connects and
+        // stalls with frames queued behind the kernel buffers.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _hold = std::thread::spawn(move || listener.accept());
+        let conn = Arc::new(ConnQueue::new());
+        let io = Arc::new(IoCounters::default());
+        for i in 0..8 {
+            conn.enqueue(addr, format!("burst-{i}").into_bytes(), &io)
+                .unwrap();
+        }
+        conn.kill("chaos", &io);
+        // Deferred error: the next send reports the kill as BrokenPipe.
+        let err = conn.enqueue(addr, b"probe".to_vec(), &io).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        assert_eq!(err.to_string(), "chaos");
+        // The send after starts a fresh writer generation and is accepted.
+        conn.enqueue(addr, b"fresh".to_vec(), &io).unwrap();
+        {
+            let state = conn.state.lock();
+            assert_eq!(state.epoch, 1);
+            assert!(state.writer_alive, "successor writer spawned");
+        }
+        conn.shutdown();
+    }
+
+    #[test]
+    fn stale_writer_cannot_fail_the_successor_queue() {
+        let conn = Arc::new(ConnQueue::new());
+        let io = Arc::new(IoCounters::default());
+        conn.state.lock().writer_alive = true;
+        conn.accept(b"x".to_vec(), Duration::from_millis(5))
+            .unwrap();
+        conn.kill("chaos", &io);
+        let _ = conn.state.lock().error.take();
+        conn.accept(b"next-gen".to_vec(), Duration::from_millis(5))
+            .unwrap();
+        // A writer from epoch 0 reporting a failure after the kill must
+        // not clear the successor's queue or park a stale error.
+        let stale_err = std::io::Error::other("stale");
+        conn.fail(0, 3, &stale_err, &io);
+        let state = conn.state.lock();
+        assert_eq!(state.queue.len(), 1, "successor queue untouched");
+        assert!(state.error.is_none(), "no stale error parked");
+        // But the stale writer's in-hand frames are still counted lost.
+        assert_eq!(io.snapshot().frames_dropped, 1 + 3);
+        // And a stale next_batch call exits without touching writer_alive.
+        drop(state);
+        assert!(conn.next_batch(0).is_none());
+        assert!(conn.state.lock().writer_alive);
     }
 }

@@ -103,6 +103,12 @@ pub(crate) struct Pool {
     base: usize,
     shutdown: AtomicBool,
     pub(crate) timers: TimerService,
+    /// In-flight [`crate::NodeCtx::rpc_async`] requests across every node
+    /// on this executor: incremented when a request registers, decremented
+    /// by whichever of reply / deadline / send-error / node-stop resolves
+    /// it. The chaos harness's leak audit asserts this returns to zero
+    /// after quiesce — a leaked continuation shows up here.
+    pub(crate) rpc_in_flight: AtomicUsize,
 }
 
 impl Pool {
@@ -388,6 +394,7 @@ impl Executor {
             base: workers,
             shutdown: AtomicBool::new(false),
             timers: TimerService::new(),
+            rpc_in_flight: AtomicUsize::new(0),
         });
         pool.timers.start();
         for local in locals {
@@ -500,6 +507,27 @@ impl ExecutorHandle {
     /// for tests and diagnostics.
     pub fn blocked_workers(&self) -> usize {
         self.pool.counts.lock().blocked
+    }
+
+    /// In-flight `rpc_async` requests across every node on this pool.
+    /// Zero once the system quiesces: every continuation was resolved by a
+    /// reply, a deadline, a send error, or a node stop. The chaos harness
+    /// treats a nonzero reading after quiesce as a leaked continuation.
+    pub fn in_flight_rpcs(&self) -> usize {
+        self.pool.rpc_in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Timer-heap entries that can still fire into a live node — excludes
+    /// tombstoned rpc deadlines and timers owned by stopped or dropped
+    /// nodes. Zero once the system quiesces.
+    pub fn live_timers(&self) -> usize {
+        self.pool.timers.live_len()
+    }
+
+    /// All timer-heap entries, including lazily invalidated ones awaiting
+    /// their pop — for diagnostics on heap growth.
+    pub fn timer_entries(&self) -> usize {
+        self.pool.timers.heap_len()
     }
 }
 

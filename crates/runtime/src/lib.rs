@@ -211,6 +211,127 @@ mod tests {
     }
 
     #[test]
+    fn leak_audit_gauges_return_to_zero_after_quiesce() {
+        /// One request that replies, one whose destination never answers
+        /// (resolved by deadline), one to a nonexistent node (send error):
+        /// all three decrement paths of the in-flight gauge.
+        struct Auditee {
+            done: Arc<AtomicUsize>,
+        }
+        impl NodeLogic for Auditee {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.rpc_async(
+                    "echo",
+                    "ping",
+                    Element::new("ping"),
+                    Duration::from_secs(5),
+                    RpcToken(0),
+                );
+                ctx.rpc_async(
+                    "mute",
+                    "ping",
+                    Element::new("ping"),
+                    Duration::from_millis(40),
+                    RpcToken(1),
+                );
+                ctx.rpc_async(
+                    "nobody-home",
+                    "ping",
+                    Element::new("ping"),
+                    Duration::from_secs(5),
+                    RpcToken(2),
+                );
+            }
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _env: Envelope) -> Flow {
+                Flow::Continue
+            }
+            fn on_rpc_done(&mut self, _ctx: &mut NodeCtx<'_>, _done: RpcDone) -> Flow {
+                self.done.fetch_add(1, Ordering::SeqCst);
+                Flow::Continue
+            }
+        }
+        /// Swallows every message without replying.
+        struct Mute;
+        impl NodeLogic for Mute {
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _env: Envelope) -> Flow {
+                Flow::Continue
+            }
+        }
+        let exec = Executor::new(2);
+        let handle = exec.handle();
+        let net = Network::new(NetworkConfig::instant());
+        let echo = handle.spawn_node(net.connect("echo").unwrap(), EchoLogic);
+        let mute = handle.spawn_node(net.connect("mute").unwrap(), Mute);
+        let done = Arc::new(AtomicUsize::new(0));
+        let auditee = handle.spawn_node(
+            net.connect("auditee").unwrap(),
+            Auditee {
+                done: Arc::clone(&done),
+            },
+        );
+        let t0 = Instant::now();
+        while done.load(Ordering::SeqCst) < 3 && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 3);
+        assert_eq!(
+            handle.in_flight_rpcs(),
+            0,
+            "continuations leaked after all three resolution paths ran"
+        );
+        auditee.stop();
+        mute.stop();
+        echo.stop();
+        assert_eq!(
+            handle.live_timers(),
+            0,
+            "timer heap holds entries that can still fire into a live node"
+        );
+        exec.shutdown();
+    }
+
+    #[test]
+    fn stopping_a_node_mid_rpc_clears_the_in_flight_gauge() {
+        struct Caller;
+        impl NodeLogic for Caller {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.rpc_async(
+                    "mute",
+                    "ping",
+                    Element::new("ping"),
+                    Duration::from_secs(100),
+                    RpcToken(0),
+                );
+            }
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _env: Envelope) -> Flow {
+                Flow::Continue
+            }
+        }
+        struct Mute;
+        impl NodeLogic for Mute {
+            fn on_message(&mut self, _ctx: &mut NodeCtx<'_>, _env: Envelope) -> Flow {
+                Flow::Continue
+            }
+        }
+        let exec = Executor::new(2);
+        let handle = exec.handle();
+        let net = Network::new(NetworkConfig::instant());
+        let mute = handle.spawn_node(net.connect("mute").unwrap(), Mute);
+        let caller = handle.spawn_node(net.connect("caller").unwrap(), Caller);
+        let t0 = Instant::now();
+        while handle.in_flight_rpcs() == 0 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(handle.in_flight_rpcs(), 1);
+        // Cancel-on-stop must release the continuation and its deadline.
+        caller.stop();
+        assert_eq!(handle.in_flight_rpcs(), 0, "stop leaked the continuation");
+        assert_eq!(handle.live_timers(), 0, "stop leaked the rpc deadline");
+        mute.stop();
+        exec.shutdown();
+    }
+
+    #[test]
     fn many_nodes_few_workers() {
         let exec = Executor::new(2);
         let net = Network::new(NetworkConfig::instant());

@@ -7,6 +7,7 @@ use selfserv_net::{Endpoint, Envelope, MessageId, NodeId, ReplyDemux, RpcError};
 use selfserv_xml::Element;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
@@ -259,6 +260,9 @@ impl NodeCtx<'_> {
                 deadline_seq: None,
             },
         );
+        // Leak-audit gauge: every insert is matched by exactly one
+        // decrement at whichever site wins the pending_rpcs removal.
+        self.pool.rpc_in_flight.fetch_add(1, Ordering::Relaxed);
         // Register the continuation before the request leaves, so even an
         // instantly delivered reply finds it. The handler only re-enters
         // the node's scheduler — cheap enough for the delivery path.
@@ -294,7 +298,9 @@ impl NodeCtx<'_> {
                 // only exists inside one), so no wake is needed.
                 self.endpoint.demux().cancel_handler(id);
                 let mut inner = self.cell.inner.lock();
-                inner.pending_rpcs.remove(&id);
+                if inner.pending_rpcs.remove(&id).is_some() {
+                    self.pool.rpc_in_flight.fetch_sub(1, Ordering::Relaxed);
+                }
                 inner.events.push_back(Event::RpcDone(RpcDone {
                     token,
                     result: Err(RpcError::Send(e)),
@@ -512,8 +518,11 @@ impl NodeCell {
         };
         // The reply won: invalidate the now-dead deadline (outside the
         // cell lock — cancellation takes the timer lock).
-        if let (Some(seq), Some(pool)) = (deadline_seq, self.pool.upgrade()) {
-            pool.timers.cancel_rpc_deadline(seq);
+        if let Some(pool) = self.pool.upgrade() {
+            pool.rpc_in_flight.fetch_sub(1, Ordering::Relaxed);
+            if let Some(seq) = deadline_seq {
+                pool.timers.cancel_rpc_deadline(seq);
+            }
         }
         self.wake();
     }
@@ -540,6 +549,9 @@ impl NodeCell {
                 result: Err(RpcError::Timeout),
             }));
         }
+        if let Some(pool) = self.pool.upgrade() {
+            pool.rpc_in_flight.fetch_sub(1, Ordering::Relaxed);
+        }
         self.wake();
     }
 
@@ -560,6 +572,12 @@ impl NodeCell {
                 .push_back(Event::RpcDone(RpcDone { token, result }));
         }
         self.wake();
+    }
+
+    /// Whether this node has stopped — timers scheduled by a stopped cell
+    /// can never fire into it, so the leak audit ignores them.
+    pub(crate) fn is_stopped(&self) -> bool {
+        self.inner.lock().stopped
     }
 
     fn finalize(&self, body: Option<Body>) {
@@ -584,6 +602,10 @@ impl NodeCell {
         // continuations for a dead node — and invalidate their deadlines
         // so the timer heap doesn't carry entries for a stopped node.
         let pool = self.pool.upgrade();
+        if let Some(pool) = pool.as_ref() {
+            pool.rpc_in_flight
+                .fetch_sub(cancelled.len(), Ordering::Relaxed);
+        }
         for (id, deadline_seq) in cancelled {
             self.demux.cancel_handler(id);
             if let (Some(seq), Some(pool)) = (deadline_seq, pool.as_ref()) {

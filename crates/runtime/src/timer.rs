@@ -151,9 +151,32 @@ impl TimerService {
 
     /// Scheduled entries still in the heap, dead tombstones included —
     /// for tests and diagnostics.
-    #[cfg(test)]
     pub(crate) fn heap_len(&self) -> usize {
         self.inner.state.lock().heap.len()
+    }
+
+    /// Entries that can still fire into a live node: tombstoned rpc
+    /// deadlines and timers owned by stopped or dropped cells are excluded.
+    /// Cells are upgraded *after* releasing the timer lock — `is_stopped`
+    /// takes the cell lock, and the fire path already orders cell-after-
+    /// timer, so probing cells under the timer lock would add no deadlock
+    /// but holding both here keeps the discipline uniform and the critical
+    /// section short.
+    pub(crate) fn live_len(&self) -> usize {
+        let candidates: Vec<Weak<NodeCell>> = {
+            let state = self.inner.state.lock();
+            state
+                .heap
+                .iter()
+                .filter(|entry| !state.cancelled.contains(&entry.seq))
+                .map(|entry| Weak::clone(&entry.cell))
+                .collect()
+        };
+        candidates
+            .into_iter()
+            .filter_map(|cell| cell.upgrade())
+            .filter(|cell| !cell.is_stopped())
+            .count()
     }
 
     fn push(&self, after: Duration, cell: Weak<NodeCell>, fire: Fire) -> u64 {

@@ -174,6 +174,21 @@ pub fn nested(depth: usize) -> Statechart {
     sc
 }
 
+/// The composite families the chaos harness executes under seeded fault
+/// schedules: one representative per control-flow shape (linear routing,
+/// AND-join fan-in, nested completion bubbling). Each row is
+/// `(family name, chart, number of distinct synthetic services referenced)`
+/// — the service count sizes the backend map
+/// (`synth_service_name(0..count)`). Kept small on purpose: a chaos trial
+/// runs dozens of schedules per family, so per-execution cost dominates.
+pub fn chaos_corpus() -> Vec<(&'static str, Statechart, usize)> {
+    vec![
+        ("sequence", sequence(3), 3),
+        ("parallel", parallel(3), 3),
+        ("nested", nested(2), 1),
+    ]
+}
+
 /// A fork-join ladder: `depth` concurrent blocks of `width` regions run in
 /// sequence — the stress shape for AND-join routing tables. Requires
 /// `width ≥ 2`, `depth ≥ 1`.
