@@ -1,12 +1,36 @@
-//! E6: selection-policy decision overhead (pure policy cost, no network).
+//! Community serving benches:
+//!
+//! * `selection_policy` (E6) — selection-policy decision overhead (pure
+//!   policy cost, no network).
+//! * `community_server/community_64_concurrent` — 64 concurrent
+//!   invocations pushed through the *real* community server
+//!   (coordinator → community → member), collected back through one
+//!   deployment, on the instant fabric and over real TCP sockets.
+//!   Sampled throughout: `blocked_workers == 0` on a 4-worker executor
+//!   — the continuation-passing delegation path parks nothing.
+//! * `community_replicas/burst64` — the same 64-invocation burst against
+//!   1 vs 2 community replicas whose admission cap (`max_in_flight`) is
+//!   8 per replica, served by a timer-based member (replies from
+//!   `on_timer`, never blocking). On a single-core machine replica
+//!   scaling cannot come from CPU parallelism; it comes from *admission
+//!   capacity* — two replicas hold 2× the delegations open at once, so a
+//!   latency-bound burst drains in roughly half the waves. Acceptance:
+//!   2-replica min ≥ 1.5× faster than 1-replica min.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use selfserv_community::{
-    ExecutionHistory, HistoryAware, LeastLoaded, Member, MemberId, Outcome, QosProfile,
-    RandomChoice, RoundRobin, SelectionContext, SelectionPolicy, WeightedScoring,
+    Community, CommunityClient, CommunityServer, CommunityServerConfig, ExecutionHistory,
+    HistoryAware, LeastLoaded, Member, MemberId, Outcome, QosProfile, RandomChoice, RoundRobin,
+    SelectionContext, SelectionPolicy, WeightedScoring,
 };
-use selfserv_net::NodeId;
-use selfserv_wsdl::MessageDoc;
+use selfserv_core::{Deployer, Deployment, EchoService, ServiceHost};
+use selfserv_expr::Value;
+use selfserv_net::{Envelope, Network, NetworkConfig, NodeId, TcpTransport, Transport};
+use selfserv_runtime::{Executor, Flow, NodeCtx, NodeLogic, TimerToken};
+use selfserv_statechart::{Statechart, StatechartBuilder, TaskDef, TransitionDef};
+use selfserv_wsdl::{MessageDoc, OperationDef, ParamType};
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn members(n: usize) -> Vec<Member> {
@@ -59,12 +83,232 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
+/// Workers on the bench executor (the acceptance pool size).
+const WORKERS: usize = 4;
+/// Invocations per measured burst.
+const BURST: usize = 64;
+/// Per-replica admission cap in the replica-scaling bench.
+const REPLICA_CAP: usize = 8;
+/// Simulated member service time in the replica-scaling bench.
+const MEMBER_LATENCY: Duration = Duration::from_millis(4);
+
+/// One community-task composite: `s0` delegates `op` to `community`.
+fn community_chart(name: &str, community: &str) -> Statechart {
+    StatechartBuilder::new(name)
+        .variable("payload", ParamType::Str)
+        .variable("served_by", ParamType::Str)
+        .initial("s0")
+        .task(
+            TaskDef::new("s0", "Svc")
+                .community(community, "op")
+                .input("payload", "payload")
+                .output("echoed_by", "served_by"),
+        )
+        .final_state("f")
+        .transition(TransitionDef::new("t", "s0", "f"))
+        .build()
+        .expect("well-formed chart")
+}
+
+/// Submits `BURST` instances on one deployment and collects every
+/// completion, returning the worst `blocked_workers` reading sampled
+/// between collections.
+fn run_burst(dep: &Deployment, exec: &Executor) -> usize {
+    for i in 0..BURST {
+        dep.submit(MessageDoc::request("execute").with("payload", Value::str(format!("p{i}"))))
+            .expect("submit accepted");
+    }
+    let mut max_blocked = 0;
+    for _ in 0..BURST {
+        let (_, outcome) = dep
+            .collect_result(Duration::from_secs(30))
+            .expect("completion arrives");
+        outcome.expect("instance completes cleanly");
+        max_blocked = max_blocked.max(exec.handle().blocked_workers());
+    }
+    max_blocked
+}
+
+/// 64 concurrent invocations through the real community server, echo
+/// member, zero blocked workers on a 4-worker pool — on the instant
+/// fabric and over real TCP sockets.
+fn bench_concurrent_delegation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("community_server");
+    for transport in ["fabric", "tcp"] {
+        group.bench_with_input(
+            BenchmarkId::new("community_64_concurrent", transport),
+            &transport,
+            |b, &transport| {
+                let exec = Executor::new(WORKERS);
+                let net: Box<dyn Transport> = if transport == "fabric" {
+                    Box::new(Network::new(NetworkConfig::instant()))
+                } else {
+                    Box::new(TcpTransport::new())
+                };
+                let member = ServiceHost::spawn_on(
+                    &*net,
+                    &exec.handle(),
+                    "svc.echo-member",
+                    Arc::new(EchoService::new("Echo")),
+                )
+                .expect("member spawns");
+                let server = CommunityServer::spawn_on(
+                    &*net,
+                    &exec.handle(),
+                    "community.bench",
+                    Community::new("Bench", "").with_operation(OperationDef::new("op")),
+                    Arc::new(RoundRobin::new()),
+                    CommunityServerConfig {
+                        member_timeout: Duration::from_secs(30),
+                        ..Default::default()
+                    },
+                )
+                .expect("community spawns");
+                let admin = CommunityClient::connect(&*net, "admin", server.node().clone())
+                    .expect("admin connects");
+                admin
+                    .join(&Member {
+                        id: MemberId("echo".into()),
+                        provider: "echo".into(),
+                        endpoint: NodeId::new("svc.echo-member"),
+                        qos: QosProfile::default(),
+                    })
+                    .expect("member joins");
+                let mut deployer = Deployer::new(&*net).with_executor(exec.handle());
+                deployer.invoke_timeout = Duration::from_secs(30);
+                let dep = deployer
+                    .deploy(&community_chart("Bench64", "bench"), &HashMap::new())
+                    .expect("deploys");
+
+                b.iter(|| {
+                    let max_blocked = run_burst(&dep, &exec);
+                    assert_eq!(max_blocked, 0, "delegation must never block a pool worker");
+                });
+
+                dep.undeploy();
+                drop(admin);
+                member.stop();
+                server.stop();
+                exec.shutdown();
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A community member that replies after [`MEMBER_LATENCY`] via a timer —
+/// a latency-bound service that never blocks a worker, so the burst's
+/// drain rate is governed purely by how many delegations the community
+/// tier admits at once.
+struct SleepyMember {
+    latency: Duration,
+    next_token: u64,
+    parked: HashMap<u64, Envelope>,
+}
+
+impl SleepyMember {
+    fn new(latency: Duration) -> SleepyMember {
+        SleepyMember {
+            latency,
+            next_token: 0,
+            parked: HashMap::new(),
+        }
+    }
+}
+
+impl NodeLogic for SleepyMember {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+        if env.kind == "invoke" {
+            let token = self.next_token;
+            self.next_token += 1;
+            self.parked.insert(token, env);
+            ctx.set_timer(self.latency, TimerToken(token));
+        }
+        Flow::Continue
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: TimerToken) -> Flow {
+        if let Some(request) = self.parked.remove(&timer.0) {
+            let op = MessageDoc::from_xml(&request.body)
+                .map(|m| m.operation)
+                .unwrap_or_else(|_| "op".to_string());
+            let response = MessageDoc::response(op).with("echoed_by", Value::str("Sleepy"));
+            let _ = ctx
+                .endpoint()
+                .reply(&request, "invoke.result", response.to_xml());
+        }
+        Flow::Continue
+    }
+}
+
+/// 1 vs 2 admission-capped replicas draining the same latency-bound
+/// burst: the 2-replica run should finish in roughly half the waves.
+fn bench_replica_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("community_replicas");
+    for replicas in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("burst64", replicas), &replicas, |b, &n| {
+            let exec = Executor::new(WORKERS);
+            let net = Network::new(NetworkConfig::instant());
+            let member = exec.handle().spawn_node(
+                net.connect("svc.sleepy-member").expect("member connects"),
+                SleepyMember::new(MEMBER_LATENCY),
+            );
+            // Replicas must be live before deploy: the deployer probes
+            // `community.sleepy.rN` names to build the replica set the
+            // coordinator rendezvous-routes over.
+            let servers = CommunityServer::spawn_replicas_on(
+                &net,
+                &exec.handle(),
+                "community.sleepy",
+                n,
+                Community::new("Sleepy", "").with_operation(OperationDef::new("op")),
+                Arc::new(RoundRobin::new()),
+                CommunityServerConfig {
+                    member_timeout: Duration::from_secs(30),
+                    max_in_flight: REPLICA_CAP,
+                    ..Default::default()
+                },
+            )
+            .expect("replicas spawn");
+            let admin = CommunityClient::connect(&net, "admin", servers[0].node().clone())
+                .expect("admin connects");
+            admin
+                .join(&Member {
+                    id: MemberId("sleepy".into()),
+                    provider: "sleepy".into(),
+                    endpoint: NodeId::new("svc.sleepy-member"),
+                    qos: QosProfile::default(),
+                })
+                .expect("member joins");
+            let mut deployer = Deployer::new(&net).with_executor(exec.handle());
+            deployer.invoke_timeout = Duration::from_secs(30);
+            let dep = deployer
+                .deploy(&community_chart("SleepyBurst", "sleepy"), &HashMap::new())
+                .expect("deploys");
+
+            b.iter(|| {
+                let max_blocked = run_burst(&dep, &exec);
+                assert_eq!(max_blocked, 0, "timer-based members block nobody");
+            });
+
+            dep.undeploy();
+            drop(admin);
+            member.stop();
+            for server in servers {
+                server.stop();
+            }
+            exec.shutdown();
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(400))
         .sample_size(20);
-    targets = bench_policies
+    targets = bench_policies, bench_concurrent_delegation, bench_replica_scaling
 }
 criterion_main!(benches);

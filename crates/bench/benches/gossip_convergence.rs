@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 /// roughly diameter × cadence for a line).
 const CADENCE: Duration = Duration::from_millis(25);
 
-fn converge_line(n: usize) -> Duration {
+fn converge_line(n: usize, fanout: usize) -> Duration {
     // Hubs and application nodes are plain setup; the clock starts before
     // the first *discovery* spawn, because early segments of the line
     // begin handshaking and gossiping while later hubs are still coming
@@ -34,7 +34,9 @@ fn converge_line(n: usize) -> Duration {
     let started = Instant::now();
     let mut discs: Vec<DiscoveryHandle> = Vec::with_capacity(n);
     for hub in &hubs {
-        let mut config = DiscoveryConfig::default().with_cadence(CADENCE);
+        let mut config = DiscoveryConfig::default()
+            .with_cadence(CADENCE)
+            .with_fanout(fanout);
         if let Some(prev) = discs.last() {
             config = config.with_seed(prev.seed_addr());
         }
@@ -65,8 +67,20 @@ fn bench_gossip_convergence(c: &mut Criterion) {
     let mut group = c.benchmark_group("gossip_convergence");
     for n in [4usize, 8, 16] {
         group.bench_with_input(BenchmarkId::new("line", n), &n, |b, &n| {
-            b.iter(|| converge_line(n));
+            b.iter(|| converge_line(n, 2));
         });
+    }
+    // Fan-out sweep at the full line: 1 partner per round (the pre-knob
+    // behavior) vs the default 2 vs 4 — each round infects fanout× as
+    // many hubs, so rounds-to-converge shrinks as message cost grows.
+    for fanout in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("line16_fanout", fanout),
+            &fanout,
+            |b, &f| {
+                b.iter(|| converge_line(16, f));
+            },
+        );
     }
     group.finish();
 }

@@ -15,19 +15,28 @@
 //! On member failure (fault or timeout) the community retries the remaining
 //! members — the failover behaviour that keeps composite services running
 //! when a provider disappears (experiment E5).
+//!
+//! Delegation is **continuation-passing**: an invocation never parks an
+//! executor worker. `community.invoke` selects a member and fires the
+//! member rpc with [`NodeCtx::rpc_async`]; the reply (or its deadline,
+//! riding the runtime's timer heap) re-enters the node in
+//! [`NodeLogic::on_rpc_done`], which either relays the response to the
+//! caller or fails over to the next candidate. A community node therefore
+//! sustains thousands of in-flight delegations on a fixed worker pool —
+//! `blocked_workers` stays zero regardless of member latency.
 
 use crate::history::{ExecutionHistory, Outcome};
 use crate::membership::{Community, CommunityError, Member, MemberId, QosProfile};
 use crate::policy::{SelectionContext, SelectionPolicy};
 use parking_lot::RwLock;
-use parking_lot::{Condvar, Mutex};
 use selfserv_net::{
-    ConnectError, Endpoint, Envelope, LivenessProbe, NodeId, NodeSender, PeerStatus, RpcError,
-    Transport, TransportHandle,
+    ConnectError, Endpoint, Envelope, LivenessProbe, NodeId, PeerStatus, Transport, TransportHandle,
 };
-use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic};
+use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic, RpcDone, RpcToken};
 use selfserv_wsdl::MessageDoc;
 use selfserv_xml::Element;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -61,6 +70,7 @@ pub enum DelegationMode {
 }
 
 /// Configuration of a [`CommunityServer`].
+#[derive(Clone)]
 pub struct CommunityServerConfig {
     /// Delegation mode.
     pub mode: DelegationMode,
@@ -68,6 +78,12 @@ pub struct CommunityServerConfig {
     pub member_timeout: Duration,
     /// Maximum number of *different* members tried before faulting.
     pub max_attempts: usize,
+    /// Admission cap: the maximum number of delegations this server keeps
+    /// in flight at once. Invocations beyond the cap queue in arrival
+    /// order and are admitted as slots free up — backpressure that bounds
+    /// the load one community replica pushes onto its member pool.
+    /// Defaults to unbounded (`usize::MAX`).
+    pub max_in_flight: usize,
     /// A failure detector's view of peer liveness (e.g. the
     /// `selfserv-discovery` directory of the community's hub). When set,
     /// members whose endpoints are **evicted** are removed from candidacy
@@ -84,6 +100,7 @@ impl Default for CommunityServerConfig {
             mode: DelegationMode::Proxy,
             member_timeout: Duration::from_secs(5),
             max_attempts: 3,
+            max_in_flight: usize::MAX,
             liveness: None,
         }
     }
@@ -101,48 +118,47 @@ fn strip_directives(msg: &MessageDoc) -> MessageDoc {
     out
 }
 
-/// Counts in-flight delegation tasks so shutdown can drain them: the
-/// community's endpoint (and its reply demultiplexer) must outlive every
-/// worker still waiting on a member reply.
-#[derive(Default)]
-struct InFlight {
-    count: Mutex<usize>,
-    drained: Condvar,
+/// One proxy delegation awaiting a member reply. Keyed by the `RpcToken`
+/// of the outstanding member rpc; the whole retry loop lives in
+/// [`CommunityLogic::on_rpc_done`] transitions, never on a worker's stack.
+struct PendingDelegation {
+    /// The caller's original `community.invoke` envelope (replied to with
+    /// `send_correlated` once the delegation resolves either way).
+    request: Envelope,
+    /// The parsed invocation, directives intact — selection policies read
+    /// `weight_*` parameters from it on every failover re-selection.
+    msg: MessageDoc,
+    /// The request forwarded to members (directives stripped), reused
+    /// verbatim across failover attempts.
+    forwarded: Element,
+    /// The member currently serving the attempt.
+    member: Member,
+    /// Every member already tried (including `member`) — excluded from
+    /// re-selection so `max_attempts` counts *different* members.
+    tried: Vec<MemberId>,
+    /// Start of the current attempt, for the history's latency sample.
+    attempt_started: Instant,
 }
 
-impl InFlight {
-    /// Registers one delegation; the returned guard deregisters on drop —
-    /// including a panicking delegation unwinding — so `wait_drained` can
-    /// never block on a task that will not finish.
-    fn begin(self: &Arc<Self>) -> InFlightGuard {
-        *self.count.lock() += 1;
-        InFlightGuard(Arc::clone(self))
-    }
-
-    fn wait_drained(&self) {
-        let mut count = self.count.lock();
-        while *count > 0 {
-            self.drained.wait(&mut count);
-        }
-    }
-}
-
-struct InFlightGuard(Arc<InFlight>);
-
-impl Drop for InFlightGuard {
-    fn drop(&mut self) {
-        *self.0.count.lock() -= 1;
-        self.0.drained.notify_all();
-    }
-}
-
-/// A running community node.
+/// A running community node: a continuation-passing delegation machine.
 struct CommunityLogic {
     community: Arc<RwLock<Community>>,
     history: Arc<ExecutionHistory>,
     policy: Arc<dyn SelectionPolicy>,
     config: CommunityServerConfig,
-    in_flight: Arc<InFlight>,
+    /// In-flight proxy delegations, keyed by member-rpc token.
+    pending: HashMap<RpcToken, PendingDelegation>,
+    /// Invocations parked behind the `max_in_flight` admission cap.
+    waiting: VecDeque<Envelope>,
+    /// Monotonic token source for member rpcs.
+    next_token: u64,
+    /// Mirror of `pending.len() + waiting.len()` shared with the handle —
+    /// the audit gauge for in-flight delegations.
+    gauge: Arc<AtomicUsize>,
+    /// Set when a `community.stop` arrived while delegations were in
+    /// flight: the node finishes draining (event-driven — the last
+    /// completion finalizes it) instead of parking a worker in `on_stop`.
+    stopping: bool,
 }
 
 /// Spawner for community servers.
@@ -154,6 +170,7 @@ pub struct CommunityServerHandle {
     net: TransportHandle,
     community: Arc<RwLock<Community>>,
     history: Arc<ExecutionHistory>,
+    gauge: Arc<AtomicUsize>,
     handle: Option<NodeHandle>,
 }
 
@@ -161,6 +178,13 @@ impl CommunityServerHandle {
     /// The community's node name.
     pub fn node(&self) -> &NodeId {
         &self.node
+    }
+
+    /// Audit gauge: delegations currently in flight (awaiting a member
+    /// reply) plus invocations queued behind the admission cap. Zero once
+    /// the server is idle — leak checks assert it drains.
+    pub fn in_flight_delegations(&self) -> usize {
+        self.gauge.load(Ordering::Relaxed)
     }
 
     /// Shared view of the membership (for assertions and direct joins).
@@ -227,18 +251,105 @@ impl CommunityServer {
         let node = endpoint.node().clone();
         let community = Arc::new(RwLock::new(community));
         let history = Arc::new(ExecutionHistory::new());
+        Self::spawn_shared_on(
+            net, exec, endpoint, node, community, history, policy, config,
+        )
+    }
+
+    /// Spawns `replicas` community servers sharing one membership and one
+    /// execution history: replica 0 takes `node_name` itself, replica `i`
+    /// takes `<node_name>.r<i>` (the convention callers' replica routing
+    /// probes for). A join or leave through any replica is visible to all
+    /// of them, and latency samples aggregate — the replicas are one
+    /// community served by N mailboxes, the paper's community-as-unit-of-
+    /// scale argument made concrete. Spawned on the process-wide shared
+    /// executor; see [`CommunityServer::spawn_replicas_on`].
+    pub fn spawn_replicas(
+        net: &dyn Transport,
+        node_name: &str,
+        replicas: usize,
+        community: Community,
+        policy: Arc<dyn SelectionPolicy>,
+        config: CommunityServerConfig,
+    ) -> Result<Vec<CommunityServerHandle>, ConnectError> {
+        Self::spawn_replicas_on(
+            net,
+            selfserv_runtime::shared(),
+            node_name,
+            replicas,
+            community,
+            policy,
+            config,
+        )
+    }
+
+    /// [`CommunityServer::spawn_replicas`] on an explicit executor.
+    pub fn spawn_replicas_on(
+        net: &dyn Transport,
+        exec: &ExecutorHandle,
+        node_name: &str,
+        replicas: usize,
+        community: Community,
+        policy: Arc<dyn SelectionPolicy>,
+        config: CommunityServerConfig,
+    ) -> Result<Vec<CommunityServerHandle>, ConnectError> {
+        let shared_community = Arc::new(RwLock::new(community));
+        let history = Arc::new(ExecutionHistory::new());
+        let mut handles = Vec::with_capacity(replicas.max(1));
+        for i in 0..replicas.max(1) {
+            let name = if i == 0 {
+                node_name.to_string()
+            } else {
+                format!("{node_name}.r{i}")
+            };
+            let endpoint = net.connect(NodeId::new(&name))?;
+            let node = endpoint.node().clone();
+            handles.push(Self::spawn_shared_on(
+                net,
+                exec,
+                endpoint,
+                node,
+                Arc::clone(&shared_community),
+                Arc::clone(&history),
+                Arc::clone(&policy),
+                config.clone(),
+            )?);
+        }
+        Ok(handles)
+    }
+
+    /// Spawns one server over pre-shared membership/history state — the
+    /// building block replicas use so every replica of a community serves
+    /// the same member set and feeds the same execution history.
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_shared_on(
+        net: &dyn Transport,
+        exec: &ExecutorHandle,
+        endpoint: Endpoint,
+        node: NodeId,
+        community: Arc<RwLock<Community>>,
+        history: Arc<ExecutionHistory>,
+        policy: Arc<dyn SelectionPolicy>,
+        config: CommunityServerConfig,
+    ) -> Result<CommunityServerHandle, ConnectError> {
+        let gauge = Arc::new(AtomicUsize::new(0));
         let logic = CommunityLogic {
             community: Arc::clone(&community),
             history: Arc::clone(&history),
             policy,
             config,
-            in_flight: Arc::new(InFlight::default()),
+            pending: HashMap::new(),
+            waiting: VecDeque::new(),
+            next_token: 0,
+            gauge: Arc::clone(&gauge),
+            stopping: false,
         };
         Ok(CommunityServerHandle {
             node,
             net: net.handle(),
             community,
             history,
+            gauge,
             handle: Some(exec.spawn_node(endpoint, logic)),
         })
     }
@@ -247,7 +358,18 @@ impl CommunityServer {
 impl NodeLogic for CommunityLogic {
     fn on_message(&mut self, ctx: &mut NodeCtx<'_>, request: Envelope) -> Flow {
         match request.kind.as_str() {
-            kinds::STOP => return Flow::Stop,
+            kinds::STOP => {
+                // Event-driven drain: with delegations in flight, defer
+                // the stop until the last completion resolves them — no
+                // worker parks waiting. New invocations are no longer
+                // admitted (callers observe the same silence a stopped
+                // node would produce).
+                if self.pending.is_empty() {
+                    return Flow::Stop;
+                }
+                self.stopping = true;
+            }
+            _ if self.stopping => {}
             kinds::JOIN => {
                 let reply = self.handle_join(&request.body);
                 self.send_reply(ctx, &request, reply);
@@ -256,7 +378,14 @@ impl NodeLogic for CommunityLogic {
                 let reply = self.handle_leave(&request.body);
                 self.send_reply(ctx, &request, reply);
             }
-            kinds::INVOKE => self.handle_invoke(ctx, request),
+            kinds::INVOKE => {
+                if self.pending.len() >= self.config.max_in_flight {
+                    self.waiting.push_back(request);
+                    self.sync_gauge();
+                } else {
+                    self.start_delegation(ctx, request);
+                }
+            }
             other => {
                 let err = CommunityError::Protocol(format!("unknown kind {other:?}"));
                 self.send_reply(ctx, &request, Err(err));
@@ -265,15 +394,25 @@ impl NodeLogic for CommunityLogic {
         Flow::Continue
     }
 
-    fn on_stop(&mut self, ctx: &mut NodeCtx<'_>) {
-        // In-flight delegation tasks rpc through this endpoint's reply
-        // demultiplexer, so the endpoint must outlive them: drain on
-        // shutdown instead of dropping the node name out from under their
-        // pending member replies. The wait is bounded by the per-task
-        // delegation deadline (max_attempts × member_timeout) and is
-        // declared blocking so the pool compensates.
-        let in_flight = Arc::clone(&self.in_flight);
-        ctx.block_on(|| in_flight.wait_drained());
+    /// A member rpc resolved (reply, timeout, or send failure): relay the
+    /// response, or fail over to the next candidate — the continuation of
+    /// the old blocking retry loop.
+    fn on_rpc_done(&mut self, ctx: &mut NodeCtx<'_>, done: RpcDone) -> Flow {
+        if let Some(pending) = self.pending.remove(&done.token) {
+            self.advance_delegation(ctx, pending, done.result);
+            // A slot freed: admit parked invocations up to the cap.
+            while self.pending.len() < self.config.max_in_flight && !self.stopping {
+                let Some(request) = self.waiting.pop_front() else {
+                    break;
+                };
+                self.start_delegation(ctx, request);
+            }
+            self.sync_gauge();
+        }
+        if self.stopping && self.pending.is_empty() {
+            return Flow::Stop;
+        }
+        Flow::Continue
     }
 }
 
@@ -311,167 +450,172 @@ impl CommunityLogic {
         Ok(Element::new("ok"))
     }
 
-    /// Invocations run as pool tasks so a slow member cannot stall
-    /// membership changes or other requests. Tasks rpc *as the community
-    /// node* through a [`NodeSender`]: member replies come back to the
-    /// community endpoint and are demultiplexed to the right task, so no
-    /// per-invocation endpoint is created. The in-flight counter lets
-    /// `on_stop` drain delegations before the endpoint drops.
-    fn handle_invoke(&self, ctx: &NodeCtx<'_>, request: Envelope) {
-        let community = Arc::clone(&self.community);
-        let history = Arc::clone(&self.history);
-        let policy = Arc::clone(&self.policy);
-        let worker = ctx.endpoint().sender();
-        let mode = self.config.mode;
-        let member_timeout = self.config.member_timeout;
-        let max_attempts = self.config.max_attempts;
-        let liveness = self.config.liveness.clone();
-        let in_flight = self.in_flight.begin();
-        let exec = ctx.executor();
-        let pool = exec.clone();
-        exec.spawn_task(move || {
-            let _in_flight = in_flight;
-            // The whole delegation (member rpcs, retries) waits on remote
-            // replies: declare it blocking so the pool compensates.
-            let outcome = pool.block_on(|| {
-                delegate(
-                    &community,
-                    &history,
-                    policy.as_ref(),
-                    &worker,
-                    &request,
-                    mode,
-                    member_timeout,
-                    max_attempts,
-                    liveness.as_deref(),
-                )
-            });
-            let (kind, body) = match outcome {
-                Ok(body) => (kinds::RESULT, body),
-                Err(e) => (
-                    kinds::FAULT,
-                    Element::new("fault").with_attr("reason", e.to_string()),
-                ),
-            };
-            // Reply as the community node: correlate to the request.
-            let _ = worker.send_correlated(request.from.clone(), kind, body, Some(request.id));
-        });
+    fn sync_gauge(&self) {
+        self.gauge
+            .store(self.pending.len() + self.waiting.len(), Ordering::Relaxed);
     }
-}
 
-#[allow(clippy::too_many_arguments)]
-fn delegate(
-    community: &RwLock<Community>,
-    history: &ExecutionHistory,
-    policy: &dyn SelectionPolicy,
-    worker: &NodeSender,
-    request: &Envelope,
-    mode: DelegationMode,
-    member_timeout: Duration,
-    max_attempts: usize,
-    liveness: Option<&dyn LivenessProbe>,
-) -> Result<Element, CommunityError> {
-    let msg =
-        MessageDoc::from_xml(&request.body).map_err(|e| CommunityError::Protocol(e.to_string()))?;
-    let (community_name, operation_known) = {
-        let c = community.read();
-        (
-            c.name.clone(),
-            c.operation(&msg.operation).is_some() || c.operations.is_empty(),
-        )
-    };
-    if !operation_known {
-        return Err(CommunityError::UnknownOperation(msg.operation.clone()));
-    }
-    let forwarded = strip_directives(&msg);
-    let mut excluded: Vec<MemberId> = Vec::new();
-    for _attempt in 0..max_attempts {
-        let chosen: Option<Member> = {
-            let c = community.read();
-            // Liveness gate: evicted members are out of candidacy
-            // entirely; suspected ones are only offered to the policy when
-            // no healthy member remains (deprioritization, not exclusion —
-            // suspicion is one detector's unconfirmed observation).
-            let mut healthy: Vec<&Member> = Vec::new();
-            let mut suspected: Vec<&Member> = Vec::new();
-            for m in c.members().filter(|m| !excluded.contains(&m.id)) {
-                match liveness.map_or(PeerStatus::Alive, |l| l.status_of(m.endpoint.as_str())) {
-                    PeerStatus::Alive => healthy.push(m),
-                    // A contested name routes ambiguously — deprioritize
-                    // it like a suspected one (directories never return
-                    // NameConflict from status_of today; future probes may).
-                    PeerStatus::Suspected | PeerStatus::NameConflict => suspected.push(m),
-                    PeerStatus::Evicted => {}
-                }
+    /// Liveness-gated member selection: evicted members are out of
+    /// candidacy entirely; suspected ones are only offered to the policy
+    /// when no healthy member remains (deprioritization, not exclusion —
+    /// suspicion is one detector's unconfirmed observation).
+    fn select_member(&self, msg: &MessageDoc, excluded: &[MemberId]) -> Option<Member> {
+        let liveness = self.config.liveness.as_deref();
+        let c = self.community.read();
+        let mut healthy: Vec<&Member> = Vec::new();
+        let mut suspected: Vec<&Member> = Vec::new();
+        for m in c.members().filter(|m| !excluded.contains(&m.id)) {
+            match liveness.map_or(PeerStatus::Alive, |l| l.status_of(m.endpoint.as_str())) {
+                PeerStatus::Alive => healthy.push(m),
+                // A contested name routes ambiguously — deprioritize it
+                // like a suspected one (directories never return
+                // NameConflict from status_of today; future probes may).
+                PeerStatus::Suspected | PeerStatus::NameConflict => suspected.push(m),
+                PeerStatus::Evicted => {}
             }
-            let ctx = SelectionContext {
-                operation: &msg.operation,
-                request: &msg,
-                history,
-                liveness,
+        }
+        let ctx = SelectionContext {
+            operation: &msg.operation,
+            request: msg,
+            history: &self.history,
+            liveness,
+        };
+        self.policy
+            .select(&healthy, &ctx)
+            .or_else(|| self.policy.select(&suspected, &ctx))
+            .cloned()
+    }
+
+    /// Phase 1 — fire: validate the invocation, choose a member, and
+    /// either answer immediately (redirect mode, faults) or send the
+    /// member rpc and park the delegation in `pending`. Nothing here
+    /// waits: member replies and deadlines re-enter via `on_rpc_done`.
+    fn start_delegation(&mut self, ctx: &mut NodeCtx<'_>, request: Envelope) {
+        let msg = match MessageDoc::from_xml(&request.body) {
+            Ok(msg) => msg,
+            Err(e) => {
+                let err = CommunityError::Protocol(e.to_string());
+                self.send_reply(ctx, &request, Err(err));
+                return;
+            }
+        };
+        let operation_known = {
+            let c = self.community.read();
+            c.operation(&msg.operation).is_some() || c.operations.is_empty()
+        };
+        if !operation_known {
+            let err = CommunityError::UnknownOperation(msg.operation.clone());
+            self.send_reply(ctx, &request, Err(err));
+            return;
+        }
+        let forwarded = strip_directives(&msg).to_xml();
+        let Some(member) = self.select_member(&msg, &[]) else {
+            let err = CommunityError::NoMembersAvailable {
+                community: self.community.read().name.clone(),
             };
-            policy
-                .select(&healthy, &ctx)
-                .or_else(|| policy.select(&suspected, &ctx))
-                .cloned()
+            self.send_reply(ctx, &request, Err(err));
+            return;
         };
-        let Some(member) = chosen else {
-            return Err(CommunityError::NoMembersAvailable {
-                community: community_name,
-            });
-        };
-        match mode {
+        match self.config.mode {
             DelegationMode::Redirect => {
                 // The caller invokes the member itself; history gets no
                 // latency sample (the community never observes it).
-                return Ok(Element::new("redirect")
+                let body = Element::new("redirect")
                     .with_attr("member", &member.id.0)
                     .with_attr("provider", &member.provider)
-                    .with_attr("endpoint", member.endpoint.as_str()));
+                    .with_attr("endpoint", member.endpoint.as_str());
+                self.send_reply(ctx, &request, Ok(body));
             }
             DelegationMode::Proxy => {
-                history.start(&member.id);
-                let started = Instant::now();
-                let result = worker.rpc(
-                    member.endpoint.clone(),
-                    kinds::MEMBER_INVOKE,
-                    forwarded.to_xml(),
-                    member_timeout,
-                );
-                let elapsed = started.elapsed();
-                match result {
-                    Ok(reply) if reply.kind == kinds::MEMBER_RESULT => {
-                        let response = MessageDoc::from_xml(&reply.body)
-                            .map_err(|e| CommunityError::Protocol(e.to_string()))?;
-                        if response.is_fault() {
-                            history.complete(&member.id, elapsed, Outcome::Failure);
-                            excluded.push(member.id.clone());
-                            continue;
-                        }
-                        history.complete(&member.id, elapsed, Outcome::Success);
-                        let mut body = response.to_xml();
-                        body.set_attr("delegatee", &member.id.0);
-                        return Ok(body);
-                    }
-                    Ok(_) | Err(RpcError::Timeout) => {
-                        history.complete(&member.id, elapsed, Outcome::Failure);
-                        excluded.push(member.id.clone());
-                        continue;
-                    }
-                    Err(RpcError::Send(e)) => {
-                        history.complete(&member.id, elapsed, Outcome::Failure);
-                        excluded.push(member.id.clone());
-                        let _ = e;
-                        continue;
-                    }
-                }
+                let pending = PendingDelegation {
+                    request,
+                    msg,
+                    forwarded,
+                    tried: vec![member.id.clone()],
+                    member,
+                    attempt_started: Instant::now(),
+                };
+                self.fire_attempt(ctx, pending);
+                self.sync_gauge();
             }
         }
     }
-    Err(CommunityError::DelegationFailed(format!(
-        "all {} attempted member(s) failed",
-        excluded.len()
-    )))
+
+    /// Phase 2 — await: send the member rpc for the delegation's current
+    /// attempt. The deadline rides the runtime's timer heap; a node stop
+    /// cancels the pending rpc with everything else the cell owns.
+    fn fire_attempt(&mut self, ctx: &mut NodeCtx<'_>, mut pending: PendingDelegation) {
+        self.history.start(&pending.member.id);
+        pending.attempt_started = Instant::now();
+        let token = RpcToken(self.next_token);
+        self.next_token += 1;
+        ctx.rpc_async(
+            pending.member.endpoint.clone(),
+            kinds::MEMBER_INVOKE,
+            pending.forwarded.clone(),
+            self.config.member_timeout,
+            token,
+        );
+        self.pending.insert(token, pending);
+    }
+
+    /// Phase 3 — resolve or fail over: a member rpc finished. Relay a
+    /// good response to the caller; on a member fault, timeout, or send
+    /// failure, exclude the member and re-select — up to `max_attempts`
+    /// *different* members, exactly like the old blocking retry loop.
+    fn advance_delegation(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        mut pending: PendingDelegation,
+        result: Result<Envelope, selfserv_net::RpcError>,
+    ) {
+        let elapsed = pending.attempt_started.elapsed();
+        if let Ok(reply) = &result {
+            if reply.kind == kinds::MEMBER_RESULT {
+                let response = match MessageDoc::from_xml(&reply.body) {
+                    Ok(response) => response,
+                    Err(e) => {
+                        let err = CommunityError::Protocol(e.to_string());
+                        self.send_reply(ctx, &pending.request, Err(err));
+                        return;
+                    }
+                };
+                if !response.is_fault() {
+                    self.history
+                        .complete(&pending.member.id, elapsed, Outcome::Success);
+                    let mut body = response.to_xml();
+                    body.set_attr("delegatee", &pending.member.id.0);
+                    self.send_reply(ctx, &pending.request, Ok(body));
+                    return;
+                }
+            }
+        }
+        // Member fault, unexpected reply kind, timeout, or send failure:
+        // record the failure and fail over.
+        self.history
+            .complete(&pending.member.id, elapsed, Outcome::Failure);
+        if pending.tried.len() >= self.config.max_attempts {
+            let err = CommunityError::DelegationFailed(format!(
+                "all {} attempted member(s) failed",
+                pending.tried.len()
+            ));
+            self.send_reply(ctx, &pending.request, Err(err));
+            return;
+        }
+        match self.select_member(&pending.msg, &pending.tried) {
+            Some(next) => {
+                pending.tried.push(next.id.clone());
+                pending.member = next;
+                self.fire_attempt(ctx, pending);
+            }
+            None => {
+                let err = CommunityError::NoMembersAvailable {
+                    community: self.community.read().name.clone(),
+                };
+                self.send_reply(ctx, &pending.request, Err(err));
+            }
+        }
+    }
 }
 
 fn decode_member(e: &Element) -> Result<Member, CommunityError> {
@@ -768,7 +912,7 @@ mod tests {
                 mode: DelegationMode::Proxy,
                 member_timeout: Duration::from_millis(100),
                 max_attempts: 3,
-                liveness: None,
+                ..Default::default()
             },
         )
         .unwrap();

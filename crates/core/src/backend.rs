@@ -59,6 +59,17 @@ pub trait ServiceBackend: Send + Sync {
         None
     }
 
+    /// Whether [`ServiceBackend::invoke`] may sleep or otherwise block the
+    /// calling thread. Defaults to `true` (the safe assumption): callers
+    /// run such backends under the pool's blocking compensation. Backends
+    /// that compute without ever parking — echo stubs, pure functions —
+    /// override this to `false`, letting hosts and coordinators dispatch
+    /// them without spawning a compensated task at all: the last scrap of
+    /// worker-blocking on the invocation path disappears for them.
+    fn may_block(&self) -> bool {
+        true
+    }
+
     /// Short name for diagnostics.
     fn name(&self) -> &str;
 }
@@ -87,6 +98,10 @@ impl ServiceBackend for EchoService {
         Ok(out)
     }
 
+    fn may_block(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -112,6 +127,10 @@ impl FailingService {
 impl ServiceBackend for FailingService {
     fn invoke(&self, _operation: &str, _input: &MessageDoc) -> Result<MessageDoc, String> {
         Err(self.reason.clone())
+    }
+
+    fn may_block(&self) -> bool {
+        false
     }
 
     fn name(&self) -> &str {
@@ -216,6 +235,11 @@ impl ServiceBackend for SyntheticService {
         Ok(out)
     }
 
+    fn may_block(&self) -> bool {
+        // Sleeps only when configured with a service time.
+        !self.base_latency.is_zero() || !self.jitter.is_zero()
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -303,11 +327,25 @@ impl ServiceHost {
     }
 }
 
+/// One host invocation awaiting its completion event.
+enum HostPending {
+    /// A backend call running as a (possibly compensated) pool task.
+    Task(Envelope),
+    /// A pure relay declared by [`ServiceBackend::forward`]: the remote's
+    /// reply (or its deadline) resolves the invocation — no task, no
+    /// parked worker, exactly like the coordinator's forward phase.
+    Forward {
+        request: Envelope,
+        operation: String,
+        label: String,
+    },
+}
+
 struct HostLogic {
     backend: Arc<dyn ServiceBackend>,
     /// In-flight invocations awaiting their completion event: the token
     /// issued at dispatch → the request to answer.
-    in_flight: HashMap<RpcToken, Envelope>,
+    in_flight: HashMap<RpcToken, HostPending>,
     next_token: u64,
 }
 
@@ -316,39 +354,77 @@ impl NodeLogic for HostLogic {
         match request.kind.as_str() {
             kinds::STOP => Flow::Stop,
             kinds::INVOKE => {
-                // Each invocation runs as its own pool task, so concurrent
-                // callers overlap and a slow backend never occupies the
-                // host node itself. The backend call is declared blocking
-                // (synthetic services sleep to simulate service time) so
-                // the pool compensates; its result re-enters the host as
-                // an ordinary completion event, and the host — not the
-                // task — sends the reply, so a host that stops mid-flight
-                // simply never answers (as a crashed provider wouldn't).
+                let input = match MessageDoc::from_xml(&request.body) {
+                    Ok(input) => input,
+                    Err(e) => {
+                        let fault = MessageDoc::fault("unknown", e.to_string());
+                        let _ = ctx.endpoint().send_correlated(
+                            request.from.clone(),
+                            kinds::INVOKE_RESULT,
+                            fault.to_xml(),
+                            Some(request.id),
+                        );
+                        return Flow::Continue;
+                    }
+                };
                 self.next_token += 1;
                 let token = RpcToken(self.next_token);
-                let backend = Arc::clone(&self.backend);
-                let completer = ctx.completer(token);
-                let node = ctx.node().clone();
-                let body = request.body.clone();
-                self.in_flight.insert(token, request);
-                let exec = ctx.executor();
-                let pool = exec.clone();
-                exec.spawn_task(move || {
-                    let reply = match MessageDoc::from_xml(&body) {
-                        Ok(input) => {
-                            match pool.block_on(|| backend.invoke(&input.operation, &input)) {
-                                Ok(output) => output,
-                                Err(reason) => MessageDoc::fault(input.operation, reason),
-                            }
-                        }
-                        Err(e) => MessageDoc::fault("unknown", e.to_string()),
+                if let Some(call) = self.backend.forward(&input.operation, &input) {
+                    // Pure relay: fire the remote request and suspend the
+                    // invocation on its token. The reply re-enters in
+                    // on_rpc_done; the deadline rides the timer heap.
+                    self.in_flight.insert(
+                        token,
+                        HostPending::Forward {
+                            request,
+                            operation: input.operation,
+                            label: call.label,
+                        },
+                    );
+                    ctx.rpc_async(call.to, call.kind, call.body, call.timeout, token);
+                } else if self.backend.may_block() {
+                    // Each blocking invocation runs as its own pool task,
+                    // so concurrent callers overlap and a slow backend
+                    // never occupies the host node itself. The backend
+                    // call is declared blocking (synthetic services sleep
+                    // to simulate service time) so the pool compensates;
+                    // its result re-enters the host as an ordinary
+                    // completion event, and the host — not the task —
+                    // sends the reply, so a host that stops mid-flight
+                    // simply never answers (as a crashed provider
+                    // wouldn't).
+                    let backend = Arc::clone(&self.backend);
+                    let completer = ctx.completer(token);
+                    let node = ctx.node().clone();
+                    self.in_flight.insert(token, HostPending::Task(request));
+                    let exec = ctx.executor();
+                    let pool = exec.clone();
+                    exec.spawn_task(move || {
+                        let reply = match pool.block_on(|| backend.invoke(&input.operation, &input))
+                        {
+                            Ok(output) => output,
+                            Err(reason) => MessageDoc::fault(input.operation, reason),
+                        };
+                        completer.complete(Ok(Envelope::synthetic(
+                            node,
+                            "task.result",
+                            reply.to_xml(),
+                        )));
+                    });
+                } else {
+                    // Non-blocking backend: answer inline on the node's
+                    // own turn. No task, no compensation thread.
+                    let reply = match self.backend.invoke(&input.operation, &input) {
+                        Ok(output) => output,
+                        Err(reason) => MessageDoc::fault(input.operation, reason),
                     };
-                    completer.complete(Ok(Envelope::synthetic(
-                        node,
-                        "task.result",
+                    let _ = ctx.endpoint().send_correlated(
+                        request.from.clone(),
+                        kinds::INVOKE_RESULT,
                         reply.to_xml(),
-                    )));
-                });
+                        Some(request.id),
+                    );
+                }
                 Flow::Continue
             }
             _ => Flow::Continue, // ignore unrelated traffic
@@ -356,16 +432,48 @@ impl NodeLogic for HostLogic {
     }
 
     fn on_rpc_done(&mut self, ctx: &mut NodeCtx<'_>, done: RpcDone) -> Flow {
-        let Some(request) = self.in_flight.remove(&done.token) else {
-            return Flow::Continue;
-        };
-        let Ok(result) = done.result else {
-            return Flow::Continue; // completer path always delivers Ok
+        let (request, body) = match self.in_flight.remove(&done.token) {
+            None => return Flow::Continue,
+            Some(HostPending::Task(request)) => {
+                let Ok(result) = done.result else {
+                    return Flow::Continue; // completer path always delivers Ok
+                };
+                (request, result.body)
+            }
+            Some(HostPending::Forward {
+                request,
+                operation,
+                label,
+            }) => {
+                // Map the relay's outcome exactly like the blocking
+                // `invoke` of a forwarding backend would, so errors read
+                // the same on both paths.
+                let reply = match done.result {
+                    Ok(env) => match MessageDoc::from_xml(&env.body) {
+                        Ok(resp) if resp.is_fault() => MessageDoc::fault(
+                            operation,
+                            format!(
+                                "{label} faulted: {}",
+                                resp.fault_reason().unwrap_or("unspecified")
+                            ),
+                        ),
+                        Ok(resp) => resp,
+                        Err(e) => MessageDoc::fault(operation, e.to_string()),
+                    },
+                    Err(selfserv_net::RpcError::Timeout) => {
+                        MessageDoc::fault(operation, format!("{label} timed out"))
+                    }
+                    Err(selfserv_net::RpcError::Send(s)) => {
+                        MessageDoc::fault(operation, format!("{label} unreachable: {s}"))
+                    }
+                };
+                (request, reply.to_xml())
+            }
         };
         let _ = ctx.endpoint().send_correlated(
             request.from.clone(),
             kinds::INVOKE_RESULT,
-            result.body,
+            body,
             Some(request.id),
         );
         Flow::Continue

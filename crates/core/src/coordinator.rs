@@ -10,7 +10,9 @@ use crate::backend::ServiceBackend;
 use crate::functions::FunctionLibrary;
 use crate::protocol::{fault_body, kinds, naming, InstanceId, NotifyPayload};
 use selfserv_expr::Value;
-use selfserv_net::{ConnectError, Envelope, NodeId, RpcError, Transport, TransportHandle};
+use selfserv_net::{
+    ConnectError, Envelope, LivenessProbe, NodeId, ReplicaSet, RpcError, Transport, TransportHandle,
+};
 use selfserv_routing::{NotificationLabel, Participant, RoutingTable};
 use selfserv_runtime::{
     ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic, RpcDone, RpcToken, TimerToken,
@@ -74,8 +76,14 @@ pub enum TaskRuntime {
     /// A community-delegated operation: a remote call to the community
     /// node, which picks the concrete provider.
     Community {
-        /// The community's fabric node.
+        /// The community's canonical fabric node.
         node: NodeId,
+        /// Every server replica of the community, `node` included. Empty
+        /// means unreplicated (route everything to `node`). The
+        /// coordinator rendezvous-hashes each instance over this set and
+        /// fails a timed-out or unreachable replica over to the next one
+        /// before faulting the instance.
+        replicas: Vec<NodeId>,
         /// Generic operation to request.
         operation: String,
         /// Input parameter mappings.
@@ -106,6 +114,10 @@ pub struct CoordinatorConfig {
     pub instance_ttl: Duration,
     /// Optional monitor node receiving trace events (fire-and-forget).
     pub monitor: Option<NodeId>,
+    /// Optional failure-detector view (e.g. the discovery directory) used
+    /// when routing over community replicas: evicted replicas leave the
+    /// rotation, suspected ones serve only as a last resort.
+    pub liveness: Option<Arc<dyn LivenessProbe>>,
 }
 
 /// Spawner for coordinators.
@@ -183,8 +195,14 @@ impl InstanceSlot {
 enum InvokePhase {
     /// Awaiting the community's proxy-mode reply (or redirect decision).
     /// `input` is kept so a redirect can re-issue the same request to the
-    /// chosen member.
-    Community { input: MessageDoc },
+    /// chosen member; `node` is the replica serving this attempt and
+    /// `tried` every replica already attempted, so a dead replica fails
+    /// over to a survivor before the instance faults.
+    Community {
+        input: MessageDoc,
+        node: NodeId,
+        tried: Vec<NodeId>,
+    },
     /// Awaiting a redirect-mode member's direct reply.
     Redirect { member: String },
     /// Awaiting a forwarding backend's remote reply
@@ -214,6 +232,9 @@ struct CoordinatorLogic {
     pending: HashMap<RpcToken, PendingInvoke>,
     next_token: u64,
     sweep: SweepTimer,
+    /// This caller's in-flight count per community replica — the local
+    /// load signal replica routing uses as its tiebreak.
+    replica_load: HashMap<NodeId, usize>,
 }
 
 impl Coordinator {
@@ -244,6 +265,7 @@ impl Coordinator {
             pending: HashMap::new(),
             next_token: 0,
             sweep: SweepTimer::new(),
+            replica_load: HashMap::new(),
         };
         Ok(CoordinatorHandle {
             node,
@@ -520,15 +542,32 @@ impl CoordinatorLogic {
                     ctx.rpc_async(call.to, call.kind, call.body, call.timeout, token);
                     return;
                 }
-                // A co-located backend may compute or simulate service
-                // latency (sleep): run it as a pool task under blocking
-                // compensation, and resume this coordinator through the
-                // task's completion event.
                 let backend = Arc::clone(backend);
                 let operation = operation.clone();
                 let token = self.issue_token(instance, vars, InvokePhase::Local);
                 let completer = ctx.completer(token);
                 let node = ctx.node().clone();
+                if !backend.may_block() {
+                    // A backend that never parks (echo stubs, pure
+                    // functions) runs inline on the coordinator's turn;
+                    // its completion event is queued for the end of the
+                    // turn like any other, so the phase machine is
+                    // identical — minus the task and compensation thread.
+                    let reply = match backend.invoke(&operation, &input) {
+                        Ok(doc) => doc,
+                        Err(reason) => MessageDoc::fault(&operation, reason),
+                    };
+                    completer.complete(Ok(Envelope::synthetic(
+                        node,
+                        "task.result",
+                        reply.to_xml(),
+                    )));
+                    return;
+                }
+                // A co-located backend may compute or simulate service
+                // latency (sleep): run it as a pool task under blocking
+                // compensation, and resume this coordinator through the
+                // task's completion event.
                 let exec = ctx.executor();
                 let pool = exec.clone();
                 exec.spawn_task(move || {
@@ -545,6 +584,7 @@ impl CoordinatorLogic {
             }
             TaskRuntime::Community {
                 node,
+                replicas,
                 operation,
                 inputs,
                 ..
@@ -553,9 +593,34 @@ impl CoordinatorLogic {
                     Ok(input) => input,
                     Err(reason) => return self.fault(ctx, instance, &reason),
                 };
-                let node = node.clone();
+                // Replica routing: rendezvous-hash the instance over the
+                // community's replica set (instances keep their affinity;
+                // load breaks ties), falling back to the canonical node
+                // when unreplicated.
+                let node = if replicas.is_empty() {
+                    node.clone()
+                } else {
+                    let set = ReplicaSet::new(replicas.clone());
+                    let load = &self.replica_load;
+                    set.route(
+                        &format!("{}/{instance}", self.cfg.composite),
+                        self.cfg.liveness.as_deref(),
+                        &[],
+                        &|n| load.get(n).copied().unwrap_or(0),
+                    )
+                    .unwrap_or_else(|| node.clone())
+                };
+                *self.replica_load.entry(node.clone()).or_default() += 1;
                 let body = input.to_xml();
-                let token = self.issue_token(instance, vars, InvokePhase::Community { input });
+                let token = self.issue_token(
+                    instance,
+                    vars,
+                    InvokePhase::Community {
+                        input,
+                        node: node.clone(),
+                        tried: vec![node.clone()],
+                    },
+                );
                 ctx.rpc_async(
                     node,
                     "community.invoke",
@@ -591,6 +656,26 @@ impl CoordinatorLogic {
         token
     }
 
+    /// Picks an untried community replica for a failover attempt, or
+    /// `None` when the community is unreplicated or every replica has
+    /// been tried.
+    fn failover_replica(&self, instance: &InstanceId, tried: &[NodeId]) -> Option<NodeId> {
+        let TaskRuntime::Community { replicas, .. } = &self.cfg.task else {
+            return None;
+        };
+        if replicas.len() <= 1 {
+            return None;
+        }
+        let set = ReplicaSet::new(replicas.clone());
+        let load = &self.replica_load;
+        set.route(
+            &format!("{}/{instance}", self.cfg.composite),
+            self.cfg.liveness.as_deref(),
+            tried,
+            &|n| load.get(n).copied().unwrap_or(0),
+        )
+    }
+
     /// In-flight → post-invoke: resumes the invocation whose reply (or
     /// task completion) arrived, by phase. The instance may have been
     /// cleaned up mid-flight; the completion is then dropped.
@@ -603,6 +688,14 @@ impl CoordinatorLogic {
             mut vars,
             phase,
         } = p;
+        // The replica's in-flight slot frees regardless of whether the
+        // instance still cares about the completion — the load gauge must
+        // match outstanding rpcs exactly.
+        if let InvokePhase::Community { node, .. } = &phase {
+            if let Some(load) = self.replica_load.get_mut(node) {
+                *load = load.saturating_sub(1);
+            }
+        }
         // Generation check: resume only if the slot is awaiting exactly
         // this completion. A slot that was cleaned up mid-flight — even
         // one recreated since by a late notification, possibly with a
@@ -658,22 +751,48 @@ impl CoordinatorLogic {
                 apply_outputs(self.task_outputs(), &response, &mut vars);
                 self.finish_invoke(ctx, instance, &mut vars);
             }
-            InvokePhase::Community { input } => {
-                let node = match &self.cfg.task {
-                    TaskRuntime::Community { node, .. } => node.clone(),
-                    _ => self.wrapper_node.clone(), // unreachable by construction
-                };
+            InvokePhase::Community { input, node, tried } => {
                 let reply = match done.result {
                     Ok(reply) => reply,
-                    Err(RpcError::Timeout) => {
-                        return self.fault(ctx, instance, &format!("community '{node}' timed out"));
-                    }
-                    Err(RpcError::Send(s)) => {
-                        return self.fault(
-                            ctx,
-                            instance,
-                            &format!("community '{node}' unreachable: {s}"),
-                        );
+                    Err(e) => {
+                        // The replica timed out or became unreachable
+                        // mid-delegation: fail over to an untried survivor
+                        // before faulting the instance. Unreplicated
+                        // communities (no survivors) fault exactly as
+                        // before.
+                        if let Some(next) = self.failover_replica(&instance, &tried) {
+                            *self.replica_load.entry(next.clone()).or_default() += 1;
+                            let body = input.to_xml();
+                            let mut tried = tried;
+                            tried.push(next.clone());
+                            let token = self.issue_token(
+                                instance,
+                                vars,
+                                InvokePhase::Community {
+                                    input,
+                                    node: next.clone(),
+                                    tried,
+                                },
+                            );
+                            ctx.rpc_async(
+                                next,
+                                "community.invoke",
+                                body,
+                                self.cfg.invoke_timeout,
+                                token,
+                            );
+                            return;
+                        }
+                        return match e {
+                            RpcError::Timeout => {
+                                self.fault(ctx, instance, &format!("community '{node}' timed out"))
+                            }
+                            RpcError::Send(s) => self.fault(
+                                ctx,
+                                instance,
+                                &format!("community '{node}' unreachable: {s}"),
+                            ),
+                        };
                     }
                 };
                 if reply.kind == "community.fault" {

@@ -22,8 +22,8 @@ use crate::functions::FunctionLibrary;
 use crate::protocol::{kinds, naming, ExecError, InstanceId, PersistentClient};
 use crate::wrapper::{CompositeWrapper, WrapperConfig, WrapperHandle};
 use selfserv_net::{
-    ConnectError, Endpoint, Envelope, MessageId, NodeId, RecvError, RpcError, SendError, Transport,
-    TransportHandle,
+    ConnectError, Endpoint, Envelope, LivenessProbe, MessageId, NodeId, RecvError, RpcError,
+    SendError, Transport, TransportHandle,
 };
 use selfserv_routing::{NotificationLabel, RoutingError, RoutingPlan};
 use selfserv_runtime::ExecutorHandle;
@@ -133,6 +133,7 @@ pub struct Deployer {
     /// connected (they must come up before execution).
     pub allow_missing_communities: bool,
     monitor: Option<NodeId>,
+    liveness: Option<Arc<dyn LivenessProbe>>,
 }
 
 impl Deployer {
@@ -148,6 +149,7 @@ impl Deployer {
             instance_ttl: Duration::from_secs(120),
             allow_missing_communities: false,
             monitor: None,
+            liveness: None,
         }
     }
 
@@ -170,6 +172,15 @@ impl Deployer {
     /// actors.
     pub fn with_functions(mut self, functions: FunctionLibrary) -> Self {
         self.functions = functions;
+        self
+    }
+
+    /// Builder: hands coordinators a failure-detector view (e.g.
+    /// [`selfserv_net::PeerDirectory`] from the hub's discovery node) so
+    /// community replica routing skips evicted replicas and deprioritizes
+    /// suspected ones.
+    pub fn with_liveness(mut self, liveness: Arc<dyn LivenessProbe>) -> Self {
+        self.liveness = Some(liveness);
         self
     }
 
@@ -226,8 +237,26 @@ impl Deployer {
                                     community: community.clone(),
                                 });
                             }
+                            // Replica discovery: probe the conventional
+                            // replica names (`community.<name>.rN`) in
+                            // order against everything the transport can
+                            // route to — gossip-learned names included —
+                            // and hand coordinators the full set so they
+                            // spread instances over it.
+                            let mut replicas = vec![node.clone()];
+                            for i in 1.. {
+                                let replica = naming::community_replica(community, i);
+                                if !self.net.is_connected(replica.as_str()) {
+                                    break;
+                                }
+                                replicas.push(replica);
+                            }
+                            if replicas.len() == 1 {
+                                replicas.clear(); // unreplicated: legacy routing
+                            }
                             TaskRuntime::Community {
                                 node,
+                                replicas,
                                 operation: operation.clone(),
                                 inputs: spec.inputs.clone(),
                                 outputs: spec.outputs.clone(),
@@ -269,6 +298,7 @@ impl Deployer {
                 invoke_timeout: self.invoke_timeout,
                 instance_ttl: self.instance_ttl,
                 monitor: self.monitor.clone(),
+                liveness: self.liveness.clone(),
             };
             let handle = Coordinator::spawn_on(&*self.net, &exec, cfg)?;
             coordinators.push(handle);

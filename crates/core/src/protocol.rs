@@ -120,6 +120,19 @@ pub mod naming {
         NodeId::new(format!("community.{}", slug(name)))
     }
 
+    /// Node of the `index`-th replica of a community. Replica 0 is the
+    /// community's canonical node (so a single-replica deployment is
+    /// byte-identical to the unreplicated one); further replicas append
+    /// an `.rN` suffix. Deployers probe these names in order to discover
+    /// how many replicas a community is running.
+    pub fn community_replica(name: &str, index: usize) -> NodeId {
+        if index == 0 {
+            community(name)
+        } else {
+            NodeId::new(format!("community.{}.r{index}", slug(name)))
+        }
+    }
+
     /// Lowercase, space-free identifier for node names.
     pub fn slug(s: &str) -> String {
         s.chars()

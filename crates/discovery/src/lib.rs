@@ -18,10 +18,11 @@
 //!    [`TcpTransport::send_to_addr`]. The seed merges the snapshot and
 //!    answers `discovery.welcome` with its own — after one exchange both
 //!    hubs can reach every name the other knows, in both directions.
-//! 2. **Gossip anti-entropy** — every `gossip_interval`, the node picks a
-//!    random known peer and sends `discovery.sync` with its snapshot; the
-//!    receiver merges it and answers `discovery.delta` with exactly the
-//!    rows the sender was missing (push-pull). Because the directory
+//! 2. **Gossip anti-entropy** — every `gossip_interval`, the node picks
+//!    `gossip_fanout` distinct random known peers and sends each a
+//!    `discovery.sync` with its snapshot; the receiver merges it and
+//!    answers `discovery.delta` with exactly the rows the sender was
+//!    missing (push-pull). Because the directory
 //!    merge is last-writer-wins on per-name version counters —
 //!    commutative, idempotent, and associative (see the property tests in
 //!    `proptests.rs`) — any exchange order converges every hub to the
@@ -86,8 +87,13 @@ pub struct DiscoveryConfig {
     /// gossip tick until it answers). One reachable seed suffices to join
     /// the network — everything else arrives by gossip.
     pub seeds: Vec<SocketAddr>,
-    /// How often the node exchanges directories with one random peer.
+    /// How often the node runs a gossip round.
     pub gossip_interval: Duration,
+    /// Distinct random peers contacted per gossip round. Higher fan-out
+    /// converges the network in fewer rounds (infection reaches `fanout`×
+    /// as many hubs per tick) at `fanout`× the message cost; values are
+    /// clamped to at least 1 and at most the known-peer count.
+    pub gossip_fanout: usize,
     /// Silence threshold after which a peer is probed with a ping.
     pub heartbeat_interval: Duration,
     /// Silence threshold after which a peer is suspected.
@@ -108,6 +114,7 @@ impl Default for DiscoveryConfig {
         DiscoveryConfig {
             seeds: Vec::new(),
             gossip_interval: Duration::from_millis(250),
+            gossip_fanout: 2,
             heartbeat_interval: Duration::from_millis(500),
             suspicion_timeout: Duration::from_secs(2),
             eviction_timeout: Duration::from_secs(6),
@@ -127,6 +134,12 @@ impl DiscoveryConfig {
     /// Builder: report liveness transitions to a monitor node.
     pub fn with_monitor(mut self, monitor: impl Into<NodeId>) -> Self {
         self.monitor = Some(monitor.into());
+        self
+    }
+
+    /// Builder: distinct gossip partners per round (clamped to ≥ 1).
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        self.gossip_fanout = fanout;
         self
     }
 

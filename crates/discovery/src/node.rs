@@ -228,18 +228,28 @@ impl DiscoveryNode {
     }
 
     /// One gossip round: re-greet unanswered seeds, then push-pull the
-    /// directory with one random known peer.
+    /// directory with `gossip_fanout` distinct random known peers.
     fn gossip(&mut self, ctx: &NodeCtx<'_>) {
         self.greet_pending_seeds(ctx);
-        let candidates: Vec<&PeerState> = self.peers.values().collect();
-        if !candidates.is_empty() {
-            let partner = candidates[self.rng.gen_range(0..candidates.len())]
-                .disc
-                .clone();
-            let body = self.directory_body(ctx, &self.directory.snapshot());
+        let mut candidates: Vec<NodeId> = self.peers.values().map(|p| p.disc.clone()).collect();
+        if candidates.is_empty() {
+            return;
+        }
+        // Sorted before sampling so the seeded rng draws from a stable
+        // order (HashMap iteration would leak its own randomness).
+        candidates.sort();
+        let fanout = self.config.gossip_fanout.clamp(1, candidates.len());
+        // Partial Fisher-Yates: the first `fanout` slots become a uniform
+        // sample without replacement.
+        for i in 0..fanout {
+            let j = self.rng.gen_range(i..candidates.len());
+            candidates.swap(i, j);
+        }
+        let body = self.directory_body(ctx, &self.directory.snapshot());
+        for partner in candidates.into_iter().take(fanout) {
             // A silently dead partner costs nothing here: the send
             // enqueues on its connection writer and returns.
-            let _ = ctx.endpoint().send(partner, kinds::SYNC, body);
+            let _ = ctx.endpoint().send(partner, kinds::SYNC, body.clone());
         }
     }
 

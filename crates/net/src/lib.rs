@@ -43,6 +43,7 @@ mod envelope;
 mod fabric;
 mod fault;
 mod metrics;
+mod replica;
 pub mod tcp;
 mod transport;
 mod writer;
@@ -58,6 +59,7 @@ pub use fault::{
     FaultPolicy, FaultSchedule, KindRule, LatencyModel, NodeEvent, NodeFault,
 };
 pub use metrics::{MetricsSnapshot, NodeMetrics, TransportIoStats, EPHEMERAL_AGGREGATE};
+pub use replica::ReplicaSet;
 pub use tcp::TcpTransport;
 pub use transport::{
     ConnectError, Endpoint, NodeSender, RawEndpoint, RecvError, ReplyDemux, RpcError, SendError,

@@ -31,6 +31,14 @@
 //! [`GATHER_WINDOW`] while the queue grows toward [`GATHER_MIN`] before
 //! draining again. A lone frame never waits: the gather only runs when
 //! the queue is non-empty right after a write.
+//!
+//! **Idle retirement.** A writer whose queue stays empty for
+//! [`WRITER_IDLE_RETIRE`] retires: it clears its alive flag and exits,
+//! dropping the socket, so a hub talking to many mostly-quiet peers
+//! carries writer threads proportional to *active* destinations rather
+//! than ever-contacted ones. Retirement is not a failure — no error is
+//! parked, nothing is dropped — and the next send to the destination
+//! lazily respawns a fresh writer through the ordinary spawn path.
 
 use crate::metrics::TransportIoStats;
 use parking_lot::{Condvar, Mutex};
@@ -67,6 +75,10 @@ const GATHER_MIN: usize = 16;
 
 /// Upper bound on one mid-burst gather pause.
 const GATHER_WINDOW: Duration = Duration::from_micros(50);
+
+/// How long a writer waits on an empty queue before retiring (exiting
+/// and freeing its thread + socket). The next send respawns one.
+pub(crate) const WRITER_IDLE_RETIRE: Duration = Duration::from_secs(5);
 
 /// Consecutive no-growth polls after which a gather concludes the
 /// producer has gone quiet and drains early. Polls are lock-free reads
@@ -159,6 +171,9 @@ struct QueueState {
 /// The outbound queue of one pooled connection (one destination address).
 pub(crate) struct ConnQueue {
     state: Mutex<QueueState>,
+    /// Empty-queue park time after which the writer retires (tests
+    /// shorten it).
+    idle_retire: Duration,
     /// Queue length mirror for the gather heuristic's polling: reading it
     /// must not touch the state mutex, or the poll loop would contend
     /// with the very producer it is waiting for.
@@ -181,6 +196,11 @@ enum Accepted {
 
 impl ConnQueue {
     pub(crate) fn new() -> ConnQueue {
+        Self::with_idle_retire(WRITER_IDLE_RETIRE)
+    }
+
+    /// A queue whose writer retires after `idle_retire` of emptiness.
+    pub(crate) fn with_idle_retire(idle_retire: Duration) -> ConnQueue {
         ConnQueue {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -191,6 +211,7 @@ impl ConnQueue {
                 error: None,
                 epoch: 0,
             }),
+            idle_retire,
             depth: AtomicUsize::new(0),
             space: Condvar::new(),
             work: Condvar::new(),
@@ -313,8 +334,10 @@ impl ConnQueue {
     }
 
     /// Takes the next batch to write, parking until frames arrive. `None`
-    /// means the writer exits: shutdown with a drained queue, or the
-    /// writer's epoch was retired by [`ConnQueue::kill`].
+    /// means the writer exits: shutdown with a drained queue, the
+    /// writer's epoch was retired by [`ConnQueue::kill`], or the queue
+    /// sat empty for the idle window and the writer retires (the next
+    /// send respawns one).
     fn next_batch(&self, epoch: u64) -> Option<Vec<Frame>> {
         let mut state = self.state.lock();
         loop {
@@ -336,8 +359,14 @@ impl ConnQueue {
                 return None;
             }
             state.writer_parked = true;
-            self.work.wait(&mut state);
+            let timed_out = self.work.wait_for(&mut state, self.idle_retire).timed_out();
             state.writer_parked = false;
+            if timed_out && state.queue.is_empty() && !state.shutdown && state.epoch == epoch {
+                // Idle retirement: free the slot so the next send spawns
+                // a successor. Not a failure — no error is parked.
+                state.writer_alive = false;
+                return None;
+            }
         }
     }
 
@@ -755,6 +784,50 @@ mod tests {
             io.snapshot().writev_calls <= 100,
             "coalescing never exceeds one writev per frame"
         );
+    }
+
+    #[test]
+    fn idle_writer_retires_and_next_send_respawns_it() {
+        // One frame, then silence past the (shortened) idle window: the
+        // writer retires cleanly. A later send to the same destination
+        // must still deliver — via a lazily respawned writer.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut images = Vec::new();
+            for _ in 0..2 {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut all = Vec::new();
+                stream.read_to_end(&mut all).unwrap();
+                images.push(all);
+            }
+            images
+        });
+        let conn = Arc::new(ConnQueue::with_idle_retire(Duration::from_millis(40)));
+        let io = Arc::new(IoCounters::default());
+        conn.enqueue(addr, b"first".to_vec(), &io).unwrap();
+        let t0 = Instant::now();
+        while conn.state.lock().writer_alive && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        {
+            let state = conn.state.lock();
+            assert!(!state.writer_alive, "idle writer retired");
+            assert!(state.error.is_none(), "retirement is not a failure");
+            assert!(!state.shutdown, "queue stays open");
+            assert_eq!(state.epoch, 0, "retirement is not a kill");
+        }
+        conn.enqueue(addr, b"second".to_vec(), &io).unwrap();
+        conn.shutdown();
+        let images = reader.join().unwrap();
+        assert_eq!(images[0], wire_image(&frames(&["first"])));
+        assert_eq!(
+            images[1],
+            wire_image(&frames(&["second"])),
+            "respawned writer delivers"
+        );
+        assert_eq!(io.snapshot().frames_sent, 2);
+        assert_eq!(io.snapshot().frames_dropped, 0);
     }
 
     #[test]

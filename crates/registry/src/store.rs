@@ -1,4 +1,14 @@
 //! The in-memory UDDI registry store with prefix and operation indexes.
+//!
+//! The service table is **partitioned**: records shard by a stable hash
+//! of the (lowercased) service name into [`SHARD_COUNT`] independently
+//! locked sub-stores, each with its own indexes. Publishes and lookups
+//! touching different names proceed in parallel instead of serializing
+//! on one registry-wide lock — the registry stops being a single
+//! contention point as provider churn scales. Queries that cannot be
+//! pinned to one shard (prefix scans, key lookups) visit the shards in
+//! order and merge; results stay sorted by key, so the partitioning is
+//! invisible behind the API.
 
 use crate::model::{
     BusinessEntity, BusinessKey, FindQuery, RegistryError, ServiceKey, ServiceRecord,
@@ -8,6 +18,25 @@ use selfserv_wsdl::ServiceDescription;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Number of service-table partitions. A small power of two: enough to
+/// spread unrelated publishes across locks, small enough that whole-table
+/// scans (empty queries, key lookups) stay cheap.
+const SHARD_COUNT: usize = 8;
+
+/// Stable shard index for a service name (FNV-1a over the lowercased
+/// name). A business's duplicate check relies on this: records with the
+/// same name always land in the same shard.
+fn shard_of(service_name: &str) -> usize {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in service_name.to_lowercase().as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    (h % SHARD_COUNT as u64) as usize
+}
 
 #[derive(Default)]
 struct Indexes {
@@ -89,20 +118,71 @@ impl Indexes {
     }
 }
 
+/// One partition of the service table: its records plus their indexes,
+/// under an independent lock.
 #[derive(Default)]
-struct Store {
-    businesses: HashMap<BusinessKey, BusinessEntity>,
+struct Shard {
     services: HashMap<ServiceKey, ServiceRecord>,
     indexes: Indexes,
 }
 
+impl Shard {
+    /// The shard's keys matching `query` (every criterion intersected),
+    /// or `None` when the query carries no criteria at all.
+    fn candidates(&self, query: &FindQuery) -> Option<HashSet<ServiceKey>> {
+        let mut candidates: Option<HashSet<ServiceKey>> = None;
+        let intersect = |set: HashSet<ServiceKey>, candidates: &mut Option<HashSet<ServiceKey>>| {
+            *candidates = Some(match candidates.take() {
+                None => set,
+                Some(prev) => prev.intersection(&set).cloned().collect(),
+            });
+        };
+        if let Some(p) = &query.provider {
+            intersect(
+                Indexes::prefix_scan(&self.indexes.by_provider, &p.to_lowercase()),
+                &mut candidates,
+            );
+        }
+        if let Some(n) = &query.service_name {
+            intersect(
+                Indexes::prefix_scan(&self.indexes.by_name, &n.to_lowercase()),
+                &mut candidates,
+            );
+        }
+        if let Some(o) = &query.operation {
+            intersect(
+                Indexes::prefix_scan(&self.indexes.by_operation, &o.to_lowercase()),
+                &mut candidates,
+            );
+        }
+        if let Some(c) = &query.category {
+            intersect(
+                self.indexes.by_category.get(c).cloned().unwrap_or_default(),
+                &mut candidates,
+            );
+        }
+        candidates
+    }
+}
+
 /// The thread-safe UDDI registry. Cheap handle semantics are obtained by
 /// wrapping it in `Arc` where shared.
-#[derive(Default)]
 pub struct UddiRegistry {
-    store: RwLock<Store>,
+    businesses: RwLock<HashMap<BusinessKey, BusinessEntity>>,
+    shards: Vec<RwLock<Shard>>,
     next_business: AtomicU64,
     next_service: AtomicU64,
+}
+
+impl Default for UddiRegistry {
+    fn default() -> Self {
+        UddiRegistry {
+            businesses: RwLock::default(),
+            shards: (0..SHARD_COUNT).map(|_| RwLock::default()).collect(),
+            next_business: AtomicU64::new(0),
+            next_service: AtomicU64::new(0),
+        }
+    }
 }
 
 impl UddiRegistry {
@@ -126,21 +206,21 @@ impl UddiRegistry {
             name: name.into(),
             contact: contact.into(),
         };
-        self.store.write().businesses.insert(key, entity.clone());
+        self.businesses.write().insert(key, entity.clone());
         entity
     }
 
     /// Looks up a business.
     pub fn business(&self, key: &BusinessKey) -> Option<BusinessEntity> {
-        self.store.read().businesses.get(key).cloned()
+        self.businesses.read().get(key).cloned()
     }
 
     /// All businesses whose name starts with `prefix` (case-insensitive).
     pub fn find_businesses(&self, prefix: &str) -> Vec<BusinessEntity> {
         let prefix = prefix.to_lowercase();
-        let store = self.store.read();
-        let mut out: Vec<BusinessEntity> = store
+        let mut out: Vec<BusinessEntity> = self
             .businesses
+            .read()
             .values()
             .filter(|b| b.name.to_lowercase().starts_with(&prefix))
             .cloned()
@@ -152,6 +232,9 @@ impl UddiRegistry {
     /// Publishes a service description under a business, with an optional
     /// lease. Publishing a new description for a name the business already
     /// publishes is an error (use [`UddiRegistry::renew`] or delete first).
+    ///
+    /// Only the name's home shard is locked: same-name records always
+    /// hash to the same shard, so the duplicate check stays complete.
     pub fn save_service(
         &self,
         business: &BusinessKey,
@@ -159,14 +242,15 @@ impl UddiRegistry {
         description: ServiceDescription,
         lease: Option<Duration>,
     ) -> Result<ServiceKey, RegistryError> {
-        let mut store = self.store.write();
-        let provider_name = store
+        let provider_name = self
             .businesses
+            .read()
             .get(business)
             .ok_or_else(|| RegistryError::UnknownBusiness(business.clone()))?
             .name
             .clone();
-        if store
+        let mut shard = self.shards[shard_of(&description.name)].write();
+        if shard
             .services
             .values()
             .any(|r| r.business == *business && r.description.name == description.name)
@@ -189,118 +273,101 @@ impl UddiRegistry {
             published_at: Instant::now(),
             lease,
         };
-        store.indexes.insert(&record);
-        store.services.insert(key.clone(), record);
+        shard.indexes.insert(&record);
+        shard.services.insert(key.clone(), record);
         Ok(key)
     }
 
     /// Retrieves a service record (expired leases behave as absent).
+    /// Keys don't encode the shard, so the shards are probed in order.
     pub fn get_service(&self, key: &ServiceKey) -> Result<ServiceRecord, RegistryError> {
-        let store = self.store.read();
-        match store.services.get(key) {
-            Some(r) if !r.is_expired(Instant::now()) => Ok(r.clone()),
-            _ => Err(RegistryError::UnknownService(key.clone())),
+        let now = Instant::now();
+        for shard in &self.shards {
+            if let Some(r) = shard.read().services.get(key) {
+                return if r.is_expired(now) {
+                    Err(RegistryError::UnknownService(key.clone()))
+                } else {
+                    Ok(r.clone())
+                };
+            }
         }
+        Err(RegistryError::UnknownService(key.clone()))
     }
 
     /// Deletes a service.
     pub fn delete_service(&self, key: &ServiceKey) -> Result<(), RegistryError> {
-        let mut store = self.store.write();
-        let rec = store
-            .services
-            .remove(key)
-            .ok_or_else(|| RegistryError::UnknownService(key.clone()))?;
-        store.indexes.remove(&rec);
-        Ok(())
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            if let Some(rec) = shard.services.remove(key) {
+                shard.indexes.remove(&rec);
+                return Ok(());
+            }
+        }
+        Err(RegistryError::UnknownService(key.clone()))
     }
 
     /// Renews a leased service's publication instant.
     pub fn renew(&self, key: &ServiceKey) -> Result<(), RegistryError> {
-        let mut store = self.store.write();
-        match store.services.get_mut(key) {
-            Some(r) => {
+        for shard in &self.shards {
+            if let Some(r) = shard.write().services.get_mut(key) {
                 r.published_at = Instant::now();
-                Ok(())
+                return Ok(());
             }
-            None => Err(RegistryError::UnknownService(key.clone())),
         }
+        Err(RegistryError::UnknownService(key.clone()))
     }
 
-    /// Removes expired records; returns how many were swept.
+    /// Removes expired records; returns how many were swept. Shards are
+    /// swept one at a time — concurrent publishes to other shards never
+    /// wait on the sweeper.
     pub fn sweep_expired(&self) -> usize {
         let now = Instant::now();
-        let mut store = self.store.write();
-        let expired: Vec<ServiceKey> = store
-            .services
-            .values()
-            .filter(|r| r.is_expired(now))
-            .map(|r| r.key.clone())
-            .collect();
-        for key in &expired {
-            if let Some(rec) = store.services.remove(key) {
-                store.indexes.remove(&rec);
+        let mut swept = 0;
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            let expired: Vec<ServiceKey> = shard
+                .services
+                .values()
+                .filter(|r| r.is_expired(now))
+                .map(|r| r.key.clone())
+                .collect();
+            for key in &expired {
+                if let Some(rec) = shard.services.remove(key) {
+                    shard.indexes.remove(&rec);
+                }
             }
+            swept += expired.len();
         }
-        expired.len()
+        swept
     }
 
     /// Finds services matching a query, sorted by key for determinism.
-    /// Expired records never match.
+    /// Expired records never match. Each shard resolves its own index
+    /// intersection under its own read lock; the per-shard hits are
+    /// merged and sorted, so results are identical to an unpartitioned
+    /// scan.
     pub fn find(&self, query: &FindQuery) -> Vec<ServiceRecord> {
-        let store = self.store.read();
         let now = Instant::now();
-        // Start from the most selective available index.
-        let mut candidates: Option<HashSet<ServiceKey>> = None;
-        let intersect = |set: HashSet<ServiceKey>, candidates: &mut Option<HashSet<ServiceKey>>| {
-            *candidates = Some(match candidates.take() {
-                None => set,
-                Some(prev) => prev.intersection(&set).cloned().collect(),
-            });
-        };
-        if let Some(p) = &query.provider {
-            intersect(
-                Indexes::prefix_scan(&store.indexes.by_provider, &p.to_lowercase()),
-                &mut candidates,
-            );
+        let mut records: Vec<ServiceRecord> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            match shard.candidates(query) {
+                Some(keys) => records.extend(
+                    keys.into_iter()
+                        .filter_map(|k| shard.services.get(&k))
+                        .filter(|r| !r.is_expired(now))
+                        .cloned(),
+                ),
+                // Empty query: everything (unexpired).
+                None => records.extend(
+                    shard
+                        .services
+                        .values()
+                        .filter(|r| !r.is_expired(now))
+                        .cloned(),
+                ),
+            }
         }
-        if let Some(n) = &query.service_name {
-            intersect(
-                Indexes::prefix_scan(&store.indexes.by_name, &n.to_lowercase()),
-                &mut candidates,
-            );
-        }
-        if let Some(o) = &query.operation {
-            intersect(
-                Indexes::prefix_scan(&store.indexes.by_operation, &o.to_lowercase()),
-                &mut candidates,
-            );
-        }
-        if let Some(c) = &query.category {
-            intersect(
-                store
-                    .indexes
-                    .by_category
-                    .get(c)
-                    .cloned()
-                    .unwrap_or_default(),
-                &mut candidates,
-            );
-        }
-        let mut records: Vec<ServiceRecord> = match candidates {
-            Some(keys) => keys
-                .into_iter()
-                .filter_map(|k| store.services.get(&k))
-                .filter(|r| !r.is_expired(now))
-                .cloned()
-                .collect(),
-            // Empty query: everything (unexpired).
-            None => store
-                .services
-                .values()
-                .filter(|r| !r.is_expired(now))
-                .cloned()
-                .collect(),
-        };
         records.sort_by(|a, b| a.key.cmp(&b.key));
         records
     }
@@ -308,17 +375,21 @@ impl UddiRegistry {
     /// Number of live (unexpired) services.
     pub fn service_count(&self) -> usize {
         let now = Instant::now();
-        self.store
-            .read()
-            .services
-            .values()
-            .filter(|r| !r.is_expired(now))
-            .count()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .services
+                    .values()
+                    .filter(|r| !r.is_expired(now))
+                    .count()
+            })
+            .sum()
     }
 
     /// Number of registered businesses.
     pub fn business_count(&self) -> usize {
-        self.store.read().businesses.len()
+        self.businesses.read().len()
     }
 }
 
@@ -524,6 +595,35 @@ mod tests {
         let (reg, ausair, _) = seeded();
         assert_eq!(reg.business(&ausair).unwrap().name, "AusAir");
         assert!(reg.business(&BusinessKey("nope".into())).is_none());
+    }
+
+    #[test]
+    fn records_spread_across_shards_invisibly() {
+        let reg = UddiRegistry::new();
+        let biz = reg.save_business("Spread", "x").key;
+        let mut shards = HashSet::new();
+        let mut keys = Vec::new();
+        for i in 0..32 {
+            let name = format!("Svc-{i}");
+            shards.insert(shard_of(&name));
+            keys.push(
+                reg.save_service(&biz, "c", desc(&name, "Spread", &["op"]), None)
+                    .unwrap(),
+            );
+        }
+        assert!(shards.len() > 1, "names hash to multiple shards");
+        assert_eq!(reg.service_count(), 32);
+        let all = reg.find(&FindQuery::any());
+        assert_eq!(all.len(), 32);
+        let found: Vec<&str> = all.iter().map(|r| r.key.0.as_str()).collect();
+        let mut sorted = found.clone();
+        sorted.sort();
+        assert_eq!(found, sorted, "merged results stay sorted by key");
+        for key in &keys {
+            assert!(reg.get_service(key).is_ok(), "key lookup probes all shards");
+        }
+        reg.delete_service(&keys[0]).unwrap();
+        assert_eq!(reg.service_count(), 31);
     }
 
     #[test]

@@ -67,7 +67,13 @@
 //! since in-flight `rpc_async` invocations contribute nothing to `B`,
 //! independent of how many requests are awaiting replies: the blocked
 //! term counts only genuinely thread-blocking sections (sleeping
-//! backends, synchronous control rpcs).
+//! backends, synchronous control rpcs). The whole delegation path is out
+//! of `B`: coordinators awaiting providers, community servers holding
+//! open delegations, and service hosts dispatching non-blocking backends
+//! all run continuation-passing, so `B` is bounded by the backends that
+//! truly park a thread — not by traffic. The transport term is elastic
+//! too: idle TCP writers retire after a few seconds and respawn lazily
+//! on the next send.
 //!
 //! ## Shutdown ordering
 //!

@@ -607,6 +607,180 @@ fn tcp_writer_surfaces_deferred_errors_under_scheduled_chaos() -> TestResult {
     Ok(())
 }
 
+/// Replicated community serving under a scheduled crash: two community
+/// replicas front one echo member; a seeded schedule kills one replica
+/// mid-burst. The invariant mirrors the harness's safety claim, plus a
+/// liveness clause the unreplicated topology cannot offer:
+///
+/// * every burst execution either completes **byte-identically** to the
+///   fault-free golden or faults cleanly (typed error, no hang);
+/// * after the crash the **survivor keeps serving** — a post-crash
+///   execution must complete byte-identically (the coordinator's replica
+///   failover routes around the corpse, never a fault);
+/// * teardown leaks nothing: zero in-flight rpcs, zero live timers, zero
+///   blocked workers.
+fn community_replica_crash_mid_burst_keeps_survivor_serving() -> TestResult {
+    use selfserv::community::{
+        Community, CommunityClient, CommunityServer, CommunityServerConfig, Member, MemberId,
+        QosProfile, RoundRobin,
+    };
+    use selfserv::core::ServiceHost;
+    use selfserv::net::{NodeEvent, NodeFault};
+    use selfserv::statechart::{StatechartBuilder, TaskDef, TransitionDef};
+    use selfserv::wsdl::{OperationDef, ParamType};
+
+    const BURST: usize = 48;
+    let exec = Executor::new(4);
+    let net = Network::new(NetworkConfig::instant());
+
+    let replicas = CommunityServer::spawn_replicas_on(
+        &net,
+        &exec.handle(),
+        "community.workers",
+        2,
+        Community::new("Workers", "").with_operation(OperationDef::new("op")),
+        Arc::new(RoundRobin::new()),
+        CommunityServerConfig {
+            member_timeout: Duration::from_millis(400),
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("replica spawn failed: {e}"))?;
+    let member = ServiceHost::spawn_on(
+        &net,
+        &exec.handle(),
+        "svc.echo-member",
+        Arc::new(EchoService::new("Echo")),
+    )
+    .map_err(|e| format!("member spawn failed: {e}"))?;
+    let admin = CommunityClient::connect(&net, "chaos-admin", replicas[0].node().clone())
+        .map_err(|e| format!("admin connect failed: {e}"))?;
+    admin
+        .join(&Member {
+            id: MemberId("echo".into()),
+            provider: "echo".into(),
+            endpoint: NodeId::new("svc.echo-member"),
+            qos: QosProfile::default(),
+        })
+        .map_err(|e| format!("member join failed: {e}"))?;
+
+    let chart = StatechartBuilder::new("ReplicaChaos")
+        .variable("payload", ParamType::Str)
+        .variable("served_by", ParamType::Str)
+        .initial("s0")
+        .task(
+            TaskDef::new("s0", "Svc")
+                .community("Workers", "op")
+                .input("payload", "payload")
+                .output("echoed_by", "served_by"),
+        )
+        .final_state("f")
+        .transition(TransitionDef::new("t", "s0", "f"))
+        .build()
+        .map_err(|e| format!("chart build failed: {e:?}"))?;
+    let mut deployer = Deployer::new(&net).with_executor(exec.handle());
+    deployer.invoke_timeout = Duration::from_millis(400);
+    let dep = deployer
+        .deploy(&chart, &HashMap::new())
+        .map_err(|e| format!("deploy failed: {e}"))?;
+
+    let probe = || MessageDoc::request("execute").with("payload", Value::str("chaos-probe"));
+    // The fault-free golden, from the very topology under test.
+    let golden = normalized(
+        &dep.execute(probe(), Duration::from_secs(5))
+            .map_err(|e| format!("golden execution failed: {e}"))?,
+    );
+
+    // The schedule is the chaos: kill replica 0 (the canonical community
+    // node) 5ms into the burst. No restart — recovery must come from the
+    // survivor, not resurrection.
+    let schedule = FaultSchedule::replay(
+        1302,
+        &[FaultEvent::Node(NodeEvent {
+            at: Duration::from_millis(5),
+            node: NodeId::new("community.workers"),
+            fault: NodeFault::Crash,
+        })],
+    );
+    net.install_chaos(Arc::clone(&schedule));
+    let controller = ChaosController::start(&schedule, Arc::new(net.clone()));
+    // First half of the burst races the crash; then hold the burst open
+    // until the kill has landed so the second half genuinely runs against
+    // a dead replica (the instant fabric can finish 48 executions inside
+    // the 5ms fuse otherwise).
+    let mut pending = std::collections::HashSet::new();
+    for _ in 0..BURST / 2 {
+        pending.insert(
+            dep.submit(probe())
+                .map_err(|e| format!("submit failed: {e}"))?,
+        );
+    }
+    let t0 = Instant::now();
+    while !net.is_dead(&NodeId::new("community.workers")) {
+        if t0.elapsed() > Duration::from_secs(5) {
+            return Err("schedule never crashed the replica".into());
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for _ in 0..BURST / 2 {
+        pending.insert(
+            dep.submit(probe())
+                .map_err(|e| format!("submit failed: {e}"))?,
+        );
+    }
+    let mut completed = 0usize;
+    let mut clean_faults = 0usize;
+    while !pending.is_empty() {
+        let (id, outcome) = dep
+            .collect_result(Duration::from_secs(30))
+            .map_err(|e| format!("burst result lost: {e}"))?;
+        if !pending.remove(&id) {
+            return Err("collected an unknown submission id".into());
+        }
+        match outcome {
+            Ok(doc) => {
+                let got = normalized(&doc);
+                if got != golden {
+                    return Err(format!(
+                        "burst completion diverged from golden\n  golden: {golden}\n  got:    {got}"
+                    ));
+                }
+                completed += 1;
+            }
+            // Clean typed fault — the allowed alternative to completion.
+            Err(ExecError::Timeout | ExecError::Fault(_) | ExecError::Unreachable(_)) => {
+                clean_faults += 1;
+            }
+        }
+    }
+    controller.stop();
+    net.clear_chaos();
+    eprintln!("  (burst of {BURST}: {completed} completed, {clean_faults} clean faults)");
+    if completed == 0 {
+        return Err("no burst execution completed — the survivor never served".into());
+    }
+
+    // Survivor liveness: with replica 0 dead and the burst settled, a
+    // fresh execution must still complete identically — the coordinator
+    // fails over to the `.r1` replica instead of faulting.
+    let after = dep
+        .execute(probe(), Duration::from_secs(10))
+        .map_err(|e| format!("post-crash execution faulted: {e}"))?;
+    if normalized(&after) != golden {
+        return Err("post-crash completion diverged from golden".into());
+    }
+
+    dep.undeploy();
+    drop(admin);
+    member.stop();
+    for replica in replicas {
+        replica.stop();
+    }
+    let audit = audit_quiesced(&exec.handle());
+    exec.shutdown();
+    audit
+}
+
 fn parse_seed(args: &[String]) -> Option<u64> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -673,6 +847,10 @@ fn main() {
         (
             "tcp_writer_surfaces_deferred_errors_under_scheduled_chaos",
             tcp_writer_surfaces_deferred_errors_under_scheduled_chaos,
+        ),
+        (
+            "community_replica_crash_mid_burst_keeps_survivor_serving",
+            community_replica_crash_mid_burst_keeps_survivor_serving,
         ),
     ];
     let mut failed = 0;

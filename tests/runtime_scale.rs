@@ -13,17 +13,27 @@
 //!   continuation-passing coordinator; under the blocking model this
 //!   would park ~2048 compensation threads). Outputs stay byte-identical
 //!   to the blocking path's goldens.
+//! * `real_community_server_parks_2048_delegations_without_threads` —
+//!   same shape through the *real* community server: 2048 instances'
+//!   delegations each held open across two chained rpcs (coordinator →
+//!   community server → member) with zero blocked workers, and both
+//!   `in_flight_rpcs` and the community's delegation gauge draining to
+//!   zero after release (nothing leaks).
 //!
-//! Both tests count `/proc/self/status` threads, so they serialize on a
+//! The tests count `/proc/self/status` threads, so they serialize on a
 //! shared lock (libtest would otherwise run them concurrently and each
 //! would see the other's pool) and re-read their baseline after acquiring
 //! it.
 
+use selfserv::community::{
+    Community, CommunityClient, CommunityServer, CommunityServerConfig, Member, MemberId,
+    QosProfile, RoundRobin,
+};
 use selfserv::core::{Deployer, Deployment, EchoService, ServiceBackend};
-use selfserv::net::{Envelope, MessageId, Network, NetworkConfig};
+use selfserv::net::{Envelope, MessageId, Network, NetworkConfig, NodeId};
 use selfserv::runtime::{Executor, Flow, NodeCtx, NodeLogic};
 use selfserv::statechart::{Statechart, StatechartBuilder, TaskDef, TransitionDef};
-use selfserv::wsdl::{MessageDoc, ParamType};
+use selfserv::wsdl::{MessageDoc, OperationDef, ParamType};
 use selfserv::xml::Element;
 use selfserv_expr::Value;
 use std::collections::HashMap;
@@ -196,18 +206,37 @@ fn deploy_256_composites_on_4_workers_with_bounded_threads() {
 /// acceptance floor is 2048).
 const INFLIGHT: usize = 2048;
 
-/// A community node that gates its replies: invocations stash until the
-/// test sends `release`, so the test controls exactly when all awaiting
-/// instances are simultaneously blocked. Pure `NodeLogic` — the responder
-/// itself parks no thread either.
-struct GatedCommunity {
+/// A responder node that gates its replies: requests of `invoke_kind`
+/// stash until the test sends `release`, so the test controls exactly
+/// when all awaiting instances are simultaneously blocked. Pure
+/// `NodeLogic` — the responder itself parks no thread either. Stands in
+/// for a whole community (`community.invoke`/`community.result`) in one
+/// test and for a community *member* (`invoke`/`invoke.result`, behind
+/// the real community server) in the other.
+struct GatedResponder {
+    invoke_kind: &'static str,
+    result_kind: &'static str,
     stashed: Vec<Envelope>,
     stash_count: Arc<AtomicUsize>,
     released: bool,
 }
 
-impl GatedCommunity {
-    fn reply(ctx: &NodeCtx<'_>, request: &Envelope) {
+impl GatedResponder {
+    fn new(
+        invoke_kind: &'static str,
+        result_kind: &'static str,
+        stash_count: Arc<AtomicUsize>,
+    ) -> GatedResponder {
+        GatedResponder {
+            invoke_kind,
+            result_kind,
+            stashed: Vec::new(),
+            stash_count,
+            released: false,
+        }
+    }
+
+    fn reply(&self, ctx: &NodeCtx<'_>, request: &Envelope) {
         let op = MessageDoc::from_xml(&request.body)
             .map(|m| m.operation)
             .unwrap_or_else(|_| "op".to_string());
@@ -216,42 +245,38 @@ impl GatedCommunity {
         let response = MessageDoc::response(op).with("echoed_by", Value::str("Echo"));
         let _ = ctx
             .endpoint()
-            .reply(request, "community.result", response.to_xml());
+            .reply(request, self.result_kind, response.to_xml());
     }
 }
 
-impl NodeLogic for GatedCommunity {
+impl NodeLogic for GatedResponder {
     fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
-        match env.kind.as_str() {
-            "community.invoke" => {
-                if self.released {
-                    GatedCommunity::reply(ctx, &env);
-                } else {
-                    self.stashed.push(env);
-                    self.stash_count.fetch_add(1, Ordering::SeqCst);
-                }
+        if env.kind == self.invoke_kind {
+            if self.released {
+                self.reply(ctx, &env);
+            } else {
+                self.stashed.push(env);
+                self.stash_count.fetch_add(1, Ordering::SeqCst);
             }
-            "release" => {
-                self.released = true;
-                for request in self.stashed.drain(..) {
-                    GatedCommunity::reply(ctx, &request);
-                }
+        } else if env.kind == "release" {
+            self.released = true;
+            for request in std::mem::take(&mut self.stashed) {
+                self.reply(ctx, &request);
             }
-            _ => {}
         }
         Flow::Continue
     }
 }
 
-/// One community-task composite: `s0` delegates `op` to community `slow`.
-fn inflight_chart() -> Statechart {
-    StatechartBuilder::new("Inflight")
+/// One community-task composite: `s0` delegates `op` to `community`.
+fn inflight_chart(name: &str, community: &str) -> Statechart {
+    StatechartBuilder::new(name)
         .variable("payload", ParamType::Str)
         .variable("served_by", ParamType::Str)
         .initial("s0")
         .task(
             TaskDef::new("s0", "Svc")
-                .community("slow", "op")
+                .community(community, "op")
                 .input("payload", "payload")
                 .output("echoed_by", "served_by"),
         )
@@ -274,17 +299,17 @@ fn thousands_of_inflight_invocations_block_zero_workers() {
     let stash_count = Arc::new(AtomicUsize::new(0));
     let community = exec.handle().spawn_node(
         net.connect("community.slow").expect("community connects"),
-        GatedCommunity {
-            stashed: Vec::new(),
-            stash_count: Arc::clone(&stash_count),
-            released: false,
-        },
+        GatedResponder::new(
+            "community.invoke",
+            "community.result",
+            Arc::clone(&stash_count),
+        ),
     );
 
     let mut deployer = Deployer::new(&net).with_executor(exec.handle());
     deployer.invoke_timeout = Duration::from_secs(120); // nobody times out mid-test
     let dep = deployer
-        .deploy(&inflight_chart(), &HashMap::new())
+        .deploy(&inflight_chart("Inflight", "slow"), &HashMap::new())
         .expect("deploys");
 
     // Fire every instance without blocking anything: one submitting
@@ -353,5 +378,129 @@ fn thousands_of_inflight_invocations_block_zero_workers() {
 
     dep.undeploy();
     community.stop();
+    exec.shutdown();
+}
+
+#[test]
+fn real_community_server_parks_2048_delegations_without_threads() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let baseline = thread_count();
+
+    let exec = Executor::new(WORKERS);
+    let net = Network::new(NetworkConfig::instant());
+
+    // The real community server — the continuation-passing delegation
+    // path — fronting one gated member: every instance's invocation is
+    // held open across *two* chained rpcs (coordinator → community,
+    // community → member) with nobody blocking anywhere.
+    let stash_count = Arc::new(AtomicUsize::new(0));
+    let member = exec.handle().spawn_node(
+        net.connect("svc.gated-member").expect("member connects"),
+        GatedResponder::new("invoke", "invoke.result", Arc::clone(&stash_count)),
+    );
+    let community = CommunityServer::spawn_on(
+        &net,
+        &exec.handle(),
+        "community.gated",
+        Community::new("Gated", "").with_operation(OperationDef::new("op")),
+        Arc::new(RoundRobin::new()),
+        CommunityServerConfig {
+            member_timeout: Duration::from_secs(120), // nobody times out mid-test
+            ..Default::default()
+        },
+    )
+    .expect("community spawns");
+    let admin =
+        CommunityClient::connect(&net, "admin", community.node().clone()).expect("admin connects");
+    admin
+        .join(&Member {
+            id: MemberId("gated".into()),
+            provider: "gated".into(),
+            endpoint: NodeId::new("svc.gated-member"),
+            qos: QosProfile::default(),
+        })
+        .expect("member joins");
+
+    let mut deployer = Deployer::new(&net).with_executor(exec.handle());
+    deployer.invoke_timeout = Duration::from_secs(120);
+    let dep = deployer
+        .deploy(
+            &inflight_chart("InflightCommunity", "gated"),
+            &HashMap::new(),
+        )
+        .expect("deploys");
+
+    let mut expect: HashMap<MessageId, (u64, String)> = HashMap::new();
+    for i in 0..INFLIGHT {
+        let payload = format!("p{i}");
+        let id = dep
+            .submit(MessageDoc::request("execute").with("payload", Value::str(&payload)))
+            .expect("submit accepted");
+        expect.insert(id, (i as u64 + 1, payload));
+    }
+
+    // Wait until every delegation has traversed the community server and
+    // parked inside the member.
+    let t0 = Instant::now();
+    while stash_count.load(Ordering::SeqCst) < INFLIGHT && t0.elapsed() < Duration::from_secs(120) {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        stash_count.load(Ordering::SeqCst),
+        INFLIGHT,
+        "every delegation reached the member"
+    );
+    assert_eq!(
+        community.in_flight_delegations(),
+        INFLIGHT,
+        "the community server tracks every open delegation"
+    );
+
+    // The tentpole claim: 2048 coordinator→community rpcs plus 2048
+    // community→member rpcs are simultaneously open, the pool is exactly
+    // its configured size, and not one worker is blocked — the old
+    // delegate() loop would have parked a compensation thread per
+    // delegation here.
+    assert_eq!(exec.handle().live_workers(), WORKERS, "no compensation");
+    assert_eq!(exec.handle().blocked_workers(), 0, "no blocked workers");
+    assert_eq!(
+        exec.handle().in_flight_rpcs(),
+        2 * INFLIGHT,
+        "one open rpc per hop per instance"
+    );
+    if baseline > 0 {
+        let awaiting = thread_count();
+        assert!(
+            awaiting <= baseline + WORKERS + 1 + 8,
+            "2048 open delegations must not own threads: {baseline} -> {awaiting}"
+        );
+    }
+
+    // Release the member; every instance completes byte-identical to the
+    // blocking path's golden for this workload.
+    net.connect("release-client")
+        .expect("release client connects")
+        .send("svc.gated-member", "release", Element::new("go"))
+        .expect("release accepted");
+    let mut collected = 0usize;
+    while collected < INFLIGHT {
+        let (id, outcome) = dep
+            .collect_result(Duration::from_secs(60))
+            .expect("completion arrives");
+        let out = outcome.expect("instance completes cleanly");
+        let (instance, payload) = expect.remove(&id).expect("known submission");
+        assert_eq!(normalized(&out), expected_output(instance, &payload));
+        collected += 1;
+    }
+    assert!(expect.is_empty(), "every submission completed exactly once");
+
+    // Nothing leaked: both rpc hops unwound and the community's gauge is
+    // back to zero.
+    assert_eq!(exec.handle().in_flight_rpcs(), 0, "rpcs drained to zero");
+    assert_eq!(community.in_flight_delegations(), 0, "delegations drained");
+
+    dep.undeploy();
+    community.stop();
+    member.stop();
     exec.shutdown();
 }
