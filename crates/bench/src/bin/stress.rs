@@ -1,0 +1,966 @@
+//! `selfserv-stress` — sustained-load stress harness with live Prometheus
+//! scraping.
+//!
+//! Spawns N in-process [`TcpTransport`] hubs (real sockets, real frames)
+//! bootstrapped through discovery from hub 0's seed address. Each hub runs
+//! its own executor, discovery node, execution monitor, metrics registry
+//! with an HTTP `/metrics` endpoint, and a replicated community backed by
+//! event-driven delay members. Composite charts from the statechart synth
+//! corpus are deployed per hub with every task rebound to the *neighbor*
+//! hub's community, so all invocation traffic crosses TCP between hubs.
+//!
+//! Client populations drive the deployments either **closed-loop** (a fixed
+//! in-flight window per deployment, refilled on every completion — the mode
+//! that holds N concurrent composite executions open) or **open-loop**
+//! (fixed submission rate regardless of completions). A scraper thread
+//! polls every hub's `/metrics` endpoint for the whole run — latency
+//! quantiles, throughput counters, and drop/duplicate counts are read the
+//! same way an external Prometheus would read them — and the summary goes
+//! to `BENCH_stress.json`.
+//!
+//! ```text
+//! cargo run --release -p selfserv-bench --bin selfserv-stress -- \
+//!     --hubs 2 --duration-secs 20 --target-inflight 10000
+//! ```
+
+use selfserv_community::{
+    Community, CommunityMetrics, CommunityServer, CommunityServerConfig, CommunityServerHandle,
+    Member, MemberId, QosProfile, RoundRobin,
+};
+use selfserv_core::{
+    naming, Deployer, Deployment, ExecutionMonitor, MonitorMetrics, MonitorOptions,
+};
+use selfserv_discovery::{DiscoveryConfig, PeerDiscovery};
+use selfserv_expr::Value;
+use selfserv_net::{Envelope, MessageId, NodeId, TcpTransport, Transport};
+use selfserv_obs::{http_get, parse, MetricsServer, Registry};
+use selfserv_runtime::{Executor, Flow, NodeCtx, NodeHandle, NodeLogic, TimerToken};
+use selfserv_statechart::{synth, ServiceBinding, StateKind, Statechart};
+use selfserv_wsdl::MessageDoc;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Config {
+    hubs: usize,
+    duration: Duration,
+    /// Closed loop: total in-flight window across all hubs and charts.
+    target_inflight: usize,
+    /// Open loop: total submissions per second across all drivers.
+    rate: f64,
+    open_loop: bool,
+    msg_bytes: usize,
+    fanout: usize,
+    seq_len: usize,
+    hold: Duration,
+    members: usize,
+    replicas: usize,
+    community_cap: usize,
+    scrape_every: Duration,
+    workers_per_hub: usize,
+    drain: Duration,
+    min_throughput: f64,
+    out: String,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            hubs: 2,
+            duration: Duration::from_secs(10),
+            target_inflight: 10_000,
+            rate: 2_000.0,
+            open_loop: false,
+            msg_bytes: 64,
+            fanout: 2,
+            seq_len: 3,
+            hold: Duration::from_millis(5),
+            members: 4,
+            replicas: 2,
+            community_cap: usize::MAX,
+            scrape_every: Duration::from_millis(500),
+            workers_per_hub: 2,
+            drain: Duration::from_secs(60),
+            min_throughput: 0.0,
+            out: "BENCH_stress.json".to_string(),
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "selfserv-stress: sustained-load harness over N TCP hubs\n\
+         \n\
+         --hubs N              TCP hubs (default 2)\n\
+         --duration-secs S     measured window (default 10)\n\
+         --target-inflight N   closed-loop window, total (default 10000)\n\
+         --mode closed|open    driver mode (default closed)\n\
+         --rate R              open-loop submissions/sec, total (default 2000)\n\
+         --msg-bytes B         payload padding per instance (default 64)\n\
+         --fanout K            parallel-chart width, 0 disables it (default 2)\n\
+         --seq-len K           sequence-chart length (default 3)\n\
+         --hold-ms MS          member service time (default 5)\n\
+         --members M           delay members per community (default 4)\n\
+         --replicas R          community replicas per hub (default 2)\n\
+         --community-cap N     max_in_flight per community replica (default unbounded)\n\
+         --scrape-ms MS        /metrics scrape period (default 500)\n\
+         --workers W           executor workers per hub (default 2)\n\
+         --min-throughput T    exit nonzero below T completed/sec (default off)\n\
+         --out PATH            summary path (default BENCH_stress.json)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let next = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i - 1).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        let flag = args[i].clone();
+        i += 1;
+        match flag.as_str() {
+            "--hubs" => cfg.hubs = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--duration-secs" => {
+                cfg.duration =
+                    Duration::from_secs_f64(next(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--target-inflight" => {
+                cfg.target_inflight = next(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--mode" => match next(&mut i).as_str() {
+                "closed" => cfg.open_loop = false,
+                "open" => cfg.open_loop = true,
+                _ => usage(),
+            },
+            "--rate" => cfg.rate = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--msg-bytes" => cfg.msg_bytes = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--fanout" => cfg.fanout = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seq-len" => cfg.seq_len = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--hold-ms" => {
+                cfg.hold = Duration::from_millis(next(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--members" => cfg.members = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--replicas" => cfg.replicas = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--community-cap" => {
+                cfg.community_cap = next(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--scrape-ms" => {
+                cfg.scrape_every =
+                    Duration::from_millis(next(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--workers" => cfg.workers_per_hub = next(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--min-throughput" => {
+                cfg.min_throughput = next(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--out" => cfg.out = next(&mut i),
+            _ => usage(),
+        }
+    }
+    if cfg.hubs == 0 || cfg.seq_len == 0 || cfg.members == 0 || cfg.replicas == 0 {
+        usage();
+    }
+    cfg
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven delay member: a community member that answers every `invoke`
+// roughly `hold` after it arrived, from a timer — no thread ever parks for
+// the service time, so thousands of in-flight invocations cost zero blocked
+// workers (the property the executor gauges must show under load).
+// ---------------------------------------------------------------------------
+
+struct DelayMember {
+    name: String,
+    hold: Duration,
+    holding: Vec<Envelope>,
+    armed: bool,
+}
+
+const FLUSH: TimerToken = TimerToken(1);
+
+impl DelayMember {
+    fn answer(&self, ctx: &NodeCtx<'_>, request: &Envelope) {
+        // Echo every request param back (the charts map `payload` through
+        // each task) and sign the response.
+        let reply = match MessageDoc::from_xml(&request.body) {
+            Ok(msg) => {
+                let mut out = MessageDoc::response(msg.operation.clone());
+                for (k, v) in msg.iter() {
+                    out.set(k, v.clone());
+                }
+                out.set("served_by", Value::str(self.name.clone()));
+                out
+            }
+            Err(e) => MessageDoc::fault("invoke", e.to_string()),
+        };
+        let _ = ctx.endpoint().reply(
+            request,
+            selfserv_community::kinds::MEMBER_RESULT,
+            reply.to_xml(),
+        );
+    }
+}
+
+impl NodeLogic for DelayMember {
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_>, env: Envelope) -> Flow {
+        if env.kind != selfserv_community::kinds::MEMBER_INVOKE {
+            return Flow::Continue;
+        }
+        if self.hold.is_zero() {
+            self.answer(ctx, &env);
+            return Flow::Continue;
+        }
+        self.holding.push(env);
+        if !self.armed {
+            self.armed = true;
+            ctx.set_timer(self.hold, FLUSH);
+        }
+        Flow::Continue
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _timer: TimerToken) -> Flow {
+        self.armed = false;
+        let held = std::mem::take(&mut self.holding);
+        for request in &held {
+            self.answer(ctx, request);
+        }
+        Flow::Continue
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-hub assembly
+// ---------------------------------------------------------------------------
+
+struct Hub {
+    index: usize,
+    hub: TcpTransport,
+    exec: Executor,
+    registry: Registry,
+    metrics_addr: SocketAddr,
+    _metrics_server: MetricsServer,
+    disc: selfserv_discovery::DiscoveryHandle,
+    _monitor: selfserv_core::MonitorHandle,
+    community: Vec<CommunityServerHandle>,
+    _members: Vec<NodeHandle>,
+    deployments: Vec<(String, Deployment)>,
+}
+
+fn community_name(hub: usize) -> String {
+    format!("stress-h{hub}")
+}
+
+/// Rewrites every `Service` task binding of a synth chart to the given
+/// community (operation preserved) so executions delegate instead of
+/// invoking co-located backends.
+fn rebind_to_community(sc: &Statechart, community: &str) -> Statechart {
+    let mut out = sc.clone();
+    let ids: Vec<_> = out.states().map(|s| s.id.clone()).collect();
+    for id in ids {
+        let Some(state) = out.state(&id) else {
+            continue;
+        };
+        let mut state = state.clone();
+        if let StateKind::Task(spec) = &mut state.kind {
+            if let ServiceBinding::Service { operation, .. } = &spec.binding {
+                spec.binding = ServiceBinding::Community {
+                    community: community.to_string(),
+                    operation: operation.clone(),
+                };
+                out.insert_state(state);
+            }
+        }
+    }
+    out
+}
+
+/// The synth-corpus charts one hub deploys, renamed per hub so wrapper and
+/// coordinator node names stay unique in the gossiped namespace.
+fn hub_charts(cfg: &Config, hub: usize) -> Vec<Statechart> {
+    let mut charts = vec![synth::sequence(cfg.seq_len)];
+    if cfg.fanout >= 2 {
+        charts.push(synth::parallel(cfg.fanout));
+    }
+    for sc in &mut charts {
+        sc.name = format!("{}-h{hub}", sc.name);
+    }
+    charts
+}
+
+fn spawn_hub(cfg: &Config, index: usize, seed: Option<SocketAddr>) -> Hub {
+    let hub = TcpTransport::new();
+    let exec = Executor::new(cfg.workers_per_hub);
+    let registry = Registry::new();
+    let hub_label = format!("h{index}");
+    let labels: [(&str, &str); 1] = [("hub", hub_label.as_str())];
+
+    let mut disc_cfg = DiscoveryConfig::default();
+    if let Some(seed) = seed {
+        disc_cfg = disc_cfg.with_seed(seed);
+    }
+    let disc = PeerDiscovery::spawn_on(&hub, &exec.handle(), disc_cfg).expect("discovery spawns");
+
+    hub.register_metrics(&registry, &labels);
+    exec.handle().register_metrics(&registry, &labels);
+    disc.register_metrics(&registry, &labels);
+
+    let monitor_metrics = MonitorMetrics::register(&registry, &labels);
+    let monitor = ExecutionMonitor::spawn_with(
+        &hub,
+        &exec.handle(),
+        &format!("monitor.h{index}"),
+        MonitorOptions {
+            metrics: Some(monitor_metrics),
+            max_traces: Some(4096),
+        },
+    )
+    .expect("monitor spawns");
+
+    // The community this hub SERVES (its neighbor's charts call it).
+    let name = community_name(index);
+    let community_metrics = CommunityMetrics::register(
+        &registry,
+        &[("hub", hub_label.as_str()), ("community", name.as_str())],
+    );
+    let community = CommunityServer::spawn_replicas_on(
+        &hub,
+        &exec.handle(),
+        naming::community(&name).as_str(),
+        cfg.replicas,
+        Community::new(name.clone(), "stress workload community"),
+        Arc::new(RoundRobin::new()),
+        CommunityServerConfig {
+            mode: selfserv_community::DelegationMode::Proxy,
+            member_timeout: Duration::from_secs(60),
+            max_attempts: 2,
+            max_in_flight: cfg.community_cap,
+            liveness: Some(disc.liveness()),
+            metrics: Some(community_metrics),
+        },
+    )
+    .expect("community replicas spawn");
+    for (r, replica) in community.iter().enumerate() {
+        let replica_label = r.to_string();
+        replica.register_metrics(
+            &registry,
+            &[
+                ("hub", hub_label.as_str()),
+                ("community", name.as_str()),
+                ("replica", replica_label.as_str()),
+            ],
+        );
+    }
+
+    // Event-driven members, joined directly through the shared membership.
+    let mut members = Vec::new();
+    for m in 0..cfg.members {
+        let node = format!("member.h{index}.m{m}");
+        let endpoint = Transport::connect(&hub, NodeId::new(&node)).expect("member connects");
+        members.push(exec.handle().spawn_node(
+            endpoint,
+            DelayMember {
+                name: node.clone(),
+                hold: cfg.hold,
+                holding: Vec::new(),
+                armed: false,
+            },
+        ));
+        community[0]
+            .community()
+            .write()
+            .join(Member {
+                id: MemberId(node.clone()),
+                provider: format!("hub-{index}"),
+                endpoint: NodeId::new(&node),
+                qos: QosProfile::default(),
+            })
+            .expect("member joins");
+    }
+
+    let metrics_server =
+        MetricsServer::serve(registry.clone(), "127.0.0.1:0").expect("metrics endpoint binds");
+    let metrics_addr = metrics_server.addr();
+
+    Hub {
+        index,
+        hub,
+        exec,
+        registry,
+        metrics_addr,
+        _metrics_server: metrics_server,
+        disc,
+        _monitor: monitor,
+        community,
+        _members: members,
+        deployments: Vec::new(),
+    }
+}
+
+/// Deploys this hub's charts, every task delegating to the *neighbor*
+/// hub's community so invocations cross TCP.
+fn deploy_hub_charts(cfg: &Config, hubs: &mut [Hub], h: usize) {
+    let neighbor = (h + 1) % hubs.len();
+    let target = community_name(neighbor);
+    // Wait until gossip has delivered every replica name of the neighbor's
+    // community, so the deployer discovers the full replica set.
+    for r in 0..cfg.replicas {
+        let name = selfserv_core::naming::community_replica(&target, r);
+        assert!(
+            hubs[h]
+                .disc
+                .wait_until_bound(name.as_str(), Duration::from_secs(30)),
+            "hub {h} never learned {name} via gossip"
+        );
+    }
+    let charts: Vec<Statechart> = hub_charts(cfg, h)
+        .iter()
+        .map(|sc| rebind_to_community(sc, &target))
+        .collect();
+    for sc in charts {
+        let mut deployer = Deployer::new(&hubs[h].hub)
+            .with_executor(hubs[h].exec.handle().clone())
+            .with_monitor(NodeId::new(format!("monitor.h{h}")))
+            .with_liveness(hubs[h].disc.liveness());
+        deployer.invoke_timeout = Duration::from_secs(120);
+        deployer.instance_ttl = Duration::from_secs(600);
+        let dep = deployer
+            .deploy(&sc, &HashMap::new())
+            .expect("chart deploys");
+        hubs[h].deployments.push((sc.name.clone(), dep));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Debug, Clone)]
+struct DriverStats {
+    submitted: u64,
+    completed: u64,
+    faulted: u64,
+    duplicates: u64,
+    drops: u64,
+    submit_errors: u64,
+}
+
+struct DriverMetrics {
+    latency: Arc<selfserv_obs::Histogram>,
+    submitted: Arc<selfserv_obs::Counter>,
+    completed: Arc<selfserv_obs::Counter>,
+    faulted: Arc<selfserv_obs::Counter>,
+    duplicates: Arc<selfserv_obs::Counter>,
+    drops: Arc<selfserv_obs::Counter>,
+}
+
+fn driver_metrics(registry: &Registry, hub: &str, chart: &str) -> DriverMetrics {
+    let labels: [(&str, &str); 2] = [("hub", hub), ("chart", chart)];
+    DriverMetrics {
+        latency: registry.histogram(
+            "selfserv_stress_client_latency_us",
+            "Client-observed composite latency in microseconds (submit to collect).",
+            &labels,
+        ),
+        submitted: registry.counter(
+            "selfserv_stress_submitted_total",
+            "Composite executions submitted by the stress drivers.",
+            &labels,
+        ),
+        completed: registry.counter(
+            "selfserv_stress_completed_total",
+            "Composite executions completed successfully.",
+            &labels,
+        ),
+        faulted: registry.counter(
+            "selfserv_stress_faulted_total",
+            "Composite executions that returned a fault.",
+            &labels,
+        ),
+        duplicates: registry.counter(
+            "selfserv_stress_duplicates_total",
+            "Completions whose id matched no outstanding submission.",
+            &labels,
+        ),
+        drops: registry.counter(
+            "selfserv_stress_drops_total",
+            "Submissions still unanswered when the drain deadline passed.",
+            &labels,
+        ),
+    }
+}
+
+fn stress_input(i: u64, payload: &str) -> MessageDoc {
+    MessageDoc::request("execute")
+        .with("payload", Value::str(payload.to_string()))
+        .with("branch", Value::Int((i % 3) as i64))
+}
+
+/// One driver: keeps `window` submissions outstanding (closed loop) or
+/// paces submissions at `rate`/sec (open loop) until `deadline`, then
+/// drains. Completions are matched to submissions by message id; an id
+/// with no outstanding entry is a duplicate, an entry never answered by
+/// the drain deadline is a drop.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    dep: &Deployment,
+    metrics: &DriverMetrics,
+    window: usize,
+    rate: f64,
+    open_loop: bool,
+    payload: &str,
+    deadline: Instant,
+    drain: Duration,
+) -> DriverStats {
+    let mut stats = DriverStats::default();
+    let mut outstanding: HashMap<MessageId, Instant> = HashMap::new();
+    let mut seq: u64 = 0;
+    let started = Instant::now();
+
+    let submit_one =
+        |stats: &mut DriverStats, outstanding: &mut HashMap<MessageId, Instant>, seq: &mut u64| {
+            match dep.submit(stress_input(*seq, payload)) {
+                Ok(id) => {
+                    outstanding.insert(id, Instant::now());
+                    stats.submitted += 1;
+                    metrics.submitted.inc();
+                    *seq += 1;
+                }
+                Err(_) => {
+                    // Transport backpressure (outbound queue full): back off
+                    // and let completions drain the pipe.
+                    stats.submit_errors += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        };
+    let collect_one = |stats: &mut DriverStats,
+                       outstanding: &mut HashMap<MessageId, Instant>,
+                       timeout: Duration|
+     -> bool {
+        match dep.collect_result(timeout) {
+            Ok((id, outcome)) => {
+                match outstanding.remove(&id) {
+                    Some(t0) => {
+                        metrics.latency.record(t0.elapsed().as_micros() as u64);
+                        if outcome.is_ok() {
+                            stats.completed += 1;
+                            metrics.completed.inc();
+                        } else {
+                            stats.faulted += 1;
+                            metrics.faulted.inc();
+                        }
+                    }
+                    None => {
+                        stats.duplicates += 1;
+                        metrics.duplicates.inc();
+                    }
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    };
+
+    if open_loop {
+        let period = Duration::from_secs_f64(1.0 / rate.max(0.001));
+        let mut next_submit = started;
+        while Instant::now() < deadline {
+            let now = Instant::now();
+            if now >= next_submit {
+                submit_one(&mut stats, &mut outstanding, &mut seq);
+                next_submit += period;
+                continue;
+            }
+            collect_one(&mut stats, &mut outstanding, next_submit - now);
+        }
+    } else {
+        while outstanding.len() < window && Instant::now() < deadline {
+            submit_one(&mut stats, &mut outstanding, &mut seq);
+        }
+        while Instant::now() < deadline {
+            if collect_one(&mut stats, &mut outstanding, Duration::from_millis(100))
+                && outstanding.len() < window
+                && Instant::now() < deadline
+            {
+                submit_one(&mut stats, &mut outstanding, &mut seq);
+            }
+        }
+    }
+
+    // Drain: everything still outstanding gets `drain` to finish.
+    let drain_deadline = Instant::now() + drain;
+    while !outstanding.is_empty() && Instant::now() < drain_deadline {
+        collect_one(&mut stats, &mut outstanding, Duration::from_millis(250));
+    }
+    stats.drops = outstanding.len() as u64;
+    metrics.drops.add(stats.drops);
+    stats
+}
+
+// ---------------------------------------------------------------------------
+// Scraper
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ScrapeLog {
+    scrapes: u64,
+    failures: u64,
+    peak_open: u64,
+    last: Vec<Option<parse::Exposition>>,
+}
+
+fn scrape_loop(
+    addrs: Vec<SocketAddr>,
+    every: Duration,
+    stop: Arc<AtomicBool>,
+    log: Arc<Mutex<ScrapeLog>>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        let mut open_total = 0.0;
+        let mut round: Vec<Option<parse::Exposition>> = Vec::with_capacity(addrs.len());
+        let mut failures = 0u64;
+        for addr in &addrs {
+            let expo = http_get(*addr, "/metrics", Duration::from_secs(2))
+                .ok()
+                .and_then(|text| parse::parse(&text).ok());
+            match &expo {
+                Some(e) => {
+                    if e.validate().is_err() {
+                        failures += 1;
+                    }
+                    open_total += e.value("selfserv_instances_open", &[]).unwrap_or(0.0);
+                }
+                None => failures += 1,
+            }
+            round.push(expo);
+        }
+        {
+            let mut log = log.lock().unwrap();
+            log.scrapes += 1;
+            log.failures += failures;
+            log.peak_open = log.peak_open.max(open_total as u64);
+            log.last = round;
+        }
+        std::thread::sleep(every);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Summary
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Pulls a scraped value for a hub, defaulting to 0.
+fn scraped(expo: &Option<parse::Exposition>, name: &str, labels: &[(&str, &str)]) -> f64 {
+    expo.as_ref()
+        .and_then(|e| e.value(name, labels))
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let cfg = parse_args();
+    println!(
+        "selfserv-stress: {} hubs, {:?} window, {} mode ({}), {} B payload, fanout {}, \
+         hold {:?}, {} members x {} replicas per community",
+        cfg.hubs,
+        cfg.duration,
+        if cfg.open_loop { "open" } else { "closed" },
+        if cfg.open_loop {
+            format!("{}/s total", cfg.rate)
+        } else {
+            format!("{} in flight total", cfg.target_inflight)
+        },
+        cfg.msg_bytes,
+        cfg.fanout,
+        cfg.hold,
+        cfg.members,
+        cfg.replicas,
+    );
+
+    // --- Topology -----------------------------------------------------------
+    let t0 = Instant::now();
+    let mut hubs: Vec<Hub> = Vec::with_capacity(cfg.hubs);
+    for h in 0..cfg.hubs {
+        let seed = hubs.first().map(|h0| h0.disc.seed_addr());
+        hubs.push(spawn_hub(&cfg, h, seed));
+    }
+    for h in 0..cfg.hubs {
+        deploy_hub_charts(&cfg, &mut hubs, h);
+    }
+    let charts_per_hub = hubs[0].deployments.len();
+    println!(
+        "topology up in {:?}: {} deployments/hub, /metrics at {}",
+        t0.elapsed(),
+        charts_per_hub,
+        hubs.iter()
+            .map(|h| format!("http://{}/metrics", h.metrics_addr))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+
+    // --- Scraper ------------------------------------------------------------
+    let stop = Arc::new(AtomicBool::new(false));
+    let log = Arc::new(Mutex::new(ScrapeLog::default()));
+    let scraper = {
+        let addrs: Vec<SocketAddr> = hubs.iter().map(|h| h.metrics_addr).collect();
+        let stop = Arc::clone(&stop);
+        let log = Arc::clone(&log);
+        let every = cfg.scrape_every;
+        std::thread::spawn(move || scrape_loop(addrs, every, stop, log))
+    };
+
+    // --- Drivers ------------------------------------------------------------
+    let drivers_total = cfg.hubs * charts_per_hub;
+    let window = cfg.target_inflight.div_ceil(drivers_total);
+    let rate = cfg.rate / drivers_total as f64;
+    let payload = "x".repeat(cfg.msg_bytes.max(1));
+    let deadline = Instant::now() + cfg.duration;
+    let run_start = Instant::now();
+    let results: Vec<(usize, String, DriverStats)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for hub in &hubs {
+            for (chart, dep) in &hub.deployments {
+                let metrics = driver_metrics(&hub.registry, &format!("h{}", hub.index), chart);
+                let payload = payload.as_str();
+                let index = hub.index;
+                let chart = chart.clone();
+                let cfg = &cfg;
+                handles.push(scope.spawn(move || {
+                    let stats = drive(
+                        dep,
+                        &metrics,
+                        window,
+                        rate,
+                        cfg.open_loop,
+                        payload,
+                        deadline,
+                        cfg.drain,
+                    );
+                    (index, chart, stats)
+                }));
+            }
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("driver"))
+            .collect()
+    });
+    let wall = run_start.elapsed();
+
+    // One final scrape round so the summary reflects the drained state.
+    std::thread::sleep(cfg.scrape_every + Duration::from_millis(100));
+    stop.store(true, Ordering::Relaxed);
+    scraper.join().expect("scraper joins");
+
+    // --- Aggregate ----------------------------------------------------------
+    let mut total = DriverStats::default();
+    for (_, _, s) in &results {
+        total.submitted += s.submitted;
+        total.completed += s.completed;
+        total.faulted += s.faulted;
+        total.duplicates += s.duplicates;
+        total.drops += s.drops;
+        total.submit_errors += s.submit_errors;
+    }
+    let throughput = total.completed as f64 / wall.as_secs_f64();
+    let log = log.lock().unwrap();
+
+    // Client latency across all drivers, merged from the per-driver
+    // histograms (mergeable snapshots are exactly what makes this legal).
+    let mut client_lat = selfserv_obs::HistogramSnapshot::empty();
+    for hub in &hubs {
+        for (chart, _) in &hub.deployments {
+            let m = driver_metrics(&hub.registry, &format!("h{}", hub.index), chart);
+            client_lat = client_lat.merge(&m.latency.snapshot());
+        }
+    }
+
+    println!(
+        "\nrun: {} submitted, {} completed ({:.0}/s), {} faulted, {} duplicates, {} drops, \
+         peak open {} (scraped {} times, {} scrape failures)",
+        total.submitted,
+        total.completed,
+        throughput,
+        total.faulted,
+        total.duplicates,
+        total.drops,
+        log.peak_open,
+        log.scrapes,
+        log.failures,
+    );
+    println!(
+        "client latency: p50 {} us, p99 {} us, p999 {} us (n={})",
+        client_lat.p50(),
+        client_lat.p99(),
+        client_lat.p999(),
+        client_lat.count(),
+    );
+
+    // --- Per-hub scraped summary + JSON -------------------------------------
+    let mut hub_objects = Vec::new();
+    for hub in &hubs {
+        let h = format!("h{}", hub.index);
+        let expo = log.last.get(hub.index).cloned().flatten();
+        let expo = &Some(expo).flatten();
+        let hub_stats: Vec<&DriverStats> = results
+            .iter()
+            .filter(|(i, _, _)| *i == hub.index)
+            .map(|(_, _, s)| s)
+            .collect();
+        let submitted: u64 = hub_stats.iter().map(|s| s.submitted).sum();
+        let completed: u64 = hub_stats.iter().map(|s| s.completed).sum();
+        let faulted: u64 = hub_stats.iter().map(|s| s.faulted).sum();
+        let duplicates: u64 = hub_stats.iter().map(|s| s.duplicates).sum();
+        let drops: u64 = hub_stats.iter().map(|s| s.drops).sum();
+        let hl = [("hub", h.as_str())];
+        let q = |quant: &str| {
+            scraped(
+                expo,
+                "selfserv_instance_latency_us",
+                &[("hub", h.as_str()), ("quantile", quant)],
+            )
+        };
+        hub_objects.push(format!(
+            "    {{\n      \"hub\": \"{h}\",\n      \"metrics_url\": \"http://{}/metrics\",\n      \
+             \"submitted\": {submitted}, \"completed\": {completed}, \"faulted\": {faulted}, \
+             \"duplicates\": {duplicates}, \"drops\": {drops},\n      \
+             \"instance_latency_us\": {{ \"p50\": {}, \"p99\": {}, \"p999\": {} }},\n      \
+             \"scraped\": {{\n        \
+             \"instances_finished\": {},\n        \
+             \"frames_sent\": {},\n        \
+             \"bytes_sent\": {},\n        \
+             \"backpressure_waits\": {},\n        \
+             \"stale_replies\": {},\n        \
+             \"executor_steals\": {},\n        \
+             \"community_delegations\": {},\n        \
+             \"community_failovers\": {},\n        \
+             \"gossip_rounds\": {},\n        \
+             \"directory_size\": {}\n      }}\n    }}",
+            hub.metrics_addr,
+            q("0.5"),
+            q("0.99"),
+            q("0.999"),
+            scraped(expo, "selfserv_instances_finished_total", &hl),
+            scraped(expo, "selfserv_transport_frames_sent_total", &hl),
+            scraped(expo, "selfserv_transport_bytes_sent_total", &hl),
+            scraped(expo, "selfserv_transport_backpressure_waits_total", &hl),
+            scraped(expo, "selfserv_transport_stale_replies_total", &hl),
+            scraped(expo, "selfserv_executor_steals_total", &hl),
+            scraped(expo, "selfserv_community_delegations_total", &[("hub", h.as_str())]),
+            scraped(expo, "selfserv_community_failovers_total", &[("hub", h.as_str())]),
+            scraped(expo, "selfserv_discovery_gossip_rounds_total", &hl),
+            scraped(expo, "selfserv_discovery_directory_size", &hl),
+        ));
+    }
+
+    let mode = if cfg.open_loop { "open" } else { "closed" };
+    let json = format!(
+        "{{\n  \"benchmark\": \"crates/bench/src/bin/stress.rs\",\n  \
+         \"command\": \"cargo run --release -p selfserv-bench --bin selfserv-stress -- --hubs {} --duration-secs {} \
+         --mode {} --target-inflight {} --msg-bytes {} --fanout {} --hold-ms {} --replicas {}\",\n  \
+         \"config\": {{ \"hubs\": {}, \"duration_secs\": {}, \"mode\": \"{}\", \
+         \"target_inflight\": {}, \"rate_per_sec\": {}, \"msg_bytes\": {}, \"fanout\": {}, \
+         \"seq_len\": {}, \"hold_ms\": {}, \"members\": {}, \"replicas\": {}, \
+         \"workers_per_hub\": {} }},\n  \
+         \"results\": {{\n    \"wall_secs\": {},\n    \"submitted\": {},\n    \"completed\": {},\n    \
+         \"faulted\": {},\n    \"duplicates\": {},\n    \"drops\": {},\n    \
+         \"submit_backpressure_retries\": {},\n    \"throughput_per_sec\": {},\n    \
+         \"peak_open_instances\": {},\n    \
+         \"client_latency_us\": {{ \"p50\": {}, \"p99\": {}, \"p999\": {}, \"mean\": {}, \"count\": {} }},\n    \
+         \"scrapes\": {},\n    \"scrape_failures\": {}\n  }},\n  \
+         \"hubs\": [\n{}\n  ],\n  \
+         \"note\": \"{}\"\n}}\n",
+        cfg.hubs,
+        cfg.duration.as_secs(),
+        mode,
+        cfg.target_inflight,
+        cfg.msg_bytes,
+        cfg.fanout,
+        cfg.hold.as_millis(),
+        cfg.replicas,
+        cfg.hubs,
+        cfg.duration.as_secs(),
+        mode,
+        cfg.target_inflight,
+        cfg.rate,
+        cfg.msg_bytes,
+        cfg.fanout,
+        cfg.seq_len,
+        cfg.hold.as_millis(),
+        cfg.members,
+        cfg.replicas,
+        cfg.workers_per_hub,
+        fmt2(wall.as_secs_f64()),
+        total.submitted,
+        total.completed,
+        total.faulted,
+        total.duplicates,
+        total.drops,
+        total.submit_errors,
+        fmt2(throughput),
+        log.peak_open,
+        client_lat.p50(),
+        client_lat.p99(),
+        client_lat.p999(),
+        fmt2(client_lat.mean()),
+        client_lat.count(),
+        log.scrapes,
+        log.failures,
+        hub_objects.join(",\n"),
+        json_escape(
+            "Sustained-load harness: N TcpTransport hubs in one process joined by discovery \
+             seed, synth-corpus composites per hub with every task delegated to the NEIGHBOR \
+             hub's replicated community (all invokes cross real TCP), event-driven delay \
+             members (zero blocked workers at any in-flight depth), closed- or open-loop \
+             drivers, and a live Prometheus scraper polling every hub's /metrics for the whole \
+             run. instance_latency quantiles are scraped (server-side, wrapper start->finish); \
+             client_latency is submit->collect including client-side queueing."
+        ),
+    );
+    std::fs::write(&cfg.out, &json).expect("summary written");
+    println!("summary -> {}", cfg.out);
+
+    // --- Teardown -----------------------------------------------------------
+    drop(log);
+    for mut hub in hubs {
+        for (_, dep) in hub.deployments.drain(..) {
+            dep.undeploy();
+        }
+        while let Some(replica) = hub.community.pop() {
+            replica.stop();
+        }
+        drop(hub._members);
+        drop(hub._monitor);
+        hub.disc.stop();
+        drop(hub._metrics_server);
+        let _ = hub.registry;
+        hub.exec.shutdown();
+        drop(hub.hub);
+    }
+
+    if cfg.min_throughput > 0.0 && throughput < cfg.min_throughput {
+        eprintln!(
+            "FAIL: throughput {throughput:.1}/s below required {:.1}/s",
+            cfg.min_throughput
+        );
+        std::process::exit(1);
+    }
+}

@@ -35,8 +35,10 @@ pub use policy::{
     HistoryAware, LeastLoaded, RandomChoice, RoundRobin, SelectionContext, SelectionPolicy,
     WeightedScoring, Weights,
 };
+pub use server::kinds;
 pub use server::{
-    CommunityClient, CommunityServer, CommunityServerConfig, CommunityServerHandle, DelegationMode,
+    CommunityClient, CommunityMetrics, CommunityServer, CommunityServerConfig,
+    CommunityServerHandle, DelegationMode,
 };
 
 #[cfg(test)]

@@ -32,6 +32,7 @@ use parking_lot::RwLock;
 use selfserv_net::{
     ConnectError, Endpoint, Envelope, LivenessProbe, NodeId, PeerStatus, Transport, TransportHandle,
 };
+use selfserv_obs::{Counter, Histogram, Registry};
 use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic, RpcDone, RpcToken};
 use selfserv_wsdl::MessageDoc;
 use selfserv_xml::Element;
@@ -58,6 +59,53 @@ pub mod kinds {
     pub const MEMBER_INVOKE: &str = "invoke";
     /// The member wrapper's reply kind.
     pub const MEMBER_RESULT: &str = "invoke.result";
+}
+
+/// Hot-path metrics of a community server, updated lock-free from the
+/// delegation state machine. One instance is typically shared by every
+/// replica of a community (replicas are one logical community), while the
+/// per-replica gauges live on [`CommunityServerHandle::register_metrics`].
+pub struct CommunityMetrics {
+    /// End-to-end proxy delegation latency in microseconds, admission to
+    /// caller reply — successful delegations only (failover time included).
+    pub delegation_latency_us: Arc<Histogram>,
+    /// Delegations accepted: proxy attempts fired plus redirects issued.
+    pub delegations: Arc<Counter>,
+    /// Failovers: member attempts that failed and were retried on another
+    /// member.
+    pub failovers: Arc<Counter>,
+    /// Delegations that resolved with a fault to the caller.
+    pub faults: Arc<Counter>,
+}
+
+impl CommunityMetrics {
+    /// Registers the community metric family under `labels` (typically
+    /// `{community="..."}` plus the hub) and returns the shared handle to
+    /// hang off [`CommunityServerConfig::metrics`].
+    pub fn register(registry: &Registry, labels: &[(&str, &str)]) -> Arc<CommunityMetrics> {
+        Arc::new(CommunityMetrics {
+            delegation_latency_us: registry.histogram(
+                "selfserv_community_delegation_latency_us",
+                "End-to-end proxy delegation latency in microseconds (successes only).",
+                labels,
+            ),
+            delegations: registry.counter(
+                "selfserv_community_delegations_total",
+                "Delegations accepted (proxied or redirected).",
+                labels,
+            ),
+            failovers: registry.counter(
+                "selfserv_community_failovers_total",
+                "Member attempts that failed and were retried on another member.",
+                labels,
+            ),
+            faults: registry.counter(
+                "selfserv_community_faults_total",
+                "Delegations that resolved with a fault to the caller.",
+                labels,
+            ),
+        })
+    }
 }
 
 /// How the community hands a request to the chosen member.
@@ -92,6 +140,10 @@ pub struct CommunityServerConfig {
     /// ones only when no healthy member exists. `None` keeps the old
     /// behaviour (every registered member is a candidate).
     pub liveness: Option<Arc<dyn LivenessProbe>>,
+    /// Shared counters/histogram the delegation machine updates. `None`
+    /// (the default) records nothing; replicas of one community normally
+    /// share a single [`CommunityMetrics`] so their samples aggregate.
+    pub metrics: Option<Arc<CommunityMetrics>>,
 }
 
 impl Default for CommunityServerConfig {
@@ -102,6 +154,7 @@ impl Default for CommunityServerConfig {
             max_attempts: 3,
             max_in_flight: usize::MAX,
             liveness: None,
+            metrics: None,
         }
     }
 }
@@ -138,6 +191,9 @@ struct PendingDelegation {
     tried: Vec<MemberId>,
     /// Start of the current attempt, for the history's latency sample.
     attempt_started: Instant,
+    /// Admission time of the whole delegation, for the end-to-end latency
+    /// sample (spans every failover attempt).
+    delegation_started: Instant,
 }
 
 /// A running community node: a continuation-passing delegation machine.
@@ -155,6 +211,8 @@ struct CommunityLogic {
     /// Mirror of `pending.len() + waiting.len()` shared with the handle —
     /// the audit gauge for in-flight delegations.
     gauge: Arc<AtomicUsize>,
+    /// Mirror of `waiting.len()` alone — the admission-queue depth gauge.
+    queued: Arc<AtomicUsize>,
     /// Set when a `community.stop` arrived while delegations were in
     /// flight: the node finishes draining (event-driven — the last
     /// completion finalizes it) instead of parking a worker in `on_stop`.
@@ -171,6 +229,7 @@ pub struct CommunityServerHandle {
     community: Arc<RwLock<Community>>,
     history: Arc<ExecutionHistory>,
     gauge: Arc<AtomicUsize>,
+    queued: Arc<AtomicUsize>,
     handle: Option<NodeHandle>,
 }
 
@@ -185,6 +244,40 @@ impl CommunityServerHandle {
     /// the server is idle — leak checks assert it drains.
     pub fn in_flight_delegations(&self) -> usize {
         self.gauge.load(Ordering::Relaxed)
+    }
+
+    /// Invocations currently parked behind the `max_in_flight` admission
+    /// cap (a subset of [`Self::in_flight_delegations`]).
+    pub fn admission_queue_depth(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Registers this replica's gauges: delegations in flight, admission
+    /// queue depth, and current member count. The `replica` label (or any
+    /// other distinguishing label) must differ between replicas — the
+    /// shared [`CommunityMetrics`] aggregates, these gauges do not.
+    pub fn register_metrics(&self, registry: &Registry, labels: &[(&str, &str)]) {
+        let gauge = Arc::clone(&self.gauge);
+        registry.gauge_fn(
+            "selfserv_community_in_flight",
+            "Delegations awaiting a member reply plus invocations queued for admission.",
+            labels,
+            move || gauge.load(Ordering::Relaxed) as f64,
+        );
+        let queued = Arc::clone(&self.queued);
+        registry.gauge_fn(
+            "selfserv_community_admission_queue_depth",
+            "Invocations parked behind the max_in_flight admission cap.",
+            labels,
+            move || queued.load(Ordering::Relaxed) as f64,
+        );
+        let community = Arc::clone(&self.community);
+        registry.gauge_fn(
+            "selfserv_community_members",
+            "Members currently registered with the community.",
+            labels,
+            move || community.read().member_count() as f64,
+        );
     }
 
     /// Shared view of the membership (for assertions and direct joins).
@@ -333,6 +426,7 @@ impl CommunityServer {
         config: CommunityServerConfig,
     ) -> Result<CommunityServerHandle, ConnectError> {
         let gauge = Arc::new(AtomicUsize::new(0));
+        let queued = Arc::new(AtomicUsize::new(0));
         let logic = CommunityLogic {
             community: Arc::clone(&community),
             history: Arc::clone(&history),
@@ -342,6 +436,7 @@ impl CommunityServer {
             waiting: VecDeque::new(),
             next_token: 0,
             gauge: Arc::clone(&gauge),
+            queued: Arc::clone(&queued),
             stopping: false,
         };
         Ok(CommunityServerHandle {
@@ -350,6 +445,7 @@ impl CommunityServer {
             community,
             history,
             gauge,
+            queued,
             handle: Some(exec.spawn_node(endpoint, logic)),
         })
     }
@@ -453,6 +549,15 @@ impl CommunityLogic {
     fn sync_gauge(&self) {
         self.gauge
             .store(self.pending.len() + self.waiting.len(), Ordering::Relaxed);
+        self.queued.store(self.waiting.len(), Ordering::Relaxed);
+    }
+
+    /// A delegation resolved with a fault to the caller: count it, reply.
+    fn fault_delegation(&self, ctx: &NodeCtx<'_>, request: &Envelope, err: CommunityError) {
+        if let Some(m) = &self.config.metrics {
+            m.faults.inc();
+        }
+        self.send_reply(ctx, request, Err(err));
     }
 
     /// Liveness-gated member selection: evicted members are out of
@@ -495,7 +600,7 @@ impl CommunityLogic {
             Ok(msg) => msg,
             Err(e) => {
                 let err = CommunityError::Protocol(e.to_string());
-                self.send_reply(ctx, &request, Err(err));
+                self.fault_delegation(ctx, &request, err);
                 return;
             }
         };
@@ -505,7 +610,7 @@ impl CommunityLogic {
         };
         if !operation_known {
             let err = CommunityError::UnknownOperation(msg.operation.clone());
-            self.send_reply(ctx, &request, Err(err));
+            self.fault_delegation(ctx, &request, err);
             return;
         }
         let forwarded = strip_directives(&msg).to_xml();
@@ -513,9 +618,12 @@ impl CommunityLogic {
             let err = CommunityError::NoMembersAvailable {
                 community: self.community.read().name.clone(),
             };
-            self.send_reply(ctx, &request, Err(err));
+            self.fault_delegation(ctx, &request, err);
             return;
         };
+        if let Some(m) = &self.config.metrics {
+            m.delegations.inc();
+        }
         match self.config.mode {
             DelegationMode::Redirect => {
                 // The caller invokes the member itself; history gets no
@@ -527,13 +635,15 @@ impl CommunityLogic {
                 self.send_reply(ctx, &request, Ok(body));
             }
             DelegationMode::Proxy => {
+                let now = Instant::now();
                 let pending = PendingDelegation {
                     request,
                     msg,
                     forwarded,
                     tried: vec![member.id.clone()],
                     member,
-                    attempt_started: Instant::now(),
+                    attempt_started: now,
+                    delegation_started: now,
                 };
                 self.fire_attempt(ctx, pending);
                 self.sync_gauge();
@@ -576,13 +686,18 @@ impl CommunityLogic {
                     Ok(response) => response,
                     Err(e) => {
                         let err = CommunityError::Protocol(e.to_string());
-                        self.send_reply(ctx, &pending.request, Err(err));
+                        self.fault_delegation(ctx, &pending.request, err);
                         return;
                     }
                 };
                 if !response.is_fault() {
                     self.history
                         .complete(&pending.member.id, elapsed, Outcome::Success);
+                    if let Some(m) = &self.config.metrics {
+                        let us = pending.delegation_started.elapsed().as_micros();
+                        m.delegation_latency_us
+                            .record(us.min(u128::from(u64::MAX)) as u64);
+                    }
                     let mut body = response.to_xml();
                     body.set_attr("delegatee", &pending.member.id.0);
                     self.send_reply(ctx, &pending.request, Ok(body));
@@ -599,11 +714,14 @@ impl CommunityLogic {
                 "all {} attempted member(s) failed",
                 pending.tried.len()
             ));
-            self.send_reply(ctx, &pending.request, Err(err));
+            self.fault_delegation(ctx, &pending.request, err);
             return;
         }
         match self.select_member(&pending.msg, &pending.tried) {
             Some(next) => {
+                if let Some(m) = &self.config.metrics {
+                    m.failovers.inc();
+                }
                 pending.tried.push(next.id.clone());
                 pending.member = next;
                 self.fire_attempt(ctx, pending);
@@ -612,7 +730,7 @@ impl CommunityLogic {
                 let err = CommunityError::NoMembersAvailable {
                     community: self.community.read().name.clone(),
                 };
-                self.send_reply(ctx, &pending.request, Err(err));
+                self.fault_delegation(ctx, &pending.request, err);
             }
         }
     }
@@ -1054,6 +1172,58 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("no members"), "{err}");
         drop(handle);
+    }
+
+    #[test]
+    fn metrics_capture_delegations_failovers_and_latency() {
+        let net = Network::new(NetworkConfig::instant());
+        let registry = Registry::new();
+        let metrics = CommunityMetrics::register(&registry, &[("community", "ab")]);
+        let handle = CommunityServer::spawn(
+            &net,
+            "community.metered",
+            community(),
+            Arc::new(RoundRobin::new()),
+            CommunityServerConfig {
+                metrics: Some(Arc::clone(&metrics)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        handle.register_metrics(&registry, &[("community", "ab"), ("replica", "0")]);
+        let client = CommunityClient::connect(&net, "client", "community.metered").unwrap();
+        let _bad = spawn_member(&net, "svc.bad", true, Duration::ZERO);
+        let _good = spawn_member(&net, "svc.good", false, Duration::ZERO);
+        client.join(&member("a-bad", "svc.bad")).unwrap();
+        client.join(&member("b-good", "svc.good")).unwrap();
+        for _ in 0..4 {
+            client
+                .invoke(&MessageDoc::request("bookAccommodation"))
+                .unwrap();
+        }
+        assert_eq!(metrics.delegations.get(), 4);
+        assert!(
+            metrics.failovers.get() > 0,
+            "round-robin must have failed over"
+        );
+        assert_eq!(metrics.faults.get(), 0);
+        let snap = metrics.delegation_latency_us.snapshot();
+        assert_eq!(
+            snap.count(),
+            4,
+            "one latency sample per successful delegation"
+        );
+        // A delegation against an empty member pool faults and is counted.
+        client.leave(&MemberId("a-bad".into())).unwrap();
+        client.leave(&MemberId("b-good".into())).unwrap();
+        client
+            .invoke(&MessageDoc::request("bookAccommodation"))
+            .unwrap_err();
+        assert_eq!(metrics.faults.get(), 1);
+        let text = registry.render();
+        assert!(text.contains("selfserv_community_delegations_total{community=\"ab\"} 4"));
+        assert!(text.contains("selfserv_community_members{community=\"ab\",replica=\"0\"} 0"));
+        assert!(text.contains("selfserv_community_in_flight{community=\"ab\",replica=\"0\"} 0"));
     }
 
     #[test]

@@ -58,7 +58,9 @@ pub use coordinator::{Coordinator, CoordinatorConfig, CoordinatorHandle, TaskRun
 pub use deploy::{Deployer, Deployment, DeploymentError};
 pub use functions::FunctionLibrary;
 pub use manager::{AccommodationChoice, ServiceManager, TravelDemo, TravelDemoConfig};
-pub use monitor::{ExecutionMonitor, MonitorHandle, TraceEvent, TraceKind};
+pub use monitor::{
+    mono_us, ExecutionMonitor, MonitorHandle, MonitorMetrics, MonitorOptions, TraceEvent, TraceKind,
+};
 pub use protocol::{kinds, naming, ExecError, InstanceId};
 pub use wrapper::{CompositeWrapper, WrapperConfig, WrapperHandle};
 

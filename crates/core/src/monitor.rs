@@ -28,8 +28,8 @@ use selfserv_net::{
 use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic};
 use selfserv_xml::Element;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +82,21 @@ pub struct TraceEvent {
     pub detail: String,
     /// Wall-clock milliseconds since the Unix epoch at the reporter.
     pub at_ms: u64,
+    /// Monotonic microseconds since the reporting process's anchor
+    /// ([`mono_us`]). Differences between events stamped by the *same*
+    /// process are exact elapsed time, immune to wall-clock steps; events
+    /// from different processes have unrelated anchors. Zero for events
+    /// from reporters predating this field.
+    pub at_us: u64,
+}
+
+/// Monotonic microseconds since a process-global anchor (the first call).
+/// All trace events of one process share the anchor, so same-process
+/// deltas — wrapper start to wrapper finish, coordinator activation to
+/// completion — are exact elapsed durations.
+pub fn mono_us() -> u64 {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    ANCHOR.get_or_init(Instant::now).elapsed().as_micros() as u64
 }
 
 /// The message kind trace events travel under.
@@ -104,6 +119,7 @@ pub fn trace_body(
         .with_attr("kind", kind.name())
         .with_attr("detail", detail)
         .with_attr("at_ms", at_ms.to_string())
+        .with_attr("at_us", mono_us().to_string())
 }
 
 fn decode_trace(e: &Element) -> Option<TraceEvent> {
@@ -113,12 +129,26 @@ fn decode_trace(e: &Element) -> Option<TraceEvent> {
         kind: TraceKind::from_name(e.attr("kind")?)?,
         detail: e.attr("detail").unwrap_or("").to_string(),
         at_ms: e.attr("at_ms")?.parse().ok()?,
+        at_us: e.attr("at_us").and_then(|v| v.parse().ok()).unwrap_or(0),
     })
 }
 
 #[derive(Default)]
 struct TraceStore {
     by_instance: HashMap<InstanceId, Vec<TraceEvent>>,
+    /// Monotonic start stamp per open instance (wrapper's
+    /// `InstanceStarted`), consumed into `latency_us` at finish.
+    started_at_us: HashMap<InstanceId, u64>,
+    /// End-to-end latency of finished instances, wrapper start to wrapper
+    /// finish, exact (same-process monotonic stamps).
+    latency_us: HashMap<InstanceId, u64>,
+    /// Per-instance coordinator activation stamps awaiting their
+    /// `Completed` (phase latency measurement); dropped wholesale when the
+    /// instance ends.
+    activated_at_us: HashMap<InstanceId, HashMap<String, u64>>,
+    /// Finished instances in completion order, for trace eviction under
+    /// [`MonitorOptions::max_traces`].
+    finished_order: VecDeque<InstanceId>,
     /// Liveness transitions in arrival order, bounded by
     /// [`LIVENESS_LOG_CAPACITY`] — a flapping peer (suspected/alive
     /// cycles) must not grow a long-running monitor without bound;
@@ -131,6 +161,88 @@ struct TraceStore {
 /// How many liveness transitions the monitor retains (oldest dropped
 /// first) — mirrors the discovery handle's own event-log bound.
 const LIVENESS_LOG_CAPACITY: usize = 1024;
+
+/// Metrics recorded by a monitor node (opt-in via
+/// [`ExecutionMonitor::spawn_with`]): instance lifecycle counters, the
+/// end-to-end instance latency distribution, and coordinator phase
+/// latencies (`Activated` to `Completed` per state), all derived from the
+/// existing [`TraceKind`] stream — coordinators and wrappers need no new
+/// instrumentation.
+pub struct MonitorMetrics {
+    /// Instances started (wrapper `InstanceStarted`).
+    pub instances_started: Arc<selfserv_obs::Counter>,
+    /// Instances finished successfully (wrapper `InstanceFinished`).
+    pub instances_finished: Arc<selfserv_obs::Counter>,
+    /// Instances that ended in a fault (wrapper `Faulted`).
+    pub instances_faulted: Arc<selfserv_obs::Counter>,
+    /// End-to-end instance latency, wrapper start to wrapper finish, µs.
+    pub instance_latency_us: Arc<selfserv_obs::Histogram>,
+    /// Coordinator phase latency (`Activated` to `Completed`), µs.
+    pub phase_latency_us: Arc<selfserv_obs::Histogram>,
+}
+
+impl MonitorMetrics {
+    /// Registers the monitor metric family on `registry` (with `labels`
+    /// attached to every series) and returns the handles a monitor records
+    /// into. Also derives an open-instances gauge from the lifecycle
+    /// counters.
+    pub fn register(
+        registry: &selfserv_obs::Registry,
+        labels: &[(&str, &str)],
+    ) -> Arc<MonitorMetrics> {
+        let metrics = Arc::new(MonitorMetrics {
+            instances_started: registry.counter(
+                "selfserv_instances_started_total",
+                "Composite instances started (wrapper InstanceStarted traces).",
+                labels,
+            ),
+            instances_finished: registry.counter(
+                "selfserv_instances_finished_total",
+                "Composite instances finished successfully.",
+                labels,
+            ),
+            instances_faulted: registry.counter(
+                "selfserv_instances_faulted_total",
+                "Composite instances that ended in a fault.",
+                labels,
+            ),
+            instance_latency_us: registry.histogram(
+                "selfserv_instance_latency_us",
+                "End-to-end composite instance latency in microseconds.",
+                labels,
+            ),
+            phase_latency_us: registry.histogram(
+                "selfserv_phase_latency_us",
+                "Coordinator phase latency (Activated to Completed) in microseconds.",
+                labels,
+            ),
+        });
+        let (started, finished, faulted) = (
+            Arc::clone(&metrics.instances_started),
+            Arc::clone(&metrics.instances_finished),
+            Arc::clone(&metrics.instances_faulted),
+        );
+        registry.gauge_fn(
+            "selfserv_instances_open",
+            "Composite instances started but not yet finished or faulted.",
+            labels,
+            move || started.get().saturating_sub(finished.get() + faulted.get()) as f64,
+        );
+        metrics
+    }
+}
+
+/// Options for [`ExecutionMonitor::spawn_with`].
+#[derive(Default)]
+pub struct MonitorOptions {
+    /// Record lifecycle counters and latency histograms as traces arrive.
+    pub metrics: Option<Arc<MonitorMetrics>>,
+    /// Bound on retained per-instance traces: once more than this many
+    /// *finished* instances are stored, the oldest finished traces (and
+    /// their recorded latencies) are evicted. `None` retains everything —
+    /// fine for demos and tests, not for sustained load.
+    pub max_traces: Option<usize>,
+}
 
 /// Spawner for the monitor node.
 pub struct ExecutionMonitor;
@@ -156,11 +268,24 @@ impl ExecutionMonitor {
         exec: &ExecutorHandle,
         node_name: &str,
     ) -> Result<MonitorHandle, ConnectError> {
+        Self::spawn_with(net, exec, node_name, MonitorOptions::default())
+    }
+
+    /// Spawns a monitor with explicit [`MonitorOptions`] — metrics
+    /// recording and/or a trace-retention bound for sustained load.
+    pub fn spawn_with(
+        net: &dyn Transport,
+        exec: &ExecutorHandle,
+        node_name: &str,
+        options: MonitorOptions,
+    ) -> Result<MonitorHandle, ConnectError> {
         let endpoint = net.connect(NodeId::new(node_name))?;
         let node = endpoint.node().clone();
         let store = Arc::new(RwLock::new(TraceStore::default()));
         let logic = MonitorLogic {
             store: Arc::clone(&store),
+            metrics: options.metrics,
+            max_traces: options.max_traces,
         };
         Ok(MonitorHandle {
             node,
@@ -173,6 +298,71 @@ impl ExecutionMonitor {
 
 struct MonitorLogic {
     store: Arc<RwLock<TraceStore>>,
+    metrics: Option<Arc<MonitorMetrics>>,
+    max_traces: Option<usize>,
+}
+
+impl MonitorLogic {
+    /// Lifecycle bookkeeping for one decoded trace event: start stamps,
+    /// end-to-end and phase latencies, metric recording, and bounded
+    /// retention. Runs under the store's write lock.
+    fn ingest(&self, store: &mut TraceStore, event: &TraceEvent) {
+        let from_wrapper = event.participant == "wrapper";
+        match event.kind {
+            TraceKind::InstanceStarted if from_wrapper => {
+                store.started_at_us.insert(event.instance, event.at_us);
+                if let Some(m) = &self.metrics {
+                    m.instances_started.inc();
+                }
+            }
+            TraceKind::Activated if !from_wrapper => {
+                store
+                    .activated_at_us
+                    .entry(event.instance)
+                    .or_default()
+                    .insert(event.participant.clone(), event.at_us);
+            }
+            TraceKind::Completed if !from_wrapper => {
+                let activated = store
+                    .activated_at_us
+                    .get_mut(&event.instance)
+                    .and_then(|phases| phases.remove(&event.participant));
+                if let (Some(t0), Some(m)) = (activated, &self.metrics) {
+                    m.phase_latency_us.record(event.at_us.saturating_sub(t0));
+                }
+            }
+            TraceKind::InstanceFinished | TraceKind::Faulted if from_wrapper => {
+                let finished = event.kind == TraceKind::InstanceFinished;
+                if let Some(t0) = store.started_at_us.remove(&event.instance) {
+                    let latency = event.at_us.saturating_sub(t0);
+                    store.latency_us.insert(event.instance, latency);
+                    if let Some(m) = &self.metrics {
+                        if finished {
+                            m.instance_latency_us.record(latency);
+                        }
+                    }
+                }
+                if let Some(m) = &self.metrics {
+                    if finished {
+                        m.instances_finished.inc();
+                    } else {
+                        m.instances_faulted.inc();
+                    }
+                }
+                store.activated_at_us.remove(&event.instance);
+                store.finished_order.push_back(event.instance);
+                if let Some(cap) = self.max_traces {
+                    while store.finished_order.len() > cap {
+                        if let Some(old) = store.finished_order.pop_front() {
+                            store.by_instance.remove(&old);
+                            store.latency_us.remove(&old);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 impl NodeLogic for MonitorLogic {
@@ -181,8 +371,9 @@ impl NodeLogic for MonitorLogic {
             crate::protocol::kinds::STOP => return Flow::Stop,
             TRACE_KIND => {
                 if let Some(event) = decode_trace(&env.body) {
-                    self.store
-                        .write()
+                    let mut store = self.store.write();
+                    self.ingest(&mut store, &event);
+                    store
                         .by_instance
                         .entry(event.instance)
                         .or_default()
@@ -233,6 +424,18 @@ impl MonitorHandle {
     /// Total events collected.
     pub fn event_count(&self) -> usize {
         self.store.read().by_instance.values().map(Vec::len).sum()
+    }
+
+    /// End-to-end latency of a finished instance in microseconds (wrapper
+    /// start to wrapper finish, same-process monotonic stamps). `None`
+    /// while the instance is still running, unknown, or evicted.
+    pub fn instance_latency_us(&self, instance: InstanceId) -> Option<u64> {
+        self.store.read().latency_us.get(&instance).copied()
+    }
+
+    /// End-to-end latencies of all retained finished instances, µs.
+    pub fn latencies_us(&self) -> Vec<u64> {
+        self.store.read().latency_us.values().copied().collect()
     }
 
     /// Every liveness transition reported by discovery failure detectors,

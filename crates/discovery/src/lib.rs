@@ -67,9 +67,11 @@ use parking_lot::Mutex;
 use selfserv_net::{
     ConnectError, LivenessEvent, LivenessProbe, NodeId, PeerDirectory, TcpTransport,
 };
+use selfserv_obs::Registry;
 use selfserv_runtime::{ExecutorHandle, NodeHandle};
 use std::collections::VecDeque;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -182,6 +184,57 @@ impl EventLog {
     }
 }
 
+/// Protocol activity counters shared between a discovery node and its
+/// handle — the node bumps them from its state machine, scrapes read them
+/// via [`DiscoveryHandle::register_metrics`].
+#[derive(Default)]
+pub struct DiscoveryStats {
+    gossip_rounds: AtomicU64,
+    sweeps: AtomicU64,
+    suspicions: AtomicU64,
+    evictions: AtomicU64,
+    conflicts: AtomicU64,
+}
+
+impl DiscoveryStats {
+    pub(crate) fn inc_gossip(&self) {
+        self.gossip_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn inc_sweep(&self) {
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn inc_suspicion(&self) {
+        self.suspicions.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn inc_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn inc_conflict(&self) {
+        self.conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Gossip rounds run (timer firings plus injected ticks).
+    pub fn gossip_rounds(&self) -> u64 {
+        self.gossip_rounds.load(Ordering::Relaxed)
+    }
+    /// Failure-detection sweeps run.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps.load(Ordering::Relaxed)
+    }
+    /// Peers marked suspected.
+    pub fn suspicions(&self) -> u64 {
+        self.suspicions.load(Ordering::Relaxed)
+    }
+    /// Peers evicted.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+    /// Cross-hub name conflicts surfaced.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+}
+
 /// Spawner for a hub's discovery node.
 pub struct PeerDiscovery;
 
@@ -208,13 +261,16 @@ impl PeerDiscovery {
             .addr_of(node.as_str())
             .expect("a freshly connected node has a listener address");
         let events = EventLog::new();
-        let logic = DiscoveryNode::new(hub.clone(), config, Arc::clone(&events));
+        let stats = Arc::new(DiscoveryStats::default());
+        let logic =
+            DiscoveryNode::new(hub.clone(), config, Arc::clone(&events), Arc::clone(&stats));
         Ok(DiscoveryHandle {
             node,
             addr,
             hub: hub.clone(),
             directory: hub.directory(),
             events,
+            stats,
             handle: Some(exec.spawn_node(endpoint, logic)),
         })
     }
@@ -228,6 +284,7 @@ pub struct DiscoveryHandle {
     hub: TcpTransport,
     directory: PeerDirectory,
     events: Arc<EventLog>,
+    stats: Arc<DiscoveryStats>,
     handle: Option<NodeHandle>,
 }
 
@@ -256,6 +313,56 @@ impl DiscoveryHandle {
     /// Every liveness transition observed so far (oldest first, bounded).
     pub fn events(&self) -> Vec<LivenessEvent> {
         self.events.snapshot()
+    }
+
+    /// Protocol activity counters (gossip rounds, sweeps, suspicions,
+    /// evictions, conflicts).
+    pub fn stats(&self) -> &Arc<DiscoveryStats> {
+        &self.stats
+    }
+
+    /// Registers this hub's discovery metrics: protocol counters plus a
+    /// directory-size gauge sampled at scrape time.
+    pub fn register_metrics(&self, registry: &Registry, labels: &[(&str, &str)]) {
+        type StatReader = fn(&DiscoveryStats) -> u64;
+        let series: [(&str, &str, StatReader); 5] = [
+            (
+                "selfserv_discovery_gossip_rounds_total",
+                "Gossip rounds run (timer firings plus injected ticks).",
+                DiscoveryStats::gossip_rounds,
+            ),
+            (
+                "selfserv_discovery_sweeps_total",
+                "Failure-detection sweeps run.",
+                DiscoveryStats::sweeps,
+            ),
+            (
+                "selfserv_discovery_suspicions_total",
+                "Peers marked suspected after silence past the suspicion timeout.",
+                DiscoveryStats::suspicions,
+            ),
+            (
+                "selfserv_discovery_evictions_total",
+                "Peers evicted (names tombstoned and gossiped).",
+                DiscoveryStats::evictions,
+            ),
+            (
+                "selfserv_discovery_conflicts_total",
+                "Cross-hub name conflicts surfaced by the sweep.",
+                DiscoveryStats::conflicts,
+            ),
+        ];
+        for (name, help, read) in series {
+            let stats = Arc::clone(&self.stats);
+            registry.counter_fn(name, help, labels, move || read(&stats));
+        }
+        let directory = self.directory.clone();
+        registry.gauge_fn(
+            "selfserv_discovery_directory_size",
+            "Entries in the hub's peer directory (tombstones included).",
+            labels,
+            move || directory.len() as f64,
+        );
     }
 
     /// Injects one deterministic discovery tick: the node runs one gossip

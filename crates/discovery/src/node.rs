@@ -1,7 +1,7 @@
 //! The discovery node: one `NodeLogic` state machine per hub that
 //! handshakes seeds, gossips directory state, and detects dead peers.
 
-use crate::{DiscoveryConfig, EventLog};
+use crate::{DiscoveryConfig, DiscoveryStats, EventLog};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use selfserv_net::directory::{entry_from_xml, entry_to_xml};
@@ -81,6 +81,7 @@ pub struct DiscoveryNode {
     pending_seeds: Vec<SocketAddr>,
     peers: HashMap<HubId, PeerState>,
     events: Arc<EventLog>,
+    stats: Arc<DiscoveryStats>,
     rng: StdRng,
 }
 
@@ -89,6 +90,7 @@ impl DiscoveryNode {
         hub: TcpTransport,
         config: DiscoveryConfig,
         events: Arc<EventLog>,
+        stats: Arc<DiscoveryStats>,
     ) -> DiscoveryNode {
         let directory = hub.directory();
         let rng_seed = config.rng_seed.unwrap_or(hub.hub_id().0);
@@ -100,6 +102,7 @@ impl DiscoveryNode {
             pending_seeds,
             peers: HashMap::new(),
             events,
+            stats,
             rng: StdRng::seed_from_u64(rng_seed),
         }
     }
@@ -230,6 +233,7 @@ impl DiscoveryNode {
     /// One gossip round: re-greet unanswered seeds, then push-pull the
     /// directory with `gossip_fanout` distinct random known peers.
     fn gossip(&mut self, ctx: &NodeCtx<'_>) {
+        self.stats.inc_gossip();
         self.greet_pending_seeds(ctx);
         let mut candidates: Vec<NodeId> = self.peers.values().map(|p| p.disc.clone()).collect();
         if candidates.is_empty() {
@@ -256,6 +260,7 @@ impl DiscoveryNode {
     /// One failure-detection sweep: probe the quiet, suspect the silent,
     /// evict the dead.
     fn sweep(&mut self, ctx: &NodeCtx<'_>) {
+        self.stats.inc_sweep();
         let now = Instant::now();
         let mut to_ping: Vec<NodeId> = Vec::new();
         let mut to_suspect: Vec<HubId> = Vec::new();
@@ -283,6 +288,7 @@ impl DiscoveryNode {
             );
         }
         for hub in to_suspect {
+            self.stats.inc_suspicion();
             if let Some(peer) = self.peers.get_mut(&hub) {
                 peer.suspected = true;
             }
@@ -297,6 +303,7 @@ impl DiscoveryNode {
             );
         }
         for hub in to_evict {
+            self.stats.inc_eviction();
             self.peers.remove(&hub);
             let names = self.directory.evict_owner(hub);
             self.emit(
@@ -313,6 +320,7 @@ impl DiscoveryNode {
         // it — the event's hub is the conflicting *claimant*, not a
         // liveness transition of a peer.
         for (name, claimant, _count) in self.directory.take_conflicts(CONFLICT_THRESHOLD) {
+            self.stats.inc_conflict();
             self.emit(
                 Some(ctx),
                 LivenessEvent {

@@ -198,6 +198,41 @@ fn injected_ticks_step_failure_detection_without_waiting_for_timers() {
 }
 
 #[test]
+fn stats_count_gossip_sweeps_and_evictions() {
+    // Same silent-hub scenario as above, but observed through the stats
+    // counters and the Prometheus exposition instead of the event log.
+    let slow = DiscoveryConfig::default().with_cadence(Duration::from_secs(60));
+    let mut config_a = slow.clone();
+    config_a.heartbeat_interval = Duration::from_millis(50);
+    config_a.suspicion_timeout = Duration::from_millis(150);
+    config_a.eviction_timeout = Duration::from_millis(400);
+    let hub_a = TcpTransport::new();
+    let hub_b = TcpTransport::new();
+    let disc_a = PeerDiscovery::spawn(&hub_a, config_a).unwrap();
+    let member = Transport::connect(&hub_b, NodeId::new("svc.counted")).unwrap();
+    let disc_b = PeerDiscovery::spawn(&hub_b, slow.with_seed(disc_a.seed_addr())).unwrap();
+    assert!(disc_a.wait_until_bound("svc.counted", Duration::from_secs(5)));
+    let registry = selfserv_obs::Registry::new();
+    disc_a.register_metrics(&registry, &[("hub", "a")]);
+    disc_b.stop();
+    let dir_a = disc_a.directory().clone();
+    let evicted = wait_until(Duration::from_secs(5), || {
+        let _ = disc_a.inject_tick();
+        dir_a.status_of("svc.counted") == PeerStatus::Evicted
+    });
+    assert!(evicted);
+    let stats = disc_a.stats();
+    assert!(stats.gossip_rounds() > 0, "ticks count as gossip rounds");
+    assert!(stats.sweeps() > 0);
+    assert_eq!(stats.suspicions(), 1);
+    assert_eq!(stats.evictions(), 1);
+    let text = registry.render();
+    assert!(text.contains("selfserv_discovery_evictions_total{hub=\"a\"} 1"));
+    assert!(text.contains("selfserv_discovery_directory_size{hub=\"a\"}"));
+    drop(member);
+}
+
+#[test]
 fn discovery_node_name_is_derived_from_hub_id() {
     let hub = TcpTransport::new();
     let disc = PeerDiscovery::spawn(&hub, fast()).unwrap();

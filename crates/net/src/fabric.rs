@@ -119,6 +119,8 @@ struct Inner {
     rng: Mutex<StdRng>,
     next_msg: AtomicU64,
     next_anon: AtomicU64,
+    /// Replies discarded as stale (late/duplicate) across all nodes.
+    stale_replies: Arc<AtomicU64>,
     delivery: Arc<DeliveryQueue>,
     /// Whether the delivery thread exists. Spawned eagerly for non-instant
     /// latency models, lazily when a chaos schedule (whose delay/reorder/
@@ -155,6 +157,7 @@ impl Network {
             chaos: RwLock::new(None),
             next_msg: AtomicU64::new(1),
             next_anon: AtomicU64::new(1),
+            stale_replies: Arc::new(AtomicU64::new(0)),
             delivery: Arc::new(DeliveryQueue::default()),
             delivery_started: AtomicBool::new(false),
         });
@@ -180,7 +183,7 @@ impl Network {
 
     fn connect_node(&self, node: NodeId) -> Result<Endpoint, ConnectError> {
         let (tx, rx) = channel::unbounded();
-        let demux = ReplyDemux::new();
+        let demux = ReplyDemux::new(Arc::clone(&self.inner.stale_replies));
         {
             let mut nodes = self.inner.nodes.write();
             if nodes.contains_key(&node) {

@@ -103,7 +103,7 @@ impl NodeCounters {
         self.dropped_inbound.store(0, Ordering::Relaxed);
     }
 
-    fn snapshot(&self, node: NodeId) -> NodeMetrics {
+    pub(crate) fn snapshot(&self, node: NodeId) -> NodeMetrics {
         NodeMetrics {
             node,
             sent: self.sent.load(Ordering::Relaxed),
@@ -167,6 +167,11 @@ pub struct TransportIoStats {
     pub frames_dropped: u64,
     /// Largest number of frames gathered into a single batch.
     pub max_batch_frames: u64,
+    /// Sends that found their destination queue full and had to block for
+    /// space (one per blocked `send`, however long the wait) — the
+    /// transport-level backpressure signal the stress harness watches for
+    /// saturation.
+    pub backpressure_waits: u64,
 }
 
 impl TransportIoStats {
@@ -181,6 +186,9 @@ impl TransportIoStats {
             flushes: self.flushes.saturating_sub(earlier.flushes),
             frames_dropped: self.frames_dropped.saturating_sub(earlier.frames_dropped),
             max_batch_frames: self.max_batch_frames,
+            backpressure_waits: self
+                .backpressure_waits
+                .saturating_sub(earlier.backpressure_waits),
         }
     }
 }
@@ -319,6 +327,7 @@ mod tests {
                 flushes: 5,
                 frames_dropped: 1,
                 max_batch_frames: 16,
+                backpressure_waits: 2,
             },
         };
         let after = MetricsSnapshot {
@@ -330,6 +339,7 @@ mod tests {
                 flushes: 6,
                 frames_dropped: 1,
                 max_batch_frames: 33,
+                backpressure_waits: 5,
             },
         };
         let d = after.delta_since(&before);
@@ -342,6 +352,7 @@ mod tests {
         assert_eq!(d.io.flushes, 1);
         assert_eq!(d.io.frames_dropped, 0);
         assert_eq!(d.io.max_batch_frames, 33, "high-water mark carries over");
+        assert_eq!(d.io.backpressure_waits, 3);
     }
 
     #[test]

@@ -153,7 +153,9 @@ mod tests {
         for i in 0..50 {
             let key = format!("k{i}");
             let first = rs.route(&key, None, &[], NO_LOAD).unwrap();
-            let second = rs.route(&key, None, &[first.clone()], NO_LOAD).unwrap();
+            let second = rs
+                .route(&key, None, std::slice::from_ref(&first), NO_LOAD)
+                .unwrap();
             assert_ne!(first, second);
             let third = rs
                 .route(&key, None, &[first.clone(), second.clone()], NO_LOAD)
@@ -171,7 +173,9 @@ mod tests {
         let rs = set(&["a", "b"]);
         let key = "hot";
         let primary = rs.route(key, None, &[], NO_LOAD).unwrap();
-        let other = rs.route(key, None, &[primary.clone()], NO_LOAD).unwrap();
+        let other = rs
+            .route(key, None, std::slice::from_ref(&primary), NO_LOAD)
+            .unwrap();
         // Loaded primary sheds onto the runner-up; balanced load keeps
         // the key's affinity.
         let loaded = primary.clone();

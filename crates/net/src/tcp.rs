@@ -155,6 +155,9 @@ struct Hub {
     pool: Mutex<HashMap<SocketAddr, Arc<ConnQueue>>>,
     /// Hub-wide data-plane counters ([`MetricsSnapshot::io`]).
     io: Arc<IoCounters>,
+    /// Replies discarded as stale (late or duplicate) by any local
+    /// endpoint's demux — the hub's duplicate-traffic signal.
+    stale_replies: Arc<AtomicU64>,
     next_msg: AtomicU64,
     next_anon: AtomicU64,
 }
@@ -309,6 +312,7 @@ impl TcpTransport {
                 counters: RwLock::new(HashMap::new()),
                 pool: Mutex::new(HashMap::new()),
                 io: Arc::new(IoCounters::default()),
+                stale_replies: Arc::new(AtomicU64::new(0)),
                 next_msg: AtomicU64::new(1),
                 next_anon: AtomicU64::new(1),
             }),
@@ -338,6 +342,114 @@ impl TcpTransport {
     /// the syscall-coalescing benchmarks sample around a burst.
     pub fn io_stats(&self) -> crate::metrics::TransportIoStats {
         self.hub.io.snapshot()
+    }
+
+    /// Frames sitting in outbound connection queues right now, hub-wide —
+    /// sustained growth here means destinations are not draining.
+    pub fn queued_frames(&self) -> usize {
+        self.hub.pool.lock().values().map(|c| c.len()).sum()
+    }
+
+    /// Replies discarded as stale (late or duplicate replies to retired
+    /// rpcs) by any local endpoint since the hub started.
+    pub fn stale_replies_dropped(&self) -> u64 {
+        self.hub.stale_replies.load(Ordering::Relaxed)
+    }
+
+    /// Registers the hub's transport metrics on `registry`: data-plane I/O
+    /// counters (writev coalescing, frames/bytes, drops, backpressure),
+    /// the queued-frames gauge, the stale-reply counter, and aggregate
+    /// per-node message totals. `labels` (typically `[("hub", ...)]`) are
+    /// attached to every series.
+    pub fn register_metrics(&self, registry: &selfserv_obs::Registry, labels: &[(&str, &str)]) {
+        let hub = Arc::clone(&self.hub);
+        registry.counter_fn(
+            "selfserv_transport_writev_calls_total",
+            "Vectored write syscalls issued by connection writers.",
+            labels,
+            move || hub.io.snapshot().writev_calls,
+        );
+        let hub = Arc::clone(&self.hub);
+        registry.counter_fn(
+            "selfserv_transport_frames_sent_total",
+            "Frames put on the wire.",
+            labels,
+            move || hub.io.snapshot().frames_sent,
+        );
+        let hub = Arc::clone(&self.hub);
+        registry.counter_fn(
+            "selfserv_transport_bytes_sent_total",
+            "Wire bytes written, length prefixes included.",
+            labels,
+            move || hub.io.snapshot().bytes_sent,
+        );
+        let hub = Arc::clone(&self.hub);
+        registry.counter_fn(
+            "selfserv_transport_frames_dropped_total",
+            "Frames accepted by send but dropped by a failing connection writer.",
+            labels,
+            move || hub.io.snapshot().frames_dropped,
+        );
+        let hub = Arc::clone(&self.hub);
+        registry.counter_fn(
+            "selfserv_transport_backpressure_waits_total",
+            "Sends that blocked because their destination queue was full.",
+            labels,
+            move || hub.io.snapshot().backpressure_waits,
+        );
+        let hub = Arc::clone(&self.hub);
+        registry.gauge_fn(
+            "selfserv_transport_queued_frames",
+            "Frames currently queued in outbound connection queues, hub-wide.",
+            labels,
+            move || hub.pool.lock().values().map(|c| c.len()).sum::<usize>() as f64,
+        );
+        let hub = Arc::clone(&self.hub);
+        registry.counter_fn(
+            "selfserv_transport_stale_replies_total",
+            "Replies discarded as stale (late or duplicate) by local endpoints.",
+            labels,
+            move || hub.stale_replies.load(Ordering::Relaxed),
+        );
+        let hub = Arc::clone(&self.hub);
+        registry.counter_fn(
+            "selfserv_node_messages_sent_total",
+            "Messages sent by all local nodes.",
+            labels,
+            move || {
+                hub.counters
+                    .read()
+                    .values()
+                    .map(|c| c.snapshot(NodeId::new("-")).sent)
+                    .sum()
+            },
+        );
+        let hub = Arc::clone(&self.hub);
+        registry.counter_fn(
+            "selfserv_node_messages_received_total",
+            "Messages received by all local nodes.",
+            labels,
+            move || {
+                hub.counters
+                    .read()
+                    .values()
+                    .map(|c| c.snapshot(NodeId::new("-")).received)
+                    .sum()
+            },
+        );
+        let hub = Arc::clone(&self.hub);
+        registry.counter_fn(
+            "selfserv_node_messages_dropped_total",
+            "Inbound messages lost before delivery across all local nodes.",
+            labels,
+            move || {
+                hub.counters
+                    .read()
+                    .values()
+                    .map(|c| c.snapshot(NodeId::new("-")).dropped_inbound)
+                    .sum()
+            },
+        );
     }
 
     /// Registers a remote node's address by hand so local nodes can send
@@ -448,7 +560,7 @@ impl TcpTransport {
         }
         let counters = self.hub.counters_for(&name);
         let (tx, rx) = channel::unbounded();
-        let demux = ReplyDemux::new();
+        let demux = ReplyDemux::new(Arc::clone(&self.hub.stale_replies));
         let inbox = Inbox::new(tx, Arc::clone(&demux));
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);

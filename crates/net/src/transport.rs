@@ -43,6 +43,7 @@ use selfserv_xml::Element;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -316,6 +317,10 @@ pub struct ReplyDemux {
     handlers: Mutex<HashMap<MessageId, ReplyHandler>>,
     /// Recently retired rpc ids, bounded by [`STALE_CAPACITY`].
     stale: Mutex<StaleRing>,
+    /// Transport-wide count of replies discarded as stale (late or
+    /// duplicate replies to retired rpcs), shared by every demux of one
+    /// transport so the hub can expose a single duplicates signal.
+    stale_discards: Arc<AtomicU64>,
     /// Invoked after every envelope queued on the owning endpoint's mailbox
     /// (never for rpc replies consumed by a pending slot). Installed via
     /// [`Endpoint::set_mailbox_waker`] by node runtimes that schedule a
@@ -330,11 +335,12 @@ struct StaleRing {
 }
 
 impl ReplyDemux {
-    pub(crate) fn new() -> Arc<ReplyDemux> {
+    pub(crate) fn new(stale_discards: Arc<AtomicU64>) -> Arc<ReplyDemux> {
         Arc::new(ReplyDemux {
             pending: Mutex::new(HashMap::new()),
             handlers: Mutex::new(HashMap::new()),
             stale: Mutex::new(StaleRing::default()),
+            stale_discards,
             waker: Mutex::new(None),
         })
     }
@@ -448,6 +454,7 @@ impl ReplyDemux {
             return None;
         }
         if self.stale.lock().set.contains(&corr) {
+            self.stale_discards.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         Some(env)

@@ -100,6 +100,7 @@ pub(crate) struct IoCounters {
     flushes: AtomicU64,
     frames_dropped: AtomicU64,
     max_batch_frames: AtomicU64,
+    backpressure_waits: AtomicU64,
 }
 
 impl IoCounters {
@@ -111,6 +112,7 @@ impl IoCounters {
             flushes: self.flushes.load(Ordering::Relaxed),
             frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
             max_batch_frames: self.max_batch_frames.load(Ordering::Relaxed),
+            backpressure_waits: self.backpressure_waits.load(Ordering::Relaxed),
         }
     }
 
@@ -121,6 +123,7 @@ impl IoCounters {
         self.flushes.store(0, Ordering::Relaxed);
         self.frames_dropped.store(0, Ordering::Relaxed);
         self.max_batch_frames.store(0, Ordering::Relaxed);
+        self.backpressure_waits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -228,7 +231,7 @@ impl ConnQueue {
         payload: Vec<u8>,
         io: &Arc<IoCounters>,
     ) -> std::io::Result<()> {
-        match self.accept(payload, ENQUEUE_TIMEOUT)? {
+        match self.accept(payload, ENQUEUE_TIMEOUT, io)? {
             Accepted::Queued => {}
             Accepted::SpawnWriter(epoch) => {
                 let conn = Arc::clone(self);
@@ -246,9 +249,15 @@ impl ConnQueue {
     /// backpressure wait bounded by `timeout` (tests shorten it). Split
     /// from the thread spawn so queue semantics are testable without
     /// sockets.
-    fn accept(&self, payload: Vec<u8>, timeout: Duration) -> std::io::Result<Accepted> {
+    fn accept(
+        &self,
+        payload: Vec<u8>,
+        timeout: Duration,
+        io: &IoCounters,
+    ) -> std::io::Result<Accepted> {
         let deadline = Instant::now() + timeout;
         let mut state = self.state.lock();
+        let mut waited = false;
         loop {
             if let Some(e) = state.error.take() {
                 // Deferred writer failure: this send reports it (and the
@@ -265,6 +274,11 @@ impl ConnQueue {
                 break;
             }
             // Backpressure: wait (bounded) for the writer to free room.
+            // Counted once per blocked send, however many wakeups it takes.
+            if !waited {
+                waited = true;
+                io.backpressure_waits.fetch_add(1, Ordering::Relaxed);
+            }
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() || self.space.wait_for(&mut state, remaining).timed_out() {
                 return Err(std::io::Error::new(
@@ -327,9 +341,10 @@ impl ConnQueue {
     }
 
     /// Queue length right now, read lock-free from the mirror (the gather
-    /// heuristic's probe and the writer's drain-boundary check; updated
-    /// under the state lock, so it never lags a settled queue).
-    fn len(&self) -> usize {
+    /// heuristic's probe, the writer's drain-boundary check, and the
+    /// hub-wide queued-frames gauge; updated under the state lock, so it
+    /// never lags a settled queue).
+    pub(crate) fn len(&self) -> usize {
         self.depth.load(Ordering::Relaxed)
     }
 
@@ -678,32 +693,37 @@ mod tests {
     #[test]
     fn backpressure_blocks_then_errors_at_full_queue() {
         let conn = ConnQueue::new();
+        let io = IoCounters::default();
         // Fill to the frame bound without any writer running; mark the
         // writer alive so `accept` never asks us to spawn one.
         conn.state.lock().writer_alive = true;
         for _ in 0..MAX_QUEUED_FRAMES {
-            conn.accept(b"x".to_vec(), Duration::from_millis(1))
+            conn.accept(b"x".to_vec(), Duration::from_millis(1), &io)
                 .unwrap();
         }
+        assert_eq!(io.snapshot().backpressure_waits, 0, "no waits while room");
         // Full: a bounded wait times out with a backpressure error.
         let err = conn
-            .accept(b"overflow".to_vec(), Duration::from_millis(30))
+            .accept(b"overflow".to_vec(), Duration::from_millis(30), &io)
             .unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
         assert_eq!(conn.state.lock().queue.len(), MAX_QUEUED_FRAMES);
+        assert_eq!(io.snapshot().backpressure_waits, 1, "blocked send counted");
     }
 
     #[test]
     fn backpressure_wakes_when_writer_frees_space() {
         let conn = Arc::new(ConnQueue::new());
+        let io = Arc::new(IoCounters::default());
         conn.state.lock().writer_alive = true;
         for _ in 0..MAX_QUEUED_FRAMES {
-            conn.accept(b"x".to_vec(), Duration::from_millis(1))
+            conn.accept(b"x".to_vec(), Duration::from_millis(1), &io)
                 .unwrap();
         }
         let sender = {
             let conn = Arc::clone(&conn);
-            std::thread::spawn(move || conn.accept(b"late".to_vec(), Duration::from_secs(10)))
+            let io = Arc::clone(&io);
+            std::thread::spawn(move || conn.accept(b"late".to_vec(), Duration::from_secs(10), &io))
         };
         // Give the sender time to block, then drain a batch like the
         // writer would.
@@ -712,20 +732,26 @@ mod tests {
         assert!(!batch.is_empty());
         let accepted = sender.join().unwrap();
         assert!(matches!(accepted, Ok(Accepted::Queued)));
+        assert_eq!(
+            io.snapshot().backpressure_waits,
+            1,
+            "one wait even across multiple wakeups"
+        );
     }
 
     #[test]
     fn byte_bound_backpressures_before_frame_bound() {
         let conn = ConnQueue::new();
+        let io = IoCounters::default();
         conn.state.lock().writer_alive = true;
         // 4 MiB frames: the byte bound (8 MiB) trips after two frames,
         // far below MAX_QUEUED_FRAMES.
         for _ in 0..2 {
-            conn.accept(vec![0u8; 4 << 20], Duration::from_millis(1))
+            conn.accept(vec![0u8; 4 << 20], Duration::from_millis(1), &io)
                 .unwrap();
         }
         let err = conn
-            .accept(vec![0u8; 16], Duration::from_millis(20))
+            .accept(vec![0u8; 16], Duration::from_millis(20), &io)
             .unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
     }
@@ -733,21 +759,23 @@ mod tests {
     #[test]
     fn shutdown_fails_new_sends_and_wakes_blocked_senders() {
         let conn = Arc::new(ConnQueue::new());
+        let io = Arc::new(IoCounters::default());
         conn.state.lock().writer_alive = true;
         for _ in 0..MAX_QUEUED_FRAMES {
-            conn.accept(b"x".to_vec(), Duration::from_millis(1))
+            conn.accept(b"x".to_vec(), Duration::from_millis(1), &io)
                 .unwrap();
         }
         let blocked = {
             let conn = Arc::clone(&conn);
-            std::thread::spawn(move || conn.accept(b"late".to_vec(), Duration::from_secs(10)))
+            let io = Arc::clone(&io);
+            std::thread::spawn(move || conn.accept(b"late".to_vec(), Duration::from_secs(10), &io))
         };
         std::thread::sleep(Duration::from_millis(30));
         conn.shutdown();
         let err = blocked.join().unwrap().unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::ConnectionAborted);
         assert_eq!(
-            conn.accept(b"new".to_vec(), Duration::from_millis(1))
+            conn.accept(b"new".to_vec(), Duration::from_millis(1), &io)
                 .unwrap_err()
                 .kind(),
             std::io::ErrorKind::ConnectionAborted
@@ -885,11 +913,11 @@ mod tests {
         let conn = Arc::new(ConnQueue::new());
         let io = Arc::new(IoCounters::default());
         conn.state.lock().writer_alive = true;
-        conn.accept(b"x".to_vec(), Duration::from_millis(5))
+        conn.accept(b"x".to_vec(), Duration::from_millis(5), &io)
             .unwrap();
         conn.kill("chaos", &io);
         let _ = conn.state.lock().error.take();
-        conn.accept(b"next-gen".to_vec(), Duration::from_millis(5))
+        conn.accept(b"next-gen".to_vec(), Duration::from_millis(5), &io)
             .unwrap();
         // A writer from epoch 0 reporting a failure after the kill must
         // not clear the successor's queue or park a stale error.

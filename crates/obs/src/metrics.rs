@@ -1,0 +1,430 @@
+//! Lock-free metric primitives: monotonic counters, signed gauges, and
+//! log-bucketed latency histograms with mergeable snapshots.
+//!
+//! Everything in this module is safe to hammer from many threads at once:
+//! all mutation is relaxed atomic arithmetic, so recording a sample on a
+//! hot path costs a handful of uncontended atomic RMWs and never takes a
+//! lock. Reads ([`Histogram::snapshot`]) are racy by design — a snapshot
+//! taken while writers are active may tear between `count` and `sum`, which
+//! is acceptable for monitoring and keeps the write side wait-free.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge (a value that can go up and down).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-buckets per power of two. Bucket width at magnitude `2^m` is
+/// `2^(m-3)`, so the reported quantile over-estimates the true value by at
+/// most `1/SUB_BUCKETS` = 12.5%.
+const SUB_BUCKETS: usize = 8;
+
+/// Total buckets needed to cover the full `u64` range: values `0..8` get
+/// exact buckets, then 61 octaves of 8 sub-buckets each.
+pub const BUCKETS: usize = 62 * SUB_BUCKETS;
+
+/// Index of the bucket that holds `v`.
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize;
+        let sub = ((v >> (msb - 3)) & 0x7) as usize;
+        (msb - 2) * SUB_BUCKETS + sub
+    }
+}
+
+/// Largest value stored in bucket `idx` (inclusive). Quantiles report this
+/// bound, so they never under-estimate the rank statistic.
+pub(crate) fn bucket_upper_bound(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS {
+        idx as u64
+    } else {
+        let octave = idx / SUB_BUCKETS; // >= 1
+        let sub = (idx % SUB_BUCKETS) as u64;
+        // First value of the *next* sub-bucket, minus one. Computed in
+        // u128 because the top bucket's next boundary is exactly 2^64.
+        let next = u128::from(SUB_BUCKETS as u64 + sub + 1) << (octave - 1);
+        if next > u128::from(u64::MAX) {
+            u64::MAX
+        } else {
+            next as u64 - 1
+        }
+    }
+}
+
+/// A log-bucketed histogram of `u64` samples (by convention microseconds).
+///
+/// Recording is wait-free (one relaxed `fetch_add` on the bucket plus
+/// count/sum/min/max maintenance). Buckets grow geometrically with 8
+/// sub-buckets per power of two, bounding quantile over-estimation at
+/// 12.5% relative error while covering the entire `u64` range in
+/// [`BUCKETS`] slots.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count)
+            .field("sum", &snap.sum)
+            .field("p50", &snap.quantile(0.5))
+            .field("p99", &snap.quantile(0.99))
+            .finish()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes a point-in-time copy of the bucket counts. Concurrent writers
+    /// may land between the bucket reads and the aggregate reads; the
+    /// snapshot is internally consistent enough for monitoring.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = vec![0u64; BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state. Snapshots from different
+/// histograms (e.g. one per hub, or one per driver thread) merge into a
+/// combined distribution; merge is commutative and associative because it
+/// is element-wise `u64` addition plus min/max folds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// The snapshot of a histogram with no samples: the identity element
+    /// of [`merge`](Self::merge).
+    pub fn empty() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of the recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Combines two snapshots into the distribution of both sample sets.
+    pub fn merge(&self, other: &Self) -> Self {
+        let counts = self
+            .counts
+            .iter()
+            .zip(other.counts.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Self {
+            counts,
+            count: self.count + other.count,
+            // Recording already wraps `sum` via relaxed fetch_add; merging
+            // wraps identically so merge == recording-the-union exactly.
+            sum: self.sum.wrapping_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the sample of rank `ceil(q * count)`, clamped to the
+    /// recorded `[min, max]` so the estimate never leaves the observed
+    /// range (in particular it never regresses below the true minimum).
+    /// Returns 0 when the snapshot is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+
+        let g = Gauge::new();
+        g.set(10);
+        g.dec();
+        g.add(-4);
+        assert_eq!(g.get(), 5);
+        g.inc();
+        assert_eq!(g.get(), 6);
+    }
+
+    /// Bucket indices are monotone in the value, contiguous from zero, and
+    /// every value is <= the upper bound of its own bucket while being >
+    /// the upper bound of the previous bucket.
+    #[test]
+    fn bucket_boundaries_are_consistent() {
+        // Exact small values.
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper_bound(v as usize), v);
+        }
+        // Probe around every octave boundary plus assorted values.
+        let mut probes = vec![0u64, 1, 7, 8, 9, 100, 1000, 123_456_789];
+        for shift in 3..64 {
+            let base = 1u64 << shift;
+            probes.extend([base - 1, base, base + 1]);
+        }
+        probes.push(u64::MAX);
+        for &v in &probes {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKETS, "index {idx} out of range for {v}");
+            let upper = bucket_upper_bound(idx);
+            assert!(v <= upper, "{v} above its bucket bound {upper}");
+            if idx > 0 {
+                let prev_upper = bucket_upper_bound(idx - 1);
+                assert!(
+                    v > prev_upper,
+                    "{v} should be above previous bound {prev_upper}"
+                );
+            }
+        }
+        // Monotone and contiguous over a dense range.
+        let mut last = 0;
+        for v in 0..100_000u64 {
+            let idx = bucket_index(v);
+            assert!(idx == last || idx == last + 1, "index jumped at {v}");
+            last = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    /// Relative over-estimation of a bucket bound is <= 12.5%.
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        for shift in 3u32..50 {
+            for off in [0u64, 1, 3] {
+                let v = (1u64 << shift) + off * (1u64 << shift.saturating_sub(2));
+                let upper = bucket_upper_bound(bucket_index(v));
+                let err = (upper - v) as f64 / v as f64;
+                assert!(err <= 0.125, "error {err} too large at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_the_true_rank_statistic() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1000);
+        assert_eq!(snap.min(), Some(1));
+        assert_eq!(snap.max(), Some(1000));
+        for (q, true_rank) in [(0.5, 500u64), (0.99, 990), (0.999, 999)] {
+            let est = snap.quantile(q);
+            assert!(est >= true_rank, "q{q}: {est} < true {true_rank}");
+            // Over-estimation bounded by bucket width.
+            assert!(
+                (est as f64) <= true_rank as f64 * 1.125 + 1.0,
+                "q{q}: {est} too far above {true_rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let snap = HistogramSnapshot::empty();
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.min(), None);
+
+        let h = Histogram::new();
+        h.record(77);
+        let snap = h.snapshot();
+        // A single sample: every quantile is clamped to [min, max] == 77.
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(snap.quantile(q), 77);
+        }
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 1..=100u64 {
+            a.record(v);
+        }
+        for v in 901..=1000u64 {
+            b.record(v);
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.count(), 200);
+        assert_eq!(merged.min(), Some(1));
+        assert_eq!(merged.max(), Some(1000));
+        // Median sits at the top of the low half.
+        let p50 = merged.p50();
+        assert!((90..=113).contains(&p50), "p50 {p50}");
+        // Identity element.
+        assert_eq!(merged.merge(&HistogramSnapshot::empty()), merged);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for histogram snapshots: merge forms a commutative
+//! monoid over snapshots, quantiles stay inside the recorded value range,
+//! and quantile estimates never under-report the true rank statistic.
+
+use crate::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    // Mix magnitudes so samples cross many octaves.
+    proptest::collection::vec(
+        prop_oneof![0u64..16, 16u64..4096, 4096u64..u64::MAX / 2],
+        0..64,
+    )
+}
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(a in arb_samples(), b in arb_samples()) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in arb_samples(),
+        b in arb_samples(),
+        c in arb_samples(),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+    }
+
+    #[test]
+    fn empty_is_merge_identity(a in arb_samples()) {
+        let sa = snapshot_of(&a);
+        prop_assert_eq!(sa.merge(&HistogramSnapshot::empty()), sa.clone());
+        prop_assert_eq!(HistogramSnapshot::empty().merge(&sa), sa);
+    }
+
+    #[test]
+    fn merge_equals_recording_union(a in arb_samples(), b in arb_samples()) {
+        let merged = snapshot_of(&a).merge(&snapshot_of(&b));
+        let mut union = a.clone();
+        union.extend_from_slice(&b);
+        prop_assert_eq!(merged, snapshot_of(&union));
+    }
+
+    /// Quantiles never regress below the recorded minimum (or above the
+    /// maximum), for every snapshot and every probed quantile — including
+    /// after merges.
+    #[test]
+    fn quantiles_stay_in_recorded_range(
+        a in arb_samples(),
+        b in arb_samples(),
+        q in 0.0f64..=1.0,
+    ) {
+        for snap in [snapshot_of(&a), snapshot_of(&a).merge(&snapshot_of(&b))] {
+            let est = snap.quantile(q);
+            if let (Some(min), Some(max)) = (snap.min(), snap.max()) {
+                prop_assert!(est >= min, "quantile {} below min {}", est, min);
+                prop_assert!(est <= max, "quantile {} above max {}", est, max);
+            } else {
+                prop_assert_eq!(est, 0);
+            }
+        }
+    }
+
+    /// The estimate at quantile `q` is an upper bound for the true rank
+    /// statistic of the recorded samples (the histogram reports bucket
+    /// upper bounds, so it may over- but never under-estimate).
+    #[test]
+    fn quantile_bounds_true_rank(
+        mut a in proptest::collection::vec(0u64..u64::MAX / 2, 1..64),
+        q in 0.0f64..=1.0,
+    ) {
+        let snap = snapshot_of(&a);
+        a.sort_unstable();
+        let rank = ((q * a.len() as f64).ceil() as usize).clamp(1, a.len());
+        let truth = a[rank - 1];
+        prop_assert!(snap.quantile(q) >= truth);
+    }
+}

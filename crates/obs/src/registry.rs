@@ -1,0 +1,354 @@
+//! Metric registry and Prometheus text-format exposition.
+//!
+//! A [`Registry`] is a cheaply cloneable handle to a shared set of metric
+//! families. Components register their metrics once (getting back `Arc`s
+//! they update lock-free on their hot paths, or handing in pull closures
+//! for values they already track elsewhere); the scrape endpoint calls
+//! [`Registry::render`] to produce the Prometheus text format.
+//!
+//! Histograms are exposed in `summary` style — `name{quantile="0.5"}`,
+//! `0.99`, `0.999` plus `name_sum` / `name_count` — rather than classic
+//! `_bucket` series, which keeps a 496-bucket log histogram from exploding
+//! into 496 series per scrape.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// The exposition quantiles published for every histogram.
+pub const EXPORT_QUANTILES: [f64; 3] = [0.5, 0.99, 0.999];
+
+type Labels = Vec<(String, String)>;
+
+enum Collector {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    GaugeFn(Box<dyn Fn() -> f64 + Send + Sync>),
+}
+
+impl Collector {
+    fn kind(&self) -> &'static str {
+        match self {
+            Collector::Counter(_) | Collector::CounterFn(_) => "counter",
+            Collector::Gauge(_) | Collector::GaugeFn(_) => "gauge",
+            Collector::Histogram(_) => "summary",
+        }
+    }
+}
+
+struct Series {
+    labels: Labels,
+    collector: Collector,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: &'static str,
+    series: Vec<Series>,
+}
+
+#[derive(Default)]
+struct Inner {
+    families: Vec<Family>,
+}
+
+/// Shared, cloneable metric registry. Registration takes a short-lived
+/// lock; metric updates afterwards touch only the returned atomics.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Labels {
+    let mut out: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    out.sort();
+    out
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or retrieves) a counter series. Registering the same
+    /// `(name, labels)` twice returns the existing counter, so independent
+    /// components can share a series safely.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap();
+        let fam_idx = Self::family_index(&mut inner, name, help, "counter");
+        let family = &mut inner.families[fam_idx];
+        let labels = owned_labels(labels);
+        if let Some(series) = family.series.iter().find(|s| s.labels == labels) {
+            match &series.collector {
+                Collector::Counter(c) => return Arc::clone(c),
+                _ => panic!("metric {name} re-registered with a different collector"),
+            }
+        }
+        let counter = Arc::new(Counter::new());
+        family.series.push(Series {
+            labels,
+            collector: Collector::Counter(Arc::clone(&counter)),
+        });
+        counter
+    }
+
+    /// Registers (or retrieves) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap();
+        let fam_idx = Self::family_index(&mut inner, name, help, "gauge");
+        let family = &mut inner.families[fam_idx];
+        let labels = owned_labels(labels);
+        if let Some(series) = family.series.iter().find(|s| s.labels == labels) {
+            match &series.collector {
+                Collector::Gauge(g) => return Arc::clone(g),
+                _ => panic!("metric {name} re-registered with a different collector"),
+            }
+        }
+        let gauge = Arc::new(Gauge::new());
+        family.series.push(Series {
+            labels,
+            collector: Collector::Gauge(Arc::clone(&gauge)),
+        });
+        gauge
+    }
+
+    /// Registers (or retrieves) a histogram series, exported as a summary
+    /// with p50/p99/p999 quantiles.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap();
+        let fam_idx = Self::family_index(&mut inner, name, help, "summary");
+        let family = &mut inner.families[fam_idx];
+        let labels = owned_labels(labels);
+        if let Some(series) = family.series.iter().find(|s| s.labels == labels) {
+            match &series.collector {
+                Collector::Histogram(h) => return Arc::clone(h),
+                _ => panic!("metric {name} re-registered with a different collector"),
+            }
+        }
+        let histogram = Arc::new(Histogram::new());
+        family.series.push(Series {
+            labels,
+            collector: Collector::Histogram(Arc::clone(&histogram)),
+        });
+        histogram
+    }
+
+    /// Registers a pull-style counter: `f` is called at scrape time and
+    /// must be monotonic. Re-registering the same series replaces the
+    /// closure (so a component can re-bind after a restart).
+    pub fn counter_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.register_fn(
+            name,
+            help,
+            owned_labels(labels),
+            Collector::CounterFn(Box::new(f)),
+        );
+    }
+
+    /// Registers a pull-style gauge sampled at scrape time.
+    pub fn gauge_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.register_fn(
+            name,
+            help,
+            owned_labels(labels),
+            Collector::GaugeFn(Box::new(f)),
+        );
+    }
+
+    fn register_fn(&self, name: &str, help: &str, labels: Labels, collector: Collector) {
+        let mut inner = self.inner.lock().unwrap();
+        let fam_idx = Self::family_index(&mut inner, name, help, collector.kind());
+        let family = &mut inner.families[fam_idx];
+        match family.series.iter_mut().find(|s| s.labels == labels) {
+            Some(series) => series.collector = collector,
+            None => family.series.push(Series { labels, collector }),
+        }
+    }
+
+    fn family_index(inner: &mut Inner, name: &str, help: &str, kind: &'static str) -> usize {
+        if let Some(i) = inner.families.iter().position(|f| f.name == name) {
+            assert_eq!(
+                inner.families[i].kind, kind,
+                "metric {name} re-registered with a different type"
+            );
+            return i;
+        }
+        inner.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            series: Vec::new(),
+        });
+        inner.families.len() - 1
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition
+    /// format: one `# HELP` / `# TYPE` pair per family, series sorted by
+    /// labels, no duplicate series (registration already dedupes).
+    pub fn render(&self) -> String {
+        let mut inner = self.inner.lock().unwrap();
+        inner.families.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut out = String::new();
+        for family in &mut inner.families {
+            family.series.sort_by(|a, b| a.labels.cmp(&b.labels));
+            let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind);
+            for series in &family.series {
+                render_series(&mut out, &family.name, &series.labels, &series.collector);
+            }
+        }
+        out
+    }
+}
+
+fn render_series(out: &mut String, name: &str, labels: &Labels, collector: &Collector) {
+    match collector {
+        Collector::Counter(c) => {
+            let _ = writeln!(out, "{}{} {}", name, fmt_labels(labels, None), c.get());
+        }
+        Collector::CounterFn(f) => {
+            let _ = writeln!(out, "{}{} {}", name, fmt_labels(labels, None), f());
+        }
+        Collector::Gauge(g) => {
+            let _ = writeln!(out, "{}{} {}", name, fmt_labels(labels, None), g.get());
+        }
+        Collector::GaugeFn(f) => {
+            let _ = writeln!(out, "{}{} {}", name, fmt_labels(labels, None), fmt_f64(f()));
+        }
+        Collector::Histogram(h) => {
+            let snap = h.snapshot();
+            for q in EXPORT_QUANTILES {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    name,
+                    fmt_labels(labels, Some(q)),
+                    snap.quantile(q)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                name,
+                fmt_labels(labels, None),
+                snap.sum()
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                name,
+                fmt_labels(labels, None),
+                snap.count()
+            );
+        }
+    }
+}
+
+fn fmt_labels(labels: &Labels, quantile: Option<f64>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, escape_label(v)))
+        .collect();
+    if let Some(q) = quantile {
+        parts.push(format!("quantile=\"{}\"", fmt_f64(q)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_renders_and_dedupes() {
+        let reg = Registry::new();
+        let c = reg.counter("selfserv_test_total", "A test counter.", &[("hub", "h0")]);
+        c.add(3);
+        // Same (name, labels) returns the same underlying counter.
+        let c2 = reg.counter("selfserv_test_total", "A test counter.", &[("hub", "h0")]);
+        c2.inc();
+        assert_eq!(c.get(), 4);
+        // Different labels: a second series under the same family.
+        reg.counter("selfserv_test_total", "A test counter.", &[("hub", "h1")])
+            .add(7);
+
+        let g = reg.gauge("selfserv_depth", "Queue depth.", &[]);
+        g.set(-2);
+        reg.gauge_fn("selfserv_pull", "Pulled gauge.", &[("k", "v")], || 1.5);
+
+        let h = reg.histogram("selfserv_lat_us", "Latency.", &[]);
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+
+        let text = reg.render();
+        assert!(text.contains("# HELP selfserv_test_total A test counter.\n"));
+        assert!(text.contains("# TYPE selfserv_test_total counter\n"));
+        assert!(text.contains("selfserv_test_total{hub=\"h0\"} 4\n"));
+        assert!(text.contains("selfserv_test_total{hub=\"h1\"} 7\n"));
+        assert!(text.contains("selfserv_depth -2\n"));
+        assert!(text.contains("selfserv_pull{k=\"v\"} 1.5\n"));
+        assert!(text.contains("# TYPE selfserv_lat_us summary\n"));
+        // p50 of {10, 20, 30} reports the upper bound of 20's bucket (21).
+        assert!(text.contains("selfserv_lat_us{quantile=\"0.5\"} 21\n"));
+        assert!(text.contains("selfserv_lat_us_sum 60\n"));
+        assert!(text.contains("selfserv_lat_us_count 3\n"));
+        // HELP/TYPE emitted exactly once per family.
+        assert_eq!(text.matches("# TYPE selfserv_test_total ").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("selfserv_x", "x", &[]);
+        reg.gauge("selfserv_x", "x", &[]);
+    }
+
+    #[test]
+    fn label_escaping() {
+        let reg = Registry::new();
+        reg.counter("selfserv_esc", "esc", &[("path", "a\"b\\c\nd")]);
+        let text = reg.render();
+        assert!(text.contains("path=\"a\\\"b\\\\c\\nd\""));
+    }
+}

@@ -26,7 +26,7 @@ use parking_lot::{Condvar, Mutex};
 use selfserv_net::Endpoint;
 use std::cell::{Cell, RefCell};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -109,6 +109,11 @@ pub(crate) struct Pool {
     /// it. The chaos harness's leak audit asserts this returns to zero
     /// after quiesce — a leaked continuation shows up here.
     pub(crate) rpc_in_flight: AtomicUsize,
+    /// Runnables claimed from a *sibling's* deque (not own deque, not the
+    /// injector): the work-stealing balance signal the stress harness
+    /// exports. A hot steal rate with a deep run queue means the pool is
+    /// load-imbalanced or under-provisioned.
+    steals: AtomicU64,
 }
 
 impl Pool {
@@ -245,7 +250,10 @@ impl Pool {
             for i in 0..self.stealers.len() {
                 let victim = &self.stealers[(start + i) % self.stealers.len()];
                 match victim.steal() {
-                    deque::Steal::Success(runnable) => return Some(runnable),
+                    deque::Steal::Success(runnable) => {
+                        self.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(runnable);
+                    }
                     deque::Steal::Retry => contended = true,
                     deque::Steal::Empty => {}
                 }
@@ -395,6 +403,7 @@ impl Executor {
             shutdown: AtomicBool::new(false),
             timers: TimerService::new(),
             rpc_in_flight: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
         });
         pool.timers.start();
         for local in locals {
@@ -528,6 +537,74 @@ impl ExecutorHandle {
     /// their pop — for diagnostics on heap growth.
     pub fn timer_entries(&self) -> usize {
         self.pool.timers.heap_len()
+    }
+
+    /// Runnables queued anywhere on the pool (injector plus local deques)
+    /// and not yet claimed by a worker.
+    pub fn run_queue_depth(&self) -> usize {
+        self.pool.pending.load(Ordering::SeqCst)
+    }
+
+    /// Runnables claimed from a sibling worker's deque since the pool
+    /// started — the work-stealing balance signal.
+    pub fn steals(&self) -> u64 {
+        self.pool.steals.load(Ordering::Relaxed)
+    }
+
+    /// Registers the executor's scheduling metrics on `registry`:
+    /// run-queue depth, steals, worker liveness/blocking, in-flight
+    /// `rpc_async` continuations, and timer-heap gauges. `labels`
+    /// (typically `[("hub", ...)]`) are attached to every series.
+    pub fn register_metrics(&self, registry: &selfserv_obs::Registry, labels: &[(&str, &str)]) {
+        let pool = Arc::clone(&self.pool);
+        registry.gauge_fn(
+            "selfserv_executor_run_queue_depth",
+            "Runnables queued and not yet claimed by a worker.",
+            labels,
+            move || pool.pending.load(Ordering::SeqCst) as f64,
+        );
+        let pool = Arc::clone(&self.pool);
+        registry.counter_fn(
+            "selfserv_executor_steals_total",
+            "Runnables claimed from a sibling worker's deque.",
+            labels,
+            move || pool.steals.load(Ordering::Relaxed),
+        );
+        let pool = Arc::clone(&self.pool);
+        registry.gauge_fn(
+            "selfserv_executor_live_workers",
+            "Workers currently alive (base plus compensation).",
+            labels,
+            move || pool.counts.lock().live as f64,
+        );
+        let pool = Arc::clone(&self.pool);
+        registry.gauge_fn(
+            "selfserv_executor_blocked_workers",
+            "Workers currently parked in a block_on section.",
+            labels,
+            move || pool.counts.lock().blocked as f64,
+        );
+        let pool = Arc::clone(&self.pool);
+        registry.gauge_fn(
+            "selfserv_executor_in_flight_rpcs",
+            "In-flight rpc_async continuations across every node on the pool.",
+            labels,
+            move || pool.rpc_in_flight.load(Ordering::Relaxed) as f64,
+        );
+        let pool = Arc::clone(&self.pool);
+        registry.gauge_fn(
+            "selfserv_executor_live_timers",
+            "Timer-heap entries that can still fire into a live node.",
+            labels,
+            move || pool.timers.live_len() as f64,
+        );
+        let pool = Arc::clone(&self.pool);
+        registry.gauge_fn(
+            "selfserv_executor_timer_entries",
+            "All timer-heap entries, including lazily invalidated ones.",
+            labels,
+            move || pool.timers.heap_len() as f64,
+        );
     }
 }
 

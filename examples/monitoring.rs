@@ -1,16 +1,18 @@
 //! Execution monitoring: watch a composite-service instance unfold across
 //! its distributed coordinators — the platform-side equivalent of the
-//! demo's "Execution Result" panel.
+//! demo's "Execution Result" panel — and read the same run back through
+//! the Prometheus `/metrics` endpoint an operator would scrape.
 //!
 //! ```text
 //! cargo run --example monitoring
 //! ```
 
 use selfserv::core::{
-    Deployer, EchoService, ExecutionMonitor, FunctionLibrary, InstanceId, ServiceBackend,
-    SyntheticService,
+    Deployer, EchoService, ExecutionMonitor, FunctionLibrary, InstanceId, MonitorMetrics,
+    MonitorOptions, ServiceBackend, SyntheticService,
 };
 use selfserv::net::{Network, NetworkConfig};
+use selfserv::obs::{http_get, parse, MetricsServer, Registry};
 use selfserv::statechart::synth;
 use selfserv::wsdl::MessageDoc;
 use selfserv_expr::Value;
@@ -20,7 +22,24 @@ use std::time::Duration;
 
 fn main() {
     let net = Network::new(NetworkConfig::instant());
-    let monitor = ExecutionMonitor::spawn(&net, "monitor").expect("monitor spawns");
+
+    // A monitor wired to a metrics registry: every trace it ingests also
+    // feeds lifecycle counters and latency histograms, and the registry is
+    // served over HTTP exactly as Prometheus would scrape it.
+    let registry = Registry::new();
+    let metrics = MonitorMetrics::register(&registry, &[("deployment", "demo")]);
+    let monitor = ExecutionMonitor::spawn_with(
+        &net,
+        selfserv::runtime::shared(),
+        "monitor",
+        MonitorOptions {
+            metrics: Some(metrics),
+            max_traces: None,
+        },
+    )
+    .expect("monitor spawns");
+    let server = MetricsServer::serve(registry, "127.0.0.1:0").expect("metrics endpoint binds");
+    println!("serving metrics at http://{}/metrics\n", server.addr());
 
     // A fork-join pipeline with visible service times, deployed with
     // tracing enabled.
@@ -44,10 +63,10 @@ fn main() {
         .expect("deploys");
 
     println!(
-        "executing two instances of '{}' with tracing on…\n",
+        "executing eight instances of '{}' with tracing on…\n",
         deployment.composite()
     );
-    for i in 0..2 {
+    for i in 0..8 {
         deployment
             .execute(
                 MessageDoc::request("execute").with("payload", Value::str(format!("case-{i}"))),
@@ -58,7 +77,7 @@ fn main() {
     // Traces are fire-and-forget; give the monitor a beat to drain.
     std::thread::sleep(Duration::from_millis(100));
 
-    for instance in monitor.instances() {
+    for instance in monitor.instances().into_iter().take(2) {
         println!("{}", monitor.render_timeline(instance));
     }
     println!("collected {} events total", monitor.event_count());
@@ -71,4 +90,53 @@ fn main() {
         .filter(|e| e.kind == selfserv::core::TraceKind::Activated)
         .count();
     println!("instance i1 activated {activations} states (3 lanes × 2 stages = 6)");
+
+    // The same run, queried from the monitor's trace log: monotonic
+    // timestamps make per-instance end-to-end latency a subtraction.
+    let lat = monitor
+        .instance_latency_us(InstanceId(1))
+        .expect("finished instance has a latency");
+    println!("instance i1 end-to-end latency: {lat} µs");
+
+    // …and scraped over HTTP, the way an external dashboard sees it. The
+    // exposition parses back into (name, labels, value) samples; latency
+    // histograms export p50/p99/p999 quantiles plus sum and count.
+    let text = http_get(server.addr(), "/metrics", Duration::from_secs(2)).expect("scrape");
+    let expo = parse::parse(&text).expect("exposition parses");
+    expo.validate().expect("exposition is well-formed");
+    let demo = [("deployment", "demo")];
+    let quantile = |q: &str| {
+        expo.value(
+            "selfserv_instance_latency_us",
+            &[("deployment", "demo"), ("quantile", q)],
+        )
+        .unwrap_or(0.0)
+    };
+    println!("\nscraped from /metrics:");
+    println!(
+        "  instances: {} started, {} finished, {} open",
+        expo.value("selfserv_instances_started_total", &demo)
+            .unwrap_or(0.0),
+        expo.value("selfserv_instances_finished_total", &demo)
+            .unwrap_or(0.0),
+        expo.value("selfserv_instances_open", &demo).unwrap_or(0.0),
+    );
+    println!(
+        "  instance latency µs: p50 {} / p99 {} / p999 {} over {} samples",
+        quantile("0.5"),
+        quantile("0.99"),
+        quantile("0.999"),
+        expo.value("selfserv_instance_latency_us_count", &demo)
+            .unwrap_or(0.0),
+    );
+    println!(
+        "  phase latency µs:    p50 {} over {} coordinator phases",
+        expo.value(
+            "selfserv_phase_latency_us",
+            &[("deployment", "demo"), ("quantile", "0.5")],
+        )
+        .unwrap_or(0.0),
+        expo.value("selfserv_phase_latency_us_count", &demo)
+            .unwrap_or(0.0),
+    );
 }

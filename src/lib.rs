@@ -14,6 +14,7 @@ pub use selfserv_core as core;
 pub use selfserv_discovery as discovery;
 pub use selfserv_expr as expr;
 pub use selfserv_net as net;
+pub use selfserv_obs as obs;
 pub use selfserv_registry as registry;
 pub use selfserv_routing as routing;
 pub use selfserv_runtime as runtime;
