@@ -16,14 +16,22 @@
 //!   capacity* — two replicas hold 2× the delegations open at once, so a
 //!   latency-bound burst drains in roughly half the waves. Acceptance:
 //!   2-replica min ≥ 1.5× faster than 1-replica min.
+//! * `community_replicas_xproc/burst64` — the same admission-capped
+//!   burst over real TCP, with replica 1 living in a **separate OS
+//!   process**: this bench binary re-executes itself as the remote
+//!   replica host, handing over one discovery seed address. Membership
+//!   reaches the remote replica only as gossiped rows; routing reaches
+//!   it only through names discovery learned. The first replica-scaling
+//!   number where the replicas share no memory at all.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use selfserv_community::{
     Community, CommunityClient, CommunityServer, CommunityServerConfig, ExecutionHistory,
-    HistoryAware, LeastLoaded, Member, MemberId, Outcome, QosProfile, RandomChoice, RoundRobin,
-    SelectionContext, SelectionPolicy, WeightedScoring,
+    HistoryAware, LeastLoaded, Member, MemberId, Outcome, QosProfile, RandomChoice,
+    ReplicationConfig, RoundRobin, SelectionContext, SelectionPolicy, WeightedScoring,
 };
-use selfserv_core::{Deployer, Deployment, EchoService, ServiceHost};
+use selfserv_core::{naming, Deployer, Deployment, EchoService, ServiceHost};
+use selfserv_discovery::{DiscoveryConfig, PeerDiscovery};
 use selfserv_expr::Value;
 use selfserv_net::{Envelope, Network, NetworkConfig, NodeId, TcpTransport, Transport};
 use selfserv_runtime::{Executor, Flow, NodeCtx, NodeLogic, TimerToken};
@@ -31,7 +39,7 @@ use selfserv_statechart::{Statechart, StatechartBuilder, TaskDef, TransitionDef}
 use selfserv_wsdl::{MessageDoc, OperationDef, ParamType};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn members(n: usize) -> Vec<Member> {
     (0..n)
@@ -280,6 +288,14 @@ fn bench_replica_scaling(c: &mut Criterion) {
                     qos: QosProfile::default(),
                 })
                 .expect("member joins");
+            // The join landed on replica 0; the others hold their OWN
+            // tables and learn the row via membership gossip — wait for
+            // every pool before any delegation can pick an empty one.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while servers.iter().any(|s| s.member_count() == 0) {
+                assert!(Instant::now() < deadline, "membership never gossiped");
+                std::thread::sleep(Duration::from_millis(5));
+            }
             let mut deployer = Deployer::new(&net).with_executor(exec.handle());
             deployer.invoke_timeout = Duration::from_secs(30);
             let dep = deployer
@@ -303,12 +319,192 @@ fn bench_replica_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------------
+// Cross-process replica scaling
+// ---------------------------------------------------------------------------
+
+/// Argument that flips this bench binary into "remote replica host" mode.
+const XPROC_CHILD_FLAG: &str = "--xproc-replica-host";
+/// Community used by the cross-process rows.
+const XPROC_COMMUNITY: &str = "SleepyX";
+
+fn xproc_config(directory: Option<selfserv_net::PeerDirectory>) -> CommunityServerConfig {
+    CommunityServerConfig {
+        member_timeout: Duration::from_secs(30),
+        max_in_flight: REPLICA_CAP,
+        replication: ReplicationConfig {
+            directory,
+            gossip_interval: Some(Duration::from_millis(50)),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// The child process: joins the network through the seed address, hosts
+/// replica 1 of the community, and parks until the parent kills it. Its
+/// membership table starts empty and fills purely from gossip.
+fn xproc_child(seed: std::net::SocketAddr) {
+    let hub = TcpTransport::new();
+    let disc = PeerDiscovery::spawn(
+        &hub,
+        DiscoveryConfig::default()
+            .with_cadence(Duration::from_millis(50))
+            .with_seed(seed),
+    )
+    .expect("child discovery spawns");
+    let _replica = CommunityServer::spawn_replica_on(
+        &hub,
+        selfserv_runtime::shared(),
+        naming::community(XPROC_COMMUNITY).as_str(),
+        1,
+        2,
+        Community::new(XPROC_COMMUNITY, "").with_operation(OperationDef::new("op")),
+        Arc::new(RoundRobin::new()),
+        xproc_config(Some(disc.directory().clone())),
+    )
+    .expect("remote replica spawns");
+    loop {
+        std::thread::sleep(Duration::from_secs(1));
+    }
+}
+
+/// Same burst, over real TCP, with 1 local replica vs 2 replicas of
+/// which the second runs in a separate OS process spawned from this very
+/// binary. No shared membership state exists in the 2-replica row: the
+/// join lands on replica 0 and crosses the process boundary as gossip.
+fn bench_replica_scaling_xproc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("community_replicas_xproc");
+    for replicas in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("burst64", replicas), &replicas, |b, &n| {
+            let exec = Executor::new(WORKERS);
+            let hub = TcpTransport::new();
+            let disc = PeerDiscovery::spawn(
+                &hub,
+                DiscoveryConfig::default().with_cadence(Duration::from_millis(50)),
+            )
+            .expect("discovery spawns");
+            let member = exec.handle().spawn_node(
+                hub.connect(NodeId::new("svc.sleepyx-member"))
+                    .expect("member connects"),
+                SleepyMember::new(MEMBER_LATENCY),
+            );
+            let base = naming::community(XPROC_COMMUNITY);
+            let replica0 = CommunityServer::spawn_replica_on(
+                &hub,
+                &exec.handle(),
+                base.as_str(),
+                0,
+                n,
+                Community::new(XPROC_COMMUNITY, "").with_operation(OperationDef::new("op")),
+                Arc::new(RoundRobin::new()),
+                xproc_config(Some(disc.directory().clone())),
+            )
+            .expect("local replica spawns");
+            let mut child = None;
+            if n == 2 {
+                child = Some(ChildGuard(Some(
+                    std::process::Command::new(std::env::current_exe().expect("own path"))
+                        .arg(XPROC_CHILD_FLAG)
+                        .arg(disc.seed_addr().to_string())
+                        .spawn()
+                        .expect("spawn remote replica process"),
+                )));
+                // The deployer's replica probe runs at deploy time — the
+                // remote name must have gossiped in by then.
+                assert!(
+                    disc.wait_until_bound(
+                        naming::community_replica(XPROC_COMMUNITY, 1).as_str(),
+                        Duration::from_secs(30),
+                    ),
+                    "remote replica never surfaced via discovery"
+                );
+            }
+            let admin = CommunityClient::connect(&hub, "admin", replica0.node().clone())
+                .expect("admin connects");
+            admin
+                .join(&Member {
+                    id: MemberId("sleepy".into()),
+                    provider: "sleepy".into(),
+                    endpoint: NodeId::new("svc.sleepyx-member"),
+                    qos: QosProfile::default(),
+                })
+                .expect("member joins");
+            let mut deployer = Deployer::new(&hub).with_executor(exec.handle());
+            deployer.invoke_timeout = Duration::from_secs(30);
+            let dep = deployer
+                .deploy(
+                    &community_chart("SleepyXBurst", XPROC_COMMUNITY),
+                    &HashMap::new(),
+                )
+                .expect("deploys");
+            // Warm-up probe doubles as readiness: in the 2-replica row it
+            // only succeeds once the join has gossiped into the remote
+            // process (an instance routed there would otherwise fault on
+            // an empty member pool).
+            let deadline = Instant::now() + Duration::from_secs(30);
+            loop {
+                let probe = dep.execute(
+                    MessageDoc::request("execute").with("payload", Value::str("warmup")),
+                    Duration::from_secs(1),
+                );
+                if probe.is_ok() {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "remote replica never became servable"
+                );
+            }
+
+            b.iter(|| {
+                let max_blocked = run_burst(&dep, &exec);
+                assert_eq!(max_blocked, 0, "timer-based members block nobody");
+            });
+
+            dep.undeploy();
+            drop(admin);
+            drop(child);
+            member.stop();
+            replica0.stop();
+            disc.stop();
+            exec.shutdown();
+        });
+    }
+    group.finish();
+}
+
+/// Kills the remote replica process on drop — a bench panic must not
+/// leave an orphan parked on inherited stdio.
+struct ChildGuard(Option<std::process::Child>);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(400))
         .sample_size(20);
-    targets = bench_policies, bench_concurrent_delegation, bench_replica_scaling
+    targets = bench_policies, bench_concurrent_delegation, bench_replica_scaling,
+        bench_replica_scaling_xproc
 }
-criterion_main!(benches);
+
+// Hand-rolled `criterion_main!` (the vendored macro expands to just the
+// group calls): the binary doubles as the remote replica host when
+// re-executed with [`XPROC_CHILD_FLAG`].
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some(XPROC_CHILD_FLAG) {
+        xproc_child(args[2].parse().expect("seed address argument"));
+        return;
+    }
+    benches();
+}

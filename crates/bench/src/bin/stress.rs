@@ -3,11 +3,14 @@
 //!
 //! Spawns N in-process [`TcpTransport`] hubs (real sockets, real frames)
 //! bootstrapped through discovery from hub 0's seed address. Each hub runs
-//! its own executor, discovery node, execution monitor, metrics registry
-//! with an HTTP `/metrics` endpoint, and a replicated community backed by
-//! event-driven delay members. Composite charts from the statechart synth
-//! corpus are deployed per hub with every task rebound to the *neighbor*
-//! hub's community, so all invocation traffic crosses TCP between hubs.
+//! its own executor, discovery node, execution monitor, and metrics
+//! registry with an HTTP `/metrics` endpoint. Every hub owns one community
+//! backed by event-driven delay members, but its replicas are **pinned to
+//! distinct hubs** (replica `j` of community `i` lives on hub `(i+j)%N`)
+//! with independent membership tables kept convergent by gossip. Composite
+//! charts from the workload corpus (`--corpus`) are deployed per hub with
+//! every task rebound to the *neighbor* hub's community, so all invocation
+//! traffic crosses TCP between hubs; `--churn` cycles members during load.
 //!
 //! Client populations drive the deployments either **closed-loop** (a fixed
 //! in-flight window per deployment, refilled on every completion — the mode
@@ -24,19 +27,22 @@
 //! ```
 
 use selfserv_community::{
-    Community, CommunityMetrics, CommunityServer, CommunityServerConfig, CommunityServerHandle,
-    Member, MemberId, QosProfile, RoundRobin,
+    Community, CommunityClient, CommunityMetrics, CommunityServer, CommunityServerConfig,
+    CommunityServerHandle, Member, MemberId, MembershipGossip, QosProfile, ReplicationConfig,
+    RoundRobin,
 };
 use selfserv_core::{
     naming, Deployer, Deployment, ExecutionMonitor, MonitorMetrics, MonitorOptions,
 };
 use selfserv_discovery::{DiscoveryConfig, PeerDiscovery};
 use selfserv_expr::Value;
-use selfserv_net::{Envelope, MessageId, NodeId, TcpTransport, Transport};
+use selfserv_net::{Envelope, GossipPayloads, MessageId, NodeId, TcpTransport, Transport};
 use selfserv_obs::{http_get, parse, MetricsServer, Registry};
 use selfserv_runtime::{Executor, Flow, NodeCtx, NodeHandle, NodeLogic, TimerToken};
-use selfserv_statechart::{synth, ServiceBinding, StateKind, Statechart};
-use selfserv_wsdl::MessageDoc;
+use selfserv_statechart::{
+    synth, ServiceBinding, StateKind, Statechart, StatechartBuilder, TaskDef, TransitionDef,
+};
+use selfserv_wsdl::{MessageDoc, ParamType};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -67,6 +73,11 @@ struct Config {
     workers_per_hub: usize,
     drain: Duration,
     min_throughput: f64,
+    /// Workload family set: basic | deep | wide | loop | event | all.
+    corpus: String,
+    /// Cycle an extra member through join/leave on every community during
+    /// the measured window.
+    churn: bool,
     out: String,
 }
 
@@ -89,6 +100,8 @@ impl Default for Config {
             workers_per_hub: 2,
             drain: Duration::from_secs(60),
             min_throughput: 0.0,
+            corpus: "basic".to_string(),
+            churn: false,
             out: "BENCH_stress.json".to_string(),
         }
     }
@@ -113,6 +126,8 @@ fn usage() -> ! {
          --scrape-ms MS        /metrics scrape period (default 500)\n\
          --workers W           executor workers per hub (default 2)\n\
          --min-throughput T    exit nonzero below T completed/sec (default off)\n\
+         --corpus FAMILY       workload families: basic|deep|wide|loop|event|all (default basic)\n\
+         --churn               cycle an extra member join/leave per community during load\n\
          --out PATH            summary path (default BENCH_stress.json)"
     );
     std::process::exit(2)
@@ -163,11 +178,19 @@ fn parse_args() -> Config {
             "--min-throughput" => {
                 cfg.min_throughput = next(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--corpus" => cfg.corpus = next(&mut i),
+            "--churn" => cfg.churn = true,
             "--out" => cfg.out = next(&mut i),
             _ => usage(),
         }
     }
     if cfg.hubs == 0 || cfg.seq_len == 0 || cfg.members == 0 || cfg.replicas == 0 {
+        usage();
+    }
+    if !matches!(
+        cfg.corpus.as_str(),
+        "basic" | "deep" | "wide" | "loop" | "event" | "all"
+    ) {
         usage();
     }
     cfg
@@ -252,7 +275,14 @@ struct Hub {
     _metrics_server: MetricsServer,
     disc: selfserv_discovery::DiscoveryHandle,
     _monitor: selfserv_core::MonitorHandle,
-    community: Vec<CommunityServerHandle>,
+    /// Gossip-payload registry shared with this hub's discovery node;
+    /// community replicas hosted here register their membership streams
+    /// into it after spawn (register-later).
+    payloads: GossipPayloads,
+    /// Community replicas HOSTED on this hub, tagged with the community
+    /// name they belong to — with cross-hub pinning a hub hosts one
+    /// replica of several different communities.
+    community: Vec<(String, CommunityServerHandle)>,
     _members: Vec<NodeHandle>,
     deployments: Vec<(String, Deployment)>,
 }
@@ -285,12 +315,87 @@ fn rebind_to_community(sc: &Statechart, community: &str) -> Statechart {
     out
 }
 
-/// The synth-corpus charts one hub deploys, renamed per hub so wrapper and
-/// coordinator node names stay unique in the gossiped namespace.
+/// Loop-heavy family: a cyclic Work → Check chart that re-enters the task
+/// `iterations` times — each composite execution costs `iterations`
+/// delegations plus the transition evaluations between them.
+fn loop_chart(iterations: i64) -> Statechart {
+    StatechartBuilder::new(format!("StressLoop{iterations}"))
+        .variable("payload", ParamType::Str)
+        .variable("branch", ParamType::Int)
+        .variable_init("attempts", ParamType::Int, Value::Int(0))
+        .initial("work")
+        .task(
+            TaskDef::new("work", "Work")
+                .service("LoopWorker", "run")
+                .input("payload", "payload")
+                .output("payload", "payload"),
+        )
+        .choice("check", "Check")
+        .final_state("done")
+        .transition(TransitionDef::new("t1", "work", "check").action("attempts", "attempts + 1"))
+        .transition(
+            TransitionDef::new("t_retry", "check", "work")
+                .guard(format!("attempts < {iterations}")),
+        )
+        .transition(
+            TransitionDef::new("t_done", "check", "done")
+                .guard(format!("attempts >= {iterations}")),
+        )
+        .build()
+        .expect("loop chart is well-formed")
+}
+
+/// Event-driven family: the second task is gated on an external `release`
+/// event, so every instance parks mid-flight until a pumper thread raises
+/// it — the ECA path under sustained load. The name prefix is how `main`
+/// finds the deployments that need pumping.
+fn event_chart() -> Statechart {
+    StatechartBuilder::new("event-gated")
+        .variable("payload", ParamType::Str)
+        .variable("branch", ParamType::Int)
+        .initial("prepare")
+        .task(
+            TaskDef::new("prepare", "Prepare")
+                .service("Prep", "run")
+                .input("payload", "payload")
+                .output("payload", "payload"),
+        )
+        .task(
+            TaskDef::new("ship", "Ship")
+                .service("Ship", "run")
+                .input("payload", "payload")
+                .output("payload", "payload"),
+        )
+        .final_state("done")
+        .transition(TransitionDef::new("t1", "prepare", "ship").event("release"))
+        .transition(TransitionDef::new("t2", "ship", "done"))
+        .build()
+        .expect("event chart is well-formed")
+}
+
+/// The workload-corpus charts one hub deploys, selected by `--corpus` and
+/// renamed per hub so wrapper and coordinator node names stay unique in
+/// the gossiped namespace.
 fn hub_charts(cfg: &Config, hub: usize) -> Vec<Statechart> {
-    let mut charts = vec![synth::sequence(cfg.seq_len)];
-    if cfg.fanout >= 2 {
-        charts.push(synth::parallel(cfg.fanout));
+    let corpus = cfg.corpus.as_str();
+    let mut charts = Vec::new();
+    if matches!(corpus, "basic" | "all") {
+        charts.push(synth::sequence(cfg.seq_len));
+        if cfg.fanout >= 2 {
+            charts.push(synth::parallel(cfg.fanout));
+        }
+    }
+    if matches!(corpus, "deep" | "all") {
+        charts.push(synth::nested(3));
+    }
+    if matches!(corpus, "wide" | "all") {
+        charts.push(synth::ladder(cfg.fanout.max(2), 2));
+    }
+    if matches!(corpus, "loop" | "all") {
+        charts.push(loop_chart(cfg.seq_len.max(2) as i64));
+    }
+    if matches!(corpus, "event" | "all") {
+        charts.push(event_chart());
     }
     for sc in &mut charts {
         sc.name = format!("{}-h{hub}", sc.name);
@@ -305,7 +410,8 @@ fn spawn_hub(cfg: &Config, index: usize, seed: Option<SocketAddr>) -> Hub {
     let hub_label = format!("h{index}");
     let labels: [(&str, &str); 1] = [("hub", hub_label.as_str())];
 
-    let mut disc_cfg = DiscoveryConfig::default();
+    let payloads = GossipPayloads::new();
+    let mut disc_cfg = DiscoveryConfig::default().with_payloads(payloads.clone());
     if let Some(seed) = seed {
         disc_cfg = disc_cfg.with_seed(seed);
     }
@@ -327,45 +433,18 @@ fn spawn_hub(cfg: &Config, index: usize, seed: Option<SocketAddr>) -> Hub {
     )
     .expect("monitor spawns");
 
-    // The community this hub SERVES (its neighbor's charts call it).
-    let name = community_name(index);
-    let community_metrics = CommunityMetrics::register(
-        &registry,
-        &[("hub", hub_label.as_str()), ("community", name.as_str())],
-    );
-    let community = CommunityServer::spawn_replicas_on(
-        &hub,
-        &exec.handle(),
-        naming::community(&name).as_str(),
-        cfg.replicas,
-        Community::new(name.clone(), "stress workload community"),
-        Arc::new(RoundRobin::new()),
-        CommunityServerConfig {
-            mode: selfserv_community::DelegationMode::Proxy,
-            member_timeout: Duration::from_secs(60),
-            max_attempts: 2,
-            max_in_flight: cfg.community_cap,
-            liveness: Some(disc.liveness()),
-            metrics: Some(community_metrics),
-        },
-    )
-    .expect("community replicas spawn");
-    for (r, replica) in community.iter().enumerate() {
-        let replica_label = r.to_string();
-        replica.register_metrics(
-            &registry,
-            &[
-                ("hub", hub_label.as_str()),
-                ("community", name.as_str()),
-                ("replica", replica_label.as_str()),
-            ],
-        );
-    }
-
-    // Event-driven members, joined directly through the shared membership.
+    // Event-driven member nodes. They JOIN nothing yet — membership is
+    // registered through `CommunityClient` once the (cross-hub pinned)
+    // community replicas are up, so it flows through the replicated
+    // membership tables instead of a shared `Community`.
     let mut members = Vec::new();
-    for m in 0..cfg.members {
-        let node = format!("member.h{index}.m{m}");
+    let mut member_nodes: Vec<String> = (0..cfg.members)
+        .map(|m| format!("member.h{index}.m{m}"))
+        .collect();
+    if cfg.churn {
+        member_nodes.push(format!("member.h{index}.churn"));
+    }
+    for node in member_nodes {
         let endpoint = Transport::connect(&hub, NodeId::new(&node)).expect("member connects");
         members.push(exec.handle().spawn_node(
             endpoint,
@@ -376,16 +455,6 @@ fn spawn_hub(cfg: &Config, index: usize, seed: Option<SocketAddr>) -> Hub {
                 armed: false,
             },
         ));
-        community[0]
-            .community()
-            .write()
-            .join(Member {
-                id: MemberId(node.clone()),
-                provider: format!("hub-{index}"),
-                endpoint: NodeId::new(&node),
-                qos: QosProfile::default(),
-            })
-            .expect("member joins");
     }
 
     let metrics_server =
@@ -401,9 +470,104 @@ fn spawn_hub(cfg: &Config, index: usize, seed: Option<SocketAddr>) -> Hub {
         _metrics_server: metrics_server,
         disc,
         _monitor: monitor,
-        community,
+        payloads,
+        community: Vec::new(),
         _members: members,
         deployments: Vec::new(),
+    }
+}
+
+/// Spawns every community with its replicas PINNED to distinct hubs:
+/// replica `j` of hub `i`'s community runs on hub `(i + j) % hubs`. No two
+/// replicas of one community share membership state — they converge
+/// through replica anti-entropy (`community.msync` over the fabric) plus
+/// the discovery gossip payload channel each host hub carries.
+fn spawn_communities(cfg: &Config, hubs: &mut [Hub]) {
+    let n = hubs.len();
+    for i in 0..n {
+        let name = community_name(i);
+        let base = naming::community(&name);
+        for j in 0..cfg.replicas {
+            let host = &mut hubs[(i + j) % n];
+            let hub_label = format!("h{}", host.index);
+            let replica_label = j.to_string();
+            let labels = [
+                ("hub", hub_label.as_str()),
+                ("community", name.as_str()),
+                ("replica", replica_label.as_str()),
+            ];
+            let metrics = CommunityMetrics::register(&host.registry, &labels);
+            let replica = CommunityServer::spawn_replica_on(
+                &host.hub,
+                &host.exec.handle(),
+                base.as_str(),
+                j,
+                cfg.replicas,
+                Community::new(name.clone(), "stress workload community"),
+                Arc::new(RoundRobin::new()),
+                CommunityServerConfig {
+                    mode: selfserv_community::DelegationMode::Proxy,
+                    member_timeout: Duration::from_secs(60),
+                    max_attempts: 2,
+                    max_in_flight: cfg.community_cap,
+                    liveness: Some(host.disc.liveness()),
+                    metrics: Some(metrics),
+                    replication: ReplicationConfig {
+                        peers: Vec::new(),
+                        directory: Some(host.disc.directory().clone()),
+                        gossip_interval: None,
+                    },
+                },
+            )
+            .expect("community replica spawns");
+            replica.register_metrics(&host.registry, &labels);
+            host.payloads.register(MembershipGossip::new(
+                base.as_str(),
+                Arc::clone(replica.membership()),
+            ));
+            host.community.push((name.clone(), replica));
+        }
+    }
+}
+
+/// Registers each hub's member nodes with its community through the rpc
+/// path (replica 0 is always local to the owning hub), then waits until
+/// every replica — including the ones hosted on OTHER hubs — has learned
+/// the full member set through membership gossip.
+fn join_members(cfg: &Config, hubs: &[Hub]) {
+    for (i, hub) in hubs.iter().enumerate() {
+        let client = CommunityClient::connect(
+            &hub.hub,
+            &format!("ctl.join.h{i}"),
+            naming::community(&community_name(i)),
+        )
+        .expect("join client connects");
+        for m in 0..cfg.members {
+            let node = format!("member.h{i}.m{m}");
+            client
+                .join(&Member {
+                    id: MemberId(node.clone()),
+                    provider: format!("hub-{i}"),
+                    endpoint: NodeId::new(&node),
+                    qos: QosProfile::default(),
+                })
+                .expect("member joins");
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    for hub in hubs {
+        for (name, replica) in &hub.community {
+            while replica.member_count() < cfg.members {
+                assert!(
+                    Instant::now() < deadline,
+                    "replica of {name} on hub {} only learned {}/{} members",
+                    hub.index,
+                    replica.member_count(),
+                    cfg.members,
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
     }
 }
 
@@ -679,7 +843,8 @@ fn main() {
     let cfg = parse_args();
     println!(
         "selfserv-stress: {} hubs, {:?} window, {} mode ({}), {} B payload, fanout {}, \
-         hold {:?}, {} members x {} replicas per community",
+         hold {:?}, {} members x {} replicas per community (cross-hub pinned), \
+         corpus {}, churn {}",
         cfg.hubs,
         cfg.duration,
         if cfg.open_loop { "open" } else { "closed" },
@@ -693,6 +858,8 @@ fn main() {
         cfg.hold,
         cfg.members,
         cfg.replicas,
+        cfg.corpus,
+        cfg.churn,
     );
 
     // --- Topology -----------------------------------------------------------
@@ -702,6 +869,8 @@ fn main() {
         let seed = hubs.first().map(|h0| h0.disc.seed_addr());
         hubs.push(spawn_hub(&cfg, h, seed));
     }
+    spawn_communities(&cfg, &mut hubs);
+    join_members(&cfg, &hubs);
     for h in 0..cfg.hubs {
         deploy_hub_charts(&cfg, &mut hubs, h);
     }
@@ -734,6 +903,9 @@ fn main() {
     let payload = "x".repeat(cfg.msg_bytes.max(1));
     let deadline = Instant::now() + cfg.duration;
     let run_start = Instant::now();
+    // Churn threads and event pumpers stop once every driver (including
+    // its drain) has finished.
+    let aux_stop = Arc::new(AtomicBool::new(false));
     let results: Vec<(usize, String, DriverStats)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for hub in &hubs {
@@ -758,12 +930,98 @@ fn main() {
                 }));
             }
         }
-        handles
+        // Event pumpers: any event-gated deployment parks every instance
+        // until `release` is raised, so a pumper per deployment keeps
+        // broadcasting it for as long as drivers are in flight.
+        for hub in &hubs {
+            for (chart, dep) in &hub.deployments {
+                if !chart.starts_with("event") {
+                    continue;
+                }
+                let stop = Arc::clone(&aux_stop);
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        dep.raise_event("release", None);
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                });
+            }
+        }
+        // Churn: one extra member per community cycles join -> leave for
+        // the whole measured window, through the same rpc path real
+        // providers use — every cycle is a tombstone plus a higher-versioned
+        // rejoin racing the replica gossip.
+        if cfg.churn {
+            for (i, hub) in hubs.iter().enumerate() {
+                let stop = Arc::clone(&aux_stop);
+                scope.spawn(move || {
+                    let client = CommunityClient::connect(
+                        &hub.hub,
+                        &format!("ctl.churn.h{i}"),
+                        naming::community(&community_name(i)),
+                    )
+                    .expect("churn client connects");
+                    let node = format!("member.h{i}.churn");
+                    let member = Member {
+                        id: MemberId(node.clone()),
+                        provider: format!("hub-{i}-churn"),
+                        endpoint: NodeId::new(&node),
+                        qos: QosProfile::default(),
+                    };
+                    while !stop.load(Ordering::Relaxed) {
+                        let _ = client.join(&member);
+                        std::thread::sleep(Duration::from_millis(50));
+                        let _ = client.leave(&member.id);
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    // End on a leave so the convergence check compares
+                    // tables that all agree the churn member is gone.
+                    let _ = client.leave(&member.id);
+                });
+            }
+        }
+        let results: Vec<(usize, String, DriverStats)> = handles
             .into_iter()
             .map(|h| h.join().expect("driver"))
-            .collect()
+            .collect();
+        aux_stop.store(true, Ordering::Relaxed);
+        results
     });
     let wall = run_start.elapsed();
+
+    // --- Membership convergence ---------------------------------------------
+    // After quiescence every replica of a community — pinned to different
+    // hubs — must agree on the membership table, fingerprint-for-fingerprint.
+    let mut replica_sets: HashMap<String, Vec<&CommunityServerHandle>> = HashMap::new();
+    for hub in &hubs {
+        for (name, replica) in &hub.community {
+            replica_sets.entry(name.clone()).or_default().push(replica);
+        }
+    }
+    let mut membership_converged = true;
+    let converge_deadline = Instant::now() + Duration::from_secs(10);
+    for (name, replicas) in &replica_sets {
+        loop {
+            let prints: Vec<u64> = replicas
+                .iter()
+                .map(|r| r.membership().read().fingerprint())
+                .collect();
+            if prints.windows(2).all(|w| w[0] == w[1]) {
+                break;
+            }
+            if Instant::now() >= converge_deadline {
+                eprintln!("FAIL: membership of {name} did not converge: {prints:?}");
+                membership_converged = false;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    println!(
+        "membership: {} communities x {} replicas, converged: {membership_converged}",
+        replica_sets.len(),
+        cfg.replicas,
+    );
 
     // One final scrape round so the summary reflects the drained state.
     std::thread::sleep(cfg.scrape_every + Duration::from_millis(100));
@@ -875,14 +1133,16 @@ fn main() {
     let json = format!(
         "{{\n  \"benchmark\": \"crates/bench/src/bin/stress.rs\",\n  \
          \"command\": \"cargo run --release -p selfserv-bench --bin selfserv-stress -- --hubs {} --duration-secs {} \
-         --mode {} --target-inflight {} --msg-bytes {} --fanout {} --hold-ms {} --replicas {}\",\n  \
+         --mode {} --target-inflight {} --msg-bytes {} --fanout {} --hold-ms {} --replicas {} \
+         --corpus {}{}\",\n  \
          \"config\": {{ \"hubs\": {}, \"duration_secs\": {}, \"mode\": \"{}\", \
          \"target_inflight\": {}, \"rate_per_sec\": {}, \"msg_bytes\": {}, \"fanout\": {}, \
          \"seq_len\": {}, \"hold_ms\": {}, \"members\": {}, \"replicas\": {}, \
-         \"workers_per_hub\": {} }},\n  \
+         \"workers_per_hub\": {}, \"corpus\": \"{}\", \"churn\": {} }},\n  \
          \"results\": {{\n    \"wall_secs\": {},\n    \"submitted\": {},\n    \"completed\": {},\n    \
          \"faulted\": {},\n    \"duplicates\": {},\n    \"drops\": {},\n    \
          \"submit_backpressure_retries\": {},\n    \"throughput_per_sec\": {},\n    \
+         \"membership_converged\": {},\n    \
          \"peak_open_instances\": {},\n    \
          \"client_latency_us\": {{ \"p50\": {}, \"p99\": {}, \"p999\": {}, \"mean\": {}, \"count\": {} }},\n    \
          \"scrapes\": {},\n    \"scrape_failures\": {}\n  }},\n  \
@@ -896,6 +1156,8 @@ fn main() {
         cfg.fanout,
         cfg.hold.as_millis(),
         cfg.replicas,
+        cfg.corpus,
+        if cfg.churn { " --churn" } else { "" },
         cfg.hubs,
         cfg.duration.as_secs(),
         mode,
@@ -908,6 +1170,8 @@ fn main() {
         cfg.members,
         cfg.replicas,
         cfg.workers_per_hub,
+        json_escape(&cfg.corpus),
+        cfg.churn,
         fmt2(wall.as_secs_f64()),
         total.submitted,
         total.completed,
@@ -916,6 +1180,7 @@ fn main() {
         total.drops,
         total.submit_errors,
         fmt2(throughput),
+        membership_converged,
         log.peak_open,
         client_lat.p50(),
         client_lat.p99(),
@@ -927,12 +1192,17 @@ fn main() {
         hub_objects.join(",\n"),
         json_escape(
             "Sustained-load harness: N TcpTransport hubs in one process joined by discovery \
-             seed, synth-corpus composites per hub with every task delegated to the NEIGHBOR \
-             hub's replicated community (all invokes cross real TCP), event-driven delay \
+             seed, workload-corpus composites per hub (--corpus: basic|deep|wide|loop|event|all) \
+             with every task delegated to the NEIGHBOR hub's community (all invokes cross real \
+             TCP). Community replicas are PINNED to distinct hubs -- replica j of community i \
+             runs on hub (i+j)%N with its own membership table, synchronized by replica \
+             anti-entropy plus the discovery gossip payload channel -- and --churn cycles an \
+             extra member join/leave per community for the whole window. Event-driven delay \
              members (zero blocked workers at any in-flight depth), closed- or open-loop \
              drivers, and a live Prometheus scraper polling every hub's /metrics for the whole \
              run. instance_latency quantiles are scraped (server-side, wrapper start->finish); \
-             client_latency is submit->collect including client-side queueing."
+             client_latency is submit->collect including client-side queueing; \
+             membership_converged asserts fingerprint agreement across hubs after quiescence."
         ),
     );
     std::fs::write(&cfg.out, &json).expect("summary written");
@@ -944,7 +1214,7 @@ fn main() {
         for (_, dep) in hub.deployments.drain(..) {
             dep.undeploy();
         }
-        while let Some(replica) = hub.community.pop() {
+        while let Some((_, replica)) = hub.community.pop() {
             replica.stop();
         }
         drop(hub._members);

@@ -27,6 +27,7 @@
 mod history;
 mod membership;
 mod policy;
+pub mod replication;
 mod server;
 
 pub use history::{ExecutionHistory, MemberStats, Outcome};
@@ -35,10 +36,11 @@ pub use policy::{
     HistoryAware, LeastLoaded, RandomChoice, RoundRobin, SelectionContext, SelectionPolicy,
     WeightedScoring, Weights,
 };
+pub use replication::{MemberEntry, MembershipGossip, MembershipState};
 pub use server::kinds;
 pub use server::{
     CommunityClient, CommunityMetrics, CommunityServer, CommunityServerConfig,
-    CommunityServerHandle, DelegationMode,
+    CommunityServerHandle, DelegationMode, ReplicationConfig,
 };
 
 #[cfg(test)]

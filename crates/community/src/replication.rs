@@ -1,0 +1,501 @@
+//! Replicated community membership: a versioned, tombstoned member table
+//! with the [`PeerDirectory`]'s last-writer-wins merge discipline.
+//!
+//! Each community replica owns a private [`MembershipState`] — no shared
+//! `Arc` between replicas, no shared memory between hubs. Joins, leaves,
+//! and QoS re-advertisements mutate the local table under a per-member
+//! **version counter**; departures become **tombstones** (the row stays,
+//! flagged evicted, so the departure travels as far as the arrival did).
+//! Replicas converge by exchanging rows: a full snapshot out, a delta of
+//! exactly the missing rows back — over the replica-to-replica
+//! `community.msync`/`community.mdelta` kinds, and piggybacked on the
+//! discovery gossip via [`MembershipGossip`].
+//!
+//! The merge is deterministic and total: between two rows for one member
+//! the greater `(version, evicted, payload)` triple wins everywhere, so
+//! any exchange order — any gossip schedule, any loss pattern, any
+//! replay — converges every replica to the same table. At equal versions
+//! a tombstone beats a live row (departure wins the race it lost by a
+//! heartbeat), and equal-version same-eviction rows fall back to the
+//! canonical payload encoding, an arbitrary but *agreed* order.
+//!
+//! [`PeerDirectory`]: selfserv_net::PeerDirectory
+
+use crate::membership::{Community, CommunityError, Member, MemberId, QosProfile};
+use parking_lot::RwLock;
+use selfserv_net::gossip::{GossipPayload, PAYLOAD_ELEMENT};
+use selfserv_net::NodeId;
+use selfserv_xml::Element;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// One member's row in the replicated table: the advertised member data
+/// under a version counter and a departure tombstone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberEntry {
+    /// The advertised member (id, provider, endpoint, QoS). Tombstones
+    /// keep the last-known payload — useful for forensics and required
+    /// for the merge order to stay total.
+    pub member: Member,
+    /// Version counter: bumped by every local mutation of this member
+    /// (join, leave, QoS update). Higher version wins every merge.
+    pub version: u64,
+    /// True once the member left: the row is a tombstone, excluded from
+    /// selection but still gossiped so the departure propagates.
+    pub evicted: bool,
+}
+
+impl MemberEntry {
+    /// The total merge order. Version dominates; at equal versions a
+    /// tombstone wins (`true > false`); at equal version and eviction the
+    /// canonical payload encoding breaks the tie identically on every
+    /// replica.
+    fn merge_key(&self) -> (u64, bool, String) {
+        (self.version, self.evicted, canonical_payload(&self.member))
+    }
+
+    /// True when `other` beats this row under the merge order. Equal rows
+    /// lose (idempotence: re-merging what we hold changes nothing).
+    pub fn loses_to(&self, other: &MemberEntry) -> bool {
+        self.merge_key() < other.merge_key()
+    }
+}
+
+/// The member payload in a canonical, replica-independent encoding — the
+/// final tiebreak of the merge order and an input to the fingerprint.
+fn canonical_payload(m: &Member) -> String {
+    format!(
+        "{}|{}|{}|{}|{}|{}",
+        m.provider,
+        m.endpoint.as_str(),
+        m.qos.cost,
+        m.qos.duration_ms,
+        m.qos.reliability,
+        m.qos.reputation
+    )
+}
+
+/// One replica's membership table. Plain data — the community server
+/// wraps it in its own lock; property tests drive it directly.
+#[derive(Debug, Clone, Default)]
+pub struct MembershipState {
+    entries: BTreeMap<MemberId, MemberEntry>,
+}
+
+impl MembershipState {
+    /// An empty table.
+    pub fn new() -> MembershipState {
+        MembershipState::default()
+    }
+
+    /// A table seeded from a [`Community`]'s member set (each at version
+    /// 1) — how a replica adopts the members its spawner declared.
+    pub fn seeded_from(community: &Community) -> MembershipState {
+        let mut state = MembershipState::new();
+        for member in community.members() {
+            let _ = state.join(member.clone());
+        }
+        state
+    }
+
+    /// Registers a member: an error on a live duplicate, a version bump
+    /// over a tombstone (rejoining after a departure is a new life for
+    /// the same id). Returns the row to gossip.
+    pub fn join(&mut self, member: Member) -> Result<MemberEntry, CommunityError> {
+        let version = match self.entries.get(&member.id) {
+            Some(e) if !e.evicted => {
+                return Err(CommunityError::DuplicateMember(member.id));
+            }
+            Some(tombstone) => tombstone.version + 1,
+            None => 1,
+        };
+        let entry = MemberEntry {
+            member,
+            version,
+            evicted: false,
+        };
+        self.entries.insert(entry.member.id.clone(), entry.clone());
+        Ok(entry)
+    }
+
+    /// Re-advertises a live member's data (typically new QoS figures).
+    /// Unknown or departed members error. Returns the row to gossip.
+    pub fn update(&mut self, member: Member) -> Result<MemberEntry, CommunityError> {
+        match self.entries.get_mut(&member.id) {
+            Some(e) if !e.evicted => {
+                e.member = member;
+                e.version += 1;
+                Ok(e.clone())
+            }
+            _ => Err(CommunityError::UnknownMember(member.id)),
+        }
+    }
+
+    /// Removes a member by tombstoning its row at `version + 1`. Unknown
+    /// or already-departed members error. Returns the tombstone to
+    /// gossip.
+    pub fn leave(&mut self, id: &MemberId) -> Result<MemberEntry, CommunityError> {
+        match self.entries.get_mut(id) {
+            Some(e) if !e.evicted => {
+                e.evicted = true;
+                e.version += 1;
+                Ok(e.clone())
+            }
+            _ => Err(CommunityError::UnknownMember(id.clone())),
+        }
+    }
+
+    /// Merges one remote row under the total order; returns whether the
+    /// local table changed.
+    pub fn merge_entry(&mut self, id: MemberId, incoming: MemberEntry) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(current) if current.loses_to(&incoming) => {
+                *current = incoming;
+                true
+            }
+            Some(_) => false,
+            None => {
+                self.entries.insert(id, incoming);
+                true
+            }
+        }
+    }
+
+    /// Merges a batch of remote rows; returns how many changed the table.
+    pub fn merge_rows(&mut self, rows: impl IntoIterator<Item = (MemberId, MemberEntry)>) -> usize {
+        rows.into_iter()
+            .filter(|(id, entry)| self.merge_entry(id.clone(), entry.clone()))
+            .count()
+    }
+
+    /// Rows of this table that strictly dominate (or are absent from) a
+    /// peer's snapshot — the delta half of push-pull: the receiver of a
+    /// full snapshot answers with exactly what the sender is missing.
+    pub fn delta_against(
+        &self,
+        theirs: &[(MemberId, MemberEntry)],
+    ) -> Vec<(MemberId, MemberEntry)> {
+        self.entries
+            .iter()
+            .filter(|(id, mine)| match theirs.iter().find(|(t, _)| t == *id) {
+                Some((_, their_row)) => their_row.loses_to(mine),
+                None => true,
+            })
+            .map(|(id, e)| (id.clone(), e.clone()))
+            .collect()
+    }
+
+    /// The gossip-able view: every row, tombstones included, in id order.
+    pub fn snapshot(&self) -> Vec<(MemberId, MemberEntry)> {
+        self.entries
+            .iter()
+            .map(|(id, e)| (id.clone(), e.clone()))
+            .collect()
+    }
+
+    /// Live members in id order (the selection candidates).
+    pub fn members(&self) -> impl Iterator<Item = &Member> {
+        self.entries
+            .values()
+            .filter(|e| !e.evicted)
+            .map(|e| &e.member)
+    }
+
+    /// A live member by id.
+    pub fn member(&self, id: &MemberId) -> Option<&Member> {
+        self.entries
+            .get(id)
+            .filter(|e| !e.evicted)
+            .map(|e| &e.member)
+    }
+
+    /// Number of live members.
+    pub fn member_count(&self) -> usize {
+        self.entries.values().filter(|e| !e.evicted).count()
+    }
+
+    /// True when no live member exists.
+    pub fn is_empty(&self) -> bool {
+        self.member_count() == 0
+    }
+
+    /// Order-independent fingerprint of the full table (tombstones
+    /// included). Replicas that have converged report equal fingerprints;
+    /// the churn and convergence tests poll this.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc = 0u64;
+        for (id, e) in &self.entries {
+            let mut h = DefaultHasher::new();
+            id.0.hash(&mut h);
+            e.version.hash(&mut h);
+            e.evicted.hash(&mut h);
+            canonical_payload(&e.member).hash(&mut h);
+            acc ^= h.finish();
+        }
+        acc
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec: membership rows as XML elements
+// ---------------------------------------------------------------------------
+
+/// Encodes one membership row as a `<member>` element — the row format of
+/// both the replica sync kinds and the discovery piggyback.
+pub fn member_entry_to_xml(entry: &MemberEntry) -> Element {
+    let m = &entry.member;
+    let mut el = Element::new("member")
+        .with_attr("id", &m.id.0)
+        .with_attr("provider", &m.provider)
+        .with_attr("endpoint", m.endpoint.as_str())
+        .with_attr("cost", m.qos.cost.to_string())
+        .with_attr("duration_ms", m.qos.duration_ms.to_string())
+        .with_attr("reliability", m.qos.reliability.to_string())
+        .with_attr("reputation", m.qos.reputation.to_string())
+        .with_attr("version", entry.version.to_string());
+    if entry.evicted {
+        el.set_attr("evicted", "1");
+    }
+    el
+}
+
+/// Decodes a `<member>` row. Malformed rows decode to `None` and are
+/// skipped by receivers (one bad row must not poison a whole exchange).
+pub fn member_entry_from_xml(el: &Element) -> Option<(MemberId, MemberEntry)> {
+    if el.name != "member" {
+        return None;
+    }
+    let num = |name: &str| el.attr(name).and_then(|s| s.parse::<f64>().ok());
+    let id = MemberId(el.attr("id")?.to_string());
+    Some((
+        id.clone(),
+        MemberEntry {
+            member: Member {
+                id,
+                provider: el.attr("provider").unwrap_or("").to_string(),
+                endpoint: NodeId::new(el.attr("endpoint")?),
+                qos: QosProfile {
+                    cost: num("cost")?,
+                    duration_ms: num("duration_ms")?,
+                    reliability: num("reliability")?,
+                    reputation: num("reputation")?,
+                },
+            },
+            version: el.attr("version")?.parse().ok()?,
+            evicted: el.attr("evicted") == Some("1"),
+        },
+    ))
+}
+
+/// Encodes a set of rows under a `<membership>` header (the body of the
+/// replica sync kinds).
+pub fn membership_body(community: &str, rows: &[(MemberId, MemberEntry)]) -> Element {
+    Element::new("membership")
+        .with_attr("community", community)
+        .with_children(rows.iter().map(|(_, e)| member_entry_to_xml(e)))
+}
+
+/// Decodes a `<membership>` body into its community name and rows.
+pub fn membership_rows(body: &Element) -> Option<(String, Vec<(MemberId, MemberEntry)>)> {
+    if body.name != "membership" {
+        return None;
+    }
+    let community = body.attr("community")?.to_string();
+    let rows = body
+        .child_elements()
+        .filter_map(member_entry_from_xml)
+        .collect();
+    Some((community, rows))
+}
+
+// ---------------------------------------------------------------------------
+// Discovery piggyback: membership as a gossip payload
+// ---------------------------------------------------------------------------
+
+/// Adapts one replica's membership table to the discovery channel: the
+/// table's snapshot rides every discovery exchange of the hub, and rows
+/// merge under the same total order as the replica-to-replica sync. Hubs
+/// hosting replicas of the same community converge through either path —
+/// whichever message arrives first.
+pub struct MembershipGossip {
+    community: String,
+    state: Arc<RwLock<MembershipState>>,
+}
+
+impl MembershipGossip {
+    /// Wraps a replica's shared membership handle (see
+    /// `CommunityServerHandle::membership`).
+    pub fn new(community: impl Into<String>, state: Arc<RwLock<MembershipState>>) -> Arc<Self> {
+        Arc::new(MembershipGossip {
+            community: community.into(),
+            state,
+        })
+    }
+}
+
+impl GossipPayload for MembershipGossip {
+    fn key(&self) -> String {
+        format!("membership:{}", self.community)
+    }
+
+    fn snapshot(&self) -> Element {
+        let rows = self.state.read().snapshot();
+        Element::new(PAYLOAD_ELEMENT)
+            .with_attr("key", self.key())
+            .with_children(rows.iter().map(|(_, e)| member_entry_to_xml(e)))
+    }
+
+    fn merge(&self, incoming: &Element) -> Option<Element> {
+        let rows: Vec<(MemberId, MemberEntry)> = incoming
+            .child_elements()
+            .filter_map(member_entry_from_xml)
+            .collect();
+        // A delta section is an *answer* — a partial row set covering only
+        // what we were missing. Absence of a row says nothing about the
+        // sender's state, so merge it silently; answering would bounce our
+        // unrelated rows back forever. Only full snapshots earn a reply.
+        if incoming.attr("delta").is_some() {
+            self.state.write().merge_rows(rows);
+            return None;
+        }
+        let missing = {
+            let mut state = self.state.write();
+            let missing = state.delta_against(&rows);
+            state.merge_rows(rows);
+            missing
+        };
+        if missing.is_empty() {
+            return None;
+        }
+        Some(
+            Element::new(PAYLOAD_ELEMENT)
+                .with_attr("key", self.key())
+                .with_attr("delta", "1")
+                .with_children(missing.iter().map(|(_, e)| member_entry_to_xml(e))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(id: &str) -> Member {
+        Member {
+            id: MemberId(id.to_string()),
+            provider: format!("Provider {id}"),
+            endpoint: NodeId::new(format!("svc.{id}")),
+            qos: QosProfile::default(),
+        }
+    }
+
+    #[test]
+    fn join_leave_rejoin_bumps_versions() {
+        let mut s = MembershipState::new();
+        let joined = s.join(member("a")).unwrap();
+        assert_eq!((joined.version, joined.evicted), (1, false));
+        assert!(matches!(
+            s.join(member("a")),
+            Err(CommunityError::DuplicateMember(_))
+        ));
+        let gone = s.leave(&MemberId("a".into())).unwrap();
+        assert_eq!((gone.version, gone.evicted), (2, true));
+        assert!(s.leave(&MemberId("a".into())).is_err());
+        assert_eq!(s.member_count(), 0);
+        // The tombstone stays in the gossip-able view …
+        assert_eq!(s.snapshot().len(), 1);
+        // … and a rejoin resurrects the id above it.
+        let back = s.join(member("a")).unwrap();
+        assert_eq!((back.version, back.evicted), (3, false));
+        assert_eq!(s.member_count(), 1);
+    }
+
+    #[test]
+    fn update_readvertises_live_members_only() {
+        let mut s = MembershipState::new();
+        s.join(member("a")).unwrap();
+        let mut changed = member("a");
+        changed.qos.cost = 9.0;
+        let updated = s.update(changed).unwrap();
+        assert_eq!(updated.version, 2);
+        assert_eq!(s.member(&MemberId("a".into())).unwrap().qos.cost, 9.0);
+        assert!(s.update(member("ghost")).is_err());
+        s.leave(&MemberId("a".into())).unwrap();
+        assert!(s.update(member("a")).is_err());
+    }
+
+    #[test]
+    fn tombstone_wins_at_equal_version() {
+        let live = MemberEntry {
+            member: member("a"),
+            version: 3,
+            evicted: false,
+        };
+        let dead = MemberEntry {
+            member: member("a"),
+            version: 3,
+            evicted: true,
+        };
+        assert!(live.loses_to(&dead));
+        assert!(!dead.loses_to(&live));
+        let mut s = MembershipState::new();
+        s.merge_entry(MemberId("a".into()), live);
+        assert!(s.merge_entry(MemberId("a".into()), dead));
+        assert_eq!(s.member_count(), 0);
+    }
+
+    #[test]
+    fn push_pull_converges_two_replicas() {
+        let mut left = MembershipState::new();
+        let mut right = MembershipState::new();
+        left.join(member("a")).unwrap();
+        left.join(member("b")).unwrap();
+        left.leave(&MemberId("b".into())).unwrap();
+        right.join(member("c")).unwrap();
+        // Push: left's snapshot reaches right; pull: right answers with
+        // what left was missing.
+        let push = left.snapshot();
+        let delta = right.delta_against(&push);
+        right.merge_rows(push);
+        left.merge_rows(delta);
+        assert_eq!(left.fingerprint(), right.fingerprint());
+        assert_eq!(left.member_count(), 2); // a and c live, b tombstoned
+    }
+
+    #[test]
+    fn xml_roundtrip_preserves_rows() {
+        let mut s = MembershipState::new();
+        s.join(member("a")).unwrap();
+        s.join(member("b")).unwrap();
+        s.leave(&MemberId("b".into())).unwrap();
+        let rows = s.snapshot();
+        let body = membership_body("X", &rows);
+        let (community, decoded) = membership_rows(&body).unwrap();
+        assert_eq!(community, "X");
+        assert_eq!(decoded, rows);
+        // Non-membership bodies and malformed rows are rejected/skipped.
+        assert!(membership_rows(&Element::new("directory")).is_none());
+        assert!(member_entry_from_xml(&Element::new("member").with_attr("id", "x")).is_none());
+    }
+
+    #[test]
+    fn gossip_payload_merges_and_answers_missing_rows() {
+        let left = Arc::new(RwLock::new(MembershipState::new()));
+        let right = Arc::new(RwLock::new(MembershipState::new()));
+        left.write().join(member("a")).unwrap();
+        right.write().join(member("b")).unwrap();
+        let lp = MembershipGossip::new("X", Arc::clone(&left));
+        let rp = MembershipGossip::new("X", Arc::clone(&right));
+        assert_eq!(lp.key(), "membership:X");
+        // left's snapshot reaches right: right adopts a, answers with b.
+        let answer = rp.merge(&lp.snapshot()).expect("right holds fresher rows");
+        assert!(lp.merge(&answer).is_none(), "left is now up to date");
+        assert_eq!(
+            left.read().fingerprint(),
+            right.read().fingerprint(),
+            "one push-pull round converges"
+        );
+    }
+}

@@ -28,13 +28,17 @@
 use crate::history::{ExecutionHistory, Outcome};
 use crate::membership::{Community, CommunityError, Member, MemberId, QosProfile};
 use crate::policy::{SelectionContext, SelectionPolicy};
+use crate::replication::{membership_body, membership_rows, MemberEntry, MembershipState};
 use parking_lot::RwLock;
 use selfserv_net::{
-    ConnectError, Endpoint, Envelope, LivenessProbe, NodeId, PeerStatus, Transport, TransportHandle,
+    ConnectError, Endpoint, Envelope, LivenessProbe, NodeId, PeerDirectory, PeerStatus, ReplicaSet,
+    Transport, TransportHandle,
 };
 use selfserv_obs::{Counter, Histogram, Registry};
-use selfserv_runtime::{ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic, RpcDone, RpcToken};
-use selfserv_wsdl::MessageDoc;
+use selfserv_runtime::{
+    ExecutorHandle, Flow, NodeCtx, NodeHandle, NodeLogic, RpcDone, RpcToken, TimerToken,
+};
+use selfserv_wsdl::{MessageDoc, OperationDef};
 use selfserv_xml::Element;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -53,12 +57,25 @@ pub mod kinds {
     pub const RESULT: &str = "community.result";
     /// Failure reply.
     pub const FAULT: &str = "community.fault";
+    /// Re-advertise an existing member's data (typically new QoS figures).
+    pub const UPDATE: &str = "community.update";
     /// Stop the server.
     pub const STOP: &str = "community.stop";
     /// The invocation kind member wrappers must answer.
     pub const MEMBER_INVOKE: &str = "invoke";
     /// The member wrapper's reply kind.
     pub const MEMBER_RESULT: &str = "invoke.result";
+    /// Replica anti-entropy push: one replica's full membership snapshot,
+    /// answered by [`MDELTA`] when the receiver holds fresher rows.
+    pub const MSYNC: &str = "community.msync";
+    /// Replica anti-entropy pull half (also the eager join/leave push):
+    /// exactly the membership rows the receiver was missing.
+    pub const MDELTA: &str = "community.mdelta";
+    /// Deterministic clock injection: runs one membership gossip round
+    /// immediately, exactly as if the replication timer had fired
+    /// (without re-arming it). Convergence tests use this to step
+    /// replication at a controlled cadence. Carries no body.
+    pub const MTICK: &str = "community.mtick";
 }
 
 /// Hot-path metrics of a community server, updated lock-free from the
@@ -117,6 +134,40 @@ pub enum DelegationMode {
     Redirect,
 }
 
+/// How a replica finds and synchronizes its sibling replicas. A replica
+/// with neither static peers nor a directory is **unreplicated**: no
+/// gossip timer is armed and no redirect targets exist, exactly the old
+/// single-server behaviour.
+#[derive(Clone, Default)]
+pub struct ReplicationConfig {
+    /// Statically known sibling replica nodes (the spawn helpers fill
+    /// this with the `<base>` / `<base>.rN` naming family). The replica's
+    /// own name is ignored if present.
+    pub peers: Vec<NodeId>,
+    /// A hub directory to discover siblings through: every gossip round
+    /// re-scans it for the replica's naming family, so replicas hosted on
+    /// hubs that joined later (learned via discovery gossip) enter the
+    /// sync set without reconfiguration.
+    pub directory: Option<PeerDirectory>,
+    /// Anti-entropy cadence. `None` uses [`ReplicationConfig::DEFAULT_GOSSIP_INTERVAL`].
+    pub gossip_interval: Option<Duration>,
+}
+
+impl ReplicationConfig {
+    /// The default anti-entropy cadence between replicas.
+    pub const DEFAULT_GOSSIP_INTERVAL: Duration = Duration::from_millis(200);
+
+    /// True when this replica synchronizes with anyone.
+    pub fn is_active(&self) -> bool {
+        !self.peers.is_empty() || self.directory.is_some()
+    }
+
+    fn interval(&self) -> Duration {
+        self.gossip_interval
+            .unwrap_or(Self::DEFAULT_GOSSIP_INTERVAL)
+    }
+}
+
 /// Configuration of a [`CommunityServer`].
 #[derive(Clone)]
 pub struct CommunityServerConfig {
@@ -144,6 +195,9 @@ pub struct CommunityServerConfig {
     /// (the default) records nothing; replicas of one community normally
     /// share a single [`CommunityMetrics`] so their samples aggregate.
     pub metrics: Option<Arc<CommunityMetrics>>,
+    /// How this replica synchronizes membership with its siblings. The
+    /// default is unreplicated.
+    pub replication: ReplicationConfig,
 }
 
 impl Default for CommunityServerConfig {
@@ -155,6 +209,7 @@ impl Default for CommunityServerConfig {
             max_in_flight: usize::MAX,
             liveness: None,
             metrics: None,
+            replication: ReplicationConfig::default(),
         }
     }
 }
@@ -196,9 +251,41 @@ struct PendingDelegation {
     delegation_started: Instant,
 }
 
+/// The membership-replication timer (namespace disjoint from the member
+/// rpc tokens, which are `RpcToken`s).
+const MEMBERSHIP_GOSSIP_TIMER: TimerToken = TimerToken(1);
+
+/// The `<base>` of a replica's naming family: `community.x.r2` → `community.x`;
+/// names without a numeric `.rN` suffix are their own base.
+fn replica_base(name: &str) -> &str {
+    if let Some((base, suffix)) = name.rsplit_once(".r") {
+        if !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()) {
+            return base;
+        }
+    }
+    name
+}
+
+/// Replica `i`'s node name in the `<base>` / `<base>.rN` convention
+/// (replica 0 is the base name itself — the name callers bind to).
+fn replica_name(base: &str, i: usize) -> String {
+    if i == 0 {
+        base.to_string()
+    } else {
+        format!("{base}.r{i}")
+    }
+}
+
 /// A running community node: a continuation-passing delegation machine.
 struct CommunityLogic {
-    community: Arc<RwLock<Community>>,
+    /// The community's name (fault messages, sync-body headers).
+    name: String,
+    /// The generic operations this community offers (static descriptor
+    /// data; an empty list accepts any operation).
+    operations: Vec<OperationDef>,
+    /// This replica's own membership table. Shared with the handle for
+    /// assertions and direct seeding — never with another replica.
+    membership: Arc<RwLock<MembershipState>>,
     history: Arc<ExecutionHistory>,
     policy: Arc<dyn SelectionPolicy>,
     config: CommunityServerConfig,
@@ -226,7 +313,7 @@ pub struct CommunityServer;
 pub struct CommunityServerHandle {
     node: NodeId,
     net: TransportHandle,
-    community: Arc<RwLock<Community>>,
+    membership: Arc<RwLock<MembershipState>>,
     history: Arc<ExecutionHistory>,
     gauge: Arc<AtomicUsize>,
     queued: Arc<AtomicUsize>,
@@ -271,18 +358,26 @@ impl CommunityServerHandle {
             labels,
             move || queued.load(Ordering::Relaxed) as f64,
         );
-        let community = Arc::clone(&self.community);
+        let membership = Arc::clone(&self.membership);
         registry.gauge_fn(
             "selfserv_community_members",
             "Members currently registered with the community.",
             labels,
-            move || community.read().member_count() as f64,
+            move || membership.read().member_count() as f64,
         );
     }
 
-    /// Shared view of the membership (for assertions and direct joins).
-    pub fn community(&self) -> &Arc<RwLock<Community>> {
-        &self.community
+    /// This replica's own membership table (for assertions, direct
+    /// seeding, and hooking up a [`crate::replication::MembershipGossip`]
+    /// payload). Replicas do **not** share it — convergence is gossip's
+    /// job.
+    pub fn membership(&self) -> &Arc<RwLock<MembershipState>> {
+        &self.membership
+    }
+
+    /// Live members this replica currently knows.
+    pub fn member_count(&self) -> usize {
+        self.membership.read().member_count()
     }
 
     /// Shared view of the execution history.
@@ -341,21 +436,17 @@ impl CommunityServer {
         config: CommunityServerConfig,
     ) -> Result<CommunityServerHandle, ConnectError> {
         let endpoint = net.connect(NodeId::new(node_name))?;
-        let node = endpoint.node().clone();
-        let community = Arc::new(RwLock::new(community));
-        let history = Arc::new(ExecutionHistory::new());
-        Self::spawn_shared_on(
-            net, exec, endpoint, node, community, history, policy, config,
-        )
+        Self::spawn_logic(net, exec, endpoint, community, policy, config)
     }
 
-    /// Spawns `replicas` community servers sharing one membership and one
-    /// execution history: replica 0 takes `node_name` itself, replica `i`
-    /// takes `<node_name>.r<i>` (the convention callers' replica routing
-    /// probes for). A join or leave through any replica is visible to all
-    /// of them, and latency samples aggregate — the replicas are one
-    /// community served by N mailboxes, the paper's community-as-unit-of-
-    /// scale argument made concrete. Spawned on the process-wide shared
+    /// Spawns `replicas` community servers, each with its **own**
+    /// membership table and execution history: replica 0 takes
+    /// `node_name` itself, replica `i` takes `<node_name>.r<i>` (the
+    /// convention callers' replica routing probes for). Nothing is shared
+    /// — a join or leave through any replica reaches the others as
+    /// versioned membership rows (an eager push plus periodic
+    /// anti-entropy), the same way it would reach a replica on another
+    /// hub or in another process. Spawned on the process-wide shared
     /// executor; see [`CommunityServer::spawn_replicas_on`].
     pub fn spawn_replicas(
         net: &dyn Transport,
@@ -386,49 +477,76 @@ impl CommunityServer {
         policy: Arc<dyn SelectionPolicy>,
         config: CommunityServerConfig,
     ) -> Result<Vec<CommunityServerHandle>, ConnectError> {
-        let shared_community = Arc::new(RwLock::new(community));
-        let history = Arc::new(ExecutionHistory::new());
-        let mut handles = Vec::with_capacity(replicas.max(1));
-        for i in 0..replicas.max(1) {
-            let name = if i == 0 {
-                node_name.to_string()
-            } else {
-                format!("{node_name}.r{i}")
-            };
-            let endpoint = net.connect(NodeId::new(&name))?;
-            let node = endpoint.node().clone();
-            handles.push(Self::spawn_shared_on(
-                net,
-                exec,
-                endpoint,
-                node,
-                Arc::clone(&shared_community),
-                Arc::clone(&history),
-                Arc::clone(&policy),
-                config.clone(),
-            )?);
-        }
-        Ok(handles)
+        let total = replicas.max(1);
+        (0..total)
+            .map(|i| {
+                Self::spawn_replica_on(
+                    net,
+                    exec,
+                    node_name,
+                    i,
+                    total,
+                    community.clone(),
+                    Arc::clone(&policy),
+                    config.clone(),
+                )
+            })
+            .collect()
     }
 
-    /// Spawns one server over pre-shared membership/history state — the
-    /// building block replicas use so every replica of a community serves
-    /// the same member set and feeds the same execution history.
+    /// Spawns **one** replica of a community — the entry point for
+    /// pinning replicas to distinct hubs or processes. Replica `index` of
+    /// `total` takes the `<base>` / `<base>.rN` name and gets every
+    /// sibling name as a static replication peer (on top of whatever
+    /// `config.replication` already carries); names resolve wherever the
+    /// siblings actually run, because the transport routes by name. Pass
+    /// the hub's directory in `config.replication.directory` to also pick
+    /// up replicas spawned later on hubs discovered via gossip.
     #[allow(clippy::too_many_arguments)]
-    fn spawn_shared_on(
+    pub fn spawn_replica_on(
+        net: &dyn Transport,
+        exec: &ExecutorHandle,
+        base_name: &str,
+        index: usize,
+        total: usize,
+        community: Community,
+        policy: Arc<dyn SelectionPolicy>,
+        mut config: CommunityServerConfig,
+    ) -> Result<CommunityServerHandle, ConnectError> {
+        let name = replica_name(base_name, index);
+        for i in 0..total.max(1) {
+            if i == index {
+                continue;
+            }
+            let peer = NodeId::new(replica_name(base_name, i));
+            if !config.replication.peers.contains(&peer) {
+                config.replication.peers.push(peer);
+            }
+        }
+        let endpoint = net.connect(NodeId::new(&name))?;
+        Self::spawn_logic(net, exec, endpoint, community, policy, config)
+    }
+
+    /// The common spawn tail: seeds this replica's private membership
+    /// table from the community descriptor's member set and starts the
+    /// node.
+    fn spawn_logic(
         net: &dyn Transport,
         exec: &ExecutorHandle,
         endpoint: Endpoint,
-        node: NodeId,
-        community: Arc<RwLock<Community>>,
-        history: Arc<ExecutionHistory>,
+        community: Community,
         policy: Arc<dyn SelectionPolicy>,
         config: CommunityServerConfig,
     ) -> Result<CommunityServerHandle, ConnectError> {
+        let node = endpoint.node().clone();
+        let membership = Arc::new(RwLock::new(MembershipState::seeded_from(&community)));
+        let history = Arc::new(ExecutionHistory::new());
         let gauge = Arc::new(AtomicUsize::new(0));
         let queued = Arc::new(AtomicUsize::new(0));
         let logic = CommunityLogic {
-            community: Arc::clone(&community),
+            name: community.name.clone(),
+            operations: community.operations.clone(),
+            membership: Arc::clone(&membership),
             history: Arc::clone(&history),
             policy,
             config,
@@ -442,7 +560,7 @@ impl CommunityServer {
         Ok(CommunityServerHandle {
             node,
             net: net.handle(),
-            community,
+            membership,
             history,
             gauge,
             queued,
@@ -452,6 +570,12 @@ impl CommunityServer {
 }
 
 impl NodeLogic for CommunityLogic {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.config.replication.is_active() {
+            ctx.set_timer(self.config.replication.interval(), MEMBERSHIP_GOSSIP_TIMER);
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut NodeCtx<'_>, request: Envelope) -> Flow {
         match request.kind.as_str() {
             kinds::STOP => {
@@ -467,11 +591,15 @@ impl NodeLogic for CommunityLogic {
             }
             _ if self.stopping => {}
             kinds::JOIN => {
-                let reply = self.handle_join(&request.body);
+                let reply = self.handle_join(ctx, &request.body);
                 self.send_reply(ctx, &request, reply);
             }
             kinds::LEAVE => {
-                let reply = self.handle_leave(&request.body);
+                let reply = self.handle_leave(ctx, &request.body);
+                self.send_reply(ctx, &request, reply);
+            }
+            kinds::UPDATE => {
+                let reply = self.handle_update(ctx, &request.body);
                 self.send_reply(ctx, &request, reply);
             }
             kinds::INVOKE => {
@@ -482,10 +610,46 @@ impl NodeLogic for CommunityLogic {
                     self.start_delegation(ctx, request);
                 }
             }
+            // Replica membership sync — fire-and-forget between replicas,
+            // so protocol errors are dropped, never faulted back.
+            kinds::MSYNC => {
+                if let Some((community, rows)) = membership_rows(&request.body) {
+                    if community == self.name {
+                        let missing = {
+                            let mut m = self.membership.write();
+                            let missing = m.delta_against(&rows);
+                            m.merge_rows(rows);
+                            missing
+                        };
+                        if !missing.is_empty() {
+                            let body = membership_body(&self.name, &missing);
+                            let _ = ctx
+                                .endpoint()
+                                .send(request.from.clone(), kinds::MDELTA, body);
+                        }
+                    }
+                }
+            }
+            kinds::MDELTA => {
+                if let Some((community, rows)) = membership_rows(&request.body) {
+                    if community == self.name {
+                        self.membership.write().merge_rows(rows);
+                    }
+                }
+            }
+            kinds::MTICK => self.membership_gossip(ctx),
             other => {
                 let err = CommunityError::Protocol(format!("unknown kind {other:?}"));
                 self.send_reply(ctx, &request, Err(err));
             }
+        }
+        Flow::Continue
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, timer: TimerToken) -> Flow {
+        if timer == MEMBERSHIP_GOSSIP_TIMER && !self.stopping {
+            self.membership_gossip(ctx);
+            ctx.set_timer(self.config.replication.interval(), MEMBERSHIP_GOSSIP_TIMER);
         }
         Flow::Continue
     }
@@ -529,20 +693,96 @@ impl CommunityLogic {
         let _ = ctx.endpoint().reply(request, kind, body);
     }
 
-    fn handle_join(&self, body: &Element) -> Result<Element, CommunityError> {
+    /// Sibling replicas as currently known: the static peer list plus a
+    /// directory re-scan of the naming family (replicas on hubs learned
+    /// via gossip), minus this node itself.
+    fn replica_peers(&self, self_node: &NodeId) -> Vec<NodeId> {
+        let mut peers: Vec<NodeId> = self
+            .config
+            .replication
+            .peers
+            .iter()
+            .filter(|p| *p != self_node)
+            .cloned()
+            .collect();
+        if let Some(dir) = &self.config.replication.directory {
+            let base = replica_base(self_node.as_str());
+            for r in ReplicaSet::discover(base, dir).replicas() {
+                if r != self_node && !peers.contains(r) {
+                    peers.push(r.clone());
+                }
+            }
+        }
+        peers.sort();
+        peers
+    }
+
+    /// One anti-entropy round: push this replica's full snapshot to every
+    /// sibling; each answers with exactly the rows we were missing
+    /// (`MDELTA`). Sends to dead siblings cost nothing — they enqueue and
+    /// the answer simply never comes.
+    fn membership_gossip(&mut self, ctx: &mut NodeCtx<'_>) {
+        let peers = self.replica_peers(ctx.node());
+        if peers.is_empty() {
+            return;
+        }
+        let rows = self.membership.read().snapshot();
+        let body = membership_body(&self.name, &rows);
+        for peer in peers {
+            let _ = ctx.endpoint().send(peer, kinds::MSYNC, body.clone());
+        }
+    }
+
+    /// Eagerly pushes one freshly written row to every sibling, so a join
+    /// or leave is visible fleet-wide in one message delay instead of one
+    /// gossip interval. Anti-entropy repairs any loss.
+    fn push_row(&self, ctx: &NodeCtx<'_>, entry: &MemberEntry) {
+        let peers = self.replica_peers(ctx.node());
+        if peers.is_empty() {
+            return;
+        }
+        let row = vec![(entry.member.id.clone(), entry.clone())];
+        let body = membership_body(&self.name, &row);
+        for peer in peers {
+            let _ = ctx.endpoint().send(peer, kinds::MDELTA, body.clone());
+        }
+    }
+
+    fn handle_join(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        body: &Element,
+    ) -> Result<Element, CommunityError> {
         let member = decode_member(body)?;
-        self.community.write().join(member)?;
+        let entry = self.membership.write().join(member)?;
+        self.push_row(ctx, &entry);
         Ok(Element::new("ok"))
     }
 
-    fn handle_leave(&self, body: &Element) -> Result<Element, CommunityError> {
+    fn handle_update(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        body: &Element,
+    ) -> Result<Element, CommunityError> {
+        let member = decode_member(body)?;
+        let entry = self.membership.write().update(member)?;
+        self.push_row(ctx, &entry);
+        Ok(Element::new("ok"))
+    }
+
+    fn handle_leave(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        body: &Element,
+    ) -> Result<Element, CommunityError> {
         let id = MemberId(
             body.require_attr("id")
                 .map_err(CommunityError::Protocol)?
                 .to_string(),
         );
-        self.community.write().leave(&id)?;
+        let entry = self.membership.write().leave(&id)?;
         self.history.forget(&id);
+        self.push_row(ctx, &entry);
         Ok(Element::new("ok"))
     }
 
@@ -566,7 +806,7 @@ impl CommunityLogic {
     /// suspicion is one detector's unconfirmed observation).
     fn select_member(&self, msg: &MessageDoc, excluded: &[MemberId]) -> Option<Member> {
         let liveness = self.config.liveness.as_deref();
-        let c = self.community.read();
+        let c = self.membership.read();
         let mut healthy: Vec<&Member> = Vec::new();
         let mut suspected: Vec<&Member> = Vec::new();
         for m in c.members().filter(|m| !excluded.contains(&m.id)) {
@@ -604,10 +844,8 @@ impl CommunityLogic {
                 return;
             }
         };
-        let operation_known = {
-            let c = self.community.read();
-            c.operation(&msg.operation).is_some() || c.operations.is_empty()
-        };
+        let operation_known =
+            self.operations.is_empty() || self.operations.iter().any(|o| o.name == msg.operation);
         if !operation_known {
             let err = CommunityError::UnknownOperation(msg.operation.clone());
             self.fault_delegation(ctx, &request, err);
@@ -615,8 +853,23 @@ impl CommunityLogic {
         }
         let forwarded = strip_directives(&msg).to_xml();
         let Some(member) = self.select_member(&msg, &[]) else {
+            // Replica-aware redirect: a replica whose local member pool
+            // cannot serve (empty, fully evicted, or not yet converged)
+            // hands the caller to the rendezvous-ranked next replica
+            // instead of faulting. The caller tracks which replicas it
+            // has tried, so a ring of empty replicas terminates there.
+            if let Some(next) = self.redirect_replica(ctx.node(), &msg) {
+                if let Some(m) = &self.config.metrics {
+                    m.delegations.inc();
+                }
+                let body = Element::new("redirect")
+                    .with_attr("replica", "1")
+                    .with_attr("endpoint", next.as_str());
+                self.send_reply(ctx, &request, Ok(body));
+                return;
+            }
             let err = CommunityError::NoMembersAvailable {
-                community: self.community.read().name.clone(),
+                community: self.name.clone(),
             };
             self.fault_delegation(ctx, &request, err);
             return;
@@ -728,11 +981,27 @@ impl CommunityLogic {
             }
             None => {
                 let err = CommunityError::NoMembersAvailable {
-                    community: self.community.read().name.clone(),
+                    community: self.name.clone(),
                 };
                 self.fault_delegation(ctx, &pending.request, err);
             }
         }
+    }
+
+    /// The rendezvous-ranked sibling to redirect an unservable invocation
+    /// to: liveness-gated like any replica routing, keyed on the
+    /// operation so all replicas rank identically, excluding this node.
+    fn redirect_replica(&self, self_node: &NodeId, msg: &MessageDoc) -> Option<NodeId> {
+        let peers = self.replica_peers(self_node);
+        if peers.is_empty() {
+            return None;
+        }
+        ReplicaSet::new(peers).route(
+            &format!("{}/{}", self.name, msg.operation),
+            self.config.liveness.as_deref(),
+            &[],
+            &|_| 0,
+        )
     }
 }
 
@@ -806,11 +1075,42 @@ impl CommunityClient {
         Ok(())
     }
 
-    /// Invokes a generic operation through the community. In redirect mode
-    /// the returned redirect is followed automatically, so callers always
-    /// get the final response message.
+    /// Re-registers a member's QoS profile in place (same id, new
+    /// attributes). The replica that takes the update gossips it to its
+    /// siblings like any other membership change.
+    pub fn update(&self, member: &Member) -> Result<(), CommunityError> {
+        self.call(kinds::UPDATE, encode_member(member))?;
+        Ok(())
+    }
+
+    /// Invokes a generic operation through the community. Redirects are
+    /// followed automatically — both member redirects (redirect mode:
+    /// the caller talks to the selected member directly) and replica
+    /// redirects (a replica with no usable member pool hands us to a
+    /// sibling) — so callers always get the final response message.
     pub fn invoke(&self, msg: &MessageDoc) -> Result<MessageDoc, CommunityError> {
-        let body = self.call(kinds::INVOKE, msg.to_xml())?;
+        let mut target = self.community_node.clone();
+        let mut hops: Vec<NodeId> = Vec::new();
+        let body = loop {
+            let body = self.call_at(&target, kinds::INVOKE, msg.to_xml())?;
+            if body.name == "redirect" && body.attr("replica").is_some() {
+                let next = NodeId::new(
+                    body.require_attr("endpoint")
+                        .map_err(CommunityError::Protocol)?,
+                );
+                // A replica never redirects to itself, so a repeat means
+                // the family's pools are all empty: stop rather than ring.
+                if next == target || hops.contains(&next) || hops.len() >= 4 {
+                    return Err(CommunityError::DelegationFailed(format!(
+                        "replica redirect loop via {next}"
+                    )));
+                }
+                hops.push(target);
+                target = next;
+                continue;
+            }
+            break body;
+        };
         if body.name == "redirect" {
             let endpoint = body
                 .require_attr("endpoint")
@@ -852,9 +1152,18 @@ impl CommunityClient {
     }
 
     fn call(&self, kind: &str, body: Element) -> Result<Element, CommunityError> {
+        self.call_at(&self.community_node.clone(), kind, body)
+    }
+
+    fn call_at(
+        &self,
+        target: &NodeId,
+        kind: &str,
+        body: Element,
+    ) -> Result<Element, CommunityError> {
         let reply = self
             .endpoint
-            .rpc(self.community_node.clone(), kind, body, self.timeout)
+            .rpc(target.clone(), kind, body, self.timeout)
             .map_err(|e| CommunityError::DelegationFailed(e.to_string()))?;
         if reply.kind == kinds::FAULT {
             Err(CommunityError::DelegationFailed(
@@ -1068,7 +1377,7 @@ mod tests {
         client.join(&member("h1", "svc.h1")).unwrap();
         client.join(&member("h2", "svc.h2")).unwrap();
         client.leave(&MemberId("h1".into())).unwrap();
-        assert_eq!(handle.community().read().member_count(), 1);
+        assert_eq!(handle.member_count(), 1);
         for _ in 0..3 {
             let resp = client
                 .invoke(&MessageDoc::request("bookAccommodation"))
@@ -1237,5 +1546,142 @@ mod tests {
         let stats = handle.history().stats(&MemberId("slow".into()));
         assert_eq!(stats.completed, 1);
         assert!(stats.latency_ewma_ms.unwrap() >= 25.0);
+    }
+
+    /// Polls until the two replicas hold byte-identical membership tables.
+    fn await_convergence(a: &CommunityServerHandle, b: &CommunityServerHandle) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if a.membership().read().fingerprint() == b.membership().read().fingerprint() {
+                return;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "replicas never converged: {} vs {} live members",
+                a.member_count(),
+                b.member_count()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn replica_join_leave_converges_by_eager_push() {
+        let net = Network::new(NetworkConfig::instant());
+        let handles = CommunityServer::spawn_replicas(
+            &net,
+            "community.ab",
+            2,
+            community(),
+            Arc::new(RoundRobin::new()),
+            CommunityServerConfig::default(),
+        )
+        .unwrap();
+        // A join taken by replica 0 becomes visible on replica 1 without
+        // any shared memory — the row travels as an MDELTA push.
+        let client = CommunityClient::connect(&net, "client", "community.ab").unwrap();
+        client.join(&member("h1", "svc.h1")).unwrap();
+        await_convergence(&handles[0], &handles[1]);
+        assert_eq!(handles[1].member_count(), 1);
+        // A leave taken by the *other* replica flows back the same way,
+        // tombstoning the member everywhere.
+        let client1 = CommunityClient::connect(&net, "client1", "community.ab.r1").unwrap();
+        client1.leave(&MemberId("h1".into())).unwrap();
+        await_convergence(&handles[0], &handles[1]);
+        assert_eq!(handles[0].member_count(), 0);
+        // A QoS update bumps the version and wins on both sides.
+        client.join(&member("h2", "svc.h2")).unwrap();
+        let mut richer = member("h2", "svc.h2");
+        richer.qos.cost = 9.0;
+        client1.update(&richer).unwrap();
+        await_convergence(&handles[0], &handles[1]);
+        let m = handles[0].membership().read();
+        assert_eq!(m.member(&MemberId("h2".into())).unwrap().qos.cost, 9.0);
+    }
+
+    #[test]
+    fn mtick_anti_entropy_repairs_divergence() {
+        let net = Network::new(NetworkConfig::instant());
+        let handles = CommunityServer::spawn_replicas(
+            &net,
+            "community.ab",
+            2,
+            community(),
+            Arc::new(RoundRobin::new()),
+            CommunityServerConfig {
+                replication: ReplicationConfig {
+                    // Effectively disable the periodic timer so only the
+                    // injected tick can repair the divergence.
+                    gossip_interval: Some(Duration::from_secs(3600)),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Divergence the eager push never saw: a row written straight into
+        // replica 1's local table (as a crashed-and-restored state import
+        // would).
+        handles[1]
+            .membership()
+            .write()
+            .join(member("ghost", "svc.ghost"))
+            .unwrap();
+        assert_eq!(handles[0].member_count(), 0);
+        // One injected anti-entropy round heals it: replica 1 MSYNCs its
+        // snapshot, replica 0 merges.
+        let ep = net.connect("test.ticker").unwrap();
+        ep.send("community.ab.r1", kinds::MTICK, Element::new("tick"))
+            .unwrap();
+        await_convergence(&handles[0], &handles[1]);
+        assert_eq!(handles[0].member_count(), 1);
+    }
+
+    #[test]
+    fn empty_replica_redirects_to_sibling() {
+        let net = Network::new(NetworkConfig::instant());
+        let handles = CommunityServer::spawn_replicas(
+            &net,
+            "community.ab",
+            2,
+            community(),
+            Arc::new(RoundRobin::new()),
+            CommunityServerConfig {
+                replication: ReplicationConfig {
+                    gossip_interval: Some(Duration::from_secs(3600)),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let _m = spawn_member(&net, "svc.h1", false, Duration::ZERO);
+        // Only replica 1 knows the member (direct table write, no push):
+        // replica 0's pool is empty, so it must redirect rather than fault.
+        handles[1]
+            .membership()
+            .write()
+            .join(member("h1", "svc.h1"))
+            .unwrap();
+        let client = CommunityClient::connect(&net, "client", "community.ab").unwrap();
+        let resp = client
+            .invoke(&MessageDoc::request("bookAccommodation"))
+            .unwrap();
+        assert_eq!(resp.get_str("served_by"), Some("svc.h1"));
+        // When *every* replica's pool is empty the redirect chain
+        // terminates in a loop error, not an infinite ring.
+        handles[1]
+            .membership()
+            .write()
+            .leave(&MemberId("h1".into()))
+            .unwrap();
+        let err = client
+            .invoke(&MessageDoc::request("bookAccommodation"))
+            .unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("redirect loop") || text.contains("no members"),
+            "{text}"
+        );
     }
 }

@@ -803,6 +803,47 @@ impl CoordinatorLogic {
                         .to_string();
                     return self.fault(ctx, instance, &reason);
                 }
+                // A replica redirect: the replica's member pool could not
+                // serve and it named the rendezvous-ranked next replica.
+                // Re-issue the *community* invoke there, carrying the
+                // tried-set so a ring of unservable replicas terminates in
+                // a fault instead of orbiting.
+                if reply.body.name == "redirect" && reply.body.attr("replica").is_some() {
+                    let next = match reply.body.require_attr("endpoint") {
+                        Ok(m) => NodeId::new(m),
+                        Err(e) => {
+                            return self.fault(ctx, instance, &format!("bad redirect: {e}"));
+                        }
+                    };
+                    if tried.contains(&next) {
+                        return self.fault(
+                            ctx,
+                            instance,
+                            &format!("community replica redirect loop via '{next}'"),
+                        );
+                    }
+                    *self.replica_load.entry(next.clone()).or_default() += 1;
+                    let body = input.to_xml();
+                    let mut tried = tried;
+                    tried.push(next.clone());
+                    let token = self.issue_token(
+                        instance,
+                        vars,
+                        InvokePhase::Community {
+                            input,
+                            node: next.clone(),
+                            tried,
+                        },
+                    );
+                    ctx.rpc_async(
+                        next,
+                        "community.invoke",
+                        body,
+                        self.cfg.invoke_timeout,
+                        token,
+                    );
+                    return;
+                }
                 // Redirect-mode communities return the chosen member's
                 // binding; the coordinator then invokes it directly —
                 // another await, same continuation machinery.

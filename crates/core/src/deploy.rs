@@ -238,18 +238,30 @@ impl Deployer {
                                 });
                             }
                             // Replica discovery: probe the conventional
-                            // replica names (`community.<name>.rN`) in
-                            // order against everything the transport can
-                            // route to — gossip-learned names included —
-                            // and hand coordinators the full set so they
-                            // spread instances over it.
+                            // replica names (`community.<name>.rN`) against
+                            // everything the transport can route to — over
+                            // TCP that is the hub's gossiped directory, so
+                            // replicas hosted by *other* hubs count the
+                            // moment discovery delivers their binding — and
+                            // hand coordinators the full set so they spread
+                            // instances over it. The scan tolerates gaps (a
+                            // crashed or not-yet-gossiped middle replica
+                            // must not hide the survivors behind it), giving
+                            // up after a run of consecutive misses.
+                            const REPLICA_PROBE_GAP: usize = 4;
                             let mut replicas = vec![node.clone()];
+                            let mut misses = 0;
                             for i in 1.. {
                                 let replica = naming::community_replica(community, i);
-                                if !self.net.is_connected(replica.as_str()) {
-                                    break;
+                                if self.net.is_connected(replica.as_str()) {
+                                    misses = 0;
+                                    replicas.push(replica);
+                                } else {
+                                    misses += 1;
+                                    if misses >= REPLICA_PROBE_GAP {
+                                        break;
+                                    }
                                 }
-                                replicas.push(replica);
                             }
                             if replicas.len() == 1 {
                                 replicas.clear(); // unreplicated: legacy routing

@@ -65,7 +65,7 @@ pub use node::{disc_node_name, kinds, DiscoveryNode};
 
 use parking_lot::Mutex;
 use selfserv_net::{
-    ConnectError, LivenessEvent, LivenessProbe, NodeId, PeerDirectory, TcpTransport,
+    ConnectError, GossipPayloads, LivenessEvent, LivenessProbe, NodeId, PeerDirectory, TcpTransport,
 };
 use selfserv_obs::Registry;
 use selfserv_runtime::{ExecutorHandle, NodeHandle};
@@ -109,6 +109,14 @@ pub struct DiscoveryConfig {
     /// Seed for the gossip-partner RNG; defaults to the hub id, so runs
     /// are deterministic per hub without being synchronized across hubs.
     pub rng_seed: Option<u64>,
+    /// Replicated datasets piggybacking on this hub's discovery exchange
+    /// (e.g. community membership tables — see
+    /// [`selfserv_net::GossipPayload`]). Snapshots ride every
+    /// `hello`/`welcome`/`sync` this node sends; fresher rows the peer was
+    /// missing come back in the `delta` answer. The registry is shared:
+    /// keep a clone and register payloads after spawning — they are picked
+    /// up on the next round.
+    pub payloads: GossipPayloads,
 }
 
 impl Default for DiscoveryConfig {
@@ -122,6 +130,7 @@ impl Default for DiscoveryConfig {
             eviction_timeout: Duration::from_secs(6),
             monitor: None,
             rng_seed: None,
+            payloads: GossipPayloads::new(),
         }
     }
 }
@@ -142,6 +151,13 @@ impl DiscoveryConfig {
     /// Builder: distinct gossip partners per round (clamped to ≥ 1).
     pub fn with_fanout(mut self, fanout: usize) -> Self {
         self.gossip_fanout = fanout;
+        self
+    }
+
+    /// Builder: attach a shared gossip-payload registry to this hub's
+    /// exchanges.
+    pub fn with_payloads(mut self, payloads: GossipPayloads) -> Self {
+        self.payloads = payloads;
         self
     }
 

@@ -5,6 +5,7 @@ use crate::{DiscoveryConfig, DiscoveryStats, EventLog};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use selfserv_net::directory::{entry_from_xml, entry_to_xml};
+use selfserv_net::gossip::payload_sections;
 use selfserv_net::{
     DirectoryEntry, Envelope, HubId, LivenessEvent, NodeId, PeerDirectory, PeerStatus,
     TcpTransport, LIVENESS_KIND,
@@ -115,6 +116,16 @@ impl DiscoveryNode {
             .with_children(rows.iter().map(|(n, e)| entry_to_xml(n, e)))
     }
 
+    /// Appends every registered gossip payload's snapshot to an outgoing
+    /// full-state exchange (`<payload>` sections ride as siblings of the
+    /// `<entry>` rows, which the directory decoder ignores).
+    fn attach_payloads(&self, body: Element) -> Element {
+        if self.config.payloads.is_empty() {
+            return body;
+        }
+        body.with_children(self.config.payloads.snapshots())
+    }
+
     /// Greets every unanswered seed with a full-snapshot hello. Send
     /// failures are expected (the seed may not be up yet) and retried on
     /// the next tick.
@@ -131,7 +142,7 @@ impl DiscoveryNode {
         let own = self.directory.lookup(ctx.node());
         self.pending_seeds
             .retain(|s| !answered.contains(s) && Some(*s) != own);
-        let body = self.directory_body(ctx, &self.directory.snapshot());
+        let body = self.attach_payloads(self.directory_body(ctx, &self.directory.snapshot()));
         // Greeting may target hubs that are down (that is the point of
         // retrying), but sends no longer block on the socket: they enqueue
         // on the destination's connection writer and return, so even a
@@ -249,7 +260,7 @@ impl DiscoveryNode {
             let j = self.rng.gen_range(i..candidates.len());
             candidates.swap(i, j);
         }
-        let body = self.directory_body(ctx, &self.directory.snapshot());
+        let body = self.attach_payloads(self.directory_body(ctx, &self.directory.snapshot()));
         for partner in candidates.into_iter().take(fanout) {
             // A silently dead partner costs nothing here: the send
             // enqueues on its connection writer and returns.
@@ -353,9 +364,17 @@ impl NodeLogic for DiscoveryNode {
         match env.kind.as_str() {
             kinds::HELLO => {
                 self.merge_rows(rows);
+                // Payload sections merge before the answer is built, so the
+                // WELCOME snapshot already includes the greeter's rows (the
+                // returned per-section answers are redundant with it).
+                let _ = self
+                    .config
+                    .payloads
+                    .merge_sections(payload_sections(&env.body));
                 // First contact: answer with everything we know, by name —
                 // the hello's piggybacked claim made the greeter routable.
-                let body = self.directory_body(ctx, &self.directory.snapshot());
+                let body =
+                    self.attach_payloads(self.directory_body(ctx, &self.directory.snapshot()));
                 let _ = ctx.endpoint().send(disc, kinds::WELCOME, body);
             }
             kinds::SYNC => {
@@ -364,12 +383,26 @@ impl NodeLogic for DiscoveryNode {
                 // snapshot — anything they sent us older than ours).
                 let delta = self.directory.delta_against(&rows);
                 self.merge_rows(rows);
-                if !delta.is_empty() {
-                    let body = self.directory_body(ctx, &delta);
+                let payload_deltas = self
+                    .config
+                    .payloads
+                    .merge_sections(payload_sections(&env.body));
+                if !delta.is_empty() || !payload_deltas.is_empty() {
+                    let body = self
+                        .directory_body(ctx, &delta)
+                        .with_children(payload_deltas);
                     let _ = ctx.endpoint().send(disc, kinds::DELTA, body);
                 }
             }
-            kinds::WELCOME | kinds::DELTA => self.merge_rows(rows),
+            kinds::WELCOME | kinds::DELTA => {
+                self.merge_rows(rows);
+                // Answers to an answer are discarded — the periodic SYNC is
+                // the repair path for anything we hold that they lack.
+                let _ = self
+                    .config
+                    .payloads
+                    .merge_sections(payload_sections(&env.body));
+            }
             kinds::PING => {
                 let body = Element::new("directory")
                     .with_attr("hub", self.directory.hub().to_string())

@@ -242,3 +242,82 @@ fn discovery_node_name_is_derived_from_hub_id() {
     disc.stop();
     assert!(!hub.is_connected(name.as_str()));
 }
+
+/// A registered gossip payload converges across hubs through the same
+/// push-pull exchange as the directory — the piggyback that carries
+/// community membership between hubs (see `selfserv_community::replication`).
+#[test]
+fn gossip_payloads_ride_the_exchange_across_hubs() {
+    use parking_lot::RwLock;
+    use selfserv_net::gossip::PAYLOAD_ELEMENT;
+    use selfserv_net::{GossipPayload, GossipPayloads};
+    use std::sync::Arc;
+
+    /// A one-cell LWW register: the minimal payload with the directory's
+    /// merge shape.
+    struct Cell {
+        state: Arc<RwLock<(u64, String)>>,
+    }
+
+    impl GossipPayload for Cell {
+        fn key(&self) -> String {
+            "test:cell".into()
+        }
+        fn snapshot(&self) -> Element {
+            let (version, value) = self.state.read().clone();
+            Element::new(PAYLOAD_ELEMENT)
+                .with_attr("key", self.key())
+                .with_attr("version", version.to_string())
+                .with_attr("value", value)
+        }
+        fn merge(&self, incoming: &Element) -> Option<Element> {
+            let theirs: u64 = incoming.attr("version")?.parse().ok()?;
+            let mut state = self.state.write();
+            if theirs > state.0 {
+                *state = (theirs, incoming.attr("value")?.to_string());
+                None
+            } else if theirs < state.0 {
+                drop(state);
+                Some(self.snapshot())
+            } else {
+                None
+            }
+        }
+    }
+
+    let cell = |version: u64, value: &str| Arc::new(RwLock::new((version, value.to_string())));
+    let hub_a = TcpTransport::new();
+    let hub_b = TcpTransport::new();
+    let state_a = cell(1, "from-a");
+    let state_b = cell(0, "");
+    let payloads_a = GossipPayloads::new();
+    payloads_a.register(Arc::new(Cell {
+        state: Arc::clone(&state_a),
+    }));
+    let payloads_b = GossipPayloads::new();
+    payloads_b.register(Arc::new(Cell {
+        state: Arc::clone(&state_b),
+    }));
+    let disc_a = PeerDiscovery::spawn(&hub_a, fast().with_payloads(payloads_a)).unwrap();
+    let disc_b = PeerDiscovery::spawn(
+        &hub_b,
+        fast()
+            .with_seed(disc_a.seed_addr())
+            .with_payloads(payloads_b),
+    )
+    .unwrap();
+    // A's fresher cell reaches B through the handshake/gossip exchange.
+    assert!(
+        wait_until(Duration::from_secs(5), || state_b.read().1 == "from-a"),
+        "payload snapshot crossed hubs"
+    );
+    // A later write on B out-versions it and flows back to A: push-pull
+    // works in both directions without either side addressing the other.
+    *state_b.write() = (5, "from-b".to_string());
+    assert!(
+        wait_until(Duration::from_secs(5), || state_a.read().1 == "from-b"),
+        "payload delta flowed back"
+    );
+    disc_b.stop();
+    disc_a.stop();
+}

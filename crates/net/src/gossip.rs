@@ -1,0 +1,212 @@
+//! Pluggable gossip payloads: replicated state that rides the discovery
+//! channel.
+//!
+//! The discovery engine's push-pull exchange (snapshot out, delta back)
+//! already carries one replicated dataset — the [`PeerDirectory`]. Other
+//! subsystems own state with exactly the same convergence needs: the
+//! community membership tables, for instance, must reach every hub that
+//! hosts a replica. Rather than each subsystem growing its own gossip
+//! loop, a [`GossipPayload`] piggybacks on the existing exchange: the
+//! discovery node attaches every registered payload's snapshot to its
+//! `HELLO`/`WELCOME`/`SYNC` messages and lets each payload answer with
+//! the rows the sender was missing, which travel in the `DELTA` reply.
+//!
+//! The contract mirrors the directory's own merge discipline: a payload's
+//! `merge` must be **commutative, idempotent, and associative** (a
+//! versioned last-writer-wins table qualifies), because the gossip
+//! schedule guarantees nothing about ordering, duplication, or loss.
+//!
+//! [`PeerDirectory`]: crate::PeerDirectory
+
+use parking_lot::RwLock;
+use selfserv_xml::Element;
+use std::sync::Arc;
+
+/// The element name payload sections travel under inside discovery
+/// protocol bodies (siblings of the `<entry>` directory rows).
+pub const PAYLOAD_ELEMENT: &str = "payload";
+
+/// One replicated dataset piggybacking on the discovery exchange.
+///
+/// Implementations serialize their full state as a single XML element and
+/// merge incoming sections from peers. All methods are called from the
+/// discovery node's executor turn, so they must not block.
+pub trait GossipPayload: Send + Sync {
+    /// Globally unique stream key (e.g. `membership:AccommodationBooking`).
+    /// Sections are matched to payloads by this key; unknown keys are
+    /// ignored (a hub may host only some of the fleet's payloads).
+    fn key(&self) -> String;
+
+    /// The full-state snapshot as a [`PAYLOAD_ELEMENT`] element carrying
+    /// `key="..."`. Attached to outgoing `HELLO`/`WELCOME`/`SYNC` bodies.
+    fn snapshot(&self) -> Element;
+
+    /// Merges an incoming section and returns the rows the *sender* is
+    /// missing (this side's fresher state), or `None` when the sender is
+    /// up to date. The returned element rides the `DELTA` answer of the
+    /// push-pull exchange.
+    fn merge(&self, incoming: &Element) -> Option<Element>;
+}
+
+/// A registry of gossip payloads, shared between the code that owns the
+/// replicated state and the discovery node that ferries it. Cheap to
+/// clone (all clones view the same registrations), so it can be handed to
+/// a discovery config before the payload-owning component even exists —
+/// registrations made later are picked up on the next gossip round.
+#[derive(Clone, Default)]
+pub struct GossipPayloads {
+    inner: Arc<RwLock<Vec<Arc<dyn GossipPayload>>>>,
+}
+
+impl std::fmt::Debug for GossipPayloads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let keys: Vec<String> = self.inner.read().iter().map(|p| p.key()).collect();
+        f.debug_struct("GossipPayloads")
+            .field("keys", &keys)
+            .finish()
+    }
+}
+
+impl GossipPayloads {
+    /// An empty registry.
+    pub fn new() -> GossipPayloads {
+        GossipPayloads::default()
+    }
+
+    /// Registers a payload stream. A second registration under the same
+    /// key replaces the first (the latest owner of the state wins).
+    pub fn register(&self, payload: Arc<dyn GossipPayload>) {
+        let mut inner = self.inner.write();
+        let key = payload.key();
+        inner.retain(|p| p.key() != key);
+        inner.push(payload);
+    }
+
+    /// True when nothing is registered (lets the discovery node skip the
+    /// payload work entirely).
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Snapshot sections of every registered payload, for attaching to an
+    /// outgoing full-state exchange.
+    pub fn snapshots(&self) -> Vec<Element> {
+        self.inner.read().iter().map(|p| p.snapshot()).collect()
+    }
+
+    /// Routes incoming payload sections to their streams by key, merging
+    /// each; returns the per-stream "rows the sender is missing" sections
+    /// for the `DELTA` answer (empty when every sender was up to date).
+    pub fn merge_sections<'a>(&self, sections: impl Iterator<Item = &'a Element>) -> Vec<Element> {
+        let inner = self.inner.read();
+        let mut deltas = Vec::new();
+        for section in sections {
+            let Some(key) = section.attr("key") else {
+                continue;
+            };
+            if let Some(payload) = inner.iter().find(|p| p.key() == key) {
+                if let Some(delta) = payload.merge(section) {
+                    deltas.push(delta);
+                }
+            }
+        }
+        deltas
+    }
+}
+
+/// Extracts the payload sections of a discovery protocol body (the
+/// receiver-side counterpart of [`GossipPayloads::snapshots`]).
+pub fn payload_sections(body: &Element) -> impl Iterator<Item = &Element> {
+    body.child_elements().filter(|c| c.name == PAYLOAD_ELEMENT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A payload holding one versioned integer cell — the smallest state
+    /// with the directory's merge shape.
+    struct Cell {
+        key: String,
+        state: RwLock<(u64, i64)>,
+    }
+
+    impl Cell {
+        fn new(key: &str, version: u64, value: i64) -> Arc<Cell> {
+            Arc::new(Cell {
+                key: key.into(),
+                state: RwLock::new((version, value)),
+            })
+        }
+    }
+
+    impl GossipPayload for Cell {
+        fn key(&self) -> String {
+            self.key.clone()
+        }
+
+        fn snapshot(&self) -> Element {
+            let (version, value) = *self.state.read();
+            Element::new(PAYLOAD_ELEMENT)
+                .with_attr("key", &self.key)
+                .with_attr("version", version.to_string())
+                .with_attr("value", value.to_string())
+        }
+
+        fn merge(&self, incoming: &Element) -> Option<Element> {
+            let theirs: u64 = incoming.attr("version")?.parse().ok()?;
+            let mut state = self.state.write();
+            if theirs > state.0 {
+                *state = (theirs, incoming.attr("value")?.parse().ok()?);
+                None
+            } else if theirs < state.0 {
+                drop(state);
+                Some(self.snapshot())
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn register_replaces_same_key_and_routes_by_key() {
+        let payloads = GossipPayloads::new();
+        assert!(payloads.is_empty());
+        payloads.register(Cell::new("a", 1, 10));
+        payloads.register(Cell::new("b", 1, 20));
+        payloads.register(Cell::new("a", 5, 50));
+        let snaps = payloads.snapshots();
+        assert_eq!(snaps.len(), 2);
+        let a = snaps.iter().find(|s| s.attr("key") == Some("a")).unwrap();
+        assert_eq!(a.attr("version"), Some("5"));
+    }
+
+    #[test]
+    fn merge_sections_returns_fresher_state_for_stale_senders() {
+        let payloads = GossipPayloads::new();
+        payloads.register(Cell::new("x", 3, 30));
+        // A stale section: the merge answers with our fresher row.
+        let stale = Element::new(PAYLOAD_ELEMENT)
+            .with_attr("key", "x")
+            .with_attr("version", "1")
+            .with_attr("value", "10");
+        let body = Element::new("directory").with_child(stale);
+        let deltas = payloads.merge_sections(payload_sections(&body));
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].attr("version"), Some("3"));
+        // A fresher section: adopted, nothing to answer.
+        let fresh = Element::new(PAYLOAD_ELEMENT)
+            .with_attr("key", "x")
+            .with_attr("version", "9")
+            .with_attr("value", "90");
+        let body = Element::new("directory").with_child(fresh);
+        assert!(payloads.merge_sections(payload_sections(&body)).is_empty());
+        assert_eq!(payloads.snapshots()[0].attr("version"), Some("9"));
+        // Unknown keys are ignored.
+        let unknown = Element::new(PAYLOAD_ELEMENT)
+            .with_attr("key", "nope")
+            .with_attr("version", "1");
+        let body = Element::new("directory").with_child(unknown);
+        assert!(payloads.merge_sections(payload_sections(&body)).is_empty());
+    }
+}

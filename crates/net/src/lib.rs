@@ -42,6 +42,7 @@ pub mod directory;
 mod envelope;
 mod fabric;
 mod fault;
+pub mod gossip;
 mod metrics;
 mod replica;
 pub mod tcp;
@@ -58,6 +59,7 @@ pub use fault::{
     minimize_schedule, ChaosConfig, ChaosController, ChaosTarget, FaultAction, FaultEvent,
     FaultPolicy, FaultSchedule, KindRule, LatencyModel, NodeEvent, NodeFault,
 };
+pub use gossip::{GossipPayload, GossipPayloads};
 pub use metrics::{MetricsSnapshot, NodeMetrics, TransportIoStats, EPHEMERAL_AGGREGATE};
 pub use replica::ReplicaSet;
 pub use tcp::TcpTransport;

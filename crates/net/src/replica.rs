@@ -18,7 +18,7 @@
 //! is even, and hot spots shed excess onto their runner-up instead of
 //! queueing behind one mailbox.
 
-use crate::directory::{LivenessProbe, PeerStatus};
+use crate::directory::{LivenessProbe, PeerDirectory, PeerStatus};
 use crate::envelope::NodeId;
 
 /// An ordered set of replica nodes serving one logical service.
@@ -31,6 +31,28 @@ impl ReplicaSet {
     /// A replica set over the given nodes (order is irrelevant to
     /// routing; hashing is by name).
     pub fn new(replicas: Vec<NodeId>) -> ReplicaSet {
+        ReplicaSet { replicas }
+    }
+
+    /// The replica set of a `<base>` / `<base>.rN` naming family as a
+    /// hub's directory currently sees it — the cross-hub counterpart of
+    /// probing local names: every replica *any* gossiping hub hosts is a
+    /// candidate, wherever it runs. Tombstoned names are excluded (the
+    /// directory's `names()` view is live-only); contiguity is not
+    /// required, because a crashed middle replica must not hide the
+    /// survivors behind it.
+    pub fn discover(base: &str, directory: &PeerDirectory) -> ReplicaSet {
+        let prefix = format!("{base}.r");
+        let replicas = directory
+            .names()
+            .into_iter()
+            .filter(|n| {
+                let s = n.as_str();
+                s == base
+                    || s.strip_prefix(&prefix)
+                        .is_some_and(|i| !i.is_empty() && i.bytes().all(|b| b.is_ascii_digit()))
+            })
+            .collect();
         ReplicaSet { replicas }
     }
 
@@ -145,6 +167,49 @@ mod tests {
             *hits.entry(a).or_default() += 1;
         }
         assert_eq!(hits.len(), 3, "all replicas serve some keys: {hits:?}");
+    }
+
+    #[test]
+    fn discover_collects_the_naming_family_across_hubs() {
+        use crate::directory::{DirectoryEntry, HubId, PeerDirectory};
+        let dir = PeerDirectory::new(HubId(1));
+        let addr = "127.0.0.1:9000".parse().unwrap();
+        for name in [
+            "community.x",
+            "community.x.r1",
+            "community.xylo",    // shares the prefix but is not a replica
+            "community.x.rogue", // non-numeric suffix
+            "svc.member",
+        ] {
+            dir.bind_local(NodeId::new(name), addr).unwrap();
+        }
+        // A replica learned from another hub's gossip counts too …
+        dir.merge_remote([(
+            NodeId::new("community.x.r2"),
+            DirectoryEntry {
+                addr: "127.0.0.1:9100".parse().unwrap(),
+                owner: HubId(2),
+                version: 1,
+                evicted: false,
+            },
+        )]);
+        // … but a tombstoned one does not.
+        dir.merge_remote([(
+            NodeId::new("community.x.r3"),
+            DirectoryEntry {
+                addr: "127.0.0.1:9200".parse().unwrap(),
+                owner: HubId(2),
+                version: 4,
+                evicted: true,
+            },
+        )]);
+        let rs = ReplicaSet::discover("community.x", &dir);
+        let mut names: Vec<&str> = rs.replicas().iter().map(|n| n.as_str()).collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec!["community.x", "community.x.r1", "community.x.r2"]
+        );
     }
 
     #[test]

@@ -103,7 +103,10 @@ fn crash_target(family: &str, chart: &Statechart) -> NodeId {
 /// rpc-correlated kinds (`invoke`, `wrapper.`) where the reply demux
 /// swallows the copy; `coord.` notifications are label-counted by
 /// AND-joins, so duplicating them would test a different invariant than
-/// the one this harness asserts.
+/// the one this harness asserts. Membership gossip (`community.msync` /
+/// `.mdelta` / `.mtick`) gets the harshest mix — the rows are an
+/// idempotent LWW merge, so drops must be repaired by anti-entropy and
+/// duplicates must change nothing.
 fn chaos_config(crash_node: Option<&NodeId>) -> ChaosConfig {
     let mut config = ChaosConfig::default()
         .rule(
@@ -118,6 +121,13 @@ fn chaos_config(crash_node: Option<&NodeId>) -> ChaosConfig {
                 .delay(0.20, Duration::from_millis(1), Duration::from_millis(4))
                 .duplicate(0.08)
                 .reorder(0.10, Duration::from_millis(3)),
+        )
+        .rule(
+            KindRule::for_kind("community.m")
+                .drop(0.15)
+                .delay(0.25, Duration::from_millis(1), Duration::from_millis(6))
+                .duplicate(0.15)
+                .reorder(0.10, Duration::from_millis(4)),
         )
         .rule(
             KindRule::all()
@@ -781,6 +791,229 @@ fn community_replica_crash_mid_burst_keeps_survivor_serving() -> TestResult {
     audit
 }
 
+/// Cross-hub replication under a scheduled crash: replica 0 lives on hub
+/// A (its own [`TcpTransport`], its own executor — a separate failure
+/// domain), replica 1 and the whole calling side live on hub B. The two
+/// replicas share **no** membership state; a member registered through
+/// the survivor must reach replica 0 as gossiped membership rows before
+/// the burst starts. The seeded schedule then severs hub B's connection
+/// to replica 0 mid-burst while hub A's replica is stopped — the
+/// hub-hosting-replica-0 crash — and the invariant is the harness's
+/// safety claim plus cross-hub liveness:
+///
+/// * every burst execution completes byte-identically to the golden or
+///   faults cleanly;
+/// * after the crash the survivor hub keeps serving — a post-crash
+///   execution completes byte-identically through `.r1`;
+/// * the survivor's membership table still holds the member (the crash
+///   must not un-gossip anything);
+/// * teardown leaks nothing on the survivor hub: zero in-flight rpcs,
+///   zero live timers, zero blocked workers.
+fn cross_hub_replica_crash_fails_over_to_survivor_hub() -> TestResult {
+    use selfserv::community::{
+        Community, CommunityClient, CommunityServer, CommunityServerConfig, Member, MemberId,
+        QosProfile, ReplicationConfig, RoundRobin,
+    };
+    use selfserv::core::ServiceHost;
+    use selfserv::net::{NodeEvent, NodeFault, TcpTransport};
+    use selfserv::statechart::{StatechartBuilder, TaskDef, TransitionDef};
+    use selfserv::wsdl::{OperationDef, ParamType};
+
+    const BURST: usize = 32;
+    let hub_a = TcpTransport::new();
+    let hub_b = TcpTransport::new();
+    let exec_a = Executor::new(2);
+    let exec_b = Executor::new(4);
+
+    let base = naming::community("CrossHub");
+    let r1 = format!("{}.r1", base.as_str());
+    let config = || CommunityServerConfig {
+        member_timeout: Duration::from_millis(400),
+        replication: ReplicationConfig {
+            gossip_interval: Some(Duration::from_millis(25)),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let descriptor = || Community::new("CrossHub", "").with_operation(OperationDef::new("op"));
+    let replica0 = CommunityServer::spawn_replica_on(
+        &hub_a,
+        &exec_a.handle(),
+        base.as_str(),
+        0,
+        2,
+        descriptor(),
+        Arc::new(RoundRobin::new()),
+        config(),
+    )
+    .map_err(|e| format!("replica 0 spawn failed: {e}"))?;
+    let replica1 = CommunityServer::spawn_replica_on(
+        &hub_b,
+        &exec_b.handle(),
+        base.as_str(),
+        1,
+        2,
+        descriptor(),
+        Arc::new(RoundRobin::new()),
+        config(),
+    )
+    .map_err(|e| format!("replica 1 spawn failed: {e}"))?;
+    let member = ServiceHost::spawn_on(
+        &hub_b,
+        &exec_b.handle(),
+        "svc.xhub-member",
+        Arc::new(EchoService::new("Echo")),
+    )
+    .map_err(|e| format!("member spawn failed: {e}"))?;
+
+    // Pairwise address introductions (the cross-process analogue of a
+    // discovery seed): each hub learns where the other's nodes listen.
+    let addr = |hub: &TcpTransport, name: &str| {
+        hub.addr_of(name)
+            .ok_or_else(|| format!("{name} has no listener address"))
+    };
+    hub_b.register_peer(base.as_str(), addr(&hub_a, base.as_str())?);
+    hub_a.register_peer(r1.as_str(), addr(&hub_b, r1.as_str())?);
+    hub_a.register_peer("svc.xhub-member", addr(&hub_b, "svc.xhub-member")?);
+
+    // Register through the SURVIVOR replica; the row must cross to hub A
+    // via membership gossip before the burst means anything.
+    let admin = CommunityClient::connect(&hub_b, "xhub-admin", replica1.node().clone())
+        .map_err(|e| format!("admin connect failed: {e}"))?;
+    admin
+        .join(&Member {
+            id: MemberId("echo".into()),
+            provider: "echo".into(),
+            endpoint: NodeId::new("svc.xhub-member"),
+            qos: QosProfile::default(),
+        })
+        .map_err(|e| format!("member join failed: {e}"))?;
+    let gossip_deadline = Instant::now() + Duration::from_secs(5);
+    while replica0.member_count() == 0 {
+        if Instant::now() >= gossip_deadline {
+            return Err("join through hub B never reached replica 0 on hub A via gossip".into());
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let chart = StatechartBuilder::new("CrossHubChaos")
+        .variable("payload", ParamType::Str)
+        .variable("served_by", ParamType::Str)
+        .initial("s0")
+        .task(
+            TaskDef::new("s0", "Svc")
+                .community("CrossHub", "op")
+                .input("payload", "payload")
+                .output("echoed_by", "served_by"),
+        )
+        .final_state("f")
+        .transition(TransitionDef::new("t", "s0", "f"))
+        .build()
+        .map_err(|e| format!("chart build failed: {e:?}"))?;
+    let mut deployer = Deployer::new(&hub_b).with_executor(exec_b.handle());
+    deployer.invoke_timeout = Duration::from_millis(400);
+    let dep = deployer
+        .deploy(&chart, &HashMap::new())
+        .map_err(|e| format!("deploy failed: {e}"))?;
+    // Replica 0 answers proxy delegations straight to the coordinator, so
+    // hub A needs its address too.
+    let coord = naming::coordinator(&chart.name, &"s0".into());
+    hub_a.register_peer(coord.as_str(), addr(&hub_b, coord.as_str())?);
+
+    let probe = || MessageDoc::request("execute").with("payload", Value::str("chaos-probe"));
+    let golden = normalized(
+        &dep.execute(probe(), Duration::from_secs(5))
+            .map_err(|e| format!("golden execution failed: {e}"))?,
+    );
+
+    // The schedule severs hub B's pooled connection to replica 0 at 5ms
+    // (queued frames drop, no restart event follows); a paired "power
+    // cut" thread stops replica 0 itself at the same mark, so hub A
+    // genuinely goes dark instead of accepting a re-dial.
+    let schedule = FaultSchedule::replay(
+        2107,
+        &[FaultEvent::Node(NodeEvent {
+            at: Duration::from_millis(5),
+            node: base.clone(),
+            fault: NodeFault::Crash,
+        })],
+    );
+    let controller = ChaosController::start(&schedule, Arc::new(hub_b.clone()));
+    let power_cut = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(5));
+        replica0.stop();
+    });
+    let mut pending = std::collections::HashSet::new();
+    for _ in 0..BURST / 2 {
+        pending.insert(
+            dep.submit(probe())
+                .map_err(|e| format!("submit failed: {e}"))?,
+        );
+    }
+    power_cut
+        .join()
+        .map_err(|_| "power-cut thread panicked".to_string())?;
+    for _ in 0..BURST / 2 {
+        pending.insert(
+            dep.submit(probe())
+                .map_err(|e| format!("submit failed: {e}"))?,
+        );
+    }
+    let mut completed = 0usize;
+    let mut clean_faults = 0usize;
+    while !pending.is_empty() {
+        let (id, outcome) = dep
+            .collect_result(Duration::from_secs(30))
+            .map_err(|e| format!("burst result lost: {e}"))?;
+        if !pending.remove(&id) {
+            return Err("collected an unknown submission id".into());
+        }
+        match outcome {
+            Ok(doc) => {
+                let got = normalized(&doc);
+                if got != golden {
+                    return Err(format!(
+                        "burst completion diverged from golden\n  golden: {golden}\n  got:    {got}"
+                    ));
+                }
+                completed += 1;
+            }
+            Err(ExecError::Timeout | ExecError::Fault(_) | ExecError::Unreachable(_)) => {
+                clean_faults += 1;
+            }
+        }
+    }
+    controller.stop();
+    eprintln!("  (cross-hub burst of {BURST}: {completed} completed, {clean_faults} clean faults)");
+    if completed == 0 {
+        return Err("no burst execution completed — the survivor hub never served".into());
+    }
+
+    // Survivor-hub liveness and state: `.r1` must serve a fresh execution
+    // byte-identically, from a membership table the crash did not damage.
+    let after = dep
+        .execute(probe(), Duration::from_secs(10))
+        .map_err(|e| format!("post-crash execution faulted: {e}"))?;
+    if normalized(&after) != golden {
+        return Err("post-crash completion diverged from golden".into());
+    }
+    if replica1.member_count() != 1 {
+        return Err(format!(
+            "survivor's membership table lost the member: {} entries",
+            replica1.member_count()
+        ));
+    }
+
+    dep.undeploy();
+    drop(admin);
+    member.stop();
+    replica1.stop();
+    let audit = audit_quiesced(&exec_b.handle());
+    exec_b.shutdown();
+    exec_a.shutdown();
+    audit
+}
+
 fn parse_seed(args: &[String]) -> Option<u64> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -851,6 +1084,10 @@ fn main() {
         (
             "community_replica_crash_mid_burst_keeps_survivor_serving",
             community_replica_crash_mid_burst_keeps_survivor_serving,
+        ),
+        (
+            "cross_hub_replica_crash_fails_over_to_survivor_hub",
+            cross_hub_replica_crash_fails_over_to_survivor_hub,
         ),
     ];
     let mut failed = 0;

@@ -1,0 +1,328 @@
+//! Membership churn under load: a cross-hub replicated community serves a
+//! composite burst while members join, leave, and crash underneath it.
+//!
+//! Topology: two `TcpTransport` hubs joined by one discovery seed.
+//! Replica 0 of the community runs on hub A, replica 1 on hub B — no
+//! shared membership state; rows cross hubs as gossiped membership
+//! deltas. The composite (two community tasks in sequence) deploys on
+//! hub B, so every delegation through replica 0 crosses TCP twice.
+//!
+//! Invariants, in the chaos harness's terms:
+//! * every burst execution either completes **byte-identically** to the
+//!   fault-free golden or faults cleanly (typed error, never a corrupted
+//!   answer) — member identity is deliberately kept out of the chart's
+//!   output so "byte-identical" is meaningful under rotation;
+//! * after quiescence the replicas' membership tables **converge** to the
+//!   same fingerprint, tombstones included;
+//! * teardown leaks nothing: `in_flight_rpcs` and `live_timers` drain to
+//!   zero on both hubs' executors.
+
+use selfserv::community::{
+    Community, CommunityClient, CommunityServer, CommunityServerConfig, Member, MemberId,
+    QosProfile, ReplicationConfig, RoundRobin,
+};
+use selfserv::core::{naming, Deployer, EchoService, ExecError, ServiceHost};
+use selfserv::expr::Value;
+use selfserv::net::TcpTransport;
+use selfserv::runtime::{Executor, ExecutorHandle};
+use selfserv::statechart::{StatechartBuilder, TaskDef, TransitionDef};
+use selfserv::wsdl::{MessageDoc, OperationDef, ParamType};
+use selfserv_discovery::{DiscoveryConfig, DiscoveryHandle, PeerDiscovery};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BURST: usize = 48;
+const STABLE_MEMBERS: usize = 3;
+
+/// Every member wraps an `EchoService` under the SAME service name, so a
+/// response does not betray which member served it — the precondition for
+/// byte-identical goldens under round-robin rotation and churn.
+fn echo() -> Arc<EchoService> {
+    Arc::new(EchoService::new("Echo"))
+}
+
+fn member(id: &str, endpoint: &str) -> Member {
+    Member {
+        id: MemberId(id.to_string()),
+        provider: id.to_string(),
+        endpoint: selfserv::net::NodeId::new(endpoint),
+        qos: QosProfile::default(),
+    }
+}
+
+/// Volatile per-execution fields stripped before golden comparison.
+fn normalized(doc: &MessageDoc) -> String {
+    let mut clean = MessageDoc::response(doc.operation.clone());
+    for (k, v) in doc.iter() {
+        if k != "_elapsed_ms" && k != "_instance" {
+            clean.set(k, v.clone());
+        }
+    }
+    clean.to_xml().to_xml()
+}
+
+/// Polls both executors' leak gauges to zero after teardown.
+fn assert_drained(label: &str, handle: &ExecutorHandle) {
+    let deadline = Instant::now() + Duration::from_secs(3);
+    loop {
+        let rpcs = handle.in_flight_rpcs();
+        let timers = handle.live_timers();
+        if rpcs == 0 && timers == 0 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{label} leaked after teardown: {rpcs} in-flight rpcs, {timers} live timers"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+struct HubSide {
+    hub: TcpTransport,
+    exec: Executor,
+    disc: DiscoveryHandle,
+}
+
+fn spawn_side(seed: Option<std::net::SocketAddr>) -> HubSide {
+    let hub = TcpTransport::new();
+    let exec = Executor::new(4);
+    let mut cfg = DiscoveryConfig::default().with_cadence(Duration::from_millis(25));
+    if let Some(seed) = seed {
+        cfg = cfg.with_seed(seed);
+    }
+    let disc = PeerDiscovery::spawn_on(&hub, &exec.handle(), cfg).expect("discovery spawns");
+    HubSide { hub, exec, disc }
+}
+
+#[test]
+fn churn_during_composite_burst_converges_and_leaks_nothing() {
+    let a = spawn_side(None);
+    let b = spawn_side(Some(a.disc.seed_addr()));
+
+    // --- Cross-hub replica pair -----------------------------------------
+    let base = naming::community("Churn");
+    let descriptor = || Community::new("Churn", "").with_operation(OperationDef::new("op"));
+    let config = |side: &HubSide| CommunityServerConfig {
+        member_timeout: Duration::from_millis(300),
+        liveness: Some(side.disc.liveness()),
+        replication: ReplicationConfig {
+            directory: Some(side.disc.directory().clone()),
+            gossip_interval: Some(Duration::from_millis(50)),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let replica0 = CommunityServer::spawn_replica_on(
+        &a.hub,
+        &a.exec.handle(),
+        base.as_str(),
+        0,
+        2,
+        descriptor(),
+        Arc::new(RoundRobin::new()),
+        config(&a),
+    )
+    .expect("replica 0 spawns on hub A");
+    let replica1 = CommunityServer::spawn_replica_on(
+        &b.hub,
+        &b.exec.handle(),
+        base.as_str(),
+        1,
+        2,
+        descriptor(),
+        Arc::new(RoundRobin::new()),
+        config(&b),
+    )
+    .expect("replica 1 spawns on hub B");
+
+    // --- Members ---------------------------------------------------------
+    // Two stable members on hub B, one on hub A (so steady-state proxying
+    // crosses the hub boundary), one crash victim on hub B, and one churn
+    // member on hub A that the churn thread cycles.
+    let mut stable = Vec::new();
+    for i in 0..STABLE_MEMBERS {
+        let (side, exec) = if i == 0 {
+            (&a.hub, &a.exec)
+        } else {
+            (&b.hub, &b.exec)
+        };
+        stable.push(
+            ServiceHost::spawn_on(side, &exec.handle(), format!("svc.stable{i}"), echo())
+                .expect("stable member spawns"),
+        );
+    }
+    let crash_victim = ServiceHost::spawn_on(&b.hub, &b.exec.handle(), "svc.crashy", echo())
+        .expect("crash member spawns");
+    let churn_host = ServiceHost::spawn_on(&a.hub, &a.exec.handle(), "svc.churny", echo())
+        .expect("churn member spawns");
+
+    // Hub B must learn replica 0's name (and hub A the members') before
+    // anything routes — one seed address is the only bootstrap.
+    assert!(
+        b.disc
+            .wait_until_bound(base.as_str(), Duration::from_secs(10)),
+        "hub B never learned replica 0 via gossip"
+    );
+    let admin = CommunityClient::connect(&b.hub, "churn-admin", replica1.node().clone())
+        .expect("admin client connects");
+    for i in 0..STABLE_MEMBERS {
+        admin
+            .join(&member(&format!("stable{i}"), &format!("svc.stable{i}")))
+            .expect("stable member joins");
+    }
+    admin
+        .join(&member("crashy", "svc.crashy"))
+        .expect("crash member joins");
+    // Registration went through replica 1; replica 0 on the OTHER hub
+    // must see every row via membership gossip before the burst starts.
+    assert!(
+        wait_until(Duration::from_secs(10), || replica0.member_count()
+            == STABLE_MEMBERS + 1),
+        "replica 0 only learned {}/{} members via gossip",
+        replica0.member_count(),
+        STABLE_MEMBERS + 1
+    );
+
+    // --- Composite -------------------------------------------------------
+    let chart = StatechartBuilder::new("ChurnBurst")
+        .variable("payload", ParamType::Str)
+        .initial("s0")
+        .task(
+            TaskDef::new("s0", "First")
+                .community("Churn", "op")
+                .input("payload", "payload")
+                .output("payload", "payload"),
+        )
+        .task(
+            TaskDef::new("s1", "Second")
+                .community("Churn", "op")
+                .input("payload", "payload")
+                .output("payload", "payload"),
+        )
+        .final_state("f")
+        .transition(TransitionDef::new("t0", "s0", "s1"))
+        .transition(TransitionDef::new("t1", "s1", "f"))
+        .build()
+        .expect("chart builds");
+    let mut deployer = Deployer::new(&b.hub)
+        .with_executor(b.exec.handle())
+        .with_liveness(b.disc.liveness());
+    deployer.invoke_timeout = Duration::from_millis(800);
+    let dep = deployer
+        .deploy(&chart, &std::collections::HashMap::new())
+        .expect("composite deploys");
+
+    let probe = || MessageDoc::request("execute").with("payload", Value::str("churn-probe"));
+    let golden = normalized(
+        &dep.execute(probe(), Duration::from_secs(5))
+            .expect("golden runs"),
+    );
+
+    // --- Burst with churn underneath -------------------------------------
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn_thread = {
+        let stop = Arc::clone(&stop);
+        let hub = b.hub.clone();
+        std::thread::spawn(move || {
+            let client = CommunityClient::connect(&hub, "churn-cycler", naming::community("Churn"))
+                .expect("churn client connects");
+            let m = member("churny", "svc.churny");
+            while !stop.load(Ordering::Relaxed) {
+                let _ = client.join(&m);
+                std::thread::sleep(Duration::from_millis(20));
+                let _ = client.leave(&m.id);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            // End on a leave: quiescence must converge on "churny is a
+            // tombstone" everywhere, not on whichever half-cycle raced.
+            let _ = client.leave(&m.id);
+        })
+    };
+
+    let mut pending = HashSet::new();
+    for _ in 0..BURST / 2 {
+        pending.insert(dep.submit(probe()).expect("submit"));
+    }
+    // Mid-burst crash: the victim stops abruptly while still REGISTERED —
+    // delegations that pick it must fail over, not corrupt.
+    crash_victim.stop();
+    for _ in 0..BURST / 2 {
+        pending.insert(dep.submit(probe()).expect("submit"));
+    }
+
+    let mut completed = 0usize;
+    let mut clean_faults = 0usize;
+    while !pending.is_empty() {
+        let (id, outcome) = dep
+            .collect_result(Duration::from_secs(30))
+            .expect("burst result lost");
+        assert!(pending.remove(&id), "collected an unknown submission id");
+        match outcome {
+            Ok(doc) => {
+                assert_eq!(
+                    normalized(&doc),
+                    golden,
+                    "burst completion diverged from golden"
+                );
+                completed += 1;
+            }
+            Err(ExecError::Timeout | ExecError::Fault(_) | ExecError::Unreachable(_)) => {
+                clean_faults += 1;
+            }
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    churn_thread.join().expect("churn thread joins");
+    eprintln!("  (burst of {BURST}: {completed} completed, {clean_faults} clean faults)");
+    assert!(completed > 0, "no burst execution completed under churn");
+
+    // --- Convergence after quiescence ------------------------------------
+    // Both replicas must agree on the whole table — live rows AND the
+    // churn member's tombstone — within a few gossip rounds.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            replica0.membership().read().fingerprint() == replica1.membership().read().fingerprint()
+        }),
+        "membership fingerprints never converged: hub A {:?} vs hub B {:?}",
+        replica0.membership().read().snapshot(),
+        replica1.membership().read().snapshot(),
+    );
+    assert!(
+        replica0
+            .membership()
+            .read()
+            .member(&MemberId("churny".into()))
+            .is_none(),
+        "churn member resurrected after its final leave"
+    );
+
+    // --- Teardown leaks nothing -------------------------------------------
+    dep.undeploy();
+    drop(admin);
+    for host in stable {
+        host.stop();
+    }
+    churn_host.stop();
+    replica0.stop();
+    replica1.stop();
+    a.disc.stop();
+    b.disc.stop();
+    assert_drained("hub A", &a.exec.handle());
+    assert_drained("hub B", &b.exec.handle());
+    a.exec.shutdown();
+    b.exec.shutdown();
+}
